@@ -1,0 +1,80 @@
+// A4 — model-family ablation on the prefetching task: why the paper's
+// prototype uses an integer decision tree.
+//
+// Runs case study #1's online pipeline with three interchangeable in-kernel
+// model families (the section 3.2 library: decision tree, random forest,
+// quantized MLP) and reports the accuracy/cost frontier. The expected shape:
+// the tree matches or beats the heavier families on this pattern-cycle task
+// at a fraction of the verifier work units and training cost — the concrete
+// version of "in certain cases, well-tuned heuristics may already go a long
+// way", applied to model choice.
+#include <chrono>
+#include <cstdio>
+
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/workloads/access_trace.h"
+
+int main() {
+  using namespace rkd;
+
+  std::printf("=== Ablation A4: in-kernel model family for page prefetching ===\n\n");
+
+  MemSimConfig sim_config;
+  sim_config.frame_capacity = 192;
+
+  struct FamilySpec {
+    const char* name;
+    PrefetchModelFamily family;
+  };
+  const FamilySpec families[] = {
+      {"decision_tree (paper)", PrefetchModelFamily::kDecisionTree},
+      {"random_forest x6", PrefetchModelFamily::kRandomForest},
+      {"quantized_mlp 4-24-C", PrefetchModelFamily::kQuantizedMlp},
+  };
+
+  struct WorkloadSpec {
+    const char* name;
+    AccessTrace trace;
+  };
+  Rng rng(2024);
+  MatrixConvConfig conv;
+  VideoResizeConfig video;
+  WorkloadSpec workloads[] = {
+      {"matrix conv", MakeMatrixConvTrace(conv, rng)},
+      {"video resize", MakeVideoResizeTrace(video, rng)},
+  };
+
+  for (const WorkloadSpec& workload : workloads) {
+    std::printf("-- %s (%zu accesses) --\n", workload.name, workload.trace.size());
+    std::printf("%-24s %9s %9s %9s %10s %12s %10s\n", "family", "acc (%)", "cov (%)",
+                "compl (s)", "windows", "work units", "train (ms)");
+    for (const FamilySpec& family : families) {
+      MlPrefetcherConfig config;
+      config.family = family.family;
+      RmtMlPrefetcher prefetcher(config);
+      if (!prefetcher.Init().ok()) {
+        continue;
+      }
+      MemorySim sim(sim_config, &prefetcher);
+      const auto start = std::chrono::steady_clock::now();
+      const MemMetrics metrics = sim.Run(workload.trace);
+      const auto elapsed = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      const ModelPtr model =
+          prefetcher.control_plane().Get(prefetcher.handle())->models().Get(0);
+      const uint64_t work = model != nullptr ? model->Cost().WorkUnits() : 0;
+      std::printf("%-24s %9.2f %9.2f %9.3f %10lu %12lu %10.1f\n", family.name,
+                  metrics.accuracy() * 100, metrics.coverage() * 100,
+                  metrics.completion_seconds(),
+                  static_cast<unsigned long>(prefetcher.windows_trained()),
+                  static_cast<unsigned long>(work), elapsed);
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape: the decision tree sits on the accuracy/cost frontier — the "
+              "heavier families pay 10-100x the work units (and wall-clock training) without "
+              "beating it on cyclic access patterns\n");
+  return 0;
+}

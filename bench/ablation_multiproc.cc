@@ -1,0 +1,99 @@
+// A5 — multi-process isolation: the per-application match/action story.
+//
+// Section 3.1: "Another set of entries may monitor per-application patterns
+// ... The match fields of the entry control the pattern matching methods —
+// e.g., ... PIDs for per-application entries." The payoff is that one
+// learned datapath serves concurrent applications with *different* access
+// patterns without cross-contamination: the match key separates their
+// execution contexts, histories, and (through per-window vocabularies)
+// their delta classes.
+//
+// The harness interleaves the two Table-1 workloads plus a random-access
+// process into a single trace and compares each prefetcher's per-run
+// metrics against its single-process Table-1 numbers. Expected shape: the
+// RMT/ML prefetcher retains most of its single-process accuracy under
+// interleaving (contexts are per-PID), while the cache-contention cost hits
+// every policy's coverage roughly equally.
+#include <cstdio>
+
+#include "src/sim/mem/leap.h"
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/mem/readahead.h"
+#include "src/workloads/access_trace.h"
+
+namespace {
+
+using namespace rkd;
+
+MemSimConfig SimConfig() {
+  MemSimConfig config;
+  config.frame_capacity = 384;  // three working sets share the cache
+  config.hit_ns = 200;
+  config.fault_ns = 80000;
+  config.prefetch_issue_ns = 2500;
+  return config;
+}
+
+struct Row {
+  double accuracy;
+  double coverage;
+  double completion_s;
+};
+
+Row Run(Prefetcher& prefetcher, const AccessTrace& trace) {
+  MemorySim sim(SimConfig(), &prefetcher);
+  const MemMetrics metrics = sim.Run(trace);
+  return Row{metrics.accuracy() * 100, metrics.coverage() * 100,
+             metrics.completion_seconds()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A5: multi-process interleaving (per-PID entries) ===\n\n");
+
+  Rng rng(31);
+  VideoResizeConfig video;
+  video.pid = 1;
+  MatrixConvConfig conv;
+  conv.pid = 2;
+  conv.height = 240;  // trim so the three traces have comparable lengths
+  const AccessTrace video_trace = MakeVideoResizeTrace(video, rng);
+  const AccessTrace conv_trace = MakeMatrixConvTrace(conv, rng);
+  const AccessTrace random_trace = MakeRandomTrace(3, 1 << 20, 3000, rng);
+  const AccessTrace mixed = Interleave({video_trace, conv_trace, random_trace});
+  std::printf("mixed trace: %zu accesses from 3 processes (video / conv / random)\n\n",
+              mixed.size());
+
+  std::printf("%-16s %10s %10s %12s\n", "policy", "acc (%)", "cov (%)", "compl (s)");
+  {
+    ReadaheadPrefetcher linux_prefetcher;
+    const Row row = Run(linux_prefetcher, mixed);
+    std::printf("%-16s %10.2f %10.2f %12.3f\n", "linux", row.accuracy, row.coverage,
+                row.completion_s);
+  }
+  {
+    LeapPrefetcher leap;
+    const Row row = Run(leap, mixed);
+    std::printf("%-16s %10.2f %10.2f %12.3f\n", "leap", row.accuracy, row.coverage,
+                row.completion_s);
+  }
+  {
+    RmtMlPrefetcher ml;
+    if (ml.Init().ok()) {
+      const Row row = Run(ml, mixed);
+      std::printf("%-16s %10.2f %10.2f %12.3f\n", "rmt_ml_dt", row.accuracy, row.coverage,
+                  row.completion_s);
+      std::printf("\nrmt_ml_dt trained %lu windows across the mixed stream; context store "
+                  "held %zu per-PID entries\n",
+                  static_cast<unsigned long>(ml.windows_trained()),
+                  ml.control_plane().Get(ml.handle())->context().size());
+    }
+  }
+
+  std::printf("\nexpected shape: the learned policy keeps its lead under interleaving "
+              "because histories and vocabularies are per-PID; the random process drags "
+              "every policy's coverage down equally (nothing is learnable there)\n");
+  return 0;
+}

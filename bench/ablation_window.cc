@@ -1,0 +1,73 @@
+// A2 — online-training ablation: prefetch quality vs training-window size.
+//
+// Case study #1 "trains a new decision tree periodically ... for each time
+// window, while discarding the old ones" but the paper leaves the window
+// size unexamined. The sweep shows the trade: tiny windows track phase
+// changes but underfit each phase (and retrain constantly); huge windows
+// fit well but ramp slowly and straddle phase boundaries.
+#include <cstdio>
+
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/workloads/access_trace.h"
+
+int main() {
+  using namespace rkd;
+
+  std::printf("=== Ablation A2: prefetch accuracy vs training-window size ===\n\n");
+
+  MemSimConfig sim_config;
+  sim_config.frame_capacity = 192;
+
+  Rng rng(2022);
+  MatrixConvConfig trace_config;
+  const AccessTrace conv_trace = MakeMatrixConvTrace(trace_config, rng);
+
+  // A phase-changing workload: conv, then video, then conv again.
+  Rng rng2(2023);
+  VideoResizeConfig video_config;
+  video_config.frames = 12;
+  AccessTrace phased = MakeMatrixConvTrace(trace_config, rng2);
+  const AccessTrace video = MakeVideoResizeTrace(video_config, rng2);
+  phased.insert(phased.end(), video.begin(), video.end());
+  {
+    MatrixConvConfig second = trace_config;
+    second.input_base = 1 << 22;
+    const AccessTrace again = MakeMatrixConvTrace(second, rng2);
+    phased.insert(phased.end(), again.begin(), again.end());
+  }
+
+  std::printf("%8s | %28s | %28s\n", "", "steady (matrix conv)", "phase-changing workload");
+  std::printf("%8s | %9s %9s %8s | %9s %9s %8s\n", "window", "acc (%)", "cov (%)", "windows",
+              "acc (%)", "cov (%)", "windows");
+
+  for (const size_t window : {32ul, 64ul, 128ul, 256ul, 512ul, 1024ul, 2048ul}) {
+    MlPrefetcherConfig config;
+    config.window_size = window;
+    config.min_train_samples = std::min<size_t>(window, 32);
+
+    RmtMlPrefetcher steady(config);
+    if (!steady.Init().ok()) {
+      continue;
+    }
+    MemorySim steady_sim(sim_config, &steady);
+    const MemMetrics steady_metrics = steady_sim.Run(conv_trace);
+
+    RmtMlPrefetcher phased_prefetcher(config);
+    if (!phased_prefetcher.Init().ok()) {
+      continue;
+    }
+    MemorySim phased_sim(sim_config, &phased_prefetcher);
+    const MemMetrics phased_metrics = phased_sim.Run(phased);
+
+    std::printf("%8zu | %9.2f %9.2f %8lu | %9.2f %9.2f %8lu\n", window,
+                steady_metrics.accuracy() * 100, steady_metrics.coverage() * 100,
+                static_cast<unsigned long>(steady.windows_trained()),
+                phased_metrics.accuracy() * 100, phased_metrics.coverage() * 100,
+                static_cast<unsigned long>(phased_prefetcher.windows_trained()));
+  }
+
+  std::printf("\nexpected shape: steady-workload accuracy grows with window size then "
+              "flattens; phase-changing accuracy peaks at a middle window\n");
+  return 0;
+}

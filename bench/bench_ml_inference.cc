@@ -1,0 +1,145 @@
+// M3 — section 3.2's critical-path inference costs.
+//
+// "Unlike learning, ML inference must be performed in the critical execution
+// path, so it must be very efficient." Measures per-prediction latency of
+// every model family the library offers, so the cost-model numbers the
+// verifier reasons about correspond to observable wall-clock ratios:
+// integer linear < decision tree < quantized MLP < float MLP.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/forest.h"
+#include "src/ml/linear.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+
+namespace {
+
+using namespace rkd;
+
+Dataset BenchDataset(size_t features, size_t n, Rng& rng) {
+  Dataset data(features);
+  std::vector<int32_t> row(features);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t total = 0;
+    for (size_t f = 0; f < features; ++f) {
+      row[f] = static_cast<int32_t>(rng.NextInt(0, 100));
+      total += (f % 2 == 0) ? row[f] : -row[f];
+    }
+    data.Add(row, total > 0 ? 1 : 0);
+  }
+  return data;
+}
+
+void BM_DecisionTreePredict(benchmark::State& state) {
+  Rng rng(1);
+  const Dataset data = BenchDataset(8, 1000, rng);
+  DecisionTreeConfig config;
+  config.max_depth = static_cast<uint32_t>(state.range(0));
+  const DecisionTree tree = std::move(DecisionTree::Train(data, config)).value();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Predict(data.row(i++ % data.size())));
+  }
+  state.counters["work_units"] = static_cast<double>(tree.Cost().WorkUnits());
+}
+BENCHMARK(BM_DecisionTreePredict)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_IntegerLinearPredict(benchmark::State& state) {
+  Rng rng(2);
+  const Dataset data = BenchDataset(static_cast<size_t>(state.range(0)), 1000, rng);
+  const IntegerLinear model = std::move(IntegerLinear::Train(data)).value();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(data.row(i++ % data.size())));
+  }
+  state.counters["work_units"] = static_cast<double>(model.Cost().WorkUnits());
+}
+BENCHMARK(BM_IntegerLinearPredict)->Arg(8)->Arg(15);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  Rng rng(7);
+  const Dataset data = BenchDataset(8, 1000, rng);
+  ForestConfig config;
+  config.num_trees = static_cast<uint32_t>(state.range(0));
+  const RandomForest forest = std::move(RandomForest::Train(data, config)).value();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(data.row(i++ % data.size())));
+  }
+  state.counters["work_units"] = static_cast<double>(forest.Cost().WorkUnits());
+}
+BENCHMARK(BM_RandomForestPredict)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FloatMlpPredict(benchmark::State& state) {
+  Rng rng(3);
+  const Dataset data = BenchDataset(15, 1000, rng);
+  MlpConfig config;
+  config.hidden_sizes = {static_cast<size_t>(state.range(0)),
+                         static_cast<size_t>(state.range(0))};
+  config.epochs = 10;
+  const Mlp mlp = std::move(Mlp::Train(data, config)).value();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.PredictClass(data.row(i++ % data.size())));
+  }
+}
+BENCHMARK(BM_FloatMlpPredict)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_QuantizedMlpPredict(benchmark::State& state) {
+  Rng rng(3);
+  const Dataset data = BenchDataset(15, 1000, rng);
+  MlpConfig config;
+  config.hidden_sizes = {static_cast<size_t>(state.range(0)),
+                         static_cast<size_t>(state.range(0))};
+  config.epochs = 10;
+  const Mlp mlp = std::move(Mlp::Train(data, config)).value();
+  const QuantizedMlp quantized = std::move(QuantizedMlp::FromMlp(mlp)).value();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantized.PredictRaw(data.row(i++ % data.size())));
+  }
+  state.counters["work_units"] = static_cast<double>(quantized.Cost().WorkUnits());
+}
+BENCHMARK(BM_QuantizedMlpPredict)->Arg(8)->Arg(16)->Arg(32);
+
+// Training-side costs, for the offline/online split story: tree windows are
+// cheap enough to retrain continuously, MLPs are not.
+void BM_DecisionTreeTrainWindow(benchmark::State& state) {
+  Rng rng(4);
+  const Dataset data = BenchDataset(4, static_cast<size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecisionTree::Train(data));
+  }
+}
+BENCHMARK(BM_DecisionTreeTrainWindow)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MlpTrainEpochs(benchmark::State& state) {
+  Rng rng(5);
+  const Dataset data = BenchDataset(15, 512, rng);
+  MlpConfig config;
+  config.hidden_sizes = {16, 16};
+  config.epochs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mlp::Train(data, config));
+  }
+}
+BENCHMARK(BM_MlpTrainEpochs)->Arg(5)->Arg(20);
+
+void BM_Quantization(benchmark::State& state) {
+  Rng rng(6);
+  const Dataset data = BenchDataset(15, 256, rng);
+  MlpConfig config;
+  config.hidden_sizes = {16, 16};
+  config.epochs = 5;
+  const Mlp mlp = std::move(Mlp::Train(data, config)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QuantizedMlp::FromMlp(mlp));
+  }
+}
+BENCHMARK(BM_Quantization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// M2 — section 2.2's constant-time context claim and table-match costs.
+//
+// "This is also constant-time in a system-wide manner without having to walk
+// complex kernel data structures." Compares: context-store lookup across
+// population sizes (should be flat), each table match kind across entry
+// counts (exact flat; lpm/range/ternary linear in entries), and the
+// walk-the-kernel-structures strawman (a linked list of monitoring records,
+// which is what the RMT context replaces).
+#include <list>
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/rmt/table.h"
+#include "src/vm/context_store.h"
+
+namespace {
+
+using namespace rkd;
+
+void BM_ContextLookup(benchmark::State& state) {
+  const auto population = static_cast<uint64_t>(state.range(0));
+  ContextStore store(population + 1);
+  for (uint64_t key = 0; key < population; ++key) {
+    store.FindOrCreate(key)->slots[0] = static_cast<int64_t>(key);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Find(rng.NextBounded(population)));
+  }
+}
+BENCHMARK(BM_ContextLookup)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+// The strawman the paper's context store replaces: walking a linked
+// structure of per-entity monitoring records.
+void BM_LinkedStructureWalk(benchmark::State& state) {
+  const auto population = static_cast<uint64_t>(state.range(0));
+  struct MonitoringRecord {
+    uint64_t key;
+    int64_t data[8];
+  };
+  std::list<MonitoringRecord> records;
+  for (uint64_t key = 0; key < population; ++key) {
+    records.push_back(MonitoringRecord{key, {}});
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const uint64_t target = rng.NextBounded(population);
+    const MonitoringRecord* found = nullptr;
+    for (const MonitoringRecord& record : records) {
+      if (record.key == target) {
+        found = &record;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_LinkedStructureWalk)->Arg(16)->Arg(256)->Arg(4096);
+
+template <MatchKind kKind>
+void BM_TableMatch(benchmark::State& state) {
+  const auto entries = static_cast<uint64_t>(state.range(0));
+  RmtTable table("bench", kKind, entries + 1);
+  for (uint64_t i = 0; i < entries; ++i) {
+    TableEntry entry;
+    switch (kKind) {
+      case MatchKind::kExact:
+        entry.key = i;
+        break;
+      case MatchKind::kLpm:
+        entry.key = i << 48;
+        entry.key2 = 16;
+        break;
+      case MatchKind::kRange:
+        entry.key = i * 100;
+        entry.key2 = i * 100 + 99;
+        break;
+      case MatchKind::kTernary:
+        entry.key = i;
+        entry.key2 = 0xffff;
+        entry.priority = static_cast<int32_t>(i);
+        break;
+    }
+    entry.action_index = 0;
+    (void)table.Insert(entry);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    uint64_t key = rng.NextBounded(entries);
+    if (kKind == MatchKind::kLpm) {
+      key <<= 48;
+    } else if (kKind == MatchKind::kRange) {
+      key *= 100;
+    }
+    benchmark::DoNotOptimize(table.Match(key));
+  }
+}
+BENCHMARK(BM_TableMatch<MatchKind::kExact>)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_TableMatch<MatchKind::kLpm>)->Arg(16)->Arg(256);
+BENCHMARK(BM_TableMatch<MatchKind::kRange>)->Arg(16)->Arg(256);
+BENCHMARK(BM_TableMatch<MatchKind::kTernary>)->Arg(16)->Arg(256);
+
+void BM_HistoryAppend(benchmark::State& state) {
+  ContextStore store;
+  ContextEntry* entry = store.FindOrCreate(1);
+  int64_t value = 0;
+  for (auto _ : state) {
+    entry->AppendHistory(value++);
+  }
+}
+BENCHMARK(BM_HistoryAppend);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// M4 — section 3.3: verification is an admission-time cost, not a runtime
+// one. Measures verifier latency against program size and shape, the guard
+// rewriter, and the end-to-end admission path (verify + JIT compile), so
+// EXPERIMENTS.md can state the one-time cost a reconfiguration pays.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/bytecode/assembler.h"
+#include "src/verifier/guards.h"
+#include "src/verifier/verifier.h"
+#include "src/vm/jit.h"
+
+namespace {
+
+using namespace rkd;
+
+BytecodeProgram MakeProgram(size_t length, uint64_t seed) {
+  Rng rng(seed);
+  Assembler a("bench");
+  for (int reg = 0; reg <= 9; ++reg) {
+    a.MovImm(reg, rng.NextInt(1, 100));
+  }
+  std::vector<Assembler::Label> pending;
+  for (size_t i = 0; i < length; ++i) {
+    const int dst = static_cast<int>(rng.NextBounded(10));
+    const int src = static_cast<int>(rng.NextBounded(10));
+    switch (rng.NextBounded(6)) {
+      case 0: a.Add(dst, src); break;
+      case 1: a.Sub(dst, src); break;
+      case 2: a.Mov(dst, src); break;
+      case 3: a.StStack(-8, src); break;
+      case 4: a.AndImm(dst, 0xfff); break;
+      case 5: {
+        auto label = a.NewLabel();
+        a.JgeImm(dst, 10, label);
+        pending.push_back(label);
+        break;
+      }
+    }
+    while (pending.size() > 2) {
+      a.Bind(pending.front());
+      pending.erase(pending.begin());
+    }
+  }
+  for (auto& label : pending) {
+    a.Bind(label);
+  }
+  a.Mov(0, 1);
+  a.Exit();
+  return std::move(a.Build()).value();
+}
+
+void BM_Verify(benchmark::State& state) {
+  // The default generic budget caps at 512 instructions; lift it so the
+  // size sweep is about analysis cost, not rejection cost.
+  static HookBudget budget = [] {
+    HookBudget b = BudgetForHook(HookKind::kGeneric);
+    b.max_instructions = 1 << 16;
+    b.max_path_length = 1 << 16;
+    return b;
+  }();
+  VerifierConfig config;
+  config.budget_override = &budget;
+  const Verifier verifier(config);
+  const BytecodeProgram program = MakeProgram(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Verify(program));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Verify)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_VerifyRejecting(benchmark::State& state) {
+  // Worst-ish case: a program with many diagnostics (every read is
+  // uninitialized) still verifies in one pass.
+  BytecodeProgram program;
+  program.name = "bad";
+  for (int i = 0; i < 256; ++i) {
+    Instruction insn;
+    insn.opcode = Opcode::kAdd;
+    insn.dst = 6;
+    insn.src = 7;
+    program.code.push_back(insn);
+  }
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+  const Verifier verifier;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Verify(program));
+  }
+}
+BENCHMARK(BM_VerifyRejecting);
+
+void BM_GuardInsertion(benchmark::State& state) {
+  Assembler a("grants", HookKind::kMemPrefetch);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    a.MovImm(1, 100 + i);
+    a.MovImm(2, 1);
+    a.Call(HelperId::kPrefetchEmit);
+  }
+  a.MovImm(0, 0).Exit();
+  const BytecodeProgram original = std::move(a.Build()).value();
+  for (auto _ : state) {
+    BytecodeProgram copy = original;
+    benchmark::DoNotOptimize(InsertRateLimitGuards(copy));
+  }
+}
+BENCHMARK(BM_GuardInsertion)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_FullAdmission(benchmark::State& state) {
+  // verify + JIT compile: the complete cost of pushing one new action.
+  static HookBudget budget = [] {
+    HookBudget b = BudgetForHook(HookKind::kGeneric);
+    b.max_instructions = 1 << 16;
+    b.max_path_length = 1 << 16;
+    return b;
+  }();
+  VerifierConfig config;
+  config.budget_override = &budget;
+  const Verifier verifier(config);
+  const BytecodeProgram program = MakeProgram(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    const VerifyReport report = verifier.Verify(program);
+    benchmark::DoNotOptimize(report);
+    benchmark::DoNotOptimize(CompiledProgram::Compile(program));
+  }
+}
+BENCHMARK(BM_FullAdmission)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

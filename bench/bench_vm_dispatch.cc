@@ -1,0 +1,141 @@
+// M1 — section 3.1's two execution tiers: interpreted vs JIT-compiled.
+//
+// Measures per-invocation latency of the same verified program on both
+// tiers, across program sizes, plus compilation cost. The claim under test:
+// pre-decoding (the JIT tier) removes per-instruction validation, step
+// accounting, and switch dispatch, so it wins and the gap grows with
+// program length.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/bytecode/assembler.h"
+#include "src/vm/jit.h"
+#include "src/vm/vm.h"
+
+namespace {
+
+using namespace rkd;
+
+// A verified-shape ALU/branch program of roughly `length` instructions.
+BytecodeProgram MakeProgram(size_t length, uint64_t seed) {
+  Rng rng(seed);
+  Assembler a("bench");
+  for (int reg = 0; reg <= 9; ++reg) {
+    a.MovImm(reg, rng.NextInt(1, 100));
+  }
+  std::vector<Assembler::Label> pending;
+  for (size_t i = 0; i < length; ++i) {
+    const int dst = static_cast<int>(rng.NextBounded(10));
+    const int src = static_cast<int>(rng.NextBounded(10));
+    switch (rng.NextBounded(8)) {
+      case 0: a.Add(dst, src); break;
+      case 1: a.Sub(dst, src); break;
+      case 2: a.Xor(dst, src); break;
+      case 3: a.MulImm(dst, 3); break;
+      case 4: a.AshrImm(dst, 1); break;
+      case 5: a.Mov(dst, src); break;
+      case 6: a.AndImm(dst, 0xff); break;
+      case 7: {
+        auto label = a.NewLabel();
+        a.JltImm(dst, 50, label);
+        pending.push_back(label);
+        break;
+      }
+    }
+    while (pending.size() > 2) {
+      a.Bind(pending.front());
+      pending.erase(pending.begin());
+    }
+  }
+  for (auto& label : pending) {
+    a.Bind(label);
+  }
+  a.Mov(0, 3);
+  a.Exit();
+  return std::move(a.Build()).value();
+}
+
+void BM_Interpreter(benchmark::State& state) {
+  const BytecodeProgram program = MakeProgram(static_cast<size_t>(state.range(0)), 42);
+  const VmEnv env;
+  const Interpreter interp(env);
+  const std::array<int64_t, 2> args{5, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.Run(program, args));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Interpreter)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Jit(benchmark::State& state) {
+  const BytecodeProgram program = MakeProgram(static_cast<size_t>(state.range(0)), 42);
+  const CompiledProgram compiled = std::move(CompiledProgram::Compile(program)).value();
+  const VmEnv env;
+  const std::array<int64_t, 2> args{5, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.Run(env, args));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Jit)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_JitCompile(benchmark::State& state) {
+  const BytecodeProgram program = MakeProgram(static_cast<size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompiledProgram::Compile(program));
+  }
+}
+BENCHMARK(BM_JitCompile)->Arg(64)->Arg(1024);
+
+// The ML instruction set under both tiers: one quantized-MLP-shaped action
+// (vector load, two matmuls, relu, argmax).
+void BM_VectorAction(benchmark::State& state) {
+  TensorRegistry tensors;
+  FixedMatrix w1(16, 8);
+  FixedMatrix w2(4, 16);
+  Rng rng(7);
+  for (auto& v : w1.data()) {
+    v = Fixed32::FromDouble(rng.NextDouble() - 0.5).raw();
+  }
+  for (auto& v : w2.data()) {
+    v = Fixed32::FromDouble(rng.NextDouble() - 0.5).raw();
+  }
+  tensors.Add(std::move(w1));
+  tensors.Add(std::move(w2));
+  ContextStore ctxt;
+  ContextEntry* entry = ctxt.FindOrCreate(1);
+  for (int i = 0; i < 8; ++i) {
+    entry->features[i] = (i + 1) << 16;
+  }
+
+  Assembler a("mlp_action");
+  a.DeclareTensors(2);
+  a.VecLdCtxt(0, 1);
+  a.MatMul(1, 0, 0);
+  a.VecRelu(1, 1);
+  a.MatMul(2, 1, 1);
+  a.VecArgmax(0, 2);
+  a.Exit();
+  const BytecodeProgram program = std::move(a.Build()).value();
+
+  VmEnv env;
+  env.ctxt = &ctxt;
+  env.tensors = &tensors;
+  const std::array<int64_t, 1> args{1};
+  if (state.range(0) == 0) {
+    const Interpreter interp(env);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(interp.Run(program, args));
+    }
+  } else {
+    const CompiledProgram compiled = std::move(CompiledProgram::Compile(program)).value();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(compiled.Run(env, args));
+    }
+  }
+}
+BENCHMARK(BM_VectorAction)->Arg(0)->Arg(1)->ArgName("jit");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Case study #1 live: the RMT/ML prefetcher learning a video-resize access
+// pattern online, next to the Linux readahead baseline.
+//
+// Shows the moving parts of the paper's Figure 1 in motion: the data
+// collection table filling the monitoring ring, windows of samples training
+// fresh decision trees, models hot-swapping through the control plane, and
+// the accuracy-driven adaptation knob.
+//
+//   $ build/examples/prefetch_demo
+#include <cstdio>
+
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/mem/readahead.h"
+#include "src/workloads/access_trace.h"
+
+int main() {
+  using namespace rkd;
+
+  std::printf("== case study 1: page prefetching ==\n\n");
+
+  Rng rng(2021);
+  VideoResizeConfig trace_config;
+  const AccessTrace trace = MakeVideoResizeTrace(trace_config, rng);
+  std::printf("workload: video resize, %zu page accesses, %ld frames\n", trace.size(),
+              static_cast<long>(trace_config.frames));
+
+  MemSimConfig sim_config;
+  sim_config.frame_capacity = 192;
+
+  // Baseline: Linux-style readahead.
+  ReadaheadPrefetcher readahead;
+  MemorySim baseline_sim(sim_config, &readahead);
+  const MemMetrics baseline = baseline_sim.Run(trace);
+  std::printf("\n[linux readahead]  accuracy %5.1f%%  coverage %5.1f%%  completion %.3fs\n",
+              baseline.accuracy() * 100, baseline.coverage() * 100,
+              baseline.completion_seconds());
+
+  // The RMT pipeline: install, then run in chunks so the learning progress
+  // is visible.
+  MlPrefetcherConfig ml_config;
+  RmtMlPrefetcher prefetcher(ml_config);
+  if (Status status = prefetcher.Init(); !status.ok()) {
+    std::printf("init failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n[rmt_ml_dt] installed program '%s': verified, JIT-compiled, attached to\n"
+              "  mm.lookup_swap_cache (data collection) and mm.swap_cluster_readahead "
+              "(prediction)\n\n",
+              prefetcher.control_plane().Get(prefetcher.handle())->name().c_str());
+
+  MemorySim ml_sim(sim_config, &prefetcher);
+  const size_t chunk = trace.size() / 8;
+  MemMetrics last{};
+  for (size_t start = 0; start < trace.size(); start += chunk) {
+    const size_t end = std::min(start + chunk, trace.size());
+    const AccessTrace slice(trace.begin() + static_cast<long>(start),
+                            trace.begin() + static_cast<long>(end));
+    // Note: Run() starts cold each call; for the progress view we re-run the
+    // prefix so the cache state is consistent. Learning state persists in
+    // the prefetcher across calls, which is the point of the demo.
+    const AccessTrace prefix(trace.begin(), trace.begin() + static_cast<long>(end));
+    last = ml_sim.Run(prefix);
+    std::printf("  after %6zu accesses: windows trained %2lu, rolling accuracy %5.1f%%, "
+                "depth knob %ld, cumulative prefetch accuracy %5.1f%%\n",
+                end, static_cast<unsigned long>(prefetcher.windows_trained()),
+                prefetcher.rolling_accuracy() * 100,
+                static_cast<long>(prefetcher.current_depth_knob()),
+                last.accuracy() * 100);
+  }
+
+  std::printf("\n[rmt_ml_dt]        accuracy %5.1f%%  coverage %5.1f%%  completion %.3fs\n",
+              last.accuracy() * 100, last.coverage() * 100, last.completion_seconds());
+  std::printf("\nimprovement over readahead: %+.1f accuracy points, %.2fx completion time\n",
+              (last.accuracy() - baseline.accuracy()) * 100,
+              baseline.completion_seconds() / last.completion_seconds());
+  return 0;
+}

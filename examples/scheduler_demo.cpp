@@ -1,0 +1,117 @@
+// Case study #2 live: teaching an MLP to mimic CFS `can_migrate_task`,
+// quantizing it for the no-FPU inference path, installing it through the
+// control plane, and measuring both mimicry accuracy and job completion
+// time. Then the lean-monitoring step: rank the 15 features, keep 2, and
+// show the accuracy barely moves.
+//
+//   $ build/examples/scheduler_demo
+#include <cstdio>
+#include <memory>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/feature_importance.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+#include "src/sim/sched/cfs_sim.h"
+#include "src/sim/sched/rmt_oracle.h"
+#include "src/workloads/cpu_jobs.h"
+
+namespace {
+
+const char* FeatureName(size_t index) {
+  static const char* kNames[] = {
+      "src_nr_running", "dst_nr_running", "src_load",        "dst_load",
+      "imbalance",      "task_weight",    "ticks_since_run", "total_runtime",
+      "avg_burst",      "cache_footprint", "migrations",      "wait_ticks",
+      "queue_delta",    "tick_phase",     "preferred_core"};
+  return index < 15 ? kNames[index] : "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace rkd;
+
+  std::printf("== case study 2: scheduler load balancing ==\n\n");
+
+  SchedConfig sched_config;
+  sched_config.cores = 4;
+  JobConfig job_config;
+  job_config.num_tasks = 16;
+  job_config.base_work = 8000;
+  const JobSpec job = MakeJob(JobKind::kStreamcluster, job_config);
+  std::printf("workload: streamcluster-like, %zu tasks, %u barrier phases, %u cores\n",
+              job.tasks.size(), job.num_phases, sched_config.cores);
+
+  // Stock CFS run doubles as the training-data collection pass.
+  Dataset train(kSchedNumFeatures);
+  CfsSim sim(sched_config);
+  const SchedMetrics linux_metrics = sim.Run(job, {}, &train);
+  std::printf("\n[linux cfs]  JCT %.3fs, %lu migration decisions collected\n",
+              linux_metrics.jct_seconds(sched_config.tick_ns),
+              static_cast<unsigned long>(train.size()));
+
+  // Offline float training, then quantization for the kernel side.
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {16, 16};
+  mlp_config.epochs = 60;
+  Result<Mlp> mlp = Mlp::Train(train, mlp_config);
+  if (!mlp.ok()) {
+    std::printf("training failed: %s\n", mlp.status().ToString().c_str());
+    return 1;
+  }
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  std::printf("[userspace]  trained float MLP 15-16-16-2 (train acc %.1f%%), quantized to "
+              "int16 (%lu work units, budget %lu)\n",
+              mlp->Evaluate(train) * 100,
+              static_cast<unsigned long>(quantized->Cost().WorkUnits()),
+              static_cast<unsigned long>(
+                  BudgetForHook(HookKind::kSchedMigrate).max_work_units));
+
+  // Install via the RMT oracle and run the ML-driven scheduler.
+  RmtMigrationOracle oracle;
+  if (Status status = oracle.Init(); !status.ok()) {
+    std::printf("oracle init failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  (void)oracle.InstallModel(std::make_shared<QuantizedMlp>(std::move(quantized).value()));
+  const SchedMetrics full_metrics = sim.Run(job, oracle.AsOracle());
+  std::printf("[full mlp]   mimicry accuracy %.2f%%, JCT %.3fs (%lu decisions, %lu "
+              "migrations)\n",
+              full_metrics.agreement() * 100, full_metrics.jct_seconds(sched_config.tick_ns),
+              static_cast<unsigned long>(full_metrics.decisions),
+              static_cast<unsigned long>(full_metrics.migrations));
+
+  // Lean monitoring: rank features with an interpretable tree, keep two.
+  Result<DecisionTree> ranker = DecisionTree::Train(train);
+  const std::vector<double> importance = ranker->FeatureImportance();
+  const std::vector<size_t> ranked = RankFeatures(importance);
+  std::printf("\nfeature importance ranking (top 5):\n");
+  for (size_t i = 0; i < 5; ++i) {
+    std::printf("  %zu. %-16s %.3f\n", i + 1, FeatureName(ranked[i]), importance[ranked[i]]);
+  }
+  const FeatureSelection selection = SelectTopFeatures(train, importance, 2);
+  std::printf("keeping {%s, %s}; the other 13 monitors can be switched off\n",
+              FeatureName(selection.selected[0]), FeatureName(selection.selected[1]));
+
+  Result<Mlp> lean_mlp = Mlp::Train(selection.projected, mlp_config);
+  Result<QuantizedMlp> lean_quantized = QuantizedMlp::FromMlp(*lean_mlp);
+  RmtOracleConfig lean_config;
+  lean_config.selected_features = selection.selected;
+  RmtMigrationOracle lean_oracle(lean_config);
+  (void)lean_oracle.Init();
+  (void)lean_oracle.InstallModel(
+      std::make_shared<QuantizedMlp>(std::move(lean_quantized).value()));
+  const SchedMetrics lean_metrics = sim.Run(job, lean_oracle.AsOracle());
+  std::printf("[lean mlp]   mimicry accuracy %.2f%%, JCT %.3fs with 2 of 15 features\n",
+              lean_metrics.agreement() * 100, lean_metrics.jct_seconds(sched_config.tick_ns));
+
+  std::printf("\nJCT delta vs stock CFS: full %+.2f%%, lean %+.2f%%\n",
+              (full_metrics.jct_seconds(sched_config.tick_ns) /
+                   linux_metrics.jct_seconds(sched_config.tick_ns) -
+               1.0) * 100,
+              (lean_metrics.jct_seconds(sched_config.tick_ns) /
+                   linux_metrics.jct_seconds(sched_config.tick_ns) -
+               1.0) * 100);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Bounds-checked little-endian byte stream reader/writer, shared by the
+// bytecode and model serializers. Deliberately tiny: fixed-width integers
+// and length-prefixed byte strings only.
+#ifndef SRC_BASE_BYTES_H_
+#define SRC_BASE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace rkd {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_integral_v<T>);
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(&bytes_[offset], &value, sizeof(T));
+  }
+
+  void PutString(std::string_view s) {
+    Put<uint32_t>(static_cast<uint32_t>(s.size()));
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + s.size());
+    std::memcpy(bytes_.data() + offset, s.data(), s.size());
+  }
+
+  template <typename T>
+  void PutArray(std::span<const T> values) {
+    static_assert(std::is_integral_v<T>);
+    Put<uint64_t>(values.size());
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + values.size_bytes());
+    std::memcpy(bytes_.data() + offset, values.data(), values.size_bytes());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  Result<T> Get() {
+    static_assert(std::is_integral_v<T>);
+    if (position_ + sizeof(T) > bytes_.size()) {
+      return OutOfRangeError("byte stream truncated");
+    }
+    T value;
+    std::memcpy(&value, &bytes_[position_], sizeof(T));
+    position_ += sizeof(T);
+    return value;
+  }
+
+  Result<std::string> GetString(size_t max_length = 1 << 16) {
+    RKD_ASSIGN_OR_RETURN(uint32_t length, Get<uint32_t>());
+    if (length > max_length || position_ + length > bytes_.size()) {
+      return OutOfRangeError("string length out of range");
+    }
+    std::string out(reinterpret_cast<const char*>(&bytes_[position_]), length);
+    position_ += length;
+    return out;
+  }
+
+  template <typename T>
+  Result<std::vector<T>> GetArray(size_t max_elements = 1 << 24) {
+    static_assert(std::is_integral_v<T>);
+    RKD_ASSIGN_OR_RETURN(uint64_t count, Get<uint64_t>());
+    if (count > max_elements || position_ + count * sizeof(T) > bytes_.size()) {
+      return OutOfRangeError("array length out of range");
+    }
+    std::vector<T> out(count);
+    std::memcpy(out.data(), &bytes_[position_], count * sizeof(T));
+    position_ += count * sizeof(T);
+    return out;
+  }
+
+  bool AtEnd() const { return position_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - position_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t position_ = 0;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_BASE_BYTES_H_

@@ -1,0 +1,103 @@
+// Q16.16 fixed-point arithmetic.
+//
+// The paper (section 3.2) rules out floating point on the in-kernel inference
+// path: enabling the FPU in kernel context is expensive, so learned models run
+// on integer arithmetic ("integer-based learning"). Fixed32 is the numeric
+// type every in-VM model (decision-tree thresholds, quantized MLP activations,
+// linear-model weights) computes with. Training in "userspace" may use float;
+// quantization converts to Fixed32/int8 before a model is admitted.
+#ifndef SRC_BASE_FIXED_POINT_H_
+#define SRC_BASE_FIXED_POINT_H_
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace rkd {
+
+class Fixed32 {
+ public:
+  static constexpr int kFractionBits = 16;
+  static constexpr int32_t kOneRaw = 1 << kFractionBits;
+
+  constexpr Fixed32() : raw_(0) {}
+
+  // Named constructors keep int-vs-raw confusion impossible at call sites.
+  static constexpr Fixed32 FromRaw(int32_t raw) { return Fixed32(raw); }
+  static constexpr Fixed32 FromInt(int32_t value) {
+    return Fixed32(static_cast<int32_t>(value << kFractionBits));
+  }
+  static Fixed32 FromDouble(double value) {
+    return Fixed32(static_cast<int32_t>(value * kOneRaw + (value >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr int32_t raw() const { return raw_; }
+  constexpr int32_t ToInt() const { return raw_ >> kFractionBits; }
+  constexpr double ToDouble() const { return static_cast<double>(raw_) / kOneRaw; }
+
+  static constexpr Fixed32 Zero() { return Fixed32(0); }
+  static constexpr Fixed32 One() { return Fixed32(kOneRaw); }
+  static constexpr Fixed32 Max() { return Fixed32(std::numeric_limits<int32_t>::max()); }
+  static constexpr Fixed32 Min() { return Fixed32(std::numeric_limits<int32_t>::min()); }
+
+  // Saturating arithmetic: kernel-side inference must never trap on overflow,
+  // so every op clamps to the representable range instead.
+  friend Fixed32 operator+(Fixed32 a, Fixed32 b) {
+    return FromRaw(Saturate(static_cast<int64_t>(a.raw_) + b.raw_));
+  }
+  friend Fixed32 operator-(Fixed32 a, Fixed32 b) {
+    return FromRaw(Saturate(static_cast<int64_t>(a.raw_) - b.raw_));
+  }
+  friend Fixed32 operator*(Fixed32 a, Fixed32 b) {
+    const int64_t wide = static_cast<int64_t>(a.raw_) * b.raw_;
+    return FromRaw(Saturate(wide >> kFractionBits));
+  }
+  friend Fixed32 operator/(Fixed32 a, Fixed32 b) {
+    if (b.raw_ == 0) {
+      // Division by zero saturates toward the sign of the numerator; the
+      // verifier additionally requires guarded divides in bytecode.
+      return a.raw_ >= 0 ? Max() : Min();
+    }
+    const int64_t wide = (static_cast<int64_t>(a.raw_) << kFractionBits) / b.raw_;
+    return FromRaw(Saturate(wide));
+  }
+  friend Fixed32 operator-(Fixed32 a) { return FromRaw(Saturate(-static_cast<int64_t>(a.raw_))); }
+
+  Fixed32& operator+=(Fixed32 other) { return *this = *this + other; }
+  Fixed32& operator-=(Fixed32 other) { return *this = *this - other; }
+  Fixed32& operator*=(Fixed32 other) { return *this = *this * other; }
+  Fixed32& operator/=(Fixed32 other) { return *this = *this / other; }
+
+  friend constexpr bool operator==(Fixed32 a, Fixed32 b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(Fixed32 a, Fixed32 b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(Fixed32 a, Fixed32 b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator<=(Fixed32 a, Fixed32 b) { return a.raw_ <= b.raw_; }
+  friend constexpr bool operator>(Fixed32 a, Fixed32 b) { return a.raw_ > b.raw_; }
+  friend constexpr bool operator>=(Fixed32 a, Fixed32 b) { return a.raw_ >= b.raw_; }
+
+ private:
+  explicit constexpr Fixed32(int32_t raw) : raw_(raw) {}
+
+  static constexpr int32_t Saturate(int64_t wide) {
+    if (wide > std::numeric_limits<int32_t>::max()) {
+      return std::numeric_limits<int32_t>::max();
+    }
+    if (wide < std::numeric_limits<int32_t>::min()) {
+      return std::numeric_limits<int32_t>::min();
+    }
+    return static_cast<int32_t>(wide);
+  }
+
+  int32_t raw_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Fixed32 value) {
+  return os << value.ToDouble();
+}
+
+// ReLU on fixed point; the activation the quantized MLPs use in-VM.
+inline Fixed32 FixedRelu(Fixed32 x) { return x > Fixed32::Zero() ? x : Fixed32::Zero(); }
+
+}  // namespace rkd
+
+#endif  // SRC_BASE_FIXED_POINT_H_

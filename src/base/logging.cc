@@ -1,0 +1,45 @@
+#include "src/base/logging.h"
+
+namespace rkd {
+
+namespace {
+LogLevel g_log_level = LogLevel::kWarning;
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogLevel level, std::string_view file, int line) : level_(level) {
+  // Trim the path down to the basename for readability.
+  const auto slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) {
+    file.remove_prefix(slash + 1);
+  }
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  (void)level_;
+}
+
+}  // namespace log_internal
+
+}  // namespace rkd

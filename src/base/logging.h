@@ -1,0 +1,48 @@
+// Minimal leveled logging. Kept deliberately tiny: rkd libraries log only at
+// kWarning and above by default so benchmark output stays clean; examples and
+// tools can raise verbosity via SetLogLevel.
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace rkd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is filtered out.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+
+#define RKD_LOG(level)                                                            \
+  (::rkd::LogLevel::level < ::rkd::GetLogLevel())                                 \
+      ? (void)0                                                                   \
+      : ::rkd::log_internal::Voidify() &                                          \
+            ::rkd::log_internal::LogMessage(::rkd::LogLevel::level, __FILE__, __LINE__).stream()
+
+}  // namespace rkd
+
+#endif  // SRC_BASE_LOGGING_H_

@@ -1,0 +1,126 @@
+// Small statistics helpers shared by the simulators and bench harnesses.
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rkd {
+
+// Numerically stable running mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Keeps every sample; supports exact percentiles. Used where distributions
+// (not just moments) matter, e.g. fault-latency tails in the memory sim.
+class Samples {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  uint64_t count() const { return values_.size(); }
+
+  double Percentile(double p) {
+    if (values_.empty()) {
+      return 0.0;
+    }
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double Mean() const {
+    if (values_.empty()) {
+      return 0.0;
+    }
+    double total = 0.0;
+    for (double v : values_) {
+      total += v;
+    }
+    return total / static_cast<double>(values_.size());
+  }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+// Confusion-matrix style accuracy tracking for binary predictors; drives the
+// Table 2 "Acc (%)" column and the control plane's accuracy-triggered
+// reconfiguration policy.
+class BinaryAccuracy {
+ public:
+  void Record(bool predicted, bool actual) {
+    if (predicted == actual) {
+      predicted ? ++true_positive_ : ++true_negative_;
+    } else {
+      predicted ? ++false_positive_ : ++false_negative_;
+    }
+  }
+
+  uint64_t total() const {
+    return true_positive_ + true_negative_ + false_positive_ + false_negative_;
+  }
+  double accuracy() const {
+    const uint64_t n = total();
+    return n == 0 ? 0.0
+                  : static_cast<double>(true_positive_ + true_negative_) / static_cast<double>(n);
+  }
+  double precision() const {
+    const uint64_t denom = true_positive_ + false_positive_;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positive_) / static_cast<double>(denom);
+  }
+  double recall() const {
+    const uint64_t denom = true_positive_ + false_negative_;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positive_) / static_cast<double>(denom);
+  }
+
+  uint64_t true_positive() const { return true_positive_; }
+  uint64_t true_negative() const { return true_negative_; }
+  uint64_t false_positive() const { return false_positive_; }
+  uint64_t false_negative() const { return false_negative_; }
+
+ private:
+  uint64_t true_positive_ = 0;
+  uint64_t true_negative_ = 0;
+  uint64_t false_positive_ = 0;
+  uint64_t false_negative_ = 0;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_BASE_STATS_H_

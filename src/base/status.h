@@ -1,0 +1,146 @@
+// Lightweight error-reporting types used across rkd instead of exceptions.
+//
+// Fallible library APIs return Status (no payload) or Result<T> (payload or
+// error). Both carry a StatusCode plus a human-readable message that names the
+// failing check, so verifier diagnostics and control-plane errors surface as
+// actionable text rather than error numbers.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace rkd {
+
+// Error taxonomy. Mirrors the classes of failure the paper's architecture
+// distinguishes: malformed programs, verifier rejections, resource limits,
+// and runtime faults inside the VM.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // Caller passed something structurally wrong.
+  kNotFound,           // Named table/model/map/hook does not exist.
+  kAlreadyExists,      // Install/insert collided with an existing object.
+  kFailedPrecondition, // Operation is valid but not in the current state.
+  kOutOfRange,         // Index/offset beyond a checked bound.
+  kResourceExhausted,  // Budget exhausted (steps, privacy epsilon, memory).
+  kPermissionDenied,   // Helper or hook not allowed for this program type.
+  kVerificationFailed, // Static admission check rejected the program.
+  kInternal,           // Invariant violation inside rkd itself.
+};
+
+// Returns a stable lowercase name for `code` ("ok", "invalid_argument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// Status: either OK or an error code plus message. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() or OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "verification_failed: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, one per error code.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status VerificationFailedError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T>: a value or an error Status. Dereferencing a failed Result is a
+// programming error (asserted in debug builds), matching the Core Guidelines
+// advice to make misuse loud rather than silently undefined.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result<T> built from OK status has no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates errors up the call stack without exceptions.
+#define RKD_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::rkd::Status rkd_status__ = (expr);   \
+    if (!rkd_status__.ok()) {              \
+      return rkd_status__;                 \
+    }                                      \
+  } while (0)
+
+// Unwraps a Result<T> into `lhs`, or returns its error. The two-level concat
+// is required so __LINE__ expands before pasting.
+#define RKD_CONCAT_INNER_(a, b) a##b
+#define RKD_CONCAT_(a, b) RKD_CONCAT_INNER_(a, b)
+#define RKD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+#define RKD_ASSIGN_OR_RETURN(lhs, expr) \
+  RKD_ASSIGN_OR_RETURN_IMPL_(RKD_CONCAT_(rkd_result__, __LINE__), lhs, expr)
+
+}  // namespace rkd
+
+#endif  // SRC_BASE_STATUS_H_

@@ -1,0 +1,230 @@
+#include "src/bytecode/assembler.h"
+
+#include <utility>
+
+namespace rkd {
+
+Assembler::Assembler(std::string name, HookKind hook_kind) {
+  program_.name = std::move(name);
+  program_.hook_kind = hook_kind;
+}
+
+Assembler::Label Assembler::NewLabel() {
+  label_positions_.push_back(-1);
+  return Label(static_cast<int>(label_positions_.size()) - 1);
+}
+
+Assembler& Assembler::Bind(Label label) {
+  // Binding an invalid or re-bound label is a programming error surfaced at
+  // Build() time (position left poisoned) rather than silently accepted.
+  if (label.id_ >= 0 && static_cast<size_t>(label.id_) < label_positions_.size() &&
+      label_positions_[label.id_] == -1) {
+    label_positions_[label.id_] = static_cast<int64_t>(code_.size());
+  } else if (label.id_ >= 0 && static_cast<size_t>(label.id_) < label_positions_.size()) {
+    label_positions_[label.id_] = -2;  // double bind
+  }
+  return *this;
+}
+
+Assembler& Assembler::Emit(Opcode opcode, int dst, int src, int32_t offset, int64_t imm) {
+  Instruction insn;
+  insn.opcode = opcode;
+  insn.dst = static_cast<uint8_t>(dst);
+  insn.src = static_cast<uint8_t>(src);
+  insn.offset = offset;
+  insn.imm = imm;
+  code_.push_back(insn);
+  return *this;
+}
+
+Assembler& Assembler::EmitBranch(Opcode opcode, int dst, int src, int64_t imm, Label target) {
+  fixups_.push_back(Fixup{code_.size(), target.id_});
+  return Emit(opcode, dst, src, 0, imm);
+}
+
+Assembler& Assembler::Add(int dst, int src) { return Emit(Opcode::kAdd, dst, src, 0, 0); }
+Assembler& Assembler::Sub(int dst, int src) { return Emit(Opcode::kSub, dst, src, 0, 0); }
+Assembler& Assembler::Mul(int dst, int src) { return Emit(Opcode::kMul, dst, src, 0, 0); }
+Assembler& Assembler::Div(int dst, int src) { return Emit(Opcode::kDiv, dst, src, 0, 0); }
+Assembler& Assembler::Mod(int dst, int src) { return Emit(Opcode::kMod, dst, src, 0, 0); }
+Assembler& Assembler::And(int dst, int src) { return Emit(Opcode::kAnd, dst, src, 0, 0); }
+Assembler& Assembler::Or(int dst, int src) { return Emit(Opcode::kOr, dst, src, 0, 0); }
+Assembler& Assembler::Xor(int dst, int src) { return Emit(Opcode::kXor, dst, src, 0, 0); }
+Assembler& Assembler::Shl(int dst, int src) { return Emit(Opcode::kShl, dst, src, 0, 0); }
+Assembler& Assembler::Shr(int dst, int src) { return Emit(Opcode::kShr, dst, src, 0, 0); }
+Assembler& Assembler::Ashr(int dst, int src) { return Emit(Opcode::kAshr, dst, src, 0, 0); }
+Assembler& Assembler::Mov(int dst, int src) { return Emit(Opcode::kMov, dst, src, 0, 0); }
+
+Assembler& Assembler::AddImm(int dst, int64_t imm) { return Emit(Opcode::kAddImm, dst, 0, 0, imm); }
+Assembler& Assembler::SubImm(int dst, int64_t imm) { return Emit(Opcode::kSubImm, dst, 0, 0, imm); }
+Assembler& Assembler::MulImm(int dst, int64_t imm) { return Emit(Opcode::kMulImm, dst, 0, 0, imm); }
+Assembler& Assembler::DivImm(int dst, int64_t imm) { return Emit(Opcode::kDivImm, dst, 0, 0, imm); }
+Assembler& Assembler::ModImm(int dst, int64_t imm) { return Emit(Opcode::kModImm, dst, 0, 0, imm); }
+Assembler& Assembler::AndImm(int dst, int64_t imm) { return Emit(Opcode::kAndImm, dst, 0, 0, imm); }
+Assembler& Assembler::OrImm(int dst, int64_t imm) { return Emit(Opcode::kOrImm, dst, 0, 0, imm); }
+Assembler& Assembler::XorImm(int dst, int64_t imm) { return Emit(Opcode::kXorImm, dst, 0, 0, imm); }
+Assembler& Assembler::ShlImm(int dst, int64_t imm) { return Emit(Opcode::kShlImm, dst, 0, 0, imm); }
+Assembler& Assembler::ShrImm(int dst, int64_t imm) { return Emit(Opcode::kShrImm, dst, 0, 0, imm); }
+Assembler& Assembler::AshrImm(int dst, int64_t imm) {
+  return Emit(Opcode::kAshrImm, dst, 0, 0, imm);
+}
+Assembler& Assembler::MovImm(int dst, int64_t imm) { return Emit(Opcode::kMovImm, dst, 0, 0, imm); }
+Assembler& Assembler::Neg(int dst) { return Emit(Opcode::kNeg, dst, 0, 0, 0); }
+
+Assembler& Assembler::Ja(Label target) { return EmitBranch(Opcode::kJa, 0, 0, 0, target); }
+Assembler& Assembler::Jeq(int dst, int src, Label target) {
+  return EmitBranch(Opcode::kJeq, dst, src, 0, target);
+}
+Assembler& Assembler::Jne(int dst, int src, Label target) {
+  return EmitBranch(Opcode::kJne, dst, src, 0, target);
+}
+Assembler& Assembler::Jlt(int dst, int src, Label target) {
+  return EmitBranch(Opcode::kJlt, dst, src, 0, target);
+}
+Assembler& Assembler::Jle(int dst, int src, Label target) {
+  return EmitBranch(Opcode::kJle, dst, src, 0, target);
+}
+Assembler& Assembler::Jgt(int dst, int src, Label target) {
+  return EmitBranch(Opcode::kJgt, dst, src, 0, target);
+}
+Assembler& Assembler::Jge(int dst, int src, Label target) {
+  return EmitBranch(Opcode::kJge, dst, src, 0, target);
+}
+Assembler& Assembler::Jset(int dst, int src, Label target) {
+  return EmitBranch(Opcode::kJset, dst, src, 0, target);
+}
+Assembler& Assembler::JeqImm(int dst, int64_t imm, Label target) {
+  return EmitBranch(Opcode::kJeqImm, dst, 0, imm, target);
+}
+Assembler& Assembler::JneImm(int dst, int64_t imm, Label target) {
+  return EmitBranch(Opcode::kJneImm, dst, 0, imm, target);
+}
+Assembler& Assembler::JltImm(int dst, int64_t imm, Label target) {
+  return EmitBranch(Opcode::kJltImm, dst, 0, imm, target);
+}
+Assembler& Assembler::JleImm(int dst, int64_t imm, Label target) {
+  return EmitBranch(Opcode::kJleImm, dst, 0, imm, target);
+}
+Assembler& Assembler::JgtImm(int dst, int64_t imm, Label target) {
+  return EmitBranch(Opcode::kJgtImm, dst, 0, imm, target);
+}
+Assembler& Assembler::JgeImm(int dst, int64_t imm, Label target) {
+  return EmitBranch(Opcode::kJgeImm, dst, 0, imm, target);
+}
+Assembler& Assembler::JsetImm(int dst, int64_t imm, Label target) {
+  return EmitBranch(Opcode::kJsetImm, dst, 0, imm, target);
+}
+
+Assembler& Assembler::LdStack(int dst, int32_t offset) {
+  return Emit(Opcode::kLdStack, dst, 0, offset, 0);
+}
+Assembler& Assembler::StStack(int32_t offset, int src) {
+  return Emit(Opcode::kStStack, 0, src, offset, 0);
+}
+Assembler& Assembler::StStackImm(int32_t offset, int64_t imm) {
+  return Emit(Opcode::kStStackImm, 0, 0, offset, imm);
+}
+
+Assembler& Assembler::LdCtxt(int dst, int key_reg, int32_t slot) {
+  return Emit(Opcode::kLdCtxt, dst, key_reg, slot, 0);
+}
+Assembler& Assembler::StCtxt(int key_reg, int32_t slot, int src) {
+  return Emit(Opcode::kStCtxt, key_reg, src, slot, 0);
+}
+Assembler& Assembler::MatchCtxt(int dst, int key_reg) {
+  return Emit(Opcode::kMatchCtxt, dst, key_reg, 0, 0);
+}
+
+Assembler& Assembler::MapLookup(int dst, int key_reg, int64_t map_id) {
+  return Emit(Opcode::kMapLookup, dst, key_reg, 0, map_id);
+}
+Assembler& Assembler::MapExists(int dst, int key_reg, int64_t map_id) {
+  return Emit(Opcode::kMapExists, dst, key_reg, 0, map_id);
+}
+Assembler& Assembler::MapUpdate(int64_t map_id, int key_reg, int value_reg) {
+  return Emit(Opcode::kMapUpdate, key_reg, value_reg, 0, map_id);
+}
+Assembler& Assembler::MapDelete(int64_t map_id, int key_reg) {
+  return Emit(Opcode::kMapDelete, 0, key_reg, 0, map_id);
+}
+
+Assembler& Assembler::VecLdCtxt(int vdst, int key_reg) {
+  return Emit(Opcode::kVecLdCtxt, vdst, key_reg, 0, 0);
+}
+Assembler& Assembler::VecStCtxt(int key_reg, int vsrc) {
+  return Emit(Opcode::kVecStCtxt, key_reg, vsrc, 0, 0);
+}
+Assembler& Assembler::VecZero(int vdst) { return Emit(Opcode::kVecZero, vdst, 0, 0, 0); }
+Assembler& Assembler::ScalarVal(int vdst, int32_t lane, int src) {
+  return Emit(Opcode::kScalarVal, vdst, src, lane, 0);
+}
+Assembler& Assembler::VecExtract(int dst, int vsrc, int32_t lane) {
+  return Emit(Opcode::kVecExtract, dst, vsrc, lane, 0);
+}
+Assembler& Assembler::MatMul(int vdst, int vsrc, int64_t tensor_id) {
+  return Emit(Opcode::kMatMul, vdst, vsrc, 0, tensor_id);
+}
+Assembler& Assembler::VecAddT(int vdst, int64_t tensor_id) {
+  return Emit(Opcode::kVecAddT, vdst, 0, 0, tensor_id);
+}
+Assembler& Assembler::VecAdd(int vdst, int vsrc) { return Emit(Opcode::kVecAdd, vdst, vsrc, 0, 0); }
+Assembler& Assembler::VecRelu(int vdst, int vsrc) {
+  return Emit(Opcode::kVecRelu, vdst, vsrc, 0, 0);
+}
+Assembler& Assembler::VecArgmax(int dst, int vsrc) {
+  return Emit(Opcode::kVecArgmax, dst, vsrc, 0, 0);
+}
+Assembler& Assembler::VecDot(int vdst, int vsrc) { return Emit(Opcode::kVecDot, vdst, vsrc, 0, 0); }
+
+Assembler& Assembler::Call(HelperId helper) {
+  return Emit(Opcode::kCall, 0, 0, 0, static_cast<int64_t>(helper));
+}
+Assembler& Assembler::MlCall(int dst, int vsrc, int64_t model_id) {
+  return Emit(Opcode::kMlCall, dst, vsrc, 0, model_id);
+}
+Assembler& Assembler::TailCall(int64_t table_id) {
+  return Emit(Opcode::kTailCall, 0, 0, 0, table_id);
+}
+Assembler& Assembler::Exit() { return Emit(Opcode::kExit, 0, 0, 0, 0); }
+
+Assembler& Assembler::DeclareMaps(uint32_t count) {
+  program_.num_maps = count;
+  return *this;
+}
+Assembler& Assembler::DeclareModels(uint32_t count) {
+  program_.num_models = count;
+  return *this;
+}
+Assembler& Assembler::DeclareTensors(uint32_t count) {
+  program_.num_tensors = count;
+  return *this;
+}
+Assembler& Assembler::DeclareTables(uint32_t count) {
+  program_.num_tables = count;
+  return *this;
+}
+
+Result<BytecodeProgram> Assembler::Build() {
+  for (size_t i = 0; i < label_positions_.size(); ++i) {
+    if (label_positions_[i] == -2) {
+      return InvalidArgumentError("label " + std::to_string(i) + " bound more than once");
+    }
+  }
+  for (const Fixup& fixup : fixups_) {
+    if (fixup.label_id < 0 || static_cast<size_t>(fixup.label_id) >= label_positions_.size()) {
+      return InvalidArgumentError("branch references an invalid label");
+    }
+    const int64_t target = label_positions_[fixup.label_id];
+    if (target < 0) {
+      return InvalidArgumentError("label " + std::to_string(fixup.label_id) + " was never bound");
+    }
+    // Branch offsets are relative to the instruction after the branch.
+    code_[fixup.instruction_index].offset =
+        static_cast<int32_t>(target - static_cast<int64_t>(fixup.instruction_index) - 1);
+  }
+  BytecodeProgram out = program_;
+  out.code = code_;
+  return out;
+}
+
+}  // namespace rkd

@@ -1,0 +1,146 @@
+// Fluent builder for BytecodePrograms with label-based branching.
+//
+// This is the "constrained C compiler" stand-in from section 3.1: RMT actions
+// in this repo are written against the Assembler API and lowered to bytecode.
+// Branch targets are symbolic Labels resolved at Build() time, so forward
+// jumps never require hand-computed offsets.
+#ifndef SRC_BYTECODE_ASSEMBLER_H_
+#define SRC_BYTECODE_ASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bytecode/isa.h"
+#include "src/bytecode/program.h"
+
+namespace rkd {
+
+class Assembler {
+ public:
+  // Opaque forward-branch target. Create with NewLabel(), place with Bind().
+  class Label {
+   public:
+    Label() : id_(-1) {}
+
+   private:
+    friend class Assembler;
+    explicit Label(int id) : id_(id) {}
+    int id_;
+  };
+
+  explicit Assembler(std::string name, HookKind hook_kind = HookKind::kGeneric);
+
+  // --- Labels ---
+  Label NewLabel();
+  Assembler& Bind(Label label);
+
+  // --- Scalar ALU ---
+  Assembler& Add(int dst, int src);
+  Assembler& Sub(int dst, int src);
+  Assembler& Mul(int dst, int src);
+  Assembler& Div(int dst, int src);
+  Assembler& Mod(int dst, int src);
+  Assembler& And(int dst, int src);
+  Assembler& Or(int dst, int src);
+  Assembler& Xor(int dst, int src);
+  Assembler& Shl(int dst, int src);
+  Assembler& Shr(int dst, int src);
+  Assembler& Ashr(int dst, int src);
+  Assembler& Mov(int dst, int src);
+  Assembler& AddImm(int dst, int64_t imm);
+  Assembler& SubImm(int dst, int64_t imm);
+  Assembler& MulImm(int dst, int64_t imm);
+  Assembler& DivImm(int dst, int64_t imm);
+  Assembler& ModImm(int dst, int64_t imm);
+  Assembler& AndImm(int dst, int64_t imm);
+  Assembler& OrImm(int dst, int64_t imm);
+  Assembler& XorImm(int dst, int64_t imm);
+  Assembler& ShlImm(int dst, int64_t imm);
+  Assembler& ShrImm(int dst, int64_t imm);
+  Assembler& AshrImm(int dst, int64_t imm);
+  Assembler& MovImm(int dst, int64_t imm);
+  Assembler& Neg(int dst);
+
+  // --- Branches ---
+  Assembler& Ja(Label target);
+  Assembler& Jeq(int dst, int src, Label target);
+  Assembler& Jne(int dst, int src, Label target);
+  Assembler& Jlt(int dst, int src, Label target);
+  Assembler& Jle(int dst, int src, Label target);
+  Assembler& Jgt(int dst, int src, Label target);
+  Assembler& Jge(int dst, int src, Label target);
+  Assembler& Jset(int dst, int src, Label target);
+  Assembler& JeqImm(int dst, int64_t imm, Label target);
+  Assembler& JneImm(int dst, int64_t imm, Label target);
+  Assembler& JltImm(int dst, int64_t imm, Label target);
+  Assembler& JleImm(int dst, int64_t imm, Label target);
+  Assembler& JgtImm(int dst, int64_t imm, Label target);
+  Assembler& JgeImm(int dst, int64_t imm, Label target);
+  Assembler& JsetImm(int dst, int64_t imm, Label target);
+
+  // --- Stack ---
+  Assembler& LdStack(int dst, int32_t offset);
+  Assembler& StStack(int32_t offset, int src);
+  Assembler& StStackImm(int32_t offset, int64_t imm);
+
+  // --- Execution context ---
+  Assembler& LdCtxt(int dst, int key_reg, int32_t slot);
+  Assembler& StCtxt(int key_reg, int32_t slot, int src);
+  Assembler& MatchCtxt(int dst, int key_reg);
+
+  // --- Maps ---
+  Assembler& MapLookup(int dst, int key_reg, int64_t map_id);
+  Assembler& MapExists(int dst, int key_reg, int64_t map_id);
+  Assembler& MapUpdate(int64_t map_id, int key_reg, int value_reg);
+  Assembler& MapDelete(int64_t map_id, int key_reg);
+
+  // --- ML vector ops ---
+  Assembler& VecLdCtxt(int vdst, int key_reg);
+  Assembler& VecStCtxt(int key_reg, int vsrc);
+  Assembler& VecZero(int vdst);
+  Assembler& ScalarVal(int vdst, int32_t lane, int src);
+  Assembler& VecExtract(int dst, int vsrc, int32_t lane);
+  Assembler& MatMul(int vdst, int vsrc, int64_t tensor_id);
+  Assembler& VecAddT(int vdst, int64_t tensor_id);
+  Assembler& VecAdd(int vdst, int vsrc);
+  Assembler& VecRelu(int vdst, int vsrc);
+  Assembler& VecArgmax(int dst, int vsrc);
+  Assembler& VecDot(int vdst, int vsrc);
+
+  // --- Calls / control ---
+  Assembler& Call(HelperId helper);
+  Assembler& MlCall(int dst, int vsrc, int64_t model_id);
+  Assembler& TailCall(int64_t table_id);
+  Assembler& Exit();
+
+  // Declared resources (copied into the built program).
+  Assembler& DeclareMaps(uint32_t count);
+  Assembler& DeclareModels(uint32_t count);
+  Assembler& DeclareTensors(uint32_t count);
+  Assembler& DeclareTables(uint32_t count);
+
+  size_t current_offset() const { return code_.size(); }
+
+  // Resolves labels and returns the program. Fails if any label used in a
+  // branch was never bound, or a label was bound twice.
+  Result<BytecodeProgram> Build();
+
+ private:
+  Assembler& Emit(Opcode opcode, int dst, int src, int32_t offset, int64_t imm);
+  Assembler& EmitBranch(Opcode opcode, int dst, int src, int64_t imm, Label target);
+
+  BytecodeProgram program_;
+  std::vector<Instruction> code_;
+  std::vector<int64_t> label_positions_;  // -1 until bound
+  struct Fixup {
+    size_t instruction_index;
+    int label_id;
+  };
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_BYTECODE_ASSEMBLER_H_

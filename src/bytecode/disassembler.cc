@@ -1,0 +1,162 @@
+#include "src/bytecode/disassembler.h"
+
+#include <sstream>
+
+namespace rkd {
+
+namespace {
+
+std::string R(int reg) { return "r" + std::to_string(reg); }
+std::string V(int reg) { return "v" + std::to_string(reg); }
+std::string T(int64_t id) { return "t" + std::to_string(id); }
+std::string Rel(int32_t offset) {
+  return offset >= 0 ? "+" + std::to_string(offset) : std::to_string(offset);
+}
+
+}  // namespace
+
+std::string DisassembleInstruction(const Instruction& insn) {
+  std::ostringstream out;
+  out << OpcodeName(insn.opcode);
+  switch (insn.opcode) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAshr:
+    case Opcode::kMov:
+      out << " " << R(insn.dst) << ", " << R(insn.src);
+      break;
+    case Opcode::kAddImm:
+    case Opcode::kSubImm:
+    case Opcode::kMulImm:
+    case Opcode::kDivImm:
+    case Opcode::kModImm:
+    case Opcode::kAndImm:
+    case Opcode::kOrImm:
+    case Opcode::kXorImm:
+    case Opcode::kShlImm:
+    case Opcode::kShrImm:
+    case Opcode::kAshrImm:
+    case Opcode::kMovImm:
+      out << " " << R(insn.dst) << ", " << insn.imm;
+      break;
+    case Opcode::kNeg:
+      out << " " << R(insn.dst);
+      break;
+    case Opcode::kJa:
+      out << " " << Rel(insn.offset);
+      break;
+    case Opcode::kJeq:
+    case Opcode::kJne:
+    case Opcode::kJlt:
+    case Opcode::kJle:
+    case Opcode::kJgt:
+    case Opcode::kJge:
+    case Opcode::kJset:
+      out << " " << R(insn.dst) << ", " << R(insn.src) << ", " << Rel(insn.offset);
+      break;
+    case Opcode::kJeqImm:
+    case Opcode::kJneImm:
+    case Opcode::kJltImm:
+    case Opcode::kJleImm:
+    case Opcode::kJgtImm:
+    case Opcode::kJgeImm:
+    case Opcode::kJsetImm:
+      out << " " << R(insn.dst) << ", " << insn.imm << ", " << Rel(insn.offset);
+      break;
+    case Opcode::kLdStack:
+      out << " " << R(insn.dst) << ", [fp" << Rel(insn.offset) << "]";
+      break;
+    case Opcode::kStStack:
+      out << " [fp" << Rel(insn.offset) << "], " << R(insn.src);
+      break;
+    case Opcode::kStStackImm:
+      out << " [fp" << Rel(insn.offset) << "], " << insn.imm;
+      break;
+    case Opcode::kLdCtxt:
+      out << " " << R(insn.dst) << ", ctxt[" << R(insn.src) << "]." << insn.offset;
+      break;
+    case Opcode::kStCtxt:
+      out << " ctxt[" << R(insn.dst) << "]." << insn.offset << ", " << R(insn.src);
+      break;
+    case Opcode::kMatchCtxt:
+      out << " " << R(insn.dst) << ", ctxt[" << R(insn.src) << "]";
+      break;
+    case Opcode::kMapLookup:
+    case Opcode::kMapExists:
+      out << " " << R(insn.dst) << ", map" << insn.imm << "[" << R(insn.src) << "]";
+      break;
+    case Opcode::kMapUpdate:
+      out << " map" << insn.imm << "[" << R(insn.dst) << "], " << R(insn.src);
+      break;
+    case Opcode::kMapDelete:
+      out << " map" << insn.imm << "[" << R(insn.src) << "]";
+      break;
+    case Opcode::kVecLdCtxt:
+      out << " " << V(insn.dst) << ", ctxt[" << R(insn.src) << "]";
+      break;
+    case Opcode::kVecStCtxt:
+      out << " ctxt[" << R(insn.dst) << "], " << V(insn.src);
+      break;
+    case Opcode::kVecZero:
+      out << " " << V(insn.dst);
+      break;
+    case Opcode::kScalarVal:
+      out << " " << V(insn.dst) << "[" << insn.offset << "], " << R(insn.src);
+      break;
+    case Opcode::kVecExtract:
+      out << " " << R(insn.dst) << ", " << V(insn.src) << "[" << insn.offset << "]";
+      break;
+    case Opcode::kMatMul:
+      out << " " << V(insn.dst) << ", " << V(insn.src) << ", " << T(insn.imm);
+      break;
+    case Opcode::kVecAddT:
+      out << " " << V(insn.dst) << ", " << T(insn.imm);
+      break;
+    case Opcode::kVecAdd:
+    case Opcode::kVecRelu:
+      out << " " << V(insn.dst) << ", " << V(insn.src);
+      break;
+    case Opcode::kVecArgmax:
+      out << " " << R(insn.dst) << ", " << V(insn.src);
+      break;
+    case Opcode::kVecDot:
+      out << " " << R(insn.dst) << ", " << V(insn.dst) << ", " << V(insn.src);
+      break;
+    case Opcode::kCall:
+      out << " " << HelperName(static_cast<HelperId>(insn.imm));
+      break;
+    case Opcode::kMlCall:
+      out << " " << R(insn.dst) << ", model" << insn.imm << "(" << V(insn.src) << ")";
+      break;
+    case Opcode::kTailCall:
+      out << " table" << insn.imm;
+      break;
+    case Opcode::kExit:
+      break;
+    case Opcode::kOpcodeCount:
+      out << " <invalid>";
+      break;
+  }
+  return out.str();
+}
+
+std::string Disassemble(const BytecodeProgram& program) {
+  std::ostringstream out;
+  out << "; program '" << program.name << "' hook=" << HookKindName(program.hook_kind)
+      << " maps=" << program.num_maps << " models=" << program.num_models
+      << " tensors=" << program.num_tensors << " tables=" << program.num_tables << "\n";
+  for (size_t i = 0; i < program.code.size(); ++i) {
+    out << "  " << i << ": " << DisassembleInstruction(program.code[i]) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rkd

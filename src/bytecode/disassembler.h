@@ -1,0 +1,20 @@
+// Human-readable rendering of RMT bytecode, for diagnostics and tests.
+#ifndef SRC_BYTECODE_DISASSEMBLER_H_
+#define SRC_BYTECODE_DISASSEMBLER_H_
+
+#include <string>
+
+#include "src/bytecode/isa.h"
+#include "src/bytecode/program.h"
+
+namespace rkd {
+
+// One instruction as text, e.g. "jeq_imm r3, 42, +5" or "mat_mul v1, v0, t2".
+std::string DisassembleInstruction(const Instruction& insn);
+
+// Whole program with addresses, one instruction per line.
+std::string Disassemble(const BytecodeProgram& program);
+
+}  // namespace rkd
+
+#endif  // SRC_BYTECODE_DISASSEMBLER_H_

@@ -1,0 +1,270 @@
+#include "src/bytecode/isa.h"
+
+namespace rkd {
+
+std::string_view OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kMod: return "mod";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAshr: return "ashr";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAddImm: return "add_imm";
+    case Opcode::kSubImm: return "sub_imm";
+    case Opcode::kMulImm: return "mul_imm";
+    case Opcode::kDivImm: return "div_imm";
+    case Opcode::kModImm: return "mod_imm";
+    case Opcode::kAndImm: return "and_imm";
+    case Opcode::kOrImm: return "or_imm";
+    case Opcode::kXorImm: return "xor_imm";
+    case Opcode::kShlImm: return "shl_imm";
+    case Opcode::kShrImm: return "shr_imm";
+    case Opcode::kAshrImm: return "ashr_imm";
+    case Opcode::kMovImm: return "mov_imm";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kJa: return "ja";
+    case Opcode::kJeq: return "jeq";
+    case Opcode::kJne: return "jne";
+    case Opcode::kJlt: return "jlt";
+    case Opcode::kJle: return "jle";
+    case Opcode::kJgt: return "jgt";
+    case Opcode::kJge: return "jge";
+    case Opcode::kJset: return "jset";
+    case Opcode::kJeqImm: return "jeq_imm";
+    case Opcode::kJneImm: return "jne_imm";
+    case Opcode::kJltImm: return "jlt_imm";
+    case Opcode::kJleImm: return "jle_imm";
+    case Opcode::kJgtImm: return "jgt_imm";
+    case Opcode::kJgeImm: return "jge_imm";
+    case Opcode::kJsetImm: return "jset_imm";
+    case Opcode::kLdStack: return "ld_stack";
+    case Opcode::kStStack: return "st_stack";
+    case Opcode::kStStackImm: return "st_stack_imm";
+    case Opcode::kLdCtxt: return "ld_ctxt";
+    case Opcode::kStCtxt: return "st_ctxt";
+    case Opcode::kMatchCtxt: return "match_ctxt";
+    case Opcode::kMapLookup: return "map_lookup";
+    case Opcode::kMapExists: return "map_exists";
+    case Opcode::kMapUpdate: return "map_update";
+    case Opcode::kMapDelete: return "map_delete";
+    case Opcode::kVecLdCtxt: return "vec_ld_ctxt";
+    case Opcode::kVecStCtxt: return "vec_st_ctxt";
+    case Opcode::kVecZero: return "vec_zero";
+    case Opcode::kScalarVal: return "scalar_val";
+    case Opcode::kVecExtract: return "vec_extract";
+    case Opcode::kMatMul: return "mat_mul";
+    case Opcode::kVecAddT: return "vec_add_t";
+    case Opcode::kVecAdd: return "vec_add";
+    case Opcode::kVecRelu: return "vec_relu";
+    case Opcode::kVecArgmax: return "vec_argmax";
+    case Opcode::kVecDot: return "vec_dot";
+    case Opcode::kCall: return "call";
+    case Opcode::kMlCall: return "ml_call";
+    case Opcode::kTailCall: return "tail_call";
+    case Opcode::kExit: return "exit";
+    case Opcode::kOpcodeCount: break;
+  }
+  return "invalid";
+}
+
+bool IsBranch(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kJa:
+    case Opcode::kJeq:
+    case Opcode::kJne:
+    case Opcode::kJlt:
+    case Opcode::kJle:
+    case Opcode::kJgt:
+    case Opcode::kJge:
+    case Opcode::kJset:
+    case Opcode::kJeqImm:
+    case Opcode::kJneImm:
+    case Opcode::kJltImm:
+    case Opcode::kJleImm:
+    case Opcode::kJgtImm:
+    case Opcode::kJgeImm:
+    case Opcode::kJsetImm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsConditional(Opcode opcode) { return IsBranch(opcode) && opcode != Opcode::kJa; }
+
+bool IsVectorOp(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kVecLdCtxt:
+    case Opcode::kVecStCtxt:
+    case Opcode::kVecZero:
+    case Opcode::kScalarVal:
+    case Opcode::kVecExtract:
+    case Opcode::kMatMul:
+    case Opcode::kVecAddT:
+    case Opcode::kVecAdd:
+    case Opcode::kVecRelu:
+    case Opcode::kVecArgmax:
+    case Opcode::kVecDot:
+    case Opcode::kMlCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool HasScalarDst(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAshr:
+    case Opcode::kMov:
+    case Opcode::kAddImm:
+    case Opcode::kSubImm:
+    case Opcode::kMulImm:
+    case Opcode::kDivImm:
+    case Opcode::kModImm:
+    case Opcode::kAndImm:
+    case Opcode::kOrImm:
+    case Opcode::kXorImm:
+    case Opcode::kShlImm:
+    case Opcode::kShrImm:
+    case Opcode::kAshrImm:
+    case Opcode::kMovImm:
+    case Opcode::kNeg:
+    case Opcode::kLdStack:
+    case Opcode::kLdCtxt:
+    case Opcode::kMatchCtxt:
+    case Opcode::kMapLookup:
+    case Opcode::kMapExists:
+    case Opcode::kVecExtract:
+    case Opcode::kVecArgmax:
+    case Opcode::kVecDot:
+    case Opcode::kMlCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ReadsScalarDst(Opcode opcode) {
+  switch (opcode) {
+    // Two-operand ALU forms read-modify-write dst.
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAshr:
+    case Opcode::kAddImm:
+    case Opcode::kSubImm:
+    case Opcode::kMulImm:
+    case Opcode::kDivImm:
+    case Opcode::kModImm:
+    case Opcode::kAndImm:
+    case Opcode::kOrImm:
+    case Opcode::kXorImm:
+    case Opcode::kShlImm:
+    case Opcode::kShrImm:
+    case Opcode::kAshrImm:
+    case Opcode::kNeg:
+    // Conditional branches compare dst.
+    case Opcode::kJeq:
+    case Opcode::kJne:
+    case Opcode::kJlt:
+    case Opcode::kJle:
+    case Opcode::kJgt:
+    case Opcode::kJge:
+    case Opcode::kJset:
+    case Opcode::kJeqImm:
+    case Opcode::kJneImm:
+    case Opcode::kJltImm:
+    case Opcode::kJleImm:
+    case Opcode::kJgtImm:
+    case Opcode::kJgeImm:
+    case Opcode::kJsetImm:
+    // Stores and ctxt/map writes read their key/value from dst.
+    case Opcode::kStCtxt:
+    case Opcode::kMapUpdate:
+    // kVecDot reads dst as the left vector operand, but dst is a vector
+    // register there; handled by vector tracking instead.
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ReadsScalarSrc(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAshr:
+    case Opcode::kMov:
+    case Opcode::kJeq:
+    case Opcode::kJne:
+    case Opcode::kJlt:
+    case Opcode::kJle:
+    case Opcode::kJgt:
+    case Opcode::kJge:
+    case Opcode::kJset:
+    case Opcode::kStStack:
+    case Opcode::kLdCtxt:
+    case Opcode::kStCtxt:
+    case Opcode::kMatchCtxt:
+    case Opcode::kMapLookup:
+    case Opcode::kMapExists:
+    case Opcode::kMapUpdate:
+    case Opcode::kMapDelete:
+    case Opcode::kVecLdCtxt:   // src is the ctxt key (scalar)
+    case Opcode::kScalarVal:   // src is the scalar value to insert
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view HelperName(HelperId id) {
+  switch (id) {
+    case HelperId::kGetTime: return "get_time";
+    case HelperId::kRecordSample: return "record_sample";
+    case HelperId::kHistoryAppend: return "history_append";
+    case HelperId::kHistoryGet: return "history_get";
+    case HelperId::kHistoryLen: return "history_len";
+    case HelperId::kRateLimitCheck: return "rate_limit_check";
+    case HelperId::kDpNoise: return "dp_noise";
+    case HelperId::kPrefetchEmit: return "prefetch_emit";
+    case HelperId::kSetPriorityHint: return "set_priority_hint";
+    case HelperId::kPredictionLog: return "prediction_log";
+    case HelperId::kHelperCount: break;
+  }
+  return "invalid_helper";
+}
+
+}  // namespace rkd

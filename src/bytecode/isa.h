@@ -1,0 +1,140 @@
+// The RMT bytecode instruction set.
+//
+// RMT programs are compiled (here: assembled) into machine-independent
+// bytecode and installed via the syscall-like control-plane API (paper
+// section 3.1). The ISA follows eBPF's general shape — a fixed-width
+// register machine with a small stack and helper calls — extended with the
+// paper's dedicated ML instruction set (RMT_VECTOR_LD, RMT_MAT_MUL,
+// RMT_SCALAR_VAL, ...) patterned after neural-processor ISAs, and with
+// context instructions (RMT_LD_CTXT, RMT_MATCH_CTXT, RMT_ST_CTXT) that give
+// constant-time access to the execution context instead of walking kernel
+// data structures (section 2.2).
+//
+// Register model:
+//   r0        return value / result of helper and ML calls
+//   r1..r5    arguments into the program and into helper calls
+//   r6..r9    callee-saved scratch
+//   r10       read-only frame pointer to the top of the 512-byte stack
+//   v0..v7    vector registers, kVectorLanes x int32 (Q16.16 raw) lanes
+//
+// Control flow: forward jumps only (the verifier rejects back-edges), so
+// every admitted program trivially has bounded execution, exactly as in
+// classic eBPF. Loops over data live inside single vector instructions or
+// helpers, both of which have statically checkable cost.
+#ifndef SRC_BYTECODE_ISA_H_
+#define SRC_BYTECODE_ISA_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rkd {
+
+inline constexpr int kNumScalarRegs = 11;  // r0..r10
+inline constexpr int kCtxtScalarSlots = 16;     // addressable kLdCtxt/kStCtxt slots
+inline constexpr int kCtxtHistoryCapacity = 64; // per-key history ring entries
+inline constexpr int kNumVectorRegs = 8;   // v0..v7
+inline constexpr int kVectorLanes = 32;    // int32 lanes per vector register
+inline constexpr int kStackSize = 512;     // bytes, addressed off r10
+inline constexpr int kFramePointerReg = 10;
+inline constexpr int kMaxTailCallDepth = 4;  // cascaded models via TAIL_CALL
+
+enum class Opcode : uint16_t {
+  // --- Scalar ALU, register form: dst = dst <op> src ---
+  kAdd, kSub, kMul, kDiv, kMod, kAnd, kOr, kXor, kShl, kShr, kAshr, kMov,
+  // --- Scalar ALU, immediate form: dst = dst <op> imm ---
+  kAddImm, kSubImm, kMulImm, kDivImm, kModImm, kAndImm, kOrImm, kXorImm,
+  kShlImm, kShrImm, kAshrImm, kMovImm,
+  kNeg,  // dst = -dst
+
+  // --- Branches (offset is relative to the next instruction) ---
+  kJa,                                        // unconditional
+  kJeq, kJne, kJlt, kJle, kJgt, kJge, kJset,  // compare dst with src
+  kJeqImm, kJneImm, kJltImm, kJleImm, kJgtImm, kJgeImm, kJsetImm,  // with imm
+
+  // --- Stack (offset is a byte displacement below r10; 8-byte slots) ---
+  kLdStack,    // dst = *(u64*)(r10 + offset)
+  kStStack,    // *(u64*)(r10 + offset) = src
+  kStStackImm, // *(u64*)(r10 + offset) = imm
+
+  // --- Execution context (RMT_CTXT key/value store) ---
+  kLdCtxt,     // dst = ctxt[src].slot[offset]; 0 if key absent
+  kStCtxt,     // ctxt[dst].slot[offset] = src (creates the key if absent)
+  kMatchCtxt,  // dst = ctxt contains key in src ? 1 : 0
+
+  // --- Maps (eBPF-style; imm selects the map declared by the program) ---
+  kMapLookup,  // dst = map[imm][key in src]; 0 if absent
+  kMapExists,  // dst = map[imm] contains key in src ? 1 : 0
+  kMapUpdate,  // map[imm][key in dst] = src
+  kMapDelete,  // delete map[imm][key in src]
+
+  // --- ML vector instructions (the dedicated ML ISA of section 3.2) ---
+  kVecLdCtxt,   // v[dst] = feature vector of ctxt[src] (missing key -> zeros)
+  kVecStCtxt,   // feature vector of ctxt[dst] = v[src]
+  kVecZero,     // v[dst] = 0
+  kScalarVal,   // v[dst].lane[offset] = r[src]      (RMT_SCALAR_VAL)
+  kVecExtract,  // r[dst] = v[src].lane[offset]
+  kMatMul,      // v[dst] = tensor[imm] * v[src]     (RMT_MAT_MUL, Q16.16)
+  kVecAddT,     // v[dst] += tensor[imm]             (bias add)
+  kVecAdd,      // v[dst] += v[src]
+  kVecRelu,     // v[dst] = relu(v[src])
+  kVecArgmax,   // r[dst] = index of max lane of v[src]
+  kVecDot,      // r[dst] = dot(v[dst], v[src]) in Q16.16
+
+  // --- Calls and control ---
+  kCall,      // r0 = helper[imm](r1..r5)
+  kMlCall,    // r[dst] = model[imm].Predict(v[src]) (class id or Q16.16 score)
+  kTailCall,  // jump to the action program of table entry imm; no return
+  kExit,      // return r0 to the hook site
+
+  kOpcodeCount,
+};
+
+// Fixed-width instruction. 16 bytes, mirroring eBPF's fixed encoding so the
+// verifier and both execution tiers can decode without a variable-length
+// parser.
+struct Instruction {
+  Opcode opcode = Opcode::kExit;
+  uint8_t dst = 0;     // scalar or vector register number, per opcode
+  uint8_t src = 0;     // scalar or vector register number, per opcode
+  int32_t offset = 0;  // branch displacement, stack offset, ctxt slot, or lane
+  int64_t imm = 0;     // immediate, helper id, map id, tensor id, or model id
+
+  friend bool operator==(const Instruction& a, const Instruction& b) {
+    return a.opcode == b.opcode && a.dst == b.dst && a.src == b.src && a.offset == b.offset &&
+           a.imm == b.imm;
+  }
+};
+
+// Stable mnemonic for an opcode ("add", "jeq_imm", "mat_mul", ...).
+std::string_view OpcodeName(Opcode opcode);
+
+// Classification predicates used by the verifier and the JIT pre-decoder.
+bool IsBranch(Opcode opcode);       // any jump, conditional or not
+bool IsConditional(Opcode opcode);  // conditional jump
+bool IsVectorOp(Opcode opcode);     // touches the vector register file
+bool HasScalarDst(Opcode opcode);   // writes a scalar register
+bool ReadsScalarDst(Opcode opcode); // reads dst before writing it
+bool ReadsScalarSrc(Opcode opcode); // reads the src scalar register
+
+// Well-known helper functions callable via kCall. Each hook kind whitelists a
+// subset (see verifier); e.g. the prefetch-emit helper is meaningless — and
+// therefore forbidden — inside a scheduler hook.
+enum class HelperId : int64_t {
+  kGetTime = 0,        // r0 = current virtual time (ns)
+  kRecordSample = 1,   // record (r1=key, r2=value) into the monitoring ring
+  kHistoryAppend = 2,  // append r2 to the per-key history of r1
+  kHistoryGet = 3,     // r0 = history[r1] element r2 positions back (0 = last)
+  kHistoryLen = 4,     // r0 = number of recorded history entries for r1
+  kRateLimitCheck = 5, // r0 = 1 if key r1 may consume r2 units, else 0
+  kDpNoise = 6,        // r0 = r1 + Laplace noise at the table's epsilon
+  kPrefetchEmit = 7,   // request prefetch of page r1 (+ r2 following pages)
+  kSetPriorityHint = 8,// scheduling hint: bias task r1 priority by r2
+  kPredictionLog = 9,  // record prediction r2 for key r1 (accuracy tracking)
+  kHelperCount,
+};
+
+std::string_view HelperName(HelperId id);
+
+}  // namespace rkd
+
+#endif  // SRC_BYTECODE_ISA_H_

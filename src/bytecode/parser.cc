@@ -1,0 +1,671 @@
+#include "src/bytecode/parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rkd {
+
+namespace {
+
+struct Line {
+  size_t number;                    // 1-based source line
+  std::vector<std::string> tokens;  // mnemonic + operands, comma-split
+};
+
+// Splits a source line into tokens: the first whitespace-separated word is
+// the mnemonic; the rest splits on commas with surrounding space trimmed.
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  // Strip comment.
+  const size_t semicolon = line.find(';');
+  if (semicolon != std::string_view::npos) {
+    line = line.substr(0, semicolon);
+  }
+  // Leading/trailing whitespace.
+  const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+  while (!line.empty() && is_space(line.front())) {
+    line.remove_prefix(1);
+  }
+  while (!line.empty() && is_space(line.back())) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) {
+    return tokens;
+  }
+  // Mnemonic.
+  size_t end = 0;
+  while (end < line.size() && !is_space(line[end])) {
+    ++end;
+  }
+  tokens.emplace_back(line.substr(0, end));
+  line.remove_prefix(end);
+  // Operands, comma-separated.
+  while (!line.empty()) {
+    while (!line.empty() && (is_space(line.front()) || line.front() == ',')) {
+      line.remove_prefix(1);
+    }
+    if (line.empty()) {
+      break;
+    }
+    size_t stop = 0;
+    while (stop < line.size() && line[stop] != ',') {
+      ++stop;
+    }
+    std::string_view token = line.substr(0, stop);
+    while (!token.empty() && is_space(token.back())) {
+      token.remove_suffix(1);
+    }
+    tokens.emplace_back(token);
+    line.remove_prefix(stop);
+  }
+  return tokens;
+}
+
+Status ParseError(size_t line, const std::string& message) {
+  return InvalidArgumentError("line " + std::to_string(line) + ": " + message);
+}
+
+std::optional<int64_t> ParseInt(std::string_view token) {
+  if (token.empty()) {
+    return std::nullopt;
+  }
+  int64_t value = 0;
+  const char* begin = token.data();
+  const char* end = token.data() + token.size();
+  if (token.front() == '+') {
+    ++begin;  // std::from_chars rejects a leading '+'
+  }
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+// "r7" -> 7, "v3" -> 3, "t2" -> 2, "table1" -> 1.
+std::optional<int64_t> ParsePrefixed(std::string_view token, std::string_view prefix) {
+  if (token.size() <= prefix.size() || token.substr(0, prefix.size()) != prefix) {
+    return std::nullopt;
+  }
+  return ParseInt(token.substr(prefix.size()));
+}
+
+// "mapN[rK]" -> (N, K).
+std::optional<std::pair<int64_t, int64_t>> ParseMapRef(std::string_view token) {
+  if (token.substr(0, 3) != "map") {
+    return std::nullopt;
+  }
+  const size_t open = token.find('[');
+  if (open == std::string_view::npos || token.back() != ']') {
+    return std::nullopt;
+  }
+  const auto map_id = ParseInt(token.substr(3, open - 3));
+  const auto reg = ParsePrefixed(token.substr(open + 1, token.size() - open - 2), "r");
+  if (!map_id || !reg) {
+    return std::nullopt;
+  }
+  return std::make_pair(*map_id, *reg);
+}
+
+// "ctxt[rK]" -> K (slot absent), "ctxt[rK].S" -> (K, S).
+struct CtxtRef {
+  int64_t reg;
+  std::optional<int64_t> slot;
+};
+std::optional<CtxtRef> ParseCtxtRef(std::string_view token) {
+  if (token.substr(0, 5) != "ctxt[") {
+    return std::nullopt;
+  }
+  const size_t close = token.find(']');
+  if (close == std::string_view::npos) {
+    return std::nullopt;
+  }
+  const auto reg = ParsePrefixed(token.substr(5, close - 5), "r");
+  if (!reg) {
+    return std::nullopt;
+  }
+  CtxtRef out{*reg, std::nullopt};
+  if (close + 1 < token.size()) {
+    if (token[close + 1] != '.') {
+      return std::nullopt;
+    }
+    const auto slot = ParseInt(token.substr(close + 2));
+    if (!slot) {
+      return std::nullopt;
+    }
+    out.slot = slot;
+  }
+  return out;
+}
+
+// "[fp-8]" / "[fp+0]" -> -8 / 0.
+std::optional<int64_t> ParseStackRef(std::string_view token) {
+  if (token.substr(0, 3) != "[fp" || token.back() != ']') {
+    return std::nullopt;
+  }
+  return ParseInt(token.substr(3, token.size() - 4));
+}
+
+// "v0[3]" -> (0, 3).
+std::optional<std::pair<int64_t, int64_t>> ParseLaneRef(std::string_view token) {
+  if (token.empty() || token.front() != 'v') {
+    return std::nullopt;
+  }
+  const size_t open = token.find('[');
+  if (open == std::string_view::npos || token.back() != ']') {
+    return std::nullopt;
+  }
+  const auto reg = ParseInt(token.substr(1, open - 1));
+  const auto lane = ParseInt(token.substr(open + 1, token.size() - open - 2));
+  if (!reg || !lane) {
+    return std::nullopt;
+  }
+  return std::make_pair(*reg, *lane);
+}
+
+// "modelN(vK)" -> (N, K).
+std::optional<std::pair<int64_t, int64_t>> ParseModelRef(std::string_view token) {
+  if (token.substr(0, 5) != "model") {
+    return std::nullopt;
+  }
+  const size_t open = token.find('(');
+  if (open == std::string_view::npos || token.back() != ')') {
+    return std::nullopt;
+  }
+  const auto model = ParseInt(token.substr(5, open - 5));
+  const auto reg = ParsePrefixed(token.substr(open + 1, token.size() - open - 2), "v");
+  if (!model || !reg) {
+    return std::nullopt;
+  }
+  return std::make_pair(*model, *reg);
+}
+
+std::optional<HelperId> ParseHelper(std::string_view token) {
+  for (int64_t id = 0; id < static_cast<int64_t>(HelperId::kHelperCount); ++id) {
+    if (HelperName(static_cast<HelperId>(id)) == token) {
+      return static_cast<HelperId>(id);
+    }
+  }
+  return std::nullopt;
+}
+
+const std::unordered_map<std::string_view, Opcode>& MnemonicTable() {
+  static const auto* table = [] {
+    auto* map = new std::unordered_map<std::string_view, Opcode>();
+    for (uint16_t op = 0; op < static_cast<uint16_t>(Opcode::kOpcodeCount); ++op) {
+      map->emplace(OpcodeName(static_cast<Opcode>(op)), static_cast<Opcode>(op));
+    }
+    return map;
+  }();
+  return *table;
+}
+
+std::optional<HookKind> ParseHookKind(std::string_view token) {
+  for (HookKind kind : {HookKind::kGeneric, HookKind::kMemPrefetch, HookKind::kMemAccess,
+                        HookKind::kSchedMigrate, HookKind::kSchedTick}) {
+    if (HookKindName(kind) == token) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<BytecodeProgram> ParseAssembly(std::string_view text) {
+  BytecodeProgram program;
+  program.name = "anonymous";
+
+  // Pass 0: split into lines and tokenize; collect label positions.
+  std::vector<Line> lines;
+  std::unordered_map<std::string, int64_t> labels;  // label -> instruction index
+  {
+    size_t line_number = 0;
+    size_t instruction_index = 0;
+    size_t start = 0;
+    while (start <= text.size()) {
+      size_t newline = text.find('\n', start);
+      if (newline == std::string_view::npos) {
+        newline = text.size();
+      }
+      ++line_number;
+      const std::string_view raw = text.substr(start, newline - start);
+      start = newline + 1;
+      std::vector<std::string> tokens = Tokenize(raw);
+      if (tokens.empty()) {
+        continue;
+      }
+      if (tokens.front().back() == ':') {
+        const std::string label = tokens.front().substr(0, tokens.front().size() - 1);
+        if (label.empty()) {
+          return ParseError(line_number, "empty label name");
+        }
+        if (labels.contains(label)) {
+          return ParseError(line_number, "duplicate label '" + label + "'");
+        }
+        labels.emplace(label, static_cast<int64_t>(instruction_index));
+        // Re-tokenize whatever follows the label so "label: insn ops" parses
+        // the instruction with a proper mnemonic split.
+        const size_t colon = raw.find(':');
+        tokens = Tokenize(raw.substr(colon + 1));
+        if (tokens.empty()) {
+          continue;
+        }
+      }
+      if (tokens.front().front() != '.') {
+        ++instruction_index;
+      }
+      lines.push_back(Line{line_number, std::move(tokens)});
+    }
+  }
+
+  // Pass 1: directives and instructions.
+  const auto& mnemonics = MnemonicTable();
+  int64_t pc = 0;
+  for (const Line& line : lines) {
+    const std::string& head = line.tokens.front();
+    const auto operand = [&](size_t index) -> std::string_view {
+      return index < line.tokens.size() - 1 ? std::string_view(line.tokens[index + 1])
+                                            : std::string_view();
+    };
+    const size_t operand_count = line.tokens.size() - 1;
+
+    if (head.front() == '.') {
+      if (head == ".name" && operand_count == 1) {
+        program.name = std::string(operand(0));
+      } else if (head == ".hook" && operand_count == 1) {
+        const auto kind = ParseHookKind(operand(0));
+        if (!kind) {
+          return ParseError(line.number, "unknown hook kind '" + std::string(operand(0)) + "'");
+        }
+        program.hook_kind = *kind;
+      } else if (head == ".maps" && operand_count == 1) {
+        const auto count = ParseInt(operand(0));
+        if (!count || *count < 0) {
+          return ParseError(line.number, "bad .maps count");
+        }
+        program.num_maps = static_cast<uint32_t>(*count);
+      } else if (head == ".models" && operand_count == 1) {
+        const auto count = ParseInt(operand(0));
+        if (!count || *count < 0) {
+          return ParseError(line.number, "bad .models count");
+        }
+        program.num_models = static_cast<uint32_t>(*count);
+      } else if (head == ".tensors" && operand_count == 1) {
+        const auto count = ParseInt(operand(0));
+        if (!count || *count < 0) {
+          return ParseError(line.number, "bad .tensors count");
+        }
+        program.num_tensors = static_cast<uint32_t>(*count);
+      } else if (head == ".tables" && operand_count == 1) {
+        const auto count = ParseInt(operand(0));
+        if (!count || *count < 0) {
+          return ParseError(line.number, "bad .tables count");
+        }
+        program.num_tables = static_cast<uint32_t>(*count);
+      } else {
+        return ParseError(line.number, "unknown directive '" + head + "'");
+      }
+      continue;
+    }
+
+    const auto mnemonic = mnemonics.find(head);
+    if (mnemonic == mnemonics.end()) {
+      return ParseError(line.number, "unknown mnemonic '" + head + "'");
+    }
+    Instruction insn;
+    insn.opcode = mnemonic->second;
+
+    const auto reg = [&](size_t index) { return ParsePrefixed(operand(index), "r"); };
+    const auto vreg = [&](size_t index) { return ParsePrefixed(operand(index), "v"); };
+    const auto imm = [&](size_t index) { return ParseInt(operand(index)); };
+    // Branch target: a "+N"/"-N" relative offset or a label.
+    const auto target = [&](size_t index) -> std::optional<int64_t> {
+      const std::string_view token = operand(index);
+      if (!token.empty() && (token.front() == '+' || token.front() == '-')) {
+        return ParseInt(token);
+      }
+      const auto it = labels.find(std::string(token));
+      if (it == labels.end()) {
+        return std::nullopt;
+      }
+      return it->second - (pc + 1);  // label index -> relative offset
+    };
+    const auto bad = [&](const char* what) {
+      return ParseError(line.number, std::string("bad operands for '") + head + "' (" + what +
+                                         ")");
+    };
+
+    switch (insn.opcode) {
+      // dst, src
+      case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul: case Opcode::kDiv:
+      case Opcode::kMod: case Opcode::kAnd: case Opcode::kOr: case Opcode::kXor:
+      case Opcode::kShl: case Opcode::kShr: case Opcode::kAshr: case Opcode::kMov: {
+        const auto d = reg(0);
+        const auto s = reg(1);
+        if (operand_count != 2 || !d || !s) {
+          return bad("expect rD, rS");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.src = static_cast<uint8_t>(*s);
+        break;
+      }
+      // dst, imm
+      case Opcode::kAddImm: case Opcode::kSubImm: case Opcode::kMulImm:
+      case Opcode::kDivImm: case Opcode::kModImm: case Opcode::kAndImm:
+      case Opcode::kOrImm: case Opcode::kXorImm: case Opcode::kShlImm:
+      case Opcode::kShrImm: case Opcode::kAshrImm: case Opcode::kMovImm: {
+        const auto d = reg(0);
+        const auto value = imm(1);
+        if (operand_count != 2 || !d || !value) {
+          return bad("expect rD, imm");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.imm = *value;
+        break;
+      }
+      case Opcode::kNeg: {
+        const auto d = reg(0);
+        if (operand_count != 1 || !d) {
+          return bad("expect rD");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        break;
+      }
+      case Opcode::kJa: {
+        const auto t = target(0);
+        if (operand_count != 1 || !t) {
+          return bad("expect label or +offset");
+        }
+        insn.offset = static_cast<int32_t>(*t);
+        break;
+      }
+      case Opcode::kJeq: case Opcode::kJne: case Opcode::kJlt: case Opcode::kJle:
+      case Opcode::kJgt: case Opcode::kJge: case Opcode::kJset: {
+        const auto d = reg(0);
+        const auto s = reg(1);
+        const auto t = target(2);
+        if (operand_count != 3 || !d || !s || !t) {
+          return bad("expect rD, rS, label");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.src = static_cast<uint8_t>(*s);
+        insn.offset = static_cast<int32_t>(*t);
+        break;
+      }
+      case Opcode::kJeqImm: case Opcode::kJneImm: case Opcode::kJltImm:
+      case Opcode::kJleImm: case Opcode::kJgtImm: case Opcode::kJgeImm:
+      case Opcode::kJsetImm: {
+        const auto d = reg(0);
+        const auto value = imm(1);
+        const auto t = target(2);
+        if (operand_count != 3 || !d || !value || !t) {
+          return bad("expect rD, imm, label");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.imm = *value;
+        insn.offset = static_cast<int32_t>(*t);
+        break;
+      }
+      case Opcode::kLdStack: {
+        const auto d = reg(0);
+        const auto slot = ParseStackRef(operand(1));
+        if (operand_count != 2 || !d || !slot) {
+          return bad("expect rD, [fp-N]");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.offset = static_cast<int32_t>(*slot);
+        break;
+      }
+      case Opcode::kStStack: {
+        const auto slot = ParseStackRef(operand(0));
+        const auto s = reg(1);
+        if (operand_count != 2 || !slot || !s) {
+          return bad("expect [fp-N], rS");
+        }
+        insn.offset = static_cast<int32_t>(*slot);
+        insn.src = static_cast<uint8_t>(*s);
+        break;
+      }
+      case Opcode::kStStackImm: {
+        const auto slot = ParseStackRef(operand(0));
+        const auto value = imm(1);
+        if (operand_count != 2 || !slot || !value) {
+          return bad("expect [fp-N], imm");
+        }
+        insn.offset = static_cast<int32_t>(*slot);
+        insn.imm = *value;
+        break;
+      }
+      case Opcode::kLdCtxt: {
+        const auto d = reg(0);
+        const auto ref = ParseCtxtRef(operand(1));
+        if (operand_count != 2 || !d || !ref || !ref->slot) {
+          return bad("expect rD, ctxt[rK].S");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.src = static_cast<uint8_t>(ref->reg);
+        insn.offset = static_cast<int32_t>(*ref->slot);
+        break;
+      }
+      case Opcode::kStCtxt: {
+        const auto ref = ParseCtxtRef(operand(0));
+        const auto s = reg(1);
+        if (operand_count != 2 || !ref || !ref->slot || !s) {
+          return bad("expect ctxt[rK].S, rS");
+        }
+        insn.dst = static_cast<uint8_t>(ref->reg);
+        insn.offset = static_cast<int32_t>(*ref->slot);
+        insn.src = static_cast<uint8_t>(*s);
+        break;
+      }
+      case Opcode::kMatchCtxt: {
+        const auto d = reg(0);
+        const auto ref = ParseCtxtRef(operand(1));
+        if (operand_count != 2 || !d || !ref || ref->slot) {
+          return bad("expect rD, ctxt[rK]");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.src = static_cast<uint8_t>(ref->reg);
+        break;
+      }
+      case Opcode::kMapLookup: case Opcode::kMapExists: {
+        const auto d = reg(0);
+        const auto map_ref = ParseMapRef(operand(1));
+        if (operand_count != 2 || !d || !map_ref) {
+          return bad("expect rD, mapN[rK]");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.imm = map_ref->first;
+        insn.src = static_cast<uint8_t>(map_ref->second);
+        break;
+      }
+      case Opcode::kMapUpdate: {
+        const auto map_ref = ParseMapRef(operand(0));
+        const auto s = reg(1);
+        if (operand_count != 2 || !map_ref || !s) {
+          return bad("expect mapN[rK], rS");
+        }
+        insn.imm = map_ref->first;
+        insn.dst = static_cast<uint8_t>(map_ref->second);
+        insn.src = static_cast<uint8_t>(*s);
+        break;
+      }
+      case Opcode::kMapDelete: {
+        const auto map_ref = ParseMapRef(operand(0));
+        if (operand_count != 1 || !map_ref) {
+          return bad("expect mapN[rK]");
+        }
+        insn.imm = map_ref->first;
+        insn.src = static_cast<uint8_t>(map_ref->second);
+        break;
+      }
+      case Opcode::kVecLdCtxt: {
+        const auto d = vreg(0);
+        const auto ref = ParseCtxtRef(operand(1));
+        if (operand_count != 2 || !d || !ref || ref->slot) {
+          return bad("expect vD, ctxt[rK]");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.src = static_cast<uint8_t>(ref->reg);
+        break;
+      }
+      case Opcode::kVecStCtxt: {
+        const auto ref = ParseCtxtRef(operand(0));
+        const auto s = vreg(1);
+        if (operand_count != 2 || !ref || ref->slot || !s) {
+          return bad("expect ctxt[rK], vS");
+        }
+        insn.dst = static_cast<uint8_t>(ref->reg);
+        insn.src = static_cast<uint8_t>(*s);
+        break;
+      }
+      case Opcode::kVecZero: {
+        const auto d = vreg(0);
+        if (operand_count != 1 || !d) {
+          return bad("expect vD");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        break;
+      }
+      case Opcode::kScalarVal: {
+        const auto lane = ParseLaneRef(operand(0));
+        const auto s = reg(1);
+        if (operand_count != 2 || !lane || !s) {
+          return bad("expect vD[lane], rS");
+        }
+        insn.dst = static_cast<uint8_t>(lane->first);
+        insn.offset = static_cast<int32_t>(lane->second);
+        insn.src = static_cast<uint8_t>(*s);
+        break;
+      }
+      case Opcode::kVecExtract: {
+        const auto d = reg(0);
+        const auto lane = ParseLaneRef(operand(1));
+        if (operand_count != 2 || !d || !lane) {
+          return bad("expect rD, vS[lane]");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.src = static_cast<uint8_t>(lane->first);
+        insn.offset = static_cast<int32_t>(lane->second);
+        break;
+      }
+      case Opcode::kMatMul: {
+        const auto d = vreg(0);
+        const auto s = vreg(1);
+        const auto tensor = ParsePrefixed(operand(2), "t");
+        if (operand_count != 3 || !d || !s || !tensor) {
+          return bad("expect vD, vS, tN");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.src = static_cast<uint8_t>(*s);
+        insn.imm = *tensor;
+        break;
+      }
+      case Opcode::kVecAddT: {
+        const auto d = vreg(0);
+        const auto tensor = ParsePrefixed(operand(1), "t");
+        if (operand_count != 2 || !d || !tensor) {
+          return bad("expect vD, tN");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.imm = *tensor;
+        break;
+      }
+      case Opcode::kVecAdd: case Opcode::kVecRelu: {
+        const auto d = vreg(0);
+        const auto s = vreg(1);
+        if (operand_count != 2 || !d || !s) {
+          return bad("expect vD, vS");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.src = static_cast<uint8_t>(*s);
+        break;
+      }
+      case Opcode::kVecArgmax: {
+        const auto d = reg(0);
+        const auto s = vreg(1);
+        if (operand_count != 2 || !d || !s) {
+          return bad("expect rD, vS");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.src = static_cast<uint8_t>(*s);
+        break;
+      }
+      case Opcode::kVecDot: {
+        // Disassembles as "vec_dot rD, vD, vS" with rD == vD by convention;
+        // accept both the 3-operand printed form and the 2-operand form.
+        if (operand_count == 3) {
+          const auto d = reg(0);
+          const auto vd = vreg(1);
+          const auto vs = vreg(2);
+          if (!d || !vd || !vs || *d != *vd) {
+            return bad("expect rD, vD, vS with D matching");
+          }
+          insn.dst = static_cast<uint8_t>(*vd);
+          insn.src = static_cast<uint8_t>(*vs);
+        } else if (operand_count == 2) {
+          const auto vd = vreg(0);
+          const auto vs = vreg(1);
+          if (!vd || !vs) {
+            return bad("expect vD, vS");
+          }
+          insn.dst = static_cast<uint8_t>(*vd);
+          insn.src = static_cast<uint8_t>(*vs);
+        } else {
+          return bad("expect vD, vS");
+        }
+        break;
+      }
+      case Opcode::kCall: {
+        const auto helper = ParseHelper(operand(0));
+        if (operand_count != 1 || !helper) {
+          return bad("expect a helper name");
+        }
+        insn.imm = static_cast<int64_t>(*helper);
+        break;
+      }
+      case Opcode::kMlCall: {
+        const auto d = reg(0);
+        const auto model = ParseModelRef(operand(1));
+        if (operand_count != 2 || !d || !model) {
+          return bad("expect rD, modelN(vS)");
+        }
+        insn.dst = static_cast<uint8_t>(*d);
+        insn.imm = model->first;
+        insn.src = static_cast<uint8_t>(model->second);
+        break;
+      }
+      case Opcode::kTailCall: {
+        const auto table = ParsePrefixed(operand(0), "table");
+        if (operand_count != 1 || !table) {
+          return bad("expect tableN");
+        }
+        insn.imm = *table;
+        break;
+      }
+      case Opcode::kExit: {
+        if (operand_count != 0) {
+          return bad("no operands");
+        }
+        break;
+      }
+      case Opcode::kOpcodeCount:
+        return ParseError(line.number, "invalid opcode");
+    }
+
+    program.code.push_back(insn);
+    ++pc;
+  }
+
+  if (program.code.empty()) {
+    return InvalidArgumentError("program has no instructions");
+  }
+  return program;
+}
+
+}  // namespace rkd

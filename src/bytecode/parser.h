@@ -1,0 +1,45 @@
+// Text-assembly front end: the inverse of the disassembler.
+//
+// Section 3.1: "An RMT program can be written in constrained C or a
+// domain-specific language and compiled into machine-independent bytecode."
+// This is that DSL at its lowest level — the textual form of the ISA, with
+// labels, comments, and resource declarations — so programs can live in
+// files, travel over the control-plane API as text, and round-trip through
+// the disassembler.
+//
+// Grammar (line-oriented):
+//
+//   ; comment (also after instructions)
+//   .name classify_key            — program name
+//   .hook mem_prefetch            — hook kind (see HookKindName)
+//   .maps 2                       — resource declarations
+//   .models 1 / .tensors 3 / .tables 2
+//   label:                        — branch target
+//   add r1, r2                    — mnemonics exactly as the disassembler
+//   mov_imm r0, -5                  prints them, except branch targets are
+//   jeq_imm r3, 42, label           label names instead of +offsets
+//   ld_stack r2, [fp-8]
+//   st_ctxt ctxt[r1].3, r2
+//   map_lookup r2, map0[r1]
+//   scalar_val v0[3], r2
+//   mat_mul v1, v0, t2
+//   call history_append
+//   ml_call r0, model0(v0)
+//   tail_call table1
+//   exit
+#ifndef SRC_BYTECODE_PARSER_H_
+#define SRC_BYTECODE_PARSER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+
+namespace rkd {
+
+// Parses a whole program. Errors name the offending line and token.
+Result<BytecodeProgram> ParseAssembly(std::string_view text);
+
+}  // namespace rkd
+
+#endif  // SRC_BYTECODE_PARSER_H_

@@ -1,0 +1,66 @@
+// BytecodeProgram: the unit of code the verifier admits and the VM executes.
+//
+// Besides the instruction stream, a program declares the resources it intends
+// to touch — maps, model slots, weight tensors, and which hook kind it is
+// written for. The verifier cross-checks every instruction against these
+// declarations, so an admitted program can never reach a map or model it did
+// not declare (the "restricted" property of section 2.2).
+#ifndef SRC_BYTECODE_PROGRAM_H_
+#define SRC_BYTECODE_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/isa.h"
+
+namespace rkd {
+
+// The kernel subsystems rkd models expose hooks of these kinds. Hook kind
+// determines the helper whitelist and the latency budget the verifier's cost
+// model enforces (a scheduler decision has a far smaller budget than a
+// prefetch decision, section 3.2).
+enum class HookKind {
+  kGeneric = 0,      // no subsystem-specific helpers
+  kMemPrefetch,      // swap_cluster_readahead-style decision points
+  kMemAccess,        // lookup_swap_cache-style data-collection points
+  kSchedMigrate,     // can_migrate_task-style decision points
+  kSchedTick,        // periodic scheduler accounting
+};
+
+std::string_view HookKindName(HookKind kind);
+
+struct BytecodeProgram {
+  std::string name;
+  HookKind hook_kind = HookKind::kGeneric;
+  std::vector<Instruction> code;
+
+  // Declared resource id spaces. An instruction's imm must index into the
+  // matching vector; the verifier enforces this statically.
+  uint32_t num_maps = 0;     // valid map ids: [0, num_maps)
+  uint32_t num_models = 0;   // valid model ids for kMlCall
+  uint32_t num_tensors = 0;  // valid tensor ids for kMatMul / kVecAddT
+  uint32_t num_tables = 0;   // valid tail-call targets
+
+  size_t size() const { return code.size(); }
+};
+
+inline std::string_view HookKindName(HookKind kind) {
+  switch (kind) {
+    case HookKind::kGeneric:
+      return "generic";
+    case HookKind::kMemPrefetch:
+      return "mem_prefetch";
+    case HookKind::kMemAccess:
+      return "mem_access";
+    case HookKind::kSchedMigrate:
+      return "sched_migrate";
+    case HookKind::kSchedTick:
+      return "sched_tick";
+  }
+  return "unknown";
+}
+
+}  // namespace rkd
+
+#endif  // SRC_BYTECODE_PROGRAM_H_

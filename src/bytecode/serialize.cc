@@ -1,0 +1,73 @@
+#include "src/bytecode/serialize.h"
+
+#include "src/base/bytes.h"
+
+namespace rkd {
+
+std::vector<uint8_t> SerializeProgram(const BytecodeProgram& program) {
+  ByteWriter writer;
+  writer.Put<uint32_t>(kBytecodeMagic);
+  writer.Put<uint32_t>(kBytecodeVersion);
+  writer.PutString(program.name);
+  writer.Put<uint32_t>(static_cast<uint32_t>(program.hook_kind));
+  writer.Put<uint32_t>(program.num_maps);
+  writer.Put<uint32_t>(program.num_models);
+  writer.Put<uint32_t>(program.num_tensors);
+  writer.Put<uint32_t>(program.num_tables);
+  writer.Put<uint64_t>(program.code.size());
+  for (const Instruction& insn : program.code) {
+    writer.Put<uint16_t>(static_cast<uint16_t>(insn.opcode));
+    writer.Put<uint8_t>(insn.dst);
+    writer.Put<uint8_t>(insn.src);
+    writer.Put<int32_t>(insn.offset);
+    writer.Put<int64_t>(insn.imm);
+  }
+  return writer.Take();
+}
+
+Result<BytecodeProgram> DeserializeProgram(std::span<const uint8_t> bytes) {
+  ByteReader reader(bytes);
+  RKD_ASSIGN_OR_RETURN(uint32_t magic, reader.Get<uint32_t>());
+  if (magic != kBytecodeMagic) {
+    return InvalidArgumentError("not an RKDB bytecode blob");
+  }
+  RKD_ASSIGN_OR_RETURN(uint32_t version, reader.Get<uint32_t>());
+  if (version != kBytecodeVersion) {
+    return InvalidArgumentError("unsupported bytecode version " + std::to_string(version));
+  }
+  BytecodeProgram program;
+  RKD_ASSIGN_OR_RETURN(program.name, reader.GetString());
+  RKD_ASSIGN_OR_RETURN(uint32_t hook_kind, reader.Get<uint32_t>());
+  if (hook_kind > static_cast<uint32_t>(HookKind::kSchedTick)) {
+    return InvalidArgumentError("invalid hook kind");
+  }
+  program.hook_kind = static_cast<HookKind>(hook_kind);
+  RKD_ASSIGN_OR_RETURN(program.num_maps, reader.Get<uint32_t>());
+  RKD_ASSIGN_OR_RETURN(program.num_models, reader.Get<uint32_t>());
+  RKD_ASSIGN_OR_RETURN(program.num_tensors, reader.Get<uint32_t>());
+  RKD_ASSIGN_OR_RETURN(program.num_tables, reader.Get<uint32_t>());
+  RKD_ASSIGN_OR_RETURN(uint64_t count, reader.Get<uint64_t>());
+  if (count == 0 || count > (1 << 20)) {
+    return InvalidArgumentError("instruction count out of range");
+  }
+  program.code.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Instruction insn;
+    RKD_ASSIGN_OR_RETURN(uint16_t opcode, reader.Get<uint16_t>());
+    if (opcode >= static_cast<uint16_t>(Opcode::kOpcodeCount)) {
+      return InvalidArgumentError("invalid opcode at instruction " + std::to_string(i));
+    }
+    insn.opcode = static_cast<Opcode>(opcode);
+    RKD_ASSIGN_OR_RETURN(insn.dst, reader.Get<uint8_t>());
+    RKD_ASSIGN_OR_RETURN(insn.src, reader.Get<uint8_t>());
+    RKD_ASSIGN_OR_RETURN(insn.offset, reader.Get<int32_t>());
+    RKD_ASSIGN_OR_RETURN(insn.imm, reader.Get<int64_t>());
+    program.code.push_back(insn);
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("trailing bytes after the instruction stream");
+  }
+  return program;
+}
+
+}  // namespace rkd

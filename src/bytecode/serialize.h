@@ -1,0 +1,30 @@
+// Binary wire format for BytecodePrograms.
+//
+// The paper's programs are "compiled into machine-independent bytecode, and
+// installed via a system call" — which implies a serialized form crossing
+// the user/kernel boundary. This is that form: a versioned, little-endian
+// encoding of the program header (name, hook kind, resource declarations)
+// and the fixed-width instruction stream. Deserialization validates sizes
+// and opcode ranges; semantic validation stays the verifier's job.
+#ifndef SRC_BYTECODE_SERIALIZE_H_
+#define SRC_BYTECODE_SERIALIZE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+
+namespace rkd {
+
+inline constexpr uint32_t kBytecodeMagic = 0x42444b52;  // "RKDB"
+inline constexpr uint32_t kBytecodeVersion = 1;
+
+std::vector<uint8_t> SerializeProgram(const BytecodeProgram& program);
+
+Result<BytecodeProgram> DeserializeProgram(std::span<const uint8_t> bytes);
+
+}  // namespace rkd
+
+#endif  // SRC_BYTECODE_SERIALIZE_H_

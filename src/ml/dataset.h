@@ -1,0 +1,80 @@
+// Labeled datasets exchanged between the monitoring plane and the trainers.
+//
+// Feature values are int32 in whatever unit the collecting RMT table recorded
+// (page deltas, run-queue lengths, ...). Integer models (decision tree,
+// integer linear) train on these directly; the float MLP standardizes them
+// internally. Labels are small non-negative class ids.
+#ifndef SRC_ML_DATASET_H_
+#define SRC_ML_DATASET_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace rkd {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(size_t num_features) : num_features_(num_features) {}
+
+  size_t num_features() const { return num_features_; }
+  size_t size() const { return y_.size(); }
+  bool empty() const { return y_.empty(); }
+
+  void Add(std::span<const int32_t> features, int32_t label) {
+    assert(features.size() == num_features_);
+    x_.insert(x_.end(), features.begin(), features.end());
+    y_.push_back(label);
+  }
+
+  std::span<const int32_t> row(size_t i) const {
+    return std::span<const int32_t>(x_).subspan(i * num_features_, num_features_);
+  }
+  int32_t label(size_t i) const { return y_[i]; }
+  void set_label(size_t i, int32_t label) { y_[i] = label; }
+
+  // Number of classes = max label + 1 (0 when empty).
+  int32_t NumClasses() const {
+    int32_t max_label = -1;
+    for (int32_t label : y_) {
+      max_label = label > max_label ? label : max_label;
+    }
+    return max_label + 1;
+  }
+
+  void Clear() {
+    x_.clear();
+    y_.clear();
+  }
+
+  // Deterministic split into train/test by shuffled index; test_fraction of
+  // rows go to the second returned dataset.
+  std::pair<Dataset, Dataset> Split(double test_fraction, Rng& rng) const {
+    std::vector<size_t> order(size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    rng.Shuffle(order.begin(), order.end());
+    const auto test_count = static_cast<size_t>(static_cast<double>(size()) * test_fraction);
+    Dataset train(num_features_);
+    Dataset test(num_features_);
+    for (size_t i = 0; i < order.size(); ++i) {
+      Dataset& target = i < test_count ? test : train;
+      target.Add(row(order[i]), label(order[i]));
+    }
+    return {train, test};
+  }
+
+ private:
+  size_t num_features_ = 0;
+  std::vector<int32_t> x_;  // row-major, size() * num_features_
+  std::vector<int32_t> y_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_DATASET_H_

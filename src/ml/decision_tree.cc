@@ -1,0 +1,247 @@
+#include "src/ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rkd {
+
+namespace {
+
+// Gini impurity of a class histogram: 1 - sum((n_c / n)^2).
+double Gini(const std::vector<uint32_t>& counts, uint32_t total) {
+  if (total == 0) {
+    return 0.0;
+  }
+  double sum_sq = 0.0;
+  for (uint32_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+int32_t MajorityLabel(const std::vector<uint32_t>& counts) {
+  int32_t best = 0;
+  uint32_t best_count = 0;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > best_count) {
+      best_count = counts[c];
+      best = static_cast<int32_t>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+struct DecisionTree::BuildContext {
+  const Dataset* data;
+  // Scratch reused across nodes to avoid reallocation.
+  std::vector<int32_t> candidate_values;
+};
+
+Result<DecisionTree> DecisionTree::Train(const Dataset& data, const DecisionTreeConfig& config) {
+  if (data.empty()) {
+    return InvalidArgumentError("DecisionTree::Train: empty dataset");
+  }
+  const int32_t num_classes = data.NumClasses();
+  if (num_classes <= 0) {
+    return InvalidArgumentError("DecisionTree::Train: labels must be non-negative");
+  }
+  DecisionTree tree(data.num_features(), num_classes);
+  tree.config_ = config;
+  tree.importance_.assign(data.num_features(), 0.0);
+
+  BuildContext ctx;
+  ctx.data = &data;
+  std::vector<uint32_t> indices(data.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<uint32_t>(i);
+  }
+  tree.BuildNode(ctx, indices, 0);
+  return tree;
+}
+
+int32_t DecisionTree::BuildNode(BuildContext& ctx, std::vector<uint32_t>& indices,
+                                uint32_t depth) {
+  depth_ = std::max(depth_, depth);
+  const Dataset& data = *ctx.data;
+
+  std::vector<uint32_t> counts(static_cast<size_t>(num_classes_), 0);
+  for (uint32_t i : indices) {
+    ++counts[static_cast<size_t>(data.label(i))];
+  }
+  const auto total = static_cast<uint32_t>(indices.size());
+  const double node_gini = Gini(counts, total);
+
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].samples = total;
+  nodes_[node_index].leaf_label = MajorityLabel(counts);
+
+  const bool pure = node_gini == 0.0;
+  if (pure || depth >= config_.max_depth || total < config_.min_samples_split) {
+    return node_index;
+  }
+
+  // Greedy split search: best (feature, threshold) by weighted gini decrease.
+  double best_gain = 0.0;
+  int32_t best_feature = -1;
+  int32_t best_threshold = 0;
+  for (size_t f = 0; f < num_features_; ++f) {
+    auto& values = ctx.candidate_values;
+    values.clear();
+    for (uint32_t i : indices) {
+      values.push_back(data.row(i)[f]);
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    if (values.size() < 2) {
+      continue;  // constant feature at this node
+    }
+    // Candidate thresholds are midpoint-free: we test "<= value" for a
+    // quantile sample of the distinct values except the maximum (which would
+    // send everything left).
+    const size_t distinct = values.size() - 1;
+    const size_t step = std::max<size_t>(1, distinct / config_.max_candidate_thresholds);
+    for (size_t vi = 0; vi < distinct; vi += step) {
+      const int32_t threshold = values[vi];
+      std::vector<uint32_t> left_counts(static_cast<size_t>(num_classes_), 0);
+      uint32_t left_total = 0;
+      for (uint32_t i : indices) {
+        if (data.row(i)[f] <= threshold) {
+          ++left_counts[static_cast<size_t>(data.label(i))];
+          ++left_total;
+        }
+      }
+      const uint32_t right_total = total - left_total;
+      if (left_total < config_.min_samples_leaf || right_total < config_.min_samples_leaf) {
+        continue;
+      }
+      std::vector<uint32_t> right_counts(static_cast<size_t>(num_classes_), 0);
+      for (size_t c = 0; c < counts.size(); ++c) {
+        right_counts[c] = counts[c] - left_counts[c];
+      }
+      const double weighted =
+          (static_cast<double>(left_total) * Gini(left_counts, left_total) +
+           static_cast<double>(right_total) * Gini(right_counts, right_total)) /
+          static_cast<double>(total);
+      const double gain = node_gini - weighted;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(f);
+        best_threshold = threshold;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    return node_index;  // no split improves impurity; stay a leaf
+  }
+
+  std::vector<uint32_t> left_indices;
+  std::vector<uint32_t> right_indices;
+  for (uint32_t i : indices) {
+    if (data.row(i)[static_cast<size_t>(best_feature)] <= best_threshold) {
+      left_indices.push_back(i);
+    } else {
+      right_indices.push_back(i);
+    }
+  }
+  indices.clear();
+  indices.shrink_to_fit();  // free before recursing; trees can be deep
+
+  importance_[static_cast<size_t>(best_feature)] += best_gain * static_cast<double>(total);
+
+  const int32_t left = BuildNode(ctx, left_indices, depth + 1);
+  const int32_t right = BuildNode(ctx, right_indices, depth + 1);
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+Result<DecisionTree> DecisionTree::FromParts(size_t num_features, uint32_t depth,
+                                             std::vector<Node> nodes) {
+  if (nodes.empty()) {
+    return InvalidArgumentError("DecisionTree::FromParts: no nodes");
+  }
+  int32_t num_classes = 1;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const Node& node = nodes[i];
+    const bool is_leaf = node.feature < 0;
+    if (is_leaf) {
+      if (node.left != -1 || node.right != -1) {
+        return InvalidArgumentError("DecisionTree::FromParts: leaf with children");
+      }
+      if (node.leaf_label < 0) {
+        return InvalidArgumentError("DecisionTree::FromParts: negative leaf label");
+      }
+      num_classes = std::max(num_classes, node.leaf_label + 1);
+    } else {
+      if (static_cast<size_t>(node.feature) >= num_features) {
+        return InvalidArgumentError("DecisionTree::FromParts: split feature out of range");
+      }
+      // Children must point strictly forward: guarantees acyclic traversal.
+      if (node.left <= static_cast<int32_t>(i) || node.right <= static_cast<int32_t>(i) ||
+          static_cast<size_t>(node.left) >= nodes.size() ||
+          static_cast<size_t>(node.right) >= nodes.size()) {
+        return InvalidArgumentError("DecisionTree::FromParts: child index not forward/in range");
+      }
+    }
+  }
+  DecisionTree tree(num_features, num_classes);
+  tree.depth_ = depth;
+  tree.nodes_ = std::move(nodes);
+  tree.importance_.assign(num_features, 0.0);
+  return tree;
+}
+
+int64_t DecisionTree::Predict(std::span<const int32_t> features) const {
+  int32_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    const size_t f = static_cast<size_t>(n.feature);
+    const int32_t value = f < features.size() ? features[f] : 0;
+    node = value <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].leaf_label;
+}
+
+ModelCost DecisionTree::Cost() const {
+  ModelCost cost;
+  cost.comparisons = depth_;  // worst-case root-to-leaf path
+  cost.param_bytes = nodes_.size() * sizeof(Node);
+  cost.depth = depth_;
+  return cost;
+}
+
+double DecisionTree::Evaluate(const Dataset& data) const {
+  if (data.empty()) {
+    return 0.0;
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (Predict(data.row(i)) == data.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<double> DecisionTree::FeatureImportance() const {
+  std::vector<double> out = importance_;
+  double total = 0.0;
+  for (double v : out) {
+    total += v;
+  }
+  if (total > 0.0) {
+    for (double& v : out) {
+      v /= total;
+    }
+  }
+  return out;
+}
+
+}  // namespace rkd

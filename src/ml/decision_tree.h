@@ -1,0 +1,88 @@
+// Integer decision tree — the workhorse in-kernel model of case study #1.
+//
+// The paper's prefetching prototype trains "an in-kernel integer decision
+// tree that can capture more complex access patterns" with gini-index splits
+// (the `rmt_ml_dt` object of Figure 1). This implementation trains on int32
+// features with CART-style greedy gini splitting and predicts with pure
+// integer comparisons, so it is admissible on the no-FPU inference path.
+#ifndef SRC_ML_DECISION_TREE_H_
+#define SRC_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ml/dataset.h"
+#include "src/ml/model.h"
+
+namespace rkd {
+
+struct DecisionTreeConfig {
+  uint32_t max_depth = 8;
+  uint32_t min_samples_split = 2;
+  uint32_t min_samples_leaf = 1;
+  // Per feature, at most this many candidate thresholds are evaluated
+  // (quantile-sampled when the feature has more distinct values).
+  uint32_t max_candidate_thresholds = 32;
+};
+
+class DecisionTree final : public InferenceModel {
+ public:
+  // Flattened node array; left/right are indices, -1 marks a leaf.
+  struct Node {
+    int32_t feature = -1;
+    int32_t threshold = 0;  // goes left when x[feature] <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t leaf_label = 0;
+    uint32_t samples = 0;
+  };
+
+  // Trains a tree on `data`. Fails on an empty dataset.
+  static Result<DecisionTree> Train(const Dataset& data, const DecisionTreeConfig& config = {});
+
+  // Reconstructs a tree from serialized parts. Validates the node array:
+  // child indices must point forward (the training order invariant), stay in
+  // range, and leaves must have no children. Importance data is not part of
+  // the wire format; FeatureImportance() on a reconstructed tree is empty.
+  static Result<DecisionTree> FromParts(size_t num_features, uint32_t depth,
+                                        std::vector<Node> nodes);
+
+  // InferenceModel:
+  int64_t Predict(std::span<const int32_t> features) const override;
+  size_t num_features() const override { return num_features_; }
+  ModelCost Cost() const override;
+  std::string_view kind() const override { return "decision_tree"; }
+
+  // Fraction of `data` classified correctly.
+  double Evaluate(const Dataset& data) const;
+
+  // Total gini-impurity decrease attributed to each feature, normalized to
+  // sum to 1 (all-zero if the tree is a single leaf). This is the
+  // impurity-based importance sklearn reports, used for lean monitoring.
+  std::vector<double> FeatureImportance() const;
+
+  size_t node_count() const { return nodes_.size(); }
+  uint32_t depth() const { return depth_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
+  DecisionTree(size_t num_features, int32_t num_classes)
+      : num_features_(num_features), num_classes_(num_classes) {}
+
+  struct BuildContext;
+  int32_t BuildNode(BuildContext& ctx, std::vector<uint32_t>& indices, uint32_t depth);
+
+  size_t num_features_ = 0;
+  int32_t num_classes_ = 0;
+  uint32_t depth_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;  // unnormalized gini decrease per feature
+  DecisionTreeConfig config_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_DECISION_TREE_H_

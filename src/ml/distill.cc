@@ -1,0 +1,32 @@
+#include "src/ml/distill.h"
+
+namespace rkd {
+
+Result<DecisionTree> DistillToTree(
+    const std::function<int64_t(std::span<const int32_t>)>& teacher,
+    const Dataset& transfer_set, const DecisionTreeConfig& config) {
+  if (transfer_set.empty()) {
+    return InvalidArgumentError("DistillToTree: empty transfer set");
+  }
+  Dataset relabeled(transfer_set.num_features());
+  for (size_t i = 0; i < transfer_set.size(); ++i) {
+    relabeled.Add(transfer_set.row(i), static_cast<int32_t>(teacher(transfer_set.row(i))));
+  }
+  return DecisionTree::Train(relabeled, config);
+}
+
+double DistillationFidelity(const std::function<int64_t(std::span<const int32_t>)>& teacher,
+                            const DecisionTree& student, const Dataset& data) {
+  if (data.empty()) {
+    return 0.0;
+  }
+  size_t agree = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (student.Predict(data.row(i)) == teacher(data.row(i))) {
+      ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(data.size());
+}
+
+}  // namespace rkd

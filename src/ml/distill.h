@@ -1,0 +1,33 @@
+// Knowledge distillation: big "teacher" -> small in-kernel "student".
+//
+// The paper's inference story (section 3.2) leans on distillation to convert
+// large teacher models into "drastically smaller students ... (e.g., simpler
+// NNs or even decision trees)", with tree students additionally exposing
+// which features matter (feeding lean monitoring). DistillToTree relabels a
+// transfer dataset with the teacher's predictions and fits an integer
+// decision tree to them.
+#ifndef SRC_ML_DISTILL_H_
+#define SRC_ML_DISTILL_H_
+
+#include <functional>
+
+#include "src/base/status.h"
+#include "src/ml/dataset.h"
+#include "src/ml/decision_tree.h"
+
+namespace rkd {
+
+// Trains a DecisionTree on `transfer_set` features labeled by `teacher`
+// (a raw-integer-features -> class function, so any teacher type works).
+Result<DecisionTree> DistillToTree(
+    const std::function<int64_t(std::span<const int32_t>)>& teacher,
+    const Dataset& transfer_set, const DecisionTreeConfig& config = {});
+
+// Fidelity: fraction of `data` rows where the student reproduces the
+// teacher's prediction (not the ground-truth label).
+double DistillationFidelity(const std::function<int64_t(std::span<const int32_t>)>& teacher,
+                            const DecisionTree& student, const Dataset& data);
+
+}  // namespace rkd
+
+#endif  // SRC_ML_DISTILL_H_

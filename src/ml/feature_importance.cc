@@ -1,0 +1,86 @@
+#include "src/ml/feature_importance.h"
+
+#include <algorithm>
+
+namespace rkd {
+
+std::vector<double> PermutationImportance(
+    const std::function<int64_t(std::span<const int32_t>)>& predict, const Dataset& data,
+    Rng& rng, size_t repeats) {
+  std::vector<double> importance(data.num_features(), 0.0);
+  if (data.empty()) {
+    return importance;
+  }
+
+  size_t baseline_correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (predict(data.row(i)) == data.label(i)) {
+      ++baseline_correct;
+    }
+  }
+  const double baseline =
+      static_cast<double>(baseline_correct) / static_cast<double>(data.size());
+
+  std::vector<int32_t> column(data.size());
+  std::vector<int32_t> scratch_row(data.num_features());
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    double total_drop = 0.0;
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      for (size_t i = 0; i < data.size(); ++i) {
+        column[i] = data.row(i)[f];
+      }
+      rng.Shuffle(column.begin(), column.end());
+      size_t correct = 0;
+      for (size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        std::copy(row.begin(), row.end(), scratch_row.begin());
+        scratch_row[f] = column[i];
+        if (predict(scratch_row) == data.label(i)) {
+          ++correct;
+        }
+      }
+      total_drop += baseline - static_cast<double>(correct) / static_cast<double>(data.size());
+    }
+    importance[f] = total_drop / static_cast<double>(repeats);
+  }
+  return importance;
+}
+
+std::vector<size_t> RankFeatures(const std::vector<double>& importance) {
+  std::vector<size_t> order(importance.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return importance[a] > importance[b]; });
+  return order;
+}
+
+FeatureSelection SelectTopFeatures(const Dataset& data, const std::vector<double>& importance,
+                                   size_t keep) {
+  FeatureSelection out;
+  const std::vector<size_t> ranked = RankFeatures(importance);
+  keep = std::min(keep, ranked.size());
+  out.selected.assign(ranked.begin(), ranked.begin() + static_cast<long>(keep));
+  out.projected = Dataset(keep);
+  std::vector<int32_t> row(keep);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto full = data.row(i);
+    for (size_t k = 0; k < keep; ++k) {
+      row[k] = full[out.selected[k]];
+    }
+    out.projected.Add(row, data.label(i));
+  }
+  return out;
+}
+
+std::vector<int32_t> ProjectRow(std::span<const int32_t> row,
+                                const std::vector<size_t>& selected) {
+  std::vector<int32_t> out(selected.size());
+  for (size_t k = 0; k < selected.size(); ++k) {
+    out[k] = selected[k] < row.size() ? row[selected[k]] : 0;
+  }
+  return out;
+}
+
+}  // namespace rkd

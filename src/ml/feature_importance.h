@@ -1,0 +1,50 @@
+// Feature importance ranking — the machinery behind "lean monitoring".
+//
+// The paper's benefit #1 (section 2.1) and case study #2 both hinge on
+// identifying which monitored features actually drive decisions so the rest
+// of the monitoring can be switched off: "we used the scikit-learn toolbox to
+// rank and identify two key features for load balancing (out of 15)". Two
+// standard estimators are provided: impurity-based (from a decision tree's
+// gini decreases) and model-agnostic permutation importance.
+#ifndef SRC_ML_FEATURE_IMPORTANCE_H_
+#define SRC_ML_FEATURE_IMPORTANCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/ml/dataset.h"
+#include "src/ml/model.h"
+
+namespace rkd {
+
+// Accuracy drop when feature f's column is shuffled, averaged over `repeats`
+// shuffles: importance[f] = baseline_accuracy - mean(shuffled_accuracy).
+// `predict` maps a raw integer feature row to a class id, so the estimator is
+// agnostic to model type and numeric representation.
+std::vector<double> PermutationImportance(
+    const std::function<int64_t(std::span<const int32_t>)>& predict, const Dataset& data,
+    Rng& rng, size_t repeats = 3);
+
+// Indices of features sorted by descending importance.
+std::vector<size_t> RankFeatures(const std::vector<double>& importance);
+
+// Keeps only the `keep` most important features: returns the dataset
+// projected onto those columns plus the selected column indices, in the
+// original order of importance rank. This is the "lean monitoring" transform:
+// the discarded columns correspond to monitors the kernel can stop running.
+struct FeatureSelection {
+  std::vector<size_t> selected;  // column indices into the original dataset
+  Dataset projected;
+};
+FeatureSelection SelectTopFeatures(const Dataset& data, const std::vector<double>& importance,
+                                   size_t keep);
+
+// Projects a single raw feature row onto previously selected columns.
+std::vector<int32_t> ProjectRow(std::span<const int32_t> row,
+                                const std::vector<size_t>& selected);
+
+}  // namespace rkd
+
+#endif  // SRC_ML_FEATURE_IMPORTANCE_H_

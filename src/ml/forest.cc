@@ -1,0 +1,116 @@
+#include "src/ml/forest.h"
+
+#include <algorithm>
+
+#include "src/base/rng.h"
+
+namespace rkd {
+
+Result<RandomForest> RandomForest::Train(const Dataset& data, const ForestConfig& config) {
+  if (data.empty()) {
+    return InvalidArgumentError("RandomForest::Train: empty dataset");
+  }
+  if (config.num_trees == 0) {
+    return InvalidArgumentError("RandomForest::Train: need at least one tree");
+  }
+  RandomForest forest;
+  forest.num_features_ = data.num_features();
+  forest.num_classes_ = data.NumClasses();
+
+  Rng rng(config.seed);
+  const auto bootstrap_size = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(data.size()) * config.bootstrap_fraction));
+  const auto features_per_tree = std::max<size_t>(
+      1,
+      static_cast<size_t>(static_cast<double>(data.num_features()) * config.feature_fraction));
+
+  std::vector<size_t> feature_order(data.num_features());
+  for (size_t i = 0; i < feature_order.size(); ++i) {
+    feature_order[i] = i;
+  }
+  std::vector<int32_t> row(data.num_features());
+
+  for (uint32_t t = 0; t < config.num_trees; ++t) {
+    // Random feature subset for this tree: disabled features are masked to
+    // zero in the bootstrap sample, so splits cannot use them.
+    rng.Shuffle(feature_order.begin(), feature_order.end());
+    std::vector<bool> enabled(data.num_features(), false);
+    for (size_t f = 0; f < features_per_tree; ++f) {
+      enabled[feature_order[f]] = true;
+    }
+
+    Dataset bootstrap(data.num_features());
+    for (size_t s = 0; s < bootstrap_size; ++s) {
+      const size_t index = static_cast<size_t>(rng.NextBounded(data.size()));
+      const auto source = data.row(index);
+      for (size_t f = 0; f < row.size(); ++f) {
+        row[f] = enabled[f] ? source[f] : 0;
+      }
+      bootstrap.Add(row, data.label(index));
+    }
+    Result<DecisionTree> tree = DecisionTree::Train(bootstrap, config.tree);
+    if (!tree.ok()) {
+      return tree.status();
+    }
+    forest.trees_.push_back(std::move(tree).value());
+  }
+  return forest;
+}
+
+int64_t RandomForest::Predict(std::span<const int32_t> features) const {
+  std::vector<uint32_t> votes(static_cast<size_t>(num_classes_ > 0 ? num_classes_ : 1), 0);
+  for (const DecisionTree& tree : trees_) {
+    const int64_t vote = tree.Predict(features);
+    if (vote >= 0 && static_cast<size_t>(vote) < votes.size()) {
+      ++votes[static_cast<size_t>(vote)];
+    }
+  }
+  return static_cast<int64_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+ModelCost RandomForest::Cost() const {
+  ModelCost total;
+  for (const DecisionTree& tree : trees_) {
+    const ModelCost cost = tree.Cost();
+    total.comparisons += cost.comparisons;
+    total.param_bytes += cost.param_bytes;
+    total.depth = std::max(total.depth, cost.depth);
+  }
+  return total;
+}
+
+double RandomForest::Evaluate(const Dataset& data) const {
+  if (data.empty()) {
+    return 0.0;
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (Predict(data.row(i)) == data.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+std::vector<double> RandomForest::FeatureImportance() const {
+  std::vector<double> total(num_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> importance = tree.FeatureImportance();
+    for (size_t f = 0; f < total.size(); ++f) {
+      total[f] += importance[f];
+    }
+  }
+  double sum = 0.0;
+  for (double v : total) {
+    sum += v;
+  }
+  if (sum > 0.0) {
+    for (double& v : total) {
+      v /= sum;
+    }
+  }
+  return total;
+}
+
+}  // namespace rkd

@@ -1,0 +1,59 @@
+// Random forest: bagged integer decision trees with majority vote.
+//
+// The natural capacity step between a single tree and an MLP in the model
+// library of section 3.2: still pure integer comparisons at inference (so
+// admissible in-kernel), much more robust than one tree on noisy monitoring
+// data, and its cost model is simply the sum of its trees — which lets the
+// verifier trade tree count against the hook budget explicitly.
+#ifndef SRC_ML_FOREST_H_
+#define SRC_ML_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ml/decision_tree.h"
+
+namespace rkd {
+
+struct ForestConfig {
+  uint32_t num_trees = 8;
+  double bootstrap_fraction = 0.8;  // samples drawn (with replacement) per tree
+  // Features considered per tree: a random subset of this fraction (>= 1
+  // feature), the classic decorrelation trick. Implemented by masking the
+  // disabled features to a constant in that tree's bootstrap sample.
+  double feature_fraction = 0.7;
+  DecisionTreeConfig tree;
+  uint64_t seed = 23;
+};
+
+class RandomForest final : public InferenceModel {
+ public:
+  static Result<RandomForest> Train(const Dataset& data, const ForestConfig& config = {});
+
+  // InferenceModel: majority vote over the trees (ties break to the lower
+  // class id, deterministically).
+  int64_t Predict(std::span<const int32_t> features) const override;
+  size_t num_features() const override { return num_features_; }
+  ModelCost Cost() const override;
+  std::string_view kind() const override { return "random_forest"; }
+
+  double Evaluate(const Dataset& data) const;
+
+  // Mean impurity importance across trees (normalized).
+  std::vector<double> FeatureImportance() const;
+
+  size_t tree_count() const { return trees_.size(); }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+ private:
+  RandomForest() = default;
+
+  size_t num_features_ = 0;
+  int32_t num_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_FOREST_H_

@@ -1,0 +1,35 @@
+#include "src/ml/guarded.h"
+
+namespace rkd {
+
+int64_t GuardedModel::Predict(std::span<const int32_t> features) const {
+  if (tripped_.load(std::memory_order_relaxed)) {
+    return config_.fallback;
+  }
+  const int64_t raw = inner_->Predict(features);
+  const bool in_range = raw >= config_.min_output && raw <= config_.max_output;
+
+  // Window accounting: counts reset together when the window fills.
+  const uint32_t count = window_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!in_range) {
+    total_violations_.fetch_add(1, std::memory_order_relaxed);
+    const uint32_t violations =
+        window_violations_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (violations > config_.max_violations) {
+      tripped_.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (count >= config_.violation_window) {
+    window_count_.store(0, std::memory_order_relaxed);
+    window_violations_.store(0, std::memory_order_relaxed);
+  }
+  return in_range ? raw : config_.fallback;
+}
+
+ModelCost GuardedModel::Cost() const {
+  ModelCost cost = inner_->Cost();
+  cost.comparisons += 4;  // range check + window bookkeeping
+  return cost;
+}
+
+}  // namespace rkd

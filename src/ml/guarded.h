@@ -1,0 +1,67 @@
+// Inference guardrails for blackbox models (paper section 3.3, "Model
+// safety": "add guardrails to blackbox inference to prevent worst-case
+// behaviors").
+//
+// GuardedModel wraps any InferenceModel with two runtime envelopes the
+// verifier can reason about statically:
+//
+//   Range clamp    — predictions outside [min_output, max_output] are
+//                    replaced by the fallback value, so an adversarially
+//                    perturbed or corrupted model can never steer the kernel
+//                    to an out-of-envelope decision (e.g. a prefetch delta
+//                    of 2^40 pages).
+//   Anomaly trip   — if more than `max_violations` of the last
+//                    `violation_window` predictions fell outside the
+//                    envelope, the guard trips permanently and every
+//                    subsequent prediction returns the fallback; the control
+//                    plane observes tripped() and swaps the model out.
+//
+// The wrapper is itself an InferenceModel, so it installs through the same
+// slot/cost machinery; Cost() passes the inner model through with a small
+// per-inference comparison surcharge.
+#ifndef SRC_ML_GUARDED_H_
+#define SRC_ML_GUARDED_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/ml/model.h"
+
+namespace rkd {
+
+struct GuardrailConfig {
+  int64_t min_output = 0;
+  int64_t max_output = 1;
+  int64_t fallback = 0;          // returned for clamped or tripped predictions
+  uint32_t violation_window = 64;
+  uint32_t max_violations = 8;   // violations within the window that trip
+};
+
+class GuardedModel final : public InferenceModel {
+ public:
+  GuardedModel(ModelPtr inner, const GuardrailConfig& config)
+      : inner_(std::move(inner)), config_(config) {}
+
+  int64_t Predict(std::span<const int32_t> features) const override;
+  size_t num_features() const override { return inner_->num_features(); }
+  ModelCost Cost() const override;
+  std::string_view kind() const override { return "guarded"; }
+
+  bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
+  uint64_t violations() const { return total_violations_.load(std::memory_order_relaxed); }
+  const ModelPtr& inner() const { return inner_; }
+
+ private:
+  ModelPtr inner_;
+  GuardrailConfig config_;
+  // Prediction happens on the (conceptually) hot path; the counters are
+  // relaxed atomics so the wrapper stays const-callable like every model.
+  mutable std::atomic<uint32_t> window_count_{0};
+  mutable std::atomic<uint32_t> window_violations_{0};
+  mutable std::atomic<uint64_t> total_violations_{0};
+  mutable std::atomic<bool> tripped_{false};
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_GUARDED_H_

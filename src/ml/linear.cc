@@ -1,0 +1,138 @@
+#include "src/ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/fixed_point.h"
+#include "src/base/rng.h"
+
+namespace rkd {
+
+Result<IntegerLinear> IntegerLinear::Train(const Dataset& data, const LinearConfig& config) {
+  if (data.empty()) {
+    return InvalidArgumentError("IntegerLinear::Train: empty dataset");
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data.label(i) != 0 && data.label(i) != 1) {
+      return InvalidArgumentError("IntegerLinear::Train: labels must be binary (0/1)");
+    }
+  }
+  const size_t num_features = data.num_features();
+
+  // Standardization statistics.
+  std::vector<float> mean(num_features, 0.0f);
+  std::vector<float> stddev(num_features, 0.0f);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (size_t f = 0; f < num_features; ++f) {
+      mean[f] += static_cast<float>(row[f]);
+    }
+  }
+  for (float& m : mean) {
+    m /= static_cast<float>(data.size());
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (size_t f = 0; f < num_features; ++f) {
+      const float d = static_cast<float>(row[f]) - mean[f];
+      stddev[f] += d * d;
+    }
+  }
+  for (float& s : stddev) {
+    s = std::sqrt(s / static_cast<float>(data.size()));
+    if (s < 1e-6f) {
+      s = 1.0f;
+    }
+  }
+
+  // Hinge-loss SGD on standardized features, y in {-1, +1}.
+  Rng rng(config.seed);
+  std::vector<float> w(num_features, 0.0f);
+  float b = 0.0f;
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order.begin(), order.end());
+    for (size_t i : order) {
+      const auto row = data.row(i);
+      const float y = data.label(i) == 1 ? 1.0f : -1.0f;
+      float margin = b;
+      for (size_t f = 0; f < num_features; ++f) {
+        margin += w[f] * (static_cast<float>(row[f]) - mean[f]) / stddev[f];
+      }
+      if (y * margin < 1.0f) {
+        for (size_t f = 0; f < num_features; ++f) {
+          const float x = (static_cast<float>(row[f]) - mean[f]) / stddev[f];
+          w[f] += config.learning_rate * (y * x - config.l2 * w[f]);
+        }
+        b += config.learning_rate * y;
+      } else {
+        for (size_t f = 0; f < num_features; ++f) {
+          w[f] -= config.learning_rate * config.l2 * w[f];
+        }
+      }
+    }
+  }
+
+  // Fold standardization and quantize to Q16.16:
+  //   decision = sum w[f] (x - mu)/sigma + b = sum (w/sigma) x + (b - sum w mu/sigma).
+  IntegerLinear model;
+  model.weights_q16_.resize(num_features);
+  double folded_bias = b;
+  for (size_t f = 0; f < num_features; ++f) {
+    const double folded_w = static_cast<double>(w[f]) / stddev[f];
+    model.weights_q16_[f] = Fixed32::FromDouble(folded_w).raw();
+    folded_bias -= folded_w * mean[f];
+  }
+  model.bias_q16_ = static_cast<int64_t>(folded_bias * Fixed32::kOneRaw);
+  return model;
+}
+
+Result<IntegerLinear> IntegerLinear::FromWeights(std::vector<int32_t> weights_q16,
+                                                 int64_t bias_q16) {
+  if (weights_q16.empty()) {
+    return InvalidArgumentError("IntegerLinear::FromWeights: no weights");
+  }
+  IntegerLinear model;
+  model.weights_q16_ = std::move(weights_q16);
+  model.bias_q16_ = bias_q16;
+  return model;
+}
+
+int64_t IntegerLinear::DecisionValue(std::span<const int32_t> features) const {
+  int64_t acc = bias_q16_;
+  for (size_t f = 0; f < weights_q16_.size(); ++f) {
+    const int32_t x = f < features.size() ? features[f] : 0;
+    acc += (static_cast<int64_t>(weights_q16_[f]) * x);
+  }
+  return acc;
+}
+
+int64_t IntegerLinear::Predict(std::span<const int32_t> features) const {
+  return DecisionValue(features) >= 0 ? 1 : 0;
+}
+
+ModelCost IntegerLinear::Cost() const {
+  ModelCost cost;
+  cost.macs = weights_q16_.size();
+  cost.param_bytes = weights_q16_.size() * sizeof(int32_t) + sizeof(int64_t);
+  cost.depth = 1;
+  return cost;
+}
+
+double IntegerLinear::Evaluate(const Dataset& data) const {
+  if (data.empty()) {
+    return 0.0;
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (Predict(data.row(i)) == data.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace rkd

@@ -1,0 +1,58 @@
+// Integer linear classifier — the "Integer SVM" of the paper's Figure 1 model
+// library. Trained with hinge loss (SVM-style) SGD in float, then stored and
+// evaluated as Q16.16 weights; the in-VM decision is a single integer dot
+// product plus threshold.
+#ifndef SRC_ML_LINEAR_H_
+#define SRC_ML_LINEAR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ml/dataset.h"
+#include "src/ml/model.h"
+
+namespace rkd {
+
+struct LinearConfig {
+  size_t epochs = 50;
+  float learning_rate = 0.01f;
+  float l2 = 1e-3f;
+  uint64_t seed = 1;
+};
+
+// Binary classifier: labels must be 0 or 1. Predict returns 0 or 1.
+class IntegerLinear final : public InferenceModel {
+ public:
+  static Result<IntegerLinear> Train(const Dataset& data, const LinearConfig& config = {});
+
+  // Reconstructs a model from serialized weights (Q16.16) and bias.
+  static Result<IntegerLinear> FromWeights(std::vector<int32_t> weights_q16, int64_t bias_q16);
+
+  // InferenceModel: features are raw integer values in the training units.
+  int64_t Predict(std::span<const int32_t> features) const override;
+  size_t num_features() const override { return weights_q16_.size(); }
+  ModelCost Cost() const override;
+  std::string_view kind() const override { return "integer_linear"; }
+
+  // Q16.16 decision value (>= 0 means class 1), for margin inspection.
+  int64_t DecisionValue(std::span<const int32_t> features) const;
+
+  double Evaluate(const Dataset& data) const;
+
+  std::span<const int32_t> weights_q16() const { return weights_q16_; }
+  int64_t bias_q16() const { return bias_q16_; }
+
+ private:
+  IntegerLinear() = default;
+
+  // Standardization folded into the integer weights at quantization time,
+  // exactly as QuantizedMlp does for its first layer.
+  std::vector<int32_t> weights_q16_;
+  int64_t bias_q16_ = 0;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_LINEAR_H_

@@ -1,0 +1,222 @@
+#include "src/ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/rng.h"
+
+namespace rkd {
+
+namespace {
+
+// Forward pass storing every layer's post-activation output (index 0 is the
+// input itself); the final entry is the raw logits.
+void Forward(const std::vector<Mlp::Layer>& layers, std::span<const float> input,
+             std::vector<std::vector<float>>& activations) {
+  activations.resize(layers.size() + 1);
+  activations[0].assign(input.begin(), input.end());
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const Mlp::Layer& layer = layers[l];
+    const std::vector<float>& in = activations[l];
+    std::vector<float>& out = activations[l + 1];
+    out.assign(layer.biases.begin(), layer.biases.end());
+    for (size_t r = 0; r < layer.weights.rows(); ++r) {
+      float acc = out[r];
+      const std::span<const float> row = layer.weights.row(r);
+      for (size_t c = 0; c < row.size(); ++c) {
+        acc += row[c] * in[c];
+      }
+      out[r] = acc;
+    }
+    if (l + 1 < layers.size()) {
+      for (float& v : out) {
+        v = v > 0.0f ? v : 0.0f;  // ReLU on hidden layers only
+      }
+    }
+  }
+}
+
+void Softmax(std::vector<float>& logits) {
+  float max_logit = logits[0];
+  for (float v : logits) {
+    max_logit = std::max(max_logit, v);
+  }
+  float total = 0.0f;
+  for (float& v : logits) {
+    v = std::exp(v - max_logit);
+    total += v;
+  }
+  for (float& v : logits) {
+    v /= total;
+  }
+}
+
+}  // namespace
+
+Result<Mlp> Mlp::Train(const Dataset& data, const MlpConfig& config) {
+  if (data.empty()) {
+    return InvalidArgumentError("Mlp::Train: empty dataset");
+  }
+  const int32_t num_classes = data.NumClasses();
+  if (num_classes < 2) {
+    return InvalidArgumentError("Mlp::Train: need at least two classes");
+  }
+
+  Mlp mlp;
+  mlp.num_classes_ = num_classes;
+  const size_t num_features = data.num_features();
+
+  // Standardization statistics from the training set. A zero-variance
+  // feature gets stddev 1 so it standardizes to a constant instead of NaN.
+  mlp.feature_mean_.assign(num_features, 0.0f);
+  mlp.feature_stddev_.assign(num_features, 0.0f);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (size_t f = 0; f < num_features; ++f) {
+      mlp.feature_mean_[f] += static_cast<float>(row[f]);
+    }
+  }
+  for (float& m : mlp.feature_mean_) {
+    m /= static_cast<float>(data.size());
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (size_t f = 0; f < num_features; ++f) {
+      const float d = static_cast<float>(row[f]) - mlp.feature_mean_[f];
+      mlp.feature_stddev_[f] += d * d;
+    }
+  }
+  for (float& s : mlp.feature_stddev_) {
+    s = std::sqrt(s / static_cast<float>(data.size()));
+    if (s < 1e-6f) {
+      s = 1.0f;
+    }
+  }
+
+  // He-initialized layers.
+  Rng rng(config.seed);
+  std::vector<size_t> sizes;
+  sizes.push_back(num_features);
+  sizes.insert(sizes.end(), config.hidden_sizes.begin(), config.hidden_sizes.end());
+  sizes.push_back(static_cast<size_t>(num_classes));
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.weights = FloatMatrix(sizes[l + 1], sizes[l]);
+    layer.biases.assign(sizes[l + 1], 0.0f);
+    const float scale = std::sqrt(2.0f / static_cast<float>(sizes[l]));
+    for (float& w : layer.weights.data()) {
+      w = static_cast<float>(rng.NextGaussian()) * scale;
+    }
+    mlp.layers_.push_back(std::move(layer));
+  }
+
+  // Minibatch SGD over standardized inputs.
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::vector<std::vector<float>> activations;
+  std::vector<std::vector<float>> deltas(mlp.layers_.size());
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order.begin(), order.end());
+    for (size_t start = 0; start < order.size(); start += config.batch_size) {
+      const size_t end = std::min(start + config.batch_size, order.size());
+      // Accumulate gradients over the batch, then apply once.
+      std::vector<FloatMatrix> grad_w;
+      std::vector<std::vector<float>> grad_b;
+      for (const Layer& layer : mlp.layers_) {
+        grad_w.emplace_back(layer.weights.rows(), layer.weights.cols());
+        grad_b.emplace_back(layer.biases.size(), 0.0f);
+      }
+      for (size_t bi = start; bi < end; ++bi) {
+        const size_t i = order[bi];
+        const std::vector<float> x = mlp.Standardize(data.row(i));
+        Forward(mlp.layers_, x, activations);
+        // Output delta: softmax - onehot.
+        std::vector<float> probs = activations.back();
+        Softmax(probs);
+        deltas.back() = probs;
+        deltas.back()[static_cast<size_t>(data.label(i))] -= 1.0f;
+        // Backpropagate through hidden layers.
+        for (size_t l = mlp.layers_.size(); l-- > 1;) {
+          const Layer& layer = mlp.layers_[l];
+          std::vector<float>& below = deltas[l - 1];
+          below.assign(layer.weights.cols(), 0.0f);
+          for (size_t r = 0; r < layer.weights.rows(); ++r) {
+            const float d = deltas[l][r];
+            const std::span<const float> row = layer.weights.row(r);
+            for (size_t c = 0; c < row.size(); ++c) {
+              below[c] += row[c] * d;
+            }
+          }
+          // ReLU derivative w.r.t. the pre-activation of layer l-1's output.
+          for (size_t c = 0; c < below.size(); ++c) {
+            if (activations[l][c] <= 0.0f) {
+              below[c] = 0.0f;
+            }
+          }
+        }
+        for (size_t l = 0; l < mlp.layers_.size(); ++l) {
+          const std::vector<float>& in = activations[l];
+          for (size_t r = 0; r < grad_w[l].rows(); ++r) {
+            const float d = deltas[l][r];
+            grad_b[l][r] += d;
+            std::span<float> grow = grad_w[l].row(r);
+            for (size_t c = 0; c < grow.size(); ++c) {
+              grow[c] += d * in[c];
+            }
+          }
+        }
+      }
+      const float step = config.learning_rate / static_cast<float>(end - start);
+      for (size_t l = 0; l < mlp.layers_.size(); ++l) {
+        Layer& layer = mlp.layers_[l];
+        std::span<float> w = layer.weights.data();
+        std::span<const float> g = grad_w[l].data();
+        for (size_t k = 0; k < w.size(); ++k) {
+          w[k] -= step * (g[k] + config.l2 * w[k]);
+        }
+        for (size_t r = 0; r < layer.biases.size(); ++r) {
+          layer.biases[r] -= step * grad_b[l][r];
+        }
+      }
+    }
+  }
+  return mlp;
+}
+
+std::vector<float> Mlp::Standardize(std::span<const int32_t> features) const {
+  std::vector<float> out(feature_mean_.size(), 0.0f);
+  for (size_t f = 0; f < out.size(); ++f) {
+    const float raw = f < features.size() ? static_cast<float>(features[f]) : 0.0f;
+    out[f] = (raw - feature_mean_[f]) / feature_stddev_[f];
+  }
+  return out;
+}
+
+std::vector<float> Mlp::Logits(std::span<const float> standardized) const {
+  std::vector<std::vector<float>> activations;
+  Forward(layers_, standardized, activations);
+  return activations.back();
+}
+
+int32_t Mlp::PredictClass(std::span<const int32_t> features) const {
+  const std::vector<float> logits = Logits(Standardize(features));
+  return static_cast<int32_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double Mlp::Evaluate(const Dataset& data) const {
+  if (data.empty()) {
+    return 0.0;
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (PredictClass(data.row(i)) == data.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace rkd

@@ -1,0 +1,70 @@
+// Float multilayer perceptron — the "userspace" training side of the split
+// the paper prescribes: train with floating point outside the kernel, then
+// quantize and push into the VM for integer-only inference (section 3.2).
+//
+// Used for case study #2, mimicking Linux CFS `can_migrate_task` decisions
+// (an MLP, after Chen et al. APSys'20). Training is plain minibatch SGD with
+// ReLU hidden layers and softmax cross-entropy; features are standardized
+// internally from training statistics.
+#ifndef SRC_ML_MLP_H_
+#define SRC_ML_MLP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ml/dataset.h"
+#include "src/ml/tensor.h"
+
+namespace rkd {
+
+struct MlpConfig {
+  std::vector<size_t> hidden_sizes = {16};
+  size_t epochs = 40;
+  size_t batch_size = 32;
+  float learning_rate = 0.05f;
+  float l2 = 1e-4f;
+  uint64_t seed = 1;
+};
+
+class Mlp {
+ public:
+  struct Layer {
+    FloatMatrix weights;        // out x in
+    std::vector<float> biases;  // out
+  };
+
+  // Trains on integer features (standardized internally) and class labels.
+  static Result<Mlp> Train(const Dataset& data, const MlpConfig& config = {});
+
+  // Raw output scores for a standardized input; size = number of classes.
+  std::vector<float> Logits(std::span<const float> standardized) const;
+
+  // End-to-end prediction from raw integer features.
+  int32_t PredictClass(std::span<const int32_t> features) const;
+
+  // Fraction of `data` classified correctly.
+  double Evaluate(const Dataset& data) const;
+
+  // Standardizes raw features with the training-set statistics.
+  std::vector<float> Standardize(std::span<const int32_t> features) const;
+
+  size_t num_features() const { return feature_mean_.size(); }
+  int32_t num_classes() const { return num_classes_; }
+  const std::vector<Layer>& layers() const { return layers_; }
+  std::span<const float> feature_mean() const { return feature_mean_; }
+  std::span<const float> feature_stddev() const { return feature_stddev_; }
+
+ private:
+  Mlp() = default;
+
+  std::vector<Layer> layers_;
+  std::vector<float> feature_mean_;
+  std::vector<float> feature_stddev_;
+  int32_t num_classes_ = 0;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_MLP_H_

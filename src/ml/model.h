@@ -1,0 +1,53 @@
+// The installable-model interface and its static cost description.
+//
+// Every learned policy the control plane pushes into the VM implements
+// InferenceModel. Prediction is pure integer arithmetic over Q16.16 features
+// (the lanes of an RMT vector register), honoring the paper's no-FPU-in-kernel
+// constraint. Cost() is the static resource description the RMT verifier's
+// cost model checks against per-hook budgets before admission (section 3.2:
+// "the RMT verifier will statically check the model ... before JIT-compiling
+// it").
+#ifndef SRC_ML_MODEL_H_
+#define SRC_ML_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace rkd {
+
+// Static, verifier-checkable resource footprint of a model.
+struct ModelCost {
+  uint64_t macs = 0;          // multiply-accumulates per inference
+  uint64_t comparisons = 0;   // branch-style ops per inference (tree splits)
+  uint64_t param_bytes = 0;   // resident parameter memory
+  uint32_t depth = 0;         // layers (NN) or max tree depth
+
+  // Scalar "work units" used against hook latency budgets. A MAC is costed
+  // heavier than a comparison, roughly reflecting integer multiply vs branch.
+  uint64_t WorkUnits() const { return 4 * macs + comparisons; }
+};
+
+class InferenceModel {
+ public:
+  virtual ~InferenceModel() = default;
+
+  // Predicts from a Q16.16 feature vector. The return value is either a class
+  // id (classifiers) or a Q16.16 score, per the model's documented contract.
+  virtual int64_t Predict(std::span<const int32_t> features) const = 0;
+
+  // Number of features read from the input vector.
+  virtual size_t num_features() const = 0;
+
+  virtual ModelCost Cost() const = 0;
+
+  // Stable kind tag ("decision_tree", "quantized_mlp", "integer_linear").
+  virtual std::string_view kind() const = 0;
+};
+
+using ModelPtr = std::shared_ptr<const InferenceModel>;
+
+}  // namespace rkd
+
+#endif  // SRC_ML_MODEL_H_

@@ -1,0 +1,61 @@
+#include "src/ml/model_registry.h"
+
+namespace rkd {
+
+int64_t ModelRegistry::AddSlot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.push_back(std::make_unique<ModelSlot>());
+  return static_cast<int64_t>(slots_.size()) - 1;
+}
+
+Status ModelRegistry::Install(int64_t slot, ModelPtr model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (slot < 0 || static_cast<size_t>(slot) >= slots_.size()) {
+    return NotFoundError("model slot " + std::to_string(slot) + " does not exist");
+  }
+  slots_[static_cast<size_t>(slot)]->Set(std::move(model));
+  return OkStatus();
+}
+
+ModelPtr ModelRegistry::Get(int64_t slot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (slot < 0 || static_cast<size_t>(slot) >= slots_.size()) {
+    return nullptr;
+  }
+  return slots_[static_cast<size_t>(slot)]->Get();
+}
+
+ModelSlot* ModelRegistry::slot(int64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || static_cast<size_t>(id) >= slots_.size()) {
+    return nullptr;
+  }
+  return slots_[static_cast<size_t>(id)].get();
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+int64_t TensorRegistry::Add(FixedMatrix tensor) {
+  tensors_.push_back(std::move(tensor));
+  return static_cast<int64_t>(tensors_.size()) - 1;
+}
+
+int64_t TensorRegistry::AddVector(std::span<const int32_t> values) {
+  FixedMatrix m(values.size(), 1);
+  for (size_t i = 0; i < values.size(); ++i) {
+    m.at(i, 0) = values[i];
+  }
+  return Add(std::move(m));
+}
+
+const FixedMatrix* TensorRegistry::Get(int64_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= tensors_.size()) {
+    return nullptr;
+  }
+  return &tensors_[static_cast<size_t>(id)];
+}
+
+}  // namespace rkd

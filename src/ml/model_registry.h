@@ -1,0 +1,61 @@
+// Registries binding bytecode resource ids to ML objects.
+//
+// A verified RMT program references models (kMlCall) and weight tensors
+// (kMatMul / kVecAddT) by small integer ids. The control plane owns these
+// registries and can hot-swap entries at runtime (model updates from the
+// training plane), while the VM only ever reads snapshots.
+#ifndef SRC_ML_MODEL_REGISTRY_H_
+#define SRC_ML_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ml/model.h"
+#include "src/ml/online.h"
+#include "src/ml/tensor.h"
+
+namespace rkd {
+
+class ModelRegistry {
+ public:
+  // Returns the id of the newly added slot (initially empty).
+  int64_t AddSlot();
+
+  // Installs or replaces the model in `slot`.
+  Status Install(int64_t slot, ModelPtr model);
+
+  // Snapshot of the model in `slot`; nullptr if empty or out of range.
+  ModelPtr Get(int64_t slot) const;
+
+  // Direct slot access for trainers that publish through ModelSlot.
+  ModelSlot* slot(int64_t id);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // ModelSlot is not movable (mutex member), hence unique_ptr elements.
+  std::vector<std::unique_ptr<ModelSlot>> slots_;
+};
+
+class TensorRegistry {
+ public:
+  // Registers a weight matrix; returns its tensor id.
+  int64_t Add(FixedMatrix tensor);
+
+  // Registers a bias vector as a rows x 1 matrix; returns its tensor id.
+  int64_t AddVector(std::span<const int32_t> values);
+
+  const FixedMatrix* Get(int64_t id) const;
+  size_t size() const { return tensors_.size(); }
+
+ private:
+  std::vector<FixedMatrix> tensors_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_MODEL_REGISTRY_H_

@@ -1,0 +1,85 @@
+#include "src/ml/nas.h"
+
+namespace rkd {
+
+namespace {
+
+// Static work-unit cost of an architecture without training it: an MLP's MAC
+// count is architecture-only, so over-budget candidates are skipped before
+// any training (the on-demand-compression spirit of section 3.2).
+uint64_t ArchitectureWorkUnits(size_t num_features, const std::vector<size_t>& hidden,
+                               size_t num_classes) {
+  uint64_t macs = 0;
+  size_t in_dim = num_features;
+  for (size_t width : hidden) {
+    macs += static_cast<uint64_t>(in_dim) * width;
+    in_dim = width;
+  }
+  macs += static_cast<uint64_t>(in_dim) * num_classes;
+  ModelCost cost;
+  cost.macs = macs;
+  return cost.WorkUnits();
+}
+
+}  // namespace
+
+Result<NasResult> RandomSearchNas(const Dataset& data, const NasConfig& config) {
+  if (data.size() < 8) {
+    return InvalidArgumentError("RandomSearchNas: dataset too small");
+  }
+  Rng rng(config.seed);
+  auto [train, validation] = data.Split(config.validation_fraction, rng);
+  if (train.empty() || validation.empty()) {
+    return InvalidArgumentError("RandomSearchNas: split produced an empty partition");
+  }
+  const auto num_classes = static_cast<size_t>(data.NumClasses());
+
+  NasResult best;
+  bool found = false;
+  for (size_t trial = 0; trial < config.trials; ++trial) {
+    std::vector<size_t> hidden(rng.NextBounded(config.max_layers) + 1);
+    for (size_t& width : hidden) {
+      width = static_cast<size_t>(
+          rng.NextInt(static_cast<int64_t>(config.min_width),
+                      static_cast<int64_t>(config.max_width)));
+    }
+    const uint64_t work =
+        ArchitectureWorkUnits(data.num_features(), hidden, num_classes);
+    if (config.work_unit_budget != 0 && work > config.work_unit_budget) {
+      ++best.trials_over_budget;
+      continue;
+    }
+    MlpConfig mlp_config;
+    mlp_config.hidden_sizes = hidden;
+    mlp_config.epochs = config.search_epochs;
+    mlp_config.seed = rng.Next();
+    Result<Mlp> candidate = Mlp::Train(train, mlp_config);
+    if (!candidate.ok()) {
+      continue;
+    }
+    ++best.trials_evaluated;
+    const double accuracy = candidate->Evaluate(validation);
+    if (!found || accuracy > best.validation_accuracy) {
+      found = true;
+      best.hidden_sizes = hidden;
+      best.validation_accuracy = accuracy;
+      best.work_units = work;
+    }
+  }
+  if (!found) {
+    return ResourceExhaustedError(
+        "RandomSearchNas: no sampled architecture fits the work-unit budget");
+  }
+
+  // Retrain the winner on all data with the full epoch budget, then quantize.
+  MlpConfig final_config;
+  final_config.hidden_sizes = best.hidden_sizes;
+  final_config.epochs = config.final_epochs;
+  final_config.seed = config.seed;
+  RKD_ASSIGN_OR_RETURN(Mlp final_mlp, Mlp::Train(data, final_config));
+  RKD_ASSIGN_OR_RETURN(best.model, QuantizedMlp::FromMlp(final_mlp));
+  best.work_units = best.model.Cost().WorkUnits();
+  return best;
+}
+
+}  // namespace rkd

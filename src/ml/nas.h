@@ -1,0 +1,50 @@
+// Budgeted neural architecture search (section 3.2, "Customized ML").
+//
+// The paper proposes NAS to find per-subsystem model architectures offline,
+// admitted only if the verifier's cost model accepts them. This is the
+// random-search variant (Bergstra & Bengio-style), which the NAS literature
+// uses as the standard strong baseline: sample MLP architectures from a
+// space, train each briefly, keep the best validation accuracy among those
+// whose *quantized* cost fits the hook's work-unit budget.
+#ifndef SRC_ML_NAS_H_
+#define SRC_ML_NAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/ml/dataset.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+
+namespace rkd {
+
+struct NasConfig {
+  size_t trials = 12;           // architectures sampled
+  size_t max_layers = 3;        // hidden layers per candidate
+  size_t min_width = 4;
+  size_t max_width = 32;
+  size_t search_epochs = 15;    // short training during search
+  size_t final_epochs = 40;     // full training of the winner
+  uint64_t work_unit_budget = 0;  // 0 = unconstrained
+  double validation_fraction = 0.25;
+  uint64_t seed = 7;
+};
+
+struct NasResult {
+  std::vector<size_t> hidden_sizes;  // winning architecture
+  double validation_accuracy = 0.0;
+  uint64_t work_units = 0;           // quantized-model cost of the winner
+  size_t trials_evaluated = 0;
+  size_t trials_over_budget = 0;
+  QuantizedMlp model;                // fully trained + quantized winner
+};
+
+// Runs the search. Fails if no sampled architecture fits the budget or the
+// dataset is unusable for MLP training.
+Result<NasResult> RandomSearchNas(const Dataset& data, const NasConfig& config = {});
+
+}  // namespace rkd
+
+#endif  // SRC_ML_NAS_H_

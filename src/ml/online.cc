@@ -1,0 +1,38 @@
+#include "src/ml/online.h"
+
+namespace rkd {
+
+WindowedTreeTrainer::WindowedTreeTrainer(size_t num_features, ModelSlot* slot,
+                                         WindowedTrainerConfig config)
+    : slot_(slot), config_(config), window_(num_features) {}
+
+void WindowedTreeTrainer::Observe(std::span<const int32_t> features, int32_t label) {
+  window_.Add(features, label);
+  if (window_.size() >= config_.window_size) {
+    TrainAndInstall();
+    window_.Clear();
+  }
+}
+
+bool WindowedTreeTrainer::Flush() {
+  const bool trained = TrainAndInstall();
+  window_.Clear();
+  return trained;
+}
+
+bool WindowedTreeTrainer::TrainAndInstall() {
+  if (window_.size() < config_.min_train_samples) {
+    return false;
+  }
+  // A window whose labels are all one class still yields a valid (single-leaf)
+  // tree: "always predict this delta" is exactly the right policy then.
+  Result<DecisionTree> tree = DecisionTree::Train(window_, config_.tree);
+  if (!tree.ok()) {
+    return false;
+  }
+  slot_->Set(std::make_shared<DecisionTree>(std::move(tree).value()));
+  ++windows_trained_;
+  return true;
+}
+
+}  // namespace rkd

@@ -1,0 +1,84 @@
+// Online (windowed) training and atomic model hand-off.
+//
+// Case study #1 "trains a new decision tree periodically in the background
+// for each time window, while discarding the old ones" (section 4). The
+// WindowedTreeTrainer accumulates labeled samples, retrains when a window
+// fills, and publishes the new model through a ModelSlot — the single
+// synchronization point between the training plane and the inference path.
+#ifndef SRC_ML_ONLINE_H_
+#define SRC_ML_ONLINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "src/ml/dataset.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/model.h"
+
+namespace rkd {
+
+// Holder for the currently installed model of one table action. Readers
+// (the VM's kMlCall) take a shared_ptr snapshot, so an in-flight inference
+// keeps its model alive across a concurrent swap.
+class ModelSlot {
+ public:
+  void Set(ModelPtr model) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_ = std::move(model);
+    ++version_;
+  }
+
+  ModelPtr Get() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return model_;
+  }
+
+  uint64_t version() const { return version_.load(); }
+  bool HasModel() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return model_ != nullptr;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  ModelPtr model_;
+  std::atomic<uint64_t> version_{0};
+};
+
+struct WindowedTrainerConfig {
+  size_t window_size = 256;       // samples per training window
+  size_t min_train_samples = 32;  // below this the window is skipped
+  DecisionTreeConfig tree;
+};
+
+// Accumulates (features, label) observations; every `window_size` samples it
+// trains a fresh DecisionTree on the window and swaps it into the slot,
+// discarding the old window ("discarding the old ones").
+class WindowedTreeTrainer {
+ public:
+  WindowedTreeTrainer(size_t num_features, ModelSlot* slot, WindowedTrainerConfig config = {});
+
+  // Records one observation; may trigger a retrain + model swap.
+  void Observe(std::span<const int32_t> features, int32_t label);
+
+  // Force-train on whatever the current window holds (used at phase ends).
+  // Returns true if a model was produced and installed.
+  bool Flush();
+
+  uint64_t windows_trained() const { return windows_trained_; }
+  size_t pending_samples() const { return window_.size(); }
+
+ private:
+  bool TrainAndInstall();
+
+  ModelSlot* slot_;  // not owned
+  WindowedTrainerConfig config_;
+  Dataset window_;
+  uint64_t windows_trained_ = 0;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_ONLINE_H_

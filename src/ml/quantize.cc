@@ -1,0 +1,172 @@
+#include "src/ml/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rkd {
+
+int32_t RawToQ16(int64_t raw) {
+  const int64_t wide = raw << 16;
+  if (wide > std::numeric_limits<int32_t>::max()) {
+    return std::numeric_limits<int32_t>::max();
+  }
+  if (wide < std::numeric_limits<int32_t>::min()) {
+    return std::numeric_limits<int32_t>::min();
+  }
+  return static_cast<int32_t>(wide);
+}
+
+Result<QuantizedMlp> QuantizedMlp::FromMlp(const Mlp& mlp) {
+  QuantizedMlp out;
+  out.num_classes_ = mlp.num_classes();
+  const auto& layers = mlp.layers();
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const Mlp::Layer& src = layers[l];
+    QuantLayer q;
+    q.out_dim = static_cast<uint32_t>(src.weights.rows());
+    q.in_dim = static_cast<uint32_t>(src.weights.cols());
+
+    // Fold standardization into layer 0: w' = w / sigma, b' = b - w mu/sigma.
+    FloatMatrix folded = src.weights;
+    std::vector<float> folded_bias = src.biases;
+    if (l == 0) {
+      const auto mean = mlp.feature_mean();
+      const auto stddev = mlp.feature_stddev();
+      for (size_t r = 0; r < folded.rows(); ++r) {
+        for (size_t c = 0; c < folded.cols(); ++c) {
+          const float w = folded.at(r, c) / stddev[c];
+          folded.at(r, c) = w;
+          folded_bias[r] -= w * mean[c];
+        }
+      }
+    }
+
+    float max_abs = 0.0f;
+    for (float w : folded.data()) {
+      max_abs = std::max(max_abs, std::abs(w));
+    }
+    // Largest shift such that max|w| * 2^shift fits int16.
+    int shift = 14;
+    while (shift > 0 && max_abs * static_cast<float>(1 << shift) > 32000.0f) {
+      --shift;
+    }
+    if (max_abs * static_cast<float>(1 << shift) > 32000.0f) {
+      return InvalidArgumentError("QuantizedMlp: weight magnitude too large to quantize");
+    }
+    q.shift = shift;
+    q.weights.resize(static_cast<size_t>(q.out_dim) * q.in_dim);
+    for (size_t r = 0; r < folded.rows(); ++r) {
+      for (size_t c = 0; c < folded.cols(); ++c) {
+        q.weights[r * q.in_dim + c] = static_cast<int16_t>(
+            std::lround(folded.at(r, c) * static_cast<float>(1 << shift)));
+      }
+    }
+    q.biases.resize(q.out_dim);
+    for (size_t r = 0; r < q.out_dim; ++r) {
+      q.biases[r] = Fixed32::FromDouble(folded_bias[r]).raw();
+    }
+    out.layers_.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<QuantizedMlp> QuantizedMlp::FromLayers(std::vector<QuantLayer> layers) {
+  if (layers.empty()) {
+    return InvalidArgumentError("QuantizedMlp::FromLayers: no layers");
+  }
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const QuantLayer& layer = layers[l];
+    if (layer.out_dim == 0 || layer.in_dim == 0 ||
+        layer.weights.size() != static_cast<size_t>(layer.out_dim) * layer.in_dim ||
+        layer.biases.size() != layer.out_dim || layer.shift < 0 || layer.shift > 30) {
+      return InvalidArgumentError("QuantizedMlp::FromLayers: malformed layer " +
+                                  std::to_string(l));
+    }
+    if (l > 0 && layers[l - 1].out_dim != layer.in_dim) {
+      return InvalidArgumentError("QuantizedMlp::FromLayers: dimension mismatch at layer " +
+                                  std::to_string(l));
+    }
+  }
+  QuantizedMlp out;
+  out.num_classes_ = static_cast<int32_t>(layers.back().out_dim);
+  out.layers_ = std::move(layers);
+  return out;
+}
+
+std::vector<int32_t> QuantizedMlp::Scores(std::span<const int32_t> features_q16) const {
+  std::vector<int32_t> current(features_q16.begin(), features_q16.end());
+  std::vector<int32_t> next;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const QuantLayer& layer = layers_[l];
+    next.assign(layer.out_dim, 0);
+    for (uint32_t r = 0; r < layer.out_dim; ++r) {
+      int64_t acc = 0;
+      const int16_t* row = &layer.weights[static_cast<size_t>(r) * layer.in_dim];
+      for (uint32_t c = 0; c < layer.in_dim; ++c) {
+        const int32_t x = c < current.size() ? current[c] : 0;
+        acc += static_cast<int64_t>(row[c]) * x;
+      }
+      acc >>= layer.shift;  // back to Q16.16
+      acc += layer.biases[r];
+      // Saturate into int32.
+      if (acc > std::numeric_limits<int32_t>::max()) {
+        acc = std::numeric_limits<int32_t>::max();
+      } else if (acc < std::numeric_limits<int32_t>::min()) {
+        acc = std::numeric_limits<int32_t>::min();
+      }
+      int32_t v = static_cast<int32_t>(acc);
+      if (l + 1 < layers_.size() && v < 0) {
+        v = 0;  // ReLU on hidden layers
+      }
+      next[r] = v;
+    }
+    current.swap(next);
+  }
+  return current;
+}
+
+int64_t QuantizedMlp::Predict(std::span<const int32_t> features) const {
+  if (layers_.empty()) {
+    return 0;  // empty (default-constructed) model
+  }
+  const std::vector<int32_t> scores = Scores(features);
+  if (scores.empty()) {
+    return 0;
+  }
+  return std::max_element(scores.begin(), scores.end()) - scores.begin();
+}
+
+int64_t QuantizedMlp::PredictRaw(std::span<const int32_t> raw_features) const {
+  std::vector<int32_t> q16(raw_features.size());
+  for (size_t i = 0; i < raw_features.size(); ++i) {
+    q16[i] = RawToQ16(raw_features[i]);
+  }
+  return Predict(q16);
+}
+
+ModelCost QuantizedMlp::Cost() const {
+  ModelCost cost;
+  for (const QuantLayer& layer : layers_) {
+    cost.macs += static_cast<uint64_t>(layer.out_dim) * layer.in_dim;
+    cost.param_bytes += layer.weights.size() * sizeof(int16_t) +
+                        layer.biases.size() * sizeof(int32_t);
+  }
+  cost.depth = static_cast<uint32_t>(layers_.size());
+  return cost;
+}
+
+double QuantizedMlp::Evaluate(const Dataset& data) const {
+  if (data.empty()) {
+    return 0.0;
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (PredictRaw(data.row(i)) == data.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace rkd

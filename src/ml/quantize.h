@@ -1,0 +1,103 @@
+// Post-training quantization: float MLP -> integer-only QuantizedMlp.
+//
+// This is the model hand-off the paper describes: "ML training could be
+// performed in real-time in userspace using floating point operations, with
+// models periodically quantized and pushed to the kernel for inference"
+// (section 3.2). Quantization here is symmetric per-layer int16 with a
+// power-of-two scale: weights w are stored as round(w * 2^shift) and the
+// matvec accumulator is shifted back, so inference uses only integer
+// multiply/add/shift — admissible under the VM's no-FPU rule.
+//
+// Feature standardization is folded into the first layer
+// (W'/sigma, b' = b - W mu / sigma), so the in-kernel model consumes raw
+// Q16.16 feature values with no float preprocessing.
+#ifndef SRC_ML_QUANTIZE_H_
+#define SRC_ML_QUANTIZE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ml/mlp.h"
+#include "src/ml/model.h"
+
+namespace rkd {
+
+class QuantizedMlp final : public InferenceModel {
+ public:
+  // Default-constructed instances are empty (Predict returns 0); build real
+  // models with FromMlp.
+  QuantizedMlp() = default;
+
+  struct QuantLayer {
+    uint32_t out_dim = 0;
+    uint32_t in_dim = 0;
+    int shift = 0;                 // weights are scaled by 2^shift
+    std::vector<int16_t> weights;  // row-major out_dim x in_dim
+    std::vector<int32_t> biases;   // Q16.16
+  };
+
+  // Quantizes a trained float MLP. Fails if any folded weight cannot be
+  // represented in int16 even at shift 0 (pathologically large weights).
+  static Result<QuantizedMlp> FromMlp(const Mlp& mlp);
+
+  // Reconstructs a model from serialized layers. Validates dimensional
+  // consistency between consecutive layers and within each layer.
+  static Result<QuantizedMlp> FromLayers(std::vector<QuantLayer> layers);
+
+  // InferenceModel: `features` are raw values in Q16.16. Returns the argmax
+  // class.
+  int64_t Predict(std::span<const int32_t> features) const override;
+  size_t num_features() const override {
+    return layers_.empty() ? 0 : layers_.front().in_dim;
+  }
+  ModelCost Cost() const override;
+  std::string_view kind() const override { return "quantized_mlp"; }
+
+  // Q16.16 output scores (pre-argmax), for tests and distillation.
+  std::vector<int32_t> Scores(std::span<const int32_t> features_q16) const;
+
+  // Convenience: predict from raw (non-Q16.16) integer features, converting
+  // with a saturating left shift. Mirrors what an RMT action does with
+  // ShlImm(16) before kMlCall.
+  int64_t PredictRaw(std::span<const int32_t> raw_features) const;
+
+  // Agreement rate with the float teacher on a dataset (quantization QA).
+  double Evaluate(const Dataset& data) const;
+
+  const std::vector<QuantLayer>& layers() const { return layers_; }
+  int32_t num_classes() const { return num_classes_; }
+
+ private:
+  std::vector<QuantLayer> layers_;
+  int32_t num_classes_ = 0;
+};
+
+// Saturating conversion of a raw integer feature to Q16.16.
+int32_t RawToQ16(int64_t raw);
+
+// Adapter installing a QuantizedMlp behind a raw-integer feature interface:
+// Predict() converts each lane with RawToQ16 before delegating. Use when the
+// collecting table stores raw values (deltas, counters) rather than Q16.16 —
+// e.g. swapping an MLP into a slot that a decision tree usually occupies.
+class QuantizedMlpRawAdapter final : public InferenceModel {
+ public:
+  explicit QuantizedMlpRawAdapter(QuantizedMlp inner) : inner_(std::move(inner)) {}
+
+  int64_t Predict(std::span<const int32_t> features) const override {
+    return inner_.PredictRaw(features);
+  }
+  size_t num_features() const override { return inner_.num_features(); }
+  ModelCost Cost() const override { return inner_.Cost(); }
+  std::string_view kind() const override { return "quantized_mlp_raw"; }
+
+  const QuantizedMlp& inner() const { return inner_; }
+
+ private:
+  QuantizedMlp inner_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_QUANTIZE_H_

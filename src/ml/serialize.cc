@@ -1,0 +1,151 @@
+#include "src/ml/serialize.h"
+
+#include <memory>
+
+#include "src/base/bytes.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/linear.h"
+#include "src/ml/quantize.h"
+
+namespace rkd {
+
+namespace {
+
+enum class ModelTag : uint32_t {
+  kDecisionTree = 1,
+  kQuantizedMlp = 2,
+  kIntegerLinear = 3,
+};
+
+void SerializeTree(const DecisionTree& tree, ByteWriter& writer) {
+  writer.Put<uint32_t>(static_cast<uint32_t>(ModelTag::kDecisionTree));
+  writer.Put<uint64_t>(tree.num_features());
+  writer.Put<uint32_t>(tree.depth());
+  writer.Put<uint64_t>(tree.nodes().size());
+  for (const DecisionTree::Node& node : tree.nodes()) {
+    writer.Put<int32_t>(node.feature);
+    writer.Put<int32_t>(node.threshold);
+    writer.Put<int32_t>(node.left);
+    writer.Put<int32_t>(node.right);
+    writer.Put<int32_t>(node.leaf_label);
+    writer.Put<uint32_t>(node.samples);
+  }
+}
+
+Result<ModelPtr> DeserializeTree(ByteReader& reader) {
+  RKD_ASSIGN_OR_RETURN(uint64_t num_features, reader.Get<uint64_t>());
+  RKD_ASSIGN_OR_RETURN(uint32_t depth, reader.Get<uint32_t>());
+  RKD_ASSIGN_OR_RETURN(uint64_t node_count, reader.Get<uint64_t>());
+  if (num_features == 0 || num_features > 4096 || node_count == 0 || node_count > (1 << 22)) {
+    return InvalidArgumentError("tree header out of range");
+  }
+  std::vector<DecisionTree::Node> nodes;
+  nodes.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    DecisionTree::Node node;
+    RKD_ASSIGN_OR_RETURN(node.feature, reader.Get<int32_t>());
+    RKD_ASSIGN_OR_RETURN(node.threshold, reader.Get<int32_t>());
+    RKD_ASSIGN_OR_RETURN(node.left, reader.Get<int32_t>());
+    RKD_ASSIGN_OR_RETURN(node.right, reader.Get<int32_t>());
+    RKD_ASSIGN_OR_RETURN(node.leaf_label, reader.Get<int32_t>());
+    RKD_ASSIGN_OR_RETURN(node.samples, reader.Get<uint32_t>());
+    nodes.push_back(node);
+  }
+  RKD_ASSIGN_OR_RETURN(DecisionTree tree,
+                       DecisionTree::FromParts(num_features, depth, std::move(nodes)));
+  return ModelPtr(std::make_shared<DecisionTree>(std::move(tree)));
+}
+
+void SerializeQuantizedMlp(const QuantizedMlp& mlp, ByteWriter& writer) {
+  writer.Put<uint32_t>(static_cast<uint32_t>(ModelTag::kQuantizedMlp));
+  writer.Put<uint64_t>(mlp.layers().size());
+  for (const QuantizedMlp::QuantLayer& layer : mlp.layers()) {
+    writer.Put<uint32_t>(layer.out_dim);
+    writer.Put<uint32_t>(layer.in_dim);
+    writer.Put<int32_t>(layer.shift);
+    writer.PutArray<int16_t>(layer.weights);
+    writer.PutArray<int32_t>(layer.biases);
+  }
+}
+
+Result<ModelPtr> DeserializeQuantizedMlp(ByteReader& reader) {
+  RKD_ASSIGN_OR_RETURN(uint64_t layer_count, reader.Get<uint64_t>());
+  if (layer_count == 0 || layer_count > 64) {
+    return InvalidArgumentError("layer count out of range");
+  }
+  std::vector<QuantizedMlp::QuantLayer> layers;
+  layers.reserve(layer_count);
+  for (uint64_t l = 0; l < layer_count; ++l) {
+    QuantizedMlp::QuantLayer layer;
+    RKD_ASSIGN_OR_RETURN(layer.out_dim, reader.Get<uint32_t>());
+    RKD_ASSIGN_OR_RETURN(layer.in_dim, reader.Get<uint32_t>());
+    RKD_ASSIGN_OR_RETURN(layer.shift, reader.Get<int32_t>());
+    RKD_ASSIGN_OR_RETURN(layer.weights, reader.GetArray<int16_t>());
+    RKD_ASSIGN_OR_RETURN(layer.biases, reader.GetArray<int32_t>());
+    layers.push_back(std::move(layer));
+  }
+  RKD_ASSIGN_OR_RETURN(QuantizedMlp mlp, QuantizedMlp::FromLayers(std::move(layers)));
+  return ModelPtr(std::make_shared<QuantizedMlp>(std::move(mlp)));
+}
+
+void SerializeLinear(const IntegerLinear& model, ByteWriter& writer) {
+  writer.Put<uint32_t>(static_cast<uint32_t>(ModelTag::kIntegerLinear));
+  writer.PutArray<int32_t>(model.weights_q16());
+  writer.Put<int64_t>(model.bias_q16());
+}
+
+Result<ModelPtr> DeserializeLinear(ByteReader& reader) {
+  RKD_ASSIGN_OR_RETURN(std::vector<int32_t> weights, reader.GetArray<int32_t>());
+  RKD_ASSIGN_OR_RETURN(int64_t bias, reader.Get<int64_t>());
+  RKD_ASSIGN_OR_RETURN(IntegerLinear model,
+                       IntegerLinear::FromWeights(std::move(weights), bias));
+  return ModelPtr(std::make_shared<IntegerLinear>(std::move(model)));
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SerializeModel(const InferenceModel& model) {
+  ByteWriter writer;
+  writer.Put<uint32_t>(kModelMagic);
+  writer.Put<uint32_t>(kModelVersion);
+  if (model.kind() == "decision_tree") {
+    SerializeTree(static_cast<const DecisionTree&>(model), writer);
+  } else if (model.kind() == "quantized_mlp") {
+    SerializeQuantizedMlp(static_cast<const QuantizedMlp&>(model), writer);
+  } else if (model.kind() == "integer_linear") {
+    SerializeLinear(static_cast<const IntegerLinear&>(model), writer);
+  } else {
+    return InvalidArgumentError("unsupported model kind '" + std::string(model.kind()) + "'");
+  }
+  return writer.Take();
+}
+
+Result<ModelPtr> DeserializeModel(std::span<const uint8_t> bytes) {
+  ByteReader reader(bytes);
+  RKD_ASSIGN_OR_RETURN(uint32_t magic, reader.Get<uint32_t>());
+  if (magic != kModelMagic) {
+    return InvalidArgumentError("not an RKDM model blob");
+  }
+  RKD_ASSIGN_OR_RETURN(uint32_t version, reader.Get<uint32_t>());
+  if (version != kModelVersion) {
+    return InvalidArgumentError("unsupported model version " + std::to_string(version));
+  }
+  RKD_ASSIGN_OR_RETURN(uint32_t tag, reader.Get<uint32_t>());
+  Result<ModelPtr> model = [&]() -> Result<ModelPtr> {
+    switch (static_cast<ModelTag>(tag)) {
+      case ModelTag::kDecisionTree:
+        return DeserializeTree(reader);
+      case ModelTag::kQuantizedMlp:
+        return DeserializeQuantizedMlp(reader);
+      case ModelTag::kIntegerLinear:
+        return DeserializeLinear(reader);
+    }
+    return InvalidArgumentError("unknown model tag " + std::to_string(tag));
+  }();
+  if (model.ok() && !reader.AtEnd()) {
+    return InvalidArgumentError("trailing bytes after the model payload");
+  }
+  return model;
+}
+
+}  // namespace rkd

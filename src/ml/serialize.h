@@ -1,0 +1,33 @@
+// Binary wire format for installable models.
+//
+// Section 3.2's deployment loop — "ML training could be performed in
+// real-time in userspace ... with models periodically quantized and pushed
+// to the kernel for inference" — needs a serialized model crossing the
+// boundary. This format covers every integer model family the VM can host
+// (decision tree, quantized MLP, integer linear); deserialization validates
+// structure through each family's FromParts/FromLayers/FromWeights factory,
+// so a hostile blob cannot produce a model that walks out of bounds.
+#ifndef SRC_ML_SERIALIZE_H_
+#define SRC_ML_SERIALIZE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ml/model.h"
+
+namespace rkd {
+
+inline constexpr uint32_t kModelMagic = 0x4d444b52;  // "RKDM"
+inline constexpr uint32_t kModelVersion = 1;
+
+// Serializes any supported model. Fails for unknown kinds.
+Result<std::vector<uint8_t>> SerializeModel(const InferenceModel& model);
+
+// Reconstructs and validates a model from its wire form.
+Result<ModelPtr> DeserializeModel(std::span<const uint8_t> bytes);
+
+}  // namespace rkd
+
+#endif  // SRC_ML_SERIALIZE_H_

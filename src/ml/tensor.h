@@ -1,0 +1,108 @@
+// Minimal dense matrix types for rkd's two numeric worlds.
+//
+// FloatMatrix lives on the "userspace" training path, where the paper allows
+// floating point (offline/online training outside the kernel, section 3.2).
+// FixedMatrix holds Q16.16 raw values and is what the VM's kMatMul executes
+// against; installed models carry only FixedMatrix / integer state.
+#ifndef SRC_ML_TENSOR_H_
+#define SRC_ML_TENSOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/fixed_point.h"
+
+namespace rkd {
+
+class FloatMatrix {
+ public:
+  FloatMatrix() = default;
+  FloatMatrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  float& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(size_t r) {
+    assert(r < rows_);
+    return std::span<float>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<const float> row(size_t r) const {
+    assert(r < rows_);
+    return std::span<const float>(data_).subspan(r * cols_, cols_);
+  }
+
+  std::span<const float> data() const { return data_; }
+  std::span<float> data() { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Row-major Q16.16 matrix. MatVec computes y = M x with 64-bit accumulation
+// and a single shift back to Q16.16, the exact arithmetic kMatMul performs.
+class FixedMatrix {
+ public:
+  FixedMatrix() = default;
+  FixedMatrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static FixedMatrix FromFloat(const FloatMatrix& m) {
+    FixedMatrix out(m.rows(), m.cols());
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t c = 0; c < m.cols(); ++c) {
+        out.at(r, c) = Fixed32::FromDouble(m.at(r, c)).raw();
+      }
+    }
+    return out;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  int32_t& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  int32_t at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  // y[r] = sum_c M[r,c] * x[c], Q16.16 in and out. x may be longer than
+  // cols() (extra lanes ignored) but never shorter; y must hold rows().
+  void MatVec(std::span<const int32_t> x, std::span<int32_t> y) const {
+    assert(x.size() >= cols_ && y.size() >= rows_);
+    for (size_t r = 0; r < rows_; ++r) {
+      int64_t acc = 0;
+      const int32_t* row = &data_[r * cols_];
+      for (size_t c = 0; c < cols_; ++c) {
+        acc += static_cast<int64_t>(row[c]) * x[c];
+      }
+      y[r] = static_cast<int32_t>(acc >> Fixed32::kFractionBits);
+    }
+  }
+
+  std::span<const int32_t> data() const { return data_; }
+  std::span<int32_t> data() { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<int32_t> data_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_ML_TENSOR_H_

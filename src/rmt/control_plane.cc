@@ -1,0 +1,321 @@
+#include "src/rmt/control_plane.h"
+
+#include <algorithm>
+
+namespace rkd {
+
+Result<ControlPlane::ProgramHandle> ControlPlane::Install(const RmtProgramSpec& spec,
+                                                          ExecTier tier) {
+  if (spec.tables.empty()) {
+    return InvalidArgumentError("program '" + spec.name + "' declares no tables");
+  }
+
+  // Phase 1: resolve hooks and statically admit every action program.
+  struct PlannedTable {
+    HookId hook;
+    HookKind kind;
+  };
+  std::vector<PlannedTable> planned;
+  Verifier verifier(verifier_config_);
+  for (const RmtTableSpec& table_spec : spec.tables) {
+    RKD_ASSIGN_OR_RETURN(HookId hook, hooks_->Lookup(table_spec.hook_point));
+    const HookKind kind = hooks_->KindOf(hook);
+    for (const BytecodeProgram& action : table_spec.actions) {
+      if (action.hook_kind != kind) {
+        return VerificationFailedError(
+            "action '" + action.name + "' targets hook kind '" +
+            std::string(HookKindName(action.hook_kind)) + "' but table '" + table_spec.name +
+            "' attaches to '" + std::string(HookKindName(kind)) + "'");
+      }
+      // Resource declarations must be coverable by the spec's resources.
+      if (action.num_maps > spec.maps.size()) {
+        return VerificationFailedError("action '" + action.name +
+                                       "' declares more maps than the program provides");
+      }
+      if (action.num_models > spec.model_slots) {
+        return VerificationFailedError("action '" + action.name +
+                                       "' declares more model slots than the program provides");
+      }
+      if (action.num_tensors > spec.tensors.size()) {
+        return VerificationFailedError("action '" + action.name +
+                                       "' declares more tensors than the program provides");
+      }
+      if (action.num_tables > spec.tables.size()) {
+        return VerificationFailedError("action '" + action.name +
+                                       "' declares more tail-call tables than the program has");
+      }
+      const VerifyReport report = verifier.Verify(action);
+      if (!report.ok()) {
+        return report.status;
+      }
+    }
+    if (table_spec.default_action >= 0 &&
+        static_cast<size_t>(table_spec.default_action) >= table_spec.actions.size()) {
+      return InvalidArgumentError("table '" + table_spec.name +
+                                  "' default action index out of range");
+    }
+    for (const TableEntry& entry : table_spec.initial_entries) {
+      if (entry.action_index >= 0 &&
+          static_cast<size_t>(entry.action_index) >= table_spec.actions.size()) {
+        return InvalidArgumentError("table '" + table_spec.name +
+                                    "' entry action index out of range");
+      }
+    }
+    planned.push_back(PlannedTable{hook, kind});
+  }
+
+  // Phase 2: build the runtime program.
+  auto program = std::unique_ptr<InstalledProgram>(new InstalledProgram(spec, hooks_));
+  for (const MapSpec& map_spec : spec.maps) {
+    RKD_ASSIGN_OR_RETURN(int64_t map_id, program->maps_.Create(map_spec.kind, map_spec.capacity));
+    (void)map_id;
+  }
+  for (uint32_t i = 0; i < spec.model_slots; ++i) {
+    program->models_.AddSlot();
+  }
+  for (const FixedMatrix& tensor : spec.tensors) {
+    program->tensors_.Add(tensor);
+  }
+
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    const RmtTableSpec& table_spec = spec.tables[t];
+    RmtTable table(table_spec.name, table_spec.match_kind, table_spec.max_entries);
+    for (const TableEntry& entry : table_spec.initial_entries) {
+      RKD_RETURN_IF_ERROR(table.Insert(entry));
+    }
+    auto attached = std::make_unique<AttachedTable>(std::move(table), planned[t].hook,
+                                                    planned[t].kind, tier);
+
+    std::vector<CompiledProgram> compiled;
+    compiled.reserve(table_spec.actions.size());
+    for (const BytecodeProgram& action : table_spec.actions) {
+      RKD_ASSIGN_OR_RETURN(CompiledProgram cp, CompiledProgram::Compile(action));
+      compiled.push_back(std::move(cp));
+    }
+    attached->set_actions(table_spec.actions, std::move(compiled), table_spec.default_action);
+
+    // Helper environment: program-owned services plus this hook's bindings.
+    auto services = std::make_unique<HelperServices>();
+    const SubsystemBindings& bindings = hooks_->BindingsOf(planned[t].hook);
+    services->now = bindings.now;
+    services->ctxt = &program->ctxt_;
+    services->sample_ring = &program->sample_ring_;
+    services->rate_limiter = &program->rate_limiter_;
+    services->dp_noise = &program->dp_noise_;
+    services->prefetch_emit = bindings.prefetch_emit;
+    services->priority_hint = bindings.priority_hint;
+    services->prediction_log = &program->prediction_log_;
+
+    VmEnv env;
+    env.ctxt = &program->ctxt_;
+    env.maps = &program->maps_;
+    env.models = &program->models_;
+    env.tensors = &program->tensors_;
+    env.helpers = services.get();
+    attached->set_env(env, services.get());
+
+    program->services_.push_back(std::move(services));
+    program->tables_.push_back(std::move(attached));
+  }
+
+  // Phase 3: tail-call wiring. Table id i resolves to table i's default
+  // action ("models can also be cascaded using TAIL_CALL").
+  InstalledProgram* raw = program.get();
+  for (const auto& attached : raw->tables_) {
+    attached->set_tail_resolver(
+        [raw](int64_t table_id) -> const CompiledProgram* {
+          if (table_id < 0 || static_cast<size_t>(table_id) >= raw->tables_.size()) {
+            return nullptr;
+          }
+          return raw->tables_[static_cast<size_t>(table_id)]->compiled_default();
+        },
+        [raw](int64_t table_id) -> const BytecodeProgram* {
+          if (table_id < 0 || static_cast<size_t>(table_id) >= raw->tables_.size()) {
+            return nullptr;
+          }
+          return raw->tables_[static_cast<size_t>(table_id)]->default_action_program();
+        });
+  }
+
+  // Phase 4: attach to the datapath (the point of no return).
+  for (const auto& attached : raw->tables_) {
+    RKD_RETURN_IF_ERROR(hooks_->Attach(attached->hook(), attached.get()));
+  }
+  raw->attached_ = true;
+
+  Slot slot;
+  slot.program = std::move(program);
+  slots_.push_back(std::move(slot));
+  return static_cast<ProgramHandle>(slots_.size()) - 1;
+}
+
+ControlPlane::Slot* ControlPlane::FindSlot(ProgramHandle handle) {
+  if (handle < 0 || static_cast<size_t>(handle) >= slots_.size()) {
+    return nullptr;
+  }
+  Slot& slot = slots_[static_cast<size_t>(handle)];
+  return slot.program != nullptr ? &slot : nullptr;
+}
+
+Status ControlPlane::Uninstall(ProgramHandle handle) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  slot->program.reset();  // destructor detaches from hooks
+  return OkStatus();
+}
+
+InstalledProgram* ControlPlane::Get(ProgramHandle handle) {
+  Slot* slot = FindSlot(handle);
+  return slot == nullptr ? nullptr : slot->program.get();
+}
+
+Status ControlPlane::AddEntry(ProgramHandle handle, std::string_view table,
+                              const TableEntry& entry) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  AttachedTable* attached = slot->program->FindTable(table);
+  if (attached == nullptr) {
+    return NotFoundError("no table named '" + std::string(table) + "'");
+  }
+  if (entry.action_index >= 0 &&
+      static_cast<size_t>(entry.action_index) >= attached->action_count()) {
+    return InvalidArgumentError("entry action index out of range");
+  }
+  return attached->table().Insert(entry);
+}
+
+Status ControlPlane::RemoveEntry(ProgramHandle handle, std::string_view table, uint64_t key,
+                                 uint64_t key2) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  AttachedTable* attached = slot->program->FindTable(table);
+  if (attached == nullptr) {
+    return NotFoundError("no table named '" + std::string(table) + "'");
+  }
+  return attached->table().Remove(key, key2);
+}
+
+Status ControlPlane::ModifyEntry(ProgramHandle handle, std::string_view table, uint64_t key,
+                                 uint64_t key2, int32_t action_index, int64_t model_slot) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  AttachedTable* attached = slot->program->FindTable(table);
+  if (attached == nullptr) {
+    return NotFoundError("no table named '" + std::string(table) + "'");
+  }
+  if (action_index >= 0 && static_cast<size_t>(action_index) >= attached->action_count()) {
+    return InvalidArgumentError("entry action index out of range");
+  }
+  return attached->table().Modify(key, key2, action_index, model_slot);
+}
+
+Status ControlPlane::InstallModel(ProgramHandle handle, int64_t slot_id, ModelPtr model) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (model != nullptr) {
+    // Cost-model re-check at swap time: the tightest budget among the hooks
+    // this program's tables attach to bounds any model it may host.
+    uint64_t tightest = ~0ull;
+    for (const auto& table : slot->program->tables()) {
+      const HookBudget budget =
+          verifier_config_.budget_override != nullptr ? *verifier_config_.budget_override
+                                                      : BudgetForHook(table->hook_kind());
+      tightest = std::min(tightest, budget.max_work_units);
+    }
+    const uint64_t work = model->Cost().WorkUnits();
+    if (work > tightest) {
+      return VerificationFailedError(
+          "model work units " + std::to_string(work) + " exceed the tightest hook budget " +
+          std::to_string(tightest) + " (distill or compress the model first)");
+    }
+  }
+  return slot->program->models().Install(slot_id, std::move(model));
+}
+
+Status ControlPlane::WriteMap(ProgramHandle handle, int64_t map_id, int64_t key, int64_t value) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  RmtMap* map = slot->program->maps().Get(map_id);
+  if (map == nullptr) {
+    return NotFoundError("map " + std::to_string(map_id) + " does not exist");
+  }
+  if (!map->Update(key, value)) {
+    return OutOfRangeError("map update rejected (key range or capacity)");
+  }
+  return OkStatus();
+}
+
+Result<int64_t> ControlPlane::ReadMap(ProgramHandle handle, int64_t map_id, int64_t key) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  RmtMap* map = slot->program->maps().Get(map_id);
+  if (map == nullptr) {
+    return NotFoundError("map " + std::to_string(map_id) + " does not exist");
+  }
+  return map->Lookup(key).value_or(0);
+}
+
+Status ControlPlane::EnableAdaptation(ProgramHandle handle, const AdaptationConfig& config) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (slot->program->maps().Get(config.config_map) == nullptr) {
+    return NotFoundError("adaptation config map does not exist");
+  }
+  slot->adaptation_enabled = true;
+  slot->adaptation = config;
+  // Initialize the knob at the aggressive end; adaptation walks it down.
+  return WriteMap(handle, config.config_map, config.knob_key, config.max_value);
+}
+
+Result<int64_t> ControlPlane::Tick(ProgramHandle handle) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (!slot->adaptation_enabled) {
+    return FailedPreconditionError("adaptation not enabled for this program");
+  }
+  const AdaptationConfig& config = slot->adaptation;
+  PredictionLog& log = slot->program->prediction_log();
+  RKD_ASSIGN_OR_RETURN(int64_t knob,
+                       ReadMap(handle, config.config_map, config.knob_key));
+  if (log.total_resolved() >= config.min_samples) {
+    const double accuracy = log.accuracy();
+    if (accuracy < config.low_accuracy) {
+      knob = std::max(config.min_value, knob - 1);  // be more conservative
+    } else if (accuracy > config.high_accuracy) {
+      knob = std::min(config.max_value, knob + 1);  // recover aggressiveness
+    }
+    log.ResetCounters();
+    RKD_RETURN_IF_ERROR(WriteMap(handle, config.config_map, config.knob_key, knob));
+  }
+  return knob;
+}
+
+size_t ControlPlane::installed_count() const {
+  size_t count = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.program != nullptr) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace rkd

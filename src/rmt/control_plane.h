@@ -1,0 +1,98 @@
+// The RMT control plane (paper section 3.1, "Updating RMT entries").
+//
+// "The RMT datapath represent decision points, but their policies are
+// reconfigured via the control plane API. This API supports adding, removing,
+// modifying match/action entries and ML models." Install() is the admission
+// path: every action program runs through the RMT verifier against its hook's
+// budget before anything touches a hook point; InstallModel() re-applies the
+// cost model at model-swap time, so a hot-swapped model can never bust the
+// budget its table was admitted under.
+//
+// The adaptation loop implements the accuracy-driven reconfiguration the
+// paper sketches: "if the prefetching accuracy falls below a threshold, the
+// control plane will recompute ML decisions to be more conservative in
+// prefetching". Here the conservatism knob is a cell in the program's config
+// map that actions read (e.g. prefetch depth); Tick() moves it down when the
+// prediction log's rolling accuracy is poor and back up when it recovers.
+#ifndef SRC_RMT_CONTROL_PLANE_H_
+#define SRC_RMT_CONTROL_PLANE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/rmt/pipeline.h"
+#include "src/verifier/verifier.h"
+
+namespace rkd {
+
+class ControlPlane {
+ public:
+  using ProgramHandle = int64_t;
+
+  explicit ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config = {})
+      : hooks_(hooks), verifier_config_(verifier_config) {}
+
+  // Verifies, compiles, and attaches `spec`. On any verification failure
+  // nothing is installed and the error carries the first diagnostic.
+  Result<ProgramHandle> Install(const RmtProgramSpec& spec, ExecTier tier = ExecTier::kJit);
+
+  // Detaches all tables and destroys the program's state.
+  Status Uninstall(ProgramHandle handle);
+
+  InstalledProgram* Get(ProgramHandle handle);
+
+  // --- Entry management (runtime reconfiguration) ---
+  Status AddEntry(ProgramHandle handle, std::string_view table, const TableEntry& entry);
+  Status RemoveEntry(ProgramHandle handle, std::string_view table, uint64_t key,
+                     uint64_t key2 = 0);
+  Status ModifyEntry(ProgramHandle handle, std::string_view table, uint64_t key, uint64_t key2,
+                     int32_t action_index, int64_t model_slot = -1);
+
+  // --- Model management ---
+  // Installs `model` into `slot`, re-checking the verifier cost model against
+  // the tightest hook budget among the program's tables.
+  Status InstallModel(ProgramHandle handle, int64_t slot, ModelPtr model);
+
+  // --- Map access from "userspace" ---
+  Status WriteMap(ProgramHandle handle, int64_t map_id, int64_t key, int64_t value);
+  Result<int64_t> ReadMap(ProgramHandle handle, int64_t map_id, int64_t key);
+
+  // --- Accuracy-driven adaptation ---
+  struct AdaptationConfig {
+    double low_accuracy = 0.5;   // below: decrement the knob
+    double high_accuracy = 0.8;  // above: increment the knob
+    uint64_t min_samples = 32;   // resolved predictions needed per decision
+    int64_t config_map = 0;      // map holding the knob
+    int64_t knob_key = 0;        // key of the knob cell
+    int64_t min_value = 1;
+    int64_t max_value = 8;
+  };
+  Status EnableAdaptation(ProgramHandle handle, const AdaptationConfig& config);
+
+  // Evaluates the program's prediction log and adjusts the knob. Call
+  // periodically (the paper's control plane runs this off the datapath).
+  // Returns the knob value after adjustment, or an error if adaptation is
+  // not enabled.
+  Result<int64_t> Tick(ProgramHandle handle);
+
+  size_t installed_count() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<InstalledProgram> program;
+    bool adaptation_enabled = false;
+    AdaptationConfig adaptation;
+  };
+
+  Slot* FindSlot(ProgramHandle handle);
+
+  HookRegistry* hooks_;  // not owned
+  VerifierConfig verifier_config_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_RMT_CONTROL_PLANE_H_

@@ -1,0 +1,95 @@
+#include "src/rmt/hooks.h"
+
+#include <algorithm>
+
+#include "src/rmt/pipeline.h"
+
+namespace rkd {
+
+Result<HookId> HookRegistry::Register(std::string name, HookKind kind,
+                                      SubsystemBindings bindings) {
+  for (const Hook& hook : hooks_) {
+    if (hook.name == name) {
+      return AlreadyExistsError("hook '" + name + "' is already registered");
+    }
+  }
+  Hook hook;
+  hook.name = std::move(name);
+  hook.kind = kind;
+  hook.bindings = std::move(bindings);
+  hooks_.push_back(std::move(hook));
+  return static_cast<HookId>(hooks_.size()) - 1;
+}
+
+Result<HookId> HookRegistry::Lookup(std::string_view name) const {
+  for (size_t i = 0; i < hooks_.size(); ++i) {
+    if (hooks_[i].name == name) {
+      return static_cast<HookId>(i);
+    }
+  }
+  return NotFoundError("hook '" + std::string(name) + "' is not registered");
+}
+
+HookKind HookRegistry::KindOf(HookId id) const {
+  return Valid(id) ? hooks_[static_cast<size_t>(id)].kind : HookKind::kGeneric;
+}
+
+const std::string& HookRegistry::NameOf(HookId id) const {
+  static const std::string kUnknown = "<invalid hook>";
+  return Valid(id) ? hooks_[static_cast<size_t>(id)].name : kUnknown;
+}
+
+const SubsystemBindings& HookRegistry::BindingsOf(HookId id) const {
+  static const SubsystemBindings kEmpty;
+  return Valid(id) ? hooks_[static_cast<size_t>(id)].bindings : kEmpty;
+}
+
+int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> args) {
+  if (!Valid(id)) {
+    return kHookFallback;
+  }
+  Hook& hook = hooks_[static_cast<size_t>(id)];
+  ++hook.stats.fires;
+  int64_t result = kHookFallback;
+  for (AttachedTable* table : hook.tables) {
+    Result<int64_t> action = table->Execute(key, args);
+    if (action.ok()) {
+      ++hook.stats.actions_run;
+      if (*action != kHookFallback) {
+        result = *action;
+      }
+    } else {
+      // Datapath rule: a faulting action degrades to stock behaviour.
+      ++hook.stats.exec_errors;
+    }
+  }
+  return result;
+}
+
+Status HookRegistry::Attach(HookId id, AttachedTable* table) {
+  if (!Valid(id)) {
+    return NotFoundError("cannot attach to invalid hook id");
+  }
+  hooks_[static_cast<size_t>(id)].tables.push_back(table);
+  return OkStatus();
+}
+
+Status HookRegistry::Detach(HookId id, AttachedTable* table) {
+  if (!Valid(id)) {
+    return NotFoundError("cannot detach from invalid hook id");
+  }
+  auto& tables = hooks_[static_cast<size_t>(id)].tables;
+  const auto it = std::find(tables.begin(), tables.end(), table);
+  if (it == tables.end()) {
+    return NotFoundError("table is not attached to this hook");
+  }
+  tables.erase(it);
+  return OkStatus();
+}
+
+const HookRegistry::HookStats& HookRegistry::StatsOf(HookId id) const {
+  static const HookStats kEmpty;
+  return Valid(id) ? hooks_[static_cast<size_t>(id)].stats : kEmpty;
+}
+
+}  // namespace rkd

@@ -1,0 +1,89 @@
+// Hook points: where RMT tables meet the kernel datapath.
+//
+// A kernel subsystem registers each of its performance-critical decision
+// sites as a named hook ("mm.lookup_swap_cache", "sched.can_migrate_task",
+// ...) together with the subsystem services programs at that site may use
+// (virtual clock, the prefetch sink, the priority-hint sink). The control
+// plane attaches verified tables to hooks; the subsystem fires the hook on
+// its datapath and gets back the action's decision.
+//
+// Fire() is datapath code: it cannot propagate Status. Execution errors are
+// counted and reported through stats, and the hook returns the fallback
+// value so the kernel's default behaviour resumes — a misbehaving RMT
+// program degrades to stock-kernel behaviour, never to a crash.
+#ifndef SRC_RMT_HOOKS_H_
+#define SRC_RMT_HOOKS_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+
+namespace rkd {
+
+class AttachedTable;  // defined in src/rmt/pipeline.h
+
+using HookId = int32_t;
+inline constexpr HookId kInvalidHook = -1;
+
+// Subsystem-provided services, copied into the helper environment of every
+// table attached to the hook.
+struct SubsystemBindings {
+  std::function<uint64_t()> now;
+  std::function<void(int64_t, int64_t)> prefetch_emit;   // (first_page, count)
+  std::function<void(int64_t, int64_t)> priority_hint;   // (task, bias)
+};
+
+// The fallback value Fire() returns when no table is attached or the action
+// faulted; the call site treats it exactly like "RMT not present".
+inline constexpr int64_t kHookFallback = -1;
+
+class HookRegistry {
+ public:
+  // Registers a hook point. Fails on duplicate names.
+  Result<HookId> Register(std::string name, HookKind kind, SubsystemBindings bindings = {});
+
+  Result<HookId> Lookup(std::string_view name) const;
+  HookKind KindOf(HookId id) const;
+  const std::string& NameOf(HookId id) const;
+  const SubsystemBindings& BindingsOf(HookId id) const;
+  size_t size() const { return hooks_.size(); }
+
+  // Datapath entry point: runs every attached table's match+action in attach
+  // order with (key, args) and returns the last action's r0, or kHookFallback
+  // when nothing ran.
+  int64_t Fire(HookId id, uint64_t key, std::span<const int64_t> args = {});
+
+  // Attachment management (control plane only).
+  Status Attach(HookId id, AttachedTable* table);
+  Status Detach(HookId id, AttachedTable* table);
+
+  struct HookStats {
+    uint64_t fires = 0;
+    uint64_t actions_run = 0;
+    uint64_t exec_errors = 0;
+  };
+  const HookStats& StatsOf(HookId id) const;
+
+ private:
+  struct Hook {
+    std::string name;
+    HookKind kind;
+    SubsystemBindings bindings;
+    std::vector<AttachedTable*> tables;  // not owned; owned by ControlPlane
+    HookStats stats;
+  };
+
+  bool Valid(HookId id) const { return id >= 0 && static_cast<size_t>(id) < hooks_.size(); }
+
+  std::vector<Hook> hooks_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_RMT_HOOKS_H_

@@ -1,0 +1,100 @@
+#include "src/rmt/introspect.h"
+
+#include <sstream>
+
+#include "src/bytecode/disassembler.h"
+
+namespace rkd {
+
+namespace {
+
+void DumpTable(const AttachedTable& attached, const IntrospectOptions& options,
+               std::ostringstream& out) {
+  const RmtTable& table = attached.table();
+  out << "table '" << table.name() << "' (" << MatchKindName(table.match_kind())
+      << " match, hook kind " << HookKindName(attached.hook_kind()) << ", tier "
+      << (attached.tier() == ExecTier::kJit ? "jit" : "interpreter") << ")\n";
+  out << "  entries " << table.size() << "/" << table.max_entries() << ", hits "
+      << table.hits() << ", misses " << table.misses() << ", executions "
+      << attached.executions() << "\n";
+  if (options.list_entries) {
+    size_t listed = 0;
+    for (const TableEntry& entry : table.entries()) {
+      if (listed++ >= options.max_entries_listed) {
+        out << "    ... (" << table.size() - options.max_entries_listed << " more)\n";
+        break;
+      }
+      out << "    key=" << entry.key;
+      if (table.match_kind() == MatchKind::kLpm) {
+        out << "/" << entry.key2;
+      } else if (table.match_kind() == MatchKind::kRange) {
+        out << ".." << entry.key2;
+      } else if (table.match_kind() == MatchKind::kTernary) {
+        out << " mask=" << entry.key2 << " prio=" << entry.priority;
+      }
+      out << " -> action " << entry.action_index;
+      if (entry.model_slot >= 0) {
+        out << " (model slot " << entry.model_slot << ")";
+      }
+      out << "\n";
+    }
+  }
+  if (options.disassemble_actions) {
+    const BytecodeProgram* action = attached.default_action_program();
+    if (action != nullptr) {
+      std::istringstream listing(Disassemble(*action));
+      std::string line;
+      out << "  default action:\n";
+      while (std::getline(listing, line)) {
+        out << "    " << line << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string DumpProgram(InstalledProgram& program, const IntrospectOptions& options) {
+  std::ostringstream out;
+  out << "=== program '" << program.name() << "' ===\n";
+
+  for (const auto& attached : program.tables()) {
+    DumpTable(*attached, options, out);
+  }
+
+  out << "context store: " << program.context().size() << "/"
+      << program.context().max_entries() << " keys\n";
+
+  out << "model slots: " << program.models().size() << "\n";
+  for (size_t slot = 0; slot < program.models().size(); ++slot) {
+    const ModelPtr model = program.models().Get(static_cast<int64_t>(slot));
+    out << "  slot " << slot << ": ";
+    if (model == nullptr) {
+      out << "(empty)\n";
+      continue;
+    }
+    const ModelCost cost = model->Cost();
+    out << model->kind() << ", " << model->num_features() << " features, " << cost.macs
+        << " MACs + " << cost.comparisons << " cmps = " << cost.WorkUnits()
+        << " work units, " << cost.param_bytes << " bytes\n";
+  }
+
+  out << "maps: " << program.maps().size() << "\n";
+  for (size_t id = 0; id < program.maps().size(); ++id) {
+    const RmtMap* map = program.maps().Get(static_cast<int64_t>(id));
+    out << "  map " << id << ": " << MapKindName(map->kind()) << ", " << map->size() << "/"
+        << map->capacity() << "\n";
+  }
+
+  out << "monitoring ring: " << program.sample_ring().size() << " pending, "
+      << program.sample_ring().dropped() << " dropped\n";
+  out << "prediction log: " << program.prediction_log().total_resolved() << " resolved, "
+      << "rolling accuracy "
+      << static_cast<int>(program.prediction_log().accuracy() * 100 + 0.5) << "%\n";
+  out << "privacy budget: " << program.privacy_budget().remaining() << " epsilon remaining ("
+      << program.privacy_budget().queries_answered() << " answered, "
+      << program.privacy_budget().queries_refused() << " refused)\n";
+  return out.str();
+}
+
+}  // namespace rkd

@@ -1,0 +1,25 @@
+// Introspection: a human-readable dump of an installed program's state —
+// the `bpftool`-style operator view. Tables with entries and hit counters,
+// per-action disassembly, model slots with cost-model numbers, map contents
+// summaries, rate-limit and privacy-budget standing.
+#ifndef SRC_RMT_INTROSPECT_H_
+#define SRC_RMT_INTROSPECT_H_
+
+#include <string>
+
+#include "src/rmt/pipeline.h"
+
+namespace rkd {
+
+struct IntrospectOptions {
+  bool disassemble_actions = true;
+  bool list_entries = true;
+  size_t max_entries_listed = 16;
+};
+
+// Renders the full state of `program` as text.
+std::string DumpProgram(InstalledProgram& program, const IntrospectOptions& options = {});
+
+}  // namespace rkd
+
+#endif  // SRC_RMT_INTROSPECT_H_

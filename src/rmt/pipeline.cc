@@ -1,0 +1,96 @@
+#include "src/rmt/pipeline.h"
+
+namespace rkd {
+
+// --- AttachedTable ---
+
+void AttachedTable::set_actions(std::vector<BytecodeProgram> actions,
+                                std::vector<CompiledProgram> compiled,
+                                int32_t default_action) {
+  actions_ = std::move(actions);
+  compiled_ = std::move(compiled);
+  default_action_ = default_action;
+}
+
+void AttachedTable::set_env(VmEnv env, HelperServices* services) {
+  env_ = std::move(env);
+  services_ = services;
+}
+
+void AttachedTable::set_tail_resolver(
+    CompiledProgram::Resolver resolver,
+    std::function<const BytecodeProgram*(int64_t)> interp_resolver) {
+  tail_resolver_ = std::move(resolver);
+  env_.resolve_table = std::move(interp_resolver);
+}
+
+const CompiledProgram* AttachedTable::compiled_default() const {
+  if (default_action_ < 0 || static_cast<size_t>(default_action_) >= compiled_.size()) {
+    return nullptr;
+  }
+  return &compiled_[static_cast<size_t>(default_action_)];
+}
+
+const BytecodeProgram* AttachedTable::default_action_program() const {
+  if (default_action_ < 0 || static_cast<size_t>(default_action_) >= actions_.size()) {
+    return nullptr;
+  }
+  return &actions_[static_cast<size_t>(default_action_)];
+}
+
+Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> args) {
+  const TableEntry* entry = table_.Match(key);
+  const int32_t action_index = entry != nullptr ? entry->action_index : default_action_;
+  // A matched entry with action -1 inherits the default action; a miss with
+  // no default action is a deliberate no-op.
+  const int32_t effective = action_index >= 0 ? action_index : default_action_;
+  if (effective < 0 || static_cast<size_t>(effective) >= actions_.size()) {
+    return static_cast<int64_t>(kHookFallback);
+  }
+  ++executions_;
+
+  // r1 = match key, r2..r5 = hook arguments (truncated to four).
+  int64_t call_args[5] = {static_cast<int64_t>(key), 0, 0, 0, 0};
+  const size_t extra = args.size() < 4 ? args.size() : 4;
+  for (size_t i = 0; i < extra; ++i) {
+    call_args[i + 1] = args[i];
+  }
+  const std::span<const int64_t> arg_span(call_args, 1 + extra);
+
+  if (tier_ == ExecTier::kJit) {
+    return compiled_[static_cast<size_t>(effective)].Run(env_, arg_span, nullptr,
+                                                         tail_resolver_);
+  }
+  const Interpreter interp(env_);
+  return interp.Run(actions_[static_cast<size_t>(effective)], arg_span);
+}
+
+// --- InstalledProgram ---
+
+InstalledProgram::InstalledProgram(const RmtProgramSpec& spec, HookRegistry* hooks)
+    : name_(spec.name),
+      hooks_(hooks),
+      rate_limiter_(spec.rate_limit_capacity, spec.rate_limit_refill),
+      privacy_budget_(spec.privacy_epsilon, spec.epsilon_per_query),
+      dp_noise_(&privacy_budget_, spec.dp_sensitivity, spec.seed),
+      sample_ring_(4096) {}
+
+InstalledProgram::~InstalledProgram() {
+  if (!attached_) {
+    return;
+  }
+  for (const auto& table : tables_) {
+    (void)hooks_->Detach(table->hook(), table.get());
+  }
+}
+
+AttachedTable* InstalledProgram::FindTable(std::string_view table_name) {
+  for (const auto& table : tables_) {
+    if (table->table().name() == table_name) {
+      return table.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rkd

@@ -1,0 +1,155 @@
+// The installable program unit and its runtime form.
+//
+// An RmtProgramSpec is what "userspace" hands to the control plane: table
+// definitions (each with its action programs and initial entries), sized
+// maps, model slots, and weight tensors — the `rmt_prefetch_prog` bundle of
+// the paper's Figure 1. After verification the spec becomes an
+// InstalledProgram: tables with compiled actions, a private execution
+// environment (context store, maps, model/tensor registries, rate limiter,
+// privacy budget, prediction log), attached to its hook points.
+#ifndef SRC_RMT_PIPELINE_H_
+#define SRC_RMT_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+#include "src/ml/model_registry.h"
+#include "src/rmt/hooks.h"
+#include "src/rmt/table.h"
+#include "src/vm/jit.h"
+#include "src/vm/vm.h"
+
+namespace rkd {
+
+enum class ExecTier { kInterpreter, kJit };
+
+struct RmtTableSpec {
+  std::string name;
+  std::string hook_point;  // registered hook name this table attaches to
+  MatchKind match_kind = MatchKind::kExact;
+  size_t max_entries = 1024;
+  // Action programs; entries reference them by index. The hook kind of every
+  // action must equal the hook point's kind (verified at install).
+  std::vector<BytecodeProgram> actions;
+  int32_t default_action = -1;  // action on table miss; -1 = no-op
+  std::vector<TableEntry> initial_entries;
+};
+
+struct MapSpec {
+  MapKind kind = MapKind::kArray;
+  size_t capacity = 64;
+};
+
+struct RmtProgramSpec {
+  std::string name;
+  std::vector<RmtTableSpec> tables;
+  std::vector<MapSpec> maps;
+  uint32_t model_slots = 0;
+  std::vector<FixedMatrix> tensors;
+
+  // Runtime-policy knobs owned by the installed program.
+  int64_t rate_limit_capacity = 64;     // token bucket size per key
+  int64_t rate_limit_refill = 4;        // tokens per virtual-time tick
+  double privacy_epsilon = 1.0;         // total DP budget
+  double epsilon_per_query = 0.1;
+  double dp_sensitivity = 1.0;
+  uint64_t seed = 42;                   // DP noise determinism
+};
+
+// One table at runtime: the match structure plus its compiled actions and
+// the helper environment every action of this table executes in.
+class AttachedTable {
+ public:
+  AttachedTable(RmtTable table, HookId hook, HookKind hook_kind, ExecTier tier)
+      : table_(std::move(table)), hook_(hook), hook_kind_(hook_kind), tier_(tier) {}
+
+  // Matches `key` and runs the selected action with r1 = key, r2.. = args.
+  // kHookFallback on no-action; execution errors surface as Status.
+  Result<int64_t> Execute(uint64_t key, std::span<const int64_t> args);
+
+  RmtTable& table() { return table_; }
+  const RmtTable& table() const { return table_; }
+  HookId hook() const { return hook_; }
+  HookKind hook_kind() const { return hook_kind_; }
+  ExecTier tier() const { return tier_; }
+
+  // Wiring performed by ControlPlane at install time.
+  void set_actions(std::vector<BytecodeProgram> actions,
+                   std::vector<CompiledProgram> compiled, int32_t default_action);
+  void set_env(VmEnv env, HelperServices* services);
+  void set_tail_resolver(CompiledProgram::Resolver resolver,
+                         std::function<const BytecodeProgram*(int64_t)> interp_resolver);
+
+  const CompiledProgram* compiled_default() const;
+  const BytecodeProgram* default_action_program() const;
+  size_t action_count() const { return actions_.size(); }
+  uint64_t executions() const { return executions_; }
+
+ private:
+  RmtTable table_;
+  HookId hook_;
+  HookKind hook_kind_;
+  ExecTier tier_;
+
+  std::vector<BytecodeProgram> actions_;
+  std::vector<CompiledProgram> compiled_;
+  int32_t default_action_ = -1;
+
+  VmEnv env_;
+  HelperServices* services_ = nullptr;  // owned by InstalledProgram
+  CompiledProgram::Resolver tail_resolver_;
+  uint64_t executions_ = 0;
+
+  friend class InstalledProgram;
+};
+
+// The runtime form of one installed RmtProgramSpec, owning all its state.
+class InstalledProgram {
+ public:
+  ~InstalledProgram();
+  InstalledProgram(const InstalledProgram&) = delete;
+  InstalledProgram& operator=(const InstalledProgram&) = delete;
+
+  const std::string& name() const { return name_; }
+  ContextStore& context() { return ctxt_; }
+  MapSet& maps() { return maps_; }
+  ModelRegistry& models() { return models_; }
+  TensorRegistry& tensors() { return tensors_; }
+  PredictionLog& prediction_log() { return prediction_log_; }
+  RingMap& sample_ring() { return sample_ring_; }
+  PrivacyBudget& privacy_budget() { return privacy_budget_; }
+  RateLimiter& rate_limiter() { return rate_limiter_; }
+
+  AttachedTable* FindTable(std::string_view table_name);
+  const std::vector<std::unique_ptr<AttachedTable>>& tables() const { return tables_; }
+
+ private:
+  friend class ControlPlane;
+  InstalledProgram(const RmtProgramSpec& spec, HookRegistry* hooks);
+
+  std::string name_;
+  HookRegistry* hooks_;  // not owned
+
+  ContextStore ctxt_;
+  MapSet maps_;
+  ModelRegistry models_;
+  TensorRegistry tensors_;
+  RateLimiter rate_limiter_;
+  PrivacyBudget privacy_budget_;
+  DpNoiseSource dp_noise_;
+  PredictionLog prediction_log_;
+  RingMap sample_ring_;
+
+  // One HelperServices per table (hook bindings differ per table).
+  std::vector<std::unique_ptr<HelperServices>> services_;
+  std::vector<std::unique_ptr<AttachedTable>> tables_;
+  bool attached_ = false;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_RMT_PIPELINE_H_

@@ -1,0 +1,42 @@
+#include "src/rmt/syscall.h"
+
+namespace rkd {
+
+Result<int64_t> RmtSyscall(ControlPlane& cp, RmtCmd cmd, const RmtSyscallArgs& args) {
+  switch (cmd) {
+    case RmtCmd::kProgLoad: {
+      if (args.spec == nullptr) {
+        return InvalidArgumentError("kProgLoad requires a program spec");
+      }
+      RKD_ASSIGN_OR_RETURN(ControlPlane::ProgramHandle handle,
+                           cp.Install(*args.spec, args.tier));
+      return static_cast<int64_t>(handle);
+    }
+    case RmtCmd::kProgUnload:
+      RKD_RETURN_IF_ERROR(cp.Uninstall(args.handle));
+      return 0;
+    case RmtCmd::kEntryAdd:
+      RKD_RETURN_IF_ERROR(cp.AddEntry(args.handle, args.table, args.entry));
+      return 0;
+    case RmtCmd::kEntryRemove:
+      RKD_RETURN_IF_ERROR(cp.RemoveEntry(args.handle, args.table, args.key, args.key2));
+      return 0;
+    case RmtCmd::kEntryModify:
+      RKD_RETURN_IF_ERROR(cp.ModifyEntry(args.handle, args.table, args.entry.key,
+                                         args.entry.key2, args.entry.action_index,
+                                         args.entry.model_slot));
+      return 0;
+    case RmtCmd::kModelInstall:
+      RKD_RETURN_IF_ERROR(cp.InstallModel(args.handle, args.slot, args.model));
+      return 0;
+    case RmtCmd::kMapWrite:
+      RKD_RETURN_IF_ERROR(
+          cp.WriteMap(args.handle, args.map_id, static_cast<int64_t>(args.key), args.value));
+      return 0;
+    case RmtCmd::kMapRead:
+      return cp.ReadMap(args.handle, args.map_id, static_cast<int64_t>(args.key));
+  }
+  return InvalidArgumentError("unknown RMT syscall command");
+}
+
+}  // namespace rkd

@@ -1,0 +1,53 @@
+// The syscall-style front door of Figure 1 (`syscall_rmt()`).
+//
+// In the paper, RMT programs are "compiled into machine-independent bytecode,
+// and installed via a system call". RmtSyscall is that narrow waist: a single
+// command-multiplexed entry point over the control plane, mirroring how
+// bpf(2) multiplexes its subcommands. Library users can call ControlPlane
+// directly; the syscall layer exists so the examples (and any future
+// serialized-program loader) exercise the same shape of interface a kernel
+// would expose.
+#ifndef SRC_RMT_SYSCALL_H_
+#define SRC_RMT_SYSCALL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/rmt/control_plane.h"
+
+namespace rkd {
+
+enum class RmtCmd {
+  kProgLoad,      // install a program spec
+  kProgUnload,    // uninstall
+  kEntryAdd,      // add a match/action entry
+  kEntryRemove,   // remove an entry
+  kEntryModify,   // rebind an entry's action/model
+  kModelInstall,  // install/replace a model in a slot
+  kMapWrite,      // write a map cell from userspace
+  kMapRead,       // read a map cell from userspace
+};
+
+// Argument bundle: only the fields a given command reads need to be set.
+struct RmtSyscallArgs {
+  const RmtProgramSpec* spec = nullptr;  // kProgLoad
+  ExecTier tier = ExecTier::kJit;        // kProgLoad
+  ControlPlane::ProgramHandle handle = -1;
+  std::string_view table;                // entry commands
+  TableEntry entry;                      // kEntryAdd / kEntryModify
+  uint64_t key = 0;                      // kEntryRemove / map commands
+  uint64_t key2 = 0;
+  int64_t slot = -1;                     // kModelInstall
+  ModelPtr model;                        // kModelInstall
+  int64_t map_id = 0;                    // map commands
+  int64_t value = 0;                     // kMapWrite
+};
+
+// Executes one command against `cp`. The int64 result is the new program
+// handle (kProgLoad), the read value (kMapRead), or 0.
+Result<int64_t> RmtSyscall(ControlPlane& cp, RmtCmd cmd, const RmtSyscallArgs& args);
+
+}  // namespace rkd
+
+#endif  // SRC_RMT_SYSCALL_H_

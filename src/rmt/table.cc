@@ -1,0 +1,149 @@
+#include "src/rmt/table.h"
+
+#include <algorithm>
+
+namespace rkd {
+
+std::string_view MatchKindName(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kExact:
+      return "exact";
+    case MatchKind::kLpm:
+      return "lpm";
+    case MatchKind::kRange:
+      return "range";
+    case MatchKind::kTernary:
+      return "ternary";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// True when `key` falls under an LPM entry matching the top `bits` bits.
+bool LpmMatches(uint64_t key, uint64_t value, uint64_t bits) {
+  if (bits == 0) {
+    return true;  // default route
+  }
+  if (bits >= 64) {
+    return key == value;
+  }
+  const uint64_t mask = ~0ull << (64 - bits);
+  return (key & mask) == (value & mask);
+}
+
+}  // namespace
+
+RmtTable::RmtTable(std::string name, MatchKind match_kind, size_t max_entries)
+    : name_(std::move(name)), match_kind_(match_kind), max_entries_(max_entries) {}
+
+const TableEntry* RmtTable::FindSpec(uint64_t key, uint64_t key2) const {
+  for (const TableEntry& entry : entries_) {
+    if (entry.key == key && entry.key2 == key2) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+Status RmtTable::Insert(const TableEntry& entry) {
+  if (entries_.size() >= max_entries_) {
+    return ResourceExhaustedError("table '" + name_ + "' is full (" +
+                                  std::to_string(max_entries_) + " entries)");
+  }
+  if (FindSpec(entry.key, entry.key2) != nullptr) {
+    return AlreadyExistsError("table '" + name_ + "' already has this match spec");
+  }
+  if (match_kind_ == MatchKind::kRange && entry.key > entry.key2) {
+    return InvalidArgumentError("range entry has low > high");
+  }
+  if (match_kind_ == MatchKind::kLpm && entry.key2 > 64) {
+    return InvalidArgumentError("lpm prefix length exceeds 64");
+  }
+  entries_.push_back(entry);
+  if (match_kind_ == MatchKind::kExact) {
+    exact_index_[entry.key] = entries_.size() - 1;
+  }
+  return OkStatus();
+}
+
+Status RmtTable::Remove(uint64_t key, uint64_t key2) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const TableEntry& entry) {
+    return entry.key == key && entry.key2 == key2;
+  });
+  if (it == entries_.end()) {
+    return NotFoundError("no entry with this match spec in table '" + name_ + "'");
+  }
+  entries_.erase(it);
+  if (match_kind_ == MatchKind::kExact) {
+    exact_index_.clear();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      exact_index_[entries_[i].key] = i;
+    }
+  }
+  return OkStatus();
+}
+
+Status RmtTable::Modify(uint64_t key, uint64_t key2, int32_t action_index, int64_t model_slot) {
+  for (TableEntry& entry : entries_) {
+    if (entry.key == key && entry.key2 == key2) {
+      entry.action_index = action_index;
+      entry.model_slot = model_slot;
+      return OkStatus();
+    }
+  }
+  return NotFoundError("no entry with this match spec in table '" + name_ + "'");
+}
+
+const TableEntry* RmtTable::MatchImpl(uint64_t key) const {
+  switch (match_kind_) {
+    case MatchKind::kExact: {
+      const auto it = exact_index_.find(key);
+      return it == exact_index_.end() ? nullptr : &entries_[it->second];
+    }
+    case MatchKind::kLpm: {
+      const TableEntry* best = nullptr;
+      for (const TableEntry& entry : entries_) {
+        if (LpmMatches(key, entry.key, entry.key2) &&
+            (best == nullptr || entry.key2 > best->key2)) {
+          best = &entry;
+        }
+      }
+      return best;
+    }
+    case MatchKind::kRange: {
+      // First matching range in insertion order.
+      for (const TableEntry& entry : entries_) {
+        if (entry.key <= key && key <= entry.key2) {
+          return &entry;
+        }
+      }
+      return nullptr;
+    }
+    case MatchKind::kTernary: {
+      const TableEntry* best = nullptr;
+      for (const TableEntry& entry : entries_) {
+        if ((key & entry.key2) == (entry.key & entry.key2) &&
+            (best == nullptr || entry.priority > best->priority)) {
+          best = &entry;
+        }
+      }
+      return best;
+    }
+  }
+  return nullptr;
+}
+
+const TableEntry* RmtTable::Match(uint64_t key) {
+  const TableEntry* entry = MatchImpl(key);
+  if (entry != nullptr) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return entry;
+}
+
+const TableEntry* RmtTable::Peek(uint64_t key) const { return MatchImpl(key); }
+
+}  // namespace rkd

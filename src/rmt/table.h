@@ -1,0 +1,90 @@
+// Reconfigurable match/action tables (paper section 3.1).
+//
+// "Each table represents a key decision point in the kernel datapath ...
+// Each entry represents a decision control flow." A table is installed at a
+// hook point; at fire time the current execution context's match key (PID,
+// inode, cgroup id, ...) is looked up and the matching entry's action program
+// runs. Entries can be inserted/removed at runtime through the control-plane
+// API ("new entries are inserted when a file is opened").
+//
+// Match kinds mirror the RMT switch abstraction the design borrows:
+//   kExact   - key == entry.key (hash lookup)
+//   kLpm     - longest-prefix match on the key's high bits (aggregates:
+//              address regions, directory subtrees encoded as prefixes)
+//   kRange   - entry.key <= key <= entry.key2 (PID ranges, size classes)
+//   kTernary - (key & entry.key2) == (entry.key & entry.key2), highest
+//              priority wins (cgroup/flag masks)
+#ifndef SRC_RMT_TABLE_H_
+#define SRC_RMT_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+
+namespace rkd {
+
+enum class MatchKind { kExact, kLpm, kRange, kTernary };
+
+std::string_view MatchKindName(MatchKind kind);
+
+struct TableEntry {
+  uint64_t key = 0;   // exact value | prefix value | range low | ternary value
+  uint64_t key2 = 0;  // unused      | prefix bits  | range high | ternary mask
+  int32_t priority = 0;      // ternary tie-break: higher wins
+  int32_t action_index = -1; // index into the table's action programs; -1 = default
+  int64_t model_slot = -1;   // model registry slot this entry prefers (informational)
+};
+
+class RmtTable {
+ public:
+  RmtTable(std::string name, MatchKind match_kind, size_t max_entries);
+
+  // Inserts an entry. Fails when full or when an identical match spec exists
+  // (use ModifyEntry to change an action in place).
+  Status Insert(const TableEntry& entry);
+
+  // Removes the entry with the same match spec (key/key2).
+  Status Remove(uint64_t key, uint64_t key2 = 0);
+
+  // Replaces the action binding of an existing entry.
+  Status Modify(uint64_t key, uint64_t key2, int32_t action_index, int64_t model_slot);
+
+  // Looks up `key`; returns nullptr on miss. Updates hit/miss counters.
+  const TableEntry* Match(uint64_t key);
+
+  // Lookup without statistics side effects (control-plane inspection).
+  const TableEntry* Peek(uint64_t key) const;
+
+  const std::string& name() const { return name_; }
+  MatchKind match_kind() const { return match_kind_; }
+  size_t size() const { return entries_.size(); }
+  size_t max_entries() const { return max_entries_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  const std::vector<TableEntry>& entries() const { return entries_; }
+
+ private:
+  const TableEntry* FindSpec(uint64_t key, uint64_t key2) const;
+  const TableEntry* MatchImpl(uint64_t key) const;
+
+  std::string name_;
+  MatchKind match_kind_;
+  size_t max_entries_;
+  std::vector<TableEntry> entries_;
+  // Exact-match index: key -> index into entries_. Rebuilt on remove (removal
+  // is a control-plane operation; the datapath only matches).
+  std::unordered_map<uint64_t, size_t> exact_index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_RMT_TABLE_H_

@@ -1,0 +1,23 @@
+// Virtual time for the kernel substrate. All latencies in the simulators are
+// accounted against a VirtualClock, so completion times are deterministic
+// and independent of host speed.
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace rkd {
+
+class VirtualClock {
+ public:
+  uint64_t now_ns() const { return now_ns_; }
+  void Advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_SIM_CLOCK_H_

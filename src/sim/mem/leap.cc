@@ -1,0 +1,81 @@
+#include "src/sim/mem/leap.h"
+
+#include <algorithm>
+
+namespace rkd {
+
+int64_t LeapPrefetcher::MajorityDelta(const Stream& stream) const {
+  if (stream.deltas.empty()) {
+    return 0;
+  }
+  // Boyer-Moore candidate pass.
+  int64_t candidate = 0;
+  size_t count = 0;
+  for (const int64_t delta : stream.deltas) {
+    if (count == 0) {
+      candidate = delta;
+      count = 1;
+    } else if (delta == candidate) {
+      ++count;
+    } else {
+      --count;
+    }
+  }
+  // Verification pass: strict majority required.
+  size_t occurrences = 0;
+  for (const int64_t delta : stream.deltas) {
+    if (delta == candidate) {
+      ++occurrences;
+    }
+  }
+  return occurrences * 2 > stream.deltas.size() ? candidate : 0;
+}
+
+void LeapPrefetcher::OnAccess(uint64_t pid, int64_t page, bool hit) {
+  auto [it, inserted] = streams_.try_emplace(pid, Stream(config_.min_depth));
+  Stream& stream = it->second;
+  if (stream.last_page >= 0) {
+    stream.deltas.push_back(page - stream.last_page);
+    if (stream.deltas.size() > config_.delta_window) {
+      stream.deltas.pop_front();
+    }
+  }
+  stream.last_page = page;
+
+  // Effectiveness feedback: a hit on a page we prefetched widens the depth; a
+  // fault on a page we failed to predict narrows it.
+  if (stream.outstanding.erase(page) > 0) {
+    if (hit) {
+      stream.depth = std::min(stream.depth * 2, config_.max_depth);
+    }
+  } else if (!hit) {
+    stream.depth = std::max(stream.depth / 2, config_.min_depth);
+  }
+}
+
+void LeapPrefetcher::OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& out_pages) {
+  auto [it, inserted] = streams_.try_emplace(pid, Stream(config_.min_depth));
+  Stream& stream = it->second;
+  const int64_t stride = MajorityDelta(stream);
+  if (stride != 0) {
+    for (size_t i = 1; i <= stream.depth; ++i) {
+      const int64_t target = page + stride * static_cast<int64_t>(i);
+      out_pages.push_back(target);
+      stream.outstanding.insert(target);
+    }
+  } else {
+    // No majority stride: contiguous readahead, sized by the same
+    // effectiveness feedback as the strided path (Leap's dynamic window).
+    const size_t depth = std::max(config_.fallback_depth, stream.depth);
+    for (size_t i = 1; i <= depth; ++i) {
+      out_pages.push_back(page + static_cast<int64_t>(i));
+      stream.outstanding.insert(page + static_cast<int64_t>(i));
+    }
+  }
+  // Bound the feedback set so long runs cannot grow it without limit.
+  if (stream.outstanding.size() > 4 * config_.max_depth) {
+    stream.outstanding.clear();
+  }
+}
+
+}  // namespace rkd

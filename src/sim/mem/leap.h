@@ -1,0 +1,57 @@
+// Leap baseline: majority-stride prefetching (Al Maruf & Chowdhury, ATC'20),
+// the stronger comparison point in the paper's Table 1 ("Leap has extended
+// this to detect striding patterns").
+//
+// Per process, Leap keeps a window of recent access deltas and finds the
+// majority delta with a Boyer-Moore vote. On a fault it prefetches along
+// that stride; the prefetch depth adapts to recent prefetcher effectiveness
+// (Leap's dynamic window sizing). With no majority stride it falls back to a
+// small contiguous readahead.
+#ifndef SRC_SIM_MEM_LEAP_H_
+#define SRC_SIM_MEM_LEAP_H_
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/sim/mem/memory_sim.h"
+
+namespace rkd {
+
+struct LeapConfig {
+  size_t delta_window = 32;   // deltas considered by the majority vote
+  size_t min_depth = 2;
+  size_t max_depth = 16;
+  size_t fallback_depth = 4;  // minimum contiguous cluster when no majority exists
+};
+
+class LeapPrefetcher final : public Prefetcher {
+ public:
+  explicit LeapPrefetcher(const LeapConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "leap"; }
+  void OnAccess(uint64_t pid, int64_t page, bool hit) override;
+  void OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& out_pages) override;
+
+ private:
+  struct Stream {
+    int64_t last_page = -1;
+    std::deque<int64_t> deltas;
+    size_t depth;
+    // Feedback loop: pages we prefetched recently; hits grow the depth,
+    // evictions of stale predictions shrink it.
+    std::unordered_set<int64_t> outstanding;
+    explicit Stream(size_t initial_depth) : depth(initial_depth) {}
+  };
+
+  // Boyer-Moore majority vote over the stream's delta window; returns 0 when
+  // no delta reaches a strict majority.
+  int64_t MajorityDelta(const Stream& stream) const;
+
+  LeapConfig config_;
+  std::unordered_map<uint64_t, Stream> streams_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_SIM_MEM_LEAP_H_

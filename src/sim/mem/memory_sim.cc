@@ -1,0 +1,96 @@
+#include "src/sim/mem/memory_sim.h"
+
+#include <algorithm>
+
+namespace rkd {
+
+void MemorySim::TouchLru(int64_t page) {
+  const auto it = resident_.find(page);
+  lru_.erase(it->second.lru_position);
+  lru_.push_front(page);
+  it->second.lru_position = lru_.begin();
+}
+
+void MemorySim::EvictIfNeeded() {
+  while (resident_.size() > config_.frame_capacity) {
+    const int64_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = resident_.find(victim);
+    if (it->second.prefetched && !it->second.used) {
+      ++metrics_.prefetch_evicted_unused;
+    }
+    resident_.erase(it);
+  }
+}
+
+void MemorySim::InsertPage(int64_t page, bool prefetched) {
+  const auto it = resident_.find(page);
+  if (it != resident_.end()) {
+    TouchLru(page);
+    return;
+  }
+  lru_.push_front(page);
+  Frame frame;
+  frame.prefetched = prefetched;
+  frame.used = !prefetched;  // a demand-fetched page is used by definition
+  frame.lru_position = lru_.begin();
+  resident_.emplace(page, frame);
+  EvictIfNeeded();
+}
+
+MemMetrics MemorySim::Run(const AccessTrace& trace) {
+  metrics_ = MemMetrics{};
+  lru_.clear();
+  resident_.clear();
+  clock_.Reset();
+
+  for (const AccessEvent& event : trace) {
+    ++metrics_.accesses;
+    const auto it = resident_.find(event.page);
+    const bool hit = it != resident_.end();
+
+    if (hit) {
+      ++metrics_.hits;
+      Frame& frame = it->second;
+      if (frame.prefetched && !frame.used) {
+        frame.used = true;
+        ++metrics_.prefetch_used;
+        ++metrics_.prefetch_hits;
+      }
+      TouchLru(event.page);
+      clock_.Advance(config_.hit_ns);
+    } else {
+      ++metrics_.faults;
+      clock_.Advance(config_.fault_ns);
+      InsertPage(event.page, /*prefetched=*/false);
+    }
+
+    // Monitoring hook fires on every access (hit or miss), exactly like the
+    // paper's data-collection table at lookup_swap_cache.
+    prefetcher_->OnAccess(event.pid, event.page, hit);
+
+    if (!hit) {
+      // Decision hook fires on the fault path (swap_cluster_readahead).
+      scratch_prefetch_.clear();
+      prefetcher_->OnFault(event.pid, event.page, scratch_prefetch_);
+      size_t issued = 0;
+      for (const int64_t page : scratch_prefetch_) {
+        if (issued >= config_.max_prefetch_per_fault) {
+          break;
+        }
+        if (page == event.page || resident_.contains(page)) {
+          continue;  // already resident or the demand page itself
+        }
+        InsertPage(page, /*prefetched=*/true);
+        ++metrics_.prefetched;
+        ++issued;
+        clock_.Advance(config_.prefetch_issue_ns);
+      }
+    }
+  }
+
+  metrics_.total_ns = clock_.now_ns();
+  return metrics_;
+}
+
+}  // namespace rkd

@@ -1,0 +1,121 @@
+// Demand-paging memory subsystem simulator — the substrate for case study #1.
+//
+// Models the path the paper instruments in Linux: a bounded frame cache in
+// front of a slow swap device. Every access either hits resident memory
+// (cheap) or takes a major fault (expensive swap-in). On each access the
+// subsystem consults a Prefetcher — the role `swap_cluster_readahead` plays
+// in Linux — which may pull additional pages in ahead of demand. Prefetched
+// pages occupy frames, so a wrong prefetcher pays twice: wasted I/O and
+// cache pollution that evicts useful pages.
+//
+// Metrics follow the prefetching literature (and the paper's Table 1):
+//   accuracy  = prefetched pages later demanded / prefetched pages
+//   coverage  = demand faults avoided by prefetch / faults without any
+//               prefetch (i.e. prefetch hits / (prefetch hits + misses))
+//   completion time = sum of access + fault + prefetch-issue latencies
+#ifndef SRC_SIM_MEM_MEMORY_SIM_H_
+#define SRC_SIM_MEM_MEMORY_SIM_H_
+
+#include <cstdint>
+#include <list>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/workloads/access_trace.h"
+
+namespace rkd {
+
+struct MemSimConfig {
+  size_t frame_capacity = 256;    // resident pages
+  uint64_t hit_ns = 200;          // resident access
+  uint64_t fault_ns = 80000;      // major fault: swap-in latency
+  uint64_t prefetch_issue_ns = 2500;  // per prefetched page (batched I/O)
+  size_t max_prefetch_per_fault = 64; // hard cap, independent of policy
+};
+
+// The prefetcher interface: what Linux's readahead machinery, Leap, and the
+// paper's RMT/ML pipeline each implement.
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Called on every access, after the hit/miss outcome is known. This is the
+  // monitoring site (lookup_swap_cache in the paper's Figure 1).
+  virtual void OnAccess(uint64_t pid, int64_t page, bool hit) = 0;
+
+  // Called on every fault; the prefetcher appends pages to fetch alongside
+  // the demand page (swap_cluster_readahead). The simulator dedupes,
+  // removes already-resident pages, and applies max_prefetch_per_fault.
+  virtual void OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& out_pages) = 0;
+};
+
+// No-op policy: demand paging only. The floor for coverage comparisons.
+class NullPrefetcher final : public Prefetcher {
+ public:
+  std::string_view name() const override { return "none"; }
+  void OnAccess(uint64_t, int64_t, bool) override {}
+  void OnFault(uint64_t, int64_t, std::vector<int64_t>&) override {}
+};
+
+struct MemMetrics {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;           // resident on arrival (incl. prefetched)
+  uint64_t faults = 0;         // demand misses
+  uint64_t prefetch_hits = 0;  // hits whose page arrived via prefetch
+  uint64_t prefetched = 0;     // pages fetched ahead of demand
+  uint64_t prefetch_used = 0;  // of those, later demanded before eviction
+  uint64_t prefetch_evicted_unused = 0;
+  uint64_t total_ns = 0;
+
+  double accuracy() const {
+    return prefetched == 0 ? 0.0
+                           : static_cast<double>(prefetch_used) / static_cast<double>(prefetched);
+  }
+  double coverage() const {
+    const uint64_t would_be_faults = prefetch_hits + faults;
+    return would_be_faults == 0
+               ? 0.0
+               : static_cast<double>(prefetch_hits) / static_cast<double>(would_be_faults);
+  }
+  double completion_seconds() const { return static_cast<double>(total_ns) * 1e-9; }
+};
+
+class MemorySim {
+ public:
+  MemorySim(const MemSimConfig& config, Prefetcher* prefetcher)
+      : config_(config), prefetcher_(prefetcher) {}
+
+  // Runs the whole trace and returns the metrics. The simulator is reusable:
+  // each Run starts from a cold cache.
+  MemMetrics Run(const AccessTrace& trace);
+
+  const VirtualClock& clock() const { return clock_; }
+
+ private:
+  struct Frame {
+    bool prefetched = false;   // arrived via prefetch
+    bool used = false;         // demanded since arrival
+    std::list<int64_t>::iterator lru_position;
+  };
+
+  void InsertPage(int64_t page, bool prefetched);
+  void TouchLru(int64_t page);
+  void EvictIfNeeded();
+
+  MemSimConfig config_;
+  Prefetcher* prefetcher_;  // not owned
+  VirtualClock clock_;
+
+  MemMetrics metrics_;
+  std::list<int64_t> lru_;  // most recent at front
+  std::unordered_map<int64_t, Frame> resident_;
+  std::vector<int64_t> scratch_prefetch_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_SIM_MEM_MEMORY_SIM_H_

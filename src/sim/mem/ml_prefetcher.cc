@@ -1,0 +1,362 @@
+#include "src/sim/mem/ml_prefetcher.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+
+#include "src/bytecode/assembler.h"
+
+namespace rkd {
+
+namespace {
+
+// Scalar-slot layout in the per-pid execution context.
+constexpr int32_t kSlotLastPageBiased = 0;  // last accessed page + 1 (0 = none)
+
+constexpr int64_t kConfigMap = 0;  // array: key 0 = prefetch depth knob
+constexpr int64_t kVocabMap = 1;   // array: delta class id -> delta value
+constexpr int64_t kKnobKey = 0;
+
+}  // namespace
+
+RmtMlPrefetcher::RmtMlPrefetcher(const MlPrefetcherConfig& config)
+    : config_(config), control_plane_(&hooks_) {}
+
+// page_access action: delta extraction + history + monitoring ring.
+// args: r1 = pid (match key), r2 = page.
+BytecodeProgram RmtMlPrefetcher::BuildAccessAction() const {
+  Assembler a("page_access_collect", HookKind::kMemAccess);
+  a.DeclareMaps(2);
+  auto first_access = a.NewLabel();
+
+  a.LdCtxt(6, 1, kSlotLastPageBiased);  // r6 = last page + 1 (0 = none)
+  a.Mov(7, 2);
+  a.AddImm(7, 1);
+  a.StCtxt(1, kSlotLastPageBiased, 7);  // ctxt[pid].slot0 = page + 1
+  a.JeqImm(6, 0, first_access);
+  a.SubImm(6, 1);                       // r6 = last page
+  a.Mov(7, 2);
+  a.Sub(7, 6);                          // r7 = delta = page - last
+  a.Mov(2, 7);                          // helper args: r1 = pid, r2 = delta
+  a.Call(HelperId::kHistoryAppend);
+  a.Call(HelperId::kRecordSample);
+  a.Bind(first_access);
+  a.MovImm(0, 0);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  return std::move(program).value();  // static construction; labels all bound
+}
+
+// page_prefetch action: feature build -> cascaded kMlCall inference ->
+// vocabulary translation -> rate-limited emission, with a sequential
+// fallback.
+//
+// Access patterns are delta *cycles*, not straight strides, so a single
+// prediction extended as target + k*delta would miss from the second page
+// on. Instead the action walks the model: after each predicted delta it
+// shifts the feature vector (as if that delta had been observed) and asks
+// the tree again — unrolled kMaxCascade times, since the ISA has no loops.
+// This is the "cascaded models" usage of section 3.1 realized with one
+// model.
+//
+// Register plan: r4 = pid, r8 = predicted position, r9 = remaining depth,
+// r6 = class, r7 = delta, r5 = lane-shift scratch, v0 = rolling features.
+// args: r1 = pid (match key), r2 = faulting page.
+BytecodeProgram RmtMlPrefetcher::BuildPrefetchAction() const {
+  constexpr int kMaxCascade = 4;
+
+  Assembler a("page_prefetch_predict", HookKind::kMemPrefetch);
+  a.DeclareMaps(2);
+  a.DeclareModels(1);
+
+  auto fallback = a.NewLabel();
+  auto depth_ok = a.NewLabel();
+  auto done = a.NewLabel();
+
+  a.Mov(4, 1);  // preserve pid across emit calls
+  a.Mov(8, 2);  // rolling predicted position, starts at the faulting page
+
+  // v0 lanes 0..3 = last four deltas (newest first), matching training order.
+  a.VecZero(0);
+  for (int32_t i = 0; i < static_cast<int32_t>(config_.feature_deltas); ++i) {
+    a.MovImm(2, i);
+    a.Call(HelperId::kHistoryGet);  // r0 = i-th most recent delta
+    a.ScalarVal(0, i, 0);
+  }
+
+  // Depth knob (map 0), floored at 1.
+  a.MovImm(5, kKnobKey);
+  a.MapLookup(9, 5, kConfigMap);
+  a.JgeImm(9, 1, depth_ok);
+  a.MovImm(9, 1);
+  a.Bind(depth_ok);
+
+  // One admission check for the whole batch: key = pid, units = depth.
+  a.Mov(2, 9);
+  a.Call(HelperId::kRateLimitCheck);
+  a.JeqImm(0, 0, done);
+
+  // Cascaded prediction steps.
+  for (int step = 0; step < kMaxCascade; ++step) {
+    a.MlCall(6, 0, /*model_id=*/0);     // r6 = predicted delta class (or -1)
+    a.JleImm(6, 0, step == 0 ? fallback : done);
+    a.MapLookup(7, 6, kVocabMap);       // r7 = delta for class
+    a.JeqImm(7, 0, step == 0 ? fallback : done);
+    a.Add(8, 7);                        // advance the predicted position
+    if (step == 0) {
+      // Log the first prediction for the control plane's accuracy loop.
+      a.Mov(1, 4);
+      a.Mov(2, 8);
+      a.Call(HelperId::kPredictionLog);
+    }
+    a.Mov(1, 8);
+    a.MovImm(2, 1);
+    a.Call(HelperId::kPrefetchEmit);
+    a.SubImm(9, 1);
+    a.JleImm(9, 0, done);
+    if (step + 1 < kMaxCascade) {
+      // Shift the observed-delta window: v0 = [r7, f0, f1, f2].
+      a.VecExtract(5, 0, 2);
+      a.ScalarVal(0, 3, 5);
+      a.VecExtract(5, 0, 1);
+      a.ScalarVal(0, 2, 5);
+      a.VecExtract(5, 0, 0);
+      a.ScalarVal(0, 1, 5);
+      a.ScalarVal(0, 0, 7);
+    }
+  }
+  a.Ja(done);
+
+  // Sequential fallback (no model yet, or unknown delta class): contiguous
+  // [page+1, page+1+depth) — stock-readahead behaviour.
+  a.Bind(fallback);
+  a.Mov(1, 8);
+  a.AddImm(1, 1);
+  a.Mov(2, 9);
+  a.Call(HelperId::kPrefetchEmit);
+
+  a.Bind(done);
+  a.MovImm(0, 0);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  return std::move(program).value();
+}
+
+Status RmtMlPrefetcher::Init() {
+  if (initialized_) {
+    return FailedPreconditionError("RmtMlPrefetcher::Init called twice");
+  }
+
+  SubsystemBindings mem_bindings;
+  mem_bindings.now = [this] { return virtual_time_; };
+  mem_bindings.prefetch_emit = [this](int64_t first, int64_t count) {
+    for (int64_t i = 0; i < count; ++i) {
+      emit_buffer_.push_back(first + i);
+    }
+  };
+
+  RKD_ASSIGN_OR_RETURN(access_hook_, hooks_.Register("mm.lookup_swap_cache",
+                                                     HookKind::kMemAccess, mem_bindings));
+  RKD_ASSIGN_OR_RETURN(prefetch_hook_, hooks_.Register("mm.swap_cluster_readahead",
+                                                       HookKind::kMemPrefetch, mem_bindings));
+
+  RmtProgramSpec spec;
+  spec.name = "rmt_prefetch_prog";
+  spec.model_slots = 1;
+  spec.maps = {MapSpec{MapKind::kArray, 4},                       // config
+               MapSpec{MapKind::kArray, config_.vocab_size + 1}}; // vocabulary
+  spec.rate_limit_capacity = 256;
+  spec.rate_limit_refill = 8;
+  spec.seed = config_.seed;
+
+  RmtTableSpec access_table;
+  access_table.name = "page_access_tab";
+  access_table.hook_point = "mm.lookup_swap_cache";
+  access_table.actions.push_back(BuildAccessAction());
+  access_table.default_action = 0;
+  spec.tables.push_back(std::move(access_table));
+
+  RmtTableSpec prefetch_table;
+  prefetch_table.name = "page_prefetch_tab";
+  prefetch_table.hook_point = "mm.swap_cluster_readahead";
+  prefetch_table.actions.push_back(BuildPrefetchAction());
+  prefetch_table.default_action = 0;
+  spec.tables.push_back(std::move(prefetch_table));
+
+  RKD_ASSIGN_OR_RETURN(handle_, control_plane_.Install(spec, config_.tier));
+  RKD_RETURN_IF_ERROR(
+      control_plane_.WriteMap(handle_, kConfigMap, kKnobKey, config_.initial_depth));
+
+  if (config_.enable_adaptation) {
+    ControlPlane::AdaptationConfig adapt;
+    adapt.low_accuracy = 0.4;
+    adapt.high_accuracy = 0.75;
+    adapt.min_samples = 64;
+    adapt.config_map = kConfigMap;
+    adapt.knob_key = kKnobKey;
+    adapt.min_value = 1;
+    adapt.max_value = config_.max_depth;
+    RKD_RETURN_IF_ERROR(control_plane_.EnableAdaptation(handle_, adapt));
+    // EnableAdaptation resets the knob to its maximum; restore the start.
+    RKD_RETURN_IF_ERROR(
+        control_plane_.WriteMap(handle_, kConfigMap, kKnobKey, config_.initial_depth));
+  }
+
+  initialized_ = true;
+  return OkStatus();
+}
+
+void RmtMlPrefetcher::OnAccess(uint64_t pid, int64_t page, bool hit) {
+  (void)hit;
+  if (!initialized_) {
+    return;  // Init() not called (or failed): behave as a null prefetcher
+  }
+  ++virtual_time_;
+  // Resolve the prediction made at the previous fault (if any) against the
+  // page actually accessed next — the signal the adaptation loop consumes.
+  control_plane_.Get(handle_)->prediction_log().Resolve(static_cast<int64_t>(pid), page);
+  hooks_.Fire(access_hook_, pid, std::array<int64_t, 1>{page});
+  DrainSamplesAndMaybeTrain();
+}
+
+void RmtMlPrefetcher::OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& out_pages) {
+  if (!initialized_) {
+    return;
+  }
+  emit_buffer_.clear();
+  hooks_.Fire(prefetch_hook_, pid, std::array<int64_t, 1>{page});
+  out_pages.insert(out_pages.end(), emit_buffer_.begin(), emit_buffer_.end());
+}
+
+void RmtMlPrefetcher::DrainSamplesAndMaybeTrain() {
+  InstalledProgram* program = control_plane_.Get(handle_);
+  // The monitoring ring lives on the program (kRecordSample's sink); the
+  // training plane drains it like userspace drains a perf buffer.
+  while (true) {
+    const std::optional<RingMap::Record> record = program->sample_ring().Pop();
+    if (!record.has_value()) {
+      break;
+    }
+    const uint64_t pid = static_cast<uint64_t>(record->key);
+    const int64_t delta = record->value;
+    std::deque<int64_t>& deltas = recent_deltas_[pid];
+    if (deltas.size() >= config_.feature_deltas) {
+      PendingSample sample;
+      sample.features.resize(config_.feature_deltas);
+      // Lane i = i-th most recent delta, matching the action's history order.
+      for (size_t i = 0; i < config_.feature_deltas; ++i) {
+        sample.features[i] = static_cast<int32_t>(deltas[deltas.size() - 1 - i]);
+      }
+      sample.label_delta = delta;
+      window_.push_back(std::move(sample));
+    }
+    deltas.push_back(delta);
+    if (deltas.size() > config_.feature_deltas) {
+      deltas.pop_front();
+    }
+  }
+  if (window_.size() >= config_.window_size) {
+    TrainWindow();
+    window_.clear();
+    if (config_.enable_adaptation) {
+      (void)control_plane_.Tick(handle_);
+    }
+  }
+}
+
+void RmtMlPrefetcher::TrainWindow() {
+  if (window_.size() < config_.min_train_samples) {
+    return;
+  }
+  // Build the delta vocabulary from this window: the most frequent deltas
+  // get classes 1..vocab_size; everything else is class 0 ("unknown", which
+  // the action treats as "fall back to sequential").
+  std::map<int64_t, uint32_t> frequency;
+  for (const PendingSample& sample : window_) {
+    ++frequency[sample.label_delta];
+  }
+  std::vector<std::pair<int64_t, uint32_t>> ranked(frequency.begin(), frequency.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::unordered_map<int64_t, int32_t> vocab;  // delta -> class id
+  const size_t classes = std::min<size_t>(config_.vocab_size, ranked.size());
+  for (size_t c = 0; c < classes; ++c) {
+    vocab[ranked[c].first] = static_cast<int32_t>(c + 1);
+  }
+
+  Dataset dataset(config_.feature_deltas);
+  for (const PendingSample& sample : window_) {
+    const auto it = vocab.find(sample.label_delta);
+    const int32_t label = it == vocab.end() ? 0 : it->second;
+    dataset.Add(sample.features, label);
+  }
+
+  ModelPtr model;
+  switch (config_.family) {
+    case PrefetchModelFamily::kDecisionTree: {
+      Result<DecisionTree> tree = DecisionTree::Train(dataset, config_.tree);
+      if (!tree.ok()) {
+        return;  // window unusable; keep the previous model
+      }
+      model = std::make_shared<DecisionTree>(std::move(tree).value());
+      break;
+    }
+    case PrefetchModelFamily::kRandomForest: {
+      ForestConfig forest_config;
+      forest_config.num_trees = 6;
+      forest_config.tree = config_.tree;
+      forest_config.seed = config_.seed;
+      Result<RandomForest> forest = RandomForest::Train(dataset, forest_config);
+      if (!forest.ok()) {
+        return;
+      }
+      model = std::make_shared<RandomForest>(std::move(forest).value());
+      break;
+    }
+    case PrefetchModelFamily::kQuantizedMlp: {
+      if (dataset.NumClasses() < 2) {
+        return;  // MLP training needs two classes; keep the previous model
+      }
+      MlpConfig mlp_config;
+      mlp_config.hidden_sizes = {24};
+      mlp_config.epochs = 25;
+      mlp_config.seed = config_.seed;
+      Result<Mlp> mlp = Mlp::Train(dataset, mlp_config);
+      if (!mlp.ok()) {
+        return;
+      }
+      Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+      if (!quantized.ok()) {
+        return;
+      }
+      model = std::make_shared<QuantizedMlpRawAdapter>(std::move(quantized).value());
+      break;
+    }
+  }
+  if (!control_plane_.InstallModel(handle_, 0, std::move(model)).ok()) {
+    return;  // cost-model rejection: keep the previous model
+  }
+
+  // Publish the vocabulary (class id -> delta) for the action to translate.
+  for (size_t c = 0; c < classes; ++c) {
+    (void)control_plane_.WriteMap(handle_, kVocabMap, static_cast<int64_t>(c + 1),
+                                  ranked[c].first);
+  }
+  for (size_t c = classes + 1; c <= config_.vocab_size; ++c) {
+    (void)control_plane_.WriteMap(handle_, kVocabMap, static_cast<int64_t>(c), 0);
+  }
+  (void)control_plane_.WriteMap(handle_, kVocabMap, 0, 0);
+  ++windows_trained_;
+}
+
+int64_t RmtMlPrefetcher::current_depth_knob() {
+  Result<int64_t> knob = control_plane_.ReadMap(handle_, kConfigMap, kKnobKey);
+  return knob.ok() ? *knob : -1;
+}
+
+double RmtMlPrefetcher::rolling_accuracy() {
+  return control_plane_.Get(handle_)->prediction_log().accuracy();
+}
+
+}  // namespace rkd

@@ -1,0 +1,114 @@
+// The paper's prefetcher (case study #1), end to end on the RMT stack.
+//
+// This is the `rmt_prefetch_prog` of Figure 1 made concrete. Two tables:
+//
+//   page_access   @ mm.lookup_swap_cache   (HookKind::kMemAccess)
+//     Action: compute the access delta from the per-process context, append
+//     it to the context history ring, and push a (pid, delta) record into the
+//     monitoring ring buffer for the training plane.
+//
+//   page_prefetch @ mm.swap_cluster_readahead (HookKind::kMemPrefetch)
+//     Action: load the last four deltas from history into a vector register,
+//     query the installed integer decision tree (kMlCall), translate the
+//     predicted delta class through the vocabulary map, and emit rate-limited
+//     strided prefetches. With no model installed (or an unknown-class
+//     prediction) the action degrades to sequential prefetching.
+//
+// The training plane runs "in userspace": it drains the monitoring ring,
+// assembles (last-4-deltas -> next-delta-class) samples, trains a fresh
+// integer decision tree per window (discarding the old one, as in section
+// 4), and pushes it through ControlPlane::InstallModel — which re-checks the
+// verifier's cost model. Prefetch aggressiveness adapts through the control
+// plane's accuracy loop: the depth knob lives in map 0 and the action reads
+// it on every fault.
+//
+// Maps: 0 = config array (knob at key 0), 1 = delta vocabulary (class -> delta).
+#ifndef SRC_SIM_MEM_ML_PREFETCHER_H_
+#define SRC_SIM_MEM_ML_PREFETCHER_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/forest.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+#include "src/rmt/control_plane.h"
+#include "src/sim/mem/memory_sim.h"
+
+namespace rkd {
+
+// Which model family the training plane installs per window. The paper's
+// prototype uses the integer decision tree; the alternatives exist for the
+// model-family ablation (see bench/ablation_model_family.cc).
+enum class PrefetchModelFamily {
+  kDecisionTree,   // the paper's choice
+  kRandomForest,   // bagged trees, majority vote
+  kQuantizedMlp,   // int16 MLP behind a raw-feature adapter
+};
+
+struct MlPrefetcherConfig {
+  size_t feature_deltas = 4;    // history deltas per sample / per inference
+  size_t vocab_size = 31;       // delta classes (class 0 reserved = unknown)
+  size_t window_size = 256;     // samples per training window
+  size_t min_train_samples = 64;
+  PrefetchModelFamily family = PrefetchModelFamily::kDecisionTree;
+  DecisionTreeConfig tree;
+  int64_t initial_depth = 4;    // prefetch-depth knob start value
+  int64_t max_depth = 8;
+  bool enable_adaptation = true;
+  ExecTier tier = ExecTier::kJit;
+  uint64_t seed = 17;
+};
+
+class RmtMlPrefetcher final : public Prefetcher {
+ public:
+  explicit RmtMlPrefetcher(const MlPrefetcherConfig& config = {});
+
+  // Registers the hooks, assembles + verifies + installs the RMT program.
+  // Must be called (and succeed) before the prefetcher is used.
+  Status Init();
+
+  std::string_view name() const override { return "rmt_ml_dt"; }
+  void OnAccess(uint64_t pid, int64_t page, bool hit) override;
+  void OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& out_pages) override;
+
+  // Introspection for tests, benches, and EXPERIMENTS.md numbers.
+  uint64_t windows_trained() const { return windows_trained_; }
+  int64_t current_depth_knob();
+  double rolling_accuracy();
+  ControlPlane& control_plane() { return control_plane_; }
+  ControlPlane::ProgramHandle handle() const { return handle_; }
+  HookRegistry& hooks() { return hooks_; }
+
+ private:
+  BytecodeProgram BuildAccessAction() const;
+  BytecodeProgram BuildPrefetchAction() const;
+  void DrainSamplesAndMaybeTrain();
+  void TrainWindow();
+
+  MlPrefetcherConfig config_;
+  HookRegistry hooks_;
+  ControlPlane control_plane_;
+  ControlPlane::ProgramHandle handle_ = -1;
+  HookId access_hook_ = kInvalidHook;
+  HookId prefetch_hook_ = kInvalidHook;
+  bool initialized_ = false;
+
+  uint64_t virtual_time_ = 0;        // advances per access; feeds helpers' now()
+  std::vector<int64_t> emit_buffer_; // filled by the prefetch_emit sink
+
+  // Training plane state.
+  std::unordered_map<uint64_t, std::deque<int64_t>> recent_deltas_;
+  struct PendingSample {
+    std::vector<int32_t> features;
+    int64_t label_delta;
+  };
+  std::vector<PendingSample> window_;
+  uint64_t windows_trained_ = 0;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_SIM_MEM_ML_PREFETCHER_H_

@@ -1,0 +1,37 @@
+#include "src/sim/mem/readahead.h"
+
+#include <algorithm>
+
+namespace rkd {
+
+void ReadaheadPrefetcher::OnAccess(uint64_t pid, int64_t page, bool hit) {
+  (void)hit;
+  Stream& stream = streams_[pid];
+  if (stream.last_page >= 0 && page == stream.last_page + 1) {
+    ++stream.streak;
+  } else {
+    stream.streak = 0;
+    stream.window = 0;
+  }
+  stream.last_page = page;
+}
+
+void ReadaheadPrefetcher::OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& out_pages) {
+  Stream& stream = streams_[pid];
+  if (stream.streak >= config_.streak_threshold) {
+    // Sequential stream: exponential window growth, like Linux file
+    // readahead's ramp-up.
+    stream.window =
+        stream.window == 0 ? config_.min_window : std::min(stream.window * 2, config_.max_window);
+    for (size_t i = 1; i <= stream.window; ++i) {
+      out_pages.push_back(page + static_cast<int64_t>(i));
+    }
+  } else {
+    // Cold fault: constant cluster, the swap readahead fallback.
+    for (size_t i = 1; i <= config_.cluster; ++i) {
+      out_pages.push_back(page + static_cast<int64_t>(i));
+    }
+  }
+}
+
+}  // namespace rkd

@@ -1,0 +1,47 @@
+// Linux-style readahead baseline (paper section 4: "the default readahead
+// prefetcher detects sequential page accesses and prefetches the next set of
+// pages").
+//
+// Per-process state machine: consecutive (+1) accesses build a sequential
+// streak; on a fault during a streak the window doubles (up to max_window)
+// and the next window of pages is prefetched. A fault with no streak falls
+// back to a small fixed cluster around the faulting page, mirroring
+// swap_cluster_readahead's constant-size cluster read.
+#ifndef SRC_SIM_MEM_READAHEAD_H_
+#define SRC_SIM_MEM_READAHEAD_H_
+
+#include <unordered_map>
+
+#include "src/sim/mem/memory_sim.h"
+
+namespace rkd {
+
+struct ReadaheadConfig {
+  size_t min_window = 4;
+  size_t max_window = 32;
+  size_t cluster = 8;        // non-sequential fallback cluster size
+  size_t streak_threshold = 2;  // consecutive +1 accesses to call it a stream
+};
+
+class ReadaheadPrefetcher final : public Prefetcher {
+ public:
+  explicit ReadaheadPrefetcher(const ReadaheadConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "linux_readahead"; }
+  void OnAccess(uint64_t pid, int64_t page, bool hit) override;
+  void OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& out_pages) override;
+
+ private:
+  struct Stream {
+    int64_t last_page = -1;
+    size_t streak = 0;
+    size_t window = 0;
+  };
+
+  ReadaheadConfig config_;
+  std::unordered_map<uint64_t, Stream> streams_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_SIM_MEM_READAHEAD_H_

@@ -1,0 +1,285 @@
+#include "src/sim/sched/cfs_sim.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rkd {
+
+int64_t CfsHeuristicCanMigrate(const SchedFeatures& f) {
+  // Mirrors can_migrate_task's structure: refuse when the move cannot help,
+  // refuse cache-hot tasks unless the imbalance is large or the task is
+  // starving, otherwise allow.
+  if (f[kFeatSrcNrRunning] <= f[kFeatDstNrRunning]) {
+    return 0;  // destination is not less loaded
+  }
+  if (f[kFeatImbalance] <= 1) {
+    return 0;  // below the imbalance threshold; migration would ping-pong
+  }
+  const bool cache_hot = f[kFeatTicksSinceRun] < 4 && f[kFeatCacheFootprint] > 128;
+  if (cache_hot) {
+    if (f[kFeatWaitTicks] > 200) {
+      return 1;  // starving: migrate regardless of hotness
+    }
+    if (f[kFeatImbalance] < 2 * f[kFeatTaskWeight] / 1024) {
+      return 0;  // hot and the imbalance is small: keep it local
+    }
+  }
+  return 1;
+}
+
+namespace {
+
+struct SimTask {
+  TaskSpec spec;
+  uint64_t done = 0;            // total ticks executed
+  uint64_t phase_done = 0;      // ticks executed in the current phase
+  uint64_t burst_done = 0;      // ticks since the last blocking sleep
+  uint32_t phase = 0;
+  uint64_t vruntime = 0;
+  int32_t core = -1;            // current queue; -1 = not yet arrived
+  uint64_t last_ran = 0;
+  uint64_t enqueued_at = 0;     // for wait-time accounting
+  uint64_t sleeping_until = 0;  // > tick while blocked off-queue
+  uint64_t migrations = 0;
+  uint64_t bursts = 0;          // times selected to run
+  bool sleeping = false;
+  bool at_barrier = false;
+  bool finished = false;
+};
+
+struct Core {
+  std::vector<size_t> queue;  // indices into the task vector
+};
+
+// Clamp features so RawToQ16 never saturates downstream (Q16.16 holds
+// +/-32767; scheduler counters can exceed that over long runs).
+int64_t Clamp(int64_t value) { return std::clamp<int64_t>(value, -30000, 30000); }
+
+}  // namespace
+
+SchedMetrics CfsSim::Run(const JobSpec& job, const MigrationOracle& oracle, Dataset* collect) {
+  SchedMetrics metrics;
+  std::vector<SimTask> tasks;
+  tasks.reserve(job.tasks.size());
+  for (const TaskSpec& spec : job.tasks) {
+    SimTask task;
+    task.spec = spec;
+    tasks.push_back(task);
+  }
+  std::vector<Core> cores(config_.cores);
+  const bool has_barriers = job.num_phases > 0;
+
+  size_t remaining = tasks.size();
+  uint64_t tick = 0;
+  size_t next_arrival_core = 0;
+
+  const auto load_of = [&](const Core& core) {
+    int64_t load = 0;
+    for (size_t idx : core.queue) {
+      load += tasks[idx].spec.weight;
+    }
+    return load;
+  };
+
+  const auto build_features = [&](const SimTask& task, uint32_t src, uint32_t dst) {
+    SchedFeatures f{};
+    const int64_t src_load = load_of(cores[src]) / 1024;
+    const int64_t dst_load = load_of(cores[dst]) / 1024;
+    f[kFeatSrcNrRunning] = static_cast<int64_t>(cores[src].queue.size());
+    f[kFeatDstNrRunning] = static_cast<int64_t>(cores[dst].queue.size());
+    f[kFeatSrcLoad] = Clamp(src_load);
+    f[kFeatDstLoad] = Clamp(dst_load);
+    f[kFeatImbalance] = Clamp(src_load - dst_load);
+    f[kFeatTaskWeight] = task.spec.weight;
+    f[kFeatTicksSinceRun] = Clamp(static_cast<int64_t>(tick - task.last_ran));
+    f[kFeatTotalRuntime] = Clamp(static_cast<int64_t>(task.done));
+    f[kFeatAvgBurst] =
+        Clamp(task.bursts == 0 ? 0 : static_cast<int64_t>(task.done / task.bursts));
+    f[kFeatCacheFootprint] = Clamp(task.spec.cache_footprint);
+    f[kFeatMigrations] = Clamp(static_cast<int64_t>(task.migrations));
+    f[kFeatWaitTicks] = Clamp(static_cast<int64_t>(tick - task.enqueued_at));
+    f[kFeatQueueDelta] = f[kFeatSrcNrRunning] - f[kFeatDstNrRunning];
+    f[kFeatTickPhase] = static_cast<int64_t>(tick % config_.balance_interval);
+    f[kFeatPreferredCore] =
+        static_cast<uint32_t>(task.spec.pid % config_.cores) == dst ? 1 : 0;
+    return f;
+  };
+
+  while (remaining > 0 && tick < config_.max_ticks) {
+    // Arrivals: like fork(), new tasks start on the parent's core (core 0)
+    // and rely on the load balancer to spread out.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      SimTask& task = tasks[i];
+      if (task.core < 0 && !task.finished && !task.sleeping &&
+          task.spec.arrival_tick <= tick) {
+        ++next_arrival_core;
+        task.core = 0;
+        task.enqueued_at = tick;
+        cores[0].queue.push_back(i);
+      }
+    }
+
+    // Wakeups: blocked tasks return on the waker's core (core 0), the CFS
+    // wakeup-placement behaviour that keeps the balancer supplied with work.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      SimTask& task = tasks[i];
+      if (task.sleeping && task.sleeping_until <= tick) {
+        task.sleeping = false;
+        task.burst_done = 0;
+        task.core = 0;
+        task.enqueued_at = tick;
+        cores[0].queue.push_back(i);
+      }
+    }
+
+    // Barrier release: when every unfinished task waits, open the next phase.
+    if (has_barriers) {
+      bool all_waiting = true;
+      bool any_waiting = false;
+      for (const SimTask& task : tasks) {
+        if (task.finished || task.core < 0) {
+          continue;
+        }
+        if (task.at_barrier) {
+          any_waiting = true;
+        } else {
+          all_waiting = false;
+        }
+      }
+      if (any_waiting && all_waiting) {
+        // Barrier release: wake everyone on the waker's core (core 0), the
+        // CFS wakeup-placement behaviour that re-creates imbalance every
+        // phase and keeps the load balancer busy.
+        for (size_t i = 0; i < tasks.size(); ++i) {
+          SimTask& task = tasks[i];
+          if (!task.finished && task.core >= 0) {
+            task.at_barrier = false;
+            task.phase_done = 0;
+            ++task.phase;
+            if (task.core != 0) {
+              auto& queue = cores[static_cast<size_t>(task.core)].queue;
+              queue.erase(std::find(queue.begin(), queue.end(), i));
+              cores[0].queue.push_back(i);
+              task.core = 0;
+              task.enqueued_at = tick;
+            }
+          }
+        }
+      }
+    }
+
+    // One tick of execution per core: run the min-vruntime runnable task.
+    for (uint32_t c = 0; c < config_.cores; ++c) {
+      Core& core = cores[c];
+      size_t pick = std::numeric_limits<size_t>::max();
+      uint64_t best_vruntime = std::numeric_limits<uint64_t>::max();
+      for (size_t idx : core.queue) {
+        const SimTask& task = tasks[idx];
+        if (!task.at_barrier && task.vruntime < best_vruntime) {
+          best_vruntime = task.vruntime;
+          pick = idx;
+        }
+      }
+      if (pick == std::numeric_limits<size_t>::max()) {
+        continue;  // idle (or all tasks at barrier)
+      }
+      SimTask& task = tasks[pick];
+      ++task.done;
+      ++task.phase_done;
+      ++task.burst_done;
+      ++task.bursts;
+      task.vruntime += 1024 * 1024 / static_cast<uint64_t>(task.spec.weight);
+      task.last_ran = tick;
+      if (task.done >= task.spec.total_work) {
+        task.finished = true;
+        core.queue.erase(std::find(core.queue.begin(), core.queue.end(), pick));
+        --remaining;
+      } else if (has_barriers && task.spec.phase_work > 0 &&
+                 task.phase_done >= task.spec.phase_work &&
+                 task.phase + 1 < job.num_phases) {
+        task.at_barrier = true;
+      } else if (task.spec.run_burst > 0 && task.burst_done >= task.spec.run_burst) {
+        // Blocking stall: leave the queue entirely until the wakeup.
+        task.sleeping = true;
+        task.sleeping_until = tick + task.spec.sleep_ticks;
+        task.core = -1;
+        core.queue.erase(std::find(core.queue.begin(), core.queue.end(), pick));
+      }
+    }
+
+    // Periodic load balancing.
+    if (tick % config_.balance_interval == config_.balance_interval - 1) {
+      uint32_t busiest = 0;
+      uint32_t idlest = 0;
+      for (uint32_t c = 1; c < config_.cores; ++c) {
+        if (cores[c].queue.size() > cores[busiest].queue.size()) {
+          busiest = c;
+        }
+        if (cores[c].queue.size() < cores[idlest].queue.size()) {
+          idlest = c;
+        }
+      }
+      if (busiest != idlest && cores[busiest].queue.size() > cores[idlest].queue.size()) {
+        size_t moved = 0;
+        // Scan a snapshot: migration mutates the queue.
+        std::vector<size_t> candidates = cores[busiest].queue;
+        for (size_t idx : candidates) {
+          if (moved >= config_.max_migrations_per_pass) {
+            break;
+          }
+          if (cores[busiest].queue.size() <= cores[idlest].queue.size()) {
+            break;
+          }
+          SimTask& task = tasks[idx];
+          const SchedFeatures features = build_features(task, busiest, idlest);
+          const int64_t heuristic = CfsHeuristicCanMigrate(features);
+          if (collect != nullptr) {
+            std::array<int32_t, kSchedNumFeatures> row;
+            for (size_t k = 0; k < kSchedNumFeatures; ++k) {
+              row[k] = static_cast<int32_t>(features[k]);
+            }
+            collect->Add(row, static_cast<int32_t>(heuristic));
+          }
+          ++metrics.decisions;
+          int64_t decision = heuristic;
+          if (oracle) {
+            const int64_t predicted = oracle(task.spec.pid, features);
+            if (predicted < 0) {
+              ++metrics.oracle_fallbacks;
+            } else {
+              decision = predicted;
+              if (predicted == heuristic) {
+                ++metrics.oracle_agreements;
+              }
+            }
+          }
+          if (decision == 1) {
+            auto& queue = cores[busiest].queue;
+            queue.erase(std::find(queue.begin(), queue.end(), idx));
+            cores[idlest].queue.push_back(idx);
+            task.core = static_cast<int32_t>(idlest);
+            task.enqueued_at = tick;
+            ++task.migrations;
+            ++metrics.migrations;
+            ++moved;
+          }
+        }
+      }
+    }
+
+    ++tick;
+  }
+
+  metrics.ticks = tick;
+  metrics.completed = remaining == 0;
+  return metrics;
+}
+
+Dataset CollectMigrationDataset(const SchedConfig& config, const JobSpec& job) {
+  Dataset dataset(kSchedNumFeatures);
+  CfsSim sim(config);
+  (void)sim.Run(job, {}, &dataset);
+  return dataset;
+}
+
+}  // namespace rkd

@@ -1,0 +1,111 @@
+// Multi-core CFS-style scheduler simulator — the substrate for case study #2.
+//
+// Models the pieces of Linux CFS that the paper's second experiment
+// instruments: per-core run queues ordered by virtual runtime, tick-driven
+// preemption, and a periodic load balancer whose per-task migration decision
+// (`can_migrate_task`) consults either the built-in heuristic or an external
+// oracle — the seam where the RMT/ML predictor plugs in.
+//
+// The 15-dimensional migration feature vector follows Chen et al. (APSys'20),
+// the work the paper replicates: queue lengths and loads on both cores, the
+// imbalance, the task's weight/cache-hotness/footprint, and bookkeeping
+// counters. The built-in heuristic is a deterministic function of a few of
+// these (imbalance, hotness, queue lengths, starvation), which is precisely
+// why an MLP can mimic it at 99%+ and why feature ranking can cut 15
+// features to 2 with little accuracy loss.
+#ifndef SRC_SIM_SCHED_CFS_SIM_H_
+#define SRC_SIM_SCHED_CFS_SIM_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/workloads/cpu_jobs.h"
+
+namespace rkd {
+
+inline constexpr size_t kSchedNumFeatures = 15;
+using SchedFeatures = std::array<int64_t, kSchedNumFeatures>;
+
+// Feature indices (kept stable; feature-importance results refer to these).
+enum SchedFeatureIndex : size_t {
+  kFeatSrcNrRunning = 0,
+  kFeatDstNrRunning = 1,
+  kFeatSrcLoad = 2,
+  kFeatDstLoad = 3,
+  kFeatImbalance = 4,
+  kFeatTaskWeight = 5,
+  kFeatTicksSinceRun = 6,
+  kFeatTotalRuntime = 7,
+  kFeatAvgBurst = 8,
+  kFeatCacheFootprint = 9,
+  kFeatMigrations = 10,
+  kFeatWaitTicks = 11,
+  kFeatQueueDelta = 12,
+  kFeatTickPhase = 13,
+  kFeatPreferredCore = 14,
+};
+
+// The stock decision: 1 = may migrate, 0 = keep. Pure function of the
+// features, mirroring CFS's cache-hotness / imbalance reasoning.
+int64_t CfsHeuristicCanMigrate(const SchedFeatures& features);
+
+// External decision provider; return 1/0, or a negative value to fall back
+// to the heuristic (e.g. no model installed yet).
+using MigrationOracle = std::function<int64_t(int64_t pid, const SchedFeatures& features)>;
+
+struct SchedConfig {
+  uint32_t cores = 4;
+  uint64_t tick_ns = 1'000'000;    // 1 ms scheduler tick
+  uint64_t balance_interval = 10;  // ticks between load-balance passes
+  uint64_t hot_ticks = 4;          // recently-ran threshold for cache hotness
+  uint64_t starved_ticks = 200;    // wait time that overrides hotness
+  uint64_t max_ticks = 10'000'000; // safety stop
+  size_t max_migrations_per_pass = 2;
+};
+
+struct SchedMetrics {
+  uint64_t ticks = 0;
+  uint64_t migrations = 0;
+  uint64_t decisions = 0;          // can_migrate_task invocations
+  uint64_t oracle_fallbacks = 0;   // oracle returned negative
+  uint64_t oracle_agreements = 0;  // oracle decision == heuristic decision
+  bool completed = false;          // all tasks finished before max_ticks
+
+  double jct_seconds(uint64_t tick_ns) const {
+    return static_cast<double>(ticks) * static_cast<double>(tick_ns) * 1e-9;
+  }
+  // Accuracy in mimicking CFS (the paper's "Acc (%)" column).
+  double agreement() const {
+    const uint64_t judged = decisions - oracle_fallbacks;
+    return judged == 0 ? 0.0
+                       : static_cast<double>(oracle_agreements) / static_cast<double>(judged);
+  }
+};
+
+class CfsSim {
+ public:
+  explicit CfsSim(const SchedConfig& config = {}) : config_(config) {}
+
+  // Runs `job` to completion. With an empty oracle the heuristic decides
+  // (stock Linux); otherwise the oracle decides and every decision is also
+  // scored against the heuristic for the agreement metric. When `collect`
+  // is non-null, every (features, heuristic_decision) pair is appended —
+  // the training-set collection pass.
+  SchedMetrics Run(const JobSpec& job, const MigrationOracle& oracle = {},
+                   Dataset* collect = nullptr);
+
+  const SchedConfig& config() const { return config_; }
+
+ private:
+  SchedConfig config_;
+};
+
+// Builds a migration-decision dataset by running `job` under the heuristic.
+Dataset CollectMigrationDataset(const SchedConfig& config, const JobSpec& job);
+
+}  // namespace rkd
+
+#endif  // SRC_SIM_SCHED_CFS_SIM_H_

@@ -1,0 +1,69 @@
+#include "src/sim/sched/rmt_oracle.h"
+
+#include "src/bytecode/assembler.h"
+#include "src/ml/quantize.h"
+
+namespace rkd {
+
+RmtMigrationOracle::RmtMigrationOracle(const RmtOracleConfig& config)
+    : config_(config), control_plane_(&hooks_) {
+  if (config_.selected_features.empty()) {
+    config_.selected_features.resize(kSchedNumFeatures);
+    for (size_t i = 0; i < kSchedNumFeatures; ++i) {
+      config_.selected_features[i] = i;
+    }
+  }
+}
+
+Status RmtMigrationOracle::Init() {
+  if (initialized_) {
+    return FailedPreconditionError("RmtMigrationOracle::Init called twice");
+  }
+  RKD_ASSIGN_OR_RETURN(hook_,
+                       hooks_.Register("sched.can_migrate_task", HookKind::kSchedMigrate));
+
+  Assembler a("can_migrate_predict", HookKind::kSchedMigrate);
+  a.DeclareModels(1);
+  a.VecLdCtxt(0, 1);       // v0 = feature vector of ctxt[pid]
+  a.MlCall(0, 0, 0);       // r0 = migrate decision (or the no-model sentinel)
+  a.Exit();
+  RKD_ASSIGN_OR_RETURN(BytecodeProgram action, a.Build());
+
+  RmtProgramSpec spec;
+  spec.name = "rmt_sched_prog";
+  spec.model_slots = 1;
+  RmtTableSpec table;
+  table.name = "can_migrate_tab";
+  table.hook_point = "sched.can_migrate_task";
+  table.actions.push_back(std::move(action));
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+
+  RKD_ASSIGN_OR_RETURN(handle_, control_plane_.Install(spec, config_.tier));
+  initialized_ = true;
+  return OkStatus();
+}
+
+Status RmtMigrationOracle::InstallModel(ModelPtr model) {
+  return control_plane_.InstallModel(handle_, 0, std::move(model));
+}
+
+MigrationOracle RmtMigrationOracle::AsOracle() {
+  return [this](int64_t pid, const SchedFeatures& features) -> int64_t {
+    ++queries_;
+    // Monitoring step: publish (only) the selected features to the context.
+    ContextEntry* entry =
+        control_plane_.Get(handle_)->context().FindOrCreate(static_cast<uint64_t>(pid));
+    if (entry == nullptr) {
+      return -1;  // context store full; degrade to the heuristic
+    }
+    entry->features.fill(0);
+    for (size_t lane = 0; lane < config_.selected_features.size() && lane < kVectorLanes;
+         ++lane) {
+      entry->features[lane] = RawToQ16(features[config_.selected_features[lane]]);
+    }
+    return hooks_.Fire(hook_, static_cast<uint64_t>(pid));
+  };
+}
+
+}  // namespace rkd

@@ -1,0 +1,68 @@
+// RMT-backed migration oracle — case study #2's datapath wiring.
+//
+// "The can_migrate_task function in CFS calls into RMT to query the ML model
+// to predict whether or not a task should be migrated." Here the scheduler
+// substrate writes the task's feature vector into the RMT execution context
+// (the "matches look up the current execution context" step) and fires the
+// sched.can_migrate_task hook; the attached table's action loads the vector
+// and queries the installed quantized MLP:
+//
+//     vec_ld_ctxt v0, r1      ; features of ctxt[pid]
+//     ml_call    r0, model0(v0)
+//     exit
+//
+// With no model installed the action returns the no-model sentinel and the
+// simulator falls back to the stock CFS heuristic — exactly the degradation
+// the hook contract promises.
+//
+// The oracle supports lean monitoring: construct it with the feature subset
+// selected by importance ranking, and only those features are written into
+// the context (the unmonitored 13 features are simply never collected).
+#ifndef SRC_SIM_SCHED_RMT_ORACLE_H_
+#define SRC_SIM_SCHED_RMT_ORACLE_H_
+
+#include <vector>
+
+#include "src/rmt/control_plane.h"
+#include "src/sim/sched/cfs_sim.h"
+
+namespace rkd {
+
+struct RmtOracleConfig {
+  // Feature columns written into the context (and expected by the model),
+  // in lane order. Empty = all 15 in index order.
+  std::vector<size_t> selected_features;
+  ExecTier tier = ExecTier::kJit;
+};
+
+class RmtMigrationOracle {
+ public:
+  explicit RmtMigrationOracle(const RmtOracleConfig& config = {});
+
+  // Registers the hook and installs the RMT program (verified admission).
+  Status Init();
+
+  // Installs/replaces the decision model (slot 0); cost-model re-checked.
+  Status InstallModel(ModelPtr model);
+
+  // The callable handed to CfsSim::Run.
+  MigrationOracle AsOracle();
+
+  ControlPlane& control_plane() { return control_plane_; }
+  HookRegistry& hooks() { return hooks_; }
+  ControlPlane::ProgramHandle handle() const { return handle_; }
+  uint64_t queries() const { return queries_; }
+
+ private:
+  RmtOracleConfig config_;
+  HookRegistry hooks_;
+  ControlPlane control_plane_;
+  ControlPlane::ProgramHandle handle_ = -1;
+  HookId hook_ = kInvalidHook;
+  uint64_t queries_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_SIM_SCHED_RMT_ORACLE_H_

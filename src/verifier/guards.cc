@@ -1,0 +1,84 @@
+#include "src/verifier/guards.h"
+
+#include <vector>
+
+namespace rkd {
+
+Result<int> InsertRateLimitGuards(BytecodeProgram& program) {
+  const int64_t n = static_cast<int64_t>(program.code.size());
+
+  // Convert branch offsets to absolute targets so insertions are easy to fix.
+  std::vector<int64_t> absolute_target(static_cast<size_t>(n), -1);
+  for (int64_t pc = 0; pc < n; ++pc) {
+    const Instruction& insn = program.code[static_cast<size_t>(pc)];
+    if (IsBranch(insn.opcode)) {
+      const int64_t target = pc + 1 + insn.offset;
+      if (target < 0 || target > n) {
+        return InvalidArgumentError("InsertRateLimitGuards: jump out of range at insn " +
+                                    std::to_string(pc));
+      }
+      absolute_target[static_cast<size_t>(pc)] = target;
+    }
+  }
+
+  // new_index[old] = position of old instruction in the rewritten stream.
+  std::vector<int64_t> new_index(static_cast<size_t>(n) + 1, 0);
+  std::vector<Instruction> rewritten;
+  std::vector<int64_t> rewritten_abs_target;  // parallel to `rewritten`
+  int guards = 0;
+
+  for (int64_t pc = 0; pc < n; ++pc) {
+    new_index[static_cast<size_t>(pc)] = static_cast<int64_t>(rewritten.size());
+    const Instruction& insn = program.code[static_cast<size_t>(pc)];
+    const bool granting =
+        insn.opcode == Opcode::kCall &&
+        (static_cast<HelperId>(insn.imm) == HelperId::kPrefetchEmit ||
+         static_cast<HelperId>(insn.imm) == HelperId::kSetPriorityHint);
+    // A grant already preceded by its own guard pair is left alone: detect
+    // the exact idiom (rate_limit_check; jeq_imm r0,0 over the grant).
+    bool already_guarded = false;
+    if (granting && pc >= 2) {
+      const Instruction& check = program.code[static_cast<size_t>(pc - 2)];
+      const Instruction& skip = program.code[static_cast<size_t>(pc - 1)];
+      already_guarded =
+          check.opcode == Opcode::kCall &&
+          static_cast<HelperId>(check.imm) == HelperId::kRateLimitCheck &&
+          skip.opcode == Opcode::kJeqImm && skip.dst == 0 && skip.imm == 0 &&
+          absolute_target[static_cast<size_t>(pc - 1)] == pc + 1;
+    }
+    if (granting && !already_guarded) {
+      Instruction check;
+      check.opcode = Opcode::kCall;
+      check.imm = static_cast<int64_t>(HelperId::kRateLimitCheck);
+      rewritten.push_back(check);
+      rewritten_abs_target.push_back(-1);
+
+      Instruction skip;
+      skip.opcode = Opcode::kJeqImm;
+      skip.dst = 0;  // r0: limiter verdict
+      skip.imm = 0;
+      rewritten.push_back(skip);
+      // Target: the instruction after the grant, in *old* coordinates.
+      rewritten_abs_target.push_back(pc + 1);
+      ++guards;
+    }
+    rewritten.push_back(insn);
+    rewritten_abs_target.push_back(absolute_target[static_cast<size_t>(pc)]);
+  }
+  new_index[static_cast<size_t>(n)] = static_cast<int64_t>(rewritten.size());
+
+  // Re-relativize every branch against the remapped targets.
+  for (size_t pc = 0; pc < rewritten.size(); ++pc) {
+    const int64_t old_target = rewritten_abs_target[pc];
+    if (old_target < 0) {
+      continue;
+    }
+    const int64_t target = new_index[static_cast<size_t>(old_target)];
+    rewritten[pc].offset = static_cast<int32_t>(target - static_cast<int64_t>(pc) - 1);
+  }
+
+  program.code = std::move(rewritten);
+  return guards;
+}
+
+}  // namespace rkd

@@ -1,0 +1,29 @@
+// Automatic performance-interference guard insertion (paper section 3.3:
+// "the verifier may insert additional logic to enforce rate limits").
+//
+// InsertRateLimitGuards rewrites a program so that every resource-granting
+// helper call (kPrefetchEmit, kSetPriorityHint) is immediately preceded by
+//
+//     call rate_limit_check     ; r0 = limiter verdict for (r1, r2)
+//     jeq_imm r0, 0, +1         ; denied -> skip the grant
+//     call <original grant>
+//
+// The limiter key/units are the grant's own r1/r2 arguments, so a program
+// that aggressively prefetches for one key exhausts only that key's bucket.
+// All branch offsets spanning an insertion point are fixed up; the rewritten
+// program re-verifies cleanly under require_rate_limit_guard.
+#ifndef SRC_VERIFIER_GUARDS_H_
+#define SRC_VERIFIER_GUARDS_H_
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+
+namespace rkd {
+
+// Rewrites `program` in place. Returns the number of guards inserted, or an
+// error if the program's control flow is malformed (verify first).
+Result<int> InsertRateLimitGuards(BytecodeProgram& program);
+
+}  // namespace rkd
+
+#endif  // SRC_VERIFIER_GUARDS_H_

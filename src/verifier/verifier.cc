@@ -1,0 +1,569 @@
+#include "src/verifier/verifier.h"
+
+#include <algorithm>
+#include <bitset>
+#include <optional>
+
+namespace rkd {
+
+namespace {
+
+// Helper whitelists per hook kind. Data-collection hooks may not grant
+// resources; decision hooks get the subsystem-matching granting helper.
+std::vector<HelperId> CommonHelpers() {
+  return {HelperId::kGetTime, HelperId::kRecordSample, HelperId::kHistoryAppend,
+          HelperId::kHistoryGet, HelperId::kHistoryLen, HelperId::kDpNoise,
+          HelperId::kPredictionLog};
+}
+
+}  // namespace
+
+HookBudget BudgetForHook(HookKind kind) {
+  HookBudget budget;
+  budget.allowed_helpers = CommonHelpers();
+  switch (kind) {
+    case HookKind::kGeneric:
+      budget.allowed_helpers.push_back(HelperId::kRateLimitCheck);
+      break;
+    case HookKind::kMemAccess:
+      // Pure data collection on the fault path: modest instruction budget,
+      // no resource-granting helpers at all.
+      budget.max_instructions = 256;
+      budget.max_path_length = 128;
+      budget.max_work_units = 1 << 12;
+      break;
+    case HookKind::kMemPrefetch:
+      // Amortized against disk latency: the largest budgets, plus the
+      // prefetch-granting helper (rate-limited).
+      budget.max_instructions = 1024;
+      budget.max_path_length = 512;
+      budget.max_work_units = 1 << 16;
+      budget.allowed_helpers.push_back(HelperId::kRateLimitCheck);
+      budget.allowed_helpers.push_back(HelperId::kPrefetchEmit);
+      break;
+    case HookKind::kSchedMigrate:
+      // Microsecond-scale decision: tight budgets.
+      budget.max_instructions = 256;
+      budget.max_path_length = 128;
+      budget.max_work_units = 1 << 13;
+      budget.allowed_helpers.push_back(HelperId::kRateLimitCheck);
+      budget.allowed_helpers.push_back(HelperId::kSetPriorityHint);
+      break;
+    case HookKind::kSchedTick:
+      budget.max_instructions = 512;
+      budget.max_path_length = 256;
+      budget.max_work_units = 1 << 13;
+      budget.allowed_helpers.push_back(HelperId::kRateLimitCheck);
+      budget.allowed_helpers.push_back(HelperId::kSetPriorityHint);
+      break;
+  }
+  return budget;
+}
+
+namespace {
+
+struct RegState {
+  // Bit i set = scalar register i definitely initialized on every path here.
+  uint32_t scalars = 0;
+  uint32_t vectors = 0;   // same for vector registers
+  uint64_t stack = 0;     // 8-byte stack slots, bit k = slot at fp - 8*(k+1)
+  bool reachable = false;
+
+  static RegState Entry() {
+    RegState s;
+    // r1..r5 hold arguments; r10 is the frame pointer; r0 and r6..r9 start
+    // uninitialized. All vector registers and stack slots start uninitialized.
+    s.scalars = 0b0100'0011'1110;  // bits 1..5 (args) and 10 (frame pointer)
+    s.reachable = true;
+    return s;
+  }
+
+  // Meet over paths: a location counts as initialized only if every
+  // predecessor initialized it.
+  void MergeFrom(const RegState& other) {
+    if (!reachable) {
+      *this = other;
+      return;
+    }
+    if (other.reachable) {
+      scalars &= other.scalars;
+      vectors &= other.vectors;
+      stack &= other.stack;
+    }
+  }
+};
+
+int StackSlot(int32_t offset) { return (-offset / 8) - 1; }  // offset is -8..-kStackSize
+
+struct OperandRoles {
+  bool dst_scalar_read = false;
+  bool dst_scalar_write = false;
+  bool dst_vector_read = false;
+  bool dst_vector_write = false;
+  bool src_scalar_read = false;
+  bool src_vector_read = false;
+};
+
+// Read/write roles of each operand, the ground truth the dataflow pass uses.
+OperandRoles RolesOf(Opcode op) {
+  OperandRoles r;
+  switch (op) {
+    // dst = dst ALU src/imm
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul: case Opcode::kDiv:
+    case Opcode::kMod: case Opcode::kAnd: case Opcode::kOr: case Opcode::kXor:
+    case Opcode::kShl: case Opcode::kShr: case Opcode::kAshr:
+      r.dst_scalar_read = r.dst_scalar_write = true;
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kAddImm: case Opcode::kSubImm: case Opcode::kMulImm: case Opcode::kDivImm:
+    case Opcode::kModImm: case Opcode::kAndImm: case Opcode::kOrImm: case Opcode::kXorImm:
+    case Opcode::kShlImm: case Opcode::kShrImm: case Opcode::kAshrImm: case Opcode::kNeg:
+      r.dst_scalar_read = r.dst_scalar_write = true;
+      break;
+    case Opcode::kMov:
+      r.dst_scalar_write = true;
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kMovImm:
+      r.dst_scalar_write = true;
+      break;
+    case Opcode::kJa:
+      break;
+    case Opcode::kJeq: case Opcode::kJne: case Opcode::kJlt: case Opcode::kJle:
+    case Opcode::kJgt: case Opcode::kJge: case Opcode::kJset:
+      r.dst_scalar_read = true;
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kJeqImm: case Opcode::kJneImm: case Opcode::kJltImm: case Opcode::kJleImm:
+    case Opcode::kJgtImm: case Opcode::kJgeImm: case Opcode::kJsetImm:
+      r.dst_scalar_read = true;
+      break;
+    case Opcode::kLdStack:
+      r.dst_scalar_write = true;  // stack read handled separately
+      break;
+    case Opcode::kStStack:
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kStStackImm:
+      break;
+    case Opcode::kLdCtxt:
+      r.dst_scalar_write = true;
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kStCtxt:
+      r.dst_scalar_read = true;  // key
+      r.src_scalar_read = true;  // value
+      break;
+    case Opcode::kMatchCtxt:
+      r.dst_scalar_write = true;
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kMapLookup: case Opcode::kMapExists:
+      r.dst_scalar_write = true;
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kMapUpdate:
+      r.dst_scalar_read = true;
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kMapDelete:
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kVecLdCtxt:
+      r.dst_vector_write = true;
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kVecStCtxt:
+      r.dst_scalar_read = true;  // key
+      r.src_vector_read = true;
+      break;
+    case Opcode::kVecZero:
+      r.dst_vector_write = true;
+      break;
+    case Opcode::kScalarVal:
+      r.dst_vector_read = r.dst_vector_write = true;  // partial update
+      r.src_scalar_read = true;
+      break;
+    case Opcode::kVecExtract:
+      r.dst_scalar_write = true;
+      r.src_vector_read = true;
+      break;
+    case Opcode::kMatMul: case Opcode::kVecRelu:
+      r.dst_vector_write = true;
+      r.src_vector_read = true;
+      break;
+    case Opcode::kVecAddT:
+      r.dst_vector_read = r.dst_vector_write = true;
+      break;
+    case Opcode::kVecAdd:
+      r.dst_vector_read = r.dst_vector_write = true;
+      r.src_vector_read = true;
+      break;
+    case Opcode::kVecArgmax:
+      r.dst_scalar_write = true;
+      r.src_vector_read = true;
+      break;
+    case Opcode::kVecDot:
+      // Reads vector dst and src, writes scalar dst.
+      r.dst_vector_read = true;
+      r.dst_scalar_write = true;
+      r.src_vector_read = true;
+      break;
+    case Opcode::kCall:
+      break;  // writes r0, reads r1..r5; handled specially
+    case Opcode::kMlCall:
+      r.dst_scalar_write = true;
+      r.src_vector_read = true;
+      break;
+    case Opcode::kTailCall: case Opcode::kExit: case Opcode::kOpcodeCount:
+      break;
+  }
+  return r;
+}
+
+}  // namespace
+
+VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistry* models,
+                              const TensorRegistry* tensors) const {
+  VerifyReport report;
+  auto diag = [&](size_t pc, std::string message) {
+    report.diagnostics.push_back("insn " + std::to_string(pc) + ": " + std::move(message));
+  };
+
+  const HookBudget budget =
+      config_.budget_override != nullptr ? *config_.budget_override
+                                         : BudgetForHook(program.hook_kind);
+
+  // --- Pass 1: structure ---
+  if (program.code.empty()) {
+    report.diagnostics.push_back("program is empty");
+    report.status = VerificationFailedError("program is empty");
+    return report;
+  }
+  if (program.code.size() > budget.max_instructions) {
+    report.diagnostics.push_back(
+        "program length " + std::to_string(program.code.size()) + " exceeds hook budget " +
+        std::to_string(budget.max_instructions));
+  }
+  const int64_t n = static_cast<int64_t>(program.code.size());
+  bool cfg_ok = true;
+
+  for (int64_t pc = 0; pc < n; ++pc) {
+    const Instruction& insn = program.code[static_cast<size_t>(pc)];
+    if (insn.opcode >= Opcode::kOpcodeCount) {
+      diag(static_cast<size_t>(pc), "invalid opcode");
+      cfg_ok = false;
+      continue;
+    }
+
+    // Operand register ranges.
+    const bool vector_op = IsVectorOp(insn.opcode);
+    if (vector_op) {
+      const bool dst_is_scalar =
+          insn.opcode == Opcode::kMlCall || insn.opcode == Opcode::kVecArgmax ||
+          insn.opcode == Opcode::kVecExtract || insn.opcode == Opcode::kVecStCtxt;
+      const bool src_is_scalar =
+          insn.opcode == Opcode::kVecLdCtxt || insn.opcode == Opcode::kScalarVal;
+      if ((dst_is_scalar && insn.dst >= kNumScalarRegs) ||
+          (!dst_is_scalar && insn.dst >= kNumVectorRegs)) {
+        diag(static_cast<size_t>(pc), "dst register out of range");
+      }
+      if ((src_is_scalar && insn.src >= kNumScalarRegs) ||
+          (!src_is_scalar && insn.src >= kNumVectorRegs)) {
+        diag(static_cast<size_t>(pc), "src register out of range");
+      }
+    } else {
+      if (insn.dst >= kNumScalarRegs) {
+        diag(static_cast<size_t>(pc), "dst register out of range");
+      }
+      if (insn.src >= kNumScalarRegs) {
+        diag(static_cast<size_t>(pc), "src register out of range");
+      }
+    }
+    // Writes to the frame pointer are forbidden.
+    const OperandRoles roles = RolesOf(insn.opcode);
+    if (roles.dst_scalar_write && !vector_op && insn.dst == kFramePointerReg) {
+      diag(static_cast<size_t>(pc), "write to read-only frame pointer r10");
+    }
+
+    // --- Pass 2: control flow (forward, in range) ---
+    if (IsBranch(insn.opcode)) {
+      const int64_t target = pc + 1 + insn.offset;
+      if (insn.offset < 0) {
+        diag(static_cast<size_t>(pc), "backward jump (unbounded execution)");
+        cfg_ok = false;
+      } else if (insn.offset == 0 && insn.opcode == Opcode::kJa) {
+        // Harmless no-op jump; allowed.
+      }
+      if (target < 0 || target >= n) {
+        diag(static_cast<size_t>(pc), "jump target out of range");
+        cfg_ok = false;
+      }
+    }
+
+    // --- Pass 4: offsets and declared resources ---
+    switch (insn.opcode) {
+      case Opcode::kLdStack:
+      case Opcode::kStStack:
+      case Opcode::kStStackImm:
+        if (insn.offset < -kStackSize || insn.offset > -8 || insn.offset % 8 != 0) {
+          diag(static_cast<size_t>(pc), "stack offset outside [-512, -8] or unaligned");
+        }
+        break;
+      case Opcode::kLdCtxt:
+      case Opcode::kStCtxt:
+        if (insn.offset < 0 || insn.offset >= kCtxtScalarSlots) {
+          diag(static_cast<size_t>(pc), "context slot out of range");
+        }
+        break;
+      case Opcode::kScalarVal:
+      case Opcode::kVecExtract:
+        if (insn.offset < 0 || insn.offset >= kVectorLanes) {
+          diag(static_cast<size_t>(pc), "vector lane out of range");
+        }
+        break;
+      case Opcode::kMapLookup:
+      case Opcode::kMapExists:
+      case Opcode::kMapUpdate:
+      case Opcode::kMapDelete:
+        if (insn.imm < 0 || insn.imm >= program.num_maps) {
+          diag(static_cast<size_t>(pc), "undeclared map id " + std::to_string(insn.imm));
+        }
+        break;
+      case Opcode::kMlCall:
+        if (insn.imm < 0 || insn.imm >= program.num_models) {
+          diag(static_cast<size_t>(pc), "undeclared model id " + std::to_string(insn.imm));
+        }
+        break;
+      case Opcode::kMatMul:
+      case Opcode::kVecAddT:
+        if (insn.imm < 0 || insn.imm >= program.num_tensors) {
+          diag(static_cast<size_t>(pc), "undeclared tensor id " + std::to_string(insn.imm));
+        }
+        break;
+      case Opcode::kTailCall:
+        if (insn.imm < 0 || insn.imm >= program.num_tables) {
+          diag(static_cast<size_t>(pc), "undeclared tail-call table " + std::to_string(insn.imm));
+        }
+        break;
+      // --- Pass 5: helpers and constant divisors ---
+      case Opcode::kCall: {
+        if (insn.imm < 0 || insn.imm >= static_cast<int64_t>(HelperId::kHelperCount)) {
+          diag(static_cast<size_t>(pc), "unknown helper id " + std::to_string(insn.imm));
+          break;
+        }
+        const auto helper = static_cast<HelperId>(insn.imm);
+        const bool allowed =
+            std::find(budget.allowed_helpers.begin(), budget.allowed_helpers.end(), helper) !=
+            budget.allowed_helpers.end();
+        if (!allowed) {
+          diag(static_cast<size_t>(pc),
+               std::string("helper '") + std::string(HelperName(helper)) +
+                   "' not permitted for hook kind '" +
+                   std::string(HookKindName(program.hook_kind)) + "'");
+        }
+        if (helper == HelperId::kDpNoise) {
+          ++report.dp_noise_sites;
+        }
+        break;
+      }
+      case Opcode::kDivImm:
+      case Opcode::kModImm:
+        if (insn.imm == 0) {
+          diag(static_cast<size_t>(pc), "constant zero divisor");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Termination: last instruction must not fall through.
+  const Opcode last = program.code.back().opcode;
+  if (last != Opcode::kExit && !(last == Opcode::kJa)) {
+    diag(static_cast<size_t>(n - 1), "program can fall off the end (must end in exit)");
+    cfg_ok = false;
+  }
+
+  // The remaining passes walk the CFG; skip them if it is malformed.
+  if (cfg_ok) {
+    // --- Pass 3: definite-initialization dataflow. Forward jumps only, so a
+    // single in-order sweep reaches the fixpoint. ---
+    std::vector<RegState> in_state(static_cast<size_t>(n));
+    in_state[0] = RegState::Entry();
+    // Longest path (pass 6) shares the sweep: dist[pc] = longest instruction
+    // count to reach pc.
+    std::vector<int64_t> dist(static_cast<size_t>(n), -1);
+    dist[0] = 1;
+
+    for (int64_t pc = 0; pc < n; ++pc) {
+      RegState state = in_state[static_cast<size_t>(pc)];
+      if (!state.reachable) {
+        continue;  // dead code is legal, just unchecked
+      }
+      const Instruction& insn = program.code[static_cast<size_t>(pc)];
+      const OperandRoles roles = RolesOf(insn.opcode);
+
+      const auto require_scalar = [&](int reg, const char* what) {
+        if (reg < kNumScalarRegs && (state.scalars & (1u << reg)) == 0) {
+          diag(static_cast<size_t>(pc),
+               std::string(what) + " r" + std::to_string(reg) + " read before initialization");
+        }
+      };
+      const auto require_vector = [&](int reg, const char* what) {
+        if (reg < kNumVectorRegs && (state.vectors & (1u << reg)) == 0) {
+          diag(static_cast<size_t>(pc),
+               std::string(what) + " v" + std::to_string(reg) + " read before initialization");
+        }
+      };
+
+      if (roles.dst_scalar_read) {
+        require_scalar(insn.dst, "dst");
+      }
+      if (roles.src_scalar_read) {
+        require_scalar(insn.src, "src");
+      }
+      if (roles.dst_vector_read) {
+        require_vector(insn.dst, "dst");
+      }
+      if (roles.src_vector_read) {
+        require_vector(insn.src, "src");
+      }
+      if (insn.opcode == Opcode::kLdStack) {
+        const int slot = StackSlot(insn.offset);
+        if (slot >= 0 && slot < 64 && (state.stack & (1ull << slot)) == 0) {
+          diag(static_cast<size_t>(pc), "stack slot read before initialization");
+        }
+      }
+      if (insn.opcode == Opcode::kCall) {
+        // Helpers read the five argument registers.
+        for (int reg = 1; reg <= 5; ++reg) {
+          require_scalar(reg, "helper argument");
+        }
+      }
+
+      // Apply writes.
+      if (roles.dst_scalar_write) {
+        state.scalars |= (1u << insn.dst);
+      }
+      if (roles.dst_vector_write && insn.dst < kNumVectorRegs) {
+        state.vectors |= (1u << insn.dst);
+      }
+      if (insn.opcode == Opcode::kCall) {
+        state.scalars |= 1u;  // r0 = helper result
+      }
+      if (insn.opcode == Opcode::kStStack || insn.opcode == Opcode::kStStackImm) {
+        const int slot = StackSlot(insn.offset);
+        if (slot >= 0 && slot < 64) {
+          state.stack |= (1ull << slot);
+        }
+      }
+
+      // Propagate to successors (fall-through and/or branch target).
+      const int64_t d = dist[static_cast<size_t>(pc)];
+      const auto propagate = [&](int64_t successor) {
+        if (successor >= n) {
+          return;
+        }
+        in_state[static_cast<size_t>(successor)].MergeFrom(state);
+        dist[static_cast<size_t>(successor)] =
+            std::max(dist[static_cast<size_t>(successor)], d + 1);
+      };
+      if (insn.opcode == Opcode::kExit) {
+        report.longest_path = std::max<uint64_t>(report.longest_path, static_cast<uint64_t>(d));
+        continue;
+      }
+      if (insn.opcode == Opcode::kJa) {
+        propagate(pc + 1 + insn.offset);
+      } else if (IsConditional(insn.opcode)) {
+        propagate(pc + 1 + insn.offset);
+        propagate(pc + 1);
+      } else {
+        propagate(pc + 1);  // includes kTailCall's fall-through path
+      }
+    }
+
+    if (report.longest_path > budget.max_path_length) {
+      report.diagnostics.push_back(
+          "longest execution path " + std::to_string(report.longest_path) +
+          " exceeds hook budget " + std::to_string(budget.max_path_length));
+    }
+
+    // --- Pass 6 (cost model): work units of every referenced model/tensor.
+    // Each tail call can cascade another full table action, so the budget is
+    // applied per program; the pipeline applies the chain limit. ---
+    std::vector<bool> counted_model(static_cast<size_t>(std::max<uint32_t>(program.num_models, 1)),
+                                    false);
+    std::vector<bool> counted_tensor(
+        static_cast<size_t>(std::max<uint32_t>(program.num_tensors, 1)), false);
+    for (int64_t pc = 0; pc < n; ++pc) {
+      const Instruction& insn = program.code[static_cast<size_t>(pc)];
+      if (insn.opcode == Opcode::kMlCall && models != nullptr && insn.imm >= 0 &&
+          insn.imm < program.num_models && !counted_model[static_cast<size_t>(insn.imm)]) {
+        counted_model[static_cast<size_t>(insn.imm)] = true;
+        const ModelPtr model = models->Get(insn.imm);
+        if (model != nullptr) {
+          report.model_work_units += model->Cost().WorkUnits();
+        }
+      }
+      if ((insn.opcode == Opcode::kMatMul || insn.opcode == Opcode::kVecAddT) &&
+          tensors != nullptr && insn.imm >= 0 && insn.imm < program.num_tensors &&
+          !counted_tensor[static_cast<size_t>(insn.imm)]) {
+        counted_tensor[static_cast<size_t>(insn.imm)] = true;
+        const FixedMatrix* tensor = tensors->Get(insn.imm);
+        if (tensor != nullptr) {
+          ModelCost cost;
+          cost.macs = tensor->rows() * tensor->cols();
+          report.model_work_units += cost.WorkUnits();
+        }
+      }
+    }
+    if (report.model_work_units > budget.max_work_units) {
+      report.diagnostics.push_back(
+          "ML work units " + std::to_string(report.model_work_units) + " exceed hook budget " +
+          std::to_string(budget.max_work_units) +
+          " (consider distillation or on-demand compression)");
+    }
+
+    // --- Pass 7: interference guards. Straight-program-order dominance
+    // approximation: a granting call is guarded if some kRateLimitCheck call
+    // appears earlier in the instruction stream. ---
+    if (config_.require_rate_limit_guard) {
+      bool seen_guard = false;
+      for (int64_t pc = 0; pc < n; ++pc) {
+        const Instruction& insn = program.code[static_cast<size_t>(pc)];
+        if (insn.opcode != Opcode::kCall) {
+          continue;
+        }
+        const auto helper = static_cast<HelperId>(insn.imm);
+        if (helper == HelperId::kRateLimitCheck) {
+          seen_guard = true;
+        } else if ((helper == HelperId::kPrefetchEmit ||
+                    helper == HelperId::kSetPriorityHint) &&
+                   !seen_guard) {
+          diag(static_cast<size_t>(pc),
+               std::string("resource-granting helper '") + std::string(HelperName(helper)) +
+                   "' without a preceding rate_limit_check (run InsertRateLimitGuards)");
+        }
+      }
+    }
+  }
+
+  // --- Pass 8: privacy budget ---
+  report.epsilon_spend = report.dp_noise_sites * config_.epsilon_per_noise_site;
+  if (report.epsilon_spend > config_.max_epsilon + 1e-12) {
+    report.diagnostics.push_back(
+        "static epsilon spend " + std::to_string(report.epsilon_spend) +
+        " exceeds privacy budget " + std::to_string(config_.max_epsilon));
+  }
+
+  report.status = report.diagnostics.empty()
+                      ? OkStatus()
+                      : VerificationFailedError("program '" + program.name + "': " +
+                                                std::to_string(report.diagnostics.size()) +
+                                                " verification diagnostics; first: " +
+                                                report.diagnostics.front());
+  return report;
+}
+
+}  // namespace rkd

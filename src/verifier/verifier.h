@@ -1,0 +1,97 @@
+// The RMT program verifier (paper section 3.3).
+//
+// "Any code that is downloaded into the kernel must be safe." Admission
+// control runs these static passes over a BytecodeProgram:
+//
+//   1. structure     — non-empty, valid opcodes, cannot fall off the end
+//   2. control flow  — all jumps in range and strictly forward (so every
+//                      admitted program has bounded execution, and the JIT
+//                      tier may drop step accounting)
+//   3. registers     — operand ranges; no scalar/vector register or stack
+//                      slot is read before every path to it has written it
+//   4. resources     — map/model/tensor/table ids within the program's
+//                      declarations; ctxt slots and vector lanes in range
+//   5. helpers       — per-hook whitelist ("constrained set of kernel
+//                      functions"); constant-zero divisors rejected
+//   6. cost model    — longest-path instruction count plus the work units of
+//                      every referenced ML model and tensor must fit the
+//                      hook's latency budget (scheduler hooks get microsecond
+//                      budgets, prefetch hooks more, section 3.2)
+//   7. interference  — resource-granting helpers (prefetch emit, priority
+//                      hints) must be guarded by a rate-limit check; the
+//                      companion pass in guards.h can insert the guard
+//                      automatically ("the verifier may insert additional
+//                      logic to enforce rate limits")
+//   8. privacy       — each kDpNoise call site spends epsilon; total static
+//                      spend must fit the per-program budget
+//
+// Verify() never stops at the first problem: the report carries every
+// diagnostic so a program author fixes one round, not one error, per attempt.
+#ifndef SRC_VERIFIER_VERIFIER_H_
+#define SRC_VERIFIER_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+#include "src/ml/model_registry.h"
+
+namespace rkd {
+
+// Per-hook admission budget. Scheduler decision points run at microsecond
+// granularity, prefetch decisions amortize over disk latency — the budgets
+// encode that asymmetry.
+struct HookBudget {
+  uint64_t max_instructions = 512;   // static program length
+  uint64_t max_path_length = 256;    // longest execution path
+  uint64_t max_work_units = 1 << 14; // ML model cost (ModelCost::WorkUnits)
+  std::vector<HelperId> allowed_helpers;
+};
+
+// The default budget table; tests construct custom ones.
+HookBudget BudgetForHook(HookKind kind);
+
+struct VerifierConfig {
+  // When true, every kPrefetchEmit / kSetPriorityHint must be dominated (in
+  // straight program order) by a kRateLimitCheck.
+  bool require_rate_limit_guard = true;
+  // Privacy: per-program epsilon budget and per-kDpNoise-call-site spend.
+  double max_epsilon = 1.0;
+  double epsilon_per_noise_site = 0.1;
+  // Overrides BudgetForHook when set.
+  const HookBudget* budget_override = nullptr;
+};
+
+struct VerifyReport {
+  Status status;  // OK iff diagnostics is empty
+  std::vector<std::string> diagnostics;
+
+  // Analysis results (valid when the structural passes succeeded).
+  uint64_t longest_path = 0;       // instructions on the longest path
+  uint64_t model_work_units = 0;   // summed cost of referenced models/tensors
+  uint32_t dp_noise_sites = 0;
+  double epsilon_spend = 0.0;
+  bool ok() const { return status.ok(); }
+};
+
+class Verifier {
+ public:
+  explicit Verifier(VerifierConfig config = {}) : config_(config) {}
+
+  // `models` / `tensors` may be null; model/tensor cost checks are then
+  // limited to id-range validation (the control plane re-verifies cost at
+  // model install time).
+  VerifyReport Verify(const BytecodeProgram& program, const ModelRegistry* models = nullptr,
+                      const TensorRegistry* tensors = nullptr) const;
+
+  const VerifierConfig& config() const { return config_; }
+
+ private:
+  VerifierConfig config_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_VERIFIER_VERIFIER_H_

@@ -1,0 +1,26 @@
+#include "src/vm/context_store.h"
+
+namespace rkd {
+
+const ContextEntry* ContextStore::Find(uint64_t key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ContextEntry* ContextStore::FindMutable(uint64_t key) {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ContextEntry* ContextStore::FindOrCreate(uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    return &it->second;
+  }
+  if (entries_.size() >= max_entries_) {
+    return nullptr;
+  }
+  return &entries_[key];
+}
+
+}  // namespace rkd

@@ -1,0 +1,88 @@
+// The execution-context store backing RMT_CTXT (paper section 3.1).
+//
+// "The execution context is akin to today's kernel monitoring data, but the
+// pattern match strips away unnecessary monitoring ... This is also
+// constant-time in a system-wide manner without having to walk complex kernel
+// data structures." Entries are keyed by a 64-bit match key (PID, inode,
+// cgroup id, ...) and hold three fixed-size regions:
+//   - scalar slots, addressed by kLdCtxt / kStCtxt
+//   - a feature vector, the unit kVecLdCtxt / kVecStCtxt move to/from vector
+//     registers (and what kMlCall models consume)
+//   - a bounded history ring, fed by the history helpers (access-pattern
+//     collection for online training)
+#ifndef SRC_VM_CONTEXT_STORE_H_
+#define SRC_VM_CONTEXT_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/bytecode/isa.h"
+
+namespace rkd {
+
+struct ContextEntry {
+  std::array<int64_t, kCtxtScalarSlots> slots{};
+  std::array<int32_t, kVectorLanes> features{};
+
+  // Fixed-capacity ring of recent observations (newest overwrite oldest).
+  std::array<int64_t, kCtxtHistoryCapacity> history{};
+  uint32_t history_head = 0;  // next write position
+  uint32_t history_len = 0;   // min(appends, capacity)
+
+  void AppendHistory(int64_t value) {
+    history[history_head] = value;
+    history_head = (history_head + 1) % kCtxtHistoryCapacity;
+    if (history_len < kCtxtHistoryCapacity) {
+      ++history_len;
+    }
+  }
+
+  // Element `back` positions from the newest (back=0 is the last append).
+  // Returns 0 when out of range, matching the VM's "absent reads as zero"
+  // convention.
+  int64_t HistoryAt(uint32_t back) const {
+    if (back >= history_len) {
+      return 0;
+    }
+    const uint32_t index =
+        (history_head + kCtxtHistoryCapacity - 1 - back) % kCtxtHistoryCapacity;
+    return history[index];
+  }
+};
+
+class ContextStore {
+ public:
+  explicit ContextStore(size_t max_entries = 4096) : max_entries_(max_entries) {}
+
+  // Returns the entry for `key`, or nullptr if absent.
+  const ContextEntry* Find(uint64_t key) const;
+  ContextEntry* FindMutable(uint64_t key);
+
+  // Returns the entry for `key`, creating it if absent. Returns nullptr only
+  // when the store is full and the key is new (capacity back-pressure; the
+  // VM surfaces that as the write silently dropping, never as a fault).
+  ContextEntry* FindOrCreate(uint64_t key);
+
+  bool Contains(uint64_t key) const { return entries_.contains(key); }
+  bool Erase(uint64_t key) { return entries_.erase(key) > 0; }
+  size_t size() const { return entries_.size(); }
+  size_t max_entries() const { return max_entries_; }
+  void Clear() { entries_.clear(); }
+
+  // Iteration for control-plane sweeps (e.g. aggregate queries).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, entry] : entries_) {
+      fn(key, entry);
+    }
+  }
+
+ private:
+  size_t max_entries_;
+  std::unordered_map<uint64_t, ContextEntry> entries_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_VM_CONTEXT_STORE_H_

@@ -1,0 +1,157 @@
+#include "src/vm/helpers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rkd {
+
+// --- RateLimiter ---
+
+RateLimiter::Bucket& RateLimiter::GetBucket(int64_t key, uint64_t now) {
+  auto [it, inserted] = buckets_.try_emplace(key, Bucket{capacity_, now});
+  Bucket& bucket = it->second;
+  if (!inserted && now > bucket.last_refill) {
+    const uint64_t ticks = now - bucket.last_refill;
+    const int64_t refill =
+        ticks > static_cast<uint64_t>(capacity_)
+            ? capacity_
+            : static_cast<int64_t>(ticks) * refill_per_tick_;
+    bucket.tokens = std::min(capacity_, bucket.tokens + refill);
+    bucket.last_refill = now;
+  }
+  return bucket;
+}
+
+bool RateLimiter::Check(int64_t key, int64_t units, uint64_t now) {
+  if (units <= 0) {
+    return true;
+  }
+  Bucket& bucket = GetBucket(key, now);
+  if (bucket.tokens >= units) {
+    bucket.tokens -= units;
+    return true;
+  }
+  return false;
+}
+
+int64_t RateLimiter::TokensAvailable(int64_t key, uint64_t now) {
+  return GetBucket(key, now).tokens;
+}
+
+// --- PrivacyBudget ---
+
+bool PrivacyBudget::Consume() {
+  if (remaining_ + 1e-12 < per_query_) {
+    ++queries_refused_;
+    return false;
+  }
+  remaining_ -= per_query_;
+  ++queries_answered_;
+  return true;
+}
+
+// --- DpNoiseSource ---
+
+int64_t DpNoiseSource::Noisy(int64_t value) {
+  if (budget_ == nullptr || !budget_->Consume()) {
+    return 0;
+  }
+  const double scale = sensitivity_ / budget_->per_query_epsilon();
+  const double noisy = static_cast<double>(value) + rng_.NextLaplace(scale);
+  return static_cast<int64_t>(std::llround(noisy));
+}
+
+// --- PredictionLog ---
+
+void PredictionLog::Record(int64_t key, int64_t predicted) { pending_[key] = predicted; }
+
+std::optional<int64_t> PredictionLog::Take(int64_t key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    return std::nullopt;
+  }
+  const int64_t value = it->second;
+  pending_.erase(it);
+  return value;
+}
+
+void PredictionLog::Resolve(int64_t key, int64_t actual) {
+  const std::optional<int64_t> predicted = Take(key);
+  if (!predicted.has_value()) {
+    return;
+  }
+  ++total_;
+  if (*predicted == actual) {
+    ++correct_;
+  }
+}
+
+// --- Dispatch ---
+
+int64_t CallHelper(HelperId id, HelperServices& services, const int64_t args[5]) {
+  switch (id) {
+    case HelperId::kGetTime:
+      return services.now ? static_cast<int64_t>(services.now()) : 0;
+    case HelperId::kRecordSample:
+      if (services.sample_ring != nullptr) {
+        return services.sample_ring->Update(args[0], args[1]) ? 1 : 0;
+      }
+      return 0;
+    case HelperId::kHistoryAppend: {
+      if (services.ctxt == nullptr) {
+        return 0;
+      }
+      ContextEntry* entry = services.ctxt->FindOrCreate(static_cast<uint64_t>(args[0]));
+      if (entry == nullptr) {
+        return 0;
+      }
+      entry->AppendHistory(args[1]);
+      return 1;
+    }
+    case HelperId::kHistoryGet: {
+      if (services.ctxt == nullptr) {
+        return 0;
+      }
+      const ContextEntry* entry = services.ctxt->Find(static_cast<uint64_t>(args[0]));
+      return entry == nullptr ? 0 : entry->HistoryAt(static_cast<uint32_t>(args[1]));
+    }
+    case HelperId::kHistoryLen: {
+      if (services.ctxt == nullptr) {
+        return 0;
+      }
+      const ContextEntry* entry = services.ctxt->Find(static_cast<uint64_t>(args[0]));
+      return entry == nullptr ? 0 : entry->history_len;
+    }
+    case HelperId::kRateLimitCheck:
+      if (services.rate_limiter != nullptr) {
+        const uint64_t now = services.now ? services.now() : 0;
+        return services.rate_limiter->Check(args[0], args[1], now) ? 1 : 0;
+      }
+      return 1;  // no limiter configured: allow
+    case HelperId::kDpNoise:
+      return services.dp_noise != nullptr ? services.dp_noise->Noisy(args[0]) : args[0];
+    case HelperId::kPrefetchEmit:
+      if (services.prefetch_emit) {
+        services.prefetch_emit(args[0], args[1]);
+        return 1;
+      }
+      return 0;
+    case HelperId::kSetPriorityHint:
+      if (services.priority_hint) {
+        services.priority_hint(args[0], args[1]);
+        return 1;
+      }
+      return 0;
+    case HelperId::kPredictionLog:
+      if (services.prediction_log != nullptr) {
+        services.prediction_log->Record(args[0], args[1]);
+        return 1;
+      }
+      return 0;
+    case HelperId::kHelperCount:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace rkd

@@ -1,0 +1,142 @@
+// The constrained helper surface RMT programs may call (paper section 3.1:
+// "an RMT program has access to a constrained set of kernel functions that
+// are dedicated to learning and inference"). Helpers are the only way a
+// program touches anything outside its registers/stack/declared resources,
+// and the verifier whitelists them per hook kind.
+//
+// This header also defines the runtime services behind three verifier
+// concerns from section 3.3:
+//   RateLimiter   - performance-interference guard ("the verifier may insert
+//                   additional logic to enforce rate limits")
+//   PrivacyBudget + DpNoiseSource - differential-privacy accounting ("the
+//                   kernel can maintain a 'privacy budget' ... and subtract
+//                   from this overall budget for each table match")
+//   PredictionLog - prediction/outcome bookkeeping that lets the control
+//                   plane react to accuracy drops (section 3.1, updating RMT
+//                   entries when prefetch accuracy falls below threshold)
+#ifndef SRC_VM_HELPERS_H_
+#define SRC_VM_HELPERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "src/base/rng.h"
+#include "src/bytecode/isa.h"
+#include "src/vm/context_store.h"
+#include "src/vm/maps.h"
+
+namespace rkd {
+
+// Token bucket per key. Capacity tokens, refilled at refill_per_tick per
+// virtual-time tick. Check() consumes `units` if available.
+class RateLimiter {
+ public:
+  RateLimiter(int64_t capacity, int64_t refill_per_tick)
+      : capacity_(capacity), refill_per_tick_(refill_per_tick) {}
+
+  // Returns true (and consumes) if `key` may spend `units` at time `now`.
+  bool Check(int64_t key, int64_t units, uint64_t now);
+
+  int64_t TokensAvailable(int64_t key, uint64_t now);
+
+ private:
+  struct Bucket {
+    int64_t tokens;
+    uint64_t last_refill;
+  };
+  Bucket& GetBucket(int64_t key, uint64_t now);
+
+  int64_t capacity_;
+  int64_t refill_per_tick_;
+  std::unordered_map<int64_t, Bucket> buckets_;
+};
+
+// Epsilon accounting in differential-privacy terms. Each noisy query spends
+// per_query_epsilon; once the total budget is gone, queries are refused and
+// the helper returns a hard zero instead of a noisy value.
+class PrivacyBudget {
+ public:
+  PrivacyBudget(double total_epsilon, double per_query_epsilon)
+      : remaining_(total_epsilon), per_query_(per_query_epsilon) {}
+
+  // Consumes one query's epsilon. False once exhausted.
+  bool Consume();
+
+  double remaining() const { return remaining_; }
+  double per_query_epsilon() const { return per_query_; }
+  uint64_t queries_answered() const { return queries_answered_; }
+  uint64_t queries_refused() const { return queries_refused_; }
+
+ private:
+  double remaining_;
+  double per_query_;
+  uint64_t queries_answered_ = 0;
+  uint64_t queries_refused_ = 0;
+};
+
+// Laplace mechanism over an integer value, at sensitivity / epsilon scale.
+class DpNoiseSource {
+ public:
+  DpNoiseSource(PrivacyBudget* budget, double sensitivity, uint64_t seed)
+      : budget_(budget), sensitivity_(sensitivity), rng_(seed) {}
+
+  // value + Laplace(sensitivity / epsilon) if budget remains; 0 otherwise.
+  int64_t Noisy(int64_t value);
+
+ private:
+  PrivacyBudget* budget_;  // not owned
+  double sensitivity_;
+  Rng rng_;
+};
+
+// Last prediction per key, plus rolling hit/total counters resolved by the
+// subsystem when ground truth becomes known.
+class PredictionLog {
+ public:
+  void Record(int64_t key, int64_t predicted);
+
+  // Consumes and returns the pending prediction for `key`, if any.
+  std::optional<int64_t> Take(int64_t key);
+
+  // Resolves the pending prediction for `key` against the actual outcome
+  // (no-op when nothing is pending). Feeds the rolling accuracy.
+  void Resolve(int64_t key, int64_t actual);
+
+  uint64_t total_resolved() const { return total_; }
+  uint64_t total_correct() const { return correct_; }
+  double accuracy() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(correct_) / static_cast<double>(total_);
+  }
+  void ResetCounters() {
+    total_ = 0;
+    correct_ = 0;
+  }
+
+ private:
+  std::unordered_map<int64_t, int64_t> pending_;
+  uint64_t total_ = 0;
+  uint64_t correct_ = 0;
+};
+
+// Everything the helper implementations reach outside the VM. Unset members
+// make the corresponding helper return 0 (helpers never fault; the verifier
+// limits which ones a program can call in the first place).
+struct HelperServices {
+  std::function<uint64_t()> now;                          // kGetTime
+  ContextStore* ctxt = nullptr;                           // history helpers
+  RingMap* sample_ring = nullptr;                         // kRecordSample
+  RateLimiter* rate_limiter = nullptr;                    // kRateLimitCheck
+  DpNoiseSource* dp_noise = nullptr;                      // kDpNoise
+  std::function<void(int64_t, int64_t)> prefetch_emit;    // kPrefetchEmit
+  std::function<void(int64_t, int64_t)> priority_hint;    // kSetPriorityHint
+  PredictionLog* prediction_log = nullptr;                // kPredictionLog
+};
+
+// Dispatches one helper call: r0_result = helper(args r1..r5).
+int64_t CallHelper(HelperId id, HelperServices& services, const int64_t args[5]);
+
+}  // namespace rkd
+
+#endif  // SRC_VM_HELPERS_H_

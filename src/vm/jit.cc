@@ -1,0 +1,481 @@
+#include "src/vm/jit.h"
+
+#include <cstring>
+#include <limits>
+
+namespace rkd {
+
+namespace {
+
+constexpr size_t kExitPc = std::numeric_limits<size_t>::max();
+constexpr size_t kTailPc = kExitPc - 1;
+
+int32_t SatAdd32(int32_t a, int32_t b) {
+  const int64_t wide = static_cast<int64_t>(a) + b;
+  if (wide > std::numeric_limits<int32_t>::max()) {
+    return std::numeric_limits<int32_t>::max();
+  }
+  if (wide < std::numeric_limits<int32_t>::min()) {
+    return std::numeric_limits<int32_t>::min();
+  }
+  return static_cast<int32_t>(wide);
+}
+
+}  // namespace
+
+struct CompiledProgram::Frame {
+  ExecState state;
+  const VmEnv* env;
+  uint64_t tail_calls = 0;
+  uint64_t helper_calls = 0;
+  uint64_t ml_calls = 0;
+  int64_t tail_imm = 0;     // pending kTailCall table id
+  size_t tail_resume = 0;   // pc to resume at if the tail call fails
+};
+
+namespace {
+
+using Frame = CompiledProgram::Frame;
+using Decoded = CompiledProgram::Decoded;
+
+// --- ALU handlers (register and immediate forms) ---
+
+#define RKD_ALU_HANDLER(NAME, EXPR_REG, EXPR_IMM)                                \
+  size_t Op##NAME(Frame& f, const Decoded& d, size_t pc) {                      \
+    auto& r = f.state.regs;                                                      \
+    (void)r;                                                                     \
+    r[d.dst] = (EXPR_REG);                                                       \
+    return pc + 1;                                                               \
+  }                                                                              \
+  size_t Op##NAME##Imm(Frame& f, const Decoded& d, size_t pc) {                  \
+    auto& r = f.state.regs;                                                      \
+    (void)r;                                                                     \
+    r[d.dst] = (EXPR_IMM);                                                       \
+    return pc + 1;                                                               \
+  }
+
+RKD_ALU_HANDLER(Add, r[d.dst] + r[d.src], r[d.dst] + d.imm)
+RKD_ALU_HANDLER(Sub, r[d.dst] - r[d.src], r[d.dst] - d.imm)
+RKD_ALU_HANDLER(Mul, r[d.dst] * r[d.src], r[d.dst] * d.imm)
+RKD_ALU_HANDLER(Div, r[d.src] == 0 ? 0 : r[d.dst] / r[d.src],
+                d.imm == 0 ? 0 : r[d.dst] / d.imm)
+RKD_ALU_HANDLER(Mod, r[d.src] == 0 ? 0 : r[d.dst] % r[d.src],
+                d.imm == 0 ? 0 : r[d.dst] % d.imm)
+RKD_ALU_HANDLER(And, r[d.dst] & r[d.src], r[d.dst] & d.imm)
+RKD_ALU_HANDLER(Or, r[d.dst] | r[d.src], r[d.dst] | d.imm)
+RKD_ALU_HANDLER(Xor, r[d.dst] ^ r[d.src], r[d.dst] ^ d.imm)
+RKD_ALU_HANDLER(Shl, r[d.dst] << (r[d.src] & 63), r[d.dst] << (d.imm & 63))
+RKD_ALU_HANDLER(Shr,
+                static_cast<int64_t>(static_cast<uint64_t>(r[d.dst]) >> (r[d.src] & 63)),
+                static_cast<int64_t>(static_cast<uint64_t>(r[d.dst]) >> (d.imm & 63)))
+RKD_ALU_HANDLER(Ashr, r[d.dst] >> (r[d.src] & 63), r[d.dst] >> (d.imm & 63))
+RKD_ALU_HANDLER(Mov, r[d.src], d.imm)
+#undef RKD_ALU_HANDLER
+
+size_t OpNeg(Frame& f, const Decoded& d, size_t pc) {
+  f.state.regs[d.dst] = -f.state.regs[d.dst];
+  return pc + 1;
+}
+
+// --- Branch handlers; d.offset holds the pre-computed absolute target ---
+
+size_t OpJa(Frame&, const Decoded& d, size_t) { return static_cast<size_t>(d.offset); }
+
+#define RKD_BRANCH_HANDLER(NAME, COND_REG, COND_IMM)                             \
+  size_t Op##NAME(Frame& f, const Decoded& d, size_t pc) {                      \
+    auto& r = f.state.regs;                                                      \
+    return (COND_REG) ? static_cast<size_t>(d.offset) : pc + 1;                  \
+  }                                                                              \
+  size_t Op##NAME##Imm(Frame& f, const Decoded& d, size_t pc) {                  \
+    auto& r = f.state.regs;                                                      \
+    return (COND_IMM) ? static_cast<size_t>(d.offset) : pc + 1;                  \
+  }
+
+RKD_BRANCH_HANDLER(Jeq, r[d.dst] == r[d.src], r[d.dst] == d.imm)
+RKD_BRANCH_HANDLER(Jne, r[d.dst] != r[d.src], r[d.dst] != d.imm)
+RKD_BRANCH_HANDLER(Jlt, r[d.dst] < r[d.src], r[d.dst] < d.imm)
+RKD_BRANCH_HANDLER(Jle, r[d.dst] <= r[d.src], r[d.dst] <= d.imm)
+RKD_BRANCH_HANDLER(Jgt, r[d.dst] > r[d.src], r[d.dst] > d.imm)
+RKD_BRANCH_HANDLER(Jge, r[d.dst] >= r[d.src], r[d.dst] >= d.imm)
+RKD_BRANCH_HANDLER(Jset, (r[d.dst] & r[d.src]) != 0, (r[d.dst] & d.imm) != 0)
+#undef RKD_BRANCH_HANDLER
+
+// --- Stack ---
+
+size_t OpLdStack(Frame& f, const Decoded& d, size_t pc) {
+  std::memcpy(&f.state.regs[d.dst], &f.state.stack[kStackSize + d.offset], 8);
+  return pc + 1;
+}
+size_t OpStStack(Frame& f, const Decoded& d, size_t pc) {
+  std::memcpy(&f.state.stack[kStackSize + d.offset], &f.state.regs[d.src], 8);
+  return pc + 1;
+}
+size_t OpStStackImm(Frame& f, const Decoded& d, size_t pc) {
+  std::memcpy(&f.state.stack[kStackSize + d.offset], &d.imm, 8);
+  return pc + 1;
+}
+
+// --- Context ---
+
+size_t OpLdCtxt(Frame& f, const Decoded& d, size_t pc) {
+  const ContextEntry* entry =
+      f.env->ctxt != nullptr
+          ? f.env->ctxt->Find(static_cast<uint64_t>(f.state.regs[d.src]))
+          : nullptr;
+  f.state.regs[d.dst] = entry == nullptr ? 0 : entry->slots[static_cast<size_t>(d.offset)];
+  return pc + 1;
+}
+size_t OpStCtxt(Frame& f, const Decoded& d, size_t pc) {
+  if (f.env->ctxt != nullptr) {
+    ContextEntry* entry = f.env->ctxt->FindOrCreate(static_cast<uint64_t>(f.state.regs[d.dst]));
+    if (entry != nullptr) {
+      entry->slots[static_cast<size_t>(d.offset)] = f.state.regs[d.src];
+    }
+  }
+  return pc + 1;
+}
+size_t OpMatchCtxt(Frame& f, const Decoded& d, size_t pc) {
+  f.state.regs[d.dst] =
+      f.env->ctxt != nullptr && f.env->ctxt->Contains(static_cast<uint64_t>(f.state.regs[d.src]))
+          ? 1
+          : 0;
+  return pc + 1;
+}
+
+// --- Maps (missing maps read as zero / drop writes in the fast tier) ---
+
+size_t OpMapLookup(Frame& f, const Decoded& d, size_t pc) {
+  RmtMap* map = f.env->maps != nullptr ? f.env->maps->Get(d.imm) : nullptr;
+  f.state.regs[d.dst] = map != nullptr ? map->Lookup(f.state.regs[d.src]).value_or(0) : 0;
+  return pc + 1;
+}
+size_t OpMapExists(Frame& f, const Decoded& d, size_t pc) {
+  RmtMap* map = f.env->maps != nullptr ? f.env->maps->Get(d.imm) : nullptr;
+  f.state.regs[d.dst] = map != nullptr && map->Contains(f.state.regs[d.src]) ? 1 : 0;
+  return pc + 1;
+}
+size_t OpMapUpdate(Frame& f, const Decoded& d, size_t pc) {
+  RmtMap* map = f.env->maps != nullptr ? f.env->maps->Get(d.imm) : nullptr;
+  if (map != nullptr) {
+    map->Update(f.state.regs[d.dst], f.state.regs[d.src]);
+  }
+  return pc + 1;
+}
+size_t OpMapDelete(Frame& f, const Decoded& d, size_t pc) {
+  RmtMap* map = f.env->maps != nullptr ? f.env->maps->Get(d.imm) : nullptr;
+  if (map != nullptr) {
+    map->Delete(f.state.regs[d.src]);
+  }
+  return pc + 1;
+}
+
+// --- Vector / ML ---
+
+size_t OpVecLdCtxt(Frame& f, const Decoded& d, size_t pc) {
+  const ContextEntry* entry =
+      f.env->ctxt != nullptr
+          ? f.env->ctxt->Find(static_cast<uint64_t>(f.state.regs[d.src]))
+          : nullptr;
+  if (entry == nullptr) {
+    f.state.vregs[d.dst].fill(0);
+  } else {
+    f.state.vregs[d.dst] = entry->features;
+  }
+  return pc + 1;
+}
+size_t OpVecStCtxt(Frame& f, const Decoded& d, size_t pc) {
+  if (f.env->ctxt != nullptr) {
+    ContextEntry* entry = f.env->ctxt->FindOrCreate(static_cast<uint64_t>(f.state.regs[d.dst]));
+    if (entry != nullptr) {
+      entry->features = f.state.vregs[d.src];
+    }
+  }
+  return pc + 1;
+}
+size_t OpVecZero(Frame& f, const Decoded& d, size_t pc) {
+  f.state.vregs[d.dst].fill(0);
+  return pc + 1;
+}
+size_t OpScalarVal(Frame& f, const Decoded& d, size_t pc) {
+  f.state.vregs[d.dst][static_cast<size_t>(d.offset)] =
+      static_cast<int32_t>(f.state.regs[d.src]);
+  return pc + 1;
+}
+size_t OpVecExtract(Frame& f, const Decoded& d, size_t pc) {
+  f.state.regs[d.dst] = f.state.vregs[d.src][static_cast<size_t>(d.offset)];
+  return pc + 1;
+}
+size_t OpMatMul(Frame& f, const Decoded& d, size_t pc) {
+  const FixedMatrix* tensor = f.env->tensors != nullptr ? f.env->tensors->Get(d.imm) : nullptr;
+  if (tensor == nullptr || tensor->rows() > kVectorLanes || tensor->cols() > kVectorLanes) {
+    f.state.vregs[d.dst].fill(0);
+    return pc + 1;
+  }
+  std::array<int32_t, kVectorLanes> result{};
+  tensor->MatVec(f.state.vregs[d.src], result);
+  f.state.vregs[d.dst] = result;
+  return pc + 1;
+}
+size_t OpVecAddT(Frame& f, const Decoded& d, size_t pc) {
+  const FixedMatrix* tensor = f.env->tensors != nullptr ? f.env->tensors->Get(d.imm) : nullptr;
+  if (tensor != nullptr) {
+    const size_t n = tensor->rows() < kVectorLanes ? tensor->rows() : kVectorLanes;
+    for (size_t i = 0; i < n; ++i) {
+      f.state.vregs[d.dst][i] = SatAdd32(f.state.vregs[d.dst][i], tensor->at(i, 0));
+    }
+  }
+  return pc + 1;
+}
+size_t OpVecAdd(Frame& f, const Decoded& d, size_t pc) {
+  for (int i = 0; i < kVectorLanes; ++i) {
+    f.state.vregs[d.dst][i] = SatAdd32(f.state.vregs[d.dst][i], f.state.vregs[d.src][i]);
+  }
+  return pc + 1;
+}
+size_t OpVecRelu(Frame& f, const Decoded& d, size_t pc) {
+  for (int i = 0; i < kVectorLanes; ++i) {
+    const int32_t v = f.state.vregs[d.src][i];
+    f.state.vregs[d.dst][i] = v > 0 ? v : 0;
+  }
+  return pc + 1;
+}
+size_t OpVecArgmax(Frame& f, const Decoded& d, size_t pc) {
+  int best = 0;
+  const auto& v = f.state.vregs[d.src];
+  for (int i = 1; i < kVectorLanes; ++i) {
+    if (v[i] > v[best]) {
+      best = i;
+    }
+  }
+  f.state.regs[d.dst] = best;
+  return pc + 1;
+}
+size_t OpVecDot(Frame& f, const Decoded& d, size_t pc) {
+  int64_t acc = 0;
+  for (int i = 0; i < kVectorLanes; ++i) {
+    acc += static_cast<int64_t>(f.state.vregs[d.dst][i]) * f.state.vregs[d.src][i];
+  }
+  f.state.regs[d.dst] = acc >> 16;
+  return pc + 1;
+}
+
+// --- Calls / control ---
+
+size_t OpCall(Frame& f, const Decoded& d, size_t pc) {
+  ++f.helper_calls;
+  auto& r = f.state.regs;
+  const int64_t call_args[5] = {r[1], r[2], r[3], r[4], r[5]};
+  r[0] = f.env->helpers != nullptr
+             ? CallHelper(static_cast<HelperId>(d.imm), *f.env->helpers, call_args)
+             : 0;
+  return pc + 1;
+}
+size_t OpMlCall(Frame& f, const Decoded& d, size_t pc) {
+  ++f.ml_calls;
+  const ModelPtr model = f.env->models != nullptr ? f.env->models->Get(d.imm) : nullptr;
+  f.state.regs[d.dst] = model != nullptr ? model->Predict(f.state.vregs[d.src]) : kNoModelSentinel;
+  return pc + 1;
+}
+size_t OpTailCall(Frame& f, const Decoded& d, size_t pc) {
+  f.tail_imm = d.imm;
+  f.tail_resume = pc + 1;
+  return kTailPc;
+}
+size_t OpExit(Frame&, const Decoded&, size_t) { return kExitPc; }
+
+}  // namespace
+
+Result<CompiledProgram> CompiledProgram::Compile(const BytecodeProgram& program) {
+  if (program.code.empty()) {
+    return InvalidArgumentError("CompiledProgram: empty program");
+  }
+  CompiledProgram out;
+  out.name_ = program.name;
+  out.code_.reserve(program.code.size());
+  const int64_t n = static_cast<int64_t>(program.code.size());
+
+  for (int64_t pc = 0; pc < n; ++pc) {
+    const Instruction& insn = program.code[static_cast<size_t>(pc)];
+    Decoded d{};
+    d.dst = insn.dst;
+    d.src = insn.src;
+    d.offset = insn.offset;
+    d.imm = insn.imm;
+
+    // Register validation, mirroring the interpreter's role table.
+    const bool vector_op = IsVectorOp(insn.opcode);
+    if (vector_op) {
+      const bool dst_is_scalar =
+          insn.opcode == Opcode::kMlCall || insn.opcode == Opcode::kVecArgmax ||
+          insn.opcode == Opcode::kVecExtract || insn.opcode == Opcode::kVecStCtxt;
+      const bool src_is_scalar =
+          insn.opcode == Opcode::kVecLdCtxt || insn.opcode == Opcode::kScalarVal;
+      if ((dst_is_scalar && insn.dst >= kNumScalarRegs) ||
+          (!dst_is_scalar && insn.dst >= kNumVectorRegs) ||
+          (src_is_scalar && insn.src >= kNumScalarRegs) ||
+          (!src_is_scalar && insn.src >= kNumVectorRegs)) {
+        return VerificationFailedError("jit: register out of range at " + std::to_string(pc));
+      }
+    } else if (insn.dst >= kNumScalarRegs || insn.src >= kNumScalarRegs) {
+      return VerificationFailedError("jit: register out of range at " + std::to_string(pc));
+    }
+
+    if (IsBranch(insn.opcode)) {
+      const int64_t target = pc + 1 + insn.offset;
+      if (target <= pc) {
+        return VerificationFailedError("jit: backward jump at " + std::to_string(pc));
+      }
+      if (target >= n) {
+        return VerificationFailedError("jit: jump out of range at " + std::to_string(pc));
+      }
+      d.offset = static_cast<int32_t>(target);  // absolute target for the handler
+    }
+
+    switch (insn.opcode) {
+      case Opcode::kLdStack:
+      case Opcode::kStStack:
+      case Opcode::kStStackImm:
+        if (insn.offset < -kStackSize || insn.offset > -8 || insn.offset % 8 != 0) {
+          return VerificationFailedError("jit: bad stack offset at " + std::to_string(pc));
+        }
+        break;
+      case Opcode::kLdCtxt:
+      case Opcode::kStCtxt:
+        if (insn.offset < 0 || insn.offset >= kCtxtScalarSlots) {
+          return VerificationFailedError("jit: bad ctxt slot at " + std::to_string(pc));
+        }
+        break;
+      case Opcode::kScalarVal:
+      case Opcode::kVecExtract:
+        if (insn.offset < 0 || insn.offset >= kVectorLanes) {
+          return VerificationFailedError("jit: bad vector lane at " + std::to_string(pc));
+        }
+        break;
+      case Opcode::kCall:
+        if (insn.imm < 0 || insn.imm >= static_cast<int64_t>(HelperId::kHelperCount)) {
+          return VerificationFailedError("jit: unknown helper at " + std::to_string(pc));
+        }
+        break;
+      default:
+        break;
+    }
+
+    switch (insn.opcode) {
+      case Opcode::kAdd: d.fn = OpAdd; break;
+      case Opcode::kSub: d.fn = OpSub; break;
+      case Opcode::kMul: d.fn = OpMul; break;
+      case Opcode::kDiv: d.fn = OpDiv; break;
+      case Opcode::kMod: d.fn = OpMod; break;
+      case Opcode::kAnd: d.fn = OpAnd; break;
+      case Opcode::kOr: d.fn = OpOr; break;
+      case Opcode::kXor: d.fn = OpXor; break;
+      case Opcode::kShl: d.fn = OpShl; break;
+      case Opcode::kShr: d.fn = OpShr; break;
+      case Opcode::kAshr: d.fn = OpAshr; break;
+      case Opcode::kMov: d.fn = OpMov; break;
+      case Opcode::kAddImm: d.fn = OpAddImm; break;
+      case Opcode::kSubImm: d.fn = OpSubImm; break;
+      case Opcode::kMulImm: d.fn = OpMulImm; break;
+      case Opcode::kDivImm: d.fn = OpDivImm; break;
+      case Opcode::kModImm: d.fn = OpModImm; break;
+      case Opcode::kAndImm: d.fn = OpAndImm; break;
+      case Opcode::kOrImm: d.fn = OpOrImm; break;
+      case Opcode::kXorImm: d.fn = OpXorImm; break;
+      case Opcode::kShlImm: d.fn = OpShlImm; break;
+      case Opcode::kShrImm: d.fn = OpShrImm; break;
+      case Opcode::kAshrImm: d.fn = OpAshrImm; break;
+      case Opcode::kMovImm: d.fn = OpMovImm; break;
+      case Opcode::kNeg: d.fn = OpNeg; break;
+      case Opcode::kJa: d.fn = OpJa; break;
+      case Opcode::kJeq: d.fn = OpJeq; break;
+      case Opcode::kJne: d.fn = OpJne; break;
+      case Opcode::kJlt: d.fn = OpJlt; break;
+      case Opcode::kJle: d.fn = OpJle; break;
+      case Opcode::kJgt: d.fn = OpJgt; break;
+      case Opcode::kJge: d.fn = OpJge; break;
+      case Opcode::kJset: d.fn = OpJset; break;
+      case Opcode::kJeqImm: d.fn = OpJeqImm; break;
+      case Opcode::kJneImm: d.fn = OpJneImm; break;
+      case Opcode::kJltImm: d.fn = OpJltImm; break;
+      case Opcode::kJleImm: d.fn = OpJleImm; break;
+      case Opcode::kJgtImm: d.fn = OpJgtImm; break;
+      case Opcode::kJgeImm: d.fn = OpJgeImm; break;
+      case Opcode::kJsetImm: d.fn = OpJsetImm; break;
+      case Opcode::kLdStack: d.fn = OpLdStack; break;
+      case Opcode::kStStack: d.fn = OpStStack; break;
+      case Opcode::kStStackImm: d.fn = OpStStackImm; break;
+      case Opcode::kLdCtxt: d.fn = OpLdCtxt; break;
+      case Opcode::kStCtxt: d.fn = OpStCtxt; break;
+      case Opcode::kMatchCtxt: d.fn = OpMatchCtxt; break;
+      case Opcode::kMapLookup: d.fn = OpMapLookup; break;
+      case Opcode::kMapExists: d.fn = OpMapExists; break;
+      case Opcode::kMapUpdate: d.fn = OpMapUpdate; break;
+      case Opcode::kMapDelete: d.fn = OpMapDelete; break;
+      case Opcode::kVecLdCtxt: d.fn = OpVecLdCtxt; break;
+      case Opcode::kVecStCtxt: d.fn = OpVecStCtxt; break;
+      case Opcode::kVecZero: d.fn = OpVecZero; break;
+      case Opcode::kScalarVal: d.fn = OpScalarVal; break;
+      case Opcode::kVecExtract: d.fn = OpVecExtract; break;
+      case Opcode::kMatMul: d.fn = OpMatMul; break;
+      case Opcode::kVecAddT: d.fn = OpVecAddT; break;
+      case Opcode::kVecAdd: d.fn = OpVecAdd; break;
+      case Opcode::kVecRelu: d.fn = OpVecRelu; break;
+      case Opcode::kVecArgmax: d.fn = OpVecArgmax; break;
+      case Opcode::kVecDot: d.fn = OpVecDot; break;
+      case Opcode::kCall: d.fn = OpCall; break;
+      case Opcode::kMlCall: d.fn = OpMlCall; break;
+      case Opcode::kTailCall: d.fn = OpTailCall; break;
+      case Opcode::kExit: d.fn = OpExit; break;
+      case Opcode::kOpcodeCount:
+        return VerificationFailedError("jit: invalid opcode at " + std::to_string(pc));
+    }
+    out.code_.push_back(d);
+  }
+
+  // Termination requires the final instruction to be non-fall-through.
+  const Opcode last = program.code.back().opcode;
+  if (last != Opcode::kExit && last != Opcode::kJa) {
+    return VerificationFailedError("jit: program may fall off the end");
+  }
+  return out;
+}
+
+Result<int64_t> CompiledProgram::Run(const VmEnv& env, std::span<const int64_t> args,
+                                     RunStats* stats, const Resolver& resolve) const {
+  if (args.size() > 5) {
+    return InvalidArgumentError("CompiledProgram::Run: more than five arguments");
+  }
+  Frame frame;
+  frame.env = &env;
+  for (size_t i = 0; i < args.size(); ++i) {
+    frame.state.regs[i + 1] = args[i];
+  }
+
+  const std::vector<Decoded>* code = &code_;
+  size_t pc = 0;
+  while (true) {
+    const Decoded& d = (*code)[pc];
+    pc = d.fn(frame, d, pc);
+    if (pc == kExitPc) {
+      break;
+    }
+    if (pc == kTailPc) {
+      const CompiledProgram* target = resolve ? resolve(frame.tail_imm) : nullptr;
+      if (target != nullptr && !target->code_.empty() && frame.tail_calls < kMaxTailCallDepth) {
+        ++frame.tail_calls;
+        code = &target->code_;
+        pc = 0;
+      } else {
+        pc = frame.tail_resume;  // failed tail call falls through
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->tail_calls = frame.tail_calls;
+    stats->helper_calls = frame.helper_calls;
+    stats->ml_calls = frame.ml_calls;
+  }
+  return frame.state.regs[0];
+}
+
+}  // namespace rkd

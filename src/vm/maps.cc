@@ -1,0 +1,183 @@
+#include "src/vm/maps.h"
+
+namespace rkd {
+
+std::string_view MapKindName(MapKind kind) {
+  switch (kind) {
+    case MapKind::kArray:
+      return "array";
+    case MapKind::kHash:
+      return "hash";
+    case MapKind::kLru:
+      return "lru";
+    case MapKind::kRing:
+      return "ring";
+  }
+  return "unknown";
+}
+
+// --- ArrayMap ---
+
+std::optional<int64_t> ArrayMap::Lookup(int64_t key) {
+  if (key < 0 || static_cast<size_t>(key) >= values_.size()) {
+    return std::nullopt;
+  }
+  return values_[static_cast<size_t>(key)];
+}
+
+bool ArrayMap::Contains(int64_t key) const {
+  return key >= 0 && static_cast<size_t>(key) < values_.size();
+}
+
+bool ArrayMap::Update(int64_t key, int64_t value) {
+  if (key < 0 || static_cast<size_t>(key) >= values_.size()) {
+    return false;
+  }
+  values_[static_cast<size_t>(key)] = value;
+  return true;
+}
+
+bool ArrayMap::Delete(int64_t key) { return Update(key, 0); }
+
+// --- HashMap ---
+
+std::optional<int64_t> HashMap::Lookup(int64_t key) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool HashMap::Contains(int64_t key) const { return values_.contains(key); }
+
+bool HashMap::Update(int64_t key, int64_t value) {
+  const auto it = values_.find(key);
+  if (it != values_.end()) {
+    it->second = value;
+    return true;
+  }
+  if (values_.size() >= capacity_) {
+    return false;
+  }
+  values_.emplace(key, value);
+  return true;
+}
+
+bool HashMap::Delete(int64_t key) { return values_.erase(key) > 0; }
+
+// --- LruMap ---
+
+void LruMap::Touch(int64_t key) {
+  const auto it = entries_.find(key);
+  order_.erase(it->second.position);
+  order_.push_front(key);
+  it->second.position = order_.begin();
+}
+
+std::optional<int64_t> LruMap::Lookup(int64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  Touch(key);
+  return it->second.value;
+}
+
+bool LruMap::Contains(int64_t key) const { return entries_.contains(key); }
+
+bool LruMap::Update(int64_t key, int64_t value) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value = value;
+    Touch(key);
+    return true;
+  }
+  if (entries_.size() >= capacity_) {
+    // Evict the least-recently-used entry.
+    const int64_t victim = order_.back();
+    order_.pop_back();
+    entries_.erase(victim);
+  }
+  order_.push_front(key);
+  entries_.emplace(key, Entry{value, order_.begin()});
+  return true;
+}
+
+bool LruMap::Delete(int64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  order_.erase(it->second.position);
+  entries_.erase(it);
+  return true;
+}
+
+// --- RingMap ---
+
+std::optional<int64_t> RingMap::Lookup(int64_t key) {
+  (void)key;
+  return std::nullopt;
+}
+
+bool RingMap::Contains(int64_t) const { return false; }
+
+bool RingMap::Update(int64_t key, int64_t value) {
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(Record{key, value});
+  return true;
+}
+
+bool RingMap::Delete(int64_t) { return false; }
+
+std::optional<RingMap::Record> RingMap::Pop() {
+  if (records_.empty()) {
+    return std::nullopt;
+  }
+  const Record out = records_.front();
+  records_.pop_front();
+  return out;
+}
+
+// --- MapSet ---
+
+Result<int64_t> MapSet::Create(MapKind kind, size_t capacity) {
+  if (capacity == 0) {
+    return InvalidArgumentError("map capacity must be positive");
+  }
+  switch (kind) {
+    case MapKind::kArray:
+      maps_.push_back(std::make_unique<ArrayMap>(capacity));
+      break;
+    case MapKind::kHash:
+      maps_.push_back(std::make_unique<HashMap>(capacity));
+      break;
+    case MapKind::kLru:
+      maps_.push_back(std::make_unique<LruMap>(capacity));
+      break;
+    case MapKind::kRing:
+      maps_.push_back(std::make_unique<RingMap>(capacity));
+      break;
+  }
+  return static_cast<int64_t>(maps_.size()) - 1;
+}
+
+RmtMap* MapSet::Get(int64_t id) {
+  if (id < 0 || static_cast<size_t>(id) >= maps_.size()) {
+    return nullptr;
+  }
+  return maps_[static_cast<size_t>(id)].get();
+}
+
+const RmtMap* MapSet::Get(int64_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= maps_.size()) {
+    return nullptr;
+  }
+  return maps_[static_cast<size_t>(id)].get();
+}
+
+}  // namespace rkd

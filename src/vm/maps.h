@@ -1,0 +1,154 @@
+// eBPF-style maps: the general-purpose monitoring data structures of the RMT
+// VM (section 3.1: "data structures for monitoring purposes (e.g., akin to
+// different types of eBPF maps)"). Programs address maps by the small ids
+// they declared; the control plane reads/writes them from "userspace".
+//
+// Kinds:
+//   ArrayMap  - dense, fixed-size, index-keyed; O(1), no eviction
+//   HashMap   - sparse keys, bounded; inserts beyond capacity are rejected
+//   LruMap    - sparse keys, bounded; inserts beyond capacity evict the
+//               least-recently-touched entry (the eBPF LRU_HASH analogue)
+//   RingMap   - bounded FIFO of (key, value) records; kRecordSample appends,
+//               the control plane drains (perf-buffer analogue)
+#ifndef SRC_VM_MAPS_H_
+#define SRC_VM_MAPS_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace rkd {
+
+enum class MapKind { kArray, kHash, kLru, kRing };
+
+std::string_view MapKindName(MapKind kind);
+
+class RmtMap {
+ public:
+  virtual ~RmtMap() = default;
+
+  virtual MapKind kind() const = 0;
+  virtual size_t capacity() const = 0;
+  virtual size_t size() const = 0;
+
+  // Absent keys read as nullopt; the VM materializes that as 0 for
+  // kMapLookup and 0/1 for kMapExists.
+  virtual std::optional<int64_t> Lookup(int64_t key) = 0;
+  virtual bool Contains(int64_t key) const = 0;
+
+  // Returns false when the write could not be applied (array out of range,
+  // hash full). VM semantics: a failed update is dropped, never a fault.
+  virtual bool Update(int64_t key, int64_t value) = 0;
+  virtual bool Delete(int64_t key) = 0;
+};
+
+class ArrayMap final : public RmtMap {
+ public:
+  explicit ArrayMap(size_t capacity) : values_(capacity, 0) {}
+
+  MapKind kind() const override { return MapKind::kArray; }
+  size_t capacity() const override { return values_.size(); }
+  size_t size() const override { return values_.size(); }
+  std::optional<int64_t> Lookup(int64_t key) override;
+  bool Contains(int64_t key) const override;
+  bool Update(int64_t key, int64_t value) override;
+  bool Delete(int64_t key) override;  // resets the slot to 0
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+class HashMap final : public RmtMap {
+ public:
+  explicit HashMap(size_t capacity) : capacity_(capacity) {}
+
+  MapKind kind() const override { return MapKind::kHash; }
+  size_t capacity() const override { return capacity_; }
+  size_t size() const override { return values_.size(); }
+  std::optional<int64_t> Lookup(int64_t key) override;
+  bool Contains(int64_t key) const override;
+  bool Update(int64_t key, int64_t value) override;
+  bool Delete(int64_t key) override;
+
+ private:
+  size_t capacity_;
+  std::unordered_map<int64_t, int64_t> values_;
+};
+
+class LruMap final : public RmtMap {
+ public:
+  explicit LruMap(size_t capacity) : capacity_(capacity) {}
+
+  MapKind kind() const override { return MapKind::kLru; }
+  size_t capacity() const override { return capacity_; }
+  size_t size() const override { return entries_.size(); }
+  std::optional<int64_t> Lookup(int64_t key) override;  // refreshes recency
+  bool Contains(int64_t key) const override;
+  bool Update(int64_t key, int64_t value) override;     // may evict LRU
+  bool Delete(int64_t key) override;
+
+ private:
+  void Touch(int64_t key);
+
+  size_t capacity_;
+  // Recency list, most-recent at front; map holds value + list position.
+  std::list<int64_t> order_;
+  struct Entry {
+    int64_t value;
+    std::list<int64_t>::iterator position;
+  };
+  std::unordered_map<int64_t, Entry> entries_;
+};
+
+class RingMap final : public RmtMap {
+ public:
+  struct Record {
+    int64_t key;
+    int64_t value;
+  };
+
+  explicit RingMap(size_t capacity) : capacity_(capacity) {}
+
+  MapKind kind() const override { return MapKind::kRing; }
+  size_t capacity() const override { return capacity_; }
+  size_t size() const override { return records_.size(); }
+
+  // Ring semantics: Lookup/Contains/Delete are not meaningful by key;
+  // Update(key, value) appends a record (dropping the oldest when full).
+  std::optional<int64_t> Lookup(int64_t key) override;
+  bool Contains(int64_t key) const override;
+  bool Update(int64_t key, int64_t value) override;
+  bool Delete(int64_t key) override;
+
+  // Control-plane drain: pops the oldest record.
+  std::optional<Record> Pop();
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  size_t capacity_;
+  std::deque<Record> records_;
+  uint64_t dropped_ = 0;
+};
+
+// The map file descriptor table of one installed program.
+class MapSet {
+ public:
+  Result<int64_t> Create(MapKind kind, size_t capacity);
+  RmtMap* Get(int64_t id);
+  const RmtMap* Get(int64_t id) const;
+  size_t size() const { return maps_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<RmtMap>> maps_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_VM_MAPS_H_

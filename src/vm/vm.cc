@@ -1,0 +1,372 @@
+#include "src/vm/vm.h"
+
+#include <cstring>
+#include <limits>
+
+namespace rkd {
+
+namespace {
+
+// Saturating add for vector lanes (Q16.16 raw int32).
+int32_t SatAdd32(int32_t a, int32_t b) {
+  const int64_t wide = static_cast<int64_t>(a) + b;
+  if (wide > std::numeric_limits<int32_t>::max()) {
+    return std::numeric_limits<int32_t>::max();
+  }
+  if (wide < std::numeric_limits<int32_t>::min()) {
+    return std::numeric_limits<int32_t>::min();
+  }
+  return static_cast<int32_t>(wide);
+}
+
+bool ValidStackAccess(int32_t offset) {
+  // 8-byte slots addressed below the frame pointer: [-kStackSize, -8].
+  return offset >= -kStackSize && offset <= -8 && (offset % 8) == 0;
+}
+
+}  // namespace
+
+Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const int64_t> args,
+                                 RunStats* stats) const {
+  if (program.code.empty()) {
+    return InvalidArgumentError("Interpreter::Run: empty program");
+  }
+  if (args.size() > 5) {
+    return InvalidArgumentError("Interpreter::Run: more than five arguments");
+  }
+
+  ExecState state;
+  for (size_t i = 0; i < args.size(); ++i) {
+    state.regs[i + 1] = args[i];
+  }
+
+  const BytecodeProgram* current = &program;
+  uint64_t steps = 0;
+  uint64_t tail_calls = 0;
+  uint64_t helper_calls = 0;
+  uint64_t ml_calls = 0;
+  size_t pc = 0;
+
+  const auto fail = [&](Status status) -> Result<int64_t> {
+    if (stats != nullptr) {
+      stats->steps = steps;
+      stats->tail_calls = tail_calls;
+      stats->helper_calls = helper_calls;
+      stats->ml_calls = ml_calls;
+    }
+    return status;
+  };
+
+  while (true) {
+    if (steps++ >= config_.max_steps) {
+      return fail(ResourceExhaustedError("instruction budget exceeded"));
+    }
+    if (pc >= current->code.size()) {
+      return fail(OutOfRangeError("program counter " + std::to_string(pc) + " out of bounds"));
+    }
+    const Instruction& insn = current->code[pc];
+    const int dst = insn.dst;
+    const int src = insn.src;
+
+    // Register validation for the safe tier. Vector ops validate against the
+    // vector file; everything else against the scalar file.
+    const bool vector_op = IsVectorOp(insn.opcode);
+    if (vector_op) {
+      // Operand roles vary: kMlCall / kVecArgmax / kVecExtract write a scalar
+      // via dst, kVecStCtxt's dst is the scalar key register, and kVecLdCtxt /
+      // kScalarVal read a scalar via src.
+      const bool dst_is_scalar =
+          insn.opcode == Opcode::kMlCall || insn.opcode == Opcode::kVecArgmax ||
+          insn.opcode == Opcode::kVecExtract || insn.opcode == Opcode::kVecStCtxt;
+      const bool src_is_scalar =
+          insn.opcode == Opcode::kVecLdCtxt || insn.opcode == Opcode::kScalarVal;
+      if ((dst_is_scalar && dst >= kNumScalarRegs) || (!dst_is_scalar && dst >= kNumVectorRegs)) {
+        return fail(OutOfRangeError("vector instruction register out of range"));
+      }
+      if ((src_is_scalar && src >= kNumScalarRegs) || (!src_is_scalar && src >= kNumVectorRegs)) {
+        return fail(OutOfRangeError("vector instruction register out of range"));
+      }
+    } else if (dst >= kNumScalarRegs || src >= kNumScalarRegs) {
+      return fail(OutOfRangeError("scalar register out of range"));
+    }
+
+    auto& regs = state.regs;
+    size_t next_pc = pc + 1;
+
+    switch (insn.opcode) {
+      case Opcode::kAdd: regs[dst] += regs[src]; break;
+      case Opcode::kSub: regs[dst] -= regs[src]; break;
+      case Opcode::kMul: regs[dst] *= regs[src]; break;
+      case Opcode::kDiv: regs[dst] = regs[src] == 0 ? 0 : regs[dst] / regs[src]; break;
+      case Opcode::kMod: regs[dst] = regs[src] == 0 ? 0 : regs[dst] % regs[src]; break;
+      case Opcode::kAnd: regs[dst] &= regs[src]; break;
+      case Opcode::kOr: regs[dst] |= regs[src]; break;
+      case Opcode::kXor: regs[dst] ^= regs[src]; break;
+      case Opcode::kShl: regs[dst] <<= (regs[src] & 63); break;
+      case Opcode::kShr:
+        regs[dst] = static_cast<int64_t>(static_cast<uint64_t>(regs[dst]) >> (regs[src] & 63));
+        break;
+      case Opcode::kAshr: regs[dst] >>= (regs[src] & 63); break;
+      case Opcode::kMov: regs[dst] = regs[src]; break;
+      case Opcode::kAddImm: regs[dst] += insn.imm; break;
+      case Opcode::kSubImm: regs[dst] -= insn.imm; break;
+      case Opcode::kMulImm: regs[dst] *= insn.imm; break;
+      case Opcode::kDivImm: regs[dst] = insn.imm == 0 ? 0 : regs[dst] / insn.imm; break;
+      case Opcode::kModImm: regs[dst] = insn.imm == 0 ? 0 : regs[dst] % insn.imm; break;
+      case Opcode::kAndImm: regs[dst] &= insn.imm; break;
+      case Opcode::kOrImm: regs[dst] |= insn.imm; break;
+      case Opcode::kXorImm: regs[dst] ^= insn.imm; break;
+      case Opcode::kShlImm: regs[dst] <<= (insn.imm & 63); break;
+      case Opcode::kShrImm:
+        regs[dst] = static_cast<int64_t>(static_cast<uint64_t>(regs[dst]) >> (insn.imm & 63));
+        break;
+      case Opcode::kAshrImm: regs[dst] >>= (insn.imm & 63); break;
+      case Opcode::kMovImm: regs[dst] = insn.imm; break;
+      case Opcode::kNeg: regs[dst] = -regs[dst]; break;
+
+      case Opcode::kJa: next_pc = pc + 1 + insn.offset; break;
+      case Opcode::kJeq: if (regs[dst] == regs[src]) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJne: if (regs[dst] != regs[src]) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJlt: if (regs[dst] < regs[src]) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJle: if (regs[dst] <= regs[src]) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJgt: if (regs[dst] > regs[src]) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJge: if (regs[dst] >= regs[src]) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJset:
+        if ((regs[dst] & regs[src]) != 0) { next_pc = pc + 1 + insn.offset; }
+        break;
+      case Opcode::kJeqImm: if (regs[dst] == insn.imm) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJneImm: if (regs[dst] != insn.imm) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJltImm: if (regs[dst] < insn.imm) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJleImm: if (regs[dst] <= insn.imm) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJgtImm: if (regs[dst] > insn.imm) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJgeImm: if (regs[dst] >= insn.imm) { next_pc = pc + 1 + insn.offset; } break;
+      case Opcode::kJsetImm:
+        if ((regs[dst] & insn.imm) != 0) { next_pc = pc + 1 + insn.offset; }
+        break;
+
+      case Opcode::kLdStack: {
+        if (!ValidStackAccess(insn.offset)) {
+          return fail(OutOfRangeError("stack read out of bounds"));
+        }
+        std::memcpy(&regs[dst], &state.stack[kStackSize + insn.offset], 8);
+        break;
+      }
+      case Opcode::kStStack: {
+        if (!ValidStackAccess(insn.offset)) {
+          return fail(OutOfRangeError("stack write out of bounds"));
+        }
+        std::memcpy(&state.stack[kStackSize + insn.offset], &regs[src], 8);
+        break;
+      }
+      case Opcode::kStStackImm: {
+        if (!ValidStackAccess(insn.offset)) {
+          return fail(OutOfRangeError("stack write out of bounds"));
+        }
+        std::memcpy(&state.stack[kStackSize + insn.offset], &insn.imm, 8);
+        break;
+      }
+
+      case Opcode::kLdCtxt: {
+        if (insn.offset < 0 || insn.offset >= kCtxtScalarSlots) {
+          return fail(OutOfRangeError("context slot out of range"));
+        }
+        const ContextEntry* entry =
+            env_.ctxt != nullptr ? env_.ctxt->Find(static_cast<uint64_t>(regs[src])) : nullptr;
+        regs[dst] = entry == nullptr ? 0 : entry->slots[static_cast<size_t>(insn.offset)];
+        break;
+      }
+      case Opcode::kStCtxt: {
+        if (insn.offset < 0 || insn.offset >= kCtxtScalarSlots) {
+          return fail(OutOfRangeError("context slot out of range"));
+        }
+        if (env_.ctxt != nullptr) {
+          ContextEntry* entry = env_.ctxt->FindOrCreate(static_cast<uint64_t>(regs[dst]));
+          if (entry != nullptr) {
+            entry->slots[static_cast<size_t>(insn.offset)] = regs[src];
+          }
+        }
+        break;
+      }
+      case Opcode::kMatchCtxt:
+        regs[dst] = env_.ctxt != nullptr &&
+                            env_.ctxt->Contains(static_cast<uint64_t>(regs[src]))
+                        ? 1
+                        : 0;
+        break;
+
+      case Opcode::kMapLookup: {
+        RmtMap* map = env_.maps != nullptr ? env_.maps->Get(insn.imm) : nullptr;
+        if (map == nullptr) {
+          return fail(NotFoundError("map " + std::to_string(insn.imm) + " does not exist"));
+        }
+        regs[dst] = map->Lookup(regs[src]).value_or(0);
+        break;
+      }
+      case Opcode::kMapExists: {
+        RmtMap* map = env_.maps != nullptr ? env_.maps->Get(insn.imm) : nullptr;
+        if (map == nullptr) {
+          return fail(NotFoundError("map " + std::to_string(insn.imm) + " does not exist"));
+        }
+        regs[dst] = map->Contains(regs[src]) ? 1 : 0;
+        break;
+      }
+      case Opcode::kMapUpdate: {
+        RmtMap* map = env_.maps != nullptr ? env_.maps->Get(insn.imm) : nullptr;
+        if (map == nullptr) {
+          return fail(NotFoundError("map " + std::to_string(insn.imm) + " does not exist"));
+        }
+        map->Update(regs[dst], regs[src]);
+        break;
+      }
+      case Opcode::kMapDelete: {
+        RmtMap* map = env_.maps != nullptr ? env_.maps->Get(insn.imm) : nullptr;
+        if (map == nullptr) {
+          return fail(NotFoundError("map " + std::to_string(insn.imm) + " does not exist"));
+        }
+        map->Delete(regs[src]);
+        break;
+      }
+
+      case Opcode::kVecLdCtxt: {
+        const ContextEntry* entry =
+            env_.ctxt != nullptr ? env_.ctxt->Find(static_cast<uint64_t>(regs[src])) : nullptr;
+        if (entry == nullptr) {
+          state.vregs[dst].fill(0);
+        } else {
+          state.vregs[dst] = entry->features;
+        }
+        break;
+      }
+      case Opcode::kVecStCtxt: {
+        if (env_.ctxt != nullptr) {
+          ContextEntry* entry = env_.ctxt->FindOrCreate(static_cast<uint64_t>(regs[dst]));
+          if (entry != nullptr) {
+            entry->features = state.vregs[src];
+          }
+        }
+        break;
+      }
+      case Opcode::kVecZero:
+        state.vregs[dst].fill(0);
+        break;
+      case Opcode::kScalarVal: {
+        if (insn.offset < 0 || insn.offset >= kVectorLanes) {
+          return fail(OutOfRangeError("vector lane out of range"));
+        }
+        state.vregs[dst][static_cast<size_t>(insn.offset)] = static_cast<int32_t>(regs[src]);
+        break;
+      }
+      case Opcode::kVecExtract: {
+        if (insn.offset < 0 || insn.offset >= kVectorLanes) {
+          return fail(OutOfRangeError("vector lane out of range"));
+        }
+        regs[dst] = state.vregs[src][static_cast<size_t>(insn.offset)];
+        break;
+      }
+      case Opcode::kMatMul: {
+        const FixedMatrix* tensor =
+            env_.tensors != nullptr ? env_.tensors->Get(insn.imm) : nullptr;
+        if (tensor == nullptr) {
+          return fail(NotFoundError("tensor " + std::to_string(insn.imm) + " does not exist"));
+        }
+        if (tensor->rows() > kVectorLanes || tensor->cols() > kVectorLanes) {
+          return fail(OutOfRangeError("tensor larger than the vector register file"));
+        }
+        std::array<int32_t, kVectorLanes> result{};
+        tensor->MatVec(state.vregs[src], result);
+        state.vregs[dst] = result;
+        break;
+      }
+      case Opcode::kVecAddT: {
+        const FixedMatrix* tensor =
+            env_.tensors != nullptr ? env_.tensors->Get(insn.imm) : nullptr;
+        if (tensor == nullptr) {
+          return fail(NotFoundError("tensor " + std::to_string(insn.imm) + " does not exist"));
+        }
+        const size_t n = tensor->rows() < kVectorLanes ? tensor->rows() : kVectorLanes;
+        for (size_t i = 0; i < n; ++i) {
+          state.vregs[dst][i] = SatAdd32(state.vregs[dst][i], tensor->at(i, 0));
+        }
+        break;
+      }
+      case Opcode::kVecAdd:
+        for (int i = 0; i < kVectorLanes; ++i) {
+          state.vregs[dst][i] = SatAdd32(state.vregs[dst][i], state.vregs[src][i]);
+        }
+        break;
+      case Opcode::kVecRelu:
+        for (int i = 0; i < kVectorLanes; ++i) {
+          const int32_t v = state.vregs[src][i];
+          state.vregs[dst][i] = v > 0 ? v : 0;
+        }
+        break;
+      case Opcode::kVecArgmax: {
+        int best = 0;
+        for (int i = 1; i < kVectorLanes; ++i) {
+          if (state.vregs[src][i] > state.vregs[src][best]) {
+            best = i;
+          }
+        }
+        regs[dst] = best;
+        break;
+      }
+      case Opcode::kVecDot: {
+        int64_t acc = 0;
+        for (int i = 0; i < kVectorLanes; ++i) {
+          acc += static_cast<int64_t>(state.vregs[dst][i]) * state.vregs[src][i];
+        }
+        // The Q16.16 product lands in the scalar register numbered like the
+        // vector dst operand (v2 dot v3 -> r2).
+        regs[insn.dst] = acc >> 16;
+        break;
+      }
+
+      case Opcode::kCall: {
+        if (insn.imm < 0 || insn.imm >= static_cast<int64_t>(HelperId::kHelperCount)) {
+          return fail(NotFoundError("helper " + std::to_string(insn.imm) + " does not exist"));
+        }
+        ++helper_calls;
+        int64_t call_args[5] = {regs[1], regs[2], regs[3], regs[4], regs[5]};
+        if (env_.helpers != nullptr) {
+          regs[0] = CallHelper(static_cast<HelperId>(insn.imm), *env_.helpers, call_args);
+        } else {
+          regs[0] = 0;
+        }
+        break;
+      }
+      case Opcode::kMlCall: {
+        ++ml_calls;
+        const ModelPtr model = env_.models != nullptr ? env_.models->Get(insn.imm) : nullptr;
+        regs[dst] = model != nullptr ? model->Predict(state.vregs[src]) : kNoModelSentinel;
+        break;
+      }
+      case Opcode::kTailCall: {
+        const BytecodeProgram* target =
+            env_.resolve_table ? env_.resolve_table(insn.imm) : nullptr;
+        if (target != nullptr && !target->code.empty() &&
+            tail_calls < kMaxTailCallDepth) {
+          ++tail_calls;
+          current = target;
+          next_pc = 0;
+        }
+        // Unresolvable target or depth exhausted: fall through (eBPF rule).
+        break;
+      }
+      case Opcode::kExit: {
+        if (stats != nullptr) {
+          stats->steps = steps;
+          stats->tail_calls = tail_calls;
+          stats->helper_calls = helper_calls;
+          stats->ml_calls = ml_calls;
+        }
+        return regs[0];
+      }
+      case Opcode::kOpcodeCount:
+        return fail(InvalidArgumentError("invalid opcode"));
+    }
+
+    pc = next_pc;
+  }
+}
+
+}  // namespace rkd

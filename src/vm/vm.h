@@ -1,0 +1,83 @@
+// The RMT virtual machine: environment, execution state, and the interpreter
+// tier (paper section 3.1: "the program runs in the virtual machine in
+// interpreted mode or it is just-in-time (JIT) compiled to machine code for
+// efficiency" — the JIT tier lives in src/vm/jit.h).
+//
+// The interpreter is the fully-checked tier: every register number, stack
+// offset, map id, and jump target is validated at execution time, so it is
+// safe to run even unverified programs (tests do). The JIT tier assumes a
+// verifier-admitted program and pre-resolves those checks at compile time.
+#ifndef SRC_VM_VM_H_
+#define SRC_VM_VM_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+#include "src/ml/model_registry.h"
+#include "src/vm/context_store.h"
+#include "src/vm/helpers.h"
+#include "src/vm/maps.h"
+
+namespace rkd {
+
+// Everything an executing program can reach. All pointers are non-owning and
+// must outlive any Run() call; null members simply make the corresponding
+// instructions read as zero / drop writes.
+struct VmEnv {
+  ContextStore* ctxt = nullptr;
+  MapSet* maps = nullptr;
+  ModelRegistry* models = nullptr;
+  TensorRegistry* tensors = nullptr;
+  HelperServices* helpers = nullptr;
+  // Resolves a kTailCall target table id to its action program (nullptr =
+  // unresolvable; execution falls through, eBPF-style).
+  std::function<const BytecodeProgram*(int64_t)> resolve_table;
+};
+
+struct VmConfig {
+  uint64_t max_steps = 65536;  // hard per-invocation instruction budget
+};
+
+struct RunStats {
+  uint64_t steps = 0;
+  uint64_t tail_calls = 0;
+  uint64_t helper_calls = 0;
+  uint64_t ml_calls = 0;
+};
+
+// Register file + stack of one program invocation.
+struct ExecState {
+  std::array<int64_t, kNumScalarRegs> regs{};
+  std::array<std::array<int32_t, kVectorLanes>, kNumVectorRegs> vregs{};
+  alignas(8) std::array<uint8_t, kStackSize> stack{};
+};
+
+// Sentinel kMlCall result when the model slot is empty (no model installed
+// yet); action programs branch on it to fall back to the default action.
+inline constexpr int64_t kNoModelSentinel = -1;
+
+class Interpreter {
+ public:
+  explicit Interpreter(VmEnv env, VmConfig config = {}) : env_(std::move(env)), config_(config) {}
+
+  // Executes `program` with args loaded into r1..r5. Returns r0 at kExit.
+  // Errors: kResourceExhausted when the step budget is hit, kOutOfRange /
+  // kInvalidArgument on malformed (unverified) programs.
+  Result<int64_t> Run(const BytecodeProgram& program, std::span<const int64_t> args,
+                      RunStats* stats = nullptr) const;
+
+  const VmEnv& env() const { return env_; }
+  VmEnv& env() { return env_; }
+
+ private:
+  VmEnv env_;
+  VmConfig config_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_VM_VM_H_

@@ -1,0 +1,130 @@
+#include "src/workloads/access_trace.h"
+
+#include <algorithm>
+
+namespace rkd {
+
+AccessTrace MakeSequentialTrace(uint64_t pid, int64_t start, size_t length) {
+  AccessTrace trace;
+  trace.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    trace.push_back(AccessEvent{pid, start + static_cast<int64_t>(i)});
+  }
+  return trace;
+}
+
+AccessTrace MakeStridedTrace(uint64_t pid, int64_t start, int64_t stride, size_t length,
+                             double noise_prob, Rng& rng) {
+  AccessTrace trace;
+  trace.reserve(length);
+  int64_t page = start;
+  for (size_t i = 0; i < length; ++i) {
+    if (noise_prob > 0.0 && rng.NextBool(noise_prob)) {
+      trace.push_back(AccessEvent{pid, rng.NextInt(0, start + static_cast<int64_t>(length) *
+                                                           std::max<int64_t>(1, stride))});
+      continue;
+    }
+    trace.push_back(AccessEvent{pid, page});
+    page += stride;
+  }
+  return trace;
+}
+
+AccessTrace MakeRandomTrace(uint64_t pid, int64_t page_space, size_t length, Rng& rng) {
+  AccessTrace trace;
+  trace.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    trace.push_back(AccessEvent{pid, rng.NextInt(0, page_space - 1)});
+  }
+  return trace;
+}
+
+AccessTrace MakeZipfTrace(uint64_t pid, int64_t page_space, double skew, size_t length,
+                          Rng& rng) {
+  const ZipfSampler sampler(static_cast<uint64_t>(page_space), skew);
+  AccessTrace trace;
+  trace.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    trace.push_back(AccessEvent{pid, static_cast<int64_t>(sampler.Sample(rng))});
+  }
+  return trace;
+}
+
+AccessTrace MakeVideoResizeTrace(const VideoResizeConfig& config, Rng& rng) {
+  AccessTrace trace;
+  const int64_t width = config.width_pages;
+  const int64_t luma_pages = 2 * config.output_rows * width;
+  const int64_t chroma_pages = luma_pages;  // 4:4:4 planes: chroma as large as luma
+  const int64_t frame_pages = luma_pages + chroma_pages;
+  for (int64_t frame = 0; frame < config.frames; ++frame) {
+    const int64_t base = config.src_base + frame * frame_pages;
+    // Luma pass: bilinear two-row alternation.
+    for (int64_t y = 0; y < config.output_rows; ++y) {
+      const int64_t row0 = base + 2 * y * width;
+      for (int64_t x = 0; x < width; x += config.scale) {
+        if (config.noise_prob > 0.0 && rng.NextBool(config.noise_prob)) {
+          trace.push_back(AccessEvent{config.pid, rng.NextInt(0, config.src_base - 1)});
+        }
+        trace.push_back(AccessEvent{config.pid, row0 + x});          // source row 2y
+        trace.push_back(AccessEvent{config.pid, row0 + width + x});  // source row 2y+1
+      }
+    }
+    // Chroma pass: single-stride (2) subsampled scan — one dominant delta.
+    const int64_t chroma_base = base + luma_pages;
+    for (int64_t p = 0; p < chroma_pages; p += 2) {
+      if (config.noise_prob > 0.0 && rng.NextBool(config.noise_prob)) {
+        trace.push_back(AccessEvent{config.pid, rng.NextInt(0, config.src_base - 1)});
+      }
+      trace.push_back(AccessEvent{config.pid, chroma_base + p});
+    }
+  }
+  return trace;
+}
+
+AccessTrace MakeMatrixConvTrace(const MatrixConvConfig& config, Rng& rng) {
+  AccessTrace trace;
+  const int64_t width = config.width_pages;
+  // Non-overlapping bands of `kernel` rows; within a band, walk tile columns
+  // (tile_step pages apart), reading a two-page span from each of the band's
+  // rows. Band tile phases are staggered so a deep straight-stride guess
+  // from one band does not accidentally land on the next band's tiles.
+  int64_t band_index = 0;
+  for (int64_t band = 0; band + config.kernel <= config.height; band += config.kernel) {
+    const int64_t phase = (band_index * 7) % config.tile_step;
+    ++band_index;
+    for (int64_t col = phase; col + 1 < width; col += config.tile_step) {
+      for (int64_t kr = 0; kr < config.kernel; ++kr) {
+        if (config.noise_prob > 0.0 && rng.NextBool(config.noise_prob)) {
+          trace.push_back(AccessEvent{config.pid, rng.NextInt(0, config.input_base - 1)});
+        }
+        const int64_t row_page = config.input_base + (band + kr) * width + col;
+        trace.push_back(AccessEvent{config.pid, row_page});
+        trace.push_back(AccessEvent{config.pid, row_page + 1});
+      }
+    }
+  }
+  return trace;
+}
+
+AccessTrace Interleave(const std::vector<AccessTrace>& traces) {
+  AccessTrace out;
+  size_t total = 0;
+  for (const AccessTrace& trace : traces) {
+    total += trace.size();
+  }
+  out.reserve(total);
+  std::vector<size_t> cursor(traces.size(), 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t t = 0; t < traces.size(); ++t) {
+      if (cursor[t] < traces[t].size()) {
+        out.push_back(traces[t][cursor[t]++]);
+        progress = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rkd

@@ -1,0 +1,99 @@
+#include "src/workloads/cpu_jobs.h"
+
+#include <algorithm>
+
+namespace rkd {
+
+std::string_view JobKindName(JobKind kind) {
+  switch (kind) {
+    case JobKind::kBlackscholes:
+      return "blackscholes";
+    case JobKind::kStreamcluster:
+      return "streamcluster";
+    case JobKind::kFib:
+      return "fib";
+    case JobKind::kMatMul:
+      return "matmul";
+  }
+  return "unknown";
+}
+
+JobSpec MakeJob(JobKind kind, const JobConfig& config) {
+  Rng rng(config.seed);
+  JobSpec job;
+  job.kind = kind;
+  int64_t next_pid = 100;
+
+  switch (kind) {
+    case JobKind::kBlackscholes: {
+      // Equal option-pricing chunks; small per-task working set; tasks all
+      // arrive at t=0. Slight work jitter models input-dependent pricing.
+      for (size_t i = 0; i < config.num_tasks; ++i) {
+        TaskSpec task;
+        task.pid = next_pid++;
+        task.arrival_tick = 0;
+        task.total_work =
+            config.base_work + static_cast<uint64_t>(rng.NextInt(0, config.base_work / 10));
+        task.cache_footprint = 64;
+        task.run_burst = 400;   // occasional page-fault stalls
+        task.sleep_ticks = 5;
+        job.tasks.push_back(task);
+      }
+      break;
+    }
+    case JobKind::kStreamcluster: {
+      // Barrier phases: every task does phase_work then waits for peers.
+      job.num_phases = 8;
+      for (size_t i = 0; i < config.num_tasks; ++i) {
+        TaskSpec task;
+        task.pid = next_pid++;
+        task.arrival_tick = 0;
+        task.phase_work =
+            config.base_work / job.num_phases +
+            static_cast<uint64_t>(rng.NextInt(0, config.base_work / (4 * job.num_phases)));
+        task.total_work = task.phase_work * job.num_phases;
+        task.cache_footprint = 256;
+        task.run_burst = 250;   // stream reads stall on memory
+        task.sleep_ticks = 4;
+        job.tasks.push_back(task);
+      }
+      break;
+    }
+    case JobKind::kFib: {
+      // Geometric task-size distribution with staggered arrivals, mimicking
+      // recursive spawning: a few large subproblems and a long tail of tiny
+      // ones.
+      uint64_t arrival = 0;
+      for (size_t i = 0; i < config.num_tasks; ++i) {
+        TaskSpec task;
+        task.pid = next_pid++;
+        task.arrival_tick = arrival;
+        const uint64_t shrink = std::min<uint64_t>(i / 2, 6);
+        task.total_work = std::max<uint64_t>(config.base_work >> shrink, 32);
+        task.cache_footprint = 16;
+        task.run_burst = 300;   // recursion spills trigger short stalls
+        task.sleep_ticks = 3;
+        job.tasks.push_back(task);
+        arrival += static_cast<uint64_t>(rng.NextInt(0, 64));
+      }
+      break;
+    }
+    case JobKind::kMatMul: {
+      // Regular blocked compute; big cache footprint makes migration costly.
+      for (size_t i = 0; i < config.num_tasks; ++i) {
+        TaskSpec task;
+        task.pid = next_pid++;
+        task.arrival_tick = 0;
+        task.total_work = config.base_work;
+        task.cache_footprint = 1024;
+        task.run_burst = 150;   // memory-bound: frequent stalls
+        task.sleep_ticks = 10;
+        job.tasks.push_back(task);
+      }
+      break;
+    }
+  }
+  return job;
+}
+
+}  // namespace rkd

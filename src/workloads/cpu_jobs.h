@@ -1,0 +1,63 @@
+// CPU job models for the scheduler case study (Table 2).
+//
+// The paper uses PARSEC's blackscholes and streamcluster plus Fibonacci and
+// matrix-multiplication programs. These task-behaviour models generate the
+// same *scheduling-relevant* structure — how work is distributed across
+// tasks, whether tasks synchronize at barriers, and how large each task's
+// cache footprint is — which is what the CFS load balancer's 15 features
+// (and therefore the MLP that mimics it) actually see.
+//
+//   Blackscholes:  embarrassingly parallel; equal chunks, no barriers.
+//   Streamcluster: phase-structured; all tasks barrier between phases, with
+//                  phase lengths varying, creating periodic imbalance.
+//   Fib:           recursive fork-style imbalance; task sizes geometric,
+//                  arrivals staggered.
+//   MatMul:        regular blocked compute with large per-task cache
+//                  footprint (migration is expensive: cache-hot most of the
+//                  time).
+#ifndef SRC_WORKLOADS_CPU_JOBS_H_
+#define SRC_WORKLOADS_CPU_JOBS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace rkd {
+
+enum class JobKind { kBlackscholes, kStreamcluster, kFib, kMatMul };
+
+std::string_view JobKindName(JobKind kind);
+
+struct TaskSpec {
+  int64_t pid = 0;
+  uint64_t arrival_tick = 0;
+  uint64_t total_work = 0;     // ticks of CPU needed
+  uint64_t phase_work = 0;     // ticks per barrier phase; 0 = no barriers
+  int32_t weight = 1024;       // CFS load weight
+  int64_t cache_footprint = 0; // pages; drives the cache-hotness feature
+  // Blocking behaviour (memory stalls, I/O): after run_burst executed ticks
+  // the task sleeps sleep_ticks, then wakes on the waker's core. 0 = never
+  // blocks.
+  uint64_t run_burst = 0;
+  uint64_t sleep_ticks = 0;
+};
+
+struct JobSpec {
+  JobKind kind = JobKind::kBlackscholes;
+  std::vector<TaskSpec> tasks;
+  uint32_t num_phases = 0;  // > 0 for barrier-structured jobs
+};
+
+struct JobConfig {
+  size_t num_tasks = 16;
+  uint64_t base_work = 2000;  // ticks; scaled per kind
+  uint64_t seed = 11;
+};
+
+JobSpec MakeJob(JobKind kind, const JobConfig& config = {});
+
+}  // namespace rkd
+
+#endif  // SRC_WORKLOADS_CPU_JOBS_H_

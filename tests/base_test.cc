@@ -1,0 +1,323 @@
+// Unit tests for src/base: Status/Result, Rng, Fixed32, statistics.
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/base/fixed_point.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/status.h"
+
+namespace rkd {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = VerificationFailedError("backward jump");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kVerificationFailed);
+  EXPECT_EQ(status.message(), "backward jump");
+  EXPECT_EQ(status.ToString(), "verification_failed: backward jump");
+}
+
+TEST(StatusTest, EveryConstructorMapsToItsCode) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(PermissionDeniedError("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("a"));
+  EXPECT_FALSE(NotFoundError("a") == NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == InvalidArgumentError("a"));
+}
+
+TEST(StatusCodeNameTest, AllCodesHaveStableNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kVerificationFailed), "verification_failed");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted), "resource_exhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(NotFoundError("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  RKD_ASSIGN_OR_RETURN(int half, Half(x));
+  RKD_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesSuccess) {
+  Result<int> result = QuarterViaMacro(8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 2);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> result = QuarterViaMacro(6);  // 6/2 = 3 -> odd -> error
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.NextGaussian());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, LaplaceIsZeroCenteredWithExpectedSpread) {
+  Rng rng(19);
+  RunningStats stats;
+  const double scale = 2.0;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.NextLaplace(scale));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.1);
+  // Laplace variance = 2 * scale^2.
+  EXPECT_NEAR(stats.variance(), 2 * scale * scale, 0.6);
+}
+
+TEST(RngTest, BernoulliTracksProbability) {
+  Rng rng(23);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled.begin(), shuffled.end());
+  EXPECT_TRUE(std::is_permutation(values.begin(), values.end(), shuffled.begin()));
+}
+
+TEST(ZipfSamplerTest, RankOneIsMostFrequent) {
+  Rng rng(31);
+  const ZipfSampler sampler(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[sampler.Sample(rng)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 20);  // heavy head
+}
+
+// --- Fixed32 ---
+
+TEST(Fixed32Test, IntRoundTrip) {
+  EXPECT_EQ(Fixed32::FromInt(5).ToInt(), 5);
+  EXPECT_EQ(Fixed32::FromInt(-7).ToInt(), -7);
+  EXPECT_EQ(Fixed32::FromInt(0).raw(), 0);
+}
+
+TEST(Fixed32Test, DoubleRoundTripWithinResolution) {
+  const double values[] = {0.5, -0.25, 3.14159, -100.001, 0.0000152587890625};
+  for (double v : values) {
+    EXPECT_NEAR(Fixed32::FromDouble(v).ToDouble(), v, 1.0 / (1 << 15));
+  }
+}
+
+TEST(Fixed32Test, Arithmetic) {
+  const Fixed32 a = Fixed32::FromDouble(2.5);
+  const Fixed32 b = Fixed32::FromDouble(1.5);
+  EXPECT_NEAR((a + b).ToDouble(), 4.0, 1e-4);
+  EXPECT_NEAR((a - b).ToDouble(), 1.0, 1e-4);
+  EXPECT_NEAR((a * b).ToDouble(), 3.75, 1e-3);
+  EXPECT_NEAR((a / b).ToDouble(), 2.5 / 1.5, 1e-3);
+  EXPECT_NEAR((-a).ToDouble(), -2.5, 1e-4);
+}
+
+TEST(Fixed32Test, AdditionSaturatesInsteadOfWrapping) {
+  const Fixed32 big = Fixed32::Max();
+  EXPECT_EQ(big + Fixed32::One(), Fixed32::Max());
+  EXPECT_EQ(Fixed32::Min() - Fixed32::One(), Fixed32::Min());
+}
+
+TEST(Fixed32Test, MultiplySaturates) {
+  const Fixed32 big = Fixed32::FromInt(30000);
+  EXPECT_EQ(big * big, Fixed32::Max());
+  EXPECT_EQ(big * (-big), Fixed32::Min());
+}
+
+TEST(Fixed32Test, DivisionByZeroSaturatesTowardNumeratorSign) {
+  EXPECT_EQ(Fixed32::FromInt(3) / Fixed32::Zero(), Fixed32::Max());
+  EXPECT_EQ(Fixed32::FromInt(-3) / Fixed32::Zero(), Fixed32::Min());
+}
+
+TEST(Fixed32Test, Comparisons) {
+  EXPECT_LT(Fixed32::FromDouble(1.0), Fixed32::FromDouble(1.5));
+  EXPECT_GE(Fixed32::FromInt(2), Fixed32::FromInt(2));
+  EXPECT_NE(Fixed32::FromInt(2), Fixed32::FromInt(3));
+}
+
+TEST(Fixed32Test, ReluClampsNegatives) {
+  EXPECT_EQ(FixedRelu(Fixed32::FromInt(-4)), Fixed32::Zero());
+  EXPECT_EQ(FixedRelu(Fixed32::FromInt(4)), Fixed32::FromInt(4));
+  EXPECT_EQ(FixedRelu(Fixed32::Zero()), Fixed32::Zero());
+}
+
+// --- Stats ---
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_NEAR(stats.mean(), 5.0, 1e-9);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-9);  // sample variance
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 3.0);
+  EXPECT_EQ(stats.max(), 3.0);
+}
+
+TEST(SamplesTest, ExactPercentiles) {
+  Samples samples;
+  for (int i = 1; i <= 100; ++i) {
+    samples.Add(i);
+  }
+  EXPECT_NEAR(samples.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(samples.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(samples.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(samples.Mean(), 50.5, 1e-9);
+}
+
+TEST(SamplesTest, EmptyIsZero) {
+  Samples samples;
+  EXPECT_EQ(samples.Percentile(50), 0.0);
+  EXPECT_EQ(samples.Mean(), 0.0);
+}
+
+TEST(BinaryAccuracyTest, ConfusionCounters) {
+  BinaryAccuracy acc;
+  acc.Record(true, true);    // TP
+  acc.Record(true, false);   // FP
+  acc.Record(false, false);  // TN
+  acc.Record(false, true);   // FN
+  EXPECT_EQ(acc.true_positive(), 1u);
+  EXPECT_EQ(acc.false_positive(), 1u);
+  EXPECT_EQ(acc.true_negative(), 1u);
+  EXPECT_EQ(acc.false_negative(), 1u);
+  EXPECT_NEAR(acc.accuracy(), 0.5, 1e-9);
+  EXPECT_NEAR(acc.precision(), 0.5, 1e-9);
+  EXPECT_NEAR(acc.recall(), 0.5, 1e-9);
+}
+
+TEST(BinaryAccuracyTest, EmptyIsZero) {
+  BinaryAccuracy acc;
+  EXPECT_EQ(acc.total(), 0u);
+  EXPECT_EQ(acc.accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace rkd

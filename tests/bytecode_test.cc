@@ -1,0 +1,282 @@
+// Unit tests for src/bytecode: ISA predicates, assembler, disassembler.
+#include <gtest/gtest.h>
+
+#include "src/bytecode/assembler.h"
+#include "src/bytecode/disassembler.h"
+#include "src/bytecode/isa.h"
+#include "src/bytecode/program.h"
+
+namespace rkd {
+namespace {
+
+TEST(IsaTest, OpcodeNamesAreStable) {
+  EXPECT_EQ(OpcodeName(Opcode::kAdd), "add");
+  EXPECT_EQ(OpcodeName(Opcode::kJeqImm), "jeq_imm");
+  EXPECT_EQ(OpcodeName(Opcode::kMatMul), "mat_mul");
+  EXPECT_EQ(OpcodeName(Opcode::kScalarVal), "scalar_val");
+  EXPECT_EQ(OpcodeName(Opcode::kVecLdCtxt), "vec_ld_ctxt");
+  EXPECT_EQ(OpcodeName(Opcode::kTailCall), "tail_call");
+  EXPECT_EQ(OpcodeName(Opcode::kExit), "exit");
+}
+
+TEST(IsaTest, EveryOpcodeHasAName) {
+  for (uint16_t op = 0; op < static_cast<uint16_t>(Opcode::kOpcodeCount); ++op) {
+    EXPECT_NE(OpcodeName(static_cast<Opcode>(op)), "invalid")
+        << "opcode " << op << " missing a name";
+  }
+}
+
+TEST(IsaTest, BranchPredicates) {
+  EXPECT_TRUE(IsBranch(Opcode::kJa));
+  EXPECT_TRUE(IsBranch(Opcode::kJeq));
+  EXPECT_TRUE(IsBranch(Opcode::kJsetImm));
+  EXPECT_FALSE(IsBranch(Opcode::kAdd));
+  EXPECT_FALSE(IsBranch(Opcode::kExit));
+  EXPECT_FALSE(IsBranch(Opcode::kTailCall));
+
+  EXPECT_FALSE(IsConditional(Opcode::kJa));
+  EXPECT_TRUE(IsConditional(Opcode::kJltImm));
+}
+
+TEST(IsaTest, VectorPredicate) {
+  EXPECT_TRUE(IsVectorOp(Opcode::kMatMul));
+  EXPECT_TRUE(IsVectorOp(Opcode::kMlCall));
+  EXPECT_TRUE(IsVectorOp(Opcode::kVecDot));
+  EXPECT_FALSE(IsVectorOp(Opcode::kAdd));
+  EXPECT_FALSE(IsVectorOp(Opcode::kLdCtxt));
+}
+
+TEST(IsaTest, HelperNames) {
+  EXPECT_EQ(HelperName(HelperId::kGetTime), "get_time");
+  EXPECT_EQ(HelperName(HelperId::kPrefetchEmit), "prefetch_emit");
+  EXPECT_EQ(HelperName(HelperId::kDpNoise), "dp_noise");
+}
+
+TEST(HookKindTest, Names) {
+  EXPECT_EQ(HookKindName(HookKind::kMemPrefetch), "mem_prefetch");
+  EXPECT_EQ(HookKindName(HookKind::kSchedMigrate), "sched_migrate");
+}
+
+// --- Assembler ---
+
+TEST(AssemblerTest, EmitsInstructionsInOrder) {
+  Assembler a("prog");
+  a.MovImm(0, 7).AddImm(0, 3).Exit();
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->code.size(), 3u);
+  EXPECT_EQ(program->code[0].opcode, Opcode::kMovImm);
+  EXPECT_EQ(program->code[0].dst, 0);
+  EXPECT_EQ(program->code[0].imm, 7);
+  EXPECT_EQ(program->code[1].opcode, Opcode::kAddImm);
+  EXPECT_EQ(program->code[2].opcode, Opcode::kExit);
+}
+
+TEST(AssemblerTest, ProgramCarriesNameAndHookKind) {
+  Assembler a("sched_action", HookKind::kSchedMigrate);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->name, "sched_action");
+  EXPECT_EQ(program->hook_kind, HookKind::kSchedMigrate);
+}
+
+TEST(AssemblerTest, DeclarationsAreCopied) {
+  Assembler a("prog");
+  a.DeclareMaps(2).DeclareModels(3).DeclareTensors(4).DeclareTables(5);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->num_maps, 2u);
+  EXPECT_EQ(program->num_models, 3u);
+  EXPECT_EQ(program->num_tensors, 4u);
+  EXPECT_EQ(program->num_tables, 5u);
+}
+
+TEST(AssemblerTest, ForwardLabelResolvesToRelativeOffset) {
+  Assembler a("prog");
+  auto skip = a.NewLabel();
+  a.MovImm(0, 1);          // 0
+  a.JeqImm(1, 0, skip);    // 1: target 3 -> offset +1
+  a.MovImm(0, 2);          // 2
+  a.Bind(skip);
+  a.Exit();                // 3
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->code[1].offset, 1);
+}
+
+TEST(AssemblerTest, LabelAtNextInstructionHasZeroOffset) {
+  Assembler a("prog");
+  auto next = a.NewLabel();
+  a.Ja(next);
+  a.Bind(next);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->code[0].offset, 0);
+}
+
+TEST(AssemblerTest, UnboundLabelFailsBuild) {
+  Assembler a("prog");
+  auto never = a.NewLabel();
+  a.Ja(never);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  EXPECT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AssemblerTest, DoubleBoundLabelFailsBuild) {
+  Assembler a("prog");
+  auto label = a.NewLabel();
+  a.Bind(label);
+  a.MovImm(0, 1);
+  a.Bind(label);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(AssemblerTest, DefaultLabelIsInvalid) {
+  Assembler a("prog");
+  Assembler::Label label;  // never created via NewLabel
+  a.Ja(label);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(AssemblerTest, MultipleBranchesToOneLabel) {
+  Assembler a("prog");
+  auto out = a.NewLabel();
+  a.JeqImm(1, 0, out);   // 0 -> 4: +3
+  a.JeqImm(1, 1, out);   // 1 -> 4: +2
+  a.MovImm(0, 5);        // 2
+  a.Ja(out);             // 3 -> 4: +0
+  a.Bind(out);
+  a.Exit();              // 4
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->code[0].offset, 3);
+  EXPECT_EQ(program->code[1].offset, 2);
+  EXPECT_EQ(program->code[3].offset, 0);
+}
+
+TEST(AssemblerTest, StackAndCtxtOperandsEncoded) {
+  Assembler a("prog");
+  a.StStack(-16, 3);
+  a.LdStack(4, -16);
+  a.LdCtxt(5, 1, 7);
+  a.StCtxt(1, 7, 5);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->code[0].offset, -16);
+  EXPECT_EQ(program->code[0].src, 3);
+  EXPECT_EQ(program->code[1].dst, 4);
+  EXPECT_EQ(program->code[2].offset, 7);
+  EXPECT_EQ(program->code[3].dst, 1);  // ctxt key register
+  EXPECT_EQ(program->code[3].src, 5);  // value register
+}
+
+TEST(AssemblerTest, VectorOperandsEncoded) {
+  Assembler a("prog");
+  a.VecZero(2);
+  a.ScalarVal(2, 5, 3);
+  a.MatMul(1, 2, 9);
+  a.MlCall(0, 1, 4);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->code[1].dst, 2);
+  EXPECT_EQ(program->code[1].offset, 5);  // lane
+  EXPECT_EQ(program->code[1].src, 3);     // scalar source
+  EXPECT_EQ(program->code[2].imm, 9);     // tensor id
+  EXPECT_EQ(program->code[3].imm, 4);     // model id
+}
+
+TEST(AssemblerTest, CurrentOffsetTracksEmission) {
+  Assembler a("prog");
+  EXPECT_EQ(a.current_offset(), 0u);
+  a.MovImm(0, 1);
+  EXPECT_EQ(a.current_offset(), 1u);
+  a.AddImm(0, 1);
+  EXPECT_EQ(a.current_offset(), 2u);
+}
+
+// --- Disassembler ---
+
+TEST(DisassemblerTest, AluForms) {
+  Instruction insn;
+  insn.opcode = Opcode::kAdd;
+  insn.dst = 1;
+  insn.src = 2;
+  EXPECT_EQ(DisassembleInstruction(insn), "add r1, r2");
+
+  insn.opcode = Opcode::kMovImm;
+  insn.dst = 3;
+  insn.imm = -9;
+  EXPECT_EQ(DisassembleInstruction(insn), "mov_imm r3, -9");
+}
+
+TEST(DisassemblerTest, BranchShowsRelativeTarget) {
+  Instruction insn;
+  insn.opcode = Opcode::kJeqImm;
+  insn.dst = 4;
+  insn.imm = 7;
+  insn.offset = 5;
+  EXPECT_EQ(DisassembleInstruction(insn), "jeq_imm r4, 7, +5");
+}
+
+TEST(DisassemblerTest, MemoryAndMapForms) {
+  Instruction ld;
+  ld.opcode = Opcode::kLdStack;
+  ld.dst = 2;
+  ld.offset = -8;
+  EXPECT_EQ(DisassembleInstruction(ld), "ld_stack r2, [fp-8]");
+
+  Instruction map;
+  map.opcode = Opcode::kMapLookup;
+  map.dst = 3;
+  map.src = 1;
+  map.imm = 2;
+  EXPECT_EQ(DisassembleInstruction(map), "map_lookup r3, map2[r1]");
+}
+
+TEST(DisassemblerTest, MlForms) {
+  Instruction mm;
+  mm.opcode = Opcode::kMatMul;
+  mm.dst = 1;
+  mm.src = 0;
+  mm.imm = 3;
+  EXPECT_EQ(DisassembleInstruction(mm), "mat_mul v1, v0, t3");
+
+  Instruction ml;
+  ml.opcode = Opcode::kMlCall;
+  ml.dst = 0;
+  ml.src = 2;
+  ml.imm = 1;
+  EXPECT_EQ(DisassembleInstruction(ml), "ml_call r0, model1(v2)");
+
+  Instruction call;
+  call.opcode = Opcode::kCall;
+  call.imm = static_cast<int64_t>(HelperId::kHistoryAppend);
+  EXPECT_EQ(DisassembleInstruction(call), "call history_append");
+}
+
+TEST(DisassemblerTest, WholeProgramListsEveryInstruction) {
+  Assembler a("listing", HookKind::kMemAccess);
+  a.DeclareMaps(1);
+  a.MovImm(0, 1).Exit();
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+  const std::string text = Disassemble(*program);
+  EXPECT_NE(text.find("program 'listing'"), std::string::npos);
+  EXPECT_NE(text.find("hook=mem_access"), std::string::npos);
+  EXPECT_NE(text.find("0: mov_imm r0, 1"), std::string::npos);
+  EXPECT_NE(text.find("1: exit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rkd

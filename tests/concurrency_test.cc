@@ -1,0 +1,136 @@
+// Concurrency tests for the model hot-swap path: the single synchronization
+// point between the training plane and the inference path (section 3.2's
+// "models periodically quantized and pushed to the kernel").
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/ml/decision_tree.h"
+#include "src/ml/model_registry.h"
+#include "src/ml/online.h"
+
+namespace rkd {
+namespace {
+
+ModelPtr MakeConstantTree(int32_t label) {
+  Dataset data(1);
+  data.Add(std::array<int32_t, 1>{0}, label);
+  data.Add(std::array<int32_t, 1>{1}, label);
+  return std::make_shared<DecisionTree>(std::move(DecisionTree::Train(data)).value());
+}
+
+TEST(ConcurrencyTest, ModelSlotReadersSurviveContinuousSwaps) {
+  ModelSlot slot;
+  slot.Set(MakeConstantTree(0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<bool> failed{false};
+
+  // Four reader threads continuously snapshotting and predicting.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      const std::array<int32_t, 1> x{0};
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ModelPtr model = slot.Get();
+        if (model == nullptr) {
+          failed.store(true);
+          return;
+        }
+        const int64_t prediction = model->Predict(x);
+        if (prediction < 0 || prediction > 1000) {
+          failed.store(true);
+          return;
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The "training plane": swap in a fresh model as fast as possible.
+  std::thread writer([&] {
+    for (int32_t version = 1; version <= 500; ++version) {
+      slot.Set(MakeConstantTree(version % 7));
+    }
+    stop.store(true);
+  });
+
+  writer.join();
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(slot.version(), 501u);  // initial set + 500 swaps
+}
+
+TEST(ConcurrencyTest, SnapshotOutlivesSwap) {
+  ModelSlot slot;
+  slot.Set(MakeConstantTree(3));
+  const ModelPtr snapshot = slot.Get();
+  slot.Set(nullptr);  // the slot is emptied...
+  // ...but the in-flight reader's snapshot still predicts.
+  EXPECT_EQ(snapshot->Predict(std::array<int32_t, 1>{0}), 3);
+}
+
+TEST(ConcurrencyTest, RegistryInstallUnderConcurrentGet) {
+  ModelRegistry registry;
+  const int64_t slot = registry.AddSlot();
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  std::thread reader([&] {
+    const std::array<int32_t, 1> x{0};
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ModelPtr model = registry.Get(slot);
+      if (model != nullptr && model->Predict(x) > 100) {
+        failed.store(true);
+      }
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(registry.Install(slot, MakeConstantTree(i % 5)).ok());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(ConcurrencyTest, TrainerPublishesWhileReadersPredict) {
+  ModelSlot slot;
+  WindowedTrainerConfig config;
+  config.window_size = 40;
+  config.min_train_samples = 10;
+  WindowedTreeTrainer trainer(1, &slot, config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread reader([&] {
+    const std::array<int32_t, 1> x{75};
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ModelPtr model = slot.Get();
+      if (model != nullptr) {
+        const int64_t p = model->Predict(x);
+        if (p != 0 && p != 1) {
+          failed.store(true);
+        }
+      }
+    }
+  });
+
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const std::array<int32_t, 1> row{static_cast<int32_t>(rng.NextInt(0, 100))};
+    trainer.Observe(row, row[0] > 50 ? 1 : 0);
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GE(trainer.windows_trained(), 40u);
+  EXPECT_EQ(slot.Get()->Predict(std::array<int32_t, 1>{75}), 1);
+}
+
+}  // namespace
+}  // namespace rkd

@@ -1,0 +1,204 @@
+// Tests for the random forest and the model-safety guardrail wrapper.
+#include <array>
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/ml/forest.h"
+#include "src/ml/guarded.h"
+#include "src/ml/quantize.h"
+
+namespace rkd {
+namespace {
+
+// Noisy threshold task: label flips with 10% probability.
+Dataset NoisyData(Rng& rng, size_t n = 600) {
+  Dataset data(4);
+  for (size_t i = 0; i < n; ++i) {
+    std::array<int32_t, 4> row;
+    for (int32_t& v : row) {
+      v = static_cast<int32_t>(rng.NextInt(0, 100));
+    }
+    int32_t label = row[0] + row[2] > 100 ? 1 : 0;
+    if (rng.NextBool(0.1)) {
+      label = 1 - label;
+    }
+    data.Add(row, label);
+  }
+  return data;
+}
+
+TEST(RandomForestTest, LearnsAndVotesDeterministically) {
+  Rng rng(1);
+  const Dataset data = NoisyData(rng);
+  Result<RandomForest> forest = RandomForest::Train(data);
+  ASSERT_TRUE(forest.ok()) << forest.status();
+  EXPECT_EQ(forest->tree_count(), 8u);
+  EXPECT_GE(forest->Evaluate(data), 0.85);
+  // Deterministic: same seed, same predictions.
+  Result<RandomForest> again = RandomForest::Train(data);
+  ASSERT_TRUE(again.ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(forest->Predict(data.row(i)), again->Predict(data.row(i)));
+  }
+}
+
+TEST(RandomForestTest, MoreRobustThanSingleTreeOnHeldOutNoise) {
+  Rng rng(2);
+  Dataset all = NoisyData(rng, 900);
+  auto [train, test] = all.Split(0.33, rng);
+  const DecisionTree tree = std::move(DecisionTree::Train(train)).value();
+  ForestConfig config;
+  config.num_trees = 16;
+  const RandomForest forest = std::move(RandomForest::Train(train, config)).value();
+  // The ensemble should be in the same league as (or better than) its base
+  // learner out of sample, and well above chance, despite 10% label noise.
+  EXPECT_GE(forest.Evaluate(test) + 0.05, tree.Evaluate(test));
+  EXPECT_GE(forest.Evaluate(test), 0.7);
+}
+
+TEST(RandomForestTest, CostSumsTrees) {
+  Rng rng(3);
+  const Dataset data = NoisyData(rng, 300);
+  ForestConfig config;
+  config.num_trees = 4;
+  const RandomForest forest = std::move(RandomForest::Train(data, config)).value();
+  uint64_t comparisons = 0;
+  for (const DecisionTree& tree : forest.trees()) {
+    comparisons += tree.Cost().comparisons;
+  }
+  EXPECT_EQ(forest.Cost().comparisons, comparisons);
+  EXPECT_EQ(forest.kind(), "random_forest");
+}
+
+TEST(RandomForestTest, ImportanceConcentratesOnInformativeFeatures) {
+  Rng rng(4);
+  const Dataset data = NoisyData(rng);
+  const RandomForest forest = std::move(RandomForest::Train(data)).value();
+  const std::vector<double> importance = forest.FeatureImportance();
+  EXPECT_GT(importance[0] + importance[2], importance[1] + importance[3]);
+}
+
+TEST(RandomForestTest, InvalidConfigsRejected) {
+  Dataset empty(2);
+  EXPECT_FALSE(RandomForest::Train(empty).ok());
+  Rng rng(5);
+  const Dataset data = NoisyData(rng, 50);
+  ForestConfig zero_trees;
+  zero_trees.num_trees = 0;
+  EXPECT_FALSE(RandomForest::Train(data, zero_trees).ok());
+}
+
+// A stub model producing scripted outputs.
+class ScriptedModel final : public InferenceModel {
+ public:
+  explicit ScriptedModel(std::vector<int64_t> outputs) : outputs_(std::move(outputs)) {}
+  int64_t Predict(std::span<const int32_t>) const override {
+    const int64_t out = outputs_[index_ % outputs_.size()];
+    ++index_;
+    return out;
+  }
+  size_t num_features() const override { return 1; }
+  ModelCost Cost() const override { return ModelCost{}; }
+  std::string_view kind() const override { return "scripted"; }
+
+ private:
+  std::vector<int64_t> outputs_;
+  mutable size_t index_ = 0;
+};
+
+TEST(GuardedModelTest, PassesInRangePredictionsThrough) {
+  GuardrailConfig config;
+  config.min_output = 0;
+  config.max_output = 10;
+  config.fallback = -7;
+  GuardedModel guarded(std::make_shared<ScriptedModel>(std::vector<int64_t>{3, 7, 0, 10}),
+                       config);
+  const std::array<int32_t, 1> x{0};
+  EXPECT_EQ(guarded.Predict(x), 3);
+  EXPECT_EQ(guarded.Predict(x), 7);
+  EXPECT_EQ(guarded.Predict(x), 0);
+  EXPECT_EQ(guarded.Predict(x), 10);
+  EXPECT_FALSE(guarded.tripped());
+  EXPECT_EQ(guarded.violations(), 0u);
+}
+
+TEST(GuardedModelTest, ClampsOutOfRangeToFallback) {
+  GuardrailConfig config;
+  config.min_output = 0;
+  config.max_output = 1;
+  config.fallback = 0;
+  config.max_violations = 100;  // don't trip in this test
+  GuardedModel guarded(
+      std::make_shared<ScriptedModel>(std::vector<int64_t>{1ll << 40, -5, 1}), config);
+  const std::array<int32_t, 1> x{0};
+  EXPECT_EQ(guarded.Predict(x), 0);  // huge -> fallback
+  EXPECT_EQ(guarded.Predict(x), 0);  // negative -> fallback
+  EXPECT_EQ(guarded.Predict(x), 1);  // fine
+  EXPECT_EQ(guarded.violations(), 2u);
+}
+
+TEST(GuardedModelTest, TripsAfterTooManyViolations) {
+  GuardrailConfig config;
+  config.min_output = 0;
+  config.max_output = 1;
+  config.fallback = 0;
+  config.violation_window = 32;
+  config.max_violations = 3;
+  GuardedModel guarded(std::make_shared<ScriptedModel>(std::vector<int64_t>{99}), config);
+  const std::array<int32_t, 1> x{0};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(guarded.Predict(x), 0);
+  }
+  EXPECT_TRUE(guarded.tripped());
+  // After the trip, the inner model is not consulted: a healthy output would
+  // still be overridden by the fallback.
+  EXPECT_EQ(guarded.Predict(x), 0);
+}
+
+TEST(GuardedModelTest, WindowResetForgivesScatteredViolations) {
+  GuardrailConfig config;
+  config.min_output = 0;
+  config.max_output = 1;
+  config.violation_window = 4;
+  config.max_violations = 2;
+  // One violation per window of four: never trips.
+  GuardedModel guarded(
+      std::make_shared<ScriptedModel>(std::vector<int64_t>{99, 1, 1, 1}), config);
+  const std::array<int32_t, 1> x{0};
+  for (int i = 0; i < 40; ++i) {
+    (void)guarded.Predict(x);
+  }
+  EXPECT_FALSE(guarded.tripped());
+  EXPECT_EQ(guarded.violations(), 10u);
+}
+
+TEST(GuardedModelTest, CostAddsSurchargeOnly) {
+  GuardrailConfig config;
+  auto inner = std::make_shared<ScriptedModel>(std::vector<int64_t>{0});
+  GuardedModel guarded(inner, config);
+  EXPECT_EQ(guarded.Cost().comparisons, inner->Cost().comparisons + 4);
+  EXPECT_EQ(guarded.Cost().macs, inner->Cost().macs);
+  EXPECT_EQ(guarded.kind(), "guarded");
+}
+
+TEST(GuardedModelTest, WrapsRealModelEndToEnd) {
+  Rng rng(6);
+  const Dataset data = NoisyData(rng, 300);
+  auto forest = std::make_shared<RandomForest>(std::move(RandomForest::Train(data)).value());
+  GuardrailConfig config;
+  config.min_output = 0;
+  config.max_output = 1;
+  GuardedModel guarded(forest, config);
+  // The forest only ever emits 0/1, so the guard is transparent.
+  size_t agree = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (guarded.Predict(data.row(i)) == forest->Predict(data.row(i))) {
+      ++agree;
+    }
+  }
+  EXPECT_EQ(agree, data.size());
+  EXPECT_FALSE(guarded.tripped());
+}
+
+}  // namespace
+}  // namespace rkd

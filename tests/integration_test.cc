@@ -1,0 +1,240 @@
+// Cross-module integration tests: full verify -> install -> fire -> learn ->
+// adapt flows, privacy end to end, and the guard pipeline under real
+// execution.
+#include <array>
+#include <gtest/gtest.h>
+
+#include "src/bytecode/assembler.h"
+#include "src/bytecode/disassembler.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/distill.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+#include "src/rmt/control_plane.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/mem/readahead.h"
+#include "src/verifier/guards.h"
+#include "src/verifier/verifier.h"
+#include "src/workloads/access_trace.h"
+
+namespace rkd {
+namespace {
+
+// The full admission path: assemble -> verify (reject) -> auto-guard ->
+// verify (accept) -> install -> fire -> observe rate limiting at runtime.
+TEST(IntegrationTest, GuardedAdmissionPipeline) {
+  Assembler a("aggressive_prefetch", HookKind::kMemPrefetch);
+  a.Mov(1, 1);        // key = pid (already in r1; explicit for clarity)
+  a.MovImm(2, 8);
+  a.Call(HelperId::kPrefetchEmit);  // unguarded: 8 pages per fault
+  a.MovImm(0, 0).Exit();
+  BytecodeProgram action = std::move(a.Build()).value();
+
+  // Step 1: the verifier refuses the unguarded program.
+  ASSERT_FALSE(Verifier().Verify(action).ok());
+
+  // Step 2: the guard pass rewrites it; now it verifies.
+  ASSERT_TRUE(InsertRateLimitGuards(action).ok());
+  ASSERT_TRUE(Verifier().Verify(action).ok());
+
+  // Step 3: install and run against a hook with a prefetch sink.
+  HookRegistry hooks;
+  std::vector<int64_t> emitted;
+  SubsystemBindings bindings;
+  uint64_t now = 0;
+  bindings.now = [&] { return now; };
+  bindings.prefetch_emit = [&](int64_t page, int64_t count) {
+    for (int64_t i = 0; i < count; ++i) {
+      emitted.push_back(page + i);
+    }
+  };
+  const HookId hook =
+      *hooks.Register("mm.swap_cluster_readahead", HookKind::kMemPrefetch, bindings);
+  ControlPlane cp(&hooks);
+
+  RmtProgramSpec spec;
+  spec.name = "guarded";
+  spec.rate_limit_capacity = 16;
+  spec.rate_limit_refill = 0;  // never refills within this test
+  RmtTableSpec table;
+  table.name = "t";
+  table.hook_point = "mm.swap_cluster_readahead";
+  table.actions.push_back(action);
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  Result<ControlPlane::ProgramHandle> handle = cp.Install(spec);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+
+  // Two fires drain the 16-token bucket (8 each); the third is denied.
+  (void)hooks.Fire(hook, 1);
+  (void)hooks.Fire(hook, 1);
+  EXPECT_EQ(emitted.size(), 16u);
+  (void)hooks.Fire(hook, 1);
+  EXPECT_EQ(emitted.size(), 16u);  // rate limited: no new emissions
+  EXPECT_EQ(hooks.StatsOf(hook).exec_errors, 0u);
+}
+
+// Differential-privacy end to end: a generic aggregate-query program whose
+// kDpNoise calls consume the program's budget until refusal.
+TEST(IntegrationTest, PrivacyBudgetEnforcedThroughHelper) {
+  Assembler a("noisy_query", HookKind::kGeneric);
+  a.Mov(1, 1);  // the value to noise arrives as the hook key
+  a.Call(HelperId::kDpNoise);
+  a.Exit();
+  BytecodeProgram action = std::move(a.Build()).value();
+  ASSERT_TRUE(Verifier().Verify(action).ok());
+
+  HookRegistry hooks;
+  const HookId hook = *hooks.Register("stats.query", HookKind::kGeneric);
+  ControlPlane cp(&hooks);
+  RmtProgramSpec spec;
+  spec.name = "dp";
+  spec.privacy_epsilon = 0.3;
+  spec.epsilon_per_query = 0.1;   // three queries total
+  spec.dp_sensitivity = 1.0;
+  RmtTableSpec table;
+  table.name = "t";
+  table.hook_point = "stats.query";
+  table.actions.push_back(action);
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  Result<ControlPlane::ProgramHandle> handle = cp.Install(spec);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+
+  int64_t nonzero_answers = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (hooks.Fire(hook, 1000000) != 0) {
+      ++nonzero_answers;
+    }
+  }
+  EXPECT_EQ(nonzero_answers, 3);  // noisy but nonzero answers
+  // Budget exhausted: the helper hard-zeroes.
+  EXPECT_EQ(hooks.Fire(hook, 1000000), 0);
+  const PrivacyBudget& budget = cp.Get(*handle)->privacy_budget();
+  EXPECT_EQ(budget.queries_answered(), 3u);
+  EXPECT_EQ(budget.queries_refused(), 1u);
+}
+
+// Offline training -> quantize -> verify cost -> install -> infer in the VM:
+// the full userspace/kernel split of section 3.2, with distillation when the
+// quantized model is over budget.
+TEST(IntegrationTest, DistillationRecoversFromCostRejection) {
+  // Teacher task: xor-ish decision.
+  Dataset data(2);
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    const std::array<int32_t, 2> row{static_cast<int32_t>(rng.NextInt(0, 100)),
+                                     static_cast<int32_t>(rng.NextInt(0, 100))};
+    data.Add(row, (row[0] > 50) != (row[1] > 50) ? 1 : 0);
+  }
+  MlpConfig big;
+  big.hidden_sizes = {64, 64};
+  big.epochs = 40;
+  big.learning_rate = 0.1f;
+  Result<Mlp> teacher = Mlp::Train(data, big);
+  ASSERT_TRUE(teacher.ok());
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*teacher);
+  ASSERT_TRUE(quantized.ok());
+
+  HookRegistry hooks;
+  ASSERT_TRUE(hooks.Register("sched.can_migrate_task", HookKind::kSchedMigrate).ok());
+  ControlPlane cp(&hooks);
+
+  Assembler a("predict", HookKind::kSchedMigrate);
+  a.DeclareModels(1);
+  a.VecLdCtxt(0, 1);
+  a.MlCall(0, 0, 0);
+  a.Exit();
+  RmtProgramSpec spec;
+  spec.name = "sched_ml";
+  spec.model_slots = 1;
+  RmtTableSpec table;
+  table.name = "t";
+  table.hook_point = "sched.can_migrate_task";
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  Result<ControlPlane::ProgramHandle> handle = cp.Install(spec);
+  ASSERT_TRUE(handle.ok());
+
+  // The big quantized MLP busts the scheduler hook budget (2^13 work units).
+  EXPECT_GT(quantized->Cost().WorkUnits(), BudgetForHook(HookKind::kSchedMigrate).max_work_units);
+  EXPECT_FALSE(cp.InstallModel(*handle, 0,
+                               std::make_shared<QuantizedMlp>(std::move(quantized).value()))
+                   .ok());
+
+  // Distill to a tree student; it fits and installs.
+  const auto teacher_fn = [&](std::span<const int32_t> row) {
+    return static_cast<int64_t>(teacher->PredictClass(row));
+  };
+  Result<DecisionTree> student = DistillToTree(teacher_fn, data);
+  ASSERT_TRUE(student.ok());
+  EXPECT_LE(student->Cost().WorkUnits(), BudgetForHook(HookKind::kSchedMigrate).max_work_units);
+  auto student_ptr = std::make_shared<DecisionTree>(std::move(student).value());
+  ASSERT_TRUE(cp.InstallModel(*handle, 0, student_ptr).ok());
+
+  // Fire through the context-vector path and cross-check against the student
+  // directly.
+  InstalledProgram* program = cp.Get(*handle);
+  const HookId hook = *hooks.Lookup("sched.can_migrate_task");
+  int agree = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::array<int32_t, 2> row{static_cast<int32_t>(rng.NextInt(0, 100)),
+                                     static_cast<int32_t>(rng.NextInt(0, 100))};
+    ContextEntry* entry = program->context().FindOrCreate(7);
+    entry->features.fill(0);
+    entry->features[0] = row[0];
+    entry->features[1] = row[1];
+    const int64_t via_hook = hooks.Fire(hook, 7);
+    if (via_hook == student_ptr->Predict(row)) {
+      ++agree;
+    }
+  }
+  EXPECT_EQ(agree, 50);
+}
+
+// The control-plane adaptation loop closes end to end on the ML prefetcher:
+// an adversarial phase change (learned pattern becomes random) drives the
+// rolling accuracy down and the depth knob toward conservative values.
+TEST(IntegrationTest, PrefetchAdaptationReactsToWorkloadChange) {
+  MlPrefetcherConfig config;
+  config.window_size = 128;
+  config.initial_depth = 8;
+  config.max_depth = 8;
+  RmtMlPrefetcher prefetcher(config);
+  ASSERT_TRUE(prefetcher.Init().ok());
+
+  MemSimConfig sim_config;
+  sim_config.frame_capacity = 64;
+  MemorySim sim(sim_config, &prefetcher);
+
+  // Phase 1: learnable stride.
+  Rng rng(2);
+  AccessTrace trace = MakeStridedTrace(1, 0, 5, 1500, 0.0, rng);
+  // Phase 2: uniform random over a huge space — predictions become garbage.
+  const AccessTrace chaos = MakeRandomTrace(1, 1 << 24, 1500, rng);
+  trace.insert(trace.end(), chaos.begin(), chaos.end());
+  (void)sim.Run(trace);
+
+  EXPECT_GT(prefetcher.windows_trained(), 2u);
+  EXPECT_LT(prefetcher.current_depth_knob(), 8);  // adapted downward
+}
+
+// Disassembly of the real installed prefetch program stays readable — a
+// smoke test that the toolchain pieces agree on the instruction set.
+TEST(IntegrationTest, InstalledProgramsDisassemble) {
+  RmtMlPrefetcher prefetcher;
+  ASSERT_TRUE(prefetcher.Init().ok());
+  // Rebuild the action the prefetcher installs and check its listing.
+  Assembler a("probe", HookKind::kMemAccess);
+  a.LdCtxt(6, 1, 0);
+  a.Call(HelperId::kHistoryAppend);
+  a.MovImm(0, 0).Exit();
+  const BytecodeProgram program = std::move(a.Build()).value();
+  const std::string listing = Disassemble(program);
+  EXPECT_NE(listing.find("ld_ctxt r6, ctxt[r1].0"), std::string::npos);
+  EXPECT_NE(listing.find("call history_append"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rkd

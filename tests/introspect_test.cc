@@ -1,0 +1,104 @@
+// Tests for the introspection dump over a realistically populated program.
+#include <array>
+#include <gtest/gtest.h>
+
+#include "src/bytecode/assembler.h"
+#include "src/ml/decision_tree.h"
+#include "src/rmt/control_plane.h"
+#include "src/rmt/introspect.h"
+
+namespace rkd {
+namespace {
+
+class IntrospectTest : public ::testing::Test {
+ protected:
+  IntrospectTest() : cp_(&hooks_) {
+    hook_ = *hooks_.Register("demo.hook", HookKind::kGeneric);
+
+    Assembler a("classify", HookKind::kGeneric);
+    a.DeclareMaps(1);
+    a.DeclareModels(1);
+    a.Mov(0, 1).AddImm(0, 1).Exit();
+
+    RmtProgramSpec spec;
+    spec.name = "introspected";
+    spec.model_slots = 1;
+    spec.maps.push_back(MapSpec{MapKind::kArray, 8});
+    RmtTableSpec table;
+    table.name = "tab";
+    table.hook_point = "demo.hook";
+    table.actions.push_back(std::move(a.Build()).value());
+    table.default_action = 0;
+    TableEntry entry;
+    entry.key = 42;
+    entry.action_index = 0;
+    entry.model_slot = 0;
+    table.initial_entries.push_back(entry);
+    spec.tables.push_back(std::move(table));
+    handle_ = *cp_.Install(spec);
+  }
+
+  HookRegistry hooks_;
+  ControlPlane cp_;
+  HookId hook_ = kInvalidHook;
+  ControlPlane::ProgramHandle handle_ = -1;
+};
+
+TEST_F(IntrospectTest, DumpNamesEverySection) {
+  const std::string dump = DumpProgram(*cp_.Get(handle_));
+  EXPECT_NE(dump.find("program 'introspected'"), std::string::npos);
+  EXPECT_NE(dump.find("table 'tab'"), std::string::npos);
+  EXPECT_NE(dump.find("exact match"), std::string::npos);
+  EXPECT_NE(dump.find("key=42 -> action 0 (model slot 0)"), std::string::npos);
+  EXPECT_NE(dump.find("default action:"), std::string::npos);
+  EXPECT_NE(dump.find("add_imm r0, 1"), std::string::npos);
+  EXPECT_NE(dump.find("slot 0: (empty)"), std::string::npos);
+  EXPECT_NE(dump.find("map 0: array"), std::string::npos);
+  EXPECT_NE(dump.find("privacy budget:"), std::string::npos);
+}
+
+TEST_F(IntrospectTest, DumpReflectsRuntimeState) {
+  (void)hooks_.Fire(hook_, 42);
+  (void)hooks_.Fire(hook_, 43);
+
+  Dataset data(1);
+  for (int32_t x = 0; x < 60; ++x) {
+    data.Add(std::array<int32_t, 1>{x}, x > 30 ? 1 : 0);
+  }
+  ASSERT_TRUE(cp_.InstallModel(handle_, 0,
+                               std::make_shared<DecisionTree>(
+                                   std::move(DecisionTree::Train(data)).value()))
+                  .ok());
+
+  const std::string dump = DumpProgram(*cp_.Get(handle_));
+  EXPECT_NE(dump.find("hits 1, misses 1"), std::string::npos);
+  EXPECT_NE(dump.find("executions 2"), std::string::npos);
+  EXPECT_NE(dump.find("slot 0: decision_tree"), std::string::npos);
+  EXPECT_NE(dump.find("work units"), std::string::npos);
+}
+
+TEST_F(IntrospectTest, OptionsControlVerbosity) {
+  IntrospectOptions options;
+  options.disassemble_actions = false;
+  options.list_entries = false;
+  const std::string dump = DumpProgram(*cp_.Get(handle_), options);
+  EXPECT_EQ(dump.find("default action:"), std::string::npos);
+  EXPECT_EQ(dump.find("key=42"), std::string::npos);
+  EXPECT_NE(dump.find("table 'tab'"), std::string::npos);
+}
+
+TEST_F(IntrospectTest, EntryListingIsCapped) {
+  for (uint64_t key = 100; key < 140; ++key) {
+    TableEntry entry;
+    entry.key = key;
+    entry.action_index = 0;
+    ASSERT_TRUE(cp_.AddEntry(handle_, "tab", entry).ok());
+  }
+  IntrospectOptions options;
+  options.max_entries_listed = 5;
+  const std::string dump = DumpProgram(*cp_.Get(handle_), options);
+  EXPECT_NE(dump.find("... (36 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rkd

@@ -1,0 +1,303 @@
+// Tests for the JIT tier: compile-time validation and, most importantly,
+// the differential property that compiled execution matches the interpreter
+// on randomly generated valid programs.
+#include <array>
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/bytecode/assembler.h"
+#include "src/vm/jit.h"
+#include "src/vm/vm.h"
+
+namespace rkd {
+namespace {
+
+BytecodeProgram MustBuild(Assembler& a) {
+  Result<BytecodeProgram> program = a.Build();
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+TEST(JitCompileTest, AcceptsStraightLineProgram) {
+  Assembler a("ok");
+  a.MovImm(0, 1).AddImm(0, 2).Exit();
+  Result<CompiledProgram> compiled = CompiledProgram::Compile(MustBuild(a));
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_EQ(compiled->size(), 3u);
+  EXPECT_EQ(compiled->name(), "ok");
+}
+
+TEST(JitCompileTest, RejectsBackwardJump) {
+  BytecodeProgram program;
+  program.name = "loop";
+  Instruction jump;
+  jump.opcode = Opcode::kJa;
+  jump.offset = -1;
+  program.code.push_back(jump);
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+  Result<CompiledProgram> compiled = CompiledProgram::Compile(program);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kVerificationFailed);
+}
+
+TEST(JitCompileTest, RejectsOutOfRangeJump) {
+  BytecodeProgram program;
+  program.name = "far";
+  Instruction jump;
+  jump.opcode = Opcode::kJa;
+  jump.offset = 100;
+  program.code.push_back(jump);
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+  EXPECT_FALSE(CompiledProgram::Compile(program).ok());
+}
+
+TEST(JitCompileTest, RejectsFallOffEnd) {
+  BytecodeProgram program;
+  program.name = "fall";
+  Instruction add;
+  add.opcode = Opcode::kAddImm;
+  add.imm = 1;
+  program.code.push_back(add);
+  EXPECT_FALSE(CompiledProgram::Compile(program).ok());
+}
+
+TEST(JitCompileTest, RejectsBadRegister) {
+  BytecodeProgram program;
+  program.name = "badreg";
+  Instruction mov;
+  mov.opcode = Opcode::kMovImm;
+  mov.dst = kNumScalarRegs;
+  program.code.push_back(mov);
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+  EXPECT_FALSE(CompiledProgram::Compile(program).ok());
+}
+
+TEST(JitCompileTest, RejectsBadStackOffset) {
+  Assembler a("stack");
+  a.StStackImm(-4, 1);  // unaligned
+  a.MovImm(0, 0).Exit();
+  EXPECT_FALSE(CompiledProgram::Compile(MustBuild(a)).ok());
+}
+
+TEST(JitCompileTest, RejectsBadLane) {
+  Assembler a("lane");
+  a.VecZero(0);
+  a.MovImm(2, 1);
+  a.ScalarVal(0, kVectorLanes, 2);
+  a.MovImm(0, 0).Exit();
+  EXPECT_FALSE(CompiledProgram::Compile(MustBuild(a)).ok());
+}
+
+TEST(JitCompileTest, RejectsUnknownHelper) {
+  BytecodeProgram program;
+  program.name = "badhelper";
+  Instruction call;
+  call.opcode = Opcode::kCall;
+  call.imm = 1000;
+  program.code.push_back(call);
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+  EXPECT_FALSE(CompiledProgram::Compile(program).ok());
+}
+
+TEST(JitRunTest, MissingMapReadsZeroInsteadOfFaulting) {
+  Assembler a("mapless");
+  a.DeclareMaps(1);
+  a.MovImm(2, 5);
+  a.MapLookup(0, 2, 0);
+  a.Exit();
+  Result<CompiledProgram> compiled = CompiledProgram::Compile(MustBuild(a));
+  ASSERT_TRUE(compiled.ok());
+  const VmEnv env;  // no maps at all
+  Result<int64_t> result = compiled->Run(env, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0);
+}
+
+TEST(JitRunTest, TailCallChainsToResolvedProgram) {
+  Assembler callee("callee");
+  callee.AddImm(0, 100).Exit();
+  Result<CompiledProgram> compiled_callee = CompiledProgram::Compile(MustBuild(callee));
+  ASSERT_TRUE(compiled_callee.ok());
+
+  Assembler caller("caller");
+  caller.DeclareTables(1);
+  caller.MovImm(0, 5);
+  caller.TailCall(0);
+  caller.MovImm(0, -999);  // must be skipped by a successful tail call
+  caller.Exit();
+  Result<CompiledProgram> compiled_caller = CompiledProgram::Compile(MustBuild(caller));
+  ASSERT_TRUE(compiled_caller.ok());
+
+  const VmEnv env;
+  const CompiledProgram::Resolver resolver = [&](int64_t id) {
+    return id == 0 ? &*compiled_callee : nullptr;
+  };
+  Result<int64_t> result = compiled_caller->Run(env, {}, nullptr, resolver);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 105);  // registers survive the tail call
+}
+
+TEST(JitRunTest, FailedTailCallFallsThrough) {
+  Assembler caller("caller");
+  caller.DeclareTables(1);
+  caller.MovImm(0, 5);
+  caller.TailCall(0);
+  caller.MovImm(0, 42);
+  caller.Exit();
+  Result<CompiledProgram> compiled = CompiledProgram::Compile(MustBuild(caller));
+  ASSERT_TRUE(compiled.ok());
+  const VmEnv env;
+  Result<int64_t> result = compiled->Run(env, {});  // no resolver
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(JitRunTest, TailCallDepthIsBounded) {
+  // A program that tail-calls itself: the chain must stop at the depth cap
+  // and then fall through.
+  Assembler a("self");
+  a.DeclareTables(1);
+  a.AddImm(0, 1);
+  a.TailCall(0);
+  a.Exit();
+  Result<CompiledProgram> compiled = CompiledProgram::Compile(MustBuild(a));
+  ASSERT_TRUE(compiled.ok());
+  const CompiledProgram::Resolver resolver = [&](int64_t) { return &*compiled; };
+  const VmEnv env;
+  RunStats stats;
+  Result<int64_t> result = compiled->Run(env, {}, &stats, resolver);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.tail_calls, static_cast<uint64_t>(kMaxTailCallDepth));
+  EXPECT_EQ(*result, kMaxTailCallDepth + 1);
+}
+
+// --- Differential property: JIT == interpreter on random valid programs ---
+
+// Generates a random straight-line-with-forward-branches program using ALU,
+// stack, and branch instructions over deterministic inputs.
+BytecodeProgram RandomProgram(Rng& rng, size_t length) {
+  Assembler a("random");
+  // Seed some registers deterministically so reads are initialized.
+  for (int reg = 0; reg <= 9; ++reg) {
+    a.MovImm(reg, rng.NextInt(-1000, 1000));
+  }
+  // Pre-initialize a few stack slots.
+  a.StStackImm(-8, rng.NextInt(-50, 50));
+  a.StStackImm(-16, rng.NextInt(-50, 50));
+
+  std::vector<Assembler::Label> pending;  // labels to bind later
+  for (size_t i = 0; i < length; ++i) {
+    const int dst = static_cast<int>(rng.NextBounded(10));
+    const int src = static_cast<int>(rng.NextBounded(10));
+    switch (rng.NextBounded(14)) {
+      case 0: a.Add(dst, src); break;
+      case 1: a.Sub(dst, src); break;
+      case 2: a.MulImm(dst, rng.NextInt(-9, 9)); break;
+      case 3: a.Div(dst, src); break;
+      case 4: a.And(dst, src); break;
+      case 5: a.Or(dst, src); break;
+      case 6: a.Xor(dst, src); break;
+      case 7: a.AshrImm(dst, rng.NextInt(0, 8)); break;
+      case 8: a.Mov(dst, src); break;
+      case 9: a.Neg(dst); break;
+      case 10: a.LdStack(dst, rng.NextBool() ? -8 : -16); break;
+      case 11: a.StStack(rng.NextBool() ? -8 : -16, src); break;
+      case 12: {
+        auto label = a.NewLabel();
+        a.JltImm(dst, rng.NextInt(-100, 100), label);
+        pending.push_back(label);
+        break;
+      }
+      case 13: {
+        auto label = a.NewLabel();
+        a.Jge(dst, src, label);
+        pending.push_back(label);
+        break;
+      }
+    }
+    // Bind some pending labels as we go (always forward).
+    while (pending.size() > 2) {
+      a.Bind(pending.front());
+      pending.erase(pending.begin());
+    }
+  }
+  for (auto& label : pending) {
+    a.Bind(label);
+  }
+  a.Mov(0, static_cast<int>(rng.NextBounded(10)));
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+class JitDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JitDifferentialTest, MatchesInterpreterOnRandomPrograms) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const BytecodeProgram program = RandomProgram(rng, 40);
+    Result<CompiledProgram> compiled = CompiledProgram::Compile(program);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+    const std::array<int64_t, 3> args{rng.NextInt(-5, 5), rng.NextInt(-5, 5),
+                                      rng.NextInt(-5, 5)};
+    const VmEnv env;
+    const Interpreter interp(env);
+    Result<int64_t> interpreted = interp.Run(program, args);
+    Result<int64_t> jitted = compiled->Run(env, args);
+    ASSERT_TRUE(interpreted.ok()) << interpreted.status();
+    ASSERT_TRUE(jitted.ok()) << jitted.status();
+    EXPECT_EQ(*interpreted, *jitted) << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitDifferentialTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(JitDifferentialTest, MatchesInterpreterOnVectorPrograms) {
+  TensorRegistry tensors;
+  FixedMatrix scale(4, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    scale.at(i, i) = Fixed32::FromDouble(0.5).raw();
+  }
+  const int64_t tensor_id = tensors.Add(scale);
+
+  Assembler a("vec");
+  a.DeclareTensors(1);
+  a.VecZero(0);
+  for (int lane = 0; lane < 4; ++lane) {
+    a.MovImm(2, (lane + 1) << 16);
+    a.ScalarVal(0, lane, 2);
+  }
+  a.MatMul(1, 0, tensor_id);
+  a.VecAdd(1, 0);
+  a.VecRelu(1, 1);
+  a.VecArgmax(0, 1);
+  a.Exit();
+  Result<BytecodeProgram> program = a.Build();
+  ASSERT_TRUE(program.ok());
+
+  VmEnv env;
+  env.tensors = &tensors;
+  const Interpreter interp(env);
+  Result<int64_t> interpreted = interp.Run(*program, {});
+  Result<CompiledProgram> compiled = CompiledProgram::Compile(*program);
+  ASSERT_TRUE(compiled.ok());
+  Result<int64_t> jitted = compiled->Run(env, {});
+  ASSERT_TRUE(interpreted.ok());
+  ASSERT_TRUE(jitted.ok());
+  EXPECT_EQ(*interpreted, *jitted);
+  EXPECT_EQ(*jitted, 3);  // lane 3 has the largest value
+}
+
+}  // namespace
+}  // namespace rkd

@@ -1,0 +1,218 @@
+// Unit tests for the eBPF-style map library (src/vm/maps.*).
+#include <gtest/gtest.h>
+
+#include "src/vm/helpers.h"
+#include "src/vm/maps.h"
+
+namespace rkd {
+namespace {
+
+TEST(ArrayMapTest, IndexKeyedReadWrite) {
+  ArrayMap map(4);
+  EXPECT_TRUE(map.Update(0, 10));
+  EXPECT_TRUE(map.Update(3, 40));
+  EXPECT_EQ(map.Lookup(0).value_or(-1), 10);
+  EXPECT_EQ(map.Lookup(3).value_or(-1), 40);
+  EXPECT_EQ(map.Lookup(1).value_or(-1), 0);  // untouched slots read zero
+}
+
+TEST(ArrayMapTest, OutOfRangeRejected) {
+  ArrayMap map(4);
+  EXPECT_FALSE(map.Update(4, 1));
+  EXPECT_FALSE(map.Update(-1, 1));
+  EXPECT_FALSE(map.Lookup(4).has_value());
+  EXPECT_FALSE(map.Contains(-1));
+  EXPECT_TRUE(map.Contains(3));
+}
+
+TEST(ArrayMapTest, DeleteResetsToZero) {
+  ArrayMap map(2);
+  map.Update(1, 5);
+  EXPECT_TRUE(map.Delete(1));
+  EXPECT_EQ(map.Lookup(1).value_or(-1), 0);
+}
+
+TEST(HashMapTest, InsertLookupDelete) {
+  HashMap map(8);
+  EXPECT_TRUE(map.Update(-100, 1));
+  EXPECT_TRUE(map.Update(1ll << 40, 2));
+  EXPECT_EQ(map.Lookup(-100).value_or(0), 1);
+  EXPECT_EQ(map.Lookup(1ll << 40).value_or(0), 2);
+  EXPECT_FALSE(map.Lookup(7).has_value());
+  EXPECT_TRUE(map.Delete(-100));
+  EXPECT_FALSE(map.Delete(-100));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HashMapTest, CapacityRejectsNewKeysButAllowsUpdates) {
+  HashMap map(2);
+  EXPECT_TRUE(map.Update(1, 1));
+  EXPECT_TRUE(map.Update(2, 2));
+  EXPECT_FALSE(map.Update(3, 3));   // full: new key rejected
+  EXPECT_TRUE(map.Update(1, 100));  // existing key updatable
+  EXPECT_EQ(map.Lookup(1).value_or(0), 100);
+}
+
+TEST(LruMapTest, EvictsLeastRecentlyUsed) {
+  LruMap map(3);
+  map.Update(1, 10);
+  map.Update(2, 20);
+  map.Update(3, 30);
+  (void)map.Lookup(1);  // 1 becomes most recent; 2 is now LRU
+  map.Update(4, 40);    // evicts 2
+  EXPECT_TRUE(map.Contains(1));
+  EXPECT_FALSE(map.Contains(2));
+  EXPECT_TRUE(map.Contains(3));
+  EXPECT_TRUE(map.Contains(4));
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(LruMapTest, UpdateRefreshesRecency) {
+  LruMap map(2);
+  map.Update(1, 10);
+  map.Update(2, 20);
+  map.Update(1, 11);  // refresh 1; 2 becomes LRU
+  map.Update(3, 30);  // evicts 2
+  EXPECT_TRUE(map.Contains(1));
+  EXPECT_FALSE(map.Contains(2));
+  EXPECT_EQ(map.Lookup(1).value_or(0), 11);
+}
+
+TEST(LruMapTest, DeleteRemovesFromRecencyList) {
+  LruMap map(2);
+  map.Update(1, 10);
+  map.Update(2, 20);
+  EXPECT_TRUE(map.Delete(1));
+  EXPECT_FALSE(map.Delete(1));
+  map.Update(3, 30);  // space available; nothing evicted
+  EXPECT_TRUE(map.Contains(2));
+  EXPECT_TRUE(map.Contains(3));
+}
+
+TEST(RingMapTest, FifoOrder) {
+  RingMap ring(4);
+  ring.Update(1, 10);
+  ring.Update(2, 20);
+  ring.Update(3, 30);
+  auto first = ring.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->key, 1);
+  EXPECT_EQ(first->value, 10);
+  auto second = ring.Pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->key, 2);
+}
+
+TEST(RingMapTest, OverflowDropsOldest) {
+  RingMap ring(2);
+  ring.Update(1, 10);
+  ring.Update(2, 20);
+  ring.Update(3, 30);  // drops record 1
+  EXPECT_EQ(ring.dropped(), 1u);
+  auto record = ring.Pop();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->key, 2);
+}
+
+TEST(RingMapTest, EmptyPopReturnsNothing) {
+  RingMap ring(2);
+  EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST(RingMapTest, KeyedOperationsAreInert) {
+  RingMap ring(2);
+  ring.Update(1, 10);
+  EXPECT_FALSE(ring.Lookup(1).has_value());
+  EXPECT_FALSE(ring.Contains(1));
+  EXPECT_FALSE(ring.Delete(1));
+}
+
+TEST(MapSetTest, CreatesEveryKind) {
+  MapSet set;
+  Result<int64_t> array_id = set.Create(MapKind::kArray, 4);
+  Result<int64_t> hash_id = set.Create(MapKind::kHash, 4);
+  Result<int64_t> lru_id = set.Create(MapKind::kLru, 4);
+  Result<int64_t> ring_id = set.Create(MapKind::kRing, 4);
+  ASSERT_TRUE(array_id.ok());
+  ASSERT_TRUE(hash_id.ok());
+  ASSERT_TRUE(lru_id.ok());
+  ASSERT_TRUE(ring_id.ok());
+  EXPECT_EQ(set.Get(*array_id)->kind(), MapKind::kArray);
+  EXPECT_EQ(set.Get(*hash_id)->kind(), MapKind::kHash);
+  EXPECT_EQ(set.Get(*lru_id)->kind(), MapKind::kLru);
+  EXPECT_EQ(set.Get(*ring_id)->kind(), MapKind::kRing);
+  EXPECT_EQ(set.size(), 4u);
+}
+
+TEST(MapSetTest, InvalidIdsReturnNull) {
+  MapSet set;
+  EXPECT_EQ(set.Get(0), nullptr);
+  EXPECT_EQ(set.Get(-1), nullptr);
+  (void)set.Create(MapKind::kArray, 1);
+  EXPECT_NE(set.Get(0), nullptr);
+  EXPECT_EQ(set.Get(1), nullptr);
+}
+
+TEST(MapSetTest, ZeroCapacityRejected) {
+  MapSet set;
+  EXPECT_FALSE(set.Create(MapKind::kHash, 0).ok());
+}
+
+TEST(MapKindTest, Names) {
+  EXPECT_EQ(MapKindName(MapKind::kArray), "array");
+  EXPECT_EQ(MapKindName(MapKind::kHash), "hash");
+  EXPECT_EQ(MapKindName(MapKind::kLru), "lru");
+  EXPECT_EQ(MapKindName(MapKind::kRing), "ring");
+}
+
+// Rate limiter and privacy primitives live next to the helper services.
+TEST(RateLimiterTest, RefillsOverTime) {
+  RateLimiter limiter(10, 2);
+  EXPECT_TRUE(limiter.Check(1, 10, 0));   // drain the bucket
+  EXPECT_FALSE(limiter.Check(1, 1, 0));   // empty
+  EXPECT_TRUE(limiter.Check(1, 4, 2));    // 2 ticks * 2/tick = 4 tokens back
+  EXPECT_FALSE(limiter.Check(1, 1, 2));
+}
+
+TEST(RateLimiterTest, KeysAreIndependent) {
+  RateLimiter limiter(4, 1);
+  EXPECT_TRUE(limiter.Check(1, 4, 0));
+  EXPECT_TRUE(limiter.Check(2, 4, 0));  // separate bucket
+  EXPECT_FALSE(limiter.Check(1, 1, 0));
+}
+
+TEST(RateLimiterTest, NonPositiveUnitsAlwaysAllowed) {
+  RateLimiter limiter(1, 0);
+  EXPECT_TRUE(limiter.Check(1, 0, 0));
+  EXPECT_TRUE(limiter.Check(1, -5, 0));
+}
+
+TEST(PrivacyBudgetTest, ConsumesUntilExhausted) {
+  PrivacyBudget budget(0.5, 0.2);
+  EXPECT_TRUE(budget.Consume());
+  EXPECT_TRUE(budget.Consume());
+  EXPECT_FALSE(budget.Consume());  // 0.1 left < 0.2 per query
+  EXPECT_EQ(budget.queries_answered(), 2u);
+  EXPECT_EQ(budget.queries_refused(), 1u);
+}
+
+TEST(DpNoiseSourceTest, ExhaustedBudgetReturnsZero) {
+  PrivacyBudget budget(0.1, 0.1);
+  DpNoiseSource noise(&budget, 1.0, 7);
+  (void)noise.Noisy(100);           // spends the whole budget
+  EXPECT_EQ(noise.Noisy(100), 0);   // refused -> hard zero
+}
+
+TEST(DpNoiseSourceTest, NoiseIsCenteredOnValue) {
+  PrivacyBudget budget(1e9, 1.0);
+  DpNoiseSource noise(&budget, 1.0, 11);
+  double total = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(noise.Noisy(1000));
+  }
+  EXPECT_NEAR(total / n, 1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace rkd

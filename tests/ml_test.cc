@@ -1,0 +1,503 @@
+// Tests for the lightweight ML library: decision tree, MLP, quantization,
+// integer linear model, distillation, feature importance, online training,
+// NAS, and the model/tensor registries.
+#include <array>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/ml/dataset.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/distill.h"
+#include "src/ml/feature_importance.h"
+#include "src/ml/linear.h"
+#include "src/ml/mlp.h"
+#include "src/ml/model_registry.h"
+#include "src/ml/nas.h"
+#include "src/ml/online.h"
+#include "src/ml/quantize.h"
+
+namespace rkd {
+namespace {
+
+// Threshold rule on feature 0: class = x0 > 50.
+Dataset ThresholdDataset(size_t n, Rng& rng) {
+  Dataset data(3);
+  for (size_t i = 0; i < n; ++i) {
+    const std::array<int32_t, 3> row{static_cast<int32_t>(rng.NextInt(0, 100)),
+                                     static_cast<int32_t>(rng.NextInt(0, 100)),
+                                     static_cast<int32_t>(rng.NextInt(0, 100))};
+    data.Add(row, row[0] > 50 ? 1 : 0);
+  }
+  return data;
+}
+
+// XOR-ish rule needing two features: class = (x0 > 50) != (x1 > 50).
+Dataset XorDataset(size_t n, Rng& rng) {
+  Dataset data(2);
+  for (size_t i = 0; i < n; ++i) {
+    const std::array<int32_t, 2> row{static_cast<int32_t>(rng.NextInt(0, 100)),
+                                     static_cast<int32_t>(rng.NextInt(0, 100))};
+    data.Add(row, (row[0] > 50) != (row[1] > 50) ? 1 : 0);
+  }
+  return data;
+}
+
+// --- Dataset ---
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset data(2);
+  data.Add(std::array<int32_t, 2>{1, 2}, 0);
+  data.Add(std::array<int32_t, 2>{3, 4}, 2);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.row(1)[0], 3);
+  EXPECT_EQ(data.label(1), 2);
+  EXPECT_EQ(data.NumClasses(), 3);
+}
+
+TEST(DatasetTest, SplitPartitionsAllRows) {
+  Rng rng(1);
+  Dataset data = ThresholdDataset(100, rng);
+  auto [train, test] = data.Split(0.25, rng);
+  EXPECT_EQ(train.size() + test.size(), 100u);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.num_features(), 3u);
+}
+
+// --- Decision tree ---
+
+TEST(DecisionTreeTest, LearnsThresholdRulePerfectly) {
+  Rng rng(2);
+  const Dataset data = ThresholdDataset(400, rng);
+  Result<DecisionTree> tree = DecisionTree::Train(data);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_GE(tree->Evaluate(data), 0.99);
+  EXPECT_EQ(tree->Predict(std::array<int32_t, 3>{100, 0, 0}), 1);
+  EXPECT_EQ(tree->Predict(std::array<int32_t, 3>{0, 100, 100}), 0);
+}
+
+TEST(DecisionTreeTest, LearnsXorWithDepth) {
+  Rng rng(3);
+  const Dataset data = XorDataset(500, rng);
+  Result<DecisionTree> tree = DecisionTree::Train(data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->Evaluate(data), 0.95);
+  EXPECT_GE(tree->depth(), 2u);  // xor needs at least two levels
+}
+
+TEST(DecisionTreeTest, PureDatasetYieldsSingleLeaf) {
+  Dataset data(1);
+  for (int i = 0; i < 10; ++i) {
+    data.Add(std::array<int32_t, 1>{i}, 4);
+  }
+  Result<DecisionTree> tree = DecisionTree::Train(data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->node_count(), 1u);
+  EXPECT_EQ(tree->Predict(std::array<int32_t, 1>{999}), 4);
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  Rng rng(4);
+  const Dataset data = XorDataset(500, rng);
+  DecisionTreeConfig config;
+  config.max_depth = 1;
+  Result<DecisionTree> tree = DecisionTree::Train(data, config);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->depth(), 1u);
+}
+
+TEST(DecisionTreeTest, EmptyDatasetRejected) {
+  Dataset data(2);
+  EXPECT_FALSE(DecisionTree::Train(data).ok());
+}
+
+TEST(DecisionTreeTest, ImportanceConcentratesOnInformativeFeature) {
+  Rng rng(5);
+  const Dataset data = ThresholdDataset(400, rng);
+  Result<DecisionTree> tree = DecisionTree::Train(data);
+  ASSERT_TRUE(tree.ok());
+  const std::vector<double> importance = tree->FeatureImportance();
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[0], 0.9);
+  double total = 0;
+  for (double v : importance) {
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, CostReflectsStructure) {
+  Rng rng(6);
+  const Dataset data = XorDataset(500, rng);
+  Result<DecisionTree> tree = DecisionTree::Train(data);
+  ASSERT_TRUE(tree.ok());
+  const ModelCost cost = tree->Cost();
+  EXPECT_EQ(cost.comparisons, tree->depth());
+  EXPECT_GT(cost.param_bytes, 0u);
+  EXPECT_EQ(cost.macs, 0u);
+  EXPECT_EQ(tree->kind(), "decision_tree");
+}
+
+TEST(DecisionTreeTest, ShortFeatureVectorReadsZeroes) {
+  Rng rng(7);
+  const Dataset data = ThresholdDataset(200, rng);
+  Result<DecisionTree> tree = DecisionTree::Train(data);
+  ASSERT_TRUE(tree.ok());
+  // Predicting with fewer features than trained must not crash; missing
+  // features read as zero.
+  const std::array<int32_t, 1> short_row{80};
+  EXPECT_EQ(tree->Predict(short_row), 1);
+}
+
+// --- MLP ---
+
+TEST(MlpTest, LearnsLinearlySeparableRule) {
+  Rng rng(8);
+  const Dataset data = ThresholdDataset(400, rng);
+  Result<Mlp> mlp = Mlp::Train(data);
+  ASSERT_TRUE(mlp.ok()) << mlp.status();
+  EXPECT_GE(mlp->Evaluate(data), 0.97);
+  EXPECT_EQ(mlp->num_classes(), 2);
+  EXPECT_EQ(mlp->num_features(), 3u);
+}
+
+TEST(MlpTest, LearnsXor) {
+  Rng rng(9);
+  const Dataset data = XorDataset(600, rng);
+  MlpConfig config;
+  config.hidden_sizes = {16};
+  config.epochs = 120;
+  config.learning_rate = 0.1f;
+  Result<Mlp> mlp = Mlp::Train(data, config);
+  ASSERT_TRUE(mlp.ok());
+  EXPECT_GE(mlp->Evaluate(data), 0.9);
+}
+
+TEST(MlpTest, RejectsEmptyAndSingleClass) {
+  Dataset empty(2);
+  EXPECT_FALSE(Mlp::Train(empty).ok());
+  Dataset single(2);
+  single.Add(std::array<int32_t, 2>{1, 2}, 0);
+  EXPECT_FALSE(Mlp::Train(single).ok());
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  Rng rng(10);
+  const Dataset data = ThresholdDataset(200, rng);
+  MlpConfig config;
+  config.seed = 77;
+  Result<Mlp> a = Mlp::Train(data, config);
+  Result<Mlp> b = Mlp::Train(data, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(a->PredictClass(data.row(i)), b->PredictClass(data.row(i)));
+  }
+}
+
+// --- Quantization ---
+
+TEST(QuantizedMlpTest, AgreesWithFloatTeacher) {
+  Rng rng(11);
+  const Dataset data = ThresholdDataset(400, rng);
+  Result<Mlp> mlp = Mlp::Train(data);
+  ASSERT_TRUE(mlp.ok());
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  ASSERT_TRUE(quantized.ok()) << quantized.status();
+  size_t agree = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (quantized->PredictRaw(data.row(i)) == mlp->PredictClass(data.row(i))) {
+      ++agree;
+    }
+  }
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(data.size()), 0.97);
+}
+
+class QuantizationAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuantizationAgreementTest, HighAgreementAcrossRandomTasks) {
+  Rng rng(GetParam());
+  const Dataset data = XorDataset(300, rng);
+  MlpConfig config;
+  config.hidden_sizes = {12};
+  config.epochs = 60;
+  config.seed = GetParam();
+  Result<Mlp> mlp = Mlp::Train(data, config);
+  ASSERT_TRUE(mlp.ok());
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  ASSERT_TRUE(quantized.ok());
+  size_t agree = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (quantized->PredictRaw(data.row(i)) == mlp->PredictClass(data.row(i))) {
+      ++agree;
+    }
+  }
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(data.size()), 0.95)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizationAgreementTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(QuantizedMlpTest, CostAccountsAllLayers) {
+  Rng rng(12);
+  const Dataset data = ThresholdDataset(200, rng);
+  MlpConfig config;
+  config.hidden_sizes = {8, 4};
+  Result<Mlp> mlp = Mlp::Train(data, config);
+  ASSERT_TRUE(mlp.ok());
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  ASSERT_TRUE(quantized.ok());
+  const ModelCost cost = quantized->Cost();
+  EXPECT_EQ(cost.macs, 3u * 8 + 8 * 4 + 4 * 2);
+  EXPECT_EQ(cost.depth, 3u);
+  EXPECT_EQ(quantized->kind(), "quantized_mlp");
+}
+
+TEST(QuantizedMlpTest, EmptyModelPredictsZero) {
+  QuantizedMlp empty;
+  EXPECT_EQ(empty.Predict(std::array<int32_t, 4>{1, 2, 3, 4}), 0);
+}
+
+TEST(RawToQ16Test, ConvertsAndSaturates) {
+  EXPECT_EQ(RawToQ16(1), 1 << 16);
+  EXPECT_EQ(RawToQ16(-2), -(2 << 16));
+  EXPECT_EQ(RawToQ16(1 << 20), std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(RawToQ16(-(1 << 20)), std::numeric_limits<int32_t>::min());
+}
+
+// --- Integer linear ---
+
+TEST(IntegerLinearTest, LearnsSeparableRule) {
+  Rng rng(13);
+  Dataset data(2);
+  for (int i = 0; i < 400; ++i) {
+    const std::array<int32_t, 2> row{static_cast<int32_t>(rng.NextInt(-50, 50)),
+                                     static_cast<int32_t>(rng.NextInt(-50, 50))};
+    data.Add(row, 2 * row[0] + row[1] > 5 ? 1 : 0);
+  }
+  Result<IntegerLinear> model = IntegerLinear::Train(data);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_GE(model->Evaluate(data), 0.95);
+  EXPECT_EQ(model->kind(), "integer_linear");
+  EXPECT_EQ(model->Cost().macs, 2u);
+}
+
+TEST(IntegerLinearTest, RejectsNonBinaryLabels) {
+  Dataset data(1);
+  data.Add(std::array<int32_t, 1>{1}, 0);
+  data.Add(std::array<int32_t, 1>{2}, 2);
+  EXPECT_FALSE(IntegerLinear::Train(data).ok());
+}
+
+TEST(IntegerLinearTest, DecisionValueSignMatchesPrediction) {
+  Rng rng(14);
+  Dataset data(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::array<int32_t, 1> row{static_cast<int32_t>(rng.NextInt(-100, 100))};
+    data.Add(row, row[0] > 0 ? 1 : 0);
+  }
+  Result<IntegerLinear> model = IntegerLinear::Train(data);
+  ASSERT_TRUE(model.ok());
+  for (int32_t x : {-80, -10, 10, 80}) {
+    const std::array<int32_t, 1> row{x};
+    EXPECT_EQ(model->Predict(row), model->DecisionValue(row) >= 0 ? 1 : 0);
+  }
+}
+
+// --- Distillation ---
+
+TEST(DistillTest, StudentReproducesTeacher) {
+  Rng rng(15);
+  const Dataset data = XorDataset(600, rng);
+  MlpConfig config;
+  config.hidden_sizes = {16};
+  config.epochs = 120;
+  config.learning_rate = 0.1f;
+  Result<Mlp> teacher = Mlp::Train(data, config);
+  ASSERT_TRUE(teacher.ok());
+
+  const auto teacher_fn = [&](std::span<const int32_t> row) {
+    return static_cast<int64_t>(teacher->PredictClass(row));
+  };
+  Result<DecisionTree> student = DistillToTree(teacher_fn, data);
+  ASSERT_TRUE(student.ok());
+  EXPECT_GE(DistillationFidelity(teacher_fn, *student, data), 0.95);
+  // The student must be cheaper than the quantized teacher.
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*teacher);
+  ASSERT_TRUE(quantized.ok());
+  EXPECT_LT(student->Cost().WorkUnits(), quantized->Cost().WorkUnits());
+}
+
+TEST(DistillTest, EmptyTransferSetRejected) {
+  Dataset empty(2);
+  const auto teacher = [](std::span<const int32_t>) -> int64_t { return 0; };
+  EXPECT_FALSE(DistillToTree(teacher, empty).ok());
+}
+
+// --- Feature importance ---
+
+TEST(FeatureImportanceTest, PermutationFindsInformativeFeature) {
+  Rng rng(16);
+  const Dataset data = ThresholdDataset(300, rng);
+  Result<DecisionTree> tree = DecisionTree::Train(data);
+  ASSERT_TRUE(tree.ok());
+  Rng perm_rng(17);
+  const std::vector<double> importance = PermutationImportance(
+      [&](std::span<const int32_t> row) { return tree->Predict(row); }, data, perm_rng);
+  const std::vector<size_t> ranked = RankFeatures(importance);
+  EXPECT_EQ(ranked[0], 0u);
+  EXPECT_GT(importance[0], importance[1] + 0.1);
+  EXPECT_GT(importance[0], importance[2] + 0.1);
+}
+
+TEST(FeatureImportanceTest, SelectTopProjectsColumns) {
+  Rng rng(18);
+  const Dataset data = ThresholdDataset(100, rng);
+  const std::vector<double> importance{0.1, 0.9, 0.5};
+  const FeatureSelection selection = SelectTopFeatures(data, importance, 2);
+  ASSERT_EQ(selection.selected.size(), 2u);
+  EXPECT_EQ(selection.selected[0], 1u);
+  EXPECT_EQ(selection.selected[1], 2u);
+  EXPECT_EQ(selection.projected.num_features(), 2u);
+  EXPECT_EQ(selection.projected.size(), data.size());
+  EXPECT_EQ(selection.projected.row(0)[0], data.row(0)[1]);
+}
+
+TEST(FeatureImportanceTest, ProjectRowFollowsSelection) {
+  const std::vector<size_t> selected{2, 0};
+  const std::array<int32_t, 3> row{10, 20, 30};
+  const std::vector<int32_t> projected = ProjectRow(row, selected);
+  EXPECT_EQ(projected, (std::vector<int32_t>{30, 10}));
+}
+
+// --- Online training ---
+
+TEST(OnlineTest, ModelSlotSwapsAtomicallyWithVersioning) {
+  ModelSlot slot;
+  EXPECT_FALSE(slot.HasModel());
+  EXPECT_EQ(slot.version(), 0u);
+  slot.Set(std::make_shared<QuantizedMlp>());
+  EXPECT_TRUE(slot.HasModel());
+  EXPECT_EQ(slot.version(), 1u);
+  const ModelPtr snapshot = slot.Get();
+  slot.Set(nullptr);
+  EXPECT_NE(snapshot, nullptr);  // reader snapshot survives the swap
+  EXPECT_EQ(slot.version(), 2u);
+}
+
+TEST(OnlineTest, WindowedTrainerTrainsPerWindow) {
+  ModelSlot slot;
+  WindowedTrainerConfig config;
+  config.window_size = 50;
+  config.min_train_samples = 10;
+  WindowedTreeTrainer trainer(1, &slot, config);
+  Rng rng(19);
+  for (int i = 0; i < 120; ++i) {
+    const std::array<int32_t, 1> row{static_cast<int32_t>(rng.NextInt(0, 100))};
+    trainer.Observe(row, row[0] > 50 ? 1 : 0);
+  }
+  EXPECT_EQ(trainer.windows_trained(), 2u);
+  EXPECT_TRUE(slot.HasModel());
+  EXPECT_EQ(trainer.pending_samples(), 20u);
+  EXPECT_TRUE(trainer.Flush());
+  EXPECT_EQ(trainer.windows_trained(), 3u);
+  const ModelPtr model = slot.Get();
+  EXPECT_EQ(model->Predict(std::array<int32_t, 1>{90}), 1);
+}
+
+TEST(OnlineTest, TinyWindowSkipsTraining) {
+  ModelSlot slot;
+  WindowedTrainerConfig config;
+  config.window_size = 50;
+  config.min_train_samples = 10;
+  WindowedTreeTrainer trainer(1, &slot, config);
+  trainer.Observe(std::array<int32_t, 1>{1}, 0);
+  EXPECT_FALSE(trainer.Flush());
+  EXPECT_FALSE(slot.HasModel());
+}
+
+// --- NAS ---
+
+TEST(NasTest, FindsArchitectureUnderBudget) {
+  Rng rng(20);
+  const Dataset data = XorDataset(300, rng);
+  NasConfig config;
+  config.trials = 6;
+  config.search_epochs = 10;
+  config.final_epochs = 30;
+  config.work_unit_budget = 1 << 13;
+  Result<NasResult> result = RandomSearchNas(data, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->hidden_sizes.empty());
+  EXPECT_LE(result->work_units, config.work_unit_budget);
+  EXPECT_GT(result->validation_accuracy, 0.5);
+  EXPECT_GT(result->trials_evaluated, 0u);
+}
+
+TEST(NasTest, ImpossibleBudgetFails) {
+  Rng rng(21);
+  const Dataset data = XorDataset(200, rng);
+  NasConfig config;
+  config.trials = 5;
+  config.work_unit_budget = 1;  // nothing fits
+  Result<NasResult> result = RandomSearchNas(data, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NasTest, TinyDatasetRejected) {
+  Dataset data(1);
+  data.Add(std::array<int32_t, 1>{1}, 0);
+  EXPECT_FALSE(RandomSearchNas(data).ok());
+}
+
+// --- Registries ---
+
+TEST(ModelRegistryTest, SlotLifecycle) {
+  ModelRegistry registry;
+  const int64_t slot = registry.AddSlot();
+  EXPECT_EQ(slot, 0);
+  EXPECT_EQ(registry.Get(slot), nullptr);
+  ASSERT_TRUE(registry.Install(slot, std::make_shared<QuantizedMlp>()).ok());
+  EXPECT_NE(registry.Get(slot), nullptr);
+  EXPECT_FALSE(registry.Install(5, nullptr).ok());
+  EXPECT_EQ(registry.Get(99), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(TensorRegistryTest, AddAndFetch) {
+  TensorRegistry registry;
+  FixedMatrix m(2, 3);
+  m.at(1, 2) = 42;
+  const int64_t id = registry.Add(std::move(m));
+  const FixedMatrix* fetched = registry.Get(id);
+  ASSERT_NE(fetched, nullptr);
+  EXPECT_EQ(fetched->at(1, 2), 42);
+  EXPECT_EQ(registry.Get(id + 1), nullptr);
+  EXPECT_EQ(registry.Get(-1), nullptr);
+
+  const std::array<int32_t, 3> bias{1, 2, 3};
+  const int64_t bias_id = registry.AddVector(bias);
+  const FixedMatrix* bias_tensor = registry.Get(bias_id);
+  ASSERT_NE(bias_tensor, nullptr);
+  EXPECT_EQ(bias_tensor->rows(), 3u);
+  EXPECT_EQ(bias_tensor->cols(), 1u);
+  EXPECT_EQ(bias_tensor->at(2, 0), 3);
+}
+
+TEST(FixedMatrixTest, MatVecQ16) {
+  FixedMatrix m(2, 2);
+  m.at(0, 0) = Fixed32::FromDouble(2.0).raw();
+  m.at(0, 1) = Fixed32::FromDouble(0.5).raw();
+  m.at(1, 0) = Fixed32::FromDouble(-1.0).raw();
+  m.at(1, 1) = Fixed32::FromDouble(1.0).raw();
+  const std::array<int32_t, 2> x{Fixed32::FromDouble(4.0).raw(),
+                                 Fixed32::FromDouble(2.0).raw()};
+  std::array<int32_t, 2> y{};
+  m.MatVec(x, y);
+  EXPECT_NEAR(Fixed32::FromRaw(y[0]).ToDouble(), 9.0, 1e-3);
+  EXPECT_NEAR(Fixed32::FromRaw(y[1]).ToDouble(), -2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace rkd

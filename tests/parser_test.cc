@@ -1,0 +1,264 @@
+// Tests for the text-assembly parser, including the round-trip property
+// with the disassembler.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/bytecode/assembler.h"
+#include "src/bytecode/disassembler.h"
+#include "src/bytecode/parser.h"
+#include "src/verifier/verifier.h"
+#include "src/vm/vm.h"
+
+namespace rkd {
+namespace {
+
+TEST(ParserTest, MinimalProgram) {
+  Result<BytecodeProgram> program = ParseAssembly(R"(
+    .name tiny
+    mov_imm r0, 7
+    exit
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->name, "tiny");
+  ASSERT_EQ(program->code.size(), 2u);
+  EXPECT_EQ(program->code[0].opcode, Opcode::kMovImm);
+  EXPECT_EQ(program->code[0].imm, 7);
+  EXPECT_EQ(program->code[1].opcode, Opcode::kExit);
+}
+
+TEST(ParserTest, DirectivesSetHeaderFields) {
+  Result<BytecodeProgram> program = ParseAssembly(R"(
+    .name prefetch_action
+    .hook mem_prefetch
+    .maps 2
+    .models 1
+    .tensors 3
+    .tables 4
+    mov_imm r0, 0
+    exit
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->hook_kind, HookKind::kMemPrefetch);
+  EXPECT_EQ(program->num_maps, 2u);
+  EXPECT_EQ(program->num_models, 1u);
+  EXPECT_EQ(program->num_tensors, 3u);
+  EXPECT_EQ(program->num_tables, 4u);
+}
+
+TEST(ParserTest, LabelsResolveForward) {
+  Result<BytecodeProgram> program = ParseAssembly(R"(
+    jeq_imm r1, 5, hit
+    mov_imm r0, 0
+    ja end
+  hit:
+    mov_imm r0, 1
+  end:
+    exit
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->code[0].offset, 2);  // to 'hit' at index 3
+  EXPECT_EQ(program->code[2].offset, 1);  // to 'end' at index 4
+}
+
+TEST(ParserTest, ParsedProgramExecutes) {
+  Result<BytecodeProgram> program = ParseAssembly(R"(
+    ; classify: r0 = (key < 1000) ? 1 : 2
+    jlt_imm r1, 1000, small
+    mov_imm r0, 2
+    exit
+  small:
+    mov_imm r0, 1
+    exit
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_TRUE(Verifier().Verify(*program).ok());
+  const Interpreter interp(VmEnv{});
+  EXPECT_EQ(*interp.Run(*program, std::array<int64_t, 1>{42}), 1);
+  EXPECT_EQ(*interp.Run(*program, std::array<int64_t, 1>{5000}), 2);
+}
+
+TEST(ParserTest, AllOperandFamilies) {
+  Result<BytecodeProgram> program = ParseAssembly(R"(
+    .maps 1
+    .models 1
+    .tensors 1
+    .tables 1
+    add r1, r2
+    mov_imm r6, -42
+    neg r6
+    st_stack [fp-8], r6
+    ld_stack r7, [fp-8]
+    st_ctxt ctxt[r1].3, r7
+    ld_ctxt r8, ctxt[r1].3
+    match_ctxt r9, ctxt[r1]
+    map_lookup r6, map0[r1]
+    map_update map0[r1], r6
+    map_delete map0[r1]
+    vec_zero v0
+    scalar_val v0[5], r6
+    vec_extract r7, v0[5]
+    vec_ld_ctxt v1, ctxt[r1]
+    vec_st_ctxt ctxt[r1], v1
+    mat_mul v2, v0, t0
+    vec_add_t v2, t0
+    vec_add v2, v1
+    vec_relu v2, v2
+    vec_argmax r6, v2
+    vec_dot v2, v1
+    call history_append
+    ml_call r0, model0(v2)
+    tail_call table0
+    exit
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  // Spot-check several encodings.
+  EXPECT_EQ(program->code[0].opcode, Opcode::kAdd);
+  EXPECT_EQ(program->code[5].opcode, Opcode::kStCtxt);
+  EXPECT_EQ(program->code[5].dst, 1);
+  EXPECT_EQ(program->code[5].offset, 3);
+  EXPECT_EQ(program->code[5].src, 7);
+  EXPECT_EQ(program->code[8].opcode, Opcode::kMapLookup);
+  EXPECT_EQ(program->code[8].imm, 0);
+  EXPECT_EQ(program->code[12].opcode, Opcode::kScalarVal);
+  EXPECT_EQ(program->code[12].offset, 5);
+  EXPECT_EQ(program->code[16].opcode, Opcode::kMatMul);
+  EXPECT_EQ(program->code[16].imm, 0);
+  EXPECT_EQ(program->code[22].opcode, Opcode::kCall);
+  EXPECT_EQ(program->code[22].imm, static_cast<int64_t>(HelperId::kHistoryAppend));
+  EXPECT_EQ(program->code[23].opcode, Opcode::kMlCall);
+  EXPECT_EQ(program->code[24].opcode, Opcode::kTailCall);
+}
+
+TEST(ParserTest, ErrorsNameTheLine) {
+  Result<BytecodeProgram> program = ParseAssembly("mov_imm r0, 1\nbogus_op r1\nexit\n");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(program.status().message().find("bogus_op"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsBadOperands) {
+  EXPECT_FALSE(ParseAssembly("add r1\nexit\n").ok());            // arity
+  EXPECT_FALSE(ParseAssembly("add r1, x2\nexit\n").ok());        // not a register
+  EXPECT_FALSE(ParseAssembly("ja nowhere\nexit\n").ok());        // unknown label
+  EXPECT_FALSE(ParseAssembly("call not_a_helper\nexit\n").ok()); // unknown helper
+  EXPECT_FALSE(ParseAssembly(".hook bogus\nexit\n").ok());       // unknown hook kind
+  EXPECT_FALSE(ParseAssembly("").ok());                          // empty program
+}
+
+TEST(ParserTest, RejectsDuplicateLabel) {
+  Result<BytecodeProgram> program = ParseAssembly(R"(
+  a:
+    mov_imm r0, 1
+  a:
+    exit
+  )");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("duplicate label"), std::string::npos);
+}
+
+TEST(ParserTest, LabelOnInstructionLine) {
+  Result<BytecodeProgram> program = ParseAssembly(R"(
+    ja target
+  target: mov_imm r0, 9
+    exit
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->code[0].offset, 0);
+}
+
+TEST(ParserTest, NumericBranchOffsetsAccepted) {
+  Result<BytecodeProgram> program = ParseAssembly(R"(
+    jeq_imm r1, 0, +1
+    mov_imm r0, 1
+    exit
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->code[0].offset, 1);
+}
+
+// Round-trip property: disassemble(parse(x)) == disassemble(x) for programs
+// produced by the assembler, and parse(disassemble(p)) executes identically.
+class ParserRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRoundTripTest, DisassembleParseRoundTrip) {
+  Rng rng(GetParam());
+  Assembler a("roundtrip");
+  a.DeclareMaps(2);
+  for (int reg = 0; reg <= 9; ++reg) {
+    a.MovImm(reg, rng.NextInt(-100, 100));
+  }
+  a.StStackImm(-8, 5);
+  std::vector<Assembler::Label> pending;
+  for (int i = 0; i < 30; ++i) {
+    const int dst = static_cast<int>(rng.NextBounded(10));
+    const int src = static_cast<int>(rng.NextBounded(10));
+    switch (rng.NextBounded(10)) {
+      case 0: a.Add(dst, src); break;
+      case 1: a.SubImm(dst, rng.NextInt(-9, 9)); break;
+      case 2: a.Xor(dst, src); break;
+      case 3: a.LdStack(dst, -8); break;
+      case 4: a.StCtxt(1, static_cast<int32_t>(rng.NextBounded(kCtxtScalarSlots)), src); break;
+      case 5: a.MapLookup(dst, src, static_cast<int64_t>(rng.NextBounded(2))); break;
+      case 6: a.Mov(dst, src); break;
+      case 7: a.Neg(dst); break;
+      case 8: {
+        auto label = a.NewLabel();
+        a.JgtImm(dst, rng.NextInt(-50, 50), label);
+        pending.push_back(label);
+        break;
+      }
+      case 9: a.AndImm(dst, 0xff); break;
+    }
+    while (pending.size() > 1) {
+      a.Bind(pending.front());
+      pending.erase(pending.begin());
+    }
+  }
+  for (auto& label : pending) {
+    a.Bind(label);
+  }
+  a.Mov(0, 4);
+  a.Exit();
+  const BytecodeProgram original = std::move(a.Build()).value();
+
+  // Disassemble -> strip the listing down to parseable text -> parse.
+  std::string text = ".name roundtrip\n.maps 2\n";
+  for (const Instruction& insn : original.code) {
+    text += DisassembleInstruction(insn);
+    text += "\n";
+  }
+  Result<BytecodeProgram> reparsed = ParseAssembly(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  ASSERT_EQ(reparsed->code.size(), original.code.size());
+  for (size_t i = 0; i < original.code.size(); ++i) {
+    EXPECT_EQ(reparsed->code[i], original.code[i]) << "insn " << i << ": "
+                                                   << DisassembleInstruction(original.code[i]);
+  }
+
+  // And the reparsed program behaves identically.
+  ContextStore ctxt_a;
+  ContextStore ctxt_b;
+  MapSet maps_a;
+  MapSet maps_b;
+  (void)maps_a.Create(MapKind::kHash, 16);
+  (void)maps_a.Create(MapKind::kHash, 16);
+  (void)maps_b.Create(MapKind::kHash, 16);
+  (void)maps_b.Create(MapKind::kHash, 16);
+  VmEnv env_a;
+  env_a.ctxt = &ctxt_a;
+  env_a.maps = &maps_a;
+  VmEnv env_b;
+  env_b.ctxt = &ctxt_b;
+  env_b.maps = &maps_b;
+  const std::array<int64_t, 2> args{3, 9};
+  Result<int64_t> run_a = Interpreter(env_a).Run(original, args);
+  Result<int64_t> run_b = Interpreter(env_b).Run(*reparsed, args);
+  ASSERT_TRUE(run_a.ok());
+  ASSERT_TRUE(run_b.ok());
+  EXPECT_EQ(*run_a, *run_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rkd

@@ -1,0 +1,561 @@
+// Tests for the RMT core: match/action tables, hook registry, control-plane
+// install/verify/entry/model management, adaptation, and the syscall layer.
+#include <array>
+#include <gtest/gtest.h>
+
+#include "src/bytecode/assembler.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/quantize.h"
+#include "src/rmt/control_plane.h"
+#include "src/rmt/syscall.h"
+#include "src/rmt/table.h"
+
+namespace rkd {
+namespace {
+
+// --- RmtTable matching ---
+
+TEST(RmtTableTest, ExactMatch) {
+  RmtTable table("t", MatchKind::kExact, 8);
+  TableEntry entry;
+  entry.key = 42;
+  entry.action_index = 1;
+  ASSERT_TRUE(table.Insert(entry).ok());
+  const TableEntry* hit = table.Match(42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action_index, 1);
+  EXPECT_EQ(table.Match(43), nullptr);
+  EXPECT_EQ(table.hits(), 1u);
+  EXPECT_EQ(table.misses(), 1u);
+}
+
+TEST(RmtTableTest, PeekDoesNotTouchCounters) {
+  RmtTable table("t", MatchKind::kExact, 8);
+  TableEntry entry;
+  entry.key = 1;
+  ASSERT_TRUE(table.Insert(entry).ok());
+  EXPECT_NE(table.Peek(1), nullptr);
+  EXPECT_EQ(table.hits(), 0u);
+}
+
+TEST(RmtTableTest, DuplicateSpecRejected) {
+  RmtTable table("t", MatchKind::kExact, 8);
+  TableEntry entry;
+  entry.key = 5;
+  ASSERT_TRUE(table.Insert(entry).ok());
+  EXPECT_EQ(table.Insert(entry).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RmtTableTest, CapacityEnforced) {
+  RmtTable table("t", MatchKind::kExact, 2);
+  TableEntry a;
+  a.key = 1;
+  TableEntry b;
+  b.key = 2;
+  TableEntry c;
+  c.key = 3;
+  ASSERT_TRUE(table.Insert(a).ok());
+  ASSERT_TRUE(table.Insert(b).ok());
+  EXPECT_EQ(table.Insert(c).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RmtTableTest, RemoveRebuildsExactIndex) {
+  RmtTable table("t", MatchKind::kExact, 8);
+  for (uint64_t k = 1; k <= 4; ++k) {
+    TableEntry entry;
+    entry.key = k;
+    entry.action_index = static_cast<int32_t>(k);
+    ASSERT_TRUE(table.Insert(entry).ok());
+  }
+  ASSERT_TRUE(table.Remove(2).ok());
+  EXPECT_EQ(table.Match(2), nullptr);
+  ASSERT_NE(table.Match(4), nullptr);
+  EXPECT_EQ(table.Match(4)->action_index, 4);
+  EXPECT_EQ(table.Remove(2).code(), StatusCode::kNotFound);
+}
+
+TEST(RmtTableTest, ModifyRebindsAction) {
+  RmtTable table("t", MatchKind::kExact, 8);
+  TableEntry entry;
+  entry.key = 7;
+  entry.action_index = 0;
+  ASSERT_TRUE(table.Insert(entry).ok());
+  ASSERT_TRUE(table.Modify(7, 0, 2, 5).ok());
+  EXPECT_EQ(table.Match(7)->action_index, 2);
+  EXPECT_EQ(table.Match(7)->model_slot, 5);
+  EXPECT_FALSE(table.Modify(8, 0, 1, -1).ok());
+}
+
+TEST(RmtTableTest, LpmPrefersLongestPrefix) {
+  RmtTable table("t", MatchKind::kLpm, 8);
+  TableEntry wide;    // matches everything with the top 8 bits 0x12
+  wide.key = 0x1200000000000000ull;
+  wide.key2 = 8;
+  wide.action_index = 1;
+  TableEntry narrow;  // matches the top 16 bits 0x1234
+  narrow.key = 0x1234000000000000ull;
+  narrow.key2 = 16;
+  narrow.action_index = 2;
+  ASSERT_TRUE(table.Insert(wide).ok());
+  ASSERT_TRUE(table.Insert(narrow).ok());
+  EXPECT_EQ(table.Match(0x1234567800000000ull)->action_index, 2);
+  EXPECT_EQ(table.Match(0x12ff000000000000ull)->action_index, 1);
+  EXPECT_EQ(table.Match(0x9900000000000000ull), nullptr);
+}
+
+TEST(RmtTableTest, LpmZeroPrefixIsDefaultRoute) {
+  RmtTable table("t", MatchKind::kLpm, 8);
+  TableEntry def;
+  def.key = 0;
+  def.key2 = 0;
+  def.action_index = 9;
+  ASSERT_TRUE(table.Insert(def).ok());
+  EXPECT_EQ(table.Match(0xdeadbeef)->action_index, 9);
+}
+
+TEST(RmtTableTest, LpmRejectsOverlongPrefix) {
+  RmtTable table("t", MatchKind::kLpm, 8);
+  TableEntry bad;
+  bad.key2 = 65;
+  EXPECT_FALSE(table.Insert(bad).ok());
+}
+
+TEST(RmtTableTest, RangeMatchIsInclusive) {
+  RmtTable table("t", MatchKind::kRange, 8);
+  TableEntry entry;
+  entry.key = 10;
+  entry.key2 = 20;
+  entry.action_index = 3;
+  ASSERT_TRUE(table.Insert(entry).ok());
+  EXPECT_NE(table.Match(10), nullptr);
+  EXPECT_NE(table.Match(20), nullptr);
+  EXPECT_EQ(table.Match(9), nullptr);
+  EXPECT_EQ(table.Match(21), nullptr);
+}
+
+TEST(RmtTableTest, RangeRejectsInvertedBounds) {
+  RmtTable table("t", MatchKind::kRange, 8);
+  TableEntry entry;
+  entry.key = 20;
+  entry.key2 = 10;
+  EXPECT_FALSE(table.Insert(entry).ok());
+}
+
+TEST(RmtTableTest, TernaryHighestPriorityWins) {
+  RmtTable table("t", MatchKind::kTernary, 8);
+  TableEntry low;
+  low.key = 0b0000;
+  low.key2 = 0b0011;  // match low two bits == 00
+  low.priority = 1;
+  low.action_index = 1;
+  TableEntry high;
+  high.key = 0b0100;
+  high.key2 = 0b0100;  // match bit 2 set
+  high.priority = 10;
+  high.action_index = 2;
+  ASSERT_TRUE(table.Insert(low).ok());
+  ASSERT_TRUE(table.Insert(high).ok());
+  EXPECT_EQ(table.Match(0b0100)->action_index, 2);  // both match; priority
+  EXPECT_EQ(table.Match(0b1000)->action_index, 1);  // only the low entry
+  EXPECT_EQ(table.Match(0b0001), nullptr);
+}
+
+// --- Hook registry ---
+
+TEST(HookRegistryTest, RegisterAndLookup) {
+  HookRegistry hooks;
+  Result<HookId> id = hooks.Register("mm.test", HookKind::kMemAccess);
+  ASSERT_TRUE(id.ok());
+  Result<HookId> found = hooks.Lookup("mm.test");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *id);
+  EXPECT_EQ(hooks.KindOf(*id), HookKind::kMemAccess);
+  EXPECT_EQ(hooks.NameOf(*id), "mm.test");
+  EXPECT_FALSE(hooks.Lookup("nope").ok());
+  EXPECT_FALSE(hooks.Register("mm.test", HookKind::kGeneric).ok());
+}
+
+TEST(HookRegistryTest, FireWithNothingAttachedFallsBack) {
+  HookRegistry hooks;
+  Result<HookId> id = hooks.Register("h", HookKind::kGeneric);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(hooks.Fire(*id, 1), kHookFallback);
+  EXPECT_EQ(hooks.Fire(kInvalidHook, 1), kHookFallback);
+  EXPECT_EQ(hooks.StatsOf(*id).fires, 1u);
+}
+
+// --- Control plane ---
+
+// A generic-hook program whose single action returns key + 100.
+RmtProgramSpec SimpleSpec(const std::string& hook_name) {
+  Assembler a("add100", HookKind::kGeneric);
+  a.Mov(0, 1).AddImm(0, 100).Exit();
+  RmtProgramSpec spec;
+  spec.name = "simple";
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = hook_name;
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+class ControlPlaneTest : public ::testing::Test {
+ protected:
+  ControlPlaneTest() : cp_(&hooks_) {
+    hook_ = *hooks_.Register("generic.hook", HookKind::kGeneric);
+  }
+
+  HookRegistry hooks_;
+  ControlPlane cp_;
+  HookId hook_;
+};
+
+TEST_F(ControlPlaneTest, InstallAttachAndFire) {
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(SimpleSpec("generic.hook"));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_EQ(cp_.installed_count(), 1u);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);
+  EXPECT_EQ(hooks_.StatsOf(hook_).actions_run, 1u);
+}
+
+TEST_F(ControlPlaneTest, InterpreterTierBehavesIdentically) {
+  Result<ControlPlane::ProgramHandle> handle =
+      cp_.Install(SimpleSpec("generic.hook"), ExecTier::kInterpreter);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(hooks_.Fire(hook_, 9), 109);
+}
+
+TEST_F(ControlPlaneTest, UninstallDetaches) {
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(SimpleSpec("generic.hook"));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(cp_.Uninstall(*handle).ok());
+  EXPECT_EQ(cp_.installed_count(), 0u);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), kHookFallback);
+  EXPECT_FALSE(cp_.Uninstall(*handle).ok());  // double uninstall
+}
+
+TEST_F(ControlPlaneTest, UnknownHookRejected) {
+  EXPECT_FALSE(cp_.Install(SimpleSpec("missing.hook")).ok());
+}
+
+TEST_F(ControlPlaneTest, HookKindMismatchRejected) {
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  spec.tables[0].actions[0].hook_kind = HookKind::kSchedMigrate;
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(ControlPlaneTest, UnverifiableActionRejectedAtInstall) {
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  // Corrupt the action: read of an uninitialized register.
+  Assembler a("bad", HookKind::kGeneric);
+  a.Mov(0, 6).Exit();
+  spec.tables[0].actions[0] = std::move(a.Build()).value();
+  EXPECT_FALSE(cp_.Install(spec).ok());
+}
+
+TEST_F(ControlPlaneTest, UndeclaredResourceCoverageRejected) {
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  spec.tables[0].actions[0].num_maps = 2;  // declares 2 maps, spec provides 0
+  EXPECT_FALSE(cp_.Install(spec).ok());
+}
+
+TEST_F(ControlPlaneTest, MatchedEntrySelectsItsAction) {
+  // Two actions: default returns 1, entry-bound action returns 2.
+  RmtProgramSpec spec;
+  spec.name = "two_actions";
+  Assembler d("ret1", HookKind::kGeneric);
+  d.MovImm(0, 1).Exit();
+  Assembler e("ret2", HookKind::kGeneric);
+  e.MovImm(0, 2).Exit();
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = "generic.hook";
+  table.actions.push_back(std::move(d.Build()).value());
+  table.actions.push_back(std::move(e.Build()).value());
+  table.default_action = 0;
+  TableEntry entry;
+  entry.key = 42;
+  entry.action_index = 1;
+  table.initial_entries.push_back(entry);
+  spec.tables.push_back(std::move(table));
+
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_EQ(hooks_.Fire(hook_, 42), 2);  // matched entry
+  EXPECT_EQ(hooks_.Fire(hook_, 43), 1);  // miss -> default action
+}
+
+TEST_F(ControlPlaneTest, EntryManagementAtRuntime) {
+  RmtProgramSpec spec;
+  spec.name = "entries";
+  Assembler d("ret1", HookKind::kGeneric);
+  d.MovImm(0, 1).Exit();
+  Assembler e("ret2", HookKind::kGeneric);
+  e.MovImm(0, 2).Exit();
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = "generic.hook";
+  table.actions.push_back(std::move(d.Build()).value());
+  table.actions.push_back(std::move(e.Build()).value());
+  table.default_action = -1;  // no default: miss means no action
+  spec.tables.push_back(std::move(table));
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_TRUE(handle.ok());
+
+  EXPECT_EQ(hooks_.Fire(hook_, 5), kHookFallback);  // nothing matches
+
+  TableEntry entry;
+  entry.key = 5;
+  entry.action_index = 0;
+  ASSERT_TRUE(cp_.AddEntry(*handle, "tab", entry).ok());
+  EXPECT_EQ(hooks_.Fire(hook_, 5), 1);
+
+  ASSERT_TRUE(cp_.ModifyEntry(*handle, "tab", 5, 0, 1).ok());
+  EXPECT_EQ(hooks_.Fire(hook_, 5), 2);
+
+  ASSERT_TRUE(cp_.RemoveEntry(*handle, "tab", 5).ok());
+  EXPECT_EQ(hooks_.Fire(hook_, 5), kHookFallback);
+
+  EXPECT_FALSE(cp_.AddEntry(*handle, "missing_table", entry).ok());
+  entry.action_index = 7;  // out of range
+  EXPECT_FALSE(cp_.AddEntry(*handle, "tab", entry).ok());
+}
+
+TEST_F(ControlPlaneTest, MlCallUsesInstalledModelAndSentinelBefore) {
+  RmtProgramSpec spec;
+  spec.name = "ml";
+  spec.model_slots = 1;
+  Assembler a("predict", HookKind::kGeneric);
+  a.DeclareModels(1);
+  a.VecZero(0);
+  a.MovImm(2, 75);
+  a.ScalarVal(0, 0, 2);
+  a.MlCall(0, 0, 0);
+  a.Exit();
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = "generic.hook";
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+
+  // No model installed yet: the sentinel propagates to the hook result.
+  EXPECT_EQ(hooks_.Fire(hook_, 1), kNoModelSentinel);
+
+  // Train a threshold tree (x > 50 -> 1) and install it.
+  Dataset data(1);
+  for (int32_t x = 0; x <= 100; ++x) {
+    data.Add(std::array<int32_t, 1>{x}, x > 50 ? 1 : 0);
+  }
+  Result<DecisionTree> tree = DecisionTree::Train(data);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(
+      cp_.InstallModel(*handle, 0, std::make_shared<DecisionTree>(std::move(tree).value()))
+          .ok());
+  EXPECT_EQ(hooks_.Fire(hook_, 1), 1);  // lane0 = 75 > 50
+}
+
+TEST_F(ControlPlaneTest, OversizedModelRejectedAtInstallTime) {
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  spec.model_slots = 1;
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_TRUE(handle.ok());
+
+  // A brutally over-budget model for a generic hook (2^14 work units).
+  Dataset data(2);
+  Rng rng(1);
+  for (int i = 0; i < 64; ++i) {
+    const std::array<int32_t, 2> row{static_cast<int32_t>(rng.NextInt(0, 100)),
+                                     static_cast<int32_t>(rng.NextInt(0, 100))};
+    data.Add(row, row[0] > 50 ? 1 : 0);
+  }
+  MlpConfig big;
+  big.hidden_sizes = {64, 64, 64, 64};  // ~12.5k MACs -> ~50k work units
+  big.epochs = 1;
+  Result<Mlp> mlp = Mlp::Train(data, big);
+  ASSERT_TRUE(mlp.ok());
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  ASSERT_TRUE(quantized.ok());
+  // Generic hook budget is 2^14 work units; this model is ~4*3300 > budget.
+  const Status status = cp_.InstallModel(
+      *handle, 0, std::make_shared<QuantizedMlp>(std::move(quantized).value()));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kVerificationFailed);
+}
+
+TEST_F(ControlPlaneTest, MapReadWriteFromUserspace) {
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  spec.maps.push_back(MapSpec{MapKind::kArray, 4});
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(cp_.WriteMap(*handle, 0, 2, 99).ok());
+  Result<int64_t> value = cp_.ReadMap(*handle, 0, 2);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 99);
+  EXPECT_FALSE(cp_.WriteMap(*handle, 5, 0, 1).ok());   // no such map
+  EXPECT_FALSE(cp_.WriteMap(*handle, 0, 10, 1).ok());  // out of array range
+}
+
+TEST_F(ControlPlaneTest, AdaptationLowersKnobOnPoorAccuracy) {
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  spec.maps.push_back(MapSpec{MapKind::kArray, 4});
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_TRUE(handle.ok());
+
+  ControlPlane::AdaptationConfig adapt;
+  adapt.low_accuracy = 0.5;
+  adapt.high_accuracy = 0.9;
+  adapt.min_samples = 10;
+  adapt.min_value = 1;
+  adapt.max_value = 8;
+  ASSERT_TRUE(cp_.EnableAdaptation(*handle, adapt).ok());
+  EXPECT_EQ(*cp_.ReadMap(*handle, 0, 0), 8);  // starts at max
+
+  // Feed uniformly wrong predictions.
+  PredictionLog& log = cp_.Get(*handle)->prediction_log();
+  for (int i = 0; i < 20; ++i) {
+    log.Record(1, 100);
+    log.Resolve(1, 200);
+  }
+  Result<int64_t> knob = cp_.Tick(*handle);
+  ASSERT_TRUE(knob.ok());
+  EXPECT_EQ(*knob, 7);
+
+  // Feed uniformly right predictions: knob recovers.
+  for (int i = 0; i < 20; ++i) {
+    log.Record(1, 100);
+    log.Resolve(1, 100);
+  }
+  knob = cp_.Tick(*handle);
+  ASSERT_TRUE(knob.ok());
+  EXPECT_EQ(*knob, 8);
+
+  // Too few samples: knob unchanged.
+  log.Record(1, 1);
+  log.Resolve(1, 2);
+  knob = cp_.Tick(*handle);
+  ASSERT_TRUE(knob.ok());
+  EXPECT_EQ(*knob, 8);
+}
+
+TEST_F(ControlPlaneTest, TickWithoutAdaptationFails) {
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(SimpleSpec("generic.hook"));
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(cp_.Tick(*handle).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ControlPlaneTest, TailCallCascadesBetweenTables) {
+  // Table 0's action tail-calls table 1's default action.
+  RmtProgramSpec spec;
+  spec.name = "cascade";
+  Assembler first("first", HookKind::kGeneric);
+  first.DeclareTables(2);
+  first.MovImm(0, 10);
+  first.TailCall(1);
+  first.Exit();
+  // The callee is verified standalone, so it must not read r0; it derives
+  // its result from the surviving argument register instead.
+  Assembler second("second", HookKind::kGeneric);
+  second.Mov(0, 1).AddImm(0, 5).Exit();
+
+  RmtTableSpec t0;
+  t0.name = "t0";
+  t0.hook_point = "generic.hook";
+  t0.actions.push_back(std::move(first.Build()).value());
+  t0.default_action = 0;
+  RmtTableSpec t1;
+  t1.name = "t1";
+  t1.hook_point = "generic.hook2";
+  t1.actions.push_back(std::move(second.Build()).value());
+  t1.default_action = 0;
+  spec.tables.push_back(std::move(t0));
+  spec.tables.push_back(std::move(t1));
+
+  ASSERT_TRUE(hooks_.Register("generic.hook2", HookKind::kGeneric).ok());
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  // Firing hook 1 runs t0's action, which tail-calls t1's default action;
+  // the argument registers survive the cascade, so the callee computes
+  // key + 5 and its result (not t0's overwritten r0) reaches the hook.
+  EXPECT_EQ(hooks_.Fire(hook_, 1), 6);
+}
+
+// --- Syscall layer ---
+
+TEST(SyscallTest, LoadFireAndMapRoundTrip) {
+  HookRegistry hooks;
+  const HookId hook = *hooks.Register("generic.hook", HookKind::kGeneric);
+  ControlPlane cp(&hooks);
+
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  spec.maps.push_back(MapSpec{MapKind::kArray, 4});
+
+  RmtSyscallArgs load_args;
+  load_args.spec = &spec;
+  Result<int64_t> handle = RmtSyscall(cp, RmtCmd::kProgLoad, load_args);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_EQ(hooks.Fire(hook, 1), 101);
+
+  RmtSyscallArgs write_args;
+  write_args.handle = *handle;
+  write_args.map_id = 0;
+  write_args.key = 1;
+  write_args.value = 77;
+  ASSERT_TRUE(RmtSyscall(cp, RmtCmd::kMapWrite, write_args).ok());
+  RmtSyscallArgs read_args;
+  read_args.handle = *handle;
+  read_args.map_id = 0;
+  read_args.key = 1;
+  Result<int64_t> value = RmtSyscall(cp, RmtCmd::kMapRead, read_args);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 77);
+
+  RmtSyscallArgs unload_args;
+  unload_args.handle = *handle;
+  ASSERT_TRUE(RmtSyscall(cp, RmtCmd::kProgUnload, unload_args).ok());
+  EXPECT_EQ(hooks.Fire(hook, 1), kHookFallback);
+}
+
+TEST(SyscallTest, EntryCommands) {
+  HookRegistry hooks;
+  const HookId hook = *hooks.Register("generic.hook", HookKind::kGeneric);
+  ControlPlane cp(&hooks);
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  spec.tables[0].default_action = -1;
+
+  RmtSyscallArgs load_args;
+  load_args.spec = &spec;
+  Result<int64_t> handle = RmtSyscall(cp, RmtCmd::kProgLoad, load_args);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(hooks.Fire(hook, 3), kHookFallback);
+
+  RmtSyscallArgs add_args;
+  add_args.handle = *handle;
+  add_args.table = "tab";
+  add_args.entry.key = 3;
+  add_args.entry.action_index = 0;
+  ASSERT_TRUE(RmtSyscall(cp, RmtCmd::kEntryAdd, add_args).ok());
+  EXPECT_EQ(hooks.Fire(hook, 3), 103);
+
+  RmtSyscallArgs remove_args;
+  remove_args.handle = *handle;
+  remove_args.table = "tab";
+  remove_args.key = 3;
+  ASSERT_TRUE(RmtSyscall(cp, RmtCmd::kEntryRemove, remove_args).ok());
+  EXPECT_EQ(hooks.Fire(hook, 3), kHookFallback);
+}
+
+TEST(SyscallTest, LoadWithoutSpecRejected) {
+  HookRegistry hooks;
+  ControlPlane cp(&hooks);
+  EXPECT_FALSE(RmtSyscall(cp, RmtCmd::kProgLoad, RmtSyscallArgs{}).ok());
+}
+
+}  // namespace
+}  // namespace rkd

@@ -1,0 +1,213 @@
+// Tests for the bytecode and model wire formats: round trips, validation of
+// hostile/truncated blobs, and behavioural equivalence after a round trip.
+#include <array>
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/bytecode/assembler.h"
+#include "src/bytecode/serialize.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/linear.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+#include "src/ml/serialize.h"
+#include "src/vm/vm.h"
+
+namespace rkd {
+namespace {
+
+// --- Bytecode ---
+
+BytecodeProgram SampleProgram() {
+  Assembler a("sample", HookKind::kMemPrefetch);
+  a.DeclareMaps(2).DeclareModels(1).DeclareTensors(3).DeclareTables(1);
+  auto skip = a.NewLabel();
+  a.MovImm(6, -12345678901234ll);
+  a.JltImm(1, 50, skip);
+  a.Add(6, 1);
+  a.Bind(skip);
+  a.Mov(0, 6);
+  a.Exit();
+  return std::move(a.Build()).value();
+}
+
+TEST(BytecodeSerializeTest, RoundTripPreservesEverything) {
+  const BytecodeProgram original = SampleProgram();
+  const std::vector<uint8_t> bytes = SerializeProgram(original);
+  Result<BytecodeProgram> restored = DeserializeProgram(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->name, original.name);
+  EXPECT_EQ(restored->hook_kind, original.hook_kind);
+  EXPECT_EQ(restored->num_maps, original.num_maps);
+  EXPECT_EQ(restored->num_models, original.num_models);
+  EXPECT_EQ(restored->num_tensors, original.num_tensors);
+  EXPECT_EQ(restored->num_tables, original.num_tables);
+  ASSERT_EQ(restored->code.size(), original.code.size());
+  for (size_t i = 0; i < original.code.size(); ++i) {
+    EXPECT_EQ(restored->code[i], original.code[i]) << "instruction " << i;
+  }
+}
+
+TEST(BytecodeSerializeTest, RoundTrippedProgramExecutesIdentically) {
+  const BytecodeProgram original = SampleProgram();
+  Result<BytecodeProgram> restored = DeserializeProgram(SerializeProgram(original));
+  ASSERT_TRUE(restored.ok());
+  const Interpreter interp(VmEnv{});
+  for (int64_t key : {10, 100}) {
+    const std::array<int64_t, 1> args{key};
+    EXPECT_EQ(*interp.Run(original, args), *interp.Run(*restored, args));
+  }
+}
+
+TEST(BytecodeSerializeTest, RejectsWrongMagicAndVersion) {
+  std::vector<uint8_t> bytes = SerializeProgram(SampleProgram());
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt[0] ^= 0xff;
+  EXPECT_FALSE(DeserializeProgram(corrupt).ok());
+  corrupt = bytes;
+  corrupt[4] = 99;  // version
+  EXPECT_FALSE(DeserializeProgram(corrupt).ok());
+}
+
+TEST(BytecodeSerializeTest, RejectsTruncationAtEveryPrefix) {
+  const std::vector<uint8_t> bytes = SerializeProgram(SampleProgram());
+  for (size_t length = 0; length < bytes.size(); ++length) {
+    const std::span<const uint8_t> prefix(bytes.data(), length);
+    EXPECT_FALSE(DeserializeProgram(prefix).ok()) << "prefix " << length;
+  }
+}
+
+TEST(BytecodeSerializeTest, RejectsTrailingGarbage) {
+  std::vector<uint8_t> bytes = SerializeProgram(SampleProgram());
+  bytes.push_back(0);
+  EXPECT_FALSE(DeserializeProgram(bytes).ok());
+}
+
+TEST(BytecodeSerializeTest, RejectsInvalidOpcode) {
+  std::vector<uint8_t> bytes = SerializeProgram(SampleProgram());
+  // The opcode of the first instruction starts right after the fixed header:
+  // magic(4) version(4) name(4+6) hook(4) + 4 resource u32s + count u64.
+  const size_t header = 4 + 4 + 4 + 6 + 4 + 16 + 8;
+  bytes[header] = 0xff;
+  bytes[header + 1] = 0xff;
+  EXPECT_FALSE(DeserializeProgram(bytes).ok());
+}
+
+// --- Models ---
+
+Dataset ThresholdData(Rng& rng, size_t n = 300) {
+  Dataset data(3);
+  for (size_t i = 0; i < n; ++i) {
+    const std::array<int32_t, 3> row{static_cast<int32_t>(rng.NextInt(0, 100)),
+                                     static_cast<int32_t>(rng.NextInt(0, 100)),
+                                     static_cast<int32_t>(rng.NextInt(0, 100))};
+    data.Add(row, row[0] + row[1] > 100 ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(ModelSerializeTest, DecisionTreeRoundTrip) {
+  Rng rng(1);
+  const Dataset data = ThresholdData(rng);
+  const DecisionTree tree = std::move(DecisionTree::Train(data)).value();
+  Result<std::vector<uint8_t>> bytes = SerializeModel(tree);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  Result<ModelPtr> restored = DeserializeModel(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored)->kind(), "decision_tree");
+  EXPECT_EQ((*restored)->num_features(), tree.num_features());
+  EXPECT_EQ((*restored)->Cost().comparisons, tree.Cost().comparisons);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ((*restored)->Predict(data.row(i)), tree.Predict(data.row(i)));
+  }
+}
+
+TEST(ModelSerializeTest, QuantizedMlpRoundTrip) {
+  Rng rng(2);
+  const Dataset data = ThresholdData(rng);
+  const Mlp mlp = std::move(Mlp::Train(data)).value();
+  const QuantizedMlp quantized = std::move(QuantizedMlp::FromMlp(mlp)).value();
+  Result<std::vector<uint8_t>> bytes = SerializeModel(quantized);
+  ASSERT_TRUE(bytes.ok());
+  Result<ModelPtr> restored = DeserializeModel(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored)->kind(), "quantized_mlp");
+  EXPECT_EQ((*restored)->Cost().macs, quantized.Cost().macs);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<int32_t> q16(data.num_features());
+    for (size_t f = 0; f < q16.size(); ++f) {
+      q16[f] = RawToQ16(data.row(i)[f]);
+    }
+    EXPECT_EQ((*restored)->Predict(q16), quantized.Predict(q16));
+  }
+}
+
+TEST(ModelSerializeTest, IntegerLinearRoundTrip) {
+  Rng rng(3);
+  Dataset data(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::array<int32_t, 2> row{static_cast<int32_t>(rng.NextInt(-50, 50)),
+                                     static_cast<int32_t>(rng.NextInt(-50, 50))};
+    data.Add(row, row[0] - row[1] > 0 ? 1 : 0);
+  }
+  const IntegerLinear model = std::move(IntegerLinear::Train(data)).value();
+  Result<std::vector<uint8_t>> bytes = SerializeModel(model);
+  ASSERT_TRUE(bytes.ok());
+  Result<ModelPtr> restored = DeserializeModel(*bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->kind(), "integer_linear");
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ((*restored)->Predict(data.row(i)), model.Predict(data.row(i)));
+  }
+}
+
+TEST(ModelSerializeTest, RejectsTruncatedModelBlobs) {
+  Rng rng(4);
+  const Dataset data = ThresholdData(rng, 100);
+  const DecisionTree tree = std::move(DecisionTree::Train(data)).value();
+  const std::vector<uint8_t> bytes = std::move(SerializeModel(tree)).value();
+  for (size_t length = 0; length < bytes.size(); length += 3) {
+    EXPECT_FALSE(DeserializeModel(std::span<const uint8_t>(bytes.data(), length)).ok());
+  }
+}
+
+TEST(ModelSerializeTest, RejectsHostileTreeStructure) {
+  // A hand-built blob whose node points backward (cycle): the FromParts
+  // validation must refuse it.
+  std::vector<DecisionTree::Node> nodes(2);
+  nodes[0].feature = 0;
+  nodes[0].threshold = 5;
+  nodes[0].left = 1;
+  nodes[0].right = 0;  // self-cycle
+  nodes[1].feature = -1;
+  Result<DecisionTree> tree = DecisionTree::FromParts(1, 1, nodes);
+  EXPECT_FALSE(tree.ok());
+}
+
+TEST(ModelSerializeTest, RejectsInconsistentMlpLayers) {
+  std::vector<QuantizedMlp::QuantLayer> layers(2);
+  layers[0].out_dim = 4;
+  layers[0].in_dim = 2;
+  layers[0].weights.resize(8);
+  layers[0].biases.resize(4);
+  layers[1].out_dim = 2;
+  layers[1].in_dim = 5;  // mismatch: previous out_dim is 4
+  layers[1].weights.resize(10);
+  layers[1].biases.resize(2);
+  EXPECT_FALSE(QuantizedMlp::FromLayers(layers).ok());
+}
+
+TEST(ModelSerializeTest, UnknownTagRejected) {
+  std::vector<uint8_t> bytes;
+  const uint32_t magic = kModelMagic;
+  const uint32_t version = kModelVersion;
+  const uint32_t tag = 99;
+  bytes.resize(12);
+  memcpy(bytes.data(), &magic, 4);
+  memcpy(bytes.data() + 4, &version, 4);
+  memcpy(bytes.data() + 8, &tag, 4);
+  EXPECT_FALSE(DeserializeModel(bytes).ok());
+}
+
+}  // namespace
+}  // namespace rkd

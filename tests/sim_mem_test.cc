@@ -1,0 +1,397 @@
+// Tests for the memory substrate: simulator accounting, both baseline
+// prefetchers, and the RMT/ML prefetcher end to end.
+#include <gtest/gtest.h>
+
+#include "src/sim/mem/leap.h"
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/mem/readahead.h"
+#include "src/workloads/access_trace.h"
+
+namespace rkd {
+namespace {
+
+MemSimConfig SmallConfig() {
+  MemSimConfig config;
+  config.frame_capacity = 64;
+  config.hit_ns = 100;
+  config.fault_ns = 10000;
+  config.prefetch_issue_ns = 500;
+  return config;
+}
+
+// --- MemorySim accounting ---
+
+TEST(MemorySimTest, ColdAccessesAllFault) {
+  NullPrefetcher none;
+  MemorySim sim(SmallConfig(), &none);
+  const AccessTrace trace = MakeSequentialTrace(1, 0, 50);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_EQ(metrics.accesses, 50u);
+  EXPECT_EQ(metrics.faults, 50u);
+  EXPECT_EQ(metrics.hits, 0u);
+  EXPECT_EQ(metrics.prefetched, 0u);
+  EXPECT_EQ(metrics.total_ns, 50u * 10000u);
+}
+
+TEST(MemorySimTest, RepeatedAccessHitsWhileResident) {
+  NullPrefetcher none;
+  MemorySim sim(SmallConfig(), &none);
+  AccessTrace trace;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int64_t page = 0; page < 10; ++page) {
+      trace.push_back(AccessEvent{1, page});
+    }
+  }
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_EQ(metrics.faults, 10u);
+  EXPECT_EQ(metrics.hits, 20u);
+}
+
+TEST(MemorySimTest, LruEvictionBoundsResidency) {
+  NullPrefetcher none;
+  MemSimConfig config = SmallConfig();
+  config.frame_capacity = 8;
+  MemorySim sim(config, &none);
+  // Touch 16 pages then revisit the first 8: all evicted, all fault again.
+  AccessTrace trace = MakeSequentialTrace(1, 0, 16);
+  const AccessTrace revisit = MakeSequentialTrace(1, 0, 8);
+  trace.insert(trace.end(), revisit.begin(), revisit.end());
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_EQ(metrics.faults, 24u);
+}
+
+// A scripted prefetcher for accounting tests.
+class ScriptedPrefetcher final : public Prefetcher {
+ public:
+  explicit ScriptedPrefetcher(std::vector<int64_t> per_fault) : per_fault_(std::move(per_fault)) {}
+  std::string_view name() const override { return "scripted"; }
+  void OnAccess(uint64_t, int64_t, bool) override {}
+  void OnFault(uint64_t, int64_t page, std::vector<int64_t>& out) override {
+    for (int64_t delta : per_fault_) {
+      out.push_back(page + delta);
+    }
+  }
+
+ private:
+  std::vector<int64_t> per_fault_;
+};
+
+TEST(MemorySimTest, PrefetchTurnsFaultsIntoHits) {
+  // Prefetching only the next page on each fault alternates fault/hit:
+  // prefetches fire on faults only, so every hit is followed by a fault.
+  ScriptedPrefetcher next_page({1});
+  MemorySim sim(SmallConfig(), &next_page);
+  const AccessTrace trace = MakeSequentialTrace(1, 0, 50);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_EQ(metrics.faults, 25u);
+  EXPECT_EQ(metrics.prefetch_hits, 25u);
+  EXPECT_EQ(metrics.prefetched, 25u);
+  EXPECT_NEAR(metrics.accuracy(), 1.0, 1e-9);  // every prefetch is used
+  EXPECT_NEAR(metrics.coverage(), 0.5, 1e-9);  // half the misses avoided
+}
+
+TEST(MemorySimTest, DeeperPrefetchRaisesCoverage) {
+  ScriptedPrefetcher window({1, 2, 3, 4});
+  MemorySim sim(SmallConfig(), &window);
+  const AccessTrace trace = MakeSequentialTrace(1, 0, 50);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_EQ(metrics.faults, 10u);  // one fault per 5 pages
+  EXPECT_NEAR(metrics.coverage(), 0.8, 1e-9);
+}
+
+TEST(MemorySimTest, WrongPrefetchesCountedAsWaste) {
+  ScriptedPrefetcher wrong({100000});  // never accessed
+  MemSimConfig config = SmallConfig();
+  config.frame_capacity = 4;
+  MemorySim sim(config, &wrong);
+  const AccessTrace trace = MakeSequentialTrace(1, 0, 20);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_EQ(metrics.prefetch_used, 0u);
+  EXPECT_EQ(metrics.accuracy(), 0.0);
+  EXPECT_GT(metrics.prefetch_evicted_unused, 0u);
+}
+
+TEST(MemorySimTest, MaxPrefetchPerFaultCapped) {
+  std::vector<int64_t> many;
+  for (int64_t i = 1; i <= 100; ++i) {
+    many.push_back(i);
+  }
+  ScriptedPrefetcher flood(many);
+  MemSimConfig config = SmallConfig();
+  config.max_prefetch_per_fault = 8;
+  MemorySim sim(config, &flood);
+  AccessTrace trace;
+  trace.push_back(AccessEvent{1, 0});
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_EQ(metrics.prefetched, 8u);
+}
+
+TEST(MemorySimTest, CompletionTimeChargesPrefetchIssue) {
+  ScriptedPrefetcher next_page({1});
+  MemSimConfig config = SmallConfig();
+  MemorySim sim(config, &next_page);
+  AccessTrace trace = MakeSequentialTrace(1, 0, 2);
+  const MemMetrics metrics = sim.Run(trace);
+  // fault + prefetch issue + hit.
+  EXPECT_EQ(metrics.total_ns, config.fault_ns + config.prefetch_issue_ns + config.hit_ns);
+}
+
+// --- Readahead baseline ---
+
+TEST(ReadaheadTest, SequentialStreamGetsCovered) {
+  ReadaheadPrefetcher readahead;
+  MemorySim sim(SmallConfig(), &readahead);
+  const AccessTrace trace = MakeSequentialTrace(1, 0, 500);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_GT(metrics.coverage(), 0.8);
+  EXPECT_GT(metrics.accuracy(), 0.8);
+}
+
+TEST(ReadaheadTest, WindowGrowsOnSequentialStreaks) {
+  ReadaheadConfig config;
+  ReadaheadPrefetcher readahead(config);
+  std::vector<int64_t> out;
+  // Build a streak.
+  for (int64_t page = 0; page < 5; ++page) {
+    readahead.OnAccess(1, page, false);
+  }
+  readahead.OnFault(1, 5, out);
+  const size_t first = out.size();
+  EXPECT_EQ(first, config.min_window);
+  out.clear();
+  for (int64_t page = 5; page < 10; ++page) {
+    readahead.OnAccess(1, page, false);
+  }
+  readahead.OnFault(1, 10, out);
+  EXPECT_EQ(out.size(), config.min_window * 2);
+}
+
+TEST(ReadaheadTest, RandomAccessFallsBackToCluster) {
+  ReadaheadConfig config;
+  ReadaheadPrefetcher readahead(config);
+  readahead.OnAccess(1, 100, false);
+  readahead.OnAccess(1, 9000, false);  // streak broken
+  std::vector<int64_t> out;
+  readahead.OnFault(1, 9000, out);
+  EXPECT_EQ(out.size(), config.cluster);
+  EXPECT_EQ(out.front(), 9001);
+}
+
+TEST(ReadaheadTest, StreamsArePerProcess) {
+  ReadaheadPrefetcher readahead;
+  // Interleaved sequential streams of two pids must both be detected. The
+  // frame cache must hold both streams' readahead windows, or prefetched
+  // pages are evicted before use (which SmallConfig's 64 frames provokes).
+  AccessTrace a = MakeSequentialTrace(1, 0, 200);
+  AccessTrace b = MakeSequentialTrace(2, 100000, 200);
+  const AccessTrace merged = Interleave({a, b});
+  MemSimConfig config = SmallConfig();
+  config.frame_capacity = 256;
+  MemorySim sim(config, &readahead);
+  const MemMetrics metrics = sim.Run(merged);
+  EXPECT_GT(metrics.coverage(), 0.7);
+}
+
+TEST(ReadaheadTest, SharedCacheThrashingHurtsCoverage) {
+  // The same two streams under a tight cache: cross-stream eviction wastes
+  // prefetches. This cache-pollution interaction is why bad prefetching has
+  // a completion-time cost, not just an I/O cost.
+  ReadaheadPrefetcher readahead;
+  AccessTrace a = MakeSequentialTrace(1, 0, 200);
+  AccessTrace b = MakeSequentialTrace(2, 100000, 200);
+  const AccessTrace merged = Interleave({a, b});
+  MemorySim sim(SmallConfig(), &readahead);  // 64 frames
+  const MemMetrics metrics = sim.Run(merged);
+  EXPECT_LT(metrics.coverage(), 0.5);
+  EXPECT_GT(metrics.prefetch_evicted_unused, 0u);
+}
+
+// --- Leap baseline ---
+
+TEST(LeapTest, DetectsNonUnitStride) {
+  LeapPrefetcher leap;
+  MemorySim sim(SmallConfig(), &leap);
+  Rng rng(1);
+  const AccessTrace trace = MakeStridedTrace(1, 0, 7, 1000, 0.0, rng);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_GT(metrics.accuracy(), 0.9);
+  EXPECT_GT(metrics.coverage(), 0.7);
+}
+
+TEST(LeapTest, NegativeStrideDetected) {
+  LeapPrefetcher leap;
+  MemorySim sim(SmallConfig(), &leap);
+  Rng rng(2);
+  const AccessTrace trace = MakeStridedTrace(1, 1000000, -3, 1000, 0.0, rng);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_GT(metrics.coverage(), 0.7);
+}
+
+TEST(LeapTest, MajorityVoteToleratesNoise) {
+  LeapPrefetcher leap;
+  MemorySim sim(SmallConfig(), &leap);
+  Rng rng(3);
+  const AccessTrace trace = MakeStridedTrace(1, 0, 5, 2000, 0.1, rng);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_GT(metrics.coverage(), 0.5);
+}
+
+TEST(LeapTest, AlternatingDeltasHaveNoMajority) {
+  // The bilinear 2-cycle: Leap must fall back (low stride accuracy) since
+  // neither delta is a strict majority.
+  LeapPrefetcher leap;
+  MemorySim sim(SmallConfig(), &leap);
+  VideoResizeConfig config;
+  config.noise_prob = 0.0;
+  config.frames = 4;
+  Rng rng(4);
+  const AccessTrace trace = MakeVideoResizeTrace(config, rng);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_LT(metrics.accuracy(), 0.7);
+}
+
+// --- RMT/ML prefetcher ---
+
+TEST(MlPrefetcherTest, InitInstallsVerifiedProgram) {
+  RmtMlPrefetcher prefetcher;
+  ASSERT_TRUE(prefetcher.Init().ok());
+  EXPECT_EQ(prefetcher.control_plane().installed_count(), 1u);
+  EXPECT_FALSE(prefetcher.Init().ok());  // double init rejected
+}
+
+TEST(MlPrefetcherTest, FallsBackSequentiallyBeforeTraining) {
+  RmtMlPrefetcher prefetcher;
+  ASSERT_TRUE(prefetcher.Init().ok());
+  std::vector<int64_t> out;
+  prefetcher.OnAccess(1, 100, false);
+  prefetcher.OnFault(1, 100, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), 101);  // sequential fallback
+  EXPECT_EQ(prefetcher.windows_trained(), 0u);
+}
+
+TEST(MlPrefetcherTest, TrainsWindowsAndLearnsStride) {
+  MlPrefetcherConfig config;
+  config.window_size = 128;
+  config.min_train_samples = 32;
+  RmtMlPrefetcher prefetcher(config);
+  ASSERT_TRUE(prefetcher.Init().ok());
+
+  // Feed a pure stride-9 stream through the access hook.
+  int64_t page = 0;
+  for (int i = 0; i < 400; ++i) {
+    prefetcher.OnAccess(1, page, false);
+    page += 9;
+  }
+  EXPECT_GE(prefetcher.windows_trained(), 1u);
+
+  std::vector<int64_t> out;
+  prefetcher.OnFault(1, page - 9, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), page);  // predicted delta 9 from the fault page
+}
+
+TEST(MlPrefetcherTest, BeatsBaselinesOnMatrixConv) {
+  MemSimConfig sim_config;
+  sim_config.frame_capacity = 192;
+
+  MatrixConvConfig trace_config;
+  trace_config.height = 360;
+  Rng rng(5);
+  const AccessTrace trace = MakeMatrixConvTrace(trace_config, rng);
+
+  ReadaheadPrefetcher readahead;
+  MemorySim linux_sim(sim_config, &readahead);
+  const MemMetrics linux_metrics = linux_sim.Run(trace);
+
+  RmtMlPrefetcher ml;
+  ASSERT_TRUE(ml.Init().ok());
+  MemorySim ml_sim(sim_config, &ml);
+  const MemMetrics ml_metrics = ml_sim.Run(trace);
+
+  EXPECT_GT(ml_metrics.accuracy(), linux_metrics.accuracy() + 0.3);
+  EXPECT_LT(ml_metrics.total_ns, linux_metrics.total_ns);
+  EXPECT_GT(ml.windows_trained(), 0u);
+}
+
+TEST(MlPrefetcherTest, AdaptationKnobWithinConfiguredBounds) {
+  MlPrefetcherConfig config;
+  config.window_size = 128;
+  config.initial_depth = 4;
+  config.max_depth = 8;
+  RmtMlPrefetcher prefetcher(config);
+  ASSERT_TRUE(prefetcher.Init().ok());
+  EXPECT_EQ(prefetcher.current_depth_knob(), 4);
+
+  Rng rng(6);
+  const AccessTrace trace = MakeStridedTrace(1, 0, 3, 2000, 0.0, rng);
+  MemSimConfig sim_config;
+  sim_config.frame_capacity = 64;
+  MemorySim sim(sim_config, &prefetcher);
+  (void)sim.Run(trace);
+  const int64_t knob = prefetcher.current_depth_knob();
+  EXPECT_GE(knob, 1);
+  EXPECT_LE(knob, 8);
+}
+
+class MlPrefetcherFamilyTest : public ::testing::TestWithParam<PrefetchModelFamily> {};
+
+TEST_P(MlPrefetcherFamilyTest, EveryFamilyLearnsAPureStride) {
+  MlPrefetcherConfig config;
+  config.family = GetParam();
+  config.window_size = 128;
+  config.min_train_samples = 32;
+  RmtMlPrefetcher prefetcher(config);
+  ASSERT_TRUE(prefetcher.Init().ok());
+  int64_t page = 0;
+  for (int i = 0; i < 600; ++i) {
+    prefetcher.OnAccess(1, page, false);
+    page += 6;
+  }
+  EXPECT_GE(prefetcher.windows_trained(), 1u);
+  std::vector<int64_t> out;
+  prefetcher.OnFault(1, page - 6, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), page);  // all families nail a single-class task
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MlPrefetcherFamilyTest,
+                         ::testing::Values(PrefetchModelFamily::kDecisionTree,
+                                           PrefetchModelFamily::kRandomForest,
+                                           PrefetchModelFamily::kQuantizedMlp),
+                         [](const ::testing::TestParamInfo<PrefetchModelFamily>& info) {
+                           switch (info.param) {
+                             case PrefetchModelFamily::kDecisionTree: return "tree";
+                             case PrefetchModelFamily::kRandomForest: return "forest";
+                             case PrefetchModelFamily::kQuantizedMlp: return "mlp";
+                           }
+                           return "unknown";
+                         });
+
+TEST(MlPrefetcherTest, MultiProcessStreamsAreIndependent) {
+  MlPrefetcherConfig config;
+  config.window_size = 128;
+  RmtMlPrefetcher prefetcher(config);
+  ASSERT_TRUE(prefetcher.Init().ok());
+  // pid 1 strides by 4, pid 2 strides by 11; interleaved.
+  int64_t p1 = 0;
+  int64_t p2 = 1000000;
+  for (int i = 0; i < 300; ++i) {
+    prefetcher.OnAccess(1, p1, false);
+    prefetcher.OnAccess(2, p2, false);
+    p1 += 4;
+    p2 += 11;
+  }
+  std::vector<int64_t> out1;
+  prefetcher.OnFault(1, p1 - 4, out1);
+  std::vector<int64_t> out2;
+  prefetcher.OnFault(2, p2 - 11, out2);
+  ASSERT_FALSE(out1.empty());
+  ASSERT_FALSE(out2.empty());
+  EXPECT_EQ(out1.front(), p1);
+  EXPECT_EQ(out2.front(), p2);
+}
+
+}  // namespace
+}  // namespace rkd

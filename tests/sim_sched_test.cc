@@ -1,0 +1,280 @@
+// Tests for the scheduler substrate: heuristic, CFS simulator dynamics,
+// dataset collection, and the RMT migration oracle end to end.
+#include <gtest/gtest.h>
+
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+#include "src/sim/sched/cfs_sim.h"
+#include "src/sim/sched/rmt_oracle.h"
+#include "src/workloads/cpu_jobs.h"
+
+namespace rkd {
+namespace {
+
+SchedFeatures BaseFeatures() {
+  SchedFeatures f{};
+  f[kFeatSrcNrRunning] = 6;
+  f[kFeatDstNrRunning] = 2;
+  f[kFeatSrcLoad] = 6;
+  f[kFeatDstLoad] = 2;
+  f[kFeatImbalance] = 4;
+  f[kFeatTaskWeight] = 1024;
+  f[kFeatTicksSinceRun] = 100;   // cold
+  f[kFeatCacheFootprint] = 64;   // small
+  return f;
+}
+
+// --- Heuristic ---
+
+TEST(HeuristicTest, MigratesColdTaskUnderImbalance) {
+  EXPECT_EQ(CfsHeuristicCanMigrate(BaseFeatures()), 1);
+}
+
+TEST(HeuristicTest, RefusesWhenDestinationNotLessLoaded) {
+  SchedFeatures f = BaseFeatures();
+  f[kFeatDstNrRunning] = f[kFeatSrcNrRunning];
+  EXPECT_EQ(CfsHeuristicCanMigrate(f), 0);
+}
+
+TEST(HeuristicTest, RefusesBelowImbalanceThreshold) {
+  SchedFeatures f = BaseFeatures();
+  f[kFeatImbalance] = 1;
+  EXPECT_EQ(CfsHeuristicCanMigrate(f), 0);
+}
+
+TEST(HeuristicTest, RefusesCacheHotTaskWithSmallImbalance) {
+  SchedFeatures f = BaseFeatures();
+  f[kFeatTicksSinceRun] = 1;       // ran just now
+  f[kFeatCacheFootprint] = 1024;   // big working set
+  f[kFeatImbalance] = 1;
+  EXPECT_EQ(CfsHeuristicCanMigrate(f), 0);
+}
+
+TEST(HeuristicTest, StarvationOverridesHotness) {
+  SchedFeatures f = BaseFeatures();
+  f[kFeatTicksSinceRun] = 1;
+  f[kFeatCacheFootprint] = 1024;
+  f[kFeatWaitTicks] = 500;  // starving
+  EXPECT_EQ(CfsHeuristicCanMigrate(f), 1);
+}
+
+TEST(HeuristicTest, HotTaskMigratesUnderLargeImbalance) {
+  SchedFeatures f = BaseFeatures();
+  f[kFeatTicksSinceRun] = 1;
+  f[kFeatCacheFootprint] = 1024;
+  f[kFeatImbalance] = 8;
+  EXPECT_EQ(CfsHeuristicCanMigrate(f), 1);
+}
+
+// --- CfsSim ---
+
+SchedConfig TestSchedConfig() {
+  SchedConfig config;
+  config.cores = 4;
+  return config;
+}
+
+TEST(CfsSimTest, CompletesAllJobKinds) {
+  for (JobKind kind : {JobKind::kBlackscholes, JobKind::kStreamcluster, JobKind::kFib,
+                       JobKind::kMatMul}) {
+    JobConfig job_config;
+    job_config.num_tasks = 8;
+    job_config.base_work = 500;
+    const JobSpec job = MakeJob(kind, job_config);
+    CfsSim sim(TestSchedConfig());
+    const SchedMetrics metrics = sim.Run(job);
+    EXPECT_TRUE(metrics.completed) << JobKindName(kind);
+    EXPECT_GT(metrics.ticks, 0u);
+  }
+}
+
+TEST(CfsSimTest, DeterministicAcrossRuns) {
+  const JobSpec job = MakeJob(JobKind::kStreamcluster);
+  CfsSim sim(TestSchedConfig());
+  const SchedMetrics a = sim.Run(job);
+  const SchedMetrics b = sim.Run(job);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.decisions, b.decisions);
+}
+
+TEST(CfsSimTest, MoreCoresFinishFaster) {
+  JobConfig job_config;
+  job_config.num_tasks = 16;
+  job_config.base_work = 1000;
+  const JobSpec job = MakeJob(JobKind::kBlackscholes, job_config);
+  SchedConfig two = TestSchedConfig();
+  two.cores = 2;
+  SchedConfig eight = TestSchedConfig();
+  eight.cores = 8;
+  CfsSim sim2(two);
+  CfsSim sim8(eight);
+  EXPECT_GT(sim2.Run(job).ticks, sim8.Run(job).ticks);
+}
+
+TEST(CfsSimTest, LoadBalancingBeatsNoMigration) {
+  // An always-deny oracle pins every task to core 0 (fork placement), so
+  // completion degrades toward single-core time.
+  JobConfig job_config;
+  job_config.num_tasks = 8;
+  job_config.base_work = 1000;
+  const JobSpec job = MakeJob(JobKind::kBlackscholes, job_config);
+  CfsSim sim(TestSchedConfig());
+  const SchedMetrics balanced = sim.Run(job);
+  const SchedMetrics pinned = sim.Run(job, [](int64_t, const SchedFeatures&) { return 0; });
+  EXPECT_LT(balanced.ticks, pinned.ticks);
+  EXPECT_EQ(pinned.migrations, 0u);
+}
+
+TEST(CfsSimTest, OracleNegativeFallsBackToHeuristic) {
+  const JobSpec job = MakeJob(JobKind::kBlackscholes);
+  CfsSim sim(TestSchedConfig());
+  const SchedMetrics stock = sim.Run(job);
+  const SchedMetrics fallback =
+      sim.Run(job, [](int64_t, const SchedFeatures&) { return -1; });
+  EXPECT_EQ(fallback.ticks, stock.ticks);  // identical behaviour
+  EXPECT_EQ(fallback.oracle_fallbacks, fallback.decisions);
+}
+
+TEST(CfsSimTest, PerfectOracleScoresFullAgreement) {
+  const JobSpec job = MakeJob(JobKind::kStreamcluster);
+  CfsSim sim(TestSchedConfig());
+  const SchedMetrics metrics = sim.Run(
+      job, [](int64_t, const SchedFeatures& f) { return CfsHeuristicCanMigrate(f); });
+  EXPECT_GT(metrics.decisions, 0u);
+  EXPECT_NEAR(metrics.agreement(), 1.0, 1e-9);
+}
+
+TEST(CfsSimTest, DatasetCollectionMatchesDecisionCount) {
+  const JobSpec job = MakeJob(JobKind::kStreamcluster);
+  Dataset data(kSchedNumFeatures);
+  CfsSim sim(TestSchedConfig());
+  const SchedMetrics metrics = sim.Run(job, {}, &data);
+  EXPECT_EQ(data.size(), metrics.decisions);
+  EXPECT_EQ(data.num_features(), kSchedNumFeatures);
+  // Both classes appear in a barrier-structured workload.
+  size_t ones = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ones += static_cast<size_t>(data.label(i));
+  }
+  EXPECT_GT(ones, 0u);
+  EXPECT_LT(ones, data.size());
+}
+
+TEST(CfsSimTest, SafetyStopOnMaxTicks) {
+  JobConfig job_config;
+  job_config.num_tasks = 2;
+  job_config.base_work = 100000;
+  const JobSpec job = MakeJob(JobKind::kMatMul, job_config);
+  SchedConfig config = TestSchedConfig();
+  config.max_ticks = 500;
+  CfsSim sim(config);
+  const SchedMetrics metrics = sim.Run(job);
+  EXPECT_FALSE(metrics.completed);
+  EXPECT_EQ(metrics.ticks, 500u);
+}
+
+// --- RMT oracle ---
+
+TEST(RmtOracleTest, FallsBackWithoutModel) {
+  RmtMigrationOracle oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  const JobSpec job = MakeJob(JobKind::kBlackscholes);
+  CfsSim sim(TestSchedConfig());
+  const SchedMetrics stock = sim.Run(job);
+  const SchedMetrics via_rmt = sim.Run(job, oracle.AsOracle());
+  EXPECT_EQ(via_rmt.ticks, stock.ticks);
+  EXPECT_EQ(via_rmt.oracle_fallbacks, via_rmt.decisions);
+  EXPECT_GT(oracle.queries(), 0u);
+}
+
+TEST(RmtOracleTest, QuantizedMlpMimicsHeuristic) {
+  const JobSpec job = MakeJob(JobKind::kStreamcluster);
+  const SchedConfig config = TestSchedConfig();
+  Dataset train = CollectMigrationDataset(config, job);
+  ASSERT_GE(train.size(), 64u);
+
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {16, 16};
+  mlp_config.epochs = 40;
+  Result<Mlp> mlp = Mlp::Train(train, mlp_config);
+  ASSERT_TRUE(mlp.ok());
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  ASSERT_TRUE(quantized.ok());
+
+  RmtMigrationOracle oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  ASSERT_TRUE(
+      oracle.InstallModel(std::make_shared<QuantizedMlp>(std::move(quantized).value())).ok());
+
+  CfsSim sim(config);
+  const SchedMetrics metrics = sim.Run(job, oracle.AsOracle());
+  EXPECT_EQ(metrics.oracle_fallbacks, 0u);
+  EXPECT_GT(metrics.agreement(), 0.9);
+  EXPECT_TRUE(metrics.completed);
+}
+
+TEST(RmtOracleTest, LeanFeatureSubsetStillWorks) {
+  const JobSpec job = MakeJob(JobKind::kStreamcluster);
+  const SchedConfig config = TestSchedConfig();
+  Dataset train = CollectMigrationDataset(config, job);
+  ASSERT_GE(train.size(), 64u);
+
+  // Keep only the two causal features: the imbalance threshold and the
+  // src-vs-dst queue delta together determine the heuristic for cold tasks.
+  const std::vector<size_t> selected{kFeatImbalance, kFeatQueueDelta};
+  Dataset projected(2);
+  for (size_t i = 0; i < train.size(); ++i) {
+    const std::array<int32_t, 2> row{train.row(i)[kFeatImbalance],
+                                     train.row(i)[kFeatQueueDelta]};
+    projected.Add(row, train.label(i));
+  }
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {16, 16};
+  mlp_config.epochs = 60;
+  Result<Mlp> mlp = Mlp::Train(projected, mlp_config);
+  ASSERT_TRUE(mlp.ok());
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  ASSERT_TRUE(quantized.ok());
+
+  RmtOracleConfig oracle_config;
+  oracle_config.selected_features = selected;
+  RmtMigrationOracle oracle(oracle_config);
+  ASSERT_TRUE(oracle.Init().ok());
+  ASSERT_TRUE(
+      oracle.InstallModel(std::make_shared<QuantizedMlp>(std::move(quantized).value())).ok());
+
+  CfsSim sim(config);
+  const SchedMetrics metrics = sim.Run(job, oracle.AsOracle());
+  EXPECT_GT(metrics.agreement(), 0.85);
+}
+
+TEST(RmtOracleTest, InterpreterTierMatchesJitTier) {
+  const JobSpec job = MakeJob(JobKind::kBlackscholes);
+  const SchedConfig config = TestSchedConfig();
+  Dataset train = CollectMigrationDataset(config, job);
+  Result<Mlp> mlp = Mlp::Train(train);
+  ASSERT_TRUE(mlp.ok());
+
+  SchedMetrics per_tier[2];
+  int index = 0;
+  for (ExecTier tier : {ExecTier::kJit, ExecTier::kInterpreter}) {
+    Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+    ASSERT_TRUE(quantized.ok());
+    RmtOracleConfig oracle_config;
+    oracle_config.tier = tier;
+    RmtMigrationOracle oracle(oracle_config);
+    ASSERT_TRUE(oracle.Init().ok());
+    ASSERT_TRUE(
+        oracle.InstallModel(std::make_shared<QuantizedMlp>(std::move(quantized).value()))
+            .ok());
+    CfsSim sim(config);
+    per_tier[index++] = sim.Run(job, oracle.AsOracle());
+  }
+  EXPECT_EQ(per_tier[0].ticks, per_tier[1].ticks);
+  EXPECT_EQ(per_tier[0].migrations, per_tier[1].migrations);
+  EXPECT_EQ(per_tier[0].oracle_agreements, per_tier[1].oracle_agreements);
+}
+
+}  // namespace
+}  // namespace rkd

@@ -1,0 +1,533 @@
+// Tests for the RMT verifier: acceptance of well-formed programs and
+// rejection of each unsafe family, plus the guard-insertion rewriter.
+#include <array>
+#include <gtest/gtest.h>
+
+#include "src/bytecode/assembler.h"
+#include "src/ml/decision_tree.h"
+#include "src/verifier/guards.h"
+#include "src/verifier/verifier.h"
+#include "src/vm/vm.h"
+
+namespace rkd {
+namespace {
+
+BytecodeProgram MustBuild(Assembler& a) {
+  Result<BytecodeProgram> program = a.Build();
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+bool HasDiagnosticContaining(const VerifyReport& report, std::string_view needle) {
+  for (const std::string& diag : report.diagnostics) {
+    if (diag.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(VerifierTest, AcceptsMinimalProgram) {
+  Assembler a("ok");
+  a.MovImm(0, 0).Exit();
+  const VerifyReport report = Verifier().Verify(MustBuild(a));
+  EXPECT_TRUE(report.ok()) << report.status;
+  EXPECT_EQ(report.longest_path, 2u);
+}
+
+TEST(VerifierTest, AcceptsBranchyProgramAndMeasuresLongestPath) {
+  Assembler a("branchy");
+  auto skip = a.NewLabel();
+  a.MovImm(0, 0);          // 1
+  a.JeqImm(1, 0, skip);    // 2
+  a.AddImm(0, 1);          // 3 (long path)
+  a.AddImm(0, 1);          // 4
+  a.Bind(skip);
+  a.Exit();                // 5
+  const VerifyReport report = Verifier().Verify(MustBuild(a));
+  EXPECT_TRUE(report.ok()) << report.status;
+  EXPECT_EQ(report.longest_path, 5u);
+}
+
+TEST(VerifierTest, RejectsEmptyProgram) {
+  BytecodeProgram program;
+  program.name = "empty";
+  const VerifyReport report = Verifier().Verify(program);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifierTest, RejectsBackwardJump) {
+  BytecodeProgram program;
+  program.name = "loop";
+  Instruction mov;
+  mov.opcode = Opcode::kMovImm;
+  program.code.push_back(mov);
+  Instruction jump;
+  jump.opcode = Opcode::kJa;
+  jump.offset = -2;
+  program.code.push_back(jump);
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+  const VerifyReport report = Verifier().Verify(program);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "backward jump"));
+}
+
+TEST(VerifierTest, RejectsJumpOutOfRange) {
+  BytecodeProgram program;
+  program.name = "far";
+  Instruction jump;
+  jump.opcode = Opcode::kJa;
+  jump.offset = 50;
+  program.code.push_back(jump);
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+  const VerifyReport report = Verifier().Verify(program);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "out of range"));
+}
+
+TEST(VerifierTest, RejectsFallOffEnd) {
+  BytecodeProgram program;
+  program.name = "fall";
+  Instruction mov;
+  mov.opcode = Opcode::kMovImm;
+  program.code.push_back(mov);
+  const VerifyReport report = Verifier().Verify(program);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "fall off"));
+}
+
+TEST(VerifierTest, RejectsReadOfUninitializedRegister) {
+  Assembler a("uninit");
+  a.Add(0, 6);  // r0 and r6 both read before any write
+  a.Exit();
+  const VerifyReport report = Verifier().Verify(MustBuild(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "before initialization"));
+}
+
+TEST(VerifierTest, ArgumentsAndFramePointerStartInitialized) {
+  Assembler a("args_ok");
+  a.Mov(0, 1);
+  a.Add(0, 5);
+  a.Exit();
+  EXPECT_TRUE(Verifier().Verify(MustBuild(a)).ok());
+}
+
+TEST(VerifierTest, InitializationMustHoldOnEveryPath) {
+  // r6 is written only on one branch arm, then read after the merge.
+  Assembler a("one_arm");
+  auto skip = a.NewLabel();
+  a.JeqImm(1, 0, skip);
+  a.MovImm(6, 5);
+  a.Bind(skip);
+  a.Mov(0, 6);  // on the taken path r6 was never written
+  a.Exit();
+  const VerifyReport report = Verifier().Verify(MustBuild(a));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifierTest, BothArmsInitializedIsAccepted) {
+  Assembler a("both_arms");
+  auto other = a.NewLabel();
+  auto merge = a.NewLabel();
+  a.JeqImm(1, 0, other);
+  a.MovImm(6, 5);
+  a.Ja(merge);
+  a.Bind(other);
+  a.MovImm(6, 9);
+  a.Bind(merge);
+  a.Mov(0, 6);
+  a.Exit();
+  EXPECT_TRUE(Verifier().Verify(MustBuild(a)).ok());
+}
+
+TEST(VerifierTest, RejectsUninitializedStackRead) {
+  Assembler a("stack_uninit");
+  a.LdStack(0, -8);
+  a.Exit();
+  const VerifyReport report = Verifier().Verify(MustBuild(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "stack slot"));
+}
+
+TEST(VerifierTest, AcceptsStackReadAfterWrite) {
+  Assembler a("stack_ok");
+  a.StStackImm(-8, 7);
+  a.LdStack(0, -8);
+  a.Exit();
+  EXPECT_TRUE(Verifier().Verify(MustBuild(a)).ok());
+}
+
+TEST(VerifierTest, RejectsWriteToFramePointer) {
+  Assembler a("fp_write");
+  a.MovImm(10, 0);
+  a.MovImm(0, 0).Exit();
+  const VerifyReport report = Verifier().Verify(MustBuild(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "frame pointer"));
+}
+
+TEST(VerifierTest, RejectsBadStackOffset) {
+  Assembler a("stack_bad");
+  a.StStackImm(-12, 1);  // unaligned
+  a.MovImm(0, 0).Exit();
+  EXPECT_FALSE(Verifier().Verify(MustBuild(a)).ok());
+}
+
+TEST(VerifierTest, RejectsUndeclaredResources) {
+  {
+    Assembler a("map");
+    a.MovImm(2, 0);
+    a.MapLookup(0, 2, 0);  // no maps declared
+    a.Exit();
+    const VerifyReport report = Verifier().Verify(MustBuild(a));
+    EXPECT_TRUE(HasDiagnosticContaining(report, "undeclared map"));
+  }
+  {
+    Assembler a("model");
+    a.VecZero(0);
+    a.MlCall(0, 0, 0);  // no models declared
+    a.Exit();
+    const VerifyReport report = Verifier().Verify(MustBuild(a));
+    EXPECT_TRUE(HasDiagnosticContaining(report, "undeclared model"));
+  }
+  {
+    Assembler a("tensor");
+    a.VecZero(0);
+    a.MatMul(1, 0, 2);  // no tensors declared
+    a.MovImm(0, 0).Exit();
+    const VerifyReport report = Verifier().Verify(MustBuild(a));
+    EXPECT_TRUE(HasDiagnosticContaining(report, "undeclared tensor"));
+  }
+  {
+    Assembler a("table");
+    a.MovImm(0, 0);
+    a.TailCall(3);  // no tables declared
+    a.Exit();
+    const VerifyReport report = Verifier().Verify(MustBuild(a));
+    EXPECT_TRUE(HasDiagnosticContaining(report, "undeclared tail-call"));
+  }
+}
+
+TEST(VerifierTest, DeclaredResourcesAreAccepted) {
+  Assembler a("declared");
+  a.DeclareMaps(1).DeclareModels(1).DeclareTensors(1).DeclareTables(1);
+  a.MovImm(2, 0);
+  a.MapLookup(0, 2, 0);
+  a.VecZero(0);
+  a.MlCall(0, 0, 0);
+  a.MatMul(1, 0, 0);
+  a.TailCall(0);
+  a.Exit();
+  EXPECT_TRUE(Verifier().Verify(MustBuild(a)).ok());
+}
+
+TEST(VerifierTest, RejectsConstantZeroDivisor) {
+  Assembler a("div0");
+  a.MovImm(0, 5);
+  a.DivImm(0, 0);
+  a.Exit();
+  const VerifyReport report = Verifier().Verify(MustBuild(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "zero divisor"));
+}
+
+// --- Per-hook helper whitelists ---
+
+struct WhitelistCase {
+  const char* name;
+  HookKind hook;
+  HelperId helper;
+  bool allowed;
+};
+
+class HelperWhitelistTest : public ::testing::TestWithParam<WhitelistCase> {};
+
+TEST_P(HelperWhitelistTest, EnforcesWhitelist) {
+  const WhitelistCase& c = GetParam();
+  Assembler a("helper", c.hook);
+  if (c.helper == HelperId::kPrefetchEmit || c.helper == HelperId::kSetPriorityHint) {
+    a.Call(HelperId::kRateLimitCheck);  // keep the guard pass satisfied
+  }
+  a.Call(c.helper);
+  a.Exit();
+  Result<BytecodeProgram> built = a.Build();
+  ASSERT_TRUE(built.ok());
+  const VerifyReport report = Verifier().Verify(*built);
+  if (c.allowed) {
+    EXPECT_TRUE(report.ok()) << report.status;
+  } else {
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(HasDiagnosticContaining(report, "not permitted"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hooks, HelperWhitelistTest,
+    ::testing::Values(
+        WhitelistCase{"prefetch_in_prefetch", HookKind::kMemPrefetch, HelperId::kPrefetchEmit,
+                      true},
+        WhitelistCase{"prefetch_in_access", HookKind::kMemAccess, HelperId::kPrefetchEmit,
+                      false},
+        WhitelistCase{"prefetch_in_sched", HookKind::kSchedMigrate, HelperId::kPrefetchEmit,
+                      false},
+        WhitelistCase{"priority_in_sched", HookKind::kSchedMigrate,
+                      HelperId::kSetPriorityHint, true},
+        WhitelistCase{"priority_in_prefetch", HookKind::kMemPrefetch,
+                      HelperId::kSetPriorityHint, false},
+        WhitelistCase{"history_everywhere", HookKind::kMemAccess, HelperId::kHistoryAppend,
+                      true},
+        WhitelistCase{"rate_limit_not_in_access", HookKind::kMemAccess,
+                      HelperId::kRateLimitCheck, false},
+        WhitelistCase{"dp_noise_generic", HookKind::kGeneric, HelperId::kDpNoise, true}),
+    [](const ::testing::TestParamInfo<WhitelistCase>& info) { return info.param.name; });
+
+// --- Budgets ---
+
+TEST(VerifierTest, RejectsOverlongProgram) {
+  HookBudget budget;
+  budget.max_instructions = 4;
+  budget.allowed_helpers = {};
+  VerifierConfig config;
+  config.budget_override = &budget;
+  Assembler a("long");
+  for (int i = 0; i < 8; ++i) {
+    a.MovImm(0, i);
+  }
+  a.Exit();
+  const VerifyReport report = Verifier(config).Verify(MustBuild(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "exceeds hook budget"));
+}
+
+TEST(VerifierTest, RejectsOverlongPath) {
+  HookBudget budget;
+  budget.max_instructions = 100;
+  budget.max_path_length = 4;
+  VerifierConfig config;
+  config.budget_override = &budget;
+  Assembler a("longpath");
+  for (int i = 0; i < 8; ++i) {
+    a.MovImm(0, i);
+  }
+  a.Exit();
+  const VerifyReport report = Verifier(config).Verify(MustBuild(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "longest execution path"));
+}
+
+TEST(VerifierTest, ModelCostCountedAgainstBudget) {
+  // A deep-ish tree installed in the referenced slot.
+  Dataset data(2);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::array<int32_t, 2> row{static_cast<int32_t>(rng.NextInt(0, 100)),
+                                     static_cast<int32_t>(rng.NextInt(0, 100))};
+    data.Add(row, (row[0] + row[1]) % 3);
+  }
+  Result<DecisionTree> tree = DecisionTree::Train(data);
+  ASSERT_TRUE(tree.ok());
+  ModelRegistry models;
+  models.AddSlot();
+  ASSERT_TRUE(models.Install(0, std::make_shared<DecisionTree>(std::move(tree).value())).ok());
+
+  Assembler a("mlcost", HookKind::kSchedMigrate);
+  a.DeclareModels(1);
+  a.VecZero(0);
+  a.MlCall(0, 0, 0);
+  a.Exit();
+  const BytecodeProgram program = MustBuild(a);
+
+  // Generous budget: accepted, work units reported.
+  {
+    const VerifyReport report = Verifier().Verify(program, &models);
+    EXPECT_TRUE(report.ok()) << report.status;
+    EXPECT_GT(report.model_work_units, 0u);
+  }
+  // Starved budget: rejected with the distillation hint.
+  {
+    HookBudget budget = BudgetForHook(HookKind::kSchedMigrate);
+    budget.max_work_units = 1;
+    VerifierConfig config;
+    config.budget_override = &budget;
+    const VerifyReport report = Verifier(config).Verify(program, &models);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(HasDiagnosticContaining(report, "ML work units"));
+  }
+}
+
+TEST(VerifierTest, TensorCostCountedAgainstBudget) {
+  TensorRegistry tensors;
+  tensors.Add(FixedMatrix(32, 32));  // 1024 MACs
+  Assembler a("tensorcost");
+  a.DeclareTensors(1);
+  a.VecZero(0);
+  a.MatMul(1, 0, 0);
+  a.MovImm(0, 0).Exit();
+  HookBudget budget = BudgetForHook(HookKind::kGeneric);
+  budget.max_work_units = 100;
+  VerifierConfig config;
+  config.budget_override = &budget;
+  const VerifyReport report = Verifier(config).Verify(MustBuild(a), nullptr, &tensors);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.model_work_units, 4096u + 0u);  // 4 * 1024 MACs
+}
+
+// --- Interference guards ---
+
+TEST(VerifierTest, UnguardedGrantRejected) {
+  Assembler a("unguarded", HookKind::kMemPrefetch);
+  a.MovImm(1, 10).MovImm(2, 1);
+  a.Call(HelperId::kPrefetchEmit);
+  a.MovImm(0, 0).Exit();
+  const VerifyReport report = Verifier().Verify(MustBuild(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasDiagnosticContaining(report, "rate_limit_check"));
+}
+
+TEST(VerifierTest, GuardRequirementCanBeDisabled) {
+  VerifierConfig config;
+  config.require_rate_limit_guard = false;
+  Assembler a("unguarded_ok", HookKind::kMemPrefetch);
+  a.MovImm(1, 10).MovImm(2, 1);
+  a.Call(HelperId::kPrefetchEmit);
+  a.MovImm(0, 0).Exit();
+  EXPECT_TRUE(Verifier(config).Verify(MustBuild(a)).ok());
+}
+
+TEST(GuardInsertionTest, InsertsGuardAndReverifies) {
+  Assembler a("needs_guard", HookKind::kMemPrefetch);
+  a.MovImm(1, 10).MovImm(2, 1);
+  a.Call(HelperId::kPrefetchEmit);
+  a.MovImm(0, 0).Exit();
+  BytecodeProgram program = MustBuild(a);
+  ASSERT_FALSE(Verifier().Verify(program).ok());
+
+  Result<int> guards = InsertRateLimitGuards(program);
+  ASSERT_TRUE(guards.ok()) << guards.status();
+  EXPECT_EQ(*guards, 1);
+  EXPECT_TRUE(Verifier().Verify(program).ok());
+}
+
+TEST(GuardInsertionTest, GuardActuallyBlocksWhenLimiterDenies) {
+  Assembler a("guarded_exec", HookKind::kMemPrefetch);
+  a.MovImm(1, 10).MovImm(2, 4);
+  a.Call(HelperId::kPrefetchEmit);  // asks for 4 pages
+  a.MovImm(0, 0).Exit();
+  BytecodeProgram program = MustBuild(a);
+  ASSERT_TRUE(InsertRateLimitGuards(program).ok());
+
+  std::vector<int64_t> emitted;
+  RateLimiter limiter(4, 0);  // 4 tokens, never refilled
+  HelperServices services;
+  services.rate_limiter = &limiter;
+  services.prefetch_emit = [&](int64_t page, int64_t count) {
+    for (int64_t i = 0; i < count; ++i) {
+      emitted.push_back(page + i);
+    }
+  };
+  VmEnv env;
+  env.helpers = &services;
+  const Interpreter interp(env);
+
+  // First run consumes the bucket (guard key r1=10, units r2=4).
+  ASSERT_TRUE(interp.Run(program, {}).ok());
+  EXPECT_EQ(emitted.size(), 4u);
+  // Second run is denied by the inserted guard: no further emissions.
+  ASSERT_TRUE(interp.Run(program, {}).ok());
+  EXPECT_EQ(emitted.size(), 4u);
+}
+
+TEST(GuardInsertionTest, BranchesAcrossInsertionAreFixedUp) {
+  Assembler a("branches", HookKind::kMemPrefetch);
+  auto skip = a.NewLabel();
+  a.MovImm(1, 10).MovImm(2, 1);
+  a.JeqImm(1, 0, skip);              // branch across the insertion point
+  a.Call(HelperId::kPrefetchEmit);
+  a.Bind(skip);
+  a.MovImm(0, 55).Exit();
+  BytecodeProgram program = MustBuild(a);
+  ASSERT_TRUE(InsertRateLimitGuards(program).ok());
+  EXPECT_TRUE(Verifier().Verify(program).ok());
+
+  HelperServices services;  // no limiter: check allows by default
+  int emit_calls = 0;
+  services.prefetch_emit = [&](int64_t, int64_t) { ++emit_calls; };
+  VmEnv env;
+  env.helpers = &services;
+  const Interpreter interp(env);
+  Result<int64_t> result = interp.Run(program, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, 55);
+  EXPECT_EQ(emit_calls, 1);
+}
+
+TEST(GuardInsertionTest, AlreadyGuardedGrantLeftAlone) {
+  Assembler a("pre_guarded", HookKind::kMemPrefetch);
+  auto done = a.NewLabel();
+  a.MovImm(1, 10).MovImm(2, 1);
+  a.Call(HelperId::kRateLimitCheck);
+  a.JeqImm(0, 0, done);
+  a.Call(HelperId::kPrefetchEmit);
+  a.Bind(done);
+  a.MovImm(0, 0).Exit();
+  BytecodeProgram program = MustBuild(a);
+  const size_t before = program.code.size();
+  Result<int> guards = InsertRateLimitGuards(program);
+  ASSERT_TRUE(guards.ok());
+  EXPECT_EQ(*guards, 0);
+  EXPECT_EQ(program.code.size(), before);
+}
+
+// --- Privacy budget ---
+
+TEST(VerifierTest, CountsDpNoiseSitesAndEnforcesEpsilon) {
+  VerifierConfig config;
+  config.max_epsilon = 0.25;
+  config.epsilon_per_noise_site = 0.1;
+  Assembler a("dp");
+  a.Call(HelperId::kDpNoise);
+  a.Call(HelperId::kDpNoise);
+  a.Exit();
+  {
+    const VerifyReport report = Verifier(config).Verify(MustBuild(a));
+    EXPECT_TRUE(report.ok()) << report.status;
+    EXPECT_EQ(report.dp_noise_sites, 2u);
+    EXPECT_NEAR(report.epsilon_spend, 0.2, 1e-9);
+  }
+  Assembler b("dp3");
+  b.Call(HelperId::kDpNoise);
+  b.Call(HelperId::kDpNoise);
+  b.Call(HelperId::kDpNoise);
+  b.Exit();
+  {
+    const VerifyReport report = Verifier(config).Verify(MustBuild(b));
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(HasDiagnosticContaining(report, "privacy budget"));
+  }
+}
+
+TEST(VerifierTest, ReportsAllDiagnosticsNotJustFirst) {
+  Assembler a("multi");
+  a.Add(0, 6);            // uninitialized reads
+  a.DivImm(0, 0);         // zero divisor
+  a.MapLookup(0, 2, 0);   // undeclared map
+  a.Exit();
+  const VerifyReport report = Verifier().Verify(MustBuild(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.diagnostics.size(), 3u);
+}
+
+TEST(BudgetForHookTest, SchedulerBudgetIsTighterThanPrefetch) {
+  const HookBudget sched = BudgetForHook(HookKind::kSchedMigrate);
+  const HookBudget prefetch = BudgetForHook(HookKind::kMemPrefetch);
+  EXPECT_LT(sched.max_work_units, prefetch.max_work_units);
+  EXPECT_LT(sched.max_path_length, prefetch.max_path_length);
+}
+
+}  // namespace
+}  // namespace rkd

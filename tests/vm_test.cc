@@ -1,0 +1,627 @@
+// Unit tests for the interpreter tier: src/vm/vm.cc plus the context store
+// and helper services it executes against.
+#include <array>
+#include <gtest/gtest.h>
+
+#include "src/bytecode/assembler.h"
+#include "src/vm/context_store.h"
+#include "src/vm/helpers.h"
+#include "src/vm/vm.h"
+
+namespace rkd {
+namespace {
+
+// Runs a program with no environment, returning r0.
+Result<int64_t> RunBare(const BytecodeProgram& program, std::span<const int64_t> args = {}) {
+  const Interpreter interp(VmEnv{});
+  return interp.Run(program, args);
+}
+
+BytecodeProgram MustBuild(Assembler& a) {
+  Result<BytecodeProgram> program = a.Build();
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+// --- Scalar ALU semantics ---
+
+struct AluCase {
+  const char* name;
+  Opcode reg_op;
+  Opcode imm_op;
+  int64_t lhs;
+  int64_t rhs;
+  int64_t expected;
+};
+
+class AluTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluTest, RegisterForm) {
+  const AluCase& c = GetParam();
+  Assembler a("alu");
+  a.MovImm(0, c.lhs).MovImm(2, c.rhs);
+  switch (c.reg_op) {
+    case Opcode::kAdd: a.Add(0, 2); break;
+    case Opcode::kSub: a.Sub(0, 2); break;
+    case Opcode::kMul: a.Mul(0, 2); break;
+    case Opcode::kDiv: a.Div(0, 2); break;
+    case Opcode::kMod: a.Mod(0, 2); break;
+    case Opcode::kAnd: a.And(0, 2); break;
+    case Opcode::kOr: a.Or(0, 2); break;
+    case Opcode::kXor: a.Xor(0, 2); break;
+    case Opcode::kShl: a.Shl(0, 2); break;
+    case Opcode::kShr: a.Shr(0, 2); break;
+    case Opcode::kAshr: a.Ashr(0, 2); break;
+    default: FAIL() << "unexpected opcode";
+  }
+  a.Exit();
+  const BytecodeProgram program = MustBuild(a);
+  Result<int64_t> result = RunBare(program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, c.expected) << c.name;
+}
+
+TEST_P(AluTest, ImmediateForm) {
+  const AluCase& c = GetParam();
+  Assembler a("alu_imm");
+  a.MovImm(0, c.lhs);
+  switch (c.imm_op) {
+    case Opcode::kAddImm: a.AddImm(0, c.rhs); break;
+    case Opcode::kSubImm: a.SubImm(0, c.rhs); break;
+    case Opcode::kMulImm: a.MulImm(0, c.rhs); break;
+    case Opcode::kDivImm: a.DivImm(0, c.rhs); break;
+    case Opcode::kModImm: a.ModImm(0, c.rhs); break;
+    case Opcode::kAndImm: a.AndImm(0, c.rhs); break;
+    case Opcode::kOrImm: a.OrImm(0, c.rhs); break;
+    case Opcode::kXorImm: a.XorImm(0, c.rhs); break;
+    case Opcode::kShlImm: a.ShlImm(0, c.rhs); break;
+    case Opcode::kShrImm: a.ShrImm(0, c.rhs); break;
+    case Opcode::kAshrImm: a.AshrImm(0, c.rhs); break;
+    default: FAIL() << "unexpected opcode";
+  }
+  a.Exit();
+  const BytecodeProgram program = MustBuild(a);
+  Result<int64_t> result = RunBare(program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, c.expected) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, AluTest,
+    ::testing::Values(
+        AluCase{"add", Opcode::kAdd, Opcode::kAddImm, 7, 5, 12},
+        AluCase{"add_negative", Opcode::kAdd, Opcode::kAddImm, -7, 5, -2},
+        AluCase{"sub", Opcode::kSub, Opcode::kSubImm, 7, 5, 2},
+        AluCase{"mul", Opcode::kMul, Opcode::kMulImm, -3, 6, -18},
+        AluCase{"div", Opcode::kDiv, Opcode::kDivImm, 17, 5, 3},
+        AluCase{"div_negative", Opcode::kDiv, Opcode::kDivImm, -17, 5, -3},
+        AluCase{"div_by_zero_is_zero", Opcode::kDiv, Opcode::kDivImm, 17, 0, 0},
+        AluCase{"mod", Opcode::kMod, Opcode::kModImm, 17, 5, 2},
+        AluCase{"mod_by_zero_is_zero", Opcode::kMod, Opcode::kModImm, 17, 0, 0},
+        AluCase{"and", Opcode::kAnd, Opcode::kAndImm, 0b1100, 0b1010, 0b1000},
+        AluCase{"or", Opcode::kOr, Opcode::kOrImm, 0b1100, 0b1010, 0b1110},
+        AluCase{"xor", Opcode::kXor, Opcode::kXorImm, 0b1100, 0b1010, 0b0110},
+        AluCase{"shl", Opcode::kShl, Opcode::kShlImm, 3, 4, 48},
+        AluCase{"shl_masked", Opcode::kShl, Opcode::kShlImm, 1, 65, 2},
+        AluCase{"shr_logical", Opcode::kShr, Opcode::kShrImm, -8, 60, 15},
+        AluCase{"ashr_arithmetic", Opcode::kAshr, Opcode::kAshrImm, -8, 2, -2}),
+    [](const ::testing::TestParamInfo<AluCase>& info) { return info.param.name; });
+
+TEST(VmTest, MovAndNeg) {
+  Assembler a("movneg");
+  a.MovImm(3, 41).Mov(0, 3).Neg(0).Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, -41);
+}
+
+TEST(VmTest, ArgumentsArriveInR1ToR5) {
+  Assembler a("args");
+  a.MovImm(0, 0);
+  for (int reg = 1; reg <= 5; ++reg) {
+    a.Add(0, reg);
+  }
+  a.Exit();
+  const std::array<int64_t, 5> args{1, 10, 100, 1000, 10000};
+  Result<int64_t> result = RunBare(MustBuild(a), args);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 11111);
+}
+
+TEST(VmTest, TooManyArgumentsRejected) {
+  Assembler a("args6");
+  a.MovImm(0, 0).Exit();
+  const std::array<int64_t, 6> args{};
+  Result<int64_t> result = RunBare(MustBuild(a), args);
+  EXPECT_FALSE(result.ok());
+}
+
+// --- Branches ---
+
+struct BranchCase {
+  const char* name;
+  Opcode imm_op;
+  int64_t lhs;
+  int64_t imm;
+  bool taken;
+};
+
+class BranchTest : public ::testing::TestWithParam<BranchCase> {};
+
+TEST_P(BranchTest, ImmediateCondition) {
+  const BranchCase& c = GetParam();
+  Assembler a("branch");
+  auto taken = a.NewLabel();
+  a.MovImm(3, c.lhs);
+  switch (c.imm_op) {
+    case Opcode::kJeqImm: a.JeqImm(3, c.imm, taken); break;
+    case Opcode::kJneImm: a.JneImm(3, c.imm, taken); break;
+    case Opcode::kJltImm: a.JltImm(3, c.imm, taken); break;
+    case Opcode::kJleImm: a.JleImm(3, c.imm, taken); break;
+    case Opcode::kJgtImm: a.JgtImm(3, c.imm, taken); break;
+    case Opcode::kJgeImm: a.JgeImm(3, c.imm, taken); break;
+    case Opcode::kJsetImm: a.JsetImm(3, c.imm, taken); break;
+    default: FAIL();
+  }
+  auto end = a.NewLabel();
+  a.MovImm(0, 100);  // fall-through path
+  a.Ja(end);
+  a.Bind(taken);
+  a.MovImm(0, 200);  // taken path
+  a.Bind(end);
+  a.Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, c.taken ? 200 : 100) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conditions, BranchTest,
+    ::testing::Values(
+        BranchCase{"jeq_taken", Opcode::kJeqImm, 5, 5, true},
+        BranchCase{"jeq_not", Opcode::kJeqImm, 5, 6, false},
+        BranchCase{"jne_taken", Opcode::kJneImm, 5, 6, true},
+        BranchCase{"jne_not", Opcode::kJneImm, 5, 5, false},
+        BranchCase{"jlt_taken", Opcode::kJltImm, -1, 0, true},
+        BranchCase{"jlt_not_equal", Opcode::kJltImm, 0, 0, false},
+        BranchCase{"jle_taken_equal", Opcode::kJleImm, 0, 0, true},
+        BranchCase{"jgt_taken", Opcode::kJgtImm, 1, 0, true},
+        BranchCase{"jgt_not", Opcode::kJgtImm, 0, 0, false},
+        BranchCase{"jge_taken_equal", Opcode::kJgeImm, 0, 0, true},
+        BranchCase{"jset_taken", Opcode::kJsetImm, 0b110, 0b010, true},
+        BranchCase{"jset_not", Opcode::kJsetImm, 0b100, 0b010, false}),
+    [](const ::testing::TestParamInfo<BranchCase>& info) { return info.param.name; });
+
+TEST(VmTest, RegisterFormBranchComparesRegisters) {
+  Assembler a("branch_reg");
+  auto yes = a.NewLabel();
+  auto end = a.NewLabel();
+  a.MovImm(2, 9).MovImm(3, 9);
+  a.Jeq(2, 3, yes);
+  a.MovImm(0, 0);
+  a.Ja(end);
+  a.Bind(yes);
+  a.MovImm(0, 1);
+  a.Bind(end);
+  a.Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 1);
+}
+
+// --- Stack ---
+
+TEST(VmTest, StackStoreLoadRoundTrip) {
+  Assembler a("stack");
+  a.MovImm(2, 0xdeadbeef);
+  a.StStack(-8, 2);
+  a.StStackImm(-16, 77);
+  a.LdStack(0, -8);
+  a.LdStack(3, -16);
+  a.Add(0, 3);
+  a.Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0xdeadbeef + 77);
+}
+
+TEST(VmTest, DeepestStackSlotIsAccessible) {
+  Assembler a("stack_deep");
+  a.StStackImm(-kStackSize, 123);
+  a.LdStack(0, -kStackSize);
+  a.Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 123);
+}
+
+TEST(VmTest, OutOfBoundsStackFaults) {
+  Assembler a("stack_oob");
+  a.StStackImm(-(kStackSize + 8), 1);
+  a.MovImm(0, 0).Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(VmTest, UnalignedStackFaults) {
+  Assembler a("stack_unaligned");
+  a.StStackImm(-12, 1);
+  a.MovImm(0, 0).Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_FALSE(result.ok());
+}
+
+// --- Execution context ---
+
+TEST(VmTest, CtxtStoreCreatesAndLoads) {
+  ContextStore ctxt;
+  VmEnv env;
+  env.ctxt = &ctxt;
+  const Interpreter interp(env);
+
+  Assembler a("ctxt");
+  a.MovImm(2, 55);        // value
+  a.StCtxt(1, 3, 2);      // ctxt[r1].slot3 = 55
+  a.LdCtxt(0, 1, 3);
+  a.Exit();
+  const std::array<int64_t, 1> args{42};  // key
+  Result<int64_t> result = interp.Run(MustBuild(a), args);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, 55);
+  ASSERT_NE(ctxt.Find(42), nullptr);
+  EXPECT_EQ(ctxt.Find(42)->slots[3], 55);
+}
+
+TEST(VmTest, LdCtxtMissingKeyReadsZero) {
+  ContextStore ctxt;
+  VmEnv env;
+  env.ctxt = &ctxt;
+  const Interpreter interp(env);
+
+  Assembler a("ctxt_miss");
+  a.LdCtxt(0, 1, 0).Exit();
+  const std::array<int64_t, 1> args{999};
+  Result<int64_t> result = interp.Run(MustBuild(a), args);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0);
+  EXPECT_FALSE(ctxt.Contains(999));  // reads do not create entries
+}
+
+TEST(VmTest, MatchCtxtReportsPresence) {
+  ContextStore ctxt;
+  ctxt.FindOrCreate(7);
+  VmEnv env;
+  env.ctxt = &ctxt;
+  const Interpreter interp(env);
+
+  Assembler a("match");
+  auto hit = a.NewLabel();
+  auto end = a.NewLabel();
+  a.MatchCtxt(2, 1);
+  a.JeqImm(2, 1, hit);
+  a.MovImm(0, 0);
+  a.Ja(end);
+  a.Bind(hit);
+  a.MovImm(0, 1);
+  a.Bind(end);
+  a.Exit();
+  const BytecodeProgram program = MustBuild(a);
+
+  const std::array<int64_t, 1> present{7};
+  const std::array<int64_t, 1> absent{8};
+  EXPECT_EQ(*interp.Run(program, present), 1);
+  EXPECT_EQ(*interp.Run(program, absent), 0);
+}
+
+// --- Vector ops ---
+
+TEST(VmTest, ScalarValAndExtract) {
+  Assembler a("lanes");
+  a.VecZero(1);
+  a.MovImm(2, 12345);
+  a.ScalarVal(1, 9, 2);
+  a.VecExtract(0, 1, 9);
+  a.Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 12345);
+}
+
+TEST(VmTest, VecArgmaxFindsLargestLane) {
+  Assembler a("argmax");
+  a.VecZero(0);
+  a.MovImm(2, 10);
+  a.ScalarVal(0, 3, 2);
+  a.MovImm(2, 99);
+  a.ScalarVal(0, 17, 2);
+  a.MovImm(2, 50);
+  a.ScalarVal(0, 30, 2);
+  a.VecArgmax(0, 0);
+  a.Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 17);
+}
+
+TEST(VmTest, VecAddAndReluAreLaneWise) {
+  Assembler a("vecadd");
+  a.VecZero(0);
+  a.VecZero(1);
+  a.MovImm(2, -5);
+  a.ScalarVal(0, 0, 2);
+  a.MovImm(2, 3);
+  a.ScalarVal(1, 0, 2);
+  a.VecAdd(0, 1);           // lane0 = -2
+  a.VecRelu(0, 0);          // lane0 = 0
+  a.VecExtract(0, 0, 0);
+  a.Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0);
+}
+
+TEST(VmTest, MatMulAppliesTensor) {
+  // 2x2 identity * [x, y] = [x, y] in Q16.16.
+  TensorRegistry tensors;
+  FixedMatrix identity(2, 2);
+  identity.at(0, 0) = Fixed32::One().raw();
+  identity.at(1, 1) = Fixed32::One().raw();
+  const int64_t id = tensors.Add(identity);
+
+  VmEnv env;
+  env.tensors = &tensors;
+  const Interpreter interp(env);
+
+  Assembler a("matmul");
+  a.VecZero(0);
+  a.MovImm(2, 7 << 16);
+  a.ScalarVal(0, 0, 2);
+  a.MovImm(2, 9 << 16);
+  a.ScalarVal(0, 1, 2);
+  a.MatMul(1, 0, id);
+  a.VecExtract(0, 1, 1);
+  a.Exit();
+  Result<int64_t> result = interp.Run(MustBuild(a), {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(*result, 9 << 16);
+}
+
+TEST(VmTest, VecDotComputesQ16Product) {
+  Assembler a("dot");
+  a.VecZero(2);
+  a.VecZero(3);
+  a.MovImm(4, 3 << 16);
+  a.ScalarVal(2, 0, 4);
+  a.MovImm(4, 5 << 16);
+  a.ScalarVal(3, 0, 4);
+  a.VecDot(2, 3);    // r2 = 15 in Q16.16
+  a.Mov(0, 2);
+  a.Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 15ll << 16);
+}
+
+TEST(VmTest, MissingTensorFaultsInInterpreter) {
+  Assembler a("no_tensor");
+  a.VecZero(0);
+  a.MatMul(1, 0, 5);
+  a.MovImm(0, 0).Exit();
+  Result<int64_t> result = RunBare(MustBuild(a));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// --- Step budget / runtime safety ---
+
+TEST(VmTest, StepBudgetStopsNonTerminatingProgram) {
+  // Hand-build a backward jump (the assembler cannot express one with
+  // labels bound after use, so craft the instruction directly).
+  BytecodeProgram program;
+  program.name = "loop";
+  Instruction jump;
+  jump.opcode = Opcode::kJa;
+  jump.offset = -1;  // jump to itself
+  program.code.push_back(jump);
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+
+  VmConfig config;
+  config.max_steps = 1000;
+  const Interpreter interp(VmEnv{}, config);
+  Result<int64_t> result = interp.Run(program, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VmTest, EmptyProgramRejected) {
+  BytecodeProgram program;
+  program.name = "empty";
+  Result<int64_t> result = RunBare(program);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(VmTest, OutOfRangeRegisterFaults) {
+  BytecodeProgram program;
+  program.name = "badreg";
+  Instruction insn;
+  insn.opcode = Opcode::kMovImm;
+  insn.dst = kNumScalarRegs;  // r11 does not exist
+  insn.imm = 1;
+  program.code.push_back(insn);
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+  Result<int64_t> result = RunBare(program);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(VmTest, RunStatsCountSteps) {
+  Assembler a("stats");
+  a.MovImm(0, 1).AddImm(0, 1).Exit();
+  const Interpreter interp(VmEnv{});
+  RunStats stats;
+  Result<int64_t> result = interp.Run(MustBuild(a), {}, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.steps, 3u);
+}
+
+// --- Helpers through kCall ---
+
+class HelperVmTest : public ::testing::Test {
+ protected:
+  HelperVmTest() {
+    services_.now = [this] { return now_; };
+    services_.ctxt = &ctxt_;
+    services_.sample_ring = &ring_;
+    services_.rate_limiter = &limiter_;
+    services_.prediction_log = &log_;
+    services_.prefetch_emit = [this](int64_t page, int64_t count) {
+      for (int64_t i = 0; i < count; ++i) {
+        emitted_.push_back(page + i);
+      }
+    };
+    env_.ctxt = &ctxt_;
+    env_.helpers = &services_;
+  }
+
+  Result<int64_t> Run(Assembler& a, std::span<const int64_t> args = {}) {
+    const Interpreter interp(env_);
+    return interp.Run(MustBuild(a), args);
+  }
+
+  uint64_t now_ = 0;
+  ContextStore ctxt_;
+  RingMap ring_{16};
+  RateLimiter limiter_{4, 1};
+  PredictionLog log_;
+  std::vector<int64_t> emitted_;
+  HelperServices services_;
+  VmEnv env_;
+};
+
+TEST_F(HelperVmTest, GetTimeReturnsClock) {
+  now_ = 777;
+  Assembler a("time");
+  a.Call(HelperId::kGetTime).Exit();
+  const std::array<int64_t, 5> args{0, 0, 0, 0, 0};
+  Result<int64_t> result = Run(a, args);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 777);
+}
+
+TEST_F(HelperVmTest, RecordSampleFeedsRing) {
+  Assembler a("sample");
+  a.Call(HelperId::kRecordSample).Exit();
+  const std::array<int64_t, 5> args{42, 99, 0, 0, 0};
+  ASSERT_TRUE(Run(a, args).ok());
+  auto record = ring_.Pop();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->key, 42);
+  EXPECT_EQ(record->value, 99);
+}
+
+TEST_F(HelperVmTest, HistoryAppendGetLen) {
+  Assembler a("history");
+  a.Call(HelperId::kHistoryAppend);       // append r2 to history[r1]
+  a.MovImm(2, 0);
+  a.Call(HelperId::kHistoryGet);          // newest element
+  a.Mov(6, 0);
+  a.Call(HelperId::kHistoryLen);
+  a.Mul(0, 6);                            // len * newest
+  a.Exit();
+  const std::array<int64_t, 5> args{5, 31, 0, 0, 0};
+  Result<int64_t> result = Run(a, args);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 31);  // len 1 * value 31
+}
+
+TEST_F(HelperVmTest, RateLimiterDeniesAfterCapacity) {
+  Assembler a("limit");
+  a.MovImm(2, 3);
+  a.Call(HelperId::kRateLimitCheck);  // consume 3 of 4
+  a.Mov(6, 0);
+  a.Call(HelperId::kRateLimitCheck);  // needs 3, only 1 left -> denied
+  a.Add(0, 6);
+  a.Exit();
+  const std::array<int64_t, 5> args{1, 0, 0, 0, 0};
+  Result<int64_t> result = Run(a, args);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 1);  // first allowed (1) + second denied (0)
+}
+
+TEST_F(HelperVmTest, PrefetchEmitReachesSink) {
+  Assembler a("emit");
+  a.MovImm(1, 100).MovImm(2, 3);
+  a.Call(HelperId::kPrefetchEmit);
+  a.Exit();
+  ASSERT_TRUE(Run(a, std::array<int64_t, 5>{0, 0, 0, 0, 0}).ok());
+  EXPECT_EQ(emitted_, (std::vector<int64_t>{100, 101, 102}));
+}
+
+TEST_F(HelperVmTest, PredictionLogRecordsAndResolves) {
+  Assembler a("log");
+  a.Call(HelperId::kPredictionLog);
+  a.Exit();
+  ASSERT_TRUE(Run(a, std::array<int64_t, 5>{7, 1234, 0, 0, 0}).ok());
+  log_.Resolve(7, 1234);
+  EXPECT_EQ(log_.total_resolved(), 1u);
+  EXPECT_EQ(log_.total_correct(), 1u);
+  log_.Record(7, 1);
+  log_.Resolve(7, 2);
+  EXPECT_NEAR(log_.accuracy(), 0.5, 1e-9);
+}
+
+TEST_F(HelperVmTest, UnknownHelperFaults) {
+  BytecodeProgram program;
+  program.name = "badcall";
+  Instruction call;
+  call.opcode = Opcode::kCall;
+  call.imm = 999;
+  program.code.push_back(call);
+  Instruction exit_insn;
+  exit_insn.opcode = Opcode::kExit;
+  program.code.push_back(exit_insn);
+  const Interpreter interp(env_);
+  const std::array<int64_t, 5> args{0, 0, 0, 0, 0};
+  Result<int64_t> result = interp.Run(program, args);
+  EXPECT_FALSE(result.ok());
+}
+
+// --- Context store internals ---
+
+TEST(ContextStoreTest, HistoryRingWrapsAround) {
+  ContextEntry entry;
+  for (int i = 0; i < kCtxtHistoryCapacity + 10; ++i) {
+    entry.AppendHistory(i);
+  }
+  EXPECT_EQ(entry.history_len, static_cast<uint32_t>(kCtxtHistoryCapacity));
+  EXPECT_EQ(entry.HistoryAt(0), kCtxtHistoryCapacity + 9);  // newest
+  EXPECT_EQ(entry.HistoryAt(kCtxtHistoryCapacity - 1), 10); // oldest retained
+  EXPECT_EQ(entry.HistoryAt(kCtxtHistoryCapacity), 0);      // out of range
+}
+
+TEST(ContextStoreTest, CapacityBackPressure) {
+  ContextStore store(2);
+  EXPECT_NE(store.FindOrCreate(1), nullptr);
+  EXPECT_NE(store.FindOrCreate(2), nullptr);
+  EXPECT_EQ(store.FindOrCreate(3), nullptr);  // full
+  EXPECT_NE(store.FindOrCreate(1), nullptr);  // existing keys still work
+  EXPECT_TRUE(store.Erase(1));
+  EXPECT_NE(store.FindOrCreate(3), nullptr);  // space freed
+}
+
+TEST(ContextStoreTest, ForEachVisitsAllEntries) {
+  ContextStore store;
+  store.FindOrCreate(1)->slots[0] = 10;
+  store.FindOrCreate(2)->slots[0] = 20;
+  int64_t total = 0;
+  store.ForEach([&](uint64_t, const ContextEntry& entry) { total += entry.slots[0]; });
+  EXPECT_EQ(total, 30);
+}
+
+}  // namespace
+}  // namespace rkd

@@ -1,0 +1,210 @@
+// Tests for the workload generators: the delta-cycle structure each trace
+// documents is asserted here, since the Table 1 reproduction depends on it.
+#include <map>
+#include <gtest/gtest.h>
+
+#include "src/workloads/access_trace.h"
+#include "src/workloads/cpu_jobs.h"
+
+namespace rkd {
+namespace {
+
+std::map<int64_t, size_t> DeltaHistogram(const AccessTrace& trace) {
+  std::map<int64_t, size_t> histogram;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    ++histogram[trace[i].page - trace[i - 1].page];
+  }
+  return histogram;
+}
+
+TEST(AccessTraceTest, SequentialTraceHasUnitDeltas) {
+  const AccessTrace trace = MakeSequentialTrace(1, 100, 50);
+  ASSERT_EQ(trace.size(), 50u);
+  EXPECT_EQ(trace.front().page, 100);
+  EXPECT_EQ(trace.back().page, 149);
+  const auto histogram = DeltaHistogram(trace);
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram.at(1), 49u);
+}
+
+TEST(AccessTraceTest, StridedTraceWithoutNoiseIsPureStride) {
+  Rng rng(1);
+  const AccessTrace trace = MakeStridedTrace(1, 0, 7, 100, 0.0, rng);
+  const auto histogram = DeltaHistogram(trace);
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram.at(7), 99u);
+}
+
+TEST(AccessTraceTest, StridedTraceNoiseInjectsOtherDeltas) {
+  Rng rng(2);
+  const AccessTrace trace = MakeStridedTrace(1, 0, 4, 2000, 0.2, rng);
+  const auto histogram = DeltaHistogram(trace);
+  EXPECT_GT(histogram.size(), 1u);
+}
+
+TEST(AccessTraceTest, RandomTraceStaysInPageSpace) {
+  Rng rng(3);
+  const AccessTrace trace = MakeRandomTrace(2, 1000, 500, rng);
+  for (const AccessEvent& event : trace) {
+    EXPECT_GE(event.page, 0);
+    EXPECT_LT(event.page, 1000);
+    EXPECT_EQ(event.pid, 2u);
+  }
+}
+
+TEST(AccessTraceTest, ZipfTraceIsSkewed) {
+  Rng rng(4);
+  const AccessTrace trace = MakeZipfTrace(1, 1000, 1.2, 5000, rng);
+  std::map<int64_t, size_t> counts;
+  for (const AccessEvent& event : trace) {
+    ++counts[event.page];
+  }
+  EXPECT_GT(counts[0], counts.size() > 100 ? counts.rbegin()->second : 0u);
+}
+
+TEST(AccessTraceTest, VideoResizeLumaCycleIsPresent) {
+  VideoResizeConfig config;
+  config.noise_prob = 0.0;
+  Rng rng(5);
+  const AccessTrace trace = MakeVideoResizeTrace(config, rng);
+  const auto histogram = DeltaHistogram(trace);
+  // The documented 2-cycle: +width and -width+scale dominate the luma pass.
+  ASSERT_TRUE(histogram.contains(config.width_pages));
+  ASSERT_TRUE(histogram.contains(-config.width_pages + config.scale));
+  // The chroma pass contributes a +2 single stride.
+  ASSERT_TRUE(histogram.contains(2));
+  // No unit-stride runs anywhere (that is the point of the workload).
+  EXPECT_FALSE(histogram.contains(1));
+}
+
+TEST(AccessTraceTest, VideoResizeNoMajorityDeltaInLuma) {
+  VideoResizeConfig config;
+  config.noise_prob = 0.0;
+  Rng rng(6);
+  const AccessTrace trace = MakeVideoResizeTrace(config, rng);
+  const auto histogram = DeltaHistogram(trace);
+  // +width (the most common luma delta) must not hold a strict majority of
+  // the whole trace, or Leap's vote would trivially win.
+  EXPECT_LT(histogram.at(config.width_pages) * 2, trace.size() - 1);
+}
+
+TEST(AccessTraceTest, MatrixConvSixCycle) {
+  MatrixConvConfig config;
+  config.noise_prob = 0.0;
+  Rng rng(7);
+  const AccessTrace trace = MakeMatrixConvTrace(config, rng);
+  const auto histogram = DeltaHistogram(trace);
+  const int64_t width = config.width_pages;
+  // Documented deltas: +1 (pair partner), +width-1 (next row of the span),
+  // and the cycle-closing -2*width + tile_step - 1.
+  ASSERT_TRUE(histogram.contains(1));
+  ASSERT_TRUE(histogram.contains(width - 1));
+  ASSERT_TRUE(histogram.contains(-2 * width + config.tile_step - 1));
+  // +1 is exactly half the deltas within a full band (no strict majority).
+  const size_t total = trace.size() - 1;
+  EXPECT_NEAR(static_cast<double>(histogram.at(1)) / static_cast<double>(total), 0.5, 0.02);
+}
+
+TEST(AccessTraceTest, MatrixConvBandsAreStaggered) {
+  MatrixConvConfig config;
+  config.noise_prob = 0.0;
+  Rng rng(8);
+  const AccessTrace trace = MakeMatrixConvTrace(config, rng);
+  // First access of band 0 is at column 0; band 1 starts 7 columns later
+  // (phase = 7 % tile_step), so the first pages of the two bands differ by
+  // more than a whole band height of rows.
+  const int64_t band0_first = trace.front().page;
+  EXPECT_EQ(band0_first, config.input_base);
+  // Find the first access in the second band (row >= kernel).
+  int64_t band1_first = -1;
+  for (const AccessEvent& event : trace) {
+    if (event.page >= config.input_base + config.kernel * config.width_pages) {
+      band1_first = event.page;
+      break;
+    }
+  }
+  ASSERT_GE(band1_first, 0);
+  EXPECT_EQ((band1_first - config.input_base) % config.width_pages, 7);
+}
+
+TEST(AccessTraceTest, InterleaveRoundRobinsAndKeepsAllEvents) {
+  const AccessTrace a = MakeSequentialTrace(1, 0, 3);
+  const AccessTrace b = MakeSequentialTrace(2, 100, 2);
+  const AccessTrace merged = Interleave({a, b});
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged[0].pid, 1u);
+  EXPECT_EQ(merged[1].pid, 2u);
+  EXPECT_EQ(merged[2].pid, 1u);
+  EXPECT_EQ(merged[3].pid, 2u);
+  EXPECT_EQ(merged[4].pid, 1u);
+}
+
+// --- CPU jobs ---
+
+TEST(CpuJobsTest, KindNames) {
+  EXPECT_EQ(JobKindName(JobKind::kBlackscholes), "blackscholes");
+  EXPECT_EQ(JobKindName(JobKind::kStreamcluster), "streamcluster");
+  EXPECT_EQ(JobKindName(JobKind::kFib), "fib");
+  EXPECT_EQ(JobKindName(JobKind::kMatMul), "matmul");
+}
+
+TEST(CpuJobsTest, BlackscholesIsUniformNoBarriers) {
+  JobConfig config;
+  config.num_tasks = 8;
+  config.base_work = 1000;
+  const JobSpec job = MakeJob(JobKind::kBlackscholes, config);
+  EXPECT_EQ(job.tasks.size(), 8u);
+  EXPECT_EQ(job.num_phases, 0u);
+  for (const TaskSpec& task : job.tasks) {
+    EXPECT_EQ(task.arrival_tick, 0u);
+    EXPECT_GE(task.total_work, 1000u);
+    EXPECT_LE(task.total_work, 1100u);
+    EXPECT_EQ(task.phase_work, 0u);
+  }
+}
+
+TEST(CpuJobsTest, StreamclusterHasConsistentPhases) {
+  const JobSpec job = MakeJob(JobKind::kStreamcluster);
+  EXPECT_GT(job.num_phases, 0u);
+  for (const TaskSpec& task : job.tasks) {
+    EXPECT_GT(task.phase_work, 0u);
+    EXPECT_EQ(task.total_work, task.phase_work * job.num_phases);
+  }
+}
+
+TEST(CpuJobsTest, FibIsGeometricWithStaggeredArrivals) {
+  JobConfig config;
+  config.num_tasks = 12;
+  config.base_work = 4096;
+  const JobSpec job = MakeJob(JobKind::kFib, config);
+  EXPECT_EQ(job.tasks.front().total_work, 4096u);
+  EXPECT_LT(job.tasks.back().total_work, job.tasks.front().total_work);
+  bool any_late = false;
+  for (const TaskSpec& task : job.tasks) {
+    any_late |= task.arrival_tick > 0;
+  }
+  EXPECT_TRUE(any_late);
+}
+
+TEST(CpuJobsTest, MatMulHasLargeFootprintAndStalls) {
+  const JobSpec job = MakeJob(JobKind::kMatMul);
+  for (const TaskSpec& task : job.tasks) {
+    EXPECT_GE(task.cache_footprint, 1024);
+    EXPECT_GT(task.run_burst, 0u);
+    EXPECT_GT(task.sleep_ticks, 0u);
+  }
+}
+
+TEST(CpuJobsTest, DeterministicGivenSeed) {
+  JobConfig config;
+  config.seed = 42;
+  const JobSpec a = MakeJob(JobKind::kStreamcluster, config);
+  const JobSpec b = MakeJob(JobKind::kStreamcluster, config);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].total_work, b.tasks[i].total_work);
+  }
+}
+
+}  // namespace
+}  // namespace rkd

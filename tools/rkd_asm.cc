@@ -1,0 +1,141 @@
+// rkd_asm — the offline program toolchain driver.
+//
+// Assembles the textual DSL into the binary bytecode format (and back), and
+// runs the RMT verifier — the exact pipeline a deployment would run before
+// handing a program blob to the install syscall.
+//
+//   rkd_asm assemble  prog.rkds prog.rkdb    text -> verified binary
+//   rkd_asm disasm    prog.rkdb              binary -> listing on stdout
+//   rkd_asm verify    prog.rkds|prog.rkdb    admission check + report
+//
+// Files ending in .rkdb are treated as binary; anything else parses as text.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/disassembler.h"
+#include "src/bytecode/parser.h"
+#include "src/bytecode/serialize.h"
+#include "src/verifier/verifier.h"
+
+namespace {
+
+using namespace rkd;
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+Status WriteFile(const std::string& path, std::span<const uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return InvalidArgumentError("cannot write '" + path + "'");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return OkStatus();
+}
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() > 5 && path.substr(path.size() - 5) == ".rkdb";
+}
+
+Result<BytecodeProgram> LoadProgram(const std::string& path) {
+  RKD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
+  if (IsBinaryPath(path)) {
+    return DeserializeProgram(bytes);
+  }
+  return ParseAssembly(std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                                        bytes.size()));
+}
+
+int Verify(const BytecodeProgram& program) {
+  const VerifyReport report = Verifier().Verify(program);
+  if (report.ok()) {
+    std::printf("OK: program '%s' (%zu insns, longest path %lu, hook %s",
+                program.name.c_str(), program.code.size(),
+                static_cast<unsigned long>(report.longest_path),
+                std::string(HookKindName(program.hook_kind)).c_str());
+    if (report.dp_noise_sites > 0) {
+      std::printf(", epsilon spend %.2f", report.epsilon_spend);
+    }
+    std::printf(")\n");
+    return 0;
+  }
+  std::fprintf(stderr, "REJECTED: %s\n", report.status.ToString().c_str());
+  for (const std::string& diag : report.diagnostics) {
+    std::fprintf(stderr, "  %s\n", diag.c_str());
+  }
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rkd_asm assemble <in.rkds> <out.rkdb>\n"
+               "  rkd_asm disasm   <in.rkdb|in.rkds>\n"
+               "  rkd_asm verify   <in.rkds|in.rkdb>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+
+  if (command == "assemble") {
+    if (argc != 4) {
+      return Usage();
+    }
+    Result<BytecodeProgram> program = LoadProgram(argv[2]);
+    if (!program.ok()) {
+      std::fprintf(stderr, "parse error: %s\n", program.status().ToString().c_str());
+      return 1;
+    }
+    // Assemble implies admission: a blob that would be rejected at install
+    // time should not be produced at all.
+    if (Verify(*program) != 0) {
+      return 1;
+    }
+    const std::vector<uint8_t> bytes = SerializeProgram(*program);
+    if (Status status = WriteFile(argv[3], bytes); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu bytes to %s\n", bytes.size(), argv[3]);
+    return 0;
+  }
+
+  if (command == "disasm") {
+    Result<BytecodeProgram> program = LoadProgram(argv[2]);
+    if (!program.ok()) {
+      std::fprintf(stderr, "load error: %s\n", program.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(Disassemble(*program).c_str(), stdout);
+    return 0;
+  }
+
+  if (command == "verify") {
+    Result<BytecodeProgram> program = LoadProgram(argv[2]);
+    if (!program.ok()) {
+      std::fprintf(stderr, "load error: %s\n", program.status().ToString().c_str());
+      return 1;
+    }
+    return Verify(*program);
+  }
+
+  return Usage();
+}
