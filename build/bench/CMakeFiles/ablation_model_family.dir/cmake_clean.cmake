@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_family.dir/ablation_model_family.cc.o"
+  "CMakeFiles/ablation_model_family.dir/ablation_model_family.cc.o.d"
+  "ablation_model_family"
+  "ablation_model_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

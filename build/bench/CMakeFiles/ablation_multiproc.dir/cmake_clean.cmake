@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiproc.dir/ablation_multiproc.cc.o"
+  "CMakeFiles/ablation_multiproc.dir/ablation_multiproc.cc.o.d"
+  "ablation_multiproc"
+  "ablation_multiproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nas.dir/ablation_nas.cc.o"
+  "CMakeFiles/ablation_nas.dir/ablation_nas.cc.o.d"
+  "ablation_nas"
+  "ablation_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

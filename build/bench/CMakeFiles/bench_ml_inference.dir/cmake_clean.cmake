@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ml_inference.dir/bench_ml_inference.cc.o"
+  "CMakeFiles/bench_ml_inference.dir/bench_ml_inference.cc.o.d"
+  "bench_ml_inference"
+  "bench_ml_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ml_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

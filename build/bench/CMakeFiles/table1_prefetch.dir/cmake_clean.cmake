@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_prefetch.dir/table1_prefetch.cc.o"
+  "CMakeFiles/table1_prefetch.dir/table1_prefetch.cc.o.d"
+  "table1_prefetch"
+  "table1_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_scheduler.dir/table2_scheduler.cc.o"
+  "CMakeFiles/table2_scheduler.dir/table2_scheduler.cc.o.d"
+  "table2_scheduler"
+  "table2_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

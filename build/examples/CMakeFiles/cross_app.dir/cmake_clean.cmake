@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_app.dir/cross_app.cpp.o"
+  "CMakeFiles/cross_app.dir/cross_app.cpp.o.d"
+  "cross_app"
+  "cross_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_demo.dir/prefetch_demo.cpp.o"
+  "CMakeFiles/prefetch_demo.dir/prefetch_demo.cpp.o.d"
+  "prefetch_demo"
+  "prefetch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkd_base.dir/logging.cc.o"
+  "CMakeFiles/rkd_base.dir/logging.cc.o.d"
+  "CMakeFiles/rkd_base.dir/rng.cc.o"
+  "CMakeFiles/rkd_base.dir/rng.cc.o.d"
+  "CMakeFiles/rkd_base.dir/status.cc.o"
+  "CMakeFiles/rkd_base.dir/status.cc.o.d"
+  "librkd_base.a"
+  "librkd_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkd_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/assembler.cc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/assembler.cc.o" "gcc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/assembler.cc.o.d"
+  "/root/repo/src/bytecode/disassembler.cc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/disassembler.cc.o" "gcc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/disassembler.cc.o.d"
+  "/root/repo/src/bytecode/isa.cc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/isa.cc.o" "gcc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/isa.cc.o.d"
+  "/root/repo/src/bytecode/parser.cc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/parser.cc.o" "gcc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/parser.cc.o.d"
+  "/root/repo/src/bytecode/serialize.cc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/serialize.cc.o" "gcc" "src/bytecode/CMakeFiles/rkd_bytecode.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rkd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkd_bytecode.dir/assembler.cc.o"
+  "CMakeFiles/rkd_bytecode.dir/assembler.cc.o.d"
+  "CMakeFiles/rkd_bytecode.dir/disassembler.cc.o"
+  "CMakeFiles/rkd_bytecode.dir/disassembler.cc.o.d"
+  "CMakeFiles/rkd_bytecode.dir/isa.cc.o"
+  "CMakeFiles/rkd_bytecode.dir/isa.cc.o.d"
+  "CMakeFiles/rkd_bytecode.dir/parser.cc.o"
+  "CMakeFiles/rkd_bytecode.dir/parser.cc.o.d"
+  "CMakeFiles/rkd_bytecode.dir/serialize.cc.o"
+  "CMakeFiles/rkd_bytecode.dir/serialize.cc.o.d"
+  "librkd_bytecode.a"
+  "librkd_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkd_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

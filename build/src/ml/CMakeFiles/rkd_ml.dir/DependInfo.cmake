@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/rkd_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/distill.cc" "src/ml/CMakeFiles/rkd_ml.dir/distill.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/distill.cc.o.d"
+  "/root/repo/src/ml/feature_importance.cc" "src/ml/CMakeFiles/rkd_ml.dir/feature_importance.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/feature_importance.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/ml/CMakeFiles/rkd_ml.dir/forest.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/forest.cc.o.d"
+  "/root/repo/src/ml/guarded.cc" "src/ml/CMakeFiles/rkd_ml.dir/guarded.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/guarded.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/rkd_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/rkd_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model_registry.cc" "src/ml/CMakeFiles/rkd_ml.dir/model_registry.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/model_registry.cc.o.d"
+  "/root/repo/src/ml/nas.cc" "src/ml/CMakeFiles/rkd_ml.dir/nas.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/nas.cc.o.d"
+  "/root/repo/src/ml/online.cc" "src/ml/CMakeFiles/rkd_ml.dir/online.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/online.cc.o.d"
+  "/root/repo/src/ml/quantize.cc" "src/ml/CMakeFiles/rkd_ml.dir/quantize.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/quantize.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/ml/CMakeFiles/rkd_ml.dir/serialize.cc.o" "gcc" "src/ml/CMakeFiles/rkd_ml.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rkd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

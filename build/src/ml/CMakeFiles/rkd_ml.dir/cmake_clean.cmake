@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkd_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/rkd_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/distill.cc.o"
+  "CMakeFiles/rkd_ml.dir/distill.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/feature_importance.cc.o"
+  "CMakeFiles/rkd_ml.dir/feature_importance.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/forest.cc.o"
+  "CMakeFiles/rkd_ml.dir/forest.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/guarded.cc.o"
+  "CMakeFiles/rkd_ml.dir/guarded.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/linear.cc.o"
+  "CMakeFiles/rkd_ml.dir/linear.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/mlp.cc.o"
+  "CMakeFiles/rkd_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/model_registry.cc.o"
+  "CMakeFiles/rkd_ml.dir/model_registry.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/nas.cc.o"
+  "CMakeFiles/rkd_ml.dir/nas.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/online.cc.o"
+  "CMakeFiles/rkd_ml.dir/online.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/quantize.cc.o"
+  "CMakeFiles/rkd_ml.dir/quantize.cc.o.d"
+  "CMakeFiles/rkd_ml.dir/serialize.cc.o"
+  "CMakeFiles/rkd_ml.dir/serialize.cc.o.d"
+  "librkd_ml.a"
+  "librkd_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkd_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

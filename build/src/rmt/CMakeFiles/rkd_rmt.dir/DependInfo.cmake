@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmt/control_plane.cc" "src/rmt/CMakeFiles/rkd_rmt.dir/control_plane.cc.o" "gcc" "src/rmt/CMakeFiles/rkd_rmt.dir/control_plane.cc.o.d"
+  "/root/repo/src/rmt/hooks.cc" "src/rmt/CMakeFiles/rkd_rmt.dir/hooks.cc.o" "gcc" "src/rmt/CMakeFiles/rkd_rmt.dir/hooks.cc.o.d"
+  "/root/repo/src/rmt/introspect.cc" "src/rmt/CMakeFiles/rkd_rmt.dir/introspect.cc.o" "gcc" "src/rmt/CMakeFiles/rkd_rmt.dir/introspect.cc.o.d"
+  "/root/repo/src/rmt/pipeline.cc" "src/rmt/CMakeFiles/rkd_rmt.dir/pipeline.cc.o" "gcc" "src/rmt/CMakeFiles/rkd_rmt.dir/pipeline.cc.o.d"
+  "/root/repo/src/rmt/syscall.cc" "src/rmt/CMakeFiles/rkd_rmt.dir/syscall.cc.o" "gcc" "src/rmt/CMakeFiles/rkd_rmt.dir/syscall.cc.o.d"
+  "/root/repo/src/rmt/table.cc" "src/rmt/CMakeFiles/rkd_rmt.dir/table.cc.o" "gcc" "src/rmt/CMakeFiles/rkd_rmt.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rkd_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/rkd_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rkd_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rkd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/rkd_verifier.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkd_rmt.dir/control_plane.cc.o"
+  "CMakeFiles/rkd_rmt.dir/control_plane.cc.o.d"
+  "CMakeFiles/rkd_rmt.dir/hooks.cc.o"
+  "CMakeFiles/rkd_rmt.dir/hooks.cc.o.d"
+  "CMakeFiles/rkd_rmt.dir/introspect.cc.o"
+  "CMakeFiles/rkd_rmt.dir/introspect.cc.o.d"
+  "CMakeFiles/rkd_rmt.dir/pipeline.cc.o"
+  "CMakeFiles/rkd_rmt.dir/pipeline.cc.o.d"
+  "CMakeFiles/rkd_rmt.dir/syscall.cc.o"
+  "CMakeFiles/rkd_rmt.dir/syscall.cc.o.d"
+  "CMakeFiles/rkd_rmt.dir/table.cc.o"
+  "CMakeFiles/rkd_rmt.dir/table.cc.o.d"
+  "librkd_rmt.a"
+  "librkd_rmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkd_rmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

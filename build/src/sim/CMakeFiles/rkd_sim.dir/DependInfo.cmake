@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/mem/leap.cc" "src/sim/CMakeFiles/rkd_sim.dir/mem/leap.cc.o" "gcc" "src/sim/CMakeFiles/rkd_sim.dir/mem/leap.cc.o.d"
+  "/root/repo/src/sim/mem/memory_sim.cc" "src/sim/CMakeFiles/rkd_sim.dir/mem/memory_sim.cc.o" "gcc" "src/sim/CMakeFiles/rkd_sim.dir/mem/memory_sim.cc.o.d"
+  "/root/repo/src/sim/mem/ml_prefetcher.cc" "src/sim/CMakeFiles/rkd_sim.dir/mem/ml_prefetcher.cc.o" "gcc" "src/sim/CMakeFiles/rkd_sim.dir/mem/ml_prefetcher.cc.o.d"
+  "/root/repo/src/sim/mem/readahead.cc" "src/sim/CMakeFiles/rkd_sim.dir/mem/readahead.cc.o" "gcc" "src/sim/CMakeFiles/rkd_sim.dir/mem/readahead.cc.o.d"
+  "/root/repo/src/sim/sched/cfs_sim.cc" "src/sim/CMakeFiles/rkd_sim.dir/sched/cfs_sim.cc.o" "gcc" "src/sim/CMakeFiles/rkd_sim.dir/sched/cfs_sim.cc.o.d"
+  "/root/repo/src/sim/sched/rmt_oracle.cc" "src/sim/CMakeFiles/rkd_sim.dir/sched/rmt_oracle.cc.o" "gcc" "src/sim/CMakeFiles/rkd_sim.dir/sched/rmt_oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rkd_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/rkd_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rkd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rkd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rkd_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/rkd_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/rkd_bytecode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

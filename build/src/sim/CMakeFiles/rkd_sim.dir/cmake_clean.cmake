@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkd_sim.dir/mem/leap.cc.o"
+  "CMakeFiles/rkd_sim.dir/mem/leap.cc.o.d"
+  "CMakeFiles/rkd_sim.dir/mem/memory_sim.cc.o"
+  "CMakeFiles/rkd_sim.dir/mem/memory_sim.cc.o.d"
+  "CMakeFiles/rkd_sim.dir/mem/ml_prefetcher.cc.o"
+  "CMakeFiles/rkd_sim.dir/mem/ml_prefetcher.cc.o.d"
+  "CMakeFiles/rkd_sim.dir/mem/readahead.cc.o"
+  "CMakeFiles/rkd_sim.dir/mem/readahead.cc.o.d"
+  "CMakeFiles/rkd_sim.dir/sched/cfs_sim.cc.o"
+  "CMakeFiles/rkd_sim.dir/sched/cfs_sim.cc.o.d"
+  "CMakeFiles/rkd_sim.dir/sched/rmt_oracle.cc.o"
+  "CMakeFiles/rkd_sim.dir/sched/rmt_oracle.cc.o.d"
+  "librkd_sim.a"
+  "librkd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

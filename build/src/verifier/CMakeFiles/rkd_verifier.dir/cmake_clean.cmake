@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkd_verifier.dir/guards.cc.o"
+  "CMakeFiles/rkd_verifier.dir/guards.cc.o.d"
+  "CMakeFiles/rkd_verifier.dir/verifier.cc.o"
+  "CMakeFiles/rkd_verifier.dir/verifier.cc.o.d"
+  "librkd_verifier.a"
+  "librkd_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkd_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librkd_verifier.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/context_store.cc" "src/vm/CMakeFiles/rkd_vm.dir/context_store.cc.o" "gcc" "src/vm/CMakeFiles/rkd_vm.dir/context_store.cc.o.d"
+  "/root/repo/src/vm/helpers.cc" "src/vm/CMakeFiles/rkd_vm.dir/helpers.cc.o" "gcc" "src/vm/CMakeFiles/rkd_vm.dir/helpers.cc.o.d"
+  "/root/repo/src/vm/jit.cc" "src/vm/CMakeFiles/rkd_vm.dir/jit.cc.o" "gcc" "src/vm/CMakeFiles/rkd_vm.dir/jit.cc.o.d"
+  "/root/repo/src/vm/maps.cc" "src/vm/CMakeFiles/rkd_vm.dir/maps.cc.o" "gcc" "src/vm/CMakeFiles/rkd_vm.dir/maps.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/vm/CMakeFiles/rkd_vm.dir/vm.cc.o" "gcc" "src/vm/CMakeFiles/rkd_vm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rkd_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/rkd_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rkd_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkd_vm.dir/context_store.cc.o"
+  "CMakeFiles/rkd_vm.dir/context_store.cc.o.d"
+  "CMakeFiles/rkd_vm.dir/helpers.cc.o"
+  "CMakeFiles/rkd_vm.dir/helpers.cc.o.d"
+  "CMakeFiles/rkd_vm.dir/jit.cc.o"
+  "CMakeFiles/rkd_vm.dir/jit.cc.o.d"
+  "CMakeFiles/rkd_vm.dir/maps.cc.o"
+  "CMakeFiles/rkd_vm.dir/maps.cc.o.d"
+  "CMakeFiles/rkd_vm.dir/vm.cc.o"
+  "CMakeFiles/rkd_vm.dir/vm.cc.o.d"
+  "librkd_vm.a"
+  "librkd_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkd_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

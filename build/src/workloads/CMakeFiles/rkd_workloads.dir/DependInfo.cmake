@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/access_trace.cc" "src/workloads/CMakeFiles/rkd_workloads.dir/access_trace.cc.o" "gcc" "src/workloads/CMakeFiles/rkd_workloads.dir/access_trace.cc.o.d"
+  "/root/repo/src/workloads/cpu_jobs.cc" "src/workloads/CMakeFiles/rkd_workloads.dir/cpu_jobs.cc.o" "gcc" "src/workloads/CMakeFiles/rkd_workloads.dir/cpu_jobs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rkd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkd_workloads.dir/access_trace.cc.o"
+  "CMakeFiles/rkd_workloads.dir/access_trace.cc.o.d"
+  "CMakeFiles/rkd_workloads.dir/cpu_jobs.cc.o"
+  "CMakeFiles/rkd_workloads.dir/cpu_jobs.cc.o.d"
+  "librkd_workloads.a"
+  "librkd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/introspect_test.dir/introspect_test.cc.o"
+  "CMakeFiles/introspect_test.dir/introspect_test.cc.o.d"
+  "introspect_test"
+  "introspect_test.pdb"
+  "introspect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/introspect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_test.dir/maps_test.cc.o"
+  "CMakeFiles/maps_test.dir/maps_test.cc.o.d"
+  "maps_test"
+  "maps_test.pdb"
+  "maps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

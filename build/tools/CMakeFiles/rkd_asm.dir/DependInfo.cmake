@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/rkd_asm.cc" "tools/CMakeFiles/rkd_asm.dir/rkd_asm.cc.o" "gcc" "tools/CMakeFiles/rkd_asm.dir/rkd_asm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/rkd_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/rkd_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rkd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/rkd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkd_asm.dir/rkd_asm.cc.o"
+  "CMakeFiles/rkd_asm.dir/rkd_asm.cc.o.d"
+  "rkd_asm"
+  "rkd_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkd_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
