@@ -107,10 +107,12 @@ int main() {
               static_cast<unsigned long>(attached->table().misses()),
               static_cast<unsigned long>(attached->executions()));
 
-  std::printf("\nhook stats: fires=%lu actions=%lu errors=%lu\n",
-              static_cast<unsigned long>(hooks.StatsOf(hook).fires),
-              static_cast<unsigned long>(hooks.StatsOf(hook).actions_run),
-              static_cast<unsigned long>(hooks.StatsOf(hook).exec_errors));
+  const HookMetrics metrics = hooks.MetricsOf(hook);
+  std::printf("\nhook metrics: fires=%lu actions=%lu errors=%lu fire p99 <= %.0f ns\n",
+              static_cast<unsigned long>(metrics.fires()),
+              static_cast<unsigned long>(metrics.actions_run()),
+              static_cast<unsigned long>(metrics.exec_errors()),
+              metrics.fire_ns().ApproxPercentile(99));
 
   // ------------------------------------------------------------------
   // 6. Operator view: the introspection dump (rkd's bpftool moment).

@@ -39,6 +39,12 @@ class RunningStats {
 
 // Keeps every sample; supports exact percentiles. Used where distributions
 // (not just moments) matter, e.g. fault-latency tails in the memory sim.
+//
+// Threading contract: Percentile() sorts lazily, so it MUTATES the sample
+// buffer — it is non-const and must never race with Add() (or another
+// Percentile()) from a different thread. Readers that hold a quiesced
+// Samples (no further Adds) should call Sort() once and then use the const
+// PercentileSorted() path, which is safe to call concurrently.
 class Samples {
  public:
   void Add(double x) {
@@ -48,13 +54,28 @@ class Samples {
 
   uint64_t count() const { return values_.size(); }
 
+  // Convenience single-threaded path: sorts lazily (mutating; see the class
+  // contract above), then interpolates.
   double Percentile(double p) {
-    if (values_.empty()) {
-      return 0.0;
-    }
+    Sort();
+    return PercentileSorted(p);
+  }
+
+  // Sorts the buffer so PercentileSorted() becomes valid. Idempotent.
+  void Sort() {
     if (!sorted_) {
       std::sort(values_.begin(), values_.end());
       sorted_ = true;
+    }
+  }
+
+  // Const percentile over a previously Sort()ed buffer; any Add() since the
+  // last Sort() invalidates the precondition and the result falls back to
+  // the unsorted buffer's interpolation (deterministic but meaningless).
+  // Used by the benches, which sort once after the measurement loop.
+  double PercentileSorted(double p) const {
+    if (values_.empty()) {
+      return 0.0;
     }
     const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
     const auto lo = static_cast<size_t>(rank);
@@ -62,6 +83,8 @@ class Samples {
     const double frac = rank - static_cast<double>(lo);
     return values_[lo] * (1.0 - frac) + values_[hi] * frac;
   }
+
+  bool sorted() const { return sorted_; }
 
   double Mean() const {
     if (values_.empty()) {

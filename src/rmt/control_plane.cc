@@ -4,8 +4,34 @@
 
 namespace rkd {
 
+ControlPlane::ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config)
+    : hooks_(hooks), verifier_config_(verifier_config) {
+  TelemetryRegistry& telemetry = hooks_->telemetry();
+  metrics_.installs = telemetry.GetCounter("rkd.cp.installs");
+  metrics_.install_errors = telemetry.GetCounter("rkd.cp.install_errors");
+  metrics_.uninstalls = telemetry.GetCounter("rkd.cp.uninstalls");
+  metrics_.model_swaps = telemetry.GetCounter("rkd.cp.model_swaps");
+  metrics_.model_swap_errors = telemetry.GetCounter("rkd.cp.model_swap_errors");
+  metrics_.ticks = telemetry.GetCounter("rkd.cp.ticks");
+  metrics_.knob_raised = telemetry.GetCounter("rkd.cp.knob_raised");
+  metrics_.knob_lowered = telemetry.GetCounter("rkd.cp.knob_lowered");
+  metrics_.install_ns = telemetry.GetHistogram("rkd.cp.install_ns");
+  metrics_.verify_ns = telemetry.GetHistogram("rkd.cp.verify_ns");
+  metrics_.knob = telemetry.GetGauge("rkd.cp.adapt.knob");
+  metrics_.accuracy = telemetry.GetGauge("rkd.cp.adapt.accuracy");
+}
+
 Result<ControlPlane::ProgramHandle> ControlPlane::Install(const RmtProgramSpec& spec,
                                                           ExecTier tier) {
+  const uint64_t start_ns = MonotonicNowNs();
+  Result<ProgramHandle> result = InstallImpl(spec, tier);
+  metrics_.install_ns->Record(MonotonicNowNs() - start_ns);
+  (result.ok() ? metrics_.installs : metrics_.install_errors)->Increment();
+  return result;
+}
+
+Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSpec& spec,
+                                                              ExecTier tier) {
   if (spec.tables.empty()) {
     return InvalidArgumentError("program '" + spec.name + "' declares no tables");
   }
@@ -17,6 +43,13 @@ Result<ControlPlane::ProgramHandle> ControlPlane::Install(const RmtProgramSpec& 
   };
   std::vector<PlannedTable> planned;
   Verifier verifier(verifier_config_);
+  {
+  // Times the admission phase on every exit path, including rejections.
+  struct VerifyTimer {
+    LatencyHistogram* sink;
+    uint64_t start = MonotonicNowNs();
+    ~VerifyTimer() { sink->Record(MonotonicNowNs() - start); }
+  } verify_timer{metrics_.verify_ns};
   for (const RmtTableSpec& table_spec : spec.tables) {
     RKD_ASSIGN_OR_RETURN(HookId hook, hooks_->Lookup(table_spec.hook_point));
     const HookKind kind = hooks_->KindOf(hook);
@@ -63,9 +96,11 @@ Result<ControlPlane::ProgramHandle> ControlPlane::Install(const RmtProgramSpec& 
     }
     planned.push_back(PlannedTable{hook, kind});
   }
+  }  // verify_timer scope
 
   // Phase 2: build the runtime program.
   auto program = std::unique_ptr<InstalledProgram>(new InstalledProgram(spec, hooks_));
+  program->vm_metrics_ = VmMetrics::ForRegistry(hooks_->telemetry());
   for (const MapSpec& map_spec : spec.maps) {
     RKD_ASSIGN_OR_RETURN(int64_t map_id, program->maps_.Create(map_spec.kind, map_spec.capacity));
     (void)map_id;
@@ -112,6 +147,7 @@ Result<ControlPlane::ProgramHandle> ControlPlane::Install(const RmtProgramSpec& 
     env.models = &program->models_;
     env.tensors = &program->tensors_;
     env.helpers = services.get();
+    env.metrics = &program->vm_metrics_;
     attached->set_env(env, services.get());
 
     program->services_.push_back(std::move(services));
@@ -163,6 +199,7 @@ Status ControlPlane::Uninstall(ProgramHandle handle) {
     return NotFoundError("no installed program with handle " + std::to_string(handle));
   }
   slot->program.reset();  // destructor detaches from hooks
+  metrics_.uninstalls->Increment();
   return OkStatus();
 }
 
@@ -234,12 +271,15 @@ Status ControlPlane::InstallModel(ProgramHandle handle, int64_t slot_id, ModelPt
     }
     const uint64_t work = model->Cost().WorkUnits();
     if (work > tightest) {
+      metrics_.model_swap_errors->Increment();
       return VerificationFailedError(
           "model work units " + std::to_string(work) + " exceed the tightest hook budget " +
           std::to_string(tightest) + " (distill or compress the model first)");
     }
   }
-  return slot->program->models().Install(slot_id, std::move(model));
+  Status status = slot->program->models().Install(slot_id, std::move(model));
+  (status.ok() ? metrics_.model_swaps : metrics_.model_swap_errors)->Increment();
+  return status;
 }
 
 Status ControlPlane::WriteMap(ProgramHandle handle, int64_t map_id, int64_t key, int64_t value) {
@@ -283,7 +323,7 @@ Status ControlPlane::EnableAdaptation(ProgramHandle handle, const AdaptationConf
   return WriteMap(handle, config.config_map, config.knob_key, config.max_value);
 }
 
-Result<int64_t> ControlPlane::Tick(ProgramHandle handle) {
+Result<ControlPlane::AdaptationReport> ControlPlane::TickReport(ProgramHandle handle) {
   Slot* slot = FindSlot(handle);
   if (slot == nullptr) {
     return NotFoundError("no installed program with handle " + std::to_string(handle));
@@ -295,8 +335,13 @@ Result<int64_t> ControlPlane::Tick(ProgramHandle handle) {
   PredictionLog& log = slot->program->prediction_log();
   RKD_ASSIGN_OR_RETURN(int64_t knob,
                        ReadMap(handle, config.config_map, config.knob_key));
+  AdaptationReport report;
+  report.samples = log.total_resolved();
+  metrics_.ticks->Increment();
   if (log.total_resolved() >= config.min_samples) {
     const double accuracy = log.accuracy();
+    report.accuracy = accuracy;
+    const int64_t before = knob;
     if (accuracy < config.low_accuracy) {
       knob = std::max(config.min_value, knob - 1);  // be more conservative
     } else if (accuracy > config.high_accuracy) {
@@ -304,8 +349,22 @@ Result<int64_t> ControlPlane::Tick(ProgramHandle handle) {
     }
     log.ResetCounters();
     RKD_RETURN_IF_ERROR(WriteMap(handle, config.config_map, config.knob_key, knob));
+    report.direction = knob > before ? 1 : (knob < before ? -1 : 0);
+    if (report.direction > 0) {
+      metrics_.knob_raised->Increment();
+    } else if (report.direction < 0) {
+      metrics_.knob_lowered->Increment();
+    }
+    metrics_.accuracy->Set(accuracy);
   }
-  return knob;
+  report.knob = knob;
+  metrics_.knob->Set(static_cast<double>(knob));
+  return report;
+}
+
+Result<int64_t> ControlPlane::Tick(ProgramHandle handle) {
+  RKD_ASSIGN_OR_RETURN(AdaptationReport report, TickReport(handle));
+  return report.knob;
 }
 
 size_t ControlPlane::installed_count() const {

@@ -27,12 +27,29 @@
 
 namespace rkd {
 
+// The control plane's slice of the telemetry registry (names under
+// "rkd.cp."). Like HookMetrics this is a view: the metrics live in the hook
+// registry's TelemetryRegistry.
+struct ControlPlaneMetrics {
+  Counter* installs = nullptr;        // successful Install() calls
+  Counter* install_errors = nullptr;  // rejected Install() calls
+  Counter* uninstalls = nullptr;
+  Counter* model_swaps = nullptr;     // successful InstallModel() calls
+  Counter* model_swap_errors = nullptr;
+  Counter* ticks = nullptr;           // adaptation Tick() evaluations
+  Counter* knob_raised = nullptr;
+  Counter* knob_lowered = nullptr;
+  LatencyHistogram* install_ns = nullptr;  // full Install() wall latency
+  LatencyHistogram* verify_ns = nullptr;   // admission (verifier) phase only
+  Gauge* knob = nullptr;                   // knob value after the last tick
+  Gauge* accuracy = nullptr;               // rolling accuracy at the last tick
+};
+
 class ControlPlane {
  public:
   using ProgramHandle = int64_t;
 
-  explicit ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config = {})
-      : hooks_(hooks), verifier_config_(verifier_config) {}
+  explicit ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config = {});
 
   // Verifies, compiles, and attaches `spec`. On any verification failure
   // nothing is installed and the error carries the first diagnostic.
@@ -71,15 +88,30 @@ class ControlPlane {
   };
   Status EnableAdaptation(ProgramHandle handle, const AdaptationConfig& config);
 
+  // What one adaptation evaluation saw and did.
+  struct AdaptationReport {
+    int64_t knob = 0;       // knob value after adjustment
+    double accuracy = 0.0;  // rolling accuracy evaluated this tick (0 below min_samples)
+    uint64_t samples = 0;   // resolved predictions considered
+    int direction = 0;      // -1 lowered, 0 unchanged, +1 raised
+  };
+
   // Evaluates the program's prediction log and adjusts the knob. Call
   // periodically (the paper's control plane runs this off the datapath).
-  // Returns the knob value after adjustment, or an error if adaptation is
-  // not enabled.
+  // Errors if adaptation is not enabled.
+  Result<AdaptationReport> TickReport(ProgramHandle handle);
+
+  // Older knob-value-only form; delegates to TickReport().
   Result<int64_t> Tick(ProgramHandle handle);
+
+  // Control-plane telemetry view ("rkd.cp.*" in the hook registry's
+  // TelemetryRegistry).
+  const ControlPlaneMetrics& Metrics() const { return metrics_; }
 
   size_t installed_count() const;
 
  private:
+  Result<ProgramHandle> InstallImpl(const RmtProgramSpec& spec, ExecTier tier);
   struct Slot {
     std::unique_ptr<InstalledProgram> program;
     bool adaptation_enabled = false;
@@ -90,6 +122,7 @@ class ControlPlane {
 
   HookRegistry* hooks_;  // not owned
   VerifierConfig verifier_config_;
+  ControlPlaneMetrics metrics_;
   std::vector<Slot> slots_;
 };
 

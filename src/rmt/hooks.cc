@@ -6,6 +6,13 @@
 
 namespace rkd {
 
+HookRegistry::HookRegistry()
+    : owned_telemetry_(std::make_unique<TelemetryRegistry>()),
+      telemetry_(owned_telemetry_.get()) {}
+
+HookRegistry::HookRegistry(TelemetryRegistry* telemetry)
+    : telemetry_(telemetry != nullptr ? telemetry : &GlobalTelemetry()) {}
+
 Result<HookId> HookRegistry::Register(std::string name, HookKind kind,
                                       SubsystemBindings bindings) {
   for (const Hook& hook : hooks_) {
@@ -17,6 +24,11 @@ Result<HookId> HookRegistry::Register(std::string name, HookKind kind,
   hook.name = std::move(name);
   hook.kind = kind;
   hook.bindings = std::move(bindings);
+  const std::string prefix = "rkd.hook." + hook.name;
+  hook.fires = telemetry_->GetCounter(prefix + ".fires");
+  hook.actions_run = telemetry_->GetCounter(prefix + ".actions_run");
+  hook.exec_errors = telemetry_->GetCounter(prefix + ".exec_errors");
+  hook.fire_ns = telemetry_->GetHistogram(prefix + ".fire_ns");
   hooks_.push_back(std::move(hook));
   return static_cast<HookId>(hooks_.size()) - 1;
 }
@@ -49,20 +61,33 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
     return kHookFallback;
   }
   Hook& hook = hooks_[static_cast<size_t>(id)];
-  ++hook.stats.fires;
+  hook.fires->Increment();
+  const uint64_t start_ns = MonotonicNowNs();
   int64_t result = kHookFallback;
   for (AttachedTable* table : hook.tables) {
     Result<int64_t> action = table->Execute(key, args);
     if (action.ok()) {
-      ++hook.stats.actions_run;
+      hook.actions_run->Increment();
       if (*action != kHookFallback) {
         result = *action;
       }
     } else {
       // Datapath rule: a faulting action degrades to stock behaviour.
-      ++hook.stats.exec_errors;
+      hook.exec_errors->Increment();
     }
   }
+  const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
+  hook.fire_ns->Record(elapsed_ns);
+
+  TraceEvent event;
+  event.ts_ns = start_ns;
+  event.source = id;
+  event.kind = kHookFireEvent;
+  event.key = key;
+  event.value = result;
+  event.duration_ns = elapsed_ns > 0xffffffffull ? 0xffffffffu
+                                                 : static_cast<uint32_t>(elapsed_ns);
+  telemetry_->trace().Push(event);
   return result;
 }
 
@@ -87,9 +112,27 @@ Status HookRegistry::Detach(HookId id, AttachedTable* table) {
   return OkStatus();
 }
 
+HookMetrics HookRegistry::MetricsOf(HookId id) const {
+  if (!Valid(id)) {
+    static const Counter kZeroCounter;
+    static const LatencyHistogram kZeroHistogram;
+    return HookMetrics(&kZeroCounter, &kZeroCounter, &kZeroCounter, &kZeroHistogram);
+  }
+  const Hook& hook = hooks_[static_cast<size_t>(id)];
+  return HookMetrics(hook.fires, hook.actions_run, hook.exec_errors, hook.fire_ns);
+}
+
 const HookRegistry::HookStats& HookRegistry::StatsOf(HookId id) const {
   static const HookStats kEmpty;
-  return Valid(id) ? hooks_[static_cast<size_t>(id)].stats : kEmpty;
+  if (!Valid(id)) {
+    return kEmpty;
+  }
+  // Deprecated shim: refresh the snapshot from the telemetry counters.
+  const Hook& hook = hooks_[static_cast<size_t>(id)];
+  hook.stats_shim.fires = hook.fires->value();
+  hook.stats_shim.actions_run = hook.actions_run->value();
+  hook.stats_shim.exec_errors = hook.exec_errors->value();
+  return hook.stats_shim;
 }
 
 }  // namespace rkd

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -23,6 +24,7 @@
 
 #include "src/base/status.h"
 #include "src/bytecode/program.h"
+#include "src/telemetry/telemetry.h"
 
 namespace rkd {
 
@@ -43,8 +45,39 @@ struct SubsystemBindings {
 // faulted; the call site treats it exactly like "RMT not present".
 inline constexpr int64_t kHookFallback = -1;
 
+// Read-only view over one hook's slice of the telemetry registry. The
+// underlying metrics live for the registry's lifetime, so the view is a
+// cheap value type; callers may keep it across fires and re-read.
+// Names: rkd.hook.<name>.fires / .actions_run / .exec_errors / .fire_ns.
+class HookMetrics {
+ public:
+  uint64_t fires() const { return fires_->value(); }
+  uint64_t actions_run() const { return actions_run_->value(); }
+  uint64_t exec_errors() const { return exec_errors_->value(); }
+  // Per-fire wall latency of the whole Fire() call (match + action).
+  const LatencyHistogram& fire_ns() const { return *fire_ns_; }
+
+ private:
+  friend class HookRegistry;
+  HookMetrics(const Counter* fires, const Counter* actions_run, const Counter* exec_errors,
+              const LatencyHistogram* fire_ns)
+      : fires_(fires), actions_run_(actions_run), exec_errors_(exec_errors),
+        fire_ns_(fire_ns) {}
+
+  const Counter* fires_;
+  const Counter* actions_run_;
+  const Counter* exec_errors_;
+  const LatencyHistogram* fire_ns_;
+};
+
 class HookRegistry {
  public:
+  // By default every registry owns a private TelemetryRegistry (test
+  // isolation); pass an external one to aggregate several subsystems into a
+  // single exporter endpoint.
+  HookRegistry();
+  explicit HookRegistry(TelemetryRegistry* telemetry);
+
   // Registers a hook point. Fails on duplicate names.
   Result<HookId> Register(std::string name, HookKind kind, SubsystemBindings bindings = {});
 
@@ -63,6 +96,17 @@ class HookRegistry {
   Status Attach(HookId id, AttachedTable* table);
   Status Detach(HookId id, AttachedTable* table);
 
+  // The stats API: a per-hook view over the telemetry registry. Valid for
+  // any id (an invalid id yields a zeroed view).
+  HookMetrics MetricsOf(HookId id) const;
+
+  // The registry all hook metrics and the fire trace live in.
+  TelemetryRegistry& telemetry() const { return *telemetry_; }
+
+  // DEPRECATED: pre-telemetry stats struct, kept as a shim for older
+  // callers. The returned reference is a snapshot refreshed on every call
+  // (it aliases the telemetry counters behind MetricsOf). New code should
+  // use MetricsOf(), which also carries the fire-latency histogram.
   struct HookStats {
     uint64_t fires = 0;
     uint64_t actions_run = 0;
@@ -76,11 +120,19 @@ class HookRegistry {
     HookKind kind;
     SubsystemBindings bindings;
     std::vector<AttachedTable*> tables;  // not owned; owned by ControlPlane
-    HookStats stats;
+    // Telemetry slice, resolved once at Register() so Fire() only touches
+    // raw pointers.
+    Counter* fires = nullptr;
+    Counter* actions_run = nullptr;
+    Counter* exec_errors = nullptr;
+    LatencyHistogram* fire_ns = nullptr;
+    mutable HookStats stats_shim;  // backing storage for StatsOf()
   };
 
   bool Valid(HookId id) const { return id >= 0 && static_cast<size_t>(id) < hooks_.size(); }
 
+  std::unique_ptr<TelemetryRegistry> owned_telemetry_;  // null when external
+  TelemetryRegistry* telemetry_;
   std::vector<Hook> hooks_;
 };
 

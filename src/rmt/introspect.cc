@@ -86,6 +86,23 @@ std::string DumpProgram(InstalledProgram& program, const IntrospectOptions& opti
         << map->capacity() << "\n";
   }
 
+  // Telemetry section: per-hook datapath metrics for every hook this
+  // program's tables attach to (views over the hook registry's
+  // TelemetryRegistry; see DESIGN.md "Observability").
+  out << "hook metrics:\n";
+  for (const auto& attached : program.tables()) {
+    const HookId hook = attached->hook();
+    const HookMetrics metrics = program.hooks().MetricsOf(hook);
+    out << "  " << program.hooks().NameOf(hook) << ": fires " << metrics.fires()
+        << ", actions " << metrics.actions_run() << ", errors " << metrics.exec_errors();
+    const LatencyHistogram& fire_ns = metrics.fire_ns();
+    if (fire_ns.count() > 0) {
+      out << ", fire latency mean " << static_cast<uint64_t>(fire_ns.mean()) << "ns p99 <= "
+          << static_cast<uint64_t>(fire_ns.ApproxPercentile(99)) << "ns";
+    }
+    out << "\n";
+  }
+
   out << "monitoring ring: " << program.sample_ring().size() << " pending, "
       << program.sample_ring().dropped() << " dropped\n";
   out << "prediction log: " << program.prediction_log().total_resolved() << " resolved, "

@@ -115,6 +115,9 @@ class InstalledProgram {
   InstalledProgram& operator=(const InstalledProgram&) = delete;
 
   const std::string& name() const { return name_; }
+  // The hook registry this program is attached to (and with it, the
+  // telemetry registry its metrics land in).
+  const HookRegistry& hooks() const { return *hooks_; }
   ContextStore& context() { return ctxt_; }
   MapSet& maps() { return maps_; }
   ModelRegistry& models() { return models_; }
@@ -138,6 +141,7 @@ class InstalledProgram {
   MapSet maps_;
   ModelRegistry models_;
   TensorRegistry tensors_;
+  VmMetrics vm_metrics_;  // "rkd.vm.*" slice every action execution feeds
   RateLimiter rate_limiter_;
   PrivacyBudget privacy_budget_;
   DpNoiseSource dp_noise_;

@@ -90,7 +90,24 @@ MemMetrics MemorySim::Run(const AccessTrace& trace) {
   }
 
   metrics_.total_ns = clock_.now_ns();
+  if (telemetry_ != nullptr) {
+    PublishTelemetry();
+  }
   return metrics_;
+}
+
+void MemorySim::PublishTelemetry() const {
+  telemetry_->GetCounter("rkd.sim.mem.runs")->Increment();
+  telemetry_->GetCounter("rkd.sim.mem.accesses")->Increment(metrics_.accesses);
+  telemetry_->GetCounter("rkd.sim.mem.hits")->Increment(metrics_.hits);
+  telemetry_->GetCounter("rkd.sim.mem.faults")->Increment(metrics_.faults);
+  telemetry_->GetCounter("rkd.sim.mem.prefetched")->Increment(metrics_.prefetched);
+  telemetry_->GetCounter("rkd.sim.mem.prefetch_used")->Increment(metrics_.prefetch_used);
+  telemetry_->GetCounter("rkd.sim.mem.prefetch_evicted_unused")
+      ->Increment(metrics_.prefetch_evicted_unused);
+  telemetry_->GetGauge("rkd.sim.mem.accuracy")->Set(metrics_.accuracy());
+  telemetry_->GetGauge("rkd.sim.mem.coverage")->Set(metrics_.coverage());
+  telemetry_->GetGauge("rkd.sim.mem.completion_s")->Set(metrics_.completion_seconds());
 }
 
 }  // namespace rkd

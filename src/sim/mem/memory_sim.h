@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/sim/clock.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workloads/access_trace.h"
 
 namespace rkd {
@@ -93,6 +94,12 @@ class MemorySim {
   // each Run starts from a cold cache.
   MemMetrics Run(const AccessTrace& trace);
 
+  // Publishes each completed Run's aggregates into `telemetry` under
+  // "rkd.sim.mem.*": event counters accumulate across runs; accuracy /
+  // coverage / completion gauges hold the latest run. Null disables
+  // publishing (the default; zero overhead).
+  void set_telemetry(TelemetryRegistry* telemetry) { telemetry_ = telemetry; }
+
   const VirtualClock& clock() const { return clock_; }
 
  private:
@@ -106,8 +113,11 @@ class MemorySim {
   void TouchLru(int64_t page);
   void EvictIfNeeded();
 
+  void PublishTelemetry() const;
+
   MemSimConfig config_;
   Prefetcher* prefetcher_;  // not owned
+  TelemetryRegistry* telemetry_ = nullptr;  // not owned
   VirtualClock clock_;
 
   MemMetrics metrics_;

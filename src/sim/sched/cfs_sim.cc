@@ -272,6 +272,16 @@ SchedMetrics CfsSim::Run(const JobSpec& job, const MigrationOracle& oracle, Data
 
   metrics.ticks = tick;
   metrics.completed = remaining == 0;
+  if (telemetry_ != nullptr) {
+    telemetry_->GetCounter("rkd.sim.sched.runs")->Increment();
+    telemetry_->GetCounter("rkd.sim.sched.ticks")->Increment(metrics.ticks);
+    telemetry_->GetCounter("rkd.sim.sched.migrations")->Increment(metrics.migrations);
+    telemetry_->GetCounter("rkd.sim.sched.decisions")->Increment(metrics.decisions);
+    telemetry_->GetCounter("rkd.sim.sched.oracle_fallbacks")
+        ->Increment(metrics.oracle_fallbacks);
+    telemetry_->GetGauge("rkd.sim.sched.agreement")->Set(metrics.agreement());
+    telemetry_->GetGauge("rkd.sim.sched.jct_s")->Set(metrics.jct_seconds(config_.tick_ns));
+  }
   return metrics;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/ml/dataset.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workloads/cpu_jobs.h"
 
 namespace rkd {
@@ -97,10 +98,17 @@ class CfsSim {
   SchedMetrics Run(const JobSpec& job, const MigrationOracle& oracle = {},
                    Dataset* collect = nullptr);
 
+  // Publishes each completed Run's aggregates into `telemetry` under
+  // "rkd.sim.sched.*": tick/migration/decision counters accumulate across
+  // runs; agreement / JCT gauges hold the latest run. Null disables
+  // publishing (the default; zero overhead).
+  void set_telemetry(TelemetryRegistry* telemetry) { telemetry_ = telemetry; }
+
   const SchedConfig& config() const { return config_; }
 
  private:
   SchedConfig config_;
+  TelemetryRegistry* telemetry_ = nullptr;  // not owned
 };
 
 // Builds a migration-decision dataset by running `job` under the heuristic.

@@ -1,0 +1,154 @@
+#include "src/telemetry/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace rkd {
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map '.' (and
+// anything else) to '_'.
+std::string SanitizePrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const TelemetryRegistry& registry) {
+  std::ostringstream out;
+  for (const auto& [name, counter] : registry.Counters()) {
+    const std::string prom = SanitizePrometheusName(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : registry.Gauges()) {
+    const std::string prom = SanitizePrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << FormatDouble(gauge->value()) << "\n";
+  }
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    const std::string prom = SanitizePrometheusName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      cumulative += histogram->bucket_count(i);
+      if (i == LatencyHistogram::kNumBuckets - 1) {
+        out << prom << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+      } else {
+        out << prom << "_bucket{le=\"" << LatencyHistogram::BucketUpperBound(i) << "\"} "
+            << cumulative << "\n";
+      }
+    }
+    out << prom << "_sum " << histogram->sum() << "\n";
+    out << prom << "_count " << histogram->count() << "\n";
+  }
+  return out.str();
+}
+
+std::string ExportJson(const TelemetryRegistry& registry, const JsonExportOptions& options) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry.Counters()) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << counter->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry.Gauges()) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << FormatDouble(gauge->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {\n";
+    out << "      \"count\": " << histogram->count() << ",\n";
+    out << "      \"sum\": " << histogram->sum() << ",\n";
+    out << "      \"mean\": " << FormatDouble(histogram->mean()) << ",\n";
+    out << "      \"p50\": " << FormatDouble(histogram->ApproxPercentile(50)) << ",\n";
+    out << "      \"p99\": " << FormatDouble(histogram->ApproxPercentile(99)) << ",\n";
+    out << "      \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      const uint64_t n = histogram->bucket_count(i);
+      if (options.skip_empty_buckets && n == 0) {
+        continue;
+      }
+      out << (first_bucket ? "" : ", ") << "{\"le\": ";
+      if (i == LatencyHistogram::kNumBuckets - 1) {
+        out << "\"+Inf\"";
+      } else {
+        out << LatencyHistogram::BucketUpperBound(i);
+      }
+      out << ", \"count\": " << n << "}";
+      first_bucket = false;
+    }
+    out << "]\n    }";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}";
+
+  if (options.include_trace) {
+    const TraceRing& trace = registry.trace();
+    std::vector<TraceEvent> events = trace.Snapshot();
+    const size_t keep = events.size() < options.max_trace_events ? events.size()
+                                                                 : options.max_trace_events;
+    out << ",\n  \"trace\": {\n";
+    out << "    \"capacity\": " << trace.capacity() << ",\n";
+    out << "    \"total\": " << trace.total() << ",\n";
+    out << "    \"dropped\": " << trace.dropped() << ",\n";
+    out << "    \"events\": [";
+    for (size_t i = events.size() - keep; i < events.size(); ++i) {
+      const TraceEvent& ev = events[i];
+      out << (i == events.size() - keep ? "\n" : ",\n");
+      out << "      {\"ts_ns\": " << ev.ts_ns << ", \"source\": " << ev.source
+          << ", \"kind\": " << ev.kind << ", \"key\": " << ev.key
+          << ", \"value\": " << ev.value << ", \"duration_ns\": " << ev.duration_ns << "}";
+    }
+    out << (keep == 0 ? "" : "\n    ") << "]\n  }";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace rkd

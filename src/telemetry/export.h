@@ -1,0 +1,31 @@
+// Snapshot exporters for a TelemetryRegistry: Prometheus text exposition
+// format and a JSON document (which also carries the trace ring — traces
+// have no Prometheus representation).
+#ifndef SRC_TELEMETRY_EXPORT_H_
+#define SRC_TELEMETRY_EXPORT_H_
+
+#include <string>
+
+#include "src/telemetry/telemetry.h"
+
+namespace rkd {
+
+// Prometheus text format: counters as `<name> <value>` with `# TYPE`
+// headers, histograms as cumulative `_bucket{le="..."}` series plus `_sum`
+// and `_count`. Metric names are sanitized ('.' and other non-identifier
+// characters become '_'). Deterministic: series are sorted by name.
+std::string ExportPrometheus(const TelemetryRegistry& registry);
+
+struct JsonExportOptions {
+  bool include_trace = true;
+  size_t max_trace_events = 64;  // most recent events kept in the document
+  bool skip_empty_buckets = true;
+};
+
+// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+// {...}, "trace": {...}}. Deterministic apart from the trace contents.
+std::string ExportJson(const TelemetryRegistry& registry, const JsonExportOptions& options = {});
+
+}  // namespace rkd
+
+#endif  // SRC_TELEMETRY_EXPORT_H_

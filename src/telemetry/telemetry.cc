@@ -1,0 +1,81 @@
+#include "src/telemetry/telemetry.h"
+
+namespace rkd {
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  const uint64_t n = total();
+  const uint64_t resident = n < slots_.size() ? n : slots_.size();
+  std::vector<TraceEvent> out;
+  out.reserve(resident);
+  for (uint64_t i = n - resident; i < n; ++i) {
+    out.push_back(slots_[i & mask_]);
+  }
+  return out;
+}
+
+Counter* TelemetryRegistry::GetCounter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return it->second.get();
+  }
+  return counters_.emplace(std::string(name), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* TelemetryRegistry::GetGauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return it->second.get();
+  }
+  return gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second.get();
+}
+
+LatencyHistogram* TelemetryRegistry::GetHistogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return it->second.get();
+  }
+  return histograms_.emplace(std::string(name), std::make_unique<LatencyHistogram>())
+      .first->second.get();
+}
+
+std::vector<std::pair<std::string, const Counter*>> TelemetryRegistry::Counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> TelemetryRegistry::Gauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>> TelemetryRegistry::Histograms()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const LatencyHistogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+TelemetryRegistry& GlobalTelemetry() {
+  static TelemetryRegistry* registry = new TelemetryRegistry();
+  return *registry;
+}
+
+}  // namespace rkd

@@ -1,0 +1,211 @@
+// The unified telemetry core: datapath-cheap metrics shared by every layer
+// (hooks, VM tiers, control plane, simulators).
+//
+// Design constraints, in order:
+//   1. Recording on the hot path must be allocation-free and lock-free —
+//      a counter increment is one relaxed atomic add; a histogram record is
+//      three (bucket, count, sum). Nothing on the record path takes a mutex.
+//   2. Memory is bounded up front: histograms have a fixed log2 bucket array
+//      (values above the last edge land in the overflow bucket) and the
+//      trace ring overwrites its oldest slot when full (lossy by design).
+//   3. Names are stable strings registered once; the hot path holds raw
+//      pointers into the registry, which never invalidates them.
+//
+// Naming scheme (see DESIGN.md "Observability"):
+//   rkd.hook.<name>.fires / .actions_run / .exec_errors / .fire_ns
+//   rkd.vm.invocations / .steps / .helper_calls / .ml_calls / .tail_calls / .run_ns
+//   rkd.cp.installs / .install_errors / .install_ns / .verify_ns / ...
+//   rkd.sim.mem.* / rkd.sim.sched.*
+#ifndef SRC_TELEMETRY_TELEMETRY_H_
+#define SRC_TELEMETRY_TELEMETRY_H_
+
+#include <atomic>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rkd {
+
+// Wall-latency source for the instrumentation layer. The simulators keep
+// their own VirtualClock for modelled time; this clock measures the *real*
+// cost of running rkd code (the overhead the paper's tables quantify).
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Monotonic event count. Relaxed atomics: increments from concurrent
+// datapaths never lose updates; readers see an eventually-consistent value.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (accuracies, knob positions, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket log2 latency histogram.
+//
+// Bucket 0 holds the value 0; bucket i (1 <= i < kNumBuckets-1) holds
+// [2^(i-1), 2^i - 1]; the last bucket is the overflow bucket for everything
+// >= 2^(kNumBuckets-2). With 40 buckets the finite range tops out at
+// 2^38 ns (~4.6 min), far beyond any datapath latency of interest.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  void Record(uint64_t ns) {
+    const size_t bucket = BucketIndex(ns);
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  uint64_t bucket_count(size_t i) const {
+    return i < kNumBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
+  }
+
+  // Bucket index a value lands in: floor(log2(v)) + 1, clamped to overflow.
+  static size_t BucketIndex(uint64_t ns) {
+    return std::min<size_t>(static_cast<size_t>(std::bit_width(ns)), kNumBuckets - 1);
+  }
+  // Inclusive upper edge of bucket i. The last bucket is unbounded; its
+  // nominal edge is returned for percentile math.
+  static uint64_t BucketUpperBound(size_t i) {
+    return i >= kNumBuckets - 1 ? (1ull << (kNumBuckets - 2)) : (1ull << i) - 1;
+  }
+
+  // Upper-edge estimate of the p-th percentile (p in [0, 100]). Exact to
+  // within one log2 bucket, which is all a reconfiguration policy needs.
+  double ApproxPercentile(double p) const {
+    const uint64_t n = count();
+    if (n == 0) {
+      return 0.0;
+    }
+    const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n - 1)) + 1;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      cumulative += bucket_count(i);
+      if (cumulative >= target) {
+        return static_cast<double>(BucketUpperBound(i));
+      }
+    }
+    return static_cast<double>(BucketUpperBound(kNumBuckets - 1));
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// One recent-event record. `source` and `kind` are producer-defined (the
+// hook layer stores the HookId and kHookFireEvent).
+struct TraceEvent {
+  uint64_t ts_ns = 0;        // MonotonicNowNs() at the event
+  int32_t source = 0;        // producer id (e.g. HookId)
+  uint32_t kind = 0;         // producer-defined event kind
+  uint64_t key = 0;          // e.g. the hook match key
+  int64_t value = 0;         // e.g. the action result
+  uint32_t duration_ns = 0;  // saturated at ~4.2 s
+};
+
+inline constexpr uint32_t kHookFireEvent = 1;
+
+// Lossy fixed-capacity ring of recent events. Push is wait-free (one
+// relaxed fetch_add plus a slot store); when full the oldest slot is
+// overwritten. Concurrent pushes may tear a slot — acceptable for a
+// diagnostic trace, never for accounting (use Counter for that).
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 1024)
+      : slots_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  void Push(const TraceEvent& event) {
+    const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+    slots_[seq & mask_] = event;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+  // Events ever pushed; min(total, capacity) are still resident.
+  uint64_t total() const { return head_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const {
+    const uint64_t n = total();
+    return n > slots_.size() ? n - slots_.size() : 0;
+  }
+
+  // Copies the resident events, oldest first. Not linearizable against
+  // concurrent Push (lossy trace contract).
+  std::vector<TraceEvent> Snapshot() const;
+
+ private:
+  std::vector<TraceEvent> slots_;
+  uint64_t mask_;
+  std::atomic<uint64_t> head_{0};
+};
+
+// The registry: stable string names -> metric instances. Registration takes
+// a mutex; returned pointers stay valid for the registry's lifetime, so the
+// datapath looks a metric up once and then records through the raw pointer.
+class TelemetryRegistry {
+ public:
+  explicit TelemetryRegistry(size_t trace_capacity = 1024) : trace_(trace_capacity) {}
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  // Find-or-create by name. Never returns null.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  // Snapshot views for exporters, sorted by name.
+  std::vector<std::pair<std::string, const Counter*>> Counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> Histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+  TraceRing trace_;
+};
+
+// Process-wide default registry for code without a better-scoped one
+// (benches, ad-hoc tools). Library layers prefer an explicitly plumbed
+// registry (HookRegistry owns one by default) so tests stay isolated.
+TelemetryRegistry& GlobalTelemetry();
+
+}  // namespace rkd
+
+#endif  // SRC_TELEMETRY_TELEMETRY_H_

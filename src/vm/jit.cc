@@ -445,6 +445,7 @@ Result<int64_t> CompiledProgram::Run(const VmEnv& env, std::span<const int64_t> 
   if (args.size() > 5) {
     return InvalidArgumentError("CompiledProgram::Run: more than five arguments");
   }
+  const uint64_t start_ns = env.metrics != nullptr ? MonotonicNowNs() : 0;
   Frame frame;
   frame.env = &env;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -474,6 +475,14 @@ Result<int64_t> CompiledProgram::Run(const VmEnv& env, std::span<const int64_t> 
     stats->tail_calls = frame.tail_calls;
     stats->helper_calls = frame.helper_calls;
     stats->ml_calls = frame.ml_calls;
+  }
+  if (env.metrics != nullptr) {
+    // `steps` stays untouched: the JIT tier eliminated step accounting.
+    env.metrics->invocations->Increment();
+    env.metrics->helper_calls->Increment(frame.helper_calls);
+    env.metrics->ml_calls->Increment(frame.ml_calls);
+    env.metrics->tail_calls->Increment(frame.tail_calls);
+    env.metrics->run_ns->Record(MonotonicNowNs() - start_ns);
   }
   return frame.state.regs[0];
 }

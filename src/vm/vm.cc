@@ -26,6 +26,17 @@ bool ValidStackAccess(int32_t offset) {
 
 }  // namespace
 
+VmMetrics VmMetrics::ForRegistry(TelemetryRegistry& registry) {
+  VmMetrics metrics;
+  metrics.invocations = registry.GetCounter("rkd.vm.invocations");
+  metrics.steps = registry.GetCounter("rkd.vm.steps");
+  metrics.helper_calls = registry.GetCounter("rkd.vm.helper_calls");
+  metrics.ml_calls = registry.GetCounter("rkd.vm.ml_calls");
+  metrics.tail_calls = registry.GetCounter("rkd.vm.tail_calls");
+  metrics.run_ns = registry.GetHistogram("rkd.vm.run_ns");
+  return metrics;
+}
+
 Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const int64_t> args,
                                  RunStats* stats) const {
   if (program.code.empty()) {
@@ -46,14 +57,26 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
   uint64_t helper_calls = 0;
   uint64_t ml_calls = 0;
   size_t pc = 0;
+  const uint64_t start_ns = env_.metrics != nullptr ? MonotonicNowNs() : 0;
 
-  const auto fail = [&](Status status) -> Result<int64_t> {
+  const auto publish = [&] {
     if (stats != nullptr) {
       stats->steps = steps;
       stats->tail_calls = tail_calls;
       stats->helper_calls = helper_calls;
       stats->ml_calls = ml_calls;
     }
+    if (env_.metrics != nullptr) {
+      env_.metrics->invocations->Increment();
+      env_.metrics->steps->Increment(steps);
+      env_.metrics->helper_calls->Increment(helper_calls);
+      env_.metrics->ml_calls->Increment(ml_calls);
+      env_.metrics->tail_calls->Increment(tail_calls);
+      env_.metrics->run_ns->Record(MonotonicNowNs() - start_ns);
+    }
+  };
+  const auto fail = [&](Status status) -> Result<int64_t> {
+    publish();
     return status;
   };
 
@@ -353,12 +376,7 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
         break;
       }
       case Opcode::kExit: {
-        if (stats != nullptr) {
-          stats->steps = steps;
-          stats->tail_calls = tail_calls;
-          stats->helper_calls = helper_calls;
-          stats->ml_calls = ml_calls;
-        }
+        publish();
         return regs[0];
       }
       case Opcode::kOpcodeCount:

@@ -18,11 +18,29 @@
 #include "src/base/status.h"
 #include "src/bytecode/program.h"
 #include "src/ml/model_registry.h"
+#include "src/telemetry/telemetry.h"
 #include "src/vm/context_store.h"
 #include "src/vm/helpers.h"
 #include "src/vm/maps.h"
 
 namespace rkd {
+
+// Telemetry sink both execution tiers publish into when VmEnv::metrics is
+// set. All pointers live in a TelemetryRegistry; a null VmMetrics pointer in
+// the env disables VM telemetry entirely (the bench-critical default).
+// The JIT tier leaves `steps` untouched: eliminating per-instruction step
+// accounting is that tier's whole point (see src/vm/jit.h).
+struct VmMetrics {
+  Counter* invocations = nullptr;
+  Counter* steps = nullptr;
+  Counter* helper_calls = nullptr;
+  Counter* ml_calls = nullptr;
+  Counter* tail_calls = nullptr;
+  LatencyHistogram* run_ns = nullptr;
+
+  // Registers the standard "rkd.vm.*" names in `registry`.
+  static VmMetrics ForRegistry(TelemetryRegistry& registry);
+};
 
 // Everything an executing program can reach. All pointers are non-owning and
 // must outlive any Run() call; null members simply make the corresponding
@@ -36,6 +54,8 @@ struct VmEnv {
   // Resolves a kTailCall target table id to its action program (nullptr =
   // unresolvable; execution falls through, eBPF-style).
   std::function<const BytecodeProgram*(int64_t)> resolve_table;
+  // Optional telemetry sink; null (the default) records nothing.
+  const VmMetrics* metrics = nullptr;
 };
 
 struct VmConfig {

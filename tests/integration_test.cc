@@ -71,7 +71,8 @@ TEST(IntegrationTest, GuardedAdmissionPipeline) {
   EXPECT_EQ(emitted.size(), 16u);
   (void)hooks.Fire(hook, 1);
   EXPECT_EQ(emitted.size(), 16u);  // rate limited: no new emissions
-  EXPECT_EQ(hooks.StatsOf(hook).exec_errors, 0u);
+  EXPECT_EQ(hooks.MetricsOf(hook).exec_errors(), 0u);
+  EXPECT_EQ(hooks.MetricsOf(hook).fires(), 3u);
 }
 
 // Differential-privacy end to end: a generic aggregate-query program whose

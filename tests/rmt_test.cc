@@ -1,6 +1,8 @@
 // Tests for the RMT core: match/action tables, hook registry, control-plane
 // install/verify/entry/model management, adaptation, and the syscall layer.
 #include <array>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/bytecode/assembler.h"
@@ -181,7 +183,47 @@ TEST(HookRegistryTest, FireWithNothingAttachedFallsBack) {
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(hooks.Fire(*id, 1), kHookFallback);
   EXPECT_EQ(hooks.Fire(kInvalidHook, 1), kHookFallback);
-  EXPECT_EQ(hooks.StatsOf(*id).fires, 1u);
+  EXPECT_EQ(hooks.MetricsOf(*id).fires(), 1u);
+}
+
+TEST(HookRegistryTest, MetricsViewAndDeprecatedShimAgree) {
+  HookRegistry hooks;
+  Result<HookId> id = hooks.Register("h", HookKind::kGeneric);
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 3; ++i) {
+    hooks.Fire(*id, i);
+  }
+  const HookMetrics metrics = hooks.MetricsOf(*id);
+  EXPECT_EQ(metrics.fires(), 3u);
+  EXPECT_EQ(metrics.actions_run(), 0u);  // nothing attached
+  EXPECT_EQ(metrics.exec_errors(), 0u);
+  // Every fire records real latency into the histogram.
+  EXPECT_EQ(metrics.fire_ns().count(), 3u);
+  // The deprecated struct view is a snapshot of the same counters.
+  const HookRegistry::HookStats& stats = hooks.StatsOf(*id);
+  EXPECT_EQ(stats.fires, metrics.fires());
+  EXPECT_EQ(stats.actions_run, metrics.actions_run());
+  EXPECT_EQ(stats.exec_errors, metrics.exec_errors());
+}
+
+TEST(HookRegistryTest, FirePushesTraceEvents) {
+  HookRegistry hooks;
+  Result<HookId> id = hooks.Register("h", HookKind::kGeneric);
+  ASSERT_TRUE(id.ok());
+  hooks.Fire(*id, 42);
+  const std::vector<TraceEvent> events = hooks.telemetry().trace().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, kHookFireEvent);
+  EXPECT_EQ(events[0].source, *id);
+  EXPECT_EQ(events[0].key, 42u);
+  EXPECT_EQ(events[0].value, kHookFallback);
+}
+
+TEST(HookRegistryTest, MetricsOfInvalidHookIsZero) {
+  HookRegistry hooks;
+  const HookMetrics metrics = hooks.MetricsOf(kInvalidHook);
+  EXPECT_EQ(metrics.fires(), 0u);
+  EXPECT_EQ(metrics.fire_ns().count(), 0u);
 }
 
 // --- Control plane ---
@@ -217,7 +259,26 @@ TEST_F(ControlPlaneTest, InstallAttachAndFire) {
   ASSERT_TRUE(handle.ok()) << handle.status();
   EXPECT_EQ(cp_.installed_count(), 1u);
   EXPECT_EQ(hooks_.Fire(hook_, 7), 107);
-  EXPECT_EQ(hooks_.StatsOf(hook_).actions_run, 1u);
+  EXPECT_EQ(hooks_.MetricsOf(hook_).actions_run(), 1u);
+}
+
+TEST_F(ControlPlaneTest, InstallPopulatesControlPlaneMetrics) {
+  ASSERT_TRUE(cp_.Install(SimpleSpec("generic.hook")).ok());
+  EXPECT_FALSE(cp_.Install(SimpleSpec("missing.hook")).ok());
+  const ControlPlaneMetrics& metrics = cp_.Metrics();
+  EXPECT_EQ(metrics.installs->value(), 1u);
+  EXPECT_EQ(metrics.install_errors->value(), 1u);
+  EXPECT_EQ(metrics.install_ns->count(), 2u);  // failures are timed too
+  EXPECT_GE(metrics.verify_ns->count(), 1u);
+}
+
+TEST_F(ControlPlaneTest, VmInvocationsFlowIntoSharedRegistry) {
+  ASSERT_TRUE(cp_.Install(SimpleSpec("generic.hook")).ok());
+  hooks_.Fire(hook_, 1);
+  hooks_.Fire(hook_, 2);
+  TelemetryRegistry& telemetry = hooks_.telemetry();
+  EXPECT_EQ(telemetry.GetCounter("rkd.vm.invocations")->value(), 2u);
+  EXPECT_EQ(telemetry.GetHistogram("rkd.vm.run_ns")->count(), 2u);
 }
 
 TEST_F(ControlPlaneTest, InterpreterTierBehavesIdentically) {
@@ -442,6 +503,58 @@ TEST_F(ControlPlaneTest, AdaptationLowersKnobOnPoorAccuracy) {
   knob = cp_.Tick(*handle);
   ASSERT_TRUE(knob.ok());
   EXPECT_EQ(*knob, 8);
+}
+
+TEST_F(ControlPlaneTest, TickReportCarriesAccuracySamplesAndDirection) {
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  spec.maps.push_back(MapSpec{MapKind::kArray, 4});
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_TRUE(handle.ok());
+
+  ControlPlane::AdaptationConfig adapt;
+  adapt.low_accuracy = 0.5;
+  adapt.high_accuracy = 0.9;
+  adapt.min_samples = 10;
+  adapt.min_value = 1;
+  adapt.max_value = 8;
+  ASSERT_TRUE(cp_.EnableAdaptation(*handle, adapt).ok());
+
+  // Uniformly wrong -> knob lowered, direction -1.
+  PredictionLog& log = cp_.Get(*handle)->prediction_log();
+  for (int i = 0; i < 20; ++i) {
+    log.Record(1, 100);
+    log.Resolve(1, 200);
+  }
+  Result<ControlPlane::AdaptationReport> report = cp_.TickReport(*handle);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->knob, 7);
+  EXPECT_EQ(report->direction, -1);
+  EXPECT_DOUBLE_EQ(report->accuracy, 0.0);
+  EXPECT_EQ(report->samples, 20u);
+
+  // Uniformly right -> knob raised back, direction +1.
+  for (int i = 0; i < 20; ++i) {
+    log.Record(1, 100);
+    log.Resolve(1, 100);
+  }
+  report = cp_.TickReport(*handle);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->knob, 8);
+  EXPECT_EQ(report->direction, 1);
+  EXPECT_DOUBLE_EQ(report->accuracy, 1.0);
+
+  // Not enough samples -> knob held, direction 0.
+  log.Record(1, 1);
+  log.Resolve(1, 2);
+  report = cp_.TickReport(*handle);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->knob, 8);
+  EXPECT_EQ(report->direction, 0);
+
+  // The counters mirror what the reports said.
+  EXPECT_EQ(cp_.Metrics().ticks->value(), 3u);
+  EXPECT_EQ(cp_.Metrics().knob_lowered->value(), 1u);
+  EXPECT_EQ(cp_.Metrics().knob_raised->value(), 1u);
 }
 
 TEST_F(ControlPlaneTest, TickWithoutAdaptationFails) {

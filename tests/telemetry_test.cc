@@ -1,0 +1,263 @@
+// Tests for the unified telemetry core: histogram bucket math, trace-ring
+// wraparound, exporter output, and the concurrency contract.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/telemetry/export.h"
+#include "src/telemetry/telemetry.h"
+
+namespace rkd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge basics.
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, TwoThreadIncrementSmoke) {
+  Counter c;
+  constexpr uint64_t kPerThread = 100'000;
+  std::thread a([&] {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      c.Increment();
+    }
+  });
+  std::thread b([&] {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      c.Increment();
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(c.value(), 2 * kPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(0.25);
+  g.Set(0.97);
+  EXPECT_DOUBLE_EQ(g.value(), 0.97);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket boundaries: log2 edges and overflow.
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketIndexLog2Edges) {
+  // Bucket 0 = {0}; bucket i = [2^(i-1), 2^i - 1].
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(2), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(3), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(4), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(7), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(8), 4u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1024), 11u);
+}
+
+TEST(LatencyHistogramTest, OverflowLandsInLastBucket) {
+  // The last finite edge is 2^(kNumBuckets-2) - 1; anything at or above
+  // 2^(kNumBuckets-2) overflows.
+  constexpr uint64_t kFirstOverflow = 1ull << (LatencyHistogram::kNumBuckets - 2);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(kFirstOverflow - 1),
+            LatencyHistogram::kNumBuckets - 2);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(kFirstOverflow),
+            LatencyHistogram::kNumBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~0ull), LatencyHistogram::kNumBuckets - 1);
+
+  LatencyHistogram h;
+  h.Record(~0ull);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kNumBuckets - 1), 1u);
+}
+
+TEST(LatencyHistogramTest, BucketUpperBoundMatchesIndexContract) {
+  // Every bucket's inclusive upper edge must itself land in that bucket, and
+  // edge+1 must land in the next (except the unbounded overflow bucket).
+  for (size_t i = 0; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    const uint64_t edge = LatencyHistogram::BucketUpperBound(i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(edge), i) << "bucket " << i;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(edge + 1), i + 1) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogramTest, RecordUpdatesCountSumAndBuckets) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(100);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 5.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket_count(1), 1u);  // {1}
+  EXPECT_EQ(h.bucket_count(2), 2u);  // {2, 3}
+  EXPECT_EQ(h.bucket_count(7), 1u);  // [64, 127] holds 100
+}
+
+TEST(LatencyHistogramTest, ApproxPercentileReturnsBucketUpperEdge) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Record(3);  // bucket 2, edge 3
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(1000);  // bucket 10, edge 1023
+  }
+  EXPECT_DOUBLE_EQ(h.ApproxPercentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(h.ApproxPercentile(99), 1023.0);
+  EXPECT_DOUBLE_EQ(h.ApproxPercentile(100), 1023.0);
+  LatencyHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.ApproxPercentile(50), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring: wraparound, totals, oldest-first snapshots.
+// ---------------------------------------------------------------------------
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1).capacity(), 2u);
+  EXPECT_EQ(TraceRing(4).capacity(), 4u);
+  EXPECT_EQ(TraceRing(5).capacity(), 8u);
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestOldestFirst) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    TraceEvent ev;
+    ev.key = i;
+    ring.Push(ev);
+  }
+  EXPECT_EQ(ring.total(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Events 0 and 1 were overwritten; 2..5 remain, oldest first.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].key, i + 2) << "slot " << i;
+  }
+}
+
+TEST(TraceRingTest, PartialFillSnapshotsOnlyPushedEvents) {
+  TraceRing ring(8);
+  TraceEvent ev;
+  ev.key = 7;
+  ring.Push(ev);
+  EXPECT_EQ(ring.total(), 1u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].key, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry: find-or-create semantics and stable pointers.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryRegistryTest, FindOrCreateReturnsStablePointers) {
+  TelemetryRegistry registry;
+  Counter* c1 = registry.GetCounter("rkd.test.counter");
+  Counter* c2 = registry.GetCounter("rkd.test.counter");
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1, c2);  // same name -> same instance
+
+  // Creating many other metrics must not invalidate the first pointer.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("rkd.test.other." + std::to_string(i));
+  }
+  c1->Increment();
+  EXPECT_EQ(registry.GetCounter("rkd.test.counter")->value(), 1u);
+
+  // Namespaces are per-kind: a gauge and a histogram may share the name.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("rkd.test.counter")), nullptr);
+  EXPECT_EQ(registry.GetHistogram("rkd.test.h"), registry.GetHistogram("rkd.test.h"));
+}
+
+TEST(TelemetryRegistryTest, SnapshotsAreSortedByName) {
+  TelemetryRegistry registry;
+  registry.GetCounter("b");
+  registry.GetCounter("a");
+  registry.GetCounter("c");
+  const auto counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[1].first, "b");
+  EXPECT_EQ(counters[2].first, "c");
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, PrometheusGoldenForCountersAndGauges) {
+  TelemetryRegistry registry;
+  registry.GetCounter("rkd.hook.demo.fires")->Increment(3);
+  registry.GetGauge("rkd.cp.adapt.accuracy")->Set(0.5);
+  EXPECT_EQ(ExportPrometheus(registry),
+            "# TYPE rkd_hook_demo_fires counter\n"
+            "rkd_hook_demo_fires 3\n"
+            "# TYPE rkd_cp_adapt_accuracy gauge\n"
+            "rkd_cp_adapt_accuracy 0.5\n");
+}
+
+TEST(ExportTest, PrometheusHistogramHasCumulativeBucketsAndInf) {
+  TelemetryRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram("rkd.vm.run_ns");
+  h->Record(1);
+  h->Record(3);
+  h->Record(3);
+  const std::string text = ExportPrometheus(registry);
+  EXPECT_NE(text.find("# TYPE rkd_vm_run_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("rkd_vm_run_ns_bucket{le=\"1\"} 1\n"), std::string::npos);
+  // le="3" is cumulative: the one sample at 1 plus two at 3.
+  EXPECT_NE(text.find("rkd_vm_run_ns_bucket{le=\"3\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("rkd_vm_run_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("rkd_vm_run_ns_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("rkd_vm_run_ns_count 3\n"), std::string::npos);
+}
+
+TEST(ExportTest, JsonIncludesAllSectionsAndTrace) {
+  TelemetryRegistry registry(/*trace_capacity=*/4);
+  registry.GetCounter("rkd.test.c")->Increment(2);
+  registry.GetGauge("rkd.test.g")->Set(1.5);
+  registry.GetHistogram("rkd.test.h")->Record(5);
+  TraceEvent ev;
+  ev.source = 9;
+  ev.kind = kHookFireEvent;
+  ev.key = 42;
+  ev.value = -1;
+  registry.trace().Push(ev);
+
+  const std::string json = ExportJson(registry);
+  EXPECT_NE(json.find("\"rkd.test.c\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rkd.test.g\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 5"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": 7, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"key\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"value\": -1"), std::string::npos);
+}
+
+TEST(ExportTest, JsonCanOmitTrace) {
+  TelemetryRegistry registry;
+  JsonExportOptions options;
+  options.include_trace = false;
+  const std::string json = ExportJson(registry, options);
+  EXPECT_EQ(json.find("\"trace\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rkd

@@ -1,0 +1,112 @@
+// rkd_stats: dump a live telemetry-registry snapshot.
+//
+// Builds the quickstart pipeline (one classifier program installed through
+// the control plane), fires the hook a configurable number of times to
+// populate the per-hook latency histogram, then exports the registry in
+// Prometheus text exposition and/or JSON.
+//
+//   $ build/tools/rkd_stats                 # both formats, 1000 fires
+//   $ build/tools/rkd_stats --fires=50000 --format=prom
+//   $ build/tools/rkd_stats --format=json
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/bytecode/assembler.h"
+#include "src/rmt/control_plane.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/telemetry.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--fires=N] [--format=prom|json|both]\n"
+               "  --fires=N   number of hook fires to record (default 1000)\n"
+               "  --format=F  export format (default both)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rkd;
+
+  uint64_t fires = 1000;
+  std::string format = "both";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--fires=", 8) == 0) {
+      fires = std::strtoull(arg + 8, nullptr, 10);
+    } else if (std::strncmp(arg, "--format=", 9) == 0) {
+      format = arg + 9;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (format != "prom" && format != "json" && format != "both") {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  // Same program as examples/quickstart: r0 = (key < 1000) ? 1 : 2.
+  Assembler as("classify_key", HookKind::kGeneric);
+  {
+    auto small = as.NewLabel();
+    auto end = as.NewLabel();
+    as.JltImm(1, 1000, small);
+    as.MovImm(0, 2);
+    as.Ja(end);
+    as.Bind(small);
+    as.MovImm(0, 1);
+    as.Bind(end);
+    as.Exit();
+  }
+  Result<BytecodeProgram> action = as.Build();
+  if (!action.ok()) {
+    std::fprintf(stderr, "assemble failed: %s\n", action.status().ToString().c_str());
+    return 1;
+  }
+
+  HookRegistry hooks;
+  Result<HookId> hook = hooks.Register("demo.decision_point", HookKind::kGeneric);
+  if (!hook.ok()) {
+    std::fprintf(stderr, "hook registration failed: %s\n", hook.status().ToString().c_str());
+    return 1;
+  }
+
+  ControlPlane control_plane(&hooks);
+  RmtProgramSpec spec;
+  spec.name = "rkd_stats_prog";
+  RmtTableSpec table;
+  table.name = "classify_tab";
+  table.hook_point = "demo.decision_point";
+  table.actions.push_back(std::move(action).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+
+  Result<ControlPlane::ProgramHandle> handle = control_plane.Install(spec);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "install failed: %s\n", handle.status().ToString().c_str());
+    return 1;
+  }
+
+  for (uint64_t i = 0; i < fires; ++i) {
+    (void)hooks.Fire(*hook, static_cast<int64_t>(i % 2000));
+  }
+
+  const TelemetryRegistry& registry = hooks.telemetry();
+  if (format == "prom" || format == "both") {
+    std::printf("%s", ExportPrometheus(registry).c_str());
+  }
+  if (format == "both") {
+    std::printf("\n");
+  }
+  if (format == "json" || format == "both") {
+    std::printf("%s\n", ExportJson(registry).c_str());
+  }
+  return 0;
+}
