@@ -1,0 +1,190 @@
+#include "src/base/failpoints.h"
+
+#include <charconv>
+#include <chrono>
+
+namespace rkd {
+
+namespace {
+
+// Busy-wait so the injected latency is attributed to the site itself and
+// lands in whatever latency histogram times the surrounding code. A sleep
+// would deschedule and under-report on loaded machines.
+void BusyWaitNs(uint64_t ns) {
+  const auto now = [] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  const uint64_t deadline = now() + ns;
+  while (now() < deadline) {
+    // spin
+  }
+}
+
+Result<uint64_t> ParseU64(std::string_view text, std::string_view what) {
+  uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return InvalidArgumentError("failpoint spec: bad " + std::string(what) + " '" +
+                                std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<FailpointSpec> Failpoint::Fire() {
+  if (!armed_.load(std::memory_order_relaxed)) {
+    return std::nullopt;
+  }
+  FailpointSpec triggered;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t hit = hits_++;
+    bool fires = false;
+    switch (spec_.mode) {
+      case FailpointMode::kOff: fires = false; break;
+      case FailpointMode::kAlways: fires = true; break;
+      case FailpointMode::kFirstN: fires = hit < spec_.n; break;
+      case FailpointMode::kEveryNth: fires = spec_.n > 0 && (hit + 1) % spec_.n == 0; break;
+      case FailpointMode::kAfterN: fires = hit >= spec_.n; break;
+    }
+    if (!fires) {
+      return std::nullopt;
+    }
+    triggers_.fetch_add(1, std::memory_order_relaxed);
+    triggered = spec_;
+  }
+  if (triggered.latency_ns > 0) {
+    BusyWaitNs(triggered.latency_ns);
+  }
+  return triggered;
+}
+
+void Failpoint::Enable(const FailpointSpec& spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  hits_ = 0;
+  evaluations_.store(0, std::memory_order_relaxed);
+  triggers_.store(0, std::memory_order_relaxed);
+  armed_.store(spec.mode != FailpointMode::kOff, std::memory_order_relaxed);
+}
+
+void Failpoint::Disable() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  spec_ = FailpointSpec{};
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Failpoint* FailpointRegistry::Get(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  if (it != points_.end()) {
+    return it->second.get();
+  }
+  return points_.emplace(std::string(name), std::make_unique<Failpoint>(std::string(name)))
+      .first->second.get();
+}
+
+void FailpointRegistry::Enable(std::string_view name, const FailpointSpec& spec) {
+  Get(name)->Enable(spec);
+}
+
+Status FailpointRegistry::Disable(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  if (it == points_.end()) {
+    return NotFoundError("failpoint '" + std::string(name) + "' does not exist");
+  }
+  it->second->Disable();
+  return OkStatus();
+}
+
+void FailpointRegistry::DisableAll() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) {
+    point->Disable();
+  }
+}
+
+std::vector<std::string> FailpointRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<FailpointSpec> FailpointRegistry::ParseSpec(std::string_view text) {
+  FailpointSpec spec;
+  size_t start = 0;
+  bool first = true;
+  while (start <= text.size()) {
+    const size_t plus = text.find('+', start);
+    const std::string_view part =
+        text.substr(start, plus == std::string_view::npos ? std::string_view::npos
+                                                          : plus - start);
+    const size_t colon = part.find(':');
+    const std::string_view head = part.substr(0, colon);
+    const std::string_view arg =
+        colon == std::string_view::npos ? std::string_view() : part.substr(colon + 1);
+    if (first) {
+      // The leading component is the trigger mode.
+      if (head == "off") {
+        spec.mode = FailpointMode::kOff;
+      } else if (head == "always") {
+        spec.mode = FailpointMode::kAlways;
+      } else if (head == "first") {
+        spec.mode = FailpointMode::kFirstN;
+        RKD_ASSIGN_OR_RETURN(spec.n, ParseU64(arg, "first count"));
+      } else if (head == "every") {
+        spec.mode = FailpointMode::kEveryNth;
+        RKD_ASSIGN_OR_RETURN(spec.n, ParseU64(arg, "every period"));
+      } else if (head == "after") {
+        spec.mode = FailpointMode::kAfterN;
+        RKD_ASSIGN_OR_RETURN(spec.n, ParseU64(arg, "after count"));
+      } else {
+        return InvalidArgumentError("failpoint spec: unknown mode '" + std::string(head) + "'");
+      }
+      first = false;
+    } else if (head == "error") {
+      spec.force_error = true;
+    } else if (head == "latency") {
+      RKD_ASSIGN_OR_RETURN(spec.latency_ns, ParseU64(arg, "latency"));
+    } else if (head == "corrupt") {
+      uint64_t bits = 0;
+      RKD_ASSIGN_OR_RETURN(bits, ParseU64(arg, "corrupt mask"));
+      spec.corrupt_xor = static_cast<int64_t>(bits);
+    } else {
+      return InvalidArgumentError("failpoint spec: unknown payload '" + std::string(head) + "'");
+    }
+    if (plus == std::string_view::npos) {
+      break;
+    }
+    start = plus + 1;
+  }
+  return spec;
+}
+
+Status FailpointRegistry::EnableFromDirective(std::string_view directive) {
+  const size_t eq = directive.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return InvalidArgumentError("failpoint directive must be '<name>=<spec>', got '" +
+                                std::string(directive) + "'");
+  }
+  RKD_ASSIGN_OR_RETURN(FailpointSpec spec, ParseSpec(directive.substr(eq + 1)));
+  Enable(directive.substr(0, eq), spec);
+  return OkStatus();
+}
+
+}  // namespace rkd

@@ -1,0 +1,152 @@
+// Deterministic fault injection (kernel-style failpoints).
+//
+// A failpoint is a named site in production code where a test, the chaos
+// driver, or an operator can inject a failure: a forced error return, extra
+// latency (busy-wait, so it also shows up in latency histograms), or bit
+// corruption of the value produced at the site. Sites are compiled in
+// unconditionally; a disarmed failpoint costs one relaxed atomic load, so
+// datapath code (VM helper calls, map ops, model evaluation) can afford one.
+//
+// Determinism is the point: trigger modes are counter-based (always, first
+// N, every Nth, after N), never probabilistic, so a test that arms
+// `vm.helper` as `first:3+error` sees exactly three faults and can assert
+// exact counter values. See DESIGN.md "Failure model & guard states".
+#ifndef SRC_BASE_FAILPOINTS_H_
+#define SRC_BASE_FAILPOINTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace rkd {
+
+// When an armed failpoint fires relative to its per-arming hit counter.
+enum class FailpointMode {
+  kOff,
+  kAlways,    // every evaluation
+  kFirstN,    // hits 0..n-1 only (a transient fault that clears)
+  kEveryNth,  // hits n-1, 2n-1, ... (intermittent)
+  kAfterN,    // hits n, n+1, ... (a fault that develops later)
+};
+
+// What the site should do when the failpoint triggers. Any combination is
+// valid; a spec with no payload set still counts triggers (a pure probe).
+struct FailpointSpec {
+  FailpointMode mode = FailpointMode::kOff;
+  uint64_t n = 0;           // parameter for kFirstN / kEveryNth / kAfterN
+  bool force_error = false;  // site returns its injected-fault error
+  uint64_t latency_ns = 0;   // busy-wait this long at the site
+  int64_t corrupt_xor = 0;   // XOR into the site's produced value
+};
+
+// One named failpoint. Stable address for the process lifetime once created
+// through the registry, so sites cache the pointer in a function-local
+// static and never look it up again.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // The site-side check. Disarmed: one relaxed load, returns nullopt.
+  // Armed: advances the hit counter, applies injected latency here (so the
+  // site's own timing instrumentation observes it), and returns the spec
+  // when the trigger mode says this hit fires.
+  std::optional<FailpointSpec> Fire();
+
+  // Arms the failpoint and resets the hit/trigger counters (so re-arming
+  // in a fresh test starts a fresh deterministic sequence).
+  void Enable(const FailpointSpec& spec);
+  void Disable();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Counters since the last Enable(). `evaluations` counts armed Fire()
+  // calls; `triggers` counts the subset that actually fired.
+  uint64_t evaluations() const { return evaluations_.load(std::memory_order_relaxed); }
+  uint64_t triggers() const { return triggers_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::mutex mu_;  // guards spec_ and the mode decision; armed path only
+  FailpointSpec spec_;
+  uint64_t hits_ = 0;  // under mu_
+  std::atomic<uint64_t> evaluations_{0};
+  std::atomic<uint64_t> triggers_{0};
+};
+
+// Process-wide name -> failpoint map. Pointers returned by Get() stay valid
+// forever (the registry never erases).
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Global();
+
+  // Find-or-create. Never returns null.
+  Failpoint* Get(std::string_view name);
+
+  // Arm/disarm by name. Enable creates the failpoint if no site registered
+  // it yet (the site picks up the armed spec on first evaluation).
+  void Enable(std::string_view name, const FailpointSpec& spec);
+  Status Disable(std::string_view name);  // NotFound if never created
+  void DisableAll();
+
+  std::vector<std::string> Names() const;
+
+  // Parses the CLI directive syntax used by tools/rkd_chaos:
+  //   <mode>          := off | always | first:<N> | every:<N> | after:<N>
+  //   <payload>       := error | latency:<NS> | corrupt:<X>
+  //   <spec>          := <mode>{+<payload>}
+  // e.g. "first:3+error", "every:10+latency:50000", "always+corrupt:1".
+  static Result<FailpointSpec> ParseSpec(std::string_view spec);
+
+  // "name=spec" form; arms the named failpoint on success.
+  Status EnableFromDirective(std::string_view directive);
+
+ private:
+  FailpointRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_;
+};
+
+// RAII arming for tests: enables on construction, disables on destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string_view name, const FailpointSpec& spec)
+      : point_(FailpointRegistry::Global().Get(name)) {
+    point_->Enable(spec);
+  }
+  ~ScopedFailpoint() { point_->Disable(); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  Failpoint& point() { return *point_; }
+
+ private:
+  Failpoint* point_;
+};
+
+// Site-side macro: resolves the named failpoint once (function-local
+// static), then evaluates it. Yields std::optional<FailpointSpec>.
+//
+//   if (auto fault = RKD_FAILPOINT("vm.helper"); fault && fault->force_error)
+//     return fail(InternalError("injected helper fault"));
+#define RKD_FAILPOINT(name)                                                        \
+  ([]() -> ::rkd::Failpoint* {                                                     \
+    static ::rkd::Failpoint* rkd_fp__ = ::rkd::FailpointRegistry::Global().Get(name); \
+    return rkd_fp__;                                                               \
+  }())                                                                             \
+      ->Fire()
+
+}  // namespace rkd
+
+#endif  // SRC_BASE_FAILPOINTS_H_

@@ -15,6 +15,11 @@ ControlPlane::ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config)
   metrics_.ticks = telemetry.GetCounter("rkd.cp.ticks");
   metrics_.knob_raised = telemetry.GetCounter("rkd.cp.knob_raised");
   metrics_.knob_lowered = telemetry.GetCounter("rkd.cp.knob_lowered");
+  metrics_.suspends = telemetry.GetCounter("rkd.cp.suspends");
+  metrics_.resumes = telemetry.GetCounter("rkd.cp.resumes");
+  metrics_.canary_installs = telemetry.GetCounter("rkd.cp.canary_installs");
+  metrics_.promotions = telemetry.GetCounter("rkd.cp.promotions");
+  metrics_.rollbacks = telemetry.GetCounter("rkd.cp.rollbacks");
   metrics_.install_ns = telemetry.GetHistogram("rkd.cp.install_ns");
   metrics_.verify_ns = telemetry.GetHistogram("rkd.cp.verify_ns");
   metrics_.knob = telemetry.GetGauge("rkd.cp.adapt.knob");
@@ -101,6 +106,15 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
   // Phase 2: build the runtime program.
   auto program = std::unique_ptr<InstalledProgram>(new InstalledProgram(spec, hooks_));
   program->vm_metrics_ = VmMetrics::ForRegistry(hooks_->telemetry());
+  // The per-program slice the guardian's breakers and rollout comparisons
+  // read. Keyed by program name, so a canary must be named distinctly.
+  {
+    TelemetryRegistry& telemetry = hooks_->telemetry();
+    const std::string prefix = "rkd.guard.prog." + spec.name;
+    program->exec_metrics_.execs = telemetry.GetCounter(prefix + ".execs");
+    program->exec_metrics_.exec_errors = telemetry.GetCounter(prefix + ".exec_errors");
+    program->exec_metrics_.exec_ns = telemetry.GetHistogram(prefix + ".exec_ns");
+  }
   for (const MapSpec& map_spec : spec.maps) {
     RKD_ASSIGN_OR_RETURN(int64_t map_id, program->maps_.Create(map_spec.kind, map_spec.capacity));
     (void)map_id;
@@ -149,6 +163,7 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
     env.helpers = services.get();
     env.metrics = &program->vm_metrics_;
     attached->set_env(env, services.get());
+    attached->set_exec_metrics(&program->exec_metrics_);
 
     program->services_.push_back(std::move(services));
     program->tables_.push_back(std::move(attached));
@@ -193,14 +208,75 @@ ControlPlane::Slot* ControlPlane::FindSlot(ProgramHandle handle) {
   return slot.program != nullptr ? &slot : nullptr;
 }
 
+const ControlPlane::Slot* ControlPlane::FindSlot(ProgramHandle handle) const {
+  if (handle < 0 || static_cast<size_t>(handle) >= slots_.size()) {
+    return nullptr;
+  }
+  const Slot& slot = slots_[static_cast<size_t>(handle)];
+  return slot.program != nullptr ? &slot : nullptr;
+}
+
 Status ControlPlane::Uninstall(ProgramHandle handle) {
   Slot* slot = FindSlot(handle);
   if (slot == nullptr) {
     return NotFoundError("no installed program with handle " + std::to_string(handle));
   }
+  // A manual uninstall of a rollout arm abandons the rollout: the surviving
+  // arm must stop filtering fires against the now-dead partner.
+  for (Rollout& rollout : rollouts_) {
+    if (!rollout.active || (rollout.incumbent != handle && rollout.canary != handle)) {
+      continue;
+    }
+    rollout.active = false;
+    ClearCanaryRole(rollout.incumbent == handle ? rollout.canary : rollout.incumbent);
+  }
   slot->program.reset();  // destructor detaches from hooks
+  slot->suspended = false;
+  slot->adaptation_enabled = false;
   metrics_.uninstalls->Increment();
   return OkStatus();
+}
+
+Status ControlPlane::Suspend(ProgramHandle handle) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (slot->suspended) {
+    return FailedPreconditionError("program is already suspended");
+  }
+  for (const auto& table : slot->program->tables()) {
+    (void)hooks_->Detach(table->hook(), table.get());
+  }
+  slot->program->attached_ = false;
+  slot->suspended = true;
+  metrics_.suspends->Increment();
+  return OkStatus();
+}
+
+Status ControlPlane::Resume(ProgramHandle handle) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (!slot->suspended) {
+    return FailedPreconditionError("program is not suspended");
+  }
+  for (const auto& table : slot->program->tables()) {
+    RKD_RETURN_IF_ERROR(hooks_->Attach(table->hook(), table.get()));
+  }
+  slot->program->attached_ = true;
+  slot->suspended = false;
+  metrics_.resumes->Increment();
+  return OkStatus();
+}
+
+Result<bool> ControlPlane::IsSuspended(ProgramHandle handle) const {
+  const Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  return slot->suspended;
 }
 
 InstalledProgram* ControlPlane::Get(ProgramHandle handle) {
@@ -213,6 +289,9 @@ Status ControlPlane::AddEntry(ProgramHandle handle, std::string_view table,
   Slot* slot = FindSlot(handle);
   if (slot == nullptr) {
     return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (slot->suspended) {
+    return FailedPreconditionError("program is suspended; resume before reconfiguring");
   }
   AttachedTable* attached = slot->program->FindTable(table);
   if (attached == nullptr) {
@@ -231,6 +310,9 @@ Status ControlPlane::RemoveEntry(ProgramHandle handle, std::string_view table, u
   if (slot == nullptr) {
     return NotFoundError("no installed program with handle " + std::to_string(handle));
   }
+  if (slot->suspended) {
+    return FailedPreconditionError("program is suspended; resume before reconfiguring");
+  }
   AttachedTable* attached = slot->program->FindTable(table);
   if (attached == nullptr) {
     return NotFoundError("no table named '" + std::string(table) + "'");
@@ -243,6 +325,9 @@ Status ControlPlane::ModifyEntry(ProgramHandle handle, std::string_view table, u
   Slot* slot = FindSlot(handle);
   if (slot == nullptr) {
     return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (slot->suspended) {
+    return FailedPreconditionError("program is suspended; resume before reconfiguring");
   }
   AttachedTable* attached = slot->program->FindTable(table);
   if (attached == nullptr) {
@@ -258,6 +343,10 @@ Status ControlPlane::InstallModel(ProgramHandle handle, int64_t slot_id, ModelPt
   Slot* slot = FindSlot(handle);
   if (slot == nullptr) {
     return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (slot->suspended) {
+    metrics_.model_swap_errors->Increment();
+    return FailedPreconditionError("program is suspended; resume before swapping models");
   }
   if (model != nullptr) {
     // Cost-model re-check at swap time: the tightest budget among the hooks
@@ -286,6 +375,9 @@ Status ControlPlane::WriteMap(ProgramHandle handle, int64_t map_id, int64_t key,
   Slot* slot = FindSlot(handle);
   if (slot == nullptr) {
     return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (slot->suspended) {
+    return FailedPreconditionError("program is suspended; resume before writing maps");
   }
   RmtMap* map = slot->program->maps().Get(map_id);
   if (map == nullptr) {
@@ -366,6 +458,186 @@ Result<int64_t> ControlPlane::Tick(ProgramHandle handle) {
   RKD_ASSIGN_OR_RETURN(AdaptationReport report, TickReport(handle));
   return report.knob;
 }
+
+namespace {
+
+// Counters can be reset under us (e.g. PredictionLog::ResetCounters from the
+// adaptation loop), so window deltas saturate at zero instead of wrapping.
+uint64_t SatDelta(uint64_t now, uint64_t base) { return now > base ? now - base : 0; }
+
+}  // namespace
+
+ControlPlane::ArmBaseline ControlPlane::BaselineOf(const InstalledProgram& program) {
+  ArmBaseline base;
+  const ProgramExecMetrics& metrics = program.exec_metrics();
+  base.execs = metrics.execs->value();
+  base.errors = metrics.exec_errors->value();
+  base.resolved = program.prediction_log().total_resolved();
+  base.correct = program.prediction_log().total_correct();
+  base.window.Reset(*metrics.exec_ns);
+  return base;
+}
+
+ControlPlane::ArmSnapshot ControlPlane::SnapshotArm(const InstalledProgram& program,
+                                                    const ArmBaseline& base) {
+  ArmSnapshot snap;
+  snap.name = program.name();
+  const ProgramExecMetrics& metrics = program.exec_metrics();
+  snap.execs = SatDelta(metrics.execs->value(), base.execs);
+  snap.exec_errors = SatDelta(metrics.exec_errors->value(), base.errors);
+  snap.error_rate = snap.execs == 0
+                        ? 0.0
+                        : static_cast<double>(snap.exec_errors) / static_cast<double>(snap.execs);
+  snap.p99_ns = base.window.DeltaPercentile(*metrics.exec_ns, 99.0);
+  const PredictionLog& log = program.prediction_log();
+  snap.accuracy_samples = SatDelta(log.total_resolved(), base.resolved);
+  const uint64_t correct = SatDelta(log.total_correct(), base.correct);
+  snap.accuracy = snap.accuracy_samples == 0
+                      ? 0.0
+                      : static_cast<double>(correct) / static_cast<double>(snap.accuracy_samples);
+  return snap;
+}
+
+void ControlPlane::ClearCanaryRole(ProgramHandle handle) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return;
+  }
+  for (const auto& table : slot->program->tables()) {
+    table->set_canary(CanaryRole::kSolo, nullptr);
+  }
+}
+
+Result<ControlPlane::RolloutId> ControlPlane::InstallCanary(ProgramHandle incumbent,
+                                                            const RmtProgramSpec& candidate,
+                                                            const CanaryConfig& config,
+                                                            ExecTier tier) {
+  Slot* slot = FindSlot(incumbent);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(incumbent));
+  }
+  if (slot->suspended) {
+    return FailedPreconditionError("cannot canary against a suspended incumbent");
+  }
+  if (candidate.name == slot->program->name()) {
+    return InvalidArgumentError(
+        "canary must have a distinct program name (telemetry slices would merge)");
+  }
+  if (config.canary_permille == 0 || config.canary_permille >= 1000) {
+    return InvalidArgumentError("canary_permille must be in [1, 999]");
+  }
+  for (const Rollout& rollout : rollouts_) {
+    if (rollout.active && (rollout.incumbent == incumbent || rollout.canary == incumbent)) {
+      return FailedPreconditionError("incumbent already participates in an active rollout");
+    }
+  }
+
+  RKD_ASSIGN_OR_RETURN(ProgramHandle canary, Install(candidate, tier));
+
+  Rollout rollout;
+  rollout.active = true;
+  rollout.incumbent = incumbent;
+  rollout.canary = canary;
+  rollout.config = config;
+  rollout.gate = std::make_unique<CanaryGate>();
+  rollout.gate->canary_permille.store(config.canary_permille, std::memory_order_relaxed);
+
+  // Re-resolve the incumbent slot: Install() may have reallocated slots_.
+  Slot* incumbent_slot = FindSlot(incumbent);
+  Slot* canary_slot = FindSlot(canary);
+  for (const auto& table : incumbent_slot->program->tables()) {
+    table->set_canary(CanaryRole::kIncumbent, rollout.gate.get());
+  }
+  for (const auto& table : canary_slot->program->tables()) {
+    table->set_canary(CanaryRole::kCanary, rollout.gate.get());
+  }
+  rollout.incumbent_base = BaselineOf(*incumbent_slot->program);
+  rollout.canary_base = BaselineOf(*canary_slot->program);
+
+  rollouts_.push_back(std::move(rollout));
+  metrics_.canary_installs->Increment();
+  return static_cast<RolloutId>(rollouts_.size()) - 1;
+}
+
+Result<ControlPlane::RolloutReport> ControlPlane::EvaluateRollout(RolloutId id) {
+  if (id < 0 || static_cast<size_t>(id) >= rollouts_.size()) {
+    return NotFoundError("no rollout with id " + std::to_string(id));
+  }
+  Rollout& rollout = rollouts_[static_cast<size_t>(id)];
+  if (!rollout.active) {
+    return FailedPreconditionError("rollout " + std::to_string(id) + " already resolved");
+  }
+  Slot* incumbent_slot = FindSlot(rollout.incumbent);
+  Slot* canary_slot = FindSlot(rollout.canary);
+  if (incumbent_slot == nullptr || canary_slot == nullptr) {
+    rollout.active = false;
+    return FailedPreconditionError("a rollout arm was uninstalled externally");
+  }
+
+  RolloutReport report;
+  report.id = id;
+  report.incumbent_handle = rollout.incumbent;
+  report.canary_handle = rollout.canary;
+  report.incumbent = SnapshotArm(*incumbent_slot->program, rollout.incumbent_base);
+  report.canary = SnapshotArm(*canary_slot->program, rollout.canary_base);
+
+  const CanaryConfig& config = rollout.config;
+  if (report.incumbent.execs < config.soak_min_execs ||
+      report.canary.execs < config.soak_min_execs) {
+    report.decision = RolloutReport::Decision::kSoaking;
+    return report;
+  }
+
+  // The canary survives only if it breaches no bound. Checks are ordered
+  // most-severe-first so `reason` names the worst problem.
+  std::string reason;
+  if (report.canary.error_rate > config.max_error_rate) {
+    reason = "canary error rate " + std::to_string(report.canary.error_rate) +
+             " exceeds bound " + std::to_string(config.max_error_rate);
+  } else if (config.max_latency_ratio > 0.0 && report.incumbent.p99_ns > 0.0 &&
+             report.canary.p99_ns > config.max_latency_ratio * report.incumbent.p99_ns) {
+    reason = "canary p99 " + std::to_string(report.canary.p99_ns) + "ns exceeds " +
+             std::to_string(config.max_latency_ratio) + "x incumbent p99 " +
+             std::to_string(report.incumbent.p99_ns) + "ns";
+  } else if (config.min_accuracy_samples > 0 &&
+             report.incumbent.accuracy_samples >= config.min_accuracy_samples &&
+             report.canary.accuracy_samples >= config.min_accuracy_samples &&
+             report.canary.accuracy < report.incumbent.accuracy + config.min_accuracy_delta) {
+    reason = "canary accuracy " + std::to_string(report.canary.accuracy) +
+             " below incumbent " + std::to_string(report.incumbent.accuracy) + " + delta " +
+             std::to_string(config.min_accuracy_delta);
+  }
+
+  // Resolve: return the surviving arm to solo routing BEFORE uninstalling
+  // the loser, so no table ever points at a gate mid-teardown.
+  rollout.active = false;
+  if (reason.empty()) {
+    ClearCanaryRole(rollout.canary);
+    RKD_RETURN_IF_ERROR(Uninstall(rollout.incumbent));
+    report.decision = RolloutReport::Decision::kPromoted;
+    report.reason = "canary within every bound; promoted to full traffic";
+    metrics_.promotions->Increment();
+  } else {
+    ClearCanaryRole(rollout.incumbent);
+    RKD_RETURN_IF_ERROR(Uninstall(rollout.canary));
+    report.decision = RolloutReport::Decision::kRolledBack;
+    report.reason = reason;
+    metrics_.rollbacks->Increment();
+  }
+  return report;
+}
+
+std::vector<ControlPlane::RolloutId> ControlPlane::ActiveRollouts() const {
+  std::vector<RolloutId> active;
+  for (size_t i = 0; i < rollouts_.size(); ++i) {
+    if (rollouts_[i].active) {
+      active.push_back(static_cast<RolloutId>(i));
+    }
+  }
+  return active;
+}
+
+TelemetryRegistry& ControlPlane::telemetry() const { return hooks_->telemetry(); }
 
 size_t ControlPlane::installed_count() const {
   size_t count = 0;

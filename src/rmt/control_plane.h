@@ -39,6 +39,11 @@ struct ControlPlaneMetrics {
   Counter* ticks = nullptr;           // adaptation Tick() evaluations
   Counter* knob_raised = nullptr;
   Counter* knob_lowered = nullptr;
+  Counter* suspends = nullptr;        // Suspend() detachments
+  Counter* resumes = nullptr;         // Resume() re-attachments
+  Counter* canary_installs = nullptr; // InstallCanary() successes
+  Counter* promotions = nullptr;      // rollouts resolved in the canary's favour
+  Counter* rollbacks = nullptr;       // rollouts resolved against the canary
   LatencyHistogram* install_ns = nullptr;  // full Install() wall latency
   LatencyHistogram* verify_ns = nullptr;   // admission (verifier) phase only
   Gauge* knob = nullptr;                   // knob value after the last tick
@@ -59,6 +64,66 @@ class ControlPlane {
   Status Uninstall(ProgramHandle handle);
 
   InstalledProgram* Get(ProgramHandle handle);
+
+  // --- Lifecycle (circuit-breaker integration) ---
+  // Detaches every table from its hook WITHOUT destroying program state
+  // (maps, models, logs, context survive), so the hook reverts to the stock
+  // heuristic while the guardian decides whether to re-admit. While
+  // suspended, mutating ops (entries, models, map writes) fail with
+  // kFailedPrecondition; ReadMap stays allowed for diagnosis.
+  Status Suspend(ProgramHandle handle);
+  // Re-attaches a suspended program's tables (half-open probation re-entry).
+  Status Resume(ProgramHandle handle);
+  Result<bool> IsSuspended(ProgramHandle handle) const;
+
+  // --- Canary rollout ---
+  struct CanaryConfig {
+    uint32_t canary_permille = 100;    // fraction of fires routed to the canary
+    uint64_t soak_min_execs = 32;      // per-arm executions before a verdict
+    double max_error_rate = 0.05;      // canary exec-error rate bound
+    double max_latency_ratio = 2.0;    // canary p99 / incumbent p99 bound (0 = off)
+    double min_accuracy_delta = 0.0;   // canary accuracy must beat incumbent by this
+    uint64_t min_accuracy_samples = 0; // per-arm resolved predictions (0 = skip check)
+  };
+
+  using RolloutId = int64_t;
+
+  // One rollout arm's telemetry over the soak window.
+  struct ArmSnapshot {
+    std::string name;
+    uint64_t execs = 0;
+    uint64_t exec_errors = 0;
+    double error_rate = 0.0;
+    double p99_ns = 0.0;
+    uint64_t accuracy_samples = 0;
+    double accuracy = 0.0;
+  };
+
+  struct RolloutReport {
+    enum class Decision { kSoaking, kPromoted, kRolledBack };
+    Decision decision = Decision::kSoaking;
+    RolloutId id = -1;
+    ProgramHandle incumbent_handle = -1;
+    ProgramHandle canary_handle = -1;
+    ArmSnapshot incumbent;
+    ArmSnapshot canary;
+    std::string reason;  // which bound decided (empty while soaking)
+  };
+
+  // Installs `candidate` alongside the incumbent and starts routing
+  // `canary_permille` of the incumbent's hook fires to it. The candidate
+  // goes through full admission (verifier, budgets) like any install and
+  // must carry a distinct program name so its telemetry slice is separate.
+  Result<RolloutId> InstallCanary(ProgramHandle incumbent, const RmtProgramSpec& candidate,
+                                  const CanaryConfig& config, ExecTier tier = ExecTier::kJit);
+
+  // Compares the two arms' telemetry since InstallCanary(). Below the soak
+  // threshold: kSoaking (call again after more traffic). Otherwise the
+  // rollout resolves exactly once: kPromoted uninstalls the incumbent and
+  // gives the canary full traffic, kRolledBack uninstalls the canary.
+  Result<RolloutReport> EvaluateRollout(RolloutId id);
+
+  std::vector<RolloutId> ActiveRollouts() const;
 
   // --- Entry management (runtime reconfiguration) ---
   Status AddEntry(ProgramHandle handle, std::string_view table, const TableEntry& entry);
@@ -108,6 +173,9 @@ class ControlPlane {
   // TelemetryRegistry).
   const ControlPlaneMetrics& Metrics() const { return metrics_; }
 
+  // The registry all control-plane (and guardian) metrics land in.
+  TelemetryRegistry& telemetry() const;
+
   size_t installed_count() const;
 
  private:
@@ -115,15 +183,43 @@ class ControlPlane {
   struct Slot {
     std::unique_ptr<InstalledProgram> program;
     bool adaptation_enabled = false;
+    bool suspended = false;
     AdaptationConfig adaptation;
   };
 
+  // Where one rollout arm's counters stood when the soak window opened.
+  struct ArmBaseline {
+    uint64_t execs = 0;
+    uint64_t errors = 0;
+    uint64_t resolved = 0;
+    uint64_t correct = 0;
+    HistogramWindow window;
+  };
+
+  struct Rollout {
+    bool active = false;
+    ProgramHandle incumbent = -1;
+    ProgramHandle canary = -1;
+    CanaryConfig config;
+    // Outlives the rollout's resolution: tables are re-pointed to
+    // kSolo/nullptr before either program is uninstalled.
+    std::unique_ptr<CanaryGate> gate;
+    ArmBaseline incumbent_base;
+    ArmBaseline canary_base;
+  };
+
   Slot* FindSlot(ProgramHandle handle);
+  const Slot* FindSlot(ProgramHandle handle) const;
+  static ArmBaseline BaselineOf(const InstalledProgram& program);
+  static ArmSnapshot SnapshotArm(const InstalledProgram& program, const ArmBaseline& base);
+  // Returns every table of `handle`'s program to solo routing.
+  void ClearCanaryRole(ProgramHandle handle);
 
   HookRegistry* hooks_;  // not owned
   VerifierConfig verifier_config_;
   ControlPlaneMetrics metrics_;
   std::vector<Slot> slots_;
+  std::vector<Rollout> rollouts_;
 };
 
 }  // namespace rkd

@@ -1,0 +1,282 @@
+#include "src/rmt/guardian.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rkd {
+
+namespace {
+
+uint64_t SatDelta(uint64_t now, uint64_t base) { return now > base ? now - base : 0; }
+
+}  // namespace
+
+std::string_view GuardStateName(GuardState state) {
+  switch (state) {
+    case GuardState::kHealthy: return "healthy";
+    case GuardState::kTripped: return "tripped";
+    case GuardState::kProbation: return "probation";
+    case GuardState::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+PolicyGuardian::PolicyGuardian(ControlPlane* control_plane) : control_plane_(control_plane) {
+  TelemetryRegistry& telemetry = control_plane_->telemetry();
+  ticks_ = telemetry.GetCounter("rkd.guard.ticks");
+  trips_ = telemetry.GetCounter("rkd.guard.trips");
+  probations_ = telemetry.GetCounter("rkd.guard.probations");
+  recoveries_ = telemetry.GetCounter("rkd.guard.recoveries");
+  quarantines_ = telemetry.GetCounter("rkd.guard.quarantines");
+}
+
+PolicyGuardian::Guarded* PolicyGuardian::Find(ControlPlane::ProgramHandle handle) {
+  for (Guarded& guard : guarded_) {
+    if (guard.handle == handle) {
+      return &guard;
+    }
+  }
+  return nullptr;
+}
+
+const PolicyGuardian::Guarded* PolicyGuardian::Find(ControlPlane::ProgramHandle handle) const {
+  for (const Guarded& guard : guarded_) {
+    if (guard.handle == handle) {
+      return &guard;
+    }
+  }
+  return nullptr;
+}
+
+Status PolicyGuardian::Guard(ControlPlane::ProgramHandle handle, const BreakerConfig& config) {
+  if (Find(handle) != nullptr) {
+    return AlreadyExistsError("program handle " + std::to_string(handle) +
+                              " is already guarded");
+  }
+  InstalledProgram* program = control_plane_->Get(handle);
+  if (program == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  RKD_ASSIGN_OR_RETURN(bool suspended, control_plane_->IsSuspended(handle));
+  if (suspended) {
+    return FailedPreconditionError("cannot guard a suspended program");
+  }
+  if (config.window_execs == 0 || config.probation_execs == 0) {
+    return InvalidArgumentError("window_execs and probation_execs must be positive");
+  }
+  Guarded guard;
+  guard.handle = handle;
+  guard.name = program->name();
+  guard.config = config;
+  guard.state_gauge =
+      control_plane_->telemetry().GetGauge("rkd.guard.state." + program->name());
+  guarded_.push_back(std::move(guard));
+  Guarded& stored = guarded_.back();
+  OpenWindow(stored);
+  SetState(stored, GuardState::kHealthy);
+  return OkStatus();
+}
+
+Status PolicyGuardian::Unguard(ControlPlane::ProgramHandle handle) {
+  for (size_t i = 0; i < guarded_.size(); ++i) {
+    if (guarded_[i].handle == handle) {
+      guarded_.erase(guarded_.begin() + static_cast<ptrdiff_t>(i));
+      return OkStatus();
+    }
+  }
+  return NotFoundError("program handle " + std::to_string(handle) + " is not guarded");
+}
+
+GuardState PolicyGuardian::StateOf(ControlPlane::ProgramHandle handle) const {
+  const Guarded* guard = Find(handle);
+  return guard != nullptr ? guard->state : GuardState::kHealthy;
+}
+
+uint32_t PolicyGuardian::TripsOf(ControlPlane::ProgramHandle handle) const {
+  const Guarded* guard = Find(handle);
+  return guard != nullptr ? guard->trips : 0;
+}
+
+bool PolicyGuardian::IsGuarded(ControlPlane::ProgramHandle handle) const {
+  return Find(handle) != nullptr;
+}
+
+void PolicyGuardian::OpenWindow(Guarded& guard) {
+  InstalledProgram* program = control_plane_->Get(guard.handle);
+  if (program == nullptr) {
+    return;
+  }
+  const ProgramExecMetrics& metrics = program->exec_metrics();
+  guard.execs0 = metrics.execs->value();
+  guard.errors0 = metrics.exec_errors->value();
+  guard.resolved0 = program->prediction_log().total_resolved();
+  guard.correct0 = program->prediction_log().total_correct();
+  guard.window.Reset(*metrics.exec_ns);
+}
+
+void PolicyGuardian::SetState(Guarded& guard, GuardState state) {
+  guard.state = state;
+  guard.state_gauge->Set(static_cast<double>(state));
+}
+
+std::string PolicyGuardian::Breach(const Guarded& guard, uint64_t needed_execs) {
+  const InstalledProgram* program = control_plane_->Get(guard.handle);
+  if (program == nullptr) {
+    return "";
+  }
+  const ProgramExecMetrics& metrics = program->exec_metrics();
+  const uint64_t execs = SatDelta(metrics.execs->value(), guard.execs0);
+  if (execs < needed_execs) {
+    return "";  // window still filling; no decision yet
+  }
+  const BreakerConfig& config = guard.config;
+  const uint64_t errors = SatDelta(metrics.exec_errors->value(), guard.errors0);
+  const double error_rate = static_cast<double>(errors) / static_cast<double>(execs);
+  if (error_rate > config.max_error_rate) {
+    return "exec error rate " + std::to_string(error_rate) + " over " +
+           std::to_string(execs) + " execs exceeds " + std::to_string(config.max_error_rate);
+  }
+  if (config.max_p99_ns > 0.0) {
+    const double p99 = guard.window.DeltaPercentile(*metrics.exec_ns, 99.0);
+    if (p99 > config.max_p99_ns) {
+      return "exec p99 " + std::to_string(p99) + "ns exceeds budget " +
+             std::to_string(config.max_p99_ns) + "ns";
+    }
+  }
+  if (config.min_accuracy > 0.0) {
+    const PredictionLog& log = program->prediction_log();
+    const uint64_t resolved = SatDelta(log.total_resolved(), guard.resolved0);
+    if (resolved >= config.min_accuracy_samples) {
+      const uint64_t correct = SatDelta(log.total_correct(), guard.correct0);
+      const double accuracy =
+          static_cast<double>(correct) / static_cast<double>(resolved);
+      if (accuracy < config.min_accuracy) {
+        return "rolling accuracy " + std::to_string(accuracy) + " over " +
+               std::to_string(resolved) + " predictions below floor " +
+               std::to_string(config.min_accuracy);
+      }
+    }
+  }
+  return "";
+}
+
+void PolicyGuardian::TripInto(Guarded& guard, TickSummary& summary,
+                              const std::string& reason) {
+  GuardEvent event;
+  event.handle = guard.handle;
+  event.program = guard.name;
+  event.from = guard.state;
+  event.reason = reason;
+
+  (void)control_plane_->Suspend(guard.handle);
+  ++guard.trips;
+  trips_->Increment();
+  if (guard.trips >= guard.config.max_trips) {
+    SetState(guard, GuardState::kQuarantined);
+    quarantines_->Increment();
+    event.reason += "; trip budget exhausted, quarantined";
+  } else {
+    // Exponential backoff: each trip waits multiplier times longer than the
+    // last, clamped. Counted in ticks, so tests control time exactly.
+    const uint64_t next =
+        guard.current_backoff == 0
+            ? guard.config.backoff_initial_ticks
+            : static_cast<uint64_t>(
+                  std::ceil(static_cast<double>(guard.current_backoff) *
+                            guard.config.backoff_multiplier));
+    guard.current_backoff =
+        std::max<uint64_t>(1, std::min(next, guard.config.backoff_max_ticks));
+    guard.backoff_remaining = guard.current_backoff;
+    SetState(guard, GuardState::kTripped);
+  }
+  event.to = guard.state;
+  summary.transitions.push_back(std::move(event));
+}
+
+PolicyGuardian::TickSummary PolicyGuardian::Tick() {
+  TickSummary summary;
+  ++tick_count_;
+  ticks_->Increment();
+
+  for (Guarded& guard : guarded_) {
+    // A program uninstalled behind our back has nothing left to guard.
+    if (control_plane_->Get(guard.handle) == nullptr) {
+      continue;
+    }
+    switch (guard.state) {
+      case GuardState::kHealthy: {
+        const std::string reason = Breach(guard, guard.config.window_execs);
+        if (!reason.empty()) {
+          TripInto(guard, summary, reason);
+        } else {
+          // Slide the window once it has filled, so the breaker always
+          // judges recent behaviour rather than the lifetime average.
+          const InstalledProgram* program = control_plane_->Get(guard.handle);
+          if (SatDelta(program->exec_metrics().execs->value(), guard.execs0) >=
+              guard.config.window_execs) {
+            OpenWindow(guard);
+          }
+        }
+        break;
+      }
+      case GuardState::kTripped: {
+        if (guard.backoff_remaining > 0) {
+          --guard.backoff_remaining;
+        }
+        if (guard.backoff_remaining == 0) {
+          GuardEvent event;
+          event.handle = guard.handle;
+          event.program = guard.name;
+          event.from = guard.state;
+          const Status resumed = control_plane_->Resume(guard.handle);
+          if (resumed.ok()) {
+            OpenWindow(guard);
+            SetState(guard, GuardState::kProbation);
+            probations_->Increment();
+            event.to = guard.state;
+            event.reason = "backoff expired; re-admitted half-open";
+            summary.transitions.push_back(std::move(event));
+          }
+          // Resume can only fail if the operator resumed/uninstalled the
+          // program manually; leave the state machine where it is.
+        }
+        break;
+      }
+      case GuardState::kProbation: {
+        const std::string reason = Breach(guard, guard.config.probation_execs);
+        if (!reason.empty()) {
+          TripInto(guard, summary, reason);
+          break;
+        }
+        const InstalledProgram* program = control_plane_->Get(guard.handle);
+        if (SatDelta(program->exec_metrics().execs->value(), guard.execs0) >=
+            guard.config.probation_execs) {
+          GuardEvent event;
+          event.handle = guard.handle;
+          event.program = guard.name;
+          event.from = guard.state;
+          OpenWindow(guard);
+          SetState(guard, GuardState::kHealthy);
+          recoveries_->Increment();
+          event.to = guard.state;
+          event.reason = "clean probation window; fully re-enabled";
+          summary.transitions.push_back(std::move(event));
+        }
+        break;
+      }
+      case GuardState::kQuarantined:
+        break;  // terminal
+    }
+  }
+
+  // Drive every active rollout toward its verdict.
+  for (const ControlPlane::RolloutId id : control_plane_->ActiveRollouts()) {
+    Result<ControlPlane::RolloutReport> report = control_plane_->EvaluateRollout(id);
+    if (report.ok()) {
+      summary.rollouts.push_back(std::move(report).value());
+    }
+  }
+  return summary;
+}
+
+}  // namespace rkd

@@ -1,0 +1,142 @@
+// The policy guardian: runtime containment of misbehaving learned policies.
+//
+// Admission-time verification (the RMT verifier) bounds what a program CAN
+// do; it cannot bound what a program DOES once real traffic, a corrupted
+// model, or a failing helper turns it pathological. The guardian closes
+// that loop with a per-program circuit breaker driven by the telemetry the
+// datapath already records:
+//
+//     healthy ──(error rate / p99 / accuracy breach)──► tripped
+//     tripped ──(backoff expires)──► probation (half-open)
+//     probation ──(clean window)──► healthy
+//     probation ──(breach)──► tripped (backoff doubles)
+//     any trip with trips >= max_trips ──► quarantined (permanent)
+//
+// Tripping suspends the program through the control plane: tables detach,
+// the hook reverts to the stock heuristic — the paper's "degrade to
+// stock-kernel behaviour, never to a crash", promoted from per-fire to
+// per-program. All timing is in Tick() calls, never wall-clock, so guard
+// behaviour is deterministic under test.
+//
+// Tick() also drives any active canary rollouts to their verdict, making
+// the guardian the single periodic entry point a deployment runs.
+#ifndef SRC_RMT_GUARDIAN_H_
+#define SRC_RMT_GUARDIAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/rmt/control_plane.h"
+
+namespace rkd {
+
+enum class GuardState {
+  kHealthy,      // attached, window under evaluation
+  kTripped,      // suspended, waiting out the backoff
+  kProbation,    // re-attached half-open, on a short leash
+  kQuarantined,  // suspended permanently (trip budget exhausted)
+};
+
+std::string_view GuardStateName(GuardState state);
+
+// Thresholds for one guarded program. Zero-valued thresholds disable their
+// check, so the default config trips on error rate only.
+struct BreakerConfig {
+  // A breaker decision needs this many executions since the window opened.
+  uint64_t window_execs = 64;
+  double max_error_rate = 0.1;       // exec errors / execs over the window
+  double max_p99_ns = 0.0;           // windowed exec p99 bound (0 = off)
+  double min_accuracy = 0.0;         // rolling accuracy floor (0 = off)
+  uint64_t min_accuracy_samples = 16;  // resolved predictions before the floor applies
+  // Probation evaluates after this many half-open executions.
+  uint64_t probation_execs = 16;
+  // Backoff, counted in Tick() calls: first trip waits backoff_initial_ticks,
+  // each further trip multiplies the wait, clamped to backoff_max_ticks.
+  uint64_t backoff_initial_ticks = 1;
+  double backoff_multiplier = 2.0;
+  uint64_t backoff_max_ticks = 64;
+  // Trips before the program is quarantined for good.
+  uint32_t max_trips = 3;
+};
+
+class PolicyGuardian {
+ public:
+  explicit PolicyGuardian(ControlPlane* control_plane);
+
+  // Starts guarding `handle`. The program must be installed and not
+  // suspended; its breaker window opens at the current telemetry values.
+  Status Guard(ControlPlane::ProgramHandle handle, const BreakerConfig& config = {});
+
+  // Stops guarding. A tripped/quarantined program is left suspended — the
+  // operator decides whether to Resume() or Uninstall() it.
+  Status Unguard(ControlPlane::ProgramHandle handle);
+
+  GuardState StateOf(ControlPlane::ProgramHandle handle) const;
+  uint32_t TripsOf(ControlPlane::ProgramHandle handle) const;
+  bool IsGuarded(ControlPlane::ProgramHandle handle) const;
+
+  // What one Tick() observed and did for one guarded program.
+  struct GuardEvent {
+    ControlPlane::ProgramHandle handle = -1;
+    std::string program;
+    GuardState from = GuardState::kHealthy;
+    GuardState to = GuardState::kHealthy;
+    std::string reason;  // which threshold drove the transition
+  };
+
+  struct TickSummary {
+    std::vector<GuardEvent> transitions;           // state changes only
+    std::vector<ControlPlane::RolloutReport> rollouts;  // resolved or soaking
+  };
+
+  // One deterministic evaluation pass over every guarded program and every
+  // active rollout. Call it periodically off the datapath; tests call it
+  // directly, interleaved with hook fires, for exact control.
+  TickSummary Tick();
+
+  uint64_t ticks() const { return tick_count_; }
+
+ private:
+  struct Guarded {
+    ControlPlane::ProgramHandle handle = -1;
+    std::string name;
+    BreakerConfig config;
+    GuardState state = GuardState::kHealthy;
+    uint32_t trips = 0;
+    uint64_t backoff_remaining = 0;  // ticks left in kTripped
+    uint64_t current_backoff = 0;    // last backoff length, for the multiplier
+    // Breaker window baselines.
+    uint64_t execs0 = 0;
+    uint64_t errors0 = 0;
+    uint64_t resolved0 = 0;
+    uint64_t correct0 = 0;
+    HistogramWindow window;
+    Gauge* state_gauge = nullptr;  // rkd.guard.state.<name>
+  };
+
+  Guarded* Find(ControlPlane::ProgramHandle handle);
+  const Guarded* Find(ControlPlane::ProgramHandle handle) const;
+  void OpenWindow(Guarded& guard);
+  // Evaluates the breaker thresholds over the current window. Empty string
+  // when every threshold holds or the window is still filling.
+  std::string Breach(const Guarded& guard, uint64_t needed_execs);
+  void TripInto(Guarded& guard, TickSummary& summary, const std::string& reason);
+  void SetState(Guarded& guard, GuardState state);
+
+  ControlPlane* control_plane_;  // not owned
+  std::vector<Guarded> guarded_;
+  uint64_t tick_count_ = 0;
+
+  // "rkd.guard.*" slice in the control plane's telemetry registry.
+  Counter* ticks_ = nullptr;
+  Counter* trips_ = nullptr;
+  Counter* probations_ = nullptr;
+  Counter* recoveries_ = nullptr;
+  Counter* quarantines_ = nullptr;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_RMT_GUARDIAN_H_

@@ -61,10 +61,15 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
     return kHookFallback;
   }
   Hook& hook = hooks_[static_cast<size_t>(id)];
-  hook.fires->Increment();
+  // The pre-increment fire count doubles as the deterministic sequence
+  // number canary routing keys on (see AttachedTable::ShouldRun).
+  const uint64_t seq = hook.fires->FetchIncrement();
   const uint64_t start_ns = MonotonicNowNs();
   int64_t result = kHookFallback;
   for (AttachedTable* table : hook.tables) {
+    if (!table->ShouldRun(seq)) {
+      continue;  // this fire is routed to the other rollout arm
+    }
     Result<int64_t> action = table->Execute(key, args);
     if (action.ok()) {
       hook.actions_run->Increment();

@@ -57,12 +57,20 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
   }
   const std::span<const int64_t> arg_span(call_args, 1 + extra);
 
-  if (tier_ == ExecTier::kJit) {
-    return compiled_[static_cast<size_t>(effective)].Run(env_, arg_span, nullptr,
-                                                         tail_resolver_);
+  const uint64_t start_ns = exec_metrics_ != nullptr ? MonotonicNowNs() : 0;
+  Result<int64_t> run =
+      tier_ == ExecTier::kJit
+          ? compiled_[static_cast<size_t>(effective)].Run(env_, arg_span, nullptr,
+                                                          tail_resolver_)
+          : Interpreter(env_).Run(actions_[static_cast<size_t>(effective)], arg_span);
+  if (exec_metrics_ != nullptr) {
+    exec_metrics_->execs->Increment();
+    exec_metrics_->exec_ns->Record(MonotonicNowNs() - start_ns);
+    if (!run.ok()) {
+      exec_metrics_->exec_errors->Increment();
+    }
   }
-  const Interpreter interp(env_);
-  return interp.Run(actions_[static_cast<size_t>(effective)], arg_span);
+  return run;
 }
 
 // --- InstalledProgram ---

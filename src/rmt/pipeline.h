@@ -27,6 +27,31 @@ namespace rkd {
 
 enum class ExecTier { kInterpreter, kJit };
 
+// Per-program execution telemetry ("rkd.guard.prog.<name>.*"), the slice the
+// policy guardian's circuit breakers and rollout comparisons read. Per-hook
+// metrics aggregate every attached table; these isolate one program, so an
+// incumbent and its canary sharing a hook stay distinguishable.
+struct ProgramExecMetrics {
+  Counter* execs = nullptr;         // action executions attempted
+  Counter* exec_errors = nullptr;   // executions that faulted
+  LatencyHistogram* exec_ns = nullptr;  // per-execution wall latency
+};
+
+// Which slice of a hook's fire stream a table serves during a canary
+// rollout. Routing is by fire sequence number so it is deterministic and
+// every table of a program agrees on the same decision for one fire.
+enum class CanaryRole {
+  kSolo,       // no rollout in progress; runs on every fire
+  kIncumbent,  // runs on fires NOT routed to the canary
+  kCanary,     // runs on the configured per-mille of fires
+};
+
+// Shared routing state for one incumbent/canary pair. Owned by the control
+// plane's rollout record; both programs' tables point at it.
+struct CanaryGate {
+  std::atomic<uint32_t> canary_permille{0};
+};
+
 struct RmtTableSpec {
   std::string name;
   std::string hook_point;  // registered hook name this table attaches to
@@ -77,12 +102,31 @@ class AttachedTable {
   HookKind hook_kind() const { return hook_kind_; }
   ExecTier tier() const { return tier_; }
 
+  // Whether this table participates in fire number `seq` given its canary
+  // role. Called by HookRegistry::Fire on the datapath.
+  bool ShouldRun(uint64_t seq) const {
+    if (role_ == CanaryRole::kSolo || gate_ == nullptr) {
+      return true;
+    }
+    const bool canary_turn =
+        seq % 1000 < gate_->canary_permille.load(std::memory_order_relaxed);
+    return role_ == CanaryRole::kCanary ? canary_turn : !canary_turn;
+  }
+  CanaryRole role() const { return role_; }
+
   // Wiring performed by ControlPlane at install time.
   void set_actions(std::vector<BytecodeProgram> actions,
                    std::vector<CompiledProgram> compiled, int32_t default_action);
   void set_env(VmEnv env, HelperServices* services);
   void set_tail_resolver(CompiledProgram::Resolver resolver,
                          std::function<const BytecodeProgram*(int64_t)> interp_resolver);
+  void set_exec_metrics(const ProgramExecMetrics* metrics) { exec_metrics_ = metrics; }
+  // Rollout wiring (ControlPlane). `gate` must outlive the table or be
+  // cleared back to kSolo/nullptr before it dies.
+  void set_canary(CanaryRole role, const CanaryGate* gate) {
+    gate_ = gate;
+    role_ = role;
+  }
 
   const CompiledProgram* compiled_default() const;
   const BytecodeProgram* default_action_program() const;
@@ -103,6 +147,9 @@ class AttachedTable {
   HelperServices* services_ = nullptr;  // owned by InstalledProgram
   CompiledProgram::Resolver tail_resolver_;
   uint64_t executions_ = 0;
+  const ProgramExecMetrics* exec_metrics_ = nullptr;  // owned by InstalledProgram
+  CanaryRole role_ = CanaryRole::kSolo;
+  const CanaryGate* gate_ = nullptr;  // owned by the ControlPlane rollout
 
   friend class InstalledProgram;
 };
@@ -123,7 +170,10 @@ class InstalledProgram {
   ModelRegistry& models() { return models_; }
   TensorRegistry& tensors() { return tensors_; }
   PredictionLog& prediction_log() { return prediction_log_; }
+  const PredictionLog& prediction_log() const { return prediction_log_; }
   RingMap& sample_ring() { return sample_ring_; }
+  // The guardian's per-program telemetry slice (set up at install).
+  const ProgramExecMetrics& exec_metrics() const { return exec_metrics_; }
   PrivacyBudget& privacy_budget() { return privacy_budget_; }
   RateLimiter& rate_limiter() { return rate_limiter_; }
 
@@ -142,6 +192,7 @@ class InstalledProgram {
   ModelRegistry models_;
   TensorRegistry tensors_;
   VmMetrics vm_metrics_;  // "rkd.vm.*" slice every action execution feeds
+  ProgramExecMetrics exec_metrics_;  // "rkd.guard.prog.<name>.*" slice
   RateLimiter rate_limiter_;
   PrivacyBudget privacy_budget_;
   DpNoiseSource dp_noise_;

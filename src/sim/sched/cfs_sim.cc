@@ -246,6 +246,9 @@ SchedMetrics CfsSim::Run(const JobSpec& job, const MigrationOracle& oracle, Data
             const int64_t predicted = oracle(task.spec.pid, features);
             if (predicted < 0) {
               ++metrics.oracle_fallbacks;
+              if (predicted == kOracleCtxStoreFull) {
+                ++metrics.ctx_store_full;
+              }
             } else {
               decision = predicted;
               if (predicted == heuristic) {
@@ -279,6 +282,8 @@ SchedMetrics CfsSim::Run(const JobSpec& job, const MigrationOracle& oracle, Data
     telemetry_->GetCounter("rkd.sim.sched.decisions")->Increment(metrics.decisions);
     telemetry_->GetCounter("rkd.sim.sched.oracle_fallbacks")
         ->Increment(metrics.oracle_fallbacks);
+    telemetry_->GetCounter("rkd.sim.sched.ctx_store_full")
+        ->Increment(metrics.ctx_store_full);
     telemetry_->GetGauge("rkd.sim.sched.agreement")->Set(metrics.agreement());
     telemetry_->GetGauge("rkd.sim.sched.jct_s")->Set(metrics.jct_seconds(config_.tick_ns));
   }

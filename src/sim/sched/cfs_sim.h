@@ -57,6 +57,11 @@ int64_t CfsHeuristicCanMigrate(const SchedFeatures& features);
 // to the heuristic (e.g. no model installed yet).
 using MigrationOracle = std::function<int64_t(int64_t pid, const SchedFeatures& features)>;
 
+// Oracle return value for "context store is full": still a fallback to the
+// heuristic, but counted separately so capacity-driven degradation is
+// visible instead of blending into generic fallbacks.
+inline constexpr int64_t kOracleCtxStoreFull = -2;
+
 struct SchedConfig {
   uint32_t cores = 4;
   uint64_t tick_ns = 1'000'000;    // 1 ms scheduler tick
@@ -72,6 +77,7 @@ struct SchedMetrics {
   uint64_t migrations = 0;
   uint64_t decisions = 0;          // can_migrate_task invocations
   uint64_t oracle_fallbacks = 0;   // oracle returned negative
+  uint64_t ctx_store_full = 0;     // fallbacks caused by a full context store
   uint64_t oracle_agreements = 0;  // oracle decision == heuristic decision
   bool completed = false;          // all tasks finished before max_ticks
 

@@ -55,7 +55,7 @@ MigrationOracle RmtMigrationOracle::AsOracle() {
     ContextEntry* entry =
         control_plane_.Get(handle_)->context().FindOrCreate(static_cast<uint64_t>(pid));
     if (entry == nullptr) {
-      return -1;  // context store full; degrade to the heuristic
+      return kOracleCtxStoreFull;  // degrade to the heuristic, but visibly
     }
     entry->features.fill(0);
     for (size_t lane = 0; lane < config_.selected_features.size() && lane < kVectorLanes;

@@ -13,6 +13,38 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
   return out;
 }
 
+void HistogramWindow::Reset(const LatencyHistogram& h) {
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    base_[i] = h.bucket_count(i);
+  }
+}
+
+uint64_t HistogramWindow::DeltaCount(const LatencyHistogram& h) const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const uint64_t now = h.bucket_count(i);
+    total += now > base_[i] ? now - base_[i] : 0;
+  }
+  return total;
+}
+
+double HistogramWindow::DeltaPercentile(const LatencyHistogram& h, double p) const {
+  const uint64_t n = DeltaCount(h);
+  if (n == 0) {
+    return 0.0;
+  }
+  const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const uint64_t now = h.bucket_count(i);
+    cumulative += now > base_[i] ? now - base_[i] : 0;
+    if (cumulative >= target) {
+      return static_cast<double>(LatencyHistogram::BucketUpperBound(i));
+    }
+  }
+  return static_cast<double>(LatencyHistogram::BucketUpperBound(LatencyHistogram::kNumBuckets - 1));
+}
+
 Counter* TelemetryRegistry::GetCounter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);

@@ -48,6 +48,12 @@ inline uint64_t MonotonicNowNs() {
 class Counter {
  public:
   void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  // Increment that returns the pre-increment value: a cheap global sequence
+  // number (the hook layer numbers fires with it so every table attached to
+  // one Fire() agrees on the same canary-routing decision).
+  uint64_t FetchIncrement(uint64_t n = 1) {
+    return value_.fetch_add(n, std::memory_order_relaxed);
+  }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -123,6 +129,28 @@ class LatencyHistogram {
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+};
+
+// Windowed view over a cumulative LatencyHistogram. Histograms never reset
+// (exporters want process-lifetime totals), but breaker and rollout
+// decisions need "p99 over the last window" — so consumers snapshot the
+// bucket array with Reset() and compute percentiles over the delta.
+class HistogramWindow {
+ public:
+  // Captures `h`'s current bucket counts as the new window start.
+  void Reset(const LatencyHistogram& h);
+
+  // Records observed since the last Reset(). A window that was never Reset
+  // spans the histogram's whole lifetime.
+  uint64_t DeltaCount(const LatencyHistogram& h) const;
+
+  // Upper-edge estimate of the p-th percentile over the window's delta
+  // (same one-log2-bucket precision as LatencyHistogram::ApproxPercentile).
+  // 0 when the window is empty.
+  double DeltaPercentile(const LatencyHistogram& h, double p) const;
+
+ private:
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> base_{};
 };
 
 // One recent-event record. `source` and `kind` are producer-defined (the

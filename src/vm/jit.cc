@@ -3,12 +3,18 @@
 #include <cstring>
 #include <limits>
 
+#include "src/base/failpoints.h"
+
 namespace rkd {
 
 namespace {
 
 constexpr size_t kExitPc = std::numeric_limits<size_t>::max();
 constexpr size_t kTailPc = kExitPc - 1;
+// Runtime fault sentinel: the fast tier has no per-instruction error checks
+// (compilation proved them away), but injected faults still need a path out.
+// A handler stores the Status in the frame and returns kFaultPc.
+constexpr size_t kFaultPc = kExitPc - 2;
 
 int32_t SatAdd32(int32_t a, int32_t b) {
   const int64_t wide = static_cast<int64_t>(a) + b;
@@ -31,6 +37,7 @@ struct CompiledProgram::Frame {
   uint64_t ml_calls = 0;
   int64_t tail_imm = 0;     // pending kTailCall table id
   size_t tail_resume = 0;   // pc to resume at if the tail call fails
+  Status fault;             // set by a handler that returns kFaultPc
 };
 
 namespace {
@@ -147,6 +154,13 @@ size_t OpMatchCtxt(Frame& f, const Decoded& d, size_t pc) {
 size_t OpMapLookup(Frame& f, const Decoded& d, size_t pc) {
   RmtMap* map = f.env->maps != nullptr ? f.env->maps->Get(d.imm) : nullptr;
   f.state.regs[d.dst] = map != nullptr ? map->Lookup(f.state.regs[d.src]).value_or(0) : 0;
+  if (const auto fault = RKD_FAILPOINT("vm.map_lookup")) {
+    if (fault->force_error) {
+      f.fault = InternalError("failpoint vm.map_lookup: injected lookup fault");
+      return kFaultPc;
+    }
+    f.state.regs[d.dst] ^= fault->corrupt_xor;
+  }
   return pc + 1;
 }
 size_t OpMapExists(Frame& f, const Decoded& d, size_t pc) {
@@ -155,6 +169,13 @@ size_t OpMapExists(Frame& f, const Decoded& d, size_t pc) {
   return pc + 1;
 }
 size_t OpMapUpdate(Frame& f, const Decoded& d, size_t pc) {
+  if (const auto fault = RKD_FAILPOINT("vm.map_update")) {
+    if (fault->force_error) {
+      f.fault = InternalError("failpoint vm.map_update: injected update fault");
+      return kFaultPc;
+    }
+    return pc + 1;  // injected silent write drop
+  }
   RmtMap* map = f.env->maps != nullptr ? f.env->maps->Get(d.imm) : nullptr;
   if (map != nullptr) {
     map->Update(f.state.regs[d.dst], f.state.regs[d.src]);
@@ -263,6 +284,10 @@ size_t OpVecDot(Frame& f, const Decoded& d, size_t pc) {
 
 size_t OpCall(Frame& f, const Decoded& d, size_t pc) {
   ++f.helper_calls;
+  if (const auto fault = RKD_FAILPOINT("vm.helper"); fault && fault->force_error) {
+    f.fault = InternalError("failpoint vm.helper: injected helper fault");
+    return kFaultPc;
+  }
   auto& r = f.state.regs;
   const int64_t call_args[5] = {r[1], r[2], r[3], r[4], r[5]};
   r[0] = f.env->helpers != nullptr
@@ -274,6 +299,13 @@ size_t OpMlCall(Frame& f, const Decoded& d, size_t pc) {
   ++f.ml_calls;
   const ModelPtr model = f.env->models != nullptr ? f.env->models->Get(d.imm) : nullptr;
   f.state.regs[d.dst] = model != nullptr ? model->Predict(f.state.vregs[d.src]) : kNoModelSentinel;
+  if (const auto fault = RKD_FAILPOINT("ml.eval")) {
+    if (fault->force_error) {
+      f.fault = InternalError("failpoint ml.eval: injected model fault");
+      return kFaultPc;
+    }
+    f.state.regs[d.dst] ^= fault->corrupt_xor;
+  }
   return pc + 1;
 }
 size_t OpTailCall(Frame& f, const Decoded& d, size_t pc) {
@@ -454,10 +486,15 @@ Result<int64_t> CompiledProgram::Run(const VmEnv& env, std::span<const int64_t> 
 
   const std::vector<Decoded>* code = &code_;
   size_t pc = 0;
+  bool faulted = false;
   while (true) {
     const Decoded& d = (*code)[pc];
     pc = d.fn(frame, d, pc);
     if (pc == kExitPc) {
+      break;
+    }
+    if (pc == kFaultPc) {
+      faulted = true;
       break;
     }
     if (pc == kTailPc) {
@@ -483,6 +520,9 @@ Result<int64_t> CompiledProgram::Run(const VmEnv& env, std::span<const int64_t> 
     env.metrics->ml_calls->Increment(frame.ml_calls);
     env.metrics->tail_calls->Increment(frame.tail_calls);
     env.metrics->run_ns->Record(MonotonicNowNs() - start_ns);
+  }
+  if (faulted) {
+    return frame.fault;
   }
   return frame.state.regs[0];
 }

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <limits>
 
+#include "src/base/failpoints.h"
+
 namespace rkd {
 
 namespace {
@@ -223,6 +225,12 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
           return fail(NotFoundError("map " + std::to_string(insn.imm) + " does not exist"));
         }
         regs[dst] = map->Lookup(regs[src]).value_or(0);
+        if (const auto fault = RKD_FAILPOINT("vm.map_lookup")) {
+          if (fault->force_error) {
+            return fail(InternalError("failpoint vm.map_lookup: injected lookup fault"));
+          }
+          regs[dst] ^= fault->corrupt_xor;
+        }
         break;
       }
       case Opcode::kMapExists: {
@@ -237,6 +245,12 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
         RmtMap* map = env_.maps != nullptr ? env_.maps->Get(insn.imm) : nullptr;
         if (map == nullptr) {
           return fail(NotFoundError("map " + std::to_string(insn.imm) + " does not exist"));
+        }
+        if (const auto fault = RKD_FAILPOINT("vm.map_update")) {
+          if (fault->force_error) {
+            return fail(InternalError("failpoint vm.map_update: injected update fault"));
+          }
+          break;  // injected silent write drop
         }
         map->Update(regs[dst], regs[src]);
         break;
@@ -349,6 +363,9 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
           return fail(NotFoundError("helper " + std::to_string(insn.imm) + " does not exist"));
         }
         ++helper_calls;
+        if (const auto fault = RKD_FAILPOINT("vm.helper"); fault && fault->force_error) {
+          return fail(InternalError("failpoint vm.helper: injected helper fault"));
+        }
         int64_t call_args[5] = {regs[1], regs[2], regs[3], regs[4], regs[5]};
         if (env_.helpers != nullptr) {
           regs[0] = CallHelper(static_cast<HelperId>(insn.imm), *env_.helpers, call_args);
@@ -361,6 +378,13 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
         ++ml_calls;
         const ModelPtr model = env_.models != nullptr ? env_.models->Get(insn.imm) : nullptr;
         regs[dst] = model != nullptr ? model->Predict(state.vregs[src]) : kNoModelSentinel;
+        if (const auto fault = RKD_FAILPOINT("ml.eval")) {
+          // Simulated weight corruption: the model "computed" a wrong class.
+          if (fault->force_error) {
+            return fail(InternalError("failpoint ml.eval: injected model fault"));
+          }
+          regs[dst] ^= fault->corrupt_xor;
+        }
         break;
       }
       case Opcode::kTailCall: {

@@ -1,0 +1,347 @@
+// Tests for the policy guardian: circuit-breaker state machine (trip,
+// backoff, probation, quarantine) and canary rollout promotion/rollback.
+// Every scenario is deterministic: faults come from failpoints, time is
+// guardian Tick() calls, and canary routing is by fire sequence number —
+// no sleeps, no wall-clock dependence.
+#include <gtest/gtest.h>
+
+#include "src/base/failpoints.h"
+#include "src/bytecode/assembler.h"
+#include "src/rmt/control_plane.h"
+#include "src/rmt/guardian.h"
+
+namespace rkd {
+namespace {
+
+// Pure-ALU action: returns key + addend. Never touches a failpoint site.
+RmtProgramSpec AluSpec(const std::string& name, const std::string& hook_name,
+                       int64_t addend) {
+  Assembler a("add_imm", HookKind::kGeneric);
+  a.Mov(0, 1).AddImm(0, addend).Exit();
+  RmtProgramSpec spec;
+  spec.name = name;
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = hook_name;
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+// Helper-calling action: runs through the "vm.helper" failpoint site, then
+// returns key + addend. Arming that failpoint makes exactly this program
+// fault while pure-ALU programs on the same hook stay healthy.
+RmtProgramSpec HelperSpec(const std::string& name, const std::string& hook_name,
+                          int64_t addend) {
+  Assembler a("timed_add", HookKind::kGeneric);
+  a.Call(HelperId::kGetTime);
+  a.Mov(0, 1).AddImm(0, addend).Exit();
+  RmtProgramSpec spec;
+  spec.name = name;
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = hook_name;
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+class GuardianTest : public ::testing::Test {
+ protected:
+  GuardianTest() : cp_(&hooks_), guardian_(&cp_) {
+    hook_ = *hooks_.Register("generic.hook", HookKind::kGeneric);
+  }
+
+  void Fire(int n, uint64_t key = 7) {
+    for (int i = 0; i < n; ++i) {
+      hooks_.Fire(hook_, key);
+    }
+  }
+
+  HookRegistry hooks_;
+  ControlPlane cp_;
+  PolicyGuardian guardian_;
+  HookId hook_;
+};
+
+BreakerConfig TightBreaker() {
+  BreakerConfig config;
+  config.window_execs = 8;
+  config.max_error_rate = 0.1;
+  config.probation_execs = 4;
+  config.backoff_initial_ticks = 1;
+  config.backoff_multiplier = 2.0;
+  config.backoff_max_ticks = 64;
+  config.max_trips = 3;
+  return config;
+}
+
+// --- Guard admission ---
+
+TEST_F(GuardianTest, GuardValidatesItsTarget) {
+  EXPECT_FALSE(guardian_.Guard(999).ok());  // no such program
+  Result<ControlPlane::ProgramHandle> handle =
+      cp_.Install(AluSpec("plain", "generic.hook", 100));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(guardian_.Guard(*handle, TightBreaker()).ok());
+  EXPECT_TRUE(guardian_.IsGuarded(*handle));
+  EXPECT_FALSE(guardian_.Guard(*handle).ok());  // double guard
+  ASSERT_TRUE(guardian_.Unguard(*handle).ok());
+  EXPECT_FALSE(guardian_.Unguard(*handle).ok());
+  BreakerConfig bad;
+  bad.window_execs = 0;
+  EXPECT_FALSE(guardian_.Guard(*handle, bad).ok());
+}
+
+TEST_F(GuardianTest, HealthyProgramStaysHealthyAcrossTicks) {
+  Result<ControlPlane::ProgramHandle> handle =
+      cp_.Install(AluSpec("plain", "generic.hook", 100));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(guardian_.Guard(*handle, TightBreaker()).ok());
+  for (int round = 0; round < 5; ++round) {
+    Fire(8);
+    const PolicyGuardian::TickSummary summary = guardian_.Tick();
+    EXPECT_TRUE(summary.transitions.empty());
+  }
+  EXPECT_EQ(guardian_.StateOf(*handle), GuardState::kHealthy);
+  EXPECT_EQ(guardian_.TripsOf(*handle), 0u);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);
+}
+
+// --- Acceptance (a): an always-faulting program is quarantined within the
+// configured window and the hook reverts to the stock heuristic. ---
+
+TEST_F(GuardianTest, AlwaysFaultingProgramIsQuarantined) {
+  Result<ControlPlane::ProgramHandle> handle =
+      cp_.Install(HelperSpec("flaky", "generic.hook", 100));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_TRUE(guardian_.Guard(*handle, TightBreaker()).ok());
+
+  FailpointSpec fault;
+  fault.mode = FailpointMode::kAlways;
+  fault.force_error = true;
+  ScopedFailpoint guard("vm.helper", fault);
+
+  // Window fills with 100% errors -> trip 1 (suspended, backoff 1 tick).
+  Fire(8);
+  PolicyGuardian::TickSummary summary = guardian_.Tick();
+  ASSERT_EQ(summary.transitions.size(), 1u);
+  EXPECT_EQ(summary.transitions[0].to, GuardState::kTripped);
+  EXPECT_NE(summary.transitions[0].reason.find("error rate"), std::string::npos);
+  EXPECT_EQ(guardian_.StateOf(*handle), GuardState::kTripped);
+  // Suspended: the hook falls back to stock behaviour, no action runs.
+  EXPECT_EQ(hooks_.Fire(hook_, 7), kHookFallback);
+
+  // Backoff (1 tick) expires -> probation; still faulting -> trip 2.
+  guardian_.Tick();
+  ASSERT_EQ(guardian_.StateOf(*handle), GuardState::kProbation);
+  Fire(4);
+  guardian_.Tick();
+  ASSERT_EQ(guardian_.StateOf(*handle), GuardState::kTripped);
+  EXPECT_EQ(guardian_.TripsOf(*handle), 2u);
+
+  // Backoff doubled to 2 ticks: one tick is not enough to re-admit.
+  guardian_.Tick();
+  EXPECT_EQ(guardian_.StateOf(*handle), GuardState::kTripped);
+  guardian_.Tick();
+  ASSERT_EQ(guardian_.StateOf(*handle), GuardState::kProbation);
+
+  // Third faulting probation exhausts the trip budget -> quarantined.
+  Fire(4);
+  summary = guardian_.Tick();
+  ASSERT_EQ(summary.transitions.size(), 1u);
+  EXPECT_EQ(summary.transitions[0].to, GuardState::kQuarantined);
+  EXPECT_NE(summary.transitions[0].reason.find("quarantined"), std::string::npos);
+  EXPECT_EQ(guardian_.StateOf(*handle), GuardState::kQuarantined);
+  EXPECT_EQ(guardian_.TripsOf(*handle), 3u);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), kHookFallback);
+
+  // Quarantine is terminal: further ticks change nothing.
+  guardian_.Tick();
+  guardian_.Tick();
+  EXPECT_EQ(guardian_.StateOf(*handle), GuardState::kQuarantined);
+
+  TelemetryRegistry& telemetry = cp_.telemetry();
+  EXPECT_EQ(telemetry.GetCounter("rkd.guard.trips")->value(), 3u);
+  EXPECT_EQ(telemetry.GetCounter("rkd.guard.quarantines")->value(), 1u);
+  EXPECT_EQ(telemetry.GetGauge("rkd.guard.state.flaky")->value(),
+            static_cast<double>(GuardState::kQuarantined));
+}
+
+// --- Acceptance (b): probation with backoff re-admits a program whose
+// fault was transient. ---
+
+TEST_F(GuardianTest, RecoveredProgramIsReadmittedThroughProbation) {
+  Result<ControlPlane::ProgramHandle> handle =
+      cp_.Install(HelperSpec("transient", "generic.hook", 100));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_TRUE(guardian_.Guard(*handle, TightBreaker()).ok());
+
+  {
+    // A transient fault: exactly the first 8 executions fail, then clears.
+    FailpointSpec fault;
+    fault.mode = FailpointMode::kFirstN;
+    fault.n = 8;
+    fault.force_error = true;
+    ScopedFailpoint guard("vm.helper", fault);
+    Fire(8);
+    guardian_.Tick();
+  }
+  ASSERT_EQ(guardian_.StateOf(*handle), GuardState::kTripped);
+  EXPECT_EQ(guardian_.TripsOf(*handle), 1u);
+
+  // Backoff expires -> probation (half-open: tables re-attached).
+  PolicyGuardian::TickSummary summary = guardian_.Tick();
+  ASSERT_EQ(summary.transitions.size(), 1u);
+  EXPECT_EQ(summary.transitions[0].to, GuardState::kProbation);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);  // fault cleared; action runs again
+
+  // A clean probation window fully re-admits the program.
+  Fire(3);  // 1 fire above + 3 = probation_execs
+  summary = guardian_.Tick();
+  ASSERT_EQ(summary.transitions.size(), 1u);
+  EXPECT_EQ(summary.transitions[0].from, GuardState::kProbation);
+  EXPECT_EQ(summary.transitions[0].to, GuardState::kHealthy);
+  EXPECT_EQ(guardian_.StateOf(*handle), GuardState::kHealthy);
+  EXPECT_EQ(cp_.telemetry().GetCounter("rkd.guard.recoveries")->value(), 1u);
+
+  // Fully healthy again: fires execute and later windows stay clean.
+  Fire(8);
+  EXPECT_TRUE(guardian_.Tick().transitions.empty());
+  EXPECT_EQ(guardian_.StateOf(*handle), GuardState::kHealthy);
+  EXPECT_EQ(guardian_.TripsOf(*handle), 1u);  // trip count is history, not state
+}
+
+// --- Acceptance (c): canary rollout — a worse candidate is rolled back, a
+// better candidate is promoted. ---
+
+ControlPlane::CanaryConfig QuickCanary() {
+  ControlPlane::CanaryConfig config;
+  config.canary_permille = 500;  // fire seq % 1000: 0-499 canary, 500-999 incumbent
+  config.soak_min_execs = 32;
+  config.max_error_rate = 0.05;
+  config.max_latency_ratio = 0.0;  // latency bound off: counters decide
+  return config;
+}
+
+TEST_F(GuardianTest, WorseCanaryIsRolledBack) {
+  Result<ControlPlane::ProgramHandle> incumbent =
+      cp_.Install(AluSpec("incumbent", "generic.hook", 100));
+  ASSERT_TRUE(incumbent.ok());
+  // The candidate calls a helper; with "vm.helper" armed it faults on every
+  // execution while the pure-ALU incumbent is untouched.
+  Result<ControlPlane::RolloutId> rollout = cp_.InstallCanary(
+      *incumbent, HelperSpec("candidate", "generic.hook", 200), QuickCanary());
+  ASSERT_TRUE(rollout.ok()) << rollout.status();
+  ASSERT_EQ(cp_.ActiveRollouts().size(), 1u);
+
+  FailpointSpec fault;
+  fault.mode = FailpointMode::kAlways;
+  fault.force_error = true;
+  ScopedFailpoint guard("vm.helper", fault);
+
+  // 1000 fires cover one full routing period: 500 per arm, well past soak.
+  for (int i = 0; i < 1000; ++i) {
+    hooks_.Fire(hook_, 7);
+  }
+  const PolicyGuardian::TickSummary summary = guardian_.Tick();
+  ASSERT_EQ(summary.rollouts.size(), 1u);
+  const ControlPlane::RolloutReport& report = summary.rollouts[0];
+  EXPECT_EQ(report.decision, ControlPlane::RolloutReport::Decision::kRolledBack);
+  EXPECT_NE(report.reason.find("error rate"), std::string::npos);
+  EXPECT_GE(report.canary.execs, 32u);
+  EXPECT_GT(report.canary.error_rate, 0.05);
+  EXPECT_EQ(report.incumbent.exec_errors, 0u);
+
+  // The canary is gone, the incumbent serves all traffic again.
+  EXPECT_EQ(cp_.Get(report.canary_handle), nullptr);
+  ASSERT_NE(cp_.Get(report.incumbent_handle), nullptr);
+  EXPECT_TRUE(cp_.ActiveRollouts().empty());
+  EXPECT_EQ(cp_.Metrics().rollbacks->value(), 1u);
+  EXPECT_EQ(cp_.Metrics().promotions->value(), 0u);
+  guard.point().Disable();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(hooks_.Fire(hook_, 7), 107);  // incumbent's action, every fire
+  }
+}
+
+TEST_F(GuardianTest, BetterCanaryIsPromoted) {
+  Result<ControlPlane::ProgramHandle> incumbent =
+      cp_.Install(AluSpec("incumbent", "generic.hook", 100));
+  ASSERT_TRUE(incumbent.ok());
+  Result<ControlPlane::RolloutId> rollout = cp_.InstallCanary(
+      *incumbent, AluSpec("candidate", "generic.hook", 200), QuickCanary());
+  ASSERT_TRUE(rollout.ok()) << rollout.status();
+
+  // While soaking, traffic splits by fire sequence: seq 0-499 canary,
+  // 500-999 incumbent (500 permille routing).
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 207);  // seq 0 -> canary
+  for (int i = 0; i < 499; ++i) {
+    hooks_.Fire(hook_, 7);
+  }
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);  // seq 500 -> incumbent
+  for (int i = 0; i < 499; ++i) {
+    hooks_.Fire(hook_, 7);
+  }
+
+  const PolicyGuardian::TickSummary summary = guardian_.Tick();
+  ASSERT_EQ(summary.rollouts.size(), 1u);
+  const ControlPlane::RolloutReport& report = summary.rollouts[0];
+  EXPECT_EQ(report.decision, ControlPlane::RolloutReport::Decision::kPromoted);
+  EXPECT_EQ(report.canary.exec_errors, 0u);
+
+  // The incumbent is gone; the promoted canary serves all traffic.
+  EXPECT_EQ(cp_.Get(report.incumbent_handle), nullptr);
+  ASSERT_NE(cp_.Get(report.canary_handle), nullptr);
+  EXPECT_TRUE(cp_.ActiveRollouts().empty());
+  EXPECT_EQ(cp_.Metrics().promotions->value(), 1u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(hooks_.Fire(hook_, 7), 207);  // candidate's action, every fire
+  }
+}
+
+TEST_F(GuardianTest, RolloutKeepsSoakingBelowThreshold) {
+  Result<ControlPlane::ProgramHandle> incumbent =
+      cp_.Install(AluSpec("incumbent", "generic.hook", 100));
+  ASSERT_TRUE(incumbent.ok());
+  Result<ControlPlane::RolloutId> rollout = cp_.InstallCanary(
+      *incumbent, AluSpec("candidate", "generic.hook", 200), QuickCanary());
+  ASSERT_TRUE(rollout.ok());
+
+  Fire(10);  // nowhere near 32 execs per arm
+  const PolicyGuardian::TickSummary summary = guardian_.Tick();
+  ASSERT_EQ(summary.rollouts.size(), 1u);
+  EXPECT_EQ(summary.rollouts[0].decision,
+            ControlPlane::RolloutReport::Decision::kSoaking);
+  EXPECT_EQ(cp_.ActiveRollouts().size(), 1u);
+}
+
+TEST_F(GuardianTest, InstallCanaryValidatesItsArguments) {
+  Result<ControlPlane::ProgramHandle> incumbent =
+      cp_.Install(AluSpec("incumbent", "generic.hook", 100));
+  ASSERT_TRUE(incumbent.ok());
+  // Same name as the incumbent: telemetry slices would collide.
+  EXPECT_FALSE(
+      cp_.InstallCanary(*incumbent, AluSpec("incumbent", "generic.hook", 200), QuickCanary())
+          .ok());
+  // Bogus incumbent handle.
+  EXPECT_FALSE(
+      cp_.InstallCanary(999, AluSpec("candidate", "generic.hook", 200), QuickCanary()).ok());
+  // Routing fraction out of range.
+  ControlPlane::CanaryConfig bad = QuickCanary();
+  bad.canary_permille = 1000;
+  EXPECT_FALSE(
+      cp_.InstallCanary(*incumbent, AluSpec("candidate", "generic.hook", 200), bad).ok());
+  // A second rollout on the same incumbent while one is active.
+  ASSERT_TRUE(
+      cp_.InstallCanary(*incumbent, AluSpec("candidate", "generic.hook", 200), QuickCanary())
+          .ok());
+  EXPECT_FALSE(
+      cp_.InstallCanary(*incumbent, AluSpec("candidate2", "generic.hook", 300), QuickCanary())
+          .ok());
+}
+
+}  // namespace
+}  // namespace rkd

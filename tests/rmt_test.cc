@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/failpoints.h"
 #include "src/bytecode/assembler.h"
 #include "src/ml/decision_tree.h"
 #include "src/ml/quantize.h"
@@ -597,6 +598,129 @@ TEST_F(ControlPlaneTest, TailCallCascadesBetweenTables) {
   // the argument registers survive the cascade, so the callee computes
   // key + 5 and its result (not t0's overwritten r0) reaches the hook.
   EXPECT_EQ(hooks_.Fire(hook_, 1), 6);
+}
+
+// --- Lifecycle hardening ---
+
+TEST_F(ControlPlaneTest, SuspendDetachesBlocksMutationsAndResumeRestores) {
+  RmtProgramSpec spec = SimpleSpec("generic.hook");
+  spec.maps.push_back(MapSpec{MapKind::kArray, 4});
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(spec);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(cp_.WriteMap(*handle, 0, 1, 11).ok());
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);
+
+  ASSERT_TRUE(cp_.Suspend(*handle).ok());
+  EXPECT_TRUE(*cp_.IsSuspended(*handle));
+  EXPECT_EQ(hooks_.Fire(hook_, 7), kHookFallback);  // stock behaviour
+  // Mutating ops are refused while suspended; diagnosis reads still work.
+  TableEntry entry;
+  entry.key = 1;
+  entry.action_index = 0;
+  EXPECT_EQ(cp_.AddEntry(*handle, "tab", entry).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cp_.RemoveEntry(*handle, "tab", 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cp_.ModifyEntry(*handle, "tab", 1, 0, 0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cp_.WriteMap(*handle, 0, 1, 12).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cp_.InstallModel(*handle, 0, nullptr).code(), StatusCode::kFailedPrecondition);
+  Result<int64_t> value = cp_.ReadMap(*handle, 0, 1);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 11);  // program state survived the detach
+  EXPECT_EQ(cp_.Suspend(*handle).code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(cp_.Resume(*handle).ok());
+  EXPECT_FALSE(*cp_.IsSuspended(*handle));
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);
+  EXPECT_EQ(cp_.Resume(*handle).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cp_.Metrics().suspends->value(), 1u);
+  EXPECT_EQ(cp_.Metrics().resumes->value(), 1u);
+}
+
+TEST_F(ControlPlaneTest, OpsOnBogusOrStaleHandlesFailCleanly) {
+  const ControlPlane::ProgramHandle bogus = 12345;
+  EXPECT_FALSE(cp_.Uninstall(bogus).ok());
+  EXPECT_FALSE(cp_.Suspend(bogus).ok());
+  EXPECT_FALSE(cp_.Resume(bogus).ok());
+  EXPECT_FALSE(cp_.IsSuspended(bogus).ok());
+  TableEntry entry;
+  EXPECT_FALSE(cp_.AddEntry(bogus, "tab", entry).ok());
+  EXPECT_FALSE(cp_.RemoveEntry(bogus, "tab", 0).ok());
+  EXPECT_FALSE(cp_.ModifyEntry(bogus, "tab", 0, 0, 0).ok());
+  EXPECT_FALSE(cp_.InstallModel(bogus, 0, nullptr).ok());
+  EXPECT_FALSE(cp_.WriteMap(bogus, 0, 0, 0).ok());
+  EXPECT_FALSE(cp_.ReadMap(bogus, 0, 0).ok());
+  EXPECT_EQ(cp_.Get(bogus), nullptr);
+
+  // A handle that was valid once behaves identically after Uninstall.
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(SimpleSpec("generic.hook"));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(cp_.Uninstall(*handle).ok());
+  EXPECT_FALSE(cp_.Uninstall(*handle).ok());  // double uninstall
+  EXPECT_FALSE(cp_.Suspend(*handle).ok());
+  EXPECT_FALSE(cp_.IsSuspended(*handle).ok());
+  EXPECT_FALSE(cp_.AddEntry(*handle, "tab", entry).ok());
+  EXPECT_FALSE(cp_.WriteMap(*handle, 0, 0, 0).ok());
+}
+
+// --- Fault injection on the fire path ---
+
+// A generic-hook program whose action calls a helper (the "vm.helper"
+// failpoint site) before computing key + 100.
+RmtProgramSpec HelperSpec(const std::string& name, const std::string& hook_name) {
+  Assembler a("timed_add100", HookKind::kGeneric);
+  a.Call(HelperId::kGetTime);
+  a.Mov(0, 1).AddImm(0, 100).Exit();
+  RmtProgramSpec spec;
+  spec.name = name;
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = hook_name;
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+TEST_F(ControlPlaneTest, InjectedHelperFaultFallsBackAndRecovers) {
+  Result<ControlPlane::ProgramHandle> handle =
+      cp_.Install(HelperSpec("helper_prog", "generic.hook"));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);
+
+  {
+    FailpointSpec fault;
+    fault.mode = FailpointMode::kFirstN;
+    fault.n = 2;
+    fault.force_error = true;
+    ScopedFailpoint guard("vm.helper", fault);
+    // A faulting action degrades to the stock heuristic, never crashes.
+    EXPECT_EQ(hooks_.Fire(hook_, 7), kHookFallback);
+    EXPECT_EQ(hooks_.Fire(hook_, 7), kHookFallback);
+    EXPECT_EQ(guard.point().triggers(), 2u);
+    EXPECT_EQ(hooks_.Fire(hook_, 7), 107);  // first:2 exhausted
+  }
+  EXPECT_EQ(hooks_.MetricsOf(hook_).exec_errors(), 2u);
+  TelemetryRegistry& telemetry = hooks_.telemetry();
+  EXPECT_EQ(telemetry.GetCounter("rkd.guard.prog.helper_prog.execs")->value(), 4u);
+  EXPECT_EQ(telemetry.GetCounter("rkd.guard.prog.helper_prog.exec_errors")->value(), 2u);
+  // Subsequent fires stay healthy once the fault clears.
+  EXPECT_EQ(hooks_.Fire(hook_, 1), 101);
+}
+
+TEST_F(ControlPlaneTest, InjectedFaultsHitInterpreterTierToo) {
+  Result<ControlPlane::ProgramHandle> handle =
+      cp_.Install(HelperSpec("helper_prog_interp", "generic.hook"), ExecTier::kInterpreter);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  FailpointSpec fault;
+  fault.mode = FailpointMode::kEveryNth;
+  fault.n = 2;
+  fault.force_error = true;
+  ScopedFailpoint guard("vm.helper", fault);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);           // hit 1: no trigger
+  EXPECT_EQ(hooks_.Fire(hook_, 7), kHookFallback);  // hit 2: every:2 fires
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), kHookFallback);
+  EXPECT_EQ(hooks_.MetricsOf(hook_).exec_errors(), 2u);
 }
 
 // --- Syscall layer ---

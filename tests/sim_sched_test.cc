@@ -161,6 +161,26 @@ TEST(CfsSimTest, DatasetCollectionMatchesDecisionCount) {
   EXPECT_LT(ones, data.size());
 }
 
+TEST(CfsSimTest, CtxStoreFullCountedSeparatelyFromGenericFallback) {
+  const JobSpec job = MakeJob(JobKind::kBlackscholes);
+  CfsSim sim(TestSchedConfig());
+  TelemetryRegistry telemetry;
+  sim.set_telemetry(&telemetry);
+  const SchedMetrics full =
+      sim.Run(job, [](int64_t, const SchedFeatures&) { return kOracleCtxStoreFull; });
+  EXPECT_EQ(full.oracle_fallbacks, full.decisions);  // still a fallback
+  EXPECT_EQ(full.ctx_store_full, full.decisions);    // but attributed to capacity
+  EXPECT_EQ(telemetry.GetCounter("rkd.sim.sched.ctx_store_full")->value(),
+            full.ctx_store_full);
+
+  // A generic fallback (-1) is not misattributed to the context store.
+  sim.set_telemetry(nullptr);
+  const SchedMetrics generic =
+      sim.Run(job, [](int64_t, const SchedFeatures&) { return -1; });
+  EXPECT_EQ(generic.oracle_fallbacks, generic.decisions);
+  EXPECT_EQ(generic.ctx_store_full, 0u);
+}
+
 TEST(CfsSimTest, SafetyStopOnMaxTicks) {
   JobConfig job_config;
   job_config.num_tasks = 2;
@@ -186,6 +206,21 @@ TEST(RmtOracleTest, FallsBackWithoutModel) {
   EXPECT_EQ(via_rmt.ticks, stock.ticks);
   EXPECT_EQ(via_rmt.oracle_fallbacks, via_rmt.decisions);
   EXPECT_GT(oracle.queries(), 0u);
+}
+
+TEST(RmtOracleTest, FullContextStoreDegradesVisibly) {
+  RmtMigrationOracle oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  // Fill the program's context store to capacity with synthetic pids.
+  ContextStore& ctxt = oracle.control_plane().Get(oracle.handle())->context();
+  uint64_t pid = 0;
+  while (ctxt.FindOrCreate(pid) != nullptr) {
+    ++pid;
+  }
+  // A pid the store has never seen cannot be admitted: the oracle reports
+  // the capacity-specific sentinel rather than a silent generic fallback.
+  const MigrationOracle fn = oracle.AsOracle();
+  EXPECT_EQ(fn(static_cast<int64_t>(pid + 1), BaseFeatures()), kOracleCtxStoreFull);
 }
 
 TEST(RmtOracleTest, QuantizedMlpMimicsHeuristic) {

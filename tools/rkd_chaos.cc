@@ -1,0 +1,278 @@
+// rkd_chaos: deterministic fault-injection soak for both simulators.
+//
+// Arms a set of failpoints (see src/base/failpoints.h) and drives the two
+// case-study substrates — the CFS scheduler simulator behind the RMT
+// migration oracle, and the demand-paging simulator behind the RMT ML
+// prefetcher — asserting the hook contract's graceful degradation: injected
+// faults on the datapath (helper calls, model evaluation) may cost
+// performance, never correctness or a crash. The scheduler scenario also
+// runs the policy guardian, showing a faulting program being quarantined
+// and the workload completing on the stock heuristic afterwards.
+//
+//   $ build/tools/rkd_chaos                 # full soak
+//   $ build/tools/rkd_chaos --quick         # CI smoke (seconds)
+//   $ build/tools/rkd_chaos --fail=ml.eval=always+error --bound=2.0
+//
+// Exit code: 0 = every invariant held, 1 = a degradation bound or sanity
+// check failed, 2 = usage error.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/failpoints.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+#include "src/rmt/guardian.h"
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/mem/readahead.h"
+#include "src/sim/sched/cfs_sim.h"
+#include "src/sim/sched/rmt_oracle.h"
+#include "src/workloads/access_trace.h"
+#include "src/workloads/cpu_jobs.h"
+
+namespace {
+
+using namespace rkd;
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what, const std::string& detail) {
+  std::printf("  [%s] %s%s%s\n", ok ? "ok" : "FAIL", what, detail.empty() ? "" : ": ",
+              detail.c_str());
+  if (!ok) {
+    ++g_failures;
+  }
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--bound=R] [--fail=name=spec ...]\n"
+               "  --quick       smaller workloads (CI smoke)\n"
+               "  --bound=R     completion-time slack vs the stock baseline (default 1.5)\n"
+               "  --fail=D      failpoint directive, e.g. ml.eval=every:3+error\n"
+               "                (repeatable; replaces the default set)\n",
+               argv0);
+}
+
+// --- Scenario 1: scheduler under model/helper faults, with the guardian ---
+
+void SoakScheduler(bool quick, double bound, const std::vector<std::string>& directives) {
+  std::printf("=== scheduler soak (CfsSim + RmtMigrationOracle) ===\n");
+
+  JobConfig job_config;
+  if (quick) {
+    job_config.num_tasks = 8;
+    job_config.base_work = 500;
+  }
+  const JobSpec job = MakeJob(JobKind::kStreamcluster, job_config);
+  SchedConfig sched_config;
+  CfsSim sim(sched_config);
+
+  const SchedMetrics stock = sim.Run(job);
+  std::printf("  stock heuristic: %llu ticks\n",
+              static_cast<unsigned long long>(stock.ticks));
+
+  // Train a migration model the usual way, then put faults in its path.
+  Dataset train = CollectMigrationDataset(sched_config, job);
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {16, 16};
+  mlp_config.epochs = quick ? 20 : 40;
+  Result<Mlp> mlp = Mlp::Train(train, mlp_config);
+  if (!mlp.ok()) {
+    Check(false, "train migration model", mlp.status().ToString());
+    return;
+  }
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  if (!quantized.ok()) {
+    Check(false, "quantize migration model", quantized.status().ToString());
+    return;
+  }
+  RmtMigrationOracle oracle;
+  Status status = oracle.Init();
+  if (status.ok()) {
+    status = oracle.InstallModel(
+        std::make_shared<QuantizedMlp>(std::move(quantized).value()));
+  }
+  if (!status.ok()) {
+    Check(false, "install migration oracle", status.ToString());
+    return;
+  }
+
+  // Guard the oracle's program: one trip quarantines it for good.
+  PolicyGuardian guardian(&oracle.control_plane());
+  BreakerConfig breaker;
+  breaker.window_execs = 64;
+  breaker.max_error_rate = 0.2;
+  breaker.max_trips = 1;
+  status = guardian.Guard(oracle.handle(), breaker);
+  if (!status.ok()) {
+    Check(false, "guard oracle program", status.ToString());
+    return;
+  }
+
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  for (const std::string& directive : directives) {
+    std::printf("  arm %s\n", directive.c_str());
+    const Status armed = failpoints.EnableFromDirective(directive);
+    if (!armed.ok()) {
+      Check(false, "arm failpoint", armed.ToString());
+      return;
+    }
+  }
+
+  const SchedMetrics faulted = sim.Run(job, oracle.AsOracle());
+  Check(faulted.completed, "faulted run completes", "");
+  Check(static_cast<double>(faulted.ticks) <= bound * static_cast<double>(stock.ticks),
+        "faulted run within bound",
+        std::to_string(faulted.ticks) + " ticks vs " + std::to_string(stock.ticks) +
+            " stock (bound " + std::to_string(bound) + "x)");
+  std::printf("  faulted: %llu ticks, %llu/%llu decisions fell back\n",
+              static_cast<unsigned long long>(faulted.ticks),
+              static_cast<unsigned long long>(faulted.oracle_fallbacks),
+              static_cast<unsigned long long>(faulted.decisions));
+
+  // The guardian sees the exec-error rate and quarantines the program — but
+  // only if the armed directives actually hit its datapath (a map-only fault
+  // set, say, never touches a program with no map ops, and a clean program
+  // must be left alone).
+  const PolicyGuardian::TickSummary summary = guardian.Tick();
+  for (const PolicyGuardian::GuardEvent& event : summary.transitions) {
+    std::printf("  guardian: %s %s -> %s (%s)\n", event.program.c_str(),
+                std::string(GuardStateName(event.from)).c_str(),
+                std::string(GuardStateName(event.to)).c_str(), event.reason.c_str());
+  }
+  if (faulted.oracle_fallbacks > 0) {
+    Check(guardian.StateOf(oracle.handle()) == GuardState::kQuarantined,
+          "guardian quarantines the faulting program", "");
+
+    // Quarantined: the hook reverts to the stock heuristic wholesale, so the
+    // workload behaves exactly as stock even with failpoints still armed.
+    const SchedMetrics contained = sim.Run(job, oracle.AsOracle());
+    Check(contained.completed, "contained run completes", "");
+    Check(contained.oracle_fallbacks == contained.decisions,
+          "quarantined program never decides", "");
+    Check(contained.ticks == stock.ticks, "contained run matches stock ticks",
+          std::to_string(contained.ticks) + " vs " + std::to_string(stock.ticks));
+  } else {
+    std::printf("  directives never hit the oracle's datapath\n");
+    Check(guardian.StateOf(oracle.handle()) == GuardState::kHealthy,
+          "guardian leaves the unaffected program alone", "");
+  }
+
+  failpoints.DisableAll();
+
+  TelemetryRegistry& telemetry = oracle.control_plane().telemetry();
+  std::printf("  rkd.guard.trips=%llu rkd.guard.quarantines=%llu\n",
+              static_cast<unsigned long long>(telemetry.GetCounter("rkd.guard.trips")->value()),
+              static_cast<unsigned long long>(
+                  telemetry.GetCounter("rkd.guard.quarantines")->value()));
+}
+
+// --- Scenario 2: prefetcher under helper/model faults ---
+
+void SoakPrefetcher(bool quick, double bound, const std::vector<std::string>& directives) {
+  std::printf("=== prefetcher soak (MemorySim + RmtMlPrefetcher) ===\n");
+
+  Rng rng(2021);
+  VideoResizeConfig video;
+  if (quick) {
+    video.frames = 8;
+  }
+  const AccessTrace trace = MakeVideoResizeTrace(video, rng);
+  MemSimConfig mem_config;
+  mem_config.frame_capacity = 192;
+
+  // Stock-kernel baseline: Linux-style readahead, no faults.
+  ReadaheadPrefetcher readahead;
+  MemorySim readahead_sim(mem_config, &readahead);
+  const MemMetrics stock = readahead_sim.Run(trace);
+  // Degradation floor: demand paging only. A prefetcher whose actions fault
+  // must never do worse than having no prefetcher at all (within slack).
+  NullPrefetcher none;
+  MemorySim null_sim(mem_config, &none);
+  const MemMetrics floor = null_sim.Run(trace);
+  std::printf("  readahead: %.3fs, demand-only: %.3fs\n", stock.completion_seconds(),
+              floor.completion_seconds());
+
+  RmtMlPrefetcher prefetcher;
+  const Status status = prefetcher.Init();
+  if (!status.ok()) {
+    Check(false, "init ml prefetcher", status.ToString());
+    return;
+  }
+
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  for (const std::string& directive : directives) {
+    std::printf("  arm %s\n", directive.c_str());
+    const Status armed = failpoints.EnableFromDirective(directive);
+    if (!armed.ok()) {
+      Check(false, "arm failpoint", armed.ToString());
+      return;
+    }
+  }
+
+  MemorySim faulted_sim(mem_config, &prefetcher);
+  const MemMetrics faulted = faulted_sim.Run(trace);
+  failpoints.DisableAll();
+
+  Check(faulted.accesses == trace.size(), "every access served",
+        std::to_string(faulted.accesses) + " of " + std::to_string(trace.size()));
+  Check(faulted.completion_seconds() <= bound * floor.completion_seconds(),
+        "faulted run within bound of demand paging",
+        std::to_string(faulted.completion_seconds()) + "s vs " +
+            std::to_string(floor.completion_seconds()) + "s floor (bound " +
+            std::to_string(bound) + "x)");
+  std::printf("  faulted ml prefetcher: %.3fs, accuracy %.1f%%, coverage %.1f%%\n",
+              faulted.completion_seconds(), faulted.accuracy() * 100.0,
+              faulted.coverage() * 100.0);
+
+  TelemetryRegistry& telemetry = prefetcher.hooks().telemetry();
+  std::printf("  exec errors under fault: %llu\n",
+              static_cast<unsigned long long>(
+                  telemetry.GetCounter("rkd.hook.mm.swap_cluster_readahead.exec_errors")
+                      ->value()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  double bound = 1.5;
+  std::vector<std::string> directives;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(arg, "--bound=", 8) == 0) {
+      bound = std::strtod(arg + 8, nullptr);
+    } else if (std::strncmp(arg, "--fail=", 7) == 0) {
+      directives.emplace_back(arg + 7);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (bound <= 0.0) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (directives.empty()) {
+    // Default chaos set: intermittent model-evaluation faults and helper
+    // faults — the two datapath seams a deployed policy actually has.
+    directives = {"ml.eval=every:3+error", "vm.helper=every:7+error"};
+  }
+
+  SoakScheduler(quick, bound, directives);
+  SoakPrefetcher(quick, bound, directives);
+
+  if (g_failures > 0) {
+    std::printf("\nrkd_chaos: %d invariant(s) violated\n", g_failures);
+    return 1;
+  }
+  std::printf("\nrkd_chaos: all invariants held\n");
+  return 0;
+}

@@ -1,9 +1,11 @@
 // rkd_stats: dump a live telemetry-registry snapshot.
 //
 // Builds the quickstart pipeline (one classifier program installed through
-// the control plane), fires the hook a configurable number of times to
-// populate the per-hook latency histogram, then exports the registry in
-// Prometheus text exposition and/or JSON.
+// the control plane and watched by the policy guardian), injects a brief
+// helper-fault burst so the breaker trips and recovers, fires the hook a
+// configurable number of times to populate the per-hook latency histogram,
+// then exports the registry — including the "rkd.guard.*" slice and the
+// per-program guard state gauge — in Prometheus text exposition and/or JSON.
 //
 //   $ build/tools/rkd_stats                 # both formats, 1000 fires
 //   $ build/tools/rkd_stats --fires=50000 --format=prom
@@ -14,8 +16,10 @@
 #include <cstring>
 #include <string>
 
+#include "src/base/failpoints.h"
 #include "src/bytecode/assembler.h"
 #include "src/rmt/control_plane.h"
+#include "src/rmt/guardian.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/telemetry.h"
 
@@ -52,11 +56,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Same program as examples/quickstart: r0 = (key < 1000) ? 1 : 2.
+  // Same program as examples/quickstart — r0 = (key < 1000) ? 1 : 2 — plus a
+  // leading helper call, which is the "vm.helper" failpoint site the guard
+  // demo below uses to inject a fault burst.
   Assembler as("classify_key", HookKind::kGeneric);
   {
     auto small = as.NewLabel();
     auto end = as.NewLabel();
+    as.Call(HelperId::kGetTime);
     as.JltImm(1, 1000, small);
     as.MovImm(0, 2);
     as.Ja(end);
@@ -93,6 +100,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "install failed: %s\n", handle.status().ToString().c_str());
     return 1;
   }
+
+  // Guard the program, then walk it through a full breaker lifecycle so the
+  // "rkd.guard.*" slice is populated: a transient fault burst trips the
+  // breaker, backoff expires into probation, and a clean probation window
+  // recovers it before the main fire loop.
+  PolicyGuardian guardian(&control_plane);
+  BreakerConfig breaker;
+  breaker.window_execs = 32;
+  breaker.probation_execs = 16;
+  if (const Status guarded = guardian.Guard(*handle, breaker); !guarded.ok()) {
+    std::fprintf(stderr, "guard failed: %s\n", guarded.ToString().c_str());
+    return 1;
+  }
+  {
+    FailpointSpec fault;
+    fault.mode = FailpointMode::kFirstN;
+    fault.n = 32;
+    fault.force_error = true;
+    ScopedFailpoint burst("vm.helper", fault);
+    for (uint64_t i = 0; i < 32; ++i) {
+      (void)hooks.Fire(*hook, static_cast<int64_t>(i));
+    }
+    guardian.Tick();  // error window full -> tripped (suspended)
+  }
+  guardian.Tick();  // backoff expired -> probation
+  for (uint64_t i = 0; i < 16; ++i) {
+    (void)hooks.Fire(*hook, static_cast<int64_t>(i));
+  }
+  guardian.Tick();  // clean probation window -> healthy again
 
   for (uint64_t i = 0; i < fires; ++i) {
     (void)hooks.Fire(*hook, static_cast<int64_t>(i % 2000));
