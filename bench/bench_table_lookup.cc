@@ -3,14 +3,27 @@
 // "This is also constant-time in a system-wide manner without having to walk
 // complex kernel data structures." Compares: context-store lookup across
 // population sizes (should be flat), each table match kind across entry
-// counts (exact flat; lpm/range/ternary linear in entries), and the
-// walk-the-kernel-structures strawman (a linked list of monitoring records,
-// which is what the RMT context replaces).
+// counts under both index modes, and the walk-the-kernel-structures strawman
+// (a linked list of monitoring records, which is what the RMT context
+// replaces).
+//
+// Two modes:
+//   * default: the fast-lane A/B sweep — every match kind at 16/256/4k/16k
+//     entries, linear scan vs compiled index, plus single-Fire vs FireBatch
+//     dispatch at several batch sizes. Results land in BENCH_table_lookup.json
+//     (override the path with --out=FILE).
+//   * any --benchmark_* flag: the original google-benchmark microbenchmarks.
+#include <cstdio>
+#include <cstring>
 #include <list>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "src/base/rng.h"
+#include "src/bytecode/assembler.h"
+#include "src/rmt/control_plane.h"
 #include "src/rmt/table.h"
 #include "src/vm/context_store.h"
 
@@ -58,42 +71,54 @@ void BM_LinkedStructureWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkedStructureWalk)->Arg(16)->Arg(256)->Arg(4096);
 
+// Shared entry generator so the A/B sweep and the gbench variant measure the
+// same populations: distinct /16 prefixes for lpm, disjoint width-100 ranges,
+// 16-bit masked cells with distinct priorities for ternary.
+TableEntry MakeEntry(MatchKind kind, uint64_t i) {
+  TableEntry entry;
+  switch (kind) {
+    case MatchKind::kExact:
+      entry.key = i;
+      break;
+    case MatchKind::kLpm:
+      entry.key = i << 48;
+      entry.key2 = 16;
+      break;
+    case MatchKind::kRange:
+      entry.key = i * 100;
+      entry.key2 = i * 100 + 99;
+      break;
+    case MatchKind::kTernary:
+      entry.key = i;
+      entry.key2 = 0xffff;
+      entry.priority = static_cast<int32_t>(i);
+      break;
+  }
+  entry.action_index = 0;
+  return entry;
+}
+
+uint64_t MakeProbe(MatchKind kind, uint64_t i) {
+  switch (kind) {
+    case MatchKind::kLpm:
+      return i << 48;
+    case MatchKind::kRange:
+      return i * 100;
+    default:
+      return i;
+  }
+}
+
 template <MatchKind kKind>
 void BM_TableMatch(benchmark::State& state) {
   const auto entries = static_cast<uint64_t>(state.range(0));
   RmtTable table("bench", kKind, entries + 1);
   for (uint64_t i = 0; i < entries; ++i) {
-    TableEntry entry;
-    switch (kKind) {
-      case MatchKind::kExact:
-        entry.key = i;
-        break;
-      case MatchKind::kLpm:
-        entry.key = i << 48;
-        entry.key2 = 16;
-        break;
-      case MatchKind::kRange:
-        entry.key = i * 100;
-        entry.key2 = i * 100 + 99;
-        break;
-      case MatchKind::kTernary:
-        entry.key = i;
-        entry.key2 = 0xffff;
-        entry.priority = static_cast<int32_t>(i);
-        break;
-    }
-    entry.action_index = 0;
-    (void)table.Insert(entry);
+    (void)table.Insert(MakeEntry(kKind, i));
   }
   Rng rng(2);
   for (auto _ : state) {
-    uint64_t key = rng.NextBounded(entries);
-    if (kKind == MatchKind::kLpm) {
-      key <<= 48;
-    } else if (kKind == MatchKind::kRange) {
-      key *= 100;
-    }
-    benchmark::DoNotOptimize(table.Match(key));
+    benchmark::DoNotOptimize(table.Match(MakeProbe(kKind, rng.NextBounded(entries))));
   }
 }
 BENCHMARK(BM_TableMatch<MatchKind::kExact>)->Arg(16)->Arg(256)->Arg(4096);
@@ -111,6 +136,229 @@ void BM_HistoryAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_HistoryAppend);
 
+// --- Fast-lane A/B sweep (default mode) ---
+
+constexpr uint64_t kMinSampleNs = 10'000'000;  // per measurement
+
+const char* KindName(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kExact:
+      return "exact";
+    case MatchKind::kLpm:
+      return "lpm";
+    case MatchKind::kRange:
+      return "range";
+    case MatchKind::kTernary:
+      return "ternary";
+  }
+  return "?";
+}
+
+// ns per Match() over a pre-generated probe sequence, timed in chunks until
+// the sample is at least kMinSampleNs long.
+double MeasureMatchNs(RmtTable& table, const std::vector<uint64_t>& probes) {
+  uint64_t hits = 0;  // defeat dead-code elimination across chunks
+  uint64_t ops = 0;
+  const uint64_t start = MonotonicNowNs();
+  uint64_t elapsed = 0;
+  while (elapsed < kMinSampleNs) {
+    for (uint64_t probe : probes) {
+      hits += table.Match(probe) != nullptr;
+    }
+    ops += probes.size();
+    elapsed = MonotonicNowNs() - start;
+  }
+  benchmark::DoNotOptimize(hits);
+  return static_cast<double>(elapsed) / static_cast<double>(ops);
+}
+
+struct SweepRow {
+  const char* kind;
+  uint64_t entries;
+  double linear_ns;
+  double compiled_ns;
+  double speedup;
+};
+
+std::vector<SweepRow> RunMatchSweep() {
+  const MatchKind kinds[] = {MatchKind::kExact, MatchKind::kLpm, MatchKind::kRange,
+                             MatchKind::kTernary};
+  const uint64_t sizes[] = {16, 256, 4096, 16384};
+  std::vector<SweepRow> rows;
+  for (MatchKind kind : kinds) {
+    for (uint64_t entries : sizes) {
+      RmtTable table("sweep", kind, entries + 1);
+      for (uint64_t i = 0; i < entries; ++i) {
+        (void)table.Insert(MakeEntry(kind, i));
+      }
+      Rng rng(2);
+      std::vector<uint64_t> probes(4096);
+      for (uint64_t& probe : probes) {
+        probe = MakeProbe(kind, rng.NextBounded(entries));
+      }
+      SweepRow row;
+      row.kind = KindName(kind);
+      row.entries = entries;
+      table.set_index_mode(TableIndexMode::kLinear);
+      row.linear_ns = MeasureMatchNs(table, probes);
+      table.set_index_mode(TableIndexMode::kCompiled);
+      row.compiled_ns = MeasureMatchNs(table, probes);
+      row.speedup = row.linear_ns / row.compiled_ns;
+      std::fprintf(stderr, "match %-8s %6llu entries: linear %8.1f ns  compiled %6.1f ns  %6.1fx\n",
+                   row.kind, static_cast<unsigned long long>(row.entries), row.linear_ns,
+                   row.compiled_ns, row.speedup);
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+struct DispatchRow {
+  uint64_t batch;
+  double single_ns;  // per event, N individual Fire() calls
+  double batch_ns;   // per event, one FireBatch() of N
+  double speedup;
+};
+
+// Measures hook dispatch with a minimal action (mov r0,1; exit) behind an
+// empty exact table with default_action=0 — every event takes the full
+// guardian/telemetry/JIT dispatch path, none does real work, so the fixed
+// per-fire overhead dominates and the batch amortization is visible.
+std::vector<DispatchRow> RunDispatchSweep() {
+  HookRegistry hooks;
+  ControlPlane control_plane(&hooks);
+  Result<HookId> hook = hooks.Register("bench.dispatch", HookKind::kGeneric);
+  if (!hook.ok()) {
+    return {};
+  }
+
+  Assembler a("bench_noop", HookKind::kGeneric);
+  a.MovImm(0, 1);
+  a.Exit();
+  Result<BytecodeProgram> action = a.Build();
+  if (!action.ok()) {
+    return {};
+  }
+
+  RmtProgramSpec spec;
+  spec.name = "bench_dispatch_prog";
+  RmtTableSpec table;
+  table.name = "bench_dispatch_tab";
+  table.hook_point = "bench.dispatch";
+  table.actions.push_back(std::move(action).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  if (!control_plane.Install(spec, ExecTier::kJit).ok()) {
+    return {};
+  }
+  const HookId id = *hook;
+
+  std::vector<DispatchRow> rows;
+  for (uint64_t batch : {8ull, 32ull, 256ull}) {
+    std::vector<HookEvent> events(batch);
+    for (uint64_t i = 0; i < batch; ++i) {
+      events[i] = HookEvent(i, {static_cast<int64_t>(i)});
+    }
+    std::vector<int64_t> results(batch);
+
+    DispatchRow row;
+    row.batch = batch;
+    {
+      uint64_t sink = 0;
+      uint64_t ops = 0;
+      const uint64_t start = MonotonicNowNs();
+      uint64_t elapsed = 0;
+      while (elapsed < kMinSampleNs) {
+        for (const HookEvent& event : events) {
+          sink += static_cast<uint64_t>(
+              hooks.Fire(id, event.key, std::span<const int64_t>(event.args.data(), 1)));
+        }
+        ops += batch;
+        elapsed = MonotonicNowNs() - start;
+      }
+      benchmark::DoNotOptimize(sink);
+      row.single_ns = static_cast<double>(elapsed) / static_cast<double>(ops);
+    }
+    {
+      uint64_t ops = 0;
+      const uint64_t start = MonotonicNowNs();
+      uint64_t elapsed = 0;
+      while (elapsed < kMinSampleNs) {
+        hooks.FireBatch(id, events, results);
+        ops += batch;
+        elapsed = MonotonicNowNs() - start;
+      }
+      benchmark::DoNotOptimize(results[batch - 1]);
+      row.batch_ns = static_cast<double>(elapsed) / static_cast<double>(ops);
+    }
+    row.speedup = row.single_ns / row.batch_ns;
+    std::fprintf(stderr, "dispatch batch %4llu: single %6.1f ns/event  batch %6.1f ns/event  %5.2fx\n",
+                 static_cast<unsigned long long>(batch), row.single_ns, row.batch_ns,
+                 row.speedup);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+int WriteJson(const std::string& path, const std::vector<SweepRow>& sweep,
+              const std::vector<DispatchRow>& dispatch) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"table_lookup\",\n  \"match_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& r = sweep[i];
+    std::fprintf(out,
+                 "    {\"kind\": \"%s\", \"entries\": %llu, \"linear_ns_op\": %.2f, "
+                 "\"compiled_ns_op\": %.2f, \"speedup\": %.2f}%s\n",
+                 r.kind, static_cast<unsigned long long>(r.entries), r.linear_ns,
+                 r.compiled_ns, r.speedup, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"speedup_4k\": {");
+  bool first = true;
+  for (const SweepRow& r : sweep) {
+    if (r.entries != 4096) {
+      continue;
+    }
+    std::fprintf(out, "%s\"%s\": %.2f", first ? "" : ", ", r.kind, r.speedup);
+    first = false;
+  }
+  std::fprintf(out, "},\n  \"dispatch\": [\n");
+  for (size_t i = 0; i < dispatch.size(); ++i) {
+    const DispatchRow& r = dispatch[i];
+    std::fprintf(out,
+                 "    {\"batch\": %llu, \"single_ns_event\": %.2f, \"batch_ns_event\": %.2f, "
+                 "\"speedup\": %.2f}%s\n",
+                 static_cast<unsigned long long>(r.batch), r.single_ns, r.batch_ns, r.speedup,
+                 i + 1 < dispatch.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool gbench = false;
+  std::string out_path = "BENCH_table_lookup.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      gbench = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  const std::vector<SweepRow> sweep = RunMatchSweep();
+  const std::vector<DispatchRow> dispatch = RunDispatchSweep();
+  return WriteJson(out_path, sweep, dispatch);
+}

@@ -129,6 +129,9 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
   for (size_t t = 0; t < spec.tables.size(); ++t) {
     const RmtTableSpec& table_spec = spec.tables[t];
     RmtTable table(table_spec.name, table_spec.match_kind, table_spec.max_entries);
+    // Export "rkd.table.<name>.*" before the move: the bound metric pointers
+    // live in the registry and survive the table's relocation.
+    table.BindTelemetry(&hooks_->telemetry());
     for (const TableEntry& entry : table_spec.initial_entries) {
       RKD_RETURN_IF_ERROR(table.Insert(entry));
     }

@@ -96,6 +96,46 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
   return result;
 }
 
+void HookRegistry::FireBatch(HookId id, std::span<const HookEvent> events,
+                             std::span<int64_t> results) {
+  const size_t n = events.size();
+  for (size_t i = 0; i < n && i < results.size(); ++i) {
+    results[i] = kHookFallback;
+  }
+  if (!Valid(id) || n == 0 || results.size() < n) {
+    return;
+  }
+  Hook& hook = hooks_[static_cast<size_t>(id)];
+  // Reserve a dense run of fire sequence numbers: event i is fire
+  // seq_base + i, so canary routing decides each event exactly as the
+  // equivalent single Fire would.
+  const uint64_t seq_base = hook.fires->FetchIncrement(n);
+  const uint64_t start_ns = MonotonicNowNs();
+  HookBatchStats stats;
+  for (AttachedTable* table : hook.tables) {
+    table->ExecuteBatch(events, seq_base, results, &stats);
+  }
+  if (stats.actions_run > 0) {
+    hook.actions_run->Increment(stats.actions_run);
+  }
+  if (stats.exec_errors > 0) {
+    hook.exec_errors->Increment(stats.exec_errors);
+  }
+  const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
+  hook.fire_ns->RecordBatch(elapsed_ns, n);
+
+  // One trace record summarises the batch (events would flood the ring).
+  TraceEvent event;
+  event.ts_ns = start_ns;
+  event.source = id;
+  event.kind = kHookBatchEvent;
+  event.key = n;
+  event.value = results[n - 1];
+  event.duration_ns = elapsed_ns > 0xffffffffull ? 0xffffffffu
+                                                 : static_cast<uint32_t>(elapsed_ns);
+  telemetry_->trace().Push(event);
+}
+
 Status HookRegistry::Attach(HookId id, AttachedTable* table) {
   if (!Valid(id)) {
     return NotFoundError("cannot attach to invalid hook id");

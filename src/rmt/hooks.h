@@ -14,8 +14,10 @@
 #ifndef SRC_RMT_HOOKS_H_
 #define SRC_RMT_HOOKS_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <span>
 #include <string>
@@ -44,6 +46,31 @@ struct SubsystemBindings {
 // The fallback value Fire() returns when no table is attached or the action
 // faulted; the call site treats it exactly like "RMT not present".
 inline constexpr int64_t kHookFallback = -1;
+
+// One event of a FireBatch call: the (key, args) a single Fire would take,
+// with args inlined so a batch is one contiguous allocation.
+struct HookEvent {
+  uint64_t key = 0;
+  uint32_t num_args = 0;
+  std::array<int64_t, 4> args{};  // Fire truncates to four anyway
+
+  HookEvent() = default;
+  HookEvent(uint64_t k, std::initializer_list<int64_t> a) : key(k) {
+    for (const int64_t v : a) {
+      if (num_args >= args.size()) {
+        break;
+      }
+      args[num_args++] = v;
+    }
+  }
+};
+
+// Per-batch tally an AttachedTable::ExecuteBatch call reports back so the
+// hook layer can bulk-increment its counters once per batch.
+struct HookBatchStats {
+  uint64_t actions_run = 0;
+  uint64_t exec_errors = 0;
+};
 
 // Read-only view over one hook's slice of the telemetry registry. The
 // underlying metrics live for the registry's lifetime, so the view is a
@@ -91,6 +118,19 @@ class HookRegistry {
   // order with (key, args) and returns the last action's r0, or kHookFallback
   // when nothing ran.
   int64_t Fire(HookId id, uint64_t key, std::span<const int64_t> args = {});
+
+  // Batched datapath entry point for naturally-bursty call sites (readahead
+  // windows, migration scans). Semantically `results[i]` is what
+  // `Fire(id, events[i].key, events[i].args)` would return, but the fixed
+  // per-event overhead — fire-sequence atomic, canary-gate load, telemetry
+  // timestamps, histogram records, trace push, VM frame setup — is paid once
+  // per batch. Fire sequence numbers stay dense (event i gets seq_base + i),
+  // so canary routing is bit-identical to N single fires. Tables execute in
+  // attach order, each consuming the whole batch before the next table runs;
+  // for the single-table hooks the sims use this matches Fire ordering
+  // exactly (see DESIGN.md "Fire-path performance" for the multi-table
+  // caveat). `results.size()` must be >= `events.size()`.
+  void FireBatch(HookId id, std::span<const HookEvent> events, std::span<int64_t> results);
 
   // Attachment management (control plane only).
   Status Attach(HookId id, AttachedTable* table);

@@ -73,6 +73,101 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
   return run;
 }
 
+void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq_base,
+                                 std::span<int64_t> results, HookBatchStats* stats) {
+  // Canary routing resolved once per batch: a mid-batch permille update
+  // applies from the next batch on (Fire re-reads it per event).
+  bool route_all = true;
+  bool canary_side = false;
+  uint32_t permille = 0;
+  if (role_ != CanaryRole::kSolo && gate_ != nullptr) {
+    route_all = false;
+    canary_side = role_ == CanaryRole::kCanary;
+    permille = gate_->canary_permille.load(std::memory_order_relaxed);
+  }
+
+  // One env copy per batch with VM telemetry detached: per-run stats are
+  // aggregated locally and flushed to the counters in bulk below.
+  VmEnv batch_env = env_;
+  batch_env.metrics = nullptr;
+  const Interpreter interp(batch_env);
+  CompiledProgram::Frame frame;
+
+  const bool vm_metrics = env_.metrics != nullptr;
+  const bool timed = exec_metrics_ != nullptr || vm_metrics;
+  const uint64_t start_ns = timed ? MonotonicNowNs() : 0;
+
+  uint64_t execs = 0;
+  uint64_t errors = 0;
+  RunStats agg;
+  int64_t call_args[5];
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (!route_all && ((seq_base + i) % 1000 < permille) != canary_side) {
+      continue;  // this fire is routed to the other rollout arm
+    }
+    const HookEvent& event = events[i];
+    const TableEntry* entry = table_.Match(event.key);
+    const int32_t action_index = entry != nullptr ? entry->action_index : default_action_;
+    const int32_t effective = action_index >= 0 ? action_index : default_action_;
+    if (effective < 0 || static_cast<size_t>(effective) >= actions_.size()) {
+      if (stats != nullptr) {
+        ++stats->actions_run;  // Fire counts the deliberate no-op as ok
+      }
+      continue;
+    }
+    ++executions_;
+    ++execs;
+
+    call_args[0] = static_cast<int64_t>(event.key);
+    const size_t extra = event.num_args < 4 ? event.num_args : 4;
+    for (size_t a = 0; a < extra; ++a) {
+      call_args[a + 1] = event.args[a];
+    }
+    const std::span<const int64_t> arg_span(call_args, 1 + extra);
+
+    RunStats rs;
+    const Result<int64_t> run =
+        tier_ == ExecTier::kJit
+            ? compiled_[static_cast<size_t>(effective)].RunInFrame(frame, batch_env, arg_span,
+                                                                   &rs, tail_resolver_)
+            : interp.Run(actions_[static_cast<size_t>(effective)], arg_span, &rs);
+    agg.steps += rs.steps;
+    agg.tail_calls += rs.tail_calls;
+    agg.helper_calls += rs.helper_calls;
+    agg.ml_calls += rs.ml_calls;
+    if (run.ok()) {
+      if (stats != nullptr) {
+        ++stats->actions_run;
+      }
+      if (*run != kHookFallback) {
+        results[i] = *run;
+      }
+    } else {
+      ++errors;
+      if (stats != nullptr) {
+        ++stats->exec_errors;
+      }
+    }
+  }
+
+  const uint64_t elapsed_ns = timed ? MonotonicNowNs() - start_ns : 0;
+  if (exec_metrics_ != nullptr && execs > 0) {
+    exec_metrics_->execs->Increment(execs);
+    exec_metrics_->exec_ns->RecordBatch(elapsed_ns, execs);
+    if (errors > 0) {
+      exec_metrics_->exec_errors->Increment(errors);
+    }
+  }
+  if (vm_metrics && execs > 0) {
+    env_.metrics->invocations->Increment(execs);
+    env_.metrics->steps->Increment(agg.steps);
+    env_.metrics->helper_calls->Increment(agg.helper_calls);
+    env_.metrics->ml_calls->Increment(agg.ml_calls);
+    env_.metrics->tail_calls->Increment(agg.tail_calls);
+    env_.metrics->run_ns->RecordBatch(elapsed_ns, execs);
+  }
+}
+
 // --- InstalledProgram ---
 
 InstalledProgram::InstalledProgram(const RmtProgramSpec& spec, HookRegistry* hooks)

@@ -96,6 +96,15 @@ class AttachedTable {
   // kHookFallback on no-action; execution errors surface as Status.
   Result<int64_t> Execute(uint64_t key, std::span<const int64_t> args);
 
+  // Batch counterpart (HookRegistry::FireBatch): runs every admitted event
+  // of the batch with one canary-gate resolution, one exec-metrics
+  // timestamp pair, one reusable JIT frame (or one interpreter/env copy),
+  // and bulk VM-metric updates. Event i is fire seq_base + i for routing.
+  // Per-event result-merge semantics match Fire: an ok, non-fallback result
+  // overwrites results[i]; errors and skipped events leave it untouched.
+  void ExecuteBatch(std::span<const HookEvent> events, uint64_t seq_base,
+                    std::span<int64_t> results, HookBatchStats* stats);
+
   RmtTable& table() { return table_; }
   const RmtTable& table() const { return table_; }
   HookId hook() const { return hook_; }

@@ -1,6 +1,8 @@
 #include "src/rmt/table.h"
 
 #include <algorithm>
+#include <array>
+#include <set>
 
 namespace rkd {
 
@@ -32,10 +34,51 @@ bool LpmMatches(uint64_t key, uint64_t value, uint64_t bits) {
   return (key & mask) == (value & mask);
 }
 
+uint64_t LpmMask(uint64_t bits) {
+  if (bits == 0) {
+    return 0;
+  }
+  if (bits >= 64) {
+    return ~0ull;
+  }
+  return ~0ull << (64 - bits);
+}
+
 }  // namespace
 
-RmtTable::RmtTable(std::string name, MatchKind match_kind, size_t max_entries)
-    : name_(std::move(name)), match_kind_(match_kind), max_entries_(max_entries) {}
+RmtTable::RmtTable(std::string name, MatchKind match_kind, size_t max_entries,
+                   TableIndexMode index_mode)
+    : name_(std::move(name)),
+      match_kind_(match_kind),
+      max_entries_(max_entries),
+      index_mode_(index_mode) {}
+
+void RmtTable::set_index_mode(TableIndexMode mode) {
+  index_mode_ = mode;
+  index_dirty_ = true;  // compiled structures may be stale or absent
+}
+
+void RmtTable::BindTelemetry(TelemetryRegistry* telemetry) {
+  if (telemetry == nullptr) {
+    hits_counter_ = nullptr;
+    misses_counter_ = nullptr;
+    entries_gauge_ = nullptr;
+    return;
+  }
+  const std::string prefix = "rkd.table." + name_;
+  hits_counter_ = telemetry->GetCounter(prefix + ".hits");
+  misses_counter_ = telemetry->GetCounter(prefix + ".misses");
+  entries_gauge_ = telemetry->GetGauge(prefix + ".entries");
+  entries_gauge_->Set(static_cast<double>(entries_.size()));
+}
+
+void RmtTable::MarkDirty() {
+  ++epoch_;
+  index_dirty_ = true;
+  if (entries_gauge_ != nullptr) {
+    entries_gauge_->Set(static_cast<double>(entries_.size()));
+  }
+}
 
 const TableEntry* RmtTable::FindSpec(uint64_t key, uint64_t key2) const {
   for (const TableEntry& entry : entries_) {
@@ -51,7 +94,13 @@ Status RmtTable::Insert(const TableEntry& entry) {
     return ResourceExhaustedError("table '" + name_ + "' is full (" +
                                   std::to_string(max_entries_) + " entries)");
   }
-  if (FindSpec(entry.key, entry.key2) != nullptr) {
+  if (match_kind_ == MatchKind::kExact) {
+    // Exact keys are unique outright: key2 plays no role in exact matching,
+    // so a second entry for the same key could never be matched.
+    if (exact_index_.find(entry.key) != exact_index_.end()) {
+      return AlreadyExistsError("table '" + name_ + "' already has this exact key");
+    }
+  } else if (FindSpec(entry.key, entry.key2) != nullptr) {
     return AlreadyExistsError("table '" + name_ + "' already has this match spec");
   }
   if (match_kind_ == MatchKind::kRange && entry.key > entry.key2) {
@@ -64,10 +113,31 @@ Status RmtTable::Insert(const TableEntry& entry) {
   if (match_kind_ == MatchKind::kExact) {
     exact_index_[entry.key] = entries_.size() - 1;
   }
+  MarkDirty();
   return OkStatus();
 }
 
 Status RmtTable::Remove(uint64_t key, uint64_t key2) {
+  if (match_kind_ == MatchKind::kExact) {
+    // O(1): swap with the last entry and patch its one index slot instead of
+    // rebuilding the whole index.
+    const auto it = exact_index_.find(key);
+    if (it == exact_index_.end() || entries_[it->second].key2 != key2) {
+      return NotFoundError("no entry with this match spec in table '" + name_ + "'");
+    }
+    const size_t idx = it->second;
+    exact_index_.erase(it);
+    const size_t last = entries_.size() - 1;
+    if (idx != last) {
+      entries_[idx] = entries_[last];
+      exact_index_[entries_[idx].key] = idx;
+    }
+    entries_.pop_back();
+    MarkDirty();
+    return OkStatus();
+  }
+  // Non-exact kinds erase in place: entry position encodes insertion order,
+  // which the match semantics' tie-breaks depend on.
   const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const TableEntry& entry) {
     return entry.key == key && entry.key2 == key2;
   });
@@ -75,16 +145,13 @@ Status RmtTable::Remove(uint64_t key, uint64_t key2) {
     return NotFoundError("no entry with this match spec in table '" + name_ + "'");
   }
   entries_.erase(it);
-  if (match_kind_ == MatchKind::kExact) {
-    exact_index_.clear();
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      exact_index_[entries_[i].key] = i;
-    }
-  }
+  MarkDirty();
   return OkStatus();
 }
 
 Status RmtTable::Modify(uint64_t key, uint64_t key2, int32_t action_index, int64_t model_slot) {
+  // No MarkDirty: the match structure is untouched; compiled indexes hold
+  // entry positions, and the entry mutates in place.
   for (TableEntry& entry : entries_) {
     if (entry.key == key && entry.key2 == key2) {
       entry.action_index = action_index;
@@ -95,11 +162,15 @@ Status RmtTable::Modify(uint64_t key, uint64_t key2, int32_t action_index, int64
   return NotFoundError("no entry with this match spec in table '" + name_ + "'");
 }
 
-const TableEntry* RmtTable::MatchImpl(uint64_t key) const {
+const TableEntry* RmtTable::MatchLinear(uint64_t key) const {
   switch (match_kind_) {
     case MatchKind::kExact: {
-      const auto it = exact_index_.find(key);
-      return it == exact_index_.end() ? nullptr : &entries_[it->second];
+      for (const TableEntry& entry : entries_) {
+        if (entry.key == key) {
+          return &entry;
+        }
+      }
+      return nullptr;
     }
     case MatchKind::kLpm: {
       const TableEntry* best = nullptr;
@@ -134,12 +205,191 @@ const TableEntry* RmtTable::MatchImpl(uint64_t key) const {
   return nullptr;
 }
 
+void RmtTable::CompileIndex() const {
+  ++index_rebuilds_;
+  compiled_epoch_ = epoch_;
+  index_dirty_ = false;
+  switch (match_kind_) {
+    case MatchKind::kExact:
+      return;  // the maintained exact_index_ is already the compiled form
+
+    case MatchKind::kLpm: {
+      lpm_buckets_.clear();
+      std::array<int32_t, 65> bucket_of;
+      bucket_of.fill(-1);
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        const uint64_t bits = entries_[i].key2;  // validated <= 64 at insert
+        int32_t& slot = bucket_of[static_cast<size_t>(bits)];
+        if (slot < 0) {
+          slot = static_cast<int32_t>(lpm_buckets_.size());
+          lpm_buckets_.push_back(LpmBucket{bits, LpmMask(bits), {}});
+        }
+        LpmBucket& bucket = lpm_buckets_[static_cast<size_t>(slot)];
+        // emplace keeps the first entry of this (length, prefix): the same
+        // winner the linear scan's strict longest-prefix comparison picks.
+        bucket.slots.emplace(entries_[i].key & bucket.mask, i);
+      }
+      std::sort(lpm_buckets_.begin(), lpm_buckets_.end(),
+                [](const LpmBucket& a, const LpmBucket& b) { return a.bits > b.bits; });
+      return;
+    }
+
+    case MatchKind::kRange: {
+      range_segments_.clear();
+      const size_t n = entries_.size();
+      if (n == 0) {
+        return;
+      }
+      // Sweep the boundary points; at each point the winner is the active
+      // entry with the smallest position (first in insertion order, the
+      // linear scan's rule). Segments between points are constant, so only
+      // winner changes are emitted.
+      std::vector<size_t> starts(n);
+      std::vector<size_t> ends(n);
+      for (size_t i = 0; i < n; ++i) {
+        starts[i] = ends[i] = i;
+      }
+      std::sort(starts.begin(), starts.end(),
+                [&](size_t a, size_t b) { return entries_[a].key < entries_[b].key; });
+      std::sort(ends.begin(), ends.end(),
+                [&](size_t a, size_t b) { return entries_[a].key2 < entries_[b].key2; });
+      std::vector<uint64_t> points;
+      points.reserve(2 * n);
+      for (size_t i = 0; i < n; ++i) {
+        points.push_back(entries_[i].key);
+        if (entries_[i].key2 != ~0ull) {
+          points.push_back(entries_[i].key2 + 1);
+        }
+      }
+      std::sort(points.begin(), points.end());
+      points.erase(std::unique(points.begin(), points.end()), points.end());
+
+      std::set<size_t> active;
+      size_t si = 0;
+      size_t ei = 0;
+      int64_t last_winner = -2;  // differs from every real winner and from "gap"
+      for (const uint64_t p : points) {
+        while (si < n && entries_[starts[si]].key <= p) {
+          active.insert(starts[si++]);
+        }
+        while (ei < n && entries_[ends[ei]].key2 < p) {
+          active.erase(ends[ei++]);
+        }
+        const int64_t winner =
+            active.empty() ? -1 : static_cast<int64_t>(*active.begin());
+        if (winner != last_winner) {
+          range_segments_.push_back(RangeSegment{p, winner});
+          last_winner = winner;
+        }
+      }
+      return;
+    }
+
+    case MatchKind::kTernary: {
+      ternary_groups_.clear();
+      std::unordered_map<uint64_t, size_t> group_of;  // mask -> group position
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        const uint64_t mask = entries_[i].key2;
+        const auto [git, fresh] = group_of.try_emplace(mask, ternary_groups_.size());
+        if (fresh) {
+          ternary_groups_.push_back(TernaryGroup{mask, entries_[i].priority, {}});
+        }
+        TernaryGroup& group = ternary_groups_[git->second];
+        group.max_priority = std::max(group.max_priority, entries_[i].priority);
+        // Two entries agreeing on (mask, key & mask) match identical keys,
+        // so only the cell's winner (highest priority, earliest insertion on
+        // ties — the linear rule) can ever win globally.
+        const auto [cell, inserted] = group.slots.try_emplace(entries_[i].key & mask, i);
+        if (!inserted && entries_[i].priority > entries_[cell->second].priority) {
+          cell->second = i;
+        }
+      }
+      std::stable_sort(ternary_groups_.begin(), ternary_groups_.end(),
+                       [](const TernaryGroup& a, const TernaryGroup& b) {
+                         return a.max_priority > b.max_priority;
+                       });
+      return;
+    }
+  }
+}
+
+const TableEntry* RmtTable::MatchCompiled(uint64_t key) const {
+  switch (match_kind_) {
+    case MatchKind::kExact:
+      return nullptr;  // unreachable: MatchImpl resolves exact directly
+
+    case MatchKind::kLpm: {
+      // Longest prefix first; the first bucket hit is the answer.
+      for (const LpmBucket& bucket : lpm_buckets_) {
+        const auto it = bucket.slots.find(key & bucket.mask);
+        if (it != bucket.slots.end()) {
+          return &entries_[it->second];
+        }
+      }
+      return nullptr;
+    }
+
+    case MatchKind::kRange: {
+      const auto it = std::upper_bound(
+          range_segments_.begin(), range_segments_.end(), key,
+          [](uint64_t k, const RangeSegment& s) { return k < s.start; });
+      if (it == range_segments_.begin()) {
+        return nullptr;  // below the lowest range
+      }
+      const RangeSegment& segment = *(it - 1);
+      return segment.entry < 0 ? nullptr : &entries_[static_cast<size_t>(segment.entry)];
+    }
+
+    case MatchKind::kTernary: {
+      const TableEntry* best = nullptr;
+      size_t best_pos = 0;
+      for (const TernaryGroup& group : ternary_groups_) {
+        if (best != nullptr && best->priority > group.max_priority) {
+          break;  // no later group can win (they only tie-lose or rank lower)
+        }
+        const auto it = group.slots.find(key & group.mask);
+        if (it == group.slots.end()) {
+          continue;
+        }
+        const TableEntry& entry = entries_[it->second];
+        if (best == nullptr || entry.priority > best->priority ||
+            (entry.priority == best->priority && it->second < best_pos)) {
+          best = &entry;
+          best_pos = it->second;
+        }
+      }
+      return best;
+    }
+  }
+  return nullptr;
+}
+
+const TableEntry* RmtTable::MatchImpl(uint64_t key) const {
+  if (match_kind_ == MatchKind::kExact && index_mode_ == TableIndexMode::kCompiled) {
+    const auto it = exact_index_.find(key);
+    return it == exact_index_.end() ? nullptr : &entries_[it->second];
+  }
+  if (index_mode_ == TableIndexMode::kLinear) {
+    return MatchLinear(key);
+  }
+  if (index_dirty_ || compiled_epoch_ != epoch_) {
+    CompileIndex();
+  }
+  return MatchCompiled(key);
+}
+
 const TableEntry* RmtTable::Match(uint64_t key) {
   const TableEntry* entry = MatchImpl(key);
   if (entry != nullptr) {
     ++hits_;
+    if (hits_counter_ != nullptr) {
+      hits_counter_->Increment();
+    }
   } else {
     ++misses_;
+    if (misses_counter_ != nullptr) {
+      misses_counter_->Increment();
+    }
   }
   return entry;
 }

@@ -14,11 +14,19 @@
 //   kRange   - entry.key <= key <= entry.key2 (PID ranges, size classes)
 //   kTernary - (key & entry.key2) == (entry.key & entry.key2), highest
 //              priority wins (cgroup/flag masks)
+//
+// Lookup cost: the datapath matches through a compiled index (see
+// DESIGN.md "Fire-path performance") rebuilt lazily after mutations —
+// exact is a maintained hash, LPM probes one hash per distinct prefix
+// length (longest first), range binary-searches a flattened disjoint
+// segment array, ternary probes one hash per distinct mask in descending
+// max-priority order with early exit. TableIndexMode::kLinear keeps the
+// naive O(n) scans for A/B benchmarking and as the semantic reference the
+// property tests compare against.
 #ifndef SRC_RMT_TABLE_H_
 #define SRC_RMT_TABLE_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -26,12 +34,18 @@
 
 #include "src/base/status.h"
 #include "src/bytecode/program.h"
+#include "src/telemetry/telemetry.h"
 
 namespace rkd {
 
 enum class MatchKind { kExact, kLpm, kRange, kTernary };
 
 std::string_view MatchKindName(MatchKind kind);
+
+// How MatchImpl resolves a key. kCompiled is the datapath default; kLinear
+// is the naive reference scan, kept selectable for A/B benchmarks and for
+// the randomized equivalence tests.
+enum class TableIndexMode { kLinear, kCompiled };
 
 struct TableEntry {
   uint64_t key = 0;   // exact value | prefix value | range low | ternary value
@@ -43,7 +57,8 @@ struct TableEntry {
 
 class RmtTable {
  public:
-  RmtTable(std::string name, MatchKind match_kind, size_t max_entries);
+  RmtTable(std::string name, MatchKind match_kind, size_t max_entries,
+           TableIndexMode index_mode = TableIndexMode::kCompiled);
 
   // Inserts an entry. Fails when full or when an identical match spec exists
   // (use ModifyEntry to change an action in place).
@@ -61,6 +76,13 @@ class RmtTable {
   // Lookup without statistics side effects (control-plane inspection).
   const TableEntry* Peek(uint64_t key) const;
 
+  // Binds hit/miss counters and the entry-count gauge into `telemetry` under
+  // "rkd.table.<name>.*" so exporters (rkd_stats) can see table activity.
+  // The private hits()/misses() members keep counting either way. Mutation
+  // and match share the table's external-synchronization contract, so plain
+  // counter increments are safe here.
+  void BindTelemetry(TelemetryRegistry* telemetry);
+
   const std::string& name() const { return name_; }
   MatchKind match_kind() const { return match_kind_; }
   size_t size() const { return entries_.size(); }
@@ -68,21 +90,80 @@ class RmtTable {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
+  TableIndexMode index_mode() const { return index_mode_; }
+  void set_index_mode(TableIndexMode mode);
+  // Mutations since construction; a compiled index is stamped with the epoch
+  // it was built at and rebuilt lazily when stale.
+  uint64_t mutation_epoch() const { return epoch_; }
+  uint64_t index_rebuilds() const { return index_rebuilds_; }
+
+  // Entry storage order is an implementation detail: exact-kind removal
+  // swaps with the last entry, so positions are not stable across Remove.
   const std::vector<TableEntry>& entries() const { return entries_; }
 
  private:
   const TableEntry* FindSpec(uint64_t key, uint64_t key2) const;
   const TableEntry* MatchImpl(uint64_t key) const;
+  const TableEntry* MatchLinear(uint64_t key) const;
+  const TableEntry* MatchCompiled(uint64_t key) const;
+  void CompileIndex() const;
+  void MarkDirty();
 
   std::string name_;
   MatchKind match_kind_;
   size_t max_entries_;
+  TableIndexMode index_mode_;
   std::vector<TableEntry> entries_;
-  // Exact-match index: key -> index into entries_. Rebuilt on remove (removal
-  // is a control-plane operation; the datapath only matches).
+
+  // Exact-match index: key -> index into entries_, maintained incrementally
+  // (insert appends; remove swap-and-pops and patches the one displaced
+  // slot). Exact keys are unique (Insert enforces it), so the index is a
+  // bijection over the entries.
   std::unordered_map<uint64_t, size_t> exact_index_;
+
+  // --- Compiled index state (non-exact kinds). Lazily rebuilt, so lookups
+  // through const Peek() must be able to compile: mutable by design. The
+  // table's concurrency contract (control-plane mutation is externally
+  // synchronized against datapath matches) covers the rebuild.
+  uint64_t epoch_ = 0;
+  mutable uint64_t compiled_epoch_ = 0;
+  mutable bool index_dirty_ = false;
+  mutable uint64_t index_rebuilds_ = 0;
+
+  // LPM: one hash bucket per distinct prefix length, longest first. A probe
+  // is one mask + one hash lookup; the first hit is the longest match.
+  struct LpmBucket {
+    uint64_t bits = 0;
+    uint64_t mask = 0;
+    std::unordered_map<uint64_t, size_t> slots;  // (key & mask) -> entry index
+  };
+  mutable std::vector<LpmBucket> lpm_buckets_;
+
+  // Range: overlapping entries flattened into disjoint segments covering
+  // [start, next.start); entry < 0 marks a gap. Lookup is one upper_bound.
+  struct RangeSegment {
+    uint64_t start = 0;
+    int64_t entry = -1;
+  };
+  mutable std::vector<RangeSegment> range_segments_;
+
+  // Ternary: entries grouped by distinct mask; within a group only the
+  // winner of each (key & mask) cell can ever win globally, so cells store
+  // the winner directly. Groups are probed in descending max-priority
+  // order, stopping once the current best strictly beats all later groups.
+  struct TernaryGroup {
+    uint64_t mask = 0;
+    int32_t max_priority = 0;
+    std::unordered_map<uint64_t, size_t> slots;  // (key & mask) -> entry index
+  };
+  mutable std::vector<TernaryGroup> ternary_groups_;
+
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  // Optional exported mirrors of the private stats ("rkd.table.<name>.*").
+  Counter* hits_counter_ = nullptr;
+  Counter* misses_counter_ = nullptr;
+  Gauge* entries_gauge_ = nullptr;
 };
 
 }  // namespace rkd

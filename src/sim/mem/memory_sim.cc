@@ -89,6 +89,8 @@ MemMetrics MemorySim::Run(const AccessTrace& trace) {
     }
   }
 
+  prefetcher_->OnRunEnd();
+
   metrics_.total_ns = clock_.now_ns();
   if (telemetry_ != nullptr) {
     PublishTelemetry();

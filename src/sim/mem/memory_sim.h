@@ -52,6 +52,10 @@ class Prefetcher {
   // the demand page (swap_cluster_readahead). The simulator dedupes,
   // removes already-resident pages, and applies max_prefetch_per_fault.
   virtual void OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& out_pages) = 0;
+
+  // Called once when the trace ends, so prefetchers that batch their
+  // monitoring submissions can flush the tail.
+  virtual void OnRunEnd() {}
 };
 
 // No-op policy: demand paging only. The floor for coverage comparisons.

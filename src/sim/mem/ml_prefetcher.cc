@@ -216,7 +216,26 @@ void RmtMlPrefetcher::OnAccess(uint64_t pid, int64_t page, bool hit) {
   // Resolve the prediction made at the previous fault (if any) against the
   // page actually accessed next — the signal the adaptation loop consumes.
   control_plane_.Get(handle_)->prediction_log().Resolve(static_cast<int64_t>(pid), page);
-  hooks_.Fire(access_hook_, pid, std::array<int64_t, 1>{page});
+  if (config_.access_batch <= 1) {
+    hooks_.Fire(access_hook_, pid, std::array<int64_t, 1>{page});
+    DrainSamplesAndMaybeTrain();
+    return;
+  }
+  // Accesses are the monitoring stream: nothing reads their side effects
+  // until the next prefetch decision, so they batch freely until then.
+  access_pending_.emplace_back(pid, std::initializer_list<int64_t>{page});
+  if (access_pending_.size() >= config_.access_batch) {
+    Flush();
+  }
+}
+
+void RmtMlPrefetcher::Flush() {
+  if (!initialized_ || access_pending_.empty()) {
+    return;
+  }
+  access_results_.resize(access_pending_.size());
+  hooks_.FireBatch(access_hook_, access_pending_, access_results_);
+  access_pending_.clear();
   DrainSamplesAndMaybeTrain();
 }
 
@@ -224,6 +243,9 @@ void RmtMlPrefetcher::OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& 
   if (!initialized_) {
     return;
   }
+  // The prefetch action reads history, the model, and the depth knob; flush
+  // so it sees exactly the state the unbatched path would.
+  Flush();
   emit_buffer_.clear();
   hooks_.Fire(prefetch_hook_, pid, std::array<int64_t, 1>{page});
   out_pages.insert(out_pages.end(), emit_buffer_.begin(), emit_buffer_.end());
@@ -256,24 +278,27 @@ void RmtMlPrefetcher::DrainSamplesAndMaybeTrain() {
       deltas.pop_front();
     }
   }
-  if (window_.size() >= config_.window_size) {
-    TrainWindow();
-    window_.clear();
+  // A batched flush can deliver several windows' worth of samples at once;
+  // train them one window at a time, exactly as the unbatched path would.
+  while (window_.size() >= config_.window_size) {
+    TrainWindow(std::span<const PendingSample>(window_.data(), config_.window_size));
+    window_.erase(window_.begin(),
+                  window_.begin() + static_cast<ptrdiff_t>(config_.window_size));
     if (config_.enable_adaptation) {
       (void)control_plane_.Tick(handle_);
     }
   }
 }
 
-void RmtMlPrefetcher::TrainWindow() {
-  if (window_.size() < config_.min_train_samples) {
+void RmtMlPrefetcher::TrainWindow(std::span<const PendingSample> window) {
+  if (window.size() < config_.min_train_samples) {
     return;
   }
   // Build the delta vocabulary from this window: the most frequent deltas
   // get classes 1..vocab_size; everything else is class 0 ("unknown", which
   // the action treats as "fall back to sequential").
   std::map<int64_t, uint32_t> frequency;
-  for (const PendingSample& sample : window_) {
+  for (const PendingSample& sample : window) {
     ++frequency[sample.label_delta];
   }
   std::vector<std::pair<int64_t, uint32_t>> ranked(frequency.begin(), frequency.end());
@@ -286,7 +311,7 @@ void RmtMlPrefetcher::TrainWindow() {
   }
 
   Dataset dataset(config_.feature_deltas);
-  for (const PendingSample& sample : window_) {
+  for (const PendingSample& sample : window) {
     const auto it = vocab.find(sample.label_delta);
     const int32_t label = it == vocab.end() ? 0 : it->second;
     dataset.Add(sample.features, label);

@@ -27,6 +27,7 @@
 #define SRC_SIM_MEM_ML_PREFETCHER_H_
 
 #include <deque>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +54,12 @@ struct MlPrefetcherConfig {
   size_t vocab_size = 31;       // delta classes (class 0 reserved = unknown)
   size_t window_size = 256;     // samples per training window
   size_t min_train_samples = 64;
+  // Access events per FireBatch submission to the monitoring hook. The
+  // buffer always flushes before a fault fires (and at run end), so every
+  // prefetch decision sees exactly the history/model state the unbatched
+  // path would — only the fixed per-fire overhead changes. <= 1 fires each
+  // access individually.
+  size_t access_batch = 32;
   PrefetchModelFamily family = PrefetchModelFamily::kDecisionTree;
   DecisionTreeConfig tree;
   int64_t initial_depth = 4;    // prefetch-depth knob start value
@@ -73,6 +80,13 @@ class RmtMlPrefetcher final : public Prefetcher {
   std::string_view name() const override { return "rmt_ml_dt"; }
   void OnAccess(uint64_t pid, int64_t page, bool hit) override;
   void OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& out_pages) override;
+  void OnRunEnd() override { Flush(); }
+
+  // Submits the buffered access events through FireBatch and lets the
+  // training plane drain the resulting samples. Called automatically before
+  // every prefetch decision and at run end; public for callers that step
+  // OnAccess manually and want the monitoring plane caught up.
+  void Flush();
 
   // Introspection for tests, benches, and EXPERIMENTS.md numbers.
   uint64_t windows_trained() const { return windows_trained_; }
@@ -86,7 +100,6 @@ class RmtMlPrefetcher final : public Prefetcher {
   BytecodeProgram BuildAccessAction() const;
   BytecodeProgram BuildPrefetchAction() const;
   void DrainSamplesAndMaybeTrain();
-  void TrainWindow();
 
   MlPrefetcherConfig config_;
   HookRegistry hooks_;
@@ -99,6 +112,10 @@ class RmtMlPrefetcher final : public Prefetcher {
   uint64_t virtual_time_ = 0;        // advances per access; feeds helpers' now()
   std::vector<int64_t> emit_buffer_; // filled by the prefetch_emit sink
 
+  // Access events buffered for the next FireBatch submission.
+  std::vector<HookEvent> access_pending_;
+  std::vector<int64_t> access_results_;
+
   // Training plane state.
   std::unordered_map<uint64_t, std::deque<int64_t>> recent_deltas_;
   struct PendingSample {
@@ -107,6 +124,8 @@ class RmtMlPrefetcher final : public Prefetcher {
   };
   std::vector<PendingSample> window_;
   uint64_t windows_trained_ = 0;
+
+  void TrainWindow(std::span<const PendingSample> window);
 };
 
 }  // namespace rkd

@@ -58,6 +58,16 @@ int64_t Clamp(int64_t value) { return std::clamp<int64_t>(value, -30000, 30000);
 }  // namespace
 
 SchedMetrics CfsSim::Run(const JobSpec& job, const MigrationOracle& oracle, Dataset* collect) {
+  return RunImpl(job, oracle, {}, collect);
+}
+
+SchedMetrics CfsSim::RunBatched(const JobSpec& job, const BatchMigrationOracle& oracle,
+                                Dataset* collect) {
+  return RunImpl(job, {}, oracle, collect);
+}
+
+SchedMetrics CfsSim::RunImpl(const JobSpec& job, const MigrationOracle& oracle,
+                             const BatchMigrationOracle& batch_oracle, Dataset* collect) {
   SchedMetrics metrics;
   std::vector<SimTask> tasks;
   tasks.reserve(job.tasks.size());
@@ -223,7 +233,16 @@ SchedMetrics CfsSim::Run(const JobSpec& job, const MigrationOracle& oracle, Data
         size_t moved = 0;
         // Scan a snapshot: migration mutates the queue.
         std::vector<size_t> candidates = cores[busiest].queue;
-        for (size_t idx : candidates) {
+        // Batch-oracle state: queries for candidates[batch_start..] built at
+        // the current queue state. An applied migration changes the features
+        // of everything still pending, so it invalidates the batch; at most
+        // max_migrations_per_pass + 1 batches per pass.
+        std::vector<MigrationQuery> batch_queries;
+        std::vector<int64_t> batch_decisions;
+        size_t batch_start = 0;
+        bool batch_stale = true;
+        for (size_t ci = 0; ci < candidates.size(); ++ci) {
+          const size_t idx = candidates[ci];
           if (moved >= config_.max_migrations_per_pass) {
             break;
           }
@@ -231,7 +250,27 @@ SchedMetrics CfsSim::Run(const JobSpec& job, const MigrationOracle& oracle, Data
             break;
           }
           SimTask& task = tasks[idx];
-          const SchedFeatures features = build_features(task, busiest, idlest);
+          SchedFeatures features;
+          int64_t predicted = -1;
+          if (batch_oracle) {
+            if (batch_stale) {
+              batch_queries.clear();
+              for (size_t cj = ci; cj < candidates.size(); ++cj) {
+                MigrationQuery query;
+                query.pid = tasks[candidates[cj]].spec.pid;
+                query.features = build_features(tasks[candidates[cj]], busiest, idlest);
+                batch_queries.push_back(query);
+              }
+              batch_decisions.assign(batch_queries.size(), -1);
+              batch_oracle(batch_queries, batch_decisions);
+              batch_start = ci;
+              batch_stale = false;
+            }
+            features = batch_queries[ci - batch_start].features;
+            predicted = batch_decisions[ci - batch_start];
+          } else {
+            features = build_features(task, busiest, idlest);
+          }
           const int64_t heuristic = CfsHeuristicCanMigrate(features);
           if (collect != nullptr) {
             std::array<int32_t, kSchedNumFeatures> row;
@@ -243,7 +282,9 @@ SchedMetrics CfsSim::Run(const JobSpec& job, const MigrationOracle& oracle, Data
           ++metrics.decisions;
           int64_t decision = heuristic;
           if (oracle) {
-            const int64_t predicted = oracle(task.spec.pid, features);
+            predicted = oracle(task.spec.pid, features);
+          }
+          if (oracle || batch_oracle) {
             if (predicted < 0) {
               ++metrics.oracle_fallbacks;
               if (predicted == kOracleCtxStoreFull) {
@@ -265,6 +306,7 @@ SchedMetrics CfsSim::Run(const JobSpec& job, const MigrationOracle& oracle, Data
             ++task.migrations;
             ++metrics.migrations;
             ++moved;
+            batch_stale = true;
           }
         }
       }

@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "src/ml/dataset.h"
@@ -62,6 +63,20 @@ using MigrationOracle = std::function<int64_t(int64_t pid, const SchedFeatures& 
 // visible instead of blending into generic fallbacks.
 inline constexpr int64_t kOracleCtxStoreFull = -2;
 
+// One pending can_migrate_task decision, with features captured at the queue
+// state the decision will be judged against.
+struct MigrationQuery {
+  int64_t pid = 0;
+  SchedFeatures features{};
+};
+
+// Batched decision provider: one call covers every candidate the balancer
+// still holds. Per-element decision semantics match MigrationOracle (1/0,
+// negative = heuristic fallback); `decisions` arrives pre-filled with -1 and
+// has the same length as `queries`.
+using BatchMigrationOracle =
+    std::function<void(std::span<const MigrationQuery>, std::span<int64_t>)>;
+
 struct SchedConfig {
   uint32_t cores = 4;
   uint64_t tick_ns = 1'000'000;    // 1 ms scheduler tick
@@ -104,6 +119,14 @@ class CfsSim {
   SchedMetrics Run(const JobSpec& job, const MigrationOracle& oracle = {},
                    Dataset* collect = nullptr);
 
+  // Same simulation, but the oracle is consulted once per batch of remaining
+  // migration candidates instead of once per candidate. After every applied
+  // migration the balancer re-batches the remaining candidates (their
+  // features change when the queues do), so decisions are bit-identical to
+  // the sequential path — only the per-query dispatch overhead is amortized.
+  SchedMetrics RunBatched(const JobSpec& job, const BatchMigrationOracle& oracle,
+                          Dataset* collect = nullptr);
+
   // Publishes each completed Run's aggregates into `telemetry` under
   // "rkd.sim.sched.*": tick/migration/decision counters accumulate across
   // runs; agreement / JCT gauges hold the latest run. Null disables
@@ -113,6 +136,9 @@ class CfsSim {
   const SchedConfig& config() const { return config_; }
 
  private:
+  SchedMetrics RunImpl(const JobSpec& job, const MigrationOracle& oracle,
+                       const BatchMigrationOracle& batch_oracle, Dataset* collect);
+
   SchedConfig config_;
   TelemetryRegistry* telemetry_ = nullptr;  // not owned
 };

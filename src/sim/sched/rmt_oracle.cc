@@ -66,4 +66,38 @@ MigrationOracle RmtMigrationOracle::AsOracle() {
   };
 }
 
+BatchMigrationOracle RmtMigrationOracle::AsBatchOracle() {
+  return [this](std::span<const MigrationQuery> queries, std::span<int64_t> decisions) {
+    queries_ += queries.size();
+    batch_events_.clear();
+    batch_slots_.clear();
+    ContextStore& context = control_plane_.Get(handle_)->context();
+    const size_t n = queries.size() < decisions.size() ? queries.size() : decisions.size();
+    for (size_t i = 0; i < n; ++i) {
+      ContextEntry* entry = context.FindOrCreate(static_cast<uint64_t>(queries[i].pid));
+      if (entry == nullptr) {
+        decisions[i] = kOracleCtxStoreFull;
+        continue;
+      }
+      entry->features.fill(0);
+      for (size_t lane = 0;
+           lane < config_.selected_features.size() && lane < kVectorLanes; ++lane) {
+        entry->features[lane] = RawToQ16(queries[i].features[config_.selected_features[lane]]);
+      }
+      HookEvent event;
+      event.key = static_cast<uint64_t>(queries[i].pid);
+      batch_events_.push_back(event);
+      batch_slots_.push_back(i);
+    }
+    if (batch_events_.empty()) {
+      return;
+    }
+    batch_results_.assign(batch_events_.size(), kHookFallback);
+    hooks_.FireBatch(hook_, batch_events_, batch_results_);
+    for (size_t j = 0; j < batch_events_.size(); ++j) {
+      decisions[batch_slots_[j]] = batch_results_[j];
+    }
+  };
+}
+
 }  // namespace rkd

@@ -48,6 +48,13 @@ class RmtMigrationOracle {
   // The callable handed to CfsSim::Run.
   MigrationOracle AsOracle();
 
+  // The callable handed to CfsSim::RunBatched. Writes every query's feature
+  // vector into the context store up front (distinct pids per batch — each
+  // runqueue task appears at most once), then submits all admitted queries
+  // through one HookRegistry::FireBatch. Per-query decisions are identical
+  // to AsOracle; only the per-fire dispatch overhead is amortized.
+  BatchMigrationOracle AsBatchOracle();
+
   ControlPlane& control_plane() { return control_plane_; }
   HookRegistry& hooks() { return hooks_; }
   ControlPlane::ProgramHandle handle() const { return handle_; }
@@ -61,6 +68,11 @@ class RmtMigrationOracle {
   HookId hook_ = kInvalidHook;
   uint64_t queries_ = 0;
   bool initialized_ = false;
+
+  // Scratch buffers reused across AsBatchOracle invocations.
+  std::vector<HookEvent> batch_events_;
+  std::vector<size_t> batch_slots_;   // batch_events_[j] answers queries[batch_slots_[j]]
+  std::vector<int64_t> batch_results_;
 };
 
 }  // namespace rkd

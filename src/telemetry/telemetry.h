@@ -87,6 +87,20 @@ class LatencyHistogram {
     sum_.fetch_add(ns, std::memory_order_relaxed);
   }
 
+  // Records `count` samples totalling `total_ns` with three atomic adds for
+  // the whole batch (the per-event record cost is what batched dispatch
+  // amortizes away). All `count` samples land in the mean's bucket, so
+  // within-batch latency spread is blurred to one log2 bucket — count and
+  // sum (and therefore the mean) stay exact.
+  void RecordBatch(uint64_t total_ns, uint64_t count) {
+    if (count == 0) {
+      return;
+    }
+    buckets_[BucketIndex(total_ns / count)].fetch_add(count, std::memory_order_relaxed);
+    count_.fetch_add(count, std::memory_order_relaxed);
+    sum_.fetch_add(total_ns, std::memory_order_relaxed);
+  }
+
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const {
@@ -165,6 +179,8 @@ struct TraceEvent {
 };
 
 inline constexpr uint32_t kHookFireEvent = 1;
+// One FireBatch call: `key` holds the batch size, `value` the last result.
+inline constexpr uint32_t kHookBatchEvent = 2;
 
 // Lossy fixed-capacity ring of recent events. Push is wait-free (one
 // relaxed fetch_add plus a slot store); when full the oldest slot is

@@ -29,17 +29,6 @@ int32_t SatAdd32(int32_t a, int32_t b) {
 
 }  // namespace
 
-struct CompiledProgram::Frame {
-  ExecState state;
-  const VmEnv* env;
-  uint64_t tail_calls = 0;
-  uint64_t helper_calls = 0;
-  uint64_t ml_calls = 0;
-  int64_t tail_imm = 0;     // pending kTailCall table id
-  size_t tail_resume = 0;   // pc to resume at if the tail call fails
-  Status fault;             // set by a handler that returns kFaultPc
-};
-
 namespace {
 
 using Frame = CompiledProgram::Frame;
@@ -461,6 +450,24 @@ Result<CompiledProgram> CompiledProgram::Compile(const BytecodeProgram& program)
       case Opcode::kOpcodeCount:
         return VerificationFailedError("jit: invalid opcode at " + std::to_string(pc));
     }
+
+    switch (insn.opcode) {
+      case Opcode::kLdStack:
+      case Opcode::kStStack:
+      case Opcode::kStStackImm:
+        out.touches_stack_ = true;
+        break;
+      case Opcode::kTailCall:
+        // The chained program executes in the same frame; assume the worst.
+        out.touches_stack_ = true;
+        out.touches_vregs_ = true;
+        break;
+      default:
+        if (vector_op) {
+          out.touches_vregs_ = true;
+        }
+        break;
+    }
     out.code_.push_back(d);
   }
 
@@ -472,18 +479,8 @@ Result<CompiledProgram> CompiledProgram::Compile(const BytecodeProgram& program)
   return out;
 }
 
-Result<int64_t> CompiledProgram::Run(const VmEnv& env, std::span<const int64_t> args,
-                                     RunStats* stats, const Resolver& resolve) const {
-  if (args.size() > 5) {
-    return InvalidArgumentError("CompiledProgram::Run: more than five arguments");
-  }
-  const uint64_t start_ns = env.metrics != nullptr ? MonotonicNowNs() : 0;
-  Frame frame;
-  frame.env = &env;
-  for (size_t i = 0; i < args.size(); ++i) {
-    frame.state.regs[i + 1] = args[i];
-  }
-
+Result<int64_t> CompiledProgram::ExecuteFrame(Frame& frame, RunStats* stats,
+                                              const Resolver& resolve) const {
   const std::vector<Decoded>* code = &code_;
   size_t pc = 0;
   bool faulted = false;
@@ -513,6 +510,24 @@ Result<int64_t> CompiledProgram::Run(const VmEnv& env, std::span<const int64_t> 
     stats->helper_calls = frame.helper_calls;
     stats->ml_calls = frame.ml_calls;
   }
+  if (faulted) {
+    return frame.fault;
+  }
+  return frame.state.regs[0];
+}
+
+Result<int64_t> CompiledProgram::Run(const VmEnv& env, std::span<const int64_t> args,
+                                     RunStats* stats, const Resolver& resolve) const {
+  if (args.size() > 5) {
+    return InvalidArgumentError("CompiledProgram::Run: more than five arguments");
+  }
+  const uint64_t start_ns = env.metrics != nullptr ? MonotonicNowNs() : 0;
+  Frame frame;
+  frame.env = &env;
+  for (size_t i = 0; i < args.size(); ++i) {
+    frame.state.regs[i + 1] = args[i];
+  }
+  Result<int64_t> result = ExecuteFrame(frame, stats, resolve);
   if (env.metrics != nullptr) {
     // `steps` stays untouched: the JIT tier eliminated step accounting.
     env.metrics->invocations->Increment();
@@ -521,10 +536,35 @@ Result<int64_t> CompiledProgram::Run(const VmEnv& env, std::span<const int64_t> 
     env.metrics->tail_calls->Increment(frame.tail_calls);
     env.metrics->run_ns->Record(MonotonicNowNs() - start_ns);
   }
-  if (faulted) {
-    return frame.fault;
+  return result;
+}
+
+Result<int64_t> CompiledProgram::RunInFrame(Frame& frame, const VmEnv& env,
+                                            std::span<const int64_t> args, RunStats* stats,
+                                            const Resolver& resolve) const {
+  if (args.size() > 5) {
+    return InvalidArgumentError("CompiledProgram::RunInFrame: more than five arguments");
   }
-  return frame.state.regs[0];
+  // Targeted reset: every run must observe the zero-initialized state Run()
+  // guarantees, but only in the locations this program can read.
+  frame.state.regs.fill(0);
+  if (touches_vregs_) {
+    for (auto& vreg : frame.state.vregs) {
+      vreg.fill(0);
+    }
+  }
+  if (touches_stack_) {
+    frame.state.stack.fill(0);
+  }
+  frame.env = &env;
+  frame.tail_calls = 0;
+  frame.helper_calls = 0;
+  frame.ml_calls = 0;
+  frame.fault = OkStatus();
+  for (size_t i = 0; i < args.size(); ++i) {
+    frame.state.regs[i + 1] = args[i];
+  }
+  return ExecuteFrame(frame, stats, resolve);
 }
 
 }  // namespace rkd

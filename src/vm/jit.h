@@ -61,11 +61,41 @@ class CompiledProgram {
     int64_t imm;
   };
 
+  // The execution frame: registers, stack, and per-run bookkeeping. Public
+  // so batch dispatchers can allocate it once and run many events through
+  // RunInFrame; Run() constructs a fresh one per call.
+  struct Frame {
+    ExecState state;
+    const VmEnv* env = nullptr;
+    uint64_t tail_calls = 0;
+    uint64_t helper_calls = 0;
+    uint64_t ml_calls = 0;
+    int64_t tail_imm = 0;     // pending kTailCall table id
+    size_t tail_resume = 0;   // pc to resume at if the tail call fails
+    Status fault;             // set by a handler that returns kFaultPc
+  };
+
+  // Run() minus the per-call frame construction and VmMetrics recording: the
+  // batch fast path. Resets only the frame state this program can observe
+  // (scalar regs always; vector regs / stack only when the program — or, via
+  // kTailCall, a program it may chain to — touches them), so per-event setup
+  // cost tracks the program's actual footprint. Callers aggregate RunStats
+  // into VmMetrics themselves.
+  Result<int64_t> RunInFrame(Frame& frame, const VmEnv& env, std::span<const int64_t> args,
+                             RunStats* stats = nullptr, const Resolver& resolve = {}) const;
+
  private:
   CompiledProgram() = default;
 
+  Result<int64_t> ExecuteFrame(Frame& frame, RunStats* stats, const Resolver& resolve) const;
+
   std::string name_;
   std::vector<Decoded> code_;
+  // Whether any instruction reads/writes the stack or vector registers
+  // (kTailCall conservatively implies both: the chained program shares the
+  // frame). Lets RunInFrame skip the corresponding zeroing.
+  bool touches_stack_ = false;
+  bool touches_vregs_ = false;
 };
 
 }  // namespace rkd

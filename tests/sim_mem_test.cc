@@ -369,6 +369,62 @@ INSTANTIATE_TEST_SUITE_P(Families, MlPrefetcherFamilyTest,
                            return "unknown";
                          });
 
+TEST(MlPrefetcherTest, BatchedMonitoringMatchesUnbatchedExactly) {
+  // The access hook may batch its fires, but every prefetch decision flushes
+  // first, so the whole simulation — decisions, training, adaptation — must
+  // be bit-identical between access_batch=1 (old per-access Fire path) and
+  // any larger batch.
+  MatrixConvConfig trace_config;
+  trace_config.height = 240;
+  Rng rng(11);
+  const AccessTrace trace = MakeMatrixConvTrace(trace_config, rng);
+
+  MemSimConfig sim_config;
+  sim_config.frame_capacity = 192;
+
+  const auto run = [&](size_t access_batch) {
+    MlPrefetcherConfig config;
+    config.window_size = 128;
+    config.min_train_samples = 32;
+    config.access_batch = access_batch;
+    RmtMlPrefetcher prefetcher(config);
+    EXPECT_TRUE(prefetcher.Init().ok());
+    MemorySim sim(sim_config, &prefetcher);
+    const MemMetrics metrics = sim.Run(trace);
+    return std::make_pair(metrics, prefetcher.windows_trained());
+  };
+
+  const auto [unbatched, unbatched_windows] = run(1);
+  const auto [batched, batched_windows] = run(32);
+  EXPECT_EQ(unbatched.faults, batched.faults);
+  EXPECT_EQ(unbatched.hits, batched.hits);
+  EXPECT_EQ(unbatched.prefetched, batched.prefetched);
+  EXPECT_EQ(unbatched.prefetch_used, batched.prefetch_used);
+  EXPECT_EQ(unbatched.prefetch_evicted_unused, batched.prefetch_evicted_unused);
+  EXPECT_EQ(unbatched.total_ns, batched.total_ns);
+  EXPECT_EQ(unbatched_windows, batched_windows);
+  EXPECT_GT(batched_windows, 0u);  // the comparison exercised training
+}
+
+TEST(MlPrefetcherTest, RunEndFlushesTheAccessTail) {
+  // 100 stride accesses with batch 64: one mid-run flush leaves 36 buffered;
+  // OnRunEnd must hand them to the training plane.
+  MlPrefetcherConfig config;
+  config.window_size = 64;
+  config.min_train_samples = 32;
+  config.access_batch = 64;
+  RmtMlPrefetcher prefetcher(config);
+  ASSERT_TRUE(prefetcher.Init().ok());
+  int64_t page = 0;
+  for (int i = 0; i < 100; ++i) {
+    prefetcher.OnAccess(1, page, false);
+    page += 9;
+  }
+  EXPECT_EQ(prefetcher.windows_trained(), 0u);  // 64 drained, window at 59
+  prefetcher.OnRunEnd();
+  EXPECT_EQ(prefetcher.windows_trained(), 1u);  // tail flush completes it
+}
+
 TEST(MlPrefetcherTest, MultiProcessStreamsAreIndependent) {
   MlPrefetcherConfig config;
   config.window_size = 128;

@@ -311,5 +311,59 @@ TEST(RmtOracleTest, InterpreterTierMatchesJitTier) {
   EXPECT_EQ(per_tier[0].oracle_agreements, per_tier[1].oracle_agreements);
 }
 
+TEST(RmtOracleTest, BatchedOracleMatchesSequentialOracle) {
+  // The balancer's batched path (one FireBatch per remaining-candidate set,
+  // re-batched after every applied migration) must reproduce the sequential
+  // per-candidate path decision for decision.
+  const JobSpec job = MakeJob(JobKind::kStreamcluster);
+  const SchedConfig config = TestSchedConfig();
+  Dataset train = CollectMigrationDataset(config, job);
+  ASSERT_GE(train.size(), 64u);
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {16, 16};
+  mlp_config.epochs = 40;
+  Result<Mlp> mlp = Mlp::Train(train, mlp_config);
+  ASSERT_TRUE(mlp.ok());
+
+  SchedMetrics sequential;
+  SchedMetrics batched;
+  for (const bool use_batch : {false, true}) {
+    Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+    ASSERT_TRUE(quantized.ok());
+    RmtMigrationOracle oracle;
+    ASSERT_TRUE(oracle.Init().ok());
+    ASSERT_TRUE(
+        oracle.InstallModel(std::make_shared<QuantizedMlp>(std::move(quantized).value()))
+            .ok());
+    CfsSim sim(config);
+    if (use_batch) {
+      batched = sim.RunBatched(job, oracle.AsBatchOracle());
+    } else {
+      sequential = sim.Run(job, oracle.AsOracle());
+    }
+  }
+  EXPECT_EQ(sequential.ticks, batched.ticks);
+  EXPECT_EQ(sequential.migrations, batched.migrations);
+  EXPECT_EQ(sequential.decisions, batched.decisions);
+  EXPECT_EQ(sequential.oracle_fallbacks, batched.oracle_fallbacks);
+  EXPECT_EQ(sequential.oracle_agreements, batched.oracle_agreements);
+  EXPECT_EQ(sequential.completed, batched.completed);
+  EXPECT_GT(batched.decisions, 0u);
+}
+
+TEST(CfsSimTest, BatchedHeuristicFallbackMatchesStockRun) {
+  // A batch oracle that leaves every decision at -1 must behave exactly like
+  // the heuristic-only run, with the fallbacks counted.
+  const JobSpec job = MakeJob(JobKind::kBlackscholes);
+  CfsSim sim(TestSchedConfig());
+  const SchedMetrics stock = sim.Run(job);
+  const SchedMetrics fallback = sim.RunBatched(
+      job, [](std::span<const MigrationQuery>, std::span<int64_t>) {});
+  EXPECT_EQ(stock.ticks, fallback.ticks);
+  EXPECT_EQ(stock.migrations, fallback.migrations);
+  EXPECT_EQ(stock.decisions, fallback.decisions);
+  EXPECT_EQ(fallback.oracle_fallbacks, fallback.decisions);
+}
+
 }  // namespace
 }  // namespace rkd
