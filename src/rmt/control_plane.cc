@@ -28,10 +28,15 @@ ControlPlane::ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config)
 
 Result<ControlPlane::ProgramHandle> ControlPlane::Install(const RmtProgramSpec& spec,
                                                           ExecTier tier) {
+  // Control-plane operations are rare, so installs are always traced: every
+  // admission leaves a cp.install → cp.verify tree in the flight recorder.
+  ScopedSpan install_span(&hooks_->telemetry().tracer(), "cp.install");
+  install_span.Tag("tables", static_cast<int64_t>(spec.tables.size()));
   const uint64_t start_ns = MonotonicNowNs();
   Result<ProgramHandle> result = InstallImpl(spec, tier);
   metrics_.install_ns->Record(MonotonicNowNs() - start_ns);
   (result.ok() ? metrics_.installs : metrics_.install_errors)->Increment();
+  install_span.Tag("ok", result.ok() ? 1 : 0);
   return result;
 }
 
@@ -48,6 +53,7 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
   };
   std::vector<PlannedTable> planned;
   Verifier verifier(verifier_config_);
+  verifier.BindTelemetry(&hooks_->telemetry());
   {
   // Times the admission phase on every exit path, including rejections.
   struct VerifyTimer {
@@ -55,6 +61,7 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
     uint64_t start = MonotonicNowNs();
     ~VerifyTimer() { sink->Record(MonotonicNowNs() - start); }
   } verify_timer{metrics_.verify_ns};
+  ScopedSpan verify_span(&hooks_->telemetry().tracer(), "cp.verify");
   for (const RmtTableSpec& table_spec : spec.tables) {
     RKD_ASSIGN_OR_RETURN(HookId hook, hooks_->Lookup(table_spec.hook_point));
     const HookKind kind = hooks_->KindOf(hook);
@@ -167,6 +174,7 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
     env.metrics = &program->vm_metrics_;
     attached->set_env(env, services.get());
     attached->set_exec_metrics(&program->exec_metrics_);
+    attached->set_opcode_profile(&program->opcode_profile_obj_);
 
     program->services_.push_back(std::move(services));
     program->tables_.push_back(std::move(attached));
@@ -231,6 +239,7 @@ Status ControlPlane::Uninstall(ProgramHandle handle) {
       continue;
     }
     rollout.active = false;
+    ReleaseRolloutForceTrace(rollout);
     ClearCanaryRole(rollout.incumbent == handle ? rollout.canary : rollout.incumbent);
   }
   slot->program.reset();  // destructor detaches from hooks
@@ -511,6 +520,31 @@ void ControlPlane::ClearCanaryRole(ProgramHandle handle) {
   }
 }
 
+void ControlPlane::AdjustForceTraceFor(ProgramHandle handle, int delta) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return;
+  }
+  for (const auto& table : slot->program->tables()) {
+    hooks_->AdjustForceTrace(table->hook(), delta);
+  }
+}
+
+void ControlPlane::ReleaseRolloutForceTrace(Rollout& rollout) {
+  if (!rollout.force_traced) {
+    return;
+  }
+  rollout.force_traced = false;
+  // The hold was taken via the canary's tables; either arm's table set names
+  // the same hooks, but the canary may already be gone when an arm was
+  // uninstalled externally — try both handles.
+  if (FindSlot(rollout.canary) != nullptr) {
+    AdjustForceTraceFor(rollout.canary, -1);
+  } else {
+    AdjustForceTraceFor(rollout.incumbent, -1);
+  }
+}
+
 Result<ControlPlane::RolloutId> ControlPlane::InstallCanary(ProgramHandle incumbent,
                                                             const RmtProgramSpec& candidate,
                                                             const CanaryConfig& config,
@@ -556,6 +590,12 @@ Result<ControlPlane::RolloutId> ControlPlane::InstallCanary(ProgramHandle incumb
   }
   rollout.incumbent_base = BaselineOf(*incumbent_slot->program);
   rollout.canary_base = BaselineOf(*canary_slot->program);
+
+  // Force-trace the rollout's hooks for its whole soak: the fires that will
+  // decide promotion always land in the flight recorder, whatever the
+  // sampling rate.
+  AdjustForceTraceFor(canary, +1);
+  rollout.force_traced = true;
 
   rollouts_.push_back(std::move(rollout));
   metrics_.canary_installs->Increment();
@@ -614,6 +654,7 @@ Result<ControlPlane::RolloutReport> ControlPlane::EvaluateRollout(RolloutId id) 
   // Resolve: return the surviving arm to solo routing BEFORE uninstalling
   // the loser, so no table ever points at a gate mid-teardown.
   rollout.active = false;
+  ReleaseRolloutForceTrace(rollout);
   if (reason.empty()) {
     ClearCanaryRole(rollout.canary);
     RKD_RETURN_IF_ERROR(Uninstall(rollout.incumbent));

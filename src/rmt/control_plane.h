@@ -176,6 +176,11 @@ class ControlPlane {
   // The registry all control-plane (and guardian) metrics land in.
   TelemetryRegistry& telemetry() const;
 
+  // Raises/lowers the force-trace refcount on every hook `handle`'s program
+  // attaches to. The control plane holds one for the span of a rollout; the
+  // guardian holds one while a program is on probation. Deltas must balance.
+  void AdjustForceTraceFor(ProgramHandle handle, int delta);
+
   size_t installed_count() const;
 
  private:
@@ -206,6 +211,8 @@ class ControlPlane {
     std::unique_ptr<CanaryGate> gate;
     ArmBaseline incumbent_base;
     ArmBaseline canary_base;
+    // Whether this rollout still holds a +1 force-trace on the shared hooks.
+    bool force_traced = false;
   };
 
   Slot* FindSlot(ProgramHandle handle);
@@ -214,6 +221,8 @@ class ControlPlane {
   static ArmSnapshot SnapshotArm(const InstalledProgram& program, const ArmBaseline& base);
   // Returns every table of `handle`'s program to solo routing.
   void ClearCanaryRole(ProgramHandle handle);
+  // Releases a rollout's force-trace hold exactly once.
+  void ReleaseRolloutForceTrace(Rollout& rollout);
 
   HookRegistry* hooks_;  // not owned
   VerifierConfig verifier_config_;

@@ -1,7 +1,10 @@
 #include "src/rmt/guardian.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+
+#include "src/telemetry/trace_export.h"
 
 namespace rkd {
 
@@ -80,6 +83,7 @@ Status PolicyGuardian::Guard(ControlPlane::ProgramHandle handle, const BreakerCo
 Status PolicyGuardian::Unguard(ControlPlane::ProgramHandle handle) {
   for (size_t i = 0; i < guarded_.size(); ++i) {
     if (guarded_[i].handle == handle) {
+      ReleaseProbationTrace(guarded_[i]);
       guarded_.erase(guarded_.begin() + static_cast<ptrdiff_t>(i));
       return OkStatus();
     }
@@ -160,6 +164,41 @@ std::string PolicyGuardian::Breach(const Guarded& guard, uint64_t needed_execs) 
   return "";
 }
 
+void PolicyGuardian::ReleaseProbationTrace(Guarded& guard) {
+  if (!guard.probation_traced) {
+    return;
+  }
+  guard.probation_traced = false;
+  control_plane_->AdjustForceTraceFor(guard.handle, -1);
+}
+
+void PolicyGuardian::DumpFlightRecorder(const std::string& program,
+                                        const std::string& reason) {
+  if (flight_recorder_dir_.empty()) {
+    return;
+  }
+  // Snapshot BEFORE naming the file so the dump ordinal only advances on a
+  // successful write attempt; the spans leading up to the breach are still
+  // resident because the rings are bounded but never cleared.
+  const std::vector<SpanRecord> spans =
+      control_plane_->telemetry().tracer().Snapshot();
+  TraceExportOptions options;
+  options.program = program;
+  options.reason = reason;
+  std::string safe_name = program;
+  for (char& c : safe_name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  const std::string path = flight_recorder_dir_ + "/flight_" + safe_name + "_" +
+                           std::to_string(flight_dumps_ + 1) + ".json";
+  if (WriteTextFile(path, ExportPerfettoTrace(spans, options))) {
+    ++flight_dumps_;
+    last_flight_dump_ = path;
+  }
+}
+
 void PolicyGuardian::TripInto(Guarded& guard, TickSummary& summary,
                               const std::string& reason) {
   GuardEvent event;
@@ -168,6 +207,9 @@ void PolicyGuardian::TripInto(Guarded& guard, TickSummary& summary,
   event.from = guard.state;
   event.reason = reason;
 
+  // A trip out of probation ends the probation force-trace hold. Release
+  // before suspending so the refcount never outlives the attachment.
+  ReleaseProbationTrace(guard);
   (void)control_plane_->Suspend(guard.handle);
   ++guard.trips;
   trips_->Increment();
@@ -190,6 +232,9 @@ void PolicyGuardian::TripInto(Guarded& guard, TickSummary& summary,
     SetState(guard, GuardState::kTripped);
   }
   event.to = guard.state;
+  // Auto-snapshot the flight recorder: the rings still hold the (force-traced
+  // or sampled) fires that drove the breach.
+  DumpFlightRecorder(guard.name, event.reason);
   summary.transitions.push_back(std::move(event));
 }
 
@@ -197,6 +242,9 @@ PolicyGuardian::TickSummary PolicyGuardian::Tick() {
   TickSummary summary;
   ++tick_count_;
   ticks_->Increment();
+  ScopedSpan tick_span(&control_plane_->telemetry().tracer(), "guardian.tick");
+  tick_span.Tag("tick", static_cast<int64_t>(tick_count_));
+  tick_span.Tag("guarded", static_cast<int64_t>(guarded_.size()));
 
   for (Guarded& guard : guarded_) {
     // A program uninstalled behind our back has nothing left to guard.
@@ -233,6 +281,10 @@ PolicyGuardian::TickSummary PolicyGuardian::Tick() {
             OpenWindow(guard);
             SetState(guard, GuardState::kProbation);
             probations_->Increment();
+            // Probation fires decide re-admission: force-trace them all so a
+            // renewed breach dumps a complete causal record.
+            control_plane_->AdjustForceTraceFor(guard.handle, +1);
+            guard.probation_traced = true;
             event.to = guard.state;
             event.reason = "backoff expired; re-admitted half-open";
             summary.transitions.push_back(std::move(event));
@@ -255,6 +307,7 @@ PolicyGuardian::TickSummary PolicyGuardian::Tick() {
           event.handle = guard.handle;
           event.program = guard.name;
           event.from = guard.state;
+          ReleaseProbationTrace(guard);
           OpenWindow(guard);
           SetState(guard, GuardState::kHealthy);
           recoveries_->Increment();
@@ -273,9 +326,13 @@ PolicyGuardian::TickSummary PolicyGuardian::Tick() {
   for (const ControlPlane::RolloutId id : control_plane_->ActiveRollouts()) {
     Result<ControlPlane::RolloutReport> report = control_plane_->EvaluateRollout(id);
     if (report.ok()) {
+      if (report->decision == ControlPlane::RolloutReport::Decision::kRolledBack) {
+        DumpFlightRecorder(report->canary.name, report->reason);
+      }
       summary.rollouts.push_back(std::move(report).value());
     }
   }
+  tick_span.Tag("transitions", static_cast<int64_t>(summary.transitions.size()));
   return summary;
 }
 

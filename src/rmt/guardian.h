@@ -98,6 +98,18 @@ class PolicyGuardian {
 
   uint64_t ticks() const { return tick_count_; }
 
+  // Flight-recorder auto-dump: when set, every containment decision — a
+  // breaker trip, a quarantine, a canary rollback — snapshots the tracer's
+  // span rings into `dir` as a Perfetto trace tagged with the offending
+  // program and the breach reason. Empty (the default) disables dumping.
+  // Filenames are deterministic (program name + dump ordinal, no wall
+  // clock); `dir` must already exist.
+  void set_flight_recorder_dir(std::string dir) { flight_recorder_dir_ = std::move(dir); }
+  const std::string& flight_recorder_dir() const { return flight_recorder_dir_; }
+  // Path of the most recent dump ("" before the first one).
+  const std::string& last_flight_dump() const { return last_flight_dump_; }
+  uint64_t flight_dumps() const { return flight_dumps_; }
+
  private:
   struct Guarded {
     ControlPlane::ProgramHandle handle = -1;
@@ -114,6 +126,8 @@ class PolicyGuardian {
     uint64_t correct0 = 0;
     HistogramWindow window;
     Gauge* state_gauge = nullptr;  // rkd.guard.state.<name>
+    // Whether this guard holds a +1 force-trace for its probation period.
+    bool probation_traced = false;
   };
 
   Guarded* Find(ControlPlane::ProgramHandle handle);
@@ -124,10 +138,17 @@ class PolicyGuardian {
   std::string Breach(const Guarded& guard, uint64_t needed_execs);
   void TripInto(Guarded& guard, TickSummary& summary, const std::string& reason);
   void SetState(Guarded& guard, GuardState state);
+  // Ends a probation hold (probation → healthy or probation → tripped).
+  void ReleaseProbationTrace(Guarded& guard);
+  // Writes the flight-recorder snapshot for one containment decision.
+  void DumpFlightRecorder(const std::string& program, const std::string& reason);
 
   ControlPlane* control_plane_;  // not owned
   std::vector<Guarded> guarded_;
   uint64_t tick_count_ = 0;
+  std::string flight_recorder_dir_;
+  std::string last_flight_dump_;
+  uint64_t flight_dumps_ = 0;
 
   // "rkd.guard.*" slice in the control plane's telemetry registry.
   Counter* ticks_ = nullptr;

@@ -29,6 +29,8 @@ Result<HookId> HookRegistry::Register(std::string name, HookKind kind,
   hook.actions_run = telemetry_->GetCounter(prefix + ".actions_run");
   hook.exec_errors = telemetry_->GetCounter(prefix + ".exec_errors");
   hook.fire_ns = telemetry_->GetHistogram(prefix + ".fire_ns");
+  hook.span_label = "hook." + hook.name;
+  hook.force_trace = std::make_unique<std::atomic<uint32_t>>(0);
   hooks_.push_back(std::move(hook));
   return static_cast<HookId>(hooks_.size()) - 1;
 }
@@ -62,15 +64,25 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
   }
   Hook& hook = hooks_[static_cast<size_t>(id)];
   // The pre-increment fire count doubles as the deterministic sequence
-  // number canary routing keys on (see AttachedTable::ShouldRun).
+  // number canary routing keys on (see AttachedTable::ShouldRun) and as the
+  // sampling key for causal tracing: same fire stream, same traced set.
   const uint64_t seq = hook.fires->FetchIncrement();
+  Tracer& t = telemetry_->tracer();
+  Tracer* const tracer =
+      hook.force_trace->load(std::memory_order_relaxed) != 0 || t.ShouldSample(seq)
+          ? &t
+          : nullptr;
+  ScopedSpan fire_span(tracer, hook.span_label.c_str());
+  fire_span.Tag("hook", id);
+  fire_span.Tag("seq", static_cast<int64_t>(seq));
+  fire_span.Tag("key", static_cast<int64_t>(key));
   const uint64_t start_ns = MonotonicNowNs();
   int64_t result = kHookFallback;
   for (AttachedTable* table : hook.tables) {
     if (!table->ShouldRun(seq)) {
       continue;  // this fire is routed to the other rollout arm
     }
-    Result<int64_t> action = table->Execute(key, args);
+    Result<int64_t> action = table->Execute(key, args, tracer);
     if (action.ok()) {
       hook.actions_run->Increment();
       if (*action != kHookFallback) {
@@ -83,6 +95,7 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
   }
   const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
   hook.fire_ns->Record(elapsed_ns);
+  fire_span.Tag("result", result);
 
   TraceEvent event;
   event.ts_ns = start_ns;
@@ -110,10 +123,27 @@ void HookRegistry::FireBatch(HookId id, std::span<const HookEvent> events,
   // seq_base + i, so canary routing decides each event exactly as the
   // equivalent single Fire would.
   const uint64_t seq_base = hook.fires->FetchIncrement(n);
+  // The batch is traced when forced or when any of its dense sequence
+  // numbers would sample — identical to the fires-traced set N single Fire
+  // calls would produce.
+  Tracer& t = telemetry_->tracer();
+  Tracer* tracer = nullptr;
+  if (hook.force_trace->load(std::memory_order_relaxed) != 0) {
+    tracer = &t;
+  } else if (const uint32_t every = t.sample_every(); every != 0) {
+    const uint64_t to_next = (every - seq_base % every) % every;
+    if (to_next < n) {
+      tracer = &t;
+    }
+  }
+  ScopedSpan batch_span(tracer, hook.span_label.c_str());
+  batch_span.Tag("hook", id);
+  batch_span.Tag("seq", static_cast<int64_t>(seq_base));
+  batch_span.Tag("batch", static_cast<int64_t>(n));
   const uint64_t start_ns = MonotonicNowNs();
   HookBatchStats stats;
   for (AttachedTable* table : hook.tables) {
-    table->ExecuteBatch(events, seq_base, results, &stats);
+    table->ExecuteBatch(events, seq_base, results, &stats, tracer);
   }
   if (stats.actions_run > 0) {
     hook.actions_run->Increment(stats.actions_run);
@@ -155,6 +185,31 @@ Status HookRegistry::Detach(HookId id, AttachedTable* table) {
   }
   tables.erase(it);
   return OkStatus();
+}
+
+void HookRegistry::AdjustForceTrace(HookId id, int delta) {
+  if (!Valid(id)) {
+    return;
+  }
+  std::atomic<uint32_t>& count = *hooks_[static_cast<size_t>(id)].force_trace;
+  if (delta >= 0) {
+    count.fetch_add(static_cast<uint32_t>(delta), std::memory_order_relaxed);
+    return;
+  }
+  // Clamped decrement: unbalanced releases saturate at zero.
+  uint32_t current = count.load(std::memory_order_relaxed);
+  const auto down = static_cast<uint32_t>(-delta);
+  while (true) {
+    const uint32_t next = current > down ? current - down : 0;
+    if (count.compare_exchange_weak(current, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool HookRegistry::ForceTraced(HookId id) const {
+  return Valid(id) &&
+         hooks_[static_cast<size_t>(id)].force_trace->load(std::memory_order_relaxed) != 0;
 }
 
 HookMetrics HookRegistry::MetricsOf(HookId id) const {

@@ -136,6 +136,14 @@ class HookRegistry {
   Status Attach(HookId id, AttachedTable* table);
   Status Detach(HookId id, AttachedTable* table);
 
+  // Force-trace refcount: while positive, every fire of this hook is traced
+  // regardless of the sampling rate. The control plane raises it for the
+  // duration of a canary rollout and the guardian for programs on probation,
+  // so the fires that decide a promotion / re-admission always leave spans
+  // in the flight recorder. Balanced +1/-1 deltas; never goes below zero.
+  void AdjustForceTrace(HookId id, int delta);
+  bool ForceTraced(HookId id) const;
+
   // The stats API: a per-hook view over the telemetry registry. Valid for
   // any id (an invalid id yields a zeroed view).
   HookMetrics MetricsOf(HookId id) const;
@@ -167,6 +175,10 @@ class HookRegistry {
     Counter* exec_errors = nullptr;
     LatencyHistogram* fire_ns = nullptr;
     mutable HookStats stats_shim;  // backing storage for StatsOf()
+    // Root-span label ("hook.<name>") and the force-trace refcount.
+    // unique_ptr because atomics are not movable and hooks live in a vector.
+    std::string span_label;
+    std::unique_ptr<std::atomic<uint32_t>> force_trace;
   };
 
   bool Valid(HookId id) const { return id >= 0 && static_cast<size_t>(id) < hooks_.size(); }

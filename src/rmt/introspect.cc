@@ -1,8 +1,10 @@
 #include "src/rmt/introspect.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/bytecode/disassembler.h"
+#include "src/bytecode/isa.h"
 
 namespace rkd {
 
@@ -49,6 +51,55 @@ void DumpTable(const AttachedTable& attached, const IntrospectOptions& options,
         out << "    " << line << "\n";
       }
     }
+  }
+}
+
+// The sampled opcode/helper attribution accumulated on traced fires: which
+// instructions this program actually spends its datapath budget on.
+void DumpOpcodeProfile(const OpcodeProfile& profile, const IntrospectOptions& options,
+                       std::ostringstream& out) {
+  struct OpRow {
+    Opcode op;
+    uint64_t count;
+    uint64_t ns;
+  };
+  std::vector<OpRow> rows;
+  uint64_t total_count = 0;
+  for (size_t i = 0; i < OpcodeProfile::kNumOpcodes; ++i) {
+    const uint64_t count = profile.counts[i].load(std::memory_order_relaxed);
+    if (count == 0) {
+      continue;
+    }
+    rows.push_back(OpRow{static_cast<Opcode>(i), count,
+                         profile.ns[i].load(std::memory_order_relaxed)});
+    total_count += count;
+  }
+  if (rows.empty()) {
+    return;  // no traced fire has run; stay quiet rather than print zeros
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const OpRow& a, const OpRow& b) { return a.count > b.count; });
+  out << "opcode profile (sampled, " << total_count << " instructions):\n";
+  size_t listed = 0;
+  for (const OpRow& row : rows) {
+    if (listed++ >= options.max_opcodes_listed) {
+      out << "  ... (" << rows.size() - options.max_opcodes_listed << " more opcodes)\n";
+      break;
+    }
+    out << "  " << OpcodeName(row.op) << ": " << row.count << " execs, " << row.ns
+        << "ns cumulative\n";
+  }
+  bool any_helper = false;
+  for (size_t i = 0; i < OpcodeProfile::kNumHelpers; ++i) {
+    const uint64_t count = profile.helper_counts[i].load(std::memory_order_relaxed);
+    if (count == 0) {
+      continue;
+    }
+    if (!any_helper) {
+      out << "helper profile (sampled):\n";
+      any_helper = true;
+    }
+    out << "  " << HelperName(static_cast<HelperId>(i)) << ": " << count << " calls\n";
   }
 }
 
@@ -102,6 +153,8 @@ std::string DumpProgram(InstalledProgram& program, const IntrospectOptions& opti
     }
     out << "\n";
   }
+
+  DumpOpcodeProfile(program.opcode_profile(), options, out);
 
   out << "monitoring ring: " << program.sample_ring().size() << " pending, "
       << program.sample_ring().dropped() << " dropped\n";

@@ -15,6 +15,8 @@ struct IntrospectOptions {
   bool disassemble_actions = true;
   bool list_entries = true;
   size_t max_entries_listed = 16;
+  // Rows in the sampled opcode-profile section (sorted by exec count).
+  size_t max_opcodes_listed = 10;
 };
 
 // Renders the full state of `program` as text.

@@ -38,8 +38,17 @@ const BytecodeProgram* AttachedTable::default_action_program() const {
   return &actions_[static_cast<size_t>(default_action_)];
 }
 
-Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> args) {
-  const TableEntry* entry = table_.Match(key);
+Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> args,
+                                       Tracer* tracer) {
+  const TableEntry* entry = [&] {
+    ScopedSpan lookup_span(tracer, "table.lookup");
+    const TableEntry* matched = table_.Match(key);
+    lookup_span.Tag("kind", static_cast<int64_t>(table_.match_kind()));
+    lookup_span.Tag("index", static_cast<int64_t>(table_.index_mode()));
+    lookup_span.Tag("epoch", static_cast<int64_t>(table_.mutation_epoch()));
+    lookup_span.Tag("hit", matched != nullptr ? 1 : 0);
+    return matched;
+  }();
   const int32_t action_index = entry != nullptr ? entry->action_index : default_action_;
   // A matched entry with action -1 inherits the default action; a miss with
   // no default action is a deliberate no-op.
@@ -57,12 +66,28 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
   }
   const std::span<const int64_t> arg_span(call_args, 1 + extra);
 
+  // A traced fire runs through an env copy carrying the tracer (ml.eval
+  // child spans) and the program's opcode-profile sink; the untraced path
+  // keeps the shared env untouched.
+  const VmEnv* exec_env = &env_;
+  VmEnv traced_env;
+  if (tracer != nullptr) {
+    traced_env = env_;
+    traced_env.tracer = tracer;
+    traced_env.profile = opcode_profile_;
+    exec_env = &traced_env;
+  }
+  ScopedSpan exec_span(tracer, "vm.exec");
+  exec_span.Tag("action", effective);
+  exec_span.Tag("tier", tier_ == ExecTier::kJit ? 1 : 0);
+
   const uint64_t start_ns = exec_metrics_ != nullptr ? MonotonicNowNs() : 0;
   Result<int64_t> run =
       tier_ == ExecTier::kJit
-          ? compiled_[static_cast<size_t>(effective)].Run(env_, arg_span, nullptr,
+          ? compiled_[static_cast<size_t>(effective)].Run(*exec_env, arg_span, nullptr,
                                                           tail_resolver_)
-          : Interpreter(env_).Run(actions_[static_cast<size_t>(effective)], arg_span);
+          : Interpreter(*exec_env).Run(actions_[static_cast<size_t>(effective)], arg_span);
+  exec_span.Tag("err", run.ok() ? 0 : 1);
   if (exec_metrics_ != nullptr) {
     exec_metrics_->execs->Increment();
     exec_metrics_->exec_ns->Record(MonotonicNowNs() - start_ns);
@@ -74,7 +99,8 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
 }
 
 void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq_base,
-                                 std::span<int64_t> results, HookBatchStats* stats) {
+                                 std::span<int64_t> results, HookBatchStats* stats,
+                                 Tracer* tracer) {
   // Canary routing resolved once per batch: a mid-batch permille update
   // applies from the next batch on (Fire re-reads it per event).
   bool route_all = true;
@@ -86,10 +112,25 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
     permille = gate_->canary_permille.load(std::memory_order_relaxed);
   }
 
+  // A traced batch gets one "table.lookup" span covering the whole pass over
+  // this table (per-event spans would swamp the ring), tagged with the index
+  // shape up front and the batch tallies at close.
+  ScopedSpan batch_table_span(tracer, "table.lookup");
+  batch_table_span.Tag("events", static_cast<int64_t>(events.size()));
+  batch_table_span.Tag("kind", static_cast<int64_t>(table_.match_kind()));
+  batch_table_span.Tag("index", static_cast<int64_t>(table_.index_mode()));
+  batch_table_span.Tag("epoch", static_cast<int64_t>(table_.mutation_epoch()));
+
   // One env copy per batch with VM telemetry detached: per-run stats are
-  // aggregated locally and flushed to the counters in bulk below.
+  // aggregated locally and flushed to the counters in bulk below. A traced
+  // batch also carries the tracer (ml.eval child spans) and the program's
+  // opcode-profile sink.
   VmEnv batch_env = env_;
   batch_env.metrics = nullptr;
+  if (tracer != nullptr) {
+    batch_env.tracer = tracer;
+    batch_env.profile = opcode_profile_;
+  }
   const Interpreter interp(batch_env);
   CompiledProgram::Frame frame;
 
@@ -149,6 +190,9 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
       }
     }
   }
+
+  batch_table_span.Tag("execs", static_cast<int64_t>(execs));
+  batch_table_span.Tag("errors", static_cast<int64_t>(errors));
 
   const uint64_t elapsed_ns = timed ? MonotonicNowNs() - start_ns : 0;
   if (exec_metrics_ != nullptr && execs > 0) {

@@ -94,7 +94,11 @@ class AttachedTable {
 
   // Matches `key` and runs the selected action with r1 = key, r2.. = args.
   // kHookFallback on no-action; execution errors surface as Status.
-  Result<int64_t> Execute(uint64_t key, std::span<const int64_t> args);
+  // `tracer` is non-null only for traced fires (HookRegistry decides); it
+  // makes Execute emit "table.lookup" and "vm.exec" child spans and routes
+  // the VM's opcode profile into the program's OpcodeProfile.
+  Result<int64_t> Execute(uint64_t key, std::span<const int64_t> args,
+                          Tracer* tracer = nullptr);
 
   // Batch counterpart (HookRegistry::FireBatch): runs every admitted event
   // of the batch with one canary-gate resolution, one exec-metrics
@@ -102,8 +106,13 @@ class AttachedTable {
   // and bulk VM-metric updates. Event i is fire seq_base + i for routing.
   // Per-event result-merge semantics match Fire: an ok, non-fallback result
   // overwrites results[i]; errors and skipped events leave it untouched.
+  // A traced batch (`tracer` non-null) emits one "table.lookup" span per
+  // table pass — tagged with the index kind, epoch, and batch tallies — and
+  // accumulates the batch's opcode/helper profile; ml.eval spans still nest
+  // per model call.
   void ExecuteBatch(std::span<const HookEvent> events, uint64_t seq_base,
-                    std::span<int64_t> results, HookBatchStats* stats);
+                    std::span<int64_t> results, HookBatchStats* stats,
+                    Tracer* tracer = nullptr);
 
   RmtTable& table() { return table_; }
   const RmtTable& table() const { return table_; }
@@ -130,6 +139,8 @@ class AttachedTable {
   void set_tail_resolver(CompiledProgram::Resolver resolver,
                          std::function<const BytecodeProgram*(int64_t)> interp_resolver);
   void set_exec_metrics(const ProgramExecMetrics* metrics) { exec_metrics_ = metrics; }
+  // The program's opcode/helper profile sink, fed only on traced fires.
+  void set_opcode_profile(OpcodeProfile* profile) { opcode_profile_ = profile; }
   // Rollout wiring (ControlPlane). `gate` must outlive the table or be
   // cleared back to kSolo/nullptr before it dies.
   void set_canary(CanaryRole role, const CanaryGate* gate) {
@@ -157,6 +168,7 @@ class AttachedTable {
   CompiledProgram::Resolver tail_resolver_;
   uint64_t executions_ = 0;
   const ProgramExecMetrics* exec_metrics_ = nullptr;  // owned by InstalledProgram
+  OpcodeProfile* opcode_profile_ = nullptr;           // owned by InstalledProgram
   CanaryRole role_ = CanaryRole::kSolo;
   const CanaryGate* gate_ = nullptr;  // owned by the ControlPlane rollout
 
@@ -183,6 +195,10 @@ class InstalledProgram {
   RingMap& sample_ring() { return sample_ring_; }
   // The guardian's per-program telemetry slice (set up at install).
   const ProgramExecMetrics& exec_metrics() const { return exec_metrics_; }
+  // Sampled opcode/helper profile across every action of this program
+  // (accumulated on traced fires; see VmEnv::profile).
+  OpcodeProfile& opcode_profile() { return opcode_profile_obj_; }
+  const OpcodeProfile& opcode_profile() const { return opcode_profile_obj_; }
   PrivacyBudget& privacy_budget() { return privacy_budget_; }
   RateLimiter& rate_limiter() { return rate_limiter_; }
 
@@ -202,6 +218,7 @@ class InstalledProgram {
   TensorRegistry tensors_;
   VmMetrics vm_metrics_;  // "rkd.vm.*" slice every action execution feeds
   ProgramExecMetrics exec_metrics_;  // "rkd.guard.prog.<name>.*" slice
+  OpcodeProfile opcode_profile_obj_;  // sampled opcode/helper attribution
   RateLimiter rate_limiter_;
   PrivacyBudget privacy_budget_;
   DpNoiseSource dp_noise_;

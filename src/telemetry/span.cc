@@ -1,0 +1,168 @@
+#include "src/telemetry/span.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+
+namespace rkd {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+std::atomic<uint64_t> g_tracer_instances{1};
+
+}  // namespace
+
+// Per-thread state: the span stack plus the flight-recorder ring. The ring
+// is single-writer (only the owning thread pushes); per-slot stamps make the
+// snapshot side safe. Stamp protocol: 0 = never written, 2*push_index + 1 =
+// write in progress, 2*push_index + 2 = slot holds push number push_index.
+struct Tracer::ThreadState {
+  explicit ThreadState(size_t capacity, uint32_t index)
+      : thread_index(index), slots(capacity), stamps(capacity), mask(capacity - 1) {}
+
+  void PushRecord(const SpanRecord& record) {
+    const uint64_t seq = head;
+    head++;
+    const size_t slot = seq & mask;
+    stamps[slot].store(2 * seq + 1, std::memory_order_relaxed);
+    slots[slot] = record;
+    stamps[slot].store(2 * seq + 2, std::memory_order_release);
+  }
+
+  uint32_t thread_index;
+  uint16_t depth = 0;          // open spans on the stack
+  uint32_t overflow = 0;       // Begins discarded past kMaxSpanDepth
+  SpanRecord stack[kMaxSpanDepth];
+
+  std::vector<SpanRecord> slots;
+  std::vector<std::atomic<uint64_t>> stamps;
+  uint64_t mask;
+  uint64_t head = 0;  // written only by the owner; snapshots read stamps
+};
+
+namespace {
+
+// One-entry thread-local cache: the common case (one tracer per datapath)
+// resolves ThreadState without touching the registration mutex.
+struct ThreadCache {
+  uint64_t tracer_instance = 0;
+  void* state = nullptr;
+};
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+Tracer::Tracer(size_t ring_capacity)
+    : ring_capacity_(std::bit_ceil(ring_capacity < 2 ? size_t{2} : ring_capacity)),
+      instance_id_(g_tracer_instances.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadState* Tracer::State() {
+  if (t_cache.tracer_instance == instance_id_) {
+    return static_cast<ThreadState*>(t_cache.state);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto state = std::make_unique<ThreadState>(ring_capacity_,
+                                             static_cast<uint32_t>(threads_.size()));
+  ThreadState* raw = state.get();
+  threads_.push_back(std::move(state));
+  t_cache = ThreadCache{instance_id_, raw};
+  return raw;
+}
+
+void Tracer::BeginSpan(const char* name) {
+  ThreadState* ts = State();
+  if (ts->depth >= kMaxSpanDepth) {
+    ts->overflow++;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SpanRecord& span = ts->stack[ts->depth];
+  span = SpanRecord{};
+  if (ts->depth == 0) {
+    span.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+    span.parent_id = 0;
+  } else {
+    const SpanRecord& parent = ts->stack[ts->depth - 1];
+    span.trace_id = parent.trace_id;
+    span.parent_id = parent.span_id;
+  }
+  span.span_id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  span.thread_index = ts->thread_index;
+  span.depth = ts->depth;
+  if (name != nullptr) {
+    std::strncpy(span.name, name, kMaxSpanNameLen);
+  }
+  span.start_ns = NowNs();
+  ts->depth++;
+}
+
+void Tracer::TagCurrent(const char* key, int64_t value) {
+  ThreadState* ts = State();
+  if (ts->depth == 0 || ts->overflow > 0) {
+    return;
+  }
+  SpanRecord& span = ts->stack[ts->depth - 1];
+  if (span.num_tags < kMaxSpanTags) {
+    span.tags[span.num_tags] = SpanTag{key, value};
+    span.num_tags++;
+  }
+}
+
+void Tracer::EndSpan() {
+  ThreadState* ts = State();
+  if (ts->overflow > 0) {
+    ts->overflow--;
+    return;
+  }
+  if (ts->depth == 0) {
+    return;  // unbalanced End: tolerated, never fatal
+  }
+  ts->depth--;
+  SpanRecord& span = ts->stack[ts->depth];
+  span.end_ns = NowNs();
+  if (ts->head >= ts->slots.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // overwriting the oldest
+  }
+  ts->PushRecord(span);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Tracer::InSpan() {
+  return State()->depth > 0;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ts : threads_) {
+    // Read the owner's head through the newest stamp: scan is bounded by
+    // capacity, so just probe every slot and validate its stamp.
+    for (size_t slot = 0; slot <= ts->mask; ++slot) {
+      const uint64_t before = ts->stamps[slot].load(std::memory_order_acquire);
+      if (before == 0 || (before & 1) != 0) {
+        continue;  // never written, or a write is in flight
+      }
+      SpanRecord record = ts->slots[slot];
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const uint64_t after = ts->stamps[slot].load(std::memory_order_relaxed);
+      if (after != before) {
+        continue;  // overwritten while copying
+      }
+      out.push_back(record);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.span_id < b.span_id;
+  });
+  return out;
+}
+
+}  // namespace rkd

@@ -1,0 +1,151 @@
+// Causal span tracing + flight recorder.
+//
+// A Span is one timed region of the datapath (a hook fire, a table lookup,
+// a VM execution, a model eval) with a trace id shared by every span in the
+// same causal tree, a parent id, and a handful of integer tags. Spans nest
+// on a lock-free thread-local stack: Begin pushes, End pops, and the parent
+// is whatever span was open on the same thread — so one Fire() yields one
+// tree (hook.fire -> table.lookup -> vm.exec -> ml.eval) with zero explicit
+// context passing.
+//
+// Completed spans land in a bounded per-thread ring that doubles as the
+// always-on flight recorder: when a guardian breach happens, the last N
+// spans per thread are still resident and can be snapshotted to a trace
+// file after the fact. Rings are single-writer (the owning thread); the
+// snapshot side validates per-slot sequence stamps, so a reader never
+// observes a torn record.
+//
+// Cost contract: an untraced fire pays one relaxed load and one branch
+// (ShouldSample). A traced span costs two clock reads, a name copy, and one
+// ring store — bench/bench_trace_overhead asserts both budgets.
+#ifndef SRC_TELEMETRY_SPAN_H_
+#define SRC_TELEMETRY_SPAN_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rkd {
+
+inline constexpr size_t kMaxSpanTags = 6;
+inline constexpr size_t kMaxSpanNameLen = 47;  // + NUL terminator
+inline constexpr size_t kMaxSpanDepth = 16;
+
+// One integer tag. Keys must be string literals (or strings that outlive the
+// tracer); values are whatever integer the producer finds useful.
+struct SpanTag {
+  const char* key = nullptr;
+  int64_t value = 0;
+};
+
+// One completed span. `name` is copied in (hook names live in resizable
+// registries, so pointer stability cannot be assumed across installs).
+struct SpanRecord {
+  uint64_t trace_id = 0;   // shared by every span in one causal tree
+  uint64_t span_id = 0;    // unique per span
+  uint64_t parent_id = 0;  // 0 = root
+  uint64_t start_ns = 0;   // MonotonicNowNs at Begin
+  uint64_t end_ns = 0;     // MonotonicNowNs at End
+  uint32_t thread_index = 0;
+  uint16_t depth = 0;      // 0 = root
+  uint8_t num_tags = 0;
+  char name[kMaxSpanNameLen + 1] = {};
+  SpanTag tags[kMaxSpanTags] = {};
+
+  uint64_t duration_ns() const { return end_ns > start_ns ? end_ns - start_ns : 0; }
+};
+
+// The tracer: sampling policy + per-thread span stacks + flight-recorder
+// rings. One per TelemetryRegistry; every layer that can see the registry
+// can open spans.
+class Tracer {
+ public:
+  static constexpr uint32_t kDefaultSampleEvery = 1024;
+
+  explicit Tracer(size_t ring_capacity = 1024);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Deterministic sampling: fire number `seq` is traced iff sampling is
+  // enabled and seq is a multiple of sample_every. Same fire sequence ->
+  // same traced set, no RNG involved.
+  bool ShouldSample(uint64_t seq) const {
+    const uint32_t n = sample_every_.load(std::memory_order_relaxed);
+    return n != 0 && seq % n == 0;
+  }
+  // 0 disables sampling (forced traces still record); 1 traces every fire.
+  void set_sample_every(uint32_t n) { sample_every_.store(n, std::memory_order_relaxed); }
+  uint32_t sample_every() const { return sample_every_.load(std::memory_order_relaxed); }
+
+  // Span lifecycle. Begin when no span is open starts a new trace (fresh
+  // trace id); otherwise the open span becomes the parent. Nesting deeper
+  // than kMaxSpanDepth is counted and discarded, never fatal.
+  void BeginSpan(const char* name);
+  void TagCurrent(const char* key, int64_t value);  // no-op without an open span
+  void EndSpan();
+
+  // True when this thread has a span open — instrumentation below the fire
+  // root uses this to decide whether to emit child spans.
+  bool InSpan();
+
+  // Flight recorder: every completed span still resident in any thread's
+  // ring, sorted by start time. Safe against concurrent Begin/End (torn
+  // slots are skipped, never returned).
+  std::vector<SpanRecord> Snapshot() const;
+
+  uint64_t spans_recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  uint64_t spans_dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t ring_capacity() const { return ring_capacity_; }
+
+ private:
+  struct ThreadState;
+
+  ThreadState* State();
+
+  const size_t ring_capacity_;  // per thread, rounded up to a power of two
+  const uint64_t instance_id_;  // defeats ABA on the thread-local cache
+  std::atomic<uint32_t> sample_every_{kDefaultSampleEvery};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};  // depth overflow + ring overwrites
+
+  mutable std::mutex mu_;  // thread registration + snapshot; never on Begin/End fast path
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+};
+
+// RAII span. A null tracer makes every operation a no-op, so instrumentation
+// sites write one unconditional ScopedSpan and pass null when untraced.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name) : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      tracer_->BeginSpan(name);
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan();
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Tag(const char* key, int64_t value) {
+    if (tracer_ != nullptr) {
+      tracer_->TagCurrent(key, value);
+    }
+  }
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_TELEMETRY_SPAN_H_

@@ -8,7 +8,21 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
   std::vector<TraceEvent> out;
   out.reserve(resident);
   for (uint64_t i = n - resident; i < n; ++i) {
-    out.push_back(slots_[i & mask_]);
+    const size_t slot = i & mask_;
+    // Validate the slot holds exactly push number i, both before and after
+    // the copy; anything else means a concurrent writer lapped us and the
+    // slot is skipped (its newer content is either covered by a later i or
+    // outside this snapshot's window).
+    const uint64_t before = stamps_[slot].load(std::memory_order_acquire);
+    if (before != 2 * i + 2) {
+      continue;
+    }
+    TraceEvent event = slots_[slot];
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (stamps_[slot].load(std::memory_order_relaxed) != before) {
+      continue;
+    }
+    out.push_back(event);
   }
   return out;
 }

@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/telemetry/span.h"
+
 namespace rkd {
 
 // Wall-latency source for the instrumentation layer. The simulators keep
@@ -182,19 +184,26 @@ inline constexpr uint32_t kHookFireEvent = 1;
 // One FireBatch call: `key` holds the batch size, `value` the last result.
 inline constexpr uint32_t kHookBatchEvent = 2;
 
-// Lossy fixed-capacity ring of recent events. Push is wait-free (one
-// relaxed fetch_add plus a slot store); when full the oldest slot is
-// overwritten. Concurrent pushes may tear a slot — acceptable for a
-// diagnostic trace, never for accounting (use Counter for that).
+// Lossy fixed-capacity ring of recent events. Push is wait-free: one
+// relaxed fetch_add to claim a slot, the slot store, and a release store of
+// the slot's sequence stamp. The stamp protocol (odd = write in flight,
+// 2*seq+2 = seq's event is complete) lets Snapshot run against concurrent
+// writers without ever returning a torn event — a slot whose stamp moved
+// while it was being copied is simply skipped (lossy trace contract; use
+// Counter for anything that must not lose updates).
 class TraceRing {
  public:
   explicit TraceRing(size_t capacity = 1024)
       : slots_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
+        stamps_(slots_.size()),
         mask_(slots_.size() - 1) {}
 
   void Push(const TraceEvent& event) {
     const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
-    slots_[seq & mask_] = event;
+    const size_t slot = seq & mask_;
+    stamps_[slot].store(2 * seq + 1, std::memory_order_relaxed);
+    slots_[slot] = event;
+    stamps_[slot].store(2 * seq + 2, std::memory_order_release);
   }
 
   size_t capacity() const { return slots_.size(); }
@@ -205,12 +214,14 @@ class TraceRing {
     return n > slots_.size() ? n - slots_.size() : 0;
   }
 
-  // Copies the resident events, oldest first. Not linearizable against
-  // concurrent Push (lossy trace contract).
+  // Copies the resident events in push order (oldest first), validating
+  // each slot's stamp so concurrently-overwritten slots are skipped rather
+  // than returned torn.
   std::vector<TraceEvent> Snapshot() const;
 
  private:
   std::vector<TraceEvent> slots_;
+  std::vector<std::atomic<uint64_t>> stamps_;  // 0 = empty; see class comment
   uint64_t mask_;
   std::atomic<uint64_t> head_{0};
 };
@@ -232,6 +243,12 @@ class TelemetryRegistry {
   TraceRing& trace() { return trace_; }
   const TraceRing& trace() const { return trace_; }
 
+  // The registry's causal tracer / flight recorder (see span.h). Same
+  // ownership story as the trace ring: one per registry, shared by every
+  // layer that can see the registry.
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
   // Snapshot views for exporters, sorted by name.
   std::vector<std::pair<std::string, const Counter*>> Counters() const;
   std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
@@ -243,6 +260,7 @@ class TelemetryRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
   TraceRing trace_;
+  Tracer tracer_;
 };
 
 // Process-wide default registry for code without a better-scoped one

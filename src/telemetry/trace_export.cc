@@ -1,0 +1,201 @@
+#include "src/telemetry/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+
+namespace rkd {
+namespace {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendMicros(std::string& out, uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string ExportPerfettoTrace(const std::vector<SpanRecord>& spans,
+                                const TraceExportOptions& options) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n  {\"name\": \"";
+    AppendJsonEscaped(out, span.name);
+    out += "\", \"cat\": \"rkd\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(span.thread_index);
+    out += ", \"ts\": ";
+    AppendMicros(out, span.start_ns);
+    out += ", \"dur\": ";
+    AppendMicros(out, span.duration_ns());
+    out += ", \"args\": {\"trace_id\": ";
+    out += std::to_string(span.trace_id);
+    out += ", \"span_id\": ";
+    out += std::to_string(span.span_id);
+    out += ", \"parent_id\": ";
+    out += std::to_string(span.parent_id);
+    for (uint8_t i = 0; i < span.num_tags; ++i) {
+      out += ", \"";
+      AppendJsonEscaped(out, span.tags[i].key == nullptr ? "" : span.tags[i].key);
+      out += "\": ";
+      out += std::to_string(span.tags[i].value);
+    }
+    out += "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ns\"";
+  if (!options.program.empty() || !options.reason.empty()) {
+    out += ", \"otherData\": {\"program\": \"";
+    AppendJsonEscaped(out, options.program);
+    out += "\", \"reason\": \"";
+    AppendJsonEscaped(out, options.reason);
+    out += "\"}";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans, size_t max_traces) {
+  // Group spans into traces preserving snapshot (start-time) order, then
+  // render each trace's tree: children attach by parent_id and are already
+  // start-sorted. Orphans (parent fell out of the ring) render at the root.
+  std::map<uint64_t, std::vector<const SpanRecord*>> traces;  // trace_id -> spans
+  std::vector<uint64_t> trace_order;
+  for (const SpanRecord& span : spans) {
+    auto [it, inserted] = traces.try_emplace(span.trace_id);
+    if (inserted) {
+      trace_order.push_back(span.trace_id);
+    }
+    it->second.push_back(&span);
+  }
+  if (max_traces != 0 && trace_order.size() > max_traces) {
+    trace_order.erase(trace_order.begin(),
+                      trace_order.end() - static_cast<ptrdiff_t>(max_traces));
+  }
+
+  std::string out;
+  for (const uint64_t trace_id : trace_order) {
+    const std::vector<const SpanRecord*>& members = traces[trace_id];
+    out += "trace ";
+    out += std::to_string(trace_id);
+    out += ":\n";
+    std::unordered_map<uint64_t, std::vector<const SpanRecord*>> children;
+    std::unordered_map<uint64_t, bool> present;
+    for (const SpanRecord* span : members) {
+      present[span->span_id] = true;
+    }
+    std::vector<const SpanRecord*> roots;
+    for (const SpanRecord* span : members) {
+      if (span->parent_id != 0 && present.count(span->parent_id) != 0) {
+        children[span->parent_id].push_back(span);
+      } else {
+        roots.push_back(span);
+      }
+    }
+    // Iterative depth-first print (spans are depth-bounded, but avoid
+    // recursion anyway).
+    struct Item {
+      const SpanRecord* span;
+      size_t indent;
+    };
+    std::vector<Item> stack;
+    for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+      stack.push_back({*it, 1});
+    }
+    while (!stack.empty()) {
+      const Item item = stack.back();
+      stack.pop_back();
+      out.append(item.indent * 2, ' ');
+      out += item.span->name;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "  %llu ns",
+                    static_cast<unsigned long long>(item.span->duration_ns()));
+      out += buf;
+      for (uint8_t i = 0; i < item.span->num_tags; ++i) {
+        out += i == 0 ? "  [" : ", ";
+        out += item.span->tags[i].key == nullptr ? "?" : item.span->tags[i].key;
+        out += "=";
+        out += std::to_string(item.span->tags[i].value);
+      }
+      if (item.span->num_tags > 0) {
+        out += "]";
+      }
+      out += "\n";
+      const auto kids = children.find(item.span->span_id);
+      if (kids != children.end()) {
+        for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+          stack.push_back({*it, item.indent + 1});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SpanAggregate> AggregateSpans(const std::vector<SpanRecord>& spans) {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanRecord& span : spans) {
+    SpanAggregate& agg = by_name[span.name];
+    if (agg.count == 0) {
+      agg.name = span.name;
+    }
+    agg.count++;
+    agg.total_ns += span.duration_ns();
+    agg.max_ns = std::max(agg.max_ns, span.duration_ns());
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) {
+    out.push_back(std::move(agg));
+  }
+  std::sort(out.begin(), out.end(), [](const SpanAggregate& a, const SpanAggregate& b) {
+    return a.total_ns != b.total_ns ? a.total_ns > b.total_ns : a.name < b.name;
+  });
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace rkd

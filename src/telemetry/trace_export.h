@@ -1,0 +1,49 @@
+// Consumers for Tracer snapshots: a Chrome/Perfetto trace_event JSON
+// exporter (load the file at ui.perfetto.dev or chrome://tracing), a plain
+// text tree renderer for terminals, and a per-name aggregation used by the
+// rkd_trace "hottest spans" report.
+#ifndef SRC_TELEMETRY_TRACE_EXPORT_H_
+#define SRC_TELEMETRY_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/telemetry/span.h"
+
+namespace rkd {
+
+// Optional metadata stamped into the trace file's otherData section — the
+// guardian uses it to name the offending program and breach reason.
+struct TraceExportOptions {
+  std::string program;
+  std::string reason;
+};
+
+// Chrome trace_event JSON: one "X" (complete) event per span, ts/dur in
+// microseconds, tid = the tracer's thread index. Spans on one thread nest by
+// time containment, which is exactly how the span stack emitted them, so
+// Perfetto renders the causal tree without explicit flow events. Tags become
+// the event's args; trace/span/parent ids ride along for programmatic use.
+std::string ExportPerfettoTrace(const std::vector<SpanRecord>& spans,
+                                const TraceExportOptions& options = {});
+
+// Indented text rendering of the causal trees, newest trace last. Traces are
+// grouped by trace_id; children attach to their parent_id and sort by start
+// time. `max_traces` keeps terminal output bounded (0 = all).
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans, size_t max_traces = 0);
+
+// Per-name rollup for the hottest-span report, sorted by total time desc.
+struct SpanAggregate {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+std::vector<SpanAggregate> AggregateSpans(const std::vector<SpanRecord>& spans);
+
+// Writes `contents` to `path`, returning false on any I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& contents);
+
+}  // namespace rkd
+
+#endif  // SRC_TELEMETRY_TRACE_EXPORT_H_

@@ -18,6 +18,51 @@ std::vector<HelperId> CommonHelpers() {
 
 }  // namespace
 
+std::string_view VerifyCheckKindName(VerifyCheckKind kind) {
+  switch (kind) {
+    case VerifyCheckKind::kStructure: return "structure";
+    case VerifyCheckKind::kControlFlow: return "control_flow";
+    case VerifyCheckKind::kRegisters: return "registers";
+    case VerifyCheckKind::kResources: return "resources";
+    case VerifyCheckKind::kHelpers: return "helpers";
+    case VerifyCheckKind::kTermination: return "termination";
+    case VerifyCheckKind::kDataflow: return "dataflow";
+    case VerifyCheckKind::kCost: return "cost";
+    case VerifyCheckKind::kInterference: return "interference";
+    case VerifyCheckKind::kPrivacy: return "privacy";
+    case VerifyCheckKind::kCheckKindCount: break;
+  }
+  return "unknown";
+}
+
+void Verifier::RecordVerifyTelemetry(const VerifyReport& report, uint64_t start_ns) const {
+  if (programs_checked_ == nullptr) {
+    return;
+  }
+  programs_checked_->Increment();
+  verify_ns_->Record(MonotonicNowNs() - start_ns);
+  if (report.status.ok()) {
+    return;
+  }
+  rejections_->Increment();
+  for (size_t k = 0; k < kNumVerifyCheckKinds; ++k) {
+    if (report.diags_by_kind[k] > 0) {
+      reject_by_kind_[k]->Increment(report.diags_by_kind[k]);
+    }
+  }
+}
+
+void Verifier::BindTelemetry(TelemetryRegistry* telemetry) {
+  programs_checked_ = telemetry->GetCounter("rkd.verifier.programs_checked");
+  rejections_ = telemetry->GetCounter("rkd.verifier.rejections");
+  for (size_t k = 0; k < kNumVerifyCheckKinds; ++k) {
+    reject_by_kind_[k] = telemetry->GetCounter(
+        "rkd.verifier.reject." +
+        std::string(VerifyCheckKindName(static_cast<VerifyCheckKind>(k))));
+  }
+  verify_ns_ = telemetry->GetHistogram("rkd.verifier.verify_ns");
+}
+
 HookBudget BudgetForHook(HookKind kind) {
   HookBudget budget;
   budget.allowed_helpers = CommonHelpers();
@@ -225,9 +270,16 @@ OperandRoles RolesOf(Opcode op) {
 
 VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistry* models,
                               const TensorRegistry* tensors) const {
+  const uint64_t verify_start_ns = programs_checked_ != nullptr ? MonotonicNowNs() : 0;
   VerifyReport report;
-  auto diag = [&](size_t pc, std::string message) {
-    report.diagnostics.push_back("insn " + std::to_string(pc) + ": " + std::move(message));
+  // Program-level diagnostic, bucketed by the pass that produced it.
+  auto note = [&](VerifyCheckKind kind, std::string message) {
+    ++report.diags_by_kind[static_cast<size_t>(kind)];
+    report.diagnostics.push_back(std::move(message));
+  };
+  // Instruction-level diagnostic.
+  auto diag = [&](size_t pc, VerifyCheckKind kind, std::string message) {
+    note(kind, "insn " + std::to_string(pc) + ": " + std::move(message));
   };
 
   const HookBudget budget =
@@ -236,12 +288,13 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
 
   // --- Pass 1: structure ---
   if (program.code.empty()) {
-    report.diagnostics.push_back("program is empty");
+    note(VerifyCheckKind::kStructure, "program is empty");
     report.status = VerificationFailedError("program is empty");
+    RecordVerifyTelemetry(report, verify_start_ns);
     return report;
   }
   if (program.code.size() > budget.max_instructions) {
-    report.diagnostics.push_back(
+    note(VerifyCheckKind::kStructure,
         "program length " + std::to_string(program.code.size()) + " exceeds hook budget " +
         std::to_string(budget.max_instructions));
   }
@@ -251,7 +304,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
   for (int64_t pc = 0; pc < n; ++pc) {
     const Instruction& insn = program.code[static_cast<size_t>(pc)];
     if (insn.opcode >= Opcode::kOpcodeCount) {
-      diag(static_cast<size_t>(pc), "invalid opcode");
+      diag(static_cast<size_t>(pc), VerifyCheckKind::kStructure, "invalid opcode");
       cfg_ok = false;
       continue;
     }
@@ -266,37 +319,37 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
           insn.opcode == Opcode::kVecLdCtxt || insn.opcode == Opcode::kScalarVal;
       if ((dst_is_scalar && insn.dst >= kNumScalarRegs) ||
           (!dst_is_scalar && insn.dst >= kNumVectorRegs)) {
-        diag(static_cast<size_t>(pc), "dst register out of range");
+        diag(static_cast<size_t>(pc), VerifyCheckKind::kRegisters, "dst register out of range");
       }
       if ((src_is_scalar && insn.src >= kNumScalarRegs) ||
           (!src_is_scalar && insn.src >= kNumVectorRegs)) {
-        diag(static_cast<size_t>(pc), "src register out of range");
+        diag(static_cast<size_t>(pc), VerifyCheckKind::kRegisters, "src register out of range");
       }
     } else {
       if (insn.dst >= kNumScalarRegs) {
-        diag(static_cast<size_t>(pc), "dst register out of range");
+        diag(static_cast<size_t>(pc), VerifyCheckKind::kRegisters, "dst register out of range");
       }
       if (insn.src >= kNumScalarRegs) {
-        diag(static_cast<size_t>(pc), "src register out of range");
+        diag(static_cast<size_t>(pc), VerifyCheckKind::kRegisters, "src register out of range");
       }
     }
     // Writes to the frame pointer are forbidden.
     const OperandRoles roles = RolesOf(insn.opcode);
     if (roles.dst_scalar_write && !vector_op && insn.dst == kFramePointerReg) {
-      diag(static_cast<size_t>(pc), "write to read-only frame pointer r10");
+      diag(static_cast<size_t>(pc), VerifyCheckKind::kRegisters, "write to read-only frame pointer r10");
     }
 
     // --- Pass 2: control flow (forward, in range) ---
     if (IsBranch(insn.opcode)) {
       const int64_t target = pc + 1 + insn.offset;
       if (insn.offset < 0) {
-        diag(static_cast<size_t>(pc), "backward jump (unbounded execution)");
+        diag(static_cast<size_t>(pc), VerifyCheckKind::kControlFlow, "backward jump (unbounded execution)");
         cfg_ok = false;
       } else if (insn.offset == 0 && insn.opcode == Opcode::kJa) {
         // Harmless no-op jump; allowed.
       }
       if (target < 0 || target >= n) {
-        diag(static_cast<size_t>(pc), "jump target out of range");
+        diag(static_cast<size_t>(pc), VerifyCheckKind::kControlFlow, "jump target out of range");
         cfg_ok = false;
       }
     }
@@ -307,19 +360,19 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
       case Opcode::kStStack:
       case Opcode::kStStackImm:
         if (insn.offset < -kStackSize || insn.offset > -8 || insn.offset % 8 != 0) {
-          diag(static_cast<size_t>(pc), "stack offset outside [-512, -8] or unaligned");
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kResources, "stack offset outside [-512, -8] or unaligned");
         }
         break;
       case Opcode::kLdCtxt:
       case Opcode::kStCtxt:
         if (insn.offset < 0 || insn.offset >= kCtxtScalarSlots) {
-          diag(static_cast<size_t>(pc), "context slot out of range");
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kResources, "context slot out of range");
         }
         break;
       case Opcode::kScalarVal:
       case Opcode::kVecExtract:
         if (insn.offset < 0 || insn.offset >= kVectorLanes) {
-          diag(static_cast<size_t>(pc), "vector lane out of range");
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kResources, "vector lane out of range");
         }
         break;
       case Opcode::kMapLookup:
@@ -327,29 +380,29 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
       case Opcode::kMapUpdate:
       case Opcode::kMapDelete:
         if (insn.imm < 0 || insn.imm >= program.num_maps) {
-          diag(static_cast<size_t>(pc), "undeclared map id " + std::to_string(insn.imm));
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kResources, "undeclared map id " + std::to_string(insn.imm));
         }
         break;
       case Opcode::kMlCall:
         if (insn.imm < 0 || insn.imm >= program.num_models) {
-          diag(static_cast<size_t>(pc), "undeclared model id " + std::to_string(insn.imm));
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kResources, "undeclared model id " + std::to_string(insn.imm));
         }
         break;
       case Opcode::kMatMul:
       case Opcode::kVecAddT:
         if (insn.imm < 0 || insn.imm >= program.num_tensors) {
-          diag(static_cast<size_t>(pc), "undeclared tensor id " + std::to_string(insn.imm));
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kResources, "undeclared tensor id " + std::to_string(insn.imm));
         }
         break;
       case Opcode::kTailCall:
         if (insn.imm < 0 || insn.imm >= program.num_tables) {
-          diag(static_cast<size_t>(pc), "undeclared tail-call table " + std::to_string(insn.imm));
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kResources, "undeclared tail-call table " + std::to_string(insn.imm));
         }
         break;
       // --- Pass 5: helpers and constant divisors ---
       case Opcode::kCall: {
         if (insn.imm < 0 || insn.imm >= static_cast<int64_t>(HelperId::kHelperCount)) {
-          diag(static_cast<size_t>(pc), "unknown helper id " + std::to_string(insn.imm));
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kHelpers, "unknown helper id " + std::to_string(insn.imm));
           break;
         }
         const auto helper = static_cast<HelperId>(insn.imm);
@@ -357,7 +410,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
             std::find(budget.allowed_helpers.begin(), budget.allowed_helpers.end(), helper) !=
             budget.allowed_helpers.end();
         if (!allowed) {
-          diag(static_cast<size_t>(pc),
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kHelpers,
                std::string("helper '") + std::string(HelperName(helper)) +
                    "' not permitted for hook kind '" +
                    std::string(HookKindName(program.hook_kind)) + "'");
@@ -370,7 +423,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
       case Opcode::kDivImm:
       case Opcode::kModImm:
         if (insn.imm == 0) {
-          diag(static_cast<size_t>(pc), "constant zero divisor");
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kHelpers, "constant zero divisor");
         }
         break;
       default:
@@ -381,7 +434,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
   // Termination: last instruction must not fall through.
   const Opcode last = program.code.back().opcode;
   if (last != Opcode::kExit && !(last == Opcode::kJa)) {
-    diag(static_cast<size_t>(n - 1), "program can fall off the end (must end in exit)");
+    diag(static_cast<size_t>(n - 1), VerifyCheckKind::kTermination, "program can fall off the end (must end in exit)");
     cfg_ok = false;
   }
 
@@ -406,13 +459,13 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
 
       const auto require_scalar = [&](int reg, const char* what) {
         if (reg < kNumScalarRegs && (state.scalars & (1u << reg)) == 0) {
-          diag(static_cast<size_t>(pc),
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kDataflow,
                std::string(what) + " r" + std::to_string(reg) + " read before initialization");
         }
       };
       const auto require_vector = [&](int reg, const char* what) {
         if (reg < kNumVectorRegs && (state.vectors & (1u << reg)) == 0) {
-          diag(static_cast<size_t>(pc),
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kDataflow,
                std::string(what) + " v" + std::to_string(reg) + " read before initialization");
         }
       };
@@ -432,7 +485,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
       if (insn.opcode == Opcode::kLdStack) {
         const int slot = StackSlot(insn.offset);
         if (slot >= 0 && slot < 64 && (state.stack & (1ull << slot)) == 0) {
-          diag(static_cast<size_t>(pc), "stack slot read before initialization");
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kDataflow, "stack slot read before initialization");
         }
       }
       if (insn.opcode == Opcode::kCall) {
@@ -484,7 +537,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
     }
 
     if (report.longest_path > budget.max_path_length) {
-      report.diagnostics.push_back(
+      note(VerifyCheckKind::kCost,
           "longest execution path " + std::to_string(report.longest_path) +
           " exceeds hook budget " + std::to_string(budget.max_path_length));
     }
@@ -519,7 +572,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
       }
     }
     if (report.model_work_units > budget.max_work_units) {
-      report.diagnostics.push_back(
+      note(VerifyCheckKind::kCost,
           "ML work units " + std::to_string(report.model_work_units) + " exceed hook budget " +
           std::to_string(budget.max_work_units) +
           " (consider distillation or on-demand compression)");
@@ -541,7 +594,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
         } else if ((helper == HelperId::kPrefetchEmit ||
                     helper == HelperId::kSetPriorityHint) &&
                    !seen_guard) {
-          diag(static_cast<size_t>(pc),
+          diag(static_cast<size_t>(pc), VerifyCheckKind::kInterference,
                std::string("resource-granting helper '") + std::string(HelperName(helper)) +
                    "' without a preceding rate_limit_check (run InsertRateLimitGuards)");
         }
@@ -552,7 +605,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
   // --- Pass 8: privacy budget ---
   report.epsilon_spend = report.dp_noise_sites * config_.epsilon_per_noise_site;
   if (report.epsilon_spend > config_.max_epsilon + 1e-12) {
-    report.diagnostics.push_back(
+    note(VerifyCheckKind::kPrivacy,
         "static epsilon spend " + std::to_string(report.epsilon_spend) +
         " exceeds privacy budget " + std::to_string(config_.max_epsilon));
   }
@@ -563,6 +616,7 @@ VerifyReport Verifier::Verify(const BytecodeProgram& program, const ModelRegistr
                                                 std::to_string(report.diagnostics.size()) +
                                                 " verification diagnostics; first: " +
                                                 report.diagnostics.front());
+  RecordVerifyTelemetry(report, verify_start_ns);
   return report;
 }
 

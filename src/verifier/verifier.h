@@ -30,6 +30,7 @@
 #ifndef SRC_VERIFIER_VERIFIER_H_
 #define SRC_VERIFIER_VERIFIER_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -37,8 +38,29 @@
 #include "src/base/status.h"
 #include "src/bytecode/program.h"
 #include "src/ml/model_registry.h"
+#include "src/telemetry/telemetry.h"
 
 namespace rkd {
+
+// Which verification pass produced a diagnostic. Used to bucket rejection
+// telemetry (rkd.verifier.reject.<kind>) so operators can see WHAT kind of
+// unsafety admission control is catching, not just how often it fires.
+enum class VerifyCheckKind : uint8_t {
+  kStructure,     // empty / oversize program, invalid opcodes
+  kControlFlow,   // backward or out-of-range jumps
+  kRegisters,     // operand ranges, frame-pointer writes
+  kResources,     // undeclared maps/models/tensors/tables, bad offsets
+  kHelpers,       // helper whitelist, constant-zero divisors
+  kTermination,   // program can fall off the end
+  kDataflow,      // read-before-initialization
+  kCost,          // path length / ML work units over the hook budget
+  kInterference,  // unguarded resource-granting helpers
+  kPrivacy,       // static epsilon spend over budget
+  kCheckKindCount,
+};
+inline constexpr size_t kNumVerifyCheckKinds =
+    static_cast<size_t>(VerifyCheckKind::kCheckKindCount);
+std::string_view VerifyCheckKindName(VerifyCheckKind kind);
 
 // Per-hook admission budget. Scheduler decision points run at microsecond
 // granularity, prefetch decisions amortize over disk latency — the budgets
@@ -67,6 +89,8 @@ struct VerifierConfig {
 struct VerifyReport {
   Status status;  // OK iff diagnostics is empty
   std::vector<std::string> diagnostics;
+  // Diagnostic count per verification pass (indexed by VerifyCheckKind).
+  std::array<uint32_t, kNumVerifyCheckKinds> diags_by_kind{};
 
   // Analysis results (valid when the structural passes succeeded).
   uint64_t longest_path = 0;       // instructions on the longest path
@@ -86,10 +110,23 @@ class Verifier {
   VerifyReport Verify(const BytecodeProgram& program, const ModelRegistry* models = nullptr,
                       const TensorRegistry* tensors = nullptr) const;
 
+  // Exports admission telemetry into `telemetry` under "rkd.verifier.*":
+  // programs_checked, rejections, reject.<check kind>, and the verify_ns
+  // latency histogram. Unbound verifiers (the default) record nothing.
+  void BindTelemetry(TelemetryRegistry* telemetry);
+
   const VerifierConfig& config() const { return config_; }
 
  private:
+  void RecordVerifyTelemetry(const VerifyReport& report, uint64_t start_ns) const;
+
   VerifierConfig config_;
+  // Telemetry slice; null until BindTelemetry. Pointers so the const
+  // Verify() can record through them.
+  Counter* programs_checked_ = nullptr;
+  Counter* rejections_ = nullptr;
+  std::array<Counter*, kNumVerifyCheckKinds> reject_by_kind_{};
+  LatencyHistogram* verify_ns_ = nullptr;
 };
 
 }  // namespace rkd

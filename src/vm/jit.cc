@@ -287,7 +287,15 @@ size_t OpCall(Frame& f, const Decoded& d, size_t pc) {
 size_t OpMlCall(Frame& f, const Decoded& d, size_t pc) {
   ++f.ml_calls;
   const ModelPtr model = f.env->models != nullptr ? f.env->models->Get(d.imm) : nullptr;
-  f.state.regs[d.dst] = model != nullptr ? model->Predict(f.state.vregs[d.src]) : kNoModelSentinel;
+  if (f.env->tracer != nullptr && model != nullptr) {
+    ScopedSpan ml_span(f.env->tracer, "ml.eval");
+    ml_span.Tag("model", d.imm);
+    f.state.regs[d.dst] = model->Predict(f.state.vregs[d.src]);
+    ml_span.Tag("result", f.state.regs[d.dst]);
+  } else {
+    f.state.regs[d.dst] =
+        model != nullptr ? model->Predict(f.state.vregs[d.src]) : kNoModelSentinel;
+  }
   if (const auto fault = RKD_FAILPOINT("ml.eval")) {
     if (fault->force_error) {
       f.fault = InternalError("failpoint ml.eval: injected model fault");
@@ -320,6 +328,7 @@ Result<CompiledProgram> CompiledProgram::Compile(const BytecodeProgram& program)
     Decoded d{};
     d.dst = insn.dst;
     d.src = insn.src;
+    d.opcode = static_cast<uint8_t>(insn.opcode);
     d.offset = insn.offset;
     d.imm = insn.imm;
 
@@ -481,12 +490,60 @@ Result<CompiledProgram> CompiledProgram::Compile(const BytecodeProgram& program)
 
 Result<int64_t> CompiledProgram::ExecuteFrame(Frame& frame, RunStats* stats,
                                               const Resolver& resolve) const {
+  if (frame.env->profile != nullptr) {
+    return ExecuteFrameProfiled(frame, stats, resolve, frame.env->profile);
+  }
   const std::vector<Decoded>* code = &code_;
   size_t pc = 0;
   bool faulted = false;
   while (true) {
     const Decoded& d = (*code)[pc];
     pc = d.fn(frame, d, pc);
+    if (pc == kExitPc) {
+      break;
+    }
+    if (pc == kFaultPc) {
+      faulted = true;
+      break;
+    }
+    if (pc == kTailPc) {
+      const CompiledProgram* target = resolve ? resolve(frame.tail_imm) : nullptr;
+      if (target != nullptr && !target->code_.empty() && frame.tail_calls < kMaxTailCallDepth) {
+        ++frame.tail_calls;
+        code = &target->code_;
+        pc = 0;
+      } else {
+        pc = frame.tail_resume;  // failed tail call falls through
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->tail_calls = frame.tail_calls;
+    stats->helper_calls = frame.helper_calls;
+    stats->ml_calls = frame.ml_calls;
+  }
+  if (faulted) {
+    return frame.fault;
+  }
+  return frame.state.regs[0];
+}
+
+Result<int64_t> CompiledProgram::ExecuteFrameProfiled(Frame& frame, RunStats* stats,
+                                                      const Resolver& resolve,
+                                                      OpcodeProfile* prof) const {
+  const std::vector<Decoded>* code = &code_;
+  size_t pc = 0;
+  bool faulted = false;
+  while (true) {
+    const Decoded& d = (*code)[pc];
+    const auto op = static_cast<Opcode>(d.opcode);
+    prof->RecordCount(op);
+    if (op == Opcode::kCall) {
+      prof->RecordHelper(d.imm);
+    }
+    const uint64_t t0 = MonotonicNowNs();
+    pc = d.fn(frame, d, pc);
+    prof->RecordNs(op, MonotonicNowNs() - t0);
     if (pc == kExitPc) {
       break;
     }

@@ -57,6 +57,7 @@ class CompiledProgram {
     Handler fn;
     uint8_t dst;
     uint8_t src;
+    uint8_t opcode;    // original Opcode, for the profiled frame loop
     int32_t offset;    // pre-biased: branch handlers store the absolute target
     int64_t imm;
   };
@@ -88,6 +89,12 @@ class CompiledProgram {
   CompiledProgram() = default;
 
   Result<int64_t> ExecuteFrame(Frame& frame, RunStats* stats, const Resolver& resolve) const;
+  // The traced-fire variant: same dispatch loop, but each instruction also
+  // records its opcode count and wall time into `prof`. Kept separate so the
+  // fast loop stays branch-free; ExecuteFrame diverts here only when
+  // VmEnv::profile is set.
+  Result<int64_t> ExecuteFrameProfiled(Frame& frame, RunStats* stats, const Resolver& resolve,
+                                       OpcodeProfile* prof) const;
 
   std::string name_;
   std::vector<Decoded> code_;

@@ -60,6 +60,10 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
   uint64_t ml_calls = 0;
   size_t pc = 0;
   const uint64_t start_ns = env_.metrics != nullptr ? MonotonicNowNs() : 0;
+  // Hoisted once: on untraced fires (profile == nullptr) profiling costs one
+  // predictable branch per instruction.
+  OpcodeProfile* const prof = env_.profile;
+  uint64_t op_start_ns = 0;
 
   const auto publish = [&] {
     if (stats != nullptr) {
@@ -117,6 +121,11 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
 
     auto& regs = state.regs;
     size_t next_pc = pc + 1;
+
+    if (prof != nullptr) {
+      prof->RecordCount(insn.opcode);
+      op_start_ns = MonotonicNowNs();
+    }
 
     switch (insn.opcode) {
       case Opcode::kAdd: regs[dst] += regs[src]; break;
@@ -363,6 +372,9 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
           return fail(NotFoundError("helper " + std::to_string(insn.imm) + " does not exist"));
         }
         ++helper_calls;
+        if (prof != nullptr) {
+          prof->RecordHelper(insn.imm);
+        }
         if (const auto fault = RKD_FAILPOINT("vm.helper"); fault && fault->force_error) {
           return fail(InternalError("failpoint vm.helper: injected helper fault"));
         }
@@ -377,7 +389,14 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
       case Opcode::kMlCall: {
         ++ml_calls;
         const ModelPtr model = env_.models != nullptr ? env_.models->Get(insn.imm) : nullptr;
-        regs[dst] = model != nullptr ? model->Predict(state.vregs[src]) : kNoModelSentinel;
+        if (env_.tracer != nullptr && model != nullptr) {
+          ScopedSpan ml_span(env_.tracer, "ml.eval");
+          ml_span.Tag("model", insn.imm);
+          regs[dst] = model->Predict(state.vregs[src]);
+          ml_span.Tag("result", regs[dst]);
+        } else {
+          regs[dst] = model != nullptr ? model->Predict(state.vregs[src]) : kNoModelSentinel;
+        }
         if (const auto fault = RKD_FAILPOINT("ml.eval")) {
           // Simulated weight corruption: the model "computed" a wrong class.
           if (fault->force_error) {
@@ -405,6 +424,10 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
       }
       case Opcode::kOpcodeCount:
         return fail(InvalidArgumentError("invalid opcode"));
+    }
+
+    if (prof != nullptr) {
+      prof->RecordNs(insn.opcode, MonotonicNowNs() - op_start_ns);
     }
 
     pc = next_pc;

@@ -42,6 +42,32 @@ struct VmMetrics {
   static VmMetrics ForRegistry(TelemetryRegistry& registry);
 };
 
+// Per-program opcode/helper execution profile. Both tiers accumulate into it
+// only when VmEnv::profile is set — the fire path sets it solely for traced
+// fires, so the profile is a sampled picture of where an admitted program
+// spends its instructions (rkd_stats / rkd_trace render the top-N). Relaxed
+// atomics: concurrent traced fires never lose counts.
+struct OpcodeProfile {
+  static constexpr size_t kNumOpcodes = static_cast<size_t>(Opcode::kOpcodeCount);
+  static constexpr size_t kNumHelpers = static_cast<size_t>(HelperId::kHelperCount);
+
+  std::array<std::atomic<uint64_t>, kNumOpcodes> counts{};
+  std::array<std::atomic<uint64_t>, kNumOpcodes> ns{};
+  std::array<std::atomic<uint64_t>, kNumHelpers> helper_counts{};
+
+  void RecordCount(Opcode op, uint64_t n = 1) {
+    counts[static_cast<size_t>(op)].fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordNs(Opcode op, uint64_t dur) {
+    ns[static_cast<size_t>(op)].fetch_add(dur, std::memory_order_relaxed);
+  }
+  void RecordHelper(int64_t helper_id) {
+    if (helper_id >= 0 && helper_id < static_cast<int64_t>(kNumHelpers)) {
+      helper_counts[static_cast<size_t>(helper_id)].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
 // Everything an executing program can reach. All pointers are non-owning and
 // must outlive any Run() call; null members simply make the corresponding
 // instructions read as zero / drop writes.
@@ -56,6 +82,13 @@ struct VmEnv {
   std::function<const BytecodeProgram*(int64_t)> resolve_table;
   // Optional telemetry sink; null (the default) records nothing.
   const VmMetrics* metrics = nullptr;
+  // Causal tracing: set only for traced fires (see src/telemetry/span.h).
+  // When set, both tiers emit a "vm.exec"-nested "ml.eval" span per kMlCall.
+  Tracer* tracer = nullptr;
+  // Opcode/helper profile sink; set only for traced fires. The interpreter
+  // records per-opcode counts and wall time; the JIT records the same via
+  // its profiled frame loop (see CompiledProgram).
+  OpcodeProfile* profile = nullptr;
 };
 
 struct VmConfig {

@@ -522,6 +522,43 @@ TEST(VerifierTest, ReportsAllDiagnosticsNotJustFirst) {
   EXPECT_GE(report.diagnostics.size(), 3u);
 }
 
+// --- rkd.verifier.* telemetry ---
+
+TEST(VerifierTelemetryTest, CountsChecksRejectionsAndLatency) {
+  TelemetryRegistry telemetry;
+  Verifier verifier;
+  verifier.BindTelemetry(&telemetry);
+
+  Assembler good("good");
+  good.MovImm(0, 1);
+  good.Exit();
+  EXPECT_TRUE(verifier.Verify(MustBuild(good)).ok());
+
+  Assembler bad("bad");
+  bad.Add(0, 6);           // read-before-init -> dataflow rejection
+  bad.MapLookup(0, 2, 0);  // undeclared map -> resources rejection
+  bad.Exit();
+  const VerifyReport report = verifier.Verify(MustBuild(bad));
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.diags_by_kind[static_cast<size_t>(VerifyCheckKind::kDataflow)], 0u);
+  EXPECT_GT(report.diags_by_kind[static_cast<size_t>(VerifyCheckKind::kResources)], 0u);
+
+  EXPECT_EQ(telemetry.GetCounter("rkd.verifier.programs_checked")->value(), 2u);
+  EXPECT_EQ(telemetry.GetCounter("rkd.verifier.rejections")->value(), 1u);
+  EXPECT_GE(telemetry.GetCounter("rkd.verifier.reject.dataflow")->value(), 1u);
+  EXPECT_GE(telemetry.GetCounter("rkd.verifier.reject.resources")->value(), 1u);
+  EXPECT_EQ(telemetry.GetCounter("rkd.verifier.reject.privacy")->value(), 0u);
+  EXPECT_EQ(telemetry.GetHistogram("rkd.verifier.verify_ns")->count(), 2u);
+}
+
+TEST(VerifierTelemetryTest, UnboundVerifierRecordsNothing) {
+  Verifier verifier;  // no BindTelemetry
+  Assembler a("plain");
+  a.MovImm(0, 1);
+  a.Exit();
+  EXPECT_TRUE(verifier.Verify(MustBuild(a)).ok());  // must not crash
+}
+
 TEST(BudgetForHookTest, SchedulerBudgetIsTighterThanPrefetch) {
   const HookBudget sched = BudgetForHook(HookKind::kSchedMigrate);
   const HookBudget prefetch = BudgetForHook(HookKind::kMemPrefetch);

@@ -10,6 +10,7 @@
 //   $ build/tools/rkd_stats                 # both formats, 1000 fires
 //   $ build/tools/rkd_stats --fires=50000 --format=prom
 //   $ build/tools/rkd_stats --format=json
+//   $ build/tools/rkd_stats --dump          # + program dump with opcode profile
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,7 @@
 #include "src/bytecode/assembler.h"
 #include "src/rmt/control_plane.h"
 #include "src/rmt/guardian.h"
+#include "src/rmt/introspect.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/telemetry.h"
 
@@ -27,9 +29,12 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--fires=N] [--format=prom|json|both]\n"
+               "usage: %s [--fires=N] [--format=prom|json|both] [--sample=N] [--dump]\n"
                "  --fires=N   number of hook fires to record (default 1000)\n"
-               "  --format=F  export format (default both)\n",
+               "  --format=F  export format (default both)\n"
+               "  --sample=N  trace 1-in-N fires for the opcode profile (default 64)\n"
+               "  --dump      also print the program dump (tables, models,\n"
+               "              sampled opcode profile)\n",
                argv0);
 }
 
@@ -40,12 +45,18 @@ int main(int argc, char** argv) {
 
   uint64_t fires = 1000;
   std::string format = "both";
+  uint32_t sample_every = 64;
+  bool dump = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--fires=", 8) == 0) {
       fires = std::strtoull(arg + 8, nullptr, 10);
     } else if (std::strncmp(arg, "--format=", 9) == 0) {
       format = arg + 9;
+    } else if (std::strncmp(arg, "--sample=", 9) == 0) {
+      sample_every = static_cast<uint32_t>(std::strtoul(arg + 9, nullptr, 10));
+    } else if (std::strcmp(arg, "--dump") == 0) {
+      dump = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -79,6 +90,10 @@ int main(int argc, char** argv) {
   }
 
   HookRegistry hooks;
+  // Sample aggressively enough that the short demo fire loops leave an
+  // opcode profile behind (the datapath default of 1-in-1024 would trace
+  // almost nothing at --fires=1000).
+  hooks.telemetry().tracer().set_sample_every(sample_every);
   Result<HookId> hook = hooks.Register("demo.decision_point", HookKind::kGeneric);
   if (!hook.ok()) {
     std::fprintf(stderr, "hook registration failed: %s\n", hook.status().ToString().c_str());
@@ -132,6 +147,13 @@ int main(int argc, char** argv) {
 
   for (uint64_t i = 0; i < fires; ++i) {
     (void)hooks.Fire(*hook, static_cast<int64_t>(i % 2000));
+  }
+
+  if (dump) {
+    InstalledProgram* program = control_plane.Get(*handle);
+    if (program != nullptr) {
+      std::printf("%s\n", DumpProgram(*program).c_str());
+    }
   }
 
   const TelemetryRegistry& registry = hooks.telemetry();

@@ -1,0 +1,386 @@
+// rkd_trace: causal span tracing and flight-recorder demo over both sims.
+//
+// Runs a simulator substrate with span tracing enabled, then:
+//   1. exports the flight recorder as a Perfetto/Chrome trace-event JSON
+//      (load it at ui.perfetto.dev or chrome://tracing),
+//   2. prints a sample of the causal trees (hook fire -> table.lookup /
+//      vm.exec -> ml.eval) plus the top-N hottest span names,
+//   3. prints the per-program sampled opcode profile,
+//   4. forces a guardian trip under an armed failpoint and asserts that the
+//      flight recorder auto-dumped a trace naming the quarantined program.
+//
+//   $ build/tools/rkd_trace                    # both sims, full workloads
+//   $ build/tools/rkd_trace --quick            # CI smoke (seconds)
+//   $ build/tools/rkd_trace --sim=prefetch --out=prefetch_trace.json
+//
+// Exit code: 0 = every check held, 1 = a check failed, 2 = usage error.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/failpoints.h"
+#include "src/bytecode/isa.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+#include "src/rmt/guardian.h"
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/sched/cfs_sim.h"
+#include "src/sim/sched/rmt_oracle.h"
+#include "src/telemetry/span.h"
+#include "src/telemetry/trace_export.h"
+#include "src/workloads/access_trace.h"
+#include "src/workloads/cpu_jobs.h"
+
+namespace {
+
+using namespace rkd;
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what, const std::string& detail = "") {
+  std::printf("  [%s] %s%s%s\n", ok ? "ok" : "FAIL", what, detail.empty() ? "" : ": ",
+              detail.c_str());
+  if (!ok) {
+    ++g_failures;
+  }
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--sim=prefetch|sched|both] [--quick] [--out=PREFIX]\n"
+               "          [--sample=N] [--top=N] [--flight-dir=DIR]\n"
+               "  --sim=S         which substrate to trace (default both)\n"
+               "  --quick         smaller workloads (CI smoke)\n"
+               "  --out=PREFIX    trace files PREFIX_<sim>.json (default rkd_trace)\n"
+               "  --sample=N      trace 1-in-N hook fires (default 4)\n"
+               "  --top=N         hottest spans/opcodes listed (default 10)\n"
+               "  --flight-dir=D  guardian flight-recorder dump dir (default .)\n",
+               argv0);
+}
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans, const char* name,
+                           uint64_t parent_id) {
+  for (const SpanRecord& span : spans) {
+    if (std::strcmp(span.name, name) == 0 && (parent_id == 0 || span.parent_id == parent_id)) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+// Asserts one complete causal chain hook -> {table.lookup, vm.exec} and, when
+// `expect_ml` is set, vm.exec -> ml.eval — the acceptance shape of one traced
+// fire of `hook_span_name`.
+void CheckCausalChain(const std::vector<SpanRecord>& spans, const char* hook_span_name,
+                      bool expect_ml) {
+  // Walk every traced fire of this hook, accumulating evidence per causal
+  // edge: ring wraparound evicts a tree's earliest-pushed children first, so
+  // one root may retain vm.exec but not table.lookup while another retains
+  // both. Stop early only on a root whose tree is complete.
+  const SpanRecord* found_exec = nullptr;
+  const SpanRecord* found_ml = nullptr;
+  bool found_lookup = false;
+  for (const SpanRecord& root : spans) {
+    if (std::strcmp(root.name, hook_span_name) != 0 || root.parent_id != 0) {
+      continue;
+    }
+    const SpanRecord* lookup = FindSpan(spans, "table.lookup", root.span_id);
+    const SpanRecord* exec = FindSpan(spans, "vm.exec", root.span_id);
+    if (lookup != nullptr) {
+      found_lookup = true;
+    }
+    if (exec == nullptr) {
+      continue;
+    }
+    found_exec = exec;
+    if (const SpanRecord* ml = FindSpan(spans, "ml.eval", exec->span_id); ml != nullptr) {
+      found_ml = ml;
+    }
+    if (found_lookup && lookup != nullptr && (!expect_ml || found_ml != nullptr)) {
+      break;
+    }
+  }
+  Check(found_lookup, "table.lookup nests under the hook span", hook_span_name);
+  Check(found_exec != nullptr, "vm.exec nests under the hook span", hook_span_name);
+  if (expect_ml) {
+    Check(found_ml != nullptr, "ml.eval nests under vm.exec", hook_span_name);
+  }
+  if (found_exec != nullptr) {
+    const SpanRecord* root = nullptr;
+    for (const SpanRecord& span : spans) {
+      if (span.span_id == found_exec->parent_id) {
+        root = &span;
+        break;
+      }
+    }
+    Check(root != nullptr && found_exec->start_ns >= root->start_ns &&
+              found_exec->end_ns <= root->end_ns,
+          "child span is time-contained in its parent", hook_span_name);
+  }
+}
+
+void PrintHottest(const std::vector<SpanRecord>& spans, size_t top) {
+  std::printf("  hottest spans:\n");
+  const std::vector<SpanAggregate> aggregates = AggregateSpans(spans);
+  size_t listed = 0;
+  for (const SpanAggregate& agg : aggregates) {
+    if (listed++ >= top) {
+      break;
+    }
+    std::printf("    %-24s %8llu spans  %12llu ns total  %10llu ns max\n", agg.name.c_str(),
+                static_cast<unsigned long long>(agg.count),
+                static_cast<unsigned long long>(agg.total_ns),
+                static_cast<unsigned long long>(agg.max_ns));
+  }
+}
+
+void PrintOpcodeProfile(const char* program, const OpcodeProfile& profile, size_t top) {
+  struct Row {
+    Opcode op;
+    uint64_t count;
+    uint64_t ns;
+  };
+  std::vector<Row> rows;
+  for (size_t i = 0; i < OpcodeProfile::kNumOpcodes; ++i) {
+    const uint64_t count = profile.counts[i].load(std::memory_order_relaxed);
+    if (count > 0) {
+      rows.push_back(Row{static_cast<Opcode>(i), count,
+                         profile.ns[i].load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.count > b.count;
+  });
+  std::printf("  opcode profile for '%s' (sampled):\n", program);
+  size_t listed = 0;
+  for (const Row& row : rows) {
+    if (listed++ >= top) {
+      break;
+    }
+    std::printf("    %-12s %10llu execs  %12llu ns cumulative\n",
+                std::string(OpcodeName(row.op)).c_str(),
+                static_cast<unsigned long long>(row.count),
+                static_cast<unsigned long long>(row.ns));
+  }
+  Check(!rows.empty(), "opcode profile populated by traced fires", program);
+}
+
+bool WriteTrace(const std::vector<SpanRecord>& spans, const std::string& path) {
+  TraceExportOptions options;
+  const bool ok = WriteTextFile(path, ExportPerfettoTrace(spans, options));
+  Check(ok, "wrote Perfetto trace", path);
+  return ok;
+}
+
+// --- Scenario 1: the ML prefetcher on the demand-paging simulator ---
+
+void TracePrefetcher(bool quick, const std::string& out_prefix, uint32_t sample, size_t top,
+                     const std::string& flight_dir) {
+  std::printf("=== prefetcher trace (MemorySim + RmtMlPrefetcher) ===\n");
+
+  Rng rng(2021);
+  VideoResizeConfig video;
+  if (quick) {
+    video.frames = 8;
+  }
+  const AccessTrace trace = MakeVideoResizeTrace(video, rng);
+  MemSimConfig mem_config;
+  mem_config.frame_capacity = 192;
+
+  RmtMlPrefetcher prefetcher;
+  if (const Status status = prefetcher.Init(); !status.ok()) {
+    Check(false, "init ml prefetcher", status.ToString());
+    return;
+  }
+  Tracer& tracer = prefetcher.hooks().telemetry().tracer();
+  tracer.set_sample_every(sample);
+
+  MemorySim sim(mem_config, &prefetcher);
+  const MemMetrics metrics = sim.Run(trace);
+  std::printf("  run: %.3fs, accuracy %.1f%%, %llu spans recorded (%llu dropped)\n",
+              metrics.completion_seconds(), metrics.accuracy() * 100.0,
+              static_cast<unsigned long long>(tracer.spans_recorded()),
+              static_cast<unsigned long long>(tracer.spans_dropped()));
+
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  Check(!spans.empty(), "spans recorded");
+  // The prefetch decision rides the single-Fire path, so its causal tree is
+  // the full acceptance chain; ml.eval only appears once a window trained.
+  CheckCausalChain(spans, "hook.mm.swap_cluster_readahead",
+                   prefetcher.windows_trained() > 0);
+  WriteTrace(spans, out_prefix + "_prefetch.json");
+
+  std::printf("%s", RenderSpanTree(spans, 2).c_str());
+  PrintHottest(spans, top);
+  InstalledProgram* program = prefetcher.control_plane().Get(prefetcher.handle());
+  if (program != nullptr) {
+    PrintOpcodeProfile(program->name().c_str(), program->opcode_profile(), top);
+  }
+
+  // --- Forced guardian trip: helper faults until quarantine, then assert the
+  // flight recorder auto-dumped a trace naming the offending program. ---
+  std::printf("  forcing a guardian trip (vm.helper=always+error)...\n");
+  PolicyGuardian guardian(&prefetcher.control_plane());
+  guardian.set_flight_recorder_dir(flight_dir);
+  BreakerConfig breaker;
+  breaker.window_execs = 16;
+  breaker.max_error_rate = 0.2;
+  breaker.max_trips = 1;  // first trip quarantines
+  if (const Status status = guardian.Guard(prefetcher.handle(), breaker); !status.ok()) {
+    Check(false, "guard prefetcher program", status.ToString());
+    return;
+  }
+  {
+    FailpointSpec fault;
+    fault.mode = FailpointMode::kAlways;
+    fault.force_error = true;
+    ScopedFailpoint burst("vm.helper", fault);
+    MemorySim faulted_sim(mem_config, &prefetcher);
+    (void)faulted_sim.Run(trace);
+  }
+  const PolicyGuardian::TickSummary summary = guardian.Tick();
+  for (const PolicyGuardian::GuardEvent& event : summary.transitions) {
+    std::printf("  guardian: %s %s -> %s (%s)\n", event.program.c_str(),
+                std::string(GuardStateName(event.from)).c_str(),
+                std::string(GuardStateName(event.to)).c_str(), event.reason.c_str());
+  }
+  Check(guardian.StateOf(prefetcher.handle()) == GuardState::kQuarantined,
+        "guardian quarantines the faulting program");
+  Check(!guardian.last_flight_dump().empty(), "flight recorder auto-dumped",
+        guardian.last_flight_dump());
+  if (!guardian.last_flight_dump().empty()) {
+    std::FILE* dump = std::fopen(guardian.last_flight_dump().c_str(), "rb");
+    Check(dump != nullptr, "flight dump file exists", guardian.last_flight_dump());
+    if (dump != nullptr) {
+      std::string contents;
+      char buffer[4096];
+      size_t n = 0;
+      while ((n = std::fread(buffer, 1, sizeof(buffer), dump)) > 0) {
+        contents.append(buffer, n);
+      }
+      std::fclose(dump);
+      Check(contents.find("rmt_prefetch_prog") != std::string::npos,
+            "flight dump names the quarantined program");
+      Check(contents.find("traceEvents") != std::string::npos,
+            "flight dump is a trace-event JSON");
+    }
+  }
+}
+
+// --- Scenario 2: the migration oracle on the CFS simulator ---
+
+void TraceScheduler(bool quick, const std::string& out_prefix, uint32_t sample, size_t top) {
+  std::printf("=== scheduler trace (CfsSim + RmtMigrationOracle) ===\n");
+
+  JobConfig job_config;
+  if (quick) {
+    job_config.num_tasks = 8;
+    job_config.base_work = 500;
+  }
+  const JobSpec job = MakeJob(JobKind::kStreamcluster, job_config);
+  SchedConfig sched_config;
+  CfsSim sim(sched_config);
+
+  Dataset train = CollectMigrationDataset(sched_config, job);
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {16, 16};
+  mlp_config.epochs = quick ? 20 : 40;
+  Result<Mlp> mlp = Mlp::Train(train, mlp_config);
+  if (!mlp.ok()) {
+    Check(false, "train migration model", mlp.status().ToString());
+    return;
+  }
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  if (!quantized.ok()) {
+    Check(false, "quantize migration model", quantized.status().ToString());
+    return;
+  }
+  RmtMigrationOracle oracle;
+  Status status = oracle.Init();
+  if (status.ok()) {
+    status = oracle.InstallModel(
+        std::make_shared<QuantizedMlp>(std::move(quantized).value()));
+  }
+  if (!status.ok()) {
+    Check(false, "install migration oracle", status.ToString());
+    return;
+  }
+  Tracer& tracer = oracle.hooks().telemetry().tracer();
+  tracer.set_sample_every(sample);
+
+  const SchedMetrics metrics = sim.Run(job, oracle.AsOracle());
+  std::printf("  run: %llu ticks, %llu decisions, %llu spans recorded\n",
+              static_cast<unsigned long long>(metrics.ticks),
+              static_cast<unsigned long long>(metrics.decisions),
+              static_cast<unsigned long long>(tracer.spans_recorded()));
+
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  Check(!spans.empty(), "spans recorded");
+  CheckCausalChain(spans, "hook.sched.can_migrate_task", /*expect_ml=*/true);
+  WriteTrace(spans, out_prefix + "_sched.json");
+
+  std::printf("%s", RenderSpanTree(spans, 2).c_str());
+  PrintHottest(spans, top);
+  InstalledProgram* program = oracle.control_plane().Get(oracle.handle());
+  if (program != nullptr) {
+    PrintOpcodeProfile(program->name().c_str(), program->opcode_profile(), top);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sim = "both";
+  std::string out_prefix = "rkd_trace";
+  std::string flight_dir = ".";
+  bool quick = false;
+  uint32_t sample = 4;
+  size_t top = 10;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--sim=", 6) == 0) {
+      sim = arg + 6;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_prefix = arg + 6;
+    } else if (std::strncmp(arg, "--sample=", 9) == 0) {
+      sample = static_cast<uint32_t>(std::strtoul(arg + 9, nullptr, 10));
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
+      top = std::strtoull(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "--flight-dir=", 13) == 0) {
+      flight_dir = arg + 13;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (sim != "prefetch" && sim != "sched" && sim != "both") {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (sample == 0) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  if (sim == "prefetch" || sim == "both") {
+    TracePrefetcher(quick, out_prefix, sample, top, flight_dir);
+  }
+  if (sim == "sched" || sim == "both") {
+    TraceScheduler(quick, out_prefix, sample, top);
+  }
+
+  if (g_failures > 0) {
+    std::printf("\nrkd_trace: %d check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("\nrkd_trace: all checks held\n");
+  return 0;
+}
