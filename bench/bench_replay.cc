@@ -1,0 +1,235 @@
+// M: replay throughput microbenchmark.
+//
+// The shadow gate runs in CI and in the control plane's admission path, so
+// replay must stay cheap: re-firing one recorded event through the sandbox
+// (hook dispatch + table match + action exec + divergence bookkeeping) is
+// the unit of cost. This bench builds a synthetic corpus, replays it on
+// both VM tiers, and ASSERTS a minimum events/sec throughput — a regression
+// that drags an allocation or a reverify into the per-record loop fails the
+// binary, not just a dashboard. Corpus parse throughput (CRC + decode) is
+// reported alongside.
+//
+// Results land in BENCH_replay.json (override with --out=FILE); pass
+// --benchmark to run the google-benchmark reporters instead.
+//
+// Budget rationale: one replayed fire measured ~0.3-1.5 us on the reference
+// container (dominated by hook dispatch + VM exec). The asserted floor of
+// 100k events/sec (10 us/event) leaves ~10-30x headroom for CI noise while
+// still catching an accidental O(corpus) or reverify-per-record blowup.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/stats.h"
+#include "src/bytecode/assembler.h"
+#include "src/replay/experience_log.h"
+#include "src/replay/replay.h"
+
+namespace rkd {
+namespace {
+
+constexpr double kMinEventsPerSec = 100'000.0;
+constexpr uint64_t kCorpusFires = 100'000;
+
+// A corpus of `fires` generic-hook records whose incumbent always decided 7,
+// half of them labeled, and the matching constant-7 candidate — replay cost
+// without simulator noise.
+ExperienceLog MakeSyntheticCorpus(uint64_t fires) {
+  ExperienceLog log;
+  log.source = "bench";
+  ExperienceHookInfo hook;
+  hook.name = "bench.hook";
+  hook.kind = HookKind::kGeneric;
+  hook.decision_source = DecisionSource::kResult;
+  hook.label_kind = "synthetic";
+  log.hooks.push_back(hook);
+  log.records.reserve(fires);
+  for (uint64_t i = 0; i < fires; ++i) {
+    ExperienceRecord rec;
+    rec.kind = ExperienceRecordKind::kFire;
+    rec.hook_index = 0;
+    rec.vtime = i;
+    rec.key = i % 509;
+    rec.num_args = 1;
+    rec.args[0] = static_cast<int64_t>(i);
+    rec.action = 7;
+    if (i % 2 == 0) {
+      rec.flags = kExperienceLabeled | kExperienceRecordedMatch;
+      rec.label = 7;
+    }
+    log.records.push_back(std::move(rec));
+  }
+  return log;
+}
+
+RmtProgramSpec MakeCandidate() {
+  Assembler a("bench_const", HookKind::kGeneric);
+  a.MovImm(0, 7);
+  a.Exit();
+  RmtProgramSpec spec;
+  spec.name = "bench_replay_prog";
+  RmtTableSpec table;
+  table.name = "bench_tab";
+  table.hook_point = "bench.hook";
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+// Best-of-`runs` replay throughput in events/sec (best shrugs off one-off
+// scheduler blips; the asserted floor is far below any honest run).
+double ReplayEventsPerSec(const ExperienceLog& log, const RmtProgramSpec& spec,
+                          ExecTier tier, int runs, double* out_match_rate) {
+  ReplayEngine engine;
+  ReplayOptions options;
+  options.tier = tier;
+  double best = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    const uint64_t start = MonotonicNowNs();
+    Result<DivergenceReport> report = engine.Replay(log, spec, options);
+    const uint64_t elapsed = MonotonicNowNs() - start;
+    if (!report.ok()) {
+      std::fprintf(stderr, "FAIL: replay: %s\n", report.status().ToString().c_str());
+      return 0.0;
+    }
+    if (out_match_rate != nullptr) {
+      *out_match_rate = report->decision_match_rate();
+    }
+    const double events_per_sec =
+        static_cast<double>(log.fire_count()) * 1e9 / static_cast<double>(elapsed);
+    best = events_per_sec > best ? events_per_sec : best;
+  }
+  return best;
+}
+
+// --- google-benchmark reporting (--benchmark) ------------------------------
+
+void BM_ReplayCorpusJit(benchmark::State& state) {
+  const ExperienceLog log = MakeSyntheticCorpus(4'096);
+  const RmtProgramSpec spec = MakeCandidate();
+  ReplayEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Replay(log, spec));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4'096);
+}
+BENCHMARK(BM_ReplayCorpusJit);
+
+void BM_DeserializeCorpus(benchmark::State& state) {
+  ExperienceLog log = MakeSyntheticCorpus(4'096);
+  const std::vector<uint8_t> bytes = std::move(SerializeExperienceLog(log)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeserializeExperienceLog(bytes));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DeserializeCorpus);
+
+// --- asserted throughput + JSON emission -----------------------------------
+
+int RunThroughputCheck(const std::string& out_path) {
+  ExperienceLog log = MakeSyntheticCorpus(kCorpusFires);
+  const RmtProgramSpec spec = MakeCandidate();
+
+  double match_rate = 0.0;
+  const double jit_eps = ReplayEventsPerSec(log, spec, ExecTier::kJit, 3, &match_rate);
+  const double interp_eps =
+      ReplayEventsPerSec(log, spec, ExecTier::kInterpreter, 3, nullptr);
+
+  // Parse throughput: CRC + decode of the serialized corpus.
+  const std::vector<uint8_t> bytes = std::move(SerializeExperienceLog(log)).value();
+  double parse_mb_per_sec = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    const uint64_t start = MonotonicNowNs();
+    Result<ExperienceLog> parsed = DeserializeExperienceLog(bytes);
+    const uint64_t elapsed = MonotonicNowNs() - start;
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "FAIL: parse: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    const double mb_per_sec =
+        static_cast<double>(bytes.size()) * 1e9 / 1e6 / static_cast<double>(elapsed);
+    parse_mb_per_sec = mb_per_sec > parse_mb_per_sec ? mb_per_sec : parse_mb_per_sec;
+  }
+
+  std::printf("corpus: %" PRIu64 " fires, %zu bytes serialized\n",
+              static_cast<uint64_t>(kCorpusFires), bytes.size());
+  std::printf("replay jit:         %12.0f events/sec (floor %.0f)\n", jit_eps,
+              kMinEventsPerSec);
+  std::printf("replay interpreter: %12.0f events/sec (floor %.0f)\n", interp_eps,
+              kMinEventsPerSec);
+  std::printf("corpus parse:       %12.1f MB/sec\n", parse_mb_per_sec);
+
+  int failures = 0;
+  if (match_rate != 1.0) {
+    std::fprintf(stderr, "FAIL: constant candidate must match its own corpus (got %f)\n",
+                 match_rate);
+    ++failures;
+  }
+  if (jit_eps < kMinEventsPerSec) {
+    std::fprintf(stderr,
+                 "FAIL: jit replay %.0f events/sec below the %.0f floor — did the "
+                 "per-record loop grow an allocation or a reverify?\n",
+                 jit_eps, kMinEventsPerSec);
+    ++failures;
+  }
+  if (interp_eps < kMinEventsPerSec) {
+    std::fprintf(stderr, "FAIL: interpreter replay %.0f events/sec below the %.0f floor\n",
+                 interp_eps, kMinEventsPerSec);
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("throughput checks: OK\n");
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"replay\",\n"
+               "  \"corpus_fires\": %" PRIu64 ",\n"
+               "  \"corpus_bytes\": %zu,\n"
+               "  \"replay_jit_events_per_sec\": %.0f,\n"
+               "  \"replay_interpreter_events_per_sec\": %.0f,\n"
+               "  \"parse_mb_per_sec\": %.1f,\n"
+               "  \"min_events_per_sec\": %.0f,\n"
+               "  \"ok\": %s\n"
+               "}\n",
+               static_cast<uint64_t>(kCorpusFires), bytes.size(), jit_eps, interp_eps,
+               parse_mb_per_sec, kMinEventsPerSec, failures == 0 ? "true" : "false");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rkd
+
+int main(int argc, char** argv) {
+  bool gbench = false;
+  std::string out_path = "BENCH_replay.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      gbench = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return rkd::RunThroughputCheck(out_path);
+}

@@ -24,6 +24,15 @@ namespace rkd {
 // keeps its model alive across a concurrent swap.
 class ModelSlot {
  public:
+  // A coherent (model, version) pair taken under one lock. Readers that need
+  // to attribute observations to a model generation must use GetWithVersion;
+  // calling Get() and version() separately can pair a new model with a stale
+  // version (or vice versa) across a concurrent Set().
+  struct VersionedModel {
+    ModelPtr model;
+    uint64_t version = 0;
+  };
+
   void Set(ModelPtr model) {
     std::lock_guard<std::mutex> lock(mutex_);
     model_ = std::move(model);
@@ -35,7 +44,15 @@ class ModelSlot {
     return model_;
   }
 
-  uint64_t version() const { return version_.load(); }
+  VersionedModel GetWithVersion() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {model_, version_};
+  }
+
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return version_;
+  }
   bool HasModel() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return model_ != nullptr;
@@ -44,7 +61,7 @@ class ModelSlot {
  private:
   mutable std::mutex mutex_;
   ModelPtr model_;
-  std::atomic<uint64_t> version_{0};
+  uint64_t version_ = 0;  // guarded by mutex_, same critical section as model_
 };
 
 struct WindowedTrainerConfig {

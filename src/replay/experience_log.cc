@@ -1,0 +1,271 @@
+#include "src/replay/experience_log.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "src/base/bytes.h"
+#include "src/base/failpoints.h"
+
+namespace rkd {
+namespace {
+
+// Standard CRC-32 table (reflected 0xEDB88320), built once.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string OffsetMessage(std::string_view what, size_t offset) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.*s (record at offset %zu)",
+                static_cast<int>(what.size()), what.data(), offset);
+  return std::string(buf);
+}
+
+void SerializeRecord(const ExperienceRecord& rec, ByteWriter& w) {
+  w.Put<uint8_t>(static_cast<uint8_t>(rec.kind));
+  switch (rec.kind) {
+    case ExperienceRecordKind::kFire:
+      w.Put<uint32_t>(rec.hook_index);
+      w.Put<uint64_t>(rec.vtime);
+      w.Put<uint64_t>(rec.key);
+      w.Put<uint8_t>(rec.num_args);
+      for (uint8_t i = 0; i < rec.num_args && i < kExperienceMaxArgs; ++i) {
+        w.Put<int64_t>(rec.args[i]);
+      }
+      w.Put<int64_t>(rec.action);
+      w.Put<uint8_t>(rec.flags);
+      w.Put<int64_t>(rec.label);
+      w.PutArray<int32_t>(rec.ctxt_features);
+      break;
+    case ExperienceRecordKind::kMapWrite:
+      w.Put<int64_t>(rec.map_id);
+      w.Put<int64_t>(rec.map_key);
+      w.Put<int64_t>(rec.map_value);
+      break;
+    case ExperienceRecordKind::kModelInstall:
+      w.Put<int64_t>(rec.model_slot);
+      w.PutArray<uint8_t>(rec.model_bytes);
+      break;
+  }
+}
+
+Result<ExperienceRecord> ParseRecord(std::span<const uint8_t> payload, size_t offset) {
+  ByteReader r(payload);
+  ExperienceRecord rec;
+  RKD_ASSIGN_OR_RETURN(uint8_t kind, r.Get<uint8_t>());
+  if (kind > static_cast<uint8_t>(ExperienceRecordKind::kModelInstall)) {
+    return InvalidArgumentError(OffsetMessage("experience log: unknown record kind", offset));
+  }
+  rec.kind = static_cast<ExperienceRecordKind>(kind);
+  switch (rec.kind) {
+    case ExperienceRecordKind::kFire: {
+      RKD_ASSIGN_OR_RETURN(rec.hook_index, r.Get<uint32_t>());
+      RKD_ASSIGN_OR_RETURN(rec.vtime, r.Get<uint64_t>());
+      RKD_ASSIGN_OR_RETURN(rec.key, r.Get<uint64_t>());
+      RKD_ASSIGN_OR_RETURN(rec.num_args, r.Get<uint8_t>());
+      if (rec.num_args > kExperienceMaxArgs) {
+        return InvalidArgumentError(
+            OffsetMessage("experience log: fire record arg count out of range", offset));
+      }
+      for (uint8_t i = 0; i < rec.num_args; ++i) {
+        RKD_ASSIGN_OR_RETURN(rec.args[i], r.Get<int64_t>());
+      }
+      RKD_ASSIGN_OR_RETURN(rec.action, r.Get<int64_t>());
+      RKD_ASSIGN_OR_RETURN(rec.flags, r.Get<uint8_t>());
+      RKD_ASSIGN_OR_RETURN(rec.label, r.Get<int64_t>());
+      RKD_ASSIGN_OR_RETURN(rec.ctxt_features, r.GetArray<int32_t>());
+      break;
+    }
+    case ExperienceRecordKind::kMapWrite: {
+      RKD_ASSIGN_OR_RETURN(rec.map_id, r.Get<int64_t>());
+      RKD_ASSIGN_OR_RETURN(rec.map_key, r.Get<int64_t>());
+      RKD_ASSIGN_OR_RETURN(rec.map_value, r.Get<int64_t>());
+      break;
+    }
+    case ExperienceRecordKind::kModelInstall: {
+      RKD_ASSIGN_OR_RETURN(rec.model_slot, r.Get<int64_t>());
+      RKD_ASSIGN_OR_RETURN(rec.model_bytes, r.GetArray<uint8_t>());
+      break;
+    }
+  }
+  if (!r.AtEnd()) {
+    return InvalidArgumentError(
+        OffsetMessage("experience log: trailing bytes inside record", offset));
+  }
+  return rec;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes, uint32_t seed) {
+  const auto& table = Crc32Table();
+  uint32_t crc = seed ^ 0xffffffffu;
+  for (const uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Result<std::vector<uint8_t>> SerializeExperienceLog(ExperienceLog& log) {
+  if (auto fault = RKD_FAILPOINT("replay.log_write"); fault && fault->force_error) {
+    return InternalError("injected experience log write fault");
+  }
+  ByteWriter header;
+  header.Put<uint32_t>(kExperienceMagic);
+  header.Put<uint32_t>(kExperienceVersion);
+  header.PutString(log.source);
+  header.Put<uint32_t>(static_cast<uint32_t>(log.hooks.size()));
+  for (const ExperienceHookInfo& hook : log.hooks) {
+    header.PutString(hook.name);
+    header.Put<uint8_t>(static_cast<uint8_t>(hook.kind));
+    header.Put<uint8_t>(static_cast<uint8_t>(hook.decision_source));
+    header.PutString(hook.label_kind);
+  }
+  header.Put<uint64_t>(log.records.size());
+
+  std::vector<uint8_t> out = header.Take();
+  for (const ExperienceRecord& rec : log.records) {
+    ByteWriter body;
+    SerializeRecord(rec, body);
+    const std::vector<uint8_t>& payload = body.bytes();
+    ByteWriter frame;
+    frame.Put<uint32_t>(static_cast<uint32_t>(payload.size()));
+    frame.Put<uint32_t>(Crc32(payload));
+    out.insert(out.end(), frame.bytes().begin(), frame.bytes().end());
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+
+  if (auto fault = RKD_FAILPOINT("replay.log_write"); fault && fault->corrupt_xor != 0) {
+    // Deterministic bit rot: flip bits in the middle of the stream, which
+    // lands inside a record payload and must surface as a CRC mismatch on
+    // read, never as a crash or a silently shortened corpus.
+    out[out.size() / 2] ^= static_cast<uint8_t>(fault->corrupt_xor);
+  }
+  log.fingerprint = Crc32(out);
+  return out;
+}
+
+Result<ExperienceLog> DeserializeExperienceLog(std::span<const uint8_t> bytes) {
+  std::vector<uint8_t> corrupted;  // backing store when a failpoint flips bits
+  if (auto fault = RKD_FAILPOINT("replay.log_read")) {
+    if (fault->force_error) {
+      return InternalError("injected experience log read fault");
+    }
+    if (fault->corrupt_xor != 0 && !bytes.empty()) {
+      corrupted.assign(bytes.begin(), bytes.end());
+      corrupted[corrupted.size() / 2] ^= static_cast<uint8_t>(fault->corrupt_xor);
+      bytes = corrupted;
+    }
+  }
+
+  ExperienceLog log;
+  ByteReader r(bytes);
+  RKD_ASSIGN_OR_RETURN(uint32_t magic, r.Get<uint32_t>());
+  if (magic != kExperienceMagic) {
+    return InvalidArgumentError("experience log: bad magic (not an RKDR corpus)");
+  }
+  RKD_ASSIGN_OR_RETURN(uint32_t version, r.Get<uint32_t>());
+  if (version != kExperienceVersion) {
+    return InvalidArgumentError(
+        "experience log: version mismatch (got " + std::to_string(version) +
+        ", want " + std::to_string(kExperienceVersion) + ")");
+  }
+  RKD_ASSIGN_OR_RETURN(log.source, r.GetString());
+  RKD_ASSIGN_OR_RETURN(uint32_t num_hooks, r.Get<uint32_t>());
+  if (num_hooks > 1024) {
+    return InvalidArgumentError("experience log: hook count out of range");
+  }
+  log.hooks.reserve(num_hooks);
+  for (uint32_t i = 0; i < num_hooks; ++i) {
+    ExperienceHookInfo hook;
+    RKD_ASSIGN_OR_RETURN(hook.name, r.GetString());
+    RKD_ASSIGN_OR_RETURN(uint8_t kind, r.Get<uint8_t>());
+    hook.kind = static_cast<HookKind>(kind);
+    RKD_ASSIGN_OR_RETURN(uint8_t source, r.Get<uint8_t>());
+    if (source > static_cast<uint8_t>(DecisionSource::kFirstEmit)) {
+      return InvalidArgumentError("experience log: unknown decision source");
+    }
+    hook.decision_source = static_cast<DecisionSource>(source);
+    RKD_ASSIGN_OR_RETURN(hook.label_kind, r.GetString());
+    log.hooks.push_back(std::move(hook));
+  }
+  RKD_ASSIGN_OR_RETURN(uint64_t num_records, r.Get<uint64_t>());
+
+  // Record frames are consumed with an explicit cursor so every error can
+  // name the byte offset of the frame it choked on.
+  size_t pos = bytes.size() - r.remaining();
+  log.records.reserve(num_records < (1u << 22) ? num_records : 0);
+  for (uint64_t i = 0; i < num_records; ++i) {
+    const size_t offset = pos;
+    if (bytes.size() - pos < 8) {
+      return OutOfRangeError(
+          OffsetMessage("experience log: truncated record frame", offset));
+    }
+    uint32_t length = 0;
+    uint32_t want_crc = 0;
+    std::memcpy(&length, &bytes[pos], sizeof(length));
+    std::memcpy(&want_crc, &bytes[pos + 4], sizeof(want_crc));
+    pos += 8;
+    if (length > bytes.size() - pos) {
+      return OutOfRangeError(
+          OffsetMessage("experience log: truncated record payload", offset));
+    }
+    std::span<const uint8_t> payload = bytes.subspan(pos, length);
+    pos += length;
+    if (Crc32(payload) != want_crc) {
+      return InvalidArgumentError(
+          OffsetMessage("experience log: record checksum mismatch", offset));
+    }
+    RKD_ASSIGN_OR_RETURN(ExperienceRecord rec, ParseRecord(payload, offset));
+    if (rec.kind == ExperienceRecordKind::kFire && rec.hook_index >= log.hooks.size()) {
+      return InvalidArgumentError(
+          OffsetMessage("experience log: fire record names unknown hook", offset));
+    }
+    log.records.push_back(std::move(rec));
+  }
+  if (pos != bytes.size()) {
+    return InvalidArgumentError(
+        OffsetMessage("experience log: trailing bytes after last record", pos));
+  }
+  log.fingerprint = Crc32(bytes);
+  return log;
+}
+
+Status WriteExperienceLog(const std::string& path, ExperienceLog& log) {
+  RKD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, SerializeExperienceLog(log));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return InternalError("experience log: cannot open for write: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return InternalError("experience log: short write: " + path);
+  }
+  return OkStatus();
+}
+
+Result<ExperienceLog> ReadExperienceLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("experience log: cannot open: " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return DeserializeExperienceLog(bytes);
+}
+
+}  // namespace rkd

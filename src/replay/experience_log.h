@@ -1,0 +1,141 @@
+// The experience corpus: a versioned, checksummed, length-prefixed binary
+// log of everything that happened at the hook points during one recorded
+// run.
+//
+// The paper's control plane keeps swapping learned programs into live hook
+// points; the expensive question is whether a candidate is safe and better
+// BEFORE it touches traffic. KML answers this for storage ML by validating
+// models offline against captured workload traces — this log is that
+// capture. Three record kinds interleave in arrival order:
+//
+//   kFire          one hook fire: (hook, virtual time, key, args), the
+//                  decision the incumbent made, an optional outcome label
+//                  the simulator resolved after the fact ("the page actually
+//                  accessed next", "what the stock heuristic said"), and an
+//                  optional pre-fire context-feature snapshot for hooks whose
+//                  actions read externally-written state.
+//   kMapWrite      a control-plane map write (knob moves, vocabulary
+//                  publishes) — replayed so candidate actions read the same
+//                  configuration the incumbent did at that point in time.
+//   kModelInstall  a serialized model push (src/ml/serialize wire form) —
+//                  replayed so kMlCall resolves the same model the incumbent
+//                  had installed at that point in the stream.
+//
+// Every record is length-prefixed and CRC32-guarded, so a truncated,
+// bit-flipped, or version-skewed corpus is a structured Status error naming
+// the failing byte offset — never a crash, never a silently dropped tail.
+#ifndef SRC_REPLAY_EXPERIENCE_LOG_H_
+#define SRC_REPLAY_EXPERIENCE_LOG_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+
+namespace rkd {
+
+inline constexpr uint32_t kExperienceMagic = 0x52444b52;  // "RKDR"
+inline constexpr uint32_t kExperienceVersion = 1;
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Shared by the record guard and
+// the whole-corpus fingerprint the DivergenceReport embeds.
+uint32_t Crc32(std::span<const uint8_t> bytes, uint32_t seed = 0);
+
+// How a hook's "decision" is derived, both at record time and at replay
+// time. The two sides MUST agree, so the choice is stamped into the corpus
+// header per hook.
+enum class DecisionSource : uint8_t {
+  kResult = 0,     // the hook's Fire() return value (sched.can_migrate_task)
+  kFirstEmit = 1,  // first page pushed through prefetch_emit (-1 when none)
+};
+
+// One hook point of the recorded registry. Replay re-registers hooks with
+// these names/kinds in a sandboxed HookRegistry, in index order.
+struct ExperienceHookInfo {
+  std::string name;
+  HookKind kind = HookKind::kGeneric;
+  DecisionSource decision_source = DecisionSource::kResult;
+  std::string label_kind;  // human-readable label semantic ("" = unlabeled hook)
+};
+
+enum class ExperienceRecordKind : uint8_t {
+  kFire = 0,
+  kMapWrite = 1,
+  kModelInstall = 2,
+};
+
+// Fire-record flags.
+inline constexpr uint8_t kExperienceLabeled = 1u << 0;
+// The incumbent's decision satisfied the label at record time (the baseline
+// the counterfactual score is compared against).
+inline constexpr uint8_t kExperienceRecordedMatch = 1u << 1;
+
+inline constexpr size_t kExperienceMaxArgs = 4;
+
+// One log record. Flat struct covering all three kinds; which fields are
+// meaningful depends on `kind`.
+struct ExperienceRecord {
+  ExperienceRecordKind kind = ExperienceRecordKind::kFire;
+
+  // kFire fields.
+  uint32_t hook_index = 0;
+  uint64_t vtime = 0;  // the subsystem's now() at the fire (replay pins it)
+  uint64_t key = 0;
+  uint8_t num_args = 0;
+  std::array<int64_t, kExperienceMaxArgs> args{};
+  int64_t action = 0;  // the recorded decision (per-hook DecisionSource)
+  uint8_t flags = 0;
+  int64_t label = 0;                  // valid when kExperienceLabeled
+  std::vector<int32_t> ctxt_features; // pre-fire feature snapshot (may be empty)
+
+  // kMapWrite fields.
+  int64_t map_id = 0;
+  int64_t map_key = 0;
+  int64_t map_value = 0;
+
+  // kModelInstall fields.
+  int64_t model_slot = 0;
+  std::vector<uint8_t> model_bytes;  // src/ml/serialize wire form
+};
+
+// A loaded (or under-construction) corpus.
+struct ExperienceLog {
+  std::string source;  // recording subsystem ("prefetcher", "cfs", ...)
+  std::vector<ExperienceHookInfo> hooks;
+  std::vector<ExperienceRecord> records;
+  // CRC32 of the serialized byte stream; filled by Serialize/Deserialize so
+  // reports can name exactly which corpus produced them.
+  uint32_t fingerprint = 0;
+
+  uint64_t fire_count() const {
+    uint64_t n = 0;
+    for (const ExperienceRecord& r : records) {
+      n += r.kind == ExperienceRecordKind::kFire ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+// Serializes the corpus (header + length-prefixed, CRC-guarded records).
+// Updates `log.fingerprint` as a side effect. The RKD_FAILPOINT site
+// "replay.log_write" can force an error or flip a byte of the output.
+Result<std::vector<uint8_t>> SerializeExperienceLog(ExperienceLog& log);
+
+// Parses and validates a corpus. Any structural damage — bad magic, version
+// skew, truncation, a record whose CRC does not match — is a Status error
+// whose message names the failing byte offset; no partially-parsed tail is
+// ever returned. The RKD_FAILPOINT site "replay.log_read" can inject the
+// same failures deterministically.
+Result<ExperienceLog> DeserializeExperienceLog(std::span<const uint8_t> bytes);
+
+// File convenience wrappers around the serializers.
+Status WriteExperienceLog(const std::string& path, ExperienceLog& log);
+Result<ExperienceLog> ReadExperienceLog(const std::string& path);
+
+}  // namespace rkd
+
+#endif  // SRC_REPLAY_EXPERIENCE_LOG_H_

@@ -1,0 +1,192 @@
+#include "src/replay/recorder.h"
+
+#include "src/ml/serialize.h"
+
+namespace rkd {
+
+ExperienceRecorder::ExperienceRecorder(HookRegistry* hooks, ExperienceRecorderConfig config)
+    : hooks_(hooks), config_(std::move(config)) {
+  log_.source = config_.source;
+  recorded_metric_ = hooks_->telemetry().GetCounter("rkd.replay.recorded");
+  dropped_metric_ = hooks_->telemetry().GetCounter("rkd.replay.record_dropped");
+}
+
+ExperienceRecorder::~ExperienceRecorder() { Detach(); }
+
+Status ExperienceRecorder::Track(HookId id, DecisionSource source, std::string label_kind) {
+  if (id < 0 || static_cast<size_t>(id) >= hooks_->size()) {
+    return NotFoundError("recorder: cannot track invalid hook id");
+  }
+  if (static_cast<size_t>(id) >= tracked_.size()) {
+    tracked_.resize(static_cast<size_t>(id) + 1);
+  }
+  Tracked& t = tracked_[static_cast<size_t>(id)];
+  if (t.tracked) {
+    return AlreadyExistsError("recorder: hook '" + hooks_->NameOf(id) +
+                              "' is already tracked");
+  }
+  ExperienceHookInfo info;
+  info.name = hooks_->NameOf(id);
+  info.kind = hooks_->KindOf(id);
+  info.decision_source = source;
+  info.label_kind = std::move(label_kind);
+  t.tracked = true;
+  t.corpus_index = static_cast<uint32_t>(log_.hooks.size());
+  log_.hooks.push_back(std::move(info));
+  return OkStatus();
+}
+
+void ExperienceRecorder::Attach() {
+  hooks_->set_event_sink(this);
+  attached_ = true;
+}
+
+void ExperienceRecorder::Detach() {
+  if (attached_ && hooks_->event_sink() == this) {
+    hooks_->set_event_sink(nullptr);
+  }
+  attached_ = false;
+}
+
+ExperienceRecord* ExperienceRecorder::Append(ExperienceRecordKind kind) {
+  if (Full()) {
+    ++dropped_;
+    dropped_metric_->Increment();
+    return nullptr;
+  }
+  log_.records.emplace_back();
+  log_.records.back().kind = kind;
+  ++recorded_;
+  recorded_metric_->Increment();
+  return &log_.records.back();
+}
+
+void ExperienceRecorder::OnFire(HookId id, uint64_t key, std::span<const int64_t> args,
+                                int64_t result) {
+  if (id < 0 || static_cast<size_t>(id) >= tracked_.size() ||
+      !tracked_[static_cast<size_t>(id)].tracked) {
+    return;
+  }
+  Tracked& t = tracked_[static_cast<size_t>(id)];
+  ExperienceRecord* rec = Append(ExperienceRecordKind::kFire);
+  if (rec == nullptr) {
+    // Buffer full: staged entries for this fire must still be consumed so
+    // later fires do not pair with stale ones, and last_fire must go stale
+    // too — otherwise the caller's post-fire AnnotateDecision/SetLabel for
+    // THIS (dropped) fire would clobber the previous recorded one.
+    if (!t.staged.empty()) {
+      t.staged.pop_front();
+    }
+    if (!t.staged_labels.empty()) {
+      t.staged_labels.pop_front();
+    }
+    t.last_fire = kNoFire;
+    return;
+  }
+  rec->hook_index = t.corpus_index;
+  const SubsystemBindings& bindings = hooks_->BindingsOf(id);
+  rec->vtime = bindings.now ? bindings.now() : 0;
+  rec->key = key;
+  rec->num_args = static_cast<uint8_t>(args.size() < kExperienceMaxArgs ? args.size()
+                                                                        : kExperienceMaxArgs);
+  for (uint8_t i = 0; i < rec->num_args; ++i) {
+    rec->args[i] = args[i];
+  }
+  rec->action = result;
+  if (!t.staged.empty()) {
+    rec->ctxt_features = std::move(t.staged.front());
+    t.staged.pop_front();
+  }
+  t.last_fire = log_.records.size() - 1;
+  if (!t.staged_labels.empty()) {
+    const int64_t label = t.staged_labels.front();
+    t.staged_labels.pop_front();
+    SetLabel(t.last_fire, label);
+  }
+}
+
+void ExperienceRecorder::StageLabel(HookId id, int64_t label) {
+  if (id < 0 || static_cast<size_t>(id) >= tracked_.size() ||
+      !tracked_[static_cast<size_t>(id)].tracked) {
+    return;
+  }
+  tracked_[static_cast<size_t>(id)].staged_labels.push_back(label);
+}
+
+void ExperienceRecorder::StageContextFeatures(HookId id, std::span<const int32_t> lanes) {
+  if (id < 0 || static_cast<size_t>(id) >= tracked_.size() ||
+      !tracked_[static_cast<size_t>(id)].tracked) {
+    return;
+  }
+  tracked_[static_cast<size_t>(id)].staged.emplace_back(lanes.begin(), lanes.end());
+}
+
+uint64_t ExperienceRecorder::last_fire(HookId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= tracked_.size()) {
+    return kNoFire;
+  }
+  return tracked_[static_cast<size_t>(id)].last_fire;
+}
+
+void ExperienceRecorder::AnnotateDecision(uint64_t handle, int64_t decision) {
+  if (handle >= log_.records.size() ||
+      log_.records[handle].kind != ExperienceRecordKind::kFire) {
+    return;
+  }
+  log_.records[handle].action = decision;
+}
+
+void ExperienceRecorder::SetLabel(uint64_t handle, int64_t label) {
+  if (handle >= log_.records.size() ||
+      log_.records[handle].kind != ExperienceRecordKind::kFire) {
+    return;
+  }
+  ExperienceRecord& rec = log_.records[handle];
+  rec.label = label;
+  rec.flags |= kExperienceLabeled;
+  if (rec.action == label) {
+    rec.flags |= kExperienceRecordedMatch;
+  } else {
+    rec.flags &= static_cast<uint8_t>(~kExperienceRecordedMatch);
+  }
+}
+
+void ExperienceRecorder::RecordMapWrite(int64_t map_id, int64_t key, int64_t value) {
+  ExperienceRecord* rec = Append(ExperienceRecordKind::kMapWrite);
+  if (rec == nullptr) {
+    return;
+  }
+  rec->map_id = map_id;
+  rec->map_key = key;
+  rec->map_value = value;
+}
+
+Status ExperienceRecorder::RecordModelInstall(int64_t slot, const InferenceModel& model) {
+  RKD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, SerializeModel(model));
+  ExperienceRecord* rec = Append(ExperienceRecordKind::kModelInstall);
+  if (rec == nullptr) {
+    return ResourceExhaustedError("recorder: corpus buffer full, model install dropped");
+  }
+  rec->model_slot = slot;
+  rec->model_bytes = std::move(bytes);
+  return OkStatus();
+}
+
+Status ExperienceRecorder::Flush(const std::string& path) {
+  return WriteExperienceLog(path, log_);
+}
+
+ExperienceLog ExperienceRecorder::TakeLog() {
+  ExperienceLog out = std::move(log_);
+  log_ = ExperienceLog();
+  log_.source = config_.source;
+  log_.hooks = out.hooks;  // tracked hook set survives the flush
+  for (Tracked& t : tracked_) {
+    t.last_fire = kNoFire;
+    t.staged.clear();
+    t.staged_labels.clear();
+  }
+  return out;
+}
+
+}  // namespace rkd

@@ -1,0 +1,112 @@
+// ExperienceRecorder: the live capture side of record/replay.
+//
+// Hangs off HookRegistry's event sink and appends one kFire record per hook
+// fire into a bounded in-memory ExperienceLog. The owning simulator enriches
+// the stream through small side channels:
+//
+//   StageContextFeatures   before Fire, for hooks whose actions read
+//                          externally-written context lanes (the CFS oracle
+//                          publishes Q16 features before every query);
+//   AnnotateDecision       after Fire, for hooks whose decision is not the
+//                          Fire() result (the prefetcher's decision is the
+//                          first emitted page, visible only to the caller);
+//   SetLabel               when the simulator later learns the outcome (the
+//                          page actually referenced next, the stock
+//                          heuristic's verdict);
+//   RecordMapWrite /       control-plane reconfiguration (knob moves,
+//   RecordModelInstall     vocabulary publishes, model pushes) interleaved
+//                          at their true position in the stream, so replay
+//                          reproduces the incumbent's full state evolution.
+//
+// OnFire runs on the datapath, so the append path is one tracked-hook table
+// lookup plus a vector push; when the bounded buffer fills, further records
+// are counted as dropped, never blocking the datapath.
+#ifndef SRC_REPLAY_RECORDER_H_
+#define SRC_REPLAY_RECORDER_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/ml/model.h"
+#include "src/replay/experience_log.h"
+#include "src/rmt/hooks.h"
+
+namespace rkd {
+
+struct ExperienceRecorderConfig {
+  std::string source;             // stamped into the corpus header
+  size_t max_records = 1 << 20;   // bounded buffering: append stops here
+};
+
+class ExperienceRecorder final : public HookEventSink {
+ public:
+  // A fire-record handle (index into the log's record vector), or kNoFire.
+  static constexpr uint64_t kNoFire = ~0ull;
+
+  explicit ExperienceRecorder(HookRegistry* hooks, ExperienceRecorderConfig config = {});
+  ~ExperienceRecorder() override;
+
+  // Declares that fires of `id` are captured, stamping the decision
+  // derivation and label semantic into the corpus header. Untracked hooks
+  // fire through the sink unrecorded.
+  Status Track(HookId id, DecisionSource source, std::string label_kind = "");
+
+  // Install/remove this recorder as the registry's event sink.
+  void Attach();
+  void Detach();
+
+  // HookEventSink. Captures (hook, vtime via the hook's now() binding, key,
+  // args, result) plus any staged context lanes.
+  void OnFire(HookId id, uint64_t key, std::span<const int64_t> args,
+              int64_t result) override;
+
+  // Side channels (see file comment). StageLabel is the pre-fire variant of
+  // SetLabel for labels already known before the fire (the stock heuristic's
+  // verdict); staged entries pair with fires in order, so it also works for
+  // FireBatch, where per-fire handles are not observable from the caller.
+  void StageContextFeatures(HookId id, std::span<const int32_t> lanes);
+  void StageLabel(HookId id, int64_t label);
+  uint64_t last_fire(HookId id) const;
+  void AnnotateDecision(uint64_t handle, int64_t decision);
+  void SetLabel(uint64_t handle, int64_t label);
+  void RecordMapWrite(int64_t map_id, int64_t key, int64_t value);
+  Status RecordModelInstall(int64_t slot, const InferenceModel& model);
+
+  // Capture status.
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const { return dropped_; }
+  const ExperienceLog& log() const { return log_; }
+
+  // Explicit flush: serializes the buffered corpus to `path`. The buffer is
+  // kept, so a longer run can flush checkpoints of a growing corpus.
+  Status Flush(const std::string& path);
+  // Moves the corpus out, leaving an empty buffer (tracked hooks survive).
+  ExperienceLog TakeLog();
+
+ private:
+  struct Tracked {
+    bool tracked = false;
+    uint32_t corpus_index = 0;
+    uint64_t last_fire = kNoFire;
+    std::deque<std::vector<int32_t>> staged;  // pre-fire feature snapshots
+    std::deque<int64_t> staged_labels;        // pre-fire outcome labels
+  };
+
+  bool Full() const { return log_.records.size() >= config_.max_records; }
+  ExperienceRecord* Append(ExperienceRecordKind kind);
+
+  HookRegistry* hooks_;  // not owned
+  ExperienceRecorderConfig config_;
+  ExperienceLog log_;
+  std::vector<Tracked> tracked_;  // indexed by HookId
+  bool attached_ = false;
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+  Counter* recorded_metric_ = nullptr;  // rkd.replay.recorded
+  Counter* dropped_metric_ = nullptr;   // rkd.replay.record_dropped
+};
+
+}  // namespace rkd
+
+#endif  // SRC_REPLAY_RECORDER_H_

@@ -1,0 +1,257 @@
+#include "src/replay/replay.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/bytecode/isa.h"
+#include "src/ml/serialize.h"
+#include "src/vm/context_store.h"
+
+namespace rkd {
+
+namespace {
+
+void AppendRate(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.6f", key, value);
+  out += buf;
+}
+
+void AppendCount(std::string& out, const char* key, uint64_t value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+double DivergenceReport::decision_match_rate() const {
+  uint64_t fires = 0;
+  uint64_t matches = 0;
+  for (const HookDivergence& h : hooks) {
+    fires += h.fires;
+    matches += h.decision_matches;
+  }
+  return fires == 0 ? 1.0 : static_cast<double>(matches) / static_cast<double>(fires);
+}
+
+uint64_t DivergenceReport::labeled_fires() const {
+  uint64_t labeled = 0;
+  for (const HookDivergence& h : hooks) {
+    labeled += h.labeled;
+  }
+  return labeled;
+}
+
+double DivergenceReport::counterfactual_score() const {
+  uint64_t labeled = 0;
+  uint64_t matches = 0;
+  for (const HookDivergence& h : hooks) {
+    labeled += h.labeled;
+    matches += h.label_matches;
+  }
+  return labeled == 0 ? -1.0 : static_cast<double>(matches) / static_cast<double>(labeled);
+}
+
+double DivergenceReport::recorded_score() const {
+  uint64_t labeled = 0;
+  uint64_t matches = 0;
+  for (const HookDivergence& h : hooks) {
+    labeled += h.labeled;
+    matches += h.recorded_label_matches;
+  }
+  return labeled == 0 ? -1.0 : static_cast<double>(matches) / static_cast<double>(labeled);
+}
+
+uint64_t DivergenceReport::total_exec_errors() const {
+  uint64_t errors = 0;
+  for (const HookDivergence& h : hooks) {
+    errors += h.exec_errors;
+  }
+  return errors;
+}
+
+std::string DivergenceReport::Serialize() const {
+  std::string out;
+  out.reserve(512 + hooks.size() * 196);
+  out += "{\"corpus\":{\"source\":\"" + corpus_source + "\",";
+  AppendCount(out, "fingerprint", corpus_fingerprint);
+  out += ',';
+  AppendCount(out, "records", corpus_records);
+  out += ',';
+  AppendCount(out, "fires", corpus_fires);
+  out += "},\"program\":\"" + program + "\",\"tier\":\"";
+  out += tier == ExecTier::kJit ? "jit" : "interpreter";
+  out += "\",\"hooks\":[";
+  for (size_t i = 0; i < hooks.size(); ++i) {
+    const HookDivergence& h = hooks[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"hook\":\"" + h.hook + "\",";
+    AppendCount(out, "fires", h.fires);
+    out += ',';
+    AppendCount(out, "decision_matches", h.decision_matches);
+    out += ',';
+    AppendRate(out, "decision_match_rate", h.decision_match_rate());
+    out += ',';
+    AppendCount(out, "labeled", h.labeled);
+    out += ',';
+    AppendCount(out, "label_matches", h.label_matches);
+    out += ',';
+    AppendCount(out, "recorded_label_matches", h.recorded_label_matches);
+    out += ',';
+    AppendCount(out, "exec_errors", h.exec_errors);
+    out += '}';
+  }
+  out += "],";
+  AppendRate(out, "decision_match_rate", decision_match_rate());
+  out += ',';
+  AppendRate(out, "counterfactual_score", counterfactual_score());
+  out += ',';
+  AppendRate(out, "recorded_score", recorded_score());
+  out += ',';
+  AppendCount(out, "replay_exec_errors", total_exec_errors());
+  out += ',';
+  AppendCount(out, "map_write_errors", map_write_errors);
+  out += ',';
+  AppendCount(out, "model_install_rejects", model_install_rejects);
+  out += ',';
+  AppendCount(out, "context_write_errors", context_write_errors);
+  out += '}';
+  return out;
+}
+
+ReplayEngine::ReplayEngine(TelemetryRegistry* telemetry) : telemetry_(telemetry) {}
+
+Result<DivergenceReport> ReplayEngine::Replay(const ExperienceLog& log,
+                                              const RmtProgramSpec& candidate,
+                                              const ReplayOptions& options) {
+  const uint64_t start_ns = MonotonicNowNs();
+
+  // Sandbox: the corpus's hook set, re-registered in index order, driven by
+  // a virtual clock pinned to the record under replay and a private emit
+  // sink for kFirstEmit decision extraction.
+  uint64_t current_vtime = 0;
+  std::vector<int64_t> emits;
+  HookRegistry sandbox;
+  if (options.trace_sample_every > 0) {
+    sandbox.telemetry().tracer().set_sample_every(options.trace_sample_every);
+  } else {
+    sandbox.telemetry().tracer().set_sample_every(0);
+  }
+  SubsystemBindings bindings;
+  bindings.now = [&current_vtime] { return current_vtime; };
+  bindings.prefetch_emit = [&emits](int64_t first, int64_t count) {
+    for (int64_t i = 0; i < count; ++i) {
+      emits.push_back(first + i);
+    }
+  };
+  bindings.priority_hint = [](int64_t, int64_t) {};
+  std::vector<HookId> hook_ids;
+  hook_ids.reserve(log.hooks.size());
+  for (const ExperienceHookInfo& info : log.hooks) {
+    RKD_ASSIGN_OR_RETURN(HookId id, sandbox.Register(info.name, info.kind, bindings));
+    hook_ids.push_back(id);
+  }
+
+  ControlPlane cp(&sandbox);
+  RKD_ASSIGN_OR_RETURN(ControlPlane::ProgramHandle handle,
+                       cp.Install(candidate, options.tier));
+  InstalledProgram* program = cp.Get(handle);
+
+  DivergenceReport report;
+  report.corpus_source = log.source;
+  report.corpus_fingerprint = log.fingerprint;
+  report.corpus_records = log.records.size();
+  report.corpus_fires = log.fire_count();
+  report.program = candidate.name;
+  report.tier = options.tier;
+  report.hooks.resize(log.hooks.size());
+  for (size_t i = 0; i < log.hooks.size(); ++i) {
+    report.hooks[i].hook = log.hooks[i].name;
+  }
+
+  for (const ExperienceRecord& rec : log.records) {
+    switch (rec.kind) {
+      case ExperienceRecordKind::kMapWrite:
+        if (!cp.WriteMap(handle, rec.map_id, rec.map_key, rec.map_value).ok()) {
+          ++report.map_write_errors;
+        }
+        break;
+      case ExperienceRecordKind::kModelInstall: {
+        Result<ModelPtr> model = DeserializeModel(rec.model_bytes);
+        if (!model.ok() || !cp.InstallModel(handle, rec.model_slot, *model).ok()) {
+          ++report.model_install_rejects;
+        }
+        break;
+      }
+      case ExperienceRecordKind::kFire: {
+        const ExperienceHookInfo& info = log.hooks[rec.hook_index];
+        HookDivergence& tally = report.hooks[rec.hook_index];
+        current_vtime = rec.vtime;
+        if (!rec.ctxt_features.empty()) {
+          ContextEntry* entry = program->context().FindOrCreate(rec.key);
+          if (entry == nullptr) {
+            ++report.context_write_errors;
+          } else {
+            entry->features.fill(0);
+            const size_t lanes =
+                std::min<size_t>(rec.ctxt_features.size(), entry->features.size());
+            for (size_t lane = 0; lane < lanes; ++lane) {
+              entry->features[lane] = rec.ctxt_features[lane];
+            }
+          }
+        }
+        emits.clear();
+        const int64_t result = sandbox.Fire(
+            hook_ids[rec.hook_index], rec.key,
+            std::span<const int64_t>(rec.args.data(), rec.num_args));
+        const int64_t decision = info.decision_source == DecisionSource::kResult
+                                     ? result
+                                     : (emits.empty() ? kHookFallback : emits.front());
+        ++tally.fires;
+        if (decision == rec.action) {
+          ++tally.decision_matches;
+        }
+        if ((rec.flags & kExperienceLabeled) != 0) {
+          ++tally.labeled;
+          if (decision == rec.label) {
+            ++tally.label_matches;
+          }
+          if ((rec.flags & kExperienceRecordedMatch) != 0) {
+            ++tally.recorded_label_matches;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Candidate action faults during replay, per hook, from the sandbox's own
+  // latency/error telemetry (the corpus hook order is the registration
+  // order, so indices line up).
+  for (size_t i = 0; i < hook_ids.size(); ++i) {
+    report.hooks[i].exec_errors = sandbox.MetricsOf(hook_ids[i]).exec_errors();
+  }
+
+  if (options.capture_spans != nullptr) {
+    *options.capture_spans = sandbox.telemetry().tracer().Snapshot();
+  }
+
+  if (telemetry_ != nullptr) {
+    telemetry_->GetCounter("rkd.replay.replays")->Increment();
+    telemetry_->GetCounter("rkd.replay.replay_fires")->Increment(report.corpus_fires);
+    uint64_t divergences = 0;
+    for (const HookDivergence& h : report.hooks) {
+      divergences += h.fires - h.decision_matches;
+    }
+    telemetry_->GetCounter("rkd.replay.replay_divergences")->Increment(divergences);
+    telemetry_->GetCounter("rkd.replay.replay_errors")->Increment(report.total_exec_errors());
+    telemetry_->GetHistogram("rkd.replay.replay_ns")->Record(MonotonicNowNs() - start_ns);
+  }
+  return report;
+}
+
+}  // namespace rkd

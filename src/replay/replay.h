@@ -1,0 +1,103 @@
+// ReplayEngine: deterministic offline re-execution of an experience corpus
+// against an arbitrary candidate program.
+//
+// The engine builds a sandboxed HookRegistry with the corpus's hook set, a
+// private ControlPlane, and a virtual clock pinned to each record's captured
+// time, then walks the log in order: map writes and model installs are
+// applied exactly where the incumbent applied them, and every fire record is
+// re-fired with its recorded (key, args, context lanes). The candidate's
+// decision for each fire is compared against the recorded decision
+// (divergence) and the recorded outcome label (counterfactual score).
+//
+// Determinism contract: the same corpus bytes plus the same candidate spec
+// produce a byte-identical DivergenceReport::Serialize() on every run, on
+// both VM tiers — nothing wall-clock-dependent enters the report (replay
+// latency goes to telemetry only), iteration order is the log order, and
+// the sandbox's virtual clock comes from the records themselves.
+#ifndef SRC_REPLAY_REPLAY_H_
+#define SRC_REPLAY_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/replay/experience_log.h"
+#include "src/rmt/control_plane.h"
+#include "src/telemetry/span.h"
+
+namespace rkd {
+
+// Per-hook divergence tallies between the candidate's replayed decisions
+// and the corpus.
+struct HookDivergence {
+  std::string hook;
+  uint64_t fires = 0;
+  uint64_t decision_matches = 0;         // candidate decision == recorded decision
+  uint64_t labeled = 0;                  // fires carrying an outcome label
+  uint64_t label_matches = 0;            // candidate decision == label
+  uint64_t recorded_label_matches = 0;   // incumbent decision == label (baseline)
+  uint64_t exec_errors = 0;              // candidate action faults during replay
+
+  double decision_match_rate() const {
+    return fires == 0 ? 1.0 : static_cast<double>(decision_matches) / static_cast<double>(fires);
+  }
+};
+
+struct DivergenceReport {
+  std::string corpus_source;
+  uint32_t corpus_fingerprint = 0;
+  uint64_t corpus_records = 0;
+  uint64_t corpus_fires = 0;
+  std::string program;
+  ExecTier tier = ExecTier::kJit;
+  std::vector<HookDivergence> hooks;
+  uint64_t map_write_errors = 0;      // recorded map writes the candidate rejected
+  uint64_t model_install_rejects = 0; // recorded model pushes the candidate rejected
+  uint64_t context_write_errors = 0;  // recorded context snapshots that found no entry
+
+  // Aggregates across hooks.
+  double decision_match_rate() const;
+  // Fraction of labeled fires where the candidate's decision equals the
+  // recorded label. -1 when the corpus carries no labels.
+  double counterfactual_score() const;
+  // Same metric for the incumbent's recorded decisions (the bar to clear).
+  double recorded_score() const;
+  uint64_t total_exec_errors() const;
+  uint64_t labeled_fires() const;
+
+  // Canonical deterministic JSON rendering (stable field order, %.6f rates).
+  // This is the artifact the determinism tests byte-compare and the shadow
+  // gate archives.
+  std::string Serialize() const;
+};
+
+struct ReplayOptions {
+  ExecTier tier = ExecTier::kJit;
+  // >0 samples replay fires into the sandbox tracer (1 = every fire); the
+  // resulting spans are copied into `capture_spans` after the run so the
+  // shadow gate can dump a flight recording of a rejected candidate.
+  uint32_t trace_sample_every = 0;
+  std::vector<SpanRecord>* capture_spans = nullptr;
+};
+
+class ReplayEngine {
+ public:
+  // `telemetry` (optional, not owned) receives the rkd.replay.* metrics:
+  // replays / replay_fires / replay_divergences / replay_errors counters and
+  // the replay_ns wall-latency histogram. The report itself never includes
+  // wall time, preserving byte-identical output.
+  explicit ReplayEngine(TelemetryRegistry* telemetry = nullptr);
+
+  // Re-fires every record of `log` against `candidate` in a fresh sandbox.
+  // Errors only on structural impossibility (candidate fails verification,
+  // or references hooks the corpus does not contain); divergence, label
+  // misses, and action faults are data, not errors.
+  Result<DivergenceReport> Replay(const ExperienceLog& log, const RmtProgramSpec& candidate,
+                                  const ReplayOptions& options = {});
+
+ private:
+  TelemetryRegistry* telemetry_;  // not owned; may be null
+};
+
+}  // namespace rkd
+
+#endif  // SRC_REPLAY_REPLAY_H_

@@ -1,0 +1,148 @@
+#include "src/replay/shadow.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "src/telemetry/trace_export.h"
+
+namespace rkd {
+
+namespace {
+
+std::string FormatRate(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+
+}  // namespace
+
+ShadowGate::ShadowGate(ShadowGateConfig config, TelemetryRegistry* telemetry)
+    : config_(std::move(config)), telemetry_(telemetry) {}
+
+void ShadowGate::AddCorpus(ExperienceLog corpus) {
+  corpora_.push_back(std::move(corpus));
+}
+
+Status ShadowGate::AddCorpusFile(const std::string& path) {
+  RKD_ASSIGN_OR_RETURN(ExperienceLog corpus, ReadExperienceLog(path));
+  corpora_.push_back(std::move(corpus));
+  return OkStatus();
+}
+
+Result<ShadowEvaluator::Verdict> ShadowGate::Evaluate(const RmtProgramSpec& candidate,
+                                                      ExecTier tier) {
+  if (corpora_.empty()) {
+    return FailedPreconditionError("shadow gate has no experience corpus loaded");
+  }
+
+  ReplayEngine engine(telemetry_);
+  Verdict verdict;
+  verdict.admitted = true;
+
+  // Aggregates across corpora for the verdict's scalar summary.
+  uint64_t fires = 0;
+  uint64_t matches = 0;
+  uint64_t labeled = 0;
+  uint64_t label_matches = 0;
+  uint64_t recorded_matches = 0;
+
+  std::string reports = "[";
+  std::vector<SpanRecord> reject_spans;
+  for (size_t i = 0; i < corpora_.size(); ++i) {
+    const ExperienceLog& corpus = corpora_[i];
+    ReplayOptions options;
+    options.tier = tier;
+    std::vector<SpanRecord> spans;
+    if (!config_.flight_recorder_dir.empty()) {
+      options.trace_sample_every = config_.trace_sample_every;
+      options.capture_spans = &spans;
+    }
+    RKD_ASSIGN_OR_RETURN(DivergenceReport report, engine.Replay(corpus, candidate, options));
+    if (i > 0) {
+      reports += ',';
+    }
+    reports += report.Serialize();
+
+    uint64_t corpus_fires = 0;
+    for (const HookDivergence& h : report.hooks) {
+      corpus_fires += h.fires;
+      fires += h.fires;
+      matches += h.decision_matches;
+      labeled += h.labeled;
+      label_matches += h.label_matches;
+      recorded_matches += h.recorded_label_matches;
+    }
+    verdict.replay_exec_errors += report.total_exec_errors();
+
+    // Threshold checks, most damning first. The first breach across all
+    // corpora names the verdict's reason; later corpora still replay so the
+    // archived report array always covers the full corpus set.
+    if (verdict.admitted) {
+      const double error_rate =
+          corpus_fires == 0 ? 0.0
+                            : static_cast<double>(report.total_exec_errors()) /
+                                  static_cast<double>(corpus_fires);
+      const double divergence = 1.0 - report.decision_match_rate();
+      if (error_rate > config_.max_error_rate) {
+        verdict.admitted = false;
+        verdict.reason = "replay exec-error rate " + FormatRate(error_rate) + " on corpus '" +
+                         corpus.source + "' above " + FormatRate(config_.max_error_rate);
+      } else if (divergence > config_.max_divergence) {
+        verdict.admitted = false;
+        verdict.reason = "decision divergence " + FormatRate(divergence) + " on corpus '" +
+                         corpus.source + "' above " + FormatRate(config_.max_divergence);
+      } else if (report.labeled_fires() >= config_.min_labeled &&
+                 report.counterfactual_score() <
+                     report.recorded_score() - config_.min_score_delta) {
+        verdict.admitted = false;
+        verdict.reason = "counterfactual score " + FormatRate(report.counterfactual_score()) +
+                         " on corpus '" + corpus.source + "' below incumbent " +
+                         FormatRate(report.recorded_score()) + " - delta " +
+                         FormatRate(config_.min_score_delta);
+      }
+      if (!verdict.admitted) {
+        reject_spans = std::move(spans);
+      }
+    }
+  }
+  reports += ']';
+
+  verdict.decision_match_rate =
+      fires == 0 ? 1.0 : static_cast<double>(matches) / static_cast<double>(fires);
+  verdict.counterfactual_score =
+      labeled == 0 ? -1.0 : static_cast<double>(label_matches) / static_cast<double>(labeled);
+  verdict.recorded_score =
+      labeled == 0 ? -1.0
+                   : static_cast<double>(recorded_matches) / static_cast<double>(labeled);
+  verdict.report = std::move(reports);
+
+  if (!verdict.admitted) {
+    DumpFlightRecorder(candidate.name, verdict.reason, reject_spans);
+  }
+  return verdict;
+}
+
+void ShadowGate::DumpFlightRecorder(const std::string& program, const std::string& reason,
+                                    const std::vector<SpanRecord>& spans) {
+  if (config_.flight_recorder_dir.empty()) {
+    return;
+  }
+  TraceExportOptions options;
+  options.program = program;
+  options.reason = reason;
+  std::string safe_name = program;
+  for (char& c : safe_name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  const std::string path = config_.flight_recorder_dir + "/flight_shadow_" + safe_name + "_" +
+                           std::to_string(flight_dumps_ + 1) + ".json";
+  if (WriteTextFile(path, ExportPerfettoTrace(spans, options))) {
+    ++flight_dumps_;
+    last_flight_dump_ = path;
+  }
+}
+
+}  // namespace rkd

@@ -1,0 +1,76 @@
+// ShadowGate: the replay-backed implementation of ControlPlane's
+// ShadowEvaluator — the offline admission stage between "a candidate
+// program exists" and "the candidate sees live traffic as a canary".
+//
+// The gate holds one or more recorded experience corpora. Evaluate()
+// replays the candidate against every corpus (ReplayEngine, deterministic)
+// and admits it only when, on each corpus:
+//
+//   * the replay exec-error rate stays within max_error_rate (a candidate
+//     that faults on recorded traffic has no business near a hook point),
+//   * decision divergence (1 - decision_match_rate) stays within
+//     max_divergence, and
+//   * when the corpus carries at least min_labeled outcome labels, the
+//     candidate's counterfactual score is no worse than the incumbent's
+//     recorded score by more than min_score_delta.
+//
+// On rejection the gate dumps a flight recording of the failing replay
+// (Perfetto JSON, same format as the guardian's breach dumps) so the spans
+// of the diverging candidate survive for post-mortem.
+#ifndef SRC_REPLAY_SHADOW_H_
+#define SRC_REPLAY_SHADOW_H_
+
+#include <string>
+#include <vector>
+
+#include "src/replay/replay.h"
+
+namespace rkd {
+
+struct ShadowGateConfig {
+  // Upper bound on (1 - decision_match_rate) per corpus.
+  double max_divergence = 0.25;
+  // The candidate's counterfactual score may trail the incumbent's recorded
+  // score by at most this much (negative values allow a small regression).
+  double min_score_delta = 0.0;
+  // Labeled fires a corpus needs before the score check applies.
+  uint64_t min_labeled = 16;
+  // Upper bound on replayed action faults / fires. 0 = any fault rejects.
+  double max_error_rate = 0.0;
+  // Directory for rejection flight dumps ("" disables dumping).
+  std::string flight_recorder_dir;
+  // Tracer sampling inside the replay sandbox while dumping is enabled
+  // (1 = trace every replayed fire).
+  uint32_t trace_sample_every = 16;
+};
+
+class ShadowGate final : public ShadowEvaluator {
+ public:
+  explicit ShadowGate(ShadowGateConfig config = {}, TelemetryRegistry* telemetry = nullptr);
+
+  // Corpus management. Evaluate() fails until at least one corpus is added.
+  void AddCorpus(ExperienceLog corpus);
+  Status AddCorpusFile(const std::string& path);
+  size_t corpus_count() const { return corpora_.size(); }
+
+  // ShadowEvaluator. The verdict's `report` field is a deterministic JSON
+  // array holding one DivergenceReport per corpus, in AddCorpus order.
+  Result<Verdict> Evaluate(const RmtProgramSpec& candidate, ExecTier tier) override;
+
+  uint64_t flight_dumps() const { return flight_dumps_; }
+  const std::string& last_flight_dump() const { return last_flight_dump_; }
+
+ private:
+  void DumpFlightRecorder(const std::string& program, const std::string& reason,
+                          const std::vector<SpanRecord>& spans);
+
+  ShadowGateConfig config_;
+  TelemetryRegistry* telemetry_;  // not owned; may be null
+  std::vector<ExperienceLog> corpora_;
+  uint64_t flight_dumps_ = 0;
+  std::string last_flight_dump_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_REPLAY_SHADOW_H_

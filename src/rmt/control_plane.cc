@@ -18,6 +18,11 @@ ControlPlane::ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config)
   metrics_.suspends = telemetry.GetCounter("rkd.cp.suspends");
   metrics_.resumes = telemetry.GetCounter("rkd.cp.resumes");
   metrics_.canary_installs = telemetry.GetCounter("rkd.cp.canary_installs");
+  metrics_.shadow_evals = telemetry.GetCounter("rkd.cp.shadow_evals");
+  metrics_.shadow_admits = telemetry.GetCounter("rkd.cp.shadow_admits");
+  metrics_.shadow_rejects = telemetry.GetCounter("rkd.cp.shadow_rejects");
+  metrics_.shadow_divergence = telemetry.GetGauge("rkd.cp.shadow_divergence");
+  metrics_.shadow_score = telemetry.GetGauge("rkd.cp.shadow_score");
   metrics_.promotions = telemetry.GetCounter("rkd.cp.promotions");
   metrics_.rollbacks = telemetry.GetCounter("rkd.cp.rollbacks");
   metrics_.install_ns = telemetry.GetHistogram("rkd.cp.install_ns");
@@ -600,6 +605,35 @@ Result<ControlPlane::RolloutId> ControlPlane::InstallCanary(ProgramHandle incumb
   rollouts_.push_back(std::move(rollout));
   metrics_.canary_installs->Increment();
   return static_cast<RolloutId>(rollouts_.size()) - 1;
+}
+
+Result<ControlPlane::ShadowedInstall> ControlPlane::InstallShadowed(
+    ProgramHandle incumbent, const RmtProgramSpec& candidate, const CanaryConfig& config,
+    ExecTier tier) {
+  if (shadow_ == nullptr) {
+    return FailedPreconditionError(
+        "InstallShadowed requires a ShadowEvaluator (set_shadow_evaluator)");
+  }
+  if (FindSlot(incumbent) == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(incumbent));
+  }
+  metrics_.shadow_evals->Increment();
+  RKD_ASSIGN_OR_RETURN(ShadowEvaluator::Verdict verdict,
+                       shadow_->Evaluate(candidate, tier));
+  metrics_.shadow_divergence->Set(1.0 - verdict.decision_match_rate);
+  metrics_.shadow_score->Set(verdict.counterfactual_score);
+
+  ShadowedInstall out;
+  out.verdict = std::move(verdict);
+  if (!out.verdict.admitted) {
+    // The candidate never touches the live hooks; the caller gets the
+    // verdict (and its archived divergence report) to decide what to retrain.
+    metrics_.shadow_rejects->Increment();
+    return out;
+  }
+  metrics_.shadow_admits->Increment();
+  RKD_ASSIGN_OR_RETURN(out.rollout, InstallCanary(incumbent, candidate, config, tier));
+  return out;
 }
 
 Result<ControlPlane::RolloutReport> ControlPlane::EvaluateRollout(RolloutId id) {

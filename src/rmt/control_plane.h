@@ -27,6 +27,32 @@
 
 namespace rkd {
 
+// Offline admission check a candidate program must pass before it may even
+// canary. Declared here (not in src/replay/) so the control plane stays
+// ignorant of the replay subsystem; src/replay's ShadowGate is the
+// production implementation, replaying the candidate against a recorded
+// experience corpus. The gate ordering is: record → shadow → canary →
+// promote (see DESIGN.md "Record, replay, and shadow evaluation").
+class ShadowEvaluator {
+ public:
+  virtual ~ShadowEvaluator() = default;
+
+  struct Verdict {
+    bool admitted = false;
+    std::string reason;  // first threshold breached; empty when admitted
+    double decision_match_rate = 1.0;
+    double counterfactual_score = -1.0;  // -1 = corpus carries no labels
+    double recorded_score = -1.0;        // incumbent's score on the same labels
+    uint64_t replay_exec_errors = 0;
+    std::string report;  // serialized DivergenceReport (archival / artifacts)
+  };
+
+  // Evaluates `candidate` offline. Errors mean the evaluation itself could
+  // not run (no corpus, candidate fails verification); a failed threshold is
+  // a non-error Verdict with admitted = false.
+  virtual Result<Verdict> Evaluate(const RmtProgramSpec& candidate, ExecTier tier) = 0;
+};
+
 // The control plane's slice of the telemetry registry (names under
 // "rkd.cp."). Like HookMetrics this is a view: the metrics live in the hook
 // registry's TelemetryRegistry.
@@ -44,10 +70,15 @@ struct ControlPlaneMetrics {
   Counter* canary_installs = nullptr; // InstallCanary() successes
   Counter* promotions = nullptr;      // rollouts resolved in the canary's favour
   Counter* rollbacks = nullptr;       // rollouts resolved against the canary
+  Counter* shadow_evals = nullptr;    // InstallShadowed() evaluations run
+  Counter* shadow_admits = nullptr;   // candidates that passed the shadow gate
+  Counter* shadow_rejects = nullptr;  // candidates the shadow gate refused
   LatencyHistogram* install_ns = nullptr;  // full Install() wall latency
   LatencyHistogram* verify_ns = nullptr;   // admission (verifier) phase only
   Gauge* knob = nullptr;                   // knob value after the last tick
   Gauge* accuracy = nullptr;               // rolling accuracy at the last tick
+  Gauge* shadow_divergence = nullptr;      // 1 - decision_match_rate of the last eval
+  Gauge* shadow_score = nullptr;           // counterfactual score of the last eval
 };
 
 class ControlPlane {
@@ -124,6 +155,32 @@ class ControlPlane {
   Result<RolloutReport> EvaluateRollout(RolloutId id);
 
   std::vector<RolloutId> ActiveRollouts() const;
+
+  // --- Shadow evaluation (offline admission before canary) ---
+  // Wires the evaluator used by InstallShadowed(). Not owned; pass nullptr
+  // to disconnect. The canonical implementation is rkd::ShadowGate
+  // (src/replay/shadow.h), which replays the candidate against a recorded
+  // experience corpus.
+  void set_shadow_evaluator(ShadowEvaluator* evaluator) { shadow_ = evaluator; }
+  ShadowEvaluator* shadow_evaluator() const { return shadow_; }
+
+  struct ShadowedInstall {
+    ShadowEvaluator::Verdict verdict;
+    // Valid (>= 0) only when the verdict admitted the candidate and the
+    // canary rollout started; resolve it with EvaluateRollout() as usual.
+    RolloutId rollout = -1;
+  };
+
+  // The shadowed admission path: evaluates `candidate` against the
+  // configured ShadowEvaluator and, only if the verdict admits it, hands it
+  // to InstallCanary() with `config`. A rejected candidate never touches the
+  // live hooks — the returned ShadowedInstall carries the verdict (with the
+  // serialized divergence report) and no rollout. Fails with
+  // kFailedPrecondition when no evaluator is wired.
+  Result<ShadowedInstall> InstallShadowed(ProgramHandle incumbent,
+                                          const RmtProgramSpec& candidate,
+                                          const CanaryConfig& config,
+                                          ExecTier tier = ExecTier::kJit);
 
   // --- Entry management (runtime reconfiguration) ---
   Status AddEntry(ProgramHandle handle, std::string_view table, const TableEntry& entry);
@@ -227,6 +284,7 @@ class ControlPlane {
   HookRegistry* hooks_;  // not owned
   VerifierConfig verifier_config_;
   ControlPlaneMetrics metrics_;
+  ShadowEvaluator* shadow_ = nullptr;  // not owned
   std::vector<Slot> slots_;
   std::vector<Rollout> rollouts_;
 };

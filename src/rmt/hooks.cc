@@ -96,6 +96,9 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
   const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
   hook.fire_ns->Record(elapsed_ns);
   fire_span.Tag("result", result);
+  if (event_sink_ != nullptr) {
+    event_sink_->OnFire(id, key, args, result);
+  }
 
   TraceEvent event;
   event.ts_ns = start_ns;
@@ -153,6 +156,15 @@ void HookRegistry::FireBatch(HookId id, std::span<const HookEvent> events,
   }
   const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
   hook.fire_ns->RecordBatch(elapsed_ns, n);
+  if (event_sink_ != nullptr) {
+    // Per-event callbacks so the sink sees the same ordered stream N single
+    // Fire calls would have produced.
+    for (size_t i = 0; i < n; ++i) {
+      event_sink_->OnFire(id, events[i].key,
+                          std::span<const int64_t>(events[i].args.data(), events[i].num_args),
+                          results[i]);
+    }
+  }
 
   // One trace record summarises the batch (events would flood the ring).
   TraceEvent event;

@@ -65,6 +65,19 @@ struct HookEvent {
   }
 };
 
+// Observer for hook traffic. The experience recorder (src/replay/) hangs
+// off this to capture live fire streams into a replayable corpus; anything
+// else that wants an ordered feed of (hook, key, args, decision) tuples can
+// implement it too. OnFire is called on the datapath after the attached
+// tables ran, so implementations must be cheap and must not re-enter the
+// registry.
+class HookEventSink {
+ public:
+  virtual ~HookEventSink() = default;
+  virtual void OnFire(HookId id, uint64_t key, std::span<const int64_t> args,
+                      int64_t result) = 0;
+};
+
 // Per-batch tally an AttachedTable::ExecuteBatch call reports back so the
 // hook layer can bulk-increment its counters once per batch.
 struct HookBatchStats {
@@ -151,6 +164,13 @@ class HookRegistry {
   // The registry all hook metrics and the fire trace live in.
   TelemetryRegistry& telemetry() const { return *telemetry_; }
 
+  // Installs (or clears, with nullptr) the event sink. Not owned; the caller
+  // must keep it alive until it is cleared. Single observer by design — the
+  // recorder is the only intended client and one raw-pointer load keeps the
+  // disarmed cost on Fire() negligible.
+  void set_event_sink(HookEventSink* sink) { event_sink_ = sink; }
+  HookEventSink* event_sink() const { return event_sink_; }
+
   // DEPRECATED: pre-telemetry stats struct, kept as a shim for older
   // callers. The returned reference is a snapshot refreshed on every call
   // (it aliases the telemetry counters behind MetricsOf). New code should
@@ -185,6 +205,7 @@ class HookRegistry {
 
   std::unique_ptr<TelemetryRegistry> owned_telemetry_;  // null when external
   TelemetryRegistry* telemetry_;
+  HookEventSink* event_sink_ = nullptr;
   std::vector<Hook> hooks_;
 };
 

@@ -143,26 +143,9 @@ BytecodeProgram RmtMlPrefetcher::BuildPrefetchAction() const {
   return std::move(program).value();
 }
 
-Status RmtMlPrefetcher::Init() {
-  if (initialized_) {
-    return FailedPreconditionError("RmtMlPrefetcher::Init called twice");
-  }
-
-  SubsystemBindings mem_bindings;
-  mem_bindings.now = [this] { return virtual_time_; };
-  mem_bindings.prefetch_emit = [this](int64_t first, int64_t count) {
-    for (int64_t i = 0; i < count; ++i) {
-      emit_buffer_.push_back(first + i);
-    }
-  };
-
-  RKD_ASSIGN_OR_RETURN(access_hook_, hooks_.Register("mm.lookup_swap_cache",
-                                                     HookKind::kMemAccess, mem_bindings));
-  RKD_ASSIGN_OR_RETURN(prefetch_hook_, hooks_.Register("mm.swap_cluster_readahead",
-                                                       HookKind::kMemPrefetch, mem_bindings));
-
+RmtProgramSpec RmtMlPrefetcher::BuildProgramSpec(std::string name) const {
   RmtProgramSpec spec;
-  spec.name = "rmt_prefetch_prog";
+  spec.name = std::move(name);
   spec.model_slots = 1;
   spec.maps = {MapSpec{MapKind::kArray, 4},                       // config
                MapSpec{MapKind::kArray, config_.vocab_size + 1}}; // vocabulary
@@ -183,8 +166,28 @@ Status RmtMlPrefetcher::Init() {
   prefetch_table.actions.push_back(BuildPrefetchAction());
   prefetch_table.default_action = 0;
   spec.tables.push_back(std::move(prefetch_table));
+  return spec;
+}
 
-  RKD_ASSIGN_OR_RETURN(handle_, control_plane_.Install(spec, config_.tier));
+Status RmtMlPrefetcher::Init() {
+  if (initialized_) {
+    return FailedPreconditionError("RmtMlPrefetcher::Init called twice");
+  }
+
+  SubsystemBindings mem_bindings;
+  mem_bindings.now = [this] { return virtual_time_; };
+  mem_bindings.prefetch_emit = [this](int64_t first, int64_t count) {
+    for (int64_t i = 0; i < count; ++i) {
+      emit_buffer_.push_back(first + i);
+    }
+  };
+
+  RKD_ASSIGN_OR_RETURN(access_hook_, hooks_.Register("mm.lookup_swap_cache",
+                                                     HookKind::kMemAccess, mem_bindings));
+  RKD_ASSIGN_OR_RETURN(prefetch_hook_, hooks_.Register("mm.swap_cluster_readahead",
+                                                       HookKind::kMemPrefetch, mem_bindings));
+
+  RKD_ASSIGN_OR_RETURN(handle_, control_plane_.Install(BuildProgramSpec(), config_.tier));
   RKD_RETURN_IF_ERROR(
       control_plane_.WriteMap(handle_, kConfigMap, kKnobKey, config_.initial_depth));
 
@@ -207,10 +210,35 @@ Status RmtMlPrefetcher::Init() {
   return OkStatus();
 }
 
+Status RmtMlPrefetcher::AttachRecorder(ExperienceRecorder* recorder) {
+  if (!initialized_) {
+    return FailedPreconditionError("AttachRecorder requires a successful Init()");
+  }
+  RKD_RETURN_IF_ERROR(recorder->Track(access_hook_, DecisionSource::kResult));
+  RKD_RETURN_IF_ERROR(
+      recorder->Track(prefetch_hook_, DecisionSource::kFirstEmit, "next_access_page"));
+  recorder_ = recorder;
+  recorder_->Attach();
+  // Seed the corpus with the configuration the program currently runs under
+  // (the knob was written before recording started), so replay starts from
+  // the same state, not the spec's zero-initialized maps.
+  recorder_->RecordMapWrite(kConfigMap, kKnobKey, current_depth_knob());
+  return OkStatus();
+}
+
 void RmtMlPrefetcher::OnAccess(uint64_t pid, int64_t page, bool hit) {
   (void)hit;
   if (!initialized_) {
     return;  // Init() not called (or failed): behave as a null prefetcher
+  }
+  if (recorder_ != nullptr) {
+    // This access resolves the outcome label of the pending prefetch fire
+    // for this process: the page actually referenced next.
+    const auto pending = pending_labels_.find(pid);
+    if (pending != pending_labels_.end()) {
+      recorder_->SetLabel(pending->second, page);
+      pending_labels_.erase(pending);
+    }
   }
   ++virtual_time_;
   // Resolve the prediction made at the previous fault (if any) against the
@@ -248,6 +276,16 @@ void RmtMlPrefetcher::OnFault(uint64_t pid, int64_t page, std::vector<int64_t>& 
   Flush();
   emit_buffer_.clear();
   hooks_.Fire(prefetch_hook_, pid, std::array<int64_t, 1>{page});
+  if (recorder_ != nullptr) {
+    // The decision at this hook is what got prefetched, not the action's r0;
+    // rewrite the record and queue it for labeling by the next access.
+    const uint64_t handle = recorder_->last_fire(prefetch_hook_);
+    if (handle != ExperienceRecorder::kNoFire) {
+      recorder_->AnnotateDecision(handle,
+                                  emit_buffer_.empty() ? kHookFallback : emit_buffer_.front());
+      pending_labels_[pid] = handle;
+    }
+  }
   out_pages.insert(out_pages.end(), emit_buffer_.begin(), emit_buffer_.end());
 }
 
@@ -285,7 +323,12 @@ void RmtMlPrefetcher::DrainSamplesAndMaybeTrain() {
     window_.erase(window_.begin(),
                   window_.begin() + static_cast<ptrdiff_t>(config_.window_size));
     if (config_.enable_adaptation) {
-      (void)control_plane_.Tick(handle_);
+      Result<int64_t> knob = control_plane_.Tick(handle_);
+      if (recorder_ != nullptr && knob.ok()) {
+        // Mirror the adaptation loop's knob position into the corpus so the
+        // replayed program prefetches at the same depth the incumbent did.
+        recorder_->RecordMapWrite(kConfigMap, kKnobKey, *knob);
+      }
     }
   }
 }
@@ -359,19 +402,34 @@ void RmtMlPrefetcher::TrainWindow(std::span<const PendingSample> window) {
       break;
     }
   }
+  ModelPtr installed = model;  // shared ref survives the move for capture
   if (!control_plane_.InstallModel(handle_, 0, std::move(model)).ok()) {
     return;  // cost-model rejection: keep the previous model
+  }
+  if (recorder_ != nullptr) {
+    // Best effort: the raw-adapter MLP family has no wire form, and replay
+    // of such corpora simply runs the candidate with its previous model.
+    (void)recorder_->RecordModelInstall(0, *installed);
   }
 
   // Publish the vocabulary (class id -> delta) for the action to translate.
   for (size_t c = 0; c < classes; ++c) {
     (void)control_plane_.WriteMap(handle_, kVocabMap, static_cast<int64_t>(c + 1),
                                   ranked[c].first);
+    if (recorder_ != nullptr) {
+      recorder_->RecordMapWrite(kVocabMap, static_cast<int64_t>(c + 1), ranked[c].first);
+    }
   }
   for (size_t c = classes + 1; c <= config_.vocab_size; ++c) {
     (void)control_plane_.WriteMap(handle_, kVocabMap, static_cast<int64_t>(c), 0);
+    if (recorder_ != nullptr) {
+      recorder_->RecordMapWrite(kVocabMap, static_cast<int64_t>(c), 0);
+    }
   }
   (void)control_plane_.WriteMap(handle_, kVocabMap, 0, 0);
+  if (recorder_ != nullptr) {
+    recorder_->RecordMapWrite(kVocabMap, 0, 0);
+  }
   ++windows_trained_;
 }
 

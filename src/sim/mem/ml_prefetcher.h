@@ -35,6 +35,7 @@
 #include "src/ml/forest.h"
 #include "src/ml/mlp.h"
 #include "src/ml/quantize.h"
+#include "src/replay/recorder.h"
 #include "src/rmt/control_plane.h"
 #include "src/sim/mem/memory_sim.h"
 
@@ -88,6 +89,20 @@ class RmtMlPrefetcher final : public Prefetcher {
   // OnAccess manually and want the monitoring plane caught up.
   void Flush();
 
+  // Experience capture (src/replay/). Tracks both hooks — the prefetch
+  // decision is the first emitted page (DecisionSource::kFirstEmit), labeled
+  // later with the page the workload actually faulted/accessed next — and
+  // mirrors the training plane's knob moves, vocabulary publishes, and model
+  // installs into the corpus so replay reproduces the incumbent exactly.
+  // The recorder must outlive this prefetcher or be detached first.
+  Status AttachRecorder(ExperienceRecorder* recorder);
+
+  // The installable program bundle, exactly as Init() installs it (name
+  // overridable so a replay/diff candidate can carry a distinct telemetry
+  // slice). Public so tools and the shadow gate can rebuild the incumbent
+  // spec as a replay candidate.
+  RmtProgramSpec BuildProgramSpec(std::string name = "rmt_prefetch_prog") const;
+
   // Introspection for tests, benches, and EXPERIMENTS.md numbers.
   uint64_t windows_trained() const { return windows_trained_; }
   int64_t current_depth_knob();
@@ -111,6 +126,12 @@ class RmtMlPrefetcher final : public Prefetcher {
 
   uint64_t virtual_time_ = 0;        // advances per access; feeds helpers' now()
   std::vector<int64_t> emit_buffer_; // filled by the prefetch_emit sink
+
+  // Experience capture (null = not recording).
+  ExperienceRecorder* recorder_ = nullptr;
+  // Prefetch fire awaiting its outcome label, per pid: resolved by the next
+  // access of the same process ("the page actually referenced next").
+  std::unordered_map<uint64_t, uint64_t> pending_labels_;
 
   // Access events buffered for the next FireBatch submission.
   std::vector<HookEvent> access_pending_;

@@ -15,37 +15,55 @@ RmtMigrationOracle::RmtMigrationOracle(const RmtOracleConfig& config)
   }
 }
 
+RmtProgramSpec RmtMigrationOracle::BuildProgramSpec(std::string name) const {
+  Assembler a("can_migrate_predict", HookKind::kSchedMigrate);
+  a.DeclareModels(1);
+  a.VecLdCtxt(0, 1);       // v0 = feature vector of ctxt[pid]
+  a.MlCall(0, 0, 0);       // r0 = migrate decision (or the no-model sentinel)
+  a.Exit();
+  Result<BytecodeProgram> action = a.Build();
+
+  RmtProgramSpec spec;
+  spec.name = std::move(name);
+  spec.model_slots = 1;
+  RmtTableSpec table;
+  table.name = "can_migrate_tab";
+  table.hook_point = "sched.can_migrate_task";
+  table.actions.push_back(std::move(action).value());  // static program; always builds
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
 Status RmtMigrationOracle::Init() {
   if (initialized_) {
     return FailedPreconditionError("RmtMigrationOracle::Init called twice");
   }
   RKD_ASSIGN_OR_RETURN(hook_,
                        hooks_.Register("sched.can_migrate_task", HookKind::kSchedMigrate));
-
-  Assembler a("can_migrate_predict", HookKind::kSchedMigrate);
-  a.DeclareModels(1);
-  a.VecLdCtxt(0, 1);       // v0 = feature vector of ctxt[pid]
-  a.MlCall(0, 0, 0);       // r0 = migrate decision (or the no-model sentinel)
-  a.Exit();
-  RKD_ASSIGN_OR_RETURN(BytecodeProgram action, a.Build());
-
-  RmtProgramSpec spec;
-  spec.name = "rmt_sched_prog";
-  spec.model_slots = 1;
-  RmtTableSpec table;
-  table.name = "can_migrate_tab";
-  table.hook_point = "sched.can_migrate_task";
-  table.actions.push_back(std::move(action));
-  table.default_action = 0;
-  spec.tables.push_back(std::move(table));
-
-  RKD_ASSIGN_OR_RETURN(handle_, control_plane_.Install(spec, config_.tier));
+  RKD_ASSIGN_OR_RETURN(handle_, control_plane_.Install(BuildProgramSpec(), config_.tier));
   initialized_ = true;
   return OkStatus();
 }
 
 Status RmtMigrationOracle::InstallModel(ModelPtr model) {
-  return control_plane_.InstallModel(handle_, 0, std::move(model));
+  ModelPtr installed = model;  // shared ref survives the move for capture
+  RKD_RETURN_IF_ERROR(control_plane_.InstallModel(handle_, 0, std::move(model)));
+  if (recorder_ != nullptr && installed != nullptr) {
+    (void)recorder_->RecordModelInstall(0, *installed);
+  }
+  return OkStatus();
+}
+
+Status RmtMigrationOracle::AttachRecorder(ExperienceRecorder* recorder) {
+  if (!initialized_) {
+    return FailedPreconditionError("AttachRecorder requires a successful Init()");
+  }
+  RKD_RETURN_IF_ERROR(
+      recorder->Track(hook_, DecisionSource::kResult, "heuristic_decision"));
+  recorder_ = recorder;
+  recorder_->Attach();
+  return OkStatus();
 }
 
 MigrationOracle RmtMigrationOracle::AsOracle() {
@@ -61,6 +79,10 @@ MigrationOracle RmtMigrationOracle::AsOracle() {
     for (size_t lane = 0; lane < config_.selected_features.size() && lane < kVectorLanes;
          ++lane) {
       entry->features[lane] = RawToQ16(features[config_.selected_features[lane]]);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->StageContextFeatures(hook_, entry->features);
+      recorder_->StageLabel(hook_, CfsHeuristicCanMigrate(features));
     }
     return hooks_.Fire(hook_, static_cast<uint64_t>(pid));
   };
@@ -83,6 +105,10 @@ BatchMigrationOracle RmtMigrationOracle::AsBatchOracle() {
       for (size_t lane = 0;
            lane < config_.selected_features.size() && lane < kVectorLanes; ++lane) {
         entry->features[lane] = RawToQ16(queries[i].features[config_.selected_features[lane]]);
+      }
+      if (recorder_ != nullptr) {
+        recorder_->StageContextFeatures(hook_, entry->features);
+        recorder_->StageLabel(hook_, CfsHeuristicCanMigrate(queries[i].features));
       }
       HookEvent event;
       event.key = static_cast<uint64_t>(queries[i].pid);

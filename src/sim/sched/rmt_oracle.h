@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "src/replay/recorder.h"
 #include "src/rmt/control_plane.h"
 #include "src/sim/sched/cfs_sim.h"
 
@@ -55,6 +56,17 @@ class RmtMigrationOracle {
   // to AsOracle; only the per-fire dispatch overhead is amortized.
   BatchMigrationOracle AsBatchOracle();
 
+  // Experience capture (src/replay/). Every query records the Q16 context
+  // lanes the oracle published (replay rewrites them before re-firing) and
+  // is labeled with the stock CFS heuristic's verdict on the same features,
+  // so the counterfactual score reads "agreement with the heuristic". The
+  // recorder must outlive this oracle or be detached first.
+  Status AttachRecorder(ExperienceRecorder* recorder);
+
+  // The installable program bundle, exactly as Init() installs it. Name
+  // overridable for replay/diff candidates.
+  RmtProgramSpec BuildProgramSpec(std::string name = "rmt_sched_prog") const;
+
   ControlPlane& control_plane() { return control_plane_; }
   HookRegistry& hooks() { return hooks_; }
   ControlPlane::ProgramHandle handle() const { return handle_; }
@@ -68,6 +80,7 @@ class RmtMigrationOracle {
   HookId hook_ = kInvalidHook;
   uint64_t queries_ = 0;
   bool initialized_ = false;
+  ExperienceRecorder* recorder_ = nullptr;  // null = not recording
 
   // Scratch buffers reused across AsBatchOracle invocations.
   std::vector<HookEvent> batch_events_;

@@ -32,18 +32,23 @@ TEST(ConcurrencyTest, ModelSlotReadersSurviveContinuousSwaps) {
   std::atomic<uint64_t> reads{0};
   std::atomic<bool> failed{false};
 
-  // Four reader threads continuously snapshotting and predicting.
+  // Four reader threads continuously snapshotting and predicting. Each takes
+  // the coherent {model, version} pair: versions must never run backwards
+  // within a thread, and the slot is never observably empty.
   std::vector<std::thread> readers;
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&] {
       const std::array<int32_t, 1> x{0};
+      uint64_t last_version = 0;
       while (!stop.load(std::memory_order_relaxed)) {
-        const ModelPtr model = slot.Get();
-        if (model == nullptr) {
+        const ModelSlot::VersionedModel vm = slot.GetWithVersion();
+        if (vm.model == nullptr || vm.version == 0 || vm.version > 501 ||
+            vm.version < last_version) {
           failed.store(true);
           return;
         }
-        const int64_t prediction = model->Predict(x);
+        last_version = vm.version;
+        const int64_t prediction = vm.model->Predict(x);
         if (prediction < 0 || prediction > 1000) {
           failed.store(true);
           return;

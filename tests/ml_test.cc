@@ -379,10 +379,14 @@ TEST(OnlineTest, ModelSlotSwapsAtomicallyWithVersioning) {
   slot.Set(std::make_shared<QuantizedMlp>());
   EXPECT_TRUE(slot.HasModel());
   EXPECT_EQ(slot.version(), 1u);
-  const ModelPtr snapshot = slot.Get();
+  const ModelSlot::VersionedModel snapshot = slot.GetWithVersion();
+  EXPECT_NE(snapshot.model, nullptr);
+  EXPECT_EQ(snapshot.version, 1u);  // model and version taken as one pair
   slot.Set(nullptr);
-  EXPECT_NE(snapshot, nullptr);  // reader snapshot survives the swap
+  EXPECT_NE(snapshot.model, nullptr);  // reader snapshot survives the swap
   EXPECT_EQ(slot.version(), 2u);
+  EXPECT_EQ(slot.GetWithVersion().model, nullptr);
+  EXPECT_EQ(slot.GetWithVersion().version, 2u);
 }
 
 TEST(OnlineTest, WindowedTrainerTrainsPerWindow) {

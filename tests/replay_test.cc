@@ -1,0 +1,488 @@
+// Tests for src/replay/: the experience log wire format (including every
+// corruption mode), the recorder's bounded-buffer behavior, the replay
+// engine's determinism contract on both VM tiers, the shadow gate, and the
+// checked-in golden corpora.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/failpoints.h"
+#include "src/bytecode/assembler.h"
+#include "src/ml/decision_tree.h"
+#include "src/replay/experience_log.h"
+#include "src/replay/recorder.h"
+#include "src/replay/replay.h"
+#include "src/replay/shadow.h"
+#include "src/rmt/control_plane.h"
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/sched/cfs_sim.h"
+#include "src/sim/sched/rmt_oracle.h"
+#include "src/workloads/access_trace.h"
+#include "src/workloads/cpu_jobs.h"
+
+namespace rkd {
+namespace {
+
+// --- Wire-format helpers ---------------------------------------------------
+
+ExperienceLog MakeSmallLog() {
+  ExperienceLog log;
+  log.source = "unit";
+  ExperienceHookInfo hook;
+  hook.name = "test.hook";
+  hook.kind = HookKind::kGeneric;
+  hook.decision_source = DecisionSource::kResult;
+  hook.label_kind = "oracle_answer";
+  log.hooks.push_back(hook);
+
+  ExperienceRecord fire;
+  fire.kind = ExperienceRecordKind::kFire;
+  fire.hook_index = 0;
+  fire.vtime = 42;
+  fire.key = 7;
+  fire.num_args = 2;
+  fire.args[0] = -3;
+  fire.args[1] = 99;
+  fire.action = 5;
+  fire.flags = kExperienceLabeled | kExperienceRecordedMatch;
+  fire.label = 5;
+  fire.ctxt_features = {1, 2, 3};
+  log.records.push_back(fire);
+
+  ExperienceRecord map_write;
+  map_write.kind = ExperienceRecordKind::kMapWrite;
+  map_write.map_id = 0;
+  map_write.map_key = 1;
+  map_write.map_value = -8;
+  log.records.push_back(map_write);
+
+  ExperienceRecord install;
+  install.kind = ExperienceRecordKind::kModelInstall;
+  install.model_slot = 0;
+  install.model_bytes = {0xde, 0xad, 0xbe, 0xef};
+  log.records.push_back(install);
+  return log;
+}
+
+TEST(ExperienceLogTest, RoundTripPreservesEverything) {
+  ExperienceLog log = MakeSmallLog();
+  Result<std::vector<uint8_t>> bytes = SerializeExperienceLog(log);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_NE(log.fingerprint, 0u);
+
+  Result<ExperienceLog> parsed = DeserializeExperienceLog(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->source, "unit");
+  EXPECT_EQ(parsed->fingerprint, log.fingerprint);
+  ASSERT_EQ(parsed->hooks.size(), 1u);
+  EXPECT_EQ(parsed->hooks[0].name, "test.hook");
+  EXPECT_EQ(parsed->hooks[0].decision_source, DecisionSource::kResult);
+  EXPECT_EQ(parsed->hooks[0].label_kind, "oracle_answer");
+  ASSERT_EQ(parsed->records.size(), 3u);
+  const ExperienceRecord& fire = parsed->records[0];
+  EXPECT_EQ(fire.kind, ExperienceRecordKind::kFire);
+  EXPECT_EQ(fire.vtime, 42u);
+  EXPECT_EQ(fire.key, 7u);
+  ASSERT_EQ(fire.num_args, 2);
+  EXPECT_EQ(fire.args[0], -3);
+  EXPECT_EQ(fire.args[1], 99);
+  EXPECT_EQ(fire.action, 5);
+  EXPECT_EQ(fire.flags, kExperienceLabeled | kExperienceRecordedMatch);
+  EXPECT_EQ(fire.ctxt_features, (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(parsed->records[1].map_value, -8);
+  EXPECT_EQ(parsed->records[2].model_bytes,
+            (std::vector<uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(ExperienceLogTest, BadMagicRejected) {
+  ExperienceLog log = MakeSmallLog();
+  std::vector<uint8_t> bytes = std::move(SerializeExperienceLog(log)).value();
+  bytes[0] ^= 0xff;
+  Result<ExperienceLog> parsed = DeserializeExperienceLog(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST(ExperienceLogTest, VersionMismatchNamesBothVersions) {
+  ExperienceLog log = MakeSmallLog();
+  std::vector<uint8_t> bytes = std::move(SerializeExperienceLog(log)).value();
+  bytes[4] = 99;  // version field follows the magic
+  Result<ExperienceLog> parsed = DeserializeExperienceLog(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("version mismatch"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("99"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("1"), std::string::npos);
+}
+
+TEST(ExperienceLogTest, TruncationIsAnErrorNamingTheOffset) {
+  ExperienceLog log = MakeSmallLog();
+  std::vector<uint8_t> bytes = std::move(SerializeExperienceLog(log)).value();
+  // Cut at every possible length: parsing must never crash, and once the cut
+  // eats into the records it must name a byte offset — the tail is never
+  // silently dropped.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    Result<ExperienceLog> parsed = DeserializeExperienceLog(truncated);
+    ASSERT_FALSE(parsed.ok()) << "cut at " << cut << " parsed successfully";
+  }
+  // A cut inside the last record specifically reports "record at offset".
+  std::vector<uint8_t> short_tail(bytes.begin(), bytes.end() - 1);
+  Result<ExperienceLog> parsed = DeserializeExperienceLog(short_tail);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("record at offset"), std::string::npos);
+}
+
+TEST(ExperienceLogTest, BitFlipIsAChecksumErrorNamingTheOffset) {
+  ExperienceLog log = MakeSmallLog();
+  std::vector<uint8_t> bytes = std::move(SerializeExperienceLog(log)).value();
+  std::vector<uint8_t> flipped = bytes;
+  flipped[flipped.size() - 2] ^= 0x40;  // inside the last record's payload
+  Result<ExperienceLog> parsed = DeserializeExperienceLog(flipped);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("checksum mismatch"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("record at offset"), std::string::npos);
+}
+
+TEST(ExperienceLogTest, TrailingBytesRejected) {
+  ExperienceLog log = MakeSmallLog();
+  std::vector<uint8_t> bytes = std::move(SerializeExperienceLog(log)).value();
+  bytes.push_back(0x00);
+  Result<ExperienceLog> parsed = DeserializeExperienceLog(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("trailing bytes"), std::string::npos);
+}
+
+TEST(ExperienceLogTest, WriteFailpointForcesAnError) {
+  ExperienceLog log = MakeSmallLog();
+  FailpointSpec fault;
+  fault.mode = FailpointMode::kAlways;
+  fault.force_error = true;
+  ScopedFailpoint fp("replay.log_write", fault);
+  Result<std::vector<uint8_t>> bytes = SerializeExperienceLog(log);
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kInternal);
+}
+
+TEST(ExperienceLogTest, WriteFailpointCorruptionIsCaughtOnRead) {
+  ExperienceLog log = MakeSmallLog();
+  std::vector<uint8_t> bytes;
+  {
+    FailpointSpec fault;
+    fault.mode = FailpointMode::kAlways;
+    fault.corrupt_xor = 0x10;
+    ScopedFailpoint fp("replay.log_write", fault);
+    bytes = std::move(SerializeExperienceLog(log)).value();
+  }
+  Result<ExperienceLog> parsed = DeserializeExperienceLog(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("record at offset"), std::string::npos);
+}
+
+TEST(ExperienceLogTest, ReadFailpointInjectsBothFaultModes) {
+  ExperienceLog log = MakeSmallLog();
+  const std::vector<uint8_t> bytes = std::move(SerializeExperienceLog(log)).value();
+  {
+    FailpointSpec fault;
+    fault.mode = FailpointMode::kAlways;
+    fault.force_error = true;
+    ScopedFailpoint fp("replay.log_read", fault);
+    Result<ExperienceLog> parsed = DeserializeExperienceLog(bytes);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInternal);
+  }
+  {
+    FailpointSpec fault;
+    fault.mode = FailpointMode::kAlways;
+    fault.corrupt_xor = 0x04;
+    ScopedFailpoint fp("replay.log_read", fault);
+    Result<ExperienceLog> parsed = DeserializeExperienceLog(bytes);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("record at offset"), std::string::npos);
+  }
+  // Clean read still works after the failpoints are gone.
+  EXPECT_TRUE(DeserializeExperienceLog(bytes).ok());
+}
+
+// --- Recorder --------------------------------------------------------------
+
+TEST(RecorderTest, BoundedBufferDropsWithoutCorruptingTheTail) {
+  HookRegistry hooks;
+  const HookId hook = std::move(hooks.Register("unit.hook", HookKind::kGeneric)).value();
+  ExperienceRecorderConfig config;
+  config.source = "unit";
+  config.max_records = 1;
+  ExperienceRecorder recorder(&hooks, config);
+  ASSERT_TRUE(recorder.Track(hook, DecisionSource::kResult).ok());
+  recorder.Attach();
+
+  (void)hooks.Fire(hook, 1);
+  const uint64_t first = recorder.last_fire(hook);
+  ASSERT_NE(first, ExperienceRecorder::kNoFire);
+  recorder.AnnotateDecision(first, 123);
+
+  (void)hooks.Fire(hook, 2);  // buffer full: dropped
+  EXPECT_EQ(recorder.recorded(), 1u);
+  EXPECT_EQ(recorder.dropped(), 1u);
+  // The dropped fire must not leave a stale handle behind — annotating "the
+  // last fire" now is a no-op rather than clobbering record 0.
+  EXPECT_EQ(recorder.last_fire(hook), ExperienceRecorder::kNoFire);
+  recorder.AnnotateDecision(recorder.last_fire(hook), 999);
+  recorder.SetLabel(recorder.last_fire(hook), 999);
+  EXPECT_EQ(recorder.log().records[0].action, 123);
+  EXPECT_EQ(recorder.log().records[0].flags & kExperienceLabeled, 0);
+}
+
+TEST(RecorderTest, UntrackedHooksFireUnrecorded) {
+  HookRegistry hooks;
+  const HookId tracked = std::move(hooks.Register("unit.a", HookKind::kGeneric)).value();
+  const HookId untracked = std::move(hooks.Register("unit.b", HookKind::kGeneric)).value();
+  ExperienceRecorder recorder(&hooks);
+  ASSERT_TRUE(recorder.Track(tracked, DecisionSource::kResult).ok());
+  recorder.Attach();
+  (void)hooks.Fire(tracked, 1);
+  (void)hooks.Fire(untracked, 2);
+  EXPECT_EQ(recorder.recorded(), 1u);
+  EXPECT_EQ(recorder.log().fire_count(), 1u);
+}
+
+// --- Corpus capture helpers (small, deterministic runs of both sims) -------
+
+ExperienceLog RecordPrefetchCorpus() {
+  Rng rng(2021);
+  VideoResizeConfig video;
+  video.frames = 3;
+  const AccessTrace trace = MakeVideoResizeTrace(video, rng);
+  MemSimConfig mem_config;
+  mem_config.frame_capacity = 192;
+
+  RmtMlPrefetcher prefetcher;
+  EXPECT_TRUE(prefetcher.Init().ok());
+  ExperienceRecorderConfig config;
+  config.source = "prefetch";
+  ExperienceRecorder recorder(&prefetcher.hooks(), config);
+  EXPECT_TRUE(prefetcher.AttachRecorder(&recorder).ok());
+  MemorySim sim(mem_config, &prefetcher);
+  (void)sim.Run(trace);
+  return recorder.TakeLog();
+}
+
+ModelPtr MakeConstantTree(int32_t label) {
+  Dataset data(1);
+  data.Add(std::array<int32_t, 1>{0}, label);
+  data.Add(std::array<int32_t, 1>{1}, label);
+  return std::make_shared<DecisionTree>(std::move(DecisionTree::Train(data)).value());
+}
+
+ExperienceLog RecordSchedCorpus() {
+  JobConfig job_config;
+  job_config.num_tasks = 6;
+  job_config.base_work = 400;
+  const JobSpec job = MakeJob(JobKind::kStreamcluster, job_config);
+  CfsSim sim(SchedConfig{});
+
+  RmtMigrationOracle oracle;
+  EXPECT_TRUE(oracle.Init().ok());
+  ExperienceRecorderConfig config;
+  config.source = "sched";
+  ExperienceRecorder recorder(&oracle.hooks(), config);
+  EXPECT_TRUE(oracle.AttachRecorder(&recorder).ok());
+  // Installed after attach, so the corpus carries the kModelInstall record
+  // and replay resolves the same kMlCall the incumbent did.
+  EXPECT_TRUE(oracle.InstallModel(MakeConstantTree(1)).ok());
+  (void)sim.Run(job, oracle.AsOracle());
+  return recorder.TakeLog();
+}
+
+RmtProgramSpec BrokenSchedSpec() {
+  Assembler a("broken_const", HookKind::kSchedMigrate);
+  a.MovImm(0, 1000);
+  a.Exit();
+  RmtProgramSpec spec;
+  spec.name = "broken_sched_prog";
+  RmtTableSpec table;
+  table.name = "broken_tab";
+  table.hook_point = "sched.can_migrate_task";
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+// --- Replay determinism ----------------------------------------------------
+
+// Records one corpus from a live sim, then replays its own program spec
+// twice per VM tier: every serialized report must be byte-identical to its
+// twin, and the decision statistics must agree across tiers.
+void CheckDeterministicReplay(const ExperienceLog& log, const RmtProgramSpec& spec) {
+  ASSERT_GT(log.fire_count(), 0u);
+  ReplayEngine engine;
+  std::string first_jit;
+  for (const ExecTier tier : {ExecTier::kInterpreter, ExecTier::kJit}) {
+    ReplayOptions options;
+    options.tier = tier;
+    Result<DivergenceReport> a = engine.Replay(log, spec, options);
+    Result<DivergenceReport> b = engine.Replay(log, spec, options);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->Serialize(), b->Serialize());  // byte-identical per tier
+    EXPECT_EQ(a->decision_match_rate(), 1.0);   // own program: zero divergence
+    EXPECT_EQ(a->counterfactual_score(), a->recorded_score());
+    EXPECT_EQ(a->total_exec_errors(), 0u);
+    if (tier == ExecTier::kJit) {
+      first_jit = a->Serialize();
+    }
+  }
+  ASSERT_FALSE(first_jit.empty());
+}
+
+TEST(ReplayTest, PrefetchReplayIsDeterministicOnBothTiers) {
+  const ExperienceLog log = RecordPrefetchCorpus();
+  CheckDeterministicReplay(log, RmtMlPrefetcher().BuildProgramSpec("replay_candidate"));
+}
+
+TEST(ReplayTest, SchedReplayIsDeterministicOnBothTiers) {
+  const ExperienceLog log = RecordSchedCorpus();
+  CheckDeterministicReplay(log, RmtMigrationOracle().BuildProgramSpec("replay_candidate"));
+}
+
+TEST(ReplayTest, BrokenCandidateDivergesCompletely) {
+  const ExperienceLog log = RecordSchedCorpus();
+  ReplayEngine engine;
+  Result<DivergenceReport> report = engine.Replay(log, BrokenSchedSpec());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // MovImm r0, 1000 never matches a recorded 0/1/sentinel decision.
+  EXPECT_EQ(report->decision_match_rate(), 0.0);
+  EXPECT_LT(report->counterfactual_score(), report->recorded_score());
+}
+
+TEST(ReplayTest, SerializedCorpusReplaysIdenticallyToInMemory) {
+  ExperienceLog log = RecordSchedCorpus();
+  std::vector<uint8_t> bytes = std::move(SerializeExperienceLog(log)).value();
+  const ExperienceLog parsed = std::move(DeserializeExperienceLog(bytes)).value();
+  const RmtProgramSpec spec = RmtMigrationOracle().BuildProgramSpec("replay_candidate");
+  ReplayEngine engine;
+  Result<DivergenceReport> from_memory = engine.Replay(log, spec);
+  Result<DivergenceReport> from_bytes = engine.Replay(parsed, spec);
+  ASSERT_TRUE(from_memory.ok());
+  ASSERT_TRUE(from_bytes.ok());
+  EXPECT_EQ(from_memory->Serialize(), from_bytes->Serialize());
+}
+
+// --- Shadow gate -----------------------------------------------------------
+
+TEST(ShadowGateTest, InstallShadowedRequiresAnEvaluator) {
+  RmtMigrationOracle oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  Result<ControlPlane::ShadowedInstall> result = oracle.control_plane().InstallShadowed(
+      oracle.handle(), oracle.BuildProgramSpec("candidate"), ControlPlane::CanaryConfig{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShadowGateTest, EvaluateWithoutCorpusFails) {
+  ShadowGate gate;
+  Result<ShadowEvaluator::Verdict> verdict =
+      gate.Evaluate(RmtMigrationOracle().BuildProgramSpec("candidate"), ExecTier::kJit);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// The acceptance demo as a test, on both tiers: a deliberately broken
+// candidate is rejected (with a flight-recorder dump), the incumbent's own
+// spec is admitted to canary.
+void CheckShadowGateEndToEnd(ExecTier tier) {
+  const ExperienceLog log = RecordSchedCorpus();
+
+  RmtMigrationOracle oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  ControlPlane& cp = oracle.control_plane();
+
+  ShadowGateConfig gate_config;
+  gate_config.flight_recorder_dir = ::testing::TempDir();
+  ShadowGate gate(gate_config, &cp.telemetry());
+  gate.AddCorpus(log);
+  cp.set_shadow_evaluator(&gate);
+
+  ControlPlane::CanaryConfig canary;
+  canary.canary_permille = 200;
+  canary.soak_min_execs = 16;
+
+  Result<ControlPlane::ShadowedInstall> broken =
+      cp.InstallShadowed(oracle.handle(), BrokenSchedSpec(), canary, tier);
+  ASSERT_TRUE(broken.ok()) << broken.status().ToString();
+  EXPECT_FALSE(broken->verdict.admitted);
+  EXPECT_FALSE(broken->verdict.reason.empty());
+  EXPECT_LT(broken->rollout, 0);
+  EXPECT_EQ(cp.installed_count(), 1u);  // the reject never touched the hooks
+  ASSERT_EQ(gate.flight_dumps(), 1u);
+  std::FILE* dump = std::fopen(gate.last_flight_dump().c_str(), "rb");
+  ASSERT_NE(dump, nullptr) << gate.last_flight_dump();
+  std::string contents;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), dump)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(dump);
+  EXPECT_NE(contents.find("broken_sched_prog"), std::string::npos);
+  EXPECT_NE(contents.find("traceEvents"), std::string::npos);
+
+  Result<ControlPlane::ShadowedInstall> good = cp.InstallShadowed(
+      oracle.handle(), oracle.BuildProgramSpec("sched_candidate"), canary, tier);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_TRUE(good->verdict.admitted) << good->verdict.reason;
+  EXPECT_GE(good->rollout, 0);
+  EXPECT_EQ(good->verdict.decision_match_rate, 1.0);
+  EXPECT_EQ(cp.Metrics().shadow_evals->value(), 2u);
+  EXPECT_EQ(cp.Metrics().shadow_admits->value(), 1u);
+  EXPECT_EQ(cp.Metrics().shadow_rejects->value(), 1u);
+}
+
+TEST(ShadowGateTest, RejectsBrokenAdmitsIncumbentJit) {
+  CheckShadowGateEndToEnd(ExecTier::kJit);
+}
+
+TEST(ShadowGateTest, RejectsBrokenAdmitsIncumbentInterpreter) {
+  CheckShadowGateEndToEnd(ExecTier::kInterpreter);
+}
+
+// --- Golden corpora --------------------------------------------------------
+
+// Regression: the incumbents must keep passing the gate over the checked-in
+// corpora on both tiers. A failure means the replay semantics, the wire
+// format, or the incumbent programs drifted incompatibly.
+void CheckGoldenCorpus(const std::string& file, const RmtProgramSpec& spec) {
+  const std::string path = std::string(RKD_TEST_DATA_DIR) + "/" + file;
+  Result<ExperienceLog> log = ReadExperienceLog(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_GT(log->fire_count(), 0u);
+
+  ShadowGate gate;
+  gate.AddCorpus(*log);
+  for (const ExecTier tier : {ExecTier::kInterpreter, ExecTier::kJit}) {
+    Result<ShadowEvaluator::Verdict> verdict = gate.Evaluate(spec, tier);
+    ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+    EXPECT_TRUE(verdict->admitted) << verdict->reason;
+    EXPECT_EQ(verdict->decision_match_rate, 1.0);
+    EXPECT_EQ(verdict->replay_exec_errors, 0u);
+  }
+}
+
+TEST(GoldenCorpusTest, PrefetchIncumbentPassesTheGate) {
+  CheckGoldenCorpus("golden_prefetch.rkdr",
+                    RmtMlPrefetcher().BuildProgramSpec("golden_candidate"));
+}
+
+TEST(GoldenCorpusTest, SchedIncumbentPassesTheGate) {
+  CheckGoldenCorpus("golden_sched.rkdr",
+                    RmtMigrationOracle().BuildProgramSpec("golden_candidate"));
+}
+
+}  // namespace
+}  // namespace rkd

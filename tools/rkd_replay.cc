@@ -1,0 +1,526 @@
+// rkd_replay: record, inspect, replay, diff, and shadow-gate experience
+// corpora (src/replay/).
+//
+//   $ build/tools/rkd_replay record --sim=prefetch --out=prefetch.rkdr
+//   $ build/tools/rkd_replay inspect --corpus=prefetch.rkdr
+//   $ build/tools/rkd_replay replay --corpus=prefetch.rkdr --tier=interpreter
+//   $ build/tools/rkd_replay diff --corpus=prefetch.rkdr --a=incumbent --b=broken
+//   $ build/tools/rkd_replay gate --corpus=prefetch.rkdr --flight-dir=.
+//
+// `record` runs the named simulator substrate with an ExperienceRecorder
+// attached and flushes the corpus. `replay` re-fires the corpus against a
+// candidate program (the incumbent spec rebuilt from source, or a
+// deliberately broken variant) and prints the deterministic divergence
+// report. `diff` replays two candidates over the same corpus side by side.
+// `gate` is the full shadowed-admission demo: a broken candidate must be
+// rejected (with a flight-recorder dump) and the incumbent must be admitted
+// to canary — the same checks the replay tests assert.
+//
+// Exit code: 0 = ok / every gate check held, 1 = a check failed, 2 = usage
+// or I/O error.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/assembler.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+#include "src/replay/experience_log.h"
+#include "src/replay/recorder.h"
+#include "src/replay/replay.h"
+#include "src/replay/shadow.h"
+#include "src/rmt/control_plane.h"
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/sched/cfs_sim.h"
+#include "src/sim/sched/rmt_oracle.h"
+#include "src/telemetry/trace_export.h"
+#include "src/workloads/access_trace.h"
+#include "src/workloads/cpu_jobs.h"
+
+namespace {
+
+using namespace rkd;
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what, const std::string& detail = "") {
+  std::printf("  [%s] %s%s%s\n", ok ? "ok" : "FAIL", what, detail.empty() ? "" : ": ",
+              detail.c_str());
+  if (!ok) {
+    ++g_failures;
+  }
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <command> [flags]\n"
+               "  record  --sim=prefetch|sched --out=FILE [--quick] [--max-records=N]\n"
+               "  inspect --corpus=FILE\n"
+               "  replay  --corpus=FILE [--tier=jit|interpreter]\n"
+               "          [--candidate=incumbent|broken] [--report=FILE]\n"
+               "  diff    --corpus=FILE [--tier=T] [--a=incumbent] [--b=broken]\n"
+               "  gate    --corpus=FILE [--flight-dir=DIR] [--tier=T]\n",
+               argv0);
+}
+
+const char* DecisionSourceName(DecisionSource source) {
+  switch (source) {
+    case DecisionSource::kResult:
+      return "result";
+    case DecisionSource::kFirstEmit:
+      return "first_emit";
+  }
+  return "?";
+}
+
+// --- Candidate program builders -------------------------------------------
+// The incumbent specs are rebuilt from the simulator classes (the exact
+// bundle Init() installs); "broken" is a verifier-clean program that ignores
+// its inputs, so replay must find it wildly divergent.
+
+RmtProgramSpec BuildIncumbentSpec(const std::string& source, const std::string& name) {
+  if (source == "prefetch") {
+    return RmtMlPrefetcher().BuildProgramSpec(name);
+  }
+  return RmtMigrationOracle().BuildProgramSpec(name);
+}
+
+RmtProgramSpec BuildBrokenSpec(const std::string& source) {
+  RmtProgramSpec spec;
+  RmtTableSpec table;
+  if (source == "prefetch") {
+    // Never emits a prefetch: the kFirstEmit decision is always the
+    // fallback sentinel, diverging from every recorded emission.
+    Assembler a("broken_noop", HookKind::kMemPrefetch);
+    a.MovImm(0, 0);
+    a.Exit();
+    spec.name = "broken_prefetch_prog";
+    table.name = "broken_prefetch_tab";
+    table.hook_point = "mm.swap_cluster_readahead";
+    table.actions.push_back(std::move(a.Build()).value());
+  } else {
+    // Returns a decision no recorded fire ever produced.
+    Assembler a("broken_const", HookKind::kSchedMigrate);
+    a.MovImm(0, 1000);
+    a.Exit();
+    spec.name = "broken_sched_prog";
+    table.name = "broken_sched_tab";
+    table.hook_point = "sched.can_migrate_task";
+    table.actions.push_back(std::move(a.Build()).value());
+  }
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+// --- record ----------------------------------------------------------------
+
+int RecordPrefetch(bool quick, const std::string& out, size_t max_records) {
+  Rng rng(2021);
+  VideoResizeConfig video;
+  if (quick) {
+    video.frames = 8;
+  }
+  const AccessTrace trace = MakeVideoResizeTrace(video, rng);
+  MemSimConfig mem_config;
+  mem_config.frame_capacity = 192;
+
+  RmtMlPrefetcher prefetcher;
+  if (const Status status = prefetcher.Init(); !status.ok()) {
+    std::fprintf(stderr, "rkd_replay: init prefetcher: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  ExperienceRecorderConfig recorder_config;
+  recorder_config.source = "prefetch";
+  recorder_config.max_records = max_records;
+  ExperienceRecorder recorder(&prefetcher.hooks(), recorder_config);
+  if (const Status status = prefetcher.AttachRecorder(&recorder); !status.ok()) {
+    std::fprintf(stderr, "rkd_replay: attach recorder: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  MemorySim sim(mem_config, &prefetcher);
+  const MemMetrics metrics = sim.Run(trace);
+  if (const Status status = recorder.Flush(out); !status.ok()) {
+    std::fprintf(stderr, "rkd_replay: flush corpus: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::printf("recorded %" PRIu64 " records (%" PRIu64 " dropped) -> %s\n",
+              recorder.recorded(), recorder.dropped(), out.c_str());
+  std::printf("  run: accuracy %.1f%%, %" PRIu64 " windows trained\n",
+              metrics.accuracy() * 100.0, prefetcher.windows_trained());
+  return 0;
+}
+
+int RecordSched(bool quick, const std::string& out, size_t max_records) {
+  JobConfig job_config;
+  if (quick) {
+    job_config.num_tasks = 8;
+    job_config.base_work = 500;
+  }
+  const JobSpec job = MakeJob(JobKind::kStreamcluster, job_config);
+  SchedConfig sched_config;
+  CfsSim sim(sched_config);
+
+  const Dataset train = CollectMigrationDataset(sched_config, job);
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {16, 16};
+  mlp_config.epochs = quick ? 20 : 40;
+  Result<Mlp> mlp = Mlp::Train(train, mlp_config);
+  if (!mlp.ok()) {
+    std::fprintf(stderr, "rkd_replay: train model: %s\n", mlp.status().ToString().c_str());
+    return 2;
+  }
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  if (!quantized.ok()) {
+    std::fprintf(stderr, "rkd_replay: quantize model: %s\n",
+                 quantized.status().ToString().c_str());
+    return 2;
+  }
+
+  RmtMigrationOracle oracle;
+  if (const Status status = oracle.Init(); !status.ok()) {
+    std::fprintf(stderr, "rkd_replay: init oracle: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  ExperienceRecorderConfig recorder_config;
+  recorder_config.source = "sched";
+  recorder_config.max_records = max_records;
+  ExperienceRecorder recorder(&oracle.hooks(), recorder_config);
+  // Attach before InstallModel so the model push is in the corpus and replay
+  // resolves the same kMlCall the incumbent did.
+  Status status = oracle.AttachRecorder(&recorder);
+  if (status.ok()) {
+    status = oracle.InstallModel(std::make_shared<QuantizedMlp>(std::move(quantized).value()));
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "rkd_replay: wire oracle: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  const SchedMetrics metrics = sim.Run(job, oracle.AsOracle());
+  if (const Status flushed = recorder.Flush(out); !flushed.ok()) {
+    std::fprintf(stderr, "rkd_replay: flush corpus: %s\n", flushed.ToString().c_str());
+    return 2;
+  }
+  std::printf("recorded %" PRIu64 " records (%" PRIu64 " dropped) -> %s\n",
+              recorder.recorded(), recorder.dropped(), out.c_str());
+  std::printf("  run: %" PRIu64 " ticks, %" PRIu64 " oracle queries\n", metrics.ticks,
+              oracle.queries());
+  return 0;
+}
+
+// --- inspect ---------------------------------------------------------------
+
+int Inspect(const std::string& path) {
+  Result<ExperienceLog> log = ReadExperienceLog(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "rkd_replay: %s\n", log.status().ToString().c_str());
+    return 2;
+  }
+  uint64_t fires = 0, map_writes = 0, model_installs = 0, model_bytes = 0;
+  std::vector<uint64_t> hook_fires(log->hooks.size(), 0);
+  std::vector<uint64_t> hook_labeled(log->hooks.size(), 0);
+  std::vector<uint64_t> hook_recorded_match(log->hooks.size(), 0);
+  for (const ExperienceRecord& record : log->records) {
+    switch (record.kind) {
+      case ExperienceRecordKind::kFire:
+        ++fires;
+        if (record.hook_index < log->hooks.size()) {
+          ++hook_fires[record.hook_index];
+          if ((record.flags & kExperienceLabeled) != 0) {
+            ++hook_labeled[record.hook_index];
+            if ((record.flags & kExperienceRecordedMatch) != 0) {
+              ++hook_recorded_match[record.hook_index];
+            }
+          }
+        }
+        break;
+      case ExperienceRecordKind::kMapWrite:
+        ++map_writes;
+        break;
+      case ExperienceRecordKind::kModelInstall:
+        ++model_installs;
+        model_bytes += record.model_bytes.size();
+        break;
+    }
+  }
+  std::printf("corpus %s\n", path.c_str());
+  std::printf("  source:      %s\n", log->source.c_str());
+  std::printf("  fingerprint: %08x\n", log->fingerprint);
+  std::printf("  records:     %zu (%" PRIu64 " fires, %" PRIu64 " map writes, %" PRIu64
+              " model installs, %" PRIu64 " model bytes)\n",
+              log->records.size(), fires, map_writes, model_installs, model_bytes);
+  std::printf("  hooks:\n");
+  for (size_t i = 0; i < log->hooks.size(); ++i) {
+    const ExperienceHookInfo& hook = log->hooks[i];
+    std::printf("    [%zu] %-28s kind=%-14s decision=%-10s label=%s\n", i, hook.name.c_str(),
+                std::string(HookKindName(hook.kind)).c_str(),
+                DecisionSourceName(hook.decision_source),
+                hook.label_kind.empty() ? "(unlabeled)" : hook.label_kind.c_str());
+    std::printf("         %" PRIu64 " fires, %" PRIu64 " labeled, %" PRIu64
+                " recorded-match\n",
+                hook_fires[i], hook_labeled[i], hook_recorded_match[i]);
+  }
+  return 0;
+}
+
+// --- replay / diff ---------------------------------------------------------
+
+void PrintReportSummary(const DivergenceReport& report) {
+  std::printf("  program %s on corpus '%s' (%08x), tier %s\n", report.program.c_str(),
+              report.corpus_source.c_str(), report.corpus_fingerprint,
+              report.tier == ExecTier::kJit ? "jit" : "interpreter");
+  for (const HookDivergence& hook : report.hooks) {
+    std::printf("    %-28s %8" PRIu64 " fires  match %.4f  labeled %" PRIu64
+                "  exec errors %" PRIu64 "\n",
+                hook.hook.c_str(), hook.fires, hook.decision_match_rate(), hook.labeled,
+                hook.exec_errors);
+  }
+  std::printf("    decision match %.4f, counterfactual %.4f vs recorded %.4f, %" PRIu64
+              " exec errors\n",
+              report.decision_match_rate(), report.counterfactual_score(),
+              report.recorded_score(), report.total_exec_errors());
+}
+
+int Replay(const std::string& path, const std::string& candidate, ExecTier tier,
+           const std::string& report_path) {
+  Result<ExperienceLog> log = ReadExperienceLog(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "rkd_replay: %s\n", log.status().ToString().c_str());
+    return 2;
+  }
+  const RmtProgramSpec spec = candidate == "broken"
+                                  ? BuildBrokenSpec(log->source)
+                                  : BuildIncumbentSpec(log->source, "replay_candidate");
+  ReplayEngine engine;
+  ReplayOptions options;
+  options.tier = tier;
+  Result<DivergenceReport> report = engine.Replay(*log, spec, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "rkd_replay: replay: %s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  PrintReportSummary(*report);
+  const std::string serialized = report->Serialize();
+  if (!report_path.empty()) {
+    if (!WriteTextFile(report_path, serialized)) {
+      std::fprintf(stderr, "rkd_replay: cannot write %s\n", report_path.c_str());
+      return 2;
+    }
+    std::printf("  report -> %s\n", report_path.c_str());
+  } else {
+    std::printf("%s\n", serialized.c_str());
+  }
+  return 0;
+}
+
+int Diff(const std::string& path, const std::string& a, const std::string& b, ExecTier tier) {
+  Result<ExperienceLog> log = ReadExperienceLog(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "rkd_replay: %s\n", log.status().ToString().c_str());
+    return 2;
+  }
+  ReplayEngine engine;
+  ReplayOptions options;
+  options.tier = tier;
+  const RmtProgramSpec spec_a = a == "broken" ? BuildBrokenSpec(log->source)
+                                              : BuildIncumbentSpec(log->source, "diff_a");
+  const RmtProgramSpec spec_b = b == "broken" ? BuildBrokenSpec(log->source)
+                                              : BuildIncumbentSpec(log->source, "diff_b");
+  Result<DivergenceReport> report_a = engine.Replay(*log, spec_a, options);
+  Result<DivergenceReport> report_b = engine.Replay(*log, spec_b, options);
+  if (!report_a.ok() || !report_b.ok()) {
+    std::fprintf(stderr, "rkd_replay: replay: %s\n",
+                 (!report_a.ok() ? report_a.status() : report_b.status()).ToString().c_str());
+    return 2;
+  }
+  std::printf("--- %s ---\n", a.c_str());
+  PrintReportSummary(*report_a);
+  std::printf("--- %s ---\n", b.c_str());
+  PrintReportSummary(*report_b);
+  std::printf("--- delta (%s - %s) ---\n", b.c_str(), a.c_str());
+  std::printf("  decision match %+.4f, counterfactual %+.4f, exec errors %+" PRId64 "\n",
+              report_b->decision_match_rate() - report_a->decision_match_rate(),
+              report_b->counterfactual_score() - report_a->counterfactual_score(),
+              static_cast<int64_t>(report_b->total_exec_errors()) -
+                  static_cast<int64_t>(report_a->total_exec_errors()));
+  return 0;
+}
+
+// --- gate ------------------------------------------------------------------
+
+// The shadowed-admission demo: stand up the live incumbent substrate matching
+// the corpus, wire a ShadowGate, and show InstallShadowed rejecting a broken
+// candidate (flight dump on disk) while admitting the incumbent to canary.
+int Gate(const std::string& path, const std::string& flight_dir, ExecTier tier) {
+  Result<ExperienceLog> log = ReadExperienceLog(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "rkd_replay: %s\n", log.status().ToString().c_str());
+    return 2;
+  }
+  const std::string source = log->source;
+  std::printf("=== shadow gate demo (%s corpus, %" PRIu64 " fires) ===\n", source.c_str(),
+              log->fire_count());
+
+  // Live substrate + incumbent.
+  std::unique_ptr<RmtMlPrefetcher> prefetcher;
+  std::unique_ptr<RmtMigrationOracle> oracle;
+  ControlPlane* control_plane = nullptr;
+  ControlPlane::ProgramHandle incumbent = -1;
+  if (source == "prefetch") {
+    prefetcher = std::make_unique<RmtMlPrefetcher>();
+    if (const Status status = prefetcher->Init(); !status.ok()) {
+      std::fprintf(stderr, "rkd_replay: init prefetcher: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    control_plane = &prefetcher->control_plane();
+    incumbent = prefetcher->handle();
+  } else {
+    oracle = std::make_unique<RmtMigrationOracle>();
+    if (const Status status = oracle->Init(); !status.ok()) {
+      std::fprintf(stderr, "rkd_replay: init oracle: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    control_plane = &oracle->control_plane();
+    incumbent = oracle->handle();
+  }
+
+  ShadowGateConfig gate_config;
+  gate_config.flight_recorder_dir = flight_dir;
+  ShadowGate gate(gate_config, &control_plane->telemetry());
+  gate.AddCorpus(std::move(log).value());
+  control_plane->set_shadow_evaluator(&gate);
+
+  ControlPlane::CanaryConfig canary;
+  canary.canary_permille = 200;
+  canary.soak_min_execs = 16;
+
+  // 1. The broken candidate must be refused before it ever touches a hook.
+  Result<ControlPlane::ShadowedInstall> broken =
+      control_plane->InstallShadowed(incumbent, BuildBrokenSpec(source), canary, tier);
+  if (!broken.ok()) {
+    Check(false, "shadow-evaluate broken candidate", broken.status().ToString());
+  } else {
+    Check(!broken->verdict.admitted, "broken candidate rejected", broken->verdict.reason);
+    Check(broken->rollout < 0, "no canary rollout started for the reject");
+    Check(!gate.last_flight_dump().empty(), "flight recorder dumped",
+          gate.last_flight_dump());
+  }
+  Check(control_plane->installed_count() == 1, "rejected candidate left no live program");
+
+  // 2. The incumbent's own spec must clear the gate and reach canary.
+  const RmtProgramSpec candidate =
+      BuildIncumbentSpec(source, source == "prefetch" ? "rmt_prefetch_candidate"
+                                                      : "rmt_sched_candidate");
+  Result<ControlPlane::ShadowedInstall> good =
+      control_plane->InstallShadowed(incumbent, candidate, canary, tier);
+  if (!good.ok()) {
+    Check(false, "shadow-evaluate incumbent candidate", good.status().ToString());
+  } else {
+    Check(good->verdict.admitted, "incumbent candidate admitted", good->verdict.reason);
+    Check(good->rollout >= 0, "canary rollout started for the admit");
+    std::printf("  admit: decision match %.4f, counterfactual %.4f vs recorded %.4f\n",
+                good->verdict.decision_match_rate, good->verdict.counterfactual_score,
+                good->verdict.recorded_score);
+  }
+
+  if (g_failures > 0) {
+    std::printf("\nrkd_replay gate: %d check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("\nrkd_replay gate: all checks held\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage(argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::string sim = "prefetch";
+  std::string corpus;
+  std::string out;
+  std::string report_path;
+  std::string candidate = "incumbent";
+  std::string diff_a = "incumbent";
+  std::string diff_b = "broken";
+  std::string flight_dir = ".";
+  std::string tier_name = "jit";
+  bool quick = false;
+  size_t max_records = 1 << 20;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--sim=", 6) == 0) {
+      sim = arg + 6;
+    } else if (std::strncmp(arg, "--corpus=", 9) == 0) {
+      corpus = arg + 9;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out = arg + 6;
+    } else if (std::strncmp(arg, "--report=", 9) == 0) {
+      report_path = arg + 9;
+    } else if (std::strncmp(arg, "--candidate=", 12) == 0) {
+      candidate = arg + 12;
+    } else if (std::strncmp(arg, "--a=", 4) == 0) {
+      diff_a = arg + 4;
+    } else if (std::strncmp(arg, "--b=", 4) == 0) {
+      diff_b = arg + 4;
+    } else if (std::strncmp(arg, "--flight-dir=", 13) == 0) {
+      flight_dir = arg + 13;
+    } else if (std::strncmp(arg, "--tier=", 7) == 0) {
+      tier_name = arg + 7;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(arg, "--max-records=", 14) == 0) {
+      max_records = std::strtoull(arg + 14, nullptr, 10);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (tier_name != "jit" && tier_name != "interpreter") {
+    Usage(argv[0]);
+    return 2;
+  }
+  const ExecTier tier = tier_name == "jit" ? ExecTier::kJit : ExecTier::kInterpreter;
+
+  if (command == "record") {
+    if (out.empty() || (sim != "prefetch" && sim != "sched")) {
+      Usage(argv[0]);
+      return 2;
+    }
+    return sim == "prefetch" ? RecordPrefetch(quick, out, max_records)
+                             : RecordSched(quick, out, max_records);
+  }
+  if (corpus.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (command == "inspect") {
+    return Inspect(corpus);
+  }
+  if (command == "replay") {
+    if (candidate != "incumbent" && candidate != "broken") {
+      Usage(argv[0]);
+      return 2;
+    }
+    return Replay(corpus, candidate, tier, report_path);
+  }
+  if (command == "diff") {
+    return Diff(corpus, diff_a, diff_b, tier);
+  }
+  if (command == "gate") {
+    return Gate(corpus, flight_dir, tier);
+  }
+  Usage(argv[0]);
+  return 2;
+}
