@@ -1,0 +1,231 @@
+// M5 — fire-path thread scaling on the epoch-based concurrent datapath.
+//
+// The claim under test: Fire()/FireBatch() are wait-free readers (one epoch
+// pin + immutable snapshot walks, no locks), so aggregate fire throughput
+// scales with reader threads instead of serializing on the registry. The
+// benchmark installs both case-study programs — the scheduler migration
+// oracle and the ML prefetcher — into one registry and measures aggregate
+// fires/sec at 1, 2, 4 and 8 threads, each thread firing its own pid range
+// (per-pid context is single-writer by design; everything else is shared).
+//
+// Results land in BENCH_concurrent_fire.json (override with --out=FILE).
+// `speedup_vs_1` is the headline curve; `hw_threads` records how much
+// hardware parallelism the host actually had, since the curve saturates at
+// min(threads, hw_threads) — on a 1-core CI runner every point is ~1.0 and
+// the scaling claim is carried by wider runners.
+//
+//   $ build/bench/bench_concurrent_fire              # ~2s per point
+//   $ build/bench/bench_concurrent_fire --quick      # CI smoke
+#include <atomic>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/epoch.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/quantize.h"
+#include "src/rmt/control_plane.h"
+#include "src/rmt/hooks.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/sched/rmt_oracle.h"
+#include "src/telemetry/telemetry.h"
+
+namespace rkd {
+namespace {
+
+constexpr uint64_t kPidsPerThread = 16;
+
+ModelPtr MakeConstantTree(int32_t label) {
+  Dataset data(1);
+  data.Add(std::array<int32_t, 1>{0}, label);
+  data.Add(std::array<int32_t, 1>{1}, label);
+  return std::make_shared<DecisionTree>(std::move(DecisionTree::Train(data)).value());
+}
+
+// One fully-set-up datapath: registry, both programs, models, knobs, and
+// pre-created per-pid contexts for `max_threads` worth of pid ranges.
+struct Harness {
+  HookRegistry hooks;
+  ControlPlane cp{&hooks};
+  std::atomic<uint64_t> virtual_now{0};
+  std::atomic<uint64_t> pages_emitted{0};
+  HookId sched_hook = kInvalidHook;
+  HookId access_hook = kInvalidHook;
+  HookId prefetch_hook = kInvalidHook;
+
+  bool Init(int max_threads) {
+    SubsystemBindings mem_bindings;
+    mem_bindings.now = [this] { return virtual_now.load(std::memory_order_relaxed); };
+    mem_bindings.prefetch_emit = [this](int64_t /*first*/, int64_t count) {
+      pages_emitted.fetch_add(static_cast<uint64_t>(count > 0 ? count : 0),
+                              std::memory_order_relaxed);
+    };
+    auto sched = hooks.Register("sched.can_migrate_task", HookKind::kSchedMigrate);
+    auto access = hooks.Register("mm.lookup_swap_cache", HookKind::kMemAccess, mem_bindings);
+    auto prefetch =
+        hooks.Register("mm.swap_cluster_readahead", HookKind::kMemPrefetch, mem_bindings);
+    if (!sched.ok() || !access.ok() || !prefetch.ok()) {
+      return false;
+    }
+    sched_hook = *sched;
+    access_hook = *access;
+    prefetch_hook = *prefetch;
+
+    auto sched_handle = cp.Install(RmtMigrationOracle{}.BuildProgramSpec("bench_sched"));
+    auto mem_handle = cp.Install(RmtMlPrefetcher{}.BuildProgramSpec("bench_prefetch"));
+    if (!sched_handle.ok() || !mem_handle.ok()) {
+      return false;
+    }
+    if (!cp.InstallModel(*sched_handle, 0, MakeConstantTree(1)).ok() ||
+        !cp.InstallModel(*mem_handle, 0, MakeConstantTree(1)).ok() ||
+        !cp.WriteMap(*mem_handle, 0, 0, 2).ok() ||
+        !cp.WriteMap(*mem_handle, 1, 1, 4).ok()) {
+      return false;
+    }
+    ContextStore& sched_ctxt = cp.Get(*sched_handle)->context();
+    ContextStore& mem_ctxt = cp.Get(*mem_handle)->context();
+    for (uint64_t pid = 0; pid < static_cast<uint64_t>(max_threads) * kPidsPerThread; ++pid) {
+      ContextEntry* entry = sched_ctxt.FindOrCreate(pid);
+      if (entry != nullptr) {
+        entry->features.fill(RawToQ16(0.5));
+      }
+      (void)mem_ctxt.FindOrCreate(pid);
+    }
+    return true;
+  }
+};
+
+// The per-thread fire mix: one sched fire, one mem-access fire, one
+// 4-event prefetch batch — 6 fires per iteration, matching rkd_mtfire.
+uint64_t FireLoop(Harness& h, int thread_index, uint64_t iters) {
+  const uint64_t pid_base = static_cast<uint64_t>(thread_index) * kPidsPerThread;
+  std::array<HookEvent, 4> batch;
+  std::array<int64_t, 4> results;
+  uint64_t sink = 0;
+  for (uint64_t iter = 0; iter < iters; ++iter) {
+    const uint64_t pid = pid_base + iter % kPidsPerThread;
+    const int64_t page = static_cast<int64_t>(100 + iter % 64);
+    sink += static_cast<uint64_t>(h.hooks.Fire(h.sched_hook, pid));
+    const int64_t args[2] = {static_cast<int64_t>(pid), page};
+    sink += static_cast<uint64_t>(h.hooks.Fire(h.access_hook, pid, args));
+    for (uint32_t i = 0; i < batch.size(); ++i) {
+      batch[i] = HookEvent(pid, {static_cast<int64_t>(pid), page + i});
+    }
+    h.hooks.FireBatch(h.prefetch_hook, batch, results);
+    h.virtual_now.fetch_add(1, std::memory_order_relaxed);
+  }
+  return sink;
+}
+
+struct Point {
+  int threads = 0;
+  uint64_t fires = 0;
+  double fires_per_sec = 0.0;
+};
+
+Point RunPoint(Harness& h, int threads, uint64_t iters_per_thread) {
+  std::atomic<uint64_t> sink{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  const uint64_t start_ns = MonotonicNowNs();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(
+        [&h, &sink, t, iters_per_thread] { sink += FireLoop(h, t, iters_per_thread); });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
+  // Let the epoch domain reclaim whatever the run retired before the next
+  // point measures (mirrors the control-plane tick between workloads).
+  GlobalEpochDomain().Synchronize();
+  (void)GlobalEpochDomain().TryAdvance();
+
+  Point p;
+  p.threads = threads;
+  p.fires = static_cast<uint64_t>(threads) * iters_per_thread * 6;
+  p.fires_per_sec =
+      static_cast<double>(p.fires) * 1e9 / static_cast<double>(elapsed_ns > 0 ? elapsed_ns : 1);
+  return p;
+}
+
+int Run(const std::string& out_path, bool quick) {
+  constexpr int kThreadCounts[] = {1, 2, 4, 8};
+  const int max_threads = 8;
+
+  Harness h;
+  if (!h.Init(max_threads)) {
+    std::fprintf(stderr, "FAIL: harness setup\n");
+    return 1;
+  }
+
+  // Calibrate so each point runs ~1-2s (quick: ~100ms) regardless of host
+  // speed, using a single-threaded warmup burst.
+  const uint64_t warmup_iters = quick ? 2'000 : 20'000;
+  const uint64_t warm_start = MonotonicNowNs();
+  (void)FireLoop(h, 0, warmup_iters);
+  const uint64_t warm_ns = MonotonicNowNs() - warm_start;
+  const double iters_per_sec =
+      static_cast<double>(warmup_iters) * 1e9 / static_cast<double>(warm_ns > 0 ? warm_ns : 1);
+  const uint64_t iters_per_thread =
+      static_cast<uint64_t>(iters_per_sec * (quick ? 0.1 : 1.5)) + 1;
+
+  std::vector<Point> points;
+  for (const int threads : kThreadCounts) {
+    const Point p = RunPoint(h, threads, iters_per_thread);
+    points.push_back(p);
+    std::printf("%d thread%s: %12.0f fires/sec  (x%.2f vs 1 thread)\n", p.threads,
+                p.threads == 1 ? " " : "s", p.fires_per_sec,
+                p.fires_per_sec / points.front().fires_per_sec);
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"concurrent_fire\",\n"
+               "  \"hw_threads\": %u,\n"
+               "  \"fires_per_iteration\": 6,\n"
+               "  \"points\": [\n",
+               hw);
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"threads\": %d, \"fires\": %" PRIu64
+                 ", \"fires_per_sec\": %.0f, \"speedup_vs_1\": %.3f}%s\n",
+                 points[i].threads, points[i].fires, points[i].fires_per_sec,
+                 points[i].fires_per_sec / points.front().fires_per_sec,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rkd
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_concurrent_fire.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  return rkd::Run(out_path, quick);
+}

@@ -113,9 +113,12 @@ template <MatchKind kKind>
 void BM_TableMatch(benchmark::State& state) {
   const auto entries = static_cast<uint64_t>(state.range(0));
   RmtTable table("bench", kKind, entries + 1);
+  std::vector<TableEntry> batch;
+  batch.reserve(entries);
   for (uint64_t i = 0; i < entries; ++i) {
-    (void)table.Insert(MakeEntry(kKind, i));
+    batch.push_back(MakeEntry(kKind, i));
   }
+  (void)table.InsertBatch(batch);  // one published snapshot for the bulk load
   Rng rng(2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.Match(MakeProbe(kKind, rng.NextBounded(entries))));
@@ -188,9 +191,12 @@ std::vector<SweepRow> RunMatchSweep() {
   for (MatchKind kind : kinds) {
     for (uint64_t entries : sizes) {
       RmtTable table("sweep", kind, entries + 1);
+      std::vector<TableEntry> batch;
+      batch.reserve(entries);
       for (uint64_t i = 0; i < entries; ++i) {
-        (void)table.Insert(MakeEntry(kind, i));
+        batch.push_back(MakeEntry(kind, i));
       }
+      (void)table.InsertBatch(batch);
       Rng rng(2);
       std::vector<uint64_t> probes(4096);
       for (uint64_t& probe : probes) {

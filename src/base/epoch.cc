@@ -1,0 +1,134 @@
+#include "src/base/epoch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace rkd {
+
+namespace {
+
+uint64_t NextDomainId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+EpochDomain::EpochDomain() : id_(NextDomainId()), block_(std::make_shared<SlotBlock>()) {}
+
+EpochDomain::~EpochDomain() {
+  // Destruction contract: no pinned readers, no concurrent writers. Threads
+  // may still hold cached slot references through the shared block; mark it
+  // abandoned so those cache entries become evictable.
+  block_->abandoned.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(limbo_mutex_);
+  for (std::vector<Retired>& bucket : limbo_) {
+    for (const Retired& r : bucket) {
+      r.deleter(r.obj);
+    }
+    reclaimed_.fetch_add(bucket.size(), std::memory_order_relaxed);
+    bucket.clear();
+  }
+  limbo_size_ = 0;
+}
+
+EpochDomain::Slot* EpochDomain::ClaimSlot() {
+  const uint32_t index = block_->claimed.fetch_add(1, std::memory_order_acq_rel);
+  if (index >= kMaxReaders) {
+    std::fprintf(stderr,
+                 "rkd: EpochDomain reader-slot limit exceeded (%zu threads)\n",
+                 kMaxReaders);
+    std::abort();
+  }
+  Slot* slot = &block_->slots[index];
+
+  // Install into the thread cache: prefer an empty or abandoned entry, then
+  // round-robin evict. An evicted live entry only costs a re-claim if this
+  // thread pins that domain again (slots are monotonic by design).
+  ThreadCache& cache = Cache();
+  ThreadCache::Entry* victim = nullptr;
+  for (ThreadCache::Entry& entry : cache.entries) {
+    if (entry.slot == nullptr || entry.block->abandoned.load(std::memory_order_acquire)) {
+      victim = &entry;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = &cache.entries[cache.next_evict];
+    cache.next_evict = (cache.next_evict + 1) % cache.entries.size();
+  }
+  victim->domain_id = id_;
+  victim->slot = slot;
+  victim->block = block_;
+  return slot;
+}
+
+void EpochDomain::Retire(void* obj, Deleter deleter) {
+  if (obj == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(limbo_mutex_);
+  const uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+  limbo_[e % 3].push_back(Retired{obj, deleter});
+  ++limbo_size_;
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  // Keep garbage bounded during write-heavy phases that never tick: attempt
+  // an advance once a batch accumulates. Failure (a reader still pinned in
+  // an older epoch) is harmless — the next Retire or Tick retries.
+  if (limbo_size_ >= kRetireBatch) {
+    (void)AdvanceLocked();
+  }
+}
+
+bool EpochDomain::TryAdvance() {
+  std::lock_guard<std::mutex> lock(limbo_mutex_);
+  return AdvanceLocked();
+}
+
+bool EpochDomain::AdvanceLocked() {
+  const uint64_t current = global_epoch_.load(std::memory_order_relaxed);
+  const uint32_t claimed = block_->claimed.load(std::memory_order_acquire);
+  const uint32_t used = claimed < kMaxReaders ? claimed : kMaxReaders;
+  for (uint32_t i = 0; i < used; ++i) {
+    const uint64_t e = block_->slots[i].epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e != current) {
+      return false;  // a reader is still pinned in an older epoch
+    }
+  }
+  // Every reader is quiescent or pinned at `current`, so nothing can hold an
+  // object retired at `next - 3` or earlier: free that bucket, then open the
+  // next epoch.
+  const uint64_t next = current + 1;
+  std::vector<Retired>& bucket = limbo_[next % 3];
+  for (const Retired& r : bucket) {
+    r.deleter(r.obj);
+  }
+  reclaimed_.fetch_add(bucket.size(), std::memory_order_relaxed);
+  limbo_size_ -= bucket.size();
+  bucket.clear();
+  global_epoch_.store(next, std::memory_order_seq_cst);
+  advances_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void EpochDomain::Synchronize() {
+  // Two successful advances: the first retires the epoch every in-flight
+  // reader could be pinned at, the second waits those readers out (a pinned
+  // reader blocks any advance past its epoch + 1).
+  int advanced = 0;
+  while (advanced < 2) {
+    if (TryAdvance()) {
+      ++advanced;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+EpochDomain& GlobalEpochDomain() {
+  static EpochDomain* domain = new EpochDomain();  // immortal: datapath outlives statics
+  return *domain;
+}
+
+}  // namespace rkd

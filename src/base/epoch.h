@@ -1,0 +1,270 @@
+// Epoch-based reclamation: the one read/update primitive of the datapath.
+//
+// The paper's premise is that learned policies live *in* kernel fast paths:
+// many concurrent readers (hook fires), rare reconfiguration (table updates,
+// model pushes, attach/detach). The kernel answer to that shape is RCU —
+// readers mark a critical section, writers publish an immutable replacement
+// and defer freeing the old version until every reader that could hold it
+// has moved on. This header is the repo's userspace equivalent, and every
+// versioned structure on the fire path (compiled table indexes, model slots,
+// hook attachment lists) is built on it:
+//
+//   EpochDomain  - the grace-period machinery: a global epoch, one padded
+//                  slot per reader thread, and three limbo buckets of
+//                  retired objects.
+//   EpochGuard   - RAII read-side critical section ("pin"). Nested pins on
+//                  one thread are one increment; only the outermost pin
+//                  touches the shared epoch word.
+//   EpochPtr<T>  - an atomically replaceable pointer to an immutable
+//                  snapshot: readers Load() under a guard, writers
+//                  Publish() a replacement and the old snapshot is retired
+//                  into the domain.
+//
+// Reclamation rule (lag-3): Retire() appends to bucket `epoch % 3`;
+// advancing the global epoch from E to E+1 first frees bucket (E+1) % 3,
+// whose objects were retired at epoch E-2 or earlier. A reader pinned at
+// epoch P blocks any advance past P+1, so the oldest object a pinned reader
+// can possibly hold (retired at P+1, by a writer racing the reader's pin)
+// is freed no earlier than the advance to P+4 — two full grace periods
+// after the reader unpinned. The release-store at unpin and the seq_cst
+// slot scan at advance give the happens-before edge that makes the deferred
+// free race-free (and ThreadSanitizer-clean).
+//
+// Who advances: ControlPlane::Tick / PolicyGuardian::Tick are the
+// quiescence points (reconfiguration cadence), and Retire() opportunistically
+// tries an advance once enough garbage accumulates so write-heavy phases
+// without ticks stay bounded. Advancing never blocks: if any reader is
+// still pinned in an older epoch the attempt just fails and the garbage
+// waits.
+//
+// Contracts:
+//   - Readers on concurrent paths MUST hold an EpochGuard across every
+//     Load() and every dereference of the loaded snapshot.
+//   - Writers serialize among themselves externally (control-plane mutex);
+//     Publish/Retire are thread-safe against readers and each other.
+//   - A domain (and anything retiring into it) must be destroyed only when
+//     no reader is pinned; destruction drains all limbo buckets.
+//   - At most kMaxReaders distinct threads may ever pin one domain.
+#ifndef SRC_BASE_EPOCH_H_
+#define SRC_BASE_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rkd {
+
+class EpochDomain {
+ public:
+  // Distinct threads that may ever enter read-side critical sections of one
+  // domain. Slots are claimed once per (thread, domain) and never returned;
+  // a quiescent slot (epoch 0) does not block advances.
+  static constexpr size_t kMaxReaders = 64;
+
+  // Retired objects that trigger an opportunistic advance attempt.
+  static constexpr size_t kRetireBatch = 64;
+
+  EpochDomain();
+  ~EpochDomain();
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // --- Writer side ---
+
+  using Deleter = void (*)(void*);
+
+  // Defers `deleter(obj)` until every reader that could hold `obj` has
+  // unpinned (see the lag-3 rule above). nullptr is a no-op.
+  void Retire(void* obj, Deleter deleter);
+
+  template <typename T>
+  void Retire(const T* obj) {
+    if (obj != nullptr) {
+      Retire(const_cast<void*>(static_cast<const void*>(obj)),
+             [](void* p) { delete static_cast<T*>(p); });
+    }
+  }
+
+  // One quiescence step: if no reader is pinned in an older epoch, frees the
+  // eligible limbo bucket and bumps the global epoch. Returns whether the
+  // epoch advanced. Never blocks.
+  bool TryAdvance();
+
+  // Blocks (spinning on TryAdvance) until two full grace periods elapse:
+  // every reader pinned at entry has unpinned, so everything unlinked before
+  // the call is unreachable. Must NOT be called while this thread holds an
+  // EpochGuard on this domain (self-deadlock).
+  void Synchronize();
+
+  // --- Introspection ---
+
+  uint64_t epoch() const { return global_epoch_.load(std::memory_order_acquire); }
+  uint64_t retired() const { return retired_.load(std::memory_order_relaxed); }
+  uint64_t reclaimed() const { return reclaimed_.load(std::memory_order_relaxed); }
+  uint64_t pending() const { return retired() - reclaimed(); }
+  uint64_t advances() const { return advances_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class EpochGuard;
+
+  struct alignas(64) Slot {
+    // 0 = quiescent; otherwise the global epoch observed when pinning.
+    std::atomic<uint64_t> epoch{0};
+    // Nesting depth. Owner thread only, so no atomicity needed.
+    uint32_t nest = 0;
+  };
+
+  // Slots live in a shared_ptr block so a thread's cached reference stays
+  // valid even if the domain is destroyed first (test-local domains).
+  struct SlotBlock {
+    std::array<Slot, kMaxReaders> slots;
+    std::atomic<uint32_t> claimed{0};
+    std::atomic<bool> abandoned{false};
+  };
+
+  struct Retired {
+    void* obj;
+    Deleter deleter;
+  };
+
+  // Per-thread cache of claimed slots, keyed by domain id (ids are unique
+  // for the process lifetime, so a recycled domain address can never alias a
+  // stale cache entry).
+  struct ThreadCache {
+    struct Entry {
+      uint64_t domain_id = 0;
+      Slot* slot = nullptr;
+      std::shared_ptr<SlotBlock> block;
+    };
+    std::array<Entry, 4> entries;
+    size_t next_evict = 0;
+  };
+
+  static ThreadCache& Cache() {
+    static thread_local ThreadCache cache;
+    return cache;
+  }
+
+  Slot* Pin() {
+    Slot* slot = SlotForThisThread();
+    if (slot->nest++ != 0) {
+      return slot;  // nested pin: the outer guard already holds the epoch
+    }
+    // Publish the observed epoch, then re-check it: without the re-check a
+    // concurrent advance could scan this slot before the store lands and
+    // treat the thread as quiescent one epoch too early — the seq_cst
+    // store/load pair closes that window.
+    uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    while (true) {
+      slot->epoch.store(e, std::memory_order_seq_cst);
+      const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+      if (now == e) {
+        break;
+      }
+      e = now;
+    }
+    return slot;
+  }
+
+  void Unpin(Slot* slot) {
+    if (--slot->nest == 0) {
+      // Release: everything this reader did happens-before the advance that
+      // observes the slot quiescent (and thus before any deferred free).
+      slot->epoch.store(0, std::memory_order_release);
+    }
+  }
+
+  Slot* SlotForThisThread() {
+    ThreadCache& cache = Cache();
+    for (ThreadCache::Entry& entry : cache.entries) {
+      if (entry.domain_id == id_ && entry.slot != nullptr) {
+        return entry.slot;
+      }
+    }
+    return ClaimSlot();
+  }
+
+  Slot* ClaimSlot();     // slow path: claim + install into the thread cache
+  bool AdvanceLocked();  // requires limbo_mutex_
+
+  const uint64_t id_;
+  std::shared_ptr<SlotBlock> block_;
+  std::atomic<uint64_t> global_epoch_{1};  // slot epoch 0 means quiescent
+
+  std::mutex limbo_mutex_;
+  std::array<std::vector<Retired>, 3> limbo_;  // guarded by limbo_mutex_
+  size_t limbo_size_ = 0;                      // guarded by limbo_mutex_
+
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+  std::atomic<uint64_t> advances_{0};
+};
+
+// RAII read-side critical section. Cheap enough for per-fire use: the
+// outermost pin is two seq_cst accesses on a thread-private cache line plus
+// the epoch load; nested pins are a plain increment.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochDomain& domain) : domain_(&domain), slot_(domain.Pin()) {}
+  ~EpochGuard() { domain_->Unpin(slot_); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain* domain_;
+  EpochDomain::Slot* slot_;
+};
+
+// An atomically replaceable pointer to an immutable snapshot, owned by one
+// writer-side structure. Readers Load() under an EpochGuard; the writer
+// Publish()es a replacement and the displaced snapshot is retired into the
+// domain. The destructor frees the final snapshot directly (destruction
+// implies no readers, per the domain contract).
+template <typename T>
+class EpochPtr {
+ public:
+  EpochPtr() = default;
+  explicit EpochPtr(T* initial) : ptr_(initial) {}
+  ~EpochPtr() { delete ptr_.load(std::memory_order_relaxed); }
+
+  EpochPtr(const EpochPtr&) = delete;
+  EpochPtr& operator=(const EpochPtr&) = delete;
+
+  // Moves are writer-context only (e.g. a table moved into its attachment
+  // before any reader can see it).
+  EpochPtr(EpochPtr&& other) noexcept
+      : ptr_(other.ptr_.exchange(nullptr, std::memory_order_relaxed)) {}
+  EpochPtr& operator=(EpochPtr&& other) noexcept {
+    if (this != &other) {
+      delete ptr_.exchange(other.ptr_.exchange(nullptr, std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  // Reader side. Requires an EpochGuard on the retiring domain whenever a
+  // writer can run concurrently.
+  T* Load() const { return ptr_.load(std::memory_order_acquire); }
+
+  // Writer side: takes ownership of `next`, retires the displaced snapshot.
+  void Publish(T* next, EpochDomain& domain) {
+    T* old = ptr_.exchange(next, std::memory_order_acq_rel);
+    domain.Retire(old);
+  }
+
+ private:
+  std::atomic<T*> ptr_{nullptr};
+};
+
+// The process-wide domain the datapath retires into (tables, model slots,
+// hook lists). Unit tests exercising reclamation edge cases build their own
+// local EpochDomain instead.
+EpochDomain& GlobalEpochDomain();
+
+}  // namespace rkd
+
+#endif  // SRC_BASE_EPOCH_H_

@@ -4,38 +4,45 @@ namespace rkd {
 
 int64_t ModelRegistry::AddSlot() {
   std::lock_guard<std::mutex> lock(mutex_);
-  slots_.push_back(std::make_unique<ModelSlot>());
-  return static_cast<int64_t>(slots_.size()) - 1;
+  owned_.push_back(std::make_unique<ModelSlot>());
+  auto* dir = new Directory();
+  dir->slots.reserve(owned_.size());
+  for (const std::unique_ptr<ModelSlot>& slot : owned_) {
+    dir->slots.push_back(slot.get());
+  }
+  dir_.Publish(dir, GlobalEpochDomain());
+  return static_cast<int64_t>(owned_.size()) - 1;
 }
 
 Status ModelRegistry::Install(int64_t slot, ModelPtr model) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (slot < 0 || static_cast<size_t>(slot) >= slots_.size()) {
+  if (slot < 0 || static_cast<size_t>(slot) >= owned_.size()) {
     return NotFoundError("model slot " + std::to_string(slot) + " does not exist");
   }
-  slots_[static_cast<size_t>(slot)]->Set(std::move(model));
+  owned_[static_cast<size_t>(slot)]->Set(std::move(model));
   return OkStatus();
 }
 
 ModelPtr ModelRegistry::Get(int64_t slot) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (slot < 0 || static_cast<size_t>(slot) >= slots_.size()) {
+  EpochGuard guard(GlobalEpochDomain());
+  const Directory* dir = dir_.Load();
+  if (dir == nullptr || slot < 0 || static_cast<size_t>(slot) >= dir->slots.size()) {
     return nullptr;
   }
-  return slots_[static_cast<size_t>(slot)]->Get();
+  return dir->slots[static_cast<size_t>(slot)]->Get();
 }
 
 ModelSlot* ModelRegistry::slot(int64_t id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (id < 0 || static_cast<size_t>(id) >= slots_.size()) {
+  if (id < 0 || static_cast<size_t>(id) >= owned_.size()) {
     return nullptr;
   }
-  return slots_[static_cast<size_t>(id)].get();
+  return owned_[static_cast<size_t>(id)].get();
 }
 
 size_t ModelRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return slots_.size();
+  return owned_.size();
 }
 
 int64_t TensorRegistry::Add(FixedMatrix tensor) {

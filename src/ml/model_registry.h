@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/base/epoch.h"
 #include "src/base/status.h"
 #include "src/ml/model.h"
 #include "src/ml/online.h"
@@ -19,8 +20,15 @@
 
 namespace rkd {
 
+// The slot directory is published through an EpochPtr so the VM's per-kMlCall
+// Get() is a lock-free epoch-protected read (the old mutex sat directly on
+// the inference datapath). Slot objects live in stable storage for the
+// registry's lifetime; AddSlot republishes the directory under the writer
+// mutex.
 class ModelRegistry {
  public:
+  ModelRegistry() = default;
+
   // Returns the id of the newly added slot (initially empty).
   int64_t AddSlot();
 
@@ -28,17 +36,25 @@ class ModelRegistry {
   Status Install(int64_t slot, ModelPtr model);
 
   // Snapshot of the model in `slot`; nullptr if empty or out of range.
+  // Datapath-safe: epoch-protected, no lock.
   ModelPtr Get(int64_t slot) const;
 
-  // Direct slot access for trainers that publish through ModelSlot.
+  // Direct slot access for trainers that publish through ModelSlot. The
+  // returned slot lives for the registry's lifetime.
   ModelSlot* slot(int64_t id);
 
   size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  // ModelSlot is not movable (mutex member), hence unique_ptr elements.
-  std::vector<std::unique_ptr<ModelSlot>> slots_;
+  struct Directory {
+    std::vector<ModelSlot*> slots;  // not owned; stable storage below
+  };
+
+  mutable std::mutex mutex_;  // writers and slow-path accessors
+  // ModelSlot is not movable (writer mutex member), hence unique_ptr
+  // elements; pointers handed out stay valid as the vector grows.
+  std::vector<std::unique_ptr<ModelSlot>> owned_;  // guarded by mutex_
+  EpochPtr<const Directory> dir_;
 };
 
 class TensorRegistry {

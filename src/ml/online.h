@@ -13,19 +13,23 @@
 #include <memory>
 #include <mutex>
 
+#include "src/base/epoch.h"
 #include "src/ml/dataset.h"
 #include "src/ml/decision_tree.h"
 #include "src/ml/model.h"
 
 namespace rkd {
 
-// Holder for the currently installed model of one table action. Readers
-// (the VM's kMlCall) take a shared_ptr snapshot, so an in-flight inference
-// keeps its model alive across a concurrent swap.
+// Holder for the currently installed model of one table action. The
+// (model, version) pair lives in an immutable record published through an
+// EpochPtr: readers pin an epoch, load the record, and copy the shared_ptr
+// out — no lock on the inference path, and an in-flight inference keeps its
+// model alive across a concurrent swap. Set() serializes writers and
+// retires the displaced record into the global epoch domain.
 class ModelSlot {
  public:
-  // A coherent (model, version) pair taken under one lock. Readers that need
-  // to attribute observations to a model generation must use GetWithVersion;
+  // A coherent (model, version) pair from one published record. Readers that
+  // need to attribute observations to a model generation must use Snapshot();
   // calling Get() and version() separately can pair a new model with a stale
   // version (or vice versa) across a concurrent Set().
   struct VersionedModel {
@@ -33,35 +37,55 @@ class ModelSlot {
     uint64_t version = 0;
   };
 
+  ModelSlot() = default;
+  ModelSlot(const ModelSlot&) = delete;
+  ModelSlot& operator=(const ModelSlot&) = delete;
+
   void Set(ModelPtr model) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    model_ = std::move(model);
-    ++version_;
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    ++version_counter_;
+    state_.Publish(new Published{std::move(model), version_counter_},
+                   GlobalEpochDomain());
   }
 
   ModelPtr Get() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return model_;
+    EpochGuard guard(GlobalEpochDomain());
+    const Published* current = state_.Load();
+    return current == nullptr ? nullptr : current->model;
   }
 
-  VersionedModel GetWithVersion() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return {model_, version_};
+  // The epoch-protected coherent read (replaces the mutex-based
+  // GetWithVersion): one pin, one pointer load, one shared_ptr copy.
+  VersionedModel Snapshot() const {
+    EpochGuard guard(GlobalEpochDomain());
+    const Published* current = state_.Load();
+    return current == nullptr ? VersionedModel{}
+                              : VersionedModel{current->model, current->version};
   }
+
+  [[deprecated("use Snapshot(): the slot is epoch-protected now")]]
+  VersionedModel GetWithVersion() const { return Snapshot(); }
 
   uint64_t version() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return version_;
+    EpochGuard guard(GlobalEpochDomain());
+    const Published* current = state_.Load();
+    return current == nullptr ? 0 : current->version;
   }
   bool HasModel() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return model_ != nullptr;
+    EpochGuard guard(GlobalEpochDomain());
+    const Published* current = state_.Load();
+    return current != nullptr && current->model != nullptr;
   }
 
  private:
-  mutable std::mutex mutex_;
-  ModelPtr model_;
-  uint64_t version_ = 0;  // guarded by mutex_, same critical section as model_
+  struct Published {
+    ModelPtr model;
+    uint64_t version = 0;
+  };
+
+  std::mutex writer_mutex_;      // serializes Set() (trainer vs control plane)
+  uint64_t version_counter_ = 0; // guarded by writer_mutex_
+  EpochPtr<const Published> state_;
 };
 
 struct WindowedTrainerConfig {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/base/epoch.h"
+
 namespace rkd {
 
 ControlPlane::ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config)
@@ -144,9 +146,8 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
     // Export "rkd.table.<name>.*" before the move: the bound metric pointers
     // live in the registry and survive the table's relocation.
     table.BindTelemetry(&hooks_->telemetry());
-    for (const TableEntry& entry : table_spec.initial_entries) {
-      RKD_RETURN_IF_ERROR(table.Insert(entry));
-    }
+    // Bulk load: one published index snapshot for all initial entries.
+    RKD_RETURN_IF_ERROR(table.InsertBatch(table_spec.initial_entries));
     auto attached = std::make_unique<AttachedTable>(std::move(table), planned[t].hook,
                                                     planned[t].kind, tier);
 
@@ -441,6 +442,10 @@ Result<ControlPlane::AdaptationReport> ControlPlane::TickReport(ProgramHandle ha
     return FailedPreconditionError("adaptation not enabled for this program");
   }
   const AdaptationConfig& config = slot->adaptation;
+  // Control-plane tick is the quiescence point: try to advance the global
+  // epoch so snapshots retired since the last tick get reclaimed even when
+  // no writer has hit the opportunistic retire-batch threshold.
+  GlobalEpochDomain().TryAdvance();
   PredictionLog& log = slot->program->prediction_log();
   RKD_ASSIGN_OR_RETURN(int64_t knob,
                        ReadMap(handle, config.config_map, config.knob_key));

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 
+#include "src/base/epoch.h"
 #include "src/telemetry/trace_export.h"
 
 namespace rkd {
@@ -242,6 +243,9 @@ PolicyGuardian::TickSummary PolicyGuardian::Tick() {
   TickSummary summary;
   ++tick_count_;
   ticks_->Increment();
+  // Like ControlPlane::TickReport: guardian ticks double as quiescence
+  // points for the global epoch domain.
+  GlobalEpochDomain().TryAdvance();
   ScopedSpan tick_span(&control_plane_->telemetry().tracer(), "guardian.tick");
   tick_span.Tag("tick", static_cast<int64_t>(tick_count_));
   tick_span.Tag("guarded", static_cast<int64_t>(guarded_.size()));

@@ -15,61 +15,90 @@ HookRegistry::HookRegistry(TelemetryRegistry* telemetry)
 
 Result<HookId> HookRegistry::Register(std::string name, HookKind kind,
                                       SubsystemBindings bindings) {
-  for (const Hook& hook : hooks_) {
-    if (hook.name == name) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  for (const std::unique_ptr<Hook>& hook : storage_) {
+    if (hook->name == name) {
       return AlreadyExistsError("hook '" + name + "' is already registered");
     }
   }
-  Hook hook;
-  hook.name = std::move(name);
-  hook.kind = kind;
-  hook.bindings = std::move(bindings);
-  const std::string prefix = "rkd.hook." + hook.name;
-  hook.fires = telemetry_->GetCounter(prefix + ".fires");
-  hook.actions_run = telemetry_->GetCounter(prefix + ".actions_run");
-  hook.exec_errors = telemetry_->GetCounter(prefix + ".exec_errors");
-  hook.fire_ns = telemetry_->GetHistogram(prefix + ".fire_ns");
-  hook.span_label = "hook." + hook.name;
-  hook.force_trace = std::make_unique<std::atomic<uint32_t>>(0);
-  hooks_.push_back(std::move(hook));
-  return static_cast<HookId>(hooks_.size()) - 1;
+  auto hook = std::make_unique<Hook>();
+  hook->name = std::move(name);
+  hook->kind = kind;
+  hook->bindings = std::move(bindings);
+  const std::string prefix = "rkd.hook." + hook->name;
+  hook->fires = telemetry_->GetCounter(prefix + ".fires");
+  hook->actions_run = telemetry_->GetCounter(prefix + ".actions_run");
+  hook->exec_errors = telemetry_->GetCounter(prefix + ".exec_errors");
+  hook->fire_ns = telemetry_->GetHistogram(prefix + ".fire_ns");
+  hook->span_label = "hook." + hook->name;
+  hook->tables.Publish(new std::vector<AttachedTable*>(), GlobalEpochDomain());
+  storage_.push_back(std::move(hook));
+
+  auto* dir = new Directory();
+  dir->hooks.reserve(storage_.size());
+  for (const std::unique_ptr<Hook>& h : storage_) {
+    dir->hooks.push_back(h.get());
+  }
+  dir_.Publish(dir, GlobalEpochDomain());
+  return static_cast<HookId>(storage_.size()) - 1;
 }
 
 Result<HookId> HookRegistry::Lookup(std::string_view name) const {
-  for (size_t i = 0; i < hooks_.size(); ++i) {
-    if (hooks_[i].name == name) {
-      return static_cast<HookId>(i);
+  EpochGuard guard(GlobalEpochDomain());
+  const Directory* dir = dir_.Load();
+  if (dir != nullptr) {
+    for (size_t i = 0; i < dir->hooks.size(); ++i) {
+      if (dir->hooks[i]->name == name) {
+        return static_cast<HookId>(i);
+      }
     }
   }
   return NotFoundError("hook '" + std::string(name) + "' is not registered");
 }
 
 HookKind HookRegistry::KindOf(HookId id) const {
-  return Valid(id) ? hooks_[static_cast<size_t>(id)].kind : HookKind::kGeneric;
+  EpochGuard guard(GlobalEpochDomain());
+  const Hook* hook = Resolve(id);
+  return hook != nullptr ? hook->kind : HookKind::kGeneric;
 }
 
 const std::string& HookRegistry::NameOf(HookId id) const {
   static const std::string kUnknown = "<invalid hook>";
-  return Valid(id) ? hooks_[static_cast<size_t>(id)].name : kUnknown;
+  EpochGuard guard(GlobalEpochDomain());
+  const Hook* hook = Resolve(id);
+  return hook != nullptr ? hook->name : kUnknown;
 }
 
 const SubsystemBindings& HookRegistry::BindingsOf(HookId id) const {
   static const SubsystemBindings kEmpty;
-  return Valid(id) ? hooks_[static_cast<size_t>(id)].bindings : kEmpty;
+  EpochGuard guard(GlobalEpochDomain());
+  const Hook* hook = Resolve(id);
+  return hook != nullptr ? hook->bindings : kEmpty;
+}
+
+size_t HookRegistry::size() const {
+  EpochGuard guard(GlobalEpochDomain());
+  const Directory* dir = dir_.Load();
+  return dir == nullptr ? 0 : dir->hooks.size();
 }
 
 int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> args) {
-  if (!Valid(id)) {
+  // One pin covers the whole fire: the directory, the hook, its attachment
+  // list, and every table index snapshot loaded during matching stay alive
+  // until the guard drops.
+  EpochGuard guard(GlobalEpochDomain());
+  const Hook* hook_ptr = Resolve(id);
+  if (hook_ptr == nullptr) {
     return kHookFallback;
   }
-  Hook& hook = hooks_[static_cast<size_t>(id)];
+  const Hook& hook = *hook_ptr;
   // The pre-increment fire count doubles as the deterministic sequence
   // number canary routing keys on (see AttachedTable::ShouldRun) and as the
   // sampling key for causal tracing: same fire stream, same traced set.
   const uint64_t seq = hook.fires->FetchIncrement();
   Tracer& t = telemetry_->tracer();
   Tracer* const tracer =
-      hook.force_trace->load(std::memory_order_relaxed) != 0 || t.ShouldSample(seq)
+      hook.force_trace.load(std::memory_order_relaxed) != 0 || t.ShouldSample(seq)
           ? &t
           : nullptr;
   ScopedSpan fire_span(tracer, hook.span_label.c_str());
@@ -78,7 +107,8 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
   fire_span.Tag("key", static_cast<int64_t>(key));
   const uint64_t start_ns = MonotonicNowNs();
   int64_t result = kHookFallback;
-  for (AttachedTable* table : hook.tables) {
+  const std::vector<AttachedTable*>* tables = hook.tables.Load();
+  for (AttachedTable* table : *tables) {
     if (!table->ShouldRun(seq)) {
       continue;  // this fire is routed to the other rollout arm
     }
@@ -96,8 +126,8 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
   const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
   hook.fire_ns->Record(elapsed_ns);
   fire_span.Tag("result", result);
-  if (event_sink_ != nullptr) {
-    event_sink_->OnFire(id, key, args, result);
+  if (HookEventSink* sink = event_sink_.load(std::memory_order_acquire); sink != nullptr) {
+    sink->OnFire(id, key, args, result);
   }
 
   TraceEvent event;
@@ -118,10 +148,12 @@ void HookRegistry::FireBatch(HookId id, std::span<const HookEvent> events,
   for (size_t i = 0; i < n && i < results.size(); ++i) {
     results[i] = kHookFallback;
   }
-  if (!Valid(id) || n == 0 || results.size() < n) {
+  EpochGuard guard(GlobalEpochDomain());
+  const Hook* hook_ptr = Resolve(id);
+  if (hook_ptr == nullptr || n == 0 || results.size() < n) {
     return;
   }
-  Hook& hook = hooks_[static_cast<size_t>(id)];
+  const Hook& hook = *hook_ptr;
   // Reserve a dense run of fire sequence numbers: event i is fire
   // seq_base + i, so canary routing decides each event exactly as the
   // equivalent single Fire would.
@@ -131,7 +163,7 @@ void HookRegistry::FireBatch(HookId id, std::span<const HookEvent> events,
   // calls would produce.
   Tracer& t = telemetry_->tracer();
   Tracer* tracer = nullptr;
-  if (hook.force_trace->load(std::memory_order_relaxed) != 0) {
+  if (hook.force_trace.load(std::memory_order_relaxed) != 0) {
     tracer = &t;
   } else if (const uint32_t every = t.sample_every(); every != 0) {
     const uint64_t to_next = (every - seq_base % every) % every;
@@ -145,7 +177,8 @@ void HookRegistry::FireBatch(HookId id, std::span<const HookEvent> events,
   batch_span.Tag("batch", static_cast<int64_t>(n));
   const uint64_t start_ns = MonotonicNowNs();
   HookBatchStats stats;
-  for (AttachedTable* table : hook.tables) {
+  const std::vector<AttachedTable*>* tables = hook.tables.Load();
+  for (AttachedTable* table : *tables) {
     table->ExecuteBatch(events, seq_base, results, &stats, tracer);
   }
   if (stats.actions_run > 0) {
@@ -156,13 +189,13 @@ void HookRegistry::FireBatch(HookId id, std::span<const HookEvent> events,
   }
   const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
   hook.fire_ns->RecordBatch(elapsed_ns, n);
-  if (event_sink_ != nullptr) {
+  if (HookEventSink* sink = event_sink_.load(std::memory_order_acquire); sink != nullptr) {
     // Per-event callbacks so the sink sees the same ordered stream N single
     // Fire calls would have produced.
     for (size_t i = 0; i < n; ++i) {
-      event_sink_->OnFire(id, events[i].key,
-                          std::span<const int64_t>(events[i].args.data(), events[i].num_args),
-                          results[i]);
+      sink->OnFire(id, events[i].key,
+                   std::span<const int64_t>(events[i].args.data(), events[i].num_args),
+                   results[i]);
     }
   }
 
@@ -179,31 +212,43 @@ void HookRegistry::FireBatch(HookId id, std::span<const HookEvent> events,
 }
 
 Status HookRegistry::Attach(HookId id, AttachedTable* table) {
-  if (!Valid(id)) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (id < 0 || static_cast<size_t>(id) >= storage_.size()) {
     return NotFoundError("cannot attach to invalid hook id");
   }
-  hooks_[static_cast<size_t>(id)].tables.push_back(table);
+  Hook& hook = *storage_[static_cast<size_t>(id)];
+  // Copy-on-write: the live list is immutable, so build the successor and
+  // publish it; fires in flight finish against the list they loaded.
+  auto* next = new std::vector<AttachedTable*>(*hook.tables.Load());
+  next->push_back(table);
+  hook.tables.Publish(next, GlobalEpochDomain());
   return OkStatus();
 }
 
 Status HookRegistry::Detach(HookId id, AttachedTable* table) {
-  if (!Valid(id)) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (id < 0 || static_cast<size_t>(id) >= storage_.size()) {
     return NotFoundError("cannot detach from invalid hook id");
   }
-  auto& tables = hooks_[static_cast<size_t>(id)].tables;
-  const auto it = std::find(tables.begin(), tables.end(), table);
-  if (it == tables.end()) {
+  Hook& hook = *storage_[static_cast<size_t>(id)];
+  const std::vector<AttachedTable*>* current = hook.tables.Load();
+  const auto it = std::find(current->begin(), current->end(), table);
+  if (it == current->end()) {
     return NotFoundError("table is not attached to this hook");
   }
-  tables.erase(it);
+  auto* next = new std::vector<AttachedTable*>(*current);
+  next->erase(next->begin() + (it - current->begin()));
+  hook.tables.Publish(next, GlobalEpochDomain());
   return OkStatus();
 }
 
 void HookRegistry::AdjustForceTrace(HookId id, int delta) {
-  if (!Valid(id)) {
+  EpochGuard guard(GlobalEpochDomain());
+  const Hook* hook = Resolve(id);
+  if (hook == nullptr) {
     return;
   }
-  std::atomic<uint32_t>& count = *hooks_[static_cast<size_t>(id)].force_trace;
+  std::atomic<uint32_t>& count = hook->force_trace;
   if (delta >= 0) {
     count.fetch_add(static_cast<uint32_t>(delta), std::memory_order_relaxed);
     return;
@@ -220,31 +265,20 @@ void HookRegistry::AdjustForceTrace(HookId id, int delta) {
 }
 
 bool HookRegistry::ForceTraced(HookId id) const {
-  return Valid(id) &&
-         hooks_[static_cast<size_t>(id)].force_trace->load(std::memory_order_relaxed) != 0;
+  EpochGuard guard(GlobalEpochDomain());
+  const Hook* hook = Resolve(id);
+  return hook != nullptr && hook->force_trace.load(std::memory_order_relaxed) != 0;
 }
 
 HookMetrics HookRegistry::MetricsOf(HookId id) const {
-  if (!Valid(id)) {
+  EpochGuard guard(GlobalEpochDomain());
+  const Hook* hook = Resolve(id);
+  if (hook == nullptr) {
     static const Counter kZeroCounter;
     static const LatencyHistogram kZeroHistogram;
     return HookMetrics(&kZeroCounter, &kZeroCounter, &kZeroCounter, &kZeroHistogram);
   }
-  const Hook& hook = hooks_[static_cast<size_t>(id)];
-  return HookMetrics(hook.fires, hook.actions_run, hook.exec_errors, hook.fire_ns);
-}
-
-const HookRegistry::HookStats& HookRegistry::StatsOf(HookId id) const {
-  static const HookStats kEmpty;
-  if (!Valid(id)) {
-    return kEmpty;
-  }
-  // Deprecated shim: refresh the snapshot from the telemetry counters.
-  const Hook& hook = hooks_[static_cast<size_t>(id)];
-  hook.stats_shim.fires = hook.fires->value();
-  hook.stats_shim.actions_run = hook.actions_run->value();
-  hook.stats_shim.exec_errors = hook.exec_errors->value();
-  return hook.stats_shim;
+  return HookMetrics(hook->fires, hook->actions_run, hook->exec_errors, hook->fire_ns);
 }
 
 }  // namespace rkd

@@ -11,19 +11,30 @@
 // counted and reported through stats, and the hook returns the fallback
 // value so the kernel's default behaviour resumes — a misbehaving RMT
 // program degrades to stock-kernel behaviour, never to a crash.
+//
+// Concurrency model (see DESIGN.md "Concurrency model"): Fire/FireBatch are
+// wait-free readers. Each call pins one epoch guard and walks immutable
+// snapshots — the hook directory (so Register can grow the hook set under
+// live fire) and each hook's attachment list (so Attach/Detach swap lists
+// atomically; a fire in flight finishes against the list it loaded).
+// Register/Attach/Detach serialize on a writer mutex, publish the new
+// snapshot, and retire the old one into the global epoch domain.
 #ifndef SRC_RMT_HOOKS_H_
 #define SRC_RMT_HOOKS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/base/epoch.h"
 #include "src/base/status.h"
 #include "src/bytecode/program.h"
 #include "src/telemetry/telemetry.h"
@@ -125,7 +136,7 @@ class HookRegistry {
   HookKind KindOf(HookId id) const;
   const std::string& NameOf(HookId id) const;
   const SubsystemBindings& BindingsOf(HookId id) const;
-  size_t size() const { return hooks_.size(); }
+  size_t size() const;
 
   // Datapath entry point: runs every attached table's match+action in attach
   // order with (key, args) and returns the last action's r0, or kHookFallback
@@ -165,48 +176,62 @@ class HookRegistry {
   TelemetryRegistry& telemetry() const { return *telemetry_; }
 
   // Installs (or clears, with nullptr) the event sink. Not owned; the caller
-  // must keep it alive until it is cleared. Single observer by design — the
-  // recorder is the only intended client and one raw-pointer load keeps the
-  // disarmed cost on Fire() negligible.
-  void set_event_sink(HookEventSink* sink) { event_sink_ = sink; }
-  HookEventSink* event_sink() const { return event_sink_; }
-
-  // DEPRECATED: pre-telemetry stats struct, kept as a shim for older
-  // callers. The returned reference is a snapshot refreshed on every call
-  // (it aliases the telemetry counters behind MetricsOf). New code should
-  // use MetricsOf(), which also carries the fire-latency histogram.
-  struct HookStats {
-    uint64_t fires = 0;
-    uint64_t actions_run = 0;
-    uint64_t exec_errors = 0;
-  };
-  const HookStats& StatsOf(HookId id) const;
+  // must keep it alive until every in-flight fire that could observe it has
+  // drained. Single observer by design — the recorder is the only intended
+  // client and one atomic load keeps the disarmed cost on Fire() negligible.
+  void set_event_sink(HookEventSink* sink) {
+    event_sink_.store(sink, std::memory_order_release);
+  }
+  HookEventSink* event_sink() const { return event_sink_.load(std::memory_order_acquire); }
 
  private:
+  // One registered hook point. Heap-allocated and never freed before the
+  // registry, so Hook pointers in a published directory stay valid for any
+  // reader holding an epoch guard. The attachment list is itself an
+  // epoch-published immutable snapshot.
   struct Hook {
     std::string name;
     HookKind kind;
     SubsystemBindings bindings;
-    std::vector<AttachedTable*> tables;  // not owned; owned by ControlPlane
+    // Attached tables (not owned; owned by ControlPlane). Never null: an
+    // empty list is published at Register().
+    EpochPtr<const std::vector<AttachedTable*>> tables;
     // Telemetry slice, resolved once at Register() so Fire() only touches
-    // raw pointers.
+    // raw pointers. `fires` stays a single-cell Counter on purpose: its
+    // FetchIncrement is the dense fire sequence canary routing and trace
+    // sampling key on.
     Counter* fires = nullptr;
     Counter* actions_run = nullptr;
     Counter* exec_errors = nullptr;
     LatencyHistogram* fire_ns = nullptr;
-    mutable HookStats stats_shim;  // backing storage for StatsOf()
-    // Root-span label ("hook.<name>") and the force-trace refcount.
-    // unique_ptr because atomics are not movable and hooks live in a vector.
+    // Root-span label ("hook.<name>") and the force-trace refcount
+    // (mutable: adjusted through the reader-side const Hook*).
     std::string span_label;
-    std::unique_ptr<std::atomic<uint32_t>> force_trace;
+    mutable std::atomic<uint32_t> force_trace{0};
   };
 
-  bool Valid(HookId id) const { return id >= 0 && static_cast<size_t>(id) < hooks_.size(); }
+  // The published hook directory: an immutable snapshot of Hook pointers,
+  // replaced wholesale when Register grows the set. HookId indexes into it.
+  struct Directory {
+    std::vector<Hook*> hooks;  // not owned; owned by storage_
+  };
+
+  // Reader-side resolution: id -> Hook under the caller's epoch guard.
+  const Hook* Resolve(HookId id) const {
+    const Directory* dir = dir_.Load();
+    if (dir == nullptr || id < 0 || static_cast<size_t>(id) >= dir->hooks.size()) {
+      return nullptr;
+    }
+    return dir->hooks[static_cast<size_t>(id)];
+  }
 
   std::unique_ptr<TelemetryRegistry> owned_telemetry_;  // null when external
   TelemetryRegistry* telemetry_;
-  HookEventSink* event_sink_ = nullptr;
-  std::vector<Hook> hooks_;
+  std::atomic<HookEventSink*> event_sink_{nullptr};
+
+  std::mutex writer_mutex_;  // serializes Register/Attach/Detach
+  std::vector<std::unique_ptr<Hook>> storage_;  // guarded by writer_mutex_
+  EpochPtr<const Directory> dir_;
 };
 
 }  // namespace rkd

@@ -1,5 +1,7 @@
 #include "src/rmt/pipeline.h"
 
+#include "src/base/epoch.h"
+
 namespace rkd {
 
 // --- AttachedTable ---
@@ -45,7 +47,7 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
     const TableEntry* matched = table_.Match(key);
     lookup_span.Tag("kind", static_cast<int64_t>(table_.match_kind()));
     lookup_span.Tag("index", static_cast<int64_t>(table_.index_mode()));
-    lookup_span.Tag("epoch", static_cast<int64_t>(table_.mutation_epoch()));
+    lookup_span.Tag("epoch", static_cast<int64_t>(table_.version()));
     lookup_span.Tag("hit", matched != nullptr ? 1 : 0);
     return matched;
   }();
@@ -56,7 +58,7 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
   if (effective < 0 || static_cast<size_t>(effective) >= actions_.size()) {
     return static_cast<int64_t>(kHookFallback);
   }
-  ++executions_;
+  executions_.Increment();
 
   // r1 = match key, r2..r5 = hook arguments (truncated to four).
   int64_t call_args[5] = {static_cast<int64_t>(key), 0, 0, 0, 0};
@@ -119,7 +121,7 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
   batch_table_span.Tag("events", static_cast<int64_t>(events.size()));
   batch_table_span.Tag("kind", static_cast<int64_t>(table_.match_kind()));
   batch_table_span.Tag("index", static_cast<int64_t>(table_.index_mode()));
-  batch_table_span.Tag("epoch", static_cast<int64_t>(table_.mutation_epoch()));
+  batch_table_span.Tag("epoch", static_cast<int64_t>(table_.version()));
 
   // One env copy per batch with VM telemetry detached: per-run stats are
   // aggregated locally and flushed to the counters in bulk below. A traced
@@ -156,7 +158,6 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
       }
       continue;
     }
-    ++executions_;
     ++execs;
 
     call_args[0] = static_cast<int64_t>(event.key);
@@ -193,6 +194,9 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
 
   batch_table_span.Tag("execs", static_cast<int64_t>(execs));
   batch_table_span.Tag("errors", static_cast<int64_t>(errors));
+  if (execs > 0) {
+    executions_.Increment(execs);
+  }
 
   const uint64_t elapsed_ns = timed ? MonotonicNowNs() - start_ns : 0;
   if (exec_metrics_ != nullptr && execs > 0) {
@@ -229,6 +233,10 @@ InstalledProgram::~InstalledProgram() {
   for (const auto& table : tables_) {
     (void)hooks_->Detach(table->hook(), table.get());
   }
+  // Grace period: a fire in flight may still hold an attachment list naming
+  // our tables. Wait until every reader pinned before the detaches above has
+  // unpinned, so no datapath thread can touch the members destroyed next.
+  GlobalEpochDomain().Synchronize();
 }
 
 AttachedTable* InstalledProgram::FindTable(std::string_view table_name) {

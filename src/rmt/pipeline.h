@@ -151,7 +151,7 @@ class AttachedTable {
   const CompiledProgram* compiled_default() const;
   const BytecodeProgram* default_action_program() const;
   size_t action_count() const { return actions_.size(); }
-  uint64_t executions() const { return executions_; }
+  uint64_t executions() const { return executions_.value(); }
 
  private:
   RmtTable table_;
@@ -166,7 +166,7 @@ class AttachedTable {
   VmEnv env_;
   HelperServices* services_ = nullptr;  // owned by InstalledProgram
   CompiledProgram::Resolver tail_resolver_;
-  uint64_t executions_ = 0;
+  ShardedCounter executions_;  // incremented by concurrent fires
   const ProgramExecMetrics* exec_metrics_ = nullptr;  // owned by InstalledProgram
   OpcodeProfile* opcode_profile_ = nullptr;           // owned by InstalledProgram
   CanaryRole role_ = CanaryRole::kSolo;

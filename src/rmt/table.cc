@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
 #include <set>
+#include <utility>
 
 namespace rkd {
 
@@ -53,9 +55,23 @@ RmtTable::RmtTable(std::string name, MatchKind match_kind, size_t max_entries,
       max_entries_(max_entries),
       index_mode_(index_mode) {}
 
+RmtTable::RmtTable(RmtTable&& other) noexcept
+    : name_(std::move(other.name_)),
+      match_kind_(other.match_kind_),
+      max_entries_(other.max_entries_),
+      index_mode_(other.index_mode_),
+      entries_(std::move(other.entries_)),
+      version_(other.version_.load(std::memory_order_relaxed)),
+      index_(std::move(other.index_)),
+      hits_(std::move(other.hits_)),
+      misses_(std::move(other.misses_)),
+      hits_counter_(other.hits_counter_),
+      misses_counter_(other.misses_counter_),
+      entries_gauge_(other.entries_gauge_) {}
+
 void RmtTable::set_index_mode(TableIndexMode mode) {
   index_mode_ = mode;
-  index_dirty_ = true;  // compiled structures may be stale or absent
+  PublishIndex();  // atomic flip: readers see either the old or new form whole
 }
 
 void RmtTable::BindTelemetry(TelemetryRegistry* telemetry) {
@@ -72,14 +88,6 @@ void RmtTable::BindTelemetry(TelemetryRegistry* telemetry) {
   entries_gauge_->Set(static_cast<double>(entries_.size()));
 }
 
-void RmtTable::MarkDirty() {
-  ++epoch_;
-  index_dirty_ = true;
-  if (entries_gauge_ != nullptr) {
-    entries_gauge_->Set(static_cast<double>(entries_.size()));
-  }
-}
-
 const TableEntry* RmtTable::FindSpec(uint64_t key, uint64_t key2) const {
   for (const TableEntry& entry : entries_) {
     if (entry.key == key && entry.key2 == key2) {
@@ -89,16 +97,14 @@ const TableEntry* RmtTable::FindSpec(uint64_t key, uint64_t key2) const {
   return nullptr;
 }
 
-Status RmtTable::Insert(const TableEntry& entry) {
-  if (entries_.size() >= max_entries_) {
-    return ResourceExhaustedError("table '" + name_ + "' is full (" +
-                                  std::to_string(max_entries_) + " entries)");
-  }
+Status RmtTable::Validate(const TableEntry& entry) const {
   if (match_kind_ == MatchKind::kExact) {
     // Exact keys are unique outright: key2 plays no role in exact matching,
     // so a second entry for the same key could never be matched.
-    if (exact_index_.find(entry.key) != exact_index_.end()) {
-      return AlreadyExistsError("table '" + name_ + "' already has this exact key");
+    for (const TableEntry& existing : entries_) {
+      if (existing.key == entry.key) {
+        return AlreadyExistsError("table '" + name_ + "' already has this exact key");
+      }
     }
   } else if (FindSpec(entry.key, entry.key2) != nullptr) {
     return AlreadyExistsError("table '" + name_ + "' already has this match spec");
@@ -109,63 +115,198 @@ Status RmtTable::Insert(const TableEntry& entry) {
   if (match_kind_ == MatchKind::kLpm && entry.key2 > 64) {
     return InvalidArgumentError("lpm prefix length exceeds 64");
   }
-  entries_.push_back(entry);
-  if (match_kind_ == MatchKind::kExact) {
-    exact_index_[entry.key] = entries_.size() - 1;
+  return OkStatus();
+}
+
+Status RmtTable::Insert(const TableEntry& entry) {
+  if (entries_.size() >= max_entries_) {
+    return ResourceExhaustedError("table '" + name_ + "' is full (" +
+                                  std::to_string(max_entries_) + " entries)");
   }
-  MarkDirty();
+  RKD_RETURN_IF_ERROR(Validate(entry));
+  entries_.push_back(entry);
+  PublishIndex();
+  return OkStatus();
+}
+
+Status RmtTable::InsertBatch(std::span<const TableEntry> batch) {
+  if (entries_.size() + batch.size() > max_entries_) {
+    return ResourceExhaustedError("table '" + name_ + "' cannot hold " +
+                                  std::to_string(batch.size()) + " more entries (" +
+                                  std::to_string(max_entries_) + " max)");
+  }
+  const size_t before = entries_.size();
+  for (const TableEntry& entry : batch) {
+    const Status valid = Validate(entry);
+    if (!valid.ok()) {
+      entries_.resize(before);  // all-or-nothing: nothing was published yet
+      return valid;
+    }
+    entries_.push_back(entry);  // grow as we go so in-batch duplicates fail too
+  }
+  if (!batch.empty()) {
+    PublishIndex();
+  }
   return OkStatus();
 }
 
 Status RmtTable::Remove(uint64_t key, uint64_t key2) {
-  if (match_kind_ == MatchKind::kExact) {
-    // O(1): swap with the last entry and patch its one index slot instead of
-    // rebuilding the whole index.
-    const auto it = exact_index_.find(key);
-    if (it == exact_index_.end() || entries_[it->second].key2 != key2) {
-      return NotFoundError("no entry with this match spec in table '" + name_ + "'");
-    }
-    const size_t idx = it->second;
-    exact_index_.erase(it);
-    const size_t last = entries_.size() - 1;
-    if (idx != last) {
-      entries_[idx] = entries_[last];
-      exact_index_[entries_[idx].key] = idx;
-    }
-    entries_.pop_back();
-    MarkDirty();
-    return OkStatus();
-  }
-  // Non-exact kinds erase in place: entry position encodes insertion order,
-  // which the match semantics' tie-breaks depend on.
   const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const TableEntry& entry) {
     return entry.key == key && entry.key2 == key2;
   });
   if (it == entries_.end()) {
     return NotFoundError("no entry with this match spec in table '" + name_ + "'");
   }
+  // Erase in place: entry position encodes insertion order, which the match
+  // semantics' tie-breaks depend on (the snapshot rebuild below re-indexes
+  // everything anyway, so there is nothing to patch incrementally).
   entries_.erase(it);
-  MarkDirty();
+  PublishIndex();
   return OkStatus();
 }
 
 Status RmtTable::Modify(uint64_t key, uint64_t key2, int32_t action_index, int64_t model_slot) {
-  // No MarkDirty: the match structure is untouched; compiled indexes hold
-  // entry positions, and the entry mutates in place.
   for (TableEntry& entry : entries_) {
     if (entry.key == key && entry.key2 == key2) {
       entry.action_index = action_index;
       entry.model_slot = model_slot;
+      // Snapshots carry entry copies, so even an action-only change must
+      // republish to become visible to readers.
+      PublishIndex();
       return OkStatus();
     }
   }
   return NotFoundError("no entry with this match spec in table '" + name_ + "'");
 }
 
-const TableEntry* RmtTable::MatchLinear(uint64_t key) const {
-  switch (match_kind_) {
+void RmtTable::PublishIndex() {
+  auto index = std::make_unique<Index>();
+  index->mode = index_mode_;
+  index->entries = entries_;
+
+  if (index->mode == TableIndexMode::kCompiled) {
+    switch (match_kind_) {
+      case MatchKind::kExact: {
+        index->exact.reserve(index->entries.size());
+        for (size_t i = 0; i < index->entries.size(); ++i) {
+          // emplace keeps the first entry per key; Insert enforces
+          // uniqueness, so this is a bijection over the entries.
+          index->exact.emplace(index->entries[i].key, i);
+        }
+        break;
+      }
+
+      case MatchKind::kLpm: {
+        std::array<int32_t, 65> bucket_of;
+        bucket_of.fill(-1);
+        for (size_t i = 0; i < index->entries.size(); ++i) {
+          const uint64_t bits = index->entries[i].key2;  // validated <= 64 at insert
+          int32_t& slot = bucket_of[static_cast<size_t>(bits)];
+          if (slot < 0) {
+            slot = static_cast<int32_t>(index->lpm.size());
+            index->lpm.push_back(LpmBucket{bits, LpmMask(bits), {}});
+          }
+          LpmBucket& bucket = index->lpm[static_cast<size_t>(slot)];
+          // emplace keeps the first entry of this (length, prefix): the same
+          // winner the linear scan's strict longest-prefix comparison picks.
+          bucket.slots.emplace(index->entries[i].key & bucket.mask, i);
+        }
+        std::sort(index->lpm.begin(), index->lpm.end(),
+                  [](const LpmBucket& a, const LpmBucket& b) { return a.bits > b.bits; });
+        break;
+      }
+
+      case MatchKind::kRange: {
+        const size_t n = index->entries.size();
+        if (n == 0) {
+          break;
+        }
+        const std::vector<TableEntry>& entries = index->entries;
+        // Sweep the boundary points; at each point the winner is the active
+        // entry with the smallest position (first in insertion order, the
+        // linear scan's rule). Segments between points are constant, so only
+        // winner changes are emitted.
+        std::vector<size_t> starts(n);
+        std::vector<size_t> ends(n);
+        for (size_t i = 0; i < n; ++i) {
+          starts[i] = ends[i] = i;
+        }
+        std::sort(starts.begin(), starts.end(),
+                  [&](size_t a, size_t b) { return entries[a].key < entries[b].key; });
+        std::sort(ends.begin(), ends.end(),
+                  [&](size_t a, size_t b) { return entries[a].key2 < entries[b].key2; });
+        std::vector<uint64_t> points;
+        points.reserve(2 * n);
+        for (size_t i = 0; i < n; ++i) {
+          points.push_back(entries[i].key);
+          if (entries[i].key2 != ~0ull) {
+            points.push_back(entries[i].key2 + 1);
+          }
+        }
+        std::sort(points.begin(), points.end());
+        points.erase(std::unique(points.begin(), points.end()), points.end());
+
+        std::set<size_t> active;
+        size_t si = 0;
+        size_t ei = 0;
+        int64_t last_winner = -2;  // differs from every real winner and from "gap"
+        for (const uint64_t p : points) {
+          while (si < n && entries[starts[si]].key <= p) {
+            active.insert(starts[si++]);
+          }
+          while (ei < n && entries[ends[ei]].key2 < p) {
+            active.erase(ends[ei++]);
+          }
+          const int64_t winner =
+              active.empty() ? -1 : static_cast<int64_t>(*active.begin());
+          if (winner != last_winner) {
+            index->range.push_back(RangeSegment{p, winner});
+            last_winner = winner;
+          }
+        }
+        break;
+      }
+
+      case MatchKind::kTernary: {
+        std::unordered_map<uint64_t, size_t> group_of;  // mask -> group position
+        for (size_t i = 0; i < index->entries.size(); ++i) {
+          const uint64_t mask = index->entries[i].key2;
+          const auto [git, fresh] = group_of.try_emplace(mask, index->ternary.size());
+          if (fresh) {
+            index->ternary.push_back(TernaryGroup{mask, index->entries[i].priority, {}});
+          }
+          TernaryGroup& group = index->ternary[git->second];
+          group.max_priority = std::max(group.max_priority, index->entries[i].priority);
+          // Two entries agreeing on (mask, key & mask) match identical keys,
+          // so only the cell's winner (highest priority, earliest insertion on
+          // ties — the linear rule) can ever win globally.
+          const auto [cell, inserted] =
+              group.slots.try_emplace(index->entries[i].key & mask, i);
+          if (!inserted && index->entries[i].priority > index->entries[cell->second].priority) {
+            cell->second = i;
+          }
+        }
+        std::stable_sort(index->ternary.begin(), index->ternary.end(),
+                         [](const TernaryGroup& a, const TernaryGroup& b) {
+                           return a.max_priority > b.max_priority;
+                         });
+        break;
+      }
+    }
+  }
+
+  version_.fetch_add(1, std::memory_order_relaxed);
+  index_.Publish(index.release(), GlobalEpochDomain());
+  if (entries_gauge_ != nullptr) {
+    entries_gauge_->Set(static_cast<double>(entries_.size()));
+  }
+}
+
+const TableEntry* RmtTable::MatchLinear(const Index& index, MatchKind kind, uint64_t key) {
+  const std::vector<TableEntry>& entries = index.entries;
+  switch (kind) {
     case MatchKind::kExact: {
-      for (const TableEntry& entry : entries_) {
+      for (const TableEntry& entry : entries) {
         if (entry.key == key) {
           return &entry;
         }
@@ -174,7 +315,7 @@ const TableEntry* RmtTable::MatchLinear(uint64_t key) const {
     }
     case MatchKind::kLpm: {
       const TableEntry* best = nullptr;
-      for (const TableEntry& entry : entries_) {
+      for (const TableEntry& entry : entries) {
         if (LpmMatches(key, entry.key, entry.key2) &&
             (best == nullptr || entry.key2 > best->key2)) {
           best = &entry;
@@ -184,7 +325,7 @@ const TableEntry* RmtTable::MatchLinear(uint64_t key) const {
     }
     case MatchKind::kRange: {
       // First matching range in insertion order.
-      for (const TableEntry& entry : entries_) {
+      for (const TableEntry& entry : entries) {
         if (entry.key <= key && key <= entry.key2) {
           return &entry;
         }
@@ -193,7 +334,7 @@ const TableEntry* RmtTable::MatchLinear(uint64_t key) const {
     }
     case MatchKind::kTernary: {
       const TableEntry* best = nullptr;
-      for (const TableEntry& entry : entries_) {
+      for (const TableEntry& entry : entries) {
         if ((key & entry.key2) == (entry.key & entry.key2) &&
             (best == nullptr || entry.priority > best->priority)) {
           best = &entry;
@@ -205,125 +346,19 @@ const TableEntry* RmtTable::MatchLinear(uint64_t key) const {
   return nullptr;
 }
 
-void RmtTable::CompileIndex() const {
-  ++index_rebuilds_;
-  compiled_epoch_ = epoch_;
-  index_dirty_ = false;
-  switch (match_kind_) {
-    case MatchKind::kExact:
-      return;  // the maintained exact_index_ is already the compiled form
-
-    case MatchKind::kLpm: {
-      lpm_buckets_.clear();
-      std::array<int32_t, 65> bucket_of;
-      bucket_of.fill(-1);
-      for (size_t i = 0; i < entries_.size(); ++i) {
-        const uint64_t bits = entries_[i].key2;  // validated <= 64 at insert
-        int32_t& slot = bucket_of[static_cast<size_t>(bits)];
-        if (slot < 0) {
-          slot = static_cast<int32_t>(lpm_buckets_.size());
-          lpm_buckets_.push_back(LpmBucket{bits, LpmMask(bits), {}});
-        }
-        LpmBucket& bucket = lpm_buckets_[static_cast<size_t>(slot)];
-        // emplace keeps the first entry of this (length, prefix): the same
-        // winner the linear scan's strict longest-prefix comparison picks.
-        bucket.slots.emplace(entries_[i].key & bucket.mask, i);
-      }
-      std::sort(lpm_buckets_.begin(), lpm_buckets_.end(),
-                [](const LpmBucket& a, const LpmBucket& b) { return a.bits > b.bits; });
-      return;
+const TableEntry* RmtTable::MatchCompiled(const Index& index, MatchKind kind, uint64_t key) {
+  switch (kind) {
+    case MatchKind::kExact: {
+      const auto it = index.exact.find(key);
+      return it == index.exact.end() ? nullptr : &index.entries[it->second];
     }
-
-    case MatchKind::kRange: {
-      range_segments_.clear();
-      const size_t n = entries_.size();
-      if (n == 0) {
-        return;
-      }
-      // Sweep the boundary points; at each point the winner is the active
-      // entry with the smallest position (first in insertion order, the
-      // linear scan's rule). Segments between points are constant, so only
-      // winner changes are emitted.
-      std::vector<size_t> starts(n);
-      std::vector<size_t> ends(n);
-      for (size_t i = 0; i < n; ++i) {
-        starts[i] = ends[i] = i;
-      }
-      std::sort(starts.begin(), starts.end(),
-                [&](size_t a, size_t b) { return entries_[a].key < entries_[b].key; });
-      std::sort(ends.begin(), ends.end(),
-                [&](size_t a, size_t b) { return entries_[a].key2 < entries_[b].key2; });
-      std::vector<uint64_t> points;
-      points.reserve(2 * n);
-      for (size_t i = 0; i < n; ++i) {
-        points.push_back(entries_[i].key);
-        if (entries_[i].key2 != ~0ull) {
-          points.push_back(entries_[i].key2 + 1);
-        }
-      }
-      std::sort(points.begin(), points.end());
-      points.erase(std::unique(points.begin(), points.end()), points.end());
-
-      std::set<size_t> active;
-      size_t si = 0;
-      size_t ei = 0;
-      int64_t last_winner = -2;  // differs from every real winner and from "gap"
-      for (const uint64_t p : points) {
-        while (si < n && entries_[starts[si]].key <= p) {
-          active.insert(starts[si++]);
-        }
-        while (ei < n && entries_[ends[ei]].key2 < p) {
-          active.erase(ends[ei++]);
-        }
-        const int64_t winner =
-            active.empty() ? -1 : static_cast<int64_t>(*active.begin());
-        if (winner != last_winner) {
-          range_segments_.push_back(RangeSegment{p, winner});
-          last_winner = winner;
-        }
-      }
-      return;
-    }
-
-    case MatchKind::kTernary: {
-      ternary_groups_.clear();
-      std::unordered_map<uint64_t, size_t> group_of;  // mask -> group position
-      for (size_t i = 0; i < entries_.size(); ++i) {
-        const uint64_t mask = entries_[i].key2;
-        const auto [git, fresh] = group_of.try_emplace(mask, ternary_groups_.size());
-        if (fresh) {
-          ternary_groups_.push_back(TernaryGroup{mask, entries_[i].priority, {}});
-        }
-        TernaryGroup& group = ternary_groups_[git->second];
-        group.max_priority = std::max(group.max_priority, entries_[i].priority);
-        // Two entries agreeing on (mask, key & mask) match identical keys,
-        // so only the cell's winner (highest priority, earliest insertion on
-        // ties — the linear rule) can ever win globally.
-        const auto [cell, inserted] = group.slots.try_emplace(entries_[i].key & mask, i);
-        if (!inserted && entries_[i].priority > entries_[cell->second].priority) {
-          cell->second = i;
-        }
-      }
-      std::stable_sort(ternary_groups_.begin(), ternary_groups_.end(),
-                       [](const TernaryGroup& a, const TernaryGroup& b) {
-                         return a.max_priority > b.max_priority;
-                       });
-      return;
-    }
-  }
-}
-
-const TableEntry* RmtTable::MatchCompiled(uint64_t key) const {
-  switch (match_kind_) {
-    case MatchKind::kExact:
-      return nullptr;  // unreachable: MatchImpl resolves exact directly
 
     case MatchKind::kLpm: {
       // Longest prefix first; the first bucket hit is the answer.
-      for (const LpmBucket& bucket : lpm_buckets_) {
+      for (const LpmBucket& bucket : index.lpm) {
         const auto it = bucket.slots.find(key & bucket.mask);
         if (it != bucket.slots.end()) {
-          return &entries_[it->second];
+          return &index.entries[it->second];
         }
       }
       return nullptr;
@@ -331,19 +366,20 @@ const TableEntry* RmtTable::MatchCompiled(uint64_t key) const {
 
     case MatchKind::kRange: {
       const auto it = std::upper_bound(
-          range_segments_.begin(), range_segments_.end(), key,
+          index.range.begin(), index.range.end(), key,
           [](uint64_t k, const RangeSegment& s) { return k < s.start; });
-      if (it == range_segments_.begin()) {
+      if (it == index.range.begin()) {
         return nullptr;  // below the lowest range
       }
       const RangeSegment& segment = *(it - 1);
-      return segment.entry < 0 ? nullptr : &entries_[static_cast<size_t>(segment.entry)];
+      return segment.entry < 0 ? nullptr
+                               : &index.entries[static_cast<size_t>(segment.entry)];
     }
 
     case MatchKind::kTernary: {
       const TableEntry* best = nullptr;
       size_t best_pos = 0;
-      for (const TernaryGroup& group : ternary_groups_) {
+      for (const TernaryGroup& group : index.ternary) {
         if (best != nullptr && best->priority > group.max_priority) {
           break;  // no later group can win (they only tie-lose or rank lower)
         }
@@ -351,7 +387,7 @@ const TableEntry* RmtTable::MatchCompiled(uint64_t key) const {
         if (it == group.slots.end()) {
           continue;
         }
-        const TableEntry& entry = entries_[it->second];
+        const TableEntry& entry = index.entries[it->second];
         if (best == nullptr || entry.priority > best->priority ||
             (entry.priority == best->priority && it->second < best_pos)) {
           best = &entry;
@@ -364,29 +400,16 @@ const TableEntry* RmtTable::MatchCompiled(uint64_t key) const {
   return nullptr;
 }
 
-const TableEntry* RmtTable::MatchImpl(uint64_t key) const {
-  if (match_kind_ == MatchKind::kExact && index_mode_ == TableIndexMode::kCompiled) {
-    const auto it = exact_index_.find(key);
-    return it == exact_index_.end() ? nullptr : &entries_[it->second];
-  }
-  if (index_mode_ == TableIndexMode::kLinear) {
-    return MatchLinear(key);
-  }
-  if (index_dirty_ || compiled_epoch_ != epoch_) {
-    CompileIndex();
-  }
-  return MatchCompiled(key);
-}
-
 const TableEntry* RmtTable::Match(uint64_t key) {
-  const TableEntry* entry = MatchImpl(key);
+  const Index* index = index_.Load();
+  const TableEntry* entry = index == nullptr ? nullptr : MatchIn(*index, key);
   if (entry != nullptr) {
-    ++hits_;
+    hits_.Increment();
     if (hits_counter_ != nullptr) {
       hits_counter_->Increment();
     }
   } else {
-    ++misses_;
+    misses_.Increment();
     if (misses_counter_ != nullptr) {
       misses_counter_->Increment();
     }
@@ -394,6 +417,9 @@ const TableEntry* RmtTable::Match(uint64_t key) {
   return entry;
 }
 
-const TableEntry* RmtTable::Peek(uint64_t key) const { return MatchImpl(key); }
+const TableEntry* RmtTable::Peek(uint64_t key) const {
+  const Index* index = index_.Load();
+  return index == nullptr ? nullptr : MatchIn(*index, key);
+}
 
 }  // namespace rkd

@@ -15,23 +15,31 @@
 //   kTernary - (key & entry.key2) == (entry.key & entry.key2), highest
 //              priority wins (cgroup/flag masks)
 //
-// Lookup cost: the datapath matches through a compiled index (see
-// DESIGN.md "Fire-path performance") rebuilt lazily after mutations —
-// exact is a maintained hash, LPM probes one hash per distinct prefix
-// length (longest first), range binary-searches a flattened disjoint
-// segment array, ternary probes one hash per distinct mask in descending
-// max-priority order with early exit. TableIndexMode::kLinear keeps the
-// naive O(n) scans for A/B benchmarking and as the semantic reference the
+// Concurrency model (see DESIGN.md "Concurrency model"): every mutation
+// compiles and publishes an immutable index snapshot through an EpochPtr —
+// exact is a hash, LPM probes one hash per distinct prefix length (longest
+// first), range binary-searches a flattened disjoint segment array, ternary
+// probes one hash per distinct mask in descending max-priority order with
+// early exit. Match/Peek are wait-free pointer loads against the current
+// snapshot; concurrent callers must hold an EpochGuard on the global domain
+// across the lookup and any use of the returned entry (the fire path pins
+// once per Fire). Writers serialize externally (the control plane's
+// contract), paying the O(n) rebuild on the rare reconfiguration side.
+// TableIndexMode::kLinear keeps the naive O(n) scans — over the snapshot's
+// entry copy — for A/B benchmarking and as the semantic reference the
 // property tests compare against.
 #ifndef SRC_RMT_TABLE_H_
 #define SRC_RMT_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/epoch.h"
 #include "src/base/status.h"
 #include "src/bytecode/program.h"
 #include "src/telemetry/telemetry.h"
@@ -42,9 +50,9 @@ enum class MatchKind { kExact, kLpm, kRange, kTernary };
 
 std::string_view MatchKindName(MatchKind kind);
 
-// How MatchImpl resolves a key. kCompiled is the datapath default; kLinear
-// is the naive reference scan, kept selectable for A/B benchmarks and for
-// the randomized equivalence tests.
+// How the published snapshot resolves a key. kCompiled is the datapath
+// default; kLinear is the naive reference scan, kept selectable for A/B
+// benchmarks and for the randomized equivalence tests.
 enum class TableIndexMode { kLinear, kCompiled };
 
 struct TableEntry {
@@ -60,76 +68,77 @@ class RmtTable {
   RmtTable(std::string name, MatchKind match_kind, size_t max_entries,
            TableIndexMode index_mode = TableIndexMode::kCompiled);
 
-  // Inserts an entry. Fails when full or when an identical match spec exists
-  // (use ModifyEntry to change an action in place).
+  // Writer context only: a table may be moved (into its attachment) before
+  // the datapath can observe it, never while readers are live.
+  RmtTable(RmtTable&& other) noexcept;
+  RmtTable& operator=(RmtTable&&) = delete;
+  RmtTable(const RmtTable&) = delete;
+  RmtTable& operator=(const RmtTable&) = delete;
+
+  // Inserts an entry and publishes a fresh index snapshot. Fails when full
+  // or when an identical match spec exists (use Modify to change an action
+  // in place).
   Status Insert(const TableEntry& entry);
 
-  // Removes the entry with the same match spec (key/key2).
+  // Bulk load: validates and appends every entry, publishing one snapshot
+  // for the whole batch instead of one per entry (initial population of
+  // large tables would otherwise rebuild the index quadratically). All-or-
+  // nothing: on any invalid entry nothing is inserted or published.
+  Status InsertBatch(std::span<const TableEntry> batch);
+
+  // Removes the entry with the same match spec (key/key2); publishes.
   Status Remove(uint64_t key, uint64_t key2 = 0);
 
-  // Replaces the action binding of an existing entry.
+  // Replaces the action binding of an existing entry; publishes (snapshots
+  // are immutable, so even an in-place action change is a new snapshot).
   Status Modify(uint64_t key, uint64_t key2, int32_t action_index, int64_t model_slot);
 
-  // Looks up `key`; returns nullptr on miss. Updates hit/miss counters.
+  // Looks up `key` in the current snapshot; returns nullptr on miss.
+  // Updates hit/miss counters. Wait-free. Under concurrent mutation the
+  // caller must hold an EpochGuard on GlobalEpochDomain() across the call
+  // and any dereference of the returned entry.
   const TableEntry* Match(uint64_t key);
 
-  // Lookup without statistics side effects (control-plane inspection).
+  // Lookup without statistics side effects (control-plane inspection). Same
+  // guard contract as Match.
   const TableEntry* Peek(uint64_t key) const;
 
   // Binds hit/miss counters and the entry-count gauge into `telemetry` under
   // "rkd.table.<name>.*" so exporters (rkd_stats) can see table activity.
-  // The private hits()/misses() members keep counting either way. Mutation
-  // and match share the table's external-synchronization contract, so plain
-  // counter increments are safe here.
+  // The private hits()/misses() members keep counting either way.
   void BindTelemetry(TelemetryRegistry* telemetry);
 
   const std::string& name() const { return name_; }
   MatchKind match_kind() const { return match_kind_; }
   size_t size() const { return entries_.size(); }
   size_t max_entries() const { return max_entries_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  // Merged across per-thread shards (see ShardedCounter): race-free under
+  // the multi-threaded driver, exact once fires quiesce.
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
 
   TableIndexMode index_mode() const { return index_mode_; }
+  // Republishes the current entries under the new mode (atomic flip: no
+  // reader ever sees a half-switched index).
   void set_index_mode(TableIndexMode mode);
-  // Mutations since construction; a compiled index is stamped with the epoch
-  // it was built at and rebuilt lazily when stale.
-  uint64_t mutation_epoch() const { return epoch_; }
-  uint64_t index_rebuilds() const { return index_rebuilds_; }
 
-  // Entry storage order is an implementation detail: exact-kind removal
-  // swaps with the last entry, so positions are not stable across Remove.
+  // Snapshots published since construction: every successful mutation is
+  // exactly one publish, so this doubles as the mutation count.
+  uint64_t version() const { return version_.load(std::memory_order_relaxed); }
+
+  // Pre-epoch accessors, one release of compatibility: both the lazy-rebuild
+  // bookkeeping and the mutation counter collapsed into version() when the
+  // index moved to publish-on-update snapshots.
+  [[deprecated("use version(): snapshots publish on update")]]
+  uint64_t mutation_epoch() const { return version(); }
+  [[deprecated("use version(): the index compiles at publish time, once per mutation")]]
+  uint64_t index_rebuilds() const { return version(); }
+
+  // Writer-side master copy in insertion order (control-plane inspection;
+  // not for concurrent readers — they match through the snapshot).
   const std::vector<TableEntry>& entries() const { return entries_; }
 
  private:
-  const TableEntry* FindSpec(uint64_t key, uint64_t key2) const;
-  const TableEntry* MatchImpl(uint64_t key) const;
-  const TableEntry* MatchLinear(uint64_t key) const;
-  const TableEntry* MatchCompiled(uint64_t key) const;
-  void CompileIndex() const;
-  void MarkDirty();
-
-  std::string name_;
-  MatchKind match_kind_;
-  size_t max_entries_;
-  TableIndexMode index_mode_;
-  std::vector<TableEntry> entries_;
-
-  // Exact-match index: key -> index into entries_, maintained incrementally
-  // (insert appends; remove swap-and-pops and patches the one displaced
-  // slot). Exact keys are unique (Insert enforces it), so the index is a
-  // bijection over the entries.
-  std::unordered_map<uint64_t, size_t> exact_index_;
-
-  // --- Compiled index state (non-exact kinds). Lazily rebuilt, so lookups
-  // through const Peek() must be able to compile: mutable by design. The
-  // table's concurrency contract (control-plane mutation is externally
-  // synchronized against datapath matches) covers the rebuild.
-  uint64_t epoch_ = 0;
-  mutable uint64_t compiled_epoch_ = 0;
-  mutable bool index_dirty_ = false;
-  mutable uint64_t index_rebuilds_ = 0;
-
   // LPM: one hash bucket per distinct prefix length, longest first. A probe
   // is one mask + one hash lookup; the first hit is the longest match.
   struct LpmBucket {
@@ -137,7 +146,6 @@ class RmtTable {
     uint64_t mask = 0;
     std::unordered_map<uint64_t, size_t> slots;  // (key & mask) -> entry index
   };
-  mutable std::vector<LpmBucket> lpm_buckets_;
 
   // Range: overlapping entries flattened into disjoint segments covering
   // [start, next.start); entry < 0 marks a gap. Lookup is one upper_bound.
@@ -145,7 +153,6 @@ class RmtTable {
     uint64_t start = 0;
     int64_t entry = -1;
   };
-  mutable std::vector<RangeSegment> range_segments_;
 
   // Ternary: entries grouped by distinct mask; within a group only the
   // winner of each (key & mask) cell can ever win globally, so cells store
@@ -156,10 +163,51 @@ class RmtTable {
     int32_t max_priority = 0;
     std::unordered_map<uint64_t, size_t> slots;  // (key & mask) -> entry index
   };
-  mutable std::vector<TernaryGroup> ternary_groups_;
 
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  // The immutable published form: a copy of the entries (insertion order —
+  // the tie-break rules depend on it) plus the compiled structures indexing
+  // into that copy. Readers dereference entries of the snapshot they
+  // loaded, so a returned TableEntry* stays valid for as long as the
+  // reader's epoch guard is held, regardless of later mutations.
+  struct Index {
+    TableIndexMode mode = TableIndexMode::kCompiled;
+    std::vector<TableEntry> entries;
+    std::unordered_map<uint64_t, size_t> exact;
+    std::vector<LpmBucket> lpm;
+    std::vector<RangeSegment> range;
+    std::vector<TernaryGroup> ternary;
+  };
+
+  Status Validate(const TableEntry& entry) const;
+  const TableEntry* FindSpec(uint64_t key, uint64_t key2) const;
+  void PublishIndex();
+
+  static const TableEntry* MatchLinear(const Index& index, MatchKind kind, uint64_t key);
+  static const TableEntry* MatchCompiled(const Index& index, MatchKind kind, uint64_t key);
+
+  // Defined here so Match/Peek inline it: exact/compiled is the dominant
+  // datapath shape, and keeping its probe call-free holds the lookup at
+  // pre-snapshot cost.
+  const TableEntry* MatchIn(const Index& index, uint64_t key) const {
+    if (match_kind_ == MatchKind::kExact && index.mode == TableIndexMode::kCompiled) {
+      const auto it = index.exact.find(key);
+      return it == index.exact.end() ? nullptr : &index.entries[it->second];
+    }
+    return index.mode == TableIndexMode::kLinear ? MatchLinear(index, match_kind_, key)
+                                                 : MatchCompiled(index, match_kind_, key);
+  }
+
+  std::string name_;
+  MatchKind match_kind_;
+  size_t max_entries_;
+  TableIndexMode index_mode_;         // writer-side; copied into each snapshot
+  std::vector<TableEntry> entries_;   // writer-side master, insertion order
+  std::atomic<uint64_t> version_{0};  // publishes since construction
+
+  EpochPtr<const Index> index_;
+
+  ShardedCounter hits_;
+  ShardedCounter misses_;
   // Optional exported mirrors of the private stats ("rkd.table.<name>.*").
   Counter* hits_counter_ = nullptr;
   Counter* misses_counter_ = nullptr;

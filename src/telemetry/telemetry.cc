@@ -2,6 +2,14 @@
 
 namespace rkd {
 
+thread_local constinit uint8_t ShardedCounter::t_shard_ = ShardedCounter::kUnassignedShard;
+
+uint8_t ShardedCounter::AssignShard() {
+  static std::atomic<uint32_t> next{0};
+  const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id < kShards - 1 ? static_cast<uint8_t>(id) : static_cast<uint8_t>(kShards - 1);
+}
+
 std::vector<TraceEvent> TraceRing::Snapshot() const {
   const uint64_t n = total();
   const uint64_t resident = n < slots_.size() ? n : slots_.size();
@@ -17,7 +25,7 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
     if (before != 2 * i + 2) {
       continue;
     }
-    TraceEvent event = slots_[slot];
+    TraceEvent event = slots_[slot].Load();
     std::atomic_thread_fence(std::memory_order_acquire);
     if (stamps_[slot].load(std::memory_order_relaxed) != before) {
       continue;

@@ -62,6 +62,86 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// A counter striped across cache-line-padded cells so concurrent datapath
+// threads increment without bouncing one line between cores. Each thread is
+// assigned a cell once (thread-local); value() merges the cells on read —
+// which is how per-shard state reaches the guardian: windows snapshot the
+// merged sum at Tick(), never per-fire. Use this for pure tallies (table
+// hits, action executions); it cannot provide FetchIncrement, so dense
+// sequence numbers (the hook fire seq canary routing keys on) stay on the
+// single-cell Counter.
+//
+// The first kShards-1 threads own their cell exclusively, so their
+// increment is a relaxed load+store pair — no locked RMW, which keeps the
+// single-thread fire path at plain-increment cost. Threads beyond that
+// share the last cell and fall back to fetch_add (exact, just slower).
+class ShardedCounter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  ShardedCounter() = default;
+  // Moves are writer-context only (e.g. a table moved into its attachment
+  // before the datapath can see it).
+  ShardedCounter(ShardedCounter&& other) noexcept { MoveFrom(other); }
+  ShardedCounter& operator=(ShardedCounter&& other) noexcept {
+    if (this != &other) {
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  void Increment(uint64_t n = 1) {
+    const uint8_t shard = ThisThreadShard();
+    std::atomic<uint64_t>& cell = cells_[shard].v;
+    if (shard < kShards - 1) {  // exclusive cell: no other thread writes it
+      cell.store(cell.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+    } else {
+      cell.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+  // Merged view across all shards (eventually consistent, never lossy).
+  uint64_t value() const {
+    uint64_t sum = 0;
+    for (const Cell& cell : cells_) {
+      sum += cell.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+
+  static constexpr uint8_t kUnassignedShard = 0xff;
+
+  static uint8_t AssignShard();  // slow path: claims the next shard id
+
+  // Sentinel + constinit instead of a dynamically-initialized thread_local:
+  // the hot path is one TLS byte load and a predicted branch, with no
+  // per-access init-guard check (this sits on every table lookup). The
+  // first kShards-1 threads get distinct ids (their cells are exclusive);
+  // every later thread gets kShards-1, the shared fetch_add cell.
+  static uint8_t ThisThreadShard() {
+    if (t_shard_ == kUnassignedShard) {
+      t_shard_ = AssignShard();
+    }
+    return t_shard_;
+  }
+
+  static thread_local constinit uint8_t t_shard_;
+
+  void MoveFrom(const ShardedCounter& other) {
+    for (size_t i = 0; i < kShards; ++i) {
+      cells_[i].v.store(other.cells_[i].v.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+  }
+
+  std::array<Cell, kShards> cells_{};
+};
+
 // Last-write-wins instantaneous value (accuracies, knob positions, ...).
 class Gauge {
  public:
@@ -190,7 +270,10 @@ inline constexpr uint32_t kHookBatchEvent = 2;
 // 2*seq+2 = seq's event is complete) lets Snapshot run against concurrent
 // writers without ever returning a torn event — a slot whose stamp moved
 // while it was being copied is simply skipped (lossy trace contract; use
-// Counter for anything that must not lose updates).
+// Counter for anything that must not lose updates). Slot fields are relaxed
+// atomics: once the ring wraps, two writers can own the same slot index
+// concurrently, and the stamp check is what rejects the resulting mix — the
+// atomics just make the mixed write well-defined.
 class TraceRing {
  public:
   explicit TraceRing(size_t capacity = 1024)
@@ -202,7 +285,7 @@ class TraceRing {
     const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
     const size_t slot = seq & mask_;
     stamps_[slot].store(2 * seq + 1, std::memory_order_relaxed);
-    slots_[slot] = event;
+    slots_[slot].Store(event);
     stamps_[slot].store(2 * seq + 2, std::memory_order_release);
   }
 
@@ -220,7 +303,35 @@ class TraceRing {
   std::vector<TraceEvent> Snapshot() const;
 
  private:
-  std::vector<TraceEvent> slots_;
+  struct Slot {
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<int32_t> source{0};
+    std::atomic<uint32_t> kind{0};
+    std::atomic<uint64_t> key{0};
+    std::atomic<int64_t> value{0};
+    std::atomic<uint32_t> duration_ns{0};
+
+    void Store(const TraceEvent& e) {
+      ts_ns.store(e.ts_ns, std::memory_order_relaxed);
+      source.store(e.source, std::memory_order_relaxed);
+      kind.store(e.kind, std::memory_order_relaxed);
+      key.store(e.key, std::memory_order_relaxed);
+      value.store(e.value, std::memory_order_relaxed);
+      duration_ns.store(e.duration_ns, std::memory_order_relaxed);
+    }
+    TraceEvent Load() const {
+      TraceEvent e;
+      e.ts_ns = ts_ns.load(std::memory_order_relaxed);
+      e.source = source.load(std::memory_order_relaxed);
+      e.kind = kind.load(std::memory_order_relaxed);
+      e.key = key.load(std::memory_order_relaxed);
+      e.value = value.load(std::memory_order_relaxed);
+      e.duration_ns = duration_ns.load(std::memory_order_relaxed);
+      return e;
+    }
+  };
+
+  std::vector<Slot> slots_;
   std::vector<std::atomic<uint64_t>> stamps_;  // 0 = empty; see class comment
   uint64_t mask_;
   std::atomic<uint64_t> head_{0};

@@ -26,6 +26,7 @@ bool RateLimiter::Check(int64_t key, int64_t units, uint64_t now) {
   if (units <= 0) {
     return true;
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   Bucket& bucket = GetBucket(key, now);
   if (bucket.tokens >= units) {
     bucket.tokens -= units;
@@ -35,6 +36,7 @@ bool RateLimiter::Check(int64_t key, int64_t units, uint64_t now) {
 }
 
 int64_t RateLimiter::TokensAvailable(int64_t key, uint64_t now) {
+  std::lock_guard<std::mutex> lock(mutex_);
   return GetBucket(key, now).tokens;
 }
 
@@ -63,9 +65,13 @@ int64_t DpNoiseSource::Noisy(int64_t value) {
 
 // --- PredictionLog ---
 
-void PredictionLog::Record(int64_t key, int64_t predicted) { pending_[key] = predicted; }
+void PredictionLog::Record(int64_t key, int64_t predicted) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_[key] = predicted;
+}
 
 std::optional<int64_t> PredictionLog::Take(int64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = pending_.find(key);
   if (it == pending_.end()) {
     return std::nullopt;
@@ -80,9 +86,9 @@ void PredictionLog::Resolve(int64_t key, int64_t actual) {
   if (!predicted.has_value()) {
     return;
   }
-  ++total_;
+  total_.fetch_add(1, std::memory_order_relaxed);
   if (*predicted == actual) {
-    ++correct_;
+    correct_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -17,8 +17,10 @@
 #ifndef SRC_VM_HELPERS_H_
 #define SRC_VM_HELPERS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -30,7 +32,10 @@
 namespace rkd {
 
 // Token bucket per key. Capacity tokens, refilled at refill_per_tick per
-// virtual-time tick. Check() consumes `units` if available.
+// virtual-time tick. Check() consumes `units` if available. Thread-safe:
+// concurrent fires of one program share the limiter, so the bucket map is
+// guarded by a mutex (held for a hash probe and a handful of arithmetic ops;
+// cheap next to the VM run around it).
 class RateLimiter {
  public:
   RateLimiter(int64_t capacity, int64_t refill_per_tick)
@@ -46,11 +51,12 @@ class RateLimiter {
     int64_t tokens;
     uint64_t last_refill;
   };
-  Bucket& GetBucket(int64_t key, uint64_t now);
+  Bucket& GetBucket(int64_t key, uint64_t now);  // requires mutex_ held
 
   int64_t capacity_;
   int64_t refill_per_tick_;
-  std::unordered_map<int64_t, Bucket> buckets_;
+  std::mutex mutex_;
+  std::unordered_map<int64_t, Bucket> buckets_;  // guarded by mutex_
 };
 
 // Epsilon accounting in differential-privacy terms. Each noisy query spends
@@ -92,7 +98,10 @@ class DpNoiseSource {
 };
 
 // Last prediction per key, plus rolling hit/total counters resolved by the
-// subsystem when ground truth becomes known.
+// subsystem when ground truth becomes known. Thread-safe: the pending map is
+// mutex-guarded (datapath fires record, subsystem threads resolve); the
+// rolling counters are relaxed atomics so the control plane's accuracy reads
+// never block a fire.
 class PredictionLog {
  public:
   void Record(int64_t key, int64_t predicted);
@@ -104,20 +113,23 @@ class PredictionLog {
   // (no-op when nothing is pending). Feeds the rolling accuracy.
   void Resolve(int64_t key, int64_t actual);
 
-  uint64_t total_resolved() const { return total_; }
-  uint64_t total_correct() const { return correct_; }
+  uint64_t total_resolved() const { return total_.load(std::memory_order_relaxed); }
+  uint64_t total_correct() const { return correct_.load(std::memory_order_relaxed); }
   double accuracy() const {
-    return total_ == 0 ? 0.0 : static_cast<double>(correct_) / static_cast<double>(total_);
+    const uint64_t total = total_resolved();
+    return total == 0 ? 0.0
+                      : static_cast<double>(total_correct()) / static_cast<double>(total);
   }
   void ResetCounters() {
-    total_ = 0;
-    correct_ = 0;
+    total_.store(0, std::memory_order_relaxed);
+    correct_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  std::unordered_map<int64_t, int64_t> pending_;
-  uint64_t total_ = 0;
-  uint64_t correct_ = 0;
+  std::mutex mutex_;
+  std::unordered_map<int64_t, int64_t> pending_;  // guarded by mutex_
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> correct_{0};
 };
 
 // Everything the helper implementations reach outside the VM. Unset members

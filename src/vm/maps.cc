@@ -123,7 +123,13 @@ std::optional<int64_t> RingMap::Lookup(int64_t key) {
 
 bool RingMap::Contains(int64_t) const { return false; }
 
+size_t RingMap::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
 bool RingMap::Update(int64_t key, int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (records_.size() >= capacity_) {
     records_.pop_front();
     ++dropped_;
@@ -135,12 +141,18 @@ bool RingMap::Update(int64_t key, int64_t value) {
 bool RingMap::Delete(int64_t) { return false; }
 
 std::optional<RingMap::Record> RingMap::Pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (records_.empty()) {
     return std::nullopt;
   }
   const Record out = records_.front();
   records_.pop_front();
   return out;
+}
+
+uint64_t RingMap::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 // --- MapSet ---

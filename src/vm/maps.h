@@ -17,6 +17,7 @@
 #include <deque>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
@@ -118,10 +119,13 @@ class RingMap final : public RmtMap {
 
   MapKind kind() const override { return MapKind::kRing; }
   size_t capacity() const override { return capacity_; }
-  size_t size() const override { return records_.size(); }
+  size_t size() const override;
 
   // Ring semantics: Lookup/Contains/Delete are not meaningful by key;
   // Update(key, value) appends a record (dropping the oldest when full).
+  // Thread-safe (mutex-guarded): datapath fires append via kRecordSample
+  // while the control plane drains — the one map kind crossed by both
+  // planes concurrently.
   std::optional<int64_t> Lookup(int64_t key) override;
   bool Contains(int64_t key) const override;
   bool Update(int64_t key, int64_t value) override;
@@ -129,12 +133,13 @@ class RingMap final : public RmtMap {
 
   // Control-plane drain: pops the oldest record.
   std::optional<Record> Pop();
-  uint64_t dropped() const { return dropped_; }
+  uint64_t dropped() const;
 
  private:
   size_t capacity_;
-  std::deque<Record> records_;
-  uint64_t dropped_ = 0;
+  mutable std::mutex mutex_;
+  std::deque<Record> records_;  // guarded by mutex_
+  uint64_t dropped_ = 0;        // guarded by mutex_
 };
 
 // The map file descriptor table of one installed program.

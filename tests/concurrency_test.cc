@@ -41,7 +41,7 @@ TEST(ConcurrencyTest, ModelSlotReadersSurviveContinuousSwaps) {
       const std::array<int32_t, 1> x{0};
       uint64_t last_version = 0;
       while (!stop.load(std::memory_order_relaxed)) {
-        const ModelSlot::VersionedModel vm = slot.GetWithVersion();
+        const ModelSlot::VersionedModel vm = slot.Snapshot();
         if (vm.model == nullptr || vm.version == 0 || vm.version > 501 ||
             vm.version < last_version) {
           failed.store(true);
@@ -202,6 +202,89 @@ TEST(ConcurrencyTest, ConcurrentFiresUnderIntermittentFaultsDegradeCleanly) {
   EXPECT_EQ(telemetry.GetCounter("rkd.guard.prog.faulty_prog.execs")->value(), kTotal);
   EXPECT_EQ(telemetry.GetCounter("rkd.guard.prog.faulty_prog.exec_errors")->value(),
             kExpectedFaults);
+}
+
+// The epoch-reclamation stress the redesign exists for: N readers firing a
+// hook flat-out while one reconfigurer exercises every write path — table
+// entry churn (snapshot republish), model installs (slot republish), and
+// suspend/resume (attachment-list republish, i.e. detach mid-fire). Every
+// fire must return the correct value or the stock fallback, never garbage
+// and never a crash; under TSan this also proves the grace periods are
+// properly ordered.
+TEST(ConcurrencyTest, ReadersSurviveContinuousReconfiguration) {
+  HookRegistry hooks;
+  const HookId hook = *hooks.Register("generic.reconfig", HookKind::kGeneric);
+  ControlPlane cp(&hooks);
+
+  Assembler a("add100", HookKind::kGeneric);
+  a.Mov(0, 1).AddImm(0, 100).Exit();
+  RmtProgramSpec spec;
+  spec.name = "reconfig_prog";
+  spec.model_slots = 1;
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = "generic.reconfig";
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = -1;  // a miss is a deliberate no-op -> fallback
+  TableEntry seed;
+  seed.key = 7;
+  seed.action_index = 0;
+  table.initial_entries.push_back(seed);
+  spec.tables.push_back(std::move(table));
+  Result<ControlPlane::ProgramHandle> handle = cp.Install(spec);
+  ASSERT_TRUE(handle.ok());
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::atomic<uint64_t> fires{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t result = hooks.Fire(hook, 7);
+        if (result != 107 && result != kHookFallback) {
+          bad.store(true);  // a reconfiguration corrupted a live fire
+          return;
+        }
+        fires.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::atomic<bool> reconfig_failed{false};
+  std::thread reconfigurer([&] {
+    for (int round = 0; round < 200 && !reconfig_failed.load(); ++round) {
+      if (!cp.RemoveEntry(*handle, "tab", 7).ok()) {
+        reconfig_failed.store(true);
+      }
+      TableEntry entry;
+      entry.key = 7;
+      entry.action_index = 0;
+      if (!cp.AddEntry(*handle, "tab", entry).ok()) {
+        reconfig_failed.store(true);
+      }
+      if (!cp.InstallModel(*handle, 0, MakeConstantTree(round % 3)).ok()) {
+        reconfig_failed.store(true);
+      }
+      if (round % 10 == 9) {
+        if (!cp.Suspend(*handle).ok() || !cp.Resume(*handle).ok()) {
+          reconfig_failed.store(true);
+        }
+      }
+    }
+    stop.store(true);
+  });
+
+  reconfigurer.join();
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_FALSE(bad.load());
+  EXPECT_FALSE(reconfig_failed.load());
+  EXPECT_GT(fires.load(), 0u);
+  // Uninstall runs the grace period (Synchronize) before the program dies.
+  ASSERT_TRUE(cp.Uninstall(*handle).ok());
 }
 
 }  // namespace

@@ -1,0 +1,189 @@
+// Reclamation edge cases of the epoch machinery (src/base/epoch.h), on
+// test-local domains so advances are fully controlled.
+#include "src/base/epoch.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rkd {
+namespace {
+
+// Counts destructions so a test can pinpoint exactly when a retired object
+// was actually freed.
+struct Tracked {
+  explicit Tracked(std::atomic<int>* counter) : counter(counter) {}
+  ~Tracked() { counter->fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<int>* counter;
+};
+
+TEST(EpochDomainTest, RetiredObjectSurvivesUntilLagThreeAdvance) {
+  EpochDomain domain;
+  std::atomic<int> freed{0};
+  domain.Retire(new Tracked(&freed));
+  EXPECT_EQ(domain.pending(), 1u);
+
+  // Lag-3: the bucket an object is retired into is freed two advances later
+  // at the earliest — never on the very next one.
+  ASSERT_TRUE(domain.TryAdvance());
+  EXPECT_EQ(freed.load(), 0);
+  ASSERT_TRUE(domain.TryAdvance());
+  ASSERT_TRUE(domain.TryAdvance());
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_EQ(domain.pending(), 0u);
+  EXPECT_EQ(domain.reclaimed(), 1u);
+}
+
+TEST(EpochDomainTest, PinnedReaderBlocksAdvancePastItsEpoch) {
+  EpochDomain domain;
+  std::atomic<int> freed{0};
+  {
+    EpochGuard guard(domain);
+    domain.Retire(new Tracked(&freed));
+    // A reader pinned at epoch P blocks any advance past P+1, so with the
+    // pin held the retired object can never be freed.
+    int advanced = 0;
+    for (int i = 0; i < 8; ++i) {
+      advanced += domain.TryAdvance() ? 1 : 0;
+    }
+    EXPECT_LE(advanced, 1);  // at most the P -> P+1 step succeeds
+    EXPECT_EQ(freed.load(), 0);
+  }
+  // Unpinned: advances drain the limbo bucket.
+  while (domain.pending() > 0) {
+    ASSERT_TRUE(domain.TryAdvance());
+  }
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochDomainTest, NestedGuardsPinOnce) {
+  EpochDomain domain;
+  std::atomic<int> freed{0};
+  {
+    EpochGuard outer(domain);
+    {
+      EpochGuard inner(domain);
+      domain.Retire(new Tracked(&freed));
+    }
+    // The inner guard's destruction must not release the outer pin.
+    for (int i = 0; i < 8; ++i) {
+      (void)domain.TryAdvance();
+    }
+    EXPECT_EQ(freed.load(), 0);
+  }
+  while (domain.pending() > 0) {
+    ASSERT_TRUE(domain.TryAdvance());
+  }
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochDomainTest, DomainDestructionDrainsAllLimboBuckets) {
+  std::atomic<int> freed{0};
+  {
+    EpochDomain domain;
+    // Spread retirements across several epochs so every limbo bucket holds
+    // something at destruction time.
+    for (int i = 0; i < 5; ++i) {
+      domain.Retire(new Tracked(&freed));
+      (void)domain.TryAdvance();
+    }
+    EXPECT_LT(freed.load(), 5);  // some are still in limbo
+  }
+  EXPECT_EQ(freed.load(), 5);  // no leak at shutdown
+}
+
+TEST(EpochDomainTest, SynchronizeWaitsTwoGracePeriods) {
+  EpochDomain domain;
+  std::atomic<int> freed{0};
+  domain.Retire(new Tracked(&freed));
+  domain.Retire(new Tracked(&freed));
+  domain.Synchronize();
+  // Synchronize = two full advances; with the lag-3 rule a third advance
+  // at most remains. Either way nothing retired before the call may still
+  // be reachable; drain and verify.
+  (void)domain.TryAdvance();
+  EXPECT_EQ(freed.load(), 2);
+}
+
+TEST(EpochPtrTest, PublishRetiresTheDisplacedSnapshot) {
+  EpochDomain domain;
+  std::atomic<int> freed{0};
+  EpochPtr<Tracked> ptr;
+  EXPECT_EQ(ptr.Load(), nullptr);
+
+  ptr.Publish(new Tracked(&freed), domain);
+  Tracked* first = ptr.Load();
+  ASSERT_NE(first, nullptr);
+
+  ptr.Publish(new Tracked(&freed), domain);
+  EXPECT_NE(ptr.Load(), first);
+  EXPECT_EQ(freed.load(), 0);  // first is in limbo, not freed
+  while (domain.pending() > 0) {
+    ASSERT_TRUE(domain.TryAdvance());
+  }
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochPtrTest, DestructorFreesTheFinalSnapshot) {
+  std::atomic<int> freed{0};
+  {
+    EpochDomain domain;
+    EpochPtr<Tracked> ptr;
+    ptr.Publish(new Tracked(&freed), domain);
+  }
+  EXPECT_EQ(freed.load(), 1);
+}
+
+// Readers chase an EpochPtr while a writer republishes it: no loaded
+// snapshot may be destroyed while a guard covers the dereference. The
+// Tracked payload is poisoned at destruction so a use-after-retire shows up
+// as a counter mismatch (and as a TSan race under -fsanitize=thread).
+TEST(EpochDomainTest, ConcurrentReadersNeverObserveAFreedSnapshot) {
+  struct Payload {
+    explicit Payload(uint64_t v) : a(v), b(~v) {}
+    ~Payload() { a = 0xdeaddeaddeaddead; b = 0; }
+    volatile uint64_t a;
+    volatile uint64_t b;
+  };
+
+  EpochDomain domain;
+  EpochPtr<Payload> ptr;
+  ptr.Publish(new Payload(1), domain);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochGuard guard(domain);
+        const Payload* p = ptr.Load();
+        if (p == nullptr || p->a != ~p->b) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (uint64_t v = 2; v < 2000; ++v) {
+    ptr.Publish(new Payload(v), domain);
+    if (v % 64 == 0) {
+      (void)domain.TryAdvance();
+    }
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_FALSE(failed.load());
+  // Three advances clear all three limbo buckets once nothing is pinned:
+  // Synchronize contributes two, one more drains the current-epoch bucket.
+  domain.Synchronize();
+  ASSERT_TRUE(domain.TryAdvance());
+  EXPECT_EQ(domain.pending(), 0u);  // no garbage survives quiescence
+}
+
+}  // namespace
+}  // namespace rkd

@@ -379,14 +379,19 @@ TEST(OnlineTest, ModelSlotSwapsAtomicallyWithVersioning) {
   slot.Set(std::make_shared<QuantizedMlp>());
   EXPECT_TRUE(slot.HasModel());
   EXPECT_EQ(slot.version(), 1u);
-  const ModelSlot::VersionedModel snapshot = slot.GetWithVersion();
+  const ModelSlot::VersionedModel snapshot = slot.Snapshot();
   EXPECT_NE(snapshot.model, nullptr);
   EXPECT_EQ(snapshot.version, 1u);  // model and version taken as one pair
   slot.Set(nullptr);
   EXPECT_NE(snapshot.model, nullptr);  // reader snapshot survives the swap
   EXPECT_EQ(slot.version(), 2u);
-  EXPECT_EQ(slot.GetWithVersion().model, nullptr);
-  EXPECT_EQ(slot.GetWithVersion().version, 2u);
+  EXPECT_EQ(slot.Snapshot().model, nullptr);
+  EXPECT_EQ(slot.Snapshot().version, 2u);
+  // The deprecated alias still compiles and agrees with Snapshot().
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(slot.GetWithVersion().version, slot.Snapshot().version);
+#pragma GCC diagnostic pop
 }
 
 TEST(OnlineTest, WindowedTrainerTrainsPerWindow) {

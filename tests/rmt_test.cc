@@ -187,7 +187,7 @@ TEST(HookRegistryTest, FireWithNothingAttachedFallsBack) {
   EXPECT_EQ(hooks.MetricsOf(*id).fires(), 1u);
 }
 
-TEST(HookRegistryTest, MetricsViewAndDeprecatedShimAgree) {
+TEST(HookRegistryTest, MetricsViewCountsFires) {
   HookRegistry hooks;
   Result<HookId> id = hooks.Register("h", HookKind::kGeneric);
   ASSERT_TRUE(id.ok());
@@ -200,11 +200,6 @@ TEST(HookRegistryTest, MetricsViewAndDeprecatedShimAgree) {
   EXPECT_EQ(metrics.exec_errors(), 0u);
   // Every fire records real latency into the histogram.
   EXPECT_EQ(metrics.fire_ns().count(), 3u);
-  // The deprecated struct view is a snapshot of the same counters.
-  const HookRegistry::HookStats& stats = hooks.StatsOf(*id);
-  EXPECT_EQ(stats.fires, metrics.fires());
-  EXPECT_EQ(stats.actions_run, metrics.actions_run());
-  EXPECT_EQ(stats.exec_errors, metrics.exec_errors());
 }
 
 TEST(HookRegistryTest, FirePushesTraceEvents) {

@@ -134,9 +134,9 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
-// --- Lazy rebuild / epoch machinery ---
+// --- Publish-on-update / version machinery ---
 
-TEST(TableIndexTest, IndexRebuildsLazilyAndOnlyWhenStale) {
+TEST(TableIndexTest, EveryMutationPublishesAFreshSnapshot) {
   RmtTable table("t", MatchKind::kLpm, 64);
   for (uint64_t i = 0; i < 8; ++i) {
     TableEntry entry;
@@ -145,39 +145,71 @@ TEST(TableIndexTest, IndexRebuildsLazilyAndOnlyWhenStale) {
     entry.action_index = static_cast<int32_t>(i);
     ASSERT_TRUE(table.Insert(entry).ok());
   }
-  EXPECT_EQ(table.index_rebuilds(), 0u);  // nothing compiled until a lookup
+  EXPECT_EQ(table.version(), 8u);  // one published snapshot per insert
   (void)table.Match(1ull << 60);
-  EXPECT_EQ(table.index_rebuilds(), 1u);
   (void)table.Match(2ull << 60);
   (void)table.Peek(3ull << 60);
-  EXPECT_EQ(table.index_rebuilds(), 1u);  // clean index reused
+  EXPECT_EQ(table.version(), 8u);  // lookups never publish
 
   TableEntry extra;
   extra.key = 9ull << 56;
   extra.key2 = 8;
   extra.action_index = 9;
   ASSERT_TRUE(table.Insert(extra).ok());
-  EXPECT_EQ(table.index_rebuilds(), 1u);  // invalidation is lazy too
+  EXPECT_EQ(table.version(), 9u);  // visible before any lookup happens
   const TableEntry* hit = table.Peek(9ull << 56);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->action_index, 9);  // post-mutation lookup sees the new entry
-  EXPECT_EQ(table.index_rebuilds(), 2u);
+  EXPECT_EQ(table.version(), 9u);
 }
 
-TEST(TableIndexTest, ModifyDoesNotInvalidateTheIndex) {
+TEST(TableIndexTest, InsertBatchPublishesOnce) {
+  RmtTable table("t", MatchKind::kExact, 64);
+  std::vector<TableEntry> batch;
+  for (uint64_t i = 0; i < 16; ++i) {
+    TableEntry entry;
+    entry.key = i;
+    entry.action_index = static_cast<int32_t>(i);
+    batch.push_back(entry);
+  }
+  ASSERT_TRUE(table.InsertBatch(batch).ok());
+  EXPECT_EQ(table.version(), 1u);  // one snapshot for the whole bulk load
+  for (uint64_t i = 0; i < 16; ++i) {
+    const TableEntry* hit = table.Match(i);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->action_index, static_cast<int32_t>(i));
+  }
+  // All-or-nothing: an in-batch duplicate rolls the whole batch back.
+  std::vector<TableEntry> bad;
+  TableEntry dup;
+  dup.key = 99;
+  bad.push_back(dup);
+  bad.push_back(dup);
+  EXPECT_FALSE(table.InsertBatch(bad).ok());
+  EXPECT_EQ(table.version(), 1u);
+  EXPECT_EQ(table.Match(99), nullptr);
+  EXPECT_EQ(table.size(), 16u);
+}
+
+TEST(TableIndexTest, ModifyPublishesAndIsVisible) {
   RmtTable table("t", MatchKind::kRange, 64);
   TableEntry entry;
   entry.key = 10;
   entry.key2 = 20;
   entry.action_index = 1;
   ASSERT_TRUE(table.Insert(entry).ok());
-  (void)table.Match(15);
-  ASSERT_EQ(table.index_rebuilds(), 1u);
+  const uint64_t before = table.version();
   ASSERT_TRUE(table.Modify(10, 20, 5, -1).ok());
   const TableEntry* hit = table.Match(15);
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->action_index, 5);        // in-place change is visible...
-  EXPECT_EQ(table.index_rebuilds(), 1u);  // ...without a rebuild
+  EXPECT_EQ(hit->action_index, 5);          // the change is visible...
+  EXPECT_EQ(table.version(), before + 1);   // ...through a fresh snapshot
+  // The deprecated aliases track version() until their callers migrate.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(table.mutation_epoch(), table.version());
+  EXPECT_EQ(table.index_rebuilds(), table.version());
+#pragma GCC diagnostic pop
 }
 
 TEST(TableIndexTest, SwitchingModesIsTransparent) {
