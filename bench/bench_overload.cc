@@ -1,0 +1,346 @@
+// M6 — overload-governor behavior under ramped offered load, plus the cost
+// of the admission check on an unloaded fire path.
+//
+// Two claims under test:
+//
+//  1. Unloaded cost: the governor's fire-path admission is one relaxed load
+//     of the program's ladder level, paid whether or not the program is
+//     governed — so governing a healthy program must not move its fire cost.
+//     Declaring a fire deadline adds the arming clock read plus the entry
+//     poll; that variant is reported separately so the deadline's own price
+//     stays visible.
+//
+//  2. Graceful degradation: as the fraction of fires that blow their
+//     deadline ramps up (a latency failpoint at the helper site), the ladder
+//     engages and most fires route to the fallback oracle. The steady-state
+//     shape: light overload below the governor's tolerated rate keeps the
+//     learned policy serving every fire (p99 = payload, shed rate 0); heavy
+//     sustained overload settles into a probe cycle — the governor re-promotes
+//     after `promote_windows` clean degraded ticks, breaches immediately, and
+//     re-demotes — so the shed rate caps the fraction of fires paying the
+//     payload at the probe duty cycle and the *median* fire collapses to
+//     fallback cost while p99 tracks the probes.
+//
+// Results land in BENCH_overload.json (override with --out=FILE).
+//
+//   $ build/bench/bench_overload              # ~5s
+//   $ build/bench/bench_overload --quick      # CI smoke
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/failpoints.h"
+#include "src/base/epoch.h"
+#include "src/bytecode/assembler.h"
+#include "src/rmt/control_plane.h"
+#include "src/rmt/governor.h"
+#include "src/rmt/hooks.h"
+#include "src/telemetry/telemetry.h"
+
+namespace rkd {
+namespace {
+
+constexpr uint64_t kDeadlineNs = 100'000;     // 100us fire budget
+constexpr uint64_t kPayloadNs = 1'000'000;    // 1ms injected helper latency
+
+// Pure-ALU action (key + 100): the unloaded fire-path variant.
+RmtProgramSpec AluSpec(const std::string& name, const std::string& hook_name) {
+  Assembler a("add_imm", HookKind::kGeneric);
+  a.Mov(0, 1).AddImm(0, 100).Exit();
+  RmtProgramSpec spec;
+  spec.name = name;
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = hook_name;
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+// Helper-calling action with a long straight-line body so both VM tiers
+// cross a deadline poll boundary after the "vm.helper" failpoint site has
+// injected its latency (same shape as the governor tests and chaos storm).
+RmtProgramSpec SlowSpec(const std::string& name, const std::string& hook_name) {
+  Assembler a("slow_add", HookKind::kGeneric);
+  a.Call(HelperId::kGetTime);
+  a.Mov(0, 1);
+  for (int i = 0; i < 160; ++i) {
+    a.AddImm(0, 1);
+  }
+  a.Exit();
+  RmtProgramSpec spec;
+  spec.name = name;
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = hook_name;
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+GovernorConfig RampGovernor() {
+  GovernorConfig config;
+  config.window_fires = 64;
+  // Tolerate up to 10% overruns before breaching a window, so the 1/16 ramp
+  // point stays at kFull and shows the un-governed p99 for contrast.
+  config.max_deadline_rate = 0.10;
+  config.demote_windows = 1;
+  config.promote_windows = 2;
+  config.shed_probe_ticks = 4;
+  return config;
+}
+
+// ns/fire over `iters` fires, minimum of `reps` passes (minimum because the
+// quantity of interest is the cost floor, not scheduler noise).
+double MeasureNsPerFire(HookRegistry& hooks, HookId hook, uint64_t iters, int reps) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const uint64_t start = MonotonicNowNs();
+    int64_t sink = 0;
+    for (uint64_t i = 0; i < iters; ++i) {
+      sink += hooks.Fire(hook, i & 0xff);
+    }
+    const uint64_t elapsed = MonotonicNowNs() - start;
+    if (sink == 0) {
+      std::fprintf(stderr, "unexpected zero sink\n");
+    }
+    const double ns = static_cast<double>(elapsed) / static_cast<double>(iters);
+    if (rep == 0 || ns < best) {
+      best = ns;
+    }
+  }
+  return best;
+}
+
+struct UnloadedResult {
+  double ungoverned_ns = 0.0;
+  double governed_ns = 0.0;
+  double deadline_ns = 0.0;
+  double overhead_ratio = 0.0;
+  bool regression = false;
+};
+
+// Phase 1: the same ALU program fired three ways — bare, governed (no
+// deadline declared), and governed with a 1s deadline that never trips.
+UnloadedResult RunUnloaded(bool quick) {
+  HookRegistry hooks;
+  ControlPlane cp(&hooks);
+  const HookId hook = *hooks.Register("bench.unloaded", HookKind::kGeneric);
+
+  Result<ControlPlane::ProgramHandle> handle =
+      cp.Install(AluSpec("unloaded", "bench.unloaded"));
+  if (!handle.ok()) {
+    std::fprintf(stderr, "FAIL: install: %s\n", handle.status().message().c_str());
+    std::exit(1);
+  }
+
+  // Calibrate iteration count off a warmup burst (~0.2s per variant; quick
+  // ~20ms) so the bench is host-speed independent.
+  const uint64_t warmup = quick ? 20'000 : 100'000;
+  const uint64_t warm_start = MonotonicNowNs();
+  (void)MeasureNsPerFire(hooks, hook, warmup, 1);
+  const uint64_t warm_ns = MonotonicNowNs() - warm_start;
+  const double fires_per_sec =
+      static_cast<double>(warmup) * 1e9 / static_cast<double>(warm_ns > 0 ? warm_ns : 1);
+  const uint64_t iters = static_cast<uint64_t>(fires_per_sec * (quick ? 0.02 : 0.2)) + 1;
+  const int reps = quick ? 3 : 5;
+
+  UnloadedResult r;
+  r.ungoverned_ns = MeasureNsPerFire(hooks, hook, iters, reps);
+
+  OverloadGovernor governor(&cp);
+  if (!governor.Govern(*handle, RampGovernor()).ok()) {
+    std::fprintf(stderr, "FAIL: govern\n");
+    std::exit(1);
+  }
+  r.governed_ns = MeasureNsPerFire(hooks, hook, iters, reps);
+
+  // Re-install with a generous declared deadline: every fire now arms the
+  // budget and runs the entry poll, which is the deadline's own cost.
+  if (!governor.Ungovern(*handle).ok() || !cp.Uninstall(*handle).ok()) {
+    std::fprintf(stderr, "FAIL: remove\n");
+    std::exit(1);
+  }
+  RmtProgramSpec armed = AluSpec("unloaded_deadline", "bench.unloaded");
+  armed.fire_deadline_ns = 1'000'000'000;  // 1s: never overruns
+  Result<ControlPlane::ProgramHandle> armed_handle = cp.Install(std::move(armed));
+  if (!armed_handle.ok() || !governor.Govern(*armed_handle, RampGovernor()).ok()) {
+    std::fprintf(stderr, "FAIL: reinstall with deadline\n");
+    std::exit(1);
+  }
+  r.deadline_ns = MeasureNsPerFire(hooks, hook, iters, reps);
+
+  r.overhead_ratio = r.governed_ns / (r.ungoverned_ns > 0 ? r.ungoverned_ns : 1);
+  // Generous bound: the governed path adds one relaxed load, so anything
+  // beyond 30% is a real regression, not timer noise.
+  r.regression = r.overhead_ratio > 1.30;
+
+  std::printf("unloaded: %7.1f ns/fire bare, %7.1f governed (x%.3f), %7.1f with deadline\n",
+              r.ungoverned_ns, r.governed_ns, r.overhead_ratio, r.deadline_ns);
+  return r;
+}
+
+struct RampPoint {
+  double overrun_fraction = 0.0;  // offered: fraction of fires carrying the payload
+  uint64_t fires = 0;             // steady-state measurement fires
+  double shed_rate = 0.0;         // (degraded + shed) / fires in steady state
+  double p50_ns = 0.0;            // steady-state median fire cost
+  double p99_ns = 0.0;            // steady-state fire p99
+  std::string final_level;
+};
+
+// Phase 2: ramp the offered overload (every-Nth latency failpoint) and
+// record the governor's steady-state response at each point.
+std::vector<RampPoint> RunRamp(bool quick) {
+  HookRegistry hooks;
+  ControlPlane cp(&hooks);
+  const HookId hook = *hooks.Register("bench.ramp", HookKind::kGeneric);
+  if (!hooks
+           .SetFallbackOracle(hook,
+                              [](uint64_t key, std::span<const int64_t>) {
+                                return static_cast<int64_t>(key) + 1;
+                              })
+           .ok()) {
+    std::fprintf(stderr, "FAIL: fallback oracle\n");
+    std::exit(1);
+  }
+
+  RmtProgramSpec spec = SlowSpec("ramped", "bench.ramp");
+  spec.fire_deadline_ns = kDeadlineNs;
+  Result<ControlPlane::ProgramHandle> handle = cp.Install(std::move(spec));
+  if (!handle.ok()) {
+    std::fprintf(stderr, "FAIL: install: %s\n", handle.status().message().c_str());
+    std::exit(1);
+  }
+
+  OverloadGovernor governor(&cp);
+
+  // every_nth = 0 means no payload at all. 1 = every fire.
+  constexpr uint64_t kRampEveryNth[] = {0, 16, 4, 2, 1};
+  const GovernorConfig config = RampGovernor();
+  const int adapt_rounds = quick ? 4 : 8;
+  const int measure_rounds = quick ? 4 : 16;
+
+  std::vector<RampPoint> points;
+  for (const uint64_t every_nth : kRampEveryNth) {
+    // Fresh ladder per point: Govern resets to kFull with a new window.
+    if (governor.IsGoverned(*handle) && !governor.Ungovern(*handle).ok()) {
+      std::fprintf(stderr, "FAIL: ungovern\n");
+      std::exit(1);
+    }
+    if (!governor.Govern(*handle, config).ok()) {
+      std::fprintf(stderr, "FAIL: govern\n");
+      std::exit(1);
+    }
+    FailpointRegistry::Global().DisableAll();
+    if (every_nth > 0) {
+      FailpointSpec fault;
+      fault.mode = every_nth == 1 ? FailpointMode::kAlways : FailpointMode::kEveryNth;
+      fault.n = every_nth;
+      fault.latency_ns = kPayloadNs;
+      FailpointRegistry::Global().Enable("vm.helper", fault);
+    }
+
+    const HookMetrics metrics = hooks.MetricsOf(hook);
+    auto run_rounds = [&](int rounds) {
+      for (int round = 0; round < rounds; ++round) {
+        for (uint64_t i = 0; i < config.window_fires; ++i) {
+          (void)hooks.Fire(hook, i);
+        }
+        (void)governor.Tick();
+      }
+    };
+
+    run_rounds(adapt_rounds);  // let the ladder settle
+
+    HistogramWindow window;
+    window.Reset(metrics.fire_ns());
+    const uint64_t fires0 = metrics.fires();
+    const uint64_t fallback0 = metrics.degraded_fires() + metrics.shed_fires();
+    run_rounds(measure_rounds);
+
+    RampPoint p;
+    p.overrun_fraction = every_nth == 0 ? 0.0 : 1.0 / static_cast<double>(every_nth);
+    p.fires = metrics.fires() - fires0;
+    const uint64_t fallback = metrics.degraded_fires() + metrics.shed_fires() - fallback0;
+    p.shed_rate = p.fires > 0
+                      ? static_cast<double>(fallback) / static_cast<double>(p.fires)
+                      : 0.0;
+    p.p50_ns = window.DeltaPercentile(metrics.fire_ns(), 50.0);
+    p.p99_ns = window.DeltaPercentile(metrics.fire_ns(), 99.0);
+    p.final_level = GovLevelName(governor.LevelOf(*handle));
+    points.push_back(p);
+    std::printf("ramp %5.3f overrun: shed_rate %.3f  p50 %8.0f ns  p99 %10.0f ns  level %s\n",
+                p.overrun_fraction, p.shed_rate, p.p50_ns, p.p99_ns, p.final_level.c_str());
+  }
+  FailpointRegistry::Global().DisableAll();
+  GlobalEpochDomain().Synchronize();
+  (void)GlobalEpochDomain().TryAdvance();
+  return points;
+}
+
+int Run(const std::string& out_path, bool quick) {
+  const UnloadedResult unloaded = RunUnloaded(quick);
+  const std::vector<RampPoint> ramp = RunRamp(quick);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"overload\",\n"
+               "  \"deadline_ns\": %" PRIu64 ",\n"
+               "  \"payload_ns\": %" PRIu64 ",\n"
+               "  \"unloaded\": {\n"
+               "    \"ungoverned_ns_per_fire\": %.1f,\n"
+               "    \"governed_ns_per_fire\": %.1f,\n"
+               "    \"governed_deadline_ns_per_fire\": %.1f,\n"
+               "    \"overhead_ratio\": %.3f,\n"
+               "    \"regression\": %s\n"
+               "  },\n"
+               "  \"ramp\": [\n",
+               kDeadlineNs, kPayloadNs, unloaded.ungoverned_ns, unloaded.governed_ns,
+               unloaded.deadline_ns, unloaded.overhead_ratio,
+               unloaded.regression ? "true" : "false");
+  for (size_t i = 0; i < ramp.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"overrun_fraction\": %.4f, \"fires\": %" PRIu64
+                 ", \"shed_rate\": %.4f, \"p50_ns\": %.0f, \"p99_ns\": %.0f,"
+                 " \"final_level\": \"%s\"}%s\n",
+                 ramp[i].overrun_fraction, ramp[i].fires, ramp[i].shed_rate, ramp[i].p50_ns,
+                 ramp[i].p99_ns, ramp[i].final_level.c_str(),
+                 i + 1 < ramp.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return unloaded.regression ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace rkd
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_overload.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  return rkd::Run(out_path, quick);
+}

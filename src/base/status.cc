@@ -18,6 +18,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "out_of_range";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
     case StatusCode::kPermissionDenied:
       return "permission_denied";
     case StatusCode::kVerificationFailed:
@@ -59,6 +61,9 @@ Status OutOfRangeError(std::string message) {
 }
 Status ResourceExhaustedError(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 Status PermissionDeniedError(std::string message) {
   return Status(StatusCode::kPermissionDenied, std::move(message));

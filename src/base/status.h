@@ -27,6 +27,7 @@ enum class StatusCode {
   kFailedPrecondition, // Operation is valid but not in the current state.
   kOutOfRange,         // Index/offset beyond a checked bound.
   kResourceExhausted,  // Budget exhausted (steps, privacy epsilon, memory).
+  kDeadlineExceeded,   // Fire-time wall-clock budget exceeded.
   kPermissionDenied,   // Helper or hook not allowed for this program type.
   kVerificationFailed, // Static admission check rejected the program.
   kInternal,           // Invariant violation inside rkd itself.
@@ -72,6 +73,7 @@ Status AlreadyExistsError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
 Status PermissionDeniedError(std::string message);
 Status VerificationFailedError(std::string message);
 Status InternalError(std::string message);

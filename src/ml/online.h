@@ -54,17 +54,14 @@ class ModelSlot {
     return current == nullptr ? nullptr : current->model;
   }
 
-  // The epoch-protected coherent read (replaces the mutex-based
-  // GetWithVersion): one pin, one pointer load, one shared_ptr copy.
+  // The epoch-protected coherent read: one pin, one pointer load, one
+  // shared_ptr copy.
   VersionedModel Snapshot() const {
     EpochGuard guard(GlobalEpochDomain());
     const Published* current = state_.Load();
     return current == nullptr ? VersionedModel{}
                               : VersionedModel{current->model, current->version};
   }
-
-  [[deprecated("use Snapshot(): the slot is epoch-protected now")]]
-  VersionedModel GetWithVersion() const { return Snapshot(); }
 
   uint64_t version() const {
     EpochGuard guard(GlobalEpochDomain());

@@ -127,6 +127,8 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
     const std::string prefix = "rkd.guard.prog." + spec.name;
     program->exec_metrics_.execs = telemetry.GetCounter(prefix + ".execs");
     program->exec_metrics_.exec_errors = telemetry.GetCounter(prefix + ".exec_errors");
+    program->exec_metrics_.deadline_errors = telemetry.GetCounter(prefix + ".deadline_errors");
+    program->exec_metrics_.budget_errors = telemetry.GetCounter(prefix + ".budget_errors");
     program->exec_metrics_.exec_ns = telemetry.GetHistogram(prefix + ".exec_ns");
   }
   for (const MapSpec& map_spec : spec.maps) {
@@ -181,6 +183,10 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
     attached->set_env(env, services.get());
     attached->set_exec_metrics(&program->exec_metrics_);
     attached->set_opcode_profile(&program->opcode_profile_obj_);
+    // Overload-governor wiring: the ladder rung cell and the declared
+    // fire-time budget (measured against the program's injectable clock).
+    attached->set_governor_cell(program->governor_cell());
+    attached->set_fire_budget(spec.fire_deadline_ns, program->fire_clock());
 
     program->services_.push_back(std::move(services));
     program->tables_.push_back(std::move(attached));
@@ -401,7 +407,13 @@ Status ControlPlane::WriteMap(ProgramHandle handle, int64_t map_id, int64_t key,
   if (map == nullptr) {
     return NotFoundError("map " + std::to_string(map_id) + " does not exist");
   }
+  const uint64_t breaches_before = slot->program->maps().quota().breaches();
   if (!map->Update(key, value)) {
+    // Distinguish quota breaches (kResourceExhausted — the overload
+    // governor's signal) from ordinary capacity/key-range rejections.
+    if (slot->program->maps().quota().breaches() > breaches_before) {
+      return ResourceExhaustedError("map update rejected (program map quota exhausted)");
+    }
     return OutOfRangeError("map update rejected (key range or capacity)");
   }
   return OkStatus();
@@ -473,6 +485,10 @@ Result<ControlPlane::AdaptationReport> ControlPlane::TickReport(ProgramHandle ha
   }
   report.knob = knob;
   metrics_.knob->Set(static_cast<double>(knob));
+  // Surface the overload governor's view of this program alongside the
+  // adaptation verdict, so one tick report answers "how is it doing".
+  report.governor_level = slot->program->governor_level();
+  report.map_quota_breaches = slot->program->maps().quota().breaches();
   return report;
 }
 
@@ -688,6 +704,12 @@ Result<ControlPlane::RolloutReport> ControlPlane::EvaluateRollout(RolloutId id) 
     reason = "canary accuracy " + std::to_string(report.canary.accuracy) +
              " below incumbent " + std::to_string(report.incumbent.accuracy) + " + delta " +
              std::to_string(config.min_accuracy_delta);
+  } else if (const uint64_t declared = canary_slot->program->fire_deadline_ns();
+             declared > 0 && report.canary.p99_ns > static_cast<double>(declared)) {
+    // A program must not be promoted into a fire-time budget its measured
+    // canary cost already busts — the governor would demote it immediately.
+    reason = "canary p99 " + std::to_string(report.canary.p99_ns) +
+             "ns exceeds its declared fire deadline " + std::to_string(declared) + "ns";
   }
 
   // Resolve: return the surviving arm to solo routing BEFORE uninstalling

@@ -216,6 +216,9 @@ class ControlPlane {
     double accuracy = 0.0;  // rolling accuracy evaluated this tick (0 below min_samples)
     uint64_t samples = 0;   // resolved predictions considered
     int direction = 0;      // -1 lowered, 0 unchanged, +1 raised
+    // Overload-governor state at tick time (kFull when ungoverned).
+    GovLevel governor_level = GovLevel::kFull;
+    uint64_t map_quota_breaches = 0;
   };
 
   // Evaluates the program's prediction log and adjusts the knob. Call

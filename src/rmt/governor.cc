@@ -1,0 +1,324 @@
+#include "src/rmt/governor.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/base/epoch.h"
+#include "src/telemetry/trace_export.h"
+
+namespace rkd {
+
+namespace {
+
+uint64_t SatDelta(uint64_t now, uint64_t base) { return now > base ? now - base : 0; }
+
+GovLevel OneRungDown(GovLevel level) {
+  return level == GovLevel::kFull ? GovLevel::kDegraded : GovLevel::kShed;
+}
+
+GovLevel OneRungUp(GovLevel level) {
+  return level == GovLevel::kShed ? GovLevel::kDegraded : GovLevel::kFull;
+}
+
+}  // namespace
+
+OverloadGovernor::OverloadGovernor(ControlPlane* control_plane,
+                                   std::function<uint64_t()> clock)
+    : control_plane_(control_plane), clock_(std::move(clock)) {
+  TelemetryRegistry& telemetry = control_plane_->telemetry();
+  ticks_ = telemetry.GetCounter("rkd.gov.ticks");
+  demotions_ = telemetry.GetCounter("rkd.gov.demotions");
+  promotions_ = telemetry.GetCounter("rkd.gov.promotions");
+  breaker_reports_ = telemetry.GetCounter("rkd.gov.breaker_reports");
+}
+
+uint64_t OverloadGovernor::Now() const {
+  return clock_ ? clock_() : MonotonicNowNs();
+}
+
+OverloadGovernor::Governed* OverloadGovernor::Find(ControlPlane::ProgramHandle handle) {
+  for (Governed& gov : governed_) {
+    if (gov.handle == handle) {
+      return &gov;
+    }
+  }
+  return nullptr;
+}
+
+const OverloadGovernor::Governed* OverloadGovernor::Find(
+    ControlPlane::ProgramHandle handle) const {
+  for (const Governed& gov : governed_) {
+    if (gov.handle == handle) {
+      return &gov;
+    }
+  }
+  return nullptr;
+}
+
+Status OverloadGovernor::Govern(ControlPlane::ProgramHandle handle,
+                                const GovernorConfig& config) {
+  if (Find(handle) != nullptr) {
+    return AlreadyExistsError("program handle " + std::to_string(handle) +
+                              " is already governed");
+  }
+  InstalledProgram* program = control_plane_->Get(handle);
+  if (program == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (config.window_fires == 0 || config.demote_windows == 0 ||
+      config.promote_windows == 0 || config.shed_probe_ticks == 0) {
+    return InvalidArgumentError(
+        "window_fires, demote_windows, promote_windows and shed_probe_ticks "
+        "must be positive");
+  }
+  // Hand the program our timebase so the VM's deadline polls and the
+  // governor's verdicts read the same (possibly fake) clock. Only safe here
+  // because governing happens at setup time, before traffic.
+  if (clock_) {
+    program->set_fire_clock(clock_);
+  }
+  Governed gov;
+  gov.handle = handle;
+  gov.name = program->name();
+  gov.config = config;
+  gov.level_gauge =
+      control_plane_->telemetry().GetGauge("rkd.gov.level." + program->name());
+  governed_.push_back(std::move(gov));
+  Governed& stored = governed_.back();
+  OpenWindow(stored);
+  program->set_governor_level(GovLevel::kFull);
+  stored.level_gauge->Set(static_cast<double>(GovLevel::kFull));
+  return OkStatus();
+}
+
+Status OverloadGovernor::Ungovern(ControlPlane::ProgramHandle handle) {
+  for (size_t i = 0; i < governed_.size(); ++i) {
+    if (governed_[i].handle == handle) {
+      // Leave the program un-throttled: shedding only makes sense while
+      // someone is watching the telemetry to walk it back up.
+      if (InstalledProgram* program = control_plane_->Get(handle); program != nullptr) {
+        program->set_governor_level(GovLevel::kFull);
+      }
+      governed_[i].level_gauge->Set(static_cast<double>(GovLevel::kFull));
+      governed_.erase(governed_.begin() + static_cast<ptrdiff_t>(i));
+      return OkStatus();
+    }
+  }
+  return NotFoundError("program handle " + std::to_string(handle) + " is not governed");
+}
+
+GovLevel OverloadGovernor::LevelOf(ControlPlane::ProgramHandle handle) const {
+  const Governed* gov = Find(handle);
+  return gov != nullptr ? gov->level : GovLevel::kFull;
+}
+
+bool OverloadGovernor::IsGoverned(ControlPlane::ProgramHandle handle) const {
+  return Find(handle) != nullptr;
+}
+
+void OverloadGovernor::OpenWindow(Governed& gov) {
+  InstalledProgram* program = control_plane_->Get(gov.handle);
+  if (program == nullptr) {
+    return;
+  }
+  const ProgramExecMetrics& metrics = program->exec_metrics();
+  gov.execs0 = metrics.execs->value();
+  gov.deadline0 = metrics.deadline_errors->value();
+  gov.quota0 = program->maps().quota().breaches();
+  gov.window.Reset(*metrics.exec_ns);
+}
+
+std::string OverloadGovernor::Breach(const Governed& gov, uint64_t execs,
+                                     uint64_t deadline_errs,
+                                     uint64_t quota_breaches) const {
+  const GovernorConfig& config = gov.config;
+  if (quota_breaches > config.max_quota_breaches) {
+    return "map quota breached " + std::to_string(quota_breaches) +
+           " times this window (tolerated " + std::to_string(config.max_quota_breaches) +
+           ")";
+  }
+  if (execs == 0) {
+    return "";  // nothing executed: only the resource bound above can breach
+  }
+  const double deadline_rate =
+      static_cast<double>(deadline_errs) / static_cast<double>(execs);
+  if (deadline_rate > config.max_deadline_rate) {
+    return "deadline overrun rate " + std::to_string(deadline_rate) + " over " +
+           std::to_string(execs) + " execs exceeds " +
+           std::to_string(config.max_deadline_rate);
+  }
+  if (config.max_p99_ns > 0.0) {
+    const InstalledProgram* program = control_plane_->Get(gov.handle);
+    if (program != nullptr) {
+      const double p99 =
+          gov.window.DeltaPercentile(*program->exec_metrics().exec_ns, 99.0);
+      if (p99 > config.max_p99_ns) {
+        return "exec p99 " + std::to_string(p99) + "ns exceeds budget " +
+               std::to_string(config.max_p99_ns) + "ns";
+      }
+    }
+  }
+  return "";
+}
+
+void OverloadGovernor::DumpFlightRecorder(const std::string& program,
+                                          const std::string& reason) {
+  if (flight_recorder_dir_.empty()) {
+    return;
+  }
+  const std::vector<SpanRecord> spans = control_plane_->telemetry().tracer().Snapshot();
+  TraceExportOptions options;
+  options.program = program;
+  options.reason = reason;
+  std::string safe_name = program;
+  for (char& c : safe_name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+  }
+  const std::string path = flight_recorder_dir_ + "/gov_" + safe_name + "_" +
+                           std::to_string(flight_dumps_ + 1) + ".json";
+  if (WriteTextFile(path, ExportPerfettoTrace(spans, options))) {
+    ++flight_dumps_;
+    last_flight_dump_ = path;
+  }
+}
+
+void OverloadGovernor::Transition(Governed& gov, GovLevel to, const std::string& reason,
+                                  TickSummary& summary) {
+  LadderEvent event;
+  event.handle = gov.handle;
+  event.program = gov.name;
+  event.from = gov.level;
+  event.to = to;
+  event.reason = reason;
+
+  const bool demotion = static_cast<uint8_t>(to) > static_cast<uint8_t>(gov.level);
+  gov.level = to;
+  if (InstalledProgram* program = control_plane_->Get(gov.handle); program != nullptr) {
+    program->set_governor_level(to);
+  }
+  gov.level_gauge->Set(static_cast<double>(to));
+  (demotion ? demotions_ : promotions_)->Increment();
+
+  // Ladder transitions are rare and diagnostic gold: record each one in the
+  // trace ring (source = program handle, key/value = from/to rung) and, when
+  // a dump directory is armed, snapshot the flight recorder like the
+  // guardian does for containment decisions.
+  TraceEvent trace;
+  trace.ts_ns = Now();
+  trace.source = static_cast<int32_t>(gov.handle);
+  trace.kind = kGovTransitionEvent;
+  trace.key = static_cast<uint64_t>(event.from);
+  trace.value = static_cast<int64_t>(to);
+  control_plane_->telemetry().trace().Push(trace);
+  DumpFlightRecorder(gov.name, event.reason);
+
+  // Every transition closes the verdict window and the hysteresis streaks:
+  // the new rung is judged only on what happens after it.
+  gov.breached_windows = 0;
+  gov.clean_windows = 0;
+  OpenWindow(gov);
+
+  if (to == GovLevel::kShed) {
+    gov.ticks_at_shed = 0;
+    ++gov.shed_entries;
+    const GovernorConfig& config = gov.config;
+    if (config.shed_cycles_to_breaker > 0 &&
+        gov.shed_entries >= config.shed_cycles_to_breaker && guardian_ != nullptr) {
+      // The program keeps falling off the bottom of the ladder: shedding is
+      // supposed to be a temporary shelter, not a permanent state. Hand the
+      // breach to the guardian's breaker, which suspends with backoff and
+      // eventually quarantines — visible containment instead of silent loss.
+      const auto reported = guardian_->ReportBreach(
+          gov.handle, "overload governor shed " + std::to_string(gov.shed_entries) +
+                          " times; sustained resource breach (" + reason + ")");
+      if (reported.ok()) {
+        ++summary.breaker_reports;
+        breaker_reports_->Increment();
+        gov.shed_entries = 0;
+      }
+    }
+  } else if (to == GovLevel::kFull) {
+    gov.shed_entries = 0;  // full recovery resets the escalation count
+  }
+  summary.transitions.push_back(std::move(event));
+}
+
+OverloadGovernor::TickSummary OverloadGovernor::Tick() {
+  TickSummary summary;
+  ++tick_count_;
+  ticks_->Increment();
+  GlobalEpochDomain().TryAdvance();
+  ScopedSpan tick_span(&control_plane_->telemetry().tracer(), "governor.tick");
+  tick_span.Tag("tick", static_cast<int64_t>(tick_count_));
+  tick_span.Tag("governed", static_cast<int64_t>(governed_.size()));
+
+  for (Governed& gov : governed_) {
+    InstalledProgram* program = control_plane_->Get(gov.handle);
+    if (program == nullptr) {
+      continue;  // uninstalled behind our back; nothing left to govern
+    }
+    if (gov.level == GovLevel::kShed) {
+      // Shedding runs nothing, so exec windows can never fill. Probe back up
+      // after a fixed number of ticks; the degraded rung then has to earn
+      // kFull through clean windows (or fall straight back down).
+      if (++gov.ticks_at_shed >= gov.config.shed_probe_ticks) {
+        Transition(gov, GovLevel::kDegraded,
+                   "shed probe after " + std::to_string(gov.ticks_at_shed) +
+                       " ticks; re-admitting heuristic fallback",
+                   summary);
+      }
+      continue;
+    }
+
+    const ProgramExecMetrics& metrics = program->exec_metrics();
+    const uint64_t execs = SatDelta(metrics.execs->value(), gov.execs0);
+    const uint64_t deadline_errs =
+        SatDelta(metrics.deadline_errors->value(), gov.deadline0);
+    const uint64_t quota_breaches =
+        SatDelta(program->maps().quota().breaches(), gov.quota0);
+
+    // A verdict closes when the exec window fills, when resource breaches
+    // exceed the budget outright (map pressure needs no execution — the
+    // control plane keeps writing while execution degrades), or — on the
+    // degraded rung only — every tick, because the learned policy is not
+    // executing and clean time is the only promotion evidence there is.
+    std::string reason;
+    bool verdict = false;
+    if (execs >= gov.config.window_fires) {
+      reason = Breach(gov, execs, deadline_errs, quota_breaches);
+      verdict = true;
+    } else if (quota_breaches > gov.config.max_quota_breaches) {
+      reason = Breach(gov, execs, deadline_errs, quota_breaches);
+      verdict = true;
+    } else if (gov.level == GovLevel::kDegraded && execs == 0) {
+      verdict = true;  // clean degraded tick
+    }
+    if (!verdict) {
+      continue;  // window still filling; no decision this tick
+    }
+    if (!reason.empty()) {
+      gov.clean_windows = 0;
+      if (++gov.breached_windows >= gov.config.demote_windows) {
+        Transition(gov, OneRungDown(gov.level), reason, summary);
+      } else {
+        OpenWindow(gov);  // breach noted; judge the next window fresh
+      }
+    } else {
+      gov.breached_windows = 0;
+      ++gov.clean_windows;
+      if (gov.level != GovLevel::kFull && gov.clean_windows >= gov.config.promote_windows) {
+        Transition(gov, OneRungUp(gov.level),
+                   std::to_string(gov.clean_windows) + " clean windows; promoting",
+                   summary);
+      } else {
+        OpenWindow(gov);  // slide: always judge recent behaviour
+      }
+    }
+  }
+  tick_span.Tag("transitions", static_cast<int64_t>(summary.transitions.size()));
+  return summary;
+}
+
+}  // namespace rkd

@@ -1,0 +1,173 @@
+// The overload governor: graceful degradation under fire-path stress.
+//
+// The guardian (src/rmt/guardian.h) contains *misbehaving* programs — wrong
+// answers, faults. The governor contains *expensive* ones: a program whose
+// learned policy is correct but can no longer afford its fire-time budget
+// under the current load should not be quarantined, it should be walked down
+// a degradation ladder and walked back up when the storm passes:
+//
+//     kFull      learned policy runs normally
+//       │ demote (sustained deadline overruns / p99 / map-quota breaches)
+//       ▼
+//     kDegraded  learned policy skipped; the hook's registered fallback
+//       │        oracle (the heuristic baseline, e.g. readahead or the
+//       │        vanilla CFS test) answers instead
+//       ▼
+//     kShed      nothing runs; fires return kHookFallback (stock kernel)
+//
+// Promote/demote decisions are hysteresis-gated window verdicts over the
+// per-program telemetry the datapath already records (deadline-error rate,
+// windowed exec p99, map-quota breaches), evaluated only in Tick() — never
+// on the datapath. The datapath's entire involvement is one relaxed load of
+// the program's rung cell per fire (see HookRegistry::Fire) plus the coarse
+// deadline polls inside the VM tiers. All timing a verdict depends on is
+// tick-counted or measured against the injectable clock, so ladder traces
+// are deterministic under test.
+//
+// A program that keeps cycling down to kShed is not allowed to shed silently
+// forever: after `shed_cycles_to_breaker` demotions into kShed the governor
+// reports the breach to the PolicyGuardian, whose breaker takes over
+// (suspend, backoff, eventually quarantine).
+#ifndef SRC_RMT_GOVERNOR_H_
+#define SRC_RMT_GOVERNOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/rmt/control_plane.h"
+#include "src/rmt/guardian.h"
+
+namespace rkd {
+
+// Hysteresis thresholds for one governed program. Zero-valued bounds disable
+// their check; the default config demotes on deadline overruns and map-quota
+// breaches only.
+struct GovernorConfig {
+  // A window verdict needs this many executions since the window opened.
+  // While the program sheds (no executions), verdicts pause — re-promotion
+  // out of kShed is driven by shed_probe_ticks below instead.
+  uint64_t window_fires = 64;
+  // Deadline overruns / execs over the window before the window counts as
+  // breached.
+  double max_deadline_rate = 0.05;
+  // Windowed exec p99 bound in ns (0 = off). Set this when latency matters
+  // even before the hard deadline trips.
+  double max_p99_ns = 0.0;
+  // Map-quota breaches tolerated per window; any more breaches the window.
+  uint64_t max_quota_breaches = 0;
+  // Consecutive breached windows before demoting one rung.
+  uint32_t demote_windows = 1;
+  // Consecutive clean windows before promoting one rung (hysteresis: climb
+  // slower than you fall).
+  uint32_t promote_windows = 2;
+  // In kShed no executions happen, so windows never fill. After this many
+  // ticks at kShed the governor probes upward to kDegraded on its own.
+  uint64_t shed_probe_ticks = 4;
+  // Demotions into kShed before the breach is escalated to the guardian's
+  // breaker (0 = never escalate).
+  uint32_t shed_cycles_to_breaker = 3;
+};
+
+class OverloadGovernor {
+ public:
+  // `clock` is the timebase deadline checks and transition timestamps use;
+  // empty = MonotonicNowNs. Govern() installs it into the program, so one
+  // fake clock drives both the VM's deadline polls and the governor.
+  explicit OverloadGovernor(ControlPlane* control_plane,
+                            std::function<uint64_t()> clock = {});
+
+  // Wires the guardian escalation path (nullptr disconnects it).
+  void set_guardian(PolicyGuardian* guardian) { guardian_ = guardian; }
+
+  // Starts governing `handle` at kFull. The program must be installed; its
+  // first window opens at the current telemetry values.
+  Status Govern(ControlPlane::ProgramHandle handle, const GovernorConfig& config = {});
+
+  // Stops governing and restores the program to kFull.
+  Status Ungovern(ControlPlane::ProgramHandle handle);
+
+  GovLevel LevelOf(ControlPlane::ProgramHandle handle) const;
+  bool IsGoverned(ControlPlane::ProgramHandle handle) const;
+
+  // One ladder transition: what moved, which way, and why.
+  struct LadderEvent {
+    ControlPlane::ProgramHandle handle = -1;
+    std::string program;
+    GovLevel from = GovLevel::kFull;
+    GovLevel to = GovLevel::kFull;
+    std::string reason;
+  };
+
+  struct TickSummary {
+    std::vector<LadderEvent> transitions;
+    uint32_t breaker_reports = 0;  // escalations handed to the guardian
+  };
+
+  // One deterministic evaluation pass over every governed program. Call it
+  // periodically off the datapath (alongside PolicyGuardian::Tick); tests
+  // call it directly, interleaved with fires, for exact control.
+  TickSummary Tick();
+
+  uint64_t ticks() const { return tick_count_; }
+
+  // Flight-recorder auto-dump, mirroring the guardian's: every ladder
+  // transition snapshots the tracer's span rings into `dir` tagged with the
+  // program and reason. Empty (the default) disables dumping. Filenames are
+  // deterministic (program name + dump ordinal, no wall clock).
+  void set_flight_recorder_dir(std::string dir) { flight_recorder_dir_ = std::move(dir); }
+  const std::string& last_flight_dump() const { return last_flight_dump_; }
+  uint64_t flight_dumps() const { return flight_dumps_; }
+
+ private:
+  struct Governed {
+    ControlPlane::ProgramHandle handle = -1;
+    std::string name;
+    GovernorConfig config;
+    GovLevel level = GovLevel::kFull;
+    // Window baselines over the program's exec metrics and map quota.
+    uint64_t execs0 = 0;
+    uint64_t deadline0 = 0;
+    uint64_t quota0 = 0;
+    HistogramWindow window;
+    // Hysteresis state.
+    uint32_t breached_windows = 0;
+    uint32_t clean_windows = 0;
+    uint64_t ticks_at_shed = 0;
+    uint32_t shed_entries = 0;  // demotions into kShed since last full recovery
+    Gauge* level_gauge = nullptr;  // rkd.gov.level.<name>
+  };
+
+  Governed* Find(ControlPlane::ProgramHandle handle);
+  const Governed* Find(ControlPlane::ProgramHandle handle) const;
+  void OpenWindow(Governed& gov);
+  // Evaluates the overload thresholds over the current window. Empty string
+  // when every bound holds; "(filling)" sentinel never escapes Tick().
+  std::string Breach(const Governed& gov, uint64_t execs, uint64_t deadline_errs,
+                     uint64_t quota_breaches) const;
+  void Transition(Governed& gov, GovLevel to, const std::string& reason,
+                  TickSummary& summary);
+  uint64_t Now() const;
+  void DumpFlightRecorder(const std::string& program, const std::string& reason);
+
+  ControlPlane* control_plane_;  // not owned
+  PolicyGuardian* guardian_ = nullptr;  // not owned
+  std::function<uint64_t()> clock_;
+  std::vector<Governed> governed_;
+  uint64_t tick_count_ = 0;
+  std::string flight_recorder_dir_;
+  std::string last_flight_dump_;
+  uint64_t flight_dumps_ = 0;
+
+  // "rkd.gov.*" slice in the control plane's telemetry registry.
+  Counter* ticks_ = nullptr;
+  Counter* demotions_ = nullptr;
+  Counter* promotions_ = nullptr;
+  Counter* breaker_reports_ = nullptr;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_RMT_GOVERNOR_H_

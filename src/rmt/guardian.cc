@@ -239,6 +239,20 @@ void PolicyGuardian::TripInto(Guarded& guard, TickSummary& summary,
   summary.transitions.push_back(std::move(event));
 }
 
+Result<PolicyGuardian::GuardEvent> PolicyGuardian::ReportBreach(
+    ControlPlane::ProgramHandle handle, const std::string& reason) {
+  Guarded* guard = Find(handle);
+  if (guard == nullptr) {
+    return NotFoundError("program handle " + std::to_string(handle) + " is not guarded");
+  }
+  if (guard->state == GuardState::kTripped || guard->state == GuardState::kQuarantined) {
+    return FailedPreconditionError("program is already contained; breach not re-counted");
+  }
+  TickSummary summary;
+  TripInto(*guard, summary, reason);
+  return summary.transitions.back();
+}
+
 PolicyGuardian::TickSummary PolicyGuardian::Tick() {
   TickSummary summary;
   ++tick_count_;

@@ -96,6 +96,15 @@ class PolicyGuardian {
   // directly, interleaved with hook fires, for exact control.
   TickSummary Tick();
 
+  // External breach entry: another containment layer (the overload governor,
+  // when a program keeps cycling back down to kShed) reports a sustained
+  // resource breach and the breaker trips through the normal machinery —
+  // suspend, trip accounting, backoff/quarantine, flight-recorder dump —
+  // instead of the program shedding silently forever. Fails if the handle is
+  // not guarded or the program is already tripped/quarantined.
+  Result<GuardEvent> ReportBreach(ControlPlane::ProgramHandle handle,
+                                  const std::string& reason);
+
   uint64_t ticks() const { return tick_count_; }
 
   // Flight-recorder auto-dump: when set, every containment decision — a

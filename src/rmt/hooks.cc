@@ -6,6 +6,18 @@
 
 namespace rkd {
 
+std::string_view GovLevelName(GovLevel level) {
+  switch (level) {
+    case GovLevel::kFull:
+      return "full";
+    case GovLevel::kDegraded:
+      return "degraded";
+    case GovLevel::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
 HookRegistry::HookRegistry()
     : owned_telemetry_(std::make_unique<TelemetryRegistry>()),
       telemetry_(owned_telemetry_.get()) {}
@@ -29,6 +41,8 @@ Result<HookId> HookRegistry::Register(std::string name, HookKind kind,
   hook->fires = telemetry_->GetCounter(prefix + ".fires");
   hook->actions_run = telemetry_->GetCounter(prefix + ".actions_run");
   hook->exec_errors = telemetry_->GetCounter(prefix + ".exec_errors");
+  hook->degraded_fires = telemetry_->GetCounter(prefix + ".degraded_fires");
+  hook->shed_fires = telemetry_->GetCounter(prefix + ".shed_fires");
   hook->fire_ns = telemetry_->GetHistogram(prefix + ".fire_ns");
   hook->span_label = "hook." + hook->name;
   hook->tables.Publish(new std::vector<AttachedTable*>(), GlobalEpochDomain());
@@ -112,6 +126,25 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
     if (!table->ShouldRun(seq)) {
       continue;  // this fire is routed to the other rollout arm
     }
+    // Governor admission: one relaxed load of the program's ladder rung.
+    // Anything below kFull bypasses the learned policy entirely.
+    const GovLevel level = table->governor_level();
+    if (level != GovLevel::kFull) {
+      if (level == GovLevel::kDegraded) {
+        const FallbackOracle* fallback = hook.fallback.Load();
+        if (fallback != nullptr && *fallback) {
+          const int64_t answer = (*fallback)(key, args);
+          hook.degraded_fires->Increment();
+          if (answer != kHookFallback) {
+            result = answer;
+          }
+          continue;
+        }
+      }
+      // kShed, or kDegraded with no oracle registered: stock behaviour.
+      hook.shed_fires->Increment();
+      continue;
+    }
     Result<int64_t> action = table->Execute(key, args, tracer);
     if (action.ok()) {
       hook.actions_run->Increment();
@@ -179,6 +212,28 @@ void HookRegistry::FireBatch(HookId id, std::span<const HookEvent> events,
   HookBatchStats stats;
   const std::vector<AttachedTable*>* tables = hook.tables.Load();
   for (AttachedTable* table : *tables) {
+    // Governor admission, checked once per table pass (the rung cannot
+    // change mid-batch: demotion publishes for future fires only).
+    const GovLevel level = table->governor_level();
+    if (level != GovLevel::kFull) {
+      if (level == GovLevel::kDegraded) {
+        const FallbackOracle* fallback = hook.fallback.Load();
+        if (fallback != nullptr && *fallback) {
+          for (size_t i = 0; i < n; ++i) {
+            const int64_t answer =
+                (*fallback)(events[i].key, std::span<const int64_t>(events[i].args.data(),
+                                                                    events[i].num_args));
+            if (answer != kHookFallback) {
+              results[i] = answer;
+            }
+          }
+          hook.degraded_fires->Increment(n);
+          continue;
+        }
+      }
+      hook.shed_fires->Increment(n);
+      continue;
+    }
     table->ExecuteBatch(events, seq_base, results, &stats, tracer);
   }
   if (stats.actions_run > 0) {
@@ -242,6 +297,27 @@ Status HookRegistry::Detach(HookId id, AttachedTable* table) {
   return OkStatus();
 }
 
+Status HookRegistry::SetFallbackOracle(HookId id, FallbackOracle oracle) {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  if (id < 0 || static_cast<size_t>(id) >= storage_.size()) {
+    return NotFoundError("cannot set fallback oracle on invalid hook id");
+  }
+  Hook& hook = *storage_[static_cast<size_t>(id)];
+  hook.fallback.Publish(oracle ? new FallbackOracle(std::move(oracle)) : nullptr,
+                        GlobalEpochDomain());
+  return OkStatus();
+}
+
+bool HookRegistry::HasFallbackOracle(HookId id) const {
+  EpochGuard guard(GlobalEpochDomain());
+  const Hook* hook = Resolve(id);
+  if (hook == nullptr) {
+    return false;
+  }
+  const FallbackOracle* fallback = hook->fallback.Load();
+  return fallback != nullptr && *fallback;
+}
+
 void HookRegistry::AdjustForceTrace(HookId id, int delta) {
   EpochGuard guard(GlobalEpochDomain());
   const Hook* hook = Resolve(id);
@@ -276,9 +352,11 @@ HookMetrics HookRegistry::MetricsOf(HookId id) const {
   if (hook == nullptr) {
     static const Counter kZeroCounter;
     static const LatencyHistogram kZeroHistogram;
-    return HookMetrics(&kZeroCounter, &kZeroCounter, &kZeroCounter, &kZeroHistogram);
+    return HookMetrics(&kZeroCounter, &kZeroCounter, &kZeroCounter, &kZeroCounter,
+                       &kZeroCounter, &kZeroHistogram);
   }
-  return HookMetrics(hook->fires, hook->actions_run, hook->exec_errors, hook->fire_ns);
+  return HookMetrics(hook->fires, hook->actions_run, hook->exec_errors, hook->degraded_fires,
+                     hook->shed_fires, hook->fire_ns);
 }
 
 }  // namespace rkd

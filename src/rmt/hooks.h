@@ -58,6 +58,23 @@ struct SubsystemBindings {
 // faulted; the call site treats it exactly like "RMT not present".
 inline constexpr int64_t kHookFallback = -1;
 
+// The overload-governor degradation ladder (see src/rmt/governor.h). Every
+// fire consults the firing table's program-level rung with one relaxed load:
+//   kFull     - learned policy runs normally
+//   kDegraded - learned policy is skipped; the hook's registered fallback
+//               oracle (the heuristic baseline) answers instead
+//   kShed     - nothing runs; the fire returns kHookFallback (stock kernel)
+// Stored as uint8_t so the per-program cell is a single-byte atomic.
+enum class GovLevel : uint8_t { kFull = 0, kDegraded = 1, kShed = 2 };
+
+std::string_view GovLevelName(GovLevel level);
+
+// Heuristic baseline a subsystem registers per hook for the kDegraded rung:
+// same (key, args) contract as an action program, same result-merge rule
+// (kHookFallback = no opinion). Must be cheap and side-effect-safe — it runs
+// on the datapath in place of the learned policy.
+using FallbackOracle = std::function<int64_t(uint64_t key, std::span<const int64_t> args)>;
+
 // One event of a FireBatch call: the (key, args) a single Fire would take,
 // with args inlined so a batch is one contiguous allocation.
 struct HookEvent {
@@ -105,19 +122,26 @@ class HookMetrics {
   uint64_t fires() const { return fires_->value(); }
   uint64_t actions_run() const { return actions_run_->value(); }
   uint64_t exec_errors() const { return exec_errors_->value(); }
+  // Fires answered by the fallback oracle (program on kDegraded) and fires
+  // skipped entirely (kShed, or kDegraded with no oracle registered).
+  uint64_t degraded_fires() const { return degraded_fires_->value(); }
+  uint64_t shed_fires() const { return shed_fires_->value(); }
   // Per-fire wall latency of the whole Fire() call (match + action).
   const LatencyHistogram& fire_ns() const { return *fire_ns_; }
 
  private:
   friend class HookRegistry;
   HookMetrics(const Counter* fires, const Counter* actions_run, const Counter* exec_errors,
+              const Counter* degraded_fires, const Counter* shed_fires,
               const LatencyHistogram* fire_ns)
       : fires_(fires), actions_run_(actions_run), exec_errors_(exec_errors),
-        fire_ns_(fire_ns) {}
+        degraded_fires_(degraded_fires), shed_fires_(shed_fires), fire_ns_(fire_ns) {}
 
   const Counter* fires_;
   const Counter* actions_run_;
   const Counter* exec_errors_;
+  const Counter* degraded_fires_;
+  const Counter* shed_fires_;
   const LatencyHistogram* fire_ns_;
 };
 
@@ -159,6 +183,13 @@ class HookRegistry {
   // Attachment management (control plane only).
   Status Attach(HookId id, AttachedTable* table);
   Status Detach(HookId id, AttachedTable* table);
+
+  // Registers (or replaces; an empty function clears) the heuristic baseline
+  // the kDegraded rung routes fires to. Epoch-published like the attachment
+  // list, so the fire path reads it with the guard it already holds — no new
+  // synchronization on the hot path.
+  Status SetFallbackOracle(HookId id, FallbackOracle oracle);
+  bool HasFallbackOracle(HookId id) const;
 
   // Force-trace refcount: while positive, every fire of this hook is traced
   // regardless of the sampling rate. The control plane raises it for the
@@ -203,7 +234,12 @@ class HookRegistry {
     Counter* fires = nullptr;
     Counter* actions_run = nullptr;
     Counter* exec_errors = nullptr;
+    Counter* degraded_fires = nullptr;
+    Counter* shed_fires = nullptr;
     LatencyHistogram* fire_ns = nullptr;
+    // Heuristic baseline for the kDegraded rung; null until the subsystem
+    // registers one. Loaded only on the degraded path.
+    EpochPtr<const FallbackOracle> fallback;
     // Root-span label ("hook.<name>") and the force-trace refcount
     // (mutable: adjusted through the reader-side const Hook*).
     std::string span_label;

@@ -68,16 +68,25 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
   }
   const std::span<const int64_t> arg_span(call_args, 1 + extra);
 
-  // A traced fire runs through an env copy carrying the tracer (ml.eval
-  // child spans) and the program's opcode-profile sink; the untraced path
-  // keeps the shared env untouched.
+  // A traced or deadline-armed fire runs through an env copy carrying the
+  // tracer (ml.eval child spans), the program's opcode-profile sink, and/or
+  // a stack-armed absolute deadline; the plain path keeps the shared env
+  // untouched.
   const VmEnv* exec_env = &env_;
-  VmEnv traced_env;
-  if (tracer != nullptr) {
-    traced_env = env_;
-    traced_env.tracer = tracer;
-    traced_env.profile = opcode_profile_;
-    exec_env = &traced_env;
+  VmEnv local_env;
+  FireDeadline deadline;
+  if (tracer != nullptr || fire_budget_ns_ > 0) {
+    local_env = env_;
+    if (tracer != nullptr) {
+      local_env.tracer = tracer;
+      local_env.profile = opcode_profile_;
+    }
+    if (fire_budget_ns_ > 0) {
+      deadline.now_ns = fire_clock_;
+      deadline.deadline_ns = deadline.Now() + fire_budget_ns_;
+      local_env.deadline = &deadline;
+    }
+    exec_env = &local_env;
   }
   ScopedSpan exec_span(tracer, "vm.exec");
   exec_span.Tag("action", effective);
@@ -95,6 +104,13 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
     exec_metrics_->exec_ns->Record(MonotonicNowNs() - start_ns);
     if (!run.ok()) {
       exec_metrics_->exec_errors->Increment();
+      // Breach attribution: keep wall-clock overruns, budget exhaustion,
+      // and plain faults separable for the guardian and governor.
+      if (run.status().code() == StatusCode::kDeadlineExceeded) {
+        exec_metrics_->deadline_errors->Increment();
+      } else if (run.status().code() == StatusCode::kResourceExhausted) {
+        exec_metrics_->budget_errors->Increment();
+      }
     }
   }
   return run;
@@ -133,6 +149,13 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
     batch_env.tracer = tracer;
     batch_env.profile = opcode_profile_;
   }
+  // Deadline-armed batches share one stack deadline, re-armed per event so
+  // each event gets the same budget an equivalent single Fire would.
+  FireDeadline deadline;
+  if (fire_budget_ns_ > 0) {
+    deadline.now_ns = fire_clock_;
+    batch_env.deadline = &deadline;
+  }
   const Interpreter interp(batch_env);
   CompiledProgram::Frame frame;
 
@@ -142,6 +165,8 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
 
   uint64_t execs = 0;
   uint64_t errors = 0;
+  uint64_t deadline_errors = 0;
+  uint64_t budget_errors = 0;
   RunStats agg;
   int64_t call_args[5];
   for (size_t i = 0; i < events.size(); ++i) {
@@ -167,6 +192,9 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
     }
     const std::span<const int64_t> arg_span(call_args, 1 + extra);
 
+    if (fire_budget_ns_ > 0) {
+      deadline.deadline_ns = deadline.Now() + fire_budget_ns_;
+    }
     RunStats rs;
     const Result<int64_t> run =
         tier_ == ExecTier::kJit
@@ -186,6 +214,11 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
       }
     } else {
       ++errors;
+      if (run.status().code() == StatusCode::kDeadlineExceeded) {
+        ++deadline_errors;
+      } else if (run.status().code() == StatusCode::kResourceExhausted) {
+        ++budget_errors;
+      }
       if (stats != nullptr) {
         ++stats->exec_errors;
       }
@@ -204,6 +237,12 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
     exec_metrics_->exec_ns->RecordBatch(elapsed_ns, execs);
     if (errors > 0) {
       exec_metrics_->exec_errors->Increment(errors);
+    }
+    if (deadline_errors > 0) {
+      exec_metrics_->deadline_errors->Increment(deadline_errors);
+    }
+    if (budget_errors > 0) {
+      exec_metrics_->budget_errors->Increment(budget_errors);
     }
   }
   if (vm_metrics && execs > 0) {
@@ -224,7 +263,10 @@ InstalledProgram::InstalledProgram(const RmtProgramSpec& spec, HookRegistry* hoo
       rate_limiter_(spec.rate_limit_capacity, spec.rate_limit_refill),
       privacy_budget_(spec.privacy_epsilon, spec.epsilon_per_query),
       dp_noise_(&privacy_budget_, spec.dp_sensitivity, spec.seed),
-      sample_ring_(4096) {}
+      sample_ring_(4096),
+      fire_deadline_ns_(spec.fire_deadline_ns) {
+  maps_.SetQuotaBytes(spec.map_bytes_quota);
+}
 
 InstalledProgram::~InstalledProgram() {
   if (!attached_) {

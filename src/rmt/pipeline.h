@@ -34,6 +34,12 @@ enum class ExecTier { kInterpreter, kJit };
 struct ProgramExecMetrics {
   Counter* execs = nullptr;         // action executions attempted
   Counter* exec_errors = nullptr;   // executions that faulted
+  // Breach attribution: which resource bound an erroring execution hit.
+  // Both also count in exec_errors; the split keeps deadline overruns,
+  // instruction-budget exhaustion, and plain faults distinguishable for the
+  // guardian and the overload governor.
+  Counter* deadline_errors = nullptr;  // kDeadlineExceeded (wall-clock budget)
+  Counter* budget_errors = nullptr;    // kResourceExhausted (step/map budget)
   LatencyHistogram* exec_ns = nullptr;  // per-execution wall latency
 };
 
@@ -83,6 +89,11 @@ struct RmtProgramSpec {
   double epsilon_per_query = 0.1;
   double dp_sensitivity = 1.0;
   uint64_t seed = 42;                   // DP noise determinism
+
+  // Overload-governor resource declarations. Both default to 0 = unbounded,
+  // preserving pre-governor behaviour for specs that never declare them.
+  uint64_t fire_deadline_ns = 0;   // per-execution wall-clock budget
+  uint64_t map_bytes_quota = 0;    // byte budget across all of the program's maps
 };
 
 // One table at runtime: the match structure plus its compiled actions and
@@ -132,6 +143,17 @@ class AttachedTable {
   }
   CanaryRole role() const { return role_; }
 
+  // The owning program's degradation-ladder rung, read by HookRegistry on
+  // every fire with one relaxed load. Null cell (tables built outside an
+  // InstalledProgram, e.g. unit tests) reads as kFull.
+  GovLevel governor_level() const {
+    if (gov_level_ == nullptr) {
+      return GovLevel::kFull;
+    }
+    return static_cast<GovLevel>(gov_level_->load(std::memory_order_relaxed));
+  }
+  void set_governor_cell(const std::atomic<uint8_t>* cell) { gov_level_ = cell; }
+
   // Wiring performed by ControlPlane at install time.
   void set_actions(std::vector<BytecodeProgram> actions,
                    std::vector<CompiledProgram> compiled, int32_t default_action);
@@ -139,6 +161,14 @@ class AttachedTable {
   void set_tail_resolver(CompiledProgram::Resolver resolver,
                          std::function<const BytecodeProgram*(int64_t)> interp_resolver);
   void set_exec_metrics(const ProgramExecMetrics* metrics) { exec_metrics_ = metrics; }
+  // Fire-time wall-clock budget (0 = unbounded) and the clock it is measured
+  // against. `clock` is non-owning (the InstalledProgram's injectable clock);
+  // both must be wired before the table sees traffic.
+  void set_fire_budget(uint64_t budget_ns, const std::function<uint64_t()>* clock) {
+    fire_budget_ns_ = budget_ns;
+    fire_clock_ = clock;
+  }
+  uint64_t fire_budget_ns() const { return fire_budget_ns_; }
   // The program's opcode/helper profile sink, fed only on traced fires.
   void set_opcode_profile(OpcodeProfile* profile) { opcode_profile_ = profile; }
   // Rollout wiring (ControlPlane). `gate` must outlive the table or be
@@ -171,6 +201,12 @@ class AttachedTable {
   OpcodeProfile* opcode_profile_ = nullptr;           // owned by InstalledProgram
   CanaryRole role_ = CanaryRole::kSolo;
   const CanaryGate* gate_ = nullptr;  // owned by the ControlPlane rollout
+  // Degradation-ladder rung of the owning program (owned by
+  // InstalledProgram); null = ungoverned, always kFull.
+  const std::atomic<uint8_t>* gov_level_ = nullptr;
+  // Per-execution wall-clock budget; 0 keeps deadline polling disarmed.
+  uint64_t fire_budget_ns_ = 0;
+  const std::function<uint64_t()>* fire_clock_ = nullptr;  // owned by InstalledProgram
 
   friend class InstalledProgram;
 };
@@ -202,6 +238,24 @@ class InstalledProgram {
   PrivacyBudget& privacy_budget() { return privacy_budget_; }
   RateLimiter& rate_limiter() { return rate_limiter_; }
 
+  // Overload-governor surface. The rung cell is a single-byte atomic every
+  // attached table points at; the governor (or tests) move the program up
+  // and down the ladder by storing into it.
+  GovLevel governor_level() const {
+    return static_cast<GovLevel>(gov_level_.load(std::memory_order_relaxed));
+  }
+  void set_governor_level(GovLevel level) {
+    gov_level_.store(static_cast<uint8_t>(level), std::memory_order_relaxed);
+  }
+  const std::atomic<uint8_t>* governor_cell() const { return &gov_level_; }
+  // Declared per-execution wall-clock budget (0 = none declared).
+  uint64_t fire_deadline_ns() const { return fire_deadline_ns_; }
+  // Injectable clock for deadline checks; empty = MonotonicNowNs. Only safe
+  // to replace while the program is quiescent (no fires in flight) — tables
+  // read through a pointer to this member on the datapath.
+  void set_fire_clock(std::function<uint64_t()> clock) { fire_clock_ = std::move(clock); }
+  const std::function<uint64_t()>* fire_clock() const { return &fire_clock_; }
+
   AttachedTable* FindTable(std::string_view table_name);
   const std::vector<std::unique_ptr<AttachedTable>>& tables() const { return tables_; }
 
@@ -224,6 +278,12 @@ class InstalledProgram {
   DpNoiseSource dp_noise_;
   PredictionLog prediction_log_;
   RingMap sample_ring_;
+
+  // Overload-governor state: the ladder rung, the declared fire budget, and
+  // the (injectable) clock deadline checks read.
+  std::atomic<uint8_t> gov_level_{static_cast<uint8_t>(GovLevel::kFull)};
+  uint64_t fire_deadline_ns_ = 0;
+  std::function<uint64_t()> fire_clock_;
 
   // One HelperServices per table (hook bindings differ per table).
   std::vector<std::unique_ptr<HelperServices>> services_;

@@ -126,14 +126,6 @@ class RmtTable {
   // exactly one publish, so this doubles as the mutation count.
   uint64_t version() const { return version_.load(std::memory_order_relaxed); }
 
-  // Pre-epoch accessors, one release of compatibility: both the lazy-rebuild
-  // bookkeeping and the mutation counter collapsed into version() when the
-  // index moved to publish-on-update snapshots.
-  [[deprecated("use version(): snapshots publish on update")]]
-  uint64_t mutation_epoch() const { return version(); }
-  [[deprecated("use version(): the index compiles at publish time, once per mutation")]]
-  uint64_t index_rebuilds() const { return version(); }
-
   // Writer-side master copy in insertion order (control-plane inspection;
   // not for concurrent readers — they match through the snapshot).
   const std::vector<TableEntry>& entries() const { return entries_; }

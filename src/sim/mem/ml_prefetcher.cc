@@ -187,6 +187,22 @@ Status RmtMlPrefetcher::Init() {
   RKD_ASSIGN_OR_RETURN(prefetch_hook_, hooks_.Register("mm.swap_cluster_readahead",
                                                        HookKind::kMemPrefetch, mem_bindings));
 
+  // Degraded-rung fallback for the overload governor: when the governor walks
+  // this program down to GovLevel::kDegraded, prefetch fires skip the learned
+  // action and run this stock-readahead heuristic instead — sequential pages
+  // at the baseline window, no model, no maps, no VM.
+  RKD_RETURN_IF_ERROR(hooks_.SetFallbackOracle(
+      prefetch_hook_, [this](uint64_t pid, std::span<const int64_t> args) -> int64_t {
+        (void)pid;
+        constexpr int64_t kReadaheadWindow = 4;  // ReadaheadConfig::min_window
+        if (!args.empty()) {
+          for (int64_t i = 1; i <= kReadaheadWindow; ++i) {
+            emit_buffer_.push_back(args[0] + i);
+          }
+        }
+        return 0;
+      }));
+
   RKD_ASSIGN_OR_RETURN(handle_, control_plane_.Install(BuildProgramSpec(), config_.tier));
   RKD_RETURN_IF_ERROR(
       control_plane_.WriteMap(handle_, kConfigMap, kKnobKey, config_.initial_depth));

@@ -42,6 +42,28 @@ Status RmtMigrationOracle::Init() {
   RKD_ASSIGN_OR_RETURN(hook_,
                        hooks_.Register("sched.can_migrate_task", HookKind::kSchedMigrate));
   RKD_ASSIGN_OR_RETURN(handle_, control_plane_.Install(BuildProgramSpec(), config_.tier));
+
+  // Degraded-rung fallback for the overload governor: at GovLevel::kDegraded
+  // fires skip the learned oracle and re-run the vanilla CFS can_migrate test
+  // on the features AsOracle() just published to the context store. Only the
+  // selected lanes survive quantization, so unselected features read as 0 —
+  // the same partial view the learned model gets.
+  RKD_RETURN_IF_ERROR(hooks_.SetFallbackOracle(
+      hook_, [this](uint64_t pid, std::span<const int64_t> args) -> int64_t {
+        (void)args;
+        const ContextEntry* entry = control_plane_.Get(handle_)->context().Find(pid);
+        if (entry == nullptr) {
+          return kHookFallback;  // no published features; stock kernel decides
+        }
+        SchedFeatures features{};
+        for (size_t lane = 0;
+             lane < config_.selected_features.size() && lane < kVectorLanes; ++lane) {
+          // Q16.16 back to raw; the sim clamps features so RawToQ16 never
+          // saturated on the way in.
+          features[config_.selected_features[lane]] = entry->features[lane] >> 16;
+        }
+        return CfsHeuristicCanMigrate(features);
+      }));
   initialized_ = true;
   return OkStatus();
 }

@@ -263,6 +263,9 @@ struct TraceEvent {
 inline constexpr uint32_t kHookFireEvent = 1;
 // One FireBatch call: `key` holds the batch size, `value` the last result.
 inline constexpr uint32_t kHookBatchEvent = 2;
+// One overload-governor ladder transition: `source` holds the program
+// handle, `key` the from-level, `value` the to-level (GovLevel values).
+inline constexpr uint32_t kGovTransitionEvent = 3;
 
 // Lossy fixed-capacity ring of recent events. Push is wait-free: one
 // relaxed fetch_add to claim a slot, the slot store, and a release store of

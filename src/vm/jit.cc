@@ -490,6 +490,13 @@ Result<CompiledProgram> CompiledProgram::Compile(const BytecodeProgram& program)
 
 Result<int64_t> CompiledProgram::ExecuteFrame(Frame& frame, RunStats* stats,
                                               const Resolver& resolve) const {
+  // Deadline enforcement outranks opcode profiling: a deadline-armed fire
+  // that happens to be trace-sampled runs the deadline variant and skips the
+  // profile for that execution — overload containment must not depend on
+  // whether a fire was sampled.
+  if (frame.env->deadline != nullptr) {
+    return ExecuteFrameDeadline(frame, stats, resolve, frame.env->deadline);
+  }
   if (frame.env->profile != nullptr) {
     return ExecuteFrameProfiled(frame, stats, resolve, frame.env->profile);
   }
@@ -552,6 +559,64 @@ Result<int64_t> CompiledProgram::ExecuteFrameProfiled(Frame& frame, RunStats* st
       break;
     }
     if (pc == kTailPc) {
+      const CompiledProgram* target = resolve ? resolve(frame.tail_imm) : nullptr;
+      if (target != nullptr && !target->code_.empty() && frame.tail_calls < kMaxTailCallDepth) {
+        ++frame.tail_calls;
+        code = &target->code_;
+        pc = 0;
+      } else {
+        pc = frame.tail_resume;  // failed tail call falls through
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->tail_calls = frame.tail_calls;
+    stats->helper_calls = frame.helper_calls;
+    stats->ml_calls = frame.ml_calls;
+  }
+  if (faulted) {
+    return frame.fault;
+  }
+  return frame.state.regs[0];
+}
+
+Result<int64_t> CompiledProgram::ExecuteFrameDeadline(Frame& frame, RunStats* stats,
+                                                      const Resolver& resolve,
+                                                      const FireDeadline* deadline) const {
+  const auto expired = [&](const char* where) -> Result<int64_t> {
+    if (stats != nullptr) {
+      stats->tail_calls = frame.tail_calls;
+      stats->helper_calls = frame.helper_calls;
+      stats->ml_calls = frame.ml_calls;
+    }
+    return DeadlineExceededError(std::string("fire deadline exceeded ") + where);
+  };
+  // Entry poll mirrors the interpreter: an already-expired deadline fails
+  // before the first dispatch, identically on both tiers.
+  if (deadline->Expired()) {
+    return expired("before execution");
+  }
+  const std::vector<Decoded>* code = &code_;
+  size_t pc = 0;
+  bool faulted = false;
+  uint64_t dispatches = 0;
+  while (true) {
+    const Decoded& d = (*code)[pc];
+    pc = d.fn(frame, d, pc);
+    if ((++dispatches % kDeadlinePollDispatches) == 0 && deadline->Expired()) {
+      return expired("at dispatch block");
+    }
+    if (pc == kExitPc) {
+      break;
+    }
+    if (pc == kFaultPc) {
+      faulted = true;
+      break;
+    }
+    if (pc == kTailPc) {
+      if (deadline->Expired()) {
+        return expired("at tail call");
+      }
       const CompiledProgram* target = resolve ? resolve(frame.tail_imm) : nullptr;
       if (target != nullptr && !target->code_.empty() && frame.tail_calls < kMaxTailCallDepth) {
         ++frame.tail_calls;

@@ -27,6 +27,12 @@
 
 namespace rkd {
 
+// JIT tier polls an armed fire deadline once per this many dispatch blocks
+// (plus at entry and at every tail-call boundary). Smaller than the
+// interpreter's kDeadlinePollSteps because one dispatch may be a whole
+// helper or ML call, not a single cheap instruction.
+inline constexpr uint64_t kDeadlinePollDispatches = 64;
+
 class CompiledProgram {
  public:
   // Resolves kTailCall targets to other compiled programs (the RMT pipeline
@@ -95,6 +101,13 @@ class CompiledProgram {
   // VmEnv::profile is set.
   Result<int64_t> ExecuteFrameProfiled(Frame& frame, RunStats* stats, const Resolver& resolve,
                                        OpcodeProfile* prof) const;
+  // The deadline-armed variant: same dispatch loop, but polls the fire
+  // deadline at entry, every kDeadlinePollDispatches dispatch blocks, and at
+  // tail-call boundaries, returning kDeadlineExceeded on expiry. Kept
+  // separate so the unarmed loop stays branch-free; ExecuteFrame diverts
+  // here only when VmEnv::deadline is set.
+  Result<int64_t> ExecuteFrameDeadline(Frame& frame, RunStats* stats, const Resolver& resolve,
+                                       const FireDeadline* deadline) const;
 
   std::string name_;
   std::vector<Decoded> code_;

@@ -60,11 +60,22 @@ bool HashMap::Update(int64_t key, int64_t value) {
   if (values_.size() >= capacity_) {
     return false;
   }
+  if (quota_ != nullptr && !quota_->TryCharge(MapQuota::kBytesPerEntry)) {
+    return false;
+  }
   values_.emplace(key, value);
   return true;
 }
 
-bool HashMap::Delete(int64_t key) { return values_.erase(key) > 0; }
+bool HashMap::Delete(int64_t key) {
+  if (values_.erase(key) == 0) {
+    return false;
+  }
+  if (quota_ != nullptr) {
+    quota_->Release(MapQuota::kBytesPerEntry);
+  }
+  return true;
+}
 
 // --- LruMap ---
 
@@ -94,10 +105,13 @@ bool LruMap::Update(int64_t key, int64_t value) {
     return true;
   }
   if (entries_.size() >= capacity_) {
-    // Evict the least-recently-used entry.
+    // Evict the least-recently-used entry; the evicted entry's bytes pay
+    // for the new one, so quota usage is unchanged.
     const int64_t victim = order_.back();
     order_.pop_back();
     entries_.erase(victim);
+  } else if (quota_ != nullptr && !quota_->TryCharge(MapQuota::kBytesPerEntry)) {
+    return false;
   }
   order_.push_front(key);
   entries_.emplace(key, Entry{value, order_.begin()});
@@ -111,6 +125,9 @@ bool LruMap::Delete(int64_t key) {
   }
   order_.erase(it->second.position);
   entries_.erase(it);
+  if (quota_ != nullptr) {
+    quota_->Release(MapQuota::kBytesPerEntry);
+  }
   return true;
 }
 
@@ -161,17 +178,25 @@ Result<int64_t> MapSet::Create(MapKind kind, size_t capacity) {
   if (capacity == 0) {
     return InvalidArgumentError("map capacity must be positive");
   }
+  // Dense kinds pay their full footprint up front; sparse kinds charge per
+  // live entry inside Update/Delete.
   switch (kind) {
     case MapKind::kArray:
+      if (!quota_.TryCharge(capacity * sizeof(int64_t))) {
+        return ResourceExhaustedError("array map footprint exceeds program map quota");
+      }
       maps_.push_back(std::make_unique<ArrayMap>(capacity));
       break;
     case MapKind::kHash:
-      maps_.push_back(std::make_unique<HashMap>(capacity));
+      maps_.push_back(std::make_unique<HashMap>(capacity, &quota_));
       break;
     case MapKind::kLru:
-      maps_.push_back(std::make_unique<LruMap>(capacity));
+      maps_.push_back(std::make_unique<LruMap>(capacity, &quota_));
       break;
     case MapKind::kRing:
+      if (!quota_.TryCharge(capacity * MapQuota::kBytesPerEntry)) {
+        return ResourceExhaustedError("ring map footprint exceeds program map quota");
+      }
       maps_.push_back(std::make_unique<RingMap>(capacity));
       break;
   }

@@ -13,6 +13,7 @@
 #ifndef SRC_VM_MAPS_H_
 #define SRC_VM_MAPS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <list>
@@ -30,6 +31,59 @@ namespace rkd {
 enum class MapKind { kArray, kHash, kLru, kRing };
 
 std::string_view MapKindName(MapKind kind);
+
+// Per-program map-memory accounting. One MapQuota is shared by every map in
+// a program's MapSet; dense kinds (array, ring) charge their full footprint
+// at Create, sparse kinds (hash, lru) charge per live entry at insert and
+// release on delete. A zero budget means unlimited (the default, so programs
+// that never declared a quota keep today's behavior). Counters are atomics:
+// different maps of the same program may be touched from datapath and
+// control plane concurrently.
+class MapQuota {
+ public:
+  // Accounting granularity for one sparse-map entry (key + value).
+  static constexpr uint64_t kBytesPerEntry = 2 * sizeof(int64_t);
+
+  MapQuota() = default;
+  explicit MapQuota(uint64_t quota_bytes) : quota_bytes_(quota_bytes) {}
+
+  // Re-declares the budget. Only meaningful before any charge lands.
+  void Reset(uint64_t quota_bytes) {
+    quota_bytes_ = quota_bytes;
+    used_bytes_.store(0, std::memory_order_relaxed);
+    breaches_.store(0, std::memory_order_relaxed);
+  }
+
+  // Attempts to reserve `bytes`; on breach nothing is charged, the breach
+  // counter ticks, and the caller must reject the allocation/insert.
+  bool TryCharge(uint64_t bytes) {
+    if (quota_bytes_ == 0) {
+      used_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      return true;
+    }
+    uint64_t used = used_bytes_.load(std::memory_order_relaxed);
+    while (true) {
+      if (used + bytes > quota_bytes_) {
+        breaches_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (used_bytes_.compare_exchange_weak(used, used + bytes, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  void Release(uint64_t bytes) { used_bytes_.fetch_sub(bytes, std::memory_order_relaxed); }
+
+  uint64_t quota_bytes() const { return quota_bytes_; }
+  uint64_t used_bytes() const { return used_bytes_.load(std::memory_order_relaxed); }
+  uint64_t breaches() const { return breaches_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t quota_bytes_ = 0;  // 0 = unlimited
+  std::atomic<uint64_t> used_bytes_{0};
+  std::atomic<uint64_t> breaches_{0};
+};
 
 class RmtMap {
  public:
@@ -68,7 +122,8 @@ class ArrayMap final : public RmtMap {
 
 class HashMap final : public RmtMap {
  public:
-  explicit HashMap(size_t capacity) : capacity_(capacity) {}
+  explicit HashMap(size_t capacity, MapQuota* quota = nullptr)
+      : capacity_(capacity), quota_(quota) {}
 
   MapKind kind() const override { return MapKind::kHash; }
   size_t capacity() const override { return capacity_; }
@@ -80,12 +135,14 @@ class HashMap final : public RmtMap {
 
  private:
   size_t capacity_;
+  MapQuota* quota_;  // shared program-level accounting; may be null
   std::unordered_map<int64_t, int64_t> values_;
 };
 
 class LruMap final : public RmtMap {
  public:
-  explicit LruMap(size_t capacity) : capacity_(capacity) {}
+  explicit LruMap(size_t capacity, MapQuota* quota = nullptr)
+      : capacity_(capacity), quota_(quota) {}
 
   MapKind kind() const override { return MapKind::kLru; }
   size_t capacity() const override { return capacity_; }
@@ -99,6 +156,7 @@ class LruMap final : public RmtMap {
   void Touch(int64_t key);
 
   size_t capacity_;
+  MapQuota* quota_;  // shared program-level accounting; may be null
   // Recency list, most-recent at front; map holds value + list position.
   std::list<int64_t> order_;
   struct Entry {
@@ -142,15 +200,25 @@ class RingMap final : public RmtMap {
   uint64_t dropped_ = 0;        // guarded by mutex_
 };
 
-// The map file descriptor table of one installed program.
+// The map file descriptor table of one installed program. All maps in the
+// set share one MapQuota; SetQuotaBytes must be called before the first
+// Create for the budget to cover dense-map footprints.
 class MapSet {
  public:
+  // Declares the byte budget for this program's maps (0 = unlimited).
+  void SetQuotaBytes(uint64_t quota_bytes) { quota_.Reset(quota_bytes); }
+
+  // Fails with kResourceExhausted when a dense map's footprint would push
+  // the program over its declared quota.
   Result<int64_t> Create(MapKind kind, size_t capacity);
   RmtMap* Get(int64_t id);
   const RmtMap* Get(int64_t id) const;
   size_t size() const { return maps_.size(); }
 
+  const MapQuota& quota() const { return quota_; }
+
  private:
+  MapQuota quota_;
   std::vector<std::unique_ptr<RmtMap>> maps_;
 };
 

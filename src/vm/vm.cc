@@ -86,9 +86,19 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
     return status;
   };
 
+  // Entry poll: a deadline that expired before the first instruction (fake
+  // clocks, storm backpressure) fails deterministically on every tier.
+  if (env_.deadline != nullptr && env_.deadline->Expired()) {
+    return fail(DeadlineExceededError("fire deadline exceeded before execution"));
+  }
+
   while (true) {
     if (steps++ >= config_.max_steps) {
       return fail(ResourceExhaustedError("instruction budget exceeded"));
+    }
+    if ((steps % kDeadlinePollSteps) == 0 && env_.deadline != nullptr &&
+        env_.deadline->Expired()) {
+      return fail(DeadlineExceededError("fire deadline exceeded"));
     }
     if (pc >= current->code.size()) {
       return fail(OutOfRangeError("program counter " + std::to_string(pc) + " out of bounds"));

@@ -68,6 +68,29 @@ struct OpcodeProfile {
   }
 };
 
+// Per-fire wall-clock budget. The fire path arms it (absolute deadline in
+// the clock's timebase) before entering either tier; a zero deadline_ns
+// means disarmed. `now_ns` is injectable so the overload governor and tests
+// can drive a fake clock — null falls back to MonotonicNowNs(). Polling is
+// deliberately coarse: at entry, then every kDeadlinePollSteps instructions
+// in the interpreter and every kDeadlinePollDispatches dispatch blocks in
+// the JIT, so the unarmed fast path pays only a null-pointer test.
+struct FireDeadline {
+  uint64_t deadline_ns = 0;
+  // Non-owning: points at the governed program's clock so arming a deadline
+  // on the stack per fire never copies a std::function. Null (or an empty
+  // function) falls back to MonotonicNowNs().
+  const std::function<uint64_t()>* now_ns = nullptr;
+
+  uint64_t Now() const {
+    return now_ns != nullptr && *now_ns ? (*now_ns)() : MonotonicNowNs();
+  }
+  bool Expired() const { return deadline_ns != 0 && Now() >= deadline_ns; }
+};
+
+// Interpreter polls the armed deadline once per this many executed steps.
+inline constexpr uint64_t kDeadlinePollSteps = 128;
+
 // Everything an executing program can reach. All pointers are non-owning and
 // must outlive any Run() call; null members simply make the corresponding
 // instructions read as zero / drop writes.
@@ -89,6 +112,9 @@ struct VmEnv {
   // records per-opcode counts and wall time; the JIT records the same via
   // its profiled frame loop (see CompiledProgram).
   OpcodeProfile* profile = nullptr;
+  // Armed fire-time wall-clock budget; null (the default) disables deadline
+  // polling entirely. Both tiers return kDeadlineExceeded when it expires.
+  const FireDeadline* deadline = nullptr;
 };
 
 struct VmConfig {
@@ -118,7 +144,8 @@ class Interpreter {
   explicit Interpreter(VmEnv env, VmConfig config = {}) : env_(std::move(env)), config_(config) {}
 
   // Executes `program` with args loaded into r1..r5. Returns r0 at kExit.
-  // Errors: kResourceExhausted when the step budget is hit, kOutOfRange /
+  // Errors: kResourceExhausted when the step budget is hit,
+  // kDeadlineExceeded when an armed VmEnv::deadline expires, kOutOfRange /
   // kInvalidArgument on malformed (unverified) programs.
   Result<int64_t> Run(const BytecodeProgram& program, std::span<const int64_t> args,
                       RunStats* stats = nullptr) const;

@@ -1,0 +1,494 @@
+// Tests for the overload governor: fire-time deadlines, map quotas, and the
+// kFull -> kDegraded -> kShed degradation ladder. Every scenario is
+// deterministic: overload comes from an injectable clock or from latency
+// failpoints, time is governor Tick() calls, and the scripted ladder trace
+// is asserted byte-identical across runs and across both VM tiers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "src/base/failpoints.h"
+#include "src/bytecode/assembler.h"
+#include "src/rmt/control_plane.h"
+#include "src/rmt/governor.h"
+#include "src/rmt/guardian.h"
+
+namespace rkd {
+namespace {
+
+// Pure-ALU action: returns key + addend.
+RmtProgramSpec AluSpec(const std::string& name, const std::string& hook_name,
+                       int64_t addend) {
+  Assembler a("add_imm", HookKind::kGeneric);
+  a.Mov(0, 1).AddImm(0, addend).Exit();
+  RmtProgramSpec spec;
+  spec.name = name;
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = hook_name;
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+// Helper-calling action with a long straight-line body, so both VM tiers
+// cross a deadline poll boundary (interpreter: 128 steps, JIT: 64 dispatch
+// blocks) after the "vm.helper" failpoint site has injected its latency.
+RmtProgramSpec SlowSpec(const std::string& name, const std::string& hook_name) {
+  Assembler a("slow_add", HookKind::kGeneric);
+  a.Call(HelperId::kGetTime);
+  a.Mov(0, 1);
+  for (int i = 0; i < 160; ++i) {
+    a.AddImm(0, 1);
+  }
+  a.Exit();
+  RmtProgramSpec spec;
+  spec.name = name;
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = hook_name;
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  return spec;
+}
+
+// A fake timebase the tests script: every Now() call advances it by `step`,
+// so a step larger than the fire budget makes every execution overrun its
+// deadline at the entry poll — the same number of clock reads per execution
+// on both VM tiers, which keeps scripted traces tier-identical.
+struct FakeClock {
+  std::atomic<uint64_t> now{1};
+  std::atomic<uint64_t> step{0};
+  std::function<uint64_t()> AsFunction() {
+    return [this] { return now.fetch_add(step.load()) + step.load(); };
+  }
+};
+
+GovernorConfig TightGovernor() {
+  GovernorConfig config;
+  config.window_fires = 8;
+  config.max_deadline_rate = 0.05;
+  config.max_quota_breaches = 0;
+  config.demote_windows = 1;
+  config.promote_windows = 2;
+  config.shed_probe_ticks = 4;
+  config.shed_cycles_to_breaker = 1;
+  return config;
+}
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  GovernorTest() : cp_(&hooks_) {
+    hook_ = *hooks_.Register("generic.hook", HookKind::kGeneric);
+  }
+
+  void Fire(int n, uint64_t key = 7) {
+    for (int i = 0; i < n; ++i) {
+      hooks_.Fire(hook_, key);
+    }
+  }
+
+  HookRegistry hooks_;
+  ControlPlane cp_;
+  HookId hook_;
+};
+
+// --- Admission ---
+
+TEST_F(GovernorTest, GovernValidatesItsTarget) {
+  OverloadGovernor governor(&cp_);
+  EXPECT_FALSE(governor.Govern(999).ok());  // no such program
+  Result<ControlPlane::ProgramHandle> handle =
+      cp_.Install(AluSpec("plain", "generic.hook", 100));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(governor.Govern(*handle, TightGovernor()).ok());
+  EXPECT_TRUE(governor.IsGoverned(*handle));
+  EXPECT_EQ(governor.LevelOf(*handle), GovLevel::kFull);
+  EXPECT_FALSE(governor.Govern(*handle).ok());  // double govern
+  ASSERT_TRUE(governor.Ungovern(*handle).ok());
+  EXPECT_FALSE(governor.Ungovern(*handle).ok());
+  GovernorConfig bad;
+  bad.window_fires = 0;
+  EXPECT_FALSE(governor.Govern(*handle, bad).ok());
+}
+
+TEST_F(GovernorTest, HealthyProgramStaysAtFullAcrossTicks) {
+  OverloadGovernor governor(&cp_);
+  RmtProgramSpec spec = AluSpec("plain", "generic.hook", 100);
+  spec.fire_deadline_ns = 1'000'000'000;  // 1s: never overruns
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(governor.Govern(*handle, TightGovernor()).ok());
+  for (int round = 0; round < 5; ++round) {
+    Fire(8);
+    EXPECT_TRUE(governor.Tick().transitions.empty());
+  }
+  EXPECT_EQ(governor.LevelOf(*handle), GovLevel::kFull);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);
+  EXPECT_EQ(cp_.telemetry().GetCounter("rkd.gov.demotions")->value(), 0u);
+}
+
+// --- Deadline overruns (fake clock) demote to the fallback oracle ---
+
+TEST_F(GovernorTest, DeadlineOverrunsDemoteToDegradedAndFallbackServes) {
+  auto clock = std::make_shared<FakeClock>();
+  OverloadGovernor governor(&cp_, clock->AsFunction());
+  ASSERT_TRUE(hooks_
+                  .SetFallbackOracle(hook_,
+                                     [](uint64_t key, std::span<const int64_t>) {
+                                       return static_cast<int64_t>(key) + 1000;
+                                     })
+                  .ok());
+
+  RmtProgramSpec spec = AluSpec("hot", "generic.hook", 100);
+  spec.fire_deadline_ns = 10;
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(governor.Govern(*handle, TightGovernor()).ok());
+
+  // Storm: every clock read advances time by more than the whole budget, so
+  // each execution is already past its deadline at the entry poll.
+  clock->step = 50;
+  Fire(8);
+  const ProgramExecMetrics& metrics = cp_.Get(*handle)->exec_metrics();
+  EXPECT_EQ(metrics.deadline_errors->value(), 8u);
+  EXPECT_EQ(metrics.budget_errors->value(), 0u);  // breach attribution: wall clock, not steps
+  EXPECT_EQ(metrics.exec_errors->value(), 8u);
+
+  OverloadGovernor::TickSummary summary = governor.Tick();
+  ASSERT_EQ(summary.transitions.size(), 1u);
+  EXPECT_EQ(summary.transitions[0].from, GovLevel::kFull);
+  EXPECT_EQ(summary.transitions[0].to, GovLevel::kDegraded);
+  EXPECT_NE(summary.transitions[0].reason.find("deadline overrun rate"), std::string::npos);
+  EXPECT_EQ(governor.LevelOf(*handle), GovLevel::kDegraded);
+
+  // Degraded fires answer from the fallback oracle; the learned program
+  // never runs (its exec counters freeze).
+  const uint64_t execs_before = metrics.execs->value();
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 1007);
+  EXPECT_EQ(metrics.execs->value(), execs_before);
+  EXPECT_EQ(hooks_.MetricsOf(hook_).degraded_fires(), 1u);
+  EXPECT_EQ(cp_.telemetry().GetGauge("rkd.gov.level.hot")->value(),
+            static_cast<double>(GovLevel::kDegraded));
+}
+
+// --- Satellite: ladder demotion under injected latency failpoints, on both
+// VM tiers with the real clock ---
+
+TEST_F(GovernorTest, LatencyFailpointDemotesLadderOnBothTiers) {
+  for (const ExecTier tier : {ExecTier::kInterpreter, ExecTier::kJit}) {
+    HookRegistry hooks;
+    ControlPlane cp(&hooks);
+    const HookId hook = *hooks.Register("generic.hook", HookKind::kGeneric);
+    OverloadGovernor governor(&cp);
+
+    RmtProgramSpec spec = SlowSpec("laggy", "generic.hook");
+    spec.fire_deadline_ns = 100'000;  // 100us budget
+    Result<ControlPlane::ProgramHandle> handle = cp.Install(std::move(spec), tier);
+    ASSERT_TRUE(handle.ok()) << handle.status();
+    ASSERT_TRUE(governor.Govern(*handle, TightGovernor()).ok());
+
+    FailpointSpec lag;
+    lag.mode = FailpointMode::kAlways;
+    lag.latency_ns = 1'000'000;  // 1ms busy-wait at the helper site
+    ScopedFailpoint guard("vm.helper", lag);
+
+    for (int i = 0; i < 8; ++i) {
+      hooks.Fire(hook, 7);
+    }
+    const ProgramExecMetrics& metrics = cp.Get(*handle)->exec_metrics();
+    EXPECT_EQ(metrics.deadline_errors->value(), 8u)
+        << "tier " << static_cast<int>(tier);
+    const OverloadGovernor::TickSummary summary = governor.Tick();
+    ASSERT_EQ(summary.transitions.size(), 1u);
+    EXPECT_EQ(summary.transitions[0].to, GovLevel::kDegraded);
+  }
+}
+
+// --- Recovery hysteresis: clean windows climb the ladder slower than
+// breaches descend it ---
+
+TEST_F(GovernorTest, RecoveryRequiresConsecutiveCleanWindows) {
+  auto clock = std::make_shared<FakeClock>();
+  OverloadGovernor governor(&cp_, clock->AsFunction());
+  RmtProgramSpec spec = AluSpec("bursty", "generic.hook", 100);
+  spec.fire_deadline_ns = 10;
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(governor.Govern(*handle, TightGovernor()).ok());
+
+  clock->step = 50;  // storm on
+  Fire(8);
+  ASSERT_EQ(governor.Tick().transitions.size(), 1u);
+  ASSERT_EQ(governor.LevelOf(*handle), GovLevel::kDegraded);
+
+  clock->step = 0;  // storm over
+  // Degraded runs nothing, so clean time is the promotion evidence; one
+  // clean tick is not enough (promote_windows = 2)...
+  EXPECT_TRUE(governor.Tick().transitions.empty());
+  EXPECT_EQ(governor.LevelOf(*handle), GovLevel::kDegraded);
+  // ...the second consecutive clean tick promotes back to kFull.
+  const OverloadGovernor::TickSummary summary = governor.Tick();
+  ASSERT_EQ(summary.transitions.size(), 1u);
+  EXPECT_EQ(summary.transitions[0].from, GovLevel::kDegraded);
+  EXPECT_EQ(summary.transitions[0].to, GovLevel::kFull);
+  EXPECT_EQ(governor.LevelOf(*handle), GovLevel::kFull);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), 107);  // learned policy serves again
+  EXPECT_EQ(cp_.telemetry().GetCounter("rkd.gov.promotions")->value(), 1u);
+  EXPECT_EQ(cp_.telemetry().GetCounter("rkd.gov.demotions")->value(), 1u);
+}
+
+// --- Map-quota breaches walk the ladder down and, on shed cycling, feed the
+// guardian's breaker instead of shedding silently forever ---
+
+TEST_F(GovernorTest, QuotaBreachesDescendLadderAndTripBreaker) {
+  OverloadGovernor governor(&cp_);
+  PolicyGuardian guardian(&cp_);
+  governor.set_guardian(&guardian);
+
+  RmtProgramSpec spec = AluSpec("greedy", "generic.hook", 100);
+  spec.maps = {MapSpec{MapKind::kHash, 64}};
+  spec.map_bytes_quota = 2 * MapQuota::kBytesPerEntry;  // two entries, then breach
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(std::move(spec));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_TRUE(guardian.Guard(*handle).ok());
+  ASSERT_TRUE(governor.Govern(*handle, TightGovernor()).ok());
+
+  EXPECT_TRUE(cp_.WriteMap(*handle, 0, 1, 11).ok());
+  EXPECT_TRUE(cp_.WriteMap(*handle, 0, 2, 22).ok());
+  const Status breach = cp_.WriteMap(*handle, 0, 3, 33);
+  ASSERT_FALSE(breach.ok());
+  EXPECT_EQ(breach.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(breach.message().find("quota"), std::string::npos);
+  // Overwriting a resident key charges nothing: still within quota.
+  EXPECT_TRUE(cp_.WriteMap(*handle, 0, 1, 12).ok());
+
+  // Resource pressure needs no executions: the breach alone closes the
+  // window and demotes.
+  OverloadGovernor::TickSummary summary = governor.Tick();
+  ASSERT_EQ(summary.transitions.size(), 1u);
+  EXPECT_EQ(summary.transitions[0].to, GovLevel::kDegraded);
+  EXPECT_NE(summary.transitions[0].reason.find("quota"), std::string::npos);
+
+  // Still breaching on the degraded rung -> kShed, and with
+  // shed_cycles_to_breaker = 1 the governor escalates to the guardian.
+  (void)cp_.WriteMap(*handle, 0, 4, 44);
+  summary = governor.Tick();
+  ASSERT_EQ(summary.transitions.size(), 1u);
+  EXPECT_EQ(summary.transitions[0].to, GovLevel::kShed);
+  EXPECT_EQ(summary.breaker_reports, 1u);
+  EXPECT_EQ(guardian.StateOf(*handle), GuardState::kTripped);
+  EXPECT_EQ(cp_.telemetry().GetCounter("rkd.gov.breaker_reports")->value(), 1u);
+  EXPECT_EQ(hooks_.Fire(hook_, 7), kHookFallback);  // suspended + shed: stock path
+}
+
+// --- Shed-path determinism on both VM tiers ---
+
+TEST_F(GovernorTest, ShedPathIsDeterministicOnBothTiers) {
+  for (const ExecTier tier : {ExecTier::kInterpreter, ExecTier::kJit}) {
+    HookRegistry hooks;
+    ControlPlane cp(&hooks);
+    const HookId hook = *hooks.Register("generic.hook", HookKind::kGeneric);
+    OverloadGovernor governor(&cp);
+
+    RmtProgramSpec spec = AluSpec("shedder", "generic.hook", 100);
+    spec.maps = {MapSpec{MapKind::kHash, 64}};
+    spec.map_bytes_quota = MapQuota::kBytesPerEntry;
+    Result<ControlPlane::ProgramHandle> handle = cp.Install(std::move(spec), tier);
+    ASSERT_TRUE(handle.ok());
+    GovernorConfig config = TightGovernor();
+    config.shed_cycles_to_breaker = 0;  // no guardian here; shed and stay
+    ASSERT_TRUE(governor.Govern(*handle, config).ok());
+
+    // Two breach-bearing ticks: kFull -> kDegraded -> kShed.
+    (void)cp.WriteMap(*handle, 0, 1, 1);
+    (void)cp.WriteMap(*handle, 0, 2, 2);
+    governor.Tick();
+    (void)cp.WriteMap(*handle, 0, 3, 3);
+    governor.Tick();
+    ASSERT_EQ(governor.LevelOf(*handle), GovLevel::kShed);
+
+    const ProgramExecMetrics& metrics = cp.Get(*handle)->exec_metrics();
+    const uint64_t execs_before = metrics.execs->value();
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(hooks.Fire(hook, 7), kHookFallback) << "tier " << static_cast<int>(tier);
+    }
+    EXPECT_EQ(metrics.execs->value(), execs_before);  // nothing executed
+    EXPECT_EQ(hooks.MetricsOf(hook).shed_fires(), 16u);
+    EXPECT_EQ(hooks.MetricsOf(hook).degraded_fires(), 0u);  // no oracle registered
+  }
+}
+
+// --- Acceptance: a scripted fake-clock overload trace produces a
+// byte-identical ladder transcript across runs and across VM tiers ---
+
+std::string RunScriptedLadder(ExecTier tier) {
+  HookRegistry hooks;
+  ControlPlane cp(&hooks);
+  const HookId hook = *hooks.Register("generic.hook", HookKind::kGeneric);
+  (void)hooks.SetFallbackOracle(hook, [](uint64_t key, std::span<const int64_t>) {
+    return static_cast<int64_t>(key) + 1000;
+  });
+  auto clock = std::make_shared<FakeClock>();
+  OverloadGovernor governor(&cp, clock->AsFunction());
+
+  RmtProgramSpec spec = AluSpec("scripted", "generic.hook", 100);
+  spec.fire_deadline_ns = 10;
+  spec.maps = {MapSpec{MapKind::kHash, 64}};
+  spec.map_bytes_quota = 2 * MapQuota::kBytesPerEntry;
+  const ControlPlane::ProgramHandle handle = *cp.Install(std::move(spec), tier);
+  GovernorConfig config = TightGovernor();
+  config.shed_cycles_to_breaker = 0;
+  (void)governor.Govern(handle, config);
+
+  std::string transcript;
+  const auto record = [&](const OverloadGovernor::TickSummary& summary) {
+    for (const OverloadGovernor::LadderEvent& event : summary.transitions) {
+      transcript += std::string(GovLevelName(event.from)) + ">" +
+                    std::string(GovLevelName(event.to)) + ":" + event.reason + "\n";
+    }
+  };
+
+  // Phase A: deadline storm (every execution overruns at the entry poll).
+  clock->step = 50;
+  for (int i = 0; i < 8; ++i) {
+    hooks.Fire(hook, 7);
+  }
+  record(governor.Tick());  // kFull -> kDegraded
+
+  // Phase B: resource pressure while degraded (control-plane map writes).
+  (void)cp.WriteMap(handle, 0, 1, 1);
+  (void)cp.WriteMap(handle, 0, 2, 2);
+  (void)cp.WriteMap(handle, 0, 3, 3);  // breach
+  record(governor.Tick());  // kDegraded -> kShed
+
+  // Phase C: the storm ends; shed probes back up after shed_probe_ticks.
+  clock->step = 0;
+  for (int i = 0; i < 4; ++i) {
+    record(governor.Tick());
+  }  // kShed -> kDegraded on the 4th tick
+
+  // Phase D: clean degraded ticks promote back to kFull.
+  record(governor.Tick());
+  record(governor.Tick());  // kDegraded -> kFull
+
+  // Verified recovery: the learned policy serves again.
+  transcript += "fire=" + std::to_string(hooks.Fire(hook, 7)) + "\n";
+
+  // Counter block: the rkd.gov.* slice plus hook-level shed accounting.
+  TelemetryRegistry& telemetry = cp.telemetry();
+  transcript += "demotions=" +
+                std::to_string(telemetry.GetCounter("rkd.gov.demotions")->value()) +
+                " promotions=" +
+                std::to_string(telemetry.GetCounter("rkd.gov.promotions")->value()) +
+                " ticks=" + std::to_string(telemetry.GetCounter("rkd.gov.ticks")->value()) +
+                " level=" + std::to_string(static_cast<int>(
+                                telemetry.GetGauge("rkd.gov.level.scripted")->value())) +
+                " degraded_fires=" + std::to_string(hooks.MetricsOf(hook).degraded_fires()) +
+                " shed_fires=" + std::to_string(hooks.MetricsOf(hook).shed_fires()) + "\n";
+
+  // Flight-recorder view: every ladder transition lands in the trace ring
+  // with the fake-clock timestamp, the handle, and the from/to rungs.
+  for (const TraceEvent& event : telemetry.trace().Snapshot()) {
+    if (event.kind != kGovTransitionEvent) {
+      continue;
+    }
+    transcript += "ev ts=" + std::to_string(event.ts_ns) +
+                  " src=" + std::to_string(event.source) +
+                  " from=" + std::to_string(event.key) +
+                  " to=" + std::to_string(event.value) + "\n";
+  }
+  return transcript;
+}
+
+TEST_F(GovernorTest, ScriptedLadderTraceIsByteIdenticalAcrossRunsAndTiers) {
+  const std::string interp_a = RunScriptedLadder(ExecTier::kInterpreter);
+  const std::string interp_b = RunScriptedLadder(ExecTier::kInterpreter);
+  const std::string jit_a = RunScriptedLadder(ExecTier::kJit);
+  const std::string jit_b = RunScriptedLadder(ExecTier::kJit);
+  EXPECT_EQ(interp_a, interp_b);  // identical across runs
+  EXPECT_EQ(jit_a, jit_b);
+  EXPECT_EQ(interp_a, jit_a);     // identical across VM tiers
+
+  // The full ladder was walked: down twice, up twice, ending at kFull with
+  // the learned policy serving.
+  EXPECT_NE(interp_a.find("full>degraded:"), std::string::npos);
+  EXPECT_NE(interp_a.find("degraded>shed:"), std::string::npos);
+  EXPECT_NE(interp_a.find("shed>degraded:"), std::string::npos);
+  EXPECT_NE(interp_a.find("degraded>full:"), std::string::npos);
+  EXPECT_NE(interp_a.find("fire=107"), std::string::npos);
+  EXPECT_NE(interp_a.find("demotions=2 promotions=2"), std::string::npos);
+}
+
+// --- Ladder transitions snapshot the flight recorder like guardian trips ---
+
+TEST_F(GovernorTest, TransitionsDumpTheFlightRecorder) {
+  auto clock = std::make_shared<FakeClock>();
+  OverloadGovernor governor(&cp_, clock->AsFunction());
+  governor.set_flight_recorder_dir(::testing::TempDir());
+  RmtProgramSpec spec = AluSpec("dumped", "generic.hook", 100);
+  spec.fire_deadline_ns = 10;
+  Result<ControlPlane::ProgramHandle> handle = cp_.Install(std::move(spec));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(governor.Govern(*handle, TightGovernor()).ok());
+
+  clock->step = 50;
+  Fire(8);
+  ASSERT_EQ(governor.Tick().transitions.size(), 1u);
+  EXPECT_EQ(governor.flight_dumps(), 1u);
+  EXPECT_NE(governor.last_flight_dump().find("gov_dumped_1.json"), std::string::npos);
+}
+
+// --- Install-time budget declaration is validated against the measured
+// canary cost before promote ---
+
+TEST_F(GovernorTest, CanaryExceedingItsDeclaredDeadlineIsRolledBack) {
+  PolicyGuardian guardian(&cp_);
+  Result<ControlPlane::ProgramHandle> incumbent =
+      cp_.Install(AluSpec("incumbent", "generic.hook", 100));
+  ASSERT_TRUE(incumbent.ok());
+
+  // The candidate declares a 10us budget but a latency failpoint makes every
+  // execution cost ~1ms. The program is short, so no deadline poll fires
+  // mid-execution (zero exec errors) — only the measured p99 betrays it.
+  RmtProgramSpec candidate = AluSpec("candidate", "generic.hook", 200);
+  {
+    Assembler a("timed_add", HookKind::kGeneric);
+    a.Call(HelperId::kGetTime);
+    a.Mov(0, 1).AddImm(0, 200).Exit();
+    candidate.tables[0].actions[0] = std::move(a.Build()).value();
+  }
+  candidate.fire_deadline_ns = 10'000;
+
+  ControlPlane::CanaryConfig config;
+  config.canary_permille = 500;
+  config.soak_min_execs = 32;
+  config.max_error_rate = 0.05;
+  config.max_latency_ratio = 0.0;  // ratio bound off: the declared budget decides
+  Result<ControlPlane::RolloutId> rollout =
+      cp_.InstallCanary(*incumbent, std::move(candidate), config);
+  ASSERT_TRUE(rollout.ok()) << rollout.status();
+
+  FailpointSpec lag;
+  lag.mode = FailpointMode::kAlways;
+  lag.latency_ns = 100'000;
+  ScopedFailpoint guard("vm.helper", lag);
+  // One full routing period: fire seq 0-499 soak the canary, 500-999 the
+  // incumbent, so both arms clear soak_min_execs.
+  for (int i = 0; i < 1000; ++i) {
+    hooks_.Fire(hook_, 7);
+  }
+
+  const PolicyGuardian::TickSummary summary = guardian.Tick();
+  ASSERT_EQ(summary.rollouts.size(), 1u);
+  EXPECT_EQ(summary.rollouts[0].decision,
+            ControlPlane::RolloutReport::Decision::kRolledBack);
+  EXPECT_NE(summary.rollouts[0].reason.find("fire deadline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rkd

@@ -387,11 +387,6 @@ TEST(OnlineTest, ModelSlotSwapsAtomicallyWithVersioning) {
   EXPECT_EQ(slot.version(), 2u);
   EXPECT_EQ(slot.Snapshot().model, nullptr);
   EXPECT_EQ(slot.Snapshot().version, 2u);
-  // The deprecated alias still compiles and agrees with Snapshot().
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(slot.GetWithVersion().version, slot.Snapshot().version);
-#pragma GCC diagnostic pop
 }
 
 TEST(OnlineTest, WindowedTrainerTrainsPerWindow) {

@@ -204,12 +204,6 @@ TEST(TableIndexTest, ModifyPublishesAndIsVisible) {
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->action_index, 5);          // the change is visible...
   EXPECT_EQ(table.version(), before + 1);   // ...through a fresh snapshot
-  // The deprecated aliases track version() until their callers migrate.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(table.mutation_epoch(), table.version());
-  EXPECT_EQ(table.index_rebuilds(), table.version());
-#pragma GCC diagnostic pop
 }
 
 TEST(TableIndexTest, SwitchingModesIsTransparent) {

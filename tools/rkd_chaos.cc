@@ -20,11 +20,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/base/failpoints.h"
+#include "src/bytecode/assembler.h"
 #include "src/ml/mlp.h"
 #include "src/ml/quantize.h"
+#include "src/rmt/governor.h"
 #include "src/rmt/guardian.h"
 #include "src/sim/mem/memory_sim.h"
 #include "src/sim/mem/ml_prefetcher.h"
@@ -50,12 +53,131 @@ void Check(bool ok, const char* what, const std::string& detail) {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--quick] [--bound=R] [--fail=name=spec ...]\n"
+               "usage: %s [--quick] [--storm] [--bound=R] [--fail=name=spec ...]\n"
                "  --quick       smaller workloads (CI smoke)\n"
+               "  --storm       overload-storm scenario only (governor ladder)\n"
                "  --bound=R     completion-time slack vs the stock baseline (default 1.5)\n"
                "  --fail=D      failpoint directive, e.g. ml.eval=every:3+error\n"
                "                (repeatable; replaces the default set)\n",
                argv0);
+}
+
+// --- Scenario 3: overload storm — multi-thread burst fires against a
+// latency-payload failpoint, with the overload governor driving the
+// degradation ladder. Invariants: fire p99 stays bounded once the ladder
+// engages (the fallback oracle serves, not the 1ms-latency learned path),
+// and the program recovers to kFull after the storm passes. ---
+
+void SoakOverloadStorm(bool quick) {
+  std::printf("=== overload storm (burst fire + latency payload + governor) ===\n");
+
+  HookRegistry hooks;
+  ControlPlane cp(&hooks);
+  const HookId hook = *hooks.Register("generic.burst", HookKind::kGeneric);
+  (void)hooks.SetFallbackOracle(hook, [](uint64_t key, std::span<const int64_t>) {
+    return static_cast<int64_t>(key) + 1;  // the cheap heuristic answer
+  });
+
+  // Helper call + long straight-line body, so both VM tiers cross a deadline
+  // poll after the latency payload has been paid.
+  Assembler a("storm_add", HookKind::kGeneric);
+  a.Call(HelperId::kGetTime);
+  a.Mov(0, 1);
+  for (int i = 0; i < 160; ++i) {
+    a.AddImm(0, 1);
+  }
+  a.Exit();
+  RmtProgramSpec spec;
+  spec.name = "storm_prog";
+  spec.fire_deadline_ns = 100'000;  // 100us budget per fire
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = "generic.burst";
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  Result<ControlPlane::ProgramHandle> handle = cp.Install(std::move(spec));
+  if (!handle.ok()) {
+    Check(false, "install storm program", handle.status().ToString());
+    return;
+  }
+
+  OverloadGovernor governor(&cp);
+  GovernorConfig config;
+  config.window_fires = 64;
+  config.max_deadline_rate = 0.25;
+  config.promote_windows = 3;  // stays degraded through the whole storm
+  config.shed_probe_ticks = 2;
+  if (!governor.Govern(*handle, config).ok()) {
+    Check(false, "govern storm program", "");
+    return;
+  }
+
+  // The storm payload: every helper call busy-waits 1ms — 10x the fire
+  // budget — so at kFull every execution overruns its deadline.
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  (void)failpoints.EnableFromDirective("vm.helper=always+latency:1000000");
+
+  const int kThreads = 4;
+  const int per_thread = quick ? 32 : 128;
+  const auto burst = [&] {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&hooks, hook, per_thread] {
+        for (int i = 0; i < per_thread; ++i) {
+          hooks.Fire(hook, 7);
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  };
+
+  // Round 1: the ladder engages — the burst fills the verdict window with
+  // deadline overruns and the tick demotes to the fallback oracle.
+  burst();
+  for (const OverloadGovernor::LadderEvent& event : governor.Tick().transitions) {
+    std::printf("  governor: %s %s -> %s (%s)\n", event.program.c_str(),
+                std::string(GovLevelName(event.from)).c_str(),
+                std::string(GovLevelName(event.to)).c_str(), event.reason.c_str());
+  }
+  Check(governor.LevelOf(*handle) == GovLevel::kDegraded, "ladder engages under storm",
+        std::string(GovLevelName(governor.LevelOf(*handle))));
+
+  // Round 2: still storming, but the fallback oracle serves; fire p99 over
+  // this round must stay bounded by the fire budget even though the latency
+  // payload is still armed.
+  const HookMetrics metrics = hooks.MetricsOf(hook);
+  HistogramWindow window;
+  window.Reset(metrics.fire_ns());
+  const uint64_t degraded_before = metrics.degraded_fires();
+  burst();
+  const double p99 = window.DeltaPercentile(metrics.fire_ns(), 99.0);
+  Check(p99 > 0.0 && p99 < 100'000.0, "fire p99 bounded while degraded",
+        std::to_string(p99) + "ns vs 100000ns budget");
+  Check(metrics.degraded_fires() - degraded_before ==
+            static_cast<uint64_t>(kThreads * per_thread),
+        "every storm fire answered by the fallback oracle", "");
+  governor.Tick();
+
+  // The storm passes: clean ticks walk the program back up to kFull.
+  failpoints.DisableAll();
+  for (int i = 0; i < 8 && governor.LevelOf(*handle) != GovLevel::kFull; ++i) {
+    governor.Tick();
+  }
+  Check(governor.LevelOf(*handle) == GovLevel::kFull, "recovery to kFull after the storm",
+        std::string(GovLevelName(governor.LevelOf(*handle))));
+  Check(hooks.Fire(hook, 7) == 7 + 160, "learned policy serves again", "");
+
+  TelemetryRegistry& telemetry = cp.telemetry();
+  std::printf("  rkd.gov.demotions=%llu rkd.gov.promotions=%llu degraded_fires=%llu\n",
+              static_cast<unsigned long long>(
+                  telemetry.GetCounter("rkd.gov.demotions")->value()),
+              static_cast<unsigned long long>(
+                  telemetry.GetCounter("rkd.gov.promotions")->value()),
+              static_cast<unsigned long long>(metrics.degraded_fires()));
 }
 
 // --- Scenario 1: scheduler under model/helper faults, with the guardian ---
@@ -241,12 +363,15 @@ void SoakPrefetcher(bool quick, double bound, const std::vector<std::string>& di
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool storm = false;
   double bound = 1.5;
   std::vector<std::string> directives;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(arg, "--storm") == 0) {
+      storm = true;
     } else if (std::strncmp(arg, "--bound=", 8) == 0) {
       bound = std::strtod(arg + 8, nullptr);
     } else if (std::strncmp(arg, "--fail=", 7) == 0) {
@@ -266,8 +391,12 @@ int main(int argc, char** argv) {
     directives = {"ml.eval=every:3+error", "vm.helper=every:7+error"};
   }
 
-  SoakScheduler(quick, bound, directives);
-  SoakPrefetcher(quick, bound, directives);
+  if (storm) {
+    SoakOverloadStorm(quick);
+  } else {
+    SoakScheduler(quick, bound, directives);
+    SoakPrefetcher(quick, bound, directives);
+  }
 
   if (g_failures > 0) {
     std::printf("\nrkd_chaos: %d invariant(s) violated\n", g_failures);
