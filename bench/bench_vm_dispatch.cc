@@ -1,15 +1,19 @@
-// M1 — section 3.1's two execution tiers: interpreted vs JIT-compiled.
+// M1 — section 3.1's execution tiers: interpreted vs JIT-compiled vs
+// specialized.
 //
-// Measures per-invocation latency of the same verified program on both
-// tiers, across program sizes, plus compilation cost. The claim under test:
-// pre-decoding (the JIT tier) removes per-instruction validation, step
+// Measures per-invocation latency of the same verified program on each
+// tier, across program sizes, plus compilation cost. The claims under test:
+// pre-decoding (tier 2) removes per-instruction validation, step
 // accounting, and switch dispatch, so it wins and the gap grows with
-// program length.
+// program length; specialization (tier 3) fuses superblocks and resets only
+// observable state, so it wins again on top. Cross-tier floors are asserted
+// by bench_vm_tiers; this bench is the per-size latency curve.
 #include <benchmark/benchmark.h>
 
 #include "src/base/rng.h"
 #include "src/bytecode/assembler.h"
 #include "src/vm/jit.h"
+#include "src/vm/specialize.h"
 #include "src/vm/vm.h"
 
 namespace {
@@ -79,6 +83,21 @@ void BM_Jit(benchmark::State& state) {
 }
 BENCHMARK(BM_Jit)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
+// Tier 3 on the same programs. ALU/branch programs have no foldable state,
+// so this isolates the superblock + targeted-reset win over tier 2.
+void BM_Tier3(benchmark::State& state) {
+  const BytecodeProgram program = MakeProgram(static_cast<size_t>(state.range(0)), 42);
+  const SpecializeContext ctx;
+  const SpecializedProgram spec = std::move(SpecializedProgram::Specialize(program, ctx)).value();
+  const VmEnv env;
+  const std::array<int64_t, 2> args{5, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.Run(env, args));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Tier3)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
 void BM_JitCompile(benchmark::State& state) {
   const BytecodeProgram program = MakeProgram(static_cast<size_t>(state.range(0)), 42);
   for (auto _ : state) {
@@ -86,6 +105,17 @@ void BM_JitCompile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JitCompile)->Arg(64)->Arg(1024);
+
+// Specialization cost, for parity with BM_JitCompile: what a control-plane
+// tick pays to promote one program to tier 3.
+void BM_Tier3Specialize(benchmark::State& state) {
+  const BytecodeProgram program = MakeProgram(static_cast<size_t>(state.range(0)), 42);
+  const SpecializeContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpecializedProgram::Specialize(program, ctx));
+  }
+}
+BENCHMARK(BM_Tier3Specialize)->Arg(64)->Arg(1024);
 
 // The ML instruction set under both tiers: one quantized-MLP-shaped action
 // (vector load, two matmuls, relu, argmax).
@@ -127,14 +157,21 @@ void BM_VectorAction(benchmark::State& state) {
     for (auto _ : state) {
       benchmark::DoNotOptimize(interp.Run(program, args));
     }
-  } else {
+  } else if (state.range(0) == 1) {
     const CompiledProgram compiled = std::move(CompiledProgram::Compile(program)).value();
     for (auto _ : state) {
       benchmark::DoNotOptimize(compiled.Run(env, args));
     }
+  } else {
+    SpecializeContext ctx;
+    ctx.tensors = &tensors;
+    const SpecializedProgram spec = std::move(SpecializedProgram::Specialize(program, ctx)).value();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(spec.Run(env, args));
+    }
   }
 }
-BENCHMARK(BM_VectorAction)->Arg(0)->Arg(1)->ArgName("jit");
+BENCHMARK(BM_VectorAction)->Arg(0)->Arg(1)->Arg(2)->ArgName("tier");
 
 }  // namespace
 

@@ -1,0 +1,378 @@
+// M7 — the three-tier execution ladder, end to end, with asserted floors.
+//
+// Two hot scenarios, each run on every tier with raw per-invocation timing:
+//
+//   dispatch_hot_lookup — a classify-style action whose body is sixteen
+//     constant-key lookups on a frozen hash map plus an ALU tail. Tier 2
+//     pays one generic hash probe per lookup; tier 3 folds every lookup to
+//     an immediate at specialization time and fuses the body into one
+//     superblock, so the fire is a short constant-stream walk behind a
+//     wait-free guard check.
+//
+//   mlp_inference — an MLP action at per-packet kernel-datapath size
+//     (vector load, 16x8 input layer, relu, 4x16 classifier head, argmax —
+//     the same shape bench_vm_dispatch's vector action uses). Tier 2 runs
+//     the generic matmul through the tensor registry and zero-constructs
+//     the whole ExecState per fire; tier 3 burns the weight pointers, fuses
+//     relu/argmax into the tile kernels, and resets only the state the
+//     program can observe.
+//
+// Asserted floors (exit 1 on violation, so CI catches tier-ladder
+// regressions the same way bench_overload catches governor ones):
+//
+//   1. Hot floor, dispatch: tier 3 (guard check + specialized run) must be
+//      >= 1.5x faster than tier 2 on the hot const-key-lookup scenario.
+//      Folding turns every probe into an immediate, so the measured win is
+//      ~2.5x; the asserted floor leaves headroom for noisy CI hosts.
+//   2. Hot floor, ML: >= 1.15x on the MLP scenario. The bound is lower by
+//      physics, not by implementation: the generic Q16.16 MatVec already
+//      auto-vectorizes to MAC-throughput parity with the tile kernels, so
+//      tier 3's ML win is overhead elimination (dispatch, state reset,
+//      registry indirection) — typically ~1.35-1.45x at this model size,
+//      but single-core hosts drift enough that the floor keeps margin.
+//   3. Deopt-within-noise: a fire that fails the guard (stale map version)
+//      and falls back to tier 2 must cost within 30% of a plain tier-2 fire
+//      — the deopt path is a few relaxed loads, not a cliff.
+//
+// Results land in BENCH_vm_tiers.json (override with --out=FILE).
+//
+//   $ build/bench/bench_vm_tiers              # ~2s
+//   $ build/bench/bench_vm_tiers --quick      # CI smoke
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/assembler.h"
+#include "src/ml/model_registry.h"
+#include "src/telemetry/telemetry.h"
+#include "src/vm/context_store.h"
+#include "src/vm/jit.h"
+#include "src/vm/maps.h"
+#include "src/vm/specialize.h"
+#include "src/vm/vm.h"
+
+namespace rkd {
+namespace {
+
+constexpr double kHotFloor = 1.5;    // dispatch scenario: tier3-vs-tier2 speedup
+constexpr double kMlFloor = 1.15;    // ML scenario: MAC-bound, win is overhead
+constexpr double kDeoptNoiseCeiling = 1.30;  // deopted fire vs plain tier 2
+
+// ns/run over `iters` runs, minimum of `reps` passes (minimum because the
+// quantity of interest is the cost floor, not scheduler noise).
+template <typename Fn>
+double MeasureNsPerRun(Fn&& run, uint64_t iters, int reps) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const uint64_t start = MonotonicNowNs();
+    int64_t sink = 0;
+    for (uint64_t i = 0; i < iters; ++i) {
+      sink += run();
+    }
+    const uint64_t elapsed = MonotonicNowNs() - start;
+    if (sink == INT64_MIN) {
+      std::fprintf(stderr, "impossible sink\n");  // defeat dead-code removal
+    }
+    const double ns = static_cast<double>(elapsed) / static_cast<double>(iters);
+    if (rep == 0 || ns < best) {
+      best = ns;
+    }
+  }
+  return best;
+}
+
+struct ScenarioResult {
+  std::string name;
+  double interp_ns = 0.0;
+  double tier2_ns = 0.0;
+  double tier3_ns = 0.0;   // guard check + specialized run
+  double deopt_ns = 0.0;   // failed guard check + tier-2 run
+  double speedup_tier3_vs_tier2 = 0.0;
+  double deopt_overhead_ratio = 0.0;
+  size_t superblocks = 0;
+  size_t folded_lookups = 0;
+  size_t tile_kernels = 0;
+  double floor = 0.0;  // asserted speedup floor for this scenario
+  bool floor_ok = false;
+  bool deopt_within_noise = false;
+};
+
+// Everything one scenario needs to measure: the program, its environment,
+// and the map-version cell the deopt phase bumps to stale the guard.
+struct Scenario {
+  std::string name;
+  BytecodeProgram program;
+  MapSet maps;
+  ModelRegistry models;
+  TensorRegistry tensors;
+  ContextStore ctxt;
+  // Stand-in for the owning RmtTable's snapshot version: bumping it stales
+  // the guard of any specialization, even one with no folded map state.
+  std::atomic<uint64_t> table_version{0};
+  std::vector<int64_t> args;
+  double floor = kHotFloor;  // asserted tier3-vs-tier2 speedup for this scenario
+
+  VmEnv Env() {
+    VmEnv env;
+    env.maps = &maps;
+    env.models = &models;
+    env.tensors = &tensors;
+    env.ctxt = &ctxt;
+    return env;
+  }
+
+  SpecializeContext Context() {
+    SpecializeContext ctx;
+    ctx.maps = &maps;
+    ctx.models = &models;
+    ctx.tensors = &tensors;
+    ctx.map_write_version = maps.write_version_cell();
+    ctx.table_version = &table_version;
+    return ctx;
+  }
+};
+
+// Sixteen constant-key lookups on a frozen hash map (the classify-table
+// shape: config keyed by policy constants), result mixed with the fire
+// argument so the body is not fully foldable to one constant. Tier 2 pays a
+// hash probe per lookup; tier 3 folds each to an immediate.
+void BuildDispatchScenario(Scenario& s) {
+  s.name = "dispatch_hot_lookup";
+  Result<int64_t> map_id = s.maps.Create(MapKind::kHash, 64);
+  if (!map_id.ok()) {
+    std::fprintf(stderr, "FAIL: map create: %s\n", map_id.status().message().c_str());
+    std::exit(1);
+  }
+  for (int64_t k = 0; k < 16; ++k) {
+    if (!s.maps.Get(*map_id)->Update(k * 7, (k + 1) * 10)) {
+      std::fprintf(stderr, "FAIL: map update\n");
+      std::exit(1);
+    }
+  }
+  Assembler a("dispatch_hot");
+  a.DeclareMaps(1);
+  a.Mov(0, 1);
+  for (int64_t k = 0; k < 16; ++k) {
+    a.MovImm(2, k * 7);
+    a.MapLookup(3, 2, *map_id);
+    a.Add(0, 3);
+  }
+  a.AndImm(0, 0x7fffffff);
+  a.Exit();
+  Result<BytecodeProgram> built = a.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "FAIL: assemble: %s\n", built.status().message().c_str());
+    std::exit(1);
+  }
+  s.program = std::move(built).value();
+  s.args = {5};
+}
+
+// An MLP action at per-packet kernel-datapath size: vector load from the
+// context store, a tall 16x8 input layer (weight-stationary), relu, a wide
+// 4x16 classifier head (output-stationary), argmax back into r0. Small on
+// purpose: it is the size class the paper's per-packet decision models live
+// in, and the regime where tier 3 has real headroom. At >= 32x32 both
+// tiers' MAC loops are throughput-bound (the generic MatVec
+// auto-vectorizes), so larger layers only dilute the measurable win.
+void BuildMlpScenario(Scenario& s) {
+  s.name = "mlp_inference";
+  s.floor = kMlFloor;
+  FixedMatrix w1(16, 8);
+  FixedMatrix w2(4, 16);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<int32_t>(state % 131072) - 65536;  // ~[-1, 1) in Q16.16
+  };
+  for (auto& v : w1.data()) {
+    v = next();
+  }
+  for (auto& v : w2.data()) {
+    v = next();
+  }
+  s.tensors.Add(std::move(w1));
+  s.tensors.Add(std::move(w2));
+  ContextEntry* entry = s.ctxt.FindOrCreate(1);
+  for (int i = 0; i < 8; ++i) {
+    entry->features[i] = (i + 1) << 16;
+  }
+  Assembler a("mlp_action");
+  a.DeclareTensors(2);
+  a.VecLdCtxt(0, 1);
+  a.MatMul(1, 0, 0);
+  a.VecRelu(1, 1);
+  a.MatMul(2, 1, 1);
+  a.VecArgmax(0, 2);
+  a.Exit();
+  Result<BytecodeProgram> built = a.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "FAIL: assemble: %s\n", built.status().message().c_str());
+    std::exit(1);
+  }
+  s.program = std::move(built).value();
+  s.args = {1};
+}
+
+ScenarioResult RunScenario(Scenario& s, bool quick) {
+  const VmEnv env = s.Env();
+  const Interpreter interp(env);
+  Result<CompiledProgram> compiled = CompiledProgram::Compile(s.program);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "FAIL: compile: %s\n", compiled.status().message().c_str());
+    std::exit(1);
+  }
+  Result<SpecializedProgram> spec = SpecializedProgram::Specialize(s.program, s.Context());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "FAIL: specialize: %s\n", spec.status().message().c_str());
+    std::exit(1);
+  }
+  const std::span<const int64_t> args(s.args);
+
+  // Correctness gate before any timing: the ladder must agree on the result.
+  const Result<int64_t> r1 = interp.Run(s.program, args);
+  const Result<int64_t> r2 = compiled->Run(env, args);
+  const Result<int64_t> r3 = spec->Run(env, args);
+  if (!r1.ok() || !r2.ok() || !r3.ok() || *r1 != *r2 || *r2 != *r3) {
+    std::fprintf(stderr, "FAIL: %s tiers disagree\n", s.name.c_str());
+    std::exit(1);
+  }
+
+  // Calibrate iteration count off a tier-2 warmup burst so the bench is
+  // host-speed independent (~0.1s per variant; quick ~10ms).
+  const uint64_t warmup = quick ? 2'000 : 20'000;
+  const uint64_t warm_start = MonotonicNowNs();
+  (void)MeasureNsPerRun([&] { return *compiled->Run(env, args); }, warmup, 1);
+  const uint64_t warm_ns = MonotonicNowNs() - warm_start;
+  const double runs_per_sec =
+      static_cast<double>(warmup) * 1e9 / static_cast<double>(warm_ns > 0 ? warm_ns : 1);
+  const uint64_t iters = static_cast<uint64_t>(runs_per_sec * (quick ? 0.02 : 0.1)) + 1;
+  const int reps = quick ? 5 : 7;
+
+  ScenarioResult r;
+  r.name = s.name;
+  r.superblocks = spec->superblocks();
+  r.folded_lookups = spec->folded_lookups();
+  r.tile_kernels = spec->tile_kernels();
+
+  r.interp_ns = MeasureNsPerRun([&] { return *interp.Run(s.program, args); }, iters, reps);
+  // Interleave the tier-2 and tier-3 windows rep by rep: host-speed drift
+  // (the dominant noise on shared single-core runners) then biases both
+  // tiers the same way instead of skewing their ratio. Tier 3 is measured
+  // on the honest fire path: guard check, then the specialized stream.
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t2 = MeasureNsPerRun([&] { return *compiled->Run(env, args); }, iters, 1);
+    const double t3 = MeasureNsPerRun(
+        [&] { return spec->GuardOk() ? *spec->Run(env, args) : *compiled->Run(env, args); },
+        iters, 1);
+    if (rep == 0 || t2 < r.tier2_ns) {
+      r.tier2_ns = t2;
+    }
+    if (rep == 0 || t3 < r.tier3_ns) {
+      r.tier3_ns = t3;
+    }
+  }
+
+  // Stale the guard (a control-plane map write plus a table snapshot bump,
+  // so even a fold-free specialization deopts) and measure the deopted
+  // fire: failed guard check + tier-2 run. Must sit within noise of tier 2.
+  s.maps.BumpWriteVersion();
+  s.table_version.fetch_add(1, std::memory_order_release);
+  if (spec->GuardOk()) {
+    std::fprintf(stderr, "FAIL: %s guard still passes after map write\n", s.name.c_str());
+    std::exit(1);
+  }
+  r.deopt_ns = MeasureNsPerRun(
+      [&] { return spec->GuardOk() ? *spec->Run(env, args) : *compiled->Run(env, args); },
+      iters, reps);
+
+  r.speedup_tier3_vs_tier2 = r.tier3_ns > 0 ? r.tier2_ns / r.tier3_ns : 0.0;
+  r.deopt_overhead_ratio = r.tier2_ns > 0 ? r.deopt_ns / r.tier2_ns : 0.0;
+  r.floor_ok = r.speedup_tier3_vs_tier2 >= s.floor;
+  r.floor = s.floor;
+  r.deopt_within_noise = r.deopt_overhead_ratio <= kDeoptNoiseCeiling;
+
+  std::printf(
+      "%-20s interp %7.1f ns  tier2 %7.1f ns  tier3 %7.1f ns (x%.2f)  deopt %7.1f ns "
+      "(x%.2f)  [%zu superblocks, %zu folded, %zu tiles]%s%s\n",
+      s.name.c_str(), r.interp_ns, r.tier2_ns, r.tier3_ns, r.speedup_tier3_vs_tier2,
+      r.deopt_ns, r.deopt_overhead_ratio, r.superblocks, r.folded_lookups, r.tile_kernels,
+      r.floor_ok ? "" : "  FLOOR VIOLATION", r.deopt_within_noise ? "" : "  DEOPT CLIFF");
+  return r;
+}
+
+int Run(const std::string& out_path, bool quick) {
+  std::vector<ScenarioResult> results;
+  {
+    Scenario dispatch;
+    BuildDispatchScenario(dispatch);
+    results.push_back(RunScenario(dispatch, quick));
+  }
+  {
+    Scenario mlp;
+    BuildMlpScenario(mlp);
+    results.push_back(RunScenario(mlp, quick));
+  }
+
+  bool ok = true;
+  for (const ScenarioResult& r : results) {
+    ok = ok && r.floor_ok && r.deopt_within_noise;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"vm_tiers\",\n"
+               "  \"hot_floor_speedup\": %.2f,\n"
+               "  \"ml_floor_speedup\": %.2f,\n"
+               "  \"deopt_noise_ceiling\": %.2f,\n"
+               "  \"scenarios\": [\n",
+               kHotFloor, kMlFloor, kDeoptNoiseCeiling);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"interp_ns\": %.1f, \"tier2_ns\": %.1f,"
+                 " \"tier3_ns\": %.1f, \"deopt_ns\": %.1f,"
+                 " \"speedup_tier3_vs_tier2\": %.3f, \"deopt_overhead_ratio\": %.3f,"
+                 " \"superblocks\": %zu, \"folded_lookups\": %zu, \"tile_kernels\": %zu,"
+                 " \"floor\": %.2f, \"floor_ok\": %s, \"deopt_within_noise\": %s}%s\n",
+                 r.name.c_str(), r.interp_ns, r.tier2_ns, r.tier3_ns, r.deopt_ns,
+                 r.speedup_tier3_vs_tier2, r.deopt_overhead_ratio, r.superblocks,
+                 r.folded_lookups, r.tile_kernels, r.floor, r.floor_ok ? "true" : "false",
+                 r.deopt_within_noise ? "true" : "false", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"ok\": %s\n}\n", ok ? "true" : "false");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rkd
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_vm_tiers.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  return rkd::Run(out_path, quick);
+}

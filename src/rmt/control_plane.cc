@@ -31,6 +31,16 @@ ControlPlane::ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config)
   metrics_.verify_ns = telemetry.GetHistogram("rkd.cp.verify_ns");
   metrics_.knob = telemetry.GetGauge("rkd.cp.adapt.knob");
   metrics_.accuracy = telemetry.GetGauge("rkd.cp.adapt.accuracy");
+  metrics_.tier3_specializations = telemetry.GetCounter("rkd.vm.tier3.specializations");
+  metrics_.tier3_retires = telemetry.GetCounter("rkd.vm.tier3.retires");
+  metrics_.tier3_superblocks = telemetry.GetCounter("rkd.vm.tier3.superblocks");
+  metrics_.tier3_folded_lookups = telemetry.GetCounter("rkd.vm.tier3.folded_lookups");
+  metrics_.tier3_folded_models = telemetry.GetCounter("rkd.vm.tier3.folded_models");
+  metrics_.tier3_execs = telemetry.GetCounter("rkd.vm.tier3.execs");
+  metrics_.tier3_deopt_map_write = telemetry.GetCounter("rkd.vm.tier3.deopt_map_write");
+  metrics_.tier3_deopt_model_install = telemetry.GetCounter("rkd.vm.tier3.deopt_model_install");
+  metrics_.tier3_deopt_table_mutation = telemetry.GetCounter("rkd.vm.tier3.deopt_table_mutation");
+  metrics_.tier3_actions = telemetry.GetGauge("rkd.vm.tier3.actions");
 }
 
 Result<ControlPlane::ProgramHandle> ControlPlane::Install(const RmtProgramSpec& spec,
@@ -183,6 +193,7 @@ Result<ControlPlane::ProgramHandle> ControlPlane::InstallImpl(const RmtProgramSp
     attached->set_env(env, services.get());
     attached->set_exec_metrics(&program->exec_metrics_);
     attached->set_opcode_profile(&program->opcode_profile_obj_);
+    attached->set_tier3_stats(&program->tier3_stats_);
     // Overload-governor wiring: the ladder rung cell and the declared
     // fire-time budget (measured against the program's injectable clock).
     attached->set_governor_cell(program->governor_cell());
@@ -416,6 +427,11 @@ Status ControlPlane::WriteMap(ProgramHandle handle, int64_t map_id, int64_t key,
     }
     return OutOfRangeError("map update rejected (key range or capacity)");
   }
+  // Tier-3 deopt signal: every control-plane map write invalidates any
+  // specialization that folded map state. Bumped after the update so a fire
+  // passing the old guard read only pre-write values (still a consistent
+  // pre-write snapshot); the next fire deoptimizes.
+  slot->program->maps().BumpWriteVersion();
   return OkStatus();
 }
 
@@ -429,6 +445,158 @@ Result<int64_t> ControlPlane::ReadMap(ProgramHandle handle, int64_t map_id, int6
     return NotFoundError("map " + std::to_string(map_id) + " does not exist");
   }
   return map->Lookup(key).value_or(0);
+}
+
+Status ControlPlane::EnableTiering(ProgramHandle handle, const TieringConfig& config) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (config.hot_execs == 0) {
+    return InvalidArgumentError("hot_execs must be positive");
+  }
+  slot->tiering_enabled = true;
+  slot->tiering = config;
+  // Close the fire-time map-writer set once (actions are immutable after
+  // install): any map some action may update or delete from can never be
+  // folded; every other map's only writer is ControlPlane::WriteMap, which
+  // bumps the guarded write version.
+  std::vector<int64_t> written;
+  for (const auto& table : slot->program->tables()) {
+    for (const BytecodeProgram& action : table->actions()) {
+      for (const Instruction& insn : action.code) {
+        if (insn.opcode == Opcode::kMapUpdate || insn.opcode == Opcode::kMapDelete) {
+          written.push_back(insn.imm);
+        }
+      }
+    }
+  }
+  std::sort(written.begin(), written.end());
+  written.erase(std::unique(written.begin(), written.end()), written.end());
+  slot->fire_written_maps = std::move(written);
+  return OkStatus();
+}
+
+Result<ControlPlane::TierReport> ControlPlane::TickTiering(ProgramHandle handle) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  if (!slot->tiering_enabled) {
+    return FailedPreconditionError("tiering not enabled for this program");
+  }
+  InstalledProgram& prog = *slot->program;
+  TierReport report;
+  report.hot_execs = slot->tiering.hot_execs;
+  report.execs = prog.opcode_profile().total_execs();
+  report.governor_level = prog.governor_level();
+  report.tier3_execs = prog.tier3_stats().execs.value();
+  for (size_t r = 0; r < report.deopts_by_reason.size(); ++r) {
+    report.deopts_by_reason[r] = prog.tier3_stats().deopts[r].value();
+    report.tier3_deopts += report.deopts_by_reason[r];
+  }
+
+  // Mirror the fire path's sharded tallies into the registry as deltas since
+  // the last flush (counters are monotone; the sharded side never resets).
+  const auto flush = [](Counter* sink, uint64_t now, uint64_t& flushed) {
+    if (now > flushed) {
+      sink->Increment(now - flushed);
+      flushed = now;
+    }
+  };
+  flush(metrics_.tier3_execs, report.tier3_execs, slot->tier3_execs_flushed);
+  flush(metrics_.tier3_deopt_map_write, report.deopts_by_reason[0],
+        slot->tier3_deopts_flushed[0]);
+  flush(metrics_.tier3_deopt_model_install, report.deopts_by_reason[1],
+        slot->tier3_deopts_flushed[1]);
+  flush(metrics_.tier3_deopt_table_mutation, report.deopts_by_reason[2],
+        slot->tier3_deopts_flushed[2]);
+
+  // Tick is a quiescence point: retired specializations reclaim here too.
+  GlobalEpochDomain().TryAdvance();
+
+  // Demote while degraded or suspended: the governor's rung outranks the
+  // tier ladder, and a respecialization churn is exactly the control-plane
+  // work a degraded program must shed.
+  const bool demote = slot->suspended || prog.governor_level() != GovLevel::kFull;
+  const bool hot = report.execs >= slot->tiering.hot_execs;
+  uint64_t retires = 0;
+  for (const auto& table : prog.tables()) {
+    if (table->tier() != ExecTier::kJit) {
+      continue;  // no tier 3 above the interpreter: the ladder goes 1→2→3
+    }
+    for (size_t a = 0; a < table->action_count(); ++a) {
+      const SpecializedProgram* live = table->specialized(a);
+      if (demote || !hot) {
+        if (live != nullptr) {
+          table->PublishSpecialized(a, nullptr);
+          ++retires;
+        }
+        continue;
+      }
+      if (live != nullptr && live->GuardOk()) {
+        continue;  // current snapshot still valid
+      }
+      if (live != nullptr) {
+        ++retires;  // stale; the publish below epoch-retires it
+      }
+      SpecializeContext ctx;
+      ctx.maps = &prog.maps();
+      ctx.models = &prog.models();
+      ctx.tensors = &prog.tensors();
+      ctx.fire_written_maps = slot->fire_written_maps;
+      ctx.map_write_version = prog.maps().write_version_cell();
+      ctx.table_version = table->table().version_cell();
+      ctx.fold_map_constants = slot->tiering.fold_map_constants;
+      ctx.fold_models = slot->tiering.fold_models;
+      ScopedSpan span(&hooks_->telemetry().tracer(), "vm.specialize");
+      span.Tag("action", static_cast<int64_t>(a));
+      Result<SpecializedProgram> specialized =
+          SpecializedProgram::Specialize(table->actions()[a], ctx);
+      span.Tag("ok", specialized.ok() ? 1 : 0);
+      if (!specialized.ok()) {
+        // A program tier 2 admitted always specializes; surfacing the error
+        // (instead of silently staying on tier 2) keeps the invariant loud.
+        return specialized.status();
+      }
+      auto* spec = new SpecializedProgram(std::move(*specialized));
+      span.Tag("superblocks", static_cast<int64_t>(spec->superblocks()));
+      span.Tag("folded", static_cast<int64_t>(spec->folded_lookups() + spec->folded_models()));
+      metrics_.tier3_specializations->Increment();
+      metrics_.tier3_superblocks->Increment(spec->superblocks());
+      metrics_.tier3_folded_lookups->Increment(spec->folded_lookups());
+      metrics_.tier3_folded_models->Increment(spec->folded_models());
+      table->PublishSpecialized(a, spec);
+      ++report.specializations;
+    }
+  }
+  report.retires = retires;
+  if (retires > 0) {
+    metrics_.tier3_retires->Increment(retires);
+  }
+
+  // Aggregate the facts of whatever is live after this tick.
+  bool any_jit = false;
+  for (const auto& table : prog.tables()) {
+    if (table->tier() == ExecTier::kJit) {
+      any_jit = true;
+    }
+    for (size_t a = 0; a < table->action_count(); ++a) {
+      const SpecializedProgram* live = table->specialized(a);
+      if (live == nullptr) {
+        continue;
+      }
+      ++report.specialized_actions;
+      report.superblocks += live->superblocks();
+      report.folded_lookups += live->folded_lookups();
+      report.burned_lookups += live->burned_lookups();
+      report.folded_models += live->folded_models();
+      report.tile_kernels += live->tile_kernels();
+    }
+  }
+  report.tier = report.specialized_actions > 0 ? 3 : (any_jit ? 2 : 1);
+  metrics_.tier3_actions->Set(static_cast<double>(report.specialized_actions));
+  return report;
 }
 
 Status ControlPlane::EnableAdaptation(ProgramHandle handle, const AdaptationConfig& config) {
@@ -489,6 +657,19 @@ Result<ControlPlane::AdaptationReport> ControlPlane::TickReport(ProgramHandle ha
   // adaptation verdict, so one tick report answers "how is it doing".
   report.governor_level = slot->program->governor_level();
   report.map_quota_breaches = slot->program->maps().quota().breaches();
+  // Tier-ladder state: which tier the next untraced fire will take.
+  bool any_jit = false;
+  size_t specialized_actions = 0;
+  for (const auto& table : slot->program->tables()) {
+    if (table->tier() == ExecTier::kJit) {
+      any_jit = true;
+    }
+    specialized_actions += table->specialized_count();
+  }
+  report.specialized_actions = specialized_actions;
+  report.exec_tier = specialized_actions > 0 ? 3 : (any_jit ? 2 : 1);
+  report.tier3_execs = slot->program->tier3_stats().execs.value();
+  report.tier3_deopts = slot->program->tier3_stats().total_deopts();
   return report;
 }
 

@@ -17,6 +17,7 @@
 #ifndef SRC_RMT_CONTROL_PLANE_H_
 #define SRC_RMT_CONTROL_PLANE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -73,12 +74,25 @@ struct ControlPlaneMetrics {
   Counter* shadow_evals = nullptr;    // InstallShadowed() evaluations run
   Counter* shadow_admits = nullptr;   // candidates that passed the shadow gate
   Counter* shadow_rejects = nullptr;  // candidates the shadow gate refused
+  // Tier-3 specializing-compiler slice ("rkd.vm.tier3.*"). Specialize-time
+  // facts accumulate at publish; fire-path execs/deopts are mirrored from
+  // each program's sharded Tier3Stats on every tiering tick.
+  Counter* tier3_specializations = nullptr;  // specialized streams published
+  Counter* tier3_retires = nullptr;          // streams retired (demotion/respecialize)
+  Counter* tier3_superblocks = nullptr;      // superblocks formed across publishes
+  Counter* tier3_folded_lookups = nullptr;   // map lookups const-folded
+  Counter* tier3_folded_models = nullptr;    // model slots burned into streams
+  Counter* tier3_execs = nullptr;            // fires served by tier 3 (mirrored)
+  Counter* tier3_deopt_map_write = nullptr;      // deopts: control-plane map write
+  Counter* tier3_deopt_model_install = nullptr;  // deopts: model hot-swap
+  Counter* tier3_deopt_table_mutation = nullptr; // deopts: table entry churn
   LatencyHistogram* install_ns = nullptr;  // full Install() wall latency
   LatencyHistogram* verify_ns = nullptr;   // admission (verifier) phase only
   Gauge* knob = nullptr;                   // knob value after the last tick
   Gauge* accuracy = nullptr;               // rolling accuracy at the last tick
   Gauge* shadow_divergence = nullptr;      // 1 - decision_match_rate of the last eval
   Gauge* shadow_score = nullptr;           // counterfactual score of the last eval
+  Gauge* tier3_actions = nullptr;          // live specializations after the last tick
 };
 
 class ControlPlane {
@@ -198,6 +212,50 @@ class ControlPlane {
   Status WriteMap(ProgramHandle handle, int64_t map_id, int64_t key, int64_t value);
   Result<int64_t> ReadMap(ProgramHandle handle, int64_t map_id, int64_t key);
 
+  // --- Tier-3 specialization (the tier ladder) ---
+  // The ladder is interpret (tier 1) → compiled (tier 2) → specialized
+  // (tier 3). Tiers 1/2 are fixed per table at Install(); tier 3 is an
+  // overlay this control plane promotes hot programs into and demotes them
+  // out of. Promotion is deterministic: a program whose always-on exec
+  // counter reaches `hot_execs` gets every action of every jit-tier table
+  // specialized against the current map/model/table snapshot at the next
+  // TickTiering(). Demotion is automatic (fires deoptimize to tier 2 the
+  // moment a guard goes stale) and explicit (the tick retires streams while
+  // the overload governor holds the program below kFull — a degraded
+  // program must not pay respecialization churn).
+  struct TieringConfig {
+    uint64_t hot_execs = 4096;        // promotion threshold (exec count)
+    bool fold_map_constants = true;   // fold/burn frozen-map lookups
+    bool fold_models = true;          // burn model-slot weights
+  };
+  Status EnableTiering(ProgramHandle handle, const TieringConfig& config);
+  Status EnableTiering(ProgramHandle handle) { return EnableTiering(handle, TieringConfig()); }
+
+  // What one tiering tick saw and did.
+  struct TierReport {
+    int tier = 1;                        // highest tier live after this tick (1/2/3)
+    uint64_t execs = 0;                  // lifetime fires (promotion driver)
+    uint64_t hot_execs = 0;              // configured promotion threshold
+    size_t specialized_actions = 0;      // actions carrying a live specialization
+    uint64_t specializations = 0;        // streams published this tick
+    uint64_t retires = 0;                // streams retired this tick
+    uint64_t superblocks = 0;            // across live specializations
+    uint64_t folded_lookups = 0;         // across live specializations
+    uint64_t burned_lookups = 0;         // across live specializations
+    uint64_t folded_models = 0;          // across live specializations
+    uint64_t tile_kernels = 0;           // across live specializations
+    uint64_t tier3_execs = 0;            // lifetime fires served by tier 3
+    uint64_t tier3_deopts = 0;           // lifetime guard-failure fallbacks
+    std::array<uint64_t, 3> deopts_by_reason{};  // indexed by DeoptReason
+    GovLevel governor_level = GovLevel::kFull;
+  };
+
+  // Runs one pass of the tier ladder: mirrors fire-path tier-3 tallies into
+  // telemetry, demotes while governed/suspended, promotes or respecializes
+  // (stale guards) when hot. Call periodically alongside TickReport().
+  // Errors if tiering is not enabled.
+  Result<TierReport> TickTiering(ProgramHandle handle);
+
   // --- Accuracy-driven adaptation ---
   struct AdaptationConfig {
     double low_accuracy = 0.5;   // below: decrement the knob
@@ -219,6 +277,12 @@ class ControlPlane {
     // Overload-governor state at tick time (kFull when ungoverned).
     GovLevel governor_level = GovLevel::kFull;
     uint64_t map_quota_breaches = 0;
+    // Tier-ladder state at tick time (tier stays at the table tier when
+    // tiering was never enabled). See TierReport for the full picture.
+    int exec_tier = 1;                  // highest tier live (1/2/3)
+    size_t specialized_actions = 0;     // actions carrying a live specialization
+    uint64_t tier3_execs = 0;           // lifetime fires served by tier 3
+    uint64_t tier3_deopts = 0;          // lifetime guard-failure fallbacks
   };
 
   // Evaluates the program's prediction log and adjusts the knob. Call
@@ -250,6 +314,15 @@ class ControlPlane {
     bool adaptation_enabled = false;
     bool suspended = false;
     AdaptationConfig adaptation;
+    bool tiering_enabled = false;
+    TieringConfig tiering;
+    // Map ids any action may write at fire time (union across all actions of
+    // all tables); lookups on every other map are fold candidates.
+    std::vector<int64_t> fire_written_maps;
+    // Registry-mirror baselines: how much of the program's sharded tier-3
+    // tallies has already been flushed into the global counters.
+    uint64_t tier3_execs_flushed = 0;
+    std::array<uint64_t, 3> tier3_deopts_flushed{};
   };
 
   // Where one rollout arm's counters stood when the soak window opened.

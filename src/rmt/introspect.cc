@@ -19,6 +19,29 @@ void DumpTable(const AttachedTable& attached, const IntrospectOptions& options,
   out << "  entries " << table.size() << "/" << table.max_entries() << ", hits "
       << table.hits() << ", misses " << table.misses() << ", executions "
       << attached.executions() << "\n";
+  // Tier-3 overlay: which actions currently run a specialized stream and
+  // what each stream folded. Silent when nothing is specialized.
+  if (attached.specialized_count() > 0) {
+    out << "  tier-3 specializations:\n";
+    for (size_t a = 0; a < attached.action_count(); ++a) {
+      const SpecializedProgram* spec = attached.specialized(a);
+      if (spec == nullptr) {
+        continue;
+      }
+      out << "    action " << a << " '" << spec->name() << "': " << spec->superblocks()
+          << " superblocks, " << spec->folded_lookups() << " folded + "
+          << spec->burned_lookups() << " burned lookups, " << spec->folded_models()
+          << " folded models, " << spec->tile_kernels() << " tile kernels";
+      for (size_t k = 0; k < spec->tile_kernels(); ++k) {
+        out << (k == 0 ? " (" : ", ") << DataflowStrategyName(spec->tile_strategy(k));
+        if (k + 1 == spec->tile_kernels()) {
+          out << ")";
+        }
+      }
+      out << ", pinned map v" << spec->pinned_map_version() << " table v"
+          << spec->pinned_table_version() << "\n";
+    }
+  }
   if (options.list_entries) {
     size_t listed = 0;
     for (const TableEntry& entry : table.entries()) {
@@ -155,6 +178,19 @@ std::string DumpProgram(InstalledProgram& program, const IntrospectOptions& opti
   }
 
   DumpOpcodeProfile(program.opcode_profile(), options, out);
+
+  // Tier-ladder state: the always-on exec tally that drives promotion and
+  // the specialized-fire/deopt split. Quiet until tier 3 has ever engaged.
+  const Tier3Stats& tier3 = program.tier3_stats();
+  if (tier3.execs.value() > 0 || tier3.total_deopts() > 0) {
+    out << "tier-3: " << tier3.execs.value() << " specialized fires, "
+        << tier3.total_deopts() << " deopts (";
+    for (size_t r = 0; r < tier3.deopts.size(); ++r) {
+      out << (r == 0 ? "" : ", ") << DeoptReasonName(static_cast<DeoptReason>(r)) << " "
+          << tier3.deopts[r].value();
+    }
+    out << ")\n";
+  }
 
   out << "monitoring ring: " << program.sample_ring().size() << " pending, "
       << program.sample_ring().dropped() << " dropped\n";

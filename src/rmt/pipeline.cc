@@ -1,5 +1,8 @@
 #include "src/rmt/pipeline.h"
 
+#include <array>
+#include <optional>
+
 #include "src/base/epoch.h"
 
 namespace rkd {
@@ -12,6 +15,37 @@ void AttachedTable::set_actions(std::vector<BytecodeProgram> actions,
   actions_ = std::move(actions);
   compiled_ = std::move(compiled);
   default_action_ = default_action;
+  // One tier-3 slot per action, fixed for the table's lifetime: the fire
+  // path indexes this vector concurrently with control-plane publishes, so
+  // it must never reallocate.
+  specialized_ = std::vector<EpochPtr<const SpecializedProgram>>(actions_.size());
+}
+
+void AttachedTable::PublishSpecialized(size_t index, const SpecializedProgram* spec) {
+  if (index >= specialized_.size()) {
+    delete spec;
+    return;
+  }
+  specialized_[index].Publish(spec, GlobalEpochDomain());
+}
+
+const SpecializedProgram* AttachedTable::specialized(size_t index) const {
+  if (index >= specialized_.size()) {
+    return nullptr;
+  }
+  EpochGuard guard(GlobalEpochDomain());
+  return specialized_[index].Load();
+}
+
+size_t AttachedTable::specialized_count() const {
+  EpochGuard guard(GlobalEpochDomain());
+  size_t live = 0;
+  for (const auto& slot : specialized_) {
+    if (slot.Load() != nullptr) {
+      ++live;
+    }
+  }
+  return live;
 }
 
 void AttachedTable::set_env(VmEnv env, HelperServices* services) {
@@ -59,6 +93,11 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
     return static_cast<int64_t>(kHookFallback);
   }
   executions_.Increment();
+  // Always-on exec counter: the tier ladder promotes on execution count, so
+  // hotness must accumulate on every fire, not only the traced sample.
+  if (opcode_profile_ != nullptr) {
+    opcode_profile_->RecordExec();
+  }
 
   // r1 = match key, r2..r5 = hook arguments (truncated to four).
   int64_t call_args[5] = {static_cast<int64_t>(key), 0, 0, 0, 0};
@@ -93,11 +132,33 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
   exec_span.Tag("tier", tier_ == ExecTier::kJit ? 1 : 0);
 
   const uint64_t start_ns = exec_metrics_ != nullptr ? MonotonicNowNs() : 0;
-  Result<int64_t> run =
-      tier_ == ExecTier::kJit
-          ? compiled_[static_cast<size_t>(effective)].Run(*exec_env, arg_span, nullptr,
-                                                          tail_resolver_)
-          : Interpreter(*exec_env).Run(actions_[static_cast<size_t>(effective)], arg_span);
+  Result<int64_t> run = [&]() -> Result<int64_t> {
+    if (tier_ != ExecTier::kJit) {
+      return Interpreter(*exec_env).Run(actions_[static_cast<size_t>(effective)], arg_span);
+    }
+    // Tier 3: untraced fires may take the specialized stream. Traced fires
+    // stay on tier 2 so sampling keeps observing the real opcode mix. The
+    // epoch guard must outlive the whole spec run: it pins the stream (and
+    // everything it burned) against a concurrent respecialize/retire.
+    if (tracer == nullptr && !specialized_.empty()) {
+      EpochGuard guard(GlobalEpochDomain());
+      const SpecializedProgram* spec = specialized_[static_cast<size_t>(effective)].Load();
+      if (spec != nullptr) {
+        DeoptReason why = DeoptReason::kMapWrite;
+        if (spec->GuardOk(&why)) {
+          if (tier3_stats_ != nullptr) {
+            tier3_stats_->execs.Increment();
+          }
+          return spec->Run(*exec_env, arg_span, nullptr, tail_resolver_);
+        }
+        if (tier3_stats_ != nullptr) {
+          tier3_stats_->deopts[static_cast<size_t>(why)].Increment();
+        }
+      }
+    }
+    return compiled_[static_cast<size_t>(effective)].Run(*exec_env, arg_span, nullptr,
+                                                         tail_resolver_);
+  }();
   exec_span.Tag("err", run.ok() ? 0 : 1);
   if (exec_metrics_ != nullptr) {
     exec_metrics_->execs->Increment();
@@ -159,6 +220,19 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
   const Interpreter interp(batch_env);
   CompiledProgram::Frame frame;
 
+  // Tier-3 overlay: untraced jit batches may take specialized streams. One
+  // epoch guard pins every stream loaded in the loop for the whole batch
+  // (the batch caller already holds one; this keeps ExecuteBatch safe when
+  // driven directly). Deopt tallies are aggregated locally and flushed once.
+  const bool tier3_eligible =
+      tier_ == ExecTier::kJit && tracer == nullptr && !specialized_.empty();
+  std::optional<EpochGuard> tier3_guard;
+  if (tier3_eligible) {
+    tier3_guard.emplace(GlobalEpochDomain());
+  }
+  uint64_t tier3_execs = 0;
+  std::array<uint64_t, static_cast<size_t>(DeoptReason::kReasonCount)> tier3_deopts{};
+
   const bool vm_metrics = env_.metrics != nullptr;
   const bool timed = exec_metrics_ != nullptr || vm_metrics;
   const uint64_t start_ns = timed ? MonotonicNowNs() : 0;
@@ -196,11 +270,24 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
       deadline.deadline_ns = deadline.Now() + fire_budget_ns_;
     }
     RunStats rs;
-    const Result<int64_t> run =
-        tier_ == ExecTier::kJit
-            ? compiled_[static_cast<size_t>(effective)].RunInFrame(frame, batch_env, arg_span,
-                                                                   &rs, tail_resolver_)
-            : interp.Run(actions_[static_cast<size_t>(effective)], arg_span, &rs);
+    const Result<int64_t> run = [&]() -> Result<int64_t> {
+      if (tier_ != ExecTier::kJit) {
+        return interp.Run(actions_[static_cast<size_t>(effective)], arg_span, &rs);
+      }
+      if (tier3_eligible) {
+        const SpecializedProgram* spec = specialized_[static_cast<size_t>(effective)].Load();
+        if (spec != nullptr) {
+          DeoptReason why = DeoptReason::kMapWrite;
+          if (spec->GuardOk(&why)) {
+            ++tier3_execs;
+            return spec->RunInFrame(frame, batch_env, arg_span, &rs, tail_resolver_);
+          }
+          ++tier3_deopts[static_cast<size_t>(why)];
+        }
+      }
+      return compiled_[static_cast<size_t>(effective)].RunInFrame(frame, batch_env, arg_span,
+                                                                  &rs, tail_resolver_);
+    }();
     agg.steps += rs.steps;
     agg.tail_calls += rs.tail_calls;
     agg.helper_calls += rs.helper_calls;
@@ -229,6 +316,21 @@ void AttachedTable::ExecuteBatch(std::span<const HookEvent> events, uint64_t seq
   batch_table_span.Tag("errors", static_cast<int64_t>(errors));
   if (execs > 0) {
     executions_.Increment(execs);
+    // Always-on exec counter (see Execute): promotion hotness accumulates on
+    // every fire, traced or not.
+    if (opcode_profile_ != nullptr) {
+      opcode_profile_->RecordExec(execs);
+    }
+  }
+  if (tier3_stats_ != nullptr) {
+    if (tier3_execs > 0) {
+      tier3_stats_->execs.Increment(tier3_execs);
+    }
+    for (size_t reason = 0; reason < tier3_deopts.size(); ++reason) {
+      if (tier3_deopts[reason] > 0) {
+        tier3_stats_->deopts[reason].Increment(tier3_deopts[reason]);
+      }
+    }
   }
 
   const uint64_t elapsed_ns = timed ? MonotonicNowNs() - start_ns : 0;

@@ -15,12 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "src/base/epoch.h"
 #include "src/base/status.h"
 #include "src/bytecode/program.h"
 #include "src/ml/model_registry.h"
 #include "src/rmt/hooks.h"
 #include "src/rmt/table.h"
 #include "src/vm/jit.h"
+#include "src/vm/specialize.h"
 #include "src/vm/vm.h"
 
 namespace rkd {
@@ -181,7 +183,21 @@ class AttachedTable {
   const CompiledProgram* compiled_default() const;
   const BytecodeProgram* default_action_program() const;
   size_t action_count() const { return actions_.size(); }
+  const std::vector<BytecodeProgram>& actions() const { return actions_; }
   uint64_t executions() const { return executions_.value(); }
+
+  // --- Tier-3 surface (control-plane writer, fire-path reader) ---
+  // Publishes (spec != nullptr) or retires (nullptr) the specialized form
+  // of action `index`. Takes ownership; the displaced specialization is
+  // epoch-retired, so in-flight fires running it finish safely.
+  void PublishSpecialized(size_t index, const SpecializedProgram* spec);
+  // Control-plane / introspection peek. The returned pointer is only stable
+  // while no concurrent PublishSpecialized runs — i.e. under the control
+  // plane's single-writer contract.
+  const SpecializedProgram* specialized(size_t index) const;
+  // Actions currently carrying a live specialization.
+  size_t specialized_count() const;
+  void set_tier3_stats(Tier3Stats* stats) { tier3_stats_ = stats; }
 
  private:
   RmtTable table_;
@@ -191,6 +207,11 @@ class AttachedTable {
 
   std::vector<BytecodeProgram> actions_;
   std::vector<CompiledProgram> compiled_;
+  // Tier-3 overlay, one slot per action (sized by set_actions, never
+  // reallocated once the datapath can see the table). A null slot or a
+  // failed entry guard falls back to compiled_ for that fire.
+  std::vector<EpochPtr<const SpecializedProgram>> specialized_;
+  Tier3Stats* tier3_stats_ = nullptr;  // owned by InstalledProgram
   int32_t default_action_ = -1;
 
   VmEnv env_;
@@ -232,9 +253,14 @@ class InstalledProgram {
   // The guardian's per-program telemetry slice (set up at install).
   const ProgramExecMetrics& exec_metrics() const { return exec_metrics_; }
   // Sampled opcode/helper profile across every action of this program
-  // (accumulated on traced fires; see VmEnv::profile).
+  // (accumulated on traced fires; see VmEnv::profile). Its always-on exec
+  // tally (OpcodeProfile::total_execs) is bumped on every fire and drives
+  // deterministic tier-3 promotion.
   OpcodeProfile& opcode_profile() { return opcode_profile_obj_; }
   const OpcodeProfile& opcode_profile() const { return opcode_profile_obj_; }
+  // Tier-3 fire-path tallies (specialized executions + deopts by reason).
+  Tier3Stats& tier3_stats() { return tier3_stats_; }
+  const Tier3Stats& tier3_stats() const { return tier3_stats_; }
   PrivacyBudget& privacy_budget() { return privacy_budget_; }
   RateLimiter& rate_limiter() { return rate_limiter_; }
 
@@ -273,6 +299,7 @@ class InstalledProgram {
   VmMetrics vm_metrics_;  // "rkd.vm.*" slice every action execution feeds
   ProgramExecMetrics exec_metrics_;  // "rkd.guard.prog.<name>.*" slice
   OpcodeProfile opcode_profile_obj_;  // sampled opcode/helper attribution
+  Tier3Stats tier3_stats_;  // specialized-fire + deopt tallies
   RateLimiter rate_limiter_;
   PrivacyBudget privacy_budget_;
   DpNoiseSource dp_noise_;

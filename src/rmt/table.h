@@ -126,6 +126,10 @@ class RmtTable {
   // exactly one publish, so this doubles as the mutation count.
   uint64_t version() const { return version_.load(std::memory_order_relaxed); }
 
+  // The version cell itself, for the tier-3 specializer's entry guard: one
+  // load per fire compared against the version pinned at specialize time.
+  const std::atomic<uint64_t>* version_cell() const { return &version_; }
+
   // Writer-side master copy in insertion order (control-plane inspection;
   // not for concurrent readers — they match through the snapshot).
   const std::vector<TableEntry>& entries() const { return entries_; }

@@ -222,6 +222,12 @@ Status RmtMlPrefetcher::Init() {
         control_plane_.WriteMap(handle_, kConfigMap, kKnobKey, config_.initial_depth));
   }
 
+  if (config_.enable_tiering && config_.tier == ExecTier::kJit) {
+    ControlPlane::TieringConfig tiering;
+    tiering.hot_execs = config_.tiering_hot_execs;
+    RKD_RETURN_IF_ERROR(control_plane_.EnableTiering(handle_, tiering));
+  }
+
   initialized_ = true;
   return OkStatus();
 }
@@ -345,6 +351,11 @@ void RmtMlPrefetcher::DrainSamplesAndMaybeTrain() {
         // replayed program prefetches at the same depth the incumbent did.
         recorder_->RecordMapWrite(kConfigMap, kKnobKey, *knob);
       }
+    }
+    if (config_.enable_tiering && config_.tier == ExecTier::kJit) {
+      // The model install and knob write above just deoptimized any live
+      // tier-3 streams; this tick respecializes them against the new state.
+      (void)control_plane_.TickTiering(handle_);
     }
   }
 }

@@ -66,6 +66,13 @@ struct MlPrefetcherConfig {
   int64_t initial_depth = 4;    // prefetch-depth knob start value
   int64_t max_depth = 8;
   bool enable_adaptation = true;
+  // Tier ladder: promote the hot prefetch/access actions to specialized
+  // (tier 3) streams once they cross `tiering_hot_execs` fires. Each training
+  // window's model install and knob move deoptimizes the streams back to
+  // tier 2; the tick after the install respecializes against the new state —
+  // so a long run exercises the full promote → deopt → respecialize cycle.
+  bool enable_tiering = true;
+  uint64_t tiering_hot_execs = 1024;
   ExecTier tier = ExecTier::kJit;
   uint64_t seed = 17;
 };

@@ -64,6 +64,11 @@ Status RmtMigrationOracle::Init() {
         }
         return CfsHeuristicCanMigrate(features);
       }));
+  if (config_.enable_tiering && config_.tier == ExecTier::kJit) {
+    ControlPlane::TieringConfig tiering;
+    tiering.hot_execs = config_.tiering_hot_execs;
+    RKD_RETURN_IF_ERROR(control_plane_.EnableTiering(handle_, tiering));
+  }
   initialized_ = true;
   return OkStatus();
 }
@@ -74,7 +79,23 @@ Status RmtMigrationOracle::InstallModel(ModelPtr model) {
   if (recorder_ != nullptr && installed != nullptr) {
     (void)recorder_->RecordModelInstall(0, *installed);
   }
+  if (config_.enable_tiering && config_.tier == ExecTier::kJit) {
+    // The install bumped the slot version (stale guard on any live stream);
+    // respecialize now so subsequent fires burn the new model's weights.
+    (void)control_plane_.TickTiering(handle_);
+  }
   return OkStatus();
+}
+
+void RmtMigrationOracle::MaybeTickTiering(uint64_t new_queries) {
+  if (!config_.enable_tiering || config_.tier != ExecTier::kJit) {
+    return;
+  }
+  queries_since_tier_tick_ += new_queries;
+  if (queries_since_tier_tick_ >= config_.tiering_tick_queries) {
+    queries_since_tier_tick_ = 0;
+    (void)control_plane_.TickTiering(handle_);
+  }
 }
 
 Status RmtMigrationOracle::AttachRecorder(ExperienceRecorder* recorder) {
@@ -106,6 +127,7 @@ MigrationOracle RmtMigrationOracle::AsOracle() {
       recorder_->StageContextFeatures(hook_, entry->features);
       recorder_->StageLabel(hook_, CfsHeuristicCanMigrate(features));
     }
+    MaybeTickTiering(1);
     return hooks_.Fire(hook_, static_cast<uint64_t>(pid));
   };
 }
@@ -141,6 +163,7 @@ BatchMigrationOracle RmtMigrationOracle::AsBatchOracle() {
       return;
     }
     batch_results_.assign(batch_events_.size(), kHookFallback);
+    MaybeTickTiering(batch_events_.size());
     hooks_.FireBatch(hook_, batch_events_, batch_results_);
     for (size_t j = 0; j < batch_events_.size(); ++j) {
       decisions[batch_slots_[j]] = batch_results_[j];

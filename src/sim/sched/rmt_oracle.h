@@ -34,6 +34,13 @@ struct RmtOracleConfig {
   // in lane order. Empty = all 15 in index order.
   std::vector<size_t> selected_features;
   ExecTier tier = ExecTier::kJit;
+  // Tier ladder: promote the hot migrate action to a specialized (tier 3)
+  // stream that burns the installed MLP's weights. The ladder ticks every
+  // `tiering_tick_queries` oracle queries and after every InstallModel (a
+  // new model deoptimizes the stream; the tick respecializes against it).
+  bool enable_tiering = true;
+  uint64_t tiering_hot_execs = 1024;
+  uint64_t tiering_tick_queries = 256;
 };
 
 class RmtMigrationOracle {
@@ -77,8 +84,12 @@ class RmtMigrationOracle {
   HookRegistry hooks_;
   ControlPlane control_plane_;
   ControlPlane::ProgramHandle handle_ = -1;
+  // Ticks the tier ladder when due (every tiering_tick_queries queries).
+  void MaybeTickTiering(uint64_t new_queries);
+
   HookId hook_ = kInvalidHook;
   uint64_t queries_ = 0;
+  uint64_t queries_since_tier_tick_ = 0;
   bool initialized_ = false;
   ExperienceRecorder* recorder_ = nullptr;  // null = not recording
 

@@ -91,6 +91,15 @@ class CompiledProgram {
   Result<int64_t> RunInFrame(Frame& frame, const VmEnv& env, std::span<const int64_t> args,
                              RunStats* stats = nullptr, const Resolver& resolve = {}) const;
 
+  // Continues execution in an existing frame from pc 0 — the tier-3
+  // specializer's tail-call chain entry (a specialized program resolves the
+  // target and hands the live frame to this tier-2 loop, cumulative call
+  // tallies and all). Runs the same divert logic as Run, including the
+  // deadline-armed variant.
+  Result<int64_t> ContinueFrame(Frame& frame, RunStats* stats, const Resolver& resolve) const {
+    return ExecuteFrame(frame, stats, resolve);
+  }
+
  private:
   CompiledProgram() = default;
 

@@ -22,7 +22,7 @@ std::optional<int64_t> ArrayMap::Lookup(int64_t key) {
   if (key < 0 || static_cast<size_t>(key) >= values_.size()) {
     return std::nullopt;
   }
-  return values_[static_cast<size_t>(key)];
+  return values_[static_cast<size_t>(key)].load(std::memory_order_relaxed);
 }
 
 bool ArrayMap::Contains(int64_t key) const {
@@ -33,7 +33,7 @@ bool ArrayMap::Update(int64_t key, int64_t value) {
   if (key < 0 || static_cast<size_t>(key) >= values_.size()) {
     return false;
   }
-  values_[static_cast<size_t>(key)] = value;
+  values_[static_cast<size_t>(key)].store(value, std::memory_order_relaxed);
   return true;
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -106,7 +107,11 @@ class RmtMap {
 
 class ArrayMap final : public RmtMap {
  public:
-  explicit ArrayMap(size_t capacity) : values_(capacity, 0) {}
+  // Value-initialized atomic cells: every slot starts at 0. Cells are
+  // atomics (relaxed) because the control plane may WriteMap a slot while
+  // datapath fires read it — per-cell wordwise atomicity is exactly the
+  // eBPF array-map contract; there is no cross-cell consistency to lose.
+  explicit ArrayMap(size_t capacity) : values_(capacity) {}
 
   MapKind kind() const override { return MapKind::kArray; }
   size_t capacity() const override { return values_.size(); }
@@ -116,8 +121,13 @@ class ArrayMap final : public RmtMap {
   bool Update(int64_t key, int64_t value) override;
   bool Delete(int64_t key) override;  // resets the slot to 0
 
+  // Raw cell array for the tier-3 specializer's burned lookups (skips the
+  // registry probe and the virtual dispatch; bounds/zero semantics stay the
+  // caller's job and must mirror Lookup).
+  std::span<const std::atomic<int64_t>> cells() const { return {values_.data(), values_.size()}; }
+
  private:
-  std::vector<int64_t> values_;
+  std::vector<std::atomic<int64_t>> values_;
 };
 
 class HashMap final : public RmtMap {
@@ -217,8 +227,19 @@ class MapSet {
 
   const MapQuota& quota() const { return quota_; }
 
+  // Control-plane write versioning for the tier-3 specializer. Every
+  // successful out-of-VM write (ControlPlane::WriteMap) bumps this cell, so
+  // a specialized program that folded map state detects staleness with one
+  // load at fire entry. VM-side kMapUpdate/kMapDelete do NOT bump it — the
+  // specializer only folds maps that no action of the program writes, so
+  // the control plane is the sole writer of folded state.
+  void BumpWriteVersion() { write_version_.fetch_add(1, std::memory_order_release); }
+  uint64_t write_version() const { return write_version_.load(std::memory_order_relaxed); }
+  const std::atomic<uint64_t>* write_version_cell() const { return &write_version_; }
+
  private:
   MapQuota quota_;
+  std::atomic<uint64_t> write_version_{0};
   std::vector<std::unique_ptr<RmtMap>> maps_;
 };
 

@@ -1,0 +1,1467 @@
+#include "src/vm/specialize.h"
+
+#include <cstring>
+#include <limits>
+#include <optional>
+
+#include "src/base/failpoints.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/forest.h"
+#include "src/ml/guarded.h"
+#include "src/ml/linear.h"
+#include "src/ml/quantize.h"
+
+namespace rkd {
+
+namespace {
+
+constexpr uint16_t kOpCount = static_cast<uint16_t>(Opcode::kOpcodeCount);
+
+// Extended operations produced by folding. Values above the opcode range so
+// the executor can switch on one uint16.
+constexpr uint16_t kSpecMapLookupConst = kOpCount + 0;   // imm = folded value
+constexpr uint16_t kSpecMapLookupArray = kOpCount + 1;   // aux -> BurnedMap (raw cells)
+constexpr uint16_t kSpecMapLookupBurned = kOpCount + 2;  // aux -> BurnedMap (devirtualized)
+constexpr uint16_t kSpecMlCallBurned = kOpCount + 3;     // aux -> FoldedModel
+constexpr uint16_t kSpecMatMulTile = kOpCount + 4;       // aux -> TileKernel
+constexpr uint16_t kSpecVecAddTBurned = kOpCount + 5;    // aux -> bias tensor
+// Classifier head: kMatMul (+ fused in-place relu) whose output vreg is
+// consumed by a kVecArgmax and provably dead afterwards — the tile kernel
+// writes a local buffer and only the argmax lane index reaches the scalar
+// file. dst = argmax's scalar reg, src = the matmul input vreg.
+constexpr uint16_t kSpecMatMulTileArgmax = kOpCount + 6;  // aux -> TileKernel
+
+#define OPC(name) static_cast<uint16_t>(::rkd::Opcode::name)
+
+// Devirtualized Predict thunks: folding a model pins its dynamic type for
+// the specialization's lifetime (any install bumps the guarded slot
+// version), so the concrete Predict can be resolved once here instead of
+// through the vtable on every fire. Every production model class is final.
+using RawPredictFn = int64_t (*)(const InferenceModel*, std::span<const int32_t>);
+
+template <typename T>
+int64_t PredictAs(const InferenceModel* model, std::span<const int32_t> features) {
+  return static_cast<const T*>(model)->Predict(features);
+}
+
+// True when no instruction at pc > `after_pc` can observe vreg `v`
+// (conservative: full overwrites count as mentions, and a tail call may
+// hand the frame to a program that reads anything). Control flow is
+// forward-only, so a linear suffix scan covers every reachable read.
+bool VregDeadAfter(const BytecodeProgram& program, int64_t after_pc, uint8_t v) {
+  const int64_t n = static_cast<int64_t>(program.code.size());
+  for (int64_t pc = after_pc + 1; pc < n; ++pc) {
+    const Instruction& insn = program.code[static_cast<size_t>(pc)];
+    switch (insn.opcode) {
+      case Opcode::kVecLdCtxt:
+      case Opcode::kVecZero:
+      case Opcode::kScalarVal:
+      case Opcode::kVecAddT:
+        if (insn.dst == v) {
+          return false;
+        }
+        break;
+      case Opcode::kVecStCtxt:
+      case Opcode::kVecExtract:
+      case Opcode::kVecArgmax:
+      case Opcode::kMlCall:
+        if (insn.src == v) {
+          return false;
+        }
+        break;
+      case Opcode::kMatMul:
+      case Opcode::kVecRelu:
+      case Opcode::kVecAdd:
+      case Opcode::kVecDot:
+        if (insn.dst == v || insn.src == v) {
+          return false;
+        }
+        break;
+      case Opcode::kTailCall:
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+RawPredictFn ResolvePredict(const InferenceModel* model) {
+  if (dynamic_cast<const QuantizedMlp*>(model) != nullptr) {
+    return PredictAs<QuantizedMlp>;
+  }
+  if (dynamic_cast<const DecisionTree*>(model) != nullptr) {
+    return PredictAs<DecisionTree>;
+  }
+  if (dynamic_cast<const RandomForest*>(model) != nullptr) {
+    return PredictAs<RandomForest>;
+  }
+  if (dynamic_cast<const IntegerLinear*>(model) != nullptr) {
+    return PredictAs<IntegerLinear>;
+  }
+  if (dynamic_cast<const GuardedModel*>(model) != nullptr) {
+    return PredictAs<GuardedModel>;
+  }
+  return PredictAs<InferenceModel>;  // unknown subclass: keep the virtual call
+}
+
+int32_t SatAdd32(int32_t a, int32_t b) {
+  const int64_t wide = static_cast<int64_t>(a) + b;
+  if (wide > std::numeric_limits<int32_t>::max()) {
+    return std::numeric_limits<int32_t>::max();
+  }
+  if (wide < std::numeric_limits<int32_t>::min()) {
+    return std::numeric_limits<int32_t>::min();
+  }
+  return static_cast<int32_t>(wide);
+}
+
+// Compile-time ALU evaluation with the exact runtime handler semantics
+// (div/mod by zero yield 0, shifts mask to 6 bits, kShr is logical).
+// Add/sub/mul/shl go through uint64 so evaluating a dynamically-unreachable
+// op can never trip signed-overflow UB that the runtime would not have.
+// Returns false when folding is unsafe (INT64_MIN / -1 must keep its
+// runtime trap).
+bool EvalAlu(Opcode op, int64_t a, int64_t b, int64_t* out) {
+  const uint64_t ua = static_cast<uint64_t>(a);
+  const uint64_t ub = static_cast<uint64_t>(b);
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kAddImm:
+      *out = static_cast<int64_t>(ua + ub);
+      return true;
+    case Opcode::kSub:
+    case Opcode::kSubImm:
+      *out = static_cast<int64_t>(ua - ub);
+      return true;
+    case Opcode::kMul:
+    case Opcode::kMulImm:
+      *out = static_cast<int64_t>(ua * ub);
+      return true;
+    case Opcode::kDiv:
+    case Opcode::kDivImm:
+      if (b == 0) {
+        *out = 0;
+        return true;
+      }
+      if (a == std::numeric_limits<int64_t>::min() && b == -1) {
+        return false;
+      }
+      *out = a / b;
+      return true;
+    case Opcode::kMod:
+    case Opcode::kModImm:
+      if (b == 0) {
+        *out = 0;
+        return true;
+      }
+      if (a == std::numeric_limits<int64_t>::min() && b == -1) {
+        return false;
+      }
+      *out = a % b;
+      return true;
+    case Opcode::kAnd:
+    case Opcode::kAndImm:
+      *out = a & b;
+      return true;
+    case Opcode::kOr:
+    case Opcode::kOrImm:
+      *out = a | b;
+      return true;
+    case Opcode::kXor:
+    case Opcode::kXorImm:
+      *out = a ^ b;
+      return true;
+    case Opcode::kShl:
+    case Opcode::kShlImm:
+      *out = static_cast<int64_t>(ua << (ub & 63));
+      return true;
+    case Opcode::kShr:
+    case Opcode::kShrImm:
+      *out = static_cast<int64_t>(ua >> (ub & 63));
+      return true;
+    case Opcode::kAshr:
+    case Opcode::kAshrImm:
+      *out = a >> (b & 63);
+      return true;
+    case Opcode::kMov:
+    case Opcode::kMovImm:
+      *out = b;
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Branch condition with the exact runtime handler semantics.
+bool EvalBranch(Opcode op, int64_t a, int64_t b) {
+  switch (op) {
+    case Opcode::kJeq:
+    case Opcode::kJeqImm:
+      return a == b;
+    case Opcode::kJne:
+    case Opcode::kJneImm:
+      return a != b;
+    case Opcode::kJlt:
+    case Opcode::kJltImm:
+      return a < b;
+    case Opcode::kJle:
+    case Opcode::kJleImm:
+      return a <= b;
+    case Opcode::kJgt:
+    case Opcode::kJgtImm:
+      return a > b;
+    case Opcode::kJge:
+    case Opcode::kJgeImm:
+      return a >= b;
+    case Opcode::kJset:
+    case Opcode::kJsetImm:
+      return (a & b) != 0;
+    default:
+      return false;
+  }
+}
+
+bool IsImmBranch(Opcode op) {
+  switch (op) {
+    case Opcode::kJeqImm:
+    case Opcode::kJneImm:
+    case Opcode::kJltImm:
+    case Opcode::kJleImm:
+    case Opcode::kJgtImm:
+    case Opcode::kJgeImm:
+    case Opcode::kJsetImm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// --- Tile kernels ---
+//
+// All kernels accumulate each output lane's terms through uint64 wraparound
+// addition, which is commutative and associative and equals two's-complement
+// int64 accumulation bit for bit — so ANY summation order produces a result
+// bit-identical to FixedMatrix::MatVec's sequential one. That freedom is the
+// whole point: the output-stationary kernels split each row's reduction into
+// four independent accumulator chains (the sequential chain in MatVec is
+// latency-bound on the add; four chains keep the multiplier pipeline full),
+// and fixed-trip-count variants let the compiler fully unroll the common
+// layer sizes. Measured ~2x over the generic MatVec at 32x32.
+
+template <size_t Cols>
+void MatVecFixedCols(const int32_t* w, size_t rows, size_t cols, const int32_t* x, int32_t* y) {
+  (void)cols;
+  for (size_t r = 0; r < rows; ++r) {
+    const int32_t* row = w + r * Cols;
+    uint64_t a0 = 0;
+    uint64_t a1 = 0;
+    uint64_t a2 = 0;
+    uint64_t a3 = 0;
+    size_t c = 0;
+    for (; c + 4 <= Cols; c += 4) {
+      a0 += static_cast<uint64_t>(static_cast<int64_t>(row[c + 0]) * x[c + 0]);
+      a1 += static_cast<uint64_t>(static_cast<int64_t>(row[c + 1]) * x[c + 1]);
+      a2 += static_cast<uint64_t>(static_cast<int64_t>(row[c + 2]) * x[c + 2]);
+      a3 += static_cast<uint64_t>(static_cast<int64_t>(row[c + 3]) * x[c + 3]);
+    }
+    for (; c < Cols; ++c) {
+      a0 += static_cast<uint64_t>(static_cast<int64_t>(row[c]) * x[c]);
+    }
+    y[r] = static_cast<int32_t>(static_cast<int64_t>(a0 + a1 + a2 + a3) >>
+                                Fixed32::kFractionBits);
+  }
+}
+
+void MatVecGenericOS(const int32_t* w, size_t rows, size_t cols, const int32_t* x, int32_t* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    const int32_t* row = w + r * cols;
+    uint64_t a0 = 0;
+    uint64_t a1 = 0;
+    uint64_t a2 = 0;
+    uint64_t a3 = 0;
+    size_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      a0 += static_cast<uint64_t>(static_cast<int64_t>(row[c + 0]) * x[c + 0]);
+      a1 += static_cast<uint64_t>(static_cast<int64_t>(row[c + 1]) * x[c + 1]);
+      a2 += static_cast<uint64_t>(static_cast<int64_t>(row[c + 2]) * x[c + 2]);
+      a3 += static_cast<uint64_t>(static_cast<int64_t>(row[c + 3]) * x[c + 3]);
+    }
+    for (; c < cols; ++c) {
+      a0 += static_cast<uint64_t>(static_cast<int64_t>(row[c]) * x[c]);
+    }
+    y[r] = static_cast<int32_t>(static_cast<int64_t>(a0 + a1 + a2 + a3) >>
+                                Fixed32::kFractionBits);
+  }
+}
+
+// Weight-stationary: process four output rows at a time so each x element
+// is loaded once per block and reused across the four row accumulators —
+// all held in registers (a full acc[rows] array bounces through memory and
+// is latency-bound on store forwarding).
+inline void MatVecRowBlock4(const int32_t* w, size_t r, size_t cols, const int32_t* x,
+                            int32_t* y) {
+  const int32_t* row0 = w + (r + 0) * cols;
+  const int32_t* row1 = w + (r + 1) * cols;
+  const int32_t* row2 = w + (r + 2) * cols;
+  const int32_t* row3 = w + (r + 3) * cols;
+  uint64_t a0 = 0;
+  uint64_t a1 = 0;
+  uint64_t a2 = 0;
+  uint64_t a3 = 0;
+  for (size_t c = 0; c < cols; ++c) {
+    const int64_t xc = x[c];
+    a0 += static_cast<uint64_t>(static_cast<int64_t>(row0[c]) * xc);
+    a1 += static_cast<uint64_t>(static_cast<int64_t>(row1[c]) * xc);
+    a2 += static_cast<uint64_t>(static_cast<int64_t>(row2[c]) * xc);
+    a3 += static_cast<uint64_t>(static_cast<int64_t>(row3[c]) * xc);
+  }
+  y[r + 0] = static_cast<int32_t>(static_cast<int64_t>(a0) >> Fixed32::kFractionBits);
+  y[r + 1] = static_cast<int32_t>(static_cast<int64_t>(a1) >> Fixed32::kFractionBits);
+  y[r + 2] = static_cast<int32_t>(static_cast<int64_t>(a2) >> Fixed32::kFractionBits);
+  y[r + 3] = static_cast<int32_t>(static_cast<int64_t>(a3) >> Fixed32::kFractionBits);
+}
+
+template <size_t Rows>
+void MatVecFixedRows(const int32_t* w, size_t rows, size_t cols, const int32_t* x, int32_t* y) {
+  (void)rows;
+  static_assert(Rows % 4 == 0);
+  for (size_t r = 0; r < Rows; r += 4) {
+    MatVecRowBlock4(w, r, cols, x, y);
+  }
+}
+
+void MatVecGenericWS(const int32_t* w, size_t rows, size_t cols, const int32_t* x, int32_t* y) {
+  size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    MatVecRowBlock4(w, r, cols, x, y);
+  }
+  for (; r < rows; ++r) {
+    const int32_t* row = w + r * cols;
+    uint64_t acc = 0;
+    for (size_t c = 0; c < cols; ++c) {
+      acc += static_cast<uint64_t>(static_cast<int64_t>(row[c]) * x[c]);
+    }
+    y[r] = static_cast<int32_t>(static_cast<int64_t>(acc) >> Fixed32::kFractionBits);
+  }
+}
+
+}  // namespace
+
+std::string_view DataflowStrategyName(DataflowStrategy strategy) {
+  switch (strategy) {
+    case DataflowStrategy::kOutputStationary:
+      return "output_stationary";
+    case DataflowStrategy::kWeightStationary:
+      return "weight_stationary";
+  }
+  return "unknown";
+}
+
+std::string_view DeoptReasonName(DeoptReason reason) {
+  switch (reason) {
+    case DeoptReason::kMapWrite:
+      return "map_write";
+    case DeoptReason::kModelInstall:
+      return "model_install";
+    case DeoptReason::kTableMutation:
+      return "table_mutation";
+    case DeoptReason::kReasonCount:
+      break;
+  }
+  return "unknown";
+}
+
+Result<SpecializedProgram> SpecializedProgram::Specialize(const BytecodeProgram& program,
+                                                          const SpecializeContext& ctx) {
+  if (program.code.empty()) {
+    return InvalidArgumentError("specialize: empty program");
+  }
+  const int64_t n = static_cast<int64_t>(program.code.size());
+
+  SpecializedProgram out;
+  out.name_ = program.name;
+
+  // Pin guard versions FIRST: a write that lands between this pin and a
+  // folding read below makes the guard fail closed (first fire deopts and
+  // the control plane respecializes) — never the reverse.
+  if (ctx.map_write_version != nullptr) {
+    out.pinned_map_version_ = ctx.map_write_version->load(std::memory_order_acquire);
+  }
+  if (ctx.table_version != nullptr) {
+    out.table_version_cell_ = ctx.table_version;
+    out.pinned_table_version_ = ctx.table_version->load(std::memory_order_acquire);
+  }
+
+  // --- Pass 1: validation (mirrors CompiledProgram::Compile) + leaders ---
+  std::vector<bool> leader(static_cast<size_t>(n), false);
+  leader[0] = true;
+  // Fire-entry reset analysis: a vreg escapes the entry zeroing only when
+  // its first access is a full 32-lane write. Control flow is forward-only,
+  // so full writes are trusted only inside the entry straight-line prefix
+  // (before any branch, tail call, or secondary leader) — a later full write
+  // could be jumped over.
+  uint8_t vregs_fully_written = 0;
+  bool entry_prefix = true;
+  const auto vreg_read = [&](uint8_t v) {
+    if ((vregs_fully_written & (1u << v)) == 0) {
+      out.vreg_reset_mask_ |= static_cast<uint8_t>(1u << v);
+    }
+  };
+  const auto vreg_full_write = [&](uint8_t v) {
+    if (entry_prefix) {
+      vregs_fully_written |= static_cast<uint8_t>(1u << v);
+    }
+  };
+  for (int64_t pc = 0; pc < n; ++pc) {
+    const Instruction& insn = program.code[static_cast<size_t>(pc)];
+    if (pc > 0 && leader[static_cast<size_t>(pc)]) {
+      entry_prefix = false;  // a branch targets (or falls through to) here
+    }
+
+    const bool vector_op = IsVectorOp(insn.opcode);
+    if (vector_op) {
+      const bool dst_is_scalar =
+          insn.opcode == Opcode::kMlCall || insn.opcode == Opcode::kVecArgmax ||
+          insn.opcode == Opcode::kVecExtract || insn.opcode == Opcode::kVecStCtxt;
+      const bool src_is_scalar =
+          insn.opcode == Opcode::kVecLdCtxt || insn.opcode == Opcode::kScalarVal;
+      if ((dst_is_scalar && insn.dst >= kNumScalarRegs) ||
+          (!dst_is_scalar && insn.dst >= kNumVectorRegs) ||
+          (src_is_scalar && insn.src >= kNumScalarRegs) ||
+          (!src_is_scalar && insn.src >= kNumVectorRegs)) {
+        return VerificationFailedError("specialize: register out of range at " +
+                                       std::to_string(pc));
+      }
+    } else if (insn.dst >= kNumScalarRegs || insn.src >= kNumScalarRegs) {
+      return VerificationFailedError("specialize: register out of range at " + std::to_string(pc));
+    }
+
+    // Vreg access classification (reads before writes, matching execution).
+    switch (insn.opcode) {
+      case Opcode::kVecLdCtxt:
+      case Opcode::kVecZero:
+        vreg_full_write(insn.dst);
+        break;
+      case Opcode::kVecStCtxt:
+      case Opcode::kVecExtract:
+      case Opcode::kVecArgmax:
+      case Opcode::kMlCall:
+        vreg_read(insn.src);
+        break;
+      case Opcode::kScalarVal:
+        vreg_read(insn.dst);  // single-lane write: the other lanes show through
+        break;
+      case Opcode::kMatMul:
+        vreg_read(insn.src);
+        vreg_full_write(insn.dst);  // all paths fill every lane of dst
+        break;
+      case Opcode::kVecAddT:
+        vreg_read(insn.dst);
+        break;
+      case Opcode::kVecAdd:
+      case Opcode::kVecDot:
+        vreg_read(insn.dst);
+        vreg_read(insn.src);
+        break;
+      case Opcode::kVecRelu:
+        vreg_read(insn.src);
+        vreg_full_write(insn.dst);
+        break;
+      default:
+        break;
+    }
+
+    if (IsBranch(insn.opcode)) {
+      const int64_t target = pc + 1 + insn.offset;
+      if (target <= pc) {
+        return VerificationFailedError("specialize: backward jump at " + std::to_string(pc));
+      }
+      if (target >= n) {
+        return VerificationFailedError("specialize: jump out of range at " + std::to_string(pc));
+      }
+      leader[static_cast<size_t>(target)] = true;
+      if (pc + 1 < n) {
+        leader[static_cast<size_t>(pc + 1)] = true;  // conditional fall-through
+      }
+    }
+
+    switch (insn.opcode) {
+      case Opcode::kLdStack:
+      case Opcode::kStStack:
+      case Opcode::kStStackImm:
+        if (insn.offset < -kStackSize || insn.offset > -8 || insn.offset % 8 != 0) {
+          return VerificationFailedError("specialize: bad stack offset at " + std::to_string(pc));
+        }
+        out.touches_stack_ = true;
+        break;
+      case Opcode::kLdCtxt:
+      case Opcode::kStCtxt:
+        if (insn.offset < 0 || insn.offset >= kCtxtScalarSlots) {
+          return VerificationFailedError("specialize: bad ctxt slot at " + std::to_string(pc));
+        }
+        break;
+      case Opcode::kScalarVal:
+      case Opcode::kVecExtract:
+        if (insn.offset < 0 || insn.offset >= kVectorLanes) {
+          return VerificationFailedError("specialize: bad vector lane at " + std::to_string(pc));
+        }
+        break;
+      case Opcode::kCall:
+        if (insn.imm < 0 || insn.imm >= static_cast<int64_t>(HelperId::kHelperCount)) {
+          return VerificationFailedError("specialize: unknown helper at " + std::to_string(pc));
+        }
+        break;
+      case Opcode::kTailCall:
+        // The chained program executes in the same frame; assume the worst.
+        out.touches_stack_ = true;
+        out.touches_vregs_ = true;
+        out.vreg_reset_mask_ = 0xff;
+        if (pc + 1 < n) {
+          leader[static_cast<size_t>(pc + 1)] = true;  // fall-through resume
+        }
+        break;
+      case Opcode::kOpcodeCount:
+        return VerificationFailedError("specialize: invalid opcode at " + std::to_string(pc));
+      default:
+        break;
+    }
+    if (vector_op) {
+      out.touches_vregs_ = true;
+    }
+    if (IsBranch(insn.opcode) || insn.opcode == Opcode::kTailCall) {
+      entry_prefix = false;  // later full writes could be jumped over
+    }
+  }
+  const Opcode last = program.code.back().opcode;
+  if (last != Opcode::kExit && last != Opcode::kJa) {
+    return VerificationFailedError("specialize: program may fall off the end");
+  }
+
+  // Leader pc -> superblock index, in pc order (fall-through == blk + 1).
+  std::vector<int32_t> block_of(static_cast<size_t>(n), -1);
+  int32_t num_blocks = 0;
+  for (int64_t pc = 0; pc < n; ++pc) {
+    if (leader[static_cast<size_t>(pc)]) {
+      block_of[static_cast<size_t>(pc)] = num_blocks++;
+    }
+  }
+  out.blocks_.reserve(static_cast<size_t>(num_blocks));
+
+  // --- Pass 2: per-block constant propagation + specialized emission ---
+  const bool maps_foldable =
+      ctx.fold_map_constants && ctx.maps != nullptr && ctx.map_write_version != nullptr;
+  const auto fire_written = [&ctx](int64_t id) {
+    for (const int64_t written : ctx.fire_written_maps) {
+      if (written == id) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::array<std::optional<int64_t>, kNumScalarRegs> known;
+  bool any_map_fold = false;
+
+  const auto emit = [&out](uint16_t code, uint8_t dst, uint8_t src, int32_t arg, uint32_t aux,
+                           int64_t imm) {
+    out.ops_.push_back(SpecOp{code, dst, src, arg, aux, imm});
+  };
+
+  int skip_count = 0;  // following insns already fused into the last emission
+  for (int64_t pc = 0; pc < n; ++pc) {
+    if (leader[static_cast<size_t>(pc)]) {
+      out.blocks_.push_back(Superblock{static_cast<uint32_t>(out.ops_.size()), 0});
+      known.fill(std::nullopt);  // conservatively unknown at every block entry
+    }
+    if (skip_count > 0) {
+      --skip_count;
+      continue;
+    }
+    const Instruction& insn = program.code[static_cast<size_t>(pc)];
+    const uint16_t code = static_cast<uint16_t>(insn.opcode);
+
+    switch (insn.opcode) {
+      // --- Scalar ALU: propagate constants; a fully-known result folds to
+      // one kMovImm. ---
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kMod:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kAshr: {
+        int64_t v = 0;
+        if (known[insn.dst] && known[insn.src] &&
+            EvalAlu(insn.opcode, *known[insn.dst], *known[insn.src], &v)) {
+          emit(OPC(kMovImm), insn.dst, 0, 0, 0, v);
+          known[insn.dst] = v;
+        } else {
+          emit(code, insn.dst, insn.src, 0, 0, insn.imm);
+          known[insn.dst] = std::nullopt;
+        }
+        break;
+      }
+      case Opcode::kAddImm:
+      case Opcode::kSubImm:
+      case Opcode::kMulImm:
+      case Opcode::kDivImm:
+      case Opcode::kModImm:
+      case Opcode::kAndImm:
+      case Opcode::kOrImm:
+      case Opcode::kXorImm:
+      case Opcode::kShlImm:
+      case Opcode::kShrImm:
+      case Opcode::kAshrImm: {
+        int64_t v = 0;
+        if (known[insn.dst] && EvalAlu(insn.opcode, *known[insn.dst], insn.imm, &v)) {
+          emit(OPC(kMovImm), insn.dst, 0, 0, 0, v);
+          known[insn.dst] = v;
+        } else {
+          emit(code, insn.dst, insn.src, 0, 0, insn.imm);
+          known[insn.dst] = std::nullopt;
+        }
+        break;
+      }
+      case Opcode::kMov:
+        if (known[insn.src]) {
+          emit(OPC(kMovImm), insn.dst, 0, 0, 0, *known[insn.src]);
+        } else {
+          emit(code, insn.dst, insn.src, 0, 0, insn.imm);
+        }
+        known[insn.dst] = known[insn.src];
+        break;
+      case Opcode::kMovImm:
+        emit(code, insn.dst, 0, 0, 0, insn.imm);
+        known[insn.dst] = insn.imm;
+        break;
+      case Opcode::kNeg: {
+        if (known[insn.dst]) {
+          const int64_t v = static_cast<int64_t>(0 - static_cast<uint64_t>(*known[insn.dst]));
+          emit(OPC(kMovImm), insn.dst, 0, 0, 0, v);
+          known[insn.dst] = v;
+        } else {
+          emit(code, insn.dst, insn.src, 0, 0, 0);
+        }
+        break;
+      }
+
+      // --- Branches: arg holds the absolute target BLOCK; a known
+      // condition folds to an unconditional jump or disappears. ---
+      case Opcode::kJa:
+      case Opcode::kJeq:
+      case Opcode::kJne:
+      case Opcode::kJlt:
+      case Opcode::kJle:
+      case Opcode::kJgt:
+      case Opcode::kJge:
+      case Opcode::kJset:
+      case Opcode::kJeqImm:
+      case Opcode::kJneImm:
+      case Opcode::kJltImm:
+      case Opcode::kJleImm:
+      case Opcode::kJgtImm:
+      case Opcode::kJgeImm:
+      case Opcode::kJsetImm: {
+        const int64_t target = pc + 1 + insn.offset;
+        const int32_t target_block = block_of[static_cast<size_t>(target)];
+        if (insn.opcode == Opcode::kJa) {
+          emit(OPC(kJa), 0, 0, target_block, 0, 0);
+          break;
+        }
+        std::optional<bool> taken;
+        if (IsImmBranch(insn.opcode)) {
+          if (known[insn.dst]) {
+            taken = EvalBranch(insn.opcode, *known[insn.dst], insn.imm);
+          }
+        } else if (known[insn.dst] && known[insn.src]) {
+          taken = EvalBranch(insn.opcode, *known[insn.dst], *known[insn.src]);
+        }
+        if (taken.has_value()) {
+          if (*taken) {
+            emit(OPC(kJa), 0, 0, target_block, 0, 0);
+          }
+          // Known-not-taken: drop the branch; the block falls through.
+        } else {
+          emit(code, insn.dst, insn.src, target_block, 0, insn.imm);
+        }
+        break;
+      }
+
+      // --- Maps ---
+      case Opcode::kMapLookup: {
+        RmtMap* map = maps_foldable ? ctx.maps->Get(insn.imm) : nullptr;
+        if (map == nullptr || fire_written(insn.imm)) {
+          emit(code, insn.dst, insn.src, 0, 0, insn.imm);  // generic, live reads
+        } else if (map->kind() == MapKind::kRing) {
+          // Ring lookups are always nullopt -> 0 regardless of key or
+          // contents, so this fold needs no write-version guard at all.
+          emit(kSpecMapLookupConst, insn.dst, insn.src, 0, 0, 0);
+          ++out.folded_lookups_;
+        } else if (known[insn.src] && map->kind() != MapKind::kLru) {
+          // Array/hash lookups are side-effect free: evaluate now. (LRU
+          // lookups refresh recency — they keep their per-fire call.)
+          const int64_t v = map->Lookup(*known[insn.src]).value_or(0);
+          emit(kSpecMapLookupConst, insn.dst, insn.src, 0, 0, v);
+          ++out.folded_lookups_;
+          any_map_fold = true;
+        } else if (map->kind() == MapKind::kArray) {
+          const auto cells = static_cast<ArrayMap*>(map)->cells();
+          emit(kSpecMapLookupArray, insn.dst, insn.src, 0,
+               static_cast<uint32_t>(out.burned_maps_.size()), insn.imm);
+          out.burned_maps_.push_back(BurnedMap{map, cells.data(), cells.size()});
+          ++out.burned_lookups_;
+          any_map_fold = true;
+        } else {
+          emit(kSpecMapLookupBurned, insn.dst, insn.src, 0,
+               static_cast<uint32_t>(out.burned_maps_.size()), insn.imm);
+          out.burned_maps_.push_back(BurnedMap{map, nullptr, 0});
+          ++out.burned_lookups_;
+          any_map_fold = true;
+        }
+        // Even a folded value is perturbable at runtime (vm.map_lookup
+        // corrupt failpoint), so dst is never a propagatable constant.
+        known[insn.dst] = std::nullopt;
+        break;
+      }
+      case Opcode::kMapExists: {
+        RmtMap* map = maps_foldable ? ctx.maps->Get(insn.imm) : nullptr;
+        if (map != nullptr && !fire_written(insn.imm) && known[insn.src]) {
+          const int64_t v = map->Contains(*known[insn.src]) ? 1 : 0;
+          emit(OPC(kMovImm), insn.dst, 0, 0, 0, v);
+          known[insn.dst] = v;  // kMapExists has no failpoint to perturb it
+          ++out.folded_lookups_;
+          any_map_fold = true;
+        } else {
+          emit(code, insn.dst, insn.src, 0, 0, insn.imm);
+          known[insn.dst] = std::nullopt;
+        }
+        break;
+      }
+      case Opcode::kMapUpdate:
+      case Opcode::kMapDelete:
+        emit(code, insn.dst, insn.src, 0, 0, insn.imm);
+        break;
+
+      // --- ML ---
+      case Opcode::kMlCall: {
+        const ModelSlot* slot =
+            ctx.fold_models && ctx.models != nullptr ? ctx.models->slot(insn.imm) : nullptr;
+        ModelSlot::VersionedModel snap;
+        if (slot != nullptr) {
+          snap = slot->Snapshot();
+        }
+        if (snap.model != nullptr) {
+          emit(kSpecMlCallBurned, insn.dst, insn.src, 0,
+               static_cast<uint32_t>(out.models_.size()), insn.imm);
+          out.models_.push_back(FoldedModel{snap.model, snap.model.get(), slot,
+                                            ResolvePredict(snap.model.get()), snap.version,
+                                            insn.imm});
+        } else {
+          // Empty slot: the generic op picks a later install up live, so
+          // there is no pinned state to guard.
+          emit(code, insn.dst, insn.src, 0, 0, insn.imm);
+        }
+        known[insn.dst] = std::nullopt;
+        break;
+      }
+      case Opcode::kMatMul: {
+        const FixedMatrix* tensor = ctx.tensors != nullptr ? ctx.tensors->Get(insn.imm) : nullptr;
+        if (ctx.tensors == nullptr) {
+          emit(code, insn.dst, insn.src, 0, 0, insn.imm);
+        } else if (tensor == nullptr || tensor->rows() > kVectorLanes ||
+                   tensor->cols() > kVectorLanes) {
+          // Tier 2 zero-fills; tensors are immutable, so fold the fill.
+          emit(OPC(kVecZero), insn.dst, 0, 0, 0, 0);
+        } else {
+          const auto rows = static_cast<uint32_t>(tensor->rows());
+          const auto cols = static_cast<uint32_t>(tensor->cols());
+          // Tall-skinny layers reuse x best column-wise (weight-stationary);
+          // wide layers vectorize the per-output reduction (output-
+          // stationary). Fixed-trip tiles when the reduction length matches.
+          const DataflowStrategy strategy = cols < rows ? DataflowStrategy::kWeightStationary
+                                                        : DataflowStrategy::kOutputStationary;
+          MatVecFn fn = nullptr;
+          if (strategy == DataflowStrategy::kOutputStationary) {
+            switch (cols) {
+              case 4: fn = MatVecFixedCols<4>; break;
+              case 8: fn = MatVecFixedCols<8>; break;
+              case 16: fn = MatVecFixedCols<16>; break;
+              case 32: fn = MatVecFixedCols<32>; break;
+              default: fn = MatVecGenericOS; break;
+            }
+          } else {
+            switch (rows) {
+              case 4: fn = MatVecFixedRows<4>; break;
+              case 8: fn = MatVecFixedRows<8>; break;
+              case 16: fn = MatVecFixedRows<16>; break;
+              case 32: fn = MatVecFixedRows<32>; break;
+              default: fn = MatVecGenericWS; break;
+            }
+          }
+          // Fold an immediately following in-place relu into the kernel
+          // store: clamping all lanes after the tile writes is bit-identical
+          // to the separate kVecRelu pass over the matmul's output vreg.
+          bool fuse_relu = false;
+          int64_t look = pc + 1;
+          if (look < n && !leader[static_cast<size_t>(look)]) {
+            const Instruction& next = program.code[static_cast<size_t>(look)];
+            if (next.opcode == Opcode::kVecRelu && next.dst == insn.dst &&
+                next.src == insn.dst) {
+              fuse_relu = true;
+              ++look;
+            }
+          }
+          // Classifier-head fusion: when the (relu'd) output feeds a
+          // kVecArgmax and is dead afterwards, elide the vreg store
+          // entirely — only the winning lane index leaves the kernel.
+          bool fuse_argmax = false;
+          uint8_t argmax_dst = 0;
+          if (look < n && !leader[static_cast<size_t>(look)]) {
+            const Instruction& next = program.code[static_cast<size_t>(look)];
+            if (next.opcode == Opcode::kVecArgmax && next.src == insn.dst &&
+                VregDeadAfter(program, look, insn.dst)) {
+              fuse_argmax = true;
+              argmax_dst = next.dst;
+              ++look;
+            }
+          }
+          skip_count = static_cast<int>(look - (pc + 1));
+          if (fuse_argmax) {
+            emit(kSpecMatMulTileArgmax, argmax_dst, insn.src, 0,
+                 static_cast<uint32_t>(out.tiles_.size()), insn.imm);
+            known[argmax_dst] = std::nullopt;  // the fused op writes a scalar
+          } else {
+            emit(kSpecMatMulTile, insn.dst, insn.src, 0,
+                 static_cast<uint32_t>(out.tiles_.size()), insn.imm);
+          }
+          out.tiles_.push_back(
+              TileKernel{tensor->data().data(), rows, cols, strategy, fuse_relu, fn});
+        }
+        break;
+      }
+      case Opcode::kVecAddT: {
+        const FixedMatrix* tensor = ctx.tensors != nullptr ? ctx.tensors->Get(insn.imm) : nullptr;
+        if (ctx.tensors == nullptr) {
+          emit(code, insn.dst, insn.src, 0, 0, insn.imm);
+        } else if (tensor == nullptr) {
+          // Tier 2 no-ops on a missing tensor; tensors are immutable — drop.
+        } else {
+          emit(kSpecVecAddTBurned, insn.dst, insn.src, 0,
+               static_cast<uint32_t>(out.bias_tensors_.size()), insn.imm);
+          out.bias_tensors_.push_back(tensor);
+        }
+        break;
+      }
+
+      // --- Scalar-writing ops with unfoldable results ---
+      case Opcode::kLdStack:
+      case Opcode::kLdCtxt:
+      case Opcode::kMatchCtxt:
+      case Opcode::kVecExtract:
+      case Opcode::kVecArgmax:
+      case Opcode::kVecDot:
+        emit(code, insn.dst, insn.src, insn.offset, 0, insn.imm);
+        known[insn.dst] = std::nullopt;
+        break;
+      case Opcode::kCall:
+        emit(code, insn.dst, insn.src, 0, 0, insn.imm);
+        known[0] = std::nullopt;  // helpers write r0, read r1..r5
+        break;
+
+      // --- Control ---
+      case Opcode::kTailCall:
+        // arg = resume block (the chain falls through there when the target
+        // is unresolvable or the depth budget is exhausted).
+        emit(code, insn.dst, insn.src, block_of[static_cast<size_t>(pc + 1)], 0, insn.imm);
+        break;
+      case Opcode::kExit:
+        emit(code, 0, 0, 0, 0, 0);
+        break;
+
+      // --- Everything else: generic emission, offset in arg ---
+      default:
+        emit(code, insn.dst, insn.src, insn.offset, 0, insn.imm);
+        break;
+    }
+
+    out.blocks_.back().count =
+        static_cast<uint32_t>(out.ops_.size()) - out.blocks_.back().first;
+  }
+
+  // Only guard dimensions that were actually folded: a program with no
+  // folded map state must not deopt on unrelated WriteMap traffic.
+  if (any_map_fold) {
+    out.map_write_cell_ = ctx.map_write_version;
+  }
+  return out;
+}
+
+bool SpecializedProgram::GuardOk(DeoptReason* reason) const {
+  if (map_write_cell_ != nullptr &&
+      map_write_cell_->load(std::memory_order_acquire) != pinned_map_version_) {
+    if (reason != nullptr) {
+      *reason = DeoptReason::kMapWrite;
+    }
+    return false;
+  }
+  for (const FoldedModel& folded : models_) {
+    if (folded.slot->version() != folded.pinned_version) {
+      if (reason != nullptr) {
+        *reason = DeoptReason::kModelInstall;
+      }
+      return false;
+    }
+  }
+  if (table_version_cell_ != nullptr &&
+      table_version_cell_->load(std::memory_order_acquire) != pinned_table_version_) {
+    if (reason != nullptr) {
+      *reason = DeoptReason::kTableMutation;
+    }
+    return false;
+  }
+  return true;
+}
+
+Result<int64_t> SpecializedProgram::Execute(Frame& frame, RunStats* stats,
+                                            const Resolver& resolve) const {
+  const FireDeadline* deadline = frame.env->deadline;
+  const auto fill_stats = [&frame, stats] {
+    if (stats != nullptr) {
+      stats->tail_calls = frame.tail_calls;
+      stats->helper_calls = frame.helper_calls;
+      stats->ml_calls = frame.ml_calls;
+    }
+  };
+  // Entry poll mirrors both lower tiers: an already-expired deadline fails
+  // before the first block.
+  if (deadline != nullptr && deadline->Expired()) {
+    fill_stats();
+    return DeadlineExceededError("fire deadline exceeded before execution");
+  }
+
+  auto& r = frame.state.regs;
+  auto& vregs = frame.state.vregs;
+  size_t blk = 0;
+  while (true) {
+    {
+      const Superblock& block = blocks_[blk];
+      size_t next = blk + 1;
+      const uint32_t end = block.first + block.count;
+      for (uint32_t i = block.first; i < end; ++i) {
+        const SpecOp& op = ops_[i];
+        switch (op.code) {
+          // --- Scalar ALU ---
+          case OPC(kAdd): r[op.dst] += r[op.src]; break;
+          case OPC(kSub): r[op.dst] -= r[op.src]; break;
+          case OPC(kMul): r[op.dst] *= r[op.src]; break;
+          case OPC(kDiv): r[op.dst] = r[op.src] == 0 ? 0 : r[op.dst] / r[op.src]; break;
+          case OPC(kMod): r[op.dst] = r[op.src] == 0 ? 0 : r[op.dst] % r[op.src]; break;
+          case OPC(kAnd): r[op.dst] &= r[op.src]; break;
+          case OPC(kOr): r[op.dst] |= r[op.src]; break;
+          case OPC(kXor): r[op.dst] ^= r[op.src]; break;
+          case OPC(kShl): r[op.dst] <<= (r[op.src] & 63); break;
+          case OPC(kShr):
+            r[op.dst] = static_cast<int64_t>(static_cast<uint64_t>(r[op.dst]) >> (r[op.src] & 63));
+            break;
+          case OPC(kAshr): r[op.dst] >>= (r[op.src] & 63); break;
+          case OPC(kMov): r[op.dst] = r[op.src]; break;
+          case OPC(kAddImm): r[op.dst] += op.imm; break;
+          case OPC(kSubImm): r[op.dst] -= op.imm; break;
+          case OPC(kMulImm): r[op.dst] *= op.imm; break;
+          case OPC(kDivImm): r[op.dst] = op.imm == 0 ? 0 : r[op.dst] / op.imm; break;
+          case OPC(kModImm): r[op.dst] = op.imm == 0 ? 0 : r[op.dst] % op.imm; break;
+          case OPC(kAndImm): r[op.dst] &= op.imm; break;
+          case OPC(kOrImm): r[op.dst] |= op.imm; break;
+          case OPC(kXorImm): r[op.dst] ^= op.imm; break;
+          case OPC(kShlImm): r[op.dst] <<= (op.imm & 63); break;
+          case OPC(kShrImm):
+            r[op.dst] = static_cast<int64_t>(static_cast<uint64_t>(r[op.dst]) >> (op.imm & 63));
+            break;
+          case OPC(kAshrImm): r[op.dst] >>= (op.imm & 63); break;
+          case OPC(kMovImm): r[op.dst] = op.imm; break;
+          case OPC(kNeg): r[op.dst] = -r[op.dst]; break;
+
+          // --- Branches (always block terminators) ---
+          case OPC(kJa):
+            next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJeq):
+            if (r[op.dst] == r[op.src]) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJne):
+            if (r[op.dst] != r[op.src]) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJlt):
+            if (r[op.dst] < r[op.src]) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJle):
+            if (r[op.dst] <= r[op.src]) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJgt):
+            if (r[op.dst] > r[op.src]) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJge):
+            if (r[op.dst] >= r[op.src]) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJset):
+            if ((r[op.dst] & r[op.src]) != 0) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJeqImm):
+            if (r[op.dst] == op.imm) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJneImm):
+            if (r[op.dst] != op.imm) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJltImm):
+            if (r[op.dst] < op.imm) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJleImm):
+            if (r[op.dst] <= op.imm) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJgtImm):
+            if (r[op.dst] > op.imm) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJgeImm):
+            if (r[op.dst] >= op.imm) next = static_cast<size_t>(op.arg);
+            goto block_done;
+          case OPC(kJsetImm):
+            if ((r[op.dst] & op.imm) != 0) next = static_cast<size_t>(op.arg);
+            goto block_done;
+
+          // --- Stack ---
+          case OPC(kLdStack):
+            std::memcpy(&r[op.dst], &frame.state.stack[kStackSize + op.arg], 8);
+            break;
+          case OPC(kStStack):
+            std::memcpy(&frame.state.stack[kStackSize + op.arg], &r[op.src], 8);
+            break;
+          case OPC(kStStackImm):
+            std::memcpy(&frame.state.stack[kStackSize + op.arg], &op.imm, 8);
+            break;
+
+          // --- Context ---
+          case OPC(kLdCtxt): {
+            const ContextEntry* entry =
+                frame.env->ctxt != nullptr
+                    ? frame.env->ctxt->Find(static_cast<uint64_t>(r[op.src]))
+                    : nullptr;
+            r[op.dst] = entry == nullptr ? 0 : entry->slots[static_cast<size_t>(op.arg)];
+            break;
+          }
+          case OPC(kStCtxt):
+            if (frame.env->ctxt != nullptr) {
+              ContextEntry* entry =
+                  frame.env->ctxt->FindOrCreate(static_cast<uint64_t>(r[op.dst]));
+              if (entry != nullptr) {
+                entry->slots[static_cast<size_t>(op.arg)] = r[op.src];
+              }
+            }
+            break;
+          case OPC(kMatchCtxt):
+            r[op.dst] = frame.env->ctxt != nullptr &&
+                                frame.env->ctxt->Contains(static_cast<uint64_t>(r[op.src]))
+                            ? 1
+                            : 0;
+            break;
+
+          // --- Maps: generic + specialized forms ---
+          case OPC(kMapLookup): {
+            RmtMap* map = frame.env->maps != nullptr ? frame.env->maps->Get(op.imm) : nullptr;
+            r[op.dst] = map != nullptr ? map->Lookup(r[op.src]).value_or(0) : 0;
+            if (const auto fault = RKD_FAILPOINT("vm.map_lookup")) {
+              if (fault->force_error) {
+                frame.fault = InternalError("failpoint vm.map_lookup: injected lookup fault");
+                goto fault_exit;
+              }
+              r[op.dst] ^= fault->corrupt_xor;
+            }
+            break;
+          }
+          case kSpecMapLookupConst:
+            r[op.dst] = op.imm;
+            if (const auto fault = RKD_FAILPOINT("vm.map_lookup")) {
+              if (fault->force_error) {
+                frame.fault = InternalError("failpoint vm.map_lookup: injected lookup fault");
+                goto fault_exit;
+              }
+              r[op.dst] ^= fault->corrupt_xor;
+            }
+            break;
+          case kSpecMapLookupArray: {
+            const BurnedMap& burned = burned_maps_[op.aux];
+            const int64_t key = r[op.src];
+            r[op.dst] = key >= 0 && static_cast<size_t>(key) < burned.len
+                            ? burned.cells[static_cast<size_t>(key)].load(std::memory_order_relaxed)
+                            : 0;
+            if (const auto fault = RKD_FAILPOINT("vm.map_lookup")) {
+              if (fault->force_error) {
+                frame.fault = InternalError("failpoint vm.map_lookup: injected lookup fault");
+                goto fault_exit;
+              }
+              r[op.dst] ^= fault->corrupt_xor;
+            }
+            break;
+          }
+          case kSpecMapLookupBurned:
+            r[op.dst] = burned_maps_[op.aux].map->Lookup(r[op.src]).value_or(0);
+            if (const auto fault = RKD_FAILPOINT("vm.map_lookup")) {
+              if (fault->force_error) {
+                frame.fault = InternalError("failpoint vm.map_lookup: injected lookup fault");
+                goto fault_exit;
+              }
+              r[op.dst] ^= fault->corrupt_xor;
+            }
+            break;
+          case OPC(kMapExists): {
+            RmtMap* map = frame.env->maps != nullptr ? frame.env->maps->Get(op.imm) : nullptr;
+            r[op.dst] = map != nullptr && map->Contains(r[op.src]) ? 1 : 0;
+            break;
+          }
+          case OPC(kMapUpdate): {
+            if (const auto fault = RKD_FAILPOINT("vm.map_update")) {
+              if (fault->force_error) {
+                frame.fault = InternalError("failpoint vm.map_update: injected update fault");
+                goto fault_exit;
+              }
+              break;  // injected silent write drop
+            }
+            RmtMap* map = frame.env->maps != nullptr ? frame.env->maps->Get(op.imm) : nullptr;
+            if (map != nullptr) {
+              map->Update(r[op.dst], r[op.src]);
+            }
+            break;
+          }
+          case OPC(kMapDelete): {
+            RmtMap* map = frame.env->maps != nullptr ? frame.env->maps->Get(op.imm) : nullptr;
+            if (map != nullptr) {
+              map->Delete(r[op.src]);
+            }
+            break;
+          }
+
+          // --- Vector / ML ---
+          case OPC(kVecLdCtxt): {
+            const ContextEntry* entry =
+                frame.env->ctxt != nullptr
+                    ? frame.env->ctxt->Find(static_cast<uint64_t>(r[op.src]))
+                    : nullptr;
+            if (entry == nullptr) {
+              vregs[op.dst].fill(0);
+            } else {
+              vregs[op.dst] = entry->features;
+            }
+            break;
+          }
+          case OPC(kVecStCtxt):
+            if (frame.env->ctxt != nullptr) {
+              ContextEntry* entry =
+                  frame.env->ctxt->FindOrCreate(static_cast<uint64_t>(r[op.dst]));
+              if (entry != nullptr) {
+                entry->features = vregs[op.src];
+              }
+            }
+            break;
+          case OPC(kVecZero): vregs[op.dst].fill(0); break;
+          case OPC(kScalarVal):
+            vregs[op.dst][static_cast<size_t>(op.arg)] = static_cast<int32_t>(r[op.src]);
+            break;
+          case OPC(kVecExtract):
+            r[op.dst] = vregs[op.src][static_cast<size_t>(op.arg)];
+            break;
+          case OPC(kMatMul): {
+            const FixedMatrix* tensor =
+                frame.env->tensors != nullptr ? frame.env->tensors->Get(op.imm) : nullptr;
+            if (tensor == nullptr || tensor->rows() > kVectorLanes ||
+                tensor->cols() > kVectorLanes) {
+              vregs[op.dst].fill(0);
+              break;
+            }
+            std::array<int32_t, kVectorLanes> result{};
+            tensor->MatVec(vregs[op.src], result);
+            vregs[op.dst] = result;
+            break;
+          }
+          case kSpecMatMulTile: {
+            const TileKernel& tile = tiles_[op.aux];
+            auto& dst = vregs[op.dst];
+            if (op.dst == op.src) {
+              // The kernel reads x while writing y; an aliased dst needs the
+              // same bounce buffer tier 2 uses.
+              std::array<int32_t, kVectorLanes> result{};
+              tile.fn(tile.weights, tile.rows, tile.cols, vregs[op.src].data(), result.data());
+              dst = result;
+            } else {
+              tile.fn(tile.weights, tile.rows, tile.cols, vregs[op.src].data(), dst.data());
+              for (size_t lane = tile.rows; lane < static_cast<size_t>(kVectorLanes); ++lane) {
+                dst[lane] = 0;  // tier 2 zero-fills the lanes past `rows`
+              }
+            }
+            if (tile.fuse_relu) {
+              for (int lane = 0; lane < kVectorLanes; ++lane) {
+                const int32_t v = dst[static_cast<size_t>(lane)];
+                dst[static_cast<size_t>(lane)] = v > 0 ? v : 0;
+              }
+            }
+            break;
+          }
+          case kSpecMatMulTileArgmax: {
+            const TileKernel& tile = tiles_[op.aux];
+            // The output vreg is provably dead: keep the scores in a local
+            // buffer (zeroed, so lanes past `rows` match tier 2's fill) and
+            // publish only the winning lane.
+            std::array<int32_t, kVectorLanes> result{};
+            tile.fn(tile.weights, tile.rows, tile.cols, vregs[op.src].data(), result.data());
+            if (tile.fuse_relu) {
+              for (auto& lane : result) {
+                lane = lane > 0 ? lane : 0;
+              }
+            }
+            int best = 0;
+            for (int lane = 1; lane < kVectorLanes; ++lane) {
+              if (result[static_cast<size_t>(lane)] > result[static_cast<size_t>(best)]) {
+                best = lane;
+              }
+            }
+            r[op.dst] = best;
+            break;
+          }
+          case OPC(kVecAddT): {
+            const FixedMatrix* tensor =
+                frame.env->tensors != nullptr ? frame.env->tensors->Get(op.imm) : nullptr;
+            if (tensor != nullptr) {
+              const size_t rows = tensor->rows() < kVectorLanes ? tensor->rows() : kVectorLanes;
+              for (size_t lane = 0; lane < rows; ++lane) {
+                vregs[op.dst][lane] = SatAdd32(vregs[op.dst][lane], tensor->at(lane, 0));
+              }
+            }
+            break;
+          }
+          case kSpecVecAddTBurned: {
+            const FixedMatrix* tensor = bias_tensors_[op.aux];
+            const size_t rows = tensor->rows() < kVectorLanes ? tensor->rows() : kVectorLanes;
+            for (size_t lane = 0; lane < rows; ++lane) {
+              vregs[op.dst][lane] = SatAdd32(vregs[op.dst][lane], tensor->at(lane, 0));
+            }
+            break;
+          }
+          case OPC(kVecAdd):
+            for (int lane = 0; lane < kVectorLanes; ++lane) {
+              vregs[op.dst][lane] = SatAdd32(vregs[op.dst][lane], vregs[op.src][lane]);
+            }
+            break;
+          case OPC(kVecRelu):
+            for (int lane = 0; lane < kVectorLanes; ++lane) {
+              const int32_t v = vregs[op.src][lane];
+              vregs[op.dst][lane] = v > 0 ? v : 0;
+            }
+            break;
+          case OPC(kVecArgmax): {
+            int best = 0;
+            const auto& v = vregs[op.src];
+            for (int lane = 1; lane < kVectorLanes; ++lane) {
+              if (v[lane] > v[best]) {
+                best = lane;
+              }
+            }
+            r[op.dst] = best;
+            break;
+          }
+          case OPC(kVecDot): {
+            int64_t acc = 0;
+            for (int lane = 0; lane < kVectorLanes; ++lane) {
+              acc += static_cast<int64_t>(vregs[op.dst][lane]) * vregs[op.src][lane];
+            }
+            r[op.dst] = acc >> 16;
+            break;
+          }
+
+          // --- Calls / control ---
+          case OPC(kCall): {
+            ++frame.helper_calls;
+            if (const auto fault = RKD_FAILPOINT("vm.helper"); fault && fault->force_error) {
+              frame.fault = InternalError("failpoint vm.helper: injected helper fault");
+              goto fault_exit;
+            }
+            const int64_t call_args[5] = {r[1], r[2], r[3], r[4], r[5]};
+            r[0] = frame.env->helpers != nullptr
+                       ? CallHelper(static_cast<HelperId>(op.imm), *frame.env->helpers, call_args)
+                       : 0;
+            break;
+          }
+          case OPC(kMlCall): {
+            ++frame.ml_calls;
+            const ModelPtr model =
+                frame.env->models != nullptr ? frame.env->models->Get(op.imm) : nullptr;
+            if (frame.env->tracer != nullptr && model != nullptr) {
+              ScopedSpan ml_span(frame.env->tracer, "ml.eval");
+              ml_span.Tag("model", op.imm);
+              r[op.dst] = model->Predict(vregs[op.src]);
+              ml_span.Tag("result", r[op.dst]);
+            } else {
+              r[op.dst] = model != nullptr ? model->Predict(vregs[op.src]) : kNoModelSentinel;
+            }
+            if (const auto fault = RKD_FAILPOINT("ml.eval")) {
+              if (fault->force_error) {
+                frame.fault = InternalError("failpoint ml.eval: injected model fault");
+                goto fault_exit;
+              }
+              r[op.dst] ^= fault->corrupt_xor;
+            }
+            break;
+          }
+          case kSpecMlCallBurned: {
+            ++frame.ml_calls;
+            const FoldedModel& folded = models_[op.aux];
+            if (frame.env->tracer != nullptr) {
+              ScopedSpan ml_span(frame.env->tracer, "ml.eval");
+              ml_span.Tag("model", folded.model_id);
+              r[op.dst] = folded.predict(folded.model, vregs[op.src]);
+              ml_span.Tag("result", r[op.dst]);
+            } else {
+              r[op.dst] = folded.predict(folded.model, vregs[op.src]);
+            }
+            if (const auto fault = RKD_FAILPOINT("ml.eval")) {
+              if (fault->force_error) {
+                frame.fault = InternalError("failpoint ml.eval: injected model fault");
+                goto fault_exit;
+              }
+              r[op.dst] ^= fault->corrupt_xor;
+            }
+            break;
+          }
+          case OPC(kTailCall): {
+            // Tail-call boundary poll, exactly like tier 2's.
+            if (deadline != nullptr && deadline->Expired()) {
+              fill_stats();
+              return DeadlineExceededError("fire deadline exceeded at tail call");
+            }
+            const CompiledProgram* target = resolve ? resolve(op.imm) : nullptr;
+            if (target != nullptr && target->size() > 0 &&
+                frame.tail_calls < kMaxTailCallDepth) {
+              ++frame.tail_calls;
+              // Chain into the target's tier-2 loop with the live frame:
+              // cumulative call tallies and the shared register file carry
+              // over, so results and RunStats match tier 2 byte for byte.
+              return target->ContinueFrame(frame, stats, resolve);
+            }
+            next = static_cast<size_t>(op.arg);  // failed tail call falls through
+            goto block_done;
+          }
+          case OPC(kExit):
+            fill_stats();
+            return r[0];
+
+          default:
+            break;  // unreachable: Specialize emits only the codes above
+        }
+      }
+    block_done:
+      blk = next;
+    }
+    // Superblock-boundary poll: dispatch polling is hoisted out of blocks.
+    // Control flow is forward-only (plus depth-bounded tail chains), so the
+    // number of blocks crossed per fire is bounded and every fire still
+    // observes an armed deadline within one block of expiry.
+    if (deadline != nullptr && deadline->Expired()) {
+      fill_stats();
+      return DeadlineExceededError("fire deadline exceeded at superblock boundary");
+    }
+  }
+
+fault_exit:
+  fill_stats();
+  return frame.fault;
+}
+
+Result<int64_t> SpecializedProgram::Run(const VmEnv& env, std::span<const int64_t> args,
+                                        RunStats* stats, const Resolver& resolve) const {
+  if (args.size() > 5) {
+    return InvalidArgumentError("SpecializedProgram::Run: more than five arguments");
+  }
+  const uint64_t start_ns = env.metrics != nullptr ? MonotonicNowNs() : 0;
+  const auto run_in = [&](Frame& frame) {
+    frame.env = &env;
+    for (size_t i = 0; i < args.size(); ++i) {
+      frame.state.regs[i + 1] = args[i];
+    }
+    Result<int64_t> result = Execute(frame, stats, resolve);
+    if (env.metrics != nullptr) {
+      // `steps` stays untouched, as in tier 2: no step accounting here either.
+      env.metrics->invocations->Increment();
+      env.metrics->helper_calls->Increment(frame.helper_calls);
+      env.metrics->ml_calls->Increment(frame.ml_calls);
+      env.metrics->tail_calls->Increment(frame.tail_calls);
+      env.metrics->run_ns->Record(MonotonicNowNs() - start_ns);
+    }
+    return result;
+  };
+  // Hot fires reuse a thread-local frame and reset only the state this
+  // program can observe, instead of zero-constructing the whole ExecState
+  // (~1.6KB) per fire. A nested fire on the same thread (a helper or
+  // resolver re-entering Run) falls back to a fresh zeroed frame.
+  static thread_local Frame tls_frame;
+  static thread_local bool tls_busy = false;
+  if (!tls_busy) {
+    tls_busy = true;
+    struct BusyReset {
+      bool* flag;
+      ~BusyReset() { *flag = false; }
+    } busy_reset{&tls_busy};
+    Frame& frame = tls_frame;
+    frame.state.regs.fill(0);
+    if (vreg_reset_mask_ != 0) {
+      for (size_t v = 0; v < kNumVectorRegs; ++v) {
+        if ((vreg_reset_mask_ & (1u << v)) != 0) {
+          frame.state.vregs[v].fill(0);
+        }
+      }
+    }
+    if (touches_stack_) {
+      frame.state.stack.fill(0);
+    }
+    frame.tail_calls = 0;
+    frame.helper_calls = 0;
+    frame.ml_calls = 0;
+    frame.fault = OkStatus();
+    return run_in(frame);
+  }
+  Frame frame;  // reentrant fire: zero-initialized by construction
+  return run_in(frame);
+}
+
+Result<int64_t> SpecializedProgram::RunInFrame(Frame& frame, const VmEnv& env,
+                                               std::span<const int64_t> args, RunStats* stats,
+                                               const Resolver& resolve) const {
+  if (args.size() > 5) {
+    return InvalidArgumentError("SpecializedProgram::RunInFrame: more than five arguments");
+  }
+  // Targeted reset, mirroring CompiledProgram::RunInFrame — but per-vreg:
+  // only vregs the program may read before fully overwriting are zeroed.
+  frame.state.regs.fill(0);
+  if (vreg_reset_mask_ != 0) {
+    for (size_t v = 0; v < kNumVectorRegs; ++v) {
+      if ((vreg_reset_mask_ & (1u << v)) != 0) {
+        frame.state.vregs[v].fill(0);
+      }
+    }
+  }
+  if (touches_stack_) {
+    frame.state.stack.fill(0);
+  }
+  frame.env = &env;
+  frame.tail_calls = 0;
+  frame.helper_calls = 0;
+  frame.ml_calls = 0;
+  frame.fault = OkStatus();
+  for (size_t i = 0; i < args.size(); ++i) {
+    frame.state.regs[i + 1] = args[i];
+  }
+  return Execute(frame, stats, resolve);
+}
+
+}  // namespace rkd

@@ -1,0 +1,247 @@
+// Tier-3 specializing compiler (the "reconfigurable datapaths run as fast as
+// the hardware allows" tier, ROADMAP item 2). Sits above CompiledProgram:
+// where tier 2 pre-decodes instructions but still pays one indirect call,
+// one generic map probe, and one generic Q16.16 matmul loop per operation,
+// tier 3 specializes a hot program against the *current contents* of its
+// environment:
+//
+//   1. Superblock formation — straight-line dispatch chains are fused into
+//      superblocks executed by one switch loop; the fire deadline is polled
+//      at superblock boundaries (entry / block transition / tail call)
+//      instead of every kDeadlinePollDispatches dispatches, preserving the
+//      governor's containment semantics at a fraction of the poll cost.
+//   2. Constant folding of stable state — map lookups whose map no action of
+//      the program writes ("frozen" maps: the control plane is the only
+//      writer, and every ControlPlane::WriteMap bumps the MapSet write
+//      version) are folded to immediates when the key is a compile-time
+//      constant, or burned to a devirtualized/raw-cell access when it is
+//      not; ModelSlot weights and tensors are burned as direct pointers.
+//   3. Tile-aware ML kernels — each kMatMul site gets a kernel chosen from
+//      the folded weight dimensions: dataflow strategy (output- vs weight-
+//      stationary) by aspect ratio, and a fixed-trip-count tile kernel when
+//      the reduction length matches a compiled tile size.
+//
+// Deoptimization: every specialization pins the MapSet write version, the
+// owning RmtTable's snapshot version, and each folded ModelSlot's version.
+// GuardOk() re-checks all three at fire entry — a handful of relaxed loads,
+// wait-free — and on any mismatch the fire runs tier 2 (which reads live
+// state) while the control plane respecializes at the next tick. A fire that
+// passes the guard computes from the pinned snapshot; a concurrent mutation
+// mid-run is indistinguishable from the fire having been linearized before
+// it, exactly as in tier 2's epoch-pinned reads.
+//
+// Traced fires (tracer/profile set) always run tier 2: the specialized
+// stream has no per-opcode attribution, and sampling must keep observing
+// the real opcode mix that drives promotion.
+#ifndef SRC_VM_SPECIALIZE_H_
+#define SRC_VM_SPECIALIZE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/bytecode/program.h"
+#include "src/ml/model_registry.h"
+#include "src/ml/online.h"
+#include "src/telemetry/telemetry.h"
+#include "src/vm/jit.h"
+#include "src/vm/vm.h"
+
+namespace rkd {
+
+// Dataflow strategy of one specialized kMatMul site (kpu-sim naming). Both
+// orders accumulate each output lane's terms through uint64 wraparound
+// addition, which is associative and commutative — so any summation order
+// (including the split accumulator chains the kernels use) is bit-identical
+// to FixedMatrix::MatVec; the choice only moves where the reuse is.
+enum class DataflowStrategy : uint8_t {
+  kOutputStationary = 0,  // rows outer: one output accumulator hot at a time
+  kWeightStationary = 1,  // cols outer: one weight column streamed across all outputs
+};
+
+std::string_view DataflowStrategyName(DataflowStrategy strategy);
+
+// Why a specialized program refused a fire (first stale guard dimension).
+enum class DeoptReason : uint8_t {
+  kMapWrite = 0,       // control plane wrote this program's maps
+  kModelInstall = 1,   // a folded model slot published a new model
+  kTableMutation = 2,  // the owning table published a new snapshot
+  kReasonCount,
+};
+
+std::string_view DeoptReasonName(DeoptReason reason);
+
+// Everything the specializer may fold against. All pointers are non-owning
+// and must outlive the SpecializedProgram (the installed program owns them).
+struct SpecializeContext {
+  MapSet* maps = nullptr;
+  ModelRegistry* models = nullptr;
+  TensorRegistry* tensors = nullptr;
+  // Map ids any action of the owning program may write at fire time
+  // (kMapUpdate / kMapDelete targets across every action of every table —
+  // tail calls stay within the program, so this closes the writer set).
+  // Lookups on any other map are foldable: the only remaining writer is
+  // ControlPlane::WriteMap, which bumps the pinned write version below.
+  std::vector<int64_t> fire_written_maps;
+  // Pinned snapshot cells; a null cell disables that guard dimension (and,
+  // for map_write_version, all map folding — folding without a guard would
+  // be unsound).
+  const std::atomic<uint64_t>* map_write_version = nullptr;
+  const std::atomic<uint64_t>* table_version = nullptr;
+  bool fold_map_constants = true;
+  bool fold_models = true;
+};
+
+// Per-program tier-3 fire-path tallies. Sharded, wait-free.
+struct Tier3Stats {
+  ShardedCounter execs;  // fires served by a specialized stream
+  std::array<ShardedCounter, static_cast<size_t>(DeoptReason::kReasonCount)> deopts;
+
+  uint64_t total_deopts() const {
+    uint64_t sum = 0;
+    for (const ShardedCounter& c : deopts) {
+      sum += c.value();
+    }
+    return sum;
+  }
+};
+
+class SpecializedProgram {
+ public:
+  using Frame = CompiledProgram::Frame;
+  using Resolver = CompiledProgram::Resolver;
+
+  // Specializes `program` against the state reachable through `ctx`,
+  // pinning the snapshot versions the result depends on. Fails on the same
+  // malformed-program conditions as CompiledProgram::Compile.
+  static Result<SpecializedProgram> Specialize(const BytecodeProgram& program,
+                                               const SpecializeContext& ctx);
+
+  // Entry guard: true while every pinned snapshot is still current. Wait-
+  // free — a few relaxed/acquire loads; callers must hold an EpochGuard
+  // across this call and the subsequent Run (the same pin the fire path
+  // already holds). On mismatch fills `reason` with the first stale
+  // dimension.
+  bool GuardOk(DeoptReason* reason = nullptr) const;
+
+  // Execution mirrors CompiledProgram::Run / RunInFrame: args in r1..r5,
+  // returns r0, VmMetrics recorded by Run only (steps untouched — this tier
+  // has no step accounting either). env->profile is ignored: callers route
+  // traced fires to tier 2. Unlike tier 2, Run does not rebuild a zeroed
+  // ExecState per fire: it reuses a thread-local frame and resets only the
+  // state the specializer proved the program can observe (scalar regs
+  // always; vregs per the entry reset mask; stack only when touched),
+  // falling back to a fully zeroed local frame on reentrant fires.
+  Result<int64_t> Run(const VmEnv& env, std::span<const int64_t> args,
+                      RunStats* stats = nullptr, const Resolver& resolve = {}) const;
+  Result<int64_t> RunInFrame(Frame& frame, const VmEnv& env, std::span<const int64_t> args,
+                             RunStats* stats = nullptr, const Resolver& resolve = {}) const;
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return ops_.size(); }
+  // --- Specialization facts (telemetry / introspection) ---
+  size_t superblocks() const { return blocks_.size(); }
+  size_t folded_lookups() const { return folded_lookups_; }   // const-folded map reads
+  size_t burned_lookups() const { return burned_lookups_; }   // devirtualized dynamic-key reads
+  size_t folded_models() const { return models_.size(); }
+  size_t tile_kernels() const { return tiles_.size(); }
+  DataflowStrategy tile_strategy(size_t site) const { return tiles_[site].strategy; }
+  uint64_t pinned_map_version() const { return pinned_map_version_; }
+  uint64_t pinned_table_version() const { return pinned_table_version_; }
+  uint64_t pinned_model_version(size_t site) const { return models_[site].pinned_version; }
+
+ private:
+  SpecializedProgram() = default;
+
+  // One specialized operation. `code` is either an original Opcode value
+  // (generic semantics, identical to tier 2) or one of the extended codes
+  // in specialize.cc. `arg` holds the absolute target *block* for branches,
+  // the resume block for kTailCall, and the raw offset (stack slot, ctxt
+  // slot, vector lane) otherwise. `aux` indexes the side tables below.
+  struct SpecOp {
+    uint16_t code = 0;
+    uint8_t dst = 0;
+    uint8_t src = 0;
+    int32_t arg = 0;
+    uint32_t aux = 0;
+    int64_t imm = 0;
+  };
+
+  // A straight-line run of specialized ops; the executor dispatches once
+  // per block, not once per op.
+  struct Superblock {
+    uint32_t first = 0;
+    uint32_t count = 0;
+  };
+
+  // y[0..rows) = W x, bit-identical to FixedMatrix::MatVec.
+  using MatVecFn = void (*)(const int32_t* w, size_t rows, size_t cols,
+                            const int32_t* x, int32_t* y);
+
+  struct TileKernel {
+    const int32_t* weights = nullptr;  // burned row-major Q16.16 data
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    DataflowStrategy strategy = DataflowStrategy::kOutputStationary;
+    // A kVecRelu whose dst == src == this site's dst and that immediately
+    // follows it (same block, not a branch target) is folded into the store:
+    // clamping all kVectorLanes lanes after the kernel is bit-identical to
+    // running the separate relu over the matmul's output vreg.
+    bool fuse_relu = false;
+    MatVecFn fn = nullptr;
+  };
+
+  // Devirtualized Predict thunk: resolved once at specialize time from the
+  // folded model's dynamic type (every production model class is final), so
+  // the fire path pays a direct call instead of a vtable load.
+  using PredictFn = int64_t (*)(const InferenceModel*, std::span<const int32_t>);
+
+  struct FoldedModel {
+    ModelPtr keepalive;  // holds the pinned snapshot's refcount
+    const InferenceModel* model = nullptr;
+    const ModelSlot* slot = nullptr;  // stable storage in the registry
+    PredictFn predict = nullptr;
+    uint64_t pinned_version = 0;
+    int64_t model_id = 0;  // original kMlCall imm, for span tags
+  };
+
+  struct BurnedMap {
+    RmtMap* map = nullptr;  // devirtualization target for dynamic keys
+    const std::atomic<int64_t>* cells = nullptr;  // array-map raw fast path
+    size_t len = 0;
+  };
+
+  Result<int64_t> Execute(Frame& frame, RunStats* stats, const Resolver& resolve) const;
+
+  std::string name_;
+  std::vector<SpecOp> ops_;
+  std::vector<Superblock> blocks_;
+  std::vector<TileKernel> tiles_;
+  std::vector<FoldedModel> models_;
+  std::vector<BurnedMap> burned_maps_;
+  std::vector<const FixedMatrix*> bias_tensors_;  // kVecAddT burned sites
+  size_t folded_lookups_ = 0;
+  size_t burned_lookups_ = 0;
+  bool touches_stack_ = false;
+  bool touches_vregs_ = false;
+  // Fire-entry reset mask: bit v set means vreg v may be read before the
+  // program fully overwrites it, so it must be zeroed at entry. Vregs whose
+  // first access is a full 32-lane write in the entry straight-line prefix
+  // are skipped — for ML programs that start with kVecLdCtxt this drops most
+  // of the per-fire ExecState clearing.
+  uint8_t vreg_reset_mask_ = 0;
+  // Guard state (see GuardOk).
+  const std::atomic<uint64_t>* map_write_cell_ = nullptr;
+  const std::atomic<uint64_t>* table_version_cell_ = nullptr;
+  uint64_t pinned_map_version_ = 0;
+  uint64_t pinned_table_version_ = 0;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_VM_SPECIALIZE_H_

@@ -66,6 +66,14 @@ struct OpcodeProfile {
       helper_counts[static_cast<size_t>(helper_id)].fetch_add(1, std::memory_order_relaxed);
     }
   }
+
+  // Always-on execution tally: the fire path bumps it on EVERY action
+  // execution in any tier, traced or not, so tier-3 promotion is a
+  // deterministic threshold on real fire counts rather than a function of
+  // trace sampling. Sharded + relaxed — one cache-local increment per fire.
+  ShardedCounter execs;
+  void RecordExec(uint64_t n = 1) { execs.Increment(n); }
+  uint64_t total_execs() const { return execs.value(); }
 };
 
 // Per-fire wall-clock budget. The fire path arms it (absolute deadline in

@@ -287,5 +287,142 @@ TEST(ConcurrencyTest, ReadersSurviveContinuousReconfiguration) {
   ASSERT_TRUE(cp.Uninstall(*handle).ok());
 }
 
+// Tier-3 deopt under reconfiguration: a churn thread rewrites the folded
+// map cell, hot-swaps the folded model, mutates the table, and keeps
+// respecializing via tiering ticks — while reader threads fire a promoted
+// program. Every observable result must come from the closed set built out
+// of the published map values and model labels: a result mixing a retired
+// constant with state it was never published against would be a stale-fold
+// escape. Exercised under TSan in CI (the specialized stream, its guards,
+// and the epoch retire/publish protocol all race here by design).
+TEST(ConcurrencyTest, Tier3DeoptUnderReconfigurationStress) {
+  HookRegistry hooks;
+  const HookId hook = *hooks.Register("generic.tier3", HookKind::kGeneric);
+  ControlPlane cp(&hooks);
+
+  // r0 = map0[4] + model(vzero)*100 + key. The map cell cycles {10, 20},
+  // the model label cycles {1, 2}; the key is pinned at 7. Every tier and
+  // every (map, model) version pair lands in a 4-value closed set; the two
+  // dimensions deopt independently so mixed pairs are legal, values outside
+  // the published sets are not.
+  Assembler a("guarded", HookKind::kGeneric);
+  a.DeclareMaps(1).DeclareModels(1);
+  a.MovImm(2, 4);
+  a.MapLookup(0, 2, 0);
+  a.VecZero(0);
+  a.MlCall(3, 0, 0);
+  a.MulImm(3, 100);
+  a.Add(0, 3);
+  a.Add(0, 1);
+  a.Exit();
+
+  RmtProgramSpec spec;
+  spec.name = "tier3_stress_prog";
+  spec.model_slots = 1;
+  MapSpec map_spec;
+  map_spec.kind = MapKind::kArray;
+  map_spec.capacity = 16;
+  spec.maps.push_back(map_spec);
+  RmtTableSpec table;
+  table.name = "tab";
+  table.hook_point = "generic.tier3";
+  table.actions.push_back(std::move(a.Build()).value());
+  table.default_action = 0;
+  spec.tables.push_back(std::move(table));
+  Result<ControlPlane::ProgramHandle> handle = cp.Install(spec);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_TRUE(cp.WriteMap(*handle, 0, 4, 10).ok());
+  ASSERT_TRUE(cp.InstallModel(*handle, 0, MakeConstantTree(1)).ok());
+
+  ControlPlane::TieringConfig tiering;
+  tiering.hot_execs = 1;
+  ASSERT_TRUE(cp.EnableTiering(*handle, tiering).ok());
+  for (int i = 0; i < 4; ++i) {
+    (void)hooks.Fire(hook, 7);
+  }
+  ASSERT_TRUE(cp.TickTiering(*handle).ok());  // promoted before the storm
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+  std::atomic<uint64_t> fires{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t result = hooks.Fire(hook, 7);
+        // map in {10, 20} x label in {1, 2}, plus the key: {117, 127, 217, 227}.
+        if (result != 117 && result != 127 && result != 217 && result != 227) {
+          bad.store(true);  // a stale folded constant escaped the guards
+          return;
+        }
+        fires.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::atomic<bool> churn_failed{false};
+  std::thread churner([&] {
+    for (int round = 0; round < 200 && !churn_failed.load(); ++round) {
+      // Rewrite the folded cell (kMapWrite deopts)...
+      if (!cp.WriteMap(*handle, 0, 4, round % 2 == 0 ? 20 : 10).ok()) {
+        churn_failed.store(true);
+      }
+      // ...swap the folded model (kModelInstall deopts)...
+      if (round % 3 == 0 &&
+          !cp.InstallModel(*handle, 0, MakeConstantTree(round % 2 == 0 ? 2 : 1)).ok()) {
+        churn_failed.store(true);
+      }
+      // ...and churn the table snapshot (kTableMutation deopts).
+      if (round % 5 == 0) {
+        TableEntry entry;
+        entry.key = 7;
+        entry.action_index = 0;
+        if (!cp.AddEntry(*handle, "tab", entry).ok() ||
+            !cp.RemoveEntry(*handle, "tab", 7).ok()) {
+          churn_failed.store(true);
+        }
+      }
+      // Respecialize at the new snapshot every few rounds, so the storm
+      // alternates between windows of live tier-3 guards and multi-round
+      // stale windows where every fire must deopt to tier 2.
+      if (round % 4 == 3 && !cp.TickTiering(*handle).ok()) {
+        churn_failed.store(true);
+      }
+    }
+    stop.store(true);
+  });
+
+  churner.join();
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_FALSE(bad.load());
+  EXPECT_FALSE(churn_failed.load());
+  EXPECT_GT(fires.load(), 0u);
+
+  // Quiesce: respecialize at the final snapshot and verify the stream is
+  // live and correct, then drive the deopt boundary deterministically — a
+  // write with no tick leaves the guard stale, so the next fire MUST refuse
+  // the stream, fall back to tier 2, and read the new value.
+  Result<ControlPlane::TierReport> final_tick = cp.TickTiering(*handle);
+  ASSERT_TRUE(final_tick.ok());
+  EXPECT_EQ(final_tick->tier, 3);
+  const int64_t settled = hooks.Fire(hook, 7);
+  EXPECT_TRUE(settled == 117 || settled == 127 || settled == 217 || settled == 227);
+  InstalledProgram* program = cp.Get(*handle);
+  ASSERT_NE(program, nullptr);
+  EXPECT_GT(program->tier3_stats().execs.value(), 0u);
+
+  const uint64_t deopts_before = program->tier3_stats().total_deopts();
+  ASSERT_TRUE(cp.WriteMap(*handle, 0, 4, 20).ok());
+  const int64_t label = settled / 100;  // model dimension is untouched
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(hooks.Fire(hook, 7), 27 + label * 100);
+  }
+  EXPECT_GT(program->tier3_stats().total_deopts(), deopts_before);
+  ASSERT_TRUE(cp.Uninstall(*handle).ok());
+}
+
 }  // namespace
 }  // namespace rkd

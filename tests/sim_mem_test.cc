@@ -315,6 +315,55 @@ TEST(MlPrefetcherTest, BeatsBaselinesOnMatrixConv) {
   EXPECT_GT(ml.windows_trained(), 0u);
 }
 
+TEST(MlPrefetcherTest, TierLadderPromotesHotActionsAndRespecializes) {
+  MlPrefetcherConfig config;
+  config.window_size = 128;
+  config.min_train_samples = 32;
+  config.tiering_hot_execs = 256;  // promote well inside the trace
+  RmtMlPrefetcher prefetcher(config);
+  ASSERT_TRUE(prefetcher.Init().ok());
+
+  Rng rng(9);
+  const AccessTrace trace = MakeStridedTrace(1, 0, 7, 4000, 0.0, rng);
+  MemorySim sim(SmallConfig(), &prefetcher);
+  const MemMetrics metrics = sim.Run(trace);
+  EXPECT_GT(metrics.accuracy(), 0.5);  // tier 3 fires are bit-identical
+  ASSERT_GT(prefetcher.windows_trained(), 0u);
+
+  auto report = prefetcher.control_plane().TickTiering(prefetcher.handle());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->tier, 3);
+  EXPECT_GT(report->specialized_actions, 0u);
+  EXPECT_GT(report->tier3_execs, 0u);
+  // Note on deopts: each training window's model install / knob write stales
+  // the live streams, but the training loop ticks the ladder immediately
+  // after, so streams are respecialized before the next fire ever hits the
+  // stale guard — fire-path deopts stay at zero on the happy path.
+}
+
+TEST(MlPrefetcherTest, TieringOffMatchesTieringOnExactly) {
+  auto run = [](bool tiering) {
+    MlPrefetcherConfig config;
+    config.window_size = 128;
+    config.min_train_samples = 32;
+    config.enable_tiering = tiering;
+    config.tiering_hot_execs = 128;
+    RmtMlPrefetcher prefetcher(config);
+    EXPECT_TRUE(prefetcher.Init().ok());
+    Rng rng(11);
+    const AccessTrace trace = MakeStridedTrace(2, 0, 5, 3000, 0.05, rng);
+    MemorySim sim(SmallConfig(), &prefetcher);
+    return sim.Run(trace);
+  };
+  const MemMetrics off = run(false);
+  const MemMetrics on = run(true);
+  EXPECT_EQ(off.hits, on.hits);
+  EXPECT_EQ(off.faults, on.faults);
+  EXPECT_EQ(off.prefetched, on.prefetched);
+  EXPECT_EQ(off.prefetch_used, on.prefetch_used);
+  EXPECT_EQ(off.total_ns, on.total_ns);
+}
+
 TEST(MlPrefetcherTest, AdaptationKnobWithinConfiguredBounds) {
   MlPrefetcherConfig config;
   config.window_size = 128;

@@ -249,6 +249,40 @@ TEST(RmtOracleTest, QuantizedMlpMimicsHeuristic) {
   EXPECT_TRUE(metrics.completed);
 }
 
+TEST(RmtOracleTest, TierLadderPromotesAndBurnsInstalledModel) {
+  const JobSpec job = MakeJob(JobKind::kStreamcluster);
+  const SchedConfig config = TestSchedConfig();
+  Dataset train = CollectMigrationDataset(config, job);
+  ASSERT_GE(train.size(), 64u);
+
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {16, 16};
+  mlp_config.epochs = 40;
+  Result<Mlp> mlp = Mlp::Train(train, mlp_config);
+  ASSERT_TRUE(mlp.ok());
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  ASSERT_TRUE(quantized.ok());
+
+  RmtOracleConfig oracle_config;
+  oracle_config.tiering_hot_execs = 64;   // promote early in the run
+  oracle_config.tiering_tick_queries = 32;
+  RmtMigrationOracle oracle(oracle_config);
+  ASSERT_TRUE(oracle.Init().ok());
+  ASSERT_TRUE(
+      oracle.InstallModel(std::make_shared<QuantizedMlp>(std::move(quantized).value())).ok());
+
+  CfsSim sim(config);
+  const SchedMetrics metrics = sim.Run(job, oracle.AsOracle());
+  EXPECT_EQ(metrics.oracle_fallbacks, 0u);
+  EXPECT_GT(metrics.agreement(), 0.9);  // tier-3 decisions are bit-identical
+
+  auto report = oracle.control_plane().TickTiering(oracle.handle());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->tier, 3);
+  EXPECT_GT(report->tier3_execs, 0u);
+  EXPECT_GT(report->folded_models, 0u);  // the MLP's weights are burned in
+}
+
 TEST(RmtOracleTest, LeanFeatureSubsetStillWorks) {
   const JobSpec job = MakeJob(JobKind::kStreamcluster);
   const SchedConfig config = TestSchedConfig();

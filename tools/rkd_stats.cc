@@ -145,15 +145,38 @@ int main(int argc, char** argv) {
   }
   guardian.Tick();  // clean probation window -> healthy again
 
-  for (uint64_t i = 0; i < fires; ++i) {
+  // Tier ladder: run the first half of the fires on tier 2, promote via a
+  // tiering tick (the exec counter is past hot_execs by then), and let the
+  // second half take the specialized stream — so the export carries a
+  // populated "rkd.vm.tier3.*" slice and the dump shows the overlay.
+  ControlPlane::TieringConfig tiering;
+  tiering.hot_execs = 1;
+  if (const Status enabled = control_plane.EnableTiering(*handle, tiering); !enabled.ok()) {
+    std::fprintf(stderr, "enable tiering failed: %s\n", enabled.ToString().c_str());
+    return 1;
+  }
+  const uint64_t first_half = fires / 2;
+  for (uint64_t i = 0; i < first_half; ++i) {
     (void)hooks.Fire(*hook, static_cast<int64_t>(i % 2000));
   }
+  Result<ControlPlane::TierReport> tier_report = control_plane.TickTiering(*handle);
+  if (!tier_report.ok()) {
+    std::fprintf(stderr, "tiering tick failed: %s\n", tier_report.status().ToString().c_str());
+    return 1;
+  }
+  for (uint64_t i = first_half; i < fires; ++i) {
+    (void)hooks.Fire(*hook, static_cast<int64_t>(i % 2000));
+  }
+  (void)control_plane.TickTiering(*handle);  // flush fire-path tallies into the registry
 
   if (dump) {
     InstalledProgram* program = control_plane.Get(*handle);
     if (program != nullptr) {
       std::printf("%s\n", DumpProgram(*program).c_str());
     }
+    std::printf("tier ladder: tier %d, %zu specialized actions, %llu superblocks\n\n",
+                tier_report->tier, tier_report->specialized_actions,
+                static_cast<unsigned long long>(tier_report->superblocks));
   }
 
   const TelemetryRegistry& registry = hooks.telemetry();
