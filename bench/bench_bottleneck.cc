@@ -1,0 +1,297 @@
+// M: critical-path analysis throughput + advisory fire-path neutrality.
+//
+// Two asserted claims from DESIGN.md "Trace-derived bottleneck analysis":
+//
+//   1. Analysis is cheap enough to run on every control-plane tick: the
+//      CriticalPathAnalyzer must sustain a conservative spans/second floor
+//      over a realistic snapshot (fire trees of root + table.lookup +
+//      vm.exec + ml.eval, plus orphans from ring eviction).
+//   2. Storing a BottleneckAdvisory on a program costs the fire path
+//      nothing: the advisory lives on control-plane-owned state the fire
+//      path never reads, so an *untraced* fire with an advisory installed
+//      must be within noise of one without. A regression here means
+//      advisory state leaked onto the dispatch path.
+//
+// Results land in BENCH_bottleneck.json (override with --out=FILE); --quick
+// shrinks the snapshot and batch counts for CI smoke. Pass --benchmark to
+// run the google-benchmark reporters instead.
+//
+// Floor rationale: the analyzer processes ~1-5M spans/s on the reference
+// container (std::map grouping dominates). The 100k spans/s floor is ~10-50x
+// headroom; at the default 1024-slot-per-thread ring a full analysis is
+// well under a millisecond, far below TickTiering cadence.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/stats.h"
+#include "src/bytecode/assembler.h"
+#include "src/rmt/control_plane.h"
+#include "src/telemetry/bottleneck.h"
+#include "src/telemetry/span.h"
+#include "src/telemetry/telemetry.h"
+
+namespace rkd {
+namespace {
+
+constexpr double kAnalyzeFloorSpansPerSec = 100'000.0;
+constexpr double kUntracedSlackNs = 25.0;    // absolute regression floor
+constexpr double kUntracedSlackRatio = 0.20; // relative regression bound
+
+// A realistic snapshot: `fires` four-span trees across two hooks plus a
+// sprinkling of orphans (evicted parents) and control-plane spans.
+std::vector<SpanRecord> MakeSnapshot(uint64_t fires) {
+  std::vector<SpanRecord> spans;
+  spans.reserve(fires * 4 + fires / 8 + 2);
+  uint64_t id = 1;
+  auto push = [&spans](uint64_t trace, uint64_t span, uint64_t parent, uint64_t start,
+                       uint64_t end, const char* name) {
+    SpanRecord record;
+    record.trace_id = trace;
+    record.span_id = span;
+    record.parent_id = parent;
+    record.start_ns = start;
+    record.end_ns = end;
+    std::strncpy(record.name, name, kMaxSpanNameLen);
+    spans.push_back(record);
+  };
+  for (uint64_t f = 0; f < fires; ++f) {
+    const uint64_t t0 = f * 1000;
+    const uint64_t root = id;
+    const char* hook = (f % 2 == 0) ? "hook.mem.page_fault" : "hook.sched.migrate";
+    push(f + 1, id++, 0, t0, t0 + 400 + f % 64, hook);
+    push(f + 1, id++, root, t0 + 10, t0 + 40 + f % 16, "table.lookup");
+    const uint64_t exec = id;
+    push(f + 1, id++, root, t0 + 60, t0 + 360, "vm.exec");
+    push(f + 1, id++, exec, t0 + 80, t0 + 300 + f % 32, "ml.eval");
+    if (f % 8 == 0) {
+      // Orphan: its parent was evicted from the ring.
+      push(fires + f + 1, id + 100000, id + 99999, t0 + 500, t0 + 520, "vm.exec");
+      ++id;
+    }
+  }
+  push(2 * fires + 1, id++, 0, 0, 50, "cp.install");
+  push(2 * fires + 2, id++, 0, 60, 90, "guardian.tick");
+  return spans;
+}
+
+double MedianAnalyzeSpansPerSec(const std::vector<SpanRecord>& spans, int batches) {
+  const CriticalPathAnalyzer analyzer;
+  Samples per_span_ns;
+  for (int b = 0; b < batches; ++b) {
+    const uint64_t start = MonotonicNowNs();
+    const BottleneckReport report = analyzer.Analyze(spans);
+    const uint64_t elapsed = MonotonicNowNs() - start;
+    benchmark::DoNotOptimize(report.trees);
+    per_span_ns.Add(static_cast<double>(elapsed) / static_cast<double>(spans.size()));
+  }
+  per_span_ns.Sort();
+  const double ns_per_span = per_span_ns.PercentileSorted(50);
+  return ns_per_span > 0 ? 1e9 / ns_per_span : 0.0;
+}
+
+// Same dispatch rig as bench_trace_overhead: one hook, one two-instruction
+// action installed through the control plane.
+struct FireRig {
+  HookRegistry hooks;
+  ControlPlane control_plane{&hooks};
+  HookId hook = -1;
+  ControlPlane::ProgramHandle handle = -1;
+
+  bool Init() {
+    Result<HookId> registered = hooks.Register("bench.hook", HookKind::kGeneric);
+    if (!registered.ok()) {
+      return false;
+    }
+    hook = *registered;
+    Assembler as("bench_action", HookKind::kGeneric);
+    as.MovImm(0, 1);
+    as.Exit();
+    RmtProgramSpec spec;
+    spec.name = "bench_prog";
+    RmtTableSpec table;
+    table.name = "bench_tab";
+    table.hook_point = "bench.hook";
+    table.actions.push_back(std::move(as.Build()).value());
+    table.default_action = 0;
+    spec.tables.push_back(std::move(table));
+    Result<ControlPlane::ProgramHandle> installed = control_plane.Install(spec);
+    if (!installed.ok()) {
+      return false;
+    }
+    handle = *installed;
+    return true;
+  }
+};
+
+double MedianFireNs(FireRig& rig, int batches, uint64_t fires_per_batch) {
+  int64_t key = 0;
+  for (uint64_t i = 0; i < fires_per_batch; ++i) {
+    benchmark::DoNotOptimize(rig.hooks.Fire(rig.hook, key++));
+  }
+  Samples per_fire_ns;
+  for (int b = 0; b < batches; ++b) {
+    const uint64_t start = MonotonicNowNs();
+    for (uint64_t i = 0; i < fires_per_batch; ++i) {
+      benchmark::DoNotOptimize(rig.hooks.Fire(rig.hook, key++));
+    }
+    const uint64_t elapsed = MonotonicNowNs() - start;
+    per_fire_ns.Add(static_cast<double>(elapsed) / static_cast<double>(fires_per_batch));
+  }
+  per_fire_ns.Sort();
+  return per_fire_ns.PercentileSorted(50);
+}
+
+BottleneckAdvisory MakeAdvisory() {
+  BottleneckAdvisory advisory;
+  advisory.valid = true;
+  advisory.label = BottleneckLabel::kMlEvalBound;
+  advisory.evidence.fires = 4096;
+  advisory.evidence.critical_path_ns = 1 << 20;
+  advisory.evidence.ml_ns = 1 << 19;
+  CriticalContributor ml;
+  ml.name = "ml.eval";
+  ml.count = 4096;
+  ml.exclusive_ns = 1 << 19;
+  advisory.contributors.push_back(ml);
+  return advisory;
+}
+
+// --- google-benchmark reporting (--benchmark) ------------------------------
+
+void BM_Analyze(benchmark::State& state) {
+  const std::vector<SpanRecord> spans = MakeSnapshot(static_cast<uint64_t>(state.range(0)));
+  const CriticalPathAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(spans));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(spans.size()));
+}
+BENCHMARK(BM_Analyze)->Arg(256)->Arg(4096);
+
+void BM_FireWithAdvisoryInstalled(benchmark::State& state) {
+  FireRig rig;
+  if (!rig.Init()) {
+    state.SkipWithError("install failed");
+    return;
+  }
+  rig.hooks.telemetry().tracer().set_sample_every(0);
+  if (!rig.control_plane.SetBottleneckAdvisory(rig.handle, MakeAdvisory()).ok()) {
+    state.SkipWithError("advisory install failed");
+    return;
+  }
+  int64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.hooks.Fire(rig.hook, key++));
+  }
+}
+BENCHMARK(BM_FireWithAdvisoryInstalled);
+
+// --- asserted budgets + JSON emission --------------------------------------
+
+int RunBudgetCheck(const std::string& out_path, bool quick) {
+  const uint64_t fires = quick ? 2'000 : 40'000;
+  const int analyze_batches = quick ? 9 : 25;
+  const int fire_batches = quick ? 25 : 48;
+  const uint64_t fires_per_batch = quick ? 2'000 : 4'000;
+
+  const std::vector<SpanRecord> snapshot = MakeSnapshot(fires);
+  const double spans_per_sec = MedianAnalyzeSpansPerSec(snapshot, analyze_batches);
+
+  FireRig rig;
+  if (!rig.Init()) {
+    std::fprintf(stderr, "FAIL: bench rig install failed\n");
+    return 1;
+  }
+  rig.hooks.telemetry().tracer().set_sample_every(0);
+  const double baseline_ns = MedianFireNs(rig, fire_batches, fires_per_batch);
+  if (!rig.control_plane.SetBottleneckAdvisory(rig.handle, MakeAdvisory()).ok()) {
+    std::fprintf(stderr, "FAIL: advisory install failed\n");
+    return 1;
+  }
+  const double advisory_ns = MedianFireNs(rig, fire_batches, fires_per_batch);
+
+  const double delta_ns = advisory_ns - baseline_ns;
+  const double bound_ns = baseline_ns * kUntracedSlackRatio > kUntracedSlackNs
+                              ? baseline_ns * kUntracedSlackRatio
+                              : kUntracedSlackNs;
+
+  std::printf("analysis throughput:        %10.0f spans/s median (%zu-span snapshot, floor %.0f)\n",
+              spans_per_sec, snapshot.size(), kAnalyzeFloorSpansPerSec);
+  std::printf("untraced fire, no advisory: %8.1f ns median\n", baseline_ns);
+  std::printf("untraced fire, advisory:    %8.1f ns median (delta %+.1f ns, bound %.1f ns)\n",
+              advisory_ns, delta_ns, bound_ns);
+
+  int failures = 0;
+  if (spans_per_sec < kAnalyzeFloorSpansPerSec) {
+    std::fprintf(stderr,
+                 "FAIL: analysis sustains only %.0f spans/s, below the %.0f floor — the "
+                 "analyzer must stay cheap enough to run on every control-plane tick\n",
+                 spans_per_sec, kAnalyzeFloorSpansPerSec);
+    ++failures;
+  }
+  if (delta_ns > bound_ns) {
+    std::fprintf(stderr,
+                 "FAIL: an installed advisory costs %.1f ns/fire over baseline (bound "
+                 "%.1f ns) — advisory state must never be read on the fire path\n",
+                 delta_ns, bound_ns);
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("budget checks: OK\n");
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"bottleneck\",\n"
+               "  \"snapshot_spans\": %zu,\n"
+               "  \"analyze_spans_per_sec\": %.0f,\n"
+               "  \"analyze_floor_spans_per_sec\": %.0f,\n"
+               "  \"untraced_fire_ns\": %.2f,\n"
+               "  \"untraced_fire_with_advisory_ns\": %.2f,\n"
+               "  \"advisory_delta_ns\": %.2f,\n"
+               "  \"advisory_bound_ns\": %.2f,\n"
+               "  \"ok\": %s\n"
+               "}\n",
+               snapshot.size(), spans_per_sec, kAnalyzeFloorSpansPerSec, baseline_ns,
+               advisory_ns, delta_ns, bound_ns, failures == 0 ? "true" : "false");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rkd
+
+int main(int argc, char** argv) {
+  bool gbench = false;
+  bool quick = false;
+  std::string out_path = "BENCH_bottleneck.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+      gbench = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  if (gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return rkd::RunBudgetCheck(out_path, quick);
+}

@@ -40,6 +40,7 @@ ControlPlane::ControlPlane(HookRegistry* hooks, VerifierConfig verifier_config)
   metrics_.tier3_deopt_map_write = telemetry.GetCounter("rkd.vm.tier3.deopt_map_write");
   metrics_.tier3_deopt_model_install = telemetry.GetCounter("rkd.vm.tier3.deopt_model_install");
   metrics_.tier3_deopt_table_mutation = telemetry.GetCounter("rkd.vm.tier3.deopt_table_mutation");
+  metrics_.bottleneck_refreshes = telemetry.GetCounter("rkd.bottleneck.refreshes");
   metrics_.tier3_actions = telemetry.GetGauge("rkd.vm.tier3.actions");
 }
 
@@ -490,6 +491,11 @@ Result<ControlPlane::TierReport> ControlPlane::TickTiering(ProgramHandle handle)
   report.hot_execs = slot->tiering.hot_execs;
   report.execs = prog.opcode_profile().total_execs();
   report.governor_level = prog.governor_level();
+  // Advisory-scaled promotion: the bottleneck label decides how hot a
+  // program must run before tier 3 is worth compiling (see EffectiveHotExecs).
+  report.advisory_label = prog.bottleneck().valid ? prog.bottleneck().label
+                                                  : BottleneckLabel::kInconclusive;
+  report.effective_hot_execs = EffectiveHotExecs(slot->tiering, prog.bottleneck());
   report.tier3_execs = prog.tier3_stats().execs.value();
   for (size_t r = 0; r < report.deopts_by_reason.size(); ++r) {
     report.deopts_by_reason[r] = prog.tier3_stats().deopts[r].value();
@@ -519,7 +525,7 @@ Result<ControlPlane::TierReport> ControlPlane::TickTiering(ProgramHandle handle)
   // tier ladder, and a respecialization churn is exactly the control-plane
   // work a degraded program must shed.
   const bool demote = slot->suspended || prog.governor_level() != GovLevel::kFull;
-  const bool hot = report.execs >= slot->tiering.hot_execs;
+  const bool hot = report.execs >= report.effective_hot_execs;
   uint64_t retires = 0;
   for (const auto& table : prog.tables()) {
     if (table->tier() != ExecTier::kJit) {
@@ -596,7 +602,102 @@ Result<ControlPlane::TierReport> ControlPlane::TickTiering(ProgramHandle handle)
   }
   report.tier = report.specialized_actions > 0 ? 3 : (any_jit ? 2 : 1);
   metrics_.tier3_actions->Set(static_cast<double>(report.specialized_actions));
+  // Tier-transition event (counter-track sample): one record per observed
+  // tier change so Perfetto's "rkd.tier.p<handle>" track lines up with the
+  // span stream. The first tick seeds the track's baseline value.
+  if (slot->last_tier != report.tier) {
+    TraceEvent event;
+    event.ts_ns = MonotonicNowNs();
+    event.source = static_cast<int32_t>(handle);
+    event.kind = kTierTransitionEvent;
+    event.key = static_cast<uint64_t>(slot->last_tier);
+    event.value = report.tier;
+    telemetry().trace().Push(event);
+    slot->last_tier = report.tier;
+  }
   return report;
+}
+
+uint64_t ControlPlane::EffectiveHotExecs(const TieringConfig& config,
+                                         const BottleneckAdvisory& advisory) {
+  if (!config.advisory_promotion || !advisory.valid) {
+    return config.hot_execs;
+  }
+  switch (advisory.label) {
+    case BottleneckLabel::kDispatchBound:
+    case BottleneckLabel::kMlEvalBound:
+      // Specialization attacks exactly these costs (superblocks flatten
+      // dispatch, tile kernels + folded weights cut ml.eval): promote first.
+      return config.hot_execs;
+    case BottleneckLabel::kHelperBound:
+    case BottleneckLabel::kDeadlineBound:
+      // Helpers run outside the specialized stream and a deadline-bound
+      // program is governor territory; tier 3 helps at the margin only.
+      return config.hot_execs * 2;
+    case BottleneckLabel::kTableBound:
+      // The fix is index tuning, not code specialization — deprioritize
+      // hard so genuinely specializable programs win the compile budget.
+      return config.hot_execs * 4;
+    case BottleneckLabel::kInconclusive:
+      return config.hot_execs;  // neutral: behave exactly as pre-advisory
+  }
+  return config.hot_execs;
+}
+
+void ControlPlane::StoreAdvisory(Slot& slot, BottleneckAdvisory advisory) {
+  const std::string prefix = "rkd.bottleneck." + slot.program->name();
+  TelemetryRegistry& telemetry = hooks_->telemetry();
+  telemetry.GetGauge(prefix + ".label")
+      ->Set(static_cast<double>(static_cast<uint8_t>(advisory.label)));
+  telemetry.GetGauge(prefix + ".fires")
+      ->Set(static_cast<double>(advisory.evidence.fires));
+  telemetry.GetGauge(prefix + ".critical_path_ns")
+      ->Set(static_cast<double>(advisory.evidence.critical_path_ns));
+  slot.program->set_bottleneck(std::move(advisory));
+}
+
+Result<BottleneckAdvisory> ControlPlane::RefreshBottleneck(ProgramHandle handle,
+                                                           const AnalyzerConfig& config) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  const CriticalPathAnalyzer analyzer(config);
+  const BottleneckReport report = analyzer.Analyze(hooks_->telemetry().tracer().Snapshot());
+
+  // This program's slice of the per-hook analysis: the root span labels of
+  // every hook its tables attach to (deduplicated — several tables can
+  // share one hook).
+  std::vector<std::string> labels;
+  for (const auto& table : slot->program->tables()) {
+    std::string label = "hook." + hooks_->NameOf(table->hook());
+    if (std::find(labels.begin(), labels.end(), label) == labels.end()) {
+      labels.push_back(std::move(label));
+    }
+  }
+  std::vector<const BottleneckAdvisory*> parts;
+  for (const HookBottleneck& hook : report.hooks) {
+    if (std::find(labels.begin(), labels.end(), hook.hook) != labels.end()) {
+      parts.push_back(&hook.advisory);
+    }
+  }
+  BottleneckAdvisory advisory = MergeAdvisories(parts, config.classifier);
+  // An analysis that saw no fires is still a (inconclusive) verdict: the
+  // stored advisory reflects the latest refresh, not the last lucky sample.
+  advisory.valid = true;
+  metrics_.bottleneck_refreshes->Increment();
+  StoreAdvisory(*slot, advisory);
+  return advisory;
+}
+
+Status ControlPlane::SetBottleneckAdvisory(ProgramHandle handle,
+                                           const BottleneckAdvisory& advisory) {
+  Slot* slot = FindSlot(handle);
+  if (slot == nullptr) {
+    return NotFoundError("no installed program with handle " + std::to_string(handle));
+  }
+  StoreAdvisory(*slot, advisory);
+  return OkStatus();
 }
 
 Status ControlPlane::EnableAdaptation(ProgramHandle handle, const AdaptationConfig& config) {
@@ -670,6 +771,14 @@ Result<ControlPlane::AdaptationReport> ControlPlane::TickReport(ProgramHandle ha
   report.exec_tier = specialized_actions > 0 ? 3 : (any_jit ? 2 : 1);
   report.tier3_execs = slot->program->tier3_stats().execs.value();
   report.tier3_deopts = slot->program->tier3_stats().total_deopts();
+  // Mirror the stored bottleneck advisory (set by RefreshBottleneck /
+  // SetBottleneckAdvisory); the tick itself never re-analyzes.
+  const BottleneckAdvisory& advisory = slot->program->bottleneck();
+  if (advisory.valid) {
+    report.bottleneck = advisory.label;
+    report.bottleneck_fires = advisory.evidence.fires;
+    report.bottleneck_critical_path_ns = advisory.evidence.critical_path_ns;
+  }
   return report;
 }
 
@@ -806,7 +915,18 @@ Result<ControlPlane::RolloutId> ControlPlane::InstallCanary(ProgramHandle incumb
 
   rollouts_.push_back(std::move(rollout));
   metrics_.canary_installs->Increment();
-  return static_cast<RolloutId>(rollouts_.size()) - 1;
+  const RolloutId id = static_cast<RolloutId>(rollouts_.size()) - 1;
+  PushCanaryRoutingEvent(id, config.canary_permille);
+  return id;
+}
+
+void ControlPlane::PushCanaryRoutingEvent(RolloutId id, uint32_t permille) {
+  TraceEvent event;
+  event.ts_ns = MonotonicNowNs();
+  event.source = static_cast<int32_t>(id);
+  event.kind = kCanaryRoutingEvent;
+  event.value = permille;
+  telemetry().trace().Push(event);
 }
 
 Result<ControlPlane::ShadowedInstall> ControlPlane::InstallShadowed(
@@ -903,12 +1023,14 @@ Result<ControlPlane::RolloutReport> ControlPlane::EvaluateRollout(RolloutId id) 
     report.decision = RolloutReport::Decision::kPromoted;
     report.reason = "canary within every bound; promoted to full traffic";
     metrics_.promotions->Increment();
+    PushCanaryRoutingEvent(id, 1000);
   } else {
     ClearCanaryRole(rollout.incumbent);
     RKD_RETURN_IF_ERROR(Uninstall(rollout.canary));
     report.decision = RolloutReport::Decision::kRolledBack;
     report.reason = reason;
     metrics_.rollbacks->Increment();
+    PushCanaryRoutingEvent(id, 0);
   }
   return report;
 }

@@ -83,6 +83,9 @@ struct ControlPlaneMetrics {
   Counter* tier3_folded_lookups = nullptr;   // map lookups const-folded
   Counter* tier3_folded_models = nullptr;    // model slots burned into streams
   Counter* tier3_execs = nullptr;            // fires served by tier 3 (mirrored)
+  // Bottleneck-advisory slice ("rkd.bottleneck.*"): refresh count plus
+  // per-program label/fires/critical-path gauges registered on first use.
+  Counter* bottleneck_refreshes = nullptr;   // RefreshBottleneck() analyses run
   Counter* tier3_deopt_map_write = nullptr;      // deopts: control-plane map write
   Counter* tier3_deopt_model_install = nullptr;  // deopts: model hot-swap
   Counter* tier3_deopt_table_mutation = nullptr; // deopts: table entry churn
@@ -227,6 +230,13 @@ class ControlPlane {
     uint64_t hot_execs = 4096;        // promotion threshold (exec count)
     bool fold_map_constants = true;   // fold/burn frozen-map lookups
     bool fold_models = true;          // burn model-slot weights
+    // Let the trace-derived bottleneck advisory scale the promotion
+    // threshold (see EffectiveHotExecs): programs whose label specialization
+    // can actually help (dispatch/ml-eval-bound) promote at hot_execs;
+    // table-bound programs — whose fix is index tuning, not tier 3 — wait
+    // 4x as long; helper/deadline-bound wait 2x. A program with no valid
+    // advisory keeps the flat threshold, preserving pre-advisory behaviour.
+    bool advisory_promotion = true;
   };
   Status EnableTiering(ProgramHandle handle, const TieringConfig& config);
   Status EnableTiering(ProgramHandle handle) { return EnableTiering(handle, TieringConfig()); }
@@ -248,6 +258,11 @@ class ControlPlane {
     uint64_t tier3_deopts = 0;           // lifetime guard-failure fallbacks
     std::array<uint64_t, 3> deopts_by_reason{};  // indexed by DeoptReason
     GovLevel governor_level = GovLevel::kFull;
+    // Advisory-scaled promotion: the label in force and the threshold this
+    // tick actually compared execs against (== hot_execs when the advisory
+    // is absent, neutral, or advisory_promotion is off).
+    BottleneckLabel advisory_label = BottleneckLabel::kInconclusive;
+    uint64_t effective_hot_execs = 0;
   };
 
   // Runs one pass of the tier ladder: mirrors fire-path tier-3 tallies into
@@ -255,6 +270,27 @@ class ControlPlane {
   // (stale guards) when hot. Call periodically alongside TickReport().
   // Errors if tiering is not enabled.
   Result<TierReport> TickTiering(ProgramHandle handle);
+
+  // --- Trace-derived bottleneck advisory ---
+  // Snapshots the tracer's flight-recorder rings, runs the critical-path
+  // analysis (src/telemetry/bottleneck.h), merges the hooks this program's
+  // tables attach to into one advisory, stores it on the program, and
+  // mirrors it into "rkd.bottleneck.*" telemetry. Pure function of the
+  // recorded span bytes: the same resident spans yield a byte-identical
+  // advisory on any run and either VM tier. Call off the datapath (it walks
+  // every resident span), typically alongside TickTiering().
+  Result<BottleneckAdvisory> RefreshBottleneck(ProgramHandle handle,
+                                               const AnalyzerConfig& config = {});
+
+  // Installs a precomputed advisory (offline analysis of a flight dump, or
+  // tests steering the tier ladder deterministically). Same storage and
+  // telemetry side effects as RefreshBottleneck.
+  Status SetBottleneckAdvisory(ProgramHandle handle, const BottleneckAdvisory& advisory);
+
+  // The promotion threshold TickTiering compares execs against, given the
+  // program's current advisory. Exposed for tests and tools.
+  static uint64_t EffectiveHotExecs(const TieringConfig& config,
+                                    const BottleneckAdvisory& advisory);
 
   // --- Accuracy-driven adaptation ---
   struct AdaptationConfig {
@@ -283,6 +319,12 @@ class ControlPlane {
     size_t specialized_actions = 0;     // actions carrying a live specialization
     uint64_t tier3_execs = 0;           // lifetime fires served by tier 3
     uint64_t tier3_deopts = 0;          // lifetime guard-failure fallbacks
+    // Stored bottleneck advisory at tick time (mirror, not a re-analysis —
+    // the tick stays a pure function of program state, so enabling the
+    // advisory never perturbs adaptation determinism).
+    BottleneckLabel bottleneck = BottleneckLabel::kInconclusive;
+    uint64_t bottleneck_fires = 0;
+    uint64_t bottleneck_critical_path_ns = 0;
   };
 
   // Evaluates the program's prediction log and adjusts the knob. Call
@@ -323,6 +365,9 @@ class ControlPlane {
     // tallies has already been flushed into the global counters.
     uint64_t tier3_execs_flushed = 0;
     std::array<uint64_t, 3> tier3_deopts_flushed{};
+    // Tier observed by the last tiering tick (0 = never ticked); transitions
+    // push kTierTransitionEvent so counter tracks line up with traces.
+    int last_tier = 0;
   };
 
   // Where one rollout arm's counters stood when the soak window opened.
@@ -356,6 +401,11 @@ class ControlPlane {
   void ClearCanaryRole(ProgramHandle handle);
   // Releases a rollout's force-trace hold exactly once.
   void ReleaseRolloutForceTrace(Rollout& rollout);
+  // Stores `advisory` on the slot's program and mirrors it into the
+  // "rkd.bottleneck.<program>.*" gauges.
+  void StoreAdvisory(Slot& slot, BottleneckAdvisory advisory);
+  // Pushes a kCanaryRoutingEvent (counter-track sample) for `rollout`.
+  void PushCanaryRoutingEvent(RolloutId id, uint32_t permille);
 
   HookRegistry* hooks_;  // not owned
   VerifierConfig verifier_config_;

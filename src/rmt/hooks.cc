@@ -121,6 +121,7 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
   fire_span.Tag("key", static_cast<int64_t>(key));
   const uint64_t start_ns = MonotonicNowNs();
   int64_t result = kHookFallback;
+  GovLevel worst_level = GovLevel::kFull;
   const std::vector<AttachedTable*>* tables = hook.tables.Load();
   for (AttachedTable* table : *tables) {
     if (!table->ShouldRun(seq)) {
@@ -129,6 +130,9 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
     // Governor admission: one relaxed load of the program's ladder rung.
     // Anything below kFull bypasses the learned policy entirely.
     const GovLevel level = table->governor_level();
+    if (level > worst_level) {
+      worst_level = level;
+    }
     if (level != GovLevel::kFull) {
       if (level == GovLevel::kDegraded) {
         const FallbackOracle* fallback = hook.fallback.Load();
@@ -158,6 +162,11 @@ int64_t HookRegistry::Fire(HookId id, uint64_t key, std::span<const int64_t> arg
   }
   const uint64_t elapsed_ns = MonotonicNowNs() - start_ns;
   hook.fire_ns->Record(elapsed_ns);
+  if (worst_level != GovLevel::kFull) {
+    // Degraded-admission marker: the bottleneck analyzer counts fires that
+    // ran below kFull toward deadline/governor pressure.
+    fire_span.Tag("gov", static_cast<int64_t>(worst_level));
+  }
   fire_span.Tag("result", result);
   if (HookEventSink* sink = event_sink_.load(std::memory_order_acquire); sink != nullptr) {
     sink->OnFire(id, key, args, result);

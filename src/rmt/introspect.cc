@@ -179,6 +179,18 @@ std::string DumpProgram(InstalledProgram& program, const IntrospectOptions& opti
 
   DumpOpcodeProfile(program.opcode_profile(), options, out);
 
+  // Critical path & bottleneck: the stored trace-derived advisory (label,
+  // critical-path time, top-3 slack contributors). Quiet until a refresh has
+  // ever run — the neutral default prints nothing, like the tier-3 section.
+  if (program.bottleneck().valid) {
+    out << "critical path & bottleneck:\n";
+    std::istringstream advisory(RenderAdvisory(program.bottleneck(), 3));
+    std::string line;
+    while (std::getline(advisory, line)) {
+      out << "  " << line << "\n";
+    }
+  }
+
   // Tier-ladder state: the always-on exec tally that drives promotion and
   // the specialized-fire/deopt split. Quiet until tier 3 has ever engaged.
   const Tier3Stats& tier3 = program.tier3_stats();

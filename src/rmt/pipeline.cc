@@ -160,6 +160,10 @@ Result<int64_t> AttachedTable::Execute(uint64_t key, std::span<const int64_t> ar
                                                          tail_resolver_);
   }();
   exec_span.Tag("err", run.ok() ? 0 : 1);
+  if (!run.ok() && run.status().code() == StatusCode::kDeadlineExceeded) {
+    // Deadline-overrun marker the bottleneck analyzer counts per fire.
+    exec_span.Tag("ddl", 1);
+  }
   if (exec_metrics_ != nullptr) {
     exec_metrics_->execs->Increment();
     exec_metrics_->exec_ns->Record(MonotonicNowNs() - start_ns);

@@ -21,6 +21,7 @@
 #include "src/ml/model_registry.h"
 #include "src/rmt/hooks.h"
 #include "src/rmt/table.h"
+#include "src/telemetry/bottleneck.h"
 #include "src/vm/jit.h"
 #include "src/vm/specialize.h"
 #include "src/vm/vm.h"
@@ -282,6 +283,13 @@ class InstalledProgram {
   void set_fire_clock(std::function<uint64_t()> clock) { fire_clock_ = std::move(clock); }
   const std::function<uint64_t()>* fire_clock() const { return &fire_clock_; }
 
+  // Trace-derived bottleneck advisory: the per-program merge of the latest
+  // critical-path analysis (ControlPlane::RefreshBottleneck writes it; the
+  // tier ladder and DumpProgram read it). Control-plane-thread state — never
+  // touched by the fire path, so an installed advisory costs fires nothing.
+  const BottleneckAdvisory& bottleneck() const { return bottleneck_; }
+  void set_bottleneck(BottleneckAdvisory advisory) { bottleneck_ = std::move(advisory); }
+
   AttachedTable* FindTable(std::string_view table_name);
   const std::vector<std::unique_ptr<AttachedTable>>& tables() const { return tables_; }
 
@@ -305,6 +313,8 @@ class InstalledProgram {
   DpNoiseSource dp_noise_;
   PredictionLog prediction_log_;
   RingMap sample_ring_;
+
+  BottleneckAdvisory bottleneck_;  // latest trace-derived advisory
 
   // Overload-governor state: the ladder rung, the declared fire budget, and
   // the (injectable) clock deadline checks read.

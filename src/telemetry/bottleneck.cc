@@ -1,0 +1,437 @@
+#include "src/telemetry/bottleneck.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace rkd {
+
+namespace {
+
+// Component families the classifier weighs. Everything the fire path emits
+// today maps to one of these; unknown names (future instrumentation, user
+// spans) land in kOther so they still count against the critical path.
+enum class SpanFamily { kDispatch, kTable, kMl, kHelper, kOther };
+
+SpanFamily FamilyOf(const char* name) {
+  if (std::strncmp(name, "hook.", 5) == 0 || std::strcmp(name, "vm.exec") == 0) {
+    return SpanFamily::kDispatch;
+  }
+  if (std::strcmp(name, "table.lookup") == 0) {
+    return SpanFamily::kTable;
+  }
+  if (std::strcmp(name, "ml.eval") == 0) {
+    return SpanFamily::kMl;
+  }
+  if (std::strcmp(name, "vm.helper") == 0) {
+    return SpanFamily::kHelper;
+  }
+  return SpanFamily::kOther;
+}
+
+const SpanTag* FindTag(const SpanRecord& span, const char* key) {
+  for (uint8_t i = 0; i < span.num_tags; ++i) {
+    if (span.tags[i].key != nullptr && std::strcmp(span.tags[i].key, key) == 0) {
+      return &span.tags[i];
+    }
+  }
+  return nullptr;
+}
+
+void AppendU64(std::string& out, uint64_t v) { out += std::to_string(v); }
+
+void AppendPermille(std::string& out, uint32_t permille) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u%%", permille / 10, permille % 10);
+  out += buf;
+}
+
+// Rolls contributor name stats and finalizes an advisory's derived fields.
+struct ContributorAccumulator {
+  std::map<std::string, CriticalContributor> by_name;
+
+  void Add(const std::string& name, uint64_t inclusive_ns, uint64_t exclusive_ns,
+           uint64_t count) {
+    CriticalContributor& c = by_name[name];
+    if (c.count == 0 && c.inclusive_ns == 0) {
+      c.name = name;
+    }
+    c.count += count;
+    c.inclusive_ns += inclusive_ns;
+    c.exclusive_ns += exclusive_ns;
+  }
+
+  std::vector<CriticalContributor> Finish(const BottleneckEvidence& evidence,
+                                          size_t max_contributors) {
+    std::vector<CriticalContributor> out;
+    out.reserve(by_name.size());
+    for (auto& [name, c] : by_name) {
+      c.criticality_permille = evidence.Permille(c.exclusive_ns);
+      c.slack_ns = evidence.critical_path_ns > c.exclusive_ns
+                       ? evidence.critical_path_ns - c.exclusive_ns
+                       : 0;
+      out.push_back(std::move(c));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CriticalContributor& a, const CriticalContributor& b) {
+                return a.exclusive_ns != b.exclusive_ns ? a.exclusive_ns > b.exclusive_ns
+                                                        : a.name < b.name;
+              });
+    if (max_contributors != 0 && out.size() > max_contributors) {
+      out.resize(max_contributors);
+    }
+    return out;
+  }
+};
+
+// Per-hook accumulation state while walking trees.
+struct HookAccumulator {
+  BottleneckEvidence evidence;
+  ContributorAccumulator contributors;
+  // Slowest fire seen so far and its critical chain (names root→leaf).
+  uint64_t slowest_ns = 0;
+  uint64_t slowest_root_span_id = 0;
+  std::vector<std::string> critical_chain;
+};
+
+}  // namespace
+
+std::string_view BottleneckLabelName(BottleneckLabel label) {
+  switch (label) {
+    case BottleneckLabel::kInconclusive:
+      return "inconclusive";
+    case BottleneckLabel::kDispatchBound:
+      return "dispatch-bound";
+    case BottleneckLabel::kTableBound:
+      return "table-bound";
+    case BottleneckLabel::kMlEvalBound:
+      return "ml-eval-bound";
+    case BottleneckLabel::kHelperBound:
+      return "helper-bound";
+    case BottleneckLabel::kDeadlineBound:
+      return "deadline-bound";
+  }
+  return "unknown";
+}
+
+void BottleneckEvidence::Merge(const BottleneckEvidence& other) {
+  fires += other.fires;
+  critical_path_ns += other.critical_path_ns;
+  max_critical_path_ns = std::max(max_critical_path_ns, other.max_critical_path_ns);
+  dispatch_ns += other.dispatch_ns;
+  table_ns += other.table_ns;
+  ml_ns += other.ml_ns;
+  helper_ns += other.helper_ns;
+  other_ns += other.other_ns;
+  deadline_fires += other.deadline_fires;
+  degraded_fires += other.degraded_fires;
+}
+
+BottleneckLabel ClassifyBottleneck(const BottleneckEvidence& evidence,
+                                   const ClassifierConfig& config) {
+  if (evidence.fires < config.min_fires || evidence.critical_path_ns == 0) {
+    return BottleneckLabel::kInconclusive;
+  }
+  if (evidence.FirePermille(evidence.deadline_fires) >= config.deadline_permille ||
+      evidence.FirePermille(evidence.degraded_fires) >= config.deadline_permille) {
+    return BottleneckLabel::kDeadlineBound;
+  }
+  const uint32_t ml = evidence.Permille(evidence.ml_ns);
+  const uint32_t table = evidence.Permille(evidence.table_ns);
+  const uint32_t helper = evidence.Permille(evidence.helper_ns);
+  const uint32_t dispatch = evidence.Permille(evidence.dispatch_ns);
+  const uint32_t best = std::max(std::max(ml, table), std::max(helper, dispatch));
+  if (best < config.dominant_permille) {
+    return BottleneckLabel::kInconclusive;
+  }
+  // Fixed tie precedence: the order in which the control plane can act
+  // (specialize ml, tune the index, inline the helper, flatten dispatch).
+  if (ml == best) {
+    return BottleneckLabel::kMlEvalBound;
+  }
+  if (table == best) {
+    return BottleneckLabel::kTableBound;
+  }
+  if (helper == best) {
+    return BottleneckLabel::kHelperBound;
+  }
+  return BottleneckLabel::kDispatchBound;
+}
+
+BottleneckReport CriticalPathAnalyzer::Analyze(const std::vector<SpanRecord>& spans) const {
+  BottleneckReport report;
+  report.spans = spans.size();
+
+  // Group into causal trees. std::map keys make iteration order a function
+  // of the recorded trace ids, never of input order or pointer values.
+  std::map<uint64_t, std::vector<const SpanRecord*>> trees;
+  for (const SpanRecord& span : spans) {
+    trees[span.trace_id].push_back(&span);
+  }
+
+  std::map<std::string, HookAccumulator> hooks;
+  for (auto& [trace_id, members] : trees) {
+    (void)trace_id;
+    // Canonical member order regardless of how the snapshot was assembled.
+    std::sort(members.begin(), members.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                return a->start_ns != b->start_ns ? a->start_ns < b->start_ns
+                                                  : a->span_id < b->span_id;
+              });
+    const SpanRecord* root = nullptr;
+    std::map<uint64_t, const SpanRecord*> by_id;
+    for (const SpanRecord* span : members) {
+      by_id[span->span_id] = span;
+      if (span->parent_id == 0 && root == nullptr) {
+        root = span;
+      }
+    }
+    // Child adjacency (only edges whose parent survived in the snapshot).
+    std::map<uint64_t, std::vector<const SpanRecord*>> children;
+    for (const SpanRecord* span : members) {
+      if (span->parent_id != 0 && by_id.count(span->parent_id) != 0) {
+        children[span->parent_id].push_back(span);
+      }
+    }
+    if (root == nullptr) {
+      // The ring evicted the fire root out from under its children: nothing
+      // to attribute the remains to.
+      report.orphan_spans += members.size();
+      continue;
+    }
+    // Reachability from the root separates the attributable tree from
+    // orphans whose parent link was torn away mid-chain.
+    std::map<uint64_t, bool> reached;
+    std::vector<const SpanRecord*> stack{root};
+    std::vector<const SpanRecord*> ordered;  // DFS order, children start-sorted
+    reached[root->span_id] = true;
+    while (!stack.empty()) {
+      const SpanRecord* span = stack.back();
+      stack.pop_back();
+      ordered.push_back(span);
+      const auto kids = children.find(span->span_id);
+      if (kids == children.end()) {
+        continue;
+      }
+      for (auto it = kids->second.rbegin(); it != kids->second.rend(); ++it) {
+        reached[(*it)->span_id] = true;
+        stack.push_back(*it);
+      }
+    }
+    uint64_t orphans = 0;
+    for (const SpanRecord* span : members) {
+      if (reached.count(span->span_id) == 0) {
+        ++orphans;
+      }
+    }
+    report.orphan_spans += orphans;
+
+    if (std::strncmp(root->name, "hook.", 5) != 0) {
+      // Control-plane trees (cp.install, guardian.tick, vm.specialize, ...)
+      // are not fire trees; count and move on.
+      report.non_fire_spans += ordered.size();
+      continue;
+    }
+    ++report.trees;
+    HookAccumulator& acc = hooks[root->name];
+    BottleneckEvidence& ev = acc.evidence;
+    ++ev.fires;
+    const uint64_t path_ns = root->duration_ns();
+    ev.critical_path_ns += path_ns;
+    ev.max_critical_path_ns = std::max(ev.max_critical_path_ns, path_ns);
+
+    bool deadline_hit = false;
+    for (const SpanRecord* span : ordered) {
+      // Exclusive (self) time: inclusive minus direct surviving children.
+      // Spans within one fire are same-thread and strictly nested, so every
+      // self-time nanosecond lies on the fire's critical path and the
+      // family sums partition it exactly (orphaned descendants collapse
+      // into their nearest surviving ancestor's self time).
+      uint64_t child_ns = 0;
+      if (const auto kids = children.find(span->span_id); kids != children.end()) {
+        for (const SpanRecord* kid : kids->second) {
+          child_ns += kid->duration_ns();
+        }
+      }
+      const uint64_t inclusive = span->duration_ns();
+      const uint64_t exclusive = inclusive > child_ns ? inclusive - child_ns : 0;
+      switch (FamilyOf(span->name)) {
+        case SpanFamily::kDispatch:
+          ev.dispatch_ns += exclusive;
+          break;
+        case SpanFamily::kTable:
+          ev.table_ns += exclusive;
+          break;
+        case SpanFamily::kMl:
+          ev.ml_ns += exclusive;
+          break;
+        case SpanFamily::kHelper:
+          ev.helper_ns += exclusive;
+          break;
+        case SpanFamily::kOther:
+          ev.other_ns += exclusive;
+          break;
+      }
+      acc.contributors.Add(span->name, inclusive, exclusive, 1);
+      if (std::strcmp(span->name, "vm.exec") == 0) {
+        if (const SpanTag* ddl = FindTag(*span, "ddl"); ddl != nullptr && ddl->value != 0) {
+          deadline_hit = true;
+        }
+      }
+    }
+    if (deadline_hit) {
+      ++ev.deadline_fires;
+    }
+    if (FindTag(*root, "gov") != nullptr) {
+      ++ev.degraded_fires;
+    }
+
+    // Track the slowest fire's critical chain: descend into the child with
+    // the largest inclusive time (ties: lowest span_id — children are
+    // start-sorted, and start ties resolve by span_id in the sort above).
+    if (path_ns > acc.slowest_ns ||
+        (path_ns == acc.slowest_ns &&
+         (acc.slowest_root_span_id == 0 || root->span_id < acc.slowest_root_span_id))) {
+      acc.slowest_ns = path_ns;
+      acc.slowest_root_span_id = root->span_id;
+      acc.critical_chain.clear();
+      const SpanRecord* at = root;
+      while (at != nullptr) {
+        acc.critical_chain.push_back(at->name);
+        const auto kids = children.find(at->span_id);
+        const SpanRecord* next = nullptr;
+        if (kids != children.end()) {
+          for (const SpanRecord* kid : kids->second) {
+            if (next == nullptr || kid->duration_ns() > next->duration_ns() ||
+                (kid->duration_ns() == next->duration_ns() &&
+                 kid->span_id < next->span_id)) {
+              next = kid;
+            }
+          }
+        }
+        at = next;
+      }
+    }
+  }
+
+  report.hooks.reserve(hooks.size());
+  for (auto& [name, acc] : hooks) {
+    HookBottleneck hook;
+    hook.hook = name;
+    hook.advisory.valid = true;
+    hook.advisory.evidence = acc.evidence;
+    hook.advisory.label = ClassifyBottleneck(acc.evidence, config_.classifier);
+    hook.advisory.contributors = acc.contributors.Finish(acc.evidence, 0);
+    hook.critical_chain = std::move(acc.critical_chain);
+    report.hooks.push_back(std::move(hook));
+  }
+  return report;
+}
+
+BottleneckAdvisory MergeAdvisories(const std::vector<const BottleneckAdvisory*>& parts,
+                                   const ClassifierConfig& config,
+                                   size_t max_contributors) {
+  BottleneckAdvisory merged;
+  ContributorAccumulator contributors;
+  for (const BottleneckAdvisory* part : parts) {
+    if (part == nullptr || !part->valid) {
+      continue;
+    }
+    merged.valid = true;
+    merged.evidence.Merge(part->evidence);
+    for (const CriticalContributor& c : part->contributors) {
+      contributors.Add(c.name, c.inclusive_ns, c.exclusive_ns, c.count);
+    }
+  }
+  if (!merged.valid) {
+    return merged;
+  }
+  merged.contributors = contributors.Finish(merged.evidence, max_contributors);
+  merged.label = ClassifyBottleneck(merged.evidence, config);
+  return merged;
+}
+
+std::string RenderAdvisory(const BottleneckAdvisory& advisory, size_t max_contributors) {
+  std::string out;
+  if (!advisory.valid) {
+    out += "bottleneck: (no advisory)\n";
+    return out;
+  }
+  const BottleneckEvidence& ev = advisory.evidence;
+  out += "bottleneck: ";
+  out += BottleneckLabelName(advisory.label);
+  out += "\n  fires ";
+  AppendU64(out, ev.fires);
+  out += ", critical path ";
+  AppendU64(out, ev.critical_path_ns);
+  out += " ns (max ";
+  AppendU64(out, ev.max_critical_path_ns);
+  out += " ns)\n  shares: dispatch ";
+  AppendPermille(out, ev.Permille(ev.dispatch_ns));
+  out += ", table ";
+  AppendPermille(out, ev.Permille(ev.table_ns));
+  out += ", ml ";
+  AppendPermille(out, ev.Permille(ev.ml_ns));
+  out += ", helper ";
+  AppendPermille(out, ev.Permille(ev.helper_ns));
+  out += ", other ";
+  AppendPermille(out, ev.Permille(ev.other_ns));
+  out += "\n  pressure: deadline fires ";
+  AppendPermille(out, ev.FirePermille(ev.deadline_fires));
+  out += ", degraded fires ";
+  AppendPermille(out, ev.FirePermille(ev.degraded_fires));
+  out += "\n";
+  size_t listed = 0;
+  for (const CriticalContributor& c : advisory.contributors) {
+    if (max_contributors != 0 && listed++ >= max_contributors) {
+      break;
+    }
+    out += "  ";
+    out += c.name;
+    out += ": self ";
+    AppendU64(out, c.exclusive_ns);
+    out += " ns (";
+    AppendPermille(out, c.criticality_permille);
+    out += " criticality), incl ";
+    AppendU64(out, c.inclusive_ns);
+    out += " ns, n=";
+    AppendU64(out, c.count);
+    out += ", slack ";
+    AppendU64(out, c.slack_ns);
+    out += " ns\n";
+  }
+  return out;
+}
+
+std::string RenderBottleneckReport(const BottleneckReport& report) {
+  std::string out = "=== bottleneck report ===\n";
+  out += "spans ";
+  AppendU64(out, report.spans);
+  out += ", fire trees ";
+  AppendU64(out, report.trees);
+  out += ", orphan spans ";
+  AppendU64(out, report.orphan_spans);
+  out += ", non-fire spans ";
+  AppendU64(out, report.non_fire_spans);
+  out += "\n";
+  for (const HookBottleneck& hook : report.hooks) {
+    out += "--- ";
+    out += hook.hook;
+    out += " ---\n";
+    if (!hook.critical_chain.empty()) {
+      out += "critical chain: ";
+      for (size_t i = 0; i < hook.critical_chain.size(); ++i) {
+        if (i > 0) {
+          out += " -> ";
+        }
+        out += hook.critical_chain[i];
+      }
+      out += "\n";
+    }
+    out += RenderAdvisory(hook.advisory, 0);
+  }
+  return out;
+}
+
+}  // namespace rkd

@@ -1,0 +1,166 @@
+// Trace-derived critical-path and bottleneck analysis.
+//
+// The CriticalPathAnalyzer closes the observe→decide seam: it consumes the
+// same SpanRecord snapshots the Perfetto exporter renders for humans
+// (Tracer::Snapshot, flight dumps), reconstructs the causal DAG of every
+// fire from parent_id + timestamps, computes inclusive and exclusive (self)
+// time per span, derives the per-hook critical path, and hands the result
+// to a rule-based BottleneckClassifier that emits exactly one label per
+// hook/program with the evidence attached (component time shares as
+// criticality weights, deadline/degraded fire shares).
+//
+// Determinism contract: the analysis is a pure function of the recorded
+// span bytes — no wall-clock reads, no RNG, no pointer- or hash-ordered
+// iteration, integer (permille) arithmetic only, lexicographic tie-breaks —
+// so the same snapshot yields a byte-identical report on any run and on
+// both VM tiers. tests/bottleneck_test.cc asserts this, including against
+// input-order permutations, orphaned parents (ring eviction), and torn
+// rings. The ControlPlane stores the per-program merge of this report as a
+// BottleneckAdvisory that steers tier-3 promotion order (see
+// ControlPlane::RefreshBottleneck / EffectiveHotExecs).
+#ifndef SRC_TELEMETRY_BOTTLENECK_H_
+#define SRC_TELEMETRY_BOTTLENECK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/telemetry/span.h"
+
+namespace rkd {
+
+// Exactly one label per hot program. Ordering is part of the API: higher
+// labels never outrank the deadline check (see ClassifyBottleneck).
+enum class BottleneckLabel : uint8_t {
+  kInconclusive = 0,  // too few fires, or no component dominates
+  kDispatchBound,     // hook fan-out + VM dispatch self time dominates
+  kTableBound,        // table.lookup (match/index) self time dominates
+  kMlEvalBound,       // ml.eval self time dominates
+  kHelperBound,       // vm.helper self time dominates
+  kDeadlineBound,     // governor/deadline pressure: overruns or degraded fires
+};
+std::string_view BottleneckLabelName(BottleneckLabel label);
+
+// The integer facts a classification is a function of. All *_ns fields are
+// exclusive (self) time summed over analyzed fire trees, so they partition
+// critical_path_ns exactly; merging evidence across hooks is field-wise
+// addition (see Merge).
+struct BottleneckEvidence {
+  uint64_t fires = 0;                 // complete causal trees attributed
+  uint64_t critical_path_ns = 0;      // summed per-fire critical path
+  uint64_t max_critical_path_ns = 0;  // slowest single fire
+  uint64_t dispatch_ns = 0;           // hook.* self + vm.exec self
+  uint64_t table_ns = 0;              // table.lookup self
+  uint64_t ml_ns = 0;                 // ml.eval self
+  uint64_t helper_ns = 0;             // vm.helper self
+  uint64_t other_ns = 0;              // spans outside the known fire shape
+  uint64_t deadline_fires = 0;        // fires whose vm.exec overran its deadline
+  uint64_t degraded_fires = 0;        // fires admitted below GovLevel::kFull
+
+  // Integer share of the summed critical path (0 when no path was seen).
+  uint32_t Permille(uint64_t ns) const {
+    return critical_path_ns == 0
+               ? 0
+               : static_cast<uint32_t>(ns * 1000 / critical_path_ns);
+  }
+  // Integer share of the analyzed fires.
+  uint32_t FirePermille(uint64_t n) const {
+    return fires == 0 ? 0 : static_cast<uint32_t>(n * 1000 / fires);
+  }
+  void Merge(const BottleneckEvidence& other);
+};
+
+// Classifier thresholds. Defaults are documented in DESIGN.md; every value
+// is an integer so two hosts can never disagree on a comparison.
+struct ClassifierConfig {
+  uint64_t min_fires = 8;           // below: kInconclusive (not enough signal)
+  uint32_t dominant_permille = 400; // a component must own >= this share
+  uint32_t deadline_permille = 150; // deadline/degraded fire share trigger
+};
+
+// The rule ladder (first match wins):
+//   1. fires < min_fires or empty path        -> kInconclusive
+//   2. deadline or degraded fire share >= deadline_permille -> kDeadlineBound
+//   3. largest component share >= dominant_permille -> that component's
+//      label; ties break by fixed precedence ml > table > helper > dispatch
+//      (the order in which specialization/index tuning can act on them)
+//   4. otherwise                              -> kInconclusive
+BottleneckLabel ClassifyBottleneck(const BottleneckEvidence& evidence,
+                                   const ClassifierConfig& config);
+
+// Per-span-name rollup across the analyzed fires of one hook (or program).
+struct CriticalContributor {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t inclusive_ns = 0;
+  uint64_t exclusive_ns = 0;           // inclusive minus direct children
+  uint32_t criticality_permille = 0;   // exclusive share of the critical path
+  // What would remain of the critical path if this contributor cost zero —
+  // the contributor with the least slack is the one to optimize first.
+  uint64_t slack_ns = 0;
+};
+
+// One classified unit: a hook's fires, or the per-program merge the control
+// plane stores. `valid` distinguishes "analyzed, possibly inconclusive"
+// from "never analyzed" (the neutral default every program starts with).
+struct BottleneckAdvisory {
+  bool valid = false;
+  BottleneckLabel label = BottleneckLabel::kInconclusive;
+  BottleneckEvidence evidence;
+  // Sorted by exclusive_ns descending, name ascending on ties.
+  std::vector<CriticalContributor> contributors;
+};
+
+struct HookBottleneck {
+  std::string hook;  // root span label, e.g. "hook.mem.page_fault"
+  BottleneckAdvisory advisory;
+  // Span names along the longest root→leaf descent of the slowest fire
+  // (ties broken by span_id), i.e. the modal critical chain.
+  std::vector<std::string> critical_chain;
+};
+
+struct BottleneckReport {
+  uint64_t spans = 0;           // records in the snapshot
+  uint64_t trees = 0;           // fire trees analyzed (root label "hook.*")
+  uint64_t orphan_spans = 0;    // parent evicted from the ring / torn away
+  uint64_t non_fire_spans = 0;  // control-plane spans (cp.*, guardian.*, ...)
+  std::vector<HookBottleneck> hooks;  // sorted by hook name ascending
+};
+
+struct AnalyzerConfig {
+  ClassifierConfig classifier;
+};
+
+class CriticalPathAnalyzer {
+ public:
+  explicit CriticalPathAnalyzer(AnalyzerConfig config = {}) : config_(config) {}
+
+  // Pure function of `spans`: grouping, attribution, and classification use
+  // only the recorded ids/timestamps/tags. Input order does not matter —
+  // spans are re-sorted internally — so Tracer::Snapshot order and any
+  // permutation of it produce identical reports.
+  BottleneckReport Analyze(const std::vector<SpanRecord>& spans) const;
+
+  const AnalyzerConfig& config() const { return config_; }
+
+ private:
+  AnalyzerConfig config_;
+};
+
+// Field-wise merge of per-hook advisories into one program-level advisory,
+// reclassified under `config`. `max_contributors` bounds the merged list
+// (0 = keep all).
+BottleneckAdvisory MergeAdvisories(const std::vector<const BottleneckAdvisory*>& parts,
+                                   const ClassifierConfig& config,
+                                   size_t max_contributors = 0);
+
+// Deterministic text renderings — the canonical bytes the determinism tests
+// and the rkd_bottleneck tool compare.
+std::string RenderAdvisory(const BottleneckAdvisory& advisory,
+                           size_t max_contributors = 3);
+std::string RenderBottleneckReport(const BottleneckReport& report);
+
+}  // namespace rkd
+
+#endif  // SRC_TELEMETRY_BOTTLENECK_H_

@@ -266,6 +266,14 @@ inline constexpr uint32_t kHookBatchEvent = 2;
 // One overload-governor ladder transition: `source` holds the program
 // handle, `key` the from-level, `value` the to-level (GovLevel values).
 inline constexpr uint32_t kGovTransitionEvent = 3;
+// One tier-ladder transition (TickTiering observed the live tier change):
+// `source` holds the program handle, `key` the from-tier, `value` the
+// to-tier (1 = interpret, 2 = jit, 3 = specialized).
+inline constexpr uint32_t kTierTransitionEvent = 4;
+// One canary routing change: `source` holds the rollout id, `value` the
+// permille of fires now routed to the canary (1000 after promotion, 0
+// after rollback).
+inline constexpr uint32_t kCanaryRoutingEvent = 5;
 
 // Lossy fixed-capacity ring of recent events. Push is wait-free: one
 // relaxed fetch_add to claim a slot, the slot store, and a release store of

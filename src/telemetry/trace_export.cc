@@ -78,6 +78,23 @@ std::string ExportPerfettoTrace(const std::vector<SpanRecord>& spans,
     }
     out += "}}";
   }
+  // Counter tracks ride in the same traceEvents array as "C" events (one
+  // sample per event), which keeps the file valid trace_event JSON.
+  for (const CounterTrack& track : options.counters) {
+    for (const CounterSample& sample : track.samples) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\n  {\"name\": \"";
+      AppendJsonEscaped(out, track.name);
+      out += "\", \"cat\": \"rkd\", \"ph\": \"C\", \"pid\": 1, \"ts\": ";
+      AppendMicros(out, sample.ts_ns);
+      out += ", \"args\": {\"value\": ";
+      out += std::to_string(sample.value);
+      out += "}}";
+    }
+  }
   out += "\n], \"displayTimeUnit\": \"ns\"";
   if (!options.program.empty() || !options.reason.empty()) {
     out += ", \"otherData\": {\"program\": \"";
@@ -167,7 +184,51 @@ std::string RenderSpanTree(const std::vector<SpanRecord>& spans, size_t max_trac
   return out;
 }
 
+std::vector<CounterTrack> CounterTracksFromTrace(const std::vector<TraceEvent>& events) {
+  // Keyed maps (not hash maps) so track order is a function of the event
+  // stream, never of hashing.
+  std::map<std::string, CounterTrack> tracks;
+  const auto append = [&tracks](std::string name, uint64_t ts_ns, int64_t value) {
+    CounterTrack& track = tracks[name];
+    if (track.name.empty()) {
+      track.name = std::move(name);
+    }
+    track.samples.push_back(CounterSample{ts_ns, value});
+  };
+  for (const TraceEvent& event : events) {
+    switch (event.kind) {
+      case kGovTransitionEvent:
+        append("rkd.gov.level.p" + std::to_string(event.source), event.ts_ns, event.value);
+        break;
+      case kTierTransitionEvent:
+        append("rkd.tier.p" + std::to_string(event.source), event.ts_ns, event.value);
+        break;
+      case kCanaryRoutingEvent:
+        append("rkd.canary.permille.r" + std::to_string(event.source), event.ts_ns,
+               event.value);
+        break;
+      default:
+        break;  // fire/batch events are spans' business, not counters'
+    }
+  }
+  std::vector<CounterTrack> out;
+  out.reserve(tracks.size());
+  for (auto& [name, track] : tracks) {
+    out.push_back(std::move(track));
+  }
+  return out;
+}
+
 std::vector<SpanAggregate> AggregateSpans(const std::vector<SpanRecord>& spans) {
+  // Exclusive (self) time needs each span's direct-children sum. Orphaned
+  // children (parent evicted from the ring) charge a missing id, which
+  // simply never gets read back.
+  std::unordered_map<uint64_t, uint64_t> child_ns;
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id != 0) {
+      child_ns[span.parent_id] += span.duration_ns();
+    }
+  }
   std::map<std::string, SpanAggregate> by_name;
   for (const SpanRecord& span : spans) {
     SpanAggregate& agg = by_name[span.name];
@@ -177,6 +238,9 @@ std::vector<SpanAggregate> AggregateSpans(const std::vector<SpanRecord>& spans) 
     agg.count++;
     agg.total_ns += span.duration_ns();
     agg.max_ns = std::max(agg.max_ns, span.duration_ns());
+    const auto kids = child_ns.find(span.span_id);
+    const uint64_t nested = kids != child_ns.end() ? kids->second : 0;
+    agg.self_ns += span.duration_ns() > nested ? span.duration_ns() - nested : 0;
   }
   std::vector<SpanAggregate> out;
   out.reserve(by_name.size());

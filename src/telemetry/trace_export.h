@@ -9,15 +9,37 @@
 #include <vector>
 
 #include "src/telemetry/span.h"
+#include "src/telemetry/telemetry.h"
 
 namespace rkd {
+
+// One sampled value on a Perfetto counter track ("C" event).
+struct CounterSample {
+  uint64_t ts_ns = 0;
+  int64_t value = 0;
+};
+
+// A named counter track rendered alongside the span events, so overload
+// ladder moves, tier transitions, and canary routing line up with the
+// causal trees in the Perfetto UI.
+struct CounterTrack {
+  std::string name;
+  std::vector<CounterSample> samples;
+};
 
 // Optional metadata stamped into the trace file's otherData section — the
 // guardian uses it to name the offending program and breach reason.
 struct TraceExportOptions {
   std::string program;
   std::string reason;
+  std::vector<CounterTrack> counters;
 };
+
+// Derives counter tracks from the telemetry trace ring's event stream:
+// governor ladder transitions ("rkd.gov.level.p<handle>"), tier ladder
+// transitions ("rkd.tier.p<handle>"), and canary routing permille
+// ("rkd.canary.permille.r<rollout>"). Events of other kinds are ignored.
+std::vector<CounterTrack> CounterTracksFromTrace(const std::vector<TraceEvent>& events);
 
 // Chrome trace_event JSON: one "X" (complete) event per span, ts/dur in
 // microseconds, tid = the tracer's thread index. Spans on one thread nest by
@@ -33,11 +55,15 @@ std::string ExportPerfettoTrace(const std::vector<SpanRecord>& spans,
 std::string RenderSpanTree(const std::vector<SpanRecord>& spans, size_t max_traces = 0);
 
 // Per-name rollup for the hottest-span report, sorted by total time desc.
+// `total_ns` is inclusive (double-counts nested children); `self_ns` is
+// exclusive — inclusive minus direct children still present in the snapshot
+// — so nested spans (vm.exec inside hook.*) no longer misattribute hotness.
 struct SpanAggregate {
   std::string name;
   uint64_t count = 0;
   uint64_t total_ns = 0;
   uint64_t max_ns = 0;
+  uint64_t self_ns = 0;
 };
 std::vector<SpanAggregate> AggregateSpans(const std::vector<SpanRecord>& spans);
 

@@ -279,9 +279,16 @@ size_t OpCall(Frame& f, const Decoded& d, size_t pc) {
   }
   auto& r = f.state.regs;
   const int64_t call_args[5] = {r[1], r[2], r[3], r[4], r[5]};
-  r[0] = f.env->helpers != nullptr
-             ? CallHelper(static_cast<HelperId>(d.imm), *f.env->helpers, call_args)
-             : 0;
+  if (f.env->helpers != nullptr) {
+    // Same per-helper span as the interpreter tier, so traced fires yield
+    // an identical span-name set on both tiers (the bottleneck analyzer's
+    // cross-tier determinism leans on this).
+    ScopedSpan helper_span(f.env->tracer, "vm.helper");
+    helper_span.Tag("id", d.imm);
+    r[0] = CallHelper(static_cast<HelperId>(d.imm), *f.env->helpers, call_args);
+  } else {
+    r[0] = 0;
+  }
   return pc + 1;
 }
 size_t OpMlCall(Frame& f, const Decoded& d, size_t pc) {

@@ -390,6 +390,10 @@ Result<int64_t> Interpreter::Run(const BytecodeProgram& program, std::span<const
         }
         int64_t call_args[5] = {regs[1], regs[2], regs[3], regs[4], regs[5]};
         if (env_.helpers != nullptr) {
+          // Traced fires time each helper call under its own span so the
+          // bottleneck analyzer can attribute helper-bound programs.
+          ScopedSpan helper_span(env_.tracer, "vm.helper");
+          helper_span.Tag("id", insn.imm);
           regs[0] = CallHelper(static_cast<HelperId>(insn.imm), *env_.helpers, call_args);
         } else {
           regs[0] = 0;

@@ -1,0 +1,675 @@
+// Tests for src/telemetry/bottleneck.h: causal-DAG reconstruction,
+// exclusive-time attribution, the classifier rule ladder, byte-determinism
+// (including input-order permutations, orphaned parents, and torn rings),
+// the golden-corpus cross-tier contract, and the advisory-driven tier-3
+// promotion order.
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/bytecode/assembler.h"
+#include "src/replay/experience_log.h"
+#include "src/replay/replay.h"
+#include "src/rmt/control_plane.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/sched/rmt_oracle.h"
+#include "src/telemetry/bottleneck.h"
+#include "src/telemetry/span.h"
+#include "src/telemetry/trace_export.h"
+
+namespace rkd {
+namespace {
+
+// --- Synthetic span builders -----------------------------------------------
+
+SpanRecord MakeSpan(uint64_t trace, uint64_t span, uint64_t parent, uint64_t start,
+                    uint64_t end, const char* name) {
+  SpanRecord record;
+  record.trace_id = trace;
+  record.span_id = span;
+  record.parent_id = parent;
+  record.start_ns = start;
+  record.end_ns = end;
+  std::strncpy(record.name, name, kMaxSpanNameLen);
+  return record;
+}
+
+void AddTag(SpanRecord& record, const char* key, int64_t value) {
+  ASSERT_LT(record.num_tags, kMaxSpanTags);
+  record.tags[record.num_tags].key = key;
+  record.tags[record.num_tags].value = value;
+  ++record.num_tags;
+}
+
+// One well-formed fire tree: hook root with a table lookup, a VM execution,
+// and a model eval nested in the execution. Span ids start at `base_id`.
+std::vector<SpanRecord> MakeFireTree(uint64_t trace, uint64_t base_id, uint64_t t0) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(trace, base_id, 0, t0, t0 + 100, "hook.mem.page_fault"));
+  spans.push_back(MakeSpan(trace, base_id + 1, base_id, t0 + 10, t0 + 30, "table.lookup"));
+  spans.push_back(MakeSpan(trace, base_id + 2, base_id, t0 + 40, t0 + 90, "vm.exec"));
+  spans.push_back(MakeSpan(trace, base_id + 3, base_id + 2, t0 + 50, t0 + 80, "ml.eval"));
+  return spans;
+}
+
+const CriticalContributor* FindContributor(const BottleneckAdvisory& advisory,
+                                           const std::string& name) {
+  for (const CriticalContributor& c : advisory.contributors) {
+    if (c.name == name) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+// --- DAG reconstruction & attribution --------------------------------------
+
+TEST(CriticalPathTest, ReconstructsTheCausalDagWithExclusiveTimes) {
+  const std::vector<SpanRecord> spans = MakeFireTree(1, 1, 1000);
+  const BottleneckReport report = CriticalPathAnalyzer().Analyze(spans);
+
+  EXPECT_EQ(report.spans, 4u);
+  EXPECT_EQ(report.trees, 1u);
+  EXPECT_EQ(report.orphan_spans, 0u);
+  EXPECT_EQ(report.non_fire_spans, 0u);
+  ASSERT_EQ(report.hooks.size(), 1u);
+
+  const HookBottleneck& hook = report.hooks[0];
+  EXPECT_EQ(hook.hook, "hook.mem.page_fault");
+  const BottleneckEvidence& ev = hook.advisory.evidence;
+  EXPECT_EQ(ev.fires, 1u);
+  EXPECT_EQ(ev.critical_path_ns, 100u);
+  EXPECT_EQ(ev.max_critical_path_ns, 100u);
+  // Exclusive times partition the critical path exactly:
+  //   root 100 - (20 + 50) = 30, vm.exec 50 - 30 = 20 -> dispatch 50
+  //   table.lookup 20, ml.eval 30.
+  EXPECT_EQ(ev.dispatch_ns, 50u);
+  EXPECT_EQ(ev.table_ns, 20u);
+  EXPECT_EQ(ev.ml_ns, 30u);
+  EXPECT_EQ(ev.helper_ns, 0u);
+  EXPECT_EQ(ev.other_ns, 0u);
+  EXPECT_EQ(ev.dispatch_ns + ev.table_ns + ev.ml_ns + ev.helper_ns + ev.other_ns,
+            ev.critical_path_ns);
+
+  // Per-name contributors carry inclusive/exclusive/criticality/slack.
+  const CriticalContributor* root = FindContributor(hook.advisory, "hook.mem.page_fault");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->inclusive_ns, 100u);
+  EXPECT_EQ(root->exclusive_ns, 30u);
+  EXPECT_EQ(root->criticality_permille, 300u);
+  EXPECT_EQ(root->slack_ns, 70u);
+  const CriticalContributor* ml = FindContributor(hook.advisory, "ml.eval");
+  ASSERT_NE(ml, nullptr);
+  EXPECT_EQ(ml->exclusive_ns, 30u);
+  EXPECT_EQ(ml->slack_ns, 70u);
+
+  // Contributors sort by exclusive time desc, name asc on ties.
+  ASSERT_EQ(hook.advisory.contributors.size(), 4u);
+  EXPECT_EQ(hook.advisory.contributors[0].name, "hook.mem.page_fault");
+  EXPECT_EQ(hook.advisory.contributors[1].name, "ml.eval");
+  EXPECT_EQ(hook.advisory.contributors[2].name, "table.lookup");
+  EXPECT_EQ(hook.advisory.contributors[3].name, "vm.exec");
+
+  // The critical chain descends through the slowest child at each level.
+  ASSERT_EQ(hook.critical_chain.size(), 3u);
+  EXPECT_EQ(hook.critical_chain[0], "hook.mem.page_fault");
+  EXPECT_EQ(hook.critical_chain[1], "vm.exec");
+  EXPECT_EQ(hook.critical_chain[2], "ml.eval");
+}
+
+TEST(CriticalPathTest, NonFireRootsAreCountedSeparately) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(1, 1, 0, 0, 50, "cp.install"));
+  spans.push_back(MakeSpan(1, 2, 1, 10, 40, "cp.verify"));
+  const std::vector<SpanRecord> fire = MakeFireTree(2, 10, 1000);
+  spans.insert(spans.end(), fire.begin(), fire.end());
+
+  const BottleneckReport report = CriticalPathAnalyzer().Analyze(spans);
+  EXPECT_EQ(report.trees, 1u);
+  EXPECT_EQ(report.non_fire_spans, 2u);
+  ASSERT_EQ(report.hooks.size(), 1u);
+}
+
+TEST(CriticalPathTest, DeadlineAndGovernorTagsCountPressuredFires) {
+  std::vector<SpanRecord> spans = MakeFireTree(1, 1, 0);
+  AddTag(spans[2], "ddl", 1);  // the vm.exec span overran its deadline
+  std::vector<SpanRecord> degraded = MakeFireTree(2, 10, 1000);
+  AddTag(degraded[0], "gov", 1);  // admitted below GovLevel::kFull
+  spans.insert(spans.end(), degraded.begin(), degraded.end());
+
+  const BottleneckReport report = CriticalPathAnalyzer().Analyze(spans);
+  ASSERT_EQ(report.hooks.size(), 1u);
+  const BottleneckEvidence& ev = report.hooks[0].advisory.evidence;
+  EXPECT_EQ(ev.fires, 2u);
+  EXPECT_EQ(ev.deadline_fires, 1u);
+  EXPECT_EQ(ev.degraded_fires, 1u);
+}
+
+// --- Orphans: ring eviction and torn parents -------------------------------
+
+TEST(CriticalPathTest, EvictedRootOrphansTheWholeTree) {
+  // The children survived the ring; the root did not. Nothing can be
+  // attributed (there is no critical path without the root interval).
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(1, 2, 1, 10, 30, "table.lookup"));
+  spans.push_back(MakeSpan(1, 3, 1, 40, 90, "vm.exec"));
+  const BottleneckReport report = CriticalPathAnalyzer().Analyze(spans);
+  EXPECT_EQ(report.trees, 0u);
+  EXPECT_EQ(report.orphan_spans, 2u);
+  EXPECT_TRUE(report.hooks.empty());
+}
+
+TEST(CriticalPathTest, EvictedMidSpanOrphansOnlyItsSubtree) {
+  // The vm.exec span (id 3) was evicted: its ml.eval child is unreachable
+  // from the root and must not be attributed, but the rest of the tree is.
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(1, 1, 0, 0, 100, "hook.mem.page_fault"));
+  spans.push_back(MakeSpan(1, 2, 1, 10, 30, "table.lookup"));
+  spans.push_back(MakeSpan(1, 4, 3, 50, 80, "ml.eval"));
+  const BottleneckReport report = CriticalPathAnalyzer().Analyze(spans);
+  EXPECT_EQ(report.trees, 1u);
+  EXPECT_EQ(report.orphan_spans, 1u);
+  ASSERT_EQ(report.hooks.size(), 1u);
+  const BottleneckEvidence& ev = report.hooks[0].advisory.evidence;
+  EXPECT_EQ(ev.critical_path_ns, 100u);
+  EXPECT_EQ(ev.ml_ns, 0u);  // the orphaned eval is not attributed
+  EXPECT_EQ(ev.table_ns, 20u);
+  EXPECT_EQ(ev.dispatch_ns, 80u);
+}
+
+TEST(CriticalPathTest, TornRingSnapshotAnalyzesDeterministically) {
+  // A real tracer with a tiny ring, snapshotted mid-fire: wraparound has
+  // evicted most earlier spans, and the in-flight fire's root is still open
+  // (not yet in the ring) so its completed children are orphans — exactly
+  // the flight-recorder-during-a-breach shape the analyzer must absorb.
+  Tracer tracer(/*ring_capacity=*/8);
+  tracer.set_sample_every(1);
+  for (int fire = 0; fire < 16; ++fire) {
+    tracer.BeginSpan("hook.unit.fire");
+    tracer.BeginSpan("table.lookup");
+    tracer.EndSpan();
+    tracer.BeginSpan("vm.exec");
+    tracer.EndSpan();
+    tracer.EndSpan();
+  }
+  tracer.BeginSpan("hook.unit.fire");  // the in-flight fire
+  tracer.BeginSpan("table.lookup");
+  tracer.EndSpan();
+  tracer.BeginSpan("vm.exec");
+  tracer.EndSpan();
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_FALSE(spans.empty());
+  ASSERT_LE(spans.size(), 8u);  // the ring really did wrap
+  const CriticalPathAnalyzer analyzer;
+  const BottleneckReport report = analyzer.Analyze(spans);
+  EXPECT_EQ(report.spans, spans.size());
+  EXPECT_GT(report.trees, 0u);         // completed fires still analyzed
+  EXPECT_GT(report.orphan_spans, 0u);  // the open root's children
+  EXPECT_EQ(RenderBottleneckReport(report),
+            RenderBottleneckReport(analyzer.Analyze(spans)));
+  tracer.EndSpan();  // close the in-flight fire before teardown
+}
+
+// --- Byte-determinism ------------------------------------------------------
+
+TEST(CriticalPathTest, ReportIsByteIdenticalAcrossRunsAndInputOrder) {
+  std::vector<SpanRecord> spans;
+  uint64_t next_id = 1;
+  for (int fire = 0; fire < 12; ++fire) {
+    std::vector<SpanRecord> tree =
+        MakeFireTree(static_cast<uint64_t>(fire + 1), next_id,
+                     static_cast<uint64_t>(fire) * 1000);
+    // Two hooks, interleaved, with varying durations so ties are real.
+    if (fire % 2 == 1) {
+      std::strncpy(tree[0].name, "hook.sched.migrate", kMaxSpanNameLen);
+      tree[3].end_ns += static_cast<uint64_t>(fire);
+    }
+    next_id += tree.size();
+    spans.insert(spans.end(), tree.begin(), tree.end());
+  }
+
+  const CriticalPathAnalyzer analyzer;
+  const std::string first = RenderBottleneckReport(analyzer.Analyze(spans));
+  const std::string second = RenderBottleneckReport(analyzer.Analyze(spans));
+  EXPECT_EQ(first, second);
+
+  std::vector<SpanRecord> reversed(spans.rbegin(), spans.rend());
+  EXPECT_EQ(first, RenderBottleneckReport(analyzer.Analyze(reversed)));
+
+  std::vector<SpanRecord> rotated(spans.begin() + spans.size() / 3, spans.end());
+  rotated.insert(rotated.end(), spans.begin(), spans.begin() + spans.size() / 3);
+  EXPECT_EQ(first, RenderBottleneckReport(analyzer.Analyze(rotated)));
+}
+
+// --- Classifier rule ladder ------------------------------------------------
+
+BottleneckEvidence EvidenceWithShares(uint64_t dispatch, uint64_t table, uint64_t ml,
+                                      uint64_t helper) {
+  BottleneckEvidence ev;
+  ev.fires = 100;
+  ev.dispatch_ns = dispatch;
+  ev.table_ns = table;
+  ev.ml_ns = ml;
+  ev.helper_ns = helper;
+  ev.critical_path_ns = dispatch + table + ml + helper;
+  ev.max_critical_path_ns = ev.critical_path_ns;
+  return ev;
+}
+
+TEST(ClassifierTest, TooFewFiresIsInconclusive) {
+  BottleneckEvidence ev = EvidenceWithShares(0, 0, 1000, 0);
+  ev.fires = 7;  // default min_fires is 8
+  EXPECT_EQ(ClassifyBottleneck(ev, {}), BottleneckLabel::kInconclusive);
+  ev.fires = 8;
+  EXPECT_EQ(ClassifyBottleneck(ev, {}), BottleneckLabel::kMlEvalBound);
+}
+
+TEST(ClassifierTest, EmptyCriticalPathIsInconclusive) {
+  BottleneckEvidence ev;
+  ev.fires = 100;
+  EXPECT_EQ(ClassifyBottleneck(ev, {}), BottleneckLabel::kInconclusive);
+}
+
+TEST(ClassifierTest, EachComponentDominanceYieldsItsLabel) {
+  EXPECT_EQ(ClassifyBottleneck(EvidenceWithShares(600, 200, 100, 100), {}),
+            BottleneckLabel::kDispatchBound);
+  EXPECT_EQ(ClassifyBottleneck(EvidenceWithShares(200, 600, 100, 100), {}),
+            BottleneckLabel::kTableBound);
+  EXPECT_EQ(ClassifyBottleneck(EvidenceWithShares(200, 100, 600, 100), {}),
+            BottleneckLabel::kMlEvalBound);
+  EXPECT_EQ(ClassifyBottleneck(EvidenceWithShares(200, 100, 100, 600), {}),
+            BottleneckLabel::kHelperBound);
+}
+
+TEST(ClassifierTest, NoDominantComponentIsInconclusive) {
+  // Largest share is 300 permille, below the 400 default.
+  EXPECT_EQ(ClassifyBottleneck(EvidenceWithShares(300, 300, 200, 200), {}),
+            BottleneckLabel::kInconclusive);
+}
+
+TEST(ClassifierTest, DeadlinePressureOutranksComponentDominance) {
+  BottleneckEvidence ev = EvidenceWithShares(100, 100, 700, 100);
+  ev.deadline_fires = 20;  // 200 permille >= 150 default
+  EXPECT_EQ(ClassifyBottleneck(ev, {}), BottleneckLabel::kDeadlineBound);
+
+  BottleneckEvidence degraded = EvidenceWithShares(100, 100, 700, 100);
+  degraded.degraded_fires = 15;  // exactly the threshold
+  EXPECT_EQ(ClassifyBottleneck(degraded, {}), BottleneckLabel::kDeadlineBound);
+
+  BottleneckEvidence below = EvidenceWithShares(100, 100, 700, 100);
+  below.deadline_fires = 14;
+  EXPECT_EQ(ClassifyBottleneck(below, {}), BottleneckLabel::kMlEvalBound);
+}
+
+TEST(ClassifierTest, TiesBreakByFixedPrecedence) {
+  // ml > table > helper > dispatch, the order tier-3/index tuning can act.
+  EXPECT_EQ(ClassifyBottleneck(EvidenceWithShares(100, 400, 400, 100), {}),
+            BottleneckLabel::kMlEvalBound);
+  EXPECT_EQ(ClassifyBottleneck(EvidenceWithShares(100, 400, 100, 400), {}),
+            BottleneckLabel::kTableBound);
+  EXPECT_EQ(ClassifyBottleneck(EvidenceWithShares(400, 100, 100, 400), {}),
+            BottleneckLabel::kHelperBound);
+}
+
+TEST(ClassifierTest, ThresholdsAreConfigurable) {
+  ClassifierConfig config;
+  config.min_fires = 1;
+  config.dominant_permille = 800;
+  BottleneckEvidence ev = EvidenceWithShares(100, 100, 700, 100);
+  ev.fires = 2;
+  EXPECT_EQ(ClassifyBottleneck(ev, config), BottleneckLabel::kInconclusive);
+  config.dominant_permille = 700;
+  EXPECT_EQ(ClassifyBottleneck(ev, config), BottleneckLabel::kMlEvalBound);
+}
+
+// --- Merging ---------------------------------------------------------------
+
+TEST(MergeAdvisoriesTest, SumsEvidenceAndReclassifies) {
+  const std::vector<SpanRecord> tree_a = MakeFireTree(1, 1, 0);
+  std::vector<SpanRecord> tree_b = MakeFireTree(2, 10, 1000);
+  std::strncpy(tree_b[0].name, "hook.sched.migrate", kMaxSpanNameLen);
+  tree_b[3].end_ns = tree_b[3].start_ns + 800;  // ml.eval dominates hook b
+  tree_b[2].end_ns = tree_b[3].end_ns + 5;
+  tree_b[0].end_ns = tree_b[2].end_ns + 5;
+
+  std::vector<SpanRecord> spans = tree_a;
+  spans.insert(spans.end(), tree_b.begin(), tree_b.end());
+  ClassifierConfig config;
+  config.min_fires = 1;
+  AnalyzerConfig analyzer_config;
+  analyzer_config.classifier = config;
+  const BottleneckReport report = CriticalPathAnalyzer(analyzer_config).Analyze(spans);
+  ASSERT_EQ(report.hooks.size(), 2u);
+
+  std::vector<const BottleneckAdvisory*> parts;
+  for (const HookBottleneck& hook : report.hooks) {
+    parts.push_back(&hook.advisory);
+  }
+  const BottleneckAdvisory merged = MergeAdvisories(parts, config);
+  EXPECT_TRUE(merged.valid);
+  EXPECT_EQ(merged.evidence.fires, 2u);
+  EXPECT_EQ(merged.evidence.critical_path_ns,
+            report.hooks[0].advisory.evidence.critical_path_ns +
+                report.hooks[1].advisory.evidence.critical_path_ns);
+  // Hook b's 800ns eval dominates the merged path.
+  EXPECT_EQ(merged.label, BottleneckLabel::kMlEvalBound);
+  // Contributors merged by name: one ml.eval row covering both fires.
+  const CriticalContributor* ml = FindContributor(merged, "ml.eval");
+  ASSERT_NE(ml, nullptr);
+  EXPECT_EQ(ml->count, 2u);
+  EXPECT_EQ(ml->exclusive_ns, 30u + 800u);
+
+  const BottleneckAdvisory bounded = MergeAdvisories(parts, config, 2);
+  EXPECT_EQ(bounded.contributors.size(), 2u);
+}
+
+// --- Advisory-driven tier promotion ----------------------------------------
+
+RmtProgramSpec MakeConstSpec(const std::string& program, const std::string& table,
+                             const std::string& hook_point) {
+  Assembler as("const_one", HookKind::kGeneric);
+  as.MovImm(0, 1);
+  as.Exit();
+  RmtProgramSpec spec;
+  spec.name = program;
+  RmtTableSpec t;
+  t.name = table;
+  t.hook_point = hook_point;
+  t.actions.push_back(std::move(as.Build()).value());
+  t.default_action = 0;
+  spec.tables.push_back(std::move(t));
+  return spec;
+}
+
+BottleneckAdvisory MakeAdvisory(BottleneckLabel label) {
+  BottleneckAdvisory advisory;
+  advisory.valid = true;
+  advisory.label = label;
+  advisory.evidence.fires = 64;
+  advisory.evidence.critical_path_ns = 64000;
+  return advisory;
+}
+
+TEST(AdvisoryPromotionTest, EffectiveHotExecsScalesByLabel) {
+  ControlPlane::TieringConfig config;
+  config.hot_execs = 100;
+  const BottleneckAdvisory none;  // never analyzed
+  EXPECT_EQ(ControlPlane::EffectiveHotExecs(config, none), 100u);
+  EXPECT_EQ(ControlPlane::EffectiveHotExecs(config, MakeAdvisory(BottleneckLabel::kInconclusive)),
+            100u);
+  EXPECT_EQ(ControlPlane::EffectiveHotExecs(config, MakeAdvisory(BottleneckLabel::kDispatchBound)),
+            100u);
+  EXPECT_EQ(ControlPlane::EffectiveHotExecs(config, MakeAdvisory(BottleneckLabel::kMlEvalBound)),
+            100u);
+  EXPECT_EQ(ControlPlane::EffectiveHotExecs(config, MakeAdvisory(BottleneckLabel::kHelperBound)),
+            200u);
+  EXPECT_EQ(ControlPlane::EffectiveHotExecs(config, MakeAdvisory(BottleneckLabel::kDeadlineBound)),
+            200u);
+  EXPECT_EQ(ControlPlane::EffectiveHotExecs(config, MakeAdvisory(BottleneckLabel::kTableBound)),
+            400u);
+  config.advisory_promotion = false;
+  EXPECT_EQ(ControlPlane::EffectiveHotExecs(config, MakeAdvisory(BottleneckLabel::kTableBound)),
+            100u);
+}
+
+// The acceptance criterion: an ml-eval-bound program promotes to tier 3
+// ahead of a hotter table-bound one, because specialization helps the
+// former and index tuning (not tier 3) is the fix for the latter.
+TEST(AdvisoryPromotionTest, MlEvalBoundPromotesAheadOfHotterTableBound) {
+  HookRegistry hooks;
+  const HookId hook_a = std::move(hooks.Register("unit.a", HookKind::kGeneric)).value();
+  const HookId hook_b = std::move(hooks.Register("unit.b", HookKind::kGeneric)).value();
+  ControlPlane cp(&hooks);
+
+  Result<ControlPlane::ProgramHandle> a = cp.Install(MakeConstSpec("prog_a", "tab_a", "unit.a"));
+  Result<ControlPlane::ProgramHandle> b = cp.Install(MakeConstSpec("prog_b", "tab_b", "unit.b"));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  ControlPlane::TieringConfig tiering;
+  tiering.hot_execs = 100;
+  ASSERT_TRUE(cp.EnableTiering(*a, tiering).ok());
+  ASSERT_TRUE(cp.EnableTiering(*b, tiering).ok());
+  ASSERT_TRUE(cp.SetBottleneckAdvisory(*a, MakeAdvisory(BottleneckLabel::kMlEvalBound)).ok());
+  ASSERT_TRUE(cp.SetBottleneckAdvisory(*b, MakeAdvisory(BottleneckLabel::kTableBound)).ok());
+
+  for (int i = 0; i < 150; ++i) {
+    (void)hooks.Fire(hook_a, i);
+  }
+  for (int i = 0; i < 300; ++i) {
+    (void)hooks.Fire(hook_b, i);
+  }
+
+  Result<ControlPlane::TierReport> report_a = cp.TickTiering(*a);
+  ASSERT_TRUE(report_a.ok()) << report_a.status().ToString();
+  EXPECT_EQ(report_a->advisory_label, BottleneckLabel::kMlEvalBound);
+  EXPECT_EQ(report_a->effective_hot_execs, 100u);
+  EXPECT_EQ(report_a->tier, 3);  // 150 execs >= 100: promoted
+
+  Result<ControlPlane::TierReport> report_b = cp.TickTiering(*b);
+  ASSERT_TRUE(report_b.ok()) << report_b.status().ToString();
+  EXPECT_EQ(report_b->advisory_label, BottleneckLabel::kTableBound);
+  EXPECT_EQ(report_b->effective_hot_execs, 400u);
+  EXPECT_EQ(report_b->tier, 2);  // hotter (300 execs) but deferred: 300 < 400
+
+  // Once the table-bound program genuinely clears the scaled bar, it still
+  // promotes — the advisory defers tier 3, it never denies it.
+  for (int i = 0; i < 100; ++i) {
+    (void)hooks.Fire(hook_b, i);
+  }
+  Result<ControlPlane::TierReport> report_b2 = cp.TickTiering(*b);
+  ASSERT_TRUE(report_b2.ok());
+  EXPECT_EQ(report_b2->tier, 3);
+}
+
+TEST(AdvisoryPromotionTest, RefreshBottleneckStoresTheAdvisoryAndTelemetry) {
+  HookRegistry hooks;
+  hooks.telemetry().tracer().set_sample_every(1);
+  const HookId hook = std::move(hooks.Register("unit.hot", HookKind::kGeneric)).value();
+  ControlPlane cp(&hooks);
+  Result<ControlPlane::ProgramHandle> handle =
+      cp.Install(MakeConstSpec("unit_prog", "tab", "unit.hot"));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  for (int i = 0; i < 32; ++i) {
+    (void)hooks.Fire(hook, i);
+  }
+  Result<BottleneckAdvisory> advisory = cp.RefreshBottleneck(*handle);
+  ASSERT_TRUE(advisory.ok()) << advisory.status().ToString();
+  EXPECT_TRUE(advisory->valid);
+  EXPECT_GT(advisory->evidence.fires, 0u);
+
+  InstalledProgram* program = cp.Get(*handle);
+  ASSERT_NE(program, nullptr);
+  EXPECT_TRUE(program->bottleneck().valid);
+  EXPECT_EQ(program->bottleneck().evidence.fires, advisory->evidence.fires);
+  EXPECT_EQ(hooks.telemetry().GetCounter("rkd.bottleneck.refreshes")->value(), 1u);
+  EXPECT_EQ(hooks.telemetry().GetGauge("rkd.bottleneck.unit_prog.fires")->value(),
+            static_cast<int64_t>(advisory->evidence.fires));
+}
+
+// --- trace_export satellites -----------------------------------------------
+
+TEST(TraceExportTest, AggregateSpansComputesExclusiveSelfTime) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(1, 1, 0, 0, 100, "hook.unit"));
+  spans.push_back(MakeSpan(1, 2, 1, 20, 60, "vm.exec"));
+  spans.push_back(MakeSpan(2, 3, 0, 200, 230, "cp.install"));
+  const std::vector<SpanAggregate> aggs = AggregateSpans(spans);
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanAggregate& agg : aggs) {
+    by_name[agg.name] = agg;
+  }
+  EXPECT_EQ(by_name["hook.unit"].total_ns, 100u);
+  EXPECT_EQ(by_name["hook.unit"].self_ns, 60u);  // minus the nested vm.exec
+  EXPECT_EQ(by_name["vm.exec"].self_ns, 40u);    // leaf: self == inclusive
+  EXPECT_EQ(by_name["cp.install"].self_ns, 30u);
+}
+
+TEST(TraceExportTest, CounterTracksDeriveFromTransitionEvents) {
+  std::vector<TraceEvent> events;
+  TraceEvent gov;
+  gov.ts_ns = 100;
+  gov.source = 7;
+  gov.kind = kGovTransitionEvent;
+  gov.key = 0;
+  gov.value = 2;
+  events.push_back(gov);
+  TraceEvent tier;
+  tier.ts_ns = 200;
+  tier.source = 7;
+  tier.kind = kTierTransitionEvent;
+  tier.key = 2;
+  tier.value = 3;
+  events.push_back(tier);
+  TraceEvent canary;
+  canary.ts_ns = 300;
+  canary.source = 3;
+  canary.kind = kCanaryRoutingEvent;
+  canary.value = 200;
+  events.push_back(canary);
+  TraceEvent fire;  // ignored: not a counter-track kind
+  fire.ts_ns = 400;
+  fire.kind = kHookFireEvent;
+  events.push_back(fire);
+
+  const std::vector<CounterTrack> tracks = CounterTracksFromTrace(events);
+  ASSERT_EQ(tracks.size(), 3u);
+  EXPECT_EQ(tracks[0].name, "rkd.canary.permille.r3");
+  ASSERT_EQ(tracks[0].samples.size(), 1u);
+  EXPECT_EQ(tracks[0].samples[0].value, 200);
+  EXPECT_EQ(tracks[1].name, "rkd.gov.level.p7");
+  EXPECT_EQ(tracks[1].samples[0].value, 2);
+  EXPECT_EQ(tracks[2].name, "rkd.tier.p7");
+  EXPECT_EQ(tracks[2].samples[0].value, 3);
+}
+
+TEST(TraceExportTest, PerfettoExportWithCounterTracksStaysValidJson) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(1, 1, 0, 1000, 2000, "hook.unit"));
+  TraceExportOptions options;
+  CounterTrack track;
+  track.name = "rkd.tier.p0";
+  track.samples.push_back(CounterSample{1500, 3});
+  options.counters.push_back(track);
+  const std::string json = ExportPerfettoTrace(spans, options);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("rkd.tier.p0"), std::string::npos);
+  // Structural sanity: balanced braces/brackets, no trailing comma before ].
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+}
+
+// --- Golden-corpus replay: cross-run and cross-tier determinism ------------
+
+// Rewrites span timestamps to structural (DFS visit) counters, preserving
+// nesting and sibling order. Replay produces the same span *structure* on
+// every run and on both VM tiers (same fire sequence, same instrumentation
+// points, same sequentially-assigned ids) while the raw nanoseconds are
+// wall-clock; normalizing makes the full report byte-comparable.
+std::vector<SpanRecord> NormalizeSpanTimes(std::vector<SpanRecord> spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.span_id < b.span_id; });
+  std::map<uint64_t, size_t> index_of;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    index_of[spans[i].span_id] = i;
+  }
+  std::map<uint64_t, std::vector<size_t>> children;  // parent span_id -> members
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent_id != 0 && index_of.count(spans[i].parent_id) > 0) {
+      children[spans[i].parent_id].push_back(i);
+    } else {
+      roots.push_back(i);  // true roots and orphans alike
+    }
+  }
+  uint64_t clock = 1;
+  struct Frame {
+    size_t index;
+    size_t next_child;
+  };
+  for (size_t root : roots) {
+    std::vector<Frame> stack{{root, 0}};
+    spans[root].start_ns = clock++;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::vector<size_t>& kids = children[spans[frame.index].span_id];
+      if (frame.next_child < kids.size()) {
+        const size_t child = kids[frame.next_child++];
+        spans[child].start_ns = clock++;
+        stack.push_back(Frame{child, 0});
+      } else {
+        spans[frame.index].end_ns = clock++;
+        stack.pop_back();
+      }
+    }
+  }
+  return spans;
+}
+
+void CheckGoldenBottleneck(const std::string& file, const RmtProgramSpec& spec) {
+  const std::string path = std::string(RKD_TEST_DATA_DIR) + "/" + file;
+  Result<ExperienceLog> log = ReadExperienceLog(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_GT(log->fire_count(), 0u);
+
+  ReplayEngine engine;
+  const CriticalPathAnalyzer analyzer;
+  std::map<ExecTier, std::string> per_tier;
+  for (const ExecTier tier : {ExecTier::kInterpreter, ExecTier::kJit}) {
+    std::string normalized_first;
+    for (int run = 0; run < 2; ++run) {
+      ReplayOptions options;
+      options.tier = tier;
+      options.trace_sample_every = 1;  // force tracing on every replayed fire
+      std::vector<SpanRecord> spans;
+      options.capture_spans = &spans;
+      Result<DivergenceReport> replayed = engine.Replay(*log, spec, options);
+      ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+      ASSERT_FALSE(spans.empty());
+
+      // The analysis itself is a pure function of the snapshot bytes.
+      EXPECT_EQ(RenderBottleneckReport(analyzer.Analyze(spans)),
+                RenderBottleneckReport(analyzer.Analyze(spans)));
+
+      const std::string normalized =
+          RenderBottleneckReport(analyzer.Analyze(NormalizeSpanTimes(spans)));
+      if (run == 0) {
+        normalized_first = normalized;
+      } else {
+        // Byte-identical across two runs of the same tier.
+        EXPECT_EQ(normalized_first, normalized) << file;
+      }
+    }
+    per_tier[tier] = normalized_first;
+  }
+  // Byte-identical across the interpreter and the JIT: both tiers emit the
+  // same span structure (vm.helper included), so the normalized advisory —
+  // labels, counts, critical chains, everything — must agree.
+  EXPECT_EQ(per_tier[ExecTier::kInterpreter], per_tier[ExecTier::kJit]) << file;
+}
+
+TEST(GoldenBottleneckTest, PrefetchCorpusAnalyzesIdenticallyAcrossTiers) {
+  CheckGoldenBottleneck("golden_prefetch.rkdr",
+                        RmtMlPrefetcher().BuildProgramSpec("golden_candidate"));
+}
+
+TEST(GoldenBottleneckTest, SchedCorpusAnalyzesIdenticallyAcrossTiers) {
+  CheckGoldenBottleneck("golden_sched.rkdr",
+                        RmtMigrationOracle().BuildProgramSpec("golden_candidate"));
+}
+
+}  // namespace
+}  // namespace rkd

@@ -1,0 +1,245 @@
+// rkd_bottleneck: trace-derived critical-path & bottleneck analysis demo.
+//
+// Runs both simulator substrates with forced span tracing, snapshots the
+// flight-recorder rings, reconstructs the causal DAG of every fire, and
+// prints the critical-path / classification report (per-hook label,
+// component shares, slack contributors, critical chain). Then:
+//   1. validates determinism by running the analysis twice — and once over
+//      the reversed span order — and asserting byte-identical reports,
+//   2. refreshes the per-program ControlPlane advisory and shows how the
+//      label scales the tier-3 promotion threshold (EffectiveHotExecs),
+//   3. writes the full report to --out for CI artifact upload.
+//
+//   $ build/tools/rkd_bottleneck                 # both sims, full workloads
+//   $ build/tools/rkd_bottleneck --quick         # CI smoke (seconds)
+//   $ build/tools/rkd_bottleneck --sim=sched --out=bottleneck_report.txt
+//
+// Exit code: 0 = every check held, 1 = a check failed, 2 = usage error.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+#include "src/rmt/control_plane.h"
+#include "src/sim/mem/memory_sim.h"
+#include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/sched/cfs_sim.h"
+#include "src/sim/sched/rmt_oracle.h"
+#include "src/telemetry/bottleneck.h"
+#include "src/telemetry/trace_export.h"
+#include "src/workloads/access_trace.h"
+#include "src/workloads/cpu_jobs.h"
+
+namespace {
+
+using namespace rkd;
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what, const std::string& detail = "") {
+  std::printf("  [%s] %s%s%s\n", ok ? "ok" : "FAIL", what, detail.empty() ? "" : ": ",
+              detail.c_str());
+  if (!ok) {
+    ++g_failures;
+  }
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--sim=prefetch|sched|both] [--quick] [--out=FILE]\n"
+               "          [--sample=N]\n"
+               "  --sim=S      which substrate to analyze (default both)\n"
+               "  --quick      smaller workloads (CI smoke)\n"
+               "  --out=FILE   write the combined report (default bottleneck_report.txt)\n"
+               "  --sample=N   trace 1-in-N hook fires (default 1 = every fire)\n",
+               argv0);
+}
+
+// Runs the analysis over `spans` plus determinism checks: two passes over
+// the same snapshot and one pass over the reversed order must produce the
+// same bytes. Returns the canonical report text.
+std::string AnalyzeAndCheck(const char* sim_name, const std::vector<SpanRecord>& spans) {
+  const CriticalPathAnalyzer analyzer;
+  const std::string first = RenderBottleneckReport(analyzer.Analyze(spans));
+  const std::string second = RenderBottleneckReport(analyzer.Analyze(spans));
+  Check(first == second, "analysis is byte-deterministic across two runs", sim_name);
+  std::vector<SpanRecord> reversed(spans.rbegin(), spans.rend());
+  const std::string shuffled = RenderBottleneckReport(analyzer.Analyze(reversed));
+  Check(first == shuffled, "analysis is independent of span input order", sim_name);
+  return first;
+}
+
+// Prints the stored advisory and the promotion thresholds it implies.
+void ShowAdvisory(const char* sim_name, ControlPlane& control_plane,
+                  ControlPlane::ProgramHandle handle, std::string& report_out) {
+  Result<BottleneckAdvisory> advisory = control_plane.RefreshBottleneck(handle);
+  if (!advisory.ok()) {
+    Check(false, "RefreshBottleneck", advisory.status().ToString());
+    return;
+  }
+  Check(advisory->valid, "control plane stored a program advisory", sim_name);
+  const std::string rendered = RenderAdvisory(*advisory, 3);
+  std::printf("  program advisory (%s):\n%s", sim_name, rendered.c_str());
+  report_out += "program advisory (";
+  report_out += sim_name;
+  report_out += "):\n";
+  report_out += rendered;
+
+  ControlPlane::TieringConfig tiering;
+  const uint64_t effective = ControlPlane::EffectiveHotExecs(tiering, *advisory);
+  std::printf("  tier-3 promotion: hot_execs %llu -> effective %llu under label %s\n",
+              static_cast<unsigned long long>(tiering.hot_execs),
+              static_cast<unsigned long long>(effective),
+              std::string(BottleneckLabelName(advisory->label)).c_str());
+  Check(effective >= tiering.hot_execs, "advisory never promotes earlier than the flat bar",
+        sim_name);
+}
+
+// --- Scenario 1: the ML prefetcher on the demand-paging simulator ---
+
+void AnalyzePrefetcher(bool quick, uint32_t sample, std::string& report_out) {
+  std::printf("=== prefetcher bottleneck (MemorySim + RmtMlPrefetcher) ===\n");
+
+  Rng rng(2021);
+  VideoResizeConfig video;
+  if (quick) {
+    video.frames = 8;
+  }
+  const AccessTrace trace = MakeVideoResizeTrace(video, rng);
+  MemSimConfig mem_config;
+  mem_config.frame_capacity = 192;
+
+  RmtMlPrefetcher prefetcher;
+  if (const Status status = prefetcher.Init(); !status.ok()) {
+    Check(false, "init ml prefetcher", status.ToString());
+    return;
+  }
+  prefetcher.hooks().telemetry().tracer().set_sample_every(sample);
+
+  MemorySim sim(mem_config, &prefetcher);
+  (void)sim.Run(trace);
+
+  const std::vector<SpanRecord> spans = prefetcher.hooks().telemetry().tracer().Snapshot();
+  Check(!spans.empty(), "spans recorded");
+  const std::string report = AnalyzeAndCheck("prefetch", spans);
+  std::printf("%s", report.c_str());
+  report_out += report;
+  ShowAdvisory("prefetch", prefetcher.control_plane(), prefetcher.handle(), report_out);
+}
+
+// --- Scenario 2: the migration oracle on the CFS simulator ---
+
+void AnalyzeScheduler(bool quick, uint32_t sample, std::string& report_out) {
+  std::printf("=== scheduler bottleneck (CfsSim + RmtMigrationOracle) ===\n");
+
+  JobConfig job_config;
+  if (quick) {
+    job_config.num_tasks = 8;
+    job_config.base_work = 500;
+  }
+  const JobSpec job = MakeJob(JobKind::kStreamcluster, job_config);
+  SchedConfig sched_config;
+  CfsSim sim(sched_config);
+
+  Dataset train = CollectMigrationDataset(sched_config, job);
+  MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {16, 16};
+  mlp_config.epochs = quick ? 20 : 40;
+  Result<Mlp> mlp = Mlp::Train(train, mlp_config);
+  if (!mlp.ok()) {
+    Check(false, "train migration model", mlp.status().ToString());
+    return;
+  }
+  Result<QuantizedMlp> quantized = QuantizedMlp::FromMlp(*mlp);
+  if (!quantized.ok()) {
+    Check(false, "quantize migration model", quantized.status().ToString());
+    return;
+  }
+  RmtMigrationOracle oracle;
+  Status status = oracle.Init();
+  if (status.ok()) {
+    status = oracle.InstallModel(
+        std::make_shared<QuantizedMlp>(std::move(quantized).value()));
+  }
+  if (!status.ok()) {
+    Check(false, "install migration oracle", status.ToString());
+    return;
+  }
+  oracle.hooks().telemetry().tracer().set_sample_every(sample);
+
+  (void)sim.Run(job, oracle.AsOracle());
+
+  const std::vector<SpanRecord> spans = oracle.hooks().telemetry().tracer().Snapshot();
+  Check(!spans.empty(), "spans recorded");
+  const std::string report = AnalyzeAndCheck("sched", spans);
+  std::printf("%s", report.c_str());
+  report_out += report;
+
+  // The migration decision funnels through an MLP per fire, so the analyzer
+  // should attribute the dominant critical-path share to ml.eval.
+  const CriticalPathAnalyzer analyzer;
+  const BottleneckReport parsed = analyzer.Analyze(spans);
+  bool found_hook = false;
+  for (const HookBottleneck& hook : parsed.hooks) {
+    if (hook.hook == "hook.sched.can_migrate_task") {
+      found_hook = true;
+      const BottleneckEvidence& ev = hook.advisory.evidence;
+      Check(ev.fires > 0, "fires attributed to the migration hook");
+      Check(ev.ml_ns > 0, "ml.eval self time present on the critical path");
+    }
+  }
+  Check(found_hook, "migration hook analyzed", "hook.sched.can_migrate_task");
+  ShowAdvisory("sched", oracle.control_plane(), oracle.handle(), report_out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string sim = "both";
+  std::string out = "bottleneck_report.txt";
+  uint32_t sample = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(arg, "--sim=", 6) == 0) {
+      sim = arg + 6;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out = arg + 6;
+    } else if (std::strncmp(arg, "--sample=", 9) == 0) {
+      sample = static_cast<uint32_t>(std::strtoul(arg + 9, nullptr, 10));
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (sim != "prefetch" && sim != "sched" && sim != "both") {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::string report;
+  if (sim == "prefetch" || sim == "both") {
+    AnalyzePrefetcher(quick, sample, report);
+  }
+  if (sim == "sched" || sim == "both") {
+    AnalyzeScheduler(quick, sample, report);
+  }
+  if (!report.empty()) {
+    Check(WriteTextFile(out, report), "wrote bottleneck report", out);
+  }
+
+  if (g_failures > 0) {
+    std::printf("\n%d check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("\nall checks passed\n");
+  return 0;
+}

@@ -169,6 +169,21 @@ int main(int argc, char** argv) {
   }
   (void)control_plane.TickTiering(*handle);  // flush fire-path tallies into the registry
 
+  // Critical path & bottleneck: analyze the resident spans, store the
+  // advisory (populates "rkd.bottleneck.*" and the dump section), and print
+  // the classified report. Keep stdout machine-parseable in pure-JSON mode:
+  // the advisory still refreshes (metrics + dump), only the text is elided.
+  Result<BottleneckAdvisory> advisory = control_plane.RefreshBottleneck(*handle);
+  if (advisory.ok()) {
+    if (format != "json") {
+      std::printf("critical path & bottleneck (trace-derived advisory):\n%s\n",
+                  RenderAdvisory(*advisory, 3).c_str());
+    }
+  } else {
+    std::fprintf(stderr, "bottleneck refresh failed: %s\n",
+                 advisory.status().ToString().c_str());
+  }
+
   if (dump) {
     InstalledProgram* program = control_plane.Get(*handle);
     if (program != nullptr) {

@@ -133,9 +133,10 @@ void PrintHottest(const std::vector<SpanRecord>& spans, size_t top) {
     if (listed++ >= top) {
       break;
     }
-    std::printf("    %-24s %8llu spans  %12llu ns total  %10llu ns max\n", agg.name.c_str(),
-                static_cast<unsigned long long>(agg.count),
+    std::printf("    %-24s %8llu spans  %12llu ns total  %12llu ns self  %10llu ns max\n",
+                agg.name.c_str(), static_cast<unsigned long long>(agg.count),
                 static_cast<unsigned long long>(agg.total_ns),
+                static_cast<unsigned long long>(agg.self_ns),
                 static_cast<unsigned long long>(agg.max_ns));
   }
 }
@@ -171,8 +172,12 @@ void PrintOpcodeProfile(const char* program, const OpcodeProfile& profile, size_
   Check(!rows.empty(), "opcode profile populated by traced fires", program);
 }
 
-bool WriteTrace(const std::vector<SpanRecord>& spans, const std::string& path) {
+bool WriteTrace(const std::vector<SpanRecord>& spans, const std::vector<TraceEvent>& events,
+                const std::string& path) {
   TraceExportOptions options;
+  // Counter tracks (governor/tier/canary) line up with the span stream in
+  // the Perfetto UI; empty when the run saw no transitions.
+  options.counters = CounterTracksFromTrace(events);
   const bool ok = WriteTextFile(path, ExportPerfettoTrace(spans, options));
   Check(ok, "wrote Perfetto trace", path);
   return ok;
@@ -214,7 +219,8 @@ void TracePrefetcher(bool quick, const std::string& out_prefix, uint32_t sample,
   // the full acceptance chain; ml.eval only appears once a window trained.
   CheckCausalChain(spans, "hook.mm.swap_cluster_readahead",
                    prefetcher.windows_trained() > 0);
-  WriteTrace(spans, out_prefix + "_prefetch.json");
+  WriteTrace(spans, prefetcher.hooks().telemetry().trace().Snapshot(),
+             out_prefix + "_prefetch.json");
 
   std::printf("%s", RenderSpanTree(spans, 2).c_str());
   PrintHottest(spans, top);
@@ -323,7 +329,8 @@ void TraceScheduler(bool quick, const std::string& out_prefix, uint32_t sample, 
   const std::vector<SpanRecord> spans = tracer.Snapshot();
   Check(!spans.empty(), "spans recorded");
   CheckCausalChain(spans, "hook.sched.can_migrate_task", /*expect_ml=*/true);
-  WriteTrace(spans, out_prefix + "_sched.json");
+  WriteTrace(spans, oracle.hooks().telemetry().trace().Snapshot(),
+             out_prefix + "_sched.json");
 
   std::printf("%s", RenderSpanTree(spans, 2).c_str());
   PrintHottest(spans, top);
