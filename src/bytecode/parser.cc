@@ -206,7 +206,7 @@ const std::unordered_map<std::string_view, Opcode>& MnemonicTable() {
 
 std::optional<HookKind> ParseHookKind(std::string_view token) {
   for (HookKind kind : {HookKind::kGeneric, HookKind::kMemPrefetch, HookKind::kMemAccess,
-                        HookKind::kSchedMigrate, HookKind::kSchedTick}) {
+                        HookKind::kSchedMigrate, HookKind::kSchedTick, HookKind::kNetRx}) {
     if (HookKindName(kind) == token) {
       return kind;
     }

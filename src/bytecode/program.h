@@ -26,6 +26,7 @@ enum class HookKind {
   kMemAccess,        // lookup_swap_cache-style data-collection points
   kSchedMigrate,     // can_migrate_task-style decision points
   kSchedTick,        // periodic scheduler accounting
+  kNetRx,            // XDP-style per-packet receive decision points
 };
 
 std::string_view HookKindName(HookKind kind);
@@ -57,6 +58,8 @@ inline std::string_view HookKindName(HookKind kind) {
       return "sched_migrate";
     case HookKind::kSchedTick:
       return "sched_tick";
+    case HookKind::kNetRx:
+      return "net_rx";
   }
   return "unknown";
 }

@@ -38,7 +38,7 @@ Result<BytecodeProgram> DeserializeProgram(std::span<const uint8_t> bytes) {
   BytecodeProgram program;
   RKD_ASSIGN_OR_RETURN(program.name, reader.GetString());
   RKD_ASSIGN_OR_RETURN(uint32_t hook_kind, reader.Get<uint32_t>());
-  if (hook_kind > static_cast<uint32_t>(HookKind::kSchedTick)) {
+  if (hook_kind > static_cast<uint32_t>(HookKind::kNetRx)) {
     return InvalidArgumentError("invalid hook kind");
   }
   program.hook_kind = static_cast<HookKind>(hook_kind);

@@ -57,6 +57,24 @@ Result<RandomForest> RandomForest::Train(const Dataset& data, const ForestConfig
   return forest;
 }
 
+Result<RandomForest> RandomForest::FromTrees(std::vector<DecisionTree> trees) {
+  if (trees.empty()) {
+    return InvalidArgumentError("RandomForest::FromTrees: need at least one tree");
+  }
+  RandomForest forest;
+  forest.num_features_ = trees.front().num_features();
+  for (const DecisionTree& tree : trees) {
+    if (tree.num_features() != forest.num_features_) {
+      return InvalidArgumentError("RandomForest::FromTrees: inconsistent feature counts");
+    }
+    for (const DecisionTree::Node& node : tree.nodes()) {
+      forest.num_classes_ = std::max(forest.num_classes_, node.leaf_label + 1);
+    }
+  }
+  forest.trees_ = std::move(trees);
+  return forest;
+}
+
 int64_t RandomForest::Predict(std::span<const int32_t> features) const {
   std::vector<uint32_t> votes(static_cast<size_t>(num_classes_ > 0 ? num_classes_ : 1), 0);
   for (const DecisionTree& tree : trees_) {

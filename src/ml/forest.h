@@ -31,6 +31,10 @@ class RandomForest final : public InferenceModel {
  public:
   static Result<RandomForest> Train(const Dataset& data, const ForestConfig& config = {});
 
+  // Reassembles a forest from member trees (the serialization path). The
+  // class count is recovered from the largest leaf label.
+  static Result<RandomForest> FromTrees(std::vector<DecisionTree> trees);
+
   // InferenceModel: majority vote over the trees (ties break to the lower
   // class id, deterministically).
   int64_t Predict(std::span<const int32_t> features) const override;

@@ -4,6 +4,7 @@
 
 #include "src/base/bytes.h"
 #include "src/ml/decision_tree.h"
+#include "src/ml/forest.h"
 #include "src/ml/linear.h"
 #include "src/ml/quantize.h"
 
@@ -15,10 +16,11 @@ enum class ModelTag : uint32_t {
   kDecisionTree = 1,
   kQuantizedMlp = 2,
   kIntegerLinear = 3,
+  kRandomForest = 4,
+  kQuantizedMlpRaw = 5,
 };
 
-void SerializeTree(const DecisionTree& tree, ByteWriter& writer) {
-  writer.Put<uint32_t>(static_cast<uint32_t>(ModelTag::kDecisionTree));
+void SerializeTreeBody(const DecisionTree& tree, ByteWriter& writer) {
   writer.Put<uint64_t>(tree.num_features());
   writer.Put<uint32_t>(tree.depth());
   writer.Put<uint64_t>(tree.nodes().size());
@@ -32,7 +34,12 @@ void SerializeTree(const DecisionTree& tree, ByteWriter& writer) {
   }
 }
 
-Result<ModelPtr> DeserializeTree(ByteReader& reader) {
+void SerializeTree(const DecisionTree& tree, ByteWriter& writer) {
+  writer.Put<uint32_t>(static_cast<uint32_t>(ModelTag::kDecisionTree));
+  SerializeTreeBody(tree, writer);
+}
+
+Result<DecisionTree> DeserializeTreeBody(ByteReader& reader) {
   RKD_ASSIGN_OR_RETURN(uint64_t num_features, reader.Get<uint64_t>());
   RKD_ASSIGN_OR_RETURN(uint32_t depth, reader.Get<uint32_t>());
   RKD_ASSIGN_OR_RETURN(uint64_t node_count, reader.Get<uint64_t>());
@@ -51,13 +58,38 @@ Result<ModelPtr> DeserializeTree(ByteReader& reader) {
     RKD_ASSIGN_OR_RETURN(node.samples, reader.Get<uint32_t>());
     nodes.push_back(node);
   }
-  RKD_ASSIGN_OR_RETURN(DecisionTree tree,
-                       DecisionTree::FromParts(num_features, depth, std::move(nodes)));
+  return DecisionTree::FromParts(num_features, depth, std::move(nodes));
+}
+
+Result<ModelPtr> DeserializeTree(ByteReader& reader) {
+  RKD_ASSIGN_OR_RETURN(DecisionTree tree, DeserializeTreeBody(reader));
   return ModelPtr(std::make_shared<DecisionTree>(std::move(tree)));
 }
 
-void SerializeQuantizedMlp(const QuantizedMlp& mlp, ByteWriter& writer) {
-  writer.Put<uint32_t>(static_cast<uint32_t>(ModelTag::kQuantizedMlp));
+void SerializeForest(const RandomForest& forest, ByteWriter& writer) {
+  writer.Put<uint32_t>(static_cast<uint32_t>(ModelTag::kRandomForest));
+  writer.Put<uint64_t>(forest.trees().size());
+  for (const DecisionTree& tree : forest.trees()) {
+    SerializeTreeBody(tree, writer);
+  }
+}
+
+Result<ModelPtr> DeserializeForest(ByteReader& reader) {
+  RKD_ASSIGN_OR_RETURN(uint64_t tree_count, reader.Get<uint64_t>());
+  if (tree_count == 0 || tree_count > 1024) {
+    return InvalidArgumentError("forest tree count out of range");
+  }
+  std::vector<DecisionTree> trees;
+  trees.reserve(tree_count);
+  for (uint64_t t = 0; t < tree_count; ++t) {
+    RKD_ASSIGN_OR_RETURN(DecisionTree tree, DeserializeTreeBody(reader));
+    trees.push_back(std::move(tree));
+  }
+  RKD_ASSIGN_OR_RETURN(RandomForest forest, RandomForest::FromTrees(std::move(trees)));
+  return ModelPtr(std::make_shared<RandomForest>(std::move(forest)));
+}
+
+void SerializeQuantizedMlpBody(const QuantizedMlp& mlp, ByteWriter& writer) {
   writer.Put<uint64_t>(mlp.layers().size());
   for (const QuantizedMlp::QuantLayer& layer : mlp.layers()) {
     writer.Put<uint32_t>(layer.out_dim);
@@ -68,7 +100,12 @@ void SerializeQuantizedMlp(const QuantizedMlp& mlp, ByteWriter& writer) {
   }
 }
 
-Result<ModelPtr> DeserializeQuantizedMlp(ByteReader& reader) {
+void SerializeQuantizedMlp(const QuantizedMlp& mlp, ByteWriter& writer) {
+  writer.Put<uint32_t>(static_cast<uint32_t>(ModelTag::kQuantizedMlp));
+  SerializeQuantizedMlpBody(mlp, writer);
+}
+
+Result<QuantizedMlp> DeserializeQuantizedMlpBody(ByteReader& reader) {
   RKD_ASSIGN_OR_RETURN(uint64_t layer_count, reader.Get<uint64_t>());
   if (layer_count == 0 || layer_count > 64) {
     return InvalidArgumentError("layer count out of range");
@@ -84,8 +121,22 @@ Result<ModelPtr> DeserializeQuantizedMlp(ByteReader& reader) {
     RKD_ASSIGN_OR_RETURN(layer.biases, reader.GetArray<int32_t>());
     layers.push_back(std::move(layer));
   }
-  RKD_ASSIGN_OR_RETURN(QuantizedMlp mlp, QuantizedMlp::FromLayers(std::move(layers)));
+  return QuantizedMlp::FromLayers(std::move(layers));
+}
+
+Result<ModelPtr> DeserializeQuantizedMlp(ByteReader& reader) {
+  RKD_ASSIGN_OR_RETURN(QuantizedMlp mlp, DeserializeQuantizedMlpBody(reader));
   return ModelPtr(std::make_shared<QuantizedMlp>(std::move(mlp)));
+}
+
+void SerializeQuantizedMlpRaw(const QuantizedMlpRawAdapter& adapter, ByteWriter& writer) {
+  writer.Put<uint32_t>(static_cast<uint32_t>(ModelTag::kQuantizedMlpRaw));
+  SerializeQuantizedMlpBody(adapter.inner(), writer);
+}
+
+Result<ModelPtr> DeserializeQuantizedMlpRaw(ByteReader& reader) {
+  RKD_ASSIGN_OR_RETURN(QuantizedMlp mlp, DeserializeQuantizedMlpBody(reader));
+  return ModelPtr(std::make_shared<QuantizedMlpRawAdapter>(std::move(mlp)));
 }
 
 void SerializeLinear(const IntegerLinear& model, ByteWriter& writer) {
@@ -114,6 +165,10 @@ Result<std::vector<uint8_t>> SerializeModel(const InferenceModel& model) {
     SerializeQuantizedMlp(static_cast<const QuantizedMlp&>(model), writer);
   } else if (model.kind() == "integer_linear") {
     SerializeLinear(static_cast<const IntegerLinear&>(model), writer);
+  } else if (model.kind() == "random_forest") {
+    SerializeForest(static_cast<const RandomForest&>(model), writer);
+  } else if (model.kind() == "quantized_mlp_raw") {
+    SerializeQuantizedMlpRaw(static_cast<const QuantizedMlpRawAdapter&>(model), writer);
   } else {
     return InvalidArgumentError("unsupported model kind '" + std::string(model.kind()) + "'");
   }
@@ -139,6 +194,10 @@ Result<ModelPtr> DeserializeModel(std::span<const uint8_t> bytes) {
         return DeserializeQuantizedMlp(reader);
       case ModelTag::kIntegerLinear:
         return DeserializeLinear(reader);
+      case ModelTag::kRandomForest:
+        return DeserializeForest(reader);
+      case ModelTag::kQuantizedMlpRaw:
+        return DeserializeQuantizedMlpRaw(reader);
     }
     return InvalidArgumentError("unknown model tag " + std::to_string(tag));
   }();

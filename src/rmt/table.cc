@@ -197,14 +197,27 @@ void RmtTable::PublishIndex() {
       }
 
       case MatchKind::kLpm: {
+        // Counting pre-pass: one bucket per distinct prefix length, each hash
+        // table sized once. Without the reserve, building a 10k+ route table
+        // rehashed every bucket log-many times per publish — and Insert()
+        // publishes per call.
+        std::array<uint32_t, 65> count_of{};
         std::array<int32_t, 65> bucket_of;
         bucket_of.fill(-1);
+        size_t distinct = 0;
+        for (const TableEntry& entry : index->entries) {
+          if (count_of[static_cast<size_t>(entry.key2)]++ == 0) {
+            ++distinct;
+          }
+        }
+        index->lpm.reserve(distinct);
         for (size_t i = 0; i < index->entries.size(); ++i) {
           const uint64_t bits = index->entries[i].key2;  // validated <= 64 at insert
           int32_t& slot = bucket_of[static_cast<size_t>(bits)];
           if (slot < 0) {
             slot = static_cast<int32_t>(index->lpm.size());
             index->lpm.push_back(LpmBucket{bits, LpmMask(bits), {}});
+            index->lpm.back().slots.reserve(count_of[static_cast<size_t>(bits)]);
           }
           LpmBucket& bucket = index->lpm[static_cast<size_t>(slot)];
           // emplace keeps the first entry of this (length, prefix): the same
@@ -268,12 +281,24 @@ void RmtTable::PublishIndex() {
       }
 
       case MatchKind::kTernary: {
+        // Counting pre-pass, for the same reason as LPM — plus one more:
+        // growing the group vector incrementally copied every already-built
+        // group, hash maps included, on each reallocation. A wide-open ACL
+        // (many distinct wildcard masks, 10k+ entries) made every publish
+        // quadratic-ish in practice.
+        std::unordered_map<uint64_t, uint32_t> mask_count;  // mask -> entries
+        for (const TableEntry& entry : index->entries) {
+          ++mask_count[entry.key2];
+        }
+        index->ternary.reserve(mask_count.size());
         std::unordered_map<uint64_t, size_t> group_of;  // mask -> group position
+        group_of.reserve(mask_count.size());
         for (size_t i = 0; i < index->entries.size(); ++i) {
           const uint64_t mask = index->entries[i].key2;
           const auto [git, fresh] = group_of.try_emplace(mask, index->ternary.size());
           if (fresh) {
             index->ternary.push_back(TernaryGroup{mask, index->entries[i].priority, {}});
+            index->ternary.back().slots.reserve(mask_count[mask]);
           }
           TernaryGroup& group = index->ternary[git->second];
           group.max_priority = std::max(group.max_priority, index->entries[i].priority);

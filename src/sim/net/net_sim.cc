@@ -1,0 +1,273 @@
+#include "src/sim/net/net_sim.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rkd {
+
+namespace {
+
+int32_t Log2(uint64_t v) {
+  int32_t r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+}  // namespace
+
+double NetMetrics::SteeringImbalance() const {
+  if (queue_bytes.empty()) {
+    return 0.0;
+  }
+  uint64_t max_bytes = 0;
+  uint64_t total = 0;
+  for (uint64_t b : queue_bytes) {
+    max_bytes = std::max(max_bytes, b);
+    total += b;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(queue_bytes.size());
+  return mean > 0.0 ? static_cast<double>(max_bytes) / mean : 0.0;
+}
+
+double NetMetrics::CacheHitRate() const {
+  const uint64_t total = cache_hits + cache_misses;
+  return total > 0 ? static_cast<double>(cache_hits) / static_cast<double>(total) : 0.0;
+}
+
+double NetMetrics::LegitCacheHitRate() const {
+  const uint64_t total = legit_cache_hits + legit_cache_misses;
+  return total > 0 ? static_cast<double>(legit_cache_hits) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double NetMetrics::FloodDropShare() const {
+  return flood_packets > 0
+             ? static_cast<double>(flood_dropped) / static_cast<double>(flood_packets)
+             : 0.0;
+}
+
+double NetMetrics::LegitDeliveryRate() const {
+  return legit_packets > 0
+             ? static_cast<double>(legit_delivered) / static_cast<double>(legit_packets)
+             : 0.0;
+}
+
+NetRxSim::NetRxSim(RmtRxDatapath* datapath) : datapath_(datapath) {
+  const NetConfig& config = datapath_->config();
+  metrics_.queue_packets.assign(config.queues, 0);
+  metrics_.queue_bytes.assign(config.queues, 0);
+}
+
+void NetRxSim::Run(std::span<const PacketEvent> trace) {
+  const size_t batch_size = std::max<size_t>(1, datapath_->config().batch_size);
+  for (size_t offset = 0; offset < trace.size(); offset += batch_size) {
+    RunBatch(trace.subspan(offset, std::min(batch_size, trace.size() - offset)));
+  }
+}
+
+NetRxSim::FlowState& NetRxSim::Touch(const PacketEvent& pkt) {
+  auto [it, created] = flows_.try_emplace(pkt.flow_id);
+  if (created) {
+    it->second.first_seen_batch = batch_index_;
+    it->second.rank = datapath_->config().queues;  // unranked until recompute
+    it->second.ewma_length = pkt.length;
+  }
+  return it->second;
+}
+
+void NetRxSim::CacheLookupAndFill(uint64_t flow_id, bool flood, bool insert) {
+  const NetConfig& config = datapath_->config();
+  FlowState& state = flows_[flow_id];
+  if (state.cached) {
+    ++metrics_.cache_hits;
+    if (!flood) ++metrics_.legit_cache_hits;
+    lru_.splice(lru_.begin(), lru_, state.lru_pos);
+    return;
+  }
+  ++metrics_.cache_misses;
+  if (!flood) ++metrics_.legit_cache_misses;
+  metrics_.slow_path_ns += config.slow_path_ns;
+  if (!insert) {
+    return;  // dropped flows never earn a cache slot
+  }
+  if (lru_.size() >= config.flow_cache_capacity && !lru_.empty()) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    flows_[victim].cached = false;
+    (void)datapath_->EvictFlow(victim);
+    datapath_->EraseContext(victim);
+  }
+  lru_.push_front(flow_id);
+  state.cached = true;
+  state.lru_pos = lru_.begin();
+  (void)datapath_->InsertFlow(flow_id);
+}
+
+void NetRxSim::RecomputeRanks() {
+  const uint16_t queues = datapath_->config().queues;
+  std::vector<std::pair<uint64_t, uint64_t>> counts;  // (packets, flow_id)
+  counts.reserve(flows_.size());
+  for (const auto& [flow_id, state] : flows_) {
+    if (state.packets > 0) {
+      counts.emplace_back(state.packets, flow_id);
+    }
+  }
+  const size_t top = std::min<size_t>(queues, counts.size());
+  // Explicit (count desc, flow asc) order keeps ranks independent of hash-map
+  // iteration order — a determinism requirement, not a style choice.
+  std::partial_sort(counts.begin(), counts.begin() + static_cast<ptrdiff_t>(top),
+                    counts.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  for (auto& [flow_id, state] : flows_) {
+    state.rank = queues;
+  }
+  for (size_t i = 0; i < top; ++i) {
+    flows_[counts[i].second].rank = static_cast<int32_t>(i);
+  }
+}
+
+void NetRxSim::RunBatch(std::span<const PacketEvent> batch) {
+  const NetConfig& config = datapath_->config();
+  const uint16_t queues = config.queues;
+  const size_t n = batch.size();
+  if (n == 0) {
+    return;
+  }
+  feature_rows_.resize(n);
+  labels_.resize(n);
+  decisions_.resize(n);
+  batch_rows_.clear();
+  uint32_t new_flows = 0;
+
+  // Build one memoized feature row per flow from start-of-batch state —
+  // DecideBatch's per-flow-constant contract (replay exactness depends on it).
+  for (size_t i = 0; i < n; ++i) {
+    const PacketEvent& pkt = batch[i];
+    FlowState& state = Touch(pkt);
+    auto [row_it, fresh] = batch_rows_.try_emplace(pkt.flow_id);
+    if (fresh) {
+      if (state.packets == 0 && state.first_seen_batch == batch_index_) {
+        ++new_flows;
+      }
+      NetFeatureRow& row = row_it->second;
+      row.fill(0);
+      row[kNfLogCount] = Log2(state.packets + 1);
+      row[kNfRank] = state.rank;
+      row[kNfHashLane] = static_cast<int32_t>(RssQueue(pkt.flow_id, queues));
+      row[kNfLength] = state.ewma_length;
+      row[kNfIsNew] = state.first_seen_batch == batch_index_ ? 1 : 0;
+      row[kNfNewFlowRate] = new_flow_rate_;
+      row[kNfDstPort] = pkt.dst_port;
+      row[kNfProto] = pkt.proto;
+    }
+    feature_rows_[i] = row_it->second;
+    // The supervision target: pin elephant rank r to queue r, hash the mice,
+    // drop the flood at the hook.
+    if (pkt.flood) {
+      labels_[i] = MakeRxDecision(kRxDrop, 0);
+    } else if (state.rank < queues) {
+      labels_[i] = MakeRxDecision(kRxPass, state.rank);
+    } else {
+      labels_[i] = RssQueue(pkt.flow_id, queues);
+    }
+  }
+
+  datapath_->DecideBatch(batch, feature_rows_, labels_, decisions_);
+
+  batch_queue_total_.assign(queues, 0);
+  batch_queue_flood_.assign(queues, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const PacketEvent& pkt = batch[i];
+    int64_t decision = decisions_[i];
+    if (decision == kHookFallback) {
+      ++metrics_.fallback_decisions;
+      decision = RssQueue(pkt.flow_id, queues);  // the stock kernel's steer
+    }
+    const int64_t verdict = RxVerdictOf(decision);
+    const size_t queue = static_cast<size_t>(RxQueueOf(decision)) % queues;
+
+    ++metrics_.packets;
+    metrics_.bytes += pkt.length;
+    if (pkt.flood) {
+      ++metrics_.flood_packets;
+    } else {
+      ++metrics_.legit_packets;
+    }
+    CacheLookupAndFill(pkt.flow_id, pkt.flood, /*insert=*/verdict != kRxDrop);
+
+    if (verdict == kRxDrop) {
+      ++metrics_.policy_drops;
+      if (pkt.flood) {
+        ++metrics_.flood_dropped;
+      } else {
+        ++metrics_.legit_dropped;
+      }
+    } else if (verdict == kRxRedirect) {
+      ++metrics_.redirects;
+      metrics_.slow_path_ns += config.slow_path_ns;
+      if (pkt.flood) {
+        ++metrics_.flood_delivered;
+      } else {
+        ++metrics_.legit_delivered;
+      }
+    } else {
+      metrics_.queue_packets[queue] += 1;
+      metrics_.queue_bytes[queue] += pkt.length;
+      batch_queue_total_[queue] += 1;
+      if (pkt.flood) {
+        batch_queue_flood_[queue] += 1;
+      }
+    }
+
+    if (training_sink_ != nullptr) {
+      FlowState& state = flows_[pkt.flow_id];
+      int32_t cls;
+      if (pkt.flood) {
+        cls = queues;  // the drop class
+      } else if (state.rank < queues) {
+        cls = state.rank;
+      } else {
+        cls = static_cast<int32_t>(RssQueue(pkt.flow_id, queues));
+      }
+      training_sink_->Add(feature_rows_[i], cls);
+    }
+
+    FlowState& state = flows_[pkt.flow_id];
+    ++state.packets;
+    state.ewma_length += (static_cast<int32_t>(pkt.length) - state.ewma_length) / 8;
+  }
+
+  // Finite drain: each RX queue absorbs headroom * batch/queues packets per
+  // window; the excess drops, attributed flood/legit proportionally (integer
+  // arithmetic, deterministic).
+  const uint64_t budget = static_cast<uint64_t>(
+      config.queue_headroom * static_cast<double>(config.batch_size) / queues);
+  for (size_t q = 0; q < queues; ++q) {
+    const uint64_t total = batch_queue_total_[q];
+    const uint64_t flood = batch_queue_flood_[q];
+    const uint64_t over = total > budget ? total - budget : 0;
+    const uint64_t flood_over = total > 0 ? over * flood / total : 0;
+    const uint64_t legit_over = over - flood_over;
+    metrics_.overflow_drops += over;
+    metrics_.flood_dropped += flood_over;
+    metrics_.legit_dropped += legit_over;
+    metrics_.flood_delivered += flood - flood_over;
+    metrics_.legit_delivered += (total - flood) - legit_over;
+  }
+
+  // Uncached flows lose their context entries at batch end, so flood churn
+  // cannot exhaust the (capacity-bounded) context store.
+  for (const auto& [flow_id, row] : batch_rows_) {
+    if (!flows_[flow_id].cached) {
+      datapath_->EraseContext(flow_id);
+    }
+  }
+
+  new_flow_rate_ = static_cast<int32_t>(static_cast<uint64_t>(new_flows) * 1000 / n);
+  ++batch_index_;
+  RecomputeRanks();
+}
+
+}  // namespace rkd

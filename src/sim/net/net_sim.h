@@ -1,0 +1,115 @@
+// Deterministic RX-path simulator: drives a PacketTrace through an
+// RmtRxDatapath in FireBatch windows and models the parts of the NIC/kernel
+// the datapath's decisions act on — RX queues with a finite drain rate, an
+// LRU flow cache backing the exact-match table, and a slow path charged per
+// cache miss.
+//
+// The sim owns per-flow statistics (packet counts, elephant ranks, smoothed
+// lengths, batch-level new-flow rates) and memoizes one feature row per flow
+// per batch — the contract DecideBatch requires for replay-exact corpora. It
+// also produces the supervision: a packed ideal decision per packet (pin
+// elephant rank r to queue r, hash the mice, drop the flood) staged as the
+// recorder label and, through the optional training sink, the
+// (feature row -> class) samples the learned steering model trains on.
+#ifndef SRC_SIM_NET_NET_SIM_H_
+#define SRC_SIM_NET_NET_SIM_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/sim/net/rx_datapath.h"
+#include "src/workloads/packet_trace.h"
+
+namespace rkd {
+
+struct NetMetrics {
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+
+  // Offered load per RX queue (post-steering, pre-drain). Imbalance is the
+  // headline steering metric: max queue bytes over mean queue bytes.
+  std::vector<uint64_t> queue_packets;
+  std::vector<uint64_t> queue_bytes;
+
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t legit_cache_hits = 0;    // cache outcomes for non-flood traffic only
+  uint64_t legit_cache_misses = 0;
+
+  uint64_t policy_drops = 0;        // dropped by the datapath's verdict
+  uint64_t overflow_drops = 0;      // dropped because an RX queue overran
+  uint64_t redirects = 0;
+  uint64_t fallback_decisions = 0;  // kHookFallback fires (governor degraded)
+
+  uint64_t flood_packets = 0;
+  uint64_t flood_dropped = 0;       // policy + overflow
+  uint64_t flood_delivered = 0;
+  uint64_t legit_packets = 0;
+  uint64_t legit_dropped = 0;
+  uint64_t legit_delivered = 0;
+
+  uint64_t slow_path_ns = 0;        // cache misses + redirects, charged per hit
+
+  double SteeringImbalance() const;
+  double CacheHitRate() const;
+  double LegitCacheHitRate() const;
+  double FloodDropShare() const;
+  double LegitDeliveryRate() const;
+};
+
+class NetRxSim {
+ public:
+  // The datapath must be Init()-ed; the sim reads its NetConfig for queue
+  // count, batch size, LRU capacity, headroom, and slow-path cost.
+  explicit NetRxSim(RmtRxDatapath* datapath);
+
+  // When set, every decided packet appends (feature row, ideal class) to the
+  // sink — class in [0, queues) steers, class == queues drops.
+  void set_training_sink(Dataset* sink) { training_sink_ = sink; }
+
+  // Runs the trace to completion in batch_size windows. Deterministic; may
+  // be called repeatedly (state persists, metrics accumulate).
+  void Run(std::span<const PacketEvent> trace);
+
+  const NetMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct FlowState {
+    uint64_t packets = 0;        // lifetime packets decided
+    int32_t ewma_length = 0;     // smoothed frame length
+    int32_t rank = -1;           // elephant rank; [0, queues) ranked, else queues
+    uint64_t first_seen_batch = 0;
+    bool cached = false;         // mirrored into the exact-match flow table
+    std::list<uint64_t>::iterator lru_pos{};  // valid iff cached
+  };
+
+  void RunBatch(std::span<const PacketEvent> batch);
+  FlowState& Touch(const PacketEvent& pkt);
+  void CacheLookupAndFill(uint64_t flow_id, bool flood, bool insert);
+  void RecomputeRanks();
+
+  RmtRxDatapath* datapath_;
+  Dataset* training_sink_ = nullptr;
+  NetMetrics metrics_;
+
+  std::unordered_map<uint64_t, FlowState> flows_;
+  std::list<uint64_t> lru_;        // front = most recently used
+  uint64_t batch_index_ = 0;
+  int32_t new_flow_rate_ = 0;      // new flows per 1k packets, previous batch
+
+  // Per-batch scratch (reused allocations).
+  std::vector<NetFeatureRow> feature_rows_;
+  std::vector<int64_t> labels_;
+  std::vector<int64_t> decisions_;
+  std::unordered_map<uint64_t, NetFeatureRow> batch_rows_;  // per-flow memo
+  std::vector<uint64_t> batch_queue_total_;
+  std::vector<uint64_t> batch_queue_flood_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_SIM_NET_NET_SIM_H_

@@ -1,0 +1,433 @@
+#include "src/sim/net/rx_datapath.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/bytecode/assembler.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/forest.h"
+#include "src/ml/mlp.h"
+#include "src/ml/quantize.h"
+
+namespace rkd {
+
+namespace {
+
+// Classify-key field masks (layout: proto << 32 | src_port << 16 | dst_port).
+constexpr uint64_t kProtoMask = 0xffull << 32;
+constexpr uint64_t kSrcPortMask = 0xffffull << 16;
+constexpr uint64_t kDstPortMask = 0xffffull;
+
+BytecodeProgram RouteClassAction(int64_t route_class) {
+  Assembler a("rx_route_class" + std::to_string(route_class), HookKind::kNetRx);
+  a.MovImm(0, route_class);
+  a.Exit();
+  return std::move(a.Build()).value();  // static program; always builds
+}
+
+BytecodeProgram ClassifyAction(const char* name, int64_t verdict) {
+  Assembler a(name, HookKind::kNetRx);
+  a.MovImm(0, verdict);
+  a.Exit();
+  return std::move(a.Build()).value();
+}
+
+// The static-RSS flow action: obey the ACL verdict in r2, otherwise steer by
+// hash. The bytecode mirrors RssQueue() exactly (mask to the uniform low 32
+// bits first, so the signed Mod never sees a negative dividend).
+BytecodeProgram FlowHeuristicAction(uint16_t queues) {
+  Assembler a("rx_flow_rss", HookKind::kNetRx);
+  Assembler::Label drop = a.NewLabel();
+  Assembler::Label redirect = a.NewLabel();
+  a.JeqImm(2, kRxDrop, drop);
+  a.JeqImm(2, kRxRedirect, redirect);
+  a.Mov(0, 1);
+  a.AndImm(0, 0xffffffffll);
+  a.ModImm(0, queues);
+  a.Exit();
+  a.Bind(drop);
+  a.MovImm(0, MakeRxDecision(kRxDrop, 0));
+  a.Exit();
+  a.Bind(redirect);
+  a.MovImm(0, MakeRxDecision(kRxRedirect, 0));
+  a.Exit();
+  return std::move(a.Build()).value();
+}
+
+// The learned flow action: ACL verdicts still bind, then model slot 0 maps
+// the flow's feature lanes to a class — a steer queue, or `queues` (and
+// anything above) for an early drop. The no-model sentinel (negative) and
+// any out-of-range class degrade to the RSS hash, so an un-pushed or
+// misbehaving model can only ever cost accuracy, never correctness.
+BytecodeProgram FlowLearnedAction(uint16_t queues) {
+  Assembler a("rx_flow_learned", HookKind::kNetRx);
+  a.DeclareModels(1);
+  Assembler::Label drop = a.NewLabel();
+  Assembler::Label redirect = a.NewLabel();
+  Assembler::Label rss = a.NewLabel();
+  a.JeqImm(2, kRxDrop, drop);
+  a.JeqImm(2, kRxRedirect, redirect);
+  a.VecLdCtxt(0, 1);   // v0 = feature lanes of ctxt[flow_id]
+  a.MlCall(6, 0, 0);   // r6 = class (or the no-model sentinel)
+  a.JltImm(6, 0, rss);
+  a.JgtImm(6, queues, rss);
+  a.JeqImm(6, queues, drop);
+  a.Mov(0, 6);
+  a.Exit();
+  a.Bind(rss);
+  a.Mov(0, 1);
+  a.AndImm(0, 0xffffffffll);
+  a.ModImm(0, queues);
+  a.Exit();
+  a.Bind(drop);
+  a.MovImm(0, MakeRxDecision(kRxDrop, 0));
+  a.Exit();
+  a.Bind(redirect);
+  a.MovImm(0, MakeRxDecision(kRxRedirect, 0));
+  a.Exit();
+  return std::move(a.Build()).value();
+}
+
+}  // namespace
+
+std::vector<TableEntry> MakeRouteEntries(const NetConfig& config) {
+  std::vector<TableEntry> entries;
+  entries.reserve(config.route_prefixes + 1);
+  // Covering default: 10.0.0.0/8 (40 leading bits of the 64-bit key space)
+  // -> route class 0, so every packet resolves a class even off-prefix.
+  entries.push_back(TableEntry{0x0A000000ull, 40, 0, 0, -1});
+  for (uint32_t p = 0; p < config.route_prefixes; ++p) {
+    TableEntry entry;
+    entry.key = PrefixBase(p);
+    entry.key2 = 56;  // a /24 in the low-32-bit address lane
+    entry.action_index = static_cast<int32_t>(p % std::max<uint16_t>(1, config.route_classes));
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+std::vector<TableEntry> MakeAclEntries(const NetConfig& config) {
+  std::vector<TableEntry> entries;
+  entries.reserve(config.acl_entries);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  const uint32_t diversity = std::max(1u, config.acl_mask_diversity);
+  uint32_t i = 0;
+  for (uint32_t attempts = 0;
+       entries.size() < config.acl_entries && attempts < 4 * config.acl_entries + 64;
+       ++attempts, ++i) {
+    TableEntry entry;
+    if (i % 64 == 63) {
+      // Redirect family: UDP toward the NTP monitoring port, split into 16
+      // source-nibble rules (deep inspection on the slow path).
+      const uint64_t src_nibble = (i / 64) % 16;
+      entry.key2 = kProtoMask | kDstPortMask | (0xf000ull << 16);
+      entry.key = (17ull << 32) | (src_nibble << 12 << 16) | 123ull;
+      entry.priority = 5;
+      entry.action_index = 2;
+    } else {
+      // Drop family: UDP from curated source-port ranges, with a rotating
+      // wildcard width so the compiled index sees `diversity` mask groups.
+      const uint32_t width = i % diversity;
+      const uint64_t port_mask = 0xffffull & ~((1ull << width) - 1);
+      uint64_t src_port = 1024 + (static_cast<uint64_t>(i) * 251) % 64000;
+      src_port &= port_mask;
+      entry.key2 = kProtoMask | (port_mask << 16);
+      entry.key = (17ull << 32) | (src_port << 16);
+      entry.priority = 10 + static_cast<int32_t>(width);
+      entry.action_index = 1;
+    }
+    if (seen.emplace(entry.key, entry.key2).second) {
+      entries.push_back(entry);
+    }
+  }
+  return entries;
+}
+
+Result<ModelPtr> TrainNetModel(const Dataset& data, NetModelFamily family, uint64_t seed) {
+  if (data.empty()) {
+    return InvalidArgumentError("net training set is empty");
+  }
+  switch (family) {
+    case NetModelFamily::kDecisionTree: {
+      DecisionTreeConfig config;
+      config.max_depth = 10;
+      RKD_ASSIGN_OR_RETURN(DecisionTree tree, DecisionTree::Train(data, config));
+      return ModelPtr(std::make_shared<DecisionTree>(std::move(tree)));
+    }
+    case NetModelFamily::kRandomForest: {
+      ForestConfig config;
+      config.num_trees = 6;
+      config.tree.max_depth = 10;
+      config.seed = seed;
+      RKD_ASSIGN_OR_RETURN(RandomForest forest, RandomForest::Train(data, config));
+      return ModelPtr(std::make_shared<RandomForest>(std::move(forest)));
+    }
+    case NetModelFamily::kQuantizedMlp: {
+      if (data.NumClasses() < 2) {
+        return InvalidArgumentError("MLP training needs at least two classes");
+      }
+      MlpConfig config;
+      config.hidden_sizes = {24};
+      config.epochs = 20;
+      config.seed = seed;
+      RKD_ASSIGN_OR_RETURN(Mlp mlp, Mlp::Train(data, config));
+      RKD_ASSIGN_OR_RETURN(QuantizedMlp quantized, QuantizedMlp::FromMlp(mlp));
+      return ModelPtr(std::make_shared<QuantizedMlpRawAdapter>(std::move(quantized)));
+    }
+  }
+  return InvalidArgumentError("unknown net model family");
+}
+
+RmtRxDatapath::RmtRxDatapath(const NetConfig& config, RxPolicyKind policy)
+    : config_(config), policy_(policy), control_plane_(&hooks_) {}
+
+RmtProgramSpec RmtRxDatapath::BuildProgramSpec(RxPolicyKind policy, std::string name) const {
+  RmtProgramSpec spec;
+  spec.name = std::move(name);
+  spec.model_slots = 1;  // both policies declare the slot so a model push is
+                         // recordable (the heuristic action simply ignores it)
+  spec.fire_deadline_ns = config_.fire_deadline_ns;
+
+  RmtTableSpec route;
+  route.name = "rx_route";
+  route.hook_point = "net.rx.route";
+  route.match_kind = MatchKind::kLpm;
+  route.max_entries = config_.route_prefixes + 8;
+  for (uint16_t c = 0; c < std::max<uint16_t>(1, config_.route_classes); ++c) {
+    route.actions.push_back(RouteClassAction(c));
+  }
+  route.default_action = 0;
+  route.initial_entries = MakeRouteEntries(config_);
+  spec.tables.push_back(std::move(route));
+
+  RmtTableSpec classify;
+  classify.name = "rx_classify";
+  classify.hook_point = "net.rx.classify";
+  classify.match_kind = MatchKind::kTernary;
+  classify.max_entries = config_.acl_entries + 8;
+  classify.actions.push_back(ClassifyAction("rx_acl_pass", kRxPass));
+  classify.actions.push_back(ClassifyAction("rx_acl_drop", kRxDrop));
+  classify.actions.push_back(ClassifyAction("rx_acl_redirect", kRxRedirect));
+  classify.default_action = 0;  // unmatched traffic passes (flood = ternary miss)
+  classify.initial_entries = MakeAclEntries(config_);
+  spec.tables.push_back(std::move(classify));
+
+  RmtTableSpec flow;
+  flow.name = "rx_flow";
+  flow.hook_point = "net.rx.packet";
+  flow.match_kind = MatchKind::kExact;
+  flow.max_entries = config_.flow_cache_capacity;
+  flow.actions.push_back(policy == RxPolicyKind::kLearned
+                             ? FlowLearnedAction(config_.queues)
+                             : FlowHeuristicAction(config_.queues));
+  // Default == the entry action: a flow-cache miss costs slow-path time, not
+  // a different decision — which also keeps replay (whose sandbox sees only
+  // initial_entries, never the live LRU churn) decision-identical.
+  flow.default_action = 0;
+  spec.tables.push_back(std::move(flow));
+  return spec;
+}
+
+Status RmtRxDatapath::Init() {
+  if (initialized_) {
+    return FailedPreconditionError("RmtRxDatapath::Init called twice");
+  }
+  SubsystemBindings bindings;
+  bindings.now = [this] { return vclock_; };  // packet clock: deterministic corpora
+  RKD_ASSIGN_OR_RETURN(route_hook_,
+                       hooks_.Register("net.rx.route", HookKind::kNetRx, bindings));
+  RKD_ASSIGN_OR_RETURN(classify_hook_,
+                       hooks_.Register("net.rx.classify", HookKind::kNetRx, bindings));
+  RKD_ASSIGN_OR_RETURN(packet_hook_,
+                       hooks_.Register("net.rx.packet", HookKind::kNetRx, bindings));
+  RKD_ASSIGN_OR_RETURN(handle_, control_plane_.Install(BuildProgramSpec(), config_.tier));
+
+  // Degraded-rung fallbacks: the static pipeline the kernel would run
+  // anyway. Route class 0, ACL pass, RSS steering that still honours the
+  // ACL verdict the fire's args carry.
+  RKD_RETURN_IF_ERROR(hooks_.SetFallbackOracle(
+      route_hook_, [](uint64_t, std::span<const int64_t>) -> int64_t { return 0; }));
+  RKD_RETURN_IF_ERROR(hooks_.SetFallbackOracle(
+      classify_hook_, [](uint64_t, std::span<const int64_t>) -> int64_t { return kRxPass; }));
+  const uint16_t queues = config_.queues;
+  RKD_RETURN_IF_ERROR(hooks_.SetFallbackOracle(
+      packet_hook_, [queues](uint64_t key, std::span<const int64_t> args) -> int64_t {
+        const int64_t acl = args.empty() ? kRxPass : args[0];
+        if (acl == kRxDrop) {
+          return MakeRxDecision(kRxDrop, 0);
+        }
+        if (acl == kRxRedirect) {
+          return MakeRxDecision(kRxRedirect, 0);
+        }
+        return RssQueue(key, queues);
+      }));
+
+  if (config_.enable_tiering && config_.tier == ExecTier::kJit) {
+    ControlPlane::TieringConfig tiering;
+    tiering.hot_execs = config_.tiering_hot_execs;
+    RKD_RETURN_IF_ERROR(control_plane_.EnableTiering(handle_, tiering));
+  }
+  initialized_ = true;
+  return OkStatus();
+}
+
+Status RmtRxDatapath::InstallModel(ModelPtr model) {
+  ModelPtr installed = model;  // shared ref survives the move for recording
+  RKD_RETURN_IF_ERROR(control_plane_.InstallModel(handle_, 0, std::move(model)));
+  if (recorder_ != nullptr && installed != nullptr) {
+    // A model push that cannot be recorded would make every later corpus
+    // replay silently run model-less — fail loudly instead.
+    RKD_RETURN_IF_ERROR(recorder_->RecordModelInstall(0, *installed));
+  }
+  if (config_.enable_tiering && config_.tier == ExecTier::kJit) {
+    (void)control_plane_.TickTiering(handle_);
+  }
+  return OkStatus();
+}
+
+Status RmtRxDatapath::AttachRecorder(ExperienceRecorder* recorder) {
+  if (!initialized_) {
+    return FailedPreconditionError("AttachRecorder requires a successful Init()");
+  }
+  RKD_RETURN_IF_ERROR(recorder->Track(route_hook_, DecisionSource::kResult));
+  RKD_RETURN_IF_ERROR(recorder->Track(classify_hook_, DecisionSource::kResult));
+  RKD_RETURN_IF_ERROR(
+      recorder->Track(packet_hook_, DecisionSource::kResult, "ideal_decision"));
+  recorder_ = recorder;
+  recorder_->Attach();
+  return OkStatus();
+}
+
+void RmtRxDatapath::MaybeTickTiering(uint64_t new_packets) {
+  if (!config_.enable_tiering || config_.tier != ExecTier::kJit) {
+    return;
+  }
+  packets_since_tier_tick_ += new_packets;
+  if (packets_since_tier_tick_ >= config_.batch_size * 4) {
+    packets_since_tier_tick_ = 0;
+    (void)control_plane_.TickTiering(handle_);
+  }
+}
+
+void RmtRxDatapath::PublishFeatures(ControlPlane::ProgramHandle handle, uint64_t flow_id,
+                                    const NetFeatureRow& row) {
+  InstalledProgram* program = control_plane_.Get(handle);
+  if (program == nullptr) {
+    return;
+  }
+  ContextEntry* entry = program->context().FindOrCreate(flow_id);
+  if (entry == nullptr) {
+    ++context_publish_failures_;  // store full; the action degrades to RSS
+    return;
+  }
+  entry->features.fill(0);
+  std::copy(row.begin(), row.end(), entry->features.begin());
+}
+
+void RmtRxDatapath::DecideBatch(std::span<const PacketEvent> packets,
+                                std::span<NetFeatureRow> features,
+                                std::span<const int64_t> labels,
+                                std::span<int64_t> decisions) {
+  const size_t n = std::min({packets.size(), features.size(), decisions.size()});
+  if (n == 0) {
+    return;
+  }
+  vclock_ += n;  // whole batch carries one deterministic timestamp
+
+  // Stage 1: LPM route lookup over dst_ip.
+  stage_events_.assign(n, HookEvent{});
+  for (size_t i = 0; i < n; ++i) {
+    stage_events_[i].key = packets[i].dst_ip;
+  }
+  route_classes_.assign(n, kHookFallback);
+  hooks_.FireBatch(route_hook_, stage_events_, route_classes_);
+
+  // Stage 2: ternary ACL over (proto, ports).
+  for (size_t i = 0; i < n; ++i) {
+    stage_events_[i].key = ClassifyKey(packets[i]);
+  }
+  acl_verdicts_.assign(n, kHookFallback);
+  hooks_.FireBatch(classify_hook_, stage_events_, acl_verdicts_);
+
+  // Stage 3: publish feature rows (now that the pipeline lanes are known),
+  // stage recorder side channels, and fire the flow stage in one batch.
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t rc = route_classes_[i];
+    const int64_t acl = acl_verdicts_[i];
+    features[i][kNfRouteClass] =
+        rc >= 0 && rc < config_.route_classes ? static_cast<int32_t>(rc) : 0;
+    features[i][kNfAclVerdict] =
+        acl >= kRxPass && acl <= kRxRedirect ? static_cast<int32_t>(acl) : 0;
+    PublishFeatures(handle_, packets[i].flow_id, features[i]);
+    if (mirror_handle_ >= 0) {
+      PublishFeatures(mirror_handle_, packets[i].flow_id, features[i]);
+    }
+    if (recorder_ != nullptr) {
+      std::array<int32_t, kVectorLanes> lanes{};
+      std::copy(features[i].begin(), features[i].end(), lanes.begin());
+      recorder_->StageContextFeatures(packet_hook_, lanes);
+      if (!labels.empty()) {
+        // The ACL verdict binds the label exactly like it binds the live
+        // decision: no policy is asked to out-steer a curated drop rule.
+        int64_t label = labels[i];
+        if (features[i][kNfAclVerdict] == kRxDrop) {
+          label = MakeRxDecision(kRxDrop, 0);
+        } else if (features[i][kNfAclVerdict] == kRxRedirect) {
+          label = MakeRxDecision(kRxRedirect, 0);
+        }
+        recorder_->StageLabel(packet_hook_, label);
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    stage_events_[i] = HookEvent{packets[i].flow_id,
+                                 {features[i][kNfAclVerdict], features[i][kNfRouteClass],
+                                  packets[i].length}};
+  }
+  MaybeTickTiering(n);
+  std::fill(decisions.begin(), decisions.begin() + static_cast<ptrdiff_t>(n),
+            kHookFallback);
+  hooks_.FireBatch(packet_hook_, std::span(stage_events_).first(n), decisions.first(n));
+  packets_decided_ += n;
+}
+
+Status RmtRxDatapath::InsertFlow(uint64_t flow_id) {
+  TableEntry entry;
+  entry.key = flow_id;
+  entry.action_index = 0;
+  return control_plane_.AddEntry(handle_, "rx_flow", entry);
+}
+
+Status RmtRxDatapath::EvictFlow(uint64_t flow_id) {
+  return control_plane_.RemoveEntry(handle_, "rx_flow", flow_id);
+}
+
+void RmtRxDatapath::EraseContext(uint64_t flow_id) {
+  if (InstalledProgram* program = control_plane_.Get(handle_)) {
+    program->context().Erase(flow_id);
+  }
+  if (mirror_handle_ >= 0) {
+    if (InstalledProgram* mirror = control_plane_.Get(mirror_handle_)) {
+      mirror->context().Erase(flow_id);
+    }
+  }
+}
+
+Status RmtRxDatapath::AdoptPromoted(ControlPlane::ProgramHandle handle,
+                                    RxPolicyKind policy) {
+  if (control_plane_.Get(handle) == nullptr) {
+    return NotFoundError("promoted program handle is not installed");
+  }
+  handle_ = handle;
+  policy_ = policy;
+  mirror_handle_ = -1;
+  if (config_.enable_tiering && config_.tier == ExecTier::kJit) {
+    ControlPlane::TieringConfig tiering;
+    tiering.hot_execs = config_.tiering_hot_execs;
+    RKD_RETURN_IF_ERROR(control_plane_.EnableTiering(handle_, tiering));
+  }
+  return OkStatus();
+}
+
+}  // namespace rkd

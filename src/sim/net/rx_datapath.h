@@ -1,0 +1,209 @@
+// RMT-backed packet RX datapath — the network case study's hook wiring.
+//
+// An XDP-style receive path modeled as a three-stage RMT pipeline, one hook
+// per match stage, fired per packet (batched by default):
+//
+//   net.rx.route     LPM over dst_ip        -> route class (queue group /
+//                                             slow-path target / feature)
+//   net.rx.classify  ternary over the       -> ACL verdict: pass / drop /
+//                    (proto, ports) key        redirect
+//   net.rx.packet    exact over flow_id     -> the steering decision: packed
+//                    (the flow cache)          (verdict, queue)
+//
+// Two policies share this spine, both expressed as installable programs:
+//
+//   heuristic  static RSS — queue = hash(flow) % queues, obey the ACL. The
+//              kernel's static datapath, and the governor's fallback oracle.
+//   learned    the flow action loads the per-flow feature lanes from the
+//              execution context and asks model slot 0 for a class in
+//              [0, queues] — a steer queue, or `queues` = early drop. With
+//              no model installed the action degrades to the RSS hash.
+//
+// Decisions are packed (verdict, queue) pairs so one Fire result carries
+// both; kHookFallback still means "RMT has no opinion" (stock kernel RSS).
+#ifndef SRC_SIM_NET_RX_DATAPATH_H_
+#define SRC_SIM_NET_RX_DATAPATH_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/replay/recorder.h"
+#include "src/rmt/control_plane.h"
+#include "src/workloads/packet_trace.h"
+
+namespace rkd {
+
+// --- Decision encoding -----------------------------------------------------
+
+inline constexpr int64_t kRxPass = 0;
+inline constexpr int64_t kRxDrop = 1;
+inline constexpr int64_t kRxRedirect = 2;
+
+inline constexpr int64_t MakeRxDecision(int64_t verdict, int64_t queue) {
+  return (verdict << 8) | (queue & 0xff);
+}
+inline constexpr int64_t RxVerdictOf(int64_t decision) { return (decision >> 8) & 0xff; }
+inline constexpr int64_t RxQueueOf(int64_t decision) { return decision & 0xff; }
+
+// The RSS hash every policy layer agrees on (bytecode action, fallback
+// oracle, sim's stock-kernel path, label generation). flow_id is already a
+// full-avalanche digest, so the low 32 bits are uniform.
+inline constexpr int64_t RssQueue(uint64_t flow_id, uint16_t queues) {
+  return static_cast<int64_t>((flow_id & 0xffffffffull) % queues);
+}
+
+// --- Feature lanes ---------------------------------------------------------
+
+// Context-store lanes the flow action's model reads (raw ints, not Q16 —
+// forest/tree thresholds and the raw-MLP adapter both consume raw values).
+inline constexpr size_t kNfLogCount = 0;      // log2(packets seen from this flow)
+inline constexpr size_t kNfRank = 1;          // elephant rank, `queues` = unranked
+inline constexpr size_t kNfHashLane = 2;      // RssQueue(flow_id)
+inline constexpr size_t kNfLength = 3;        // smoothed frame length
+inline constexpr size_t kNfIsNew = 4;         // first batch this flow appears in
+inline constexpr size_t kNfRouteClass = 5;    // net.rx.route result
+inline constexpr size_t kNfAclVerdict = 6;    // net.rx.classify result
+inline constexpr size_t kNfNewFlowRate = 7;   // new flows per 1k pkts, last batch
+inline constexpr size_t kNfDstPort = 8;
+inline constexpr size_t kNfProto = 9;
+inline constexpr size_t kNetFeatureCount = 10;
+
+using NetFeatureRow = std::array<int32_t, kNetFeatureCount>;
+
+// --- Configuration ---------------------------------------------------------
+
+enum class RxPolicyKind { kHeuristic, kLearned };
+enum class NetModelFamily { kDecisionTree, kRandomForest, kQuantizedMlp };
+
+struct NetConfig {
+  uint16_t queues = 8;
+  uint16_t route_classes = 4;
+  uint32_t route_prefixes = 256;     // LPM fan-out (plus the /8 default route)
+  uint32_t acl_entries = 256;        // ternary fan-out
+  uint32_t acl_mask_diversity = 4;   // distinct wildcard widths -> mask groups
+  size_t flow_cache_capacity = 1024; // exact-match flow table size (LRU)
+  size_t batch_size = 2048;          // FireBatch window (multi-thousand default)
+  double queue_headroom = 2.0;       // per-queue drain = headroom * batch/queues
+  uint64_t slow_path_ns = 800;       // charged per flow-cache miss
+  ExecTier tier = ExecTier::kJit;
+  bool enable_tiering = true;
+  uint64_t tiering_hot_execs = 4096;
+  uint64_t fire_deadline_ns = 0;     // 0 = unbounded (storm tests set this)
+};
+
+// Deterministic initial table contents, shared by the spec builder, the
+// benchmarks, and the index property tests.
+std::vector<TableEntry> MakeRouteEntries(const NetConfig& config);
+std::vector<TableEntry> MakeAclEntries(const NetConfig& config);
+
+// --- Model training --------------------------------------------------------
+
+// Trains the steering/drop classifier on (feature row, class) samples, where
+// class in [0, queues) steers and class == queues drops. Deterministic given
+// (data, family, seed).
+Result<ModelPtr> TrainNetModel(const Dataset& data, NetModelFamily family, uint64_t seed);
+
+// --- The datapath ----------------------------------------------------------
+
+class RmtRxDatapath {
+ public:
+  explicit RmtRxDatapath(const NetConfig& config, RxPolicyKind policy);
+
+  // Registers the three hooks, installs the policy program (verified
+  // admission), wires the governor's RSS fallback oracle, enables tiering.
+  Status Init();
+
+  // The installable bundle, exactly as Init() installs it. Both policies are
+  // buildable from one datapath so shadow/canary candidates can be diffed
+  // against the live incumbent.
+  RmtProgramSpec BuildProgramSpec(RxPolicyKind policy, std::string name) const;
+  RmtProgramSpec BuildProgramSpec() const {
+    return BuildProgramSpec(policy_, policy_ == RxPolicyKind::kLearned
+                                         ? "rmt_net_learned"
+                                         : "rmt_net_heuristic");
+  }
+
+  // Installs/replaces the steering model (slot 0); cost-model re-checked.
+  Status InstallModel(ModelPtr model);
+
+  // Experience capture: all three hooks are tracked (so replay exercises the
+  // LPM and ternary stages too); net.rx.packet fires carry the published
+  // feature lanes and the ideal-decision label.
+  Status AttachRecorder(ExperienceRecorder* recorder);
+
+  // Decides one batch: fires the route and classify stages, publishes each
+  // flow's feature row (lanes kNfRouteClass/kNfAclVerdict filled in here),
+  // then fires the packet stage through one FireBatch. decisions[i] is the
+  // packed (verdict, queue) or kHookFallback. `labels[i]` (optional, may be
+  // empty) is the sim's ideal decision for recorder staging; the ACL verdict
+  // overrides it the same way it overrides the live decision.
+  //
+  // Feature rows must be constant per flow within one batch (the sim
+  // memoizes them per flow): repeated flows overwrite one context entry, so
+  // a per-packet row would make live fires and replayed fires disagree.
+  void DecideBatch(std::span<const PacketEvent> packets,
+                   std::span<NetFeatureRow> features, std::span<const int64_t> labels,
+                   std::span<int64_t> decisions);
+
+  // Flow-cache maintenance (the sim's LRU policy drives these).
+  Status InsertFlow(uint64_t flow_id);
+  Status EvictFlow(uint64_t flow_id);
+  // Drops the flow's context entry (uncached flows are erased per batch so
+  // flood churn cannot exhaust the context store).
+  void EraseContext(uint64_t flow_id);
+
+  // Rollout support: while a canary soaks, feature rows are mirrored into
+  // its context store too (context is per-program; without the mirror the
+  // canary's model would read zeros). -1 clears the mirror.
+  void set_mirror_handle(ControlPlane::ProgramHandle handle) { mirror_handle_ = handle; }
+  // Re-points the datapath at the promoted program (its handle survives the
+  // rollout) and re-enables tiering on it.
+  Status AdoptPromoted(ControlPlane::ProgramHandle handle, RxPolicyKind policy);
+
+  ControlPlane& control_plane() { return control_plane_; }
+  HookRegistry& hooks() { return hooks_; }
+  ControlPlane::ProgramHandle handle() const { return handle_; }
+  HookId packet_hook() const { return packet_hook_; }
+  HookId route_hook() const { return route_hook_; }
+  HookId classify_hook() const { return classify_hook_; }
+  RxPolicyKind policy() const { return policy_; }
+  const NetConfig& config() const { return config_; }
+  uint64_t packets_decided() const { return packets_decided_; }
+  uint64_t context_publish_failures() const { return context_publish_failures_; }
+
+ private:
+  void MaybeTickTiering(uint64_t new_packets);
+  void PublishFeatures(ControlPlane::ProgramHandle handle, uint64_t flow_id,
+                       const NetFeatureRow& row);
+
+  NetConfig config_;
+  RxPolicyKind policy_;
+  HookRegistry hooks_;
+  ControlPlane control_plane_;
+  ControlPlane::ProgramHandle handle_ = -1;
+  ControlPlane::ProgramHandle mirror_handle_ = -1;
+
+  HookId route_hook_ = kInvalidHook;
+  HookId classify_hook_ = kInvalidHook;
+  HookId packet_hook_ = kInvalidHook;
+  uint64_t vclock_ = 0;  // deterministic packet clock (hook `now` binding)
+  uint64_t packets_decided_ = 0;
+  uint64_t packets_since_tier_tick_ = 0;
+  uint64_t context_publish_failures_ = 0;
+  bool initialized_ = false;
+  ExperienceRecorder* recorder_ = nullptr;  // null = not recording
+
+  // Scratch buffers reused across DecideBatch invocations.
+  std::vector<HookEvent> stage_events_;
+  std::vector<int64_t> stage_results_;
+  std::vector<int64_t> acl_verdicts_;
+  std::vector<int64_t> route_classes_;
+};
+
+}  // namespace rkd
+
+#endif  // SRC_SIM_NET_RX_DATAPATH_H_

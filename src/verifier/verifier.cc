@@ -101,6 +101,17 @@ HookBudget BudgetForHook(HookKind kind) {
       budget.allowed_helpers.push_back(HelperId::kRateLimitCheck);
       budget.allowed_helpers.push_back(HelperId::kSetPriorityHint);
       break;
+    case HookKind::kNetRx:
+      // XDP-style per-packet decision: the tightest instruction budget of
+      // any decision hook (the RX path runs at line rate), but enough work
+      // units for one small quantized model evaluation. No resource-granting
+      // helpers beyond the rate limiter — an RX action classifies and
+      // steers, it never allocates.
+      budget.max_instructions = 256;
+      budget.max_path_length = 96;
+      budget.max_work_units = 1 << 13;
+      budget.allowed_helpers.push_back(HelperId::kRateLimitCheck);
+      break;
   }
   return budget;
 }

@@ -1,0 +1,143 @@
+#include "src/workloads/packet_trace.h"
+
+#include <algorithm>
+
+namespace rkd {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix of a 64-bit value.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// One live connection. Rank is its popularity slot in the Zipf draw; the
+// 5-tuple is regenerated on churn while the rank (and thus the rate class)
+// survives, so churn replaces *connections*, not the traffic shape.
+struct Flow {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t proto = 0;
+  uint64_t digest = 0;
+};
+
+constexpr uint16_t kServicePorts[] = {80, 443, 53, 8080, 123, 25};
+
+Flow MakeFlow(const PacketTraceConfig& config, size_t rank, Rng& rng) {
+  Flow flow;
+  flow.src_ip = static_cast<uint32_t>(0xC0A80000u + rng.NextBounded(1u << 16));
+  const uint32_t prefix = static_cast<uint32_t>(rank) % std::max(1u, config.prefixes);
+  flow.dst_ip = PrefixBase(prefix) + static_cast<uint32_t>(rng.NextBounded(256));
+  flow.src_port = static_cast<uint16_t>(1024 + rng.NextBounded(64511));
+  flow.dst_port = kServicePorts[rng.NextBounded(std::size(kServicePorts))];
+  flow.proto = rng.NextBool(0.8) ? 6 : 17;
+  flow.digest =
+      FlowDigest(flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port, flow.proto);
+  return flow;
+}
+
+PacketEvent MakePacket(const PacketTraceConfig& config, const Flow& flow, size_t rank,
+                       Rng& rng) {
+  PacketEvent pkt;
+  pkt.flow_id = flow.digest;
+  pkt.src_ip = flow.src_ip;
+  pkt.dst_ip = flow.dst_ip;
+  pkt.src_port = flow.src_port;
+  pkt.dst_port = flow.dst_port;
+  pkt.proto = flow.proto;
+  // Elephants (top eighth of ranks) run near-MTU frames; mice send small
+  // request/response datagrams. Length only shapes the byte-imbalance
+  // metric, so a coarse two-class draw is enough.
+  const bool elephant = rank < std::max<size_t>(1, config.flows / 8);
+  pkt.length = elephant ? static_cast<uint16_t>(1000 + rng.NextBounded(501))
+                        : static_cast<uint16_t>(64 + rng.NextBounded(449));
+  pkt.ingress_queue =
+      static_cast<uint16_t>(pkt.flow_id % std::max<uint16_t>(1, config.nic_queues));
+  return pkt;
+}
+
+PacketEvent MakeFloodPacket(const PacketTraceConfig& config, Rng& rng) {
+  PacketEvent pkt;
+  // Spoofed source: unique per packet, so every flood frame is a new flow
+  // that misses both the exact-match flow table and the curated ACL.
+  pkt.src_ip = static_cast<uint32_t>(rng.Next());
+  pkt.dst_ip = PrefixBase(config.victim_prefix) + static_cast<uint32_t>(rng.NextBounded(256));
+  pkt.src_port = static_cast<uint16_t>(1024 + rng.NextBounded(64511));
+  pkt.dst_port = config.victim_port;
+  pkt.proto = 17;
+  pkt.length = 64;
+  pkt.flow_id = FlowDigest(pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port, pkt.proto);
+  pkt.ingress_queue =
+      static_cast<uint16_t>(pkt.flow_id % std::max<uint16_t>(1, config.nic_queues));
+  pkt.flood = true;
+  return pkt;
+}
+
+}  // namespace
+
+uint64_t FlowDigest(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+                    uint16_t dst_port, uint8_t proto) {
+  uint64_t packed = (static_cast<uint64_t>(src_ip) << 32) | dst_ip;
+  packed = Mix64(packed);
+  packed ^= (static_cast<uint64_t>(src_port) << 24) ^ (static_cast<uint64_t>(dst_port) << 8) ^
+            proto;
+  return Mix64(packed);
+}
+
+PacketTrace MakePacketTrace(const PacketTraceConfig& config, Rng& rng) {
+  PacketTrace trace;
+  trace.reserve(config.packets);
+  if (config.packets == 0 || config.flows == 0) {
+    return trace;
+  }
+
+  std::vector<Flow> active;
+  active.reserve(config.flows);
+  for (size_t rank = 0; rank < config.flows; ++rank) {
+    active.push_back(MakeFlow(config, rank, rng));
+  }
+  const ZipfSampler popularity(config.flows, config.zipf_skew);
+
+  const size_t flood_lo = static_cast<size_t>(config.flood_begin * config.packets);
+  const size_t flood_hi = static_cast<size_t>(config.flood_end * config.packets);
+
+  size_t churn_countdown = config.churn_interval;
+  while (trace.size() < config.packets) {
+    const size_t at = trace.size();
+    const bool in_flood_window =
+        config.flood_prob > 0.0 && at >= flood_lo && at < flood_hi;
+    if (in_flood_window && rng.NextBool(config.flood_prob)) {
+      trace.push_back(MakeFloodPacket(config, rng));
+      continue;
+    }
+
+    // Schedule one flow and let it burst.
+    const size_t rank = popularity.Sample(rng);
+    size_t train = 1;
+    while (train < config.max_burst && rng.NextBool(config.burst_continue)) {
+      ++train;
+    }
+    for (size_t i = 0; i < train && trace.size() < config.packets; ++i) {
+      trace.push_back(MakePacket(config, active[rank], rank, rng));
+    }
+
+    if (config.churn_interval > 0) {
+      if (churn_countdown <= train) {
+        // Retire one random connection; a fresh tuple inherits its rank.
+        const size_t victim = rng.NextBounded(config.flows);
+        active[victim] = MakeFlow(config, victim, rng);
+        churn_countdown = config.churn_interval;
+      } else {
+        churn_countdown -= train;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace rkd

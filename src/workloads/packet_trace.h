@@ -1,0 +1,103 @@
+// Synthetic packet traces for the network RX case study.
+//
+// The net datapath (src/sim/net/) steers, classifies, and drops packets; the
+// only properties its two policies differ on are the *flow structure* of the
+// traffic, so that is what these generators reproduce:
+//
+//   Zipf flow mix: a handful of elephant flows carry most bytes while a long
+//   tail of mice carries the rest. Static RSS hash steering is oblivious to
+//   rates, so two elephants that collide on a hash bucket overload one RX
+//   queue — the imbalance a rate-aware learned steer can remove.
+//
+//   Bursts: packets of one flow arrive back-to-back (GRO/LRO trains), so
+//   per-flow state written on one packet is immediately useful for the next.
+//
+//   Flow churn: connections retire and new ones replace them, bounding the
+//   useful lifetime of any exact-match flow-table entry (the LRU pressure).
+//
+//   Attack-like floods: windows of spoofed-source datagrams toward one
+//   victim service. Every flood packet is a brand-new flow (it misses the
+//   exact-match table) and matches no curated ACL entry (it misses the
+//   ternary table) — precisely the traffic a static pipeline passes through
+//   to the slow path and a learned drop policy can cut at the hook.
+//
+// All generators are deterministic given (config, seed).
+#ifndef SRC_WORKLOADS_PACKET_TRACE_H_
+#define SRC_WORKLOADS_PACKET_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace rkd {
+
+struct PacketEvent {
+  uint64_t flow_id = 0;    // stable 5-tuple digest (exact-match flow key)
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t proto = 0;       // 6 = TCP, 17 = UDP
+  uint16_t length = 0;     // frame bytes
+  uint16_t ingress_queue = 0;  // NIC RSS delivery queue (pre-policy hint)
+  bool flood = false;      // generator ground truth: part of an attack flood
+};
+
+using PacketTrace = std::vector<PacketEvent>;
+
+// Deterministic 5-tuple digest used as the flow key everywhere (generator,
+// tables, context store). splitmix64-style finalizer over the packed tuple.
+uint64_t FlowDigest(uint32_t src_ip, uint32_t dst_ip, uint16_t src_port,
+                    uint16_t dst_port, uint8_t proto);
+
+// The ternary classification key the datapath matches ACL entries against:
+// proto in bits [32,40), src_port in [16,32), dst_port in [0,16).
+inline uint64_t ClassifyKey(const PacketEvent& pkt) {
+  return (static_cast<uint64_t>(pkt.proto) << 32) |
+         (static_cast<uint64_t>(pkt.src_port) << 16) |
+         static_cast<uint64_t>(pkt.dst_port);
+}
+
+// Destination address layout: flows target /24 prefixes carved out of
+// 10.0.0.0/8, one per route-table entry. Prefix p covers hosts
+// [PrefixBase(p), PrefixBase(p) + 256).
+inline uint32_t PrefixBase(uint32_t prefix) {
+  return 0x0A000000u | (prefix << 8);
+}
+
+struct PacketTraceConfig {
+  size_t packets = 1 << 16;
+  size_t flows = 512;           // concurrent flow population
+  double zipf_skew = 1.1;       // flow popularity skew (rank 0 = top elephant)
+  uint32_t prefixes = 64;       // dst /24 prefixes the flows spread across
+  uint16_t nic_queues = 8;      // RSS delivery queues (ingress_queue hint)
+
+  // Bursts: each scheduled flow emits a geometric train of packets.
+  double burst_continue = 0.6;  // P(train continues after each packet)
+  size_t max_burst = 32;
+
+  // Flow churn: every `churn_interval` packets one active flow retires and a
+  // fresh 5-tuple takes over its popularity rank. 0 disables churn.
+  size_t churn_interval = 512;
+
+  // Attack flood: inside the window [flood_begin, flood_end) (fractions of
+  // the trace), each packet slot is a spoofed-source flood datagram with
+  // probability flood_prob. Flood packets are 64-byte UDP toward the victim
+  // prefix's service port, each from a never-seen source (ternary-miss,
+  // flow-table-miss by construction).
+  double flood_begin = 0.0;
+  double flood_end = 0.0;       // flood_end <= flood_begin disables the flood
+  double flood_prob = 0.0;
+  uint32_t victim_prefix = 0;   // dst prefix the flood targets
+  uint16_t victim_port = 53;    // dst service port the flood targets
+};
+
+// The full mix: Zipf-weighted bursty flows with churn and optional flood
+// windows, per the config. Deterministic given (config, rng state).
+PacketTrace MakePacketTrace(const PacketTraceConfig& config, Rng& rng);
+
+}  // namespace rkd
+
+#endif  // SRC_WORKLOADS_PACKET_TRACE_H_

@@ -3,6 +3,7 @@
 // engine's determinism contract on both VM tiers, the shadow gate, and the
 // checked-in golden corpora.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "src/rmt/control_plane.h"
 #include "src/sim/mem/memory_sim.h"
 #include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/net/rx_datapath.h"
 #include "src/sim/sched/cfs_sim.h"
 #include "src/sim/sched/rmt_oracle.h"
 #include "src/workloads/access_trace.h"
@@ -482,6 +484,63 @@ TEST(GoldenCorpusTest, PrefetchIncumbentPassesTheGate) {
 TEST(GoldenCorpusTest, SchedIncumbentPassesTheGate) {
   CheckGoldenCorpus("golden_sched.rkdr",
                     RmtMigrationOracle().BuildProgramSpec("golden_candidate"));
+}
+
+TEST(GoldenCorpusTest, NetIncumbentPassesTheGate) {
+  CheckGoldenCorpus("golden_net.rkdr",
+                    RmtRxDatapath(NetConfig{}, RxPolicyKind::kHeuristic)
+                        .BuildProgramSpec(RxPolicyKind::kHeuristic, "golden_candidate"));
+}
+
+// The determinism contract, stated on the checked-in net corpus: the same
+// (corpus, candidate) pair must serialize byte-identically on every run, and
+// the two VM tiers must agree on everything but the tier label itself.
+TEST(GoldenCorpusTest, NetReplayReportIsByteIdenticalAcrossRunsAndTiers) {
+  const std::string path = std::string(RKD_TEST_DATA_DIR) + "/golden_net.rkdr";
+  Result<ExperienceLog> log = ReadExperienceLog(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+
+  ReplayEngine engine;
+  auto replay_once = [&](RxPolicyKind policy, ExecTier tier) {
+    ReplayOptions options;
+    options.tier = tier;
+    const RmtProgramSpec spec = RmtRxDatapath(NetConfig{}, policy)
+                                    .BuildProgramSpec(policy, "golden_candidate");
+    Result<DivergenceReport> report = engine.Replay(*log, spec, options);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? report->Serialize() : std::string();
+  };
+
+  for (const RxPolicyKind policy : {RxPolicyKind::kHeuristic, RxPolicyKind::kLearned}) {
+    const std::string jit_a = replay_once(policy, ExecTier::kJit);
+    const std::string jit_b = replay_once(policy, ExecTier::kJit);
+    EXPECT_EQ(jit_a, jit_b);
+    std::string interp = replay_once(policy, ExecTier::kInterpreter);
+    const size_t at = interp.find("\"tier\":\"interpreter\"");
+    ASSERT_NE(at, std::string::npos);
+    interp.replace(at, std::strlen("\"tier\":\"interpreter\""), "\"tier\":\"jit\"");
+    EXPECT_EQ(jit_a, interp);
+  }
+}
+
+// The golden corpus carries the incumbent's model-install record; the
+// learned candidate replayed over it must out-predict the recorded static
+// RSS decisions on the ideal-decision labels.
+TEST(GoldenCorpusTest, NetLearnedCandidateBeatsRecordedOnTheGoldenCorpus) {
+  const std::string path = std::string(RKD_TEST_DATA_DIR) + "/golden_net.rkdr";
+  Result<ExperienceLog> log = ReadExperienceLog(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+
+  ReplayEngine engine;
+  const RmtProgramSpec spec =
+      RmtRxDatapath(NetConfig{}, RxPolicyKind::kLearned)
+          .BuildProgramSpec(RxPolicyKind::kLearned, "golden_learned");
+  Result<DivergenceReport> report = engine.Replay(*log, spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->model_install_rejects, 0u);
+  EXPECT_EQ(report->total_exec_errors(), 0u);
+  EXPECT_GT(report->labeled_fires(), 0u);
+  EXPECT_GT(report->counterfactual_score(), report->recorded_score());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "src/bytecode/assembler.h"
 #include "src/bytecode/serialize.h"
 #include "src/ml/decision_tree.h"
+#include "src/ml/forest.h"
 #include "src/ml/linear.h"
 #include "src/ml/mlp.h"
 #include "src/ml/quantize.h"
@@ -159,6 +160,54 @@ TEST(ModelSerializeTest, IntegerLinearRoundTrip) {
   for (size_t i = 0; i < data.size(); ++i) {
     EXPECT_EQ((*restored)->Predict(data.row(i)), model.Predict(data.row(i)));
   }
+}
+
+TEST(ModelSerializeTest, RandomForestRoundTrip) {
+  Rng rng(7);
+  const Dataset data = ThresholdData(rng);
+  ForestConfig config;
+  config.num_trees = 5;
+  config.seed = 7;
+  const RandomForest forest = std::move(RandomForest::Train(data, config)).value();
+  Result<std::vector<uint8_t>> bytes = SerializeModel(forest);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  Result<ModelPtr> restored = DeserializeModel(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored)->kind(), "random_forest");
+  EXPECT_EQ((*restored)->num_features(), forest.num_features());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ((*restored)->Predict(data.row(i)), forest.Predict(data.row(i)));
+  }
+}
+
+TEST(ModelSerializeTest, QuantizedMlpRawAdapterRoundTrip) {
+  Rng rng(8);
+  const Dataset data = ThresholdData(rng);
+  const Mlp mlp = std::move(Mlp::Train(data)).value();
+  QuantizedMlp quantized = std::move(QuantizedMlp::FromMlp(mlp)).value();
+  const QuantizedMlpRawAdapter adapter(std::move(quantized));
+  Result<std::vector<uint8_t>> bytes = SerializeModel(adapter);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  Result<ModelPtr> restored = DeserializeModel(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // The adapter tag must restore as an adapter: its raw-int Predict is the
+  // contract (the net datapath's lanes are not Q16).
+  EXPECT_EQ((*restored)->kind(), "quantized_mlp_raw");
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ((*restored)->Predict(data.row(i)), adapter.Predict(data.row(i)));
+  }
+}
+
+TEST(ModelSerializeTest, EmptyForestBlobRejected) {
+  Rng rng(9);
+  const Dataset data = ThresholdData(rng);
+  ForestConfig config;
+  config.num_trees = 2;
+  const RandomForest forest = std::move(RandomForest::Train(data, config)).value();
+  std::vector<uint8_t> bytes = std::move(SerializeModel(forest)).value();
+  // Corrupt the tree count (first field after magic/version/tag) to zero.
+  for (size_t i = 12; i < 20; ++i) bytes[i] = 0;
+  EXPECT_FALSE(DeserializeModel(bytes).ok());
 }
 
 TEST(ModelSerializeTest, RejectsTruncatedModelBlobs) {

@@ -1,0 +1,372 @@
+// The packet RX datapath: spec admission, policy semantics, governor
+// degradation, accounting invariants, record/replay exactness, and the
+// shared route/ACL generators at net-scale entry counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/ml/dataset.h"
+#include "src/replay/recorder.h"
+#include "src/replay/replay.h"
+#include "src/rmt/table.h"
+#include "src/sim/net/net_sim.h"
+#include "src/sim/net/rx_datapath.h"
+#include "src/workloads/packet_trace.h"
+
+namespace rkd {
+namespace {
+
+NetConfig SmallConfig() {
+  NetConfig config;
+  config.batch_size = 256;
+  config.flow_cache_capacity = 128;
+  config.route_prefixes = 32;
+  config.acl_entries = 64;
+  config.enable_tiering = false;
+  return config;
+}
+
+PacketTraceConfig SmallTrace() {
+  PacketTraceConfig config;
+  config.packets = 2048;
+  config.flows = 64;
+  config.prefixes = 16;
+  return config;
+}
+
+PacketEvent LegitPacket(uint32_t src_ip, uint32_t prefix, uint16_t src_port,
+                        uint16_t dst_port, uint8_t proto) {
+  PacketEvent pkt;
+  pkt.src_ip = src_ip;
+  pkt.dst_ip = PrefixBase(prefix) + 1;
+  pkt.src_port = src_port;
+  pkt.dst_port = dst_port;
+  pkt.proto = proto;
+  pkt.length = 200;
+  pkt.flow_id = FlowDigest(pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port, proto);
+  return pkt;
+}
+
+// A deterministic stand-in model: reads the elephant-rank lane and steers
+// rank r to queue r, everything unranked to the drop class.
+class RankSteerModel final : public InferenceModel {
+ public:
+  explicit RankSteerModel(uint16_t queues) : queues_(queues) {}
+  int64_t Predict(std::span<const int32_t> features) const override {
+    const int32_t rank = features[kNfRank];
+    return rank >= 0 && rank < queues_ ? rank : queues_;
+  }
+  size_t num_features() const override { return kNetFeatureCount; }
+  ModelCost Cost() const override {
+    ModelCost cost;
+    cost.comparisons = 2;
+    return cost;
+  }
+  std::string_view kind() const override { return "test_rank_steer"; }
+
+ private:
+  uint16_t queues_;
+};
+
+// --- Decision encoding ------------------------------------------------------
+
+TEST(RxDecisionTest, PackAndUnpackRoundTrip) {
+  const int64_t d = MakeRxDecision(kRxRedirect, 5);
+  EXPECT_EQ(RxVerdictOf(d), kRxRedirect);
+  EXPECT_EQ(RxQueueOf(d), 5);
+  EXPECT_EQ(MakeRxDecision(kRxPass, 3), 3);  // pass(q) == plain queue id
+  EXPECT_EQ(RxVerdictOf(3), kRxPass);
+}
+
+// --- Spec admission ---------------------------------------------------------
+
+TEST(RxDatapathTest, BothPoliciesInstallThroughTheVerifier) {
+  for (const RxPolicyKind policy : {RxPolicyKind::kHeuristic, RxPolicyKind::kLearned}) {
+    RmtRxDatapath datapath(SmallConfig(), policy);
+    ASSERT_TRUE(datapath.Init().ok());
+    EXPECT_GE(datapath.handle(), 0);
+    EXPECT_NE(datapath.packet_hook(), kInvalidHook);
+    EXPECT_TRUE(datapath.hooks().HasFallbackOracle(datapath.packet_hook()));
+  }
+}
+
+TEST(RxDatapathTest, SpecDeclaresThreeTablesAndAModelSlot) {
+  RmtRxDatapath datapath(SmallConfig(), RxPolicyKind::kLearned);
+  const RmtProgramSpec spec = datapath.BuildProgramSpec();
+  ASSERT_EQ(spec.tables.size(), 3u);
+  EXPECT_EQ(spec.tables[0].match_kind, MatchKind::kLpm);
+  EXPECT_EQ(spec.tables[1].match_kind, MatchKind::kTernary);
+  EXPECT_EQ(spec.tables[2].match_kind, MatchKind::kExact);
+  EXPECT_EQ(spec.model_slots, 1u);
+  // The flow table's default action must equal its entry action: a cache miss
+  // may cost time but never change the decision (replay exactness rests on
+  // this).
+  EXPECT_EQ(spec.tables[2].default_action, 0);
+  ASSERT_EQ(spec.tables[2].actions.size(), 1u);
+}
+
+// --- Policy semantics -------------------------------------------------------
+
+TEST(RxDatapathTest, HeuristicObeysAclAndHashesTheRest) {
+  const NetConfig config = SmallConfig();
+  RmtRxDatapath datapath(config, RxPolicyKind::kHeuristic);
+  ASSERT_TRUE(datapath.Init().ok());
+
+  // Entry 0 of the drop family matches proto=17, src_port=1024 exactly.
+  std::vector<PacketEvent> packets;
+  packets.push_back(LegitPacket(0xC0A80001, 3, 1024, 80, 17));   // ACL drop
+  packets.push_back(LegitPacket(0xC0A80002, 4, 40000, 443, 6));  // clean TCP
+  std::vector<NetFeatureRow> rows(packets.size());
+  for (auto& row : rows) row.fill(0);
+  std::vector<int64_t> decisions(packets.size(), 0);
+  datapath.DecideBatch(packets, rows, {}, decisions);
+
+  EXPECT_EQ(decisions[0], MakeRxDecision(kRxDrop, 0));
+  EXPECT_EQ(decisions[1], RssQueue(packets[1].flow_id, config.queues));
+  EXPECT_EQ(rows[0][kNfAclVerdict], kRxDrop);
+  EXPECT_EQ(rows[1][kNfAclVerdict], kRxPass);
+  // Route classes come from the LPM stage.
+  EXPECT_EQ(rows[0][kNfRouteClass], 3 % config.route_classes);
+  EXPECT_EQ(rows[1][kNfRouteClass], 4 % config.route_classes);
+}
+
+TEST(RxDatapathTest, LearnedWithoutModelDegradesToRss) {
+  const NetConfig config = SmallConfig();
+  RmtRxDatapath datapath(config, RxPolicyKind::kLearned);
+  ASSERT_TRUE(datapath.Init().ok());
+  std::vector<PacketEvent> packets = {LegitPacket(0xC0A80003, 1, 50000, 8080, 6)};
+  std::vector<NetFeatureRow> rows(1);
+  rows[0].fill(0);
+  std::vector<int64_t> decisions(1, 0);
+  datapath.DecideBatch(packets, rows, {}, decisions);
+  EXPECT_EQ(decisions[0], RssQueue(packets[0].flow_id, config.queues));
+}
+
+TEST(RxDatapathTest, LearnedSteersByModelClassAndDropsTheDropClass) {
+  const NetConfig config = SmallConfig();
+  RmtRxDatapath datapath(config, RxPolicyKind::kLearned);
+  ASSERT_TRUE(datapath.Init().ok());
+  ASSERT_TRUE(datapath.InstallModel(std::make_shared<RankSteerModel>(config.queues)).ok());
+
+  std::vector<PacketEvent> packets = {LegitPacket(0xC0A80004, 2, 50001, 80, 6),
+                                      LegitPacket(0xC0A80005, 2, 50002, 443, 6)};
+  std::vector<NetFeatureRow> rows(2);
+  rows[0].fill(0);
+  rows[0][kNfRank] = 3;              // ranked elephant -> queue 3
+  rows[1].fill(0);
+  rows[1][kNfRank] = config.queues;  // unranked -> model says drop
+  std::vector<int64_t> decisions(2, 0);
+  datapath.DecideBatch(packets, rows, {}, decisions);
+  EXPECT_EQ(decisions[0], MakeRxDecision(kRxPass, 3));
+  EXPECT_EQ(decisions[1], MakeRxDecision(kRxDrop, 0));
+}
+
+TEST(RxDatapathTest, AclOutranksTheModel) {
+  const NetConfig config = SmallConfig();
+  RmtRxDatapath datapath(config, RxPolicyKind::kLearned);
+  ASSERT_TRUE(datapath.Init().ok());
+  ASSERT_TRUE(datapath.InstallModel(std::make_shared<RankSteerModel>(config.queues)).ok());
+  std::vector<PacketEvent> packets = {LegitPacket(0xC0A80006, 5, 1024, 80, 17)};
+  std::vector<NetFeatureRow> rows(1);
+  rows[0].fill(0);
+  rows[0][kNfRank] = 2;  // model would steer to queue 2
+  std::vector<int64_t> decisions(1, 0);
+  datapath.DecideBatch(packets, rows, {}, decisions);
+  EXPECT_EQ(decisions[0], MakeRxDecision(kRxDrop, 0));  // the ACL wins
+}
+
+// --- Governor ladder --------------------------------------------------------
+
+TEST(RxDatapathTest, DegradedRungAnswersWithTheRssOracle) {
+  const NetConfig config = SmallConfig();
+  RmtRxDatapath datapath(config, RxPolicyKind::kLearned);
+  ASSERT_TRUE(datapath.Init().ok());
+  ASSERT_TRUE(datapath.InstallModel(std::make_shared<RankSteerModel>(config.queues)).ok());
+  datapath.control_plane().Get(datapath.handle())->set_governor_level(GovLevel::kDegraded);
+
+  std::vector<PacketEvent> packets = {LegitPacket(0xC0A80007, 6, 50003, 80, 6)};
+  std::vector<NetFeatureRow> rows(1);
+  rows[0].fill(0);
+  rows[0][kNfRank] = 1;  // the model would steer to queue 1...
+  std::vector<int64_t> decisions(1, 0);
+  datapath.DecideBatch(packets, rows, {}, decisions);
+  // ...but the degraded rung short-circuits to the registered RSS oracle.
+  EXPECT_EQ(decisions[0], RssQueue(packets[0].flow_id, config.queues));
+}
+
+TEST(RxDatapathTest, ShedRungReturnsHookFallbackAndTheSimStillDelivers) {
+  const NetConfig config = SmallConfig();
+  RmtRxDatapath datapath(config, RxPolicyKind::kHeuristic);
+  ASSERT_TRUE(datapath.Init().ok());
+  datapath.control_plane().Get(datapath.handle())->set_governor_level(GovLevel::kShed);
+
+  Rng rng(11);
+  const PacketTrace trace = MakePacketTrace(SmallTrace(), rng);
+  NetRxSim sim(&datapath);
+  sim.Run(trace);
+  const NetMetrics& m = sim.metrics();
+  EXPECT_EQ(m.packets, trace.size());
+  EXPECT_GT(m.fallback_decisions, 0u);  // every shed fire came back kHookFallback
+  EXPECT_EQ(m.policy_drops, 0u);        // stock-kernel RSS drops nothing
+}
+
+// --- Sim accounting ---------------------------------------------------------
+
+TEST(NetRxSimTest, AccountingInvariantsHoldWithFlood) {
+  const NetConfig config = SmallConfig();
+  RmtRxDatapath datapath(config, RxPolicyKind::kHeuristic);
+  ASSERT_TRUE(datapath.Init().ok());
+  PacketTraceConfig trace_config = SmallTrace();
+  trace_config.flood_begin = 0.4;
+  trace_config.flood_end = 0.8;
+  trace_config.flood_prob = 0.5;
+  Rng rng(5);
+  const PacketTrace trace = MakePacketTrace(trace_config, rng);
+  NetRxSim sim(&datapath);
+  sim.Run(trace);
+  const NetMetrics& m = sim.metrics();
+
+  EXPECT_EQ(m.packets, trace.size());
+  EXPECT_GT(m.flood_packets, 0u);
+  EXPECT_EQ(m.flood_packets + m.legit_packets, m.packets);
+  EXPECT_EQ(m.flood_delivered + m.flood_dropped, m.flood_packets);
+  EXPECT_EQ(m.legit_delivered + m.legit_dropped, m.legit_packets);
+  EXPECT_EQ(m.cache_hits + m.cache_misses, m.packets);
+  uint64_t offered = 0;
+  for (const uint64_t q : m.queue_packets) offered += q;
+  EXPECT_EQ(offered + m.policy_drops + m.redirects, m.packets);
+  EXPECT_EQ(datapath.packets_decided(), trace.size());
+}
+
+TEST(NetRxSimTest, ContextStoreStaysBoundedUnderFloodChurn) {
+  NetConfig config = SmallConfig();
+  config.batch_size = 512;
+  RmtRxDatapath datapath(config, RxPolicyKind::kHeuristic);
+  ASSERT_TRUE(datapath.Init().ok());
+  PacketTraceConfig trace_config = SmallTrace();
+  trace_config.packets = 8192;
+  trace_config.flood_begin = 0.0;
+  trace_config.flood_end = 1.0;
+  trace_config.flood_prob = 0.7;  // mostly never-seen flows
+  Rng rng(9);
+  const PacketTrace trace = MakePacketTrace(trace_config, rng);
+  NetRxSim sim(&datapath);
+  sim.Run(trace);
+  EXPECT_EQ(datapath.context_publish_failures(), 0u);
+}
+
+TEST(NetRxSimTest, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    RmtRxDatapath datapath(SmallConfig(), RxPolicyKind::kHeuristic);
+    EXPECT_TRUE(datapath.Init().ok());
+    Rng rng(77);
+    const PacketTrace trace = MakePacketTrace(SmallTrace(), rng);
+    NetRxSim sim(&datapath);
+    sim.Run(trace);
+    return sim.metrics();
+  };
+  const NetMetrics a = run_once();
+  const NetMetrics b = run_once();
+  EXPECT_EQ(a.queue_bytes, b.queue_bytes);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.policy_drops, b.policy_drops);
+  EXPECT_EQ(a.slow_path_ns, b.slow_path_ns);
+}
+
+// --- Record/replay exactness ------------------------------------------------
+
+TEST(NetReplayTest, LiveRecordingReplaysExactlyAgainstTheIncumbent) {
+  NetConfig config = SmallConfig();
+  RmtRxDatapath datapath(config, RxPolicyKind::kHeuristic);
+  ASSERT_TRUE(datapath.Init().ok());
+  ExperienceRecorderConfig recorder_config;
+  recorder_config.source = "net";
+  ExperienceRecorder recorder(&datapath.hooks(), recorder_config);
+  ASSERT_TRUE(datapath.AttachRecorder(&recorder).ok());
+
+  PacketTraceConfig trace_config = SmallTrace();
+  trace_config.flood_begin = 0.5;
+  trace_config.flood_end = 0.9;
+  trace_config.flood_prob = 0.4;
+  Rng rng(13);
+  const PacketTrace trace = MakePacketTrace(trace_config, rng);
+  NetRxSim sim(&datapath);
+  sim.Run(trace);
+  recorder.Detach();
+  const ExperienceLog log = recorder.TakeLog();
+  ASSERT_EQ(log.fire_count(), 3 * trace.size());  // route + classify + packet
+
+  ReplayEngine engine;
+  for (const ExecTier tier : {ExecTier::kInterpreter, ExecTier::kJit}) {
+    ReplayOptions options;
+    options.tier = tier;
+    Result<DivergenceReport> report = engine.Replay(
+        log, datapath.BuildProgramSpec(RxPolicyKind::kHeuristic, "net_replay_candidate"),
+        options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    // Exactness: the rebuilt incumbent must agree with every recorded fire,
+    // flow-cache churn and all (the default action carries the misses).
+    EXPECT_EQ(report->decision_match_rate(), 1.0);
+    EXPECT_EQ(report->total_exec_errors(), 0u);
+  }
+}
+
+// --- Shared generators at net scale ----------------------------------------
+
+TEST(NetTableScaleTest, GeneratedRouteAndAclTablesMatchLinearAtTenThousand) {
+  NetConfig config;
+  config.route_prefixes = 10000;
+  config.acl_entries = 10240;
+  config.acl_mask_diversity = 8;
+  const std::vector<TableEntry> routes = MakeRouteEntries(config);
+  const std::vector<TableEntry> acls = MakeAclEntries(config);
+  ASSERT_EQ(routes.size(), config.route_prefixes + 1);
+  ASSERT_EQ(acls.size(), config.acl_entries);
+  {
+    std::set<std::pair<uint64_t, uint64_t>> unique;
+    for (const TableEntry& e : acls) unique.emplace(e.key, e.key2);
+    EXPECT_EQ(unique.size(), acls.size());
+  }
+
+  RmtTable route_compiled("rc", MatchKind::kLpm, routes.size(), TableIndexMode::kCompiled);
+  RmtTable route_linear("rl", MatchKind::kLpm, routes.size(), TableIndexMode::kLinear);
+  ASSERT_TRUE(route_compiled.InsertBatch(routes).ok());
+  ASSERT_TRUE(route_linear.InsertBatch(routes).ok());
+  RmtTable acl_compiled("ac", MatchKind::kTernary, acls.size(), TableIndexMode::kCompiled);
+  RmtTable acl_linear("al", MatchKind::kTernary, acls.size(), TableIndexMode::kLinear);
+  ASSERT_TRUE(acl_compiled.InsertBatch(acls).ok());
+  ASSERT_TRUE(acl_linear.InsertBatch(acls).ok());
+
+  // Probe with the traffic the datapath would actually offer.
+  PacketTraceConfig trace_config;
+  trace_config.packets = 4096;
+  trace_config.flows = 256;
+  trace_config.prefixes = 8192;
+  trace_config.flood_begin = 0.5;
+  trace_config.flood_end = 1.0;
+  trace_config.flood_prob = 0.5;
+  Rng rng(3);
+  const PacketTrace trace = MakePacketTrace(trace_config, rng);
+  for (const PacketEvent& pkt : trace) {
+    const TableEntry* a = route_compiled.Peek(pkt.dst_ip);
+    const TableEntry* b = route_linear.Peek(pkt.dst_ip);
+    ASSERT_EQ(a == nullptr, b == nullptr);
+    if (a != nullptr) {
+      EXPECT_EQ(a->key, b->key);
+      EXPECT_EQ(a->key2, b->key2);
+    }
+    const TableEntry* c = acl_compiled.Peek(ClassifyKey(pkt));
+    const TableEntry* d = acl_linear.Peek(ClassifyKey(pkt));
+    ASSERT_EQ(c == nullptr, d == nullptr);
+    if (c != nullptr) {
+      EXPECT_EQ(c->key, d->key);
+      EXPECT_EQ(c->priority, d->priority);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rkd

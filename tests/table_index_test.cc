@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -133,6 +134,127 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(MatchKindName(std::get<0>(info.param))) + "_seed" +
              std::to_string(std::get<1>(info.param));
     });
+
+// --- Net-scale builds: 10k+ entries, the RX datapath's table shapes ---
+//
+// The packet datapath loads route/ACL tables two orders of magnitude larger
+// than the sched/mem case studies. These tests pin the compiled index against
+// the linear reference at that scale — bulk load, probe storm, then churn —
+// with the mask/prefix diversity that stresses bucket and group sizing.
+
+TEST(TableIndexNetScaleTest, LpmTenThousandPrefixesCompiledMatchesLinear) {
+  constexpr size_t kTarget = 12000;
+  RmtTable compiled("compiled", MatchKind::kLpm, kTarget + 64, TableIndexMode::kCompiled);
+  RmtTable linear("linear", MatchKind::kLpm, kTarget + 64, TableIndexMode::kLinear);
+  Rng rng(2021);
+
+  // IPv4-style routes in the low 32 bits: /8 through /28 plus host routes,
+  // nested inside a handful of top-level prefixes so longest-match is
+  // exercised constantly.
+  static constexpr uint64_t kBits[] = {40, 44, 48, 52, 56, 60, 64};
+  std::vector<TableEntry> batch;
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  while (batch.size() < kTarget) {
+    TableEntry entry;
+    entry.key2 = kBits[rng.NextBounded(std::size(kBits))];
+    const uint64_t mask = entry.key2 == 0 ? 0 : ~0ull << (64 - entry.key2);
+    entry.key = (0x0A000000ull | rng.NextBounded(1u << 25)) & mask;
+    entry.action_index = static_cast<int32_t>(rng.NextBounded(4));
+    if (seen.emplace(entry.key, entry.key2).second) {
+      batch.push_back(entry);
+    }
+  }
+  ASSERT_TRUE(compiled.InsertBatch(batch).ok());
+  ASSERT_TRUE(linear.InsertBatch(batch).ok());
+
+  for (int probe = 0; probe < 4096; ++probe) {
+    // Probe near real routes half the time, uniformly otherwise.
+    const uint64_t key = probe % 2 == 0
+                             ? batch[rng.NextBounded(batch.size())].key +
+                                   rng.NextBounded(512)
+                             : 0x0A000000ull | rng.NextBounded(1u << 25);
+    ExpectSameDecision(compiled, linear, key);
+  }
+
+  // Route churn at scale: withdraw and re-announce, probing throughout.
+  for (int step = 0; step < 128; ++step) {
+    const TableEntry& victim = batch[rng.NextBounded(batch.size())];
+    const Status a = compiled.Remove(victim.key, victim.key2);
+    const Status b = linear.Remove(victim.key, victim.key2);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      ASSERT_TRUE(compiled.Insert(victim).ok());
+      ASSERT_TRUE(linear.Insert(victim).ok());
+    }
+    for (int probe = 0; probe < 4; ++probe) {
+      ExpectSameDecision(compiled, linear, victim.key + rng.NextBounded(1024));
+    }
+  }
+}
+
+TEST(TableIndexNetScaleTest, TernaryTenThousandAclEntriesCompiledMatchesLinear) {
+  constexpr size_t kTarget = 10240;
+  RmtTable compiled("compiled", MatchKind::kTernary, kTarget + 64,
+                    TableIndexMode::kCompiled);
+  RmtTable linear("linear", MatchKind::kTernary, kTarget + 64, TableIndexMode::kLinear);
+  Rng rng(7);
+
+  // 24 distinct masks over a classify-key layout (proto | src_port |
+  // dst_port): wildcard widths 0..7 on either port, with and without the
+  // proto octet — the mask-group diversity a real ACL compiler emits.
+  std::vector<uint64_t> masks;
+  for (uint64_t width = 0; width < 8; ++width) {
+    const uint64_t src = (0xffffull & ~((1ull << width) - 1)) << 16;
+    masks.push_back((0xffull << 32) | src | 0xffffull);
+    masks.push_back((0xffull << 32) | src);
+    masks.push_back(src | 0xffffull);
+  }
+  std::vector<TableEntry> batch;
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  while (batch.size() < kTarget) {
+    TableEntry entry;
+    entry.key2 = masks[rng.NextBounded(masks.size())];
+    entry.key = ((rng.NextBounded(2) ? 6ull : 17ull) << 32) |
+                (rng.NextBounded(1u << 16) << 16) | rng.NextBounded(1u << 16);
+    entry.key &= entry.key2;
+    entry.priority = static_cast<int32_t>(rng.NextBounded(16));  // ties everywhere
+    entry.action_index = static_cast<int32_t>(rng.NextBounded(3));
+    if (seen.emplace(entry.key, entry.key2).second) {
+      batch.push_back(entry);
+    }
+  }
+  ASSERT_TRUE(compiled.InsertBatch(batch).ok());
+  ASSERT_TRUE(linear.InsertBatch(batch).ok());
+
+  for (int probe = 0; probe < 4096; ++probe) {
+    // Half the probes are real rule keys with noise in the wildcarded bits,
+    // half are spoofed-flood style (random everything).
+    uint64_t key;
+    if (probe % 2 == 0) {
+      const TableEntry& rule = batch[rng.NextBounded(batch.size())];
+      key = rule.key | (rng.Next() & ~rule.key2);
+    } else {
+      key = (17ull << 32) | rng.NextBounded(1ull << 32);
+    }
+    ExpectSameDecision(compiled, linear, key);
+  }
+
+  // ACL churn: retire and reinstall rules (priority intact), probing around
+  // each touched cell.
+  for (int step = 0; step < 128; ++step) {
+    const TableEntry& victim = batch[rng.NextBounded(batch.size())];
+    const Status a = compiled.Remove(victim.key, victim.key2);
+    const Status b = linear.Remove(victim.key, victim.key2);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      ASSERT_TRUE(compiled.Insert(victim).ok());
+      ASSERT_TRUE(linear.Insert(victim).ok());
+    }
+    for (int probe = 0; probe < 4; ++probe) {
+      ExpectSameDecision(compiled, linear, victim.key | (rng.Next() & ~victim.key2));
+    }
+  }
+}
 
 // --- Publish-on-update / version machinery ---
 

@@ -5,6 +5,7 @@
 
 #include "src/workloads/access_trace.h"
 #include "src/workloads/cpu_jobs.h"
+#include "src/workloads/packet_trace.h"
 
 namespace rkd {
 namespace {
@@ -204,6 +205,103 @@ TEST(CpuJobsTest, DeterministicGivenSeed) {
   for (size_t i = 0; i < a.tasks.size(); ++i) {
     EXPECT_EQ(a.tasks[i].total_work, b.tasks[i].total_work);
   }
+}
+
+TEST(PacketTraceTest, DeterministicGivenSeed) {
+  PacketTraceConfig config;
+  config.packets = 4096;
+  Rng rng_a(21);
+  Rng rng_b(21);
+  const PacketTrace a = MakePacketTrace(config, rng_a);
+  const PacketTrace b = MakePacketTrace(config, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].flow_id, b[i].flow_id);
+    EXPECT_EQ(a[i].dst_ip, b[i].dst_ip);
+    EXPECT_EQ(a[i].length, b[i].length);
+    EXPECT_EQ(a[i].flood, b[i].flood);
+  }
+}
+
+TEST(PacketTraceTest, FlowIdIsTheTupleDigestAndPrefixesBound) {
+  PacketTraceConfig config;
+  config.packets = 2048;
+  config.prefixes = 16;
+  Rng rng(4);
+  const PacketTrace trace = MakePacketTrace(config, rng);
+  ASSERT_EQ(trace.size(), config.packets);
+  for (const PacketEvent& pkt : trace) {
+    EXPECT_EQ(pkt.flow_id,
+              FlowDigest(pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port, pkt.proto));
+    const uint32_t prefix = (pkt.dst_ip >> 8) & 0xffffff;
+    EXPECT_EQ(pkt.dst_ip & 0xff000000u, 0x0A000000u);  // inside 10.0.0.0/8
+    EXPECT_LT(prefix & 0xffff, config.prefixes);
+  }
+}
+
+TEST(PacketTraceTest, ZipfMixHasElephantsAndMice) {
+  PacketTraceConfig config;
+  config.packets = 1 << 14;
+  config.flows = 256;
+  config.churn_interval = 0;
+  Rng rng(5);
+  const PacketTrace trace = MakePacketTrace(config, rng);
+  std::map<uint64_t, size_t> counts;
+  for (const PacketEvent& pkt : trace) {
+    ++counts[pkt.flow_id];
+  }
+  size_t max_count = 0;
+  for (const auto& [flow, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // The top elephant must dwarf the uniform share by an order of magnitude.
+  EXPECT_GT(max_count, 10 * trace.size() / counts.size());
+}
+
+TEST(PacketTraceTest, FloodWindowProducesFreshUdpFlowsAtTheVictim) {
+  PacketTraceConfig config;
+  config.packets = 8192;
+  config.flood_begin = 0.25;
+  config.flood_end = 0.75;
+  config.flood_prob = 0.5;
+  config.victim_prefix = 3;
+  config.victim_port = 53;
+  Rng rng(6);
+  const PacketTrace trace = MakePacketTrace(config, rng);
+  std::map<uint64_t, size_t> flood_flows;
+  size_t flood_packets = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const PacketEvent& pkt = trace[i];
+    if (!pkt.flood) continue;
+    ++flood_packets;
+    ++flood_flows[pkt.flow_id];
+    EXPECT_EQ(pkt.proto, 17);
+    EXPECT_EQ(pkt.dst_port, config.victim_port);
+    EXPECT_EQ(pkt.dst_ip & 0xffffff00u, PrefixBase(config.victim_prefix));
+    // Flood packets live strictly inside the configured window.
+    EXPECT_GE(i, static_cast<size_t>(config.flood_begin * config.packets));
+    EXPECT_LT(i, static_cast<size_t>(config.flood_end * config.packets) + 1);
+  }
+  ASSERT_GT(flood_packets, 1000u);
+  // Spoofed sources: every flood packet is its own never-seen flow.
+  for (const auto& [flow, count] : flood_flows) {
+    EXPECT_EQ(count, 1u);
+  }
+}
+
+TEST(PacketTraceTest, ChurnRetiresFlows) {
+  PacketTraceConfig config;
+  config.packets = 1 << 14;
+  config.flows = 64;
+  config.churn_interval = 256;
+  Rng rng(7);
+  const PacketTrace trace = MakePacketTrace(config, rng);
+  std::map<uint64_t, size_t> counts;
+  for (const PacketEvent& pkt : trace) {
+    ++counts[pkt.flow_id];
+  }
+  // Churn must push the distinct-flow population past the live set size.
+  EXPECT_GT(counts.size(), config.flows * 3 / 2);
 }
 
 }  // namespace

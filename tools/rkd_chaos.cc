@@ -1,13 +1,14 @@
-// rkd_chaos: deterministic fault-injection soak for both simulators.
+// rkd_chaos: deterministic fault-injection soak for the simulators.
 //
-// Arms a set of failpoints (see src/base/failpoints.h) and drives the two
+// Arms a set of failpoints (see src/base/failpoints.h) and drives the
 // case-study substrates — the CFS scheduler simulator behind the RMT
-// migration oracle, and the demand-paging simulator behind the RMT ML
-// prefetcher — asserting the hook contract's graceful degradation: injected
-// faults on the datapath (helper calls, model evaluation) may cost
-// performance, never correctness or a crash. The scheduler scenario also
-// runs the policy guardian, showing a faulting program being quarantined
-// and the workload completing on the stock heuristic afterwards.
+// migration oracle, the demand-paging simulator behind the RMT ML
+// prefetcher, and the packet RX simulator behind the RMT net datapath —
+// asserting the hook contract's graceful degradation: injected faults on the
+// datapath (helper calls, model evaluation) may cost performance, never
+// correctness or a crash. The scheduler scenario also runs the policy
+// guardian, showing a faulting program being quarantined and the workload
+// completing on the stock heuristic afterwards.
 //
 //   $ build/tools/rkd_chaos                 # full soak
 //   $ build/tools/rkd_chaos --quick         # CI smoke (seconds)
@@ -15,10 +16,12 @@
 //
 // Exit code: 0 = every invariant held, 1 = a degradation bound or sanity
 // check failed, 2 = usage error.
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,10 +35,13 @@
 #include "src/sim/mem/memory_sim.h"
 #include "src/sim/mem/ml_prefetcher.h"
 #include "src/sim/mem/readahead.h"
+#include "src/sim/net/net_sim.h"
+#include "src/sim/net/rx_datapath.h"
 #include "src/sim/sched/cfs_sim.h"
 #include "src/sim/sched/rmt_oracle.h"
 #include "src/workloads/access_trace.h"
 #include "src/workloads/cpu_jobs.h"
+#include "src/workloads/packet_trace.h"
 
 namespace {
 
@@ -172,6 +178,120 @@ void SoakOverloadStorm(bool quick) {
   Check(hooks.Fire(hook, 7) == 7 + 160, "learned policy serves again", "");
 
   TelemetryRegistry& telemetry = cp.telemetry();
+  std::printf("  rkd.gov.demotions=%llu rkd.gov.promotions=%llu degraded_fires=%llu\n",
+              static_cast<unsigned long long>(
+                  telemetry.GetCounter("rkd.gov.demotions")->value()),
+              static_cast<unsigned long long>(
+                  telemetry.GetCounter("rkd.gov.promotions")->value()),
+              static_cast<unsigned long long>(metrics.degraded_fires()));
+}
+
+// --- Scenario 3b: the same storm against the net datapath. The learned
+// flow action is a handful of instructions — too short to cross a
+// mid-execution deadline poll — so the overload is scripted through the
+// program's injectable timebase instead of a latency failpoint: every clock
+// read jumps past the fire budget, each execution overruns at the entry
+// poll, and the ladder must demote the program to the governor's RSS
+// fallback oracle. ---
+
+// Every Now() read advances the timebase by `step`; a step larger than the
+// fire budget makes each execution overrun its deadline at the entry poll.
+struct StormClock {
+  std::atomic<uint64_t> now{1};
+  std::atomic<uint64_t> step{0};
+  uint64_t Read() { return now.fetch_add(step.load()) + step.load(); }
+};
+
+void SoakNetStorm(bool quick) {
+  std::printf("=== net overload storm (scripted timebase + governor) ===\n");
+
+  NetConfig net_config;
+  net_config.fire_deadline_ns = 100'000;  // 100us budget per fire
+  net_config.enable_tiering = false;      // hold the program on its install tier
+  RmtRxDatapath datapath(net_config, RxPolicyKind::kLearned);
+  const Status init = datapath.Init();
+  if (!init.ok()) {
+    Check(false, "init net datapath", init.ToString());
+    return;
+  }
+  // No model installed: the learned action answers with the RSS hash — the
+  // storm is about deadline overruns, not steering quality.
+
+  auto clock = std::make_shared<StormClock>();
+  OverloadGovernor governor(&datapath.control_plane(),
+                            [clock] { return clock->Read(); });
+  GovernorConfig config;
+  config.window_fires = 64;
+  config.max_deadline_rate = 0.25;
+  config.promote_windows = 3;
+  config.shed_probe_ticks = 2;
+  if (!governor.Govern(datapath.handle(), config).ok()) {
+    Check(false, "govern net program", "");
+    return;
+  }
+
+  // The storm: each clock read jumps 1.5x the whole fire budget.
+  clock->step = 150'000;
+
+  HookRegistry& hooks = datapath.hooks();
+  const HookId hook = datapath.packet_hook();
+  const int kThreads = 4;
+  const int per_thread = quick ? 32 : 128;
+  const auto burst = [&hooks, hook, kThreads, per_thread] {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&hooks, hook, per_thread, t] {
+        const int64_t args[1] = {kRxPass};  // clean ACL verdict
+        for (int i = 0; i < per_thread; ++i) {
+          const uint64_t flow = (static_cast<uint64_t>(t + 1) << 32) + i;
+          hooks.Fire(hook, flow, args);
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  };
+
+  burst();
+  for (const OverloadGovernor::LadderEvent& event : governor.Tick().transitions) {
+    std::printf("  governor: %s %s -> %s (%s)\n", event.program.c_str(),
+                std::string(GovLevelName(event.from)).c_str(),
+                std::string(GovLevelName(event.to)).c_str(), event.reason.c_str());
+  }
+  Check(governor.LevelOf(datapath.handle()) == GovLevel::kDegraded,
+        "net ladder engages under storm",
+        std::string(GovLevelName(governor.LevelOf(datapath.handle()))));
+
+  const HookMetrics metrics = hooks.MetricsOf(hook);
+  HistogramWindow window;
+  window.Reset(metrics.fire_ns());
+  const uint64_t degraded_before = metrics.degraded_fires();
+  burst();
+  const double p99 = window.DeltaPercentile(metrics.fire_ns(), 99.0);
+  Check(p99 > 0.0 && p99 < 100'000.0, "net fire p99 bounded while degraded",
+        std::to_string(p99) + "ns vs 100000ns budget");
+  Check(metrics.degraded_fires() - degraded_before ==
+            static_cast<uint64_t>(kThreads * per_thread),
+        "every storm packet answered by the RSS fallback oracle", "");
+  governor.Tick();
+
+  // The storm passes: the timebase behaves again and clean ticks walk the
+  // program back up to kFull.
+  clock->step = 0;
+  for (int i = 0; i < 8 && governor.LevelOf(datapath.handle()) != GovLevel::kFull; ++i) {
+    governor.Tick();
+  }
+  Check(governor.LevelOf(datapath.handle()) == GovLevel::kFull,
+        "net recovery to kFull after the storm",
+        std::string(GovLevelName(governor.LevelOf(datapath.handle()))));
+  const int64_t args[1] = {kRxPass};
+  const int64_t decision = hooks.Fire(hook, 0x123456789abcdefull, args);
+  Check(decision >= 0 && decision < static_cast<int64_t>(datapath.config().queues),
+        "learned program steers again", std::to_string(decision));
+
+  TelemetryRegistry& telemetry = datapath.control_plane().telemetry();
   std::printf("  rkd.gov.demotions=%llu rkd.gov.promotions=%llu degraded_fires=%llu\n",
               static_cast<unsigned long long>(
                   telemetry.GetCounter("rkd.gov.demotions")->value()),
@@ -359,6 +479,96 @@ void SoakPrefetcher(bool quick, double bound, const std::vector<std::string>& di
                       ->value()));
 }
 
+// --- Scenario 4: net datapath under model/helper faults. The learned flow
+// action's MlCall is the fault surface; every injected exec error must fall
+// back to the static RSS answer, so accounting stays exact and legitimate
+// traffic keeps flowing within the bound. ---
+
+void SoakNetDatapath(bool quick, double bound, const std::vector<std::string>& directives) {
+  std::printf("=== net soak (NetRxSim + RmtRxDatapath learned steering) ===\n");
+
+  const NetConfig net_config;
+  // Same shape as rkd_net's trace: Zipf flows plus a flood window over the
+  // back third, big enough for the tree to learn the rank/hash/flood splits.
+  PacketTraceConfig trace_config;
+  trace_config.packets = quick ? 8192 : 32768;
+  trace_config.flows = 512;
+  trace_config.prefixes = 64;
+  trace_config.flood_begin = 0.55;
+  trace_config.flood_end = 0.85;
+  trace_config.flood_prob = 0.5;
+  trace_config.victim_prefix = 7;
+  Rng rng(2021);
+  const PacketTrace trace = MakePacketTrace(trace_config, rng);
+
+  // Stock baseline: the heuristic RSS policy, no faults. Its run doubles as
+  // the training pass for the learned steering model.
+  RmtRxDatapath heuristic(net_config, RxPolicyKind::kHeuristic);
+  Status status = heuristic.Init();
+  if (!status.ok()) {
+    Check(false, "init heuristic datapath", status.ToString());
+    return;
+  }
+  Dataset training(kNetFeatureCount);
+  NetRxSim stock_sim(&heuristic);
+  stock_sim.set_training_sink(&training);
+  stock_sim.Run(trace);
+  const NetMetrics& stock = stock_sim.metrics();
+  std::printf("  stock heuristic: legit delivery %.4f, imbalance %.3f\n",
+              stock.LegitDeliveryRate(), stock.SteeringImbalance());
+
+  Result<ModelPtr> model = TrainNetModel(training, NetModelFamily::kDecisionTree, 2021);
+  if (!model.ok()) {
+    Check(false, "train steering model", model.status().ToString());
+    return;
+  }
+  RmtRxDatapath learned(net_config, RxPolicyKind::kLearned);
+  status = learned.Init();
+  if (status.ok()) {
+    status = learned.InstallModel(std::move(model).value());
+  }
+  if (!status.ok()) {
+    Check(false, "install learned datapath", status.ToString());
+    return;
+  }
+
+  FailpointRegistry& failpoints = FailpointRegistry::Global();
+  for (const std::string& directive : directives) {
+    std::printf("  arm %s\n", directive.c_str());
+    const Status armed = failpoints.EnableFromDirective(directive);
+    if (!armed.ok()) {
+      Check(false, "arm failpoint", armed.ToString());
+      return;
+    }
+  }
+
+  NetRxSim faulted_sim(&learned);
+  faulted_sim.Run(trace);
+  failpoints.DisableAll();
+  const NetMetrics& faulted = faulted_sim.metrics();
+
+  Check(faulted.packets == trace.size(), "every packet decided",
+        std::to_string(faulted.packets) + " of " + std::to_string(trace.size()));
+  Check(faulted.legit_packets + faulted.flood_packets == faulted.packets,
+        "flood/legit split accounts for every packet", "");
+  Check(faulted.legit_delivered + faulted.legit_dropped == faulted.legit_packets &&
+            faulted.flood_delivered + faulted.flood_dropped == faulted.flood_packets,
+        "delivery accounting balances under fault", "");
+  Check(faulted.LegitDeliveryRate() >= stock.LegitDeliveryRate() / bound,
+        "faulted legit delivery within bound of stock",
+        std::to_string(faulted.LegitDeliveryRate()) + " vs " +
+            std::to_string(stock.LegitDeliveryRate()) + " stock (bound " +
+            std::to_string(bound) + "x)");
+  std::printf("  faulted learned: legit delivery %.4f, imbalance %.3f, fallbacks %llu\n",
+              faulted.LegitDeliveryRate(), faulted.SteeringImbalance(),
+              static_cast<unsigned long long>(faulted.fallback_decisions));
+
+  TelemetryRegistry& telemetry = learned.hooks().telemetry();
+  std::printf("  exec errors under fault: %llu\n",
+              static_cast<unsigned long long>(
+                  telemetry.GetCounter("rkd.hook.net.rx.packet.exec_errors")->value()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -393,9 +603,11 @@ int main(int argc, char** argv) {
 
   if (storm) {
     SoakOverloadStorm(quick);
+    SoakNetStorm(quick);
   } else {
     SoakScheduler(quick, bound, directives);
     SoakPrefetcher(quick, bound, directives);
+    SoakNetDatapath(quick, bound, directives);
   }
 
   if (g_failures > 0) {

@@ -1,9 +1,10 @@
 // rkd_mtfire: multi-threaded fire driver for the epoch-based datapath.
 //
 // Exercises the concurrency model end-to-end with real programs: the
-// scheduler migration program ("sched.can_migrate_task") and both memory
-// programs ("mm.lookup_swap_cache" + "mm.swap_cluster_readahead") are
-// installed into one registry, then N threads fire all three hooks at full
+// scheduler migration program ("sched.can_migrate_task"), both memory
+// programs ("mm.lookup_swap_cache" + "mm.swap_cluster_readahead"), and the
+// packet RX pipeline ("net.rx.route" / "net.rx.classify" / "net.rx.packet")
+// are installed into one registry, then N threads fire all the hooks at full
 // rate while (optionally, --churn) a reconfigurer thread mutates tables,
 // hot-swaps models, and suspends/resumes programs through the control
 // plane. Every fire's result is checked against the closed set of values
@@ -42,6 +43,7 @@
 #include "src/rmt/control_plane.h"
 #include "src/rmt/hooks.h"
 #include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/net/rx_datapath.h"
 #include "src/sim/sched/rmt_oracle.h"
 
 namespace {
@@ -129,11 +131,18 @@ int main(int argc, char** argv) {
                             std::memory_order_relaxed);
   };
 
+  SubsystemBindings net_bindings;
+  net_bindings.now = [&virtual_now] { return virtual_now.load(std::memory_order_relaxed); };
+
   auto sched_hook = hooks.Register("sched.can_migrate_task", HookKind::kSchedMigrate);
   auto access_hook = hooks.Register("mm.lookup_swap_cache", HookKind::kMemAccess, mem_bindings);
   auto prefetch_hook =
       hooks.Register("mm.swap_cluster_readahead", HookKind::kMemPrefetch, mem_bindings);
-  if (!sched_hook.ok() || !access_hook.ok() || !prefetch_hook.ok()) {
+  auto route_hook = hooks.Register("net.rx.route", HookKind::kNetRx, net_bindings);
+  auto classify_hook = hooks.Register("net.rx.classify", HookKind::kNetRx, net_bindings);
+  auto packet_hook = hooks.Register("net.rx.packet", HookKind::kNetRx, net_bindings);
+  if (!sched_hook.ok() || !access_hook.ok() || !prefetch_hook.ok() || !route_hook.ok() ||
+      !classify_hook.ok() || !packet_hook.ok()) {
     std::fprintf(stderr, "hook registration failed\n");
     return 1;
   }
@@ -143,7 +152,11 @@ int main(int argc, char** argv) {
   // here — Init() is never called, so their private registries stay empty).
   auto sched_handle = cp.Install(RmtMigrationOracle{}.BuildProgramSpec("mt_sched_prog"));
   auto mem_handle = cp.Install(RmtMlPrefetcher{}.BuildProgramSpec("mt_prefetch_prog"));
-  if (!sched_handle.ok() || !mem_handle.ok()) {
+  const NetConfig net_config;
+  auto net_handle =
+      cp.Install(RmtRxDatapath(net_config, RxPolicyKind::kHeuristic)
+                     .BuildProgramSpec(RxPolicyKind::kHeuristic, "mt_net_prog"));
+  if (!sched_handle.ok() || !mem_handle.ok() || !net_handle.ok()) {
     std::fprintf(stderr, "program install failed\n");
     return 1;
   }
@@ -226,7 +239,51 @@ int main(int argc, char** argv) {
             ++tally.fallbacks;
           }
         }
-        tally.fires += 2 + n;
+
+        // Net RX fires, batched: each thread steers its own flow range and
+        // rotates the ACL verdict argument through pass/drop/redirect so all
+        // three branches of the flow action run under contention. The
+        // heuristic action's result set is closed: an RSS queue in
+        // [0, queues), the packed drop/redirect verdicts, or fallback.
+        const uint64_t flow_base = (pid_base + 1) << 32;
+        for (uint32_t i = 0; i < n; ++i) {
+          const uint64_t flow = flow_base + (iter + i) % 64;
+          const int64_t acl = static_cast<int64_t>((iter + i) % 3);
+          batch[i] = HookEvent(flow, {acl, /*route_class=*/0, /*length=*/64});
+        }
+        hooks.FireBatch(*packet_hook, std::span(batch.data(), n),
+                        std::span(batch_results.data(), n));
+        for (uint32_t i = 0; i < n; ++i) {
+          const int64_t r = batch_results[i];
+          const bool steered = r >= 0 && r < net_config.queues;
+          const bool verdict = r == MakeRxDecision(kRxDrop, 0) ||
+                               r == MakeRxDecision(kRxRedirect, 0);
+          if (!(steered || verdict || r == kHookFallback)) {
+            bad_results.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (r == kHookFallback) {
+            ++tally.fallbacks;
+          }
+        }
+        // Route + classify stages on the same packet window.
+        const int64_t route = hooks.Fire(*route_hook, PrefixBase(iter % 256) + 1);
+        if (!(route == kHookFallback ||
+              (route >= 0 && route < net_config.route_classes))) {
+          bad_results.fetch_add(1, std::memory_order_relaxed);
+        }
+        const int64_t acl_verdict =
+            hooks.Fire(*classify_hook, (17ull << 32) | (1024ull << 16) | 53ull);
+        if (!(acl_verdict == kHookFallback ||
+              (acl_verdict >= kRxPass && acl_verdict <= kRxRedirect))) {
+          bad_results.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (route == kHookFallback) {
+          ++tally.fallbacks;
+        }
+        if (acl_verdict == kHookFallback) {
+          ++tally.fallbacks;
+        }
+        tally.fires += 4 + 2 * n;
         if (decision == kHookFallback) {
           ++tally.fallbacks;
         }
@@ -257,9 +314,20 @@ int main(int argc, char** argv) {
         (void)cp.AddEntry(*sched_handle, "can_migrate_tab", entry);
         (void)cp.RemoveEntry(*sched_handle, "can_migrate_tab", 1'000'000 + (round + 16) % 32);
         (void)cp.WriteMap(*mem_handle, 0, 0, static_cast<int64_t>(1 + round % 3));
+        // Net flow-cache churn: insert/evict exact-match entries in a key
+        // range no fire thread touches, mirroring the sim's LRU traffic.
+        TableEntry flow_entry;
+        flow_entry.key = (1ull << 60) + round % 128;
+        flow_entry.action_index = 0;
+        (void)cp.AddEntry(*net_handle, "rx_flow", flow_entry);
+        (void)cp.RemoveEntry(*net_handle, "rx_flow", (1ull << 60) + (round + 64) % 128);
         if (round % 10 == 9) {
           (void)cp.Suspend(*mem_handle);
           (void)cp.Resume(*mem_handle);
+        }
+        if (round % 10 == 4) {
+          (void)cp.Suspend(*net_handle);
+          (void)cp.Resume(*net_handle);
         }
         // Quiescence point: in the sims this is the control-plane tick.
         (void)GlobalEpochDomain().TryAdvance();
@@ -302,7 +370,10 @@ int main(int argc, char** argv) {
   // batch path counts per event).
   const uint64_t counted = hooks.MetricsOf(*sched_hook).fires() +
                            hooks.MetricsOf(*access_hook).fires() +
-                           hooks.MetricsOf(*prefetch_hook).fires();
+                           hooks.MetricsOf(*prefetch_hook).fires() +
+                           hooks.MetricsOf(*route_hook).fires() +
+                           hooks.MetricsOf(*classify_hook).fires() +
+                           hooks.MetricsOf(*packet_hook).fires();
   Check(counted == total_fires,
         "hook fire counters are exact under contention",
         std::to_string(counted) + " counted vs " + std::to_string(total_fires) + " fired");
@@ -311,6 +382,7 @@ int main(int argc, char** argv) {
   // quiescence no retired snapshot may remain.
   Check(cp.Uninstall(*sched_handle).ok(), "sched program uninstalled", "");
   Check(cp.Uninstall(*mem_handle).ok(), "mem program uninstalled", "");
+  Check(cp.Uninstall(*net_handle).ok(), "net program uninstalled", "");
   GlobalEpochDomain().Synchronize();
   (void)GlobalEpochDomain().TryAdvance();
   Check(GlobalEpochDomain().pending() == 0, "epoch domain fully reclaimed after quiescence",

@@ -1,0 +1,359 @@
+// rkd_net: the packet-datapath case study end to end — heuristic baseline,
+// training capture, experience recording, shadowed admission, canary soak,
+// promotion, and a head-to-head policy comparison. One deterministic seeded
+// run; the comparison table at the end is what EXPERIMENTS.md quotes.
+//
+//   $ build/tools/rkd_net run --seed=2021
+//   $ build/tools/rkd_net run --quick --model=tree --corpus-out=net.rkdr
+//
+// Phases:
+//   A  heuristic RSS datapath over the training trace; the sim's ideal
+//      decisions feed the training sink; a steering/drop model is trained.
+//   B  a fresh heuristic datapath runs the recording trace with an
+//      ExperienceRecorder attached and the model push recorded, producing
+//      the corpus shadow admission replays against.
+//   C  InstallShadowed(learned candidate): the ShadowGate replays the corpus
+//      (reject = never touches a hook); admitted -> canary soak on live
+//      traffic slices -> EvaluateRollout until promoted; the datapath adopts
+//      the promoted program and keeps serving packets.
+//   D  the same eval trace through a fresh heuristic arm and a fresh learned
+//      arm, printing the steering/cache/flood comparison table.
+//
+// Exit code: 0 = every check held, 1 = a check failed, 2 = usage/init error.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/ml/dataset.h"
+#include "src/replay/recorder.h"
+#include "src/replay/shadow.h"
+#include "src/rmt/control_plane.h"
+#include "src/sim/net/net_sim.h"
+#include "src/sim/net/rx_datapath.h"
+#include "src/workloads/packet_trace.h"
+
+namespace {
+
+using namespace rkd;
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what, const std::string& detail = "") {
+  std::printf("  [%s] %s%s%s\n", ok ? "ok" : "FAIL", what, detail.empty() ? "" : ": ",
+              detail.c_str());
+  if (!ok) {
+    ++g_failures;
+  }
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s run [--seed=N] [--quick] [--tier=jit|interpreter]\n"
+               "       [--model=forest|tree|mlp] [--corpus-out=FILE]\n",
+               argv0);
+}
+
+void PrintMetrics(const char* tag, const NetMetrics& m) {
+  std::printf("  %s: %" PRIu64 " pkts (%" PRIu64 " flood), imbalance %.3f, "
+              "legit cache hit %.4f, flood dropped %.4f, legit delivered %.4f\n",
+              tag, m.packets, m.flood_packets, m.SteeringImbalance(),
+              m.LegitCacheHitRate(), m.FloodDropShare(), m.LegitDeliveryRate());
+}
+
+PacketTraceConfig MakeTraceConfig(bool quick) {
+  PacketTraceConfig config;
+  config.packets = quick ? 8192 : 49152;
+  config.flows = 512;
+  config.zipf_skew = 1.1;
+  config.prefixes = 64;
+  // Flood window over the back third: spoofed UDP toward prefix 7's DNS.
+  config.flood_begin = 0.55;
+  config.flood_end = 0.85;
+  config.flood_prob = 0.5;
+  config.victim_prefix = 7;
+  config.victim_port = 53;
+  return config;
+}
+
+int RunPipeline(uint64_t seed, bool quick, ExecTier tier, NetModelFamily family,
+                const std::string& corpus_out) {
+  NetConfig config;
+  config.tier = tier;
+  if (quick) {
+    config.batch_size = 1024;
+  }
+  const PacketTraceConfig trace_config = MakeTraceConfig(quick);
+  std::printf("=== rkd_net: learned RX steering end to end (seed %" PRIu64
+              ", tier %s) ===\n",
+              seed, tier == ExecTier::kJit ? "jit" : "interpreter");
+
+  // --- Phase A: heuristic baseline + training capture ----------------------
+  std::printf("\n--- phase A: heuristic baseline + training capture ---\n");
+  Rng train_rng(seed);
+  const PacketTrace train_trace = MakePacketTrace(trace_config, train_rng);
+  RmtRxDatapath baseline(config, RxPolicyKind::kHeuristic);
+  if (const Status status = baseline.Init(); !status.ok()) {
+    std::fprintf(stderr, "rkd_net: init baseline: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  Dataset training(kNetFeatureCount);
+  NetRxSim train_sim(&baseline);
+  train_sim.set_training_sink(&training);
+  train_sim.Run(train_trace);
+  PrintMetrics("baseline", train_sim.metrics());
+  Check(baseline.packets_decided() == train_trace.size(), "every packet decided");
+  Check(train_sim.metrics().fallback_decisions == 0, "no governor fallbacks at baseline");
+  Check(baseline.context_publish_failures() == 0, "context store never overflowed");
+  std::printf("  training set: %zu samples, %zu classes\n", training.size(),
+              static_cast<size_t>(training.NumClasses()));
+
+  Result<ModelPtr> model = TrainNetModel(training, family, seed);
+  if (!model.ok()) {
+    std::fprintf(stderr, "rkd_net: train: %s\n", model.status().ToString().c_str());
+    return 2;
+  }
+
+  // --- Phase B: experience recording ---------------------------------------
+  std::printf("\n--- phase B: experience recording ---\n");
+  RmtRxDatapath live(config, RxPolicyKind::kHeuristic);
+  if (const Status status = live.Init(); !status.ok()) {
+    std::fprintf(stderr, "rkd_net: init live datapath: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  ExperienceRecorderConfig recorder_config;
+  recorder_config.source = "net";
+  ExperienceRecorder recorder(&live.hooks(), recorder_config);
+  Status wired = live.AttachRecorder(&recorder);
+  if (wired.ok()) {
+    // Recorded before any fire, so replay resolves the same model for the
+    // whole corpus and the learned candidate is evaluated at full strength.
+    wired = live.InstallModel(*model);
+  }
+  if (!wired.ok()) {
+    std::fprintf(stderr, "rkd_net: wire recorder: %s\n", wired.ToString().c_str());
+    return 2;
+  }
+  Rng record_rng(seed + 1);
+  const PacketTrace record_trace = MakePacketTrace(trace_config, record_rng);
+  NetRxSim record_sim(&live);
+  record_sim.Run(record_trace);
+  recorder.Detach();
+  std::printf("  recorded %" PRIu64 " records (%" PRIu64 " dropped)\n",
+              recorder.recorded(), recorder.dropped());
+  if (!corpus_out.empty()) {
+    if (const Status status = recorder.Flush(corpus_out); !status.ok()) {
+      std::fprintf(stderr, "rkd_net: flush corpus: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::printf("  corpus -> %s\n", corpus_out.c_str());
+  }
+  ExperienceLog log = recorder.TakeLog();
+  Check(log.fire_count() > 0, "corpus has fires");
+
+  // --- Phase C: shadowed admission + canary rollout ------------------------
+  std::printf("\n--- phase C: shadowed admission + canary rollout ---\n");
+  ControlPlane& cp = live.control_plane();
+  ShadowGateConfig gate_config;
+  // The learned policy is SUPPOSED to diverge from the recorded heuristic on
+  // elephants and flood traffic; the quality bar is the labeled score: the
+  // candidate must beat the incumbent's recorded agreement with the ideal
+  // decisions by a clear margin.
+  gate_config.max_divergence = 0.35;
+  gate_config.min_score_delta = -0.02;
+  gate_config.flight_recorder_dir = ".";
+  ShadowGate gate(gate_config, &cp.telemetry());
+  gate.AddCorpus(std::move(log));
+  cp.set_shadow_evaluator(&gate);
+
+  ControlPlane::CanaryConfig canary;
+  canary.canary_permille = 250;
+  canary.soak_min_execs = quick ? 512 : 4096;
+  canary.max_error_rate = 0.02;
+  canary.max_latency_ratio = 0.0;  // an MlCall arm vs a 5-instruction hash arm
+
+  Result<ControlPlane::ShadowedInstall> shadowed = cp.InstallShadowed(
+      live.handle(), live.BuildProgramSpec(RxPolicyKind::kLearned, "rmt_net_learned"),
+      canary, tier);
+  if (!shadowed.ok()) {
+    Check(false, "shadow-evaluate learned candidate", shadowed.status().ToString());
+    return 1;
+  }
+  Check(shadowed->verdict.admitted, "learned candidate admitted through the shadow gate",
+        shadowed->verdict.reason);
+  std::printf("  shadow: decision match %.4f, counterfactual %.4f vs recorded %.4f\n",
+              shadowed->verdict.decision_match_rate, shadowed->verdict.counterfactual_score,
+              shadowed->verdict.recorded_score);
+  Check(shadowed->verdict.counterfactual_score > shadowed->verdict.recorded_score,
+        "learned candidate scores above the recorded heuristic");
+  if (!shadowed->verdict.admitted || shadowed->rollout < 0) {
+    return 1;
+  }
+
+  Result<ControlPlane::RolloutReport> soak = cp.EvaluateRollout(shadowed->rollout);
+  if (!soak.ok()) {
+    Check(false, "initial rollout evaluation", soak.status().ToString());
+    return 1;
+  }
+  const ControlPlane::ProgramHandle canary_handle = soak->canary_handle;
+  if (const Status status = cp.InstallModel(canary_handle, 0, *model); !status.ok()) {
+    Check(false, "install model on the canary arm", status.ToString());
+    return 1;
+  }
+  live.set_mirror_handle(canary_handle);  // the canary's context must see features too
+
+  Rng canary_rng(seed + 2);
+  PacketTraceConfig canary_trace_config = trace_config;
+  canary_trace_config.packets = quick ? 8192 : 32768;
+  const PacketTrace canary_trace = MakePacketTrace(canary_trace_config, canary_rng);
+  NetRxSim canary_sim(&live);
+  ControlPlane::RolloutReport verdict;
+  bool resolved = false;
+  size_t slices = 0;
+  for (size_t offset = 0; offset < canary_trace.size() && !resolved;
+       offset += config.batch_size) {
+    const size_t len = std::min(config.batch_size, canary_trace.size() - offset);
+    canary_sim.Run(std::span(canary_trace).subspan(offset, len));
+    ++slices;
+    Result<ControlPlane::RolloutReport> report = cp.EvaluateRollout(shadowed->rollout);
+    if (!report.ok()) {
+      Check(false, "rollout evaluation", report.status().ToString());
+      return 1;
+    }
+    if (report->decision != ControlPlane::RolloutReport::Decision::kSoaking) {
+      verdict = std::move(report).value();
+      resolved = true;
+    }
+  }
+  Check(resolved, "canary rollout resolved within the soak traffic");
+  if (!resolved) {
+    return 1;
+  }
+  Check(verdict.decision == ControlPlane::RolloutReport::Decision::kPromoted,
+        "canary promoted", verdict.reason);
+  if (verdict.decision != ControlPlane::RolloutReport::Decision::kPromoted) {
+    return 1;
+  }
+  std::printf("  promoted after %zu slices: canary %" PRIu64 " execs (err %.4f), "
+              "incumbent %" PRIu64 " execs\n",
+              slices, verdict.canary.execs, verdict.canary.error_rate,
+              verdict.incumbent.execs);
+  if (const Status status = live.AdoptPromoted(canary_handle, RxPolicyKind::kLearned);
+      !status.ok()) {
+    Check(false, "adopt promoted program", status.ToString());
+    return 1;
+  }
+  // Keep serving on the promoted learned program: the same datapath object,
+  // now steering with the model at full traffic.
+  const uint64_t before = live.packets_decided();
+  canary_sim.Run(std::span(canary_trace).first(
+      std::min<size_t>(config.batch_size, canary_trace.size())));
+  Check(live.packets_decided() == before + std::min<size_t>(config.batch_size,
+                                                            canary_trace.size()),
+        "promoted datapath keeps deciding packets");
+  Check(live.policy() == RxPolicyKind::kLearned, "datapath now runs the learned policy");
+
+  // --- Phase D: head-to-head on the eval trace -----------------------------
+  std::printf("\n--- phase D: heuristic vs learned on the eval trace ---\n");
+  Rng eval_rng(seed + 3);
+  const PacketTrace eval_trace = MakePacketTrace(trace_config, eval_rng);
+
+  RmtRxDatapath heuristic_arm(config, RxPolicyKind::kHeuristic);
+  RmtRxDatapath learned_arm(config, RxPolicyKind::kLearned);
+  Status eval_status = heuristic_arm.Init();
+  if (eval_status.ok()) eval_status = learned_arm.Init();
+  if (eval_status.ok()) eval_status = learned_arm.InstallModel(*model);
+  if (!eval_status.ok()) {
+    std::fprintf(stderr, "rkd_net: eval arms: %s\n", eval_status.ToString().c_str());
+    return 2;
+  }
+  NetRxSim heuristic_sim(&heuristic_arm);
+  NetRxSim learned_sim(&learned_arm);
+  heuristic_sim.Run(eval_trace);
+  learned_sim.Run(eval_trace);
+  const NetMetrics& h = heuristic_sim.metrics();
+  const NetMetrics& l = learned_sim.metrics();
+
+  std::printf("\n  metric                          heuristic      learned\n");
+  std::printf("  steering imbalance (max/mean)   %9.3f    %9.3f\n",
+              h.SteeringImbalance(), l.SteeringImbalance());
+  std::printf("  legit flow-cache hit rate       %9.4f    %9.4f\n",
+              h.LegitCacheHitRate(), l.LegitCacheHitRate());
+  std::printf("  flood drop share                %9.4f    %9.4f\n", h.FloodDropShare(),
+              l.FloodDropShare());
+  std::printf("  legit delivery rate             %9.4f    %9.4f\n", h.LegitDeliveryRate(),
+              l.LegitDeliveryRate());
+  std::printf("  policy drops                    %9" PRIu64 "    %9" PRIu64 "\n",
+              h.policy_drops, l.policy_drops);
+  std::printf("  queue-overflow drops            %9" PRIu64 "    %9" PRIu64 "\n",
+              h.overflow_drops, l.overflow_drops);
+  std::printf("  slow-path cost (us)             %9" PRIu64 "    %9" PRIu64 "\n\n",
+              h.slow_path_ns / 1000, l.slow_path_ns / 1000);
+
+  int wins = 0;
+  if (l.SteeringImbalance() < h.SteeringImbalance()) ++wins;
+  if (l.LegitCacheHitRate() > h.LegitCacheHitRate()) ++wins;
+  if (l.FloodDropShare() > h.FloodDropShare()) ++wins;
+  if (l.LegitDeliveryRate() > h.LegitDeliveryRate()) ++wins;
+  Check(wins >= 1, "learned beats heuristic on a headline metric",
+        std::to_string(wins) + " of 4 headline metrics");
+  Check(l.FloodDropShare() > h.FloodDropShare() + 0.25,
+        "learned drops the flood at the hook");
+
+  if (g_failures > 0) {
+    std::printf("\nrkd_net: %d check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("\nrkd_net: all checks held\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "run") != 0) {
+    Usage(argv[0]);
+    return 2;
+  }
+  uint64_t seed = 2021;
+  bool quick = false;
+  std::string tier_name = "jit";
+  std::string model_name = "forest";
+  std::string corpus_out;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(arg, "--tier=", 7) == 0) {
+      tier_name = arg + 7;
+    } else if (std::strncmp(arg, "--model=", 8) == 0) {
+      model_name = arg + 8;
+    } else if (std::strncmp(arg, "--corpus-out=", 13) == 0) {
+      corpus_out = arg + 13;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (tier_name != "jit" && tier_name != "interpreter") {
+    Usage(argv[0]);
+    return 2;
+  }
+  NetModelFamily family;
+  if (model_name == "forest") {
+    family = NetModelFamily::kRandomForest;
+  } else if (model_name == "tree") {
+    family = NetModelFamily::kDecisionTree;
+  } else if (model_name == "mlp") {
+    family = NetModelFamily::kQuantizedMlp;
+  } else {
+    Usage(argv[0]);
+    return 2;
+  }
+  const ExecTier tier = tier_name == "jit" ? ExecTier::kJit : ExecTier::kInterpreter;
+  return RunPipeline(seed, quick, tier, family, corpus_out);
+}

@@ -37,11 +37,14 @@
 #include "src/rmt/control_plane.h"
 #include "src/sim/mem/memory_sim.h"
 #include "src/sim/mem/ml_prefetcher.h"
+#include "src/sim/net/net_sim.h"
+#include "src/sim/net/rx_datapath.h"
 #include "src/sim/sched/cfs_sim.h"
 #include "src/sim/sched/rmt_oracle.h"
 #include "src/telemetry/trace_export.h"
 #include "src/workloads/access_trace.h"
 #include "src/workloads/cpu_jobs.h"
+#include "src/workloads/packet_trace.h"
 
 namespace {
 
@@ -60,10 +63,10 @@ void Check(bool ok, const char* what, const std::string& detail = "") {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <command> [flags]\n"
-               "  record  --sim=prefetch|sched --out=FILE [--quick] [--max-records=N]\n"
+               "  record  --sim=prefetch|sched|net --out=FILE [--quick] [--max-records=N]\n"
                "  inspect --corpus=FILE\n"
                "  replay  --corpus=FILE [--tier=jit|interpreter]\n"
-               "          [--candidate=incumbent|broken] [--report=FILE]\n"
+               "          [--candidate=incumbent|broken|learned] [--report=FILE]\n"
                "  diff    --corpus=FILE [--tier=T] [--a=incumbent] [--b=broken]\n"
                "  gate    --corpus=FILE [--flight-dir=DIR] [--tier=T]\n",
                argv0);
@@ -88,7 +91,21 @@ RmtProgramSpec BuildIncumbentSpec(const std::string& source, const std::string& 
   if (source == "prefetch") {
     return RmtMlPrefetcher().BuildProgramSpec(name);
   }
+  if (source == "net") {
+    // The record path uses the default NetConfig, so the default-config
+    // rebuild is the exact installed bundle.
+    return RmtRxDatapath(NetConfig{}, RxPolicyKind::kHeuristic)
+        .BuildProgramSpec(RxPolicyKind::kHeuristic, name);
+  }
   return RmtMigrationOracle().BuildProgramSpec(name);
+}
+
+// The learned steering candidate for a net corpus: same tables, but the flow
+// action consults model slot 0 — which the corpus's recorded model install
+// populates during replay.
+RmtProgramSpec BuildLearnedNetSpec(const std::string& name) {
+  return RmtRxDatapath(NetConfig{}, RxPolicyKind::kLearned)
+      .BuildProgramSpec(RxPolicyKind::kLearned, name);
 }
 
 RmtProgramSpec BuildBrokenSpec(const std::string& source) {
@@ -103,6 +120,15 @@ RmtProgramSpec BuildBrokenSpec(const std::string& source) {
     spec.name = "broken_prefetch_prog";
     table.name = "broken_prefetch_tab";
     table.hook_point = "mm.swap_cluster_readahead";
+    table.actions.push_back(std::move(a.Build()).value());
+  } else if (source == "net") {
+    // Steers every packet to a queue id no recorded fire ever produced.
+    Assembler a("broken_steer", HookKind::kNetRx);
+    a.MovImm(0, 99);
+    a.Exit();
+    spec.name = "broken_net_prog";
+    table.name = "broken_net_tab";
+    table.hook_point = "net.rx.packet";
     table.actions.push_back(std::move(a.Build()).value());
   } else {
     // Returns a decision no recorded fire ever produced.
@@ -216,6 +242,81 @@ int RecordSched(bool quick, const std::string& out, size_t max_records) {
   return 0;
 }
 
+int RecordNet(bool quick, const std::string& out, size_t max_records) {
+  // Keep the spec-shaping NetConfig fields (tables, queues, deadline) at
+  // their defaults: replay rebuilds the incumbent from a default-config
+  // datapath, and the specs must be identical. batch_size only shapes the
+  // fire stream, so quick mode shrinks it to still cover several batches.
+  NetConfig net_config;
+  if (quick) {
+    net_config.batch_size = 256;
+  }
+  PacketTraceConfig trace_config;
+  trace_config.packets = quick ? 1024 : 24576;
+  trace_config.flows = 256;
+  trace_config.prefixes = 64;
+  trace_config.flood_begin = 0.5;
+  trace_config.flood_end = 0.85;
+  trace_config.flood_prob = 0.4;
+
+  // Baseline pass: run the heuristic to harvest a training set, so the
+  // corpus can carry a model-install record (making the learned candidate
+  // replayable against it).
+  Dataset training(kNetFeatureCount);
+  {
+    RmtRxDatapath baseline(net_config, RxPolicyKind::kHeuristic);
+    if (const Status status = baseline.Init(); !status.ok()) {
+      std::fprintf(stderr, "rkd_replay: init baseline: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    Rng rng(2021);
+    const PacketTrace trace = MakePacketTrace(trace_config, rng);
+    NetRxSim sim(&baseline);
+    sim.set_training_sink(&training);
+    sim.Run(trace);
+  }
+  Result<ModelPtr> model = TrainNetModel(training, NetModelFamily::kDecisionTree, 2021);
+  if (!model.ok()) {
+    std::fprintf(stderr, "rkd_replay: train model: %s\n", model.status().ToString().c_str());
+    return 2;
+  }
+
+  RmtRxDatapath datapath(net_config, RxPolicyKind::kHeuristic);
+  if (const Status status = datapath.Init(); !status.ok()) {
+    std::fprintf(stderr, "rkd_replay: init datapath: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  ExperienceRecorderConfig recorder_config;
+  recorder_config.source = "net";
+  recorder_config.max_records = max_records;
+  ExperienceRecorder recorder(&datapath.hooks(), recorder_config);
+  // Attach before the model push so the install record lands in the stream
+  // (the heuristic action ignores the slot; a learned candidate reads it).
+  Status status = datapath.AttachRecorder(&recorder);
+  if (status.ok()) {
+    status = datapath.InstallModel(std::move(model).value());
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "rkd_replay: wire datapath: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  Rng rng(2022);
+  const PacketTrace trace = MakePacketTrace(trace_config, rng);
+  NetRxSim sim(&datapath);
+  sim.Run(trace);
+  if (const Status flushed = recorder.Flush(out); !flushed.ok()) {
+    std::fprintf(stderr, "rkd_replay: flush corpus: %s\n", flushed.ToString().c_str());
+    return 2;
+  }
+  std::printf("recorded %" PRIu64 " records (%" PRIu64 " dropped) -> %s\n",
+              recorder.recorded(), recorder.dropped(), out.c_str());
+  const NetMetrics& metrics = sim.metrics();
+  std::printf("  run: %" PRIu64 " packets, imbalance %.3f, cache hit %.3f\n",
+              metrics.packets, metrics.SteeringImbalance(), metrics.CacheHitRate());
+  return 0;
+}
+
 // --- inspect ---------------------------------------------------------------
 
 int Inspect(const std::string& path) {
@@ -296,9 +397,14 @@ int Replay(const std::string& path, const std::string& candidate, ExecTier tier,
     std::fprintf(stderr, "rkd_replay: %s\n", log.status().ToString().c_str());
     return 2;
   }
-  const RmtProgramSpec spec = candidate == "broken"
-                                  ? BuildBrokenSpec(log->source)
-                                  : BuildIncumbentSpec(log->source, "replay_candidate");
+  if (candidate == "learned" && log->source != "net") {
+    std::fprintf(stderr, "rkd_replay: --candidate=learned requires a net corpus\n");
+    return 2;
+  }
+  const RmtProgramSpec spec =
+      candidate == "broken"    ? BuildBrokenSpec(log->source)
+      : candidate == "learned" ? BuildLearnedNetSpec("replay_candidate")
+                               : BuildIncumbentSpec(log->source, "replay_candidate");
   ReplayEngine engine;
   ReplayOptions options;
   options.tier = tier;
@@ -330,10 +436,17 @@ int Diff(const std::string& path, const std::string& a, const std::string& b, Ex
   ReplayEngine engine;
   ReplayOptions options;
   options.tier = tier;
-  const RmtProgramSpec spec_a = a == "broken" ? BuildBrokenSpec(log->source)
-                                              : BuildIncumbentSpec(log->source, "diff_a");
-  const RmtProgramSpec spec_b = b == "broken" ? BuildBrokenSpec(log->source)
-                                              : BuildIncumbentSpec(log->source, "diff_b");
+  auto build = [&](const std::string& which, const std::string& name) {
+    if (which == "broken") return BuildBrokenSpec(log->source);
+    if (which == "learned") return BuildLearnedNetSpec(name);
+    return BuildIncumbentSpec(log->source, name);
+  };
+  if ((a == "learned" || b == "learned") && log->source != "net") {
+    std::fprintf(stderr, "rkd_replay: --a/--b=learned requires a net corpus\n");
+    return 2;
+  }
+  const RmtProgramSpec spec_a = build(a, "diff_a");
+  const RmtProgramSpec spec_b = build(b, "diff_b");
   Result<DivergenceReport> report_a = engine.Replay(*log, spec_a, options);
   Result<DivergenceReport> report_b = engine.Replay(*log, spec_b, options);
   if (!report_a.ok() || !report_b.ok()) {
@@ -372,6 +485,7 @@ int Gate(const std::string& path, const std::string& flight_dir, ExecTier tier) 
   // Live substrate + incumbent.
   std::unique_ptr<RmtMlPrefetcher> prefetcher;
   std::unique_ptr<RmtMigrationOracle> oracle;
+  std::unique_ptr<RmtRxDatapath> datapath;
   ControlPlane* control_plane = nullptr;
   ControlPlane::ProgramHandle incumbent = -1;
   if (source == "prefetch") {
@@ -382,6 +496,14 @@ int Gate(const std::string& path, const std::string& flight_dir, ExecTier tier) 
     }
     control_plane = &prefetcher->control_plane();
     incumbent = prefetcher->handle();
+  } else if (source == "net") {
+    datapath = std::make_unique<RmtRxDatapath>(NetConfig{}, RxPolicyKind::kHeuristic);
+    if (const Status status = datapath->Init(); !status.ok()) {
+      std::fprintf(stderr, "rkd_replay: init datapath: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    control_plane = &datapath->control_plane();
+    incumbent = datapath->handle();
   } else {
     oracle = std::make_unique<RmtMigrationOracle>();
     if (const Status status = oracle->Init(); !status.ok()) {
@@ -416,9 +538,10 @@ int Gate(const std::string& path, const std::string& flight_dir, ExecTier tier) 
   Check(control_plane->installed_count() == 1, "rejected candidate left no live program");
 
   // 2. The incumbent's own spec must clear the gate and reach canary.
-  const RmtProgramSpec candidate =
-      BuildIncumbentSpec(source, source == "prefetch" ? "rmt_prefetch_candidate"
-                                                      : "rmt_sched_candidate");
+  const RmtProgramSpec candidate = BuildIncumbentSpec(
+      source, source == "prefetch" ? "rmt_prefetch_candidate"
+              : source == "net"    ? "rmt_net_candidate"
+                                   : "rmt_sched_candidate");
   Result<ControlPlane::ShadowedInstall> good =
       control_plane->InstallShadowed(incumbent, candidate, canary, tier);
   if (!good.ok()) {
@@ -494,12 +617,15 @@ int main(int argc, char** argv) {
   const ExecTier tier = tier_name == "jit" ? ExecTier::kJit : ExecTier::kInterpreter;
 
   if (command == "record") {
-    if (out.empty() || (sim != "prefetch" && sim != "sched")) {
+    if (out.empty() || (sim != "prefetch" && sim != "sched" && sim != "net")) {
       Usage(argv[0]);
       return 2;
     }
-    return sim == "prefetch" ? RecordPrefetch(quick, out, max_records)
-                             : RecordSched(quick, out, max_records);
+    if (sim == "prefetch") {
+      return RecordPrefetch(quick, out, max_records);
+    }
+    return sim == "sched" ? RecordSched(quick, out, max_records)
+                          : RecordNet(quick, out, max_records);
   }
   if (corpus.empty()) {
     Usage(argv[0]);
@@ -509,7 +635,7 @@ int main(int argc, char** argv) {
     return Inspect(corpus);
   }
   if (command == "replay") {
-    if (candidate != "incumbent" && candidate != "broken") {
+    if (candidate != "incumbent" && candidate != "broken" && candidate != "learned") {
       Usage(argv[0]);
       return 2;
     }

@@ -11,6 +11,9 @@
 //   $ build/tools/rkd_stats --fires=50000 --format=prom
 //   $ build/tools/rkd_stats --format=json
 //   $ build/tools/rkd_stats --dump          # + program dump with opcode profile
+//   $ build/tools/rkd_stats --net --dump    # net RX datapath instead of the
+//                                           # quickstart classifier (three
+//                                           # match stages + model slot)
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -22,20 +25,107 @@
 #include "src/rmt/control_plane.h"
 #include "src/rmt/guardian.h"
 #include "src/rmt/introspect.h"
+#include "src/sim/net/net_sim.h"
+#include "src/sim/net/rx_datapath.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/telemetry.h"
+#include "src/workloads/packet_trace.h"
 
 namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--fires=N] [--format=prom|json|both] [--sample=N] [--dump]\n"
+               "usage: %s [--fires=N] [--format=prom|json|both] [--sample=N] [--dump] "
+               "[--net]\n"
                "  --fires=N   number of hook fires to record (default 1000)\n"
                "  --format=F  export format (default both)\n"
                "  --sample=N  trace 1-in-N fires for the opcode profile (default 64)\n"
                "  --dump      also print the program dump (tables, models,\n"
-               "              sampled opcode profile)\n",
+               "              sampled opcode profile)\n"
+               "  --net       build the packet RX datapath (LPM + ternary + exact\n"
+               "              stages, learned steering model) instead of the\n"
+               "              quickstart classifier\n",
                argv0);
+}
+
+// The --net pipeline: the three-stage RX datapath with a small synthetic
+// steering model, driven by a packet trace so the per-hook histograms, the
+// net.rx.* telemetry slice, and the bottleneck advisory all populate. The
+// dump shows what the generic demo cannot: an LPM table, a ternary table,
+// an exact-match table, and an occupied model slot on one program.
+int RunNet(uint64_t fires, const std::string& format, uint32_t sample_every, bool dump) {
+  using namespace rkd;
+
+  NetConfig config;
+  config.route_prefixes = 64;
+  config.acl_entries = 64;
+  config.flow_cache_capacity = 128;
+  config.batch_size = 256;
+  RmtRxDatapath datapath(config, RxPolicyKind::kLearned);
+  datapath.hooks().telemetry().tracer().set_sample_every(sample_every);
+  if (const Status status = datapath.Init(); !status.ok()) {
+    std::fprintf(stderr, "net datapath init failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Synthetic supervision, enough for a real (if tiny) tree: steer ranked
+  // elephants to their rank's queue, drop unranked brand-new flows (the
+  // flood signature), hash everything else.
+  Dataset data(kNetFeatureCount);
+  for (int32_t rank = 0; rank < config.queues; ++rank) {
+    NetFeatureRow row{};
+    row[kNfRank] = rank;
+    row[kNfHashLane] = rank;
+    data.Add(row, rank);
+  }
+  NetFeatureRow flood_row{};
+  flood_row[kNfRank] = config.queues;
+  flood_row[kNfIsNew] = 1;
+  flood_row[kNfNewFlowRate] = 900;
+  data.Add(flood_row, config.queues);
+  Result<ModelPtr> model = TrainNetModel(data, NetModelFamily::kDecisionTree, 1);
+  if (!model.ok() || !datapath.InstallModel(std::move(model).value()).ok()) {
+    std::fprintf(stderr, "net model install failed\n");
+    return 1;
+  }
+
+  PacketTraceConfig trace_config;
+  trace_config.packets = fires < 256 ? 256 : fires;
+  trace_config.flows = 64;
+  trace_config.prefixes = 32;
+  trace_config.flood_begin = 0.6;
+  trace_config.flood_end = 0.9;
+  trace_config.flood_prob = 0.3;
+  Rng rng(7);
+  const PacketTrace trace = MakePacketTrace(trace_config, rng);
+  NetRxSim sim(&datapath);
+  sim.Run(trace);
+
+  ControlPlane& control_plane = datapath.control_plane();
+  Result<BottleneckAdvisory> advisory = control_plane.RefreshBottleneck(datapath.handle());
+  if (advisory.ok() && format != "json") {
+    std::printf("critical path & bottleneck (trace-derived advisory):\n%s\n",
+                RenderAdvisory(*advisory, 3).c_str());
+  }
+
+  if (dump) {
+    InstalledProgram* program = control_plane.Get(datapath.handle());
+    if (program != nullptr) {
+      std::printf("%s\n", DumpProgram(*program).c_str());
+    }
+  }
+
+  const TelemetryRegistry& registry = datapath.hooks().telemetry();
+  if (format == "prom" || format == "both") {
+    std::printf("%s", ExportPrometheus(registry).c_str());
+  }
+  if (format == "both") {
+    std::printf("\n");
+  }
+  if (format == "json" || format == "both") {
+    std::printf("%s\n", ExportJson(registry).c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -47,6 +137,7 @@ int main(int argc, char** argv) {
   std::string format = "both";
   uint32_t sample_every = 64;
   bool dump = false;
+  bool net = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--fires=", 8) == 0) {
@@ -57,6 +148,8 @@ int main(int argc, char** argv) {
       sample_every = static_cast<uint32_t>(std::strtoul(arg + 9, nullptr, 10));
     } else if (std::strcmp(arg, "--dump") == 0) {
       dump = true;
+    } else if (std::strcmp(arg, "--net") == 0) {
+      net = true;
     } else {
       Usage(argv[0]);
       return 2;
@@ -65,6 +158,9 @@ int main(int argc, char** argv) {
   if (format != "prom" && format != "json" && format != "both") {
     Usage(argv[0]);
     return 2;
+  }
+  if (net) {
+    return RunNet(fires, format, sample_every, dump);
   }
 
   // Same program as examples/quickstart — r0 = (key < 1000) ? 1 : 2 — plus a
